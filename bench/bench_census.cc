@@ -1,0 +1,96 @@
+// E1 — paper §2 deployment statistics and Table 1's CourseRank column,
+// measured on the generated system rather than asserted.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace courserank::bench {
+namespace {
+
+void PrintCensus() {
+  auto& world = PaperWorld();
+  auto stats = world.site->GetStats();
+  CR_CHECK(stats.ok());
+
+  std::printf("\n=== E1: paper §2 census (paper -> measured) ===\n");
+  struct Line {
+    const char* what;
+    size_t paper;
+    size_t measured;
+  };
+  const Line lines[] = {
+      {"courses", 18605, stats->courses},
+      {"comments", 134000, stats->comments},
+      {"ratings", 50300, stats->ratings},
+      {"students total", 14000, stats->students},
+      {"students active", 9000, stats->active_students},
+  };
+  for (const Line& l : lines) {
+    std::printf("  %-16s %8zu -> %8zu  (%.1f%%)\n", l.what, l.paper,
+                l.measured,
+                100.0 * static_cast<double>(l.measured) /
+                    static_cast<double>(l.paper));
+  }
+  std::printf("  also generated: %zu departments, %zu offerings, %zu "
+              "enrollments, %zu plans,\n"
+              "                  %zu questions, %zu answers, %zu textbooks, "
+              "%zu faculty, %zu staff\n",
+              stats->departments, stats->offerings, stats->enrollments,
+              stats->plans, stats->questions, stats->answers,
+              stats->textbooks, stats->faculty, stats->staff);
+
+  std::printf("\n=== Table 1: the CourseRank column, measured ===\n");
+  std::printf("  data:   centrally stored            -> %zu tables in one catalog\n",
+              world.site->db().TableNames().size());
+  std::printf("  data:   user contributed + official -> %zu user rows + %zu official rows\n",
+              stats->comments + stats->ratings + stats->enrollments,
+              stats->courses + stats->offerings);
+  std::printf("  access: closed community            -> %zu authenticated members, 0 anonymous\n",
+              stats->students + stats->faculty + stats->staff);
+  std::printf("  users:  real ids, 3 constituencies  -> %zu students / %zu faculty / %zu staff\n",
+              stats->students, stats->faculty, stats->staff);
+  Status integrity = world.site->db().CheckIntegrity();
+  std::printf("  integrity: referential check        -> %s\n",
+              integrity.ok() ? "OK" : integrity.ToString().c_str());
+}
+
+void BM_GetStats(benchmark::State& state) {
+  auto& world = PaperWorld();
+  for (auto _ : state) {
+    auto stats = world.site->GetStats();
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_GetStats)->Unit(benchmark::kMillisecond);
+
+void BM_IntegrityCheck(benchmark::State& state) {
+  auto& world = PaperWorld();
+  for (auto _ : state) {
+    Status s = world.site->db().CheckIntegrity();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_IntegrityCheck)->Unit(benchmark::kMillisecond);
+
+void BM_GeneratePaperScale(benchmark::State& state) {
+  for (auto _ : state) {
+    World world = BuildWorld(gen::GenConfig::PaperScale(), false);
+    benchmark::DoNotOptimize(world.site);
+  }
+}
+BENCHMARK(BM_GeneratePaperScale)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace courserank::bench
+
+int main(int argc, char** argv) {
+  courserank::bench::PrintCensus();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// E2 — Fig. 3: keyword search "American" over course entities plus the data
+// cloud summarizing the result set. Reproduces the result-set shape
+// (1160/18605 in the paper) and measures search + cloud latency, including
+// the field-weighting ablation (title-boosted BM25F vs flat TF-IDF).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/data_cloud.h"
+#include "search/searcher.h"
+
+namespace courserank::bench {
+namespace {
+
+using cloud::CloudBuilder;
+using cloud::CloudOptions;
+using cloud::DataCloud;
+using cloud::TermScoring;
+using search::ResultSet;
+using search::Searcher;
+
+void PrintFig3() {
+  auto& world = PaperWorld();
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  auto results = searcher->Search("american");
+  CR_CHECK(results.ok());
+
+  std::printf("\n=== E2: Fig. 3 — search \"American\" ===\n");
+  std::printf("  paper:    1160 of 18605 courses (6.23%%)\n");
+  std::printf("  measured: %zu of %zu courses (%.2f%%)\n", results->size(),
+              world.site->index().num_docs(),
+              100.0 * static_cast<double>(results->size()) /
+                  static_cast<double>(world.site->index().num_docs()));
+
+  std::printf("  top results:\n");
+  for (size_t i = 0; i < 5 && i < results->hits.size(); ++i) {
+    std::printf("    %.3f  %s\n", results->hits[i].score,
+                world.site->index().doc(results->hits[i].doc).display.c_str());
+  }
+
+  CloudBuilder builder(&world.site->index());
+  DataCloud cloud = builder.Build(*results);
+  std::printf("  cloud (%zu terms): %s\n", cloud.terms.size(),
+              cloud.ToString().c_str());
+
+  // Paper Fig. 3 concepts that must surface.
+  for (const char* expected : {"latin american", "african american",
+                               "politics"}) {
+    std::printf("  contains \"%s\": %s\n", expected,
+                cloud.Contains(expected) ? "yes" : "NO");
+  }
+}
+
+void BM_SearchAmerican(benchmark::State& state) {
+  auto& world = PaperWorld();
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  for (auto _ : state) {
+    auto results = searcher->Search("american");
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_SearchAmerican)->Unit(benchmark::kMillisecond);
+
+void BM_SearchTwoTerms(benchmark::State& state) {
+  auto& world = PaperWorld();
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  for (auto _ : state) {
+    auto results = searcher->Search("greek science");
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_SearchTwoTerms)->Unit(benchmark::kMillisecond);
+
+void BM_CloudFromResults(benchmark::State& state) {
+  auto& world = PaperWorld();
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  auto results = searcher->Search("american");
+  CR_CHECK(results.ok());
+  CloudBuilder builder(&world.site->index());
+  for (auto _ : state) {
+    DataCloud cloud = builder.Build(*results);
+    benchmark::DoNotOptimize(cloud);
+  }
+}
+BENCHMARK(BM_CloudFromResults)->Unit(benchmark::kMillisecond);
+
+void BM_SearchPlusCloud(benchmark::State& state) {
+  // The full Fig. 3 interaction end to end.
+  auto& world = PaperWorld();
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  CloudBuilder builder(&world.site->index());
+  for (auto _ : state) {
+    auto results = searcher->Search("american");
+    DataCloud cloud = builder.Build(*results);
+    benchmark::DoNotOptimize(cloud);
+  }
+}
+BENCHMARK(BM_SearchPlusCloud)->Unit(benchmark::kMillisecond);
+
+/// Ablation: the §3.1 ranking question — title-weighted BM25F vs flat
+/// TF-IDF over the same query.
+void BM_RankingMode(benchmark::State& state) {
+  auto& world = PaperWorld();
+  search::SearchOptions opts;
+  opts.ranking = state.range(0) == 0 ? search::RankingMode::kBm25f
+                                     : search::RankingMode::kTfIdf;
+  Searcher searcher(&world.site->index(), opts);
+  for (auto _ : state) {
+    auto results = searcher.Search("american");
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetLabel(state.range(0) == 0 ? "bm25f" : "tfidf");
+}
+BENCHMARK(BM_RankingMode)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Ablation: cloud term scoring modes.
+void BM_CloudScoring(benchmark::State& state) {
+  auto& world = PaperWorld();
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  auto results = searcher->Search("american");
+  CR_CHECK(results.ok());
+  CloudOptions opts;
+  opts.scoring = static_cast<TermScoring>(state.range(0));
+  CloudBuilder builder(&world.site->index(), opts);
+  for (auto _ : state) {
+    DataCloud cloud = builder.Build(*results);
+    benchmark::DoNotOptimize(cloud);
+  }
+  static const char* kLabels[] = {"tfidf", "tf", "popularity"};
+  state.SetLabel(kLabels[state.range(0)]);
+}
+BENCHMARK(BM_CloudScoring)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace courserank::bench
+
+int main(int argc, char** argv) {
+  courserank::bench::PrintFig3();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

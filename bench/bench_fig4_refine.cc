@@ -1,0 +1,131 @@
+// E3 — Fig. 4: clicking "African American" in the Fig. 3 cloud narrows 1160
+// results to 123 (10.6%). Measures the refinement path and the ablation of
+// incremental refinement vs re-running the conjunctive query from scratch.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/data_cloud.h"
+#include "search/searcher.h"
+
+namespace courserank::bench {
+namespace {
+
+using cloud::CloudBuilder;
+using cloud::DataCloud;
+
+void PrintFig4() {
+  auto& world = PaperWorld();
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  auto base = searcher->Search("american");
+  CR_CHECK(base.ok());
+  auto refined = searcher->Refine(*base, "african american");
+  CR_CHECK(refined.ok());
+
+  std::printf("\n=== E3: Fig. 4 — refine by \"African American\" ===\n");
+  std::printf("  paper:    1160 -> 123 matches (10.6%% of results)\n");
+  std::printf("  measured: %zu -> %zu matches (%.1f%% of results)\n",
+              base->size(), refined->size(),
+              100.0 * static_cast<double>(refined->size()) /
+                  static_cast<double>(base->size()));
+  std::printf("  top refined results:\n");
+  for (size_t i = 0; i < 5 && i < refined->hits.size(); ++i) {
+    std::printf("    %.3f  %s\n", refined->hits[i].score,
+                world.site->index().doc(refined->hits[i].doc).display.c_str());
+  }
+  CloudBuilder builder(&world.site->index());
+  DataCloud cloud = builder.Build(*refined);
+  std::printf("  updated cloud (%zu terms): %s\n", cloud.terms.size(),
+              cloud.ToString().c_str());
+
+  // Cross-check: refinement equals the from-scratch conjunctive query.
+  auto direct = searcher->SearchTerms(refined->terms);
+  CR_CHECK(direct.ok());
+  std::printf("  refinement == from-scratch query: %s (%zu vs %zu)\n",
+              direct->size() == refined->size() ? "yes" : "NO",
+              refined->size(), direct->size());
+}
+
+void BM_RefineIncremental(benchmark::State& state) {
+  auto& world = PaperWorld();
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  auto base = searcher->Search("american");
+  CR_CHECK(base.ok());
+  for (auto _ : state) {
+    auto refined = searcher->Refine(*base, "african american");
+    benchmark::DoNotOptimize(refined);
+  }
+}
+BENCHMARK(BM_RefineIncremental)->Unit(benchmark::kMillisecond);
+
+void BM_RefineFromScratch(benchmark::State& state) {
+  // Ablation baseline: rerun the whole conjunctive query instead of
+  // intersecting the prior result set.
+  auto& world = PaperWorld();
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  auto base = searcher->Search("american");
+  CR_CHECK(base.ok());
+  auto refined = searcher->Refine(*base, "african american");
+  CR_CHECK(refined.ok());
+  for (auto _ : state) {
+    auto direct = searcher->SearchTerms(refined->terms);
+    benchmark::DoNotOptimize(direct);
+  }
+}
+BENCHMARK(BM_RefineFromScratch)->Unit(benchmark::kMillisecond);
+
+void BM_RefinePlusCloud(benchmark::State& state) {
+  // The full Fig. 4 interaction: click -> narrowed results -> new cloud.
+  auto& world = PaperWorld();
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  auto base = searcher->Search("american");
+  CR_CHECK(base.ok());
+  CloudBuilder builder(&world.site->index());
+  for (auto _ : state) {
+    auto refined = searcher->Refine(*base, "african american");
+    DataCloud cloud = builder.Build(*refined);
+    benchmark::DoNotOptimize(cloud);
+  }
+}
+BENCHMARK(BM_RefinePlusCloud)->Unit(benchmark::kMillisecond);
+
+/// Chained refinement depth sweep: each click intersects a smaller set, so
+/// latency should fall with depth.
+void BM_RefinementChain(benchmark::State& state) {
+  auto& world = PaperWorld();
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  CloudBuilder builder(&world.site->index());
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto results = searcher->Search("american");
+    CR_CHECK(results.ok());
+    search::ResultSet current = std::move(*results);
+    for (int d = 0; d < depth && !current.hits.empty(); ++d) {
+      DataCloud cloud = builder.Build(current);
+      if (cloud.terms.empty()) break;
+      auto next = searcher->Refine(current, cloud.terms[0].term);
+      if (!next.ok()) break;
+      current = std::move(*next);
+    }
+    benchmark::DoNotOptimize(current);
+  }
+}
+BENCHMARK(BM_RefinementChain)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace courserank::bench
+
+int main(int argc, char** argv) {
+  courserank::bench::PrintFig4();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

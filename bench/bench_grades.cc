@@ -1,0 +1,120 @@
+// E8 — the §2.2 grade-distribution claims: (a) "the official Engineering
+// grade distributions seem to be very close to the corresponding
+// self-reported ones" — measured as total-variation distance per
+// department; (b) k-anonymity suppression of tiny cohorts.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "social/grades.h"
+#include "social/privacy.h"
+
+namespace courserank::bench {
+namespace {
+
+using social::DepartmentOfficial;
+using social::DepartmentSelfReported;
+using social::GradeDistribution;
+using social::PrivacyGuard;
+using social::PrivacyPolicy;
+using social::TotalVariation;
+
+void PrintGradeReport() {
+  auto& world = PaperWorld();
+  const auto& db = world.site->db();
+
+  std::printf("\n=== E8: official vs self-reported grade distributions ===\n");
+  std::printf("  paper: \"official Engineering grade distributions seem to "
+              "be very close to the\n         corresponding self-reported "
+              "ones\"\n");
+  std::printf("  %-10s %10s %10s %14s\n", "dept", "official", "reported",
+              "TV distance");
+  const auto* departments = db.FindTable("Departments");
+  size_t shown = 0;
+  double tv_sum = 0.0;
+  size_t tv_n = 0;
+  departments->Scan([&](storage::RowId, const storage::Row& row) {
+    auto official = DepartmentOfficial(db, row[0].AsInt());
+    auto reported = DepartmentSelfReported(db, row[0].AsInt());
+    if (!official.ok() || !reported.ok()) return;
+    if (official->total() < 200 || reported->total() < 200) return;
+    double tv = TotalVariation(*official, *reported);
+    tv_sum += tv;
+    ++tv_n;
+    if (shown < 8) {
+      std::printf("  %-10s %10lld %10lld %14.3f\n",
+                  row[1].AsString().c_str(),
+                  static_cast<long long>(official->total()),
+                  static_cast<long long>(reported->total()), tv);
+      ++shown;
+    }
+  });
+  std::printf("  mean TV distance over %zu departments: %.3f "
+              "(0 = identical, 1 = disjoint)\n",
+              tv_n, tv_sum / std::max<size_t>(tv_n, 1));
+
+  // k-anonymity suppression sweep.
+  std::printf("\n  suppression rate vs min-cohort threshold (self-reported "
+              "per course):\n");
+  for (int64_t k : {2, 5, 10, 20}) {
+    PrivacyGuard guard(&db, PrivacyPolicy{.min_cohort = k});
+    size_t suppressed = 0;
+    size_t total = 0;
+    for (size_t i = 0; i < 2000; ++i) {
+      auto dist =
+          guard.VisibleDistribution(world.artifacts().courses[i]);
+      ++total;
+      if (!dist.ok()) ++suppressed;
+    }
+    std::printf("    k=%-3lld -> %5.1f%% of courses suppressed\n",
+                static_cast<long long>(k),
+                100.0 * static_cast<double>(suppressed) /
+                    static_cast<double>(total));
+  }
+}
+
+void BM_CourseDistribution(benchmark::State& state) {
+  auto& world = PaperWorld();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto dist = social::SelfReportedDistribution(
+        world.site->db(),
+        world.artifacts().courses[i++ % world.artifacts().courses.size()]);
+    benchmark::DoNotOptimize(dist);
+  }
+}
+BENCHMARK(BM_CourseDistribution)->Unit(benchmark::kMicrosecond);
+
+void BM_DepartmentDistribution(benchmark::State& state) {
+  auto& world = PaperWorld();
+  for (auto _ : state) {
+    auto dist = DepartmentSelfReported(world.site->db(),
+                                       world.artifacts().cs_dept);
+    benchmark::DoNotOptimize(dist);
+  }
+}
+BENCHMARK(BM_DepartmentDistribution)->Unit(benchmark::kMillisecond);
+
+void BM_PrivacyGuardedView(benchmark::State& state) {
+  auto& world = PaperWorld();
+  PrivacyGuard guard(&world.site->db());
+  size_t i = 0;
+  for (auto _ : state) {
+    auto dist = guard.VisibleDistribution(
+        world.artifacts().courses[i++ % world.artifacts().courses.size()]);
+    benchmark::DoNotOptimize(dist);
+  }
+}
+BENCHMARK(BM_PrivacyGuardedView)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace courserank::bench
+
+int main(int argc, char** argv) {
+  courserank::bench::PrintGradeReport();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// E5 — the §3.1 challenge "how do we dynamically and efficiently compute
+// the data cloud": inverted-index search vs the naive full-scan baseline,
+// and clouds from precomputed term vectors vs re-analysis, swept over
+// catalog sizes up to the paper scale.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/data_cloud.h"
+#include "search/naive_search.h"
+#include "search/searcher.h"
+
+namespace courserank::bench {
+namespace {
+
+using cloud::CloudBuilder;
+using search::NaiveSearcher;
+using search::Searcher;
+
+/// Worlds at several catalog scales, generated once.
+World& WorldAtScale(int courses) {
+  static std::map<int, World>* worlds = new std::map<int, World>();
+  auto it = worlds->find(courses);
+  if (it == worlds->end()) {
+    gen::GenConfig config = gen::GenConfig::PaperScale();
+    double factor = static_cast<double>(courses) /
+                    static_cast<double>(config.num_courses);
+    config.num_courses = courses;
+    config.num_students = std::max<size_t>(
+        100, static_cast<size_t>(config.num_students * factor));
+    config.num_ratings = static_cast<size_t>(config.num_ratings * factor);
+    config.num_comments = static_cast<size_t>(config.num_comments * factor);
+    config.num_departments = 26;
+    std::fprintf(stderr, "[bench] generating %d-course corpus...\n", courses);
+    it = worlds->emplace(courses, BuildWorld(config, true)).first;
+  }
+  return it->second;
+}
+
+void PrintScalingTable() {
+  std::printf("\n=== E5: inverted index vs naive scan (query \"american\") "
+              "===\n");
+  std::printf("  %-10s %12s %14s %10s\n", "courses", "indexed(ms)",
+              "naive-scan(ms)", "speedup");
+  for (int courses : {1000, 4000, 18605}) {
+    World& world = WorldAtScale(courses);
+    auto searcher = world.site->MakeSearcher();
+    CR_CHECK(searcher.ok());
+    NaiveSearcher naive(&world.site->db(), search::MakeCourseEntity());
+
+    auto time_of = [](auto&& fn) {
+      auto t0 = std::chrono::steady_clock::now();
+      fn();
+      auto t1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::milli>(t1 - t0).count();
+    };
+    double indexed = time_of([&] {
+      auto r = searcher->Search("american");
+      CR_CHECK(r.ok());
+    });
+    double scan = time_of([&] {
+      auto r = naive.Search("american");
+      CR_CHECK(r.ok());
+    });
+    std::printf("  %-10d %12.3f %14.1f %9.0fx\n", courses, indexed, scan,
+                scan / std::max(indexed, 1e-6));
+  }
+}
+
+void BM_IndexedSearch(benchmark::State& state) {
+  World& world = WorldAtScale(static_cast<int>(state.range(0)));
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  for (auto _ : state) {
+    auto r = searcher->Search("american");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_IndexedSearch)->Arg(1000)->Arg(4000)->Arg(18605)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NaiveScanSearch(benchmark::State& state) {
+  World& world = WorldAtScale(static_cast<int>(state.range(0)));
+  NaiveSearcher naive(&world.site->db(), search::MakeCourseEntity());
+  for (auto _ : state) {
+    auto r = naive.Search("american");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NaiveScanSearch)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_CloudPrecomputed(benchmark::State& state) {
+  World& world = WorldAtScale(18605);
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  auto results = searcher->Search("american");
+  CR_CHECK(results.ok());
+  CloudBuilder builder(&world.site->index());
+  for (auto _ : state) {
+    auto cloud = builder.Build(*results);
+    benchmark::DoNotOptimize(cloud);
+  }
+}
+BENCHMARK(BM_CloudPrecomputed)->Unit(benchmark::kMillisecond);
+
+void BM_CloudReanalysis(benchmark::State& state) {
+  // Ablation baseline: re-tokenize every result document per cloud.
+  World& world = WorldAtScale(18605);
+  auto searcher = world.site->MakeSearcher();
+  CR_CHECK(searcher.ok());
+  auto results = searcher->Search("american");
+  CR_CHECK(results.ok());
+  CloudBuilder builder(&world.site->index());
+  for (auto _ : state) {
+    auto cloud = builder.BuildByReanalysis(*results);
+    benchmark::DoNotOptimize(cloud);
+  }
+}
+BENCHMARK(BM_CloudReanalysis)->Unit(benchmark::kMillisecond);
+
+void BM_IndexBuild(benchmark::State& state) {
+  World& world = WorldAtScale(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    search::InvertedIndex index(search::MakeCourseEntity());
+    CR_CHECK(index.Build(world.site->db()).ok());
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(18605)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+void BM_IncrementalRefresh(benchmark::State& state) {
+  // Cost of refreshing one course entity after a comment lands, vs the full
+  // rebuild above.
+  World& world = WorldAtScale(18605);
+  auto& index =
+      const_cast<search::InvertedIndex&>(world.site->index());
+  storage::Value key(world.artifacts().courses[0]);
+  for (auto _ : state) {
+    CR_CHECK(index.Refresh(world.site->db(), key).ok());
+  }
+}
+BENCHMARK(BM_IncrementalRefresh)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace courserank::bench
+
+int main(int argc, char** argv) {
+  courserank::bench::PrintScalingTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E10b — similarity-function throughput: the inner loop of every recommend
+// operator, over sparse rating vectors of realistic sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/similarity.h"
+
+namespace courserank::bench {
+namespace {
+
+using flexrecs::SimilarityLibrary;
+using storage::Value;
+
+/// Sparse rating vector with `n` entries over a 2000-course key space.
+Value MakePairs(Rng& rng, size_t n) {
+  Value::List list;
+  for (size_t i = 0; i < n; ++i) {
+    list.push_back(Value(Value::List{
+        Value(static_cast<int64_t>(rng.NextBounded(2000))),
+        Value(1.0 + static_cast<double>(rng.NextBounded(9)) / 2.0)}));
+  }
+  return Value(std::move(list));
+}
+
+void BM_PairSimilarity(benchmark::State& state) {
+  static const char* kFns[] = {"jaccard",       "cosine",       "pearson",
+                               "inv_euclidean", "inv_manhattan"};
+  const char* name = kFns[state.range(0)];
+  SimilarityLibrary library;
+  auto fn = library.Get(name);
+  CR_CHECK(fn.ok());
+
+  Rng rng(42);
+  const size_t vector_size = static_cast<size_t>(state.range(1));
+  std::vector<Value> vectors;
+  for (int i = 0; i < 64; ++i) vectors.push_back(MakePairs(rng, vector_size));
+
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = (*fn)(vectors[i % 64], vectors[(i + 17) % 64]);
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+  state.SetLabel(std::string(name) + "/n=" +
+                 std::to_string(vector_size));
+}
+BENCHMARK(BM_PairSimilarity)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {8, 32, 128}});
+
+void BM_TitleSimilarity(benchmark::State& state) {
+  static const char* kFns[] = {"token_jaccard", "trigram", "levenshtein"};
+  const char* name = kFns[state.range(0)];
+  SimilarityLibrary library;
+  auto fn = library.Get(name);
+  CR_CHECK(fn.ok());
+  Value a("Introduction to Programming Methodology");
+  Value b("Advanced Programming Abstractions and Paradigms");
+  for (auto _ : state) {
+    auto r = (*fn)(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_TitleSimilarity)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_RatingOfLookup(benchmark::State& state) {
+  SimilarityLibrary library;
+  auto fn = library.Get("rating_of");
+  CR_CHECK(fn.ok());
+  Rng rng(7);
+  Value pairs = MakePairs(rng, 32);
+  for (auto _ : state) {
+    auto r = (*fn)(Value(static_cast<int64_t>(rng.NextBounded(2000))),
+                   pairs);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RatingOfLookup);
+
+}  // namespace
+}  // namespace courserank::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+// E9 — the §2.2 social lessons: incentive schemes (Yahoo-style points vs
+// CourseRank's capped scheme under a gaming user), question routing
+// precision, and comment trust ranking throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "social/comments.h"
+#include "social/forum.h"
+#include "social/incentives.h"
+#include "social/schema.h"
+
+namespace courserank::bench {
+namespace {
+
+using social::IncentiveEngine;
+using social::IncentiveScheme;
+using social::QuestionRouter;
+
+void PrintIncentiveSimulation() {
+  std::printf("\n=== E9: incentive schemes under a point farmer ===\n");
+  std::printf("  paper: \"Users often try to boost their reputation by "
+              "exploiting these schemes.\"\n");
+  // A farmer posts 20 junk comments and 20 junk answers in one day; an
+  // honest user posts 2 comments and 1 answer per day for 10 days.
+  for (bool yahoo : {true, false}) {
+    storage::Database db;
+    CR_CHECK(social::CreateCourseRankSchema(&db).ok());
+    CR_CHECK(db.Insert("Users", {storage::Value(int64_t{1}),
+                                 storage::Value("farmer"),
+                                 storage::Value("student")})
+                 .ok());
+    CR_CHECK(db.Insert("Users", {storage::Value(int64_t{2}),
+                                 storage::Value("honest"),
+                                 storage::Value("student")})
+                 .ok());
+    IncentiveEngine engine(&db, yahoo ? IncentiveScheme::YahooAnswers()
+                                      : IncentiveScheme::CourseRank());
+    const char* action = yahoo ? "answer" : "comment";
+    for (int i = 0; i < 40; ++i) {
+      CR_CHECK(engine.Record(1, action, /*day=*/1).ok());
+    }
+    for (int day = 1; day <= 10; ++day) {
+      for (int i = 0; i < 2; ++i) {
+        CR_CHECK(engine.Record(2, action, day).ok());
+      }
+    }
+    std::printf("  %-22s farmer(1 day, 40 posts)=%lld pts, "
+                "honest(10 days, 20 posts)=%lld pts\n",
+                yahoo ? "yahoo_answers:" : "courserank(capped):",
+                static_cast<long long>(*engine.PointsOf(1)),
+                static_cast<long long>(*engine.PointsOf(2)));
+  }
+  std::printf("  (the daily cap bounds what one burst of spam can earn)\n");
+}
+
+void PrintRoutingPrecision() {
+  auto& world = PaperWorld();
+  CR_CHECK(world.site->router().Build().ok());
+
+  // For questions built from a department's vocabulary, a routed candidate
+  // is a hit when they took >= 1 course in that department.
+  const auto& db = world.site->db();
+  const auto* courses = db.FindTable("Courses");
+  const auto* enrollment = db.FindTable("Enrollment");
+
+  size_t hits = 0;
+  size_t total = 0;
+  for (size_t d = 0; d < 8; ++d) {
+    int64_t dept = world.artifacts().departments[d];
+    // Use two content words from a random course title of the dept.
+    auto ids = courses->LookupEqual({"DepID"}, {storage::Value(dept)});
+    if (ids.empty()) continue;
+    const std::string& title = courses->Get(ids[0])->at(3).AsString();
+    auto candidates = world.site->router().Route(
+        "who can help with " + title + "?", 5);
+    CR_CHECK(candidates.ok());
+    for (const auto& candidate : *candidates) {
+      ++total;
+      for (auto rid : enrollment->LookupEqual(
+               {"SuID"}, {storage::Value(candidate.user)})) {
+        const storage::Row* row = enrollment->Get(rid);
+        auto crow = courses->FindByPrimaryKey({(*row)[1]});
+        if (crow.ok() && courses->Get(*crow)->at(1).AsInt() == dept) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  std::printf("\n  question routing: %zu of %zu routed candidates took a "
+              "course in the topic department (%.0f%%)\n",
+              hits, total,
+              100.0 * static_cast<double>(hits) /
+                  std::max<size_t>(total, 1));
+}
+
+void BM_RouterBuild(benchmark::State& state) {
+  auto& world = PaperWorld();
+  for (auto _ : state) {
+    QuestionRouter router(&world.site->db());
+    CR_CHECK(router.Build().ok());
+    benchmark::DoNotOptimize(router);
+  }
+}
+BENCHMARK(BM_RouterBuild)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+void BM_RouteQuestion(benchmark::State& state) {
+  auto& world = PaperWorld();
+  static QuestionRouter* router = [] {
+    auto* r = new QuestionRouter(&PaperWorld().site->db());
+    CR_CHECK(r->Build().ok());
+    return r;
+  }();
+  for (auto _ : state) {
+    auto candidates =
+        router->Route("how hard are the algorithms problem sets?", 10);
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_RouteQuestion)->Unit(benchmark::kMillisecond);
+
+void BM_CommentTrustRanking(benchmark::State& state) {
+  auto& world = PaperWorld();
+  social::CommentRanker ranker(&world.site->db());
+  size_t i = 0;
+  for (auto _ : state) {
+    auto ranked = ranker.RankedForCourse(
+        world.artifacts().courses[i++ % world.artifacts().courses.size()]);
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_CommentTrustRanking)->Unit(benchmark::kMicrosecond);
+
+void BM_IncentiveRecord(benchmark::State& state) {
+  auto& world = PaperWorld();
+  int64_t user = world.artifacts().active_students[0];
+  int day = 500;
+  for (auto _ : state) {
+    auto pts = world.site->incentives().Record(user, "rating", ++day);
+    benchmark::DoNotOptimize(pts);
+  }
+}
+BENCHMARK(BM_IncentiveRecord)->Unit(benchmark::kMicrosecond);
+
+void BM_Leaderboard(benchmark::State& state) {
+  auto& world = PaperWorld();
+  for (auto _ : state) {
+    auto board = world.site->incentives().Leaderboard(20);
+    benchmark::DoNotOptimize(board);
+  }
+}
+BENCHMARK(BM_Leaderboard)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace courserank::bench
+
+int main(int argc, char** argv) {
+  courserank::bench::PrintIncentiveSimulation();
+  courserank::bench::PrintRoutingPrecision();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

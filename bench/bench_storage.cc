@@ -1,0 +1,138 @@
+// E10a — substrate micro-benchmarks: table scans, index probes, joins, and
+// the SQL layer, at the row counts the paper-scale corpus produces.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/workflow.h"
+#include "query/sql_engine.h"
+#include "query/sql_parser.h"
+
+namespace courserank::bench {
+namespace {
+
+using query::SqlEngine;
+using storage::Value;
+
+void BM_TableScan(benchmark::State& state) {
+  auto& world = PaperWorld();
+  const auto* enrollment = world.site->db().FindTable("Enrollment");
+  for (auto _ : state) {
+    int64_t sum = 0;
+    enrollment->Scan([&](storage::RowId, const storage::Row& row) {
+      sum += row[0].AsInt();
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(enrollment->size()));
+}
+BENCHMARK(BM_TableScan)->Unit(benchmark::kMillisecond);
+
+void BM_PrimaryKeyProbe(benchmark::State& state) {
+  auto& world = PaperWorld();
+  const auto* courses = world.site->db().FindTable("Courses");
+  size_t i = 0;
+  for (auto _ : state) {
+    auto rid = courses->FindByPrimaryKey(
+        {Value(world.artifacts().courses[i++ %
+                                         world.artifacts().courses.size()])});
+    benchmark::DoNotOptimize(rid);
+  }
+}
+BENCHMARK(BM_PrimaryKeyProbe);
+
+void BM_SecondaryIndexLookup(benchmark::State& state) {
+  auto& world = PaperWorld();
+  const auto* ratings = world.site->db().FindTable("Ratings");
+  size_t i = 0;
+  for (auto _ : state) {
+    auto ids = ratings->LookupEqual(
+        {"CourseID"},
+        {Value(world.artifacts().courses[i++ %
+                                         world.artifacts().courses.size()])});
+    benchmark::DoNotOptimize(ids);
+  }
+}
+BENCHMARK(BM_SecondaryIndexLookup);
+
+void BM_InsertDelete(benchmark::State& state) {
+  // Insert + delete one row so the table size is stable across iterations.
+  auto& world = PaperWorld();
+  auto* ratings = world.site->db().FindTable("Ratings");
+  int64_t student = world.artifacts().active_students[0];
+  // A course the student has definitely not rated: use a fresh fake course
+  // id... must satisfy FK, so insert via table directly (bench measures the
+  // storage layer, not FK checks).
+  int64_t course = world.artifacts().courses.back();
+  // Ensure no existing rating row blocks the PK.
+  if (auto existing = ratings->FindByPrimaryKey({Value(student),
+                                                 Value(course)});
+      existing.ok()) {
+    CR_CHECK(ratings->Delete(*existing).ok());
+  }
+  for (auto _ : state) {
+    auto id = ratings->Insert(
+        {Value(student), Value(course), Value(3.0), Value(1)});
+    CR_CHECK(id.ok());
+    CR_CHECK(ratings->Delete(*id).ok());
+  }
+}
+BENCHMARK(BM_InsertDelete);
+
+void BM_SqlPointQuery(benchmark::State& state) {
+  auto& world = PaperWorld();
+  SqlEngine sql(&world.site->db());
+  query::ParamMap params;
+  params["id"] = Value(world.artifacts().intro_programming);
+  for (auto _ : state) {
+    auto rel = sql.Execute("SELECT * FROM Courses WHERE CourseID = $id",
+                           params);
+    benchmark::DoNotOptimize(rel);
+  }
+}
+BENCHMARK(BM_SqlPointQuery)->Unit(benchmark::kMillisecond);
+
+void BM_SqlJoinAggregate(benchmark::State& state) {
+  auto& world = PaperWorld();
+  SqlEngine sql(&world.site->db());
+  for (auto _ : state) {
+    auto rel = sql.Execute(
+        "SELECT c.DepID AS dept, COUNT(*) AS n, AVG(r.Score) AS mean "
+        "FROM Ratings r JOIN Courses c ON r.CourseID = c.CourseID "
+        "GROUP BY c.DepID ORDER BY n DESC LIMIT 10");
+    benchmark::DoNotOptimize(rel);
+  }
+}
+BENCHMARK(BM_SqlJoinAggregate)->Unit(benchmark::kMillisecond);
+
+void BM_SqlParseOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = query::ParseSql(
+        "SELECT a, b, COUNT(*) AS n FROM t JOIN u ON t.x = u.y "
+        "WHERE a > 3 AND b LIKE '%z%' GROUP BY a, b ORDER BY n DESC "
+        "LIMIT 10");
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_SqlParseOnly);
+
+void BM_ExtendOperator(benchmark::State& state) {
+  // The ε-extend over the full Ratings table — FlexRecs' hot substrate op.
+  auto& world = PaperWorld();
+  auto wf = std::move(flexrecs::Workflow::Table("Students")
+                          .Extend(flexrecs::Workflow::Table("Ratings"),
+                                  "SuID", "SuID", {"CourseID", "Score"},
+                                  "ratings"))
+                .Build();
+  for (auto _ : state) {
+    auto rel = world.site->flexrecs().Run(*wf);
+    benchmark::DoNotOptimize(rel);
+  }
+}
+BENCHMARK(BM_ExtendOperator)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace courserank::bench
+
+BENCHMARK_MAIN();

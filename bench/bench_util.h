@@ -1,0 +1,54 @@
+#ifndef COURSERANK_BENCH_BENCH_UTIL_H_
+#define COURSERANK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.h"
+#include "gen/generator.h"
+#include "social/site.h"
+
+namespace courserank::bench {
+
+/// A generated world shared by the benchmarks of one binary. Built lazily
+/// once; benchmarks only read.
+struct World {
+  std::unique_ptr<gen::Generator> generator;
+  std::unique_ptr<social::CourseRankSite> site;
+
+  const gen::GenArtifacts& artifacts() const {
+    return generator->artifacts();
+  }
+};
+
+inline World BuildWorld(const gen::GenConfig& config, bool build_index) {
+  World world;
+  world.generator = std::make_unique<gen::Generator>(config);
+  auto site = world.generator->Generate();
+  CR_CHECK(site.ok());
+  world.site = std::move(*site);
+  if (build_index) CR_CHECK(world.site->BuildSearchIndex().ok());
+  return world;
+}
+
+/// The paper-scale corpus (18,605 courses, 134k comments, 50.3k ratings);
+/// ~8s to build, done once per binary.
+inline World& PaperWorld() {
+  static World* world = [] {
+    std::fprintf(stderr,
+                 "[bench] generating paper-scale corpus (~8s, once)...\n");
+    return new World(BuildWorld(gen::GenConfig::PaperScale(), true));
+  }();
+  return *world;
+}
+
+/// A small corpus for micro-benchmarks where paper scale adds nothing.
+inline World& SmallWorld() {
+  static World* world =
+      new World(BuildWorld(gen::GenConfig::Small(42), true));
+  return *world;
+}
+
+}  // namespace courserank::bench
+
+#endif  // COURSERANK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,121 @@
+// The Fig. 3/4 discovery session, scripted: a student searches "american",
+// reads the data cloud, clicks a term to refine, and also stumbles onto the
+// paper's serendipity example ("greek science" finding a history-of-science
+// course she would never have browsed to).
+
+#include <cstdio>
+
+#include "core/data_cloud.h"
+#include "gen/generator.h"
+#include "social/site.h"
+
+using courserank::cloud::CloudBuilder;
+using courserank::cloud::DataCloud;
+using courserank::gen::GenConfig;
+using courserank::gen::Generator;
+using courserank::search::ResultSet;
+
+namespace {
+
+int Fail(const courserank::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void ShowResults(const courserank::social::CourseRankSite& site,
+                 const ResultSet& results, size_t n) {
+  for (size_t i = 0; i < n && i < results.hits.size(); ++i) {
+    std::printf("    %5.2f  %s\n", results.hits[i].score,
+                site.index().doc(results.hits[i].doc).display.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("generating the campus (takes a few seconds)...\n");
+  Generator generator(GenConfig::Small(2026));
+  auto site_or = generator.Generate();
+  if (!site_or.ok()) return Fail(site_or.status());
+  auto site = std::move(site_or).value();
+  if (auto s = site->BuildSearchIndex(); !s.ok()) return Fail(s);
+
+  auto searcher_or = site->MakeSearcher();
+  if (!searcher_or.ok()) return Fail(searcher_or.status());
+  const auto& searcher = *searcher_or;
+  CloudBuilder cloud_builder(&site->index());
+
+  // --- Fig. 3: the initial search -------------------------------------
+  std::printf("\n> search: american\n");
+  auto results_or = searcher.Search("american");
+  if (!results_or.ok()) return Fail(results_or.status());
+  ResultSet results = std::move(*results_or);
+  std::printf("  %zu of %zu courses match; top results:\n", results.size(),
+              site->index().num_docs());
+  ShowResults(*site, results, 5);
+
+  DataCloud cloud = cloud_builder.Build(results);
+  std::printf("  cloud: %s\n", cloud.ToString().c_str());
+
+  // --- Fig. 4: click a cloud term to refine ----------------------------
+  // Pick the highest-scored phrase term, like a user drawn to the biggest
+  // font.
+  std::string clicked;
+  for (const auto& term : cloud.terms) {
+    if (term.is_phrase) {
+      clicked = term.display;
+      break;
+    }
+  }
+  if (clicked.empty() && !cloud.terms.empty()) {
+    clicked = cloud.terms[0].display;
+  }
+  std::printf("\n> click cloud term: \"%s\"\n", clicked.c_str());
+  auto refined_or = searcher.Refine(results, clicked);
+  if (!refined_or.ok()) return Fail(refined_or.status());
+  std::printf("  narrowed to %zu courses:\n", refined_or->size());
+  ShowResults(*site, *refined_or, 5);
+  DataCloud refined_cloud = cloud_builder.Build(*refined_or);
+  std::printf("  updated cloud: %s\n", refined_cloud.ToString().c_str());
+
+  // --- serendipity: "greek science" ------------------------------------
+  // The classics student looking for "something related to Greece" finds
+  // the history-of-science course through its description.
+  std::printf("\n> search: greek science\n");
+  auto greek_or = searcher.Search("greek science");
+  if (!greek_or.ok()) return Fail(greek_or.status());
+  std::printf("  %zu match(es):\n", greek_or->size());
+  ShowResults(*site, *greek_or, 3);
+
+  // --- ranking question from §3.1 ---------------------------------------
+  // "should a course that mentions 'Java' in its title score like one that
+  // mentions it in student comments?" — compare the two ranking modes.
+  std::printf("\n> search: java   (title-weighted vs flat ranking)\n");
+  auto weighted = searcher.Search("java");
+  courserank::search::SearchOptions flat_opts;
+  flat_opts.ranking = courserank::search::RankingMode::kTfIdf;
+  courserank::search::Searcher flat(&site->index(), flat_opts);
+  auto unweighted = flat.Search("java");
+  if (!weighted.ok() || !unweighted.ok()) return Fail(weighted.status());
+  // --- course descriptor page (Fig. 1 left) for the top refined hit ------
+  if (!refined_or->hits.empty()) {
+    const auto& doc = site->index().doc(refined_or->hits[0].doc);
+    auto viewer = generator.artifacts().active_students[0];
+    auto page = site->GetCourseDescriptor(viewer, doc.key.AsInt());
+    if (!page.ok()) return Fail(page.status());
+    std::printf("\n> open the top result's course page:\n%s",
+                page->ToString().c_str());
+  }
+
+  std::printf("  bm25f(title-boosted) top hit:  %s\n",
+              weighted->hits.empty()
+                  ? "(none)"
+                  : site->index().doc(weighted->hits[0].doc).display.c_str());
+  std::printf("  tf-idf(flat) top hit:          %s\n",
+              unweighted->hits.empty()
+                  ? "(none)"
+                  : site->index()
+                        .doc(unweighted->hits[0].doc)
+                        .display.c_str());
+  return 0;
+}

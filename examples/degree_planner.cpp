@@ -1,0 +1,180 @@
+// The Fig. 1 (right) Planner and Requirement Tracker flows: a student
+// builds a hand-made catalog's four-year plan, the validator flags
+// conflicts/prereq/overload problems, the planner prints per-quarter GPA,
+// and the tracker reports progress toward the major.
+
+#include <cstdio>
+
+#include "planner/plan.h"
+#include "planner/prereq.h"
+#include "planner/requirements.h"
+#include "planner/scheduler.h"
+#include "social/site.h"
+
+using courserank::Quarter;
+using courserank::Term;
+using courserank::TimeSlot;
+using courserank::kFri;
+using courserank::kMon;
+using courserank::kThu;
+using courserank::kTue;
+using courserank::kWed;
+using courserank::planner::AcademicPlan;
+using courserank::planner::PlanIssueKindName;
+using courserank::planner::PrereqGraph;
+using courserank::planner::ReqPtr;
+using courserank::planner::RequirementNode;
+using courserank::planner::RequirementTracker;
+using courserank::social::CourseRankSite;
+
+namespace {
+
+int Fail(const courserank::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+template <typename T>
+T Must(courserank::Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main() {
+  auto site = Must(CourseRankSite::Create());
+
+  // --- a small hand-made catalog ----------------------------------------
+  auto cs = Must(site->AddDepartment("CS", "Computer Science",
+                                     "Engineering"));
+  auto math = Must(site->AddDepartment("MATH", "Mathematics",
+                                       "Humanities and Sciences"));
+  auto intro = Must(site->AddCourse(cs, 106, "Programming Methodology",
+                                    "intro programming in java", 5));
+  auto ds = Must(site->AddCourse(cs, 161, "Data Structures and Algorithms",
+                                 "lists trees graphs complexity", 5));
+  auto os = Must(site->AddCourse(cs, 240, "Operating Systems",
+                                 "processes memory filesystems", 4));
+  auto dbs = Must(site->AddCourse(cs, 245, "Database Systems",
+                                  "relational model query processing", 4));
+  auto calc = Must(site->AddCourse(math, 41, "Calculus I",
+                                   "derivatives and integrals", 5));
+
+  if (auto s = site->AddPrereq(ds, intro); !s.ok()) return Fail(s);
+  if (auto s = site->AddPrereq(os, ds); !s.ok()) return Fail(s);
+  if (auto s = site->AddPrereq(dbs, ds); !s.ok()) return Fail(s);
+
+  TimeSlot mwf9{static_cast<uint8_t>(kMon | kWed | kFri), 9 * 60, 9 * 60 + 50};
+  TimeSlot mwf11{static_cast<uint8_t>(kMon | kWed | kFri), 11 * 60,
+                 11 * 60 + 50};
+  TimeSlot tth13{static_cast<uint8_t>(kTue | kThu), 13 * 60, 14 * 60 + 20};
+  for (int year : {2007, 2008}) {
+    Must(site->AddOffering(intro, year, Quarter::kAutumn, "Prof. Sahami",
+                           mwf9));
+    Must(site->AddOffering(calc, year, Quarter::kAutumn, "Prof. Simon",
+                           mwf11));
+    Must(site->AddOffering(ds, year, Quarter::kWinter, "Prof. Roberts",
+                           mwf9));
+    Must(site->AddOffering(os, year, Quarter::kSpring, "Prof. Mazieres",
+                           tth13));
+    // Databases deliberately collides with OS — the only Spring sections
+    // overlap.
+    Must(site->AddOffering(dbs, year, Quarter::kSpring, "Prof. Widom",
+                           tth13));
+  }
+
+  if (auto s = site->RegisterStudent(1, "Sally", "Sophomore", cs); !s.ok()) {
+    return Fail(s);
+  }
+
+  // --- what Sally already took (with grades) -----------------------------
+  if (auto s = site->ReportCourseTaken(1, intro, 2007, Quarter::kAutumn, 4.0);
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (auto s = site->ReportCourseTaken(1, calc, 2007, Quarter::kAutumn, 3.3);
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (auto s = site->ReportCourseTaken(1, ds, 2007, Quarter::kWinter, 3.7);
+      !s.ok()) {
+    return Fail(s);
+  }
+  // --- and what she plans ------------------------------------------------
+  if (auto s = site->PlanCourse(1, os, 2008, Quarter::kSpring); !s.ok()) {
+    return Fail(s);
+  }
+  if (auto s = site->PlanCourse(1, dbs, 2008, Quarter::kSpring); !s.ok()) {
+    return Fail(s);
+  }
+
+  auto plan = Must(AcademicPlan::FromDatabase(site->db(), 1));
+  std::printf("=== Sally's plan ===\n%s\n",
+              Must(plan.ToString(site->db())).c_str());
+
+  auto graph = Must(PrereqGraph::Build(site->db()));
+  auto issues = Must(plan.Validate(site->db(), graph));
+  std::printf("=== validation ===\n");
+  if (issues.empty()) {
+    std::printf("no issues\n");
+  }
+  for (const auto& issue : issues) {
+    std::printf("[%s] %s\n", PlanIssueKindName(issue.kind),
+                issue.message.c_str());
+  }
+
+  // Fix the conflict: move Databases a year later.
+  std::printf("\nmoving Database Systems to Spring 2009... no, wait — it is\n"
+              "not offered in 2009; moving OS instead is also impossible.\n"
+              "Dropping Databases from Spring 2008:\n");
+  if (auto s = site->UnplanCourse(1, dbs, 2008, Quarter::kSpring); !s.ok()) {
+    return Fail(s);
+  }
+  plan = Must(AcademicPlan::FromDatabase(site->db(), 1));
+  issues = Must(plan.Validate(site->db(), graph));
+  std::printf("validation now reports %zu issue(s)\n\n", issues.size());
+
+  // --- requirement tracker -----------------------------------------------
+  RequirementTracker tracker(&site->db());
+  std::vector<ReqPtr> kids;
+  kids.push_back(RequirementNode::Course("programming intro", intro));
+  kids.push_back(RequirementNode::Course("data structures", ds));
+  kids.push_back(RequirementNode::NOfSet("one systems course", 1, {os, dbs}));
+  kids.push_back(RequirementNode::UnitsFromDept("math: 5 units", math, 0, 5));
+  if (auto s = tracker.DefineProgram(
+          cs, RequirementNode::AllOf("CS major", std::move(kids)));
+      !s.ok()) {
+    return Fail(s);
+  }
+
+  auto report = Must(tracker.CheckStudent(cs, 1));
+  std::printf("=== requirement tracker: CS major ===\n%s",
+              report.ToString().c_str());
+  std::printf("\n(the systems requirement stays open until OS is actually "
+              "taken — planned\n courses do not count toward requirements)\n");
+
+  // --- schedule suggester --------------------------------------------------
+  // "Shop for classes": let the planner place the remaining courses.
+  courserank::planner::ScheduleRequest request;
+  request.wanted = {os, dbs};
+  request.first_term = {2008, Quarter::kAutumn};
+  request.num_terms = 3;
+  auto suggestion = Must(courserank::planner::SuggestSchedule(
+      site->db(), graph, /*completed=*/{intro, ds, calc}, request));
+  std::printf("\n=== schedule suggestion for the remaining courses ===\n");
+  for (const auto& placement : suggestion.placements) {
+    std::printf("  take course %lld in %s\n",
+                static_cast<long long>(placement.course),
+                placement.term.ToString().c_str());
+  }
+  for (const auto& unplaced : suggestion.unplaced) {
+    std::printf("  could not place course %lld: %s\n",
+                static_cast<long long>(unplaced.course),
+                unplaced.reason.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+#ifndef COURSERANK_COMMON_LOGGING_H_
+#define COURSERANK_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace courserank {
+
+/// Prints the failure location and aborts. Used by CR_CHECK; not intended to
+/// be called directly.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace courserank
+
+/// Aborts the process when `cond` is false. For internal invariants only —
+/// user-facing errors go through Status.
+#define CR_CHECK(cond)                                        \
+  do {                                                        \
+    if (!(cond)) ::courserank::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+#ifdef NDEBUG
+#define CR_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#else
+#define CR_DCHECK(cond) CR_CHECK(cond)
+#endif
+
+#endif  // COURSERANK_COMMON_LOGGING_H_

@@ -1,0 +1,78 @@
+#ifndef COURSERANK_COMMON_RNG_H_
+#define COURSERANK_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace courserank {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64). Every
+/// generator, simulation, and benchmark in the repo draws from this so runs
+/// are exactly reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks one index from a non-empty discrete weight vector; weights need
+  /// not be normalized. Returns weights.size()-1 on degenerate input.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Samples ranks 1..n with P(k) proportional to 1/k^theta. Precomputes the
+/// CDF once; sampling is a binary search. This drives course popularity and
+/// user activity skew in the synthetic workload.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta);
+
+  /// Returns a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace courserank
+
+#endif  // COURSERANK_COMMON_RNG_H_

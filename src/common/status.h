@@ -1,0 +1,141 @@
+#ifndef COURSERANK_COMMON_STATUS_H_
+#define COURSERANK_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace courserank {
+
+/// Error categories used across the library. Mirrors the usual database
+/// Status taxonomy (RocksDB / Abseil style) so call sites can branch on the
+/// broad class of failure without parsing messages.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kPermissionDenied,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NotFound").
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error value. The library does not use exceptions;
+/// every fallible operation returns a Status (or a Result<T>, below).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Modeled on
+/// absl::StatusOr. Accessing the value of an error Result is a programming
+/// error checked in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: lets `return value;` work in functions returning
+  /// Result<T>, matching StatusOr convention.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit from error status: lets `return Status::NotFound(...)` work.
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define CR_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::courserank::Status _cr_status = (expr);      \
+    if (!_cr_status.ok()) return _cr_status;       \
+  } while (false)
+
+#define CR_STATUS_CONCAT_INNER_(x, y) x##y
+#define CR_STATUS_CONCAT_(x, y) CR_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// moves the value into `lhs` (which may be a declaration).
+#define CR_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  CR_ASSIGN_OR_RETURN_IMPL_(CR_STATUS_CONCAT_(_cr_result_, __LINE__), \
+                            lhs, expr)
+
+#define CR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace courserank
+
+#endif  // COURSERANK_COMMON_STATUS_H_

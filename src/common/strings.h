@@ -1,0 +1,46 @@
+#ifndef COURSERANK_COMMON_STRINGS_H_
+#define COURSERANK_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace courserank {
+
+/// Returns a lowercase copy of `s` (ASCII only).
+std::string ToLower(std::string_view s);
+
+/// Returns an uppercase copy of `s` (ASCII only).
+std::string ToUpper(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on any ASCII whitespace run, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive equality (ASCII).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `haystack` contains `needle` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// SQL LIKE matching with % (any run) and _ (any one char) wildcards,
+/// case-insensitive to match our engine's collation.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+/// Formats a double with `digits` fractional digits (no trailing zeros kept).
+std::string FormatDouble(double v, int digits = 6);
+
+}  // namespace courserank
+
+#endif  // COURSERANK_COMMON_STRINGS_H_

@@ -1,0 +1,88 @@
+#include "common/term.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace courserank {
+
+const char* QuarterName(Quarter q) {
+  switch (q) {
+    case Quarter::kAutumn:
+      return "Autumn";
+    case Quarter::kWinter:
+      return "Winter";
+    case Quarter::kSpring:
+      return "Spring";
+    case Quarter::kSummer:
+      return "Summer";
+  }
+  return "?";
+}
+
+Result<Quarter> ParseQuarter(const std::string& s) {
+  std::string low = ToLower(Trim(s));
+  for (Quarter q : {Quarter::kAutumn, Quarter::kWinter, Quarter::kSpring,
+                    Quarter::kSummer}) {
+    std::string name = ToLower(QuarterName(q));
+    if (low == name || (low.size() >= 2 && low == name.substr(0, low.size())))
+      return q;
+  }
+  return Status::InvalidArgument("unknown quarter: '" + s + "'");
+}
+
+Term Term::Plus(int n) const {
+  int idx = Index() + n;
+  Term t;
+  t.year = idx / 4;
+  t.quarter = static_cast<Quarter>(idx % 4);
+  return t;
+}
+
+std::string Term::ToString() const {
+  return std::string(QuarterName(quarter)) + " " + std::to_string(year);
+}
+
+Result<Term> Term::Parse(const std::string& s) {
+  auto parts = SplitWhitespace(s);
+  if (parts.size() != 2) {
+    return Status::InvalidArgument("expected '<Quarter> <year>': '" + s + "'");
+  }
+  // Accept either order.
+  for (int qi : {0, 1}) {
+    auto q = ParseQuarter(parts[qi]);
+    if (!q.ok()) continue;
+    const std::string& year_str = parts[1 - qi];
+    char* end = nullptr;
+    long year = std::strtol(year_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || year < 1900 || year > 3000) continue;
+    Term t;
+    t.year = static_cast<int>(year);
+    t.quarter = *q;
+    return t;
+  }
+  return Status::InvalidArgument("cannot parse term: '" + s + "'");
+}
+
+bool TimeSlot::ConflictsWith(const TimeSlot& other) const {
+  if (empty() || other.empty()) return false;
+  if ((days & other.days) == 0) return false;
+  return start_min < other.end_min && other.start_min < end_min;
+}
+
+std::string TimeSlot::ToString() const {
+  if (empty()) return "TBA";
+  static constexpr const char* kNames[] = {"M", "T", "W", "Th", "F", "Sa",
+                                           "Su"};
+  std::string out;
+  for (int i = 0; i < 7; ++i) {
+    if (days & (1 << i)) out += kNames[i];
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %02d:%02d-%02d:%02d", start_min / 60,
+                start_min % 60, end_min / 60, end_min % 60);
+  out += buf;
+  return out;
+}
+
+}  // namespace courserank

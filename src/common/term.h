@@ -1,0 +1,82 @@
+#ifndef COURSERANK_COMMON_TERM_H_
+#define COURSERANK_COMMON_TERM_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace courserank {
+
+/// Stanford-style academic quarters, in within-year order.
+enum class Quarter : uint8_t {
+  kAutumn = 0,
+  kWinter = 1,
+  kSpring = 2,
+  kSummer = 3,
+};
+
+/// Returns "Autumn", "Winter", "Spring", or "Summer".
+const char* QuarterName(Quarter q);
+
+/// Parses a quarter name (case-insensitive, full name or first two letters).
+Result<Quarter> ParseQuarter(const std::string& s);
+
+/// One academic term, e.g. Autumn 2008. Ordered chronologically: the academic
+/// year starts in Autumn, so Autumn 2008 < Winter 2008 < Spring 2008 <
+/// Summer 2008 < Autumn 2009 (terms are labeled by academic year).
+struct Term {
+  int year = 0;  ///< Academic year label, e.g. 2008 for AY 2008-09.
+  Quarter quarter = Quarter::kAutumn;
+
+  /// Monotone index used for ordering and arithmetic.
+  int Index() const { return year * 4 + static_cast<int>(quarter); }
+
+  /// Term `n` quarters after this one.
+  Term Plus(int n) const;
+
+  auto operator<=>(const Term& other) const {
+    return Index() <=> other.Index();
+  }
+  bool operator==(const Term& other) const { return Index() == other.Index(); }
+
+  /// "Autumn 2008".
+  std::string ToString() const;
+
+  /// Parses "Autumn 2008" or "2008 Autumn".
+  static Result<Term> Parse(const std::string& s);
+};
+
+/// Bitmask of weekdays a class meets. Monday = bit 0 .. Sunday = bit 6.
+enum Weekday : uint8_t {
+  kMon = 1 << 0,
+  kTue = 1 << 1,
+  kWed = 1 << 2,
+  kThu = 1 << 3,
+  kFri = 1 << 4,
+  kSat = 1 << 5,
+  kSun = 1 << 6,
+};
+
+/// Weekly meeting time: a set of weekdays plus a [start, end) window in
+/// minutes after midnight. Used by the planner for conflict checking.
+struct TimeSlot {
+  uint8_t days = 0;        ///< OR of Weekday bits; 0 means "no meetings".
+  int16_t start_min = 0;   ///< Minutes after midnight, inclusive.
+  int16_t end_min = 0;     ///< Minutes after midnight, exclusive.
+
+  bool empty() const { return days == 0 || end_min <= start_min; }
+
+  /// True if the two slots share a weekday and their minute windows overlap.
+  bool ConflictsWith(const TimeSlot& other) const;
+
+  /// "MWF 09:00-09:50", or "TBA" for an empty slot.
+  std::string ToString() const;
+
+  bool operator==(const TimeSlot& other) const = default;
+};
+
+}  // namespace courserank
+
+#endif  // COURSERANK_COMMON_TERM_H_

@@ -1,0 +1,96 @@
+#include "core/baseline_recommender.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace courserank::flexrecs {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+
+Result<HardcodedCf> HardcodedCf::Build(const storage::Database& db,
+                                       Options options) {
+  HardcodedCf cf(options);
+  CR_ASSIGN_OR_RETURN(const Table* ratings, db.GetTable("Ratings"));
+  CR_ASSIGN_OR_RETURN(size_t su, ratings->schema().ColumnIndex("SuID"));
+  CR_ASSIGN_OR_RETURN(size_t co, ratings->schema().ColumnIndex("CourseID"));
+  CR_ASSIGN_OR_RETURN(size_t sc, ratings->schema().ColumnIndex("Score"));
+  Status bad = Status::OK();
+  ratings->Scan([&](RowId, const Row& row) {
+    if (!bad.ok()) return;
+    if (row[su].is_null() || row[co].is_null() || row[sc].is_null()) return;
+    auto score = row[sc].ToDouble();
+    if (!score.ok()) {
+      bad = score.status();
+      return;
+    }
+    cf.profiles_[row[su].AsInt()][row[co].AsInt()] = *score;
+  });
+  CR_RETURN_IF_ERROR(bad);
+  return cf;
+}
+
+Result<std::vector<std::pair<int64_t, double>>> HardcodedCf::Neighbors(
+    int64_t student) const {
+  auto it = profiles_.find(student);
+  if (it == profiles_.end()) {
+    return Status::NotFound("student " + std::to_string(student) +
+                            " has no ratings");
+  }
+  const auto& mine = it->second;
+  std::vector<std::pair<int64_t, double>> sims;
+  for (const auto& [other, theirs] : profiles_) {
+    if (other == student) continue;
+    double acc = 0.0;
+    size_t common = 0;
+    for (const auto& [course, score] : mine) {
+      auto jt = theirs.find(course);
+      if (jt == theirs.end()) continue;
+      ++common;
+      double d = score - jt->second;
+      acc += d * d;
+    }
+    if (common == 0) continue;
+    sims.emplace_back(other, 1.0 / (1.0 + std::sqrt(acc)));
+  }
+  std::sort(sims.begin(), sims.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (sims.size() > options_.neighborhood) {
+    sims.resize(options_.neighborhood);
+  }
+  return sims;
+}
+
+Result<std::vector<HardcodedCf::Recommendation>> HardcodedCf::RecommendFor(
+    int64_t student) const {
+  CR_ASSIGN_OR_RETURN(auto neighbors, Neighbors(student));
+  const auto& mine = profiles_.at(student);
+
+  std::unordered_map<int64_t, std::pair<double, size_t>> acc;  // sum, count
+  for (const auto& [other, sim] : neighbors) {
+    for (const auto& [course, score] : profiles_.at(other)) {
+      if (mine.count(course) > 0) continue;  // already rated
+      auto& slot = acc[course];
+      slot.first += score;
+      slot.second += 1;
+    }
+  }
+  std::vector<Recommendation> recs;
+  recs.reserve(acc.size());
+  for (const auto& [course, sums] : acc) {
+    recs.push_back(
+        {course, sums.first / static_cast<double>(sums.second)});
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.course_id < b.course_id;
+            });
+  if (recs.size() > options_.top_k) recs.resize(options_.top_k);
+  return recs;
+}
+
+}  // namespace courserank::flexrecs

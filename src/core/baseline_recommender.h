@@ -1,0 +1,57 @@
+#ifndef COURSERANK_CORE_BASELINE_RECOMMENDER_H_
+#define COURSERANK_CORE_BASELINE_RECOMMENDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace courserank::flexrecs {
+
+/// The recommendation engine the paper argues against: user-based
+/// collaborative filtering with the algorithm "embedded in the system code"
+/// — fixed neighborhood, fixed similarity, no customization. Exists as the
+/// comparison baseline for DESIGN.md E6: the FlexRecs `user_cf` strategy
+/// must reproduce its output, and the bench measures the latency cost of
+/// FlexRecs' declarative indirection.
+class HardcodedCf {
+ public:
+  struct Options {
+    size_t neighborhood = 25;  ///< top similar users consulted
+    size_t top_k = 10;         ///< recommendations returned
+  };
+
+  struct Recommendation {
+    int64_t course_id;
+    double score;
+  };
+
+  /// Snapshots the Ratings table (SuID, CourseID, Score) into in-memory
+  /// profile maps. Rebuild after data changes.
+  static Result<HardcodedCf> Build(const storage::Database& db,
+                                   Options options);
+  static Result<HardcodedCf> Build(const storage::Database& db) {
+    return Build(db, Options());
+  }
+
+  /// Top-k courses for `student`, excluding courses already rated, scored
+  /// by the mean rating among the neighborhood (inverse Euclidean
+  /// similarity over co-rated courses).
+  Result<std::vector<Recommendation>> RecommendFor(int64_t student) const;
+
+  /// Neighbors and similarities for `student` (exposed for tests).
+  Result<std::vector<std::pair<int64_t, double>>> Neighbors(
+      int64_t student) const;
+
+ private:
+  explicit HardcodedCf(Options options) : options_(options) {}
+
+  Options options_;
+  std::unordered_map<int64_t, std::unordered_map<int64_t, double>> profiles_;
+};
+
+}  // namespace courserank::flexrecs
+
+#endif  // COURSERANK_CORE_BASELINE_RECOMMENDER_H_

@@ -1,0 +1,221 @@
+#include "core/data_cloud.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace courserank::cloud {
+
+using search::kNoTerm;
+using search::TermId;
+
+bool DataCloud::Contains(const std::string& display_or_term) const {
+  for (const CloudTerm& t : terms) {
+    if (EqualsIgnoreCase(t.display, display_or_term) ||
+        EqualsIgnoreCase(t.term, display_or_term)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string DataCloud::ToString() const {
+  // Tag clouds render alphabetically with size encoding significance.
+  std::vector<const CloudTerm*> sorted;
+  sorted.reserve(terms.size());
+  for (const CloudTerm& t : terms) sorted.push_back(&t);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CloudTerm* a, const CloudTerm* b) {
+              return a->display < b->display;
+            });
+  std::string out;
+  for (const CloudTerm* t : sorted) {
+    if (!out.empty()) out += "  ";
+    out += t->display + "(" + std::to_string(t->font_bucket) + ")";
+  }
+  return out;
+}
+
+DataCloud CloudBuilder::Build(const ResultSet& results) const {
+  AggMap unigrams;
+  AggMap bigrams;
+  for (const search::SearchHit& hit : results.hits) {
+    if (!index_->IsLive(hit.doc)) continue;
+    const search::DocTermVector& vec = index_->doc_terms(hit.doc);
+    for (const auto& [tid, tf] : vec.unigrams) {
+      TermAgg& agg = unigrams[index_->TermString(tid)];
+      agg.total_tf += tf;
+      agg.doc_count += 1;
+      agg.sum_log_tf += 1.0 + std::log(static_cast<double>(tf));
+    }
+    if (options_.include_bigrams) {
+      for (const auto& [tid, tf] : vec.bigrams) {
+        TermAgg& agg = bigrams[index_->TermString(tid)];
+        agg.total_tf += tf;
+        agg.doc_count += 1;
+        agg.sum_log_tf += 1.0 + std::log(static_cast<double>(tf));
+      }
+    }
+  }
+  return Assemble(unigrams, bigrams, results);
+}
+
+DataCloud CloudBuilder::BuildByReanalysis(const ResultSet& results) const {
+  AggMap unigrams;
+  AggMap bigrams;
+  const text::Analyzer& analyzer = index_->analyzer();
+  for (const search::SearchHit& hit : results.hits) {
+    if (!index_->IsLive(hit.doc)) continue;
+    const search::EntityDocument& doc = index_->doc(hit.doc);
+    std::map<std::string, uint32_t> uni;
+    std::map<std::string, uint32_t> bi;
+    for (const std::string& field : doc.field_texts) {
+      std::vector<text::AnalyzedToken> tokens = analyzer.Analyze(field);
+      for (const text::AnalyzedToken& t : tokens) ++uni[t.term];
+      if (options_.include_bigrams) {
+        for (const text::AnalyzedToken& bg : text::Analyzer::Bigrams(tokens)) {
+          ++bi[bg.term];
+        }
+      }
+    }
+    for (const auto& [term, tf] : uni) {
+      TermAgg& agg = unigrams[term];
+      agg.total_tf += tf;
+      agg.doc_count += 1;
+      agg.sum_log_tf += 1.0 + std::log(static_cast<double>(tf));
+    }
+    for (const auto& [term, tf] : bi) {
+      TermAgg& agg = bigrams[term];
+      agg.total_tf += tf;
+      agg.doc_count += 1;
+      agg.sum_log_tf += 1.0 + std::log(static_cast<double>(tf));
+    }
+  }
+  return Assemble(unigrams, bigrams, results);
+}
+
+DataCloud CloudBuilder::Assemble(const AggMap& unigrams, const AggMap& bigrams,
+                                 const ResultSet& results) const {
+  // Terms already in the query (and their components) never appear in the
+  // cloud — clicking them would be a no-op refinement.
+  std::set<std::string> excluded;
+  for (const std::string& q : results.terms) {
+    excluded.insert(q);
+    size_t space = q.find(' ');
+    if (space != std::string::npos) {
+      excluded.insert(q.substr(0, space));
+      excluded.insert(q.substr(space + 1));
+    }
+  }
+
+  struct Candidate {
+    CloudTerm term;
+  };
+  std::vector<CloudTerm> candidates;
+
+  auto score_of = [&](const TermAgg& agg, double idf) {
+    switch (options_.scoring) {
+      case TermScoring::kTf:
+        return static_cast<double>(agg.total_tf);
+      case TermScoring::kPopularity:
+        return static_cast<double>(agg.doc_count);
+      case TermScoring::kTfIdf:
+        return agg.sum_log_tf * idf;
+    }
+    return 0.0;
+  };
+
+  for (const auto& [term, agg] : unigrams) {
+    if (agg.doc_count < options_.min_doc_count) continue;
+    if (excluded.count(term) > 0) continue;
+    if (term.size() < 2) continue;
+    TermId tid = index_->LookupTerm(term);
+    double idf = tid == kNoTerm ? 0.0 : index_->Idf(tid);
+    CloudTerm ct;
+    ct.term = term;
+    ct.display = index_->DisplayForm(term);
+    ct.total_tf = agg.total_tf;
+    ct.doc_count = agg.doc_count;
+    ct.score = score_of(agg, idf);
+    ct.is_phrase = false;
+    candidates.push_back(std::move(ct));
+  }
+  for (const auto& [term, agg] : bigrams) {
+    if (agg.doc_count < options_.min_doc_count) continue;
+    if (excluded.count(term) > 0) continue;
+    // A bigram both of whose components are query terms adds nothing.
+    size_t space = term.find(' ');
+    std::string first = term.substr(0, space);
+    std::string second = term.substr(space + 1);
+    if (excluded.count(first) > 0 && excluded.count(second) > 0) continue;
+    TermId tid = index_->LookupTerm(term);
+    double idf = tid == kNoTerm ? 0.0 : index_->BigramIdf(tid);
+    CloudTerm ct;
+    ct.term = term;
+    ct.display = index_->DisplayForm(term);
+    ct.total_tf = agg.total_tf;
+    ct.doc_count = agg.doc_count;
+    ct.score = score_of(agg, idf) * options_.bigram_boost;
+    ct.is_phrase = true;
+    candidates.push_back(std::move(ct));
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CloudTerm& a, const CloudTerm& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.term < b.term;
+            });
+
+  DataCloud cloud;
+  std::set<std::string> picked_bigram_components;
+  for (CloudTerm& ct : candidates) {
+    if (cloud.terms.size() >= options_.max_terms) break;
+    if (!ct.is_phrase && options_.dedup_subsumed_unigrams &&
+        picked_bigram_components.count(ct.term) > 0) {
+      // A stronger phrase containing this word is already in the cloud;
+      // keep the unigram only when it brings substantially more documents.
+      bool subsumed = false;
+      for (const CloudTerm& p : cloud.terms) {
+        if (!p.is_phrase) continue;
+        size_t space = p.term.find(' ');
+        if (p.term.substr(0, space) == ct.term ||
+            p.term.substr(space + 1) == ct.term) {
+          if (static_cast<double>(ct.doc_count) <=
+              1.25 * static_cast<double>(p.doc_count)) {
+            subsumed = true;
+            break;
+          }
+        }
+      }
+      if (subsumed) continue;
+    }
+    if (ct.is_phrase) {
+      size_t space = ct.term.find(' ');
+      picked_bigram_components.insert(ct.term.substr(0, space));
+      picked_bigram_components.insert(ct.term.substr(space + 1));
+    }
+    cloud.terms.push_back(std::move(ct));
+  }
+
+  // Font buckets by linear interpolation over the selected score range.
+  if (!cloud.terms.empty()) {
+    double lo = cloud.terms.back().score;
+    double hi = cloud.terms.front().score;
+    double span = hi - lo;
+    for (CloudTerm& ct : cloud.terms) {
+      if (span <= 0.0) {
+        ct.font_bucket = options_.font_buckets;
+      } else {
+        double rel = (ct.score - lo) / span;
+        ct.font_bucket =
+            1 + static_cast<int>(rel * (options_.font_buckets - 1) + 0.5);
+      }
+    }
+  }
+  return cloud;
+}
+
+}  // namespace courserank::cloud

@@ -1,0 +1,104 @@
+#ifndef COURSERANK_CORE_DATA_CLOUD_H_
+#define COURSERANK_CORE_DATA_CLOUD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "search/inverted_index.h"
+#include "search/searcher.h"
+
+namespace courserank::cloud {
+
+using search::DocId;
+using search::InvertedIndex;
+using search::ResultSet;
+
+/// How cloud terms are scored within the current result set (paper §3.1:
+/// "the most significant or representative terms within the currently found
+/// set of entities").
+enum class TermScoring {
+  /// Saturated result-frequency weighted by corpus idf — the default
+  /// "significance" score: terms common in the results but rare overall.
+  kTfIdf,
+  /// Raw term frequency within the results.
+  kTf,
+  /// Number of result documents containing the term.
+  kPopularity,
+};
+
+struct CloudOptions {
+  size_t max_terms = 30;
+  TermScoring scoring = TermScoring::kTfIdf;
+  bool include_bigrams = true;
+  /// Multiplier applied to bigram scores — two-word concepts ("latin
+  /// american") are more informative cloud entries than their parts.
+  double bigram_boost = 1.5;
+  /// Terms must appear in at least this many result documents.
+  size_t min_doc_count = 2;
+  /// Number of font-size buckets (1 = smallest .. font_buckets = largest).
+  int font_buckets = 5;
+  /// Suppress a unigram when a selected bigram contains it and covers
+  /// almost the same documents.
+  bool dedup_subsumed_unigrams = true;
+};
+
+/// One rendered cloud term.
+struct CloudTerm {
+  std::string term;     ///< index term (stems), e.g. "latin american"
+  std::string display;  ///< surface form, e.g. "latin american"
+  double score = 0.0;
+  size_t doc_count = 0;   ///< result documents containing the term
+  uint64_t total_tf = 0;  ///< occurrences within the result set
+  int font_bucket = 1;
+  bool is_phrase = false;
+};
+
+/// The data cloud for one result set. Terms are ordered by descending
+/// score; `ToString` renders them alphabetically with size markers the way
+/// a tag cloud displays them.
+struct DataCloud {
+  std::vector<CloudTerm> terms;
+
+  bool Contains(const std::string& display_or_term) const;
+  std::string ToString() const;
+};
+
+/// Builds data clouds from the precomputed per-document term vectors of an
+/// InvertedIndex — no result document is re-tokenized at query time
+/// (DESIGN.md E5 ablation quantifies this against re-analysis).
+class CloudBuilder {
+ public:
+  explicit CloudBuilder(const InvertedIndex* index, CloudOptions options = {})
+      : index_(index), options_(options) {}
+
+  /// Cloud over the hits of `results`; the result set's own query terms
+  /// (and bigrams made only of them) are excluded.
+  DataCloud Build(const ResultSet& results) const;
+
+  /// Reference implementation that re-analyzes every result document's text
+  /// instead of using precomputed vectors. Slower; exists for the E5
+  /// ablation and as a cross-check oracle in tests.
+  DataCloud BuildByReanalysis(const ResultSet& results) const;
+
+  const CloudOptions& options() const { return options_; }
+
+ private:
+  /// Accumulated statistics for one candidate term over the result set.
+  struct TermAgg {
+    uint64_t total_tf = 0;
+    size_t doc_count = 0;
+    double sum_log_tf = 0.0;  ///< Σ_docs (1 + ln tf_d)
+  };
+  using AggMap = std::unordered_map<std::string, TermAgg>;
+
+  DataCloud Assemble(const AggMap& unigrams, const AggMap& bigrams,
+                     const ResultSet& results) const;
+
+  const InvertedIndex* index_;
+  CloudOptions options_;
+};
+
+}  // namespace courserank::cloud
+
+#endif  // COURSERANK_CORE_DATA_CLOUD_H_

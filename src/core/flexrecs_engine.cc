@@ -1,0 +1,464 @@
+#include "core/flexrecs_engine.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/strings.h"
+#include "query/plan.h"
+#include "query/sql_parser.h"
+#include "storage/value.h"
+
+namespace courserank::flexrecs {
+
+using query::PlanPtr;
+using storage::Column;
+using storage::Row;
+using storage::RowHash;
+using storage::Value;
+using storage::ValueType;
+
+namespace {
+
+/// Result of trying to render a Table/Select/Join subtree as a SQL FROM
+/// clause plus WHERE conjuncts.
+struct FromClause {
+  bool ok = false;
+  std::string text;
+  std::vector<std::string> where;
+};
+
+FromClause TryFromClause(const WorkflowNode* node) {
+  FromClause out;
+  switch (node->kind) {
+    case NodeKind::kTable:
+      out.ok = true;
+      out.text = node->table;
+      return out;
+    case NodeKind::kSelect: {
+      FromClause inner = TryFromClause(node->children[0].get());
+      if (!inner.ok) return out;
+      inner.where.push_back(node->predicate->ToString());
+      return inner;
+    }
+    case NodeKind::kJoin: {
+      FromClause left = TryFromClause(node->children[0].get());
+      if (!left.ok) return out;
+      // The right side must reduce to a single table (its filters are safe
+      // to hoist into the global WHERE of an inner join).
+      FromClause right = TryFromClause(node->children[1].get());
+      if (!right.ok || right.text.find(' ') != std::string::npos) return out;
+      out.ok = true;
+      out.text = left.text + " JOIN " + right.text + " ON " +
+                 (node->predicate ? node->predicate->ToString() : "TRUE");
+      out.where = left.where;
+      out.where.insert(out.where.end(), right.where.begin(),
+                       right.where.end());
+      return out;
+    }
+    default:
+      return out;
+  }
+}
+
+/// Attempts to render a canonical relational chain — TopK? Project? Select*
+/// over Table/Join — as one SELECT statement. Empty optional on mismatch.
+std::optional<std::string> TryBuildSql(const WorkflowNode* node) {
+  const WorkflowNode* cur = node;
+
+  std::string order_limit;
+  if (cur->kind == NodeKind::kTopK) {
+    order_limit = " ORDER BY " + cur->order_column +
+                  (cur->descending ? " DESC" : " ASC") + " LIMIT " +
+                  std::to_string(cur->k);
+    cur = cur->children[0].get();
+  }
+
+  std::string select_list = "*";
+  if (cur->kind == NodeKind::kProject) {
+    select_list.clear();
+    for (size_t i = 0; i < cur->items.size(); ++i) {
+      if (i > 0) select_list += ", ";
+      select_list += cur->items[i].expr->ToString() + " AS " +
+                     cur->items[i].name;
+    }
+    cur = cur->children[0].get();
+  }
+
+  FromClause from = TryFromClause(cur);
+  if (!from.ok) return std::nullopt;
+
+  std::string sql = "SELECT " + select_list + " FROM " + from.text;
+  if (!from.where.empty()) {
+    sql += " WHERE ";
+    for (size_t i = 0; i < from.where.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      sql += from.where[i];
+    }
+  }
+  sql += order_limit;
+  return sql;
+}
+
+Result<size_t> FindColumn(const query::Schema& schema,
+                          const std::string& name, const char* what) {
+  auto idx = schema.FindColumn(name);
+  if (!idx.has_value()) {
+    return Status::InvalidArgument(std::string("recommend ") + what +
+                                   " attribute '" + name +
+                                   "' not found in schema [" +
+                                   schema.ToString() + "]");
+  }
+  return *idx;
+}
+
+}  // namespace
+
+std::string CompiledWorkflow::Explain() const {
+  std::string out;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const CompiledStep& s = steps_[i];
+    out += "step " + std::to_string(i + 1) + " ";
+    switch (s.kind) {
+      case CompiledStep::Kind::kSql:
+        out += "[SQL]      " + s.sql;
+        break;
+      case CompiledStep::Kind::kValues:
+        out += "[VALUES]   " + std::to_string(s.values.rows.size()) + " rows";
+        break;
+      case CompiledStep::Kind::kPhysical:
+        out += "[PHYSICAL] " + s.label;
+        break;
+    }
+    if (!s.inputs.empty()) {
+      out += "  <- steps(";
+      for (size_t j = 0; j < s.inputs.size(); ++j) {
+        if (j > 0) out += ", ";
+        out += std::to_string(s.inputs[j] + 1);
+      }
+      out += ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+FlexRecsEngine::FlexRecsEngine(storage::Database* db) : db_(db), sql_(db) {}
+
+size_t FlexRecsEngine::CompileNode(const WorkflowNode* node,
+                                   std::vector<CompiledStep>* steps) const {
+  // Whole-subtree SQL compilation first.
+  if (std::optional<std::string> sql = TryBuildSql(node); sql.has_value()) {
+    CompiledStep step;
+    step.kind = CompiledStep::Kind::kSql;
+    step.sql = *sql;
+    steps->push_back(std::move(step));
+    return steps->size() - 1;
+  }
+  if (node->kind == NodeKind::kSql) {
+    CompiledStep step;
+    step.kind = CompiledStep::Kind::kSql;
+    step.sql = node->sql;
+    steps->push_back(std::move(step));
+    return steps->size() - 1;
+  }
+  if (node->kind == NodeKind::kValues) {
+    CompiledStep step;
+    step.kind = CompiledStep::Kind::kValues;
+    step.values = node->values;
+    steps->push_back(std::move(step));
+    return steps->size() - 1;
+  }
+  // Physical operator over compiled children.
+  CompiledStep step;
+  step.kind = CompiledStep::Kind::kPhysical;
+  step.node = node;
+  {
+    // First line of the node rendering as the label.
+    std::string repr = node->ToString(0);
+    size_t nl = repr.find('\n');
+    step.label = nl == std::string::npos ? repr : repr.substr(0, nl);
+  }
+  for (const NodePtr& child : node->children) {
+    step.inputs.push_back(CompileNode(child.get(), steps));
+  }
+  steps->push_back(std::move(step));
+  return steps->size() - 1;
+}
+
+Result<CompiledWorkflow> FlexRecsEngine::Compile(
+    const WorkflowNode& root) const {
+  // Validate similarity names up front so admins get errors at definition
+  // time, not when a student asks for recommendations.
+  Status bad = Status::OK();
+  std::function<void(const WorkflowNode&)> validate =
+      [&](const WorkflowNode& node) {
+        if (node.kind == NodeKind::kRecommend &&
+            !library_.Has(node.recommend.similarity)) {
+          bad = Status::NotFound("no similarity function '" +
+                                 node.recommend.similarity + "'");
+        }
+        if (node.kind == NodeKind::kSql) {
+          auto parsed = query::ParseSql(node.sql);
+          if (!parsed.ok()) {
+            bad = parsed.status();
+          } else if (parsed->select == nullptr) {
+            bad = Status::InvalidArgument(
+                "workflow SQL nodes must be SELECT statements: " + node.sql);
+          }
+        }
+        for (const NodePtr& child : node.children) validate(*child);
+      };
+  validate(root);
+  CR_RETURN_IF_ERROR(bad);
+
+  CompiledWorkflow compiled;
+  compiled.root_ = root.Clone();
+  CompileNode(compiled.root_.get(), &compiled.steps_);
+  return compiled;
+}
+
+Result<Relation> FlexRecsEngine::Execute(const CompiledWorkflow& compiled,
+                                         const ParamMap& params) {
+  std::vector<Relation> results;
+  results.reserve(compiled.steps().size());
+  for (const CompiledStep& step : compiled.steps()) {
+    switch (step.kind) {
+      case CompiledStep::Kind::kSql: {
+        CR_ASSIGN_OR_RETURN(Relation rel, sql_.Execute(step.sql, params));
+        results.push_back(std::move(rel));
+        break;
+      }
+      case CompiledStep::Kind::kValues:
+        results.push_back(step.values);
+        break;
+      case CompiledStep::Kind::kPhysical: {
+        CR_ASSIGN_OR_RETURN(
+            Relation rel,
+            ExecutePhysical(*step.node, results, step.inputs, params));
+        results.push_back(std::move(rel));
+        break;
+      }
+    }
+  }
+  if (results.empty()) return Status::Internal("empty workflow");
+  return std::move(results.back());
+}
+
+Result<Relation> FlexRecsEngine::Run(const WorkflowNode& root,
+                                     const ParamMap& params) {
+  CR_ASSIGN_OR_RETURN(CompiledWorkflow compiled, Compile(root));
+  return Execute(compiled, params);
+}
+
+Result<Relation> FlexRecsEngine::ExecutePhysical(
+    const WorkflowNode& node, std::vector<Relation>& results,
+    const std::vector<size_t>& inputs, const ParamMap& params) {
+  query::ExecContext ctx;
+  ctx.db = db_;
+  ctx.params = params;
+
+  auto input = [&](size_t i) -> Relation { return results[inputs[i]]; };
+
+  switch (node.kind) {
+    case NodeKind::kTable: {
+      PlanPtr plan = query::MakeTableScan(node.table);
+      return plan->Execute(ctx);
+    }
+    case NodeKind::kSelect: {
+      PlanPtr plan = query::MakeFilter(query::MakeValues(input(0)),
+                                       node.predicate->Clone());
+      return plan->Execute(ctx);
+    }
+    case NodeKind::kProject: {
+      std::vector<query::ProjectItem> items;
+      for (const auto& item : node.items) {
+        items.push_back({item.expr->Clone(), item.name});
+      }
+      PlanPtr plan =
+          query::MakeProject(query::MakeValues(input(0)), std::move(items));
+      return plan->Execute(ctx);
+    }
+    case NodeKind::kJoin: {
+      PlanPtr plan = query::MakeJoin(
+          query::MakeValues(input(0)), query::MakeValues(input(1)),
+          node.predicate ? node.predicate->Clone() : nullptr);
+      return plan->Execute(ctx);
+    }
+    case NodeKind::kExtend: {
+      std::vector<query::ExprPtr> collect;
+      for (const auto& c : node.collect) collect.push_back(c->Clone());
+      PlanPtr plan = query::MakeExtend(
+          query::MakeValues(input(0)), query::MakeValues(input(1)),
+          node.child_key->Clone(), node.source_key->Clone(),
+          std::move(collect), node.column_name);
+      return plan->Execute(ctx);
+    }
+    case NodeKind::kTopK: {
+      std::vector<query::SortKey> keys;
+      keys.push_back({query::MakeColumn(node.order_column), !node.descending});
+      PlanPtr plan = query::MakeLimit(
+          query::MakeSort(query::MakeValues(input(0)), std::move(keys)),
+          node.k);
+      return plan->Execute(ctx);
+    }
+    case NodeKind::kAntiJoin: {
+      Relation child = input(0);
+      Relation source = input(1);
+      query::ExprPtr ck = node.child_key->Clone();
+      CR_RETURN_IF_ERROR(ck->Bind(child.schema, &ctx.params));
+      query::ExprPtr sk = node.source_key->Clone();
+      CR_RETURN_IF_ERROR(sk->Bind(source.schema, &ctx.params));
+      std::unordered_map<Row, bool, RowHash> keys;
+      for (const Row& row : source.rows) {
+        CR_ASSIGN_OR_RETURN(Value v, sk->Eval(row));
+        if (!v.is_null()) keys[{v}] = true;
+      }
+      Relation out;
+      out.schema = child.schema;
+      for (Row& row : child.rows) {
+        CR_ASSIGN_OR_RETURN(Value v, ck->Eval(row));
+        if (!v.is_null() && keys.count({v}) > 0) continue;
+        out.rows.push_back(std::move(row));
+      }
+      return out;
+    }
+    case NodeKind::kRecommend:
+      return ExecuteRecommend(node, input(0), input(1), params);
+    case NodeKind::kSql:
+    case NodeKind::kValues:
+      return Status::Internal("SQL/Values node reached physical executor");
+  }
+  return Status::Internal("unhandled node kind");
+}
+
+Result<Relation> FlexRecsEngine::ExecuteRecommend(const WorkflowNode& node,
+                                                  Relation input,
+                                                  Relation reference,
+                                                  const ParamMap& params) {
+  (void)params;
+  const RecommendSpec& spec = node.recommend;
+  CR_ASSIGN_OR_RETURN(SimilarityFn fn, library_.Get(spec.similarity));
+  CR_ASSIGN_OR_RETURN(size_t in_attr,
+                      FindColumn(input.schema, spec.input_attr, "input"));
+  CR_ASSIGN_OR_RETURN(
+      size_t ref_attr,
+      FindColumn(reference.schema, spec.reference_attr, "reference"));
+  size_t weight_attr = 0;
+  if (spec.agg == RecommendAgg::kWeightedAvg) {
+    CR_ASSIGN_OR_RETURN(weight_attr, FindColumn(reference.schema,
+                                                spec.weight_attr, "weight"));
+  }
+
+  Relation out;
+  std::vector<Column> cols = input.schema.columns();
+  cols.emplace_back(spec.score_column, ValueType::kDouble);
+  out.schema = query::Schema(std::move(cols));
+
+  struct Scored {
+    Row row;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(input.rows.size());
+
+  for (Row& row : input.rows) {
+    double acc = 0.0;
+    double weight_sum = 0.0;
+    double best = 0.0;
+    size_t n = 0;
+    for (const Row& ref : reference.rows) {
+      CR_ASSIGN_OR_RETURN(std::optional<double> sim,
+                          fn(row[in_attr], ref[ref_attr]));
+      if (!sim.has_value()) continue;
+      ++n;
+      switch (spec.agg) {
+        case RecommendAgg::kMax:
+          best = n == 1 ? *sim : std::max(best, *sim);
+          break;
+        case RecommendAgg::kAvg:
+        case RecommendAgg::kSum:
+          acc += *sim;
+          break;
+        case RecommendAgg::kWeightedAvg: {
+          CR_ASSIGN_OR_RETURN(double w, ref[weight_attr].ToDouble());
+          acc += w * *sim;
+          weight_sum += w;
+          break;
+        }
+      }
+    }
+    if (n == 0) continue;  // not comparable to any reference tuple
+    double score = 0.0;
+    switch (spec.agg) {
+      case RecommendAgg::kMax:
+        score = best;
+        break;
+      case RecommendAgg::kAvg:
+        score = acc / static_cast<double>(n);
+        break;
+      case RecommendAgg::kSum:
+        score = acc;
+        break;
+      case RecommendAgg::kWeightedAvg:
+        if (weight_sum <= 0.0) continue;
+        score = acc / weight_sum;
+        break;
+    }
+    if (score < spec.min_score) continue;
+    Row out_row = std::move(row);
+    out_row.push_back(Value(score));
+    scored.push_back({std::move(out_row), score});
+  }
+
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score > b.score;
+                   });
+  size_t keep = spec.top_k > 0 ? std::min(spec.top_k, scored.size())
+                               : scored.size();
+  out.rows.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    out.rows.push_back(std::move(scored[i].row));
+  }
+  return out;
+}
+
+Status FlexRecsEngine::RegisterStrategy(const std::string& name,
+                                        NodePtr workflow) {
+  if (workflow == nullptr) {
+    return Status::InvalidArgument("null workflow for strategy '" + name +
+                                   "'");
+  }
+  // Validate at registration time.
+  CR_RETURN_IF_ERROR(Compile(*workflow).status());
+  strategies_[ToLower(name)] = std::move(workflow);
+  return Status::OK();
+}
+
+Result<Relation> FlexRecsEngine::RunStrategy(const std::string& name,
+                                             const ParamMap& params) {
+  auto it = strategies_.find(ToLower(name));
+  if (it == strategies_.end()) {
+    return Status::NotFound("no strategy '" + name + "'");
+  }
+  return Run(*it->second, params);
+}
+
+Result<std::string> FlexRecsEngine::ExplainStrategy(
+    const std::string& name) const {
+  auto it = strategies_.find(ToLower(name));
+  if (it == strategies_.end()) {
+    return Status::NotFound("no strategy '" + name + "'");
+  }
+  CR_ASSIGN_OR_RETURN(CompiledWorkflow compiled, Compile(*it->second));
+  return it->second->ToString(0) + "\n" + compiled.Explain();
+}
+
+std::vector<std::string> FlexRecsEngine::StrategyNames() const {
+  std::vector<std::string> out;
+  out.reserve(strategies_.size());
+  for (const auto& [name, wf] : strategies_) out.push_back(name);
+  return out;
+}
+
+}  // namespace courserank::flexrecs

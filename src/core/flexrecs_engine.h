@@ -1,0 +1,106 @@
+#ifndef COURSERANK_CORE_FLEXRECS_ENGINE_H_
+#define COURSERANK_CORE_FLEXRECS_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/similarity.h"
+#include "core/workflow.h"
+#include "query/sql_engine.h"
+
+namespace courserank::flexrecs {
+
+using query::ParamMap;
+
+/// One step of a compiled workflow, executed in order. Relational subtrees
+/// compile into SQL text run by the conventional engine (paper §3.2: "The
+/// engine executes a workflow by 'compiling' it into a sequence of SQL
+/// calls"); recommend/extend and non-canonical relational shapes run as
+/// physical operators over the materialized intermediate relations.
+struct CompiledStep {
+  enum class Kind { kSql, kValues, kPhysical };
+  Kind kind = Kind::kSql;
+  std::string sql;                    ///< kSql
+  Relation values;                    ///< kValues
+  const WorkflowNode* node = nullptr; ///< kPhysical (owned by the workflow)
+  std::vector<size_t> inputs;         ///< indices of earlier steps
+  std::string label;                  ///< for Explain()
+};
+
+/// A compiled workflow: owns a clone of the operator tree plus the ordered
+/// step list referencing into it.
+class CompiledWorkflow {
+ public:
+  CompiledWorkflow() = default;
+  CompiledWorkflow(CompiledWorkflow&&) = default;
+  CompiledWorkflow& operator=(CompiledWorkflow&&) = default;
+
+  const std::vector<CompiledStep>& steps() const { return steps_; }
+
+  /// The sequence of SQL calls and physical operators, numbered.
+  std::string Explain() const;
+
+ private:
+  friend class FlexRecsEngine;
+
+  NodePtr root_;
+  std::vector<CompiledStep> steps_;
+};
+
+/// The FlexRecs engine: compiles and executes recommendation workflows and
+/// keeps a registry of named strategies that end users select and
+/// personalize with parameters (paper §2.1: "recommendation strategies that
+/// can be then selected (and personalized) by a student").
+class FlexRecsEngine {
+ public:
+  explicit FlexRecsEngine(storage::Database* db);
+
+  SimilarityLibrary& library() { return library_; }
+  const SimilarityLibrary& library() const { return library_; }
+
+  /// Compiles the workflow into steps. Fails on unknown similarity names.
+  Result<CompiledWorkflow> Compile(const WorkflowNode& root) const;
+
+  /// Executes a compiled workflow with the given parameters.
+  Result<Relation> Execute(const CompiledWorkflow& compiled,
+                           const ParamMap& params = {});
+
+  /// Compile + execute in one call.
+  Result<Relation> Run(const WorkflowNode& root, const ParamMap& params = {});
+
+  // ---- strategy registry ----
+
+  /// Registers a named strategy; replaces silently (admins iterate).
+  Status RegisterStrategy(const std::string& name, NodePtr workflow);
+
+  Result<Relation> RunStrategy(const std::string& name,
+                               const ParamMap& params = {});
+
+  /// Compiled view of a registered strategy.
+  Result<std::string> ExplainStrategy(const std::string& name) const;
+
+  std::vector<std::string> StrategyNames() const;
+
+ private:
+  size_t CompileNode(const WorkflowNode* node,
+                     std::vector<CompiledStep>* steps) const;
+  Result<Relation> ExecutePhysical(const WorkflowNode& node,
+                                   std::vector<Relation>& results,
+                                   const std::vector<size_t>& inputs,
+                                   const ParamMap& params);
+  Result<Relation> ExecuteRecommend(const WorkflowNode& node, Relation input,
+                                    Relation reference,
+                                    const ParamMap& params);
+
+  storage::Database* db_;
+  query::SqlEngine sql_;
+  SimilarityLibrary library_;
+  std::map<std::string, NodePtr> strategies_;
+};
+
+}  // namespace courserank::flexrecs
+
+#endif  // COURSERANK_CORE_FLEXRECS_ENGINE_H_

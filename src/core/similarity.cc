@@ -1,0 +1,309 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "storage/value.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace courserank::flexrecs {
+
+using storage::ValueType;
+
+namespace {
+
+Status TypeError(const char* fn, const char* want, const Value& got) {
+  return Status::InvalidArgument(std::string(fn) + " expects " + want +
+                                 ", got " + ValueTypeName(got.type()));
+}
+
+/// Decodes a LIST of [key, number] pairs into a key→double map. A LIST of
+/// scalars decodes as key→1.0 (set semantics).
+Result<std::map<Value, double>> DecodePairs(const char* fn, const Value& v) {
+  if (v.type() != ValueType::kList) return TypeError(fn, "a LIST", v);
+  std::map<Value, double> out;
+  for (const Value& item : v.AsList()) {
+    if (item.type() == ValueType::kList) {
+      const Value::List& pair = item.AsList();
+      if (pair.size() != 2) {
+        return Status::InvalidArgument(std::string(fn) +
+                                       ": pair element must have 2 entries");
+      }
+      // A NULL number means "unknown"; the key cannot contribute.
+      if (pair[1].is_null()) continue;
+      CR_ASSIGN_OR_RETURN(double num, pair[1].ToDouble());
+      out[pair[0]] = num;
+    } else {
+      out[item] = 1.0;
+    }
+  }
+  return out;
+}
+
+Result<std::set<Value>> DecodeSet(const char* fn, const Value& v) {
+  if (v.type() != ValueType::kList) return TypeError(fn, "a LIST", v);
+  std::set<Value> out;
+  for (const Value& item : v.AsList()) {
+    // Pair-lists degrade to their key set.
+    if (item.type() == ValueType::kList && item.AsList().size() == 2) {
+      out.insert(item.AsList()[0]);
+    } else {
+      out.insert(item);
+    }
+  }
+  return out;
+}
+
+size_t IntersectionSize(const std::set<Value>& a, const std::set<Value>& b) {
+  const std::set<Value>& small = a.size() <= b.size() ? a : b;
+  const std::set<Value>& big = a.size() <= b.size() ? b : a;
+  size_t n = 0;
+  for (const Value& v : small) n += big.count(v);
+  return n;
+}
+
+Result<std::string> DecodeString(const char* fn, const Value& v) {
+  if (v.type() != ValueType::kString) return TypeError(fn, "a STRING", v);
+  return v.AsString();
+}
+
+}  // namespace
+
+Result<std::optional<double>> JaccardSets(const Value& a, const Value& b) {
+  CR_ASSIGN_OR_RETURN(std::set<Value> sa, DecodeSet("jaccard", a));
+  CR_ASSIGN_OR_RETURN(std::set<Value> sb, DecodeSet("jaccard", b));
+  if (sa.empty() && sb.empty()) return std::optional<double>();
+  size_t inter = IntersectionSize(sa, sb);
+  size_t uni = sa.size() + sb.size() - inter;
+  return std::optional<double>(static_cast<double>(inter) /
+                               static_cast<double>(uni));
+}
+
+Result<std::optional<double>> DiceSets(const Value& a, const Value& b) {
+  CR_ASSIGN_OR_RETURN(std::set<Value> sa, DecodeSet("dice", a));
+  CR_ASSIGN_OR_RETURN(std::set<Value> sb, DecodeSet("dice", b));
+  if (sa.empty() && sb.empty()) return std::optional<double>();
+  size_t inter = IntersectionSize(sa, sb);
+  return std::optional<double>(2.0 * static_cast<double>(inter) /
+                               static_cast<double>(sa.size() + sb.size()));
+}
+
+Result<std::optional<double>> OverlapSets(const Value& a, const Value& b) {
+  CR_ASSIGN_OR_RETURN(std::set<Value> sa, DecodeSet("overlap", a));
+  CR_ASSIGN_OR_RETURN(std::set<Value> sb, DecodeSet("overlap", b));
+  if (sa.empty() || sb.empty()) return std::optional<double>();
+  size_t inter = IntersectionSize(sa, sb);
+  return std::optional<double>(static_cast<double>(inter) /
+                               static_cast<double>(std::min(sa.size(),
+                                                            sb.size())));
+}
+
+Result<std::optional<double>> CosinePairs(const Value& a, const Value& b) {
+  CR_ASSIGN_OR_RETURN(auto pa, DecodePairs("cosine", a));
+  CR_ASSIGN_OR_RETURN(auto pb, DecodePairs("cosine", b));
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (const auto& [k, v] : pa) {
+    na += v * v;
+    auto it = pb.find(k);
+    if (it != pb.end()) dot += v * it->second;
+  }
+  for (const auto& [k, v] : pb) nb += v * v;
+  if (na <= 0.0 || nb <= 0.0) return std::optional<double>();
+  return std::optional<double>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+Result<std::optional<double>> PearsonPairs(const Value& a, const Value& b) {
+  CR_ASSIGN_OR_RETURN(auto pa, DecodePairs("pearson", a));
+  CR_ASSIGN_OR_RETURN(auto pb, DecodePairs("pearson", b));
+  std::vector<std::pair<double, double>> common;
+  for (const auto& [k, v] : pa) {
+    auto it = pb.find(k);
+    if (it != pb.end()) common.emplace_back(v, it->second);
+  }
+  if (common.size() < 2) return std::optional<double>();
+  double ma = 0.0;
+  double mb = 0.0;
+  for (const auto& [x, y] : common) {
+    ma += x;
+    mb += y;
+  }
+  ma /= common.size();
+  mb /= common.size();
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (const auto& [x, y] : common) {
+    cov += (x - ma) * (y - mb);
+    va += (x - ma) * (x - ma);
+    vb += (y - mb) * (y - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return std::optional<double>();
+  return std::optional<double>(cov / (std::sqrt(va) * std::sqrt(vb)));
+}
+
+namespace {
+
+Result<std::optional<double>> InverseDistance(const char* fn, const Value& a,
+                                              const Value& b, bool euclidean) {
+  CR_ASSIGN_OR_RETURN(auto pa, DecodePairs(fn, a));
+  CR_ASSIGN_OR_RETURN(auto pb, DecodePairs(fn, b));
+  double acc = 0.0;
+  size_t common = 0;
+  for (const auto& [k, v] : pa) {
+    auto it = pb.find(k);
+    if (it == pb.end()) continue;
+    ++common;
+    double d = v - it->second;
+    acc += euclidean ? d * d : std::fabs(d);
+  }
+  if (common == 0) return std::optional<double>();
+  double dist = euclidean ? std::sqrt(acc) : acc;
+  return std::optional<double>(1.0 / (1.0 + dist));
+}
+
+}  // namespace
+
+Result<std::optional<double>> InverseEuclideanPairs(const Value& a,
+                                                    const Value& b) {
+  return InverseDistance("inv_euclidean", a, b, /*euclidean=*/true);
+}
+
+Result<std::optional<double>> InverseManhattanPairs(const Value& a,
+                                                    const Value& b) {
+  return InverseDistance("inv_manhattan", a, b, /*euclidean=*/false);
+}
+
+Result<std::optional<double>> TokenJaccard(const Value& a, const Value& b) {
+  CR_ASSIGN_OR_RETURN(std::string sa, DecodeString("token_jaccard", a));
+  CR_ASSIGN_OR_RETURN(std::string sb, DecodeString("token_jaccard", b));
+  // Stopwords are dropped so "Introduction to X" and "Introduction to Y"
+  // differ by more than one function word.
+  std::set<std::string> ta;
+  std::set<std::string> tb;
+  for (std::string& t : text::Tokenize(sa)) {
+    if (!text::IsStopword(t)) ta.insert(std::move(t));
+  }
+  for (std::string& t : text::Tokenize(sb)) {
+    if (!text::IsStopword(t)) tb.insert(std::move(t));
+  }
+  if (ta.empty() && tb.empty()) return std::optional<double>();
+  size_t inter = 0;
+  for (const std::string& t : ta) inter += tb.count(t);
+  size_t uni = ta.size() + tb.size() - inter;
+  return std::optional<double>(static_cast<double>(inter) /
+                               static_cast<double>(uni));
+}
+
+Result<std::optional<double>> TrigramSimilarity(const Value& a,
+                                                const Value& b) {
+  CR_ASSIGN_OR_RETURN(std::string sa, DecodeString("trigram", a));
+  CR_ASSIGN_OR_RETURN(std::string sb, DecodeString("trigram", b));
+  auto grams = [](const std::string& s) {
+    std::set<std::string> out;
+    std::string low = "  " + ToLower(s) + "  ";
+    for (size_t i = 0; i + 3 <= low.size(); ++i) out.insert(low.substr(i, 3));
+    return out;
+  };
+  std::set<std::string> ga = grams(sa);
+  std::set<std::string> gb = grams(sb);
+  if (ga.empty() && gb.empty()) return std::optional<double>();
+  size_t inter = 0;
+  for (const std::string& g : ga) inter += gb.count(g);
+  size_t uni = ga.size() + gb.size() - inter;
+  if (uni == 0) return std::optional<double>();
+  return std::optional<double>(static_cast<double>(inter) /
+                               static_cast<double>(uni));
+}
+
+Result<std::optional<double>> LevenshteinRatio(const Value& a, const Value& b) {
+  CR_ASSIGN_OR_RETURN(std::string sa, DecodeString("levenshtein", a));
+  CR_ASSIGN_OR_RETURN(std::string sb, DecodeString("levenshtein", b));
+  std::string la = ToLower(sa);
+  std::string lb = ToLower(sb);
+  if (la.empty() && lb.empty()) return std::optional<double>(1.0);
+  size_t n = la.size();
+  size_t m = lb.size();
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = la[i - 1] == lb[j - 1] ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  double dist = static_cast<double>(prev[m]);
+  double maxlen = static_cast<double>(std::max(n, m));
+  return std::optional<double>(1.0 - dist / maxlen);
+}
+
+Result<std::optional<double>> NumericProximity(const Value& a,
+                                               const Value& b) {
+  if (a.is_null() || b.is_null()) return std::optional<double>();
+  CR_ASSIGN_OR_RETURN(double x, a.ToDouble());
+  CR_ASSIGN_OR_RETURN(double y, b.ToDouble());
+  return std::optional<double>(1.0 / (1.0 + std::fabs(x - y)));
+}
+
+Result<std::optional<double>> ExactMatch(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return std::optional<double>();
+  return std::optional<double>(a == b ? 1.0 : 0.0);
+}
+
+Result<std::optional<double>> RatingOf(const Value& a, const Value& b) {
+  if (a.is_null()) return std::optional<double>();
+  CR_ASSIGN_OR_RETURN(auto pairs, DecodePairs("rating_of", b));
+  auto it = pairs.find(a);
+  if (it == pairs.end()) return std::optional<double>();
+  return std::optional<double>(it->second);
+}
+
+SimilarityLibrary::SimilarityLibrary() {
+  Register("jaccard", JaccardSets);
+  Register("dice", DiceSets);
+  Register("overlap", OverlapSets);
+  Register("cosine", CosinePairs);
+  Register("pearson", PearsonPairs);
+  Register("inv_euclidean", InverseEuclideanPairs);
+  Register("inv_manhattan", InverseManhattanPairs);
+  Register("token_jaccard", TokenJaccard);
+  Register("trigram", TrigramSimilarity);
+  Register("levenshtein", LevenshteinRatio);
+  Register("numeric_proximity", NumericProximity);
+  Register("exact", ExactMatch);
+  Register("rating_of", RatingOf);
+}
+
+void SimilarityLibrary::Register(const std::string& name, SimilarityFn fn) {
+  fns_[ToLower(name)] = std::move(fn);
+}
+
+Result<SimilarityFn> SimilarityLibrary::Get(const std::string& name) const {
+  auto it = fns_.find(ToLower(name));
+  if (it == fns_.end()) {
+    return Status::NotFound("no similarity function '" + name + "'");
+  }
+  return it->second;
+}
+
+bool SimilarityLibrary::Has(const std::string& name) const {
+  return fns_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> SimilarityLibrary::Names() const {
+  std::vector<std::string> out;
+  out.reserve(fns_.size());
+  for (const auto& [name, fn] : fns_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace courserank::flexrecs

@@ -1,0 +1,109 @@
+#ifndef COURSERANK_CORE_SIMILARITY_H_
+#define COURSERANK_CORE_SIMILARITY_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace courserank::flexrecs {
+
+using storage::Value;
+
+/// A comparison function from the FlexRecs library (paper §3.2: "functions
+/// in a library that implement common tasks for recommendations, such as
+/// computing the Jaccard or Pearson similarity of two sets of objects").
+///
+/// Returns nullopt when the pair is not comparable (e.g. no overlapping
+/// rated items); the recommend operator skips such pairs rather than
+/// scoring them zero. Errors are reserved for type misuse.
+using SimilarityFn =
+    std::function<Result<std::optional<double>>(const Value&, const Value&)>;
+
+/// Named registry of comparison functions. Construction installs the
+/// built-ins below; applications may Register additional ones — this is the
+/// paper's extensibility story for new recommendation semantics.
+class SimilarityLibrary {
+ public:
+  SimilarityLibrary();
+
+  /// Registers (or replaces) a function under `name` (case-insensitive).
+  void Register(const std::string& name, SimilarityFn fn);
+
+  /// NotFound when the name is unknown.
+  Result<SimilarityFn> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+  /// Names of all registered functions, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::unordered_map<std::string, SimilarityFn> fns_;
+};
+
+// ---- built-in comparison math, exposed for direct use and testing ----
+//
+// "Pairs" arguments are sparse vectors encoded as LIST values of [key,
+// number] two-element lists — exactly what the ε-extend operator produces
+// when collecting (CourseID, Rating) per student.
+
+/// Jaccard |A∩B| / |A∪B| over LIST values treated as sets.
+Result<std::optional<double>> JaccardSets(const Value& a, const Value& b);
+
+/// Dice 2|A∩B| / (|A|+|B|) over LIST sets.
+Result<std::optional<double>> DiceSets(const Value& a, const Value& b);
+
+/// Overlap |A∩B| / min(|A|,|B|) over LIST sets.
+Result<std::optional<double>> OverlapSets(const Value& a, const Value& b);
+
+/// Cosine similarity over sparse pair-lists (common keys only in the dot
+/// product, norms over each full vector). nullopt when either norm is 0.
+Result<std::optional<double>> CosinePairs(const Value& a, const Value& b);
+
+/// Pearson correlation over the co-rated keys; nullopt with fewer than two
+/// common keys or zero variance.
+Result<std::optional<double>> PearsonPairs(const Value& a, const Value& b);
+
+/// 1 / (1 + euclidean distance over common keys) — the paper's Fig. 5(b)
+/// "inverse Euclidean distance of their ratings". nullopt when no common
+/// keys exist.
+Result<std::optional<double>> InverseEuclideanPairs(const Value& a,
+                                                    const Value& b);
+
+/// 1 / (1 + manhattan distance over common keys).
+Result<std::optional<double>> InverseManhattanPairs(const Value& a,
+                                                    const Value& b);
+
+/// Jaccard over lowercase word sets of two strings ("title similarity" for
+/// Fig. 5(a)'s related-course workflow).
+Result<std::optional<double>> TokenJaccard(const Value& a, const Value& b);
+
+/// Jaccard over character trigrams of two strings; tolerant of morphology
+/// ("programming" vs "programs").
+Result<std::optional<double>> TrigramSimilarity(const Value& a,
+                                                const Value& b);
+
+/// 1 - levenshtein(a,b)/max(|a|,|b|).
+Result<std::optional<double>> LevenshteinRatio(const Value& a, const Value& b);
+
+/// Absolute-difference proximity of two numbers mapped to (0,1]:
+/// 1 / (1 + |a-b|). Used for "students with similar grades/GPA".
+Result<std::optional<double>> NumericProximity(const Value& a, const Value& b);
+
+/// Exact-match indicator: 1.0 when equal, 0.0 otherwise.
+Result<std::optional<double>> ExactMatch(const Value& a, const Value& b);
+
+/// Lookup function, not a similarity: `a` is a key, `b` a pair-list; yields
+/// the number paired with that key, or nullopt when absent. Lets a
+/// recommend operator score courses by "the ratings given by the similar
+/// students" (Fig. 5(b) upper operator).
+Result<std::optional<double>> RatingOf(const Value& a, const Value& b);
+
+}  // namespace courserank::flexrecs
+
+#endif  // COURSERANK_CORE_SIMILARITY_H_

@@ -1,0 +1,124 @@
+#include "core/strategies.h"
+
+#include "core/workflow_parser.h"
+
+namespace courserank::flexrecs::strategies {
+
+std::string RelatedCoursesDsl() {
+  return R"(# Fig. 5(a): related courses by title similarity
+offered = SQL SELECT DISTINCT c.CourseID AS CourseID, c.Title AS Title FROM Courses c JOIN Offerings o ON c.CourseID = o.CourseID WHERE o.Year = $year
+target  = SQL SELECT CourseID, Title FROM Courses WHERE Title = $title
+ranked  = RECOMMEND offered AGAINST target USING token_jaccard(Title, Title) AGG max SCORE score MIN 0.05
+others  = EXCEPT ranked ON CourseID = CourseID FROM target
+top     = TOPK others BY score DESC LIMIT 10
+RETURN top
+)";
+}
+
+std::string UserCfDsl() {
+  return R"(# Fig. 5(b): user-based collaborative filtering
+students = TABLE Students
+ratings  = TABLE Ratings
+ext      = EXTEND students WITH ratings ON SuID = SuID COLLECT CourseID, Score AS ratings
+target   = SELECT ext WHERE SuID = $student
+others   = SELECT ext WHERE SuID <> $student
+similar  = RECOMMEND others AGAINST target USING inv_euclidean(ratings, ratings) AGG max SCORE sim TOP 25
+courses  = TABLE Courses
+scored   = RECOMMEND courses AGAINST similar USING rating_of(CourseID, ratings) AGG avg SCORE score
+mine     = SELECT ratings WHERE SuID = $student
+fresh    = EXCEPT scored ON CourseID = CourseID FROM mine
+top      = TOPK fresh BY score DESC LIMIT 10
+RETURN top
+)";
+}
+
+std::string WeightedUserCfDsl() {
+  return R"(# user_cf with neighbors weighted by similarity
+students = TABLE Students
+ratings  = TABLE Ratings
+ext      = EXTEND students WITH ratings ON SuID = SuID COLLECT CourseID, Score AS ratings
+target   = SELECT ext WHERE SuID = $student
+others   = SELECT ext WHERE SuID <> $student
+similar  = RECOMMEND others AGAINST target USING inv_euclidean(ratings, ratings) AGG max SCORE sim TOP 25
+courses  = TABLE Courses
+scored   = RECOMMEND courses AGAINST similar USING rating_of(CourseID, ratings) AGG weighted sim SCORE score
+mine     = SELECT ratings WHERE SuID = $student
+fresh    = EXCEPT scored ON CourseID = CourseID FROM mine
+top      = TOPK fresh BY score DESC LIMIT 10
+RETURN top
+)";
+}
+
+std::string GradeCfDsl() {
+  return R"(# neighbors by similarity of grades instead of ratings
+students = TABLE Students
+reported = SQL SELECT SuID, CourseID, Grade FROM Enrollment WHERE Grade IS NOT NULL
+ext      = EXTEND students WITH reported ON SuID = SuID COLLECT CourseID, Grade AS grades
+target   = SELECT ext WHERE SuID = $student
+others   = SELECT ext WHERE SuID <> $student
+similar  = RECOMMEND others AGAINST target USING inv_euclidean(grades, grades) AGG max SCORE sim TOP 25
+ratings  = TABLE Ratings
+extsim   = EXTEND similar WITH ratings ON SuID = SuID COLLECT CourseID, Score AS ratings
+courses  = TABLE Courses
+scored   = RECOMMEND courses AGAINST extsim USING rating_of(CourseID, ratings) AGG avg SCORE score
+enrolled = TABLE Enrollment
+mine     = SELECT enrolled WHERE SuID = $student
+fresh    = EXCEPT scored ON CourseID = CourseID FROM mine
+top      = TOPK fresh BY score DESC LIMIT 10
+RETURN top
+)";
+}
+
+std::string MajorPopularDsl() {
+  return R"(# best-rated courses among students of one major
+scored = SQL SELECT r.CourseID AS CourseID, AVG(r.Score) AS score, COUNT(*) AS n FROM Ratings r JOIN Students s ON r.SuID = s.SuID WHERE s.Major = $major GROUP BY r.CourseID HAVING n >= 3
+top    = TOPK scored BY score DESC LIMIT 10
+RETURN top
+)";
+}
+
+std::string RecommendMajorDsl() {
+  return R"(# majors whose courses overlap the student's history (paper: recommended majors)
+depts     = TABLE Departments
+courses   = TABLE Courses
+dept_ext  = EXTEND depts WITH courses ON DepID = DepID COLLECT CourseID AS dept_courses
+students  = TABLE Students
+enrolled  = TABLE Enrollment
+stu_ext   = EXTEND students WITH enrolled ON SuID = SuID COLLECT CourseID AS taken
+target    = SELECT stu_ext WHERE SuID = $student
+ranked    = RECOMMEND dept_ext AGAINST target USING overlap(dept_courses, taken) AGG max SCORE score
+top       = TOPK ranked BY score DESC LIMIT 5
+RETURN top
+)";
+}
+
+std::string BestQuarterDsl() {
+  return R"(# quarters ranked by historical average grade in the course
+by_term = SQL SELECT e.Term AS Term, AVG(e.Grade) AS avg_grade, COUNT(*) AS n FROM Enrollment e WHERE e.CourseID = $course GROUP BY e.Term
+top     = TOPK by_term BY avg_grade DESC LIMIT 4
+RETURN top
+)";
+}
+
+Status RegisterDefaults(FlexRecsEngine& engine) {
+  struct Entry {
+    const char* name;
+    std::string dsl;
+  };
+  const Entry entries[] = {
+      {"related_courses", RelatedCoursesDsl()},
+      {"user_cf", UserCfDsl()},
+      {"weighted_user_cf", WeightedUserCfDsl()},
+      {"grade_cf", GradeCfDsl()},
+      {"major_popular", MajorPopularDsl()},
+      {"recommend_major", RecommendMajorDsl()},
+      {"best_quarter", BestQuarterDsl()},
+  };
+  for (const Entry& e : entries) {
+    CR_ASSIGN_OR_RETURN(NodePtr wf, ParseWorkflow(e.dsl));
+    CR_RETURN_IF_ERROR(engine.RegisterStrategy(e.name, std::move(wf)));
+  }
+  return Status::OK();
+}
+
+}  // namespace courserank::flexrecs::strategies

@@ -1,0 +1,48 @@
+#ifndef COURSERANK_CORE_STRATEGIES_H_
+#define COURSERANK_CORE_STRATEGIES_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/flexrecs_engine.h"
+
+namespace courserank::flexrecs::strategies {
+
+/// The canned CourseRank recommendation strategies. Each is authored in the
+/// workflow DSL (the same path a site administrator uses) and registered
+/// under the name given below. Parameters are bound per request.
+///
+///   related_courses   ($title, $year)  — Fig. 5(a): courses offered in
+///       $year whose titles are similar to the course titled $title.
+///   user_cf           ($student)       — Fig. 5(b): students similar to
+///       $student by inverse Euclidean distance of ratings (via ε-extend),
+///       then courses ranked by the average rating of the similar students;
+///       courses the student already rated are excluded.
+///   weighted_user_cf  ($student)       — user_cf with ratings weighted by
+///       each neighbor's similarity (ablation variant).
+///   grade_cf          ($student)       — neighbors chosen by similarity of
+///       grades rather than ratings ("people with similar grades", §3).
+///   major_popular     ($major)         — best-rated courses among students
+///       of one major.
+///   recommend_major   ($student)       — departments ranked by overlap
+///       between their course set and the student's completed courses (for
+///       students that have not declared a major, §3.2).
+///   best_quarter      ($course)        — quarters ranked by historical
+///       average grade in the course ("what is the best quarter to take a
+///       calculus course", §3).
+
+/// DSL source text of each strategy (exposed for tests and docs).
+std::string RelatedCoursesDsl();
+std::string UserCfDsl();
+std::string WeightedUserCfDsl();
+std::string GradeCfDsl();
+std::string MajorPopularDsl();
+std::string RecommendMajorDsl();
+std::string BestQuarterDsl();
+
+/// Parses and registers all of the above under their names.
+Status RegisterDefaults(FlexRecsEngine& engine);
+
+}  // namespace courserank::flexrecs::strategies
+
+#endif  // COURSERANK_CORE_STRATEGIES_H_

@@ -1,0 +1,239 @@
+#include "core/workflow.h"
+
+#include "common/logging.h"
+#include "query/sql_parser.h"
+
+namespace courserank::flexrecs {
+
+namespace {
+
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kTable:
+      return "Table";
+    case NodeKind::kSql:
+      return "Sql";
+    case NodeKind::kValues:
+      return "Values";
+    case NodeKind::kSelect:
+      return "Select";
+    case NodeKind::kProject:
+      return "Project";
+    case NodeKind::kJoin:
+      return "Join";
+    case NodeKind::kExtend:
+      return "Extend";
+    case NodeKind::kRecommend:
+      return "Recommend";
+    case NodeKind::kAntiJoin:
+      return "AntiJoin";
+    case NodeKind::kTopK:
+      return "TopK";
+  }
+  return "?";
+}
+
+const char* AggName(RecommendAgg agg) {
+  switch (agg) {
+    case RecommendAgg::kMax:
+      return "max";
+    case RecommendAgg::kAvg:
+      return "avg";
+    case RecommendAgg::kSum:
+      return "sum";
+    case RecommendAgg::kWeightedAvg:
+      return "weighted_avg";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ExprPtr MustParseExpr(const std::string& text) {
+  auto parsed = query::ParseExpression(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "workflow expression error: %s\n",
+                 parsed.status().ToString().c_str());
+  }
+  CR_CHECK(parsed.ok());
+  return std::move(parsed).value();
+}
+
+NodePtr WorkflowNode::Clone() const {
+  auto node = std::make_unique<WorkflowNode>();
+  node->kind = kind;
+  node->table = table;
+  node->sql = sql;
+  node->values = values;
+  node->predicate = predicate ? predicate->Clone() : nullptr;
+  for (const auto& item : items) {
+    node->items.push_back({item.expr->Clone(), item.name});
+  }
+  node->child_key = child_key ? child_key->Clone() : nullptr;
+  node->source_key = source_key ? source_key->Clone() : nullptr;
+  for (const auto& c : collect) node->collect.push_back(c->Clone());
+  node->column_name = column_name;
+  node->recommend = recommend;
+  node->order_column = order_column;
+  node->descending = descending;
+  node->k = k;
+  for (const auto& child : children) node->children.push_back(child->Clone());
+  return node;
+}
+
+std::string WorkflowNode::ToString(int indent) const {
+  std::string pad(2 * indent, ' ');
+  std::string out = pad + NodeKindName(kind);
+  switch (kind) {
+    case NodeKind::kTable:
+      out += "(" + table + ")";
+      break;
+    case NodeKind::kSql:
+      out += "(" + sql + ")";
+      break;
+    case NodeKind::kValues:
+      out += "(" + std::to_string(values.rows.size()) + " rows)";
+      break;
+    case NodeKind::kSelect:
+      out += "(" + predicate->ToString() + ")";
+      break;
+    case NodeKind::kProject: {
+      out += "(";
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += items[i].expr->ToString() + " AS " + items[i].name;
+      }
+      out += ")";
+      break;
+    }
+    case NodeKind::kJoin:
+      out += "(" + (predicate ? predicate->ToString() : "true") + ")";
+      break;
+    case NodeKind::kExtend:
+      out += "(" + column_name + " = collect where " +
+             source_key->ToString() + " = " + child_key->ToString() + ")";
+      break;
+    case NodeKind::kRecommend:
+      out += "(" + recommend.similarity + "(" + recommend.input_attr + ", " +
+             recommend.reference_attr + "), agg=" + AggName(recommend.agg);
+      if (recommend.top_k > 0) out += ", top=" + std::to_string(recommend.top_k);
+      out += " -> " + recommend.score_column + ")";
+      break;
+    case NodeKind::kAntiJoin:
+      out += "(" + child_key->ToString() + " NOT IN source." +
+             source_key->ToString() + ")";
+      break;
+    case NodeKind::kTopK:
+      out += "(" + order_column + (descending ? " DESC" : " ASC") +
+             ", k=" + std::to_string(k) + ")";
+      break;
+  }
+  out += "\n";
+  for (const auto& child : children) out += child->ToString(indent + 1);
+  return out;
+}
+
+Workflow Workflow::Table(std::string name) {
+  auto node = std::make_unique<WorkflowNode>();
+  node->kind = NodeKind::kTable;
+  node->table = std::move(name);
+  return Workflow(std::move(node));
+}
+
+Workflow Workflow::Sql(std::string select_stmt) {
+  auto node = std::make_unique<WorkflowNode>();
+  node->kind = NodeKind::kSql;
+  node->sql = std::move(select_stmt);
+  return Workflow(std::move(node));
+}
+
+Workflow Workflow::Values(Relation rel) {
+  auto node = std::make_unique<WorkflowNode>();
+  node->kind = NodeKind::kValues;
+  node->values = std::move(rel);
+  return Workflow(std::move(node));
+}
+
+Workflow Workflow::Select(const std::string& predicate) && {
+  return std::move(*this).Select(MustParseExpr(predicate));
+}
+
+Workflow Workflow::Select(ExprPtr predicate) && {
+  auto node = std::make_unique<WorkflowNode>();
+  node->kind = NodeKind::kSelect;
+  node->predicate = std::move(predicate);
+  node->children.push_back(std::move(node_));
+  return Workflow(std::move(node));
+}
+
+Workflow Workflow::Project(
+    std::vector<std::pair<std::string, std::string>> items) && {
+  auto node = std::make_unique<WorkflowNode>();
+  node->kind = NodeKind::kProject;
+  for (auto& [expr_text, name] : items) {
+    node->items.push_back({MustParseExpr(expr_text), std::move(name)});
+  }
+  node->children.push_back(std::move(node_));
+  return Workflow(std::move(node));
+}
+
+Workflow Workflow::Join(Workflow right, const std::string& condition) && {
+  auto node = std::make_unique<WorkflowNode>();
+  node->kind = NodeKind::kJoin;
+  node->predicate = MustParseExpr(condition);
+  node->children.push_back(std::move(node_));
+  node->children.push_back(std::move(right.node_));
+  return Workflow(std::move(node));
+}
+
+Workflow Workflow::Extend(Workflow source, const std::string& child_key,
+                          const std::string& source_key,
+                          std::vector<std::string> collect,
+                          std::string column_name) && {
+  auto node = std::make_unique<WorkflowNode>();
+  node->kind = NodeKind::kExtend;
+  node->child_key = MustParseExpr(child_key);
+  node->source_key = MustParseExpr(source_key);
+  for (const std::string& c : collect) {
+    node->collect.push_back(MustParseExpr(c));
+  }
+  node->column_name = std::move(column_name);
+  node->children.push_back(std::move(node_));
+  node->children.push_back(std::move(source.node_));
+  return Workflow(std::move(node));
+}
+
+Workflow Workflow::Recommend(Workflow reference, RecommendSpec spec) && {
+  auto node = std::make_unique<WorkflowNode>();
+  node->kind = NodeKind::kRecommend;
+  node->recommend = std::move(spec);
+  node->children.push_back(std::move(node_));
+  node->children.push_back(std::move(reference.node_));
+  return Workflow(std::move(node));
+}
+
+Workflow Workflow::AntiJoin(Workflow source, const std::string& child_key,
+                            const std::string& source_key) && {
+  auto node = std::make_unique<WorkflowNode>();
+  node->kind = NodeKind::kAntiJoin;
+  node->child_key = MustParseExpr(child_key);
+  node->source_key = MustParseExpr(source_key);
+  node->children.push_back(std::move(node_));
+  node->children.push_back(std::move(source.node_));
+  return Workflow(std::move(node));
+}
+
+Workflow Workflow::TopK(const std::string& order_column, size_t k,
+                        bool descending) && {
+  auto node = std::make_unique<WorkflowNode>();
+  node->kind = NodeKind::kTopK;
+  node->order_column = order_column;
+  node->k = k;
+  node->descending = descending;
+  node->children.push_back(std::move(node_));
+  return Workflow(std::move(node));
+}
+
+NodePtr Workflow::Build() && { return std::move(node_); }
+
+}  // namespace courserank::flexrecs

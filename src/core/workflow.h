@@ -1,0 +1,157 @@
+#ifndef COURSERANK_CORE_WORKFLOW_H_
+#define COURSERANK_CORE_WORKFLOW_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/expr.h"
+#include "query/plan.h"
+#include "query/relation.h"
+
+namespace courserank::flexrecs {
+
+using query::ExprPtr;
+using query::Relation;
+
+/// Node kinds of a FlexRecs workflow (paper §3.2, Fig. 5). The recommend
+/// and extend operators are FlexRecs-specific; the rest are classical
+/// relational operators that the compiler turns into SQL.
+enum class NodeKind {
+  kTable,      ///< base relation
+  kSql,        ///< escape hatch: a raw SELECT statement
+  kValues,     ///< inline literal relation
+  kSelect,     ///< σ predicate
+  kProject,    ///< π items
+  kJoin,       ///< ⋈ condition
+  kExtend,     ///< ε: nest related tuples into a LIST attribute
+  kRecommend,  ///< ▷: rank input tuples against reference tuples
+  kAntiJoin,   ///< input minus rows whose key appears in the source
+  kTopK,       ///< order by one column, keep k
+};
+
+/// Score aggregation of the recommend operator over the reference set.
+enum class RecommendAgg {
+  kMax,          ///< best match ("most similar course")
+  kAvg,          ///< mean over comparable references (Fig. 5(b): average of
+                 ///< the ratings given by the similar students)
+  kSum,
+  kWeightedAvg,  ///< Σ w·v / Σ w with w from `weight_attr` of the reference
+};
+
+/// Configuration of one recommend operator.
+struct RecommendSpec {
+  std::string similarity;      ///< library function name
+  std::string input_attr;      ///< compared attribute of the input tuple
+  std::string reference_attr;  ///< compared attribute of the reference tuple
+  RecommendAgg agg = RecommendAgg::kMax;
+  std::string weight_attr;     ///< reference attr for kWeightedAvg
+  std::string score_column = "score";
+  size_t top_k = 0;            ///< 0 = keep all
+  double min_score = -std::numeric_limits<double>::infinity();
+};
+
+struct WorkflowNode;
+using NodePtr = std::unique_ptr<WorkflowNode>;
+
+/// One workflow operator. A workflow is a tree of these, executed by
+/// FlexRecsEngine after compilation.
+struct WorkflowNode {
+  NodeKind kind;
+
+  // kTable
+  std::string table;
+
+  // kSql
+  std::string sql;
+
+  // kValues
+  Relation values;
+
+  // kSelect / kJoin condition
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<query::ProjectItem> items;
+
+  // kExtend: child ⟵ collect from source
+  ExprPtr child_key;
+  ExprPtr source_key;
+  std::vector<ExprPtr> collect;
+  std::string column_name;
+
+  // kRecommend
+  RecommendSpec recommend;
+
+  // kAntiJoin reuses child_key / source_key.
+
+  // kTopK
+  std::string order_column;
+  bool descending = true;
+  size_t k = 0;
+
+  std::vector<NodePtr> children;
+
+  /// Deep copy.
+  NodePtr Clone() const;
+
+  /// Human-readable operator tree (EXPLAIN-style).
+  std::string ToString(int indent = 0) const;
+};
+
+/// Fluent builder so strategies read like the paper's workflow figures:
+///
+///   Workflow::Table("Courses")
+///       .Select("Year = 2008")
+///       .Recommend(Workflow::Table("Courses").Select("Title = $title"),
+///                  spec)
+class Workflow {
+ public:
+  static Workflow Table(std::string name);
+  static Workflow Sql(std::string select_stmt);
+  static Workflow Values(Relation rel);
+
+  /// σ with a SQL expression string; dies on parse error (builder misuse is
+  /// a programming bug, checked by tests).
+  Workflow Select(const std::string& predicate) &&;
+  Workflow Select(ExprPtr predicate) &&;
+
+  /// π: "expr AS name" items given as (expression text, name) pairs.
+  Workflow Project(
+      std::vector<std::pair<std::string, std::string>> items) &&;
+
+  Workflow Join(Workflow right, const std::string& condition) &&;
+
+  /// ε-extend: nest `collect` expressions (over `source` rows matching
+  /// source_key = child_key) into a LIST column.
+  Workflow Extend(Workflow source, const std::string& child_key,
+                  const std::string& source_key,
+                  std::vector<std::string> collect,
+                  std::string column_name) &&;
+
+  /// ▷ recommend against a reference workflow.
+  Workflow Recommend(Workflow reference, RecommendSpec spec) &&;
+
+  /// Removes rows whose child_key appears among source_key values.
+  Workflow AntiJoin(Workflow source, const std::string& child_key,
+                    const std::string& source_key) &&;
+
+  Workflow TopK(const std::string& order_column, size_t k,
+                bool descending = true) &&;
+
+  /// Releases the built tree.
+  NodePtr Build() &&;
+
+ private:
+  explicit Workflow(NodePtr node) : node_(std::move(node)) {}
+
+  NodePtr node_;
+};
+
+/// Parses an expression string, aborting on failure (builder-internal).
+ExprPtr MustParseExpr(const std::string& text);
+
+}  // namespace courserank::flexrecs
+
+#endif  // COURSERANK_CORE_WORKFLOW_H_

@@ -1,0 +1,111 @@
+#include "core/workflow_optimizer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace courserank::flexrecs {
+
+namespace {
+
+/// True when `text` contains `ident` as a standalone identifier
+/// (case-insensitive, word boundaries). Used to decide conservatively
+/// whether a predicate references the recommend score column.
+bool MentionsIdentifier(const std::string& text, const std::string& ident) {
+  if (ident.empty()) return false;
+  std::string low_text = ToLower(text);
+  std::string low_ident = ToLower(ident);
+  size_t pos = 0;
+  while ((pos = low_text.find(low_ident, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                    low_text[pos - 1])) &&
+                                low_text[pos - 1] != '_' &&
+                                low_text[pos - 1] != '.');
+    size_t end = pos + low_ident.size();
+    bool right_ok =
+        end == low_text.size() ||
+        (!std::isalnum(static_cast<unsigned char>(low_text[end])) &&
+         low_text[end] != '_');
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// One bottom-up rewrite pass; returns true when any rule fired.
+bool RewriteOnce(NodePtr& node, OptimizerStats* stats, std::string* trace) {
+  bool changed = false;
+  for (NodePtr& child : node->children) {
+    changed |= RewriteOnce(child, stats, trace);
+  }
+
+  // Rule 3: Select(Select(x)) -> Select(x) with AND-merged predicate.
+  if (node->kind == NodeKind::kSelect &&
+      node->children[0]->kind == NodeKind::kSelect) {
+    NodePtr inner = std::move(node->children[0]);
+    node->predicate =
+        query::MakeBinary(query::BinaryOp::kAnd, std::move(inner->predicate),
+                          std::move(node->predicate));
+    node->children[0] = std::move(inner->children[0]);
+    ++stats->selects_merged;
+    if (trace != nullptr) *trace += "merged adjacent Selects\n";
+    return true;
+  }
+
+  // Rule 1: TopK(score DESC, k) over Recommend(score) -> fused top_k.
+  if (node->kind == NodeKind::kTopK && node->descending &&
+      node->children[0]->kind == NodeKind::kRecommend &&
+      EqualsIgnoreCase(node->order_column,
+                       node->children[0]->recommend.score_column)) {
+    NodePtr rec = std::move(node->children[0]);
+    size_t k = node->k;
+    rec->recommend.top_k = rec->recommend.top_k == 0
+                               ? k
+                               : std::min(rec->recommend.top_k, k);
+    node = std::move(rec);
+    ++stats->topk_fused;
+    if (trace != nullptr) *trace += "fused TopK into Recommend\n";
+    return true;
+  }
+
+  // Rule 2: Select over Recommend pushes below when the predicate ignores
+  // the score column and the operator has no top_k (a top-k cut before vs
+  // after a filter is not equivalent).
+  if (node->kind == NodeKind::kSelect &&
+      node->children[0]->kind == NodeKind::kRecommend &&
+      node->children[0]->recommend.top_k == 0 &&
+      !MentionsIdentifier(node->predicate->ToString(),
+                          node->children[0]->recommend.score_column)) {
+    NodePtr rec = std::move(node->children[0]);
+    NodePtr select = std::move(node);
+    // select becomes the recommend's input child.
+    select->children[0] = std::move(rec->children[0]);
+    rec->children[0] = std::move(select);
+    node = std::move(rec);
+    ++stats->selects_pushed;
+    if (trace != nullptr) *trace += "pushed Select below Recommend\n";
+    return true;
+  }
+
+  return changed;
+}
+
+}  // namespace
+
+NodePtr OptimizeWorkflow(NodePtr root, OptimizerStats* stats,
+                         std::string* trace) {
+  OptimizerStats local;
+  if (stats == nullptr) stats = &local;
+  // Iterate to a fixpoint; the rule set strictly shrinks/fuses nodes so a
+  // small bound suffices.
+  for (int round = 0; round < 16; ++round) {
+    if (!RewriteOnce(root, stats, trace)) break;
+  }
+  return root;
+}
+
+NodePtr OptimizeWorkflow(NodePtr root, std::string* trace) {
+  return OptimizeWorkflow(std::move(root), nullptr, trace);
+}
+
+}  // namespace courserank::flexrecs

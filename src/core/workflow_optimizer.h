@@ -1,0 +1,42 @@
+#ifndef COURSERANK_CORE_WORKFLOW_OPTIMIZER_H_
+#define COURSERANK_CORE_WORKFLOW_OPTIMIZER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/workflow.h"
+
+namespace courserank::flexrecs {
+
+/// Rule-based rewrites addressing the paper's §3.2 question "How can we
+/// optimize the execution of workflows?". All rules are semantics-
+/// preserving:
+///
+///  1. TopK-into-Recommend fusion — `TopK(score DESC, k)` directly above a
+///     Recommend producing that score column folds into the operator's own
+///     `top_k`, skipping a re-sort of an already-sorted relation.
+///  2. Select-below-Recommend pushdown — a Select above a Recommend whose
+///     predicate does not reference the score column moves below the
+///     operator, shrinking the O(|input| × |reference|) similarity loop
+///     (and often merging into the compiled SQL of the input subtree).
+///  3. Select-Select fusion — adjacent Selects AND-merge, giving the SQL
+///     compiler one conjunctive WHERE.
+///
+/// Returns the rewritten tree and (optionally) a human-readable trace of
+/// the rules that fired.
+NodePtr OptimizeWorkflow(NodePtr root, std::string* trace = nullptr);
+
+/// Number of rewrite rules applied on the last pass (exposed via trace in
+/// normal use; handy for tests).
+struct OptimizerStats {
+  int topk_fused = 0;
+  int selects_pushed = 0;
+  int selects_merged = 0;
+};
+
+NodePtr OptimizeWorkflow(NodePtr root, OptimizerStats* stats,
+                         std::string* trace);
+
+}  // namespace courserank::flexrecs
+
+#endif  // COURSERANK_CORE_WORKFLOW_OPTIMIZER_H_

@@ -1,0 +1,580 @@
+#include "core/workflow_parser.h"
+
+#include <cctype>
+#include <limits>
+#include <map>
+
+#include "common/strings.h"
+#include "query/sql_parser.h"
+
+namespace courserank::flexrecs {
+
+namespace {
+
+/// Word-level cursor over one logical statement line.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string line) : line_(std::move(line)) {}
+
+  /// Next whitespace-delimited word; empty at end.
+  std::string NextWord() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < line_.size() && !std::isspace(
+               static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+    return line_.substr(start, pos_ - start);
+  }
+
+  /// Peeks the next word without consuming.
+  std::string PeekWord() {
+    size_t save = pos_;
+    std::string w = NextWord();
+    pos_ = save;
+    return w;
+  }
+
+  /// Everything up to the next occurrence of keyword `kw` (word-boundary,
+  /// case-insensitive); consumes the keyword. If absent, returns the rest.
+  std::string UntilKeyword(const std::string& kw, bool* found) {
+    SkipSpace();
+    size_t start = pos_;
+    size_t i = pos_;
+    *found = false;
+    while (i < line_.size()) {
+      // Candidate word start?
+      if ((i == 0 ||
+           std::isspace(static_cast<unsigned char>(line_[i - 1]))) &&
+          i + kw.size() <= line_.size() &&
+          EqualsIgnoreCase(std::string_view(line_).substr(i, kw.size()), kw) &&
+          (i + kw.size() == line_.size() ||
+           std::isspace(static_cast<unsigned char>(line_[i + kw.size()])))) {
+        *found = true;
+        std::string out(Trim(line_.substr(start, i - start)));
+        pos_ = i + kw.size();
+        return out;
+      }
+      ++i;
+    }
+    pos_ = line_.size();
+    return std::string(Trim(line_.substr(start)));
+  }
+
+  /// Remaining text.
+  std::string Rest() {
+    SkipSpace();
+    std::string out(Trim(line_.substr(pos_)));
+    pos_ = line_.size();
+    return out;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= line_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string line_;
+  size_t pos_ = 0;
+};
+
+/// Splits on top-level commas (ignoring commas inside parentheses).
+std::vector<std::string> SplitTopLevel(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || (s[i] == sep && depth == 0)) {
+      out.emplace_back(Trim(s.substr(start, i - start)));
+      start = i + 1;
+    } else if (s[i] == '(') {
+      ++depth;
+    } else if (s[i] == ')') {
+      --depth;
+    }
+  }
+  return out;
+}
+
+class WorkflowParser {
+ public:
+  Result<NodePtr> Parse(const std::string& text) {
+    // Assemble logical lines (continuation: a line that is not a new
+    // statement extends the previous one).
+    std::vector<std::string> logical;
+    for (const std::string& raw : Split(text, '\n')) {
+      std::string line(Trim(raw));
+      size_t hash = line.find('#');
+      if (hash != std::string::npos) line = std::string(Trim(line.substr(0, hash)));
+      if (line.empty()) continue;
+      if (IsNewStatement(line) || logical.empty()) {
+        logical.push_back(line);
+      } else {
+        logical.back() += " " + line;
+      }
+    }
+
+    NodePtr returned;
+    for (const std::string& line : logical) {
+      LineCursor cur(line);
+      std::string first = cur.NextWord();
+      if (EqualsIgnoreCase(first, "RETURN")) {
+        std::string name = cur.NextWord();
+        CR_ASSIGN_OR_RETURN(returned, Ref(name));
+        if (!cur.AtEnd()) {
+          return Err(line, "trailing text after RETURN");
+        }
+        continue;
+      }
+      std::string eq = cur.NextWord();
+      if (eq != "=") return Err(line, "expected '=' after identifier");
+      std::string kind = ToUpper(cur.NextWord());
+      Result<NodePtr> node = Status::OK();
+      if (kind == "TABLE") {
+        node = ParseTable(cur, line);
+      } else if (kind == "SQL") {
+        node = ParseSqlNode(cur, line);
+      } else if (kind == "SELECT") {
+        node = ParseSelect(cur, line);
+      } else if (kind == "PROJECT") {
+        node = ParseProject(cur, line);
+      } else if (kind == "JOIN") {
+        node = ParseJoin(cur, line);
+      } else if (kind == "EXTEND") {
+        node = ParseExtend(cur, line);
+      } else if (kind == "RECOMMEND") {
+        node = ParseRecommend(cur, line);
+      } else if (kind == "EXCEPT") {
+        node = ParseExcept(cur, line);
+      } else if (kind == "TOPK") {
+        node = ParseTopK(cur, line);
+      } else {
+        return Err(line, "unknown operator '" + kind + "'");
+      }
+      CR_RETURN_IF_ERROR(node.status());
+      defined_[ToLower(first)] = std::move(node).value();
+    }
+    if (returned == nullptr) {
+      return Status::InvalidArgument("workflow has no RETURN statement");
+    }
+    return returned;
+  }
+
+ private:
+  static bool IsNewStatement(const std::string& line) {
+    if (StartsWith(ToUpper(line), "RETURN ")) return true;
+    // "<ident> = ..." — ident then '=' as its own word.
+    size_t i = 0;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) ||
+            line[i] == '_')) {
+      ++i;
+    }
+    if (i == 0) return false;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    return i < line.size() && line[i] == '=';
+  }
+
+  Status Err(const std::string& line, const std::string& msg) const {
+    return Status::InvalidArgument("workflow parse error in '" + line +
+                                   "': " + msg);
+  }
+
+  /// Clones the named intermediate so it can be referenced repeatedly.
+  Result<NodePtr> Ref(const std::string& name) const {
+    auto it = defined_.find(ToLower(name));
+    if (it == defined_.end()) {
+      return Status::NotFound("undefined workflow node '" + name + "'");
+    }
+    return it->second->Clone();
+  }
+
+  Result<NodePtr> ParseTable(LineCursor& cur, const std::string& line) {
+    std::string name = cur.NextWord();
+    if (name.empty()) return Err(line, "TABLE needs a table name");
+    return std::move(Workflow::Table(name)).Build();
+  }
+
+  Result<NodePtr> ParseSqlNode(LineCursor& cur, const std::string& line) {
+    std::string sql = cur.Rest();
+    if (sql.empty()) return Err(line, "SQL needs a statement");
+    return std::move(Workflow::Sql(sql)).Build();
+  }
+
+  Result<NodePtr> ParseSelect(LineCursor& cur, const std::string& line) {
+    std::string child = cur.NextWord();
+    std::string where = ToUpper(cur.NextWord());
+    if (where != "WHERE") return Err(line, "expected WHERE");
+    CR_ASSIGN_OR_RETURN(ExprPtr pred, query::ParseExpression(cur.Rest()));
+    CR_ASSIGN_OR_RETURN(NodePtr base, Ref(child));
+    auto node = std::make_unique<WorkflowNode>();
+    node->kind = NodeKind::kSelect;
+    node->predicate = std::move(pred);
+    node->children.push_back(std::move(base));
+    return node;
+  }
+
+  Result<NodePtr> ParseProject(LineCursor& cur, const std::string& line) {
+    std::string child = cur.NextWord();
+    std::string to = ToUpper(cur.NextWord());
+    if (to != "TO") return Err(line, "expected TO");
+    CR_ASSIGN_OR_RETURN(NodePtr base, Ref(child));
+    auto node = std::make_unique<WorkflowNode>();
+    node->kind = NodeKind::kProject;
+    for (const std::string& item : SplitTopLevel(cur.Rest(), ',')) {
+      // "expr AS name" — find the last top-level " AS ".
+      size_t as_pos = std::string::npos;
+      int depth = 0;
+      for (size_t i = 0; i + 4 <= item.size(); ++i) {
+        if (item[i] == '(') ++depth;
+        else if (item[i] == ')') --depth;
+        else if (depth == 0 &&
+                 EqualsIgnoreCase(std::string_view(item).substr(i, 4),
+                                  " AS ")) {
+          as_pos = i;
+        }
+      }
+      std::string expr_text = item;
+      std::string name;
+      if (as_pos != std::string::npos) {
+        expr_text = std::string(Trim(item.substr(0, as_pos)));
+        name = std::string(Trim(item.substr(as_pos + 4)));
+      } else {
+        name = item;
+      }
+      CR_ASSIGN_OR_RETURN(ExprPtr e, query::ParseExpression(expr_text));
+      node->items.push_back({std::move(e), name});
+    }
+    if (node->items.empty()) return Err(line, "PROJECT needs items");
+    node->children.push_back(std::move(base));
+    return node;
+  }
+
+  Result<NodePtr> ParseJoin(LineCursor& cur, const std::string& line) {
+    std::string left = cur.NextWord();
+    std::string with = ToUpper(cur.NextWord());
+    if (with != "WITH") return Err(line, "expected WITH");
+    std::string right = cur.NextWord();
+    std::string on = ToUpper(cur.NextWord());
+    if (on != "ON") return Err(line, "expected ON");
+    CR_ASSIGN_OR_RETURN(ExprPtr pred, query::ParseExpression(cur.Rest()));
+    CR_ASSIGN_OR_RETURN(NodePtr l, Ref(left));
+    CR_ASSIGN_OR_RETURN(NodePtr r, Ref(right));
+    auto node = std::make_unique<WorkflowNode>();
+    node->kind = NodeKind::kJoin;
+    node->predicate = std::move(pred);
+    node->children.push_back(std::move(l));
+    node->children.push_back(std::move(r));
+    return node;
+  }
+
+  Result<NodePtr> ParseExtend(LineCursor& cur, const std::string& line) {
+    std::string child = cur.NextWord();
+    if (ToUpper(cur.NextWord()) != "WITH") return Err(line, "expected WITH");
+    std::string source = cur.NextWord();
+    if (ToUpper(cur.NextWord()) != "ON") return Err(line, "expected ON");
+    bool found = false;
+    LineCursor on_cur(cur.UntilKeyword("COLLECT", &found));
+    if (!found) return Err(line, "expected COLLECT");
+    // "<child_col> = <source_col>"
+    std::string ck = on_cur.NextWord();
+    if (on_cur.NextWord() != "=") return Err(line, "expected '=' in ON");
+    std::string sk = on_cur.NextWord();
+    bool as_found = false;
+    std::string collect_text = cur.UntilKeyword("AS", &as_found);
+    if (!as_found) return Err(line, "expected AS <column name>");
+    std::string column = cur.NextWord();
+    if (column.empty()) return Err(line, "AS needs a column name");
+
+    CR_ASSIGN_OR_RETURN(NodePtr c, Ref(child));
+    CR_ASSIGN_OR_RETURN(NodePtr s, Ref(source));
+    auto node = std::make_unique<WorkflowNode>();
+    node->kind = NodeKind::kExtend;
+    CR_ASSIGN_OR_RETURN(node->child_key, query::ParseExpression(ck));
+    CR_ASSIGN_OR_RETURN(node->source_key, query::ParseExpression(sk));
+    for (const std::string& c_text : SplitTopLevel(collect_text, ',')) {
+      CR_ASSIGN_OR_RETURN(ExprPtr e, query::ParseExpression(c_text));
+      node->collect.push_back(std::move(e));
+    }
+    if (node->collect.empty()) return Err(line, "COLLECT needs expressions");
+    node->column_name = column;
+    node->children.push_back(std::move(c));
+    node->children.push_back(std::move(s));
+    return node;
+  }
+
+  Result<NodePtr> ParseRecommend(LineCursor& cur, const std::string& line) {
+    std::string input = cur.NextWord();
+    if (ToUpper(cur.NextWord()) != "AGAINST") {
+      return Err(line, "expected AGAINST");
+    }
+    std::string reference = cur.NextWord();
+    if (ToUpper(cur.NextWord()) != "USING") return Err(line, "expected USING");
+    // fn(attr, attr) — may contain no spaces or some; read to ')'.
+    std::string call = cur.NextWord();
+    while (call.find(')') == std::string::npos) {
+      std::string more = cur.NextWord();
+      if (more.empty()) return Err(line, "unterminated USING call");
+      call += " " + more;
+    }
+    size_t open = call.find('(');
+    size_t close = call.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      return Err(line, "USING needs fn(input_attr, reference_attr)");
+    }
+    RecommendSpec spec;
+    spec.similarity = std::string(Trim(call.substr(0, open)));
+    std::vector<std::string> attrs =
+        SplitTopLevel(call.substr(open + 1, close - open - 1), ',');
+    if (attrs.size() != 2) {
+      return Err(line, "USING needs exactly two attributes");
+    }
+    spec.input_attr = attrs[0];
+    spec.reference_attr = attrs[1];
+
+    while (!cur.AtEnd()) {
+      std::string kw = ToUpper(cur.NextWord());
+      if (kw == "AGG") {
+        std::string agg = ToLower(cur.NextWord());
+        if (agg == "max") {
+          spec.agg = RecommendAgg::kMax;
+        } else if (agg == "avg") {
+          spec.agg = RecommendAgg::kAvg;
+        } else if (agg == "sum") {
+          spec.agg = RecommendAgg::kSum;
+        } else if (agg == "weighted") {
+          spec.agg = RecommendAgg::kWeightedAvg;
+          spec.weight_attr = cur.NextWord();
+          if (spec.weight_attr.empty()) {
+            return Err(line, "AGG weighted needs a weight attribute");
+          }
+        } else {
+          return Err(line, "unknown AGG '" + agg + "'");
+        }
+      } else if (kw == "SCORE") {
+        spec.score_column = cur.NextWord();
+      } else if (kw == "TOP") {
+        spec.top_k = static_cast<size_t>(std::strtoul(
+            cur.NextWord().c_str(), nullptr, 10));
+        if (spec.top_k == 0) return Err(line, "TOP needs a positive integer");
+      } else if (kw == "MIN") {
+        spec.min_score = std::strtod(cur.NextWord().c_str(), nullptr);
+      } else {
+        return Err(line, "unknown RECOMMEND clause '" + kw + "'");
+      }
+    }
+
+    CR_ASSIGN_OR_RETURN(NodePtr in, Ref(input));
+    CR_ASSIGN_OR_RETURN(NodePtr ref, Ref(reference));
+    auto node = std::make_unique<WorkflowNode>();
+    node->kind = NodeKind::kRecommend;
+    node->recommend = std::move(spec);
+    node->children.push_back(std::move(in));
+    node->children.push_back(std::move(ref));
+    return node;
+  }
+
+  Result<NodePtr> ParseExcept(LineCursor& cur, const std::string& line) {
+    std::string child = cur.NextWord();
+    if (ToUpper(cur.NextWord()) != "ON") return Err(line, "expected ON");
+    std::string ck = cur.NextWord();
+    if (cur.NextWord() != "=") return Err(line, "expected '=' in ON");
+    std::string sk = cur.NextWord();
+    if (ToUpper(cur.NextWord()) != "FROM") return Err(line, "expected FROM");
+    std::string source = cur.NextWord();
+
+    CR_ASSIGN_OR_RETURN(NodePtr c, Ref(child));
+    CR_ASSIGN_OR_RETURN(NodePtr s, Ref(source));
+    auto node = std::make_unique<WorkflowNode>();
+    node->kind = NodeKind::kAntiJoin;
+    CR_ASSIGN_OR_RETURN(node->child_key, query::ParseExpression(ck));
+    CR_ASSIGN_OR_RETURN(node->source_key, query::ParseExpression(sk));
+    node->children.push_back(std::move(c));
+    node->children.push_back(std::move(s));
+    return node;
+  }
+
+  Result<NodePtr> ParseTopK(LineCursor& cur, const std::string& line) {
+    std::string child = cur.NextWord();
+    if (ToUpper(cur.NextWord()) != "BY") return Err(line, "expected BY");
+    std::string col = cur.NextWord();
+    bool descending = true;
+    std::string next = ToUpper(cur.NextWord());
+    if (next == "ASC") {
+      descending = false;
+      next = ToUpper(cur.NextWord());
+    } else if (next == "DESC") {
+      next = ToUpper(cur.NextWord());
+    }
+    if (next != "LIMIT") return Err(line, "expected LIMIT");
+    size_t k = static_cast<size_t>(
+        std::strtoul(cur.NextWord().c_str(), nullptr, 10));
+    if (k == 0) return Err(line, "LIMIT needs a positive integer");
+
+    CR_ASSIGN_OR_RETURN(NodePtr c, Ref(child));
+    auto node = std::make_unique<WorkflowNode>();
+    node->kind = NodeKind::kTopK;
+    node->order_column = col;
+    node->descending = descending;
+    node->k = k;
+    node->children.push_back(std::move(c));
+    return node;
+  }
+
+  std::map<std::string, NodePtr> defined_;
+};
+
+/// Emits one statement per node, post-order, into `out`; returns the name
+/// assigned to `node`.
+class DslWriter {
+ public:
+  Result<std::string> Emit(const WorkflowNode& node) {
+    std::vector<std::string> child_names;
+    for (const NodePtr& child : node.children) {
+      CR_ASSIGN_OR_RETURN(std::string name, Emit(*child));
+      child_names.push_back(std::move(name));
+    }
+    std::string name = "n" + std::to_string(++counter_);
+    switch (node.kind) {
+      case NodeKind::kTable:
+        out_ += name + " = TABLE " + node.table + "\n";
+        break;
+      case NodeKind::kSql:
+        out_ += name + " = SQL " + node.sql + "\n";
+        break;
+      case NodeKind::kValues:
+        return Status::Unimplemented(
+            "inline Values nodes have no DSL spelling");
+      case NodeKind::kSelect:
+        out_ += name + " = SELECT " + child_names[0] + " WHERE " +
+                node.predicate->ToString() + "\n";
+        break;
+      case NodeKind::kProject: {
+        out_ += name + " = PROJECT " + child_names[0] + " TO ";
+        for (size_t i = 0; i < node.items.size(); ++i) {
+          if (i > 0) out_ += ", ";
+          out_ += node.items[i].expr->ToString() + " AS " +
+                  node.items[i].name;
+        }
+        out_ += "\n";
+        break;
+      }
+      case NodeKind::kJoin:
+        out_ += name + " = JOIN " + child_names[0] + " WITH " +
+                child_names[1] + " ON " +
+                (node.predicate ? node.predicate->ToString() : "TRUE") +
+                "\n";
+        break;
+      case NodeKind::kExtend: {
+        CR_ASSIGN_OR_RETURN(std::string ck,
+                            ColumnName(*node.child_key, "extend child key"));
+        CR_ASSIGN_OR_RETURN(std::string sk,
+                            ColumnName(*node.source_key,
+                                       "extend source key"));
+        out_ += name + " = EXTEND " + child_names[0] + " WITH " +
+                child_names[1] + " ON " + ck + " = " + sk + " COLLECT ";
+        for (size_t i = 0; i < node.collect.size(); ++i) {
+          if (i > 0) out_ += ", ";
+          out_ += node.collect[i]->ToString();
+        }
+        out_ += " AS " + node.column_name + "\n";
+        break;
+      }
+      case NodeKind::kRecommend: {
+        const RecommendSpec& spec = node.recommend;
+        out_ += name + " = RECOMMEND " + child_names[0] + " AGAINST " +
+                child_names[1] + " USING " + spec.similarity + "(" +
+                spec.input_attr + ", " + spec.reference_attr + ")";
+        switch (spec.agg) {
+          case RecommendAgg::kMax:
+            out_ += " AGG max";
+            break;
+          case RecommendAgg::kAvg:
+            out_ += " AGG avg";
+            break;
+          case RecommendAgg::kSum:
+            out_ += " AGG sum";
+            break;
+          case RecommendAgg::kWeightedAvg:
+            out_ += " AGG weighted " + spec.weight_attr;
+            break;
+        }
+        out_ += " SCORE " + spec.score_column;
+        if (spec.top_k > 0) out_ += " TOP " + std::to_string(spec.top_k);
+        if (spec.min_score >
+            -std::numeric_limits<double>::infinity()) {
+          out_ += " MIN " + FormatDouble(spec.min_score);
+        }
+        out_ += "\n";
+        break;
+      }
+      case NodeKind::kAntiJoin: {
+        CR_ASSIGN_OR_RETURN(std::string ck,
+                            ColumnName(*node.child_key, "except child key"));
+        CR_ASSIGN_OR_RETURN(std::string sk,
+                            ColumnName(*node.source_key,
+                                       "except source key"));
+        out_ += name + " = EXCEPT " + child_names[0] + " ON " + ck + " = " +
+                sk + " FROM " + child_names[1] + "\n";
+        break;
+      }
+      case NodeKind::kTopK:
+        out_ += name + " = TOPK " + child_names[0] + " BY " +
+                node.order_column + (node.descending ? " DESC" : " ASC") +
+                " LIMIT " + std::to_string(node.k) + "\n";
+        break;
+    }
+    return name;
+  }
+
+  std::string Finish(const std::string& root_name) {
+    return out_ + "RETURN " + root_name + "\n";
+  }
+
+ private:
+  /// Extend/Except keys must be bare column references in the DSL.
+  Result<std::string> ColumnName(const query::Expr& expr, const char* what) {
+    std::string text = expr.ToString();
+    for (char c : text) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+          c != '.') {
+        return Status::Unimplemented(std::string(what) +
+                                     " is not a bare column: " + text);
+      }
+    }
+    return text;
+  }
+
+  std::string out_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Result<NodePtr> ParseWorkflow(const std::string& text) {
+  WorkflowParser parser;
+  return parser.Parse(text);
+}
+
+Result<std::string> WorkflowToDsl(const WorkflowNode& root) {
+  DslWriter writer;
+  CR_ASSIGN_OR_RETURN(std::string name, writer.Emit(root));
+  std::string text = writer.Finish(name);
+  // Guarantee the output is readable by our own parser.
+  CR_RETURN_IF_ERROR(ParseWorkflow(text).status());
+  return text;
+}
+
+}  // namespace courserank::flexrecs

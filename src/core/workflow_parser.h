@@ -1,0 +1,52 @@
+#ifndef COURSERANK_CORE_WORKFLOW_PARSER_H_
+#define COURSERANK_CORE_WORKFLOW_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/workflow.h"
+
+namespace courserank::flexrecs {
+
+/// Parses the textual FlexRecs workflow DSL — the concrete syntax site
+/// administrators use to "quickly define recommendation strategies" (paper
+/// §2.1) without recompiling the site. One statement per line; '#' starts a
+/// comment. Identifiers name intermediate relations; referencing one clones
+/// its subtree, so a node may feed several consumers.
+///
+///   courses  = TABLE Courses
+///   recent   = SELECT courses WHERE Year = 2008
+///   target   = SELECT courses WHERE Title = $title
+///   out      = RECOMMEND recent AGAINST target
+///              USING token_jaccard(Title, Title) AGG max SCORE score TOP 10
+///   RETURN out
+///
+/// Statement forms:
+///   x = TABLE <name>
+///   x = SQL <select statement...>
+///   x = SELECT <node> WHERE <expr>
+///   x = PROJECT <node> TO <expr> AS <name>[, ...]
+///   x = JOIN <node> WITH <node> ON <expr>
+///   x = EXTEND <node> WITH <node> ON <col> = <col>
+///       COLLECT <expr>[, <expr>] AS <name>
+///   x = RECOMMEND <node> AGAINST <node> USING <fn>(<attr>, <attr>)
+///       [AGG max|avg|sum|weighted <weight_attr>] [SCORE <name>]
+///       [TOP <k>] [MIN <float>]
+///   x = EXCEPT <node> ON <col> = <col> FROM <node>
+///   x = TOPK <node> BY <col> [ASC|DESC] LIMIT <k>
+///   RETURN <node>
+///
+/// A RECOMMEND line may wrap onto following indented lines (a line that
+/// does not match `name = ...` or `RETURN ...` continues the previous one).
+Result<NodePtr> ParseWorkflow(const std::string& text);
+
+/// Serializes a workflow tree back to DSL text (intermediate nodes are
+/// named n1, n2, ...). The result is verified by re-parsing before being
+/// returned, so a successful call is guaranteed to round-trip. Fails with
+/// Unimplemented for trees that have no DSL spelling (inline Values nodes,
+/// non-column extend keys).
+Result<std::string> WorkflowToDsl(const WorkflowNode& root);
+
+}  // namespace courserank::flexrecs
+
+#endif  // COURSERANK_CORE_WORKFLOW_PARSER_H_

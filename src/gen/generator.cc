@@ -1,0 +1,700 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gen/vocab.h"
+#include "social/forum.h"
+
+namespace courserank::gen {
+
+using social::CourseRankSite;
+using social::Role;
+
+namespace {
+
+/// Generic topics for synthesized "Interdisciplinary Program" departments.
+const std::vector<const char*>& GenericTopics() {
+  static const std::vector<const char*>* kTopics =
+      new std::vector<const char*>{
+          "systems", "culture", "policy", "technology", "ethics",
+          "globalization", "sustainability", "cities", "health", "data",
+          "narrative", "design", "energy", "society", "innovation"};
+  return *kTopics;
+}
+
+std::string Capitalize(const std::string& word) {
+  std::string out = word;
+  if (!out.empty() && out[0] >= 'a' && out[0] <= 'z') {
+    out[0] = static_cast<char>(out[0] - 'a' + 'A');
+  }
+  return out;
+}
+
+/// Snaps a raw grade-point value to the nearest official bucket value.
+double SnapGrade(double raw) {
+  double best = social::kGradePoints[0];
+  double best_d = 1e9;
+  for (size_t i = 0; i < social::kNumGradeBuckets; ++i) {
+    double d = std::fabs(social::kGradePoints[i] - raw);
+    if (d < best_d) {
+      best_d = d;
+      best = social::kGradePoints[i];
+    }
+  }
+  return best;
+}
+
+constexpr int kQuarterWeightsSize = 4;
+constexpr double kQuarterWeights[kQuarterWeightsSize] = {0.33, 0.32, 0.31,
+                                                         0.04};
+
+}  // namespace
+
+GenConfig GenConfig::PaperScale(uint64_t seed) {
+  GenConfig c;
+  c.seed = seed;
+  c.num_departments = 70;
+  c.num_courses = 18605;
+  c.num_students = 14000;
+  c.num_faculty = 900;
+  c.num_staff = 60;
+  c.num_ratings = 50300;
+  c.num_comments = 134000;
+  c.num_questions = 80;
+  c.plans_per_active = 3;
+  c.courses_per_active = 24.0;
+  c.num_years = 4;
+  return c;
+}
+
+GenConfig GenConfig::Small(uint64_t seed) {
+  GenConfig c;
+  c.seed = seed;
+  return c;
+}
+
+GenConfig GenConfig::Tiny(uint64_t seed) {
+  GenConfig c;
+  c.seed = seed;
+  c.num_departments = 8;
+  c.num_courses = 90;
+  c.num_students = 80;
+  c.num_faculty = 12;
+  c.num_staff = 3;
+  c.num_ratings = 260;
+  c.num_comments = 500;
+  c.num_questions = 8;
+  c.courses_per_active = 9.0;
+  c.num_years = 2;
+  return c;
+}
+
+const std::vector<const char*>& Generator::TopicsOf(size_t dept_index) const {
+  const auto& builtins = Departments();
+  if (dept_index < builtins.size() && dept_index < config_.num_departments) {
+    // Safe reinterpretation: DeptSpec::topics is vector<const char*>.
+    return builtins[dept_index].topics;
+  }
+  return GenericTopics();
+}
+
+bool Generator::AmericanEligible(size_t dept_index) const {
+  const auto& builtins = Departments();
+  if (dept_index < builtins.size() && dept_index < config_.num_departments) {
+    return builtins[dept_index].american_eligible;
+  }
+  return false;
+}
+
+std::string Generator::MakeName() {
+  const auto& firsts = FirstNames();
+  const auto& lasts = LastNames();
+  return std::string(firsts[rng_.NextBounded(firsts.size())]) + " " +
+         lasts[rng_.NextBounded(lasts.size())];
+}
+
+std::string Generator::MakeCourseTitle(size_t dept_index, int number,
+                                       std::string* american_phrase) {
+  const auto& topics = TopicsOf(dept_index);
+  const auto& prefixes = TitlePrefixes();
+  std::string topic1 = Capitalize(topics[rng_.NextBounded(topics.size())]);
+  std::string topic2 = Capitalize(topics[rng_.NextBounded(topics.size())]);
+
+  std::string title;
+  if (!american_phrase->empty()) {
+    // e.g. "Topics in African American History" / "Latin American Politics".
+    if (rng_.NextBool(0.5)) {
+      title = std::string(prefixes[rng_.NextBounded(prefixes.size())]) + " " +
+              *american_phrase + " " + topic1;
+    } else {
+      title = *american_phrase + " " + topic1;
+      if (rng_.NextBool(0.4)) title += " and " + topic2;
+    }
+  } else {
+    int pattern = static_cast<int>(rng_.NextBounded(3));
+    if (pattern == 0) {
+      title = std::string(prefixes[rng_.NextBounded(prefixes.size())]) + " " +
+              topic1;
+    } else if (pattern == 1 && topic1 != topic2) {
+      title = topic1 + " and " + topic2;
+    } else {
+      title = Capitalize(topics[rng_.NextBounded(topics.size())]);
+      title += " " + std::string(number >= 200 ? "II" : "I");
+    }
+  }
+  return title;
+}
+
+std::string Generator::MakeDescription(size_t dept_index,
+                                       const std::string& american_phrase) {
+  const auto& topics = TopicsOf(dept_index);
+  const auto& academic = AcademicWords();
+  auto topic = [&]() {
+    return std::string(topics[rng_.NextBounded(topics.size())]);
+  };
+  auto word = [&]() {
+    return std::string(academic[rng_.NextBounded(academic.size())]);
+  };
+  std::string out = "Covers " + topic() + " and " + topic() +
+                    " with emphasis on " + word() + " and " + word() + ".";
+  if (!american_phrase.empty()) {
+    // Pull in the concept's companion vocabulary so the data cloud surfaces
+    // related terms (politics, civil rights, ...) like Fig. 3 does.
+    for (const AmericanConcept& cluster : AmericanConcepts()) {
+      if (cluster.phrase == american_phrase) {
+        const auto& comp = cluster.companions;
+        out += " Examines " + american_phrase + " " + topic() +
+               " including " +
+               std::string(comp[rng_.NextBounded(comp.size())]) + " and " +
+               std::string(comp[rng_.NextBounded(comp.size())]) + ".";
+        break;
+      }
+    }
+  } else {
+    out += " Includes " + topic() + " " + word() + " and a final " + word() +
+           ".";
+  }
+  return out;
+}
+
+std::string Generator::MakeCommentText(CourseId course, int sentiment) {
+  size_t dept_index = course_dept_index_[course];
+  const auto& topics = TopicsOf(dept_index);
+  const auto& fragments = CommentFragments(sentiment);
+  const auto& adjectives = Adjectives(sentiment);
+  std::string topic = topics[rng_.NextBounded(topics.size())];
+  std::string text = "The " + topic + " material was " +
+                     adjectives[rng_.NextBounded(adjectives.size())] + "; " +
+                     fragments[rng_.NextBounded(fragments.size())] + ".";
+  // American-flagged courses keep their concept words in comments too —
+  // the paper notes the term may appear "in user comments that refer to
+  // American-related courses".
+  auto it = course_american_.find(course);
+  if (it != course_american_.end() && rng_.NextBool(0.5)) {
+    switch (rng_.NextBounded(3)) {
+      case 0:
+        text += " The " + it->second + " readings stood out.";
+        break;
+      case 1:
+        text += " Strong treatment of " + it->second + " " + topic + ".";
+        break;
+      default:
+        text += " Best unit was on " + it->second + " history.";
+        break;
+    }
+  }
+  return text;
+}
+
+Result<std::unique_ptr<CourseRankSite>> Generator::Generate() {
+  CR_ASSIGN_OR_RETURN(std::unique_ptr<CourseRankSite> site,
+                      CourseRankSite::Create());
+  CR_RETURN_IF_ERROR(GenDepartments(*site));
+  CR_RETURN_IF_ERROR(GenPeople(*site));
+  CR_RETURN_IF_ERROR(GenCourses(*site));
+  CR_RETURN_IF_ERROR(GenPrereqs(*site));
+  CR_RETURN_IF_ERROR(GenOfferings(*site));
+  CR_RETURN_IF_ERROR(GenEnrollment(*site));
+  CR_RETURN_IF_ERROR(GenRatings(*site));
+  CR_RETURN_IF_ERROR(GenComments(*site));
+  CR_RETURN_IF_ERROR(GenOfficialGrades(*site));
+  CR_RETURN_IF_ERROR(GenPlans(*site));
+  CR_RETURN_IF_ERROR(GenTextbooks(*site));
+  CR_RETURN_IF_ERROR(GenForum(*site));
+  return site;
+}
+
+Status Generator::GenDepartments(CourseRankSite& site) {
+  const auto& builtins = Departments();
+  for (size_t i = 0; i < config_.num_departments; ++i) {
+    std::string code;
+    std::string name;
+    std::string school;
+    if (i < builtins.size()) {
+      code = builtins[i].code;
+      name = builtins[i].name;
+      school = builtins[i].school;
+    } else {
+      code = "IDP" + std::to_string(i - builtins.size() + 1);
+      name = "Interdisciplinary Program " +
+             std::to_string(i - builtins.size() + 1);
+      school = "Humanities and Sciences";
+    }
+    CR_ASSIGN_OR_RETURN(DeptId id, site.AddDepartment(code, name, school));
+    artifacts_.departments.push_back(id);
+    if (code == "CS") artifacts_.cs_dept = id;
+    if (code == "MATH") artifacts_.math_dept = id;
+    if (code == "HISTORY") artifacts_.history_dept = id;
+  }
+  // Tiny configs may omit some built-ins; fall back to dept 0.
+  if (artifacts_.cs_dept == 0) artifacts_.cs_dept = artifacts_.departments[0];
+  if (artifacts_.math_dept == 0) {
+    artifacts_.math_dept = artifacts_.departments.back();
+  }
+  if (artifacts_.history_dept == 0) {
+    artifacts_.history_dept =
+        artifacts_.departments[artifacts_.departments.size() / 2];
+  }
+  return Status::OK();
+}
+
+Status Generator::GenPeople(CourseRankSite& site) {
+  // Students get ids starting at 100001 (the paper's SuIDs).
+  static constexpr UserId kStudentBase = 100000;
+  static constexpr UserId kFacultyBase = 500000;
+  static constexpr UserId kStaffBase = 900000;
+
+  const char* kClasses[] = {"Freshman", "Sophomore", "Junior", "Senior",
+                            "Graduate"};
+  for (size_t i = 0; i < config_.num_students; ++i) {
+    UserId id = kStudentBase + static_cast<UserId>(i) + 1;
+    bool undergrad = rng_.NextBool(config_.undergrad_fraction);
+    std::string class_year =
+        undergrad ? kClasses[rng_.NextBounded(4)] : kClasses[4];
+    std::optional<DeptId> major;
+    // Freshmen mostly undeclared; everyone else mostly declared.
+    bool declared = class_year == std::string("Freshman")
+                        ? rng_.NextBool(0.25)
+                        : rng_.NextBool(0.85);
+    if (declared) {
+      major = artifacts_.departments[rng_.NextBounded(
+          artifacts_.departments.size())];
+    }
+    CR_RETURN_IF_ERROR(site.RegisterStudent(id, MakeName(), class_year,
+                                            major));
+    artifacts_.students.push_back(id);
+    student_aptitude_[id] = rng_.NextGaussian(0.0, 0.25);
+  }
+  // The first active_fraction of a shuffled copy are the "active" users.
+  std::vector<UserId> shuffled = artifacts_.students;
+  rng_.Shuffle(shuffled);
+  size_t num_active = static_cast<size_t>(
+      config_.active_fraction * static_cast<double>(shuffled.size()));
+  artifacts_.active_students.assign(shuffled.begin(),
+                                    shuffled.begin() + num_active);
+
+  for (size_t i = 0; i < config_.num_faculty; ++i) {
+    UserId id = kFacultyBase + static_cast<UserId>(i) + 1;
+    CR_RETURN_IF_ERROR(site.RegisterFaculty(id, "Prof. " + MakeName()));
+    artifacts_.faculty.push_back(id);
+  }
+  for (size_t i = 0; i < config_.num_staff; ++i) {
+    UserId id = kStaffBase + static_cast<UserId>(i) + 1;
+    CR_RETURN_IF_ERROR(site.RegisterStaff(id, MakeName()));
+    artifacts_.staff.push_back(id);
+  }
+  return Status::OK();
+}
+
+Status Generator::GenCourses(CourseRankSite& site) {
+  size_t num_depts = artifacts_.departments.size();
+  size_t eligible = 0;
+  for (size_t d = 0; d < num_depts; ++d) {
+    if (AmericanEligible(d)) ++eligible;
+  }
+  // Per-eligible-course probability that hits the global target fraction.
+  double p_american =
+      eligible == 0 ? 0.0
+                    : config_.american_fraction *
+                          static_cast<double>(num_depts) /
+                          static_cast<double>(eligible);
+
+  // Specials first (they count toward num_courses).
+  {
+    size_t cs_index = 0;
+    for (size_t d = 0; d < num_depts; ++d) {
+      if (artifacts_.departments[d] == artifacts_.cs_dept) cs_index = d;
+    }
+    CR_ASSIGN_OR_RETURN(
+        artifacts_.intro_programming,
+        site.AddCourse(artifacts_.cs_dept, 106, "Introduction to Programming",
+                       "Covers programming methodology in java with emphasis "
+                       "on problem decomposition, software engineering "
+                       "practice, and data abstraction.",
+                       5));
+    course_dept_index_[artifacts_.intro_programming] = cs_index;
+
+    size_t hist_index = 0;
+    for (size_t d = 0; d < num_depts; ++d) {
+      if (artifacts_.departments[d] == artifacts_.history_dept) hist_index = d;
+    }
+    CR_ASSIGN_OR_RETURN(
+        artifacts_.history_of_science,
+        site.AddCourse(artifacts_.history_dept, 120, "The History of Science",
+                       "Surveys science from antiquity to the present, "
+                       "including the famous greek scientists, the "
+                       "scientific revolution, and modern physics.",
+                       4));
+    course_dept_index_[artifacts_.history_of_science] = hist_index;
+
+    size_t math_index = 0;
+    for (size_t d = 0; d < num_depts; ++d) {
+      if (artifacts_.departments[d] == artifacts_.math_dept) math_index = d;
+    }
+    CR_ASSIGN_OR_RETURN(
+        artifacts_.calculus,
+        site.AddCourse(artifacts_.math_dept, 41, "Calculus",
+                       "Differential and integral calculus of a single "
+                       "variable with applications and problem sessions.",
+                       5));
+    course_dept_index_[artifacts_.calculus] = math_index;
+
+    artifacts_.courses.push_back(artifacts_.intro_programming);
+    artifacts_.courses.push_back(artifacts_.history_of_science);
+    artifacts_.courses.push_back(artifacts_.calculus);
+    for (CourseId id : artifacts_.courses) {
+      course_difficulty_[id] = 3.2;
+      course_quality_[id] = 0.4;
+    }
+  }
+
+  const auto& concepts = AmericanConcepts();
+  std::vector<double> concept_weights;
+  for (const AmericanConcept& c : concepts) concept_weights.push_back(c.weight);
+
+  for (size_t i = artifacts_.courses.size(); i < config_.num_courses; ++i) {
+    size_t dept_index = i % num_depts;
+    DeptId dept = artifacts_.departments[dept_index];
+    int number = 100 + static_cast<int>((i / num_depts) % 380);
+
+    std::string american_phrase;
+    if (AmericanEligible(dept_index) && rng_.NextBool(p_american)) {
+      american_phrase = concepts[rng_.NextWeighted(concept_weights)].phrase;
+    }
+    std::string title = MakeCourseTitle(dept_index, number, &american_phrase);
+    std::string description = MakeDescription(dept_index, american_phrase);
+    int units = 3 + static_cast<int>(rng_.NextBounded(3));
+
+    CR_ASSIGN_OR_RETURN(CourseId id,
+                        site.AddCourse(dept, number, title, description,
+                                       units));
+    artifacts_.courses.push_back(id);
+    course_dept_index_[id] = dept_index;
+    course_difficulty_[id] =
+        std::clamp(rng_.NextGaussian(3.25, 0.25), 2.2, 4.1);
+    course_quality_[id] = rng_.NextGaussian(0.0, 0.5);
+    if (!american_phrase.empty()) {
+      course_american_[id] = american_phrase;
+      artifacts_.american_courses[american_phrase].push_back(id);
+    }
+  }
+
+  // Popularity ranking for Zipfian sampling.
+  popularity_order_ = artifacts_.courses;
+  rng_.Shuffle(popularity_order_);
+  popularity_ = std::make_unique<ZipfSampler>(popularity_order_.size(),
+                                              config_.zipf_theta);
+  return Status::OK();
+}
+
+Status Generator::GenPrereqs(CourseRankSite& site) {
+  // Group courses by department, ordered by insertion (ascending numbers
+  // roughly). A course numbered >= 200 requires 1-2 lower courses.
+  std::map<size_t, std::vector<CourseId>> by_dept;
+  for (CourseId id : artifacts_.courses) {
+    by_dept[course_dept_index_[id]].push_back(id);
+  }
+  CR_ASSIGN_OR_RETURN(const storage::Table* courses,
+                      site.db().GetTable("Courses"));
+  CR_ASSIGN_OR_RETURN(size_t num_ci, courses->schema().ColumnIndex("Number"));
+  auto number_of = [&](CourseId id) -> int {
+    auto rid = courses->FindByPrimaryKey({storage::Value(id)});
+    return static_cast<int>(courses->Get(*rid)->at(num_ci).AsInt());
+  };
+  for (auto& [dept, ids] : by_dept) {
+    std::vector<CourseId> sorted = ids;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](CourseId a, CourseId b) { return number_of(a) < number_of(b); });
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (number_of(sorted[i]) < 200 || i == 0) continue;
+      if (!rng_.NextBool(0.4)) continue;
+      size_t n = 1 + rng_.NextBounded(2);
+      std::set<CourseId> chosen;
+      for (size_t k = 0; k < n; ++k) {
+        CourseId prereq = sorted[rng_.NextBounded(i)];
+        if (!chosen.insert(prereq).second) continue;
+        CR_RETURN_IF_ERROR(site.AddPrereq(sorted[i], prereq));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Generator::GenOfferings(CourseRankSite& site) {
+  // Each course is offered in two quarters per year, every year including
+  // one future year (so generated plans reference real offerings).
+  const auto& lasts = LastNames();
+  for (CourseId id : artifacts_.courses) {
+    std::string instructor =
+        "Prof. " + std::string(lasts[rng_.NextBounded(lasts.size())]);
+    for (int year = config_.start_year;
+         year <= config_.start_year + config_.num_years; ++year) {
+      std::set<int> quarters;
+      quarters.insert(static_cast<int>(rng_.NextBounded(3)));  // Aut/Win/Spr
+      quarters.insert(static_cast<int>(rng_.NextBounded(3)));
+      for (int q : quarters) {
+        TimeSlot slot;
+        bool mwf = rng_.NextBool(0.5);
+        slot.days = mwf ? (kMon | kWed | kFri) : (kTue | kThu);
+        slot.start_min =
+            static_cast<int16_t>((8 + rng_.NextBounded(9)) * 60);
+        slot.end_min =
+            static_cast<int16_t>(slot.start_min + (mwf ? 50 : 80));
+        CR_RETURN_IF_ERROR(
+            site.AddOffering(id, year, static_cast<Quarter>(q), instructor,
+                             slot)
+                .status());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Generator::GenEnrollment(CourseRankSite& site) {
+  std::map<DeptId, std::vector<CourseId>> by_dept;
+  for (CourseId id : artifacts_.courses) {
+    by_dept[artifacts_.departments[course_dept_index_[id]]].push_back(id);
+  }
+  CR_ASSIGN_OR_RETURN(const storage::Table* students,
+                      site.db().GetTable("Students"));
+  CR_ASSIGN_OR_RETURN(size_t major_ci,
+                      students->schema().ColumnIndex("Major"));
+
+  for (UserId student : artifacts_.active_students) {
+    auto srow = students->FindByPrimaryKey({storage::Value(student)});
+    std::optional<DeptId> major;
+    if (srow.ok()) {
+      const storage::Value& v = students->Get(*srow)->at(major_ci);
+      if (!v.is_null()) major = v.AsInt();
+    }
+    int n = std::max(
+        3, static_cast<int>(rng_.NextGaussian(config_.courses_per_active,
+                                              config_.courses_per_active / 4)));
+    std::set<CourseId> mine;
+    for (int k = 0; k < n * 3 && static_cast<int>(mine.size()) < n; ++k) {
+      CourseId course;
+      if (major.has_value() && rng_.NextBool(0.45) &&
+          !by_dept[*major].empty()) {
+        const auto& pool = by_dept[*major];
+        course = pool[rng_.NextBounded(pool.size())];
+      } else {
+        course = popularity_order_[popularity_->Sample(rng_)];
+      }
+      if (!mine.insert(course).second) continue;
+
+      int year = config_.start_year +
+                 static_cast<int>(rng_.NextBounded(
+                     static_cast<uint64_t>(config_.num_years)));
+      std::vector<double> qw(kQuarterWeights,
+                             kQuarterWeights + kQuarterWeightsSize);
+      Quarter quarter = static_cast<Quarter>(rng_.NextWeighted(qw));
+
+      double raw = course_difficulty_[course] + student_aptitude_[student] +
+                   rng_.NextGaussian(0.0, 0.3);
+      double grade = SnapGrade(std::clamp(raw, 0.0, 4.3));
+      std::optional<double> reported;
+      if (rng_.NextBool(config_.grade_report_fraction)) reported = grade;
+
+      CR_RETURN_IF_ERROR(
+          site.ReportCourseTaken(student, course, year, quarter, reported));
+      taken_[student].emplace_back(course, grade);
+    }
+  }
+  return Status::OK();
+}
+
+Status Generator::GenRatings(CourseRankSite& site) {
+  std::set<std::pair<UserId, CourseId>> rated;
+  size_t attempts = 0;
+  const size_t max_attempts = config_.num_ratings * 30;
+  while (rated.size() < config_.num_ratings && attempts++ < max_attempts) {
+    UserId student = artifacts_.active_students[rng_.NextBounded(
+        artifacts_.active_students.size())];
+    auto it = taken_.find(student);
+    if (it == taken_.end() || it->second.empty()) continue;
+    const auto& [course, grade] =
+        it->second[rng_.NextBounded(it->second.size())];
+    if (rated.count({student, course}) > 0) continue;
+    double raw = 3.0 + (grade - 3.2) * 1.2 + course_quality_[course] +
+                 rng_.NextGaussian(0.0, 0.7);
+    double score = std::clamp(std::round(raw), 1.0, 5.0);
+    CR_RETURN_IF_ERROR(
+        site.RateCourse(student, course, score, day_counter_));
+    day_counter_ = day_counter_ % 720 + 1;
+    rated.insert({student, course});
+  }
+  return Status::OK();
+}
+
+Status Generator::GenComments(CourseRankSite& site) {
+  size_t written = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = config_.num_comments * 10;
+  while (written < config_.num_comments && attempts++ < max_attempts) {
+    UserId student = artifacts_.active_students[rng_.NextBounded(
+        artifacts_.active_students.size())];
+    auto it = taken_.find(student);
+    if (it == taken_.end() || it->second.empty()) continue;
+    const auto& [course, grade] =
+        it->second[rng_.NextBounded(it->second.size())];
+    double tone = course_quality_[course] + (grade - 3.2) +
+                  rng_.NextGaussian(0.0, 0.4);
+    int sentiment = tone < -0.35 ? 0 : (tone < 0.45 ? 1 : 2);
+    CR_RETURN_IF_ERROR(
+        site.AddComment(student, course, MakeCommentText(course, sentiment),
+                        day_counter_)
+            .status());
+    day_counter_ = day_counter_ % 720 + 1;
+    ++written;
+  }
+  return Status::OK();
+}
+
+Status Generator::GenOfficialGrades(CourseRankSite& site) {
+  // Official distributions are sampled from the same per-course grade model
+  // as the self-reported grades, so the two distributions are close — the
+  // paper's §2.2 observation for the Engineering release.
+  for (CourseId id : artifacts_.courses) {
+    if (!rng_.NextBool(config_.official_fraction)) continue;
+    size_t n = 20 + rng_.NextBounded(120);
+    std::array<int64_t, social::kNumGradeBuckets> counts{};
+    for (size_t k = 0; k < n; ++k) {
+      double raw = course_difficulty_[id] + rng_.NextGaussian(0.0, 0.4);
+      counts[social::GradeBucket(std::clamp(raw, 0.0, 4.3))] += 1;
+    }
+    for (size_t b = 0; b < social::kNumGradeBuckets; ++b) {
+      if (counts[b] == 0) continue;
+      CR_RETURN_IF_ERROR(site.LoadOfficialGrades(
+          id, social::kGradeLetters[b], counts[b]));
+    }
+  }
+  return Status::OK();
+}
+
+Status Generator::GenPlans(CourseRankSite& site) {
+  int future_year = config_.start_year + config_.num_years;
+  // Plans must reference real offerings, or the planner would flag every
+  // generated plan as "not offered".
+  CR_ASSIGN_OR_RETURN(const storage::Table* offerings,
+                      site.db().GetTable("Offerings"));
+  CR_ASSIGN_OR_RETURN(size_t term_ci,
+                      offerings->schema().ColumnIndex("Term"));
+  for (UserId student : artifacts_.active_students) {
+    std::set<CourseId> mine;
+    for (const auto& [course, grade] : taken_[student]) mine.insert(course);
+    size_t planned = 0;
+    size_t guard = 0;
+    while (planned < config_.plans_per_active && guard++ < 50) {
+      CourseId course = popularity_order_[popularity_->Sample(rng_)];
+      if (mine.count(course) > 0) continue;
+      std::vector<storage::RowId> future = offerings->LookupEqual(
+          {"CourseID", "Year"},
+          {storage::Value(course), storage::Value(future_year)});
+      if (future.empty()) continue;
+      const storage::Row* offering =
+          offerings->Get(future[rng_.NextBounded(future.size())]);
+      CR_ASSIGN_OR_RETURN(Quarter quarter,
+                          ParseQuarter((*offering)[term_ci].AsString()));
+      Status added = site.PlanCourse(student, course, future_year, quarter);
+      if (added.code() == StatusCode::kAlreadyExists) continue;
+      CR_RETURN_IF_ERROR(added);
+      mine.insert(course);
+      ++planned;
+    }
+  }
+  return Status::OK();
+}
+
+Status Generator::GenTextbooks(CourseRankSite& site) {
+  // Volunteers report textbooks for the popular fifth of the catalog
+  // (paper §2.2: the bookstore would not release the official list).
+  size_t top = popularity_order_.size() / 5;
+  for (size_t i = 0; i < top; ++i) {
+    CourseId course = popularity_order_[i];
+    const auto& topics = TopicsOf(course_dept_index_[course]);
+    size_t books = 1 + rng_.NextBounded(2);
+    for (size_t b = 0; b < books; ++b) {
+      UserId reporter = artifacts_.active_students[rng_.NextBounded(
+          artifacts_.active_students.size())];
+      std::string title =
+          Capitalize(topics[rng_.NextBounded(topics.size())]) + ": " +
+          (b == 0 ? "A First Course" : "Advanced Perspectives");
+      CR_RETURN_IF_ERROR(
+          site.ReportTextbook(reporter, course, title, day_counter_)
+              .status());
+      day_counter_ = day_counter_ % 720 + 1;
+    }
+  }
+  return Status::OK();
+}
+
+Status Generator::GenForum(CourseRankSite& site) {
+  if (!artifacts_.staff.empty()) {
+    CR_RETURN_IF_ERROR(site.SeedFaqs(artifacts_.staff[0],
+                                     social::DefaultFaqSeeds(), 1));
+  }
+  for (size_t i = 0; i < config_.num_questions; ++i) {
+    UserId asker = artifacts_.active_students[rng_.NextBounded(
+        artifacts_.active_students.size())];
+    size_t dept_index = rng_.NextBounded(artifacts_.departments.size());
+    const auto& topics = TopicsOf(dept_index);
+    std::string text =
+        "How hard is the " +
+        std::string(topics[rng_.NextBounded(topics.size())]) +
+        " material, and is " +
+        std::string(topics[rng_.NextBounded(topics.size())]) +
+        " background required?";
+    CR_ASSIGN_OR_RETURN(
+        social::QuestionId qid,
+        site.AskQuestion(asker, text, day_counter_,
+                         artifacts_.departments[dept_index]));
+    day_counter_ = day_counter_ % 720 + 1;
+
+    // The paper's forum has "little traffic": most questions get 0-3
+    // answers, many none.
+    size_t answers = rng_.NextBounded(
+        static_cast<uint64_t>(config_.answers_per_question * 2 + 1));
+    social::AnswerId first_answer = 0;
+    for (size_t a = 0; a < answers; ++a) {
+      UserId answerer = artifacts_.active_students[rng_.NextBounded(
+          artifacts_.active_students.size())];
+      if (answerer == asker) continue;
+      CR_ASSIGN_OR_RETURN(
+          social::AnswerId aid,
+          site.AnswerQuestion(answerer, qid,
+                              "Plan for the problem sets early and it is "
+                              "manageable.",
+                              day_counter_));
+      if (first_answer == 0) first_answer = aid;
+      day_counter_ = day_counter_ % 720 + 1;
+    }
+    if (first_answer != 0 && rng_.NextBool(0.5)) {
+      CR_RETURN_IF_ERROR(site.AcceptAnswer(asker, first_answer, day_counter_));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace courserank::gen

@@ -1,0 +1,135 @@
+#ifndef COURSERANK_GEN_GENERATOR_H_
+#define COURSERANK_GEN_GENERATOR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "social/site.h"
+
+namespace courserank::gen {
+
+using social::CourseId;
+using social::DeptId;
+using social::UserId;
+
+/// Workload shape knobs. PaperScale() reproduces the corpus magnitudes the
+/// paper reports for September 2008 (18,605 courses, 134,000 comments,
+/// 50,300+ ratings, 9,000 of ~14,000 students active, ~6,500 undergrads)
+/// plus the Fig. 3/4 selectivities ("american" ≈ 6.23% of course entities,
+/// "african american" ≈ 10.6% of those). Everything is deterministic in
+/// `seed`.
+struct GenConfig {
+  uint64_t seed = 42;
+
+  size_t num_departments = 26;
+  size_t num_courses = 800;
+  size_t num_students = 600;
+  size_t num_faculty = 60;
+  size_t num_staff = 8;
+  double active_fraction = 9000.0 / 14000.0;
+  double undergrad_fraction = 6500.0 / 14000.0;
+
+  size_t num_ratings = 2200;
+  size_t num_comments = 5800;
+  size_t num_questions = 25;
+  double answers_per_question = 1.4;
+  size_t plans_per_active = 3;
+  double courses_per_active = 12.0;
+
+  int start_year = 2005;
+  int num_years = 3;
+
+  /// Fraction of courses joining the "American" concept cluster.
+  double american_fraction = 0.0623;
+  /// Course-popularity skew.
+  double zipf_theta = 0.9;
+  /// Probability a student reports the grade with an enrollment.
+  double grade_report_fraction = 0.85;
+  /// Fraction of courses with a registrar grade release.
+  double official_fraction = 0.6;
+
+  /// The paper-scale corpus (slow to generate; used by benches).
+  static GenConfig PaperScale(uint64_t seed = 42);
+  /// Integration-test scale (~800 courses), the default above.
+  static GenConfig Small(uint64_t seed = 42);
+  /// Unit-test scale (~90 courses).
+  static GenConfig Tiny(uint64_t seed = 42);
+};
+
+/// What the generator created, for tests and benches that need ground
+/// truth.
+struct GenArtifacts {
+  std::vector<DeptId> departments;
+  std::vector<CourseId> courses;
+  std::vector<UserId> students;
+  std::vector<UserId> active_students;
+  std::vector<UserId> faculty;
+  std::vector<UserId> staff;
+  /// Courses carrying the "American" cluster phrase, by sub-concept phrase.
+  std::map<std::string, std::vector<CourseId>> american_courses;
+  /// Named special courses guaranteed to exist.
+  CourseId intro_programming = 0;  ///< "Introduction to Programming" (CS)
+  CourseId history_of_science = 0; ///< mentions Greek scientists
+  CourseId calculus = 0;           ///< MATH calculus course
+  DeptId cs_dept = 0;
+  DeptId math_dept = 0;
+  DeptId history_dept = 0;
+};
+
+/// Populates a fresh CourseRankSite with a synthetic community.
+class Generator {
+ public:
+  explicit Generator(GenConfig config) : config_(config), rng_(config.seed) {}
+
+  /// Runs all generation phases; returns the populated site. Call once.
+  Result<std::unique_ptr<social::CourseRankSite>> Generate();
+
+  const GenArtifacts& artifacts() const { return artifacts_; }
+
+ private:
+  Status GenDepartments(social::CourseRankSite& site);
+  Status GenPeople(social::CourseRankSite& site);
+  Status GenCourses(social::CourseRankSite& site);
+  Status GenPrereqs(social::CourseRankSite& site);
+  Status GenOfferings(social::CourseRankSite& site);
+  Status GenEnrollment(social::CourseRankSite& site);
+  Status GenRatings(social::CourseRankSite& site);
+  Status GenComments(social::CourseRankSite& site);
+  Status GenOfficialGrades(social::CourseRankSite& site);
+  Status GenPlans(social::CourseRankSite& site);
+  Status GenTextbooks(social::CourseRankSite& site);
+  Status GenForum(social::CourseRankSite& site);
+
+  std::string MakeName();
+  std::string MakeCourseTitle(size_t dept_index, int number,
+                              std::string* american_phrase);
+  std::string MakeDescription(size_t dept_index,
+                              const std::string& american_phrase);
+  std::string MakeCommentText(CourseId course, int sentiment);
+
+  /// Topic words for a department index (built-in or synthesized).
+  const std::vector<const char*>& TopicsOf(size_t dept_index) const;
+  bool AmericanEligible(size_t dept_index) const;
+
+  GenConfig config_;
+  Rng rng_;
+  GenArtifacts artifacts_;
+
+  // Internal cross-phase state.
+  std::map<CourseId, size_t> course_dept_index_;
+  std::map<CourseId, double> course_difficulty_;
+  std::map<CourseId, double> course_quality_;
+  std::map<CourseId, std::string> course_american_;
+  std::map<UserId, double> student_aptitude_;
+  std::map<UserId, std::vector<std::pair<CourseId, double>>> taken_;
+  std::unique_ptr<ZipfSampler> popularity_;
+  std::vector<CourseId> popularity_order_;
+  int day_counter_ = 1;
+};
+
+}  // namespace courserank::gen
+
+#endif  // COURSERANK_GEN_GENERATOR_H_

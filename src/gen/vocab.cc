@@ -1,0 +1,226 @@
+#include "gen/vocab.h"
+
+namespace courserank::gen {
+
+const std::vector<DeptSpec>& Departments() {
+  static const std::vector<DeptSpec>* kDepts = new std::vector<DeptSpec>{
+      {"CS", "Computer Science", "Engineering",
+       {"programming", "algorithms", "systems", "databases", "networks",
+        "compilers", "graphics", "robotics", "java", "machine", "learning",
+        "artificial", "intelligence", "software", "security", "theory",
+        "architecture", "operating", "distributed", "logic"},
+       false},
+      {"EE", "Electrical Engineering", "Engineering",
+       {"circuits", "signals", "electronics", "semiconductors", "control",
+        "communication", "photonics", "microprocessors", "antennas",
+        "filters", "power", "embedded", "devices", "waves", "lasers"},
+       false},
+      {"ME", "Mechanical Engineering", "Engineering",
+       {"dynamics", "thermodynamics", "fluids", "design", "manufacturing",
+        "mechatronics", "materials", "vibration", "heat", "transfer",
+        "kinematics", "turbines", "combustion"},
+       false},
+      {"CHEMENG", "Chemical Engineering", "Engineering",
+       {"reaction", "kinetics", "transport", "polymers", "catalysis",
+        "separation", "biochemical", "processes", "reactors", "colloids"},
+       false},
+      {"MSE", "Management Science and Engineering", "Engineering",
+       {"optimization", "decision", "analysis", "economics", "stochastic",
+        "entrepreneurship", "organizations", "finance", "operations",
+        "strategy", "innovation"},
+       false},
+      {"BIOE", "Bioengineering", "Engineering",
+       {"biomechanics", "imaging", "tissue", "synthetic", "biology",
+        "biodesign", "molecular", "cells", "devices", "genomics"},
+       false},
+      {"CEE", "Civil and Environmental Engineering", "Engineering",
+       {"structures", "geotechnics", "hydrology", "construction",
+        "environmental", "water", "infrastructure", "earthquake",
+        "sustainable", "transportation"},
+       false},
+      {"AERO", "Aeronautics and Astronautics", "Engineering",
+       {"aerodynamics", "propulsion", "spacecraft", "flight", "orbital",
+        "mechanics", "composites", "guidance", "navigation", "satellites"},
+       false},
+      {"HISTORY", "History", "Humanities and Sciences",
+       {"history", "empire", "revolution", "medieval", "modern", "war",
+        "colonial", "slavery", "migration", "civil", "rights", "europe",
+        "asia", "africa", "frontier", "reconstruction"},
+       true},
+      {"ENGLISH", "English", "Humanities and Sciences",
+       {"literature", "poetry", "novel", "fiction", "drama", "rhetoric",
+        "criticism", "renaissance", "romantic", "modernist", "writers",
+        "narrative", "shakespeare"},
+       true},
+      {"PHIL", "Philosophy", "Humanities and Sciences",
+       {"ethics", "metaphysics", "epistemology", "logic", "mind", "language",
+        "kant", "ancient", "political", "philosophy", "justice",
+        "aesthetics"},
+       false},
+      {"ART", "Art and Art History", "Humanities and Sciences",
+       {"painting", "sculpture", "photography", "museums", "modernism",
+        "baroque", "design", "visual", "culture", "architecture", "film"},
+       true},
+      {"MUSIC", "Music", "Humanities and Sciences",
+       {"music", "jazz", "composition", "orchestra", "opera", "harmony",
+        "counterpoint", "blues", "folk", "improvisation", "conducting"},
+       true},
+      {"CLASSICS", "Classics", "Humanities and Sciences",
+       {"greek", "roman", "latin", "antiquity", "mythology", "homer",
+        "epic", "archaeology", "athens", "rome", "philosophy", "science"},
+       false},
+      {"ECON", "Economics", "Humanities and Sciences",
+       {"microeconomics", "macroeconomics", "econometrics", "markets",
+        "trade", "labor", "development", "game", "theory", "finance",
+        "taxation", "growth"},
+       true},
+      {"POLISCI", "Political Science", "Humanities and Sciences",
+       {"politics", "democracy", "institutions", "elections", "policy",
+        "international", "relations", "comparative", "government", "law",
+        "constitution", "diplomacy"},
+       true},
+      {"PSYCH", "Psychology", "Humanities and Sciences",
+       {"cognition", "perception", "memory", "development", "social",
+        "behavior", "neuroscience", "emotion", "personality", "clinical",
+        "psychology"},
+       false},
+      {"SOC", "Sociology", "Humanities and Sciences",
+       {"society", "inequality", "race", "class", "gender", "urban",
+        "communities", "immigration", "organizations", "networks",
+        "culture", "movements"},
+       true},
+      {"COMM", "Communication", "Humanities and Sciences",
+       {"media", "journalism", "rhetoric", "television", "press",
+        "persuasion", "audiences", "technology", "public", "opinion"},
+       true},
+      {"MATH", "Mathematics", "Humanities and Sciences",
+       {"calculus", "algebra", "analysis", "topology", "geometry",
+        "probability", "equations", "combinatorics", "number", "theory",
+        "differential"},
+       false},
+      {"PHYSICS", "Physics", "Humanities and Sciences",
+       {"mechanics", "quantum", "relativity", "electromagnetism",
+        "thermodynamics", "particles", "cosmology", "optics", "astrophysics",
+        "statistical"},
+       false},
+      {"CHEM", "Chemistry", "Humanities and Sciences",
+       {"organic", "inorganic", "physical", "chemistry", "spectroscopy",
+        "synthesis", "quantum", "biochemistry", "kinetics", "structure"},
+       false},
+      {"BIO", "Biology", "Humanities and Sciences",
+       {"genetics", "evolution", "ecology", "cell", "molecular",
+        "physiology", "biodiversity", "microbiology", "development",
+        "neurobiology"},
+       false},
+      {"STATS", "Statistics", "Humanities and Sciences",
+       {"inference", "regression", "bayesian", "probability", "sampling",
+        "experiments", "multivariate", "time", "series", "modeling"},
+       false},
+      {"EDUC", "Education", "Education",
+       {"teaching", "learning", "schools", "curriculum", "assessment",
+        "literacy", "policy", "childhood", "higher", "education"},
+       true},
+      {"EARTHSCI", "Earth Sciences", "Earth Sciences",
+       {"geology", "climate", "oceans", "atmosphere", "minerals",
+        "earthquakes", "energy", "resources", "environment", "ecosystems"},
+       false},
+  };
+  return *kDepts;
+}
+
+const std::vector<AmericanConcept>& AmericanConcepts() {
+  // Weights chosen so the Fig. 4 refinement ("african american") selects
+  // ≈10.6% of the American-flagged courses.
+  static const std::vector<AmericanConcept>* kConcepts =
+      new std::vector<AmericanConcept>{
+          {"African American",
+           0.106,
+           {"slavery", "civil", "rights", "harlem", "migration"}},
+          {"Latin American",
+           0.125,
+           {"colonial", "revolution", "borderlands", "migration"}},
+          {"Native American", 0.075, {"indians", "tribal", "frontier"}},
+          {"American Indians", 0.045, {"tribal", "treaties", "frontier"}},
+          {"Asian American", 0.055, {"immigration", "diaspora", "identity"}},
+          {"American", 0.594, {"politics", "culture", "democracy", "west"}},
+      };
+  return *kConcepts;
+}
+
+const std::vector<const char*>& AcademicWords() {
+  static const std::vector<const char*>* kWords = new std::vector<const char*>{
+      "methods",   "research",  "analysis",  "practice",  "foundations",
+      "models",    "theory",    "applications", "perspectives", "principles",
+      "problems",  "projects",  "laboratory", "workshop",  "readings",
+      "writing",   "debate",    "evidence",  "fieldwork",  "case"};
+  return *kWords;
+}
+
+const std::vector<const char*>& CommentFragments(int sentiment) {
+  static const std::vector<const char*>* kNeg = new std::vector<const char*>{
+      "the lectures dragged and the grading felt arbitrary",
+      "problem sets took forever and the material never clicked",
+      "hard to stay engaged, the pace was brutal",
+      "would not take again unless required",
+      "midterm was far harder than the homework suggested"};
+  static const std::vector<const char*>* kMixed = new std::vector<const char*>{
+      "decent material although the workload is uneven",
+      "some weeks were fascinating, others dragged",
+      "fine as a requirement but not memorable",
+      "lectures were fine but discussion sections saved it",
+      "grading was fair though feedback came slowly"};
+  static const std::vector<const char*>* kPos = new std::vector<const char*>{
+      "easily the best lecturer i have had here",
+      "changed how i think about the whole field",
+      "the projects were genuinely fun and the staff cared",
+      "take it early, it opens up everything else",
+      "exams were fair and the readings were excellent"};
+  if (sentiment <= 0) return *kNeg;
+  if (sentiment == 1) return *kMixed;
+  return *kPos;
+}
+
+const std::vector<const char*>& Adjectives(int sentiment) {
+  static const std::vector<const char*>* kNeg = new std::vector<const char*>{
+      "dry", "confusing", "tedious", "disorganized", "overwhelming"};
+  static const std::vector<const char*>* kMixed = new std::vector<const char*>{
+      "uneven", "reasonable", "standard", "dense", "manageable"};
+  static const std::vector<const char*>* kPos = new std::vector<const char*>{
+      "brilliant", "engaging", "inspiring", "rigorous", "rewarding"};
+  if (sentiment <= 0) return *kNeg;
+  if (sentiment == 1) return *kMixed;
+  return *kPos;
+}
+
+const std::vector<const char*>& FirstNames() {
+  static const std::vector<const char*>* kNames = new std::vector<const char*>{
+      "Alex",   "Maria",  "Wei",    "Priya", "James", "Sofia",  "Daniel",
+      "Aisha",  "Kenji",  "Elena",  "Omar",  "Grace", "Lucas",  "Hannah",
+      "Diego",  "Naomi",  "Ethan",  "Lina",  "Victor", "Zoe",   "Ravi",
+      "Clara",  "Felix",  "Ingrid", "Marcus", "Yuki",  "Nadia", "Paulo",
+      "Tessa",  "Ahmed"};
+  return *kNames;
+}
+
+const std::vector<const char*>& LastNames() {
+  static const std::vector<const char*>* kNames = new std::vector<const char*>{
+      "Chen",     "Garcia",   "Patel",    "Kim",      "Johnson",
+      "Nguyen",   "Mueller",  "Rossi",    "Tanaka",   "Okafor",
+      "Silva",    "Ivanov",   "Haddad",   "Larsen",   "Moreau",
+      "Novak",    "Costa",    "Singh",    "Dubois",   "Sato",
+      "Martinez", "Kowalski", "Ferrari",  "Andersen", "Lopez",
+      "Weber",    "Nakamura", "OBrien",   "Castillo", "Petrov"};
+  return *kNames;
+}
+
+const std::vector<const char*>& TitlePrefixes() {
+  static const std::vector<const char*>* kPrefixes =
+      new std::vector<const char*>{
+          "Introduction to", "Advanced",       "Topics in",
+          "Foundations of",  "Seminar on",     "Principles of",
+          "Readings in",     "The History of", "Contemporary",
+          "Methods in"};
+  return *kPrefixes;
+}
+
+}  // namespace courserank::gen

@@ -1,0 +1,55 @@
+#ifndef COURSERANK_GEN_VOCAB_H_
+#define COURSERANK_GEN_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+namespace courserank::gen {
+
+/// Static description of one department used by the generator.
+struct DeptSpec {
+  const char* code;
+  const char* name;
+  const char* school;
+  /// Topic words course titles/descriptions draw from.
+  std::vector<const char*> topics;
+  /// Whether this department's courses may join the "American" concept
+  /// cluster (the Fig. 3/4 calibration).
+  bool american_eligible;
+};
+
+/// The built-in department list (26 concrete departments). When the
+/// generator needs more it synthesizes "Interdisciplinary Program N"
+/// entries with generic topics.
+const std::vector<DeptSpec>& Departments();
+
+/// Sub-concepts of the "American" cluster with their mixture weights,
+/// calibrated so "african american" covers ≈10.6% of American-flagged
+/// courses (123/1160 in Fig. 4).
+struct AmericanConcept {
+  const char* phrase;   ///< e.g. "African American"
+  double weight;
+  std::vector<const char*> companions;  ///< co-occurring cloud words
+};
+const std::vector<AmericanConcept>& AmericanConcepts();
+
+/// Generic academic words mixed into descriptions.
+const std::vector<const char*>& AcademicWords();
+
+/// Positive / neutral / negative comment fragments by sentiment bucket
+/// (0 = negative, 1 = mixed, 2 = positive).
+const std::vector<const char*>& CommentFragments(int sentiment);
+
+/// Adjectives by sentiment bucket.
+const std::vector<const char*>& Adjectives(int sentiment);
+
+/// First and last name pools for students and instructors.
+const std::vector<const char*>& FirstNames();
+const std::vector<const char*>& LastNames();
+
+/// Title prefixes ("Introduction to", "Advanced", ...).
+const std::vector<const char*>& TitlePrefixes();
+
+}  // namespace courserank::gen
+
+#endif  // COURSERANK_GEN_VOCAB_H_

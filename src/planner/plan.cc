@@ -1,0 +1,308 @@
+#include "planner/plan.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "storage/value.h"
+
+namespace courserank::planner {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+using storage::Value;
+
+const char* PlanIssueKindName(PlanIssue::Kind kind) {
+  switch (kind) {
+    case PlanIssue::Kind::kDuplicate:
+      return "duplicate";
+    case PlanIssue::Kind::kNotOffered:
+      return "not-offered";
+    case PlanIssue::Kind::kTimeConflict:
+      return "time-conflict";
+    case PlanIssue::Kind::kMissingPrereq:
+      return "missing-prereq";
+    case PlanIssue::Kind::kOverload:
+      return "overload";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Meeting slots of all sections of (course, term); empty when not offered.
+Result<std::vector<TimeSlot>> SectionsOf(const storage::Database& db,
+                                         CourseId course, Term term) {
+  CR_ASSIGN_OR_RETURN(const Table* offerings, db.GetTable("Offerings"));
+  const auto& schema = offerings->schema();
+  CR_ASSIGN_OR_RETURN(size_t days_ci, schema.ColumnIndex("Days"));
+  CR_ASSIGN_OR_RETURN(size_t start_ci, schema.ColumnIndex("StartMin"));
+  CR_ASSIGN_OR_RETURN(size_t end_ci, schema.ColumnIndex("EndMin"));
+  std::vector<TimeSlot> slots;
+  for (RowId rid : offerings->LookupEqual(
+           {"CourseID", "Year", "Term"},
+           {Value(course), Value(static_cast<int64_t>(term.year)),
+            Value(std::string(QuarterName(term.quarter)))})) {
+    const Row* row = offerings->Get(rid);
+    if (row == nullptr) continue;
+    TimeSlot slot;
+    if (!(*row)[days_ci].is_null()) {
+      slot.days = static_cast<uint8_t>((*row)[days_ci].AsInt());
+      slot.start_min = static_cast<int16_t>((*row)[start_ci].AsInt());
+      slot.end_min = static_cast<int16_t>((*row)[end_ci].AsInt());
+    }
+    slots.push_back(slot);
+  }
+  return slots;
+}
+
+Result<int> UnitsOf(const storage::Database& db, CourseId course) {
+  CR_ASSIGN_OR_RETURN(const Table* courses, db.GetTable("Courses"));
+  CR_ASSIGN_OR_RETURN(RowId rid, courses->FindByPrimaryKey({Value(course)}));
+  CR_ASSIGN_OR_RETURN(size_t units_ci, courses->schema().ColumnIndex("Units"));
+  return static_cast<int>(courses->Get(rid)->at(units_ci).AsInt());
+}
+
+}  // namespace
+
+Result<AcademicPlan> AcademicPlan::FromDatabase(const storage::Database& db,
+                                                UserId student) {
+  AcademicPlan plan(student);
+
+  CR_ASSIGN_OR_RETURN(const Table* enrollment, db.GetTable("Enrollment"));
+  {
+    const auto& schema = enrollment->schema();
+    CR_ASSIGN_OR_RETURN(size_t course_ci, schema.ColumnIndex("CourseID"));
+    CR_ASSIGN_OR_RETURN(size_t year_ci, schema.ColumnIndex("Year"));
+    CR_ASSIGN_OR_RETURN(size_t term_ci, schema.ColumnIndex("Term"));
+    CR_ASSIGN_OR_RETURN(size_t grade_ci, schema.ColumnIndex("Grade"));
+    for (RowId rid : enrollment->LookupEqual({"SuID"}, {Value(student)})) {
+      const Row* row = enrollment->Get(rid);
+      if (row == nullptr) continue;
+      auto quarter = ParseQuarter((*row)[term_ci].AsString());
+      if (!quarter.ok()) return quarter.status();
+      Term term{static_cast<int>((*row)[year_ci].AsInt()), *quarter};
+      std::optional<double> grade;
+      if (!(*row)[grade_ci].is_null()) grade = (*row)[grade_ci].AsDouble();
+      CR_RETURN_IF_ERROR(plan.Add((*row)[course_ci].AsInt(), term, grade));
+    }
+  }
+
+  CR_ASSIGN_OR_RETURN(const Table* plans, db.GetTable("Plans"));
+  {
+    const auto& schema = plans->schema();
+    CR_ASSIGN_OR_RETURN(size_t course_ci, schema.ColumnIndex("CourseID"));
+    CR_ASSIGN_OR_RETURN(size_t year_ci, schema.ColumnIndex("Year"));
+    CR_ASSIGN_OR_RETURN(size_t term_ci, schema.ColumnIndex("Term"));
+    for (RowId rid : plans->LookupEqual({"SuID"}, {Value(student)})) {
+      const Row* row = plans->Get(rid);
+      if (row == nullptr) continue;
+      auto quarter = ParseQuarter((*row)[term_ci].AsString());
+      if (!quarter.ok()) return quarter.status();
+      Term term{static_cast<int>((*row)[year_ci].AsInt()), *quarter};
+      // A course both taken and planned keeps only the taken entry.
+      Status added = plan.Add((*row)[course_ci].AsInt(), term, std::nullopt);
+      if (!added.ok() && added.code() != StatusCode::kAlreadyExists) {
+        return added;
+      }
+    }
+  }
+  return plan;
+}
+
+Status AcademicPlan::Add(CourseId course, Term term,
+                         std::optional<double> grade) {
+  for (const PlanEntry& e : entries_) {
+    if (e.course == course && e.term == term) {
+      return Status::AlreadyExists("course " + std::to_string(course) +
+                                   " already planned in " + term.ToString());
+    }
+  }
+  entries_.push_back({course, term, grade});
+  return Status::OK();
+}
+
+Status AcademicPlan::Remove(CourseId course, Term term) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->course == course && it->term == term) {
+      entries_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("course " + std::to_string(course) +
+                          " not planned in " + term.ToString());
+}
+
+std::vector<PlanEntry> AcademicPlan::EntriesIn(Term term) const {
+  std::vector<PlanEntry> out;
+  for (const PlanEntry& e : entries_) {
+    if (e.term == term) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Term> AcademicPlan::Terms() const {
+  std::set<int> seen;
+  std::vector<Term> out;
+  for (const PlanEntry& e : entries_) {
+    if (seen.insert(e.term.Index()).second) out.push_back(e.term);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<PlanIssue>> AcademicPlan::Validate(
+    const storage::Database& db, const PrereqGraph& prereqs,
+    PlanOptions options) const {
+  std::vector<PlanIssue> issues;
+
+  // Duplicates across terms (retakes are allowed within reason, but taking
+  // the same course in two terms of one plan is flagged).
+  std::map<CourseId, size_t> counts;
+  for (const PlanEntry& e : entries_) ++counts[e.course];
+  for (const auto& [course, n] : counts) {
+    if (n > 1) {
+      issues.push_back({PlanIssue::Kind::kDuplicate, course, Term{},
+                        "course " + std::to_string(course) + " appears " +
+                            std::to_string(n) + " times"});
+    }
+  }
+
+  for (Term term : Terms()) {
+    std::vector<PlanEntry> in_term = EntriesIn(term);
+
+    // Offerings + conflicts.
+    std::vector<std::vector<TimeSlot>> sections(in_term.size());
+    for (size_t i = 0; i < in_term.size(); ++i) {
+      CR_ASSIGN_OR_RETURN(sections[i],
+                          SectionsOf(db, in_term[i].course, term));
+      if (sections[i].empty()) {
+        issues.push_back({PlanIssue::Kind::kNotOffered, in_term[i].course,
+                          term,
+                          "course " + std::to_string(in_term[i].course) +
+                              " is not offered in " + term.ToString()});
+      }
+    }
+    for (size_t i = 0; i < in_term.size(); ++i) {
+      for (size_t j = i + 1; j < in_term.size(); ++j) {
+        if (sections[i].empty() || sections[j].empty()) continue;
+        bool any_compatible = false;
+        for (const TimeSlot& a : sections[i]) {
+          for (const TimeSlot& b : sections[j]) {
+            if (!a.ConflictsWith(b)) {
+              any_compatible = true;
+              break;
+            }
+          }
+          if (any_compatible) break;
+        }
+        if (!any_compatible) {
+          issues.push_back(
+              {PlanIssue::Kind::kTimeConflict, in_term[i].course, term,
+               "courses " + std::to_string(in_term[i].course) + " and " +
+                   std::to_string(in_term[j].course) +
+                   " conflict in every section pairing in " +
+                   term.ToString()});
+        }
+      }
+    }
+
+    // Unit load.
+    int units = 0;
+    for (const PlanEntry& e : in_term) {
+      CR_ASSIGN_OR_RETURN(int u, UnitsOf(db, e.course));
+      units += u;
+    }
+    if (units > options.max_units_per_term) {
+      issues.push_back({PlanIssue::Kind::kOverload, 0, term,
+                        term.ToString() + " has " + std::to_string(units) +
+                            " units (cap " +
+                            std::to_string(options.max_units_per_term) +
+                            ")"});
+    }
+
+    // Prerequisites: completed in strictly earlier terms.
+    std::set<CourseId> completed_before;
+    for (const PlanEntry& e : entries_) {
+      if (e.term < term) completed_before.insert(e.course);
+    }
+    for (const PlanEntry& e : in_term) {
+      for (CourseId missing :
+           prereqs.MissingPrereqs(e.course, completed_before)) {
+        issues.push_back(
+            {PlanIssue::Kind::kMissingPrereq, e.course, term,
+             "course " + std::to_string(e.course) + " requires " +
+                 std::to_string(missing) + " before " + term.ToString()});
+      }
+    }
+  }
+  return issues;
+}
+
+std::optional<double> AcademicPlan::TermGpa(Term term) const {
+  double sum = 0.0;
+  int n = 0;
+  for (const PlanEntry& e : entries_) {
+    if (e.term == term && e.grade.has_value()) {
+      sum += *e.grade;
+      ++n;
+    }
+  }
+  if (n == 0) return std::nullopt;
+  return sum / n;
+}
+
+std::optional<double> AcademicPlan::CumulativeGpa() const {
+  double sum = 0.0;
+  int n = 0;
+  for (const PlanEntry& e : entries_) {
+    if (e.grade.has_value()) {
+      sum += *e.grade;
+      ++n;
+    }
+  }
+  if (n == 0) return std::nullopt;
+  return sum / n;
+}
+
+Result<int> AcademicPlan::TermUnits(const storage::Database& db,
+                                    Term term) const {
+  int units = 0;
+  for (const PlanEntry& e : EntriesIn(term)) {
+    CR_ASSIGN_OR_RETURN(int u, UnitsOf(db, e.course));
+    units += u;
+  }
+  return units;
+}
+
+Result<std::string> AcademicPlan::ToString(const storage::Database& db) const {
+  CR_ASSIGN_OR_RETURN(const Table* courses, db.GetTable("Courses"));
+  CR_ASSIGN_OR_RETURN(size_t title_ci, courses->schema().ColumnIndex("Title"));
+  std::string out;
+  for (Term term : Terms()) {
+    out += term.ToString() + ":";
+    for (const PlanEntry& e : EntriesIn(term)) {
+      auto rid = courses->FindByPrimaryKey({Value(e.course)});
+      std::string title = rid.ok()
+                              ? courses->Get(*rid)->at(title_ci).AsString()
+                              : ("#" + std::to_string(e.course));
+      out += "\n  " + title;
+      if (e.grade.has_value()) {
+        out += " [" + std::string(social::GradeLetter(*e.grade)) + "]";
+      }
+    }
+    CR_ASSIGN_OR_RETURN(int units, TermUnits(db, term));
+    out += "\n  (" + std::to_string(units) + " units";
+    if (auto gpa = TermGpa(term); gpa.has_value()) {
+      out += ", GPA " + FormatDouble(*gpa, 2);
+    }
+    out += ")\n";
+  }
+  if (auto gpa = CumulativeGpa(); gpa.has_value()) {
+    out += "Cumulative GPA: " + FormatDouble(*gpa, 2) + "\n";
+  }
+  return out;
+}
+
+}  // namespace courserank::planner

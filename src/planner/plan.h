@@ -1,0 +1,103 @@
+#ifndef COURSERANK_PLANNER_PLAN_H_
+#define COURSERANK_PLANNER_PLAN_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/term.h"
+#include "planner/prereq.h"
+#include "social/model.h"
+#include "storage/database.h"
+
+namespace courserank::planner {
+
+using social::UserId;
+
+/// One entry of an academic plan: a course in a term, with the grade once
+/// taken (grades come from the student's self-reported Enrollment rows;
+/// future terms have no grade).
+struct PlanEntry {
+  CourseId course = 0;
+  Term term;
+  std::optional<double> grade;
+};
+
+/// A problem the validator found with a plan.
+struct PlanIssue {
+  enum class Kind {
+    kDuplicate,       ///< same course twice
+    kNotOffered,      ///< no offering in that term
+    kTimeConflict,    ///< all section pairs of two courses overlap
+    kMissingPrereq,   ///< prerequisite not completed in an earlier term
+    kOverload,        ///< term unit load above the cap
+  };
+  Kind kind;
+  CourseId course = 0;
+  Term term;
+  std::string message;
+};
+
+const char* PlanIssueKindName(PlanIssue::Kind kind);
+
+struct PlanOptions {
+  int max_units_per_term = 20;
+};
+
+/// The paper's Planner (§2.1): organize classes into quarterly schedules /
+/// a four-year plan, check schedule conflicts and prerequisites, and
+/// compute grade-point averages per quarter and cumulatively.
+class AcademicPlan {
+ public:
+  explicit AcademicPlan(UserId student) : student_(student) {}
+
+  UserId student() const { return student_; }
+
+  /// Merges the student's Enrollment (taken, with grades) and Plans
+  /// (future) rows into one plan.
+  static Result<AcademicPlan> FromDatabase(const storage::Database& db,
+                                           UserId student);
+
+  /// Adds an entry; duplicates of (course, term) are rejected.
+  Status Add(CourseId course, Term term,
+             std::optional<double> grade = std::nullopt);
+  Status Remove(CourseId course, Term term);
+
+  const std::vector<PlanEntry>& entries() const { return entries_; }
+
+  /// Entries of one term.
+  std::vector<PlanEntry> EntriesIn(Term term) const;
+
+  /// Distinct terms present, ascending.
+  std::vector<Term> Terms() const;
+
+  /// Validates the whole plan against the catalog: offerings, time
+  /// conflicts (a conflict is reported when *every* pair of sections of the
+  /// two courses overlaps), prerequisites (must be completed in a strictly
+  /// earlier term), duplicates, and unit overloads.
+  Result<std::vector<PlanIssue>> Validate(const storage::Database& db,
+                                          const PrereqGraph& prereqs,
+                                          PlanOptions options = {}) const;
+
+  /// GPA over graded entries of one term; nullopt when none are graded.
+  std::optional<double> TermGpa(Term term) const;
+
+  /// GPA over all graded entries.
+  std::optional<double> CumulativeGpa() const;
+
+  /// Total units planned in a term (needs the catalog for unit counts).
+  Result<int> TermUnits(const storage::Database& db, Term term) const;
+
+  /// Renders the plan one term per line with unit and GPA summaries.
+  Result<std::string> ToString(const storage::Database& db) const;
+
+ private:
+  UserId student_;
+  std::vector<PlanEntry> entries_;
+};
+
+}  // namespace courserank::planner
+
+#endif  // COURSERANK_PLANNER_PLAN_H_

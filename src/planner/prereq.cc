@@ -1,0 +1,103 @@
+#include "planner/prereq.h"
+
+#include <algorithm>
+
+#include "storage/value.h"
+
+namespace courserank::planner {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+using storage::Value;
+
+const std::vector<CourseId> PrereqGraph::kEmpty;
+
+Result<PrereqGraph> PrereqGraph::Build(const storage::Database& db) {
+  PrereqGraph graph;
+  CR_ASSIGN_OR_RETURN(const Table* prereqs, db.GetTable("Prereqs"));
+  CR_ASSIGN_OR_RETURN(size_t c_ci, prereqs->schema().ColumnIndex("CourseID"));
+  CR_ASSIGN_OR_RETURN(size_t p_ci, prereqs->schema().ColumnIndex("PrereqID"));
+  std::set<CourseId> nodes;
+  prereqs->Scan([&](RowId, const Row& row) {
+    CourseId course = row[c_ci].AsInt();
+    CourseId prereq = row[p_ci].AsInt();
+    graph.prereqs_[course].push_back(prereq);
+    ++graph.num_edges_;
+    nodes.insert(course);
+    nodes.insert(prereq);
+  });
+  graph.nodes_.assign(nodes.begin(), nodes.end());
+  CR_RETURN_IF_ERROR(graph.CheckAcyclic());
+  return graph;
+}
+
+const std::vector<CourseId>& PrereqGraph::PrereqsOf(CourseId course) const {
+  auto it = prereqs_.find(course);
+  return it == prereqs_.end() ? kEmpty : it->second;
+}
+
+std::set<CourseId> PrereqGraph::TransitivePrereqs(CourseId course) const {
+  std::set<CourseId> out;
+  std::vector<CourseId> stack{course};
+  while (!stack.empty()) {
+    CourseId cur = stack.back();
+    stack.pop_back();
+    for (CourseId p : PrereqsOf(cur)) {
+      if (out.insert(p).second) stack.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<CourseId> PrereqGraph::MissingPrereqs(
+    CourseId course, const std::set<CourseId>& completed) const {
+  std::vector<CourseId> missing;
+  for (CourseId p : PrereqsOf(course)) {
+    if (completed.count(p) == 0) missing.push_back(p);
+  }
+  return missing;
+}
+
+std::vector<CourseId> PrereqGraph::TopologicalOrder() const {
+  // Kahn's algorithm over the "prereq -> course" direction.
+  std::unordered_map<CourseId, size_t> indegree;
+  for (CourseId n : nodes_) indegree[n] = 0;
+  for (const auto& [course, prereqs] : prereqs_) {
+    indegree[course] += prereqs.size();
+  }
+  std::vector<CourseId> ready;
+  for (const auto& [node, deg] : indegree) {
+    if (deg == 0) ready.push_back(node);
+  }
+  std::sort(ready.begin(), ready.end());
+
+  // Reverse adjacency: prereq -> dependents.
+  std::unordered_map<CourseId, std::vector<CourseId>> dependents;
+  for (const auto& [course, prereqs] : prereqs_) {
+    for (CourseId p : prereqs) dependents[p].push_back(course);
+  }
+
+  std::vector<CourseId> order;
+  while (!ready.empty()) {
+    CourseId cur = ready.back();
+    ready.pop_back();
+    order.push_back(cur);
+    auto it = dependents.find(cur);
+    if (it == dependents.end()) continue;
+    for (CourseId dep : it->second) {
+      if (--indegree[dep] == 0) ready.push_back(dep);
+    }
+  }
+  return order;
+}
+
+Status PrereqGraph::CheckAcyclic() const {
+  if (TopologicalOrder().size() != nodes_.size()) {
+    return Status::FailedPrecondition(
+        "prerequisite graph contains a cycle");
+  }
+  return Status::OK();
+}
+
+}  // namespace courserank::planner

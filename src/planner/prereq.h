@@ -1,0 +1,54 @@
+#ifndef COURSERANK_PLANNER_PREREQ_H_
+#define COURSERANK_PLANNER_PREREQ_H_
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "social/model.h"
+#include "storage/database.h"
+
+namespace courserank::planner {
+
+using social::CourseId;
+
+/// The prerequisite DAG over courses (paper §2.1: "Courses, unlike books or
+/// videos, have to be taken in a certain order"). Built from the Prereqs
+/// table; validates acyclicity and answers eligibility queries for the
+/// planner.
+class PrereqGraph {
+ public:
+  /// Loads all edges. Fails with FailedPrecondition when the graph has a
+  /// cycle (corrupt catalog data).
+  static Result<PrereqGraph> Build(const storage::Database& db);
+
+  /// Direct prerequisites of `course` (empty when none).
+  const std::vector<CourseId>& PrereqsOf(CourseId course) const;
+
+  /// All transitive prerequisites.
+  std::set<CourseId> TransitivePrereqs(CourseId course) const;
+
+  /// Prerequisites of `course` missing from `completed`.
+  std::vector<CourseId> MissingPrereqs(
+      CourseId course, const std::set<CourseId>& completed) const;
+
+  /// Courses in a valid "prerequisites first" order (topological).
+  std::vector<CourseId> TopologicalOrder() const;
+
+  size_t num_edges() const { return num_edges_; }
+
+ private:
+  PrereqGraph() = default;
+
+  Status CheckAcyclic() const;
+
+  std::unordered_map<CourseId, std::vector<CourseId>> prereqs_;
+  std::vector<CourseId> nodes_;  // every course id seen in any edge
+  size_t num_edges_ = 0;
+  static const std::vector<CourseId> kEmpty;
+};
+
+}  // namespace courserank::planner
+
+#endif  // COURSERANK_PLANNER_PREREQ_H_

@@ -1,0 +1,352 @@
+#include "planner/requirements.h"
+
+#include <algorithm>
+#include <set>
+
+#include "storage/value.h"
+
+namespace courserank::planner {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+using storage::Value;
+
+ReqPtr RequirementNode::Course(std::string name, CourseId course) {
+  auto node = std::make_unique<RequirementNode>();
+  node->kind = Kind::kCourse;
+  node->name = std::move(name);
+  node->course = course;
+  return node;
+}
+
+ReqPtr RequirementNode::NOfSet(std::string name, size_t n,
+                               std::vector<CourseId> set) {
+  auto node = std::make_unique<RequirementNode>();
+  node->kind = Kind::kNOfSet;
+  node->name = std::move(name);
+  node->need_n = n;
+  node->set = std::move(set);
+  return node;
+}
+
+ReqPtr RequirementNode::UnitsFromDept(std::string name, DeptId dept,
+                                      int min_number, int min_units) {
+  auto node = std::make_unique<RequirementNode>();
+  node->kind = Kind::kUnitsFromDept;
+  node->name = std::move(name);
+  node->dept = dept;
+  node->min_number = min_number;
+  node->min_units = min_units;
+  return node;
+}
+
+ReqPtr RequirementNode::AllOf(std::string name, std::vector<ReqPtr> children) {
+  auto node = std::make_unique<RequirementNode>();
+  node->kind = Kind::kAllOf;
+  node->name = std::move(name);
+  node->children = std::move(children);
+  return node;
+}
+
+ReqPtr RequirementNode::AnyN(std::string name, size_t n,
+                             std::vector<ReqPtr> children) {
+  auto node = std::make_unique<RequirementNode>();
+  node->kind = Kind::kAnyN;
+  node->name = std::move(name);
+  node->need_n = n;
+  node->children = std::move(children);
+  return node;
+}
+
+ReqPtr RequirementNode::Clone() const {
+  auto node = std::make_unique<RequirementNode>();
+  node->kind = kind;
+  node->name = name;
+  node->course = course;
+  node->need_n = need_n;
+  node->set = set;
+  node->dept = dept;
+  node->min_number = min_number;
+  node->min_units = min_units;
+  for (const ReqPtr& child : children) {
+    node->children.push_back(child->Clone());
+  }
+  return node;
+}
+
+std::string RequirementReport::ToString() const {
+  std::string out = satisfied ? "SATISFIED\n" : "NOT SATISFIED\n";
+  for (const LeafProgress& leaf : leaves) {
+    out += "  [" + std::string(leaf.satisfied ? "x" : " ") + "] " +
+           leaf.name + " (" + std::to_string(leaf.have) + "/" +
+           std::to_string(leaf.need) + ")\n";
+  }
+  return out;
+}
+
+namespace {
+
+struct CourseInfo {
+  CourseId id = 0;
+  DeptId dept = 0;
+  int number = 0;
+  int units = 0;
+};
+
+/// One count-based matching slot.
+struct Slot {
+  const RequirementNode* leaf = nullptr;
+};
+
+bool LeafAccepts(const RequirementNode& leaf, const CourseInfo& course) {
+  switch (leaf.kind) {
+    case RequirementNode::Kind::kCourse:
+      return leaf.course == course.id;
+    case RequirementNode::Kind::kNOfSet:
+      return std::find(leaf.set.begin(), leaf.set.end(), course.id) !=
+             leaf.set.end();
+    case RequirementNode::Kind::kUnitsFromDept:
+      return leaf.dept == course.dept && course.number >= leaf.min_number;
+    default:
+      return false;
+  }
+}
+
+/// Kuhn's augmenting-path maximum bipartite matching: courses (left) to
+/// slots (right).
+class Matcher {
+ public:
+  Matcher(size_t num_courses, size_t num_slots)
+      : adj_(num_courses), slot_match_(num_slots, -1) {}
+
+  void AddEdge(size_t course, size_t slot) { adj_[course].push_back(slot); }
+
+  /// Runs matching; returns course→slot assignment (-1 = unmatched).
+  std::vector<int> Solve() {
+    std::vector<int> course_match(adj_.size(), -1);
+    for (size_t c = 0; c < adj_.size(); ++c) {
+      std::vector<bool> visited(slot_match_.size(), false);
+      TryAugment(c, visited, course_match);
+    }
+    return course_match;
+  }
+
+ private:
+  bool TryAugment(size_t course, std::vector<bool>& visited,
+                  std::vector<int>& course_match) {
+    for (size_t slot : adj_[course]) {
+      if (visited[slot]) continue;
+      visited[slot] = true;
+      if (slot_match_[slot] == -1 ||
+          TryAugment(static_cast<size_t>(slot_match_[slot]), visited,
+                     course_match)) {
+        slot_match_[slot] = static_cast<int>(course);
+        course_match[course] = static_cast<int>(slot);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::vector<size_t>> adj_;
+  std::vector<int> slot_match_;
+};
+
+/// Evaluates combinator satisfaction given per-leaf results.
+bool Satisfied(const RequirementNode& node,
+               const std::map<const RequirementNode*, bool>& leaf_ok) {
+  switch (node.kind) {
+    case RequirementNode::Kind::kCourse:
+    case RequirementNode::Kind::kNOfSet:
+    case RequirementNode::Kind::kUnitsFromDept:
+      return leaf_ok.at(&node);
+    case RequirementNode::Kind::kAllOf: {
+      for (const ReqPtr& child : node.children) {
+        if (!Satisfied(*child, leaf_ok)) return false;
+      }
+      return true;
+    }
+    case RequirementNode::Kind::kAnyN: {
+      size_t ok = 0;
+      for (const ReqPtr& child : node.children) {
+        if (Satisfied(*child, leaf_ok)) ++ok;
+      }
+      return ok >= node.need_n;
+    }
+  }
+  return false;
+}
+
+void CollectLeaves(const RequirementNode& node,
+                   std::vector<const RequirementNode*>* leaves) {
+  switch (node.kind) {
+    case RequirementNode::Kind::kCourse:
+    case RequirementNode::Kind::kNOfSet:
+    case RequirementNode::Kind::kUnitsFromDept:
+      leaves->push_back(&node);
+      return;
+    default:
+      for (const ReqPtr& child : node.children) {
+        CollectLeaves(*child, leaves);
+      }
+  }
+}
+
+size_t SlotsNeeded(const RequirementNode& leaf) {
+  switch (leaf.kind) {
+    case RequirementNode::Kind::kCourse:
+      return 1;
+    case RequirementNode::Kind::kNOfSet:
+      return leaf.need_n;
+    default:
+      return 0;  // unit leaves handled after matching
+  }
+}
+
+}  // namespace
+
+Result<RequirementReport> RequirementTracker::Check(
+    const RequirementNode& root, const std::vector<CourseId>& taken,
+    MatchStrategy strategy) const {
+  // Resolve course info for distinct taken courses.
+  CR_ASSIGN_OR_RETURN(const Table* courses, db_->GetTable("Courses"));
+  const auto& schema = courses->schema();
+  CR_ASSIGN_OR_RETURN(size_t dep_ci, schema.ColumnIndex("DepID"));
+  CR_ASSIGN_OR_RETURN(size_t num_ci, schema.ColumnIndex("Number"));
+  CR_ASSIGN_OR_RETURN(size_t units_ci, schema.ColumnIndex("Units"));
+
+  std::vector<CourseInfo> infos;
+  {
+    std::set<CourseId> distinct(taken.begin(), taken.end());
+    for (CourseId id : distinct) {
+      CR_ASSIGN_OR_RETURN(RowId rid, courses->FindByPrimaryKey({Value(id)}));
+      const Row* row = courses->Get(rid);
+      infos.push_back({id, (*row)[dep_ci].AsInt(),
+                       static_cast<int>((*row)[num_ci].AsInt()),
+                       static_cast<int>((*row)[units_ci].AsInt())});
+    }
+  }
+
+  std::vector<const RequirementNode*> leaves;
+  CollectLeaves(root, &leaves);
+
+  // Per-course consumption and per-leaf usage.
+  std::vector<bool> used(infos.size(), false);
+  std::map<const RequirementNode*, std::vector<size_t>> leaf_used;
+
+  if (strategy == MatchStrategy::kMaximumMatching) {
+    // Count-based slots.
+    std::vector<Slot> slots;
+    for (const RequirementNode* leaf : leaves) {
+      for (size_t s = 0; s < SlotsNeeded(*leaf); ++s) slots.push_back({leaf});
+    }
+    Matcher matcher(infos.size(), slots.size());
+    for (size_t c = 0; c < infos.size(); ++c) {
+      for (size_t s = 0; s < slots.size(); ++s) {
+        if (LeafAccepts(*slots[s].leaf, infos[c])) matcher.AddEdge(c, s);
+      }
+    }
+    std::vector<int> assignment = matcher.Solve();
+    for (size_t c = 0; c < infos.size(); ++c) {
+      if (assignment[c] < 0) continue;
+      used[c] = true;
+      leaf_used[slots[static_cast<size_t>(assignment[c])].leaf].push_back(c);
+    }
+  } else {
+    // Greedy first-fit in tree order (the baseline the ablation compares).
+    for (const RequirementNode* leaf : leaves) {
+      size_t need = SlotsNeeded(*leaf);
+      for (size_t c = 0; c < infos.size() && leaf_used[leaf].size() < need;
+           ++c) {
+        if (used[c] || !LeafAccepts(*leaf, infos[c])) continue;
+        used[c] = true;
+        leaf_used[leaf].push_back(c);
+      }
+    }
+  }
+
+  // Unit leaves consume leftover qualifying courses, largest units first.
+  for (const RequirementNode* leaf : leaves) {
+    if (leaf->kind != RequirementNode::Kind::kUnitsFromDept) continue;
+    std::vector<size_t> candidates;
+    for (size_t c = 0; c < infos.size(); ++c) {
+      if (!used[c] && LeafAccepts(*leaf, infos[c])) candidates.push_back(c);
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](size_t a, size_t b) {
+      return infos[a].units > infos[b].units;
+    });
+    int units = 0;
+    for (size_t c : candidates) {
+      if (units >= leaf->min_units) break;
+      used[c] = true;
+      leaf_used[leaf].push_back(c);
+      units += infos[c].units;
+    }
+  }
+
+  // Assemble per-leaf progress and combinator satisfaction.
+  RequirementReport report;
+  std::map<const RequirementNode*, bool> leaf_ok;
+  for (const RequirementNode* leaf : leaves) {
+    LeafProgress progress;
+    progress.name = leaf->name;
+    for (size_t c : leaf_used[leaf]) progress.used.push_back(infos[c].id);
+    switch (leaf->kind) {
+      case RequirementNode::Kind::kCourse:
+        progress.need = 1;
+        progress.have = leaf_used[leaf].size();
+        break;
+      case RequirementNode::Kind::kNOfSet:
+        progress.need = leaf->need_n;
+        progress.have = leaf_used[leaf].size();
+        break;
+      case RequirementNode::Kind::kUnitsFromDept: {
+        progress.need = static_cast<size_t>(leaf->min_units);
+        int units = 0;
+        for (size_t c : leaf_used[leaf]) units += infos[c].units;
+        progress.have = static_cast<size_t>(units);
+        break;
+      }
+      default:
+        break;
+    }
+    progress.satisfied = progress.have >= progress.need;
+    leaf_ok[leaf] = progress.satisfied;
+    report.leaves.push_back(std::move(progress));
+  }
+  report.satisfied = Satisfied(root, leaf_ok);
+  return report;
+}
+
+Status RequirementTracker::DefineProgram(DeptId major, ReqPtr root) {
+  if (root == nullptr) {
+    return Status::InvalidArgument("null requirement tree");
+  }
+  programs_[major] = std::move(root);
+  return Status::OK();
+}
+
+bool RequirementTracker::HasProgram(DeptId major) const {
+  return programs_.count(major) > 0;
+}
+
+Result<RequirementReport> RequirementTracker::CheckStudent(
+    DeptId major, UserId student, MatchStrategy strategy) const {
+  auto it = programs_.find(major);
+  if (it == programs_.end()) {
+    return Status::NotFound("no program defined for department " +
+                            std::to_string(major));
+  }
+  CR_ASSIGN_OR_RETURN(const Table* enrollment, db_->GetTable("Enrollment"));
+  CR_ASSIGN_OR_RETURN(size_t course_ci,
+                      enrollment->schema().ColumnIndex("CourseID"));
+  std::vector<CourseId> taken;
+  for (RowId rid : enrollment->LookupEqual({"SuID"}, {Value(student)})) {
+    const Row* row = enrollment->Get(rid);
+    if (row != nullptr) taken.push_back((*row)[course_ci].AsInt());
+  }
+  return Check(*it->second, taken, strategy);
+}
+
+}  // namespace courserank::planner

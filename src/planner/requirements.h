@@ -1,0 +1,109 @@
+#ifndef COURSERANK_PLANNER_REQUIREMENTS_H_
+#define COURSERANK_PLANNER_REQUIREMENTS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "social/model.h"
+#include "storage/database.h"
+
+namespace courserank::planner {
+
+using social::CourseId;
+using social::DeptId;
+using social::UserId;
+
+struct RequirementNode;
+using ReqPtr = std::unique_ptr<RequirementNode>;
+
+/// A node of a degree-requirement tree (the paper's Requirement Tracker,
+/// §2.1). Leaves consume courses; combinators aggregate children. A course
+/// can satisfy at most one leaf — assignment is solved by maximum bipartite
+/// matching so overlapping requirement sets don't double-count.
+struct RequirementNode {
+  enum class Kind {
+    kCourse,        ///< one specific course
+    kNOfSet,        ///< need_n distinct courses from `set`
+    kUnitsFromDept, ///< ≥ min_units of courses in dept numbered ≥ min_number
+    kAllOf,         ///< every child satisfied
+    kAnyN,          ///< at least need_n children satisfied
+  };
+
+  Kind kind = Kind::kAllOf;
+  std::string name;
+
+  CourseId course = 0;            // kCourse
+  size_t need_n = 0;              // kNOfSet / kAnyN
+  std::vector<CourseId> set;      // kNOfSet
+  DeptId dept = 0;                // kUnitsFromDept
+  int min_number = 0;             // kUnitsFromDept
+  int min_units = 0;              // kUnitsFromDept
+
+  std::vector<ReqPtr> children;
+
+  // Factory helpers.
+  static ReqPtr Course(std::string name, CourseId course);
+  static ReqPtr NOfSet(std::string name, size_t n, std::vector<CourseId> set);
+  static ReqPtr UnitsFromDept(std::string name, DeptId dept, int min_number,
+                              int min_units);
+  static ReqPtr AllOf(std::string name, std::vector<ReqPtr> children);
+  static ReqPtr AnyN(std::string name, size_t n, std::vector<ReqPtr> children);
+
+  ReqPtr Clone() const;
+};
+
+/// Progress of one leaf requirement.
+struct LeafProgress {
+  std::string name;
+  bool satisfied = false;
+  std::vector<CourseId> used;  ///< courses consumed by this leaf
+  size_t have = 0;             ///< matched count (or units for unit leaves)
+  size_t need = 0;             ///< target count (or units)
+};
+
+/// Full tracker report.
+struct RequirementReport {
+  bool satisfied = false;
+  std::vector<LeafProgress> leaves;
+
+  std::string ToString() const;
+};
+
+/// Course-to-requirement assignment strategy (DESIGN.md E7 ablation).
+enum class MatchStrategy {
+  kMaximumMatching,  ///< augmenting-path bipartite matching (correct)
+  kGreedy,           ///< first-fit in tree order (under-counts on overlap)
+};
+
+/// Evaluates requirement trees against a set of taken courses and keeps the
+/// per-major program registry that staff maintain (paper §2.2: a dedicated
+/// interface for department managers to define program requirements).
+class RequirementTracker {
+ public:
+  explicit RequirementTracker(const storage::Database* db) : db_(db) {}
+
+  /// Checks `root` against `taken`.
+  Result<RequirementReport> Check(
+      const RequirementNode& root, const std::vector<CourseId>& taken,
+      MatchStrategy strategy = MatchStrategy::kMaximumMatching) const;
+
+  /// Staff-defined program for a major (replaces any existing definition).
+  Status DefineProgram(DeptId major, ReqPtr root);
+  bool HasProgram(DeptId major) const;
+
+  /// Checks a student's Enrollment history against their major's program.
+  Result<RequirementReport> CheckStudent(
+      DeptId major, UserId student,
+      MatchStrategy strategy = MatchStrategy::kMaximumMatching) const;
+
+ private:
+  const storage::Database* db_;
+  std::map<DeptId, ReqPtr> programs_;
+};
+
+}  // namespace courserank::planner
+
+#endif  // COURSERANK_PLANNER_REQUIREMENTS_H_

@@ -1,0 +1,151 @@
+#include "planner/scheduler.h"
+
+#include <algorithm>
+#include <map>
+
+#include "storage/value.h"
+
+namespace courserank::planner {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+using storage::Value;
+
+namespace {
+
+struct Section {
+  TimeSlot slot;
+};
+
+Result<std::vector<Section>> SectionsOf(const storage::Database& db,
+                                        CourseId course, Term term) {
+  CR_ASSIGN_OR_RETURN(const Table* offerings, db.GetTable("Offerings"));
+  const auto& schema = offerings->schema();
+  CR_ASSIGN_OR_RETURN(size_t days_ci, schema.ColumnIndex("Days"));
+  CR_ASSIGN_OR_RETURN(size_t start_ci, schema.ColumnIndex("StartMin"));
+  CR_ASSIGN_OR_RETURN(size_t end_ci, schema.ColumnIndex("EndMin"));
+  std::vector<Section> out;
+  for (RowId rid : offerings->LookupEqual(
+           {"CourseID", "Year", "Term"},
+           {Value(course), Value(static_cast<int64_t>(term.year)),
+            Value(std::string(QuarterName(term.quarter)))})) {
+    const Row* row = offerings->Get(rid);
+    if (row == nullptr) continue;
+    Section section;
+    if (!(*row)[days_ci].is_null()) {
+      section.slot.days = static_cast<uint8_t>((*row)[days_ci].AsInt());
+      section.slot.start_min =
+          static_cast<int16_t>((*row)[start_ci].AsInt());
+      section.slot.end_min = static_cast<int16_t>((*row)[end_ci].AsInt());
+    }
+    out.push_back(section);
+  }
+  return out;
+}
+
+Result<int> UnitsOf(const storage::Database& db, CourseId course) {
+  CR_ASSIGN_OR_RETURN(const Table* courses, db.GetTable("Courses"));
+  CR_ASSIGN_OR_RETURN(RowId rid, courses->FindByPrimaryKey({Value(course)}));
+  CR_ASSIGN_OR_RETURN(size_t ci, courses->schema().ColumnIndex("Units"));
+  return static_cast<int>(courses->Get(rid)->at(ci).AsInt());
+}
+
+}  // namespace
+
+Result<ScheduleSuggestion> SuggestSchedule(
+    const storage::Database& db, const PrereqGraph& prereqs,
+    const std::set<CourseId>& completed, const ScheduleRequest& request) {
+  ScheduleSuggestion out;
+
+  // Terms in the window.
+  std::vector<Term> terms;
+  for (int i = 0; i < request.num_terms; ++i) {
+    terms.push_back(request.first_term.Plus(i));
+  }
+
+  // Order wanted courses so prerequisites are attempted first: topological
+  // rank where available, insertion order otherwise.
+  std::vector<CourseId> order = request.wanted;
+  {
+    std::map<CourseId, size_t> rank;
+    std::vector<CourseId> topo = prereqs.TopologicalOrder();
+    for (size_t i = 0; i < topo.size(); ++i) rank[topo[i]] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](CourseId a, CourseId b) {
+                       auto ra = rank.find(a);
+                       auto rb = rank.find(b);
+                       size_t va = ra == rank.end() ? 0 : ra->second;
+                       size_t vb = rb == rank.end() ? 0 : rb->second;
+                       return va < vb;
+                     });
+  }
+
+  // Per-term committed sections and units.
+  std::map<int, std::vector<TimeSlot>> term_slots;
+  std::map<int, int> term_units;
+  std::map<CourseId, int> placed_term;  // course -> Term::Index()
+
+  for (CourseId course : order) {
+    if (completed.count(course) > 0) {
+      out.unplaced.push_back({course, "already completed"});
+      continue;
+    }
+    CR_ASSIGN_OR_RETURN(int units, UnitsOf(db, course));
+
+    std::string reason = "not offered in the window";
+    bool placed = false;
+    for (const Term& term : terms) {
+      // Prerequisites must be completed, or placed strictly earlier.
+      bool prereqs_ok = true;
+      for (CourseId p : prereqs.PrereqsOf(course)) {
+        if (completed.count(p) > 0) continue;
+        auto it = placed_term.find(p);
+        if (it == placed_term.end() || it->second >= term.Index()) {
+          prereqs_ok = false;
+          break;
+        }
+      }
+      if (!prereqs_ok) {
+        reason = "prerequisites not satisfiable in the window";
+        continue;
+      }
+      if (term_units[term.Index()] + units > request.max_units_per_term) {
+        reason = "unit cap reached in every feasible term";
+        continue;
+      }
+      CR_ASSIGN_OR_RETURN(std::vector<Section> sections,
+                          SectionsOf(db, course, term));
+      if (sections.empty()) continue;  // keep "not offered" reason
+      // Pick the first section compatible with everything already placed.
+      bool found_section = false;
+      for (const Section& section : sections) {
+        bool clashes = false;
+        for (const TimeSlot& other : term_slots[term.Index()]) {
+          if (section.slot.ConflictsWith(other)) {
+            clashes = true;
+            break;
+          }
+        }
+        if (!clashes) {
+          term_slots[term.Index()].push_back(section.slot);
+          found_section = true;
+          break;
+        }
+      }
+      if (!found_section) {
+        reason = "every section conflicts with the placed schedule";
+        continue;
+      }
+      term_units[term.Index()] += units;
+      placed_term[course] = term.Index();
+      out.placements.push_back({course, term});
+      placed = true;
+      break;
+    }
+    if (!placed) out.unplaced.push_back({course, reason});
+  }
+  return out;
+}
+
+}  // namespace courserank::planner

@@ -1,0 +1,57 @@
+#ifndef COURSERANK_PLANNER_SCHEDULER_H_
+#define COURSERANK_PLANNER_SCHEDULER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "planner/plan.h"
+#include "planner/prereq.h"
+
+namespace courserank::planner {
+
+/// Input to the schedule suggester: courses the student wants, and the
+/// window of terms to place them into.
+struct ScheduleRequest {
+  std::vector<CourseId> wanted;
+  Term first_term;
+  int num_terms = 4;
+  int max_units_per_term = 18;
+};
+
+/// One placement decision.
+struct Placement {
+  CourseId course = 0;
+  Term term;
+};
+
+/// Result of a suggestion run: the placements found and the courses that
+/// could not be placed (with a reason string per course).
+struct ScheduleSuggestion {
+  std::vector<Placement> placements;
+  struct Unplaced {
+    CourseId course = 0;
+    std::string reason;
+  };
+  std::vector<Unplaced> unplaced;
+};
+
+/// Greedy schedule suggester behind the Planner's "shop for classes ...
+/// organize your classes into a quarterly schedule" flow (§2): places the
+/// wanted courses into the earliest feasible term, honoring
+///
+///  * offerings — a course only lands in a term with a section;
+///  * time conflicts — the chosen section must not clash with sections
+///    already placed in that term (section choice is part of the search);
+///  * prerequisites — a course is placed only after all prereqs are either
+///    already completed or placed in a strictly earlier term (wanted
+///    prereqs are ordered automatically via topological sort);
+///  * unit caps per term.
+///
+/// `completed` is the set of courses the student already finished.
+Result<ScheduleSuggestion> SuggestSchedule(
+    const storage::Database& db, const PrereqGraph& prereqs,
+    const std::set<CourseId>& completed, const ScheduleRequest& request);
+
+}  // namespace courserank::planner
+
+#endif  // COURSERANK_PLANNER_SCHEDULER_H_

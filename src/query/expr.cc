@@ -1,0 +1,495 @@
+#include "query/expr.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace courserank::query {
+
+using storage::ValueType;
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string QuoteSqlString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : value_(std::move(v)) {}
+
+  Status Bind(const Schema&, const ParamMap*) override {
+    return Status::OK();
+  }
+  Result<Value> Eval(const Row&) const override { return value_; }
+  std::string ToString() const override {
+    if (value_.type() == ValueType::kString)
+      return QuoteSqlString(value_.AsString());
+    return value_.ToString();
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<LiteralExpr>(value_);
+  }
+
+ private:
+  Value value_;
+};
+
+class ColumnExpr : public Expr {
+ public:
+  explicit ColumnExpr(std::string name) : name_(std::move(name)) {}
+
+  Status Bind(const Schema& schema, const ParamMap*) override {
+    CR_ASSIGN_OR_RETURN(index_, schema.ColumnIndex(name_));
+    return Status::OK();
+  }
+  Result<Value> Eval(const Row& row) const override {
+    if (index_ >= row.size()) {
+      return Status::Internal("column '" + name_ + "' unbound or row too short");
+    }
+    return row[index_];
+  }
+  std::string ToString() const override { return name_; }
+  ExprPtr Clone() const override { return std::make_unique<ColumnExpr>(name_); }
+
+ private:
+  std::string name_;
+  size_t index_ = static_cast<size_t>(-1);
+};
+
+class ParamExpr : public Expr {
+ public:
+  explicit ParamExpr(std::string name) : name_(std::move(name)) {}
+
+  Status Bind(const Schema&, const ParamMap* params) override {
+    if (params == nullptr) {
+      return Status::InvalidArgument("no parameters supplied for $" + name_);
+    }
+    auto it = params->find(name_);
+    if (it == params->end()) {
+      return Status::InvalidArgument("missing parameter $" + name_);
+    }
+    value_ = it->second;
+    return Status::OK();
+  }
+  Result<Value> Eval(const Row&) const override { return value_; }
+  std::string ToString() const override { return "$" + name_; }
+  ExprPtr Clone() const override { return std::make_unique<ParamExpr>(name_); }
+
+ private:
+  std::string name_;
+  Value value_;
+};
+
+class UnaryExpr : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : op_(op), operand_(std::move(operand)) {}
+
+  Status Bind(const Schema& schema, const ParamMap* params) override {
+    return operand_->Bind(schema, params);
+  }
+
+  Result<Value> Eval(const Row& row) const override {
+    CR_ASSIGN_OR_RETURN(Value v, operand_->Eval(row));
+    if (v.is_null()) return Value::Null();
+    switch (op_) {
+      case UnaryOp::kNot:
+        if (v.type() != ValueType::kBool) {
+          return Status::InvalidArgument("NOT applied to non-boolean");
+        }
+        return Value(!v.AsBool());
+      case UnaryOp::kNeg: {
+        if (v.type() == ValueType::kInt) return Value(-v.AsInt());
+        CR_ASSIGN_OR_RETURN(double d, v.ToDouble());
+        return Value(-d);
+      }
+    }
+    return Status::Internal("bad unary op");
+  }
+
+  std::string ToString() const override {
+    return std::string(op_ == UnaryOp::kNot ? "NOT " : "-") + "(" +
+           operand_->ToString() + ")";
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<UnaryExpr>(op_, operand_->Clone());
+  }
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Status Bind(const Schema& schema, const ParamMap* params) override {
+    CR_RETURN_IF_ERROR(lhs_->Bind(schema, params));
+    return rhs_->Bind(schema, params);
+  }
+
+  Result<Value> Eval(const Row& row) const override {
+    // Three-valued AND/OR: short-circuit where sound.
+    if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+      CR_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row));
+      bool is_and = op_ == BinaryOp::kAnd;
+      if (!a.is_null() && a.type() == ValueType::kBool &&
+          a.AsBool() != is_and) {
+        return Value(!is_and);  // FALSE AND x -> FALSE; TRUE OR x -> TRUE
+      }
+      CR_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row));
+      if (!b.is_null() && b.type() == ValueType::kBool &&
+          b.AsBool() != is_and) {
+        return Value(!is_and);
+      }
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (a.type() != ValueType::kBool || b.type() != ValueType::kBool) {
+        return Status::InvalidArgument("AND/OR on non-boolean operands");
+      }
+      return Value(is_and ? (a.AsBool() && b.AsBool())
+                          : (a.AsBool() || b.AsBool()));
+    }
+
+    CR_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row));
+    CR_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row));
+    if (a.is_null() || b.is_null()) return Value::Null();
+
+    switch (op_) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+      case BinaryOp::kMod: {
+        // String concatenation via '+'.
+        if (op_ == BinaryOp::kAdd && a.type() == ValueType::kString &&
+            b.type() == ValueType::kString) {
+          return Value(a.AsString() + b.AsString());
+        }
+        if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+          int64_t x = a.AsInt();
+          int64_t y = b.AsInt();
+          switch (op_) {
+            case BinaryOp::kAdd:
+              return Value(x + y);
+            case BinaryOp::kSub:
+              return Value(x - y);
+            case BinaryOp::kMul:
+              return Value(x * y);
+            case BinaryOp::kDiv:
+              if (y == 0) return Status::InvalidArgument("division by zero");
+              return Value(x / y);
+            case BinaryOp::kMod:
+              if (y == 0) return Status::InvalidArgument("modulo by zero");
+              return Value(x % y);
+            default:
+              break;
+          }
+        }
+        CR_ASSIGN_OR_RETURN(double x, a.ToDouble());
+        CR_ASSIGN_OR_RETURN(double y, b.ToDouble());
+        switch (op_) {
+          case BinaryOp::kAdd:
+            return Value(x + y);
+          case BinaryOp::kSub:
+            return Value(x - y);
+          case BinaryOp::kMul:
+            return Value(x * y);
+          case BinaryOp::kDiv:
+            if (y == 0.0) return Status::InvalidArgument("division by zero");
+            return Value(x / y);
+          case BinaryOp::kMod:
+            if (y == 0.0) return Status::InvalidArgument("modulo by zero");
+            return Value(std::fmod(x, y));
+          default:
+            break;
+        }
+        return Status::Internal("bad arithmetic op");
+      }
+      case BinaryOp::kEq:
+        return Value(a.Compare(b) == 0);
+      case BinaryOp::kNe:
+        return Value(a.Compare(b) != 0);
+      case BinaryOp::kLt:
+        return Value(a.Compare(b) < 0);
+      case BinaryOp::kLe:
+        return Value(a.Compare(b) <= 0);
+      case BinaryOp::kGt:
+        return Value(a.Compare(b) > 0);
+      case BinaryOp::kGe:
+        return Value(a.Compare(b) >= 0);
+      case BinaryOp::kLike:
+        if (a.type() != ValueType::kString ||
+            b.type() != ValueType::kString) {
+          return Status::InvalidArgument("LIKE requires string operands");
+        }
+        return Value(LikeMatch(a.AsString(), b.AsString()));
+      default:
+        break;
+    }
+    return Status::Internal("bad binary op");
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + BinaryOpName(op_) + " " +
+           rhs_->ToString() + ")";
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<BinaryExpr>(op_, lhs_->Clone(), rhs_->Clone());
+  }
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(ExprPtr operand, bool negated)
+      : operand_(std::move(operand)), negated_(negated) {}
+
+  Status Bind(const Schema& schema, const ParamMap* params) override {
+    return operand_->Bind(schema, params);
+  }
+  Result<Value> Eval(const Row& row) const override {
+    CR_ASSIGN_OR_RETURN(Value v, operand_->Eval(row));
+    return Value(negated_ ? !v.is_null() : v.is_null());
+  }
+  std::string ToString() const override {
+    return "(" + operand_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL") +
+           ")";
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<IsNullExpr>(operand_->Clone(), negated_);
+  }
+
+ private:
+  ExprPtr operand_;
+  bool negated_;
+};
+
+class InListExpr : public Expr {
+ public:
+  InListExpr(ExprPtr operand, std::vector<Value> values)
+      : operand_(std::move(operand)), values_(std::move(values)) {}
+
+  Status Bind(const Schema& schema, const ParamMap* params) override {
+    return operand_->Bind(schema, params);
+  }
+  Result<Value> Eval(const Row& row) const override {
+    CR_ASSIGN_OR_RETURN(Value v, operand_->Eval(row));
+    if (v.is_null()) return Value::Null();
+    for (const Value& cand : values_) {
+      if (v == cand) return Value(true);
+    }
+    return Value(false);
+  }
+  std::string ToString() const override {
+    std::string out = "(" + operand_->ToString() + " IN (";
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i > 0) out += ", ";
+      if (values_[i].type() == ValueType::kString)
+        out += QuoteSqlString(values_[i].AsString());
+      else
+        out += values_[i].ToString();
+    }
+    return out + "))";
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<InListExpr>(operand_->Clone(), values_);
+  }
+
+ private:
+  ExprPtr operand_;
+  std::vector<Value> values_;
+};
+
+class CallExpr : public Expr {
+ public:
+  CallExpr(std::string function, std::vector<ExprPtr> args)
+      : function_(ToUpper(function)), args_(std::move(args)) {}
+
+  Status Bind(const Schema& schema, const ParamMap* params) override {
+    for (auto& a : args_) CR_RETURN_IF_ERROR(a->Bind(schema, params));
+    return CheckArity();
+  }
+
+  Result<Value> Eval(const Row& row) const override {
+    std::vector<Value> vals;
+    vals.reserve(args_.size());
+    for (const auto& a : args_) {
+      CR_ASSIGN_OR_RETURN(Value v, a->Eval(row));
+      vals.push_back(std::move(v));
+    }
+    return Apply(vals);
+  }
+
+  std::string ToString() const override {
+    std::string out = function_ + "(";
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += args_[i]->ToString();
+    }
+    return out + ")";
+  }
+  ExprPtr Clone() const override {
+    std::vector<ExprPtr> args;
+    args.reserve(args_.size());
+    for (const auto& a : args_) args.push_back(a->Clone());
+    return std::make_unique<CallExpr>(function_, std::move(args));
+  }
+
+ private:
+  Status CheckArity() const {
+    auto need = [&](size_t n) -> Status {
+      if (args_.size() != n) {
+        return Status::InvalidArgument(function_ + " expects " +
+                                       std::to_string(n) + " arguments");
+      }
+      return Status::OK();
+    };
+    if (function_ == "LOWER" || function_ == "UPPER" ||
+        function_ == "LENGTH" || function_ == "ABS" ||
+        function_ == "LIST_LEN") {
+      return need(1);
+    }
+    if (function_ == "ROUND" || function_ == "CONTAINS") return need(2);
+    if (function_ == "SUBSTR") return need(3);
+    if (function_ == "COALESCE") {
+      if (args_.empty()) {
+        return Status::InvalidArgument("COALESCE needs at least 1 argument");
+      }
+      return Status::OK();
+    }
+    return Status::NotFound("unknown function " + function_);
+  }
+
+  Result<Value> Apply(const std::vector<Value>& v) const {
+    if (function_ == "COALESCE") {
+      for (const Value& x : v) {
+        if (!x.is_null()) return x;
+      }
+      return Value::Null();
+    }
+    // All other functions are NULL-strict.
+    for (const Value& x : v) {
+      if (x.is_null()) return Value::Null();
+    }
+    if (function_ == "LOWER") return Value(ToLower(v[0].AsString()));
+    if (function_ == "UPPER") return Value(ToUpper(v[0].AsString()));
+    if (function_ == "LENGTH") {
+      return Value(static_cast<int64_t>(v[0].AsString().size()));
+    }
+    if (function_ == "ABS") {
+      if (v[0].type() == ValueType::kInt) return Value(std::abs(v[0].AsInt()));
+      CR_ASSIGN_OR_RETURN(double d, v[0].ToDouble());
+      return Value(std::fabs(d));
+    }
+    if (function_ == "ROUND") {
+      CR_ASSIGN_OR_RETURN(double d, v[0].ToDouble());
+      CR_ASSIGN_OR_RETURN(double digits, v[1].ToDouble());
+      double scale = std::pow(10.0, static_cast<int>(digits));
+      return Value(std::round(d * scale) / scale);
+    }
+    if (function_ == "CONTAINS") {
+      return Value(ContainsIgnoreCase(v[0].AsString(), v[1].AsString()));
+    }
+    if (function_ == "SUBSTR") {
+      CR_ASSIGN_OR_RETURN(double start_d, v[1].ToDouble());
+      CR_ASSIGN_OR_RETURN(double len_d, v[2].ToDouble());
+      const std::string& s = v[0].AsString();
+      // SQL convention: 1-based start.
+      int64_t start = static_cast<int64_t>(start_d) - 1;
+      int64_t len = static_cast<int64_t>(len_d);
+      if (start < 0) start = 0;
+      if (start >= static_cast<int64_t>(s.size()) || len <= 0)
+        return Value(std::string());
+      return Value(s.substr(static_cast<size_t>(start),
+                            static_cast<size_t>(len)));
+    }
+    if (function_ == "LIST_LEN") {
+      if (v[0].type() != ValueType::kList) {
+        return Status::InvalidArgument("LIST_LEN on non-list");
+      }
+      return Value(static_cast<int64_t>(v[0].AsList().size()));
+    }
+    return Status::NotFound("unknown function " + function_);
+  }
+
+  std::string function_;
+  std::vector<ExprPtr> args_;
+};
+
+}  // namespace
+
+ExprPtr MakeLiteral(Value v) { return std::make_unique<LiteralExpr>(std::move(v)); }
+ExprPtr MakeColumn(std::string name) {
+  return std::make_unique<ColumnExpr>(std::move(name));
+}
+ExprPtr MakeParam(std::string name) {
+  return std::make_unique<ParamExpr>(std::move(name));
+}
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  return std::make_unique<UnaryExpr>(op, std::move(operand));
+}
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr MakeIsNull(ExprPtr operand, bool negated) {
+  return std::make_unique<IsNullExpr>(std::move(operand), negated);
+}
+ExprPtr MakeInList(ExprPtr operand, std::vector<Value> values) {
+  return std::make_unique<InListExpr>(std::move(operand), std::move(values));
+}
+ExprPtr MakeCall(std::string function, std::vector<ExprPtr> args) {
+  return std::make_unique<CallExpr>(std::move(function), std::move(args));
+}
+ExprPtr MakeColumnEquals(std::string column, Value v) {
+  return MakeBinary(BinaryOp::kEq, MakeColumn(std::move(column)),
+                    MakeLiteral(std::move(v)));
+}
+
+}  // namespace courserank::query

@@ -1,0 +1,91 @@
+#ifndef COURSERANK_QUERY_EXPR_H_
+#define COURSERANK_QUERY_EXPR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/relation.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace courserank::query {
+
+/// Named query parameters ("$student" in SQL / workflow text), bound at
+/// execution time.
+using ParamMap = std::map<std::string, Value>;
+
+/// Scalar expression tree with SQL NULL semantics: comparisons and
+/// arithmetic involving NULL yield NULL; AND/OR use three-valued logic; a
+/// Filter keeps a row only when the predicate is exactly TRUE.
+///
+/// Lifecycle: build → Bind(schema, params) → Eval(row) per row. Bind
+/// resolves column names to indices and parameter names to values; Eval is
+/// then allocation-light.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Resolves column references against `schema` and parameters against
+  /// `params` (may be nullptr when the expression uses none).
+  virtual Status Bind(const Schema& schema, const ParamMap* params) = 0;
+
+  /// Evaluates against a row of the bound schema.
+  virtual Result<Value> Eval(const Row& row) const = 0;
+
+  /// SQL-ish rendering, used by EXPLAIN and the FlexRecs compiler.
+  virtual std::string ToString() const = 0;
+
+  /// Deep copy (unbound).
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Binary operators. Comparison ops return BOOL (or NULL); LIKE is
+/// case-insensitive with %/_ wildcards.
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kLike,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+/// Factory helpers. All return unbound expressions.
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumn(std::string name);
+ExprPtr MakeParam(std::string name);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+/// `IS NULL` / `IS NOT NULL`.
+ExprPtr MakeIsNull(ExprPtr operand, bool negated);
+/// `expr IN (v1, v2, ...)` over literal values.
+ExprPtr MakeInList(ExprPtr operand, std::vector<Value> values);
+/// Scalar function call; see kScalarFunctions in expr.cc for the registry
+/// (LOWER, UPPER, LENGTH, ABS, ROUND, COALESCE, CONTAINS, SUBSTR,
+/// LIST_LEN).
+ExprPtr MakeCall(std::string function, std::vector<ExprPtr> args);
+
+/// Convenience: column = literal.
+ExprPtr MakeColumnEquals(std::string column, Value v);
+
+/// Token for rendering a BinaryOp ("+", "AND", ...).
+const char* BinaryOpName(BinaryOp op);
+
+}  // namespace courserank::query
+
+#endif  // COURSERANK_QUERY_EXPR_H_

@@ -1,0 +1,106 @@
+#ifndef COURSERANK_QUERY_PLAN_H_
+#define COURSERANK_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/expr.h"
+#include "query/relation.h"
+#include "storage/database.h"
+
+namespace courserank::query {
+
+/// Per-execution state shared by all operators of a plan.
+struct ExecContext {
+  const storage::Database* db = nullptr;
+  ParamMap params;
+};
+
+/// A physical operator. Execution is materialized: each node fully computes
+/// its child relations, then produces its own. This keeps operators
+/// composable with the FlexRecs recommend/extend operators, which need whole
+/// relations to rank anyway.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  virtual Result<Relation> Execute(ExecContext& ctx) const = 0;
+
+  /// One line per node, two spaces per `indent` level.
+  virtual std::string Explain(int indent = 0) const = 0;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// One output column of a projection.
+struct ProjectItem {
+  ExprPtr expr;
+  std::string name;
+};
+
+/// ORDER BY key.
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+enum class JoinType { kInner, kLeft };
+
+enum class AggFn { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+/// One aggregate output ("AVG(rating) AS avg_rating"). `arg` is null for
+/// COUNT(*).
+struct AggregateItem {
+  AggFn fn = AggFn::kCountStar;
+  ExprPtr arg;
+  std::string name;
+};
+
+const char* AggFnName(AggFn fn);
+
+/// Scans a base table; when `alias` is non-empty, output columns are named
+/// "alias.col".
+PlanPtr MakeTableScan(std::string table, std::string alias = "");
+
+/// Wraps a literal relation (used for VALUES and for feeding precomputed
+/// relations into plans).
+PlanPtr MakeValues(Relation rel);
+
+PlanPtr MakeFilter(PlanPtr child, ExprPtr predicate);
+PlanPtr MakeProject(PlanPtr child, std::vector<ProjectItem> items);
+
+/// Join with arbitrary condition. Equality conjuncts between the two sides
+/// are executed as a hash join; any residual predicate is applied per
+/// candidate pair. kLeft pads unmatched left rows with NULLs.
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, ExprPtr condition,
+                 JoinType type = JoinType::kInner);
+
+/// GROUP BY `group_by` computing `aggs`; empty `group_by` aggregates the
+/// whole input to one row.
+PlanPtr MakeAggregate(PlanPtr child, std::vector<ProjectItem> group_by,
+                      std::vector<AggregateItem> aggs);
+
+PlanPtr MakeSort(PlanPtr child, std::vector<SortKey> keys);
+PlanPtr MakeLimit(PlanPtr child, size_t limit, size_t offset = 0);
+PlanPtr MakeDistinct(PlanPtr child);
+
+/// UNION (set) or UNION ALL (bag) of two inputs with equal arity.
+PlanPtr MakeUnion(PlanPtr left, PlanPtr right, bool all);
+
+/// The FlexRecs ε (extend) operator: appends to each child row a LIST-typed
+/// column collecting `collect` evaluated over the `source` rows whose
+/// `source_key` equals the child row's `child_key`. With multiple collect
+/// expressions each list element is itself a [v1, v2, ...] list.
+PlanPtr MakeExtend(PlanPtr child, PlanPtr source, ExprPtr child_key,
+                   ExprPtr source_key, std::vector<ExprPtr> collect,
+                   std::string column_name);
+
+/// Executes a bound plan against `db` with no parameters — convenience for
+/// tests and examples.
+Result<Relation> Run(const PlanNode& plan, const storage::Database& db);
+
+}  // namespace courserank::query
+
+#endif  // COURSERANK_QUERY_PLAN_H_

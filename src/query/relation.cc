@@ -1,0 +1,61 @@
+#include "query/relation.h"
+
+#include <algorithm>
+
+namespace courserank::query {
+
+std::string Relation::ToString(size_t max_rows) const {
+  size_t ncols = schema.num_columns();
+  std::vector<size_t> widths(ncols);
+  std::vector<std::vector<std::string>> cells;
+  for (size_t i = 0; i < ncols; ++i) widths[i] = schema.column(i).name.size();
+
+  size_t shown = std::min(max_rows, rows.size());
+  cells.reserve(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> line;
+    line.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      std::string s = rows[r][c].ToString();
+      if (s.size() > 48) s = s.substr(0, 45) + "...";
+      widths[c] = std::max(widths[c], s.size());
+      line.push_back(std::move(s));
+    }
+    cells.push_back(std::move(line));
+  }
+
+  auto hline = [&]() {
+    std::string out = "+";
+    for (size_t c = 0; c < ncols; ++c) {
+      out.append(widths[c] + 2, '-');
+      out += "+";
+    }
+    out += "\n";
+    return out;
+  };
+  auto format_row = [&](const std::vector<std::string>& line) {
+    std::string out = "|";
+    for (size_t c = 0; c < ncols; ++c) {
+      out += " " + line[c];
+      out.append(widths[c] - line[c].size() + 1, ' ');
+      out += "|";
+    }
+    out += "\n";
+    return out;
+  };
+
+  std::vector<std::string> header;
+  header.reserve(ncols);
+  for (size_t c = 0; c < ncols; ++c) header.push_back(schema.column(c).name);
+
+  std::string out = hline() + format_row(header) + hline();
+  for (const auto& line : cells) out += format_row(line);
+  out += hline();
+  out += "(" + std::to_string(rows.size()) + " row" +
+         (rows.size() == 1 ? "" : "s");
+  if (shown < rows.size()) out += ", showing " + std::to_string(shown);
+  out += ")\n";
+  return out;
+}
+
+}  // namespace courserank::query

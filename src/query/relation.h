@@ -1,0 +1,32 @@
+#ifndef COURSERANK_QUERY_RELATION_H_
+#define COURSERANK_QUERY_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace courserank::query {
+
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+
+/// A materialized intermediate result: schema plus row set. Every plan
+/// operator consumes and produces Relations.
+struct Relation {
+  Schema schema;
+  std::vector<Row> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// ASCII table for examples and debugging; prints at most `max_rows` rows
+  /// followed by a count line.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace courserank::query
+
+#endif  // COURSERANK_QUERY_RELATION_H_

@@ -1,0 +1,87 @@
+#ifndef COURSERANK_QUERY_SQL_AST_H_
+#define COURSERANK_QUERY_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/expr.h"
+#include "query/plan.h"
+#include "storage/schema.h"
+
+namespace courserank::query {
+
+/// One item of a SELECT list. Exactly one of {star, agg, expr} is active:
+/// `*`, an aggregate call, or a scalar expression.
+struct SelectItem {
+  bool star = false;
+  std::optional<AggFn> agg;
+  ExprPtr expr;        // aggregate argument when agg is set (null = COUNT(*))
+  std::string alias;   // output name; derived from the expression if empty
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;
+};
+
+struct JoinClause {
+  TableRef table;
+  ExprPtr on;
+  bool left = false;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<size_t> limit;
+  size_t offset = 0;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty = schema order
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<storage::Column> columns;
+  std::vector<std::string> primary_key;
+};
+
+/// A parsed SQL statement; exactly one member is set.
+struct Statement {
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<CreateTableStmt> create_table;
+};
+
+}  // namespace courserank::query
+
+#endif  // COURSERANK_QUERY_SQL_AST_H_

@@ -1,0 +1,354 @@
+#include "query/sql_engine.h"
+
+#include "common/strings.h"
+#include "query/sql_parser.h"
+
+namespace courserank::query {
+
+using storage::Column;
+using storage::RowId;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+namespace {
+
+/// One-row relation reporting a mutation's effect.
+Relation AffectedRelation(int64_t n) {
+  Relation rel;
+  rel.schema = Schema({Column("affected", ValueType::kInt, false)});
+  rel.rows.push_back({Value(n)});
+  return rel;
+}
+
+std::string DefaultName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.agg.has_value()) {
+    std::string base = AggFnName(*item.agg);
+    return base + "(" + (item.expr ? item.expr->ToString() : "*") + ")";
+  }
+  // Plain column references keep their (unqualified) names.
+  std::string s = item.expr->ToString();
+  return s;
+}
+
+}  // namespace
+
+Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
+  // In multi-table queries every scan gets an alias (explicit, or the table
+  // name itself) so that qualified references like "Ratings.SuID" resolve
+  // and same-named columns from different tables stay distinguishable.
+  auto effective_alias = [&](const TableRef& ref) {
+    if (!ref.alias.empty()) return ref.alias;
+    return stmt.joins.empty() ? std::string() : ref.table;
+  };
+  PlanPtr plan = MakeTableScan(stmt.from.table, effective_alias(stmt.from));
+  for (const JoinClause& jc : stmt.joins) {
+    PlanPtr right = MakeTableScan(jc.table.table, effective_alias(jc.table));
+    plan = MakeJoin(std::move(plan), std::move(right),
+                    jc.on ? jc.on->Clone() : nullptr,
+                    jc.left ? JoinType::kLeft : JoinType::kInner);
+  }
+  if (stmt.where != nullptr) {
+    plan = MakeFilter(std::move(plan), stmt.where->Clone());
+  }
+
+  bool has_agg = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.agg.has_value()) has_agg = true;
+  }
+
+  bool bare_star = stmt.items.size() == 1 && stmt.items[0].star;
+
+  if (has_agg || !stmt.group_by.empty()) {
+    // Aggregate path.
+    for (const SelectItem& item : stmt.items) {
+      if (item.star) {
+        return Status::InvalidArgument(
+            "SELECT * cannot be combined with aggregation");
+      }
+    }
+    // Group-by columns, named after matching select aliases when possible.
+    std::vector<ProjectItem> group_by;
+    for (const ExprPtr& g : stmt.group_by) {
+      std::string name = g->ToString();
+      for (const SelectItem& item : stmt.items) {
+        if (!item.agg.has_value() && item.expr != nullptr &&
+            item.expr->ToString() == g->ToString()) {
+          name = DefaultName(item);
+          break;
+        }
+      }
+      group_by.push_back({g->Clone(), name});
+    }
+    std::vector<AggregateItem> aggs;
+    for (const SelectItem& item : stmt.items) {
+      if (!item.agg.has_value()) continue;
+      AggregateItem agg;
+      agg.fn = *item.agg;
+      agg.arg = item.expr ? item.expr->Clone() : nullptr;
+      agg.name = DefaultName(item);
+      aggs.push_back(std::move(agg));
+    }
+    plan = MakeAggregate(std::move(plan), std::move(group_by),
+                         std::move(aggs));
+    if (stmt.having != nullptr) {
+      plan = MakeFilter(std::move(plan), stmt.having->Clone());
+    }
+    // Reorder to the select-list order (aggregate output is group cols then
+    // agg cols). Non-aggregate items must appear in GROUP BY.
+    std::vector<ProjectItem> final_items;
+    for (const SelectItem& item : stmt.items) {
+      bool found = item.agg.has_value();
+      if (!item.agg.has_value()) {
+        bool in_group = false;
+        for (const ExprPtr& g : stmt.group_by) {
+          if (g->ToString() == item.expr->ToString()) in_group = true;
+        }
+        if (!in_group) {
+          return Status::InvalidArgument(
+              "select item '" + item.expr->ToString() +
+              "' is neither aggregated nor in GROUP BY");
+        }
+        found = true;
+      }
+      (void)found;
+      final_items.push_back({MakeColumn(DefaultName(item)),
+                             DefaultName(item)});
+    }
+    plan = MakeProject(std::move(plan), std::move(final_items));
+  } else if (!bare_star) {
+    for (const SelectItem& item : stmt.items) {
+      if (item.star) {
+        return Status::InvalidArgument(
+            "SELECT * cannot be combined with other select items");
+      }
+    }
+    std::vector<ProjectItem> items;
+    std::vector<std::string> visible_names;
+    for (const SelectItem& item : stmt.items) {
+      std::string name = DefaultName(item);
+      visible_names.push_back(name);
+      items.push_back({item.expr->Clone(), std::move(name)});
+    }
+    // ORDER BY may reference either a select alias or any expression over
+    // the pre-projection schema; the latter are carried through as hidden
+    // columns and dropped after the sort.
+    std::vector<std::string> hidden;
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      const std::string key = stmt.order_by[i].expr->ToString();
+      bool is_alias = false;
+      for (const std::string& name : visible_names) {
+        if (EqualsIgnoreCase(name, key)) is_alias = true;
+      }
+      if (!is_alias) {
+        std::string hname = "__sort_" + std::to_string(i);
+        items.push_back({stmt.order_by[i].expr->Clone(), hname});
+        hidden.push_back(hname);
+      }
+    }
+    if (stmt.distinct && !hidden.empty()) {
+      return Status::Unimplemented(
+          "SELECT DISTINCT with ORDER BY on non-selected expressions");
+    }
+    plan = MakeProject(std::move(plan), std::move(items));
+    if (stmt.distinct) plan = MakeDistinct(std::move(plan));
+    if (!stmt.order_by.empty()) {
+      std::vector<SortKey> keys;
+      size_t h = 0;
+      for (const OrderItem& oi : stmt.order_by) {
+        const std::string key = oi.expr->ToString();
+        bool is_alias = false;
+        for (const std::string& name : visible_names) {
+          if (EqualsIgnoreCase(name, key)) is_alias = true;
+        }
+        SortKey sk;
+        sk.ascending = oi.ascending;
+        sk.expr = is_alias ? MakeColumn(key) : MakeColumn(hidden[h++]);
+        keys.push_back(std::move(sk));
+      }
+      plan = MakeSort(std::move(plan), std::move(keys));
+    }
+    if (stmt.limit.has_value()) {
+      plan = MakeLimit(std::move(plan), *stmt.limit, stmt.offset);
+    }
+    if (!hidden.empty()) {
+      std::vector<ProjectItem> drop;
+      for (const std::string& name : visible_names) {
+        drop.push_back({MakeColumn(name), name});
+      }
+      plan = MakeProject(std::move(plan), std::move(drop));
+    }
+    return plan;
+  }
+
+  // Bare star or aggregate path: ORDER BY binds directly to the current
+  // output schema.
+  if (!stmt.order_by.empty()) {
+    std::vector<SortKey> keys;
+    for (const OrderItem& oi : stmt.order_by) {
+      keys.push_back({oi.expr->Clone(), oi.ascending});
+    }
+    plan = MakeSort(std::move(plan), std::move(keys));
+  }
+  if (stmt.distinct && bare_star) plan = MakeDistinct(std::move(plan));
+  if (stmt.limit.has_value()) {
+    plan = MakeLimit(std::move(plan), *stmt.limit, stmt.offset);
+  }
+  return plan;
+}
+
+Result<Relation> SqlEngine::Execute(const std::string& sql,
+                                    const ParamMap& params) {
+  CR_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  if (stmt.select != nullptr) {
+    CR_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(*stmt.select));
+    ExecContext ctx;
+    ctx.db = db_;
+    ctx.params = params;
+    return plan->Execute(ctx);
+  }
+  if (stmt.insert != nullptr) return ExecuteInsert(*stmt.insert, params);
+  if (stmt.update != nullptr) return ExecuteUpdate(*stmt.update, params);
+  if (stmt.del != nullptr) return ExecuteDelete(*stmt.del, params);
+  if (stmt.create_table != nullptr) {
+    return ExecuteCreateTable(*stmt.create_table);
+  }
+  return Status::Internal("empty statement");
+}
+
+Result<std::string> SqlEngine::Explain(const std::string& sql) {
+  CR_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  if (stmt.select == nullptr) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT only");
+  }
+  CR_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(*stmt.select));
+  return plan->Explain(0);
+}
+
+Result<Relation> SqlEngine::ExecuteInsert(const InsertStmt& stmt,
+                                          const ParamMap& params) {
+  CR_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  std::vector<size_t> targets;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) targets.push_back(i);
+  } else {
+    for (const std::string& c : stmt.columns) {
+      CR_ASSIGN_OR_RETURN(size_t ci, schema.ColumnIndex(c));
+      targets.push_back(ci);
+    }
+  }
+
+  const Schema empty_schema;
+  const Row empty_row;
+  int64_t affected = 0;
+  for (const auto& exprs : stmt.rows) {
+    if (exprs.size() != targets.size()) {
+      return Status::InvalidArgument(
+          "INSERT row has " + std::to_string(exprs.size()) +
+          " values for " + std::to_string(targets.size()) + " columns");
+    }
+    Row row(schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      ExprPtr e = exprs[i]->Clone();
+      CR_RETURN_IF_ERROR(e->Bind(empty_schema, &params));
+      CR_ASSIGN_OR_RETURN(Value v, e->Eval(empty_row));
+      row[targets[i]] = std::move(v);
+    }
+    CR_RETURN_IF_ERROR(db_->Insert(stmt.table, std::move(row)).status());
+    ++affected;
+  }
+  return AffectedRelation(affected);
+}
+
+Result<Relation> SqlEngine::ExecuteUpdate(const UpdateStmt& stmt,
+                                          const ParamMap& params) {
+  CR_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    where = stmt.where->Clone();
+    CR_RETURN_IF_ERROR(where->Bind(schema, &params));
+  }
+  std::vector<std::pair<size_t, ExprPtr>> assigns;
+  for (const auto& [col, expr] : stmt.assignments) {
+    CR_ASSIGN_OR_RETURN(size_t ci, schema.ColumnIndex(col));
+    ExprPtr e = expr->Clone();
+    CR_RETURN_IF_ERROR(e->Bind(schema, &params));
+    assigns.emplace_back(ci, std::move(e));
+  }
+
+  // Two-phase: evaluate all updates first (so index mutation during the
+  // scan cannot skew predicate evaluation), then apply.
+  std::vector<std::pair<RowId, Row>> updates;
+  Status failure = Status::OK();
+  table->Scan([&](RowId id, const Row& row) {
+    if (!failure.ok()) return;
+    if (where != nullptr) {
+      auto v = where->Eval(row);
+      if (!v.ok()) {
+        failure = v.status();
+        return;
+      }
+      if (v->is_null() || v->type() != ValueType::kBool || !v->AsBool()) {
+        return;
+      }
+    }
+    Row updated = row;
+    for (const auto& [ci, e] : assigns) {
+      auto v = e->Eval(row);
+      if (!v.ok()) {
+        failure = v.status();
+        return;
+      }
+      updated[ci] = std::move(*v);
+    }
+    updates.emplace_back(id, std::move(updated));
+  });
+  CR_RETURN_IF_ERROR(failure);
+  for (auto& [id, row] : updates) {
+    CR_RETURN_IF_ERROR(table->Update(id, std::move(row)));
+  }
+  return AffectedRelation(static_cast<int64_t>(updates.size()));
+}
+
+Result<Relation> SqlEngine::ExecuteDelete(const DeleteStmt& stmt,
+                                          const ParamMap& params) {
+  CR_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    where = stmt.where->Clone();
+    CR_RETURN_IF_ERROR(where->Bind(table->schema(), &params));
+  }
+  std::vector<RowId> doomed;
+  Status failure = Status::OK();
+  table->Scan([&](RowId id, const Row& row) {
+    if (!failure.ok()) return;
+    if (where != nullptr) {
+      auto v = where->Eval(row);
+      if (!v.ok()) {
+        failure = v.status();
+        return;
+      }
+      if (v->is_null() || v->type() != ValueType::kBool || !v->AsBool()) {
+        return;
+      }
+    }
+    doomed.push_back(id);
+  });
+  CR_RETURN_IF_ERROR(failure);
+  for (RowId id : doomed) CR_RETURN_IF_ERROR(table->Delete(id));
+  return AffectedRelation(static_cast<int64_t>(doomed.size()));
+}
+
+Result<Relation> SqlEngine::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  CR_RETURN_IF_ERROR(db_->CreateTable(stmt.table, Schema(stmt.columns),
+                                      stmt.primary_key)
+                         .status());
+  return AffectedRelation(0);
+}
+
+}  // namespace courserank::query

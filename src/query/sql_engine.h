@@ -1,0 +1,48 @@
+#ifndef COURSERANK_QUERY_SQL_ENGINE_H_
+#define COURSERANK_QUERY_SQL_ENGINE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/plan.h"
+#include "query/sql_ast.h"
+#include "storage/database.h"
+
+namespace courserank::query {
+
+/// Executes SQL text against a Database. SELECTs are planned into the
+/// physical operators of plan.h; INSERT/UPDATE/DELETE/CREATE TABLE mutate
+/// the database and return a one-row relation with an `affected` count.
+///
+/// This is the "conventional DBMS" the FlexRecs engine compiles workflows
+/// into (paper §3.2).
+class SqlEngine {
+ public:
+  explicit SqlEngine(storage::Database* db) : db_(db) {}
+
+  /// Parses, plans, and executes one statement.
+  Result<Relation> Execute(const std::string& sql, const ParamMap& params = {});
+
+  /// Plans a SELECT statement into a physical plan without executing it.
+  Result<PlanPtr> PlanSelect(const SelectStmt& stmt) const;
+
+  /// Parses a SELECT and returns its physical plan tree rendering.
+  Result<std::string> Explain(const std::string& sql);
+
+  storage::Database* db() { return db_; }
+
+ private:
+  Result<Relation> ExecuteInsert(const InsertStmt& stmt,
+                                 const ParamMap& params);
+  Result<Relation> ExecuteUpdate(const UpdateStmt& stmt,
+                                 const ParamMap& params);
+  Result<Relation> ExecuteDelete(const DeleteStmt& stmt,
+                                 const ParamMap& params);
+  Result<Relation> ExecuteCreateTable(const CreateTableStmt& stmt);
+
+  storage::Database* db_;
+};
+
+}  // namespace courserank::query
+
+#endif  // COURSERANK_QUERY_SQL_ENGINE_H_

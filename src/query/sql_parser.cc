@@ -1,0 +1,677 @@
+#include "query/sql_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace courserank::query {
+
+namespace {
+
+using storage::Value;
+using storage::ValueType;
+
+enum class TokKind {
+  kEnd,
+  kIdent,    // bare or dotted identifier (possibly a keyword)
+  kNumber,   // integer or decimal literal
+  kString,   // single-quoted literal, unescaped
+  kParam,    // $name
+  kSymbol,   // punctuation / operator, text in `text`
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // identifier name, symbol text, or string body
+  double num = 0;     // number value
+  bool is_int = false;
+  size_t pos = 0;     // offset in input, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : in_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < in_.size()) {
+      char c = in_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token t;
+      t.pos = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < in_.size() &&
+               (std::isalnum(static_cast<unsigned char>(in_[i])) ||
+                in_[i] == '_' || in_[i] == '.')) {
+          ++i;
+        }
+        t.kind = TokKind::kIdent;
+        t.text = in_.substr(start, i - start);
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = i;
+        bool saw_dot = false;
+        while (i < in_.size() &&
+               (std::isdigit(static_cast<unsigned char>(in_[i])) ||
+                (in_[i] == '.' && !saw_dot &&
+                 i + 1 < in_.size() &&
+                 std::isdigit(static_cast<unsigned char>(in_[i + 1]))))) {
+          if (in_[i] == '.') saw_dot = true;
+          ++i;
+        }
+        t.kind = TokKind::kNumber;
+        t.text = in_.substr(start, i - start);
+        t.num = std::strtod(t.text.c_str(), nullptr);
+        t.is_int = !saw_dot;
+      } else if (c == '\'') {
+        ++i;
+        std::string body;
+        bool closed = false;
+        while (i < in_.size()) {
+          if (in_[i] == '\'') {
+            if (i + 1 < in_.size() && in_[i + 1] == '\'') {
+              body += '\'';
+              i += 2;
+            } else {
+              ++i;
+              closed = true;
+              break;
+            }
+          } else {
+            body += in_[i++];
+          }
+        }
+        if (!closed) {
+          return Status::InvalidArgument("unterminated string literal at " +
+                                         std::to_string(t.pos));
+        }
+        t.kind = TokKind::kString;
+        t.text = std::move(body);
+      } else if (c == '$') {
+        size_t start = ++i;
+        while (i < in_.size() &&
+               (std::isalnum(static_cast<unsigned char>(in_[i])) ||
+                in_[i] == '_')) {
+          ++i;
+        }
+        if (i == start) {
+          return Status::InvalidArgument("bare '$' at " +
+                                         std::to_string(t.pos));
+        }
+        t.kind = TokKind::kParam;
+        t.text = in_.substr(start, i - start);
+      } else {
+        // Two-char operators first.
+        static constexpr const char* kTwo[] = {"<>", "!=", "<=", ">="};
+        t.kind = TokKind::kSymbol;
+        bool matched = false;
+        for (const char* op : kTwo) {
+          if (in_.compare(i, 2, op) == 0) {
+            t.text = op;
+            i += 2;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          static const std::string kOne = "(),*=<>+-/%.";
+          if (kOne.find(c) == std::string::npos) {
+            return Status::InvalidArgument(
+                std::string("unexpected character '") + c + "' at " +
+                std::to_string(i));
+          }
+          t.text = std::string(1, c);
+          ++i;
+        }
+      }
+      out.push_back(std::move(t));
+    }
+    Token end;
+    end.kind = TokKind::kEnd;
+    end.pos = in_.size();
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  const std::string& in_;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (PeekKeyword("SELECT")) {
+      CR_ASSIGN_OR_RETURN(auto sel, ParseSelect());
+      stmt.select = std::move(sel);
+    } else if (PeekKeyword("INSERT")) {
+      CR_ASSIGN_OR_RETURN(auto ins, ParseInsert());
+      stmt.insert = std::move(ins);
+    } else if (PeekKeyword("UPDATE")) {
+      CR_ASSIGN_OR_RETURN(auto upd, ParseUpdate());
+      stmt.update = std::move(upd);
+    } else if (PeekKeyword("DELETE")) {
+      CR_ASSIGN_OR_RETURN(auto del, ParseDelete());
+      stmt.del = std::move(del);
+    } else if (PeekKeyword("CREATE")) {
+      CR_ASSIGN_OR_RETURN(auto ct, ParseCreateTable());
+      stmt.create_table = std::move(ct);
+    } else {
+      return Error("expected SELECT, INSERT, UPDATE, DELETE, or CREATE");
+    }
+    if (!AtEnd()) return Error("trailing tokens after statement");
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    CR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!AtEnd()) return Error("trailing tokens after expression");
+    return e;
+  }
+
+ private:
+  // ---- token helpers -----------------------------------------------------
+
+  const Token& Peek() const { return toks_[pos_]; }
+  const Token& Advance() { return toks_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokKind::kIdent && EqualsIgnoreCase(Peek().text, kw);
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (AcceptKeyword(kw)) return Status::OK();
+    return Error(std::string("expected ") + kw);
+  }
+
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().kind == TokKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(const char* sym) {
+    if (AcceptSymbol(sym)) return Status::OK();
+    return Error(std::string("expected '") + sym + "'");
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) return Error("expected identifier");
+    return Advance().text;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("SQL parse error at offset " +
+                                   std::to_string(Peek().pos) + ": " + msg +
+                                   " (got '" + Peek().text + "')");
+  }
+
+  static bool IsKeyword(const std::string& s) {
+    static constexpr const char* kKeywords[] = {
+        "SELECT", "DISTINCT", "FROM",   "WHERE",  "GROUP", "BY",     "HAVING",
+        "ORDER",  "LIMIT",    "OFFSET", "JOIN",   "LEFT",  "ON",     "AS",
+        "AND",    "OR",       "NOT",    "LIKE",   "IN",    "IS",     "NULL",
+        "TRUE",   "FALSE",    "ASC",    "DESC",   "INSERT", "INTO",  "VALUES",
+        "UPDATE", "SET",      "DELETE", "CREATE", "TABLE", "PRIMARY", "KEY",
+        "UNION",  "ALL",      "INNER"};
+    for (const char* kw : kKeywords) {
+      if (EqualsIgnoreCase(s, kw)) return true;
+    }
+    return false;
+  }
+
+  static std::optional<AggFn> AggFnByName(const std::string& s) {
+    if (EqualsIgnoreCase(s, "COUNT")) return AggFn::kCount;
+    if (EqualsIgnoreCase(s, "SUM")) return AggFn::kSum;
+    if (EqualsIgnoreCase(s, "AVG")) return AggFn::kAvg;
+    if (EqualsIgnoreCase(s, "MIN")) return AggFn::kMin;
+    if (EqualsIgnoreCase(s, "MAX")) return AggFn::kMax;
+    return std::nullopt;
+  }
+
+  // ---- statements ---------------------------------------------------------
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    CR_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto stmt = std::make_unique<SelectStmt>();
+    stmt->distinct = AcceptKeyword("DISTINCT");
+
+    // Select list.
+    do {
+      SelectItem item;
+      if (AcceptSymbol("*")) {
+        item.star = true;
+      } else if (Peek().kind == TokKind::kIdent &&
+                 AggFnByName(Peek().text).has_value() &&
+                 toks_[pos_ + 1].kind == TokKind::kSymbol &&
+                 toks_[pos_ + 1].text == "(") {
+        std::string fn = Advance().text;
+        item.agg = AggFnByName(fn);
+        CR_RETURN_IF_ERROR(ExpectSymbol("("));
+        if (AcceptSymbol("*")) {
+          if (*item.agg != AggFn::kCount) {
+            return Error("only COUNT(*) supports '*'");
+          }
+          item.agg = AggFn::kCountStar;
+        } else {
+          CR_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        }
+        CR_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        CR_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      if (AcceptKeyword("AS")) {
+        CR_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+      } else if (Peek().kind == TokKind::kIdent && !IsKeyword(Peek().text) &&
+                 !item.star) {
+        item.alias = Advance().text;  // bare alias
+      }
+      stmt->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+
+    CR_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    CR_ASSIGN_OR_RETURN(stmt->from, ParseTableRef());
+
+    while (PeekKeyword("JOIN") || PeekKeyword("LEFT") ||
+           PeekKeyword("INNER")) {
+      JoinClause jc;
+      if (AcceptKeyword("LEFT")) jc.left = true;
+      else AcceptKeyword("INNER");
+      CR_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+      CR_ASSIGN_OR_RETURN(jc.table, ParseTableRef());
+      CR_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      CR_ASSIGN_OR_RETURN(jc.on, ParseExpr());
+      stmt->joins.push_back(std::move(jc));
+    }
+
+    if (AcceptKeyword("WHERE")) {
+      CR_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      CR_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        CR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+      } while (AcceptSymbol(","));
+      if (AcceptKeyword("HAVING")) {
+        CR_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+      }
+    }
+    if (AcceptKeyword("ORDER")) {
+      CR_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderItem oi;
+        CR_ASSIGN_OR_RETURN(oi.expr, ParseExpr());
+        if (AcceptKeyword("DESC")) oi.ascending = false;
+        else AcceptKeyword("ASC");
+        stmt->order_by.push_back(std::move(oi));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != TokKind::kNumber || !Peek().is_int) {
+        return Error("LIMIT needs an integer");
+      }
+      stmt->limit = static_cast<size_t>(Advance().num);
+      if (AcceptKeyword("OFFSET")) {
+        if (Peek().kind != TokKind::kNumber || !Peek().is_int) {
+          return Error("OFFSET needs an integer");
+        }
+        stmt->offset = static_cast<size_t>(Advance().num);
+      }
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    CR_ASSIGN_OR_RETURN(ref.table, ExpectIdent());
+    if (AcceptKeyword("AS")) {
+      CR_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+    } else if (Peek().kind == TokKind::kIdent && !IsKeyword(Peek().text)) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsert() {
+    CR_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    CR_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    auto stmt = std::make_unique<InsertStmt>();
+    CR_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+    if (AcceptSymbol("(")) {
+      do {
+        CR_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        stmt->columns.push_back(std::move(col));
+      } while (AcceptSymbol(","));
+      CR_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    CR_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    do {
+      CR_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      do {
+        CR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+      } while (AcceptSymbol(","));
+      CR_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt->rows.push_back(std::move(row));
+    } while (AcceptSymbol(","));
+    return stmt;
+  }
+
+  Result<std::unique_ptr<UpdateStmt>> ParseUpdate() {
+    CR_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    auto stmt = std::make_unique<UpdateStmt>();
+    CR_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+    CR_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      CR_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      CR_RETURN_IF_ERROR(ExpectSymbol("="));
+      CR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->assignments.emplace_back(std::move(col), std::move(e));
+    } while (AcceptSymbol(","));
+    if (AcceptKeyword("WHERE")) {
+      CR_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DeleteStmt>> ParseDelete() {
+    CR_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    CR_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    auto stmt = std::make_unique<DeleteStmt>();
+    CR_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+    if (AcceptKeyword("WHERE")) {
+      CR_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<CreateTableStmt>> ParseCreateTable() {
+    CR_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    CR_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    auto stmt = std::make_unique<CreateTableStmt>();
+    CR_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+    CR_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      if (PeekKeyword("PRIMARY")) {
+        Advance();
+        CR_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        CR_RETURN_IF_ERROR(ExpectSymbol("("));
+        do {
+          CR_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+          stmt->primary_key.push_back(std::move(col));
+        } while (AcceptSymbol(","));
+        CR_RETURN_IF_ERROR(ExpectSymbol(")"));
+        continue;
+      }
+      storage::Column col;
+      CR_ASSIGN_OR_RETURN(col.name, ExpectIdent());
+      CR_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent());
+      if (EqualsIgnoreCase(type_name, "INT") ||
+          EqualsIgnoreCase(type_name, "INTEGER") ||
+          EqualsIgnoreCase(type_name, "BIGINT")) {
+        col.type = ValueType::kInt;
+      } else if (EqualsIgnoreCase(type_name, "DOUBLE") ||
+                 EqualsIgnoreCase(type_name, "REAL") ||
+                 EqualsIgnoreCase(type_name, "FLOAT")) {
+        col.type = ValueType::kDouble;
+      } else if (EqualsIgnoreCase(type_name, "TEXT") ||
+                 EqualsIgnoreCase(type_name, "STRING") ||
+                 EqualsIgnoreCase(type_name, "VARCHAR")) {
+        col.type = ValueType::kString;
+      } else if (EqualsIgnoreCase(type_name, "BOOL") ||
+                 EqualsIgnoreCase(type_name, "BOOLEAN")) {
+        col.type = ValueType::kBool;
+      } else {
+        return Error("unknown column type '" + type_name + "'");
+      }
+      if (AcceptKeyword("NOT")) {
+        CR_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        col.nullable = false;
+      }
+      stmt->columns.push_back(std::move(col));
+    } while (AcceptSymbol(","));
+    CR_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  // ---- expressions (precedence climbing) ----------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    CR_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      CR_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    CR_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      CR_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      CR_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    CR_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // IS [NOT] NULL
+    if (AcceptKeyword("IS")) {
+      bool negated = AcceptKeyword("NOT");
+      CR_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      return MakeIsNull(std::move(lhs), negated);
+    }
+    // [NOT] IN (literals) / [NOT] LIKE
+    bool negated = false;
+    if (PeekKeyword("NOT") && (toks_[pos_ + 1].kind == TokKind::kIdent &&
+                               (EqualsIgnoreCase(toks_[pos_ + 1].text, "IN") ||
+                                EqualsIgnoreCase(toks_[pos_ + 1].text,
+                                                 "LIKE")))) {
+      Advance();
+      negated = true;
+    }
+    if (AcceptKeyword("IN")) {
+      CR_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<Value> values;
+      do {
+        CR_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        values.push_back(std::move(v));
+      } while (AcceptSymbol(","));
+      CR_RETURN_IF_ERROR(ExpectSymbol(")"));
+      ExprPtr in = MakeInList(std::move(lhs), std::move(values));
+      return negated ? MakeUnary(UnaryOp::kNot, std::move(in))
+                     : std::move(in);
+    }
+    if (AcceptKeyword("LIKE")) {
+      CR_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      ExprPtr like = MakeBinary(BinaryOp::kLike, std::move(lhs),
+                                std::move(rhs));
+      return negated ? MakeUnary(UnaryOp::kNot, std::move(like))
+                     : std::move(like);
+    }
+    if (negated) return Error("expected IN or LIKE after NOT");
+
+    struct OpMap {
+      const char* sym;
+      BinaryOp op;
+    };
+    static constexpr OpMap kOps[] = {
+        {"<>", BinaryOp::kNe}, {"!=", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"=", BinaryOp::kEq},  {"<", BinaryOp::kLt},
+        {">", BinaryOp::kGt}};
+    for (const OpMap& m : kOps) {
+      if (AcceptSymbol(m.sym)) {
+        CR_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return MakeBinary(m.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    CR_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      if (AcceptSymbol("+")) {
+        CR_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("-")) {
+        CR_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    CR_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      if (AcceptSymbol("*")) {
+        CR_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("/")) {
+        CR_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("%")) {
+        CR_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinaryOp::kMod, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      CR_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return MakeUnary(UnaryOp::kNeg, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokKind::kNumber: {
+        Advance();
+        if (t.is_int) return MakeLiteral(Value(static_cast<int64_t>(t.num)));
+        return MakeLiteral(Value(t.num));
+      }
+      case TokKind::kString:
+        Advance();
+        return MakeLiteral(Value(t.text));
+      case TokKind::kParam:
+        Advance();
+        return MakeParam(t.text);
+      case TokKind::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          CR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          CR_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return e;
+        }
+        return Error("unexpected symbol in expression");
+      case TokKind::kIdent: {
+        if (AcceptKeyword("NULL")) return MakeLiteral(Value::Null());
+        if (AcceptKeyword("TRUE")) return MakeLiteral(Value(true));
+        if (AcceptKeyword("FALSE")) return MakeLiteral(Value(false));
+        std::string name = Advance().text;
+        if (AcceptSymbol("(")) {
+          std::vector<ExprPtr> args;
+          if (!AcceptSymbol(")")) {
+            do {
+              CR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+              args.push_back(std::move(e));
+            } while (AcceptSymbol(","));
+            CR_RETURN_IF_ERROR(ExpectSymbol(")"));
+          }
+          return MakeCall(std::move(name), std::move(args));
+        }
+        return MakeColumn(std::move(name));
+      }
+      case TokKind::kEnd:
+        return Error("unexpected end of input in expression");
+    }
+    return Error("unexpected token");
+  }
+
+  Result<Value> ParseLiteralValue() {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kNumber) {
+      Advance();
+      if (t.is_int) return Value(static_cast<int64_t>(t.num));
+      return Value(t.num);
+    }
+    if (t.kind == TokKind::kString) {
+      Advance();
+      return Value(t.text);
+    }
+    if (PeekKeyword("NULL")) {
+      Advance();
+      return Value::Null();
+    }
+    if (PeekKeyword("TRUE")) {
+      Advance();
+      return Value(true);
+    }
+    if (PeekKeyword("FALSE")) {
+      Advance();
+      return Value(false);
+    }
+    return Status::InvalidArgument("expected literal in IN list at offset " +
+                                   std::to_string(t.pos));
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  CR_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  Lexer lexer(text);
+  CR_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+}  // namespace courserank::query

@@ -1,0 +1,25 @@
+#ifndef COURSERANK_QUERY_SQL_PARSER_H_
+#define COURSERANK_QUERY_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/sql_ast.h"
+
+namespace courserank::query {
+
+/// Parses one SQL statement from the dialect described in README.md:
+/// SELECT [DISTINCT] items FROM t [alias] {[LEFT] JOIN t [alias] ON expr}
+///   [WHERE expr] [GROUP BY exprs [HAVING expr]]
+///   [ORDER BY expr [ASC|DESC], ...] [LIMIT n [OFFSET m]]
+/// plus INSERT INTO / UPDATE / DELETE FROM / CREATE TABLE. String literals
+/// use single quotes with '' escaping; named parameters are $name.
+Result<Statement> ParseSql(const std::string& sql);
+
+/// Parses a standalone scalar expression in the same dialect (used by the
+/// workflow DSL and by tests).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace courserank::query
+
+#endif  // COURSERANK_QUERY_SQL_PARSER_H_

@@ -1,0 +1,119 @@
+#include "search/entity.h"
+
+#include "common/strings.h"
+
+namespace courserank::search {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+
+Result<std::vector<EntityDocument>> EntityExtractor::ExtractAll() const {
+  CR_ASSIGN_OR_RETURN(const Table* primary, db_->GetTable(def_.primary_table));
+  std::vector<EntityDocument> docs;
+  docs.reserve(primary->size());
+  Status failure = Status::OK();
+  primary->Scan([&](RowId, const Row& row) {
+    if (!failure.ok()) return;
+    auto doc = BuildDocument(row);
+    if (!doc.ok()) {
+      failure = doc.status();
+      return;
+    }
+    docs.push_back(std::move(doc).value());
+  });
+  CR_RETURN_IF_ERROR(failure);
+  return docs;
+}
+
+Result<EntityDocument> EntityExtractor::ExtractOne(const Value& key) const {
+  CR_ASSIGN_OR_RETURN(const Table* primary, db_->GetTable(def_.primary_table));
+  std::vector<RowId> hits = primary->LookupEqual({def_.key_column}, {key});
+  if (hits.empty()) {
+    return Status::NotFound("no " + def_.name + " with key " + key.ToString());
+  }
+  const Row* row = primary->Get(hits[0]);
+  if (row == nullptr) return Status::Internal("stale row id from index");
+  return BuildDocument(*row);
+}
+
+Result<EntityDocument> EntityExtractor::BuildDocument(
+    const Row& primary_row) const {
+  CR_ASSIGN_OR_RETURN(const Table* primary, db_->GetTable(def_.primary_table));
+  CR_ASSIGN_OR_RETURN(size_t key_ci,
+                      primary->schema().ColumnIndex(def_.key_column));
+  CR_ASSIGN_OR_RETURN(size_t disp_ci,
+                      primary->schema().ColumnIndex(def_.display_column));
+
+  EntityDocument doc;
+  doc.key = primary_row[key_ci];
+  doc.display = primary_row[disp_ci].is_null()
+                    ? std::string()
+                    : primary_row[disp_ci].ToString();
+  doc.field_texts.reserve(def_.fields.size());
+
+  for (const EntityField& field : def_.fields) {
+    std::string text;
+    if (EqualsIgnoreCase(field.table, def_.primary_table) &&
+        field.key_from_column.empty()) {
+      CR_ASSIGN_OR_RETURN(size_t ci,
+                          primary->schema().ColumnIndex(field.text_column));
+      if (!primary_row[ci].is_null()) text = primary_row[ci].ToString();
+    } else {
+      // Join key: the entity key, or a foreign key held by the primary row.
+      Value join_key = doc.key;
+      if (!field.key_from_column.empty()) {
+        CR_ASSIGN_OR_RETURN(
+            size_t fk_ci,
+            primary->schema().ColumnIndex(field.key_from_column));
+        join_key = primary_row[fk_ci];
+      }
+      CR_ASSIGN_OR_RETURN(const Table* rel, db_->GetTable(field.table));
+      CR_ASSIGN_OR_RETURN(size_t ci,
+                          rel->schema().ColumnIndex(field.text_column));
+      if (!join_key.is_null()) {
+        for (RowId id : rel->LookupEqual({field.join_column}, {join_key})) {
+          const Row* rel_row = rel->Get(id);
+          if (rel_row == nullptr || (*rel_row)[ci].is_null()) continue;
+          if (!text.empty()) text += "\n";
+          text += (*rel_row)[ci].ToString();
+        }
+      }
+    }
+    doc.field_texts.push_back(std::move(text));
+  }
+  return doc;
+}
+
+EntityDefinition MakeCourseEntity() {
+  EntityDefinition def;
+  def.name = "course";
+  def.primary_table = "Courses";
+  def.key_column = "CourseID";
+  def.display_column = "Title";
+  def.fields = {
+      {"title", 3.0, "Courses", "Title", "CourseID", ""},
+      {"description", 1.5, "Courses", "Description", "CourseID", ""},
+      {"instructors", 2.0, "Offerings", "Instructor", "CourseID", ""},
+      {"comments", 1.0, "Comments", "Text", "CourseID", ""},
+  };
+  return def;
+}
+
+EntityDefinition MakeTextbookEntity() {
+  EntityDefinition def;
+  def.name = "textbook";
+  def.primary_table = "Textbooks";
+  def.key_column = "BookID";
+  def.display_column = "Title";
+  def.fields = {
+      {"title", 3.0, "Textbooks", "Title", "BookID", ""},
+      // The course the book was reported for, through Textbooks.CourseID.
+      {"course_title", 2.0, "Courses", "Title", "CourseID", "CourseID"},
+      {"course_description", 1.0, "Courses", "Description", "CourseID",
+       "CourseID"},
+  };
+  return def;
+}
+
+}  // namespace courserank::search

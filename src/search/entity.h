@@ -1,0 +1,86 @@
+#ifndef COURSERANK_SEARCH_ENTITY_H_
+#define COURSERANK_SEARCH_ENTITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/value.h"
+
+namespace courserank::search {
+
+using storage::Database;
+using storage::Value;
+
+/// One text field of a search entity. The paper's course entity includes
+/// "not just its title and description, but all the comments made by
+/// students about the course" (§3.1) — so a field may live on the entity's
+/// primary table or on a related table joined by key.
+struct EntityField {
+  std::string name;         ///< e.g. "title", "comments"
+  double weight = 1.0;      ///< ranking weight (title > description > ...)
+  std::string table;        ///< table holding the text
+  std::string text_column;  ///< the text column in `table`
+  /// Column of `table` that equals the entity key. For fields on the
+  /// primary table this is the key column itself.
+  std::string join_column;
+  /// When non-empty, the join key is taken from this column of the primary
+  /// row instead of the entity key — lets an entity pull text through a
+  /// foreign key (e.g. a textbook's course title via Textbooks.CourseID).
+  std::string key_from_column;
+};
+
+/// A search entity spanning multiple relations (paper §3.1).
+struct EntityDefinition {
+  std::string name;            ///< e.g. "course"
+  std::string primary_table;   ///< e.g. "Courses"
+  std::string key_column;      ///< e.g. "CourseID"
+  std::string display_column;  ///< shown in result lists, e.g. "Title"
+  std::vector<EntityField> fields;
+};
+
+/// One materialized entity: key, display string, and the concatenated text
+/// of each field (parallel to EntityDefinition::fields).
+struct EntityDocument {
+  Value key;
+  std::string display;
+  std::vector<std::string> field_texts;
+};
+
+/// Materializes entity documents from the database by scanning the primary
+/// table and gathering related-field text through indexed joins.
+class EntityExtractor {
+ public:
+  EntityExtractor(const Database* db, EntityDefinition def)
+      : db_(db), def_(std::move(def)) {}
+
+  const EntityDefinition& definition() const { return def_; }
+
+  /// All entities, in primary-table scan order.
+  Result<std::vector<EntityDocument>> ExtractAll() const;
+
+  /// One entity by key; NotFound when the key does not exist.
+  Result<EntityDocument> ExtractOne(const Value& key) const;
+
+ private:
+  Result<EntityDocument> BuildDocument(const storage::Row& primary_row) const;
+
+  const Database* db_;
+  EntityDefinition def_;
+};
+
+/// The canonical CourseRank course entity over the standard schema: title
+/// (weight 3), description (1.5), instructor names (2), student comments
+/// (1). Matches the paper's example of what a course entity spans.
+EntityDefinition MakeCourseEntity();
+
+/// Textbook entity (§3.1: "We could easily expand searching with clouds to
+/// other entities, such as books and instructors"): book title plus the
+/// title and description of the course it was reported for (joined through
+/// the book's CourseID via EntityField::key_from_column).
+EntityDefinition MakeTextbookEntity();
+
+}  // namespace courserank::search
+
+#endif  // COURSERANK_SEARCH_ENTITY_H_

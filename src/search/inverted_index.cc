@@ -1,0 +1,186 @@
+#include "search/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace courserank::search {
+
+using storage::Row;
+
+InvertedIndex::InvertedIndex(EntityDefinition def,
+                             text::AnalyzerOptions analyzer_options)
+    : def_(std::move(def)), analyzer_(analyzer_options) {
+  field_length_sums_.assign(def_.fields.size(), 0.0);
+}
+
+Status InvertedIndex::Build(const Database& db) {
+  if (!docs_.empty()) {
+    return Status::FailedPrecondition("Build on non-empty index");
+  }
+  EntityExtractor extractor(&db, def_);
+  CR_ASSIGN_OR_RETURN(std::vector<EntityDocument> docs,
+                      extractor.ExtractAll());
+  for (EntityDocument& doc : docs) {
+    CR_RETURN_IF_ERROR(AddDocument(std::move(doc)).status());
+  }
+  return Status::OK();
+}
+
+TermId InvertedIndex::InternTerm(const std::string& term) {
+  auto it = term_ids_.find(term);
+  if (it != term_ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(dictionary_.size());
+  dictionary_.push_back(term);
+  term_ids_.emplace(term, id);
+  return id;
+}
+
+Result<DocId> InvertedIndex::AddDocument(EntityDocument doc) {
+  if (doc.field_texts.size() != def_.fields.size()) {
+    return Status::InvalidArgument("document has wrong field count");
+  }
+  Row key_row{doc.key};
+  if (auto it = by_key_.find(key_row);
+      it != by_key_.end() && !deleted_[it->second]) {
+    return Status::AlreadyExists("entity key " + doc.key.ToString() +
+                                 " already indexed");
+  }
+
+  DocId id = static_cast<DocId>(docs_.size());
+
+  // Per-field term counts; also accumulate doc-level unigram/bigram counts.
+  std::map<TermId, uint32_t> doc_unigrams;
+  std::map<TermId, uint32_t> doc_bigrams;
+  std::vector<uint32_t> lengths(def_.fields.size(), 0);
+
+  for (size_t f = 0; f < def_.fields.size(); ++f) {
+    std::vector<text::AnalyzedToken> tokens =
+        analyzer_.Analyze(doc.field_texts[f]);
+    lengths[f] = static_cast<uint32_t>(tokens.size());
+
+    std::map<TermId, uint32_t> field_counts;
+    for (const text::AnalyzedToken& t : tokens) {
+      TermId tid = InternTerm(t.term);
+      ++field_counts[tid];
+      ++doc_unigrams[tid];
+      surfaces_.Record(t.term, t.surface);
+    }
+    for (const text::AnalyzedToken& bg : text::Analyzer::Bigrams(tokens)) {
+      TermId tid = InternTerm(bg.term);
+      ++doc_bigrams[tid];
+      surfaces_.Record(bg.term, bg.surface);
+    }
+    for (const auto& [tid, tf] : field_counts) {
+      postings_[tid].push_back({id, static_cast<uint16_t>(f), tf});
+    }
+  }
+
+  DocTermVector vec;
+  vec.unigrams.assign(doc_unigrams.begin(), doc_unigrams.end());
+  vec.bigrams.assign(doc_bigrams.begin(), doc_bigrams.end());
+  for (const auto& [tid, tf] : vec.unigrams) ++doc_freq_[tid];
+  for (const auto& [tid, tf] : vec.bigrams) ++bigram_doc_freq_[tid];
+  for (size_t f = 0; f < lengths.size(); ++f) {
+    field_length_sums_[f] += lengths[f];
+  }
+
+  by_key_[key_row] = id;
+  docs_.push_back(std::move(doc));
+  doc_terms_.push_back(std::move(vec));
+  field_lengths_.push_back(std::move(lengths));
+  deleted_.push_back(false);
+  ++live_docs_;
+  return id;
+}
+
+Status InvertedIndex::RemoveByKey(const Value& key) {
+  auto it = by_key_.find(Row{key});
+  if (it == by_key_.end() || deleted_[it->second]) {
+    return Status::NotFound("entity key " + key.ToString() + " not indexed");
+  }
+  DocId id = it->second;
+  deleted_[id] = true;
+  --live_docs_;
+  for (const auto& [tid, tf] : doc_terms_[id].unigrams) {
+    auto df = doc_freq_.find(tid);
+    if (df != doc_freq_.end() && df->second > 0) --df->second;
+  }
+  for (const auto& [tid, tf] : doc_terms_[id].bigrams) {
+    auto df = bigram_doc_freq_.find(tid);
+    if (df != bigram_doc_freq_.end() && df->second > 0) --df->second;
+  }
+  for (size_t f = 0; f < field_lengths_[id].size(); ++f) {
+    field_length_sums_[f] -= field_lengths_[id][f];
+  }
+  by_key_.erase(it);
+  return Status::OK();
+}
+
+Status InvertedIndex::Refresh(const Database& db, const Value& key) {
+  // Remove (if present) then re-extract and add.
+  Status removed = RemoveByKey(key);
+  if (!removed.ok() && removed.code() != StatusCode::kNotFound) {
+    return removed;
+  }
+  EntityExtractor extractor(&db, def_);
+  CR_ASSIGN_OR_RETURN(EntityDocument doc, extractor.ExtractOne(key));
+  return AddDocument(std::move(doc)).status();
+}
+
+Result<DocId> InvertedIndex::FindByKey(const Value& key) const {
+  auto it = by_key_.find(Row{key});
+  if (it == by_key_.end() || deleted_[it->second]) {
+    return Status::NotFound("entity key " + key.ToString() + " not indexed");
+  }
+  return it->second;
+}
+
+TermId InvertedIndex::LookupTerm(const std::string& term) const {
+  auto it = term_ids_.find(term);
+  return it == term_ids_.end() ? kNoTerm : it->second;
+}
+
+const std::vector<Posting>* InvertedIndex::Postings(TermId term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+size_t InvertedIndex::DocFrequency(TermId term) const {
+  auto it = doc_freq_.find(term);
+  return it == doc_freq_.end() ? 0 : it->second;
+}
+
+size_t InvertedIndex::BigramDocFrequency(TermId term) const {
+  auto it = bigram_doc_freq_.find(term);
+  return it == bigram_doc_freq_.end() ? 0 : it->second;
+}
+
+double InvertedIndex::Idf(TermId term) const {
+  double df = static_cast<double>(DocFrequency(term));
+  double n = static_cast<double>(live_docs_);
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+double InvertedIndex::BigramIdf(TermId term) const {
+  double df = static_cast<double>(BigramDocFrequency(term));
+  double n = static_cast<double>(live_docs_);
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+double InvertedIndex::AvgFieldLength(size_t field) const {
+  if (live_docs_ == 0) return 1.0;
+  double avg = field_length_sums_[field] / static_cast<double>(live_docs_);
+  return avg < 1.0 ? 1.0 : avg;
+}
+
+std::vector<DocId> InvertedIndex::AllLiveDocs() const {
+  std::vector<DocId> out;
+  out.reserve(live_docs_);
+  for (DocId id = 0; id < docs_.size(); ++id) {
+    if (!deleted_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace courserank::search

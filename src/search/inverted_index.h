@@ -1,0 +1,143 @@
+#ifndef COURSERANK_SEARCH_INVERTED_INDEX_H_
+#define COURSERANK_SEARCH_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "search/entity.h"
+#include "text/analyzer.h"
+
+namespace courserank::search {
+
+/// Internal document number; dense, assigned at add time. Tombstoned on
+/// removal (postings are filtered lazily at query time).
+using DocId = uint32_t;
+
+/// Interned term number.
+using TermId = uint32_t;
+
+constexpr TermId kNoTerm = static_cast<TermId>(-1);
+
+/// One posting: a (document, field) pair with the term frequency in that
+/// field.
+struct Posting {
+  DocId doc;
+  uint16_t field;
+  uint32_t tf;
+};
+
+/// Precomputed per-document term statistics used to build data clouds
+/// without re-tokenizing result documents (DESIGN.md ablation E5).
+struct DocTermVector {
+  std::vector<std::pair<TermId, uint32_t>> unigrams;  ///< sorted by TermId
+  std::vector<std::pair<TermId, uint32_t>> bigrams;   ///< sorted by TermId
+};
+
+/// Field-aware inverted index over one entity type. Supports incremental
+/// add/remove so user-contributed content (comments) can update the course
+/// entity without a full rebuild.
+class InvertedIndex {
+ public:
+  InvertedIndex(EntityDefinition def,
+                text::AnalyzerOptions analyzer_options = {});
+
+  const EntityDefinition& definition() const { return def_; }
+  const text::Analyzer& analyzer() const { return analyzer_; }
+
+  /// Extracts every entity from `db` and indexes it. May be called on an
+  /// empty index only.
+  Status Build(const Database& db);
+
+  /// Indexes one document; fails on duplicate live key.
+  Result<DocId> AddDocument(EntityDocument doc);
+
+  /// Tombstones the document with the given entity key.
+  Status RemoveByKey(const Value& key);
+
+  /// Re-extracts one entity from `db` and replaces its indexed form (used
+  /// when a comment is added to a course).
+  Status Refresh(const Database& db, const Value& key);
+
+  // ---- read API ----
+
+  size_t num_docs() const { return live_docs_; }
+  size_t num_terms() const { return dictionary_.size(); }
+
+  bool IsLive(DocId doc) const { return doc < docs_.size() && !deleted_[doc]; }
+
+  /// Document metadata. Caller must check IsLive first for semantics;
+  /// tombstoned docs still return their last content.
+  const EntityDocument& doc(DocId id) const { return docs_[id]; }
+
+  /// Doc id for a live entity key, or NotFound.
+  Result<DocId> FindByKey(const Value& key) const;
+
+  TermId LookupTerm(const std::string& term) const;
+  const std::string& TermString(TermId id) const { return dictionary_[id]; }
+
+  /// Postings for a term (includes tombstoned docs; filter with IsLive).
+  /// nullptr when the term is absent.
+  const std::vector<Posting>* Postings(TermId term) const;
+
+  /// Number of live documents containing the term (any field). Maintained
+  /// incrementally.
+  size_t DocFrequency(TermId term) const;
+
+  /// Smoothed idf: ln(1 + (N - df + 0.5) / (df + 0.5)).
+  double Idf(TermId term) const;
+
+  /// idf over bigram statistics (bigrams are tracked separately from the
+  /// postings lists; they serve the data cloud, not retrieval scoring).
+  double BigramIdf(TermId term) const;
+  size_t BigramDocFrequency(TermId term) const;
+
+  /// Per-document precomputed term vector (unigrams + bigrams).
+  const DocTermVector& doc_terms(DocId id) const { return doc_terms_[id]; }
+
+  /// Length (token count after analysis) of a document field.
+  uint32_t FieldLength(DocId doc, size_t field) const {
+    return field_lengths_[doc][field];
+  }
+
+  /// Mean analyzed length of `field` over live docs (>= 1 for stability).
+  double AvgFieldLength(size_t field) const;
+
+  /// Most frequent surface form for a term, for cloud display.
+  const std::string& DisplayForm(const std::string& term) const {
+    return surfaces_.DisplayForm(term);
+  }
+
+  /// All live doc ids.
+  std::vector<DocId> AllLiveDocs() const;
+
+ private:
+  TermId InternTerm(const std::string& term);
+
+  EntityDefinition def_;
+  text::Analyzer analyzer_;
+
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, TermId> term_ids_;
+
+  std::unordered_map<TermId, std::vector<Posting>> postings_;
+  std::unordered_map<TermId, size_t> doc_freq_;         // live docs per term
+  std::unordered_map<TermId, size_t> bigram_doc_freq_;  // live docs per bigram
+
+  std::vector<EntityDocument> docs_;
+  std::vector<DocTermVector> doc_terms_;
+  std::vector<std::vector<uint32_t>> field_lengths_;
+  std::vector<bool> deleted_;
+  std::unordered_map<storage::Row, DocId, storage::RowHash> by_key_;
+  size_t live_docs_ = 0;
+
+  std::vector<double> field_length_sums_;  // over live docs
+
+  text::SurfaceRegistry surfaces_;
+};
+
+}  // namespace courserank::search
+
+#endif  // COURSERANK_SEARCH_INVERTED_INDEX_H_

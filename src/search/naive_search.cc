@@ -1,0 +1,42 @@
+#include "search/naive_search.h"
+
+#include <algorithm>
+#include <map>
+
+namespace courserank::search {
+
+Result<std::vector<NaiveSearcher::Hit>> NaiveSearcher::Search(
+    const std::string& query) const {
+  std::vector<std::string> terms = analyzer_.AnalyzeQuery(query);
+  std::vector<Hit> hits;
+  if (terms.empty()) return hits;
+
+  CR_ASSIGN_OR_RETURN(std::vector<EntityDocument> docs,
+                      extractor_.ExtractAll());
+  for (const EntityDocument& doc : docs) {
+    std::map<std::string, uint32_t> counts;
+    for (const std::string& field : doc.field_texts) {
+      for (const text::AnalyzedToken& t : analyzer_.Analyze(field)) {
+        ++counts[t.term];
+      }
+    }
+    double score = 0.0;
+    bool all = true;
+    for (const std::string& t : terms) {
+      auto it = counts.find(t);
+      if (it == counts.end()) {
+        all = false;
+        break;
+      }
+      score += it->second;
+    }
+    if (all) hits.push_back({doc.key, doc.display, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.key < b.key;
+  });
+  return hits;
+}
+
+}  // namespace courserank::search

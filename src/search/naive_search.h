@@ -1,0 +1,39 @@
+#ifndef COURSERANK_SEARCH_NAIVE_SEARCH_H_
+#define COURSERANK_SEARCH_NAIVE_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "search/entity.h"
+#include "text/analyzer.h"
+
+namespace courserank::search {
+
+/// The "traditional database application" baseline (DESIGN.md E5): a full
+/// scan that re-extracts and re-tokenizes every entity per query, with no
+/// index and no ranking beyond raw term frequency. Exists to quantify what
+/// the inverted index buys on the paper-scale catalog.
+class NaiveSearcher {
+ public:
+  NaiveSearcher(const Database* db, EntityDefinition def,
+                text::AnalyzerOptions analyzer_options = {})
+      : extractor_(db, std::move(def)), analyzer_(analyzer_options) {}
+
+  struct Hit {
+    Value key;
+    std::string display;
+    double score;  ///< total term frequency across fields
+  };
+
+  /// Conjunctive containment search; descending raw-tf order.
+  Result<std::vector<Hit>> Search(const std::string& query) const;
+
+ private:
+  EntityExtractor extractor_;
+  text::Analyzer analyzer_;
+};
+
+}  // namespace courserank::search
+
+#endif  // COURSERANK_SEARCH_NAIVE_SEARCH_H_

@@ -1,0 +1,165 @@
+#include "search/searcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace courserank::search {
+
+namespace {
+
+/// Binary search in a sorted (TermId, count) vector.
+uint32_t CountOf(const std::vector<std::pair<TermId, uint32_t>>& vec,
+                 TermId term) {
+  auto it = std::lower_bound(
+      vec.begin(), vec.end(), term,
+      [](const std::pair<TermId, uint32_t>& p, TermId t) { return p.first < t; });
+  if (it == vec.end() || it->first != term) return 0;
+  return it->second;
+}
+
+}  // namespace
+
+std::vector<std::string> Searcher::AnalyzeTermText(const std::string& text,
+                                                   bool as_phrase) const {
+  std::vector<std::string> unigrams =
+      index_->analyzer().AnalyzeQuery(text);
+  if (!as_phrase || unigrams.size() < 2) return unigrams;
+  // Cloud terms are at most two words; join the first two as a bigram term.
+  return {unigrams[0] + " " + unigrams[1]};
+}
+
+bool Searcher::DocContains(DocId doc, const std::string& term) const {
+  const DocTermVector& vec = index_->doc_terms(doc);
+  bool is_phrase = term.find(' ') != std::string::npos;
+  TermId tid = index_->LookupTerm(term);
+  if (tid == kNoTerm) return false;
+  return CountOf(is_phrase ? vec.bigrams : vec.unigrams, tid) > 0;
+}
+
+double Searcher::ScoreTerm(DocId doc, const std::string& term) const {
+  TermId tid = index_->LookupTerm(term);
+  if (tid == kNoTerm) return 0.0;
+  bool is_phrase = term.find(' ') != std::string::npos;
+
+  if (is_phrase) {
+    // Phrase terms come from cloud clicks; score them with a doc-level
+    // saturating tf on the bigram statistics.
+    uint32_t tf = CountOf(index_->doc_terms(doc).bigrams, tid);
+    if (tf == 0) return 0.0;
+    double tfd = static_cast<double>(tf);
+    return index_->BigramIdf(tid) * tfd / (options_.k1 + tfd);
+  }
+
+  if (options_.ranking == RankingMode::kTfIdf) {
+    uint32_t tf = CountOf(index_->doc_terms(doc).unigrams, tid);
+    if (tf == 0) return 0.0;
+    return index_->Idf(tid) * (1.0 + std::log(static_cast<double>(tf)));
+  }
+
+  // BM25F: per-field normalized tf, weighted, saturated once.
+  const std::vector<Posting>* postings = index_->Postings(tid);
+  if (postings == nullptr) return 0.0;
+  auto it = std::lower_bound(
+      postings->begin(), postings->end(), doc,
+      [](const Posting& p, DocId d) { return p.doc < d; });
+  double wtf = 0.0;
+  const auto& fields = index_->definition().fields;
+  for (; it != postings->end() && it->doc == doc; ++it) {
+    double len = static_cast<double>(index_->FieldLength(doc, it->field));
+    double avg = index_->AvgFieldLength(it->field);
+    double norm = 1.0 - options_.b + options_.b * (len / avg);
+    wtf += fields[it->field].weight * static_cast<double>(it->tf) / norm;
+  }
+  if (wtf <= 0.0) return 0.0;
+  return index_->Idf(tid) * wtf / (options_.k1 + wtf);
+}
+
+Result<ResultSet> Searcher::Search(const std::string& query) const {
+  return SearchTerms(index_->analyzer().AnalyzeQuery(query));
+}
+
+Result<ResultSet> Searcher::SearchTerms(
+    const std::vector<std::string>& terms) const {
+  ResultSet out;
+  out.terms = terms;
+  if (terms.empty()) return out;
+
+  // Pick the rarest term's postings as the candidate enumerator. For phrase
+  // terms, enumerate on the first component word.
+  size_t best = 0;
+  size_t best_df = static_cast<size_t>(-1);
+  std::vector<std::string> enum_words(terms.size());
+  for (size_t i = 0; i < terms.size(); ++i) {
+    size_t space = terms[i].find(' ');
+    enum_words[i] =
+        space == std::string::npos ? terms[i] : terms[i].substr(0, space);
+    TermId tid = index_->LookupTerm(enum_words[i]);
+    if (tid == kNoTerm) return out;  // conjunctive: a dead term empties all
+    size_t df = index_->DocFrequency(tid);
+    if (df < best_df) {
+      best_df = df;
+      best = i;
+    }
+  }
+
+  TermId enum_tid = index_->LookupTerm(enum_words[best]);
+  const std::vector<Posting>* postings = index_->Postings(enum_tid);
+  if (postings == nullptr) return out;
+
+  DocId prev = static_cast<DocId>(-1);
+  for (const Posting& p : *postings) {
+    if (p.doc == prev) continue;  // postings grouped by doc
+    prev = p.doc;
+    if (!index_->IsLive(p.doc)) continue;
+    bool all = true;
+    for (const std::string& t : terms) {
+      if (!DocContains(p.doc, t)) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    double score = 0.0;
+    for (const std::string& t : terms) score += ScoreTerm(p.doc, t);
+    out.hits.push_back({p.doc, score});
+  }
+
+  std::sort(out.hits.begin(), out.hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (options_.max_results > 0 && out.hits.size() > options_.max_results) {
+    out.hits.resize(options_.max_results);
+  }
+  return out;
+}
+
+Result<ResultSet> Searcher::Refine(const ResultSet& prior,
+                                   const std::string& term) const {
+  std::vector<std::string> analyzed = AnalyzeTermText(term, /*as_phrase=*/true);
+  if (analyzed.empty()) {
+    return Status::InvalidArgument("refinement term '" + term +
+                                   "' has no content words");
+  }
+  const std::string& new_term = analyzed[0];
+
+  ResultSet out;
+  out.terms = prior.terms;
+  out.terms.push_back(new_term);
+  for (const SearchHit& hit : prior.hits) {
+    if (!index_->IsLive(hit.doc)) continue;
+    if (!DocContains(hit.doc, new_term)) continue;
+    out.hits.push_back({hit.doc, hit.score + ScoreTerm(hit.doc, new_term)});
+  }
+  std::sort(out.hits.begin(), out.hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  return out;
+}
+
+}  // namespace courserank::search

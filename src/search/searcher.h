@@ -1,0 +1,86 @@
+#ifndef COURSERANK_SEARCH_SEARCHER_H_
+#define COURSERANK_SEARCH_SEARCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "search/inverted_index.h"
+
+namespace courserank::search {
+
+/// How matched entities are scored. kBm25f is the default field-weighted
+/// ranking (title hits beat comment hits — the paper's §3.1 ranking
+/// question); kTfIdf is the flat baseline used for the ablation.
+enum class RankingMode { kBm25f, kTfIdf };
+
+struct SearchOptions {
+  RankingMode ranking = RankingMode::kBm25f;
+  /// 0 = unlimited.
+  size_t max_results = 0;
+  /// BM25 parameters.
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+struct SearchHit {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+/// A ranked result set, retaining the analyzed query so data clouds can be
+/// computed and refined against it.
+struct ResultSet {
+  /// Analyzed query terms. Unigram terms are index terms; phrase terms
+  /// ("latin american" from a cloud click) contain a space and match
+  /// against the document bigram vectors.
+  std::vector<std::string> terms;
+  std::vector<SearchHit> hits;  ///< descending score
+
+  size_t size() const { return hits.size(); }
+};
+
+/// Conjunctive keyword search over an InvertedIndex: every query term must
+/// appear somewhere in the entity (any field). This is the engine behind
+/// Fig. 3/4.
+class Searcher {
+ public:
+  explicit Searcher(const InvertedIndex* index, SearchOptions options = {})
+      : index_(index), options_(options) {}
+
+  /// Free-text query: analyzed into unigram terms; multi-word queries are
+  /// conjunctive ("greek science" requires both terms).
+  Result<ResultSet> Search(const std::string& query) const;
+
+  /// Refinement (cloud click): conjoins `term` — a display-form term from a
+  /// data cloud, possibly a two-word phrase — onto a previous result set.
+  /// The intersection is computed on the prior hits, not from scratch
+  /// (DESIGN.md ablation: refinement vs re-query).
+  Result<ResultSet> Refine(const ResultSet& prior,
+                           const std::string& term) const;
+
+  /// Runs the full conjunctive query from scratch (used to cross-check
+  /// Refine and by the refinement ablation bench).
+  Result<ResultSet> SearchTerms(const std::vector<std::string>& terms) const;
+
+  const SearchOptions& options() const { return options_; }
+
+ private:
+  /// True when the live document contains the (possibly phrase) term.
+  bool DocContains(DocId doc, const std::string& term) const;
+
+  /// Per-term score contribution of a document.
+  double ScoreTerm(DocId doc, const std::string& term) const;
+
+  /// Analyzes raw text to query terms; a phrase of two analyzed terms is
+  /// kept as a bigram term when `as_phrase`.
+  std::vector<std::string> AnalyzeTermText(const std::string& text,
+                                           bool as_phrase) const;
+
+  const InvertedIndex* index_;
+  SearchOptions options_;
+};
+
+}  // namespace courserank::search
+
+#endif  // COURSERANK_SEARCH_SEARCHER_H_

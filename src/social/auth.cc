@@ -1,0 +1,64 @@
+#include "social/auth.h"
+
+#include "storage/value.h"
+
+namespace courserank::social {
+
+using storage::Row;
+using storage::Table;
+using storage::Value;
+
+Status AuthService::RegisterUser(UserId id, const std::string& name,
+                                 Role role) {
+  return db_
+      ->Insert("Users",
+               {Value(id), Value(name), Value(std::string(RoleName(role)))})
+      .status();
+}
+
+bool AuthService::IsMember(UserId id) const {
+  const Table* users = db_->FindTable("Users");
+  if (users == nullptr) return false;
+  return users->FindByPrimaryKey({Value(id)}).ok();
+}
+
+Result<Role> AuthService::RoleOf(UserId id) const {
+  CR_ASSIGN_OR_RETURN(const Table* users, db_->GetTable("Users"));
+  CR_ASSIGN_OR_RETURN(storage::RowId rid,
+                      users->FindByPrimaryKey({Value(id)}));
+  const Row* row = users->Get(rid);
+  CR_ASSIGN_OR_RETURN(size_t ci, users->schema().ColumnIndex("Role"));
+  return ParseRole((*row)[ci].AsString());
+}
+
+Status AuthService::Require(UserId id, Role role) const {
+  auto actual = RoleOf(id);
+  if (!actual.ok()) {
+    return Status::PermissionDenied("user " + std::to_string(id) +
+                                    " is not a member of the community");
+  }
+  if (*actual != role) {
+    return Status::PermissionDenied(
+        "user " + std::to_string(id) + " is a " + RoleName(*actual) +
+        "; this action requires role " + RoleName(role));
+  }
+  return Status::OK();
+}
+
+Status AuthService::RequireMember(UserId id) const {
+  if (!IsMember(id)) {
+    return Status::PermissionDenied("user " + std::to_string(id) +
+                                    " is not a member of the community");
+  }
+  return Status::OK();
+}
+
+Result<std::string> AuthService::NameOf(UserId id) const {
+  CR_ASSIGN_OR_RETURN(const Table* users, db_->GetTable("Users"));
+  CR_ASSIGN_OR_RETURN(storage::RowId rid,
+                      users->FindByPrimaryKey({Value(id)}));
+  CR_ASSIGN_OR_RETURN(size_t ci, users->schema().ColumnIndex("Name"));
+  return users->Get(rid)->at(ci).AsString();
+}
+
+}  // namespace courserank::social

@@ -1,0 +1,46 @@
+#ifndef COURSERANK_SOCIAL_AUTH_H_
+#define COURSERANK_SOCIAL_AUTH_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "social/model.h"
+#include "storage/database.h"
+
+namespace courserank::social {
+
+/// Role-based access control over the Users table. CourseRank validates
+/// every user against official university ids (paper §2.1 "Restricted
+/// Access"): there are no anonymous users, no fake ids, and each id carries
+/// exactly one role.
+class AuthService {
+ public:
+  explicit AuthService(storage::Database* db) : db_(db) {}
+
+  /// Registers a user in the directory; ids are assigned by the caller
+  /// (they come from the university registry, not from us).
+  Status RegisterUser(UserId id, const std::string& name, Role role);
+
+  /// True when the id is in the directory.
+  bool IsMember(UserId id) const;
+
+  /// Role of a member; NotFound for non-members.
+  Result<Role> RoleOf(UserId id) const;
+
+  /// OK only when the user exists and has `role` — the standard guard for
+  /// constituency-specific features.
+  Status Require(UserId id, Role role) const;
+
+  /// OK when the user exists (any role).
+  Status RequireMember(UserId id) const;
+
+  /// Display name; NotFound for non-members.
+  Result<std::string> NameOf(UserId id) const;
+
+ private:
+  storage::Database* db_;
+};
+
+}  // namespace courserank::social
+
+#endif  // COURSERANK_SOCIAL_AUTH_H_

@@ -1,0 +1,82 @@
+#include "social/comments.h"
+
+#include <algorithm>
+
+#include "storage/value.h"
+
+namespace courserank::social {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+using storage::Value;
+
+double CommentRanker::TrustScore(int helpful, int unhelpful,
+                                 double author_reputation,
+                                 size_t text_length) const {
+  double votes = static_cast<double>(helpful + unhelpful);
+  // Smoothed helpfulness: prior mass votes split per author reputation.
+  double smoothed =
+      (static_cast<double>(helpful) + options_.vote_prior * author_reputation) /
+      (votes + options_.vote_prior);
+  // Confidence grows with vote volume.
+  double confidence = votes / (votes + options_.vote_prior);
+  double base = smoothed * (0.5 + 0.5 * confidence);
+  double blended = (1.0 - options_.author_weight) * base +
+                   options_.author_weight * author_reputation;
+  if (text_length < options_.min_length) blended *= options_.short_penalty;
+  return blended;
+}
+
+Result<double> CommentRanker::AuthorReputation(UserId author) const {
+  CR_ASSIGN_OR_RETURN(const Table* comments, db_->GetTable("Comments"));
+  CR_ASSIGN_OR_RETURN(size_t h_ci, comments->schema().ColumnIndex("Helpful"));
+  CR_ASSIGN_OR_RETURN(size_t u_ci,
+                      comments->schema().ColumnIndex("Unhelpful"));
+  int64_t helpful = 0;
+  int64_t total = 0;
+  for (RowId id : comments->LookupEqual({"SuID"}, {Value(author)})) {
+    const Row* row = comments->Get(id);
+    if (row == nullptr) continue;
+    helpful += (*row)[h_ci].AsInt();
+    total += (*row)[h_ci].AsInt() + (*row)[u_ci].AsInt();
+  }
+  // Laplace smoothing toward 0.5 for unknown authors.
+  return (static_cast<double>(helpful) + 1.0) /
+         (static_cast<double>(total) + 2.0);
+}
+
+Result<std::vector<ScoredComment>> CommentRanker::RankedForCourse(
+    CourseId course) const {
+  CR_ASSIGN_OR_RETURN(const Table* comments, db_->GetTable("Comments"));
+  const auto& schema = comments->schema();
+  CR_ASSIGN_OR_RETURN(size_t id_ci, schema.ColumnIndex("CommentID"));
+  CR_ASSIGN_OR_RETURN(size_t su_ci, schema.ColumnIndex("SuID"));
+  CR_ASSIGN_OR_RETURN(size_t text_ci, schema.ColumnIndex("Text"));
+  CR_ASSIGN_OR_RETURN(size_t h_ci, schema.ColumnIndex("Helpful"));
+  CR_ASSIGN_OR_RETURN(size_t u_ci, schema.ColumnIndex("Unhelpful"));
+
+  std::vector<ScoredComment> out;
+  for (RowId rid : comments->LookupEqual({"CourseID"}, {Value(course)})) {
+    const Row* row = comments->Get(rid);
+    if (row == nullptr) continue;
+    ScoredComment sc;
+    sc.id = (*row)[id_ci].AsInt();
+    sc.author = (*row)[su_ci].AsInt();
+    sc.course = course;
+    sc.text = (*row)[text_ci].AsString();
+    sc.helpful = static_cast<int>((*row)[h_ci].AsInt());
+    sc.unhelpful = static_cast<int>((*row)[u_ci].AsInt());
+    CR_ASSIGN_OR_RETURN(double rep, AuthorReputation(sc.author));
+    sc.trust = TrustScore(sc.helpful, sc.unhelpful, rep, sc.text.size());
+    out.push_back(std::move(sc));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredComment& a, const ScoredComment& b) {
+              if (a.trust != b.trust) return a.trust > b.trust;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace courserank::social

@@ -1,0 +1,63 @@
+#ifndef COURSERANK_SOCIAL_COMMENTS_H_
+#define COURSERANK_SOCIAL_COMMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "social/model.h"
+#include "storage/database.h"
+
+namespace courserank::social {
+
+/// One comment with its computed quality/trust score. Students "rank the
+/// accuracy of each others' comments" (paper §2); the score combines
+/// community votes with author standing and content signals so comment
+/// lists surface trustworthy reviews first.
+struct ScoredComment {
+  CommentId id = 0;
+  UserId author = 0;
+  CourseId course = 0;
+  std::string text;
+  int helpful = 0;
+  int unhelpful = 0;
+  double trust = 0.0;
+};
+
+/// Quality knobs.
+struct TrustOptions {
+  /// Wilson-style smoothing pseudo-votes.
+  double vote_prior = 2.0;
+  /// Weight of the author's historical helpfulness across all comments.
+  double author_weight = 0.3;
+  /// Comments shorter than this many characters are penalized (drive-by
+  /// one-liners carry little information).
+  size_t min_length = 40;
+  double short_penalty = 0.5;
+};
+
+/// Computes trust scores and ranked comment lists.
+class CommentRanker {
+ public:
+  CommentRanker(const storage::Database* db, TrustOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Comments of one course, highest trust first.
+  Result<std::vector<ScoredComment>> RankedForCourse(CourseId course) const;
+
+  /// The author's historical helpfulness ratio in [0,1] (smoothed); 0.5 for
+  /// authors with no voted comments.
+  Result<double> AuthorReputation(UserId author) const;
+
+  /// Trust of a single comment given its vote counts and author reputation.
+  double TrustScore(int helpful, int unhelpful, double author_reputation,
+                    size_t text_length) const;
+
+ private:
+  const storage::Database* db_;
+  TrustOptions options_;
+};
+
+}  // namespace courserank::social
+
+#endif  // COURSERANK_SOCIAL_COMMENTS_H_

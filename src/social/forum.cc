@@ -1,0 +1,116 @@
+#include "social/forum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/value.h"
+
+namespace courserank::social {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+using storage::Value;
+
+Status QuestionRouter::Build() {
+  profiles_.clear();
+  term_profiles_.clear();
+
+  auto absorb = [&](UserId user, const std::string& text) {
+    auto& profile = profiles_[user];
+    for (const text::AnalyzedToken& t : analyzer_.Analyze(text)) {
+      ++profile[t.term];
+    }
+  };
+
+  // Comments text.
+  CR_ASSIGN_OR_RETURN(const Table* comments, db_->GetTable("Comments"));
+  CR_ASSIGN_OR_RETURN(size_t c_su, comments->schema().ColumnIndex("SuID"));
+  CR_ASSIGN_OR_RETURN(size_t c_text, comments->schema().ColumnIndex("Text"));
+  comments->Scan([&](RowId, const Row& row) {
+    absorb(row[c_su].AsInt(), row[c_text].AsString());
+  });
+
+  // Titles of taken courses.
+  CR_ASSIGN_OR_RETURN(const Table* enrollment, db_->GetTable("Enrollment"));
+  CR_ASSIGN_OR_RETURN(const Table* courses, db_->GetTable("Courses"));
+  CR_ASSIGN_OR_RETURN(size_t e_su, enrollment->schema().ColumnIndex("SuID"));
+  CR_ASSIGN_OR_RETURN(size_t e_course,
+                      enrollment->schema().ColumnIndex("CourseID"));
+  CR_ASSIGN_OR_RETURN(size_t crs_title,
+                      courses->schema().ColumnIndex("Title"));
+  enrollment->Scan([&](RowId, const Row& row) {
+    auto crow_id = courses->FindByPrimaryKey({row[e_course]});
+    if (!crow_id.ok()) return;
+    const Row* crow = courses->Get(*crow_id);
+    if (crow == nullptr) return;
+    absorb(row[e_su].AsInt(), (*crow)[crs_title].AsString());
+  });
+
+  for (const auto& [user, profile] : profiles_) {
+    for (const auto& [term, count] : profile) {
+      ++term_profiles_[term];
+    }
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<QuestionRouter::Candidate>> QuestionRouter::Route(
+    const std::string& question_text, size_t k) const {
+  if (!built_) {
+    return Status::FailedPrecondition("QuestionRouter::Build not called");
+  }
+  std::vector<std::string> terms = analyzer_.AnalyzeQuery(question_text);
+  double n = static_cast<double>(profiles_.size());
+
+  std::vector<Candidate> candidates;
+  for (const auto& [user, profile] : profiles_) {
+    double score = 0.0;
+    for (const std::string& term : terms) {
+      auto it = profile.find(term);
+      if (it == profile.end()) continue;
+      auto df_it = term_profiles_.find(term);
+      double df = df_it == term_profiles_.end()
+                      ? 1.0
+                      : static_cast<double>(df_it->second);
+      double idf = std::log(1.0 + n / df);
+      score += (1.0 + std::log(static_cast<double>(it->second))) * idf;
+    }
+    if (score > 0.0) candidates.push_back({user, score});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user < b.user;
+            });
+  if (candidates.size() > k) candidates.resize(k);
+  return candidates;
+}
+
+std::vector<FaqSeed> DefaultFaqSeeds() {
+  return {
+      {"Who do I see to have my program approved?",
+       "Your department's student services manager approves program sheets; "
+       "bring your planner printout."},
+      {"What is a good introductory class in this department for "
+       "non-majors?",
+       "Look for 100-level courses with high ratings and no prerequisites; "
+       "the course cloud for the department is a good starting point."},
+      {"How do I declare or change my major?",
+       "File the declaration form with the registrar, then have the "
+       "department manager confirm your requirement sheet."},
+      {"Can I take a required course at another university over the "
+       "summer?",
+       "Transfer credit petitions go through the registrar; check with your "
+       "department whether the course satisfies the specific requirement."},
+      {"How many units do I need to graduate?",
+       "180 units total, with at least 60 in your major program; the "
+       "requirement tracker shows your remaining units."},
+      {"What happens if two of my classes overlap?",
+       "The planner flags schedule conflicts; you need instructor consent "
+       "for overlapping lectures."},
+  };
+}
+
+}  // namespace courserank::social

@@ -1,0 +1,62 @@
+#ifndef COURSERANK_SOCIAL_FORUM_H_
+#define COURSERANK_SOCIAL_FORUM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "social/model.h"
+#include "storage/database.h"
+#include "text/analyzer.h"
+
+namespace courserank::social {
+
+/// Routes forum questions "to people who are likely to be able to answer
+/// them" (paper §2.2). A user's expertise profile is the analyzed text of
+/// their comments plus the titles of courses they have taken; a question is
+/// scored against profiles by idf-weighted term overlap.
+class QuestionRouter {
+ public:
+  explicit QuestionRouter(const storage::Database* db) : db_(db) {}
+
+  /// (Re)builds expertise profiles from Comments and Enrollment × Courses.
+  Status Build();
+
+  struct Candidate {
+    UserId user = 0;
+    double score = 0.0;
+  };
+
+  /// Top-k candidate answerers for the question text; users with no term
+  /// overlap are omitted. FailedPrecondition before Build().
+  Result<std::vector<Candidate>> Route(const std::string& question_text,
+                                       size_t k) const;
+
+  size_t num_profiles() const { return profiles_.size(); }
+
+ private:
+  const storage::Database* db_;
+  text::Analyzer analyzer_;
+  bool built_ = false;
+  /// user -> term -> count.
+  std::unordered_map<UserId, std::unordered_map<std::string, uint32_t>>
+      profiles_;
+  /// term -> number of profiles containing it (for idf).
+  std::unordered_map<std::string, size_t> term_profiles_;
+};
+
+/// A frequently-asked question seeded by staff, with the department it
+/// belongs to (paper: '"who do I see to have my program approved?" ...
+/// developed in conjunction with department managers').
+struct FaqSeed {
+  std::string question;
+  std::string answer;
+};
+
+/// The built-in FAQ seed list used to bootstrap the forum.
+std::vector<FaqSeed> DefaultFaqSeeds();
+
+}  // namespace courserank::social
+
+#endif  // COURSERANK_SOCIAL_FORUM_H_

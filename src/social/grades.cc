@@ -1,0 +1,113 @@
+#include "social/grades.h"
+
+#include <cmath>
+
+#include "storage/value.h"
+
+namespace courserank::social {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+using storage::Value;
+
+int64_t GradeDistribution::total() const {
+  int64_t t = 0;
+  for (int64_t c : counts) t += c;
+  return t;
+}
+
+double GradeDistribution::Fraction(size_t i) const {
+  int64_t t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(counts[i]) / static_cast<double>(t);
+}
+
+std::string GradeDistribution::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < kNumGradeBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (!out.empty()) out += " ";
+    out += std::string(kGradeLetters[i]) + ":" + std::to_string(counts[i]);
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+double TotalVariation(const GradeDistribution& a, const GradeDistribution& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < kNumGradeBuckets; ++i) {
+    acc += std::fabs(a.Fraction(i) - b.Fraction(i));
+  }
+  return acc / 2.0;
+}
+
+Result<GradeDistribution> OfficialDistribution(const storage::Database& db,
+                                               CourseId course) {
+  CR_ASSIGN_OR_RETURN(const Table* official, db.GetTable("OfficialGrades"));
+  CR_ASSIGN_OR_RETURN(size_t bucket_ci,
+                      official->schema().ColumnIndex("GradeBucket"));
+  CR_ASSIGN_OR_RETURN(size_t count_ci,
+                      official->schema().ColumnIndex("Count"));
+  GradeDistribution dist;
+  for (RowId id : official->LookupEqual({"CourseID"}, {Value(course)})) {
+    const Row* row = official->Get(id);
+    if (row == nullptr) continue;
+    auto points = GradePointsFor((*row)[bucket_ci].AsString());
+    if (!points.ok()) return points.status();
+    dist.counts[GradeBucket(*points)] += (*row)[count_ci].AsInt();
+  }
+  return dist;
+}
+
+Result<GradeDistribution> SelfReportedDistribution(const storage::Database& db,
+                                                   CourseId course) {
+  CR_ASSIGN_OR_RETURN(const Table* enrollment, db.GetTable("Enrollment"));
+  CR_ASSIGN_OR_RETURN(size_t grade_ci,
+                      enrollment->schema().ColumnIndex("Grade"));
+  GradeDistribution dist;
+  for (RowId id : enrollment->LookupEqual({"CourseID"}, {Value(course)})) {
+    const Row* row = enrollment->Get(id);
+    if (row == nullptr || (*row)[grade_ci].is_null()) continue;
+    CR_ASSIGN_OR_RETURN(double points, (*row)[grade_ci].ToDouble());
+    dist.counts[GradeBucket(points)] += 1;
+  }
+  return dist;
+}
+
+namespace {
+
+template <typename PerCourse>
+Result<GradeDistribution> AggregateOverDept(const storage::Database& db,
+                                            DeptId dept,
+                                            PerCourse per_course) {
+  CR_ASSIGN_OR_RETURN(const Table* courses, db.GetTable("Courses"));
+  CR_ASSIGN_OR_RETURN(size_t id_ci, courses->schema().ColumnIndex("CourseID"));
+  GradeDistribution dist;
+  for (RowId rid : courses->LookupEqual({"DepID"}, {Value(dept)})) {
+    const Row* row = courses->Get(rid);
+    if (row == nullptr) continue;
+    CR_ASSIGN_OR_RETURN(GradeDistribution one,
+                        per_course((*row)[id_ci].AsInt()));
+    for (size_t i = 0; i < kNumGradeBuckets; ++i) {
+      dist.counts[i] += one.counts[i];
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+Result<GradeDistribution> DepartmentSelfReported(const storage::Database& db,
+                                                 DeptId dept) {
+  return AggregateOverDept(db, dept, [&](CourseId c) {
+    return SelfReportedDistribution(db, c);
+  });
+}
+
+Result<GradeDistribution> DepartmentOfficial(const storage::Database& db,
+                                             DeptId dept) {
+  return AggregateOverDept(
+      db, dept, [&](CourseId c) { return OfficialDistribution(db, c); });
+}
+
+}  // namespace courserank::social

@@ -1,0 +1,52 @@
+#ifndef COURSERANK_SOCIAL_GRADES_H_
+#define COURSERANK_SOCIAL_GRADES_H_
+
+#include <array>
+#include <string>
+
+#include "common/status.h"
+#include "social/model.h"
+#include "storage/database.h"
+
+namespace courserank::social {
+
+/// Counts per letter-grade bucket (A+ .. F, kNumGradeBuckets entries).
+struct GradeDistribution {
+  std::array<int64_t, kNumGradeBuckets> counts{};
+
+  int64_t total() const;
+  bool empty() const { return total() == 0; }
+
+  /// Probability mass of bucket i (0 when empty).
+  double Fraction(size_t i) const;
+
+  /// "A+:12 A:30 ..." with zero buckets omitted.
+  std::string ToString() const;
+};
+
+/// Total-variation distance between two distributions in [0,1]:
+/// (1/2) Σ |p_i - q_i|. Used to check the paper's §2.2 observation that
+/// "the official Engineering grade distributions seem to be very close to
+/// the corresponding self-reported ones".
+double TotalVariation(const GradeDistribution& a, const GradeDistribution& b);
+
+/// The registrar's released distribution for a course (OfficialGrades).
+Result<GradeDistribution> OfficialDistribution(const storage::Database& db,
+                                               CourseId course);
+
+/// Distribution of students' self-reported grades for a course
+/// (Enrollment.Grade, NULLs skipped).
+Result<GradeDistribution> SelfReportedDistribution(const storage::Database& db,
+                                                   CourseId course);
+
+/// Aggregated self-reported distribution over all courses of a department.
+Result<GradeDistribution> DepartmentSelfReported(const storage::Database& db,
+                                                 DeptId dept);
+
+/// Aggregated official distribution over all courses of a department.
+Result<GradeDistribution> DepartmentOfficial(const storage::Database& db,
+                                             DeptId dept);
+
+}  // namespace courserank::social
+
+#endif  // COURSERANK_SOCIAL_GRADES_H_

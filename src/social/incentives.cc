@@ -1,0 +1,99 @@
+#include "social/incentives.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "storage/value.h"
+
+namespace courserank::social {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+using storage::Value;
+
+IncentiveScheme IncentiveScheme::YahooAnswers() {
+  IncentiveScheme s;
+  s.rules["login"] = {1, 1};
+  s.rules["answer"] = {2, 0};
+  s.rules["best_answer"] = {10, 0};
+  s.rules["vote_best"] = {1, 0};
+  return s;
+}
+
+IncentiveScheme IncentiveScheme::CourseRank() {
+  IncentiveScheme s;
+  s.rules["comment"] = {3, 5};
+  s.rules["rating"] = {1, 10};
+  s.rules["answer"] = {2, 5};
+  s.rules["best_answer"] = {5, 0};
+  s.rules["report_textbook"] = {2, 5};
+  return s;
+}
+
+Result<int> IncentiveEngine::Record(UserId user, const std::string& action,
+                                    int day) {
+  auto it = scheme_.rules.find(action);
+  if (it == scheme_.rules.end()) return 0;
+  const IncentiveScheme::ActionRule& rule = it->second;
+  if (rule.daily_cap > 0) {
+    CR_ASSIGN_OR_RETURN(int today, CountToday(user, action, day));
+    if (today >= rule.daily_cap) return 0;
+  }
+  CR_ASSIGN_OR_RETURN(Table * ledger, db_->GetTable("PointsLedger"));
+  (void)ledger;
+  int64_t entry = db_->NextSequence("points_entry");
+  CR_RETURN_IF_ERROR(db_->Insert("PointsLedger",
+                                 {Value(entry), Value(user), Value(action),
+                                  Value(rule.points), Value(day)})
+                         .status());
+  return rule.points;
+}
+
+Result<int64_t> IncentiveEngine::PointsOf(UserId user) const {
+  CR_ASSIGN_OR_RETURN(const Table* ledger, db_->GetTable("PointsLedger"));
+  CR_ASSIGN_OR_RETURN(size_t pts_ci, ledger->schema().ColumnIndex("Points"));
+  int64_t total = 0;
+  for (RowId id : ledger->LookupEqual({"UserID"}, {Value(user)})) {
+    const Row* row = ledger->Get(id);
+    if (row != nullptr) total += (*row)[pts_ci].AsInt();
+  }
+  return total;
+}
+
+Result<std::vector<std::pair<UserId, int64_t>>> IncentiveEngine::Leaderboard(
+    size_t n) const {
+  CR_ASSIGN_OR_RETURN(const Table* ledger, db_->GetTable("PointsLedger"));
+  CR_ASSIGN_OR_RETURN(size_t user_ci, ledger->schema().ColumnIndex("UserID"));
+  CR_ASSIGN_OR_RETURN(size_t pts_ci, ledger->schema().ColumnIndex("Points"));
+  std::map<UserId, int64_t> totals;
+  ledger->Scan([&](RowId, const Row& row) {
+    totals[row[user_ci].AsInt()] += row[pts_ci].AsInt();
+  });
+  std::vector<std::pair<UserId, int64_t>> out(totals.begin(), totals.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+Result<int> IncentiveEngine::CountToday(UserId user, const std::string& action,
+                                        int day) const {
+  CR_ASSIGN_OR_RETURN(const Table* ledger, db_->GetTable("PointsLedger"));
+  CR_ASSIGN_OR_RETURN(size_t act_ci, ledger->schema().ColumnIndex("Action"));
+  CR_ASSIGN_OR_RETURN(size_t day_ci, ledger->schema().ColumnIndex("Day"));
+  int count = 0;
+  for (RowId id : ledger->LookupEqual({"UserID"}, {Value(user)})) {
+    const Row* row = ledger->Get(id);
+    if (row == nullptr) continue;
+    if ((*row)[day_ci].AsInt() == day &&
+        EqualsIgnoreCase((*row)[act_ci].AsString(), action)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace courserank::social

@@ -1,0 +1,67 @@
+#ifndef COURSERANK_SOCIAL_INCENTIVES_H_
+#define COURSERANK_SOCIAL_INCENTIVES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "social/model.h"
+#include "storage/database.h"
+
+namespace courserank::social {
+
+/// A configurable point scheme in the style of Yahoo! Answers (paper §2.2
+/// quotes its values: best answer 10, daily login 1, vote-for-best 1). The
+/// paper's lesson is that such schemes are gameable; the engine therefore
+/// supports per-action daily caps and records every award in a ledger so
+/// gaming patterns are auditable.
+struct IncentiveScheme {
+  struct ActionRule {
+    int points = 0;
+    /// Max times this action earns points per user per day (0 = no cap).
+    int daily_cap = 0;
+  };
+  std::map<std::string, ActionRule> rules;
+
+  /// Yahoo! Answers-style scheme from the paper: login 1/day, answer 2,
+  /// best answer 10, vote on best answer 1.
+  static IncentiveScheme YahooAnswers();
+
+  /// CourseRank's implicit scheme: contributions earn modest points,
+  /// tool usage (planning) earns nothing — the tool itself is the incentive
+  /// (paper: "the planner ... is also a sticky feature").
+  static IncentiveScheme CourseRank();
+};
+
+/// Awards points per the active scheme and answers leaderboard queries.
+class IncentiveEngine {
+ public:
+  IncentiveEngine(storage::Database* db, IncentiveScheme scheme)
+      : db_(db), scheme_(std::move(scheme)) {}
+
+  const IncentiveScheme& scheme() const { return scheme_; }
+
+  /// Awards points for `action` on `day` if the scheme has a rule and the
+  /// daily cap is not exhausted. Returns the points awarded (0 when capped
+  /// or unknown action).
+  Result<int> Record(UserId user, const std::string& action, int day);
+
+  /// Total points of a user.
+  Result<int64_t> PointsOf(UserId user) const;
+
+  /// Top-n users by points, descending.
+  Result<std::vector<std::pair<UserId, int64_t>>> Leaderboard(size_t n) const;
+
+  /// Number of times `action` earned points for `user` on `day`.
+  Result<int> CountToday(UserId user, const std::string& action,
+                         int day) const;
+
+ private:
+  storage::Database* db_;
+  IncentiveScheme scheme_;
+};
+
+}  // namespace courserank::social
+
+#endif  // COURSERANK_SOCIAL_INCENTIVES_H_

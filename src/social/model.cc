@@ -1,0 +1,47 @@
+#include "social/model.h"
+
+#include "common/strings.h"
+
+namespace courserank::social {
+
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kStudent:
+      return "student";
+    case Role::kFaculty:
+      return "faculty";
+    case Role::kStaff:
+      return "staff";
+  }
+  return "?";
+}
+
+Result<Role> ParseRole(const std::string& s) {
+  for (Role r : {Role::kStudent, Role::kFaculty, Role::kStaff}) {
+    if (EqualsIgnoreCase(s, RoleName(r))) return r;
+  }
+  return Status::InvalidArgument("unknown role '" + s + "'");
+}
+
+size_t GradeBucket(double points) {
+  for (size_t i = 0; i < kNumGradeBuckets; ++i) {
+    // Midpoint thresholds between adjacent buckets.
+    if (i + 1 == kNumGradeBuckets) return i;
+    double threshold = (kGradePoints[i] + kGradePoints[i + 1]) / 2.0;
+    if (points >= threshold) return i;
+  }
+  return kNumGradeBuckets - 1;
+}
+
+const char* GradeLetter(double points) {
+  return kGradeLetters[GradeBucket(points)];
+}
+
+Result<double> GradePointsFor(const std::string& letter) {
+  for (size_t i = 0; i < kNumGradeBuckets; ++i) {
+    if (EqualsIgnoreCase(letter, kGradeLetters[i])) return kGradePoints[i];
+  }
+  return Status::InvalidArgument("unknown grade letter '" + letter + "'");
+}
+
+}  // namespace courserank::social

@@ -1,0 +1,51 @@
+#ifndef COURSERANK_SOCIAL_MODEL_H_
+#define COURSERANK_SOCIAL_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace courserank::social {
+
+/// CourseRank's three constituencies (paper §2.1): the system knows which
+/// one a user belongs to because access is authenticated against the
+/// university directory.
+enum class Role {
+  kStudent,
+  kFaculty,
+  kStaff,
+};
+
+const char* RoleName(Role role);
+Result<Role> ParseRole(const std::string& s);
+
+/// Surrogate ids (all drawn from Database sequences).
+using UserId = int64_t;
+using CourseId = int64_t;
+using DeptId = int64_t;
+using CommentId = int64_t;
+using QuestionId = int64_t;
+using AnswerId = int64_t;
+
+/// Letter-grade buckets in descending order of points.
+/// Index into kGradeLetters / kGradePoints.
+inline constexpr const char* kGradeLetters[] = {
+    "A+", "A", "A-", "B+", "B", "B-", "C+", "C", "C-", "D+", "D", "F"};
+inline constexpr double kGradePoints[] = {4.3, 4.0, 3.7, 3.3, 3.0, 2.7,
+                                          2.3, 2.0, 1.7, 1.3, 1.0, 0.0};
+inline constexpr size_t kNumGradeBuckets = 12;
+
+/// Bucket index for a numeric grade (nearest bucket at or below; grades
+/// above 4.3 clamp to A+).
+size_t GradeBucket(double points);
+
+/// Letter for a numeric grade.
+const char* GradeLetter(double points);
+
+/// Points for a letter; InvalidArgument on unknown letters.
+Result<double> GradePointsFor(const std::string& letter);
+
+}  // namespace courserank::social
+
+#endif  // COURSERANK_SOCIAL_MODEL_H_

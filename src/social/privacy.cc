@@ -1,0 +1,74 @@
+#include "social/privacy.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "storage/value.h"
+
+namespace courserank::social {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+using storage::Value;
+
+Result<bool> PrivacyGuard::OfficialReleased(CourseId course) const {
+  CR_ASSIGN_OR_RETURN(const Table* courses, db_->GetTable("Courses"));
+  CR_ASSIGN_OR_RETURN(RowId rid, courses->FindByPrimaryKey({Value(course)}));
+  CR_ASSIGN_OR_RETURN(size_t dep_ci, courses->schema().ColumnIndex("DepID"));
+  Value dep = courses->Get(rid)->at(dep_ci);
+
+  CR_ASSIGN_OR_RETURN(const Table* departments, db_->GetTable("Departments"));
+  CR_ASSIGN_OR_RETURN(RowId drow, departments->FindByPrimaryKey({dep}));
+  CR_ASSIGN_OR_RETURN(size_t school_ci,
+                      departments->schema().ColumnIndex("School"));
+  const std::string& school = departments->Get(drow)->at(school_ci).AsString();
+  for (const std::string& released : policy_.official_release_schools) {
+    if (EqualsIgnoreCase(school, released)) return true;
+  }
+  return false;
+}
+
+Result<GradeDistribution> PrivacyGuard::VisibleDistribution(
+    CourseId course) const {
+  CR_ASSIGN_OR_RETURN(bool released, OfficialReleased(course));
+  GradeDistribution dist;
+  if (released) {
+    CR_ASSIGN_OR_RETURN(dist, OfficialDistribution(*db_, course));
+  }
+  if (!released || dist.empty()) {
+    CR_ASSIGN_OR_RETURN(dist, SelfReportedDistribution(*db_, course));
+  }
+  if (dist.total() < policy_.min_cohort) {
+    return Status::PermissionDenied(
+        "grade distribution suppressed: cohort of " +
+        std::to_string(dist.total()) + " is below the minimum of " +
+        std::to_string(policy_.min_cohort));
+  }
+  return dist;
+}
+
+Result<std::vector<UserId>> PrivacyGuard::VisiblePlanners(
+    CourseId course) const {
+  CR_ASSIGN_OR_RETURN(const Table* plans, db_->GetTable("Plans"));
+  CR_ASSIGN_OR_RETURN(const Table* students, db_->GetTable("Students"));
+  CR_ASSIGN_OR_RETURN(size_t su_ci, plans->schema().ColumnIndex("SuID"));
+  CR_ASSIGN_OR_RETURN(size_t share_ci,
+                      students->schema().ColumnIndex("SharePlans"));
+  std::vector<UserId> out;
+  for (RowId rid : plans->LookupEqual({"CourseID"}, {Value(course)})) {
+    const Row* row = plans->Get(rid);
+    if (row == nullptr) continue;
+    UserId su = (*row)[su_ci].AsInt();
+    auto srow_id = students->FindByPrimaryKey({Value(su)});
+    if (!srow_id.ok()) continue;
+    const Row* srow = students->Get(*srow_id);
+    if (srow == nullptr || !(*srow)[share_ci].AsBool()) continue;
+    out.push_back(su);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace courserank::social

@@ -1,0 +1,55 @@
+#ifndef COURSERANK_SOCIAL_PRIVACY_H_
+#define COURSERANK_SOCIAL_PRIVACY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "social/grades.h"
+#include "social/model.h"
+#include "storage/database.h"
+
+namespace courserank::social {
+
+/// The privacy rules §2.2 describes:
+///  * grade distributions are suppressed for tiny cohorts "since that may
+///    disclose information about individual students" (k-anonymity);
+///  * official distributions are released per school — only Engineering
+///    agreed — so visibility is school-gated;
+///  * planned courses are shared by default but students "can opt out of
+///    sharing".
+struct PrivacyPolicy {
+  /// Minimum cohort size before any grade distribution is shown.
+  int64_t min_cohort = 5;
+  /// Schools whose official distributions the registrar released.
+  std::vector<std::string> official_release_schools = {"Engineering"};
+};
+
+/// Enforces the policy over the database. All user-visible aggregate views
+/// go through here.
+class PrivacyGuard {
+ public:
+  PrivacyGuard(const storage::Database* db, PrivacyPolicy policy = {})
+      : db_(db), policy_(std::move(policy)) {}
+
+  const PrivacyPolicy& policy() const { return policy_; }
+
+  /// The grade distribution a student may see for a course: the official
+  /// one when the course's school released it, else the self-reported one;
+  /// PermissionDenied when the visible cohort is below min_cohort.
+  Result<GradeDistribution> VisibleDistribution(CourseId course) const;
+
+  /// Whether the official distribution of this course's school is released.
+  Result<bool> OfficialReleased(CourseId course) const;
+
+  /// Students planning to take `course` whose SharePlans flag is on — the
+  /// Sally-and-Bob feature with opt-out honored.
+  Result<std::vector<UserId>> VisiblePlanners(CourseId course) const;
+
+ private:
+  const storage::Database* db_;
+  PrivacyPolicy policy_;
+};
+
+}  // namespace courserank::social
+
+#endif  // COURSERANK_SOCIAL_PRIVACY_H_

@@ -1,0 +1,254 @@
+#include "social/schema.h"
+
+#include "storage/schema.h"
+
+namespace courserank::social {
+
+using storage::Column;
+using storage::Schema;
+using storage::Table;
+using storage::ValueType;
+
+namespace {
+
+constexpr ValueType kInt = ValueType::kInt;
+constexpr ValueType kDouble = ValueType::kDouble;
+constexpr ValueType kString = ValueType::kString;
+constexpr ValueType kBool = ValueType::kBool;
+
+}  // namespace
+
+Status CreateCourseRankSchema(storage::Database* db) {
+  CR_ASSIGN_OR_RETURN(
+      Table * departments,
+      db->CreateTable("Departments",
+                      Schema({{"DepID", kInt, false},
+                              {"Code", kString, false},
+                              {"Name", kString, false},
+                              {"School", kString, false}}),
+                      {"DepID"}));
+  CR_RETURN_IF_ERROR(
+      departments->CreateHashIndex("dep_code", {"Code"}, /*unique=*/true));
+
+  CR_ASSIGN_OR_RETURN(
+      Table * courses,
+      db->CreateTable("Courses",
+                      Schema({{"CourseID", kInt, false},
+                              {"DepID", kInt, false},
+                              {"Number", kInt, false},
+                              {"Title", kString, false},
+                              {"Description", kString, true},
+                              {"Units", kInt, false}}),
+                      {"CourseID"}));
+  CR_RETURN_IF_ERROR(
+      courses->CreateHashIndex("course_dep", {"DepID"}, /*unique=*/false));
+
+  CR_ASSIGN_OR_RETURN(
+      Table * prereqs,
+      db->CreateTable("Prereqs",
+                      Schema({{"CourseID", kInt, false},
+                              {"PrereqID", kInt, false}}),
+                      {"CourseID", "PrereqID"}));
+  CR_RETURN_IF_ERROR(
+      prereqs->CreateHashIndex("prereq_course", {"CourseID"}, false));
+
+  CR_ASSIGN_OR_RETURN(
+      Table * offerings,
+      db->CreateTable("Offerings",
+                      Schema({{"OfferingID", kInt, false},
+                              {"CourseID", kInt, false},
+                              {"Year", kInt, false},
+                              {"Term", kString, false},
+                              {"Instructor", kString, true},
+                              {"Days", kInt, true},
+                              {"StartMin", kInt, true},
+                              {"EndMin", kInt, true}}),
+                      {"OfferingID"}));
+  CR_RETURN_IF_ERROR(
+      offerings->CreateHashIndex("off_course", {"CourseID"}, false));
+  CR_RETURN_IF_ERROR(offerings->CreateHashIndex(
+      "off_course_year", {"CourseID", "Year"}, false));
+  CR_RETURN_IF_ERROR(offerings->CreateHashIndex(
+      "off_course_term", {"CourseID", "Year", "Term"}, false));
+
+  CR_RETURN_IF_ERROR(db->CreateTable("Users",
+                                     Schema({{"UserID", kInt, false},
+                                             {"Name", kString, false},
+                                             {"Role", kString, false}}),
+                                     {"UserID"})
+                         .status());
+
+  CR_RETURN_IF_ERROR(db->CreateTable("Students",
+                                     Schema({{"SuID", kInt, false},
+                                             {"Name", kString, false},
+                                             {"Class", kString, false},
+                                             {"Major", kInt, true},
+                                             {"GPA", kDouble, true},
+                                             {"SharePlans", kBool, false}}),
+                                     {"SuID"})
+                         .status());
+
+  CR_ASSIGN_OR_RETURN(
+      Table * enrollment,
+      db->CreateTable("Enrollment",
+                      Schema({{"SuID", kInt, false},
+                              {"CourseID", kInt, false},
+                              {"Year", kInt, false},
+                              {"Term", kString, false},
+                              {"Grade", kDouble, true}}),
+                      {"SuID", "CourseID", "Year", "Term"}));
+  CR_RETURN_IF_ERROR(
+      enrollment->CreateHashIndex("enr_student", {"SuID"}, false));
+  CR_RETURN_IF_ERROR(
+      enrollment->CreateHashIndex("enr_course", {"CourseID"}, false));
+
+  CR_ASSIGN_OR_RETURN(
+      Table * official,
+      db->CreateTable("OfficialGrades",
+                      Schema({{"CourseID", kInt, false},
+                              {"GradeBucket", kString, false},
+                              {"Count", kInt, false}}),
+                      {"CourseID", "GradeBucket"}));
+  CR_RETURN_IF_ERROR(
+      official->CreateHashIndex("official_course", {"CourseID"}, false));
+
+  CR_ASSIGN_OR_RETURN(
+      Table * ratings,
+      db->CreateTable("Ratings",
+                      Schema({{"SuID", kInt, false},
+                              {"CourseID", kInt, false},
+                              {"Score", kDouble, false},
+                              {"Day", kInt, false}}),
+                      {"SuID", "CourseID"}));
+  CR_RETURN_IF_ERROR(
+      ratings->CreateHashIndex("rat_course", {"CourseID"}, false));
+  CR_RETURN_IF_ERROR(ratings->CreateHashIndex("rat_student", {"SuID"}, false));
+
+  CR_ASSIGN_OR_RETURN(
+      Table * comments,
+      db->CreateTable("Comments",
+                      Schema({{"CommentID", kInt, false},
+                              {"SuID", kInt, false},
+                              {"CourseID", kInt, false},
+                              {"Text", kString, false},
+                              {"Day", kInt, false},
+                              {"Helpful", kInt, false},
+                              {"Unhelpful", kInt, false}}),
+                      {"CommentID"}));
+  CR_RETURN_IF_ERROR(
+      comments->CreateHashIndex("com_course", {"CourseID"}, false));
+  CR_RETURN_IF_ERROR(
+      comments->CreateHashIndex("com_student", {"SuID"}, false));
+
+  CR_RETURN_IF_ERROR(db->CreateTable("CommentVotes",
+                                     Schema({{"CommentID", kInt, false},
+                                             {"VoterID", kInt, false},
+                                             {"Helpful", kBool, false}}),
+                                     {"CommentID", "VoterID"})
+                         .status());
+
+  CR_ASSIGN_OR_RETURN(
+      Table * questions,
+      db->CreateTable("Questions",
+                      Schema({{"QuestionID", kInt, false},
+                              {"UserID", kInt, false},
+                              {"DepID", kInt, true},
+                              {"Text", kString, false},
+                              {"Day", kInt, false},
+                              {"IsFaq", kBool, false}}),
+                      {"QuestionID"}));
+  (void)questions;
+
+  CR_ASSIGN_OR_RETURN(
+      Table * answers,
+      db->CreateTable("Answers",
+                      Schema({{"AnswerID", kInt, false},
+                              {"QuestionID", kInt, false},
+                              {"UserID", kInt, false},
+                              {"Text", kString, false},
+                              {"Day", kInt, false},
+                              {"Accepted", kBool, false}}),
+                      {"AnswerID"}));
+  CR_RETURN_IF_ERROR(
+      answers->CreateHashIndex("ans_question", {"QuestionID"}, false));
+
+  CR_ASSIGN_OR_RETURN(
+      Table * textbooks,
+      db->CreateTable("Textbooks",
+                      Schema({{"BookID", kInt, false},
+                              {"CourseID", kInt, false},
+                              {"Title", kString, false},
+                              {"ReporterID", kInt, true}}),
+                      {"BookID"}));
+  CR_RETURN_IF_ERROR(
+      textbooks->CreateHashIndex("book_course", {"CourseID"}, false));
+
+  CR_ASSIGN_OR_RETURN(Table * plans,
+                      db->CreateTable("Plans",
+                                      Schema({{"SuID", kInt, false},
+                                              {"CourseID", kInt, false},
+                                              {"Year", kInt, false},
+                                              {"Term", kString, false}}),
+                                      {"SuID", "CourseID", "Year", "Term"}));
+  CR_RETURN_IF_ERROR(plans->CreateHashIndex("plan_student", {"SuID"}, false));
+  CR_RETURN_IF_ERROR(plans->CreateHashIndex("plan_course", {"CourseID"}, false));
+
+  CR_ASSIGN_OR_RETURN(
+      Table * ledger,
+      db->CreateTable("PointsLedger",
+                      Schema({{"EntryID", kInt, false},
+                              {"UserID", kInt, false},
+                              {"Action", kString, false},
+                              {"Points", kInt, false},
+                              {"Day", kInt, false}}),
+                      {"EntryID"}));
+  CR_RETURN_IF_ERROR(ledger->CreateHashIndex("pts_user", {"UserID"}, false));
+
+  // Referential integrity.
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Courses", "DepID", "Departments", "DepID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Prereqs", "CourseID", "Courses", "CourseID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Prereqs", "PrereqID", "Courses", "CourseID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Offerings", "CourseID", "Courses", "CourseID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Students", "Major", "Departments", "DepID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Students", "SuID", "Users", "UserID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Enrollment", "SuID", "Students", "SuID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Enrollment", "CourseID", "Courses", "CourseID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("OfficialGrades", "CourseID", "Courses", "CourseID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Ratings", "SuID", "Students", "SuID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Ratings", "CourseID", "Courses", "CourseID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Comments", "SuID", "Students", "SuID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Comments", "CourseID", "Courses", "CourseID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("CommentVotes", "CommentID", "Comments", "CommentID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("CommentVotes", "VoterID", "Users", "UserID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Questions", "UserID", "Users", "UserID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Answers", "QuestionID", "Questions", "QuestionID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Answers", "UserID", "Users", "UserID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Textbooks", "CourseID", "Courses", "CourseID"));
+  CR_RETURN_IF_ERROR(db->AddForeignKey("Plans", "SuID", "Students", "SuID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("Plans", "CourseID", "Courses", "CourseID"));
+  CR_RETURN_IF_ERROR(
+      db->AddForeignKey("PointsLedger", "UserID", "Users", "UserID"));
+  return Status::OK();
+}
+
+}  // namespace courserank::social

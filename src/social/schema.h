@@ -1,0 +1,35 @@
+#ifndef COURSERANK_SOCIAL_SCHEMA_H_
+#define COURSERANK_SOCIAL_SCHEMA_H_
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace courserank::social {
+
+/// Creates the canonical CourseRank schema (Fig. 2's data layer) in `db`:
+///
+///   Departments(DepID, Code, Name, School)
+///   Courses(CourseID, DepID, Number, Title, Description, Units)
+///   Prereqs(CourseID, PrereqID)
+///   Offerings(OfferingID, CourseID, Year, Term, Instructor,
+///             Days, StartMin, EndMin)
+///   Users(UserID, Name, Role)                       -- directory
+///   Students(SuID, Name, Class, Major, GPA, SharePlans)
+///   Enrollment(SuID, CourseID, Year, Term, Grade)   -- self-reported
+///   OfficialGrades(CourseID, GradeBucket, Count)    -- registrar release
+///   Ratings(SuID, CourseID, Score, Day)
+///   Comments(CommentID, SuID, CourseID, Text, Day, Helpful, Unhelpful)
+///   CommentVotes(CommentID, VoterID, Helpful)
+///   Questions(QuestionID, UserID, DepID, Text, Day, IsFaq)
+///   Answers(AnswerID, QuestionID, UserID, Text, Day, Accepted)
+///   Textbooks(BookID, CourseID, Title, ReporterID)
+///   Plans(SuID, CourseID, Year, Term)
+///   PointsLedger(EntryID, UserID, Action, Points, Day)
+///
+/// plus primary keys, the secondary hash indexes the access paths need, and
+/// foreign keys. Fails if any table already exists.
+Status CreateCourseRankSchema(storage::Database* db);
+
+}  // namespace courserank::social
+
+#endif  // COURSERANK_SOCIAL_SCHEMA_H_

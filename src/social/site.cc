@@ -1,0 +1,534 @@
+#include "social/site.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "core/strategies.h"
+#include "search/entity.h"
+#include "social/schema.h"
+#include "storage/value.h"
+
+namespace courserank::social {
+
+using storage::Row;
+using storage::RowId;
+using storage::Table;
+using storage::Value;
+
+CourseRankSite::CourseRankSite()
+    : auth_(&db_),
+      incentives_(&db_, IncentiveScheme::CourseRank()),
+      sql_(&db_),
+      flexrecs_(&db_),
+      privacy_(&db_),
+      comment_ranker_(&db_),
+      router_(&db_) {}
+
+Result<std::unique_ptr<CourseRankSite>> CourseRankSite::Create() {
+  auto site = std::unique_ptr<CourseRankSite>(new CourseRankSite());
+  CR_RETURN_IF_ERROR(CreateCourseRankSchema(&site->db_));
+  CR_RETURN_IF_ERROR(
+      flexrecs::strategies::RegisterDefaults(site->flexrecs_));
+  return site;
+}
+
+Status CourseRankSite::RequireCourse(CourseId course) const {
+  CR_ASSIGN_OR_RETURN(const Table* courses, db_.GetTable("Courses"));
+  return courses->FindByPrimaryKey({Value(course)}).status();
+}
+
+// ---- official data -------------------------------------------------------
+
+Result<DeptId> CourseRankSite::AddDepartment(const std::string& code,
+                                             const std::string& name,
+                                             const std::string& school) {
+  DeptId id = db_.NextSequence("dept");
+  CR_RETURN_IF_ERROR(
+      db_.Insert("Departments",
+                 {Value(id), Value(code), Value(name), Value(school)})
+          .status());
+  return id;
+}
+
+Result<CourseId> CourseRankSite::AddCourse(DeptId dept, int number,
+                                           const std::string& title,
+                                           const std::string& description,
+                                           int units) {
+  CourseId id = db_.NextSequence("course");
+  CR_RETURN_IF_ERROR(db_.Insert("Courses", {Value(id), Value(dept),
+                                            Value(number), Value(title),
+                                            Value(description), Value(units)})
+                         .status());
+  return id;
+}
+
+Status CourseRankSite::AddPrereq(CourseId course, CourseId prereq) {
+  if (course == prereq) {
+    return Status::InvalidArgument("a course cannot require itself");
+  }
+  return db_.Insert("Prereqs", {Value(course), Value(prereq)}).status();
+}
+
+Result<int64_t> CourseRankSite::AddOffering(CourseId course, int year,
+                                            Quarter quarter,
+                                            const std::string& instructor,
+                                            TimeSlot slot) {
+  int64_t id = db_.NextSequence("offering");
+  CR_RETURN_IF_ERROR(
+      db_.Insert("Offerings",
+                 {Value(id), Value(course), Value(year),
+                  Value(std::string(QuarterName(quarter))), Value(instructor),
+                  Value(static_cast<int64_t>(slot.days)),
+                  Value(static_cast<int64_t>(slot.start_min)),
+                  Value(static_cast<int64_t>(slot.end_min))})
+          .status());
+  return id;
+}
+
+Status CourseRankSite::LoadOfficialGrades(CourseId course,
+                                          const std::string& letter,
+                                          int64_t count) {
+  CR_RETURN_IF_ERROR(GradePointsFor(letter).status());  // validates letter
+  return db_
+      .Insert("OfficialGrades", {Value(course), Value(letter), Value(count)})
+      .status();
+}
+
+// ---- directory ------------------------------------------------------------
+
+Status CourseRankSite::RegisterStudent(UserId id, const std::string& name,
+                                       const std::string& class_year,
+                                       std::optional<DeptId> major) {
+  CR_RETURN_IF_ERROR(auth_.RegisterUser(id, name, Role::kStudent));
+  return db_
+      .Insert("Students",
+              {Value(id), Value(name), Value(class_year),
+               major.has_value() ? Value(*major) : Value::Null(),
+               Value::Null(), Value(true)})
+      .status();
+}
+
+Status CourseRankSite::RegisterFaculty(UserId id, const std::string& name) {
+  return auth_.RegisterUser(id, name, Role::kFaculty);
+}
+
+Status CourseRankSite::RegisterStaff(UserId id, const std::string& name) {
+  return auth_.RegisterUser(id, name, Role::kStaff);
+}
+
+// ---- student actions -------------------------------------------------------
+
+Status CourseRankSite::ReportCourseTaken(UserId student, CourseId course,
+                                         int year, Quarter quarter,
+                                         std::optional<double> grade) {
+  CR_RETURN_IF_ERROR(auth_.Require(student, Role::kStudent));
+  CR_RETURN_IF_ERROR(RequireCourse(course));
+  CR_RETURN_IF_ERROR(
+      db_.Insert("Enrollment",
+                 {Value(student), Value(course), Value(year),
+                  Value(std::string(QuarterName(quarter))),
+                  grade.has_value() ? Value(*grade) : Value::Null()})
+          .status());
+  return RecomputeGpa(student);
+}
+
+Status CourseRankSite::RateCourse(UserId student, CourseId course,
+                                  double score, int day) {
+  CR_RETURN_IF_ERROR(auth_.Require(student, Role::kStudent));
+  CR_RETURN_IF_ERROR(RequireCourse(course));
+  if (score < 1.0 || score > 5.0) {
+    return Status::InvalidArgument("rating must be in [1, 5]");
+  }
+  CR_ASSIGN_OR_RETURN(Table * ratings, db_.GetTable("Ratings"));
+  auto existing = ratings->FindByPrimaryKey({Value(student), Value(course)});
+  if (existing.ok()) {
+    return ratings->Update(
+        *existing, {Value(student), Value(course), Value(score), Value(day)});
+  }
+  CR_RETURN_IF_ERROR(
+      db_.Insert("Ratings",
+                 {Value(student), Value(course), Value(score), Value(day)})
+          .status());
+  return incentives_.Record(student, "rating", day).status();
+}
+
+Result<CommentId> CourseRankSite::AddComment(UserId student, CourseId course,
+                                             const std::string& text,
+                                             int day) {
+  CR_RETURN_IF_ERROR(auth_.Require(student, Role::kStudent));
+  CR_RETURN_IF_ERROR(RequireCourse(course));
+  if (text.empty()) {
+    return Status::InvalidArgument("comment text must not be empty");
+  }
+  CommentId id = db_.NextSequence("comment");
+  CR_RETURN_IF_ERROR(
+      db_.Insert("Comments", {Value(id), Value(student), Value(course),
+                              Value(text), Value(day), Value(int64_t{0}),
+                              Value(int64_t{0})})
+          .status());
+  CR_RETURN_IF_ERROR(incentives_.Record(student, "comment", day).status());
+  MaybeRefreshIndex(course);
+  return id;
+}
+
+Status CourseRankSite::VoteComment(UserId voter, CommentId comment,
+                                   bool helpful) {
+  CR_RETURN_IF_ERROR(auth_.RequireMember(voter));
+  CR_ASSIGN_OR_RETURN(Table * comments, db_.GetTable("Comments"));
+  CR_ASSIGN_OR_RETURN(RowId rid, comments->FindByPrimaryKey({Value(comment)}));
+  const Row* row = comments->Get(rid);
+  CR_ASSIGN_OR_RETURN(size_t su_ci, comments->schema().ColumnIndex("SuID"));
+  if ((*row)[su_ci].AsInt() == voter) {
+    return Status::PermissionDenied("cannot vote on your own comment");
+  }
+  // One vote per voter per comment, enforced by the CommentVotes PK.
+  CR_RETURN_IF_ERROR(
+      db_.Insert("CommentVotes",
+                 {Value(comment), Value(voter), Value(helpful)})
+          .status());
+  CR_ASSIGN_OR_RETURN(size_t col, comments->schema().ColumnIndex(
+                                      helpful ? "Helpful" : "Unhelpful"));
+  return comments->UpdateColumn(rid, col,
+                                Value((*row)[col].AsInt() + 1));
+}
+
+Result<QuestionId> CourseRankSite::AskQuestion(UserId user,
+                                               const std::string& text,
+                                               int day,
+                                               std::optional<DeptId> dept) {
+  CR_RETURN_IF_ERROR(auth_.RequireMember(user));
+  QuestionId id = db_.NextSequence("question");
+  CR_RETURN_IF_ERROR(
+      db_.Insert("Questions",
+                 {Value(id), Value(user),
+                  dept.has_value() ? Value(*dept) : Value::Null(),
+                  Value(text), Value(day), Value(false)})
+          .status());
+  return id;
+}
+
+Result<AnswerId> CourseRankSite::AnswerQuestion(UserId user,
+                                                QuestionId question,
+                                                const std::string& text,
+                                                int day) {
+  CR_RETURN_IF_ERROR(auth_.RequireMember(user));
+  CR_ASSIGN_OR_RETURN(Table * questions, db_.GetTable("Questions"));
+  CR_RETURN_IF_ERROR(
+      questions->FindByPrimaryKey({Value(question)}).status());
+  AnswerId id = db_.NextSequence("answer");
+  CR_RETURN_IF_ERROR(
+      db_.Insert("Answers", {Value(id), Value(question), Value(user),
+                             Value(text), Value(day), Value(false)})
+          .status());
+  CR_RETURN_IF_ERROR(incentives_.Record(user, "answer", day).status());
+  return id;
+}
+
+Status CourseRankSite::AcceptAnswer(UserId asker, AnswerId answer, int day) {
+  CR_ASSIGN_OR_RETURN(Table * answers, db_.GetTable("Answers"));
+  CR_ASSIGN_OR_RETURN(RowId arow_id,
+                      answers->FindByPrimaryKey({Value(answer)}));
+  const Row* arow = answers->Get(arow_id);
+  CR_ASSIGN_OR_RETURN(size_t q_ci, answers->schema().ColumnIndex("QuestionID"));
+  CR_ASSIGN_OR_RETURN(size_t u_ci, answers->schema().ColumnIndex("UserID"));
+  CR_ASSIGN_OR_RETURN(size_t acc_ci, answers->schema().ColumnIndex("Accepted"));
+
+  CR_ASSIGN_OR_RETURN(Table * questions, db_.GetTable("Questions"));
+  CR_ASSIGN_OR_RETURN(RowId qrow_id,
+                      questions->FindByPrimaryKey({(*arow)[q_ci]}));
+  const Row* qrow = questions->Get(qrow_id);
+  CR_ASSIGN_OR_RETURN(size_t asker_ci,
+                      questions->schema().ColumnIndex("UserID"));
+  if ((*qrow)[asker_ci].AsInt() != asker) {
+    return Status::PermissionDenied("only the asker may accept an answer");
+  }
+  UserId answerer = (*arow)[u_ci].AsInt();
+  CR_RETURN_IF_ERROR(answers->UpdateColumn(arow_id, acc_ci, Value(true)));
+  return incentives_.Record(answerer, "best_answer", day).status();
+}
+
+Result<int64_t> CourseRankSite::ReportTextbook(UserId student, CourseId course,
+                                               const std::string& title,
+                                               int day) {
+  CR_RETURN_IF_ERROR(auth_.Require(student, Role::kStudent));
+  CR_RETURN_IF_ERROR(RequireCourse(course));
+  int64_t id = db_.NextSequence("book");
+  CR_RETURN_IF_ERROR(
+      db_.Insert("Textbooks",
+                 {Value(id), Value(course), Value(title), Value(student)})
+          .status());
+  CR_RETURN_IF_ERROR(
+      incentives_.Record(student, "report_textbook", day).status());
+  return id;
+}
+
+Status CourseRankSite::PlanCourse(UserId student, CourseId course, int year,
+                                  Quarter quarter) {
+  CR_RETURN_IF_ERROR(auth_.Require(student, Role::kStudent));
+  CR_RETURN_IF_ERROR(RequireCourse(course));
+  return db_
+      .Insert("Plans", {Value(student), Value(course), Value(year),
+                        Value(std::string(QuarterName(quarter)))})
+      .status();
+}
+
+Status CourseRankSite::UnplanCourse(UserId student, CourseId course, int year,
+                                    Quarter quarter) {
+  CR_ASSIGN_OR_RETURN(Table * plans, db_.GetTable("Plans"));
+  CR_ASSIGN_OR_RETURN(
+      RowId rid,
+      plans->FindByPrimaryKey({Value(student), Value(course), Value(year),
+                               Value(std::string(QuarterName(quarter)))}));
+  return plans->Delete(rid);
+}
+
+Status CourseRankSite::SetSharePlans(UserId student, bool share) {
+  CR_RETURN_IF_ERROR(auth_.Require(student, Role::kStudent));
+  CR_ASSIGN_OR_RETURN(Table * students, db_.GetTable("Students"));
+  CR_ASSIGN_OR_RETURN(RowId rid, students->FindByPrimaryKey({Value(student)}));
+  CR_ASSIGN_OR_RETURN(size_t ci, students->schema().ColumnIndex("SharePlans"));
+  return students->UpdateColumn(rid, ci, Value(share));
+}
+
+Status CourseRankSite::SeedFaqs(UserId staff, const std::vector<FaqSeed>& seeds,
+                                int day) {
+  CR_RETURN_IF_ERROR(auth_.Require(staff, Role::kStaff));
+  for (const FaqSeed& seed : seeds) {
+    QuestionId qid = db_.NextSequence("question");
+    CR_RETURN_IF_ERROR(
+        db_.Insert("Questions", {Value(qid), Value(staff), Value::Null(),
+                                 Value(seed.question), Value(day),
+                                 Value(true)})
+            .status());
+    AnswerId aid = db_.NextSequence("answer");
+    CR_RETURN_IF_ERROR(
+        db_.Insert("Answers", {Value(aid), Value(qid), Value(staff),
+                               Value(seed.answer), Value(day), Value(true)})
+            .status());
+  }
+  return Status::OK();
+}
+
+// ---- faculty ---------------------------------------------------------------
+
+Status CourseRankSite::UpdateCourseDescription(UserId faculty, CourseId course,
+                                               const std::string& description) {
+  CR_RETURN_IF_ERROR(auth_.Require(faculty, Role::kFaculty));
+  CR_ASSIGN_OR_RETURN(Table * courses, db_.GetTable("Courses"));
+  CR_ASSIGN_OR_RETURN(RowId rid, courses->FindByPrimaryKey({Value(course)}));
+  CR_ASSIGN_OR_RETURN(size_t ci,
+                      courses->schema().ColumnIndex("Description"));
+  CR_RETURN_IF_ERROR(courses->UpdateColumn(rid, ci, Value(description)));
+  MaybeRefreshIndex(course);
+  return Status::OK();
+}
+
+// ---- privacy-guarded views ---------------------------------------------------
+
+Result<std::vector<UserId>> CourseRankSite::WhoIsPlanning(UserId viewer,
+                                                          CourseId course) {
+  CR_RETURN_IF_ERROR(auth_.RequireMember(viewer));
+  return privacy_.VisiblePlanners(course);
+}
+
+Result<GradeDistribution> CourseRankSite::GradeDistributionFor(
+    UserId viewer, CourseId course) {
+  CR_RETURN_IF_ERROR(auth_.RequireMember(viewer));
+  return privacy_.VisibleDistribution(course);
+}
+
+// ---- search ------------------------------------------------------------------
+
+Status CourseRankSite::BuildSearchIndex() {
+  auto index =
+      std::make_unique<search::InvertedIndex>(search::MakeCourseEntity());
+  CR_RETURN_IF_ERROR(index->Build(db_));
+  index_ = std::move(index);
+  return Status::OK();
+}
+
+Result<search::Searcher> CourseRankSite::MakeSearcher(
+    search::SearchOptions opts) const {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition("BuildSearchIndex not called");
+  }
+  return search::Searcher(index_.get(), opts);
+}
+
+void CourseRankSite::MaybeRefreshIndex(CourseId course) {
+  if (index_ == nullptr) return;
+  // Refresh failures leave the stale entry in place; content converges on
+  // the next rebuild.
+  (void)index_->Refresh(db_, Value(course));
+}
+
+// ---- course descriptor -------------------------------------------------------
+
+std::string CourseRankSite::CourseDescriptor::ToString() const {
+  std::string out = dept_code + " " + std::to_string(number) + ": " + title +
+                    " (" + std::to_string(units) + " units)\n";
+  out += description + "\n";
+  if (!instructors.empty()) {
+    out += "instructors: " + Join(instructors, ", ") + "\n";
+  }
+  if (avg_rating.has_value()) {
+    out += "rating: " + FormatDouble(*avg_rating, 2) + "/5 from " +
+           std::to_string(num_ratings) + " ratings\n";
+  } else {
+    out += "rating: not yet rated\n";
+  }
+  if (grades.ok()) {
+    out += "grades: " + grades->ToString() + "\n";
+  } else {
+    out += "grades: " + grades.status().message() + "\n";
+  }
+  if (!textbooks.empty()) out += "textbooks: " + Join(textbooks, "; ") + "\n";
+  out += std::to_string(planners.size()) + " student(s) planning to take "
+         "this course\n";
+  for (const ScoredComment& comment : comments) {
+    out += "  [" + FormatDouble(comment.trust, 2) + "] " + comment.text +
+           "\n";
+  }
+  return out;
+}
+
+Result<CourseRankSite::CourseDescriptor> CourseRankSite::GetCourseDescriptor(
+    UserId viewer, CourseId course) {
+  CR_RETURN_IF_ERROR(auth_.RequireMember(viewer));
+  CR_ASSIGN_OR_RETURN(const Table* courses, db_.GetTable("Courses"));
+  CR_ASSIGN_OR_RETURN(RowId rid, courses->FindByPrimaryKey({Value(course)}));
+  const Row& row = *courses->Get(rid);
+
+  CourseDescriptor page;
+  page.course = course;
+  page.number = static_cast<int>(row[2].AsInt());
+  page.title = row[3].AsString();
+  page.description = row[4].is_null() ? std::string() : row[4].AsString();
+  page.units = static_cast<int>(row[5].AsInt());
+
+  CR_ASSIGN_OR_RETURN(const Table* departments, db_.GetTable("Departments"));
+  CR_ASSIGN_OR_RETURN(RowId drow, departments->FindByPrimaryKey({row[1]}));
+  page.dept_code = departments->Get(drow)->at(1).AsString();
+
+  // Distinct instructors across offerings.
+  CR_ASSIGN_OR_RETURN(const Table* offerings, db_.GetTable("Offerings"));
+  CR_ASSIGN_OR_RETURN(size_t instr_ci,
+                      offerings->schema().ColumnIndex("Instructor"));
+  std::set<std::string> instructors;
+  for (RowId oid : offerings->LookupEqual({"CourseID"}, {Value(course)})) {
+    const Row* orow = offerings->Get(oid);
+    if (orow != nullptr && !(*orow)[instr_ci].is_null()) {
+      instructors.insert((*orow)[instr_ci].AsString());
+    }
+  }
+  page.instructors.assign(instructors.begin(), instructors.end());
+
+  // Rating summary.
+  CR_ASSIGN_OR_RETURN(const Table* ratings, db_.GetTable("Ratings"));
+  CR_ASSIGN_OR_RETURN(size_t score_ci, ratings->schema().ColumnIndex("Score"));
+  double sum = 0.0;
+  for (RowId rrid : ratings->LookupEqual({"CourseID"}, {Value(course)})) {
+    const Row* rrow = ratings->Get(rrid);
+    if (rrow == nullptr) continue;
+    sum += (*rrow)[score_ci].AsDouble();
+    ++page.num_ratings;
+  }
+  if (page.num_ratings > 0) {
+    page.avg_rating = sum / static_cast<double>(page.num_ratings);
+  }
+
+  CR_ASSIGN_OR_RETURN(page.comments,
+                      comment_ranker_.RankedForCourse(course));
+  page.grades = privacy_.VisibleDistribution(course);
+  if (!page.grades.ok() &&
+      page.grades.status().code() != StatusCode::kPermissionDenied) {
+    return page.grades.status();  // only suppression is expected
+  }
+
+  CR_ASSIGN_OR_RETURN(const Table* textbooks, db_.GetTable("Textbooks"));
+  CR_ASSIGN_OR_RETURN(size_t book_ci, textbooks->schema().ColumnIndex("Title"));
+  std::set<std::string> books;
+  for (RowId bid : textbooks->LookupEqual({"CourseID"}, {Value(course)})) {
+    const Row* brow = textbooks->Get(bid);
+    if (brow != nullptr) books.insert((*brow)[book_ci].AsString());
+  }
+  page.textbooks.assign(books.begin(), books.end());
+
+  CR_ASSIGN_OR_RETURN(page.planners, privacy_.VisiblePlanners(course));
+
+  CR_ASSIGN_OR_RETURN(const Table* prereqs, db_.GetTable("Prereqs"));
+  CR_ASSIGN_OR_RETURN(size_t pre_ci, prereqs->schema().ColumnIndex("PrereqID"));
+  for (RowId pid : prereqs->LookupEqual({"CourseID"}, {Value(course)})) {
+    const Row* prow = prereqs->Get(pid);
+    if (prow != nullptr) page.prerequisites.push_back((*prow)[pre_ci].AsInt());
+  }
+  std::sort(page.prerequisites.begin(), page.prerequisites.end());
+  return page;
+}
+
+// ---- stats -------------------------------------------------------------------
+
+Status CourseRankSite::RecomputeGpa(UserId student) {
+  CR_ASSIGN_OR_RETURN(Table * enrollment, db_.GetTable("Enrollment"));
+  CR_ASSIGN_OR_RETURN(size_t grade_ci,
+                      enrollment->schema().ColumnIndex("Grade"));
+  double sum = 0.0;
+  int64_t n = 0;
+  for (RowId rid : enrollment->LookupEqual({"SuID"}, {Value(student)})) {
+    const Row* row = enrollment->Get(rid);
+    if (row == nullptr || (*row)[grade_ci].is_null()) continue;
+    sum += (*row)[grade_ci].AsDouble();
+    ++n;
+  }
+  CR_ASSIGN_OR_RETURN(Table * students, db_.GetTable("Students"));
+  CR_ASSIGN_OR_RETURN(RowId rid, students->FindByPrimaryKey({Value(student)}));
+  CR_ASSIGN_OR_RETURN(size_t gpa_ci, students->schema().ColumnIndex("GPA"));
+  return students->UpdateColumn(
+      rid, gpa_ci,
+      n == 0 ? Value::Null() : Value(sum / static_cast<double>(n)));
+}
+
+Result<CourseRankSite::Stats> CourseRankSite::GetStats() const {
+  Stats stats;
+  auto size_of = [&](const char* table) -> size_t {
+    const Table* t = db_.FindTable(table);
+    return t == nullptr ? 0 : t->size();
+  };
+  stats.departments = size_of("Departments");
+  stats.courses = size_of("Courses");
+  stats.offerings = size_of("Offerings");
+  stats.students = size_of("Students");
+  stats.enrollments = size_of("Enrollment");
+  stats.ratings = size_of("Ratings");
+  stats.comments = size_of("Comments");
+  stats.questions = size_of("Questions");
+  stats.answers = size_of("Answers");
+  stats.textbooks = size_of("Textbooks");
+  stats.plans = size_of("Plans");
+
+  CR_ASSIGN_OR_RETURN(const Table* users, db_.GetTable("Users"));
+  CR_ASSIGN_OR_RETURN(size_t role_ci, users->schema().ColumnIndex("Role"));
+  users->Scan([&](RowId, const Row& row) {
+    const std::string& role = row[role_ci].AsString();
+    if (role == "faculty") ++stats.faculty;
+    else if (role == "staff") ++stats.staff;
+  });
+
+  // Active students: contributed at least one rating, comment, enrollment,
+  // plan, or textbook report.
+  std::set<int64_t> active;
+  for (const char* table : {"Ratings", "Comments", "Enrollment", "Plans"}) {
+    const Table* t = db_.FindTable(table);
+    if (t == nullptr) continue;
+    auto su_ci = t->schema().FindColumn("SuID");
+    if (!su_ci.has_value()) continue;
+    t->Scan([&](RowId, const Row& row) {
+      active.insert(row[*su_ci].AsInt());
+    });
+  }
+  stats.active_students = active.size();
+  return stats;
+}
+
+}  // namespace courserank::social

@@ -1,0 +1,183 @@
+#ifndef COURSERANK_SOCIAL_SITE_H_
+#define COURSERANK_SOCIAL_SITE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/term.h"
+#include "core/flexrecs_engine.h"
+#include "query/sql_engine.h"
+#include "search/inverted_index.h"
+#include "search/searcher.h"
+#include "social/auth.h"
+#include "social/comments.h"
+#include "social/forum.h"
+#include "social/grades.h"
+#include "social/incentives.h"
+#include "social/model.h"
+#include "social/privacy.h"
+#include "storage/database.h"
+
+namespace courserank::social {
+
+/// The CourseRank system façade (paper Fig. 2): owns the database with the
+/// canonical schema, role-based auth, incentives, the search index, and the
+/// FlexRecs engine with the default strategies. Every user-facing action is
+/// permission-checked against the caller's constituency.
+class CourseRankSite {
+ public:
+  /// Builds an empty site with the schema installed and the default
+  /// recommendation strategies registered.
+  static Result<std::unique_ptr<CourseRankSite>> Create();
+
+  CourseRankSite(const CourseRankSite&) = delete;
+  CourseRankSite& operator=(const CourseRankSite&) = delete;
+
+  // ---- subsystem access ----
+  storage::Database& db() { return db_; }
+  const storage::Database& db() const { return db_; }
+  AuthService& auth() { return auth_; }
+  IncentiveEngine& incentives() { return incentives_; }
+  query::SqlEngine& sql() { return sql_; }
+  flexrecs::FlexRecsEngine& flexrecs() { return flexrecs_; }
+  PrivacyGuard& privacy() { return privacy_; }
+  CommentRanker& comment_ranker() { return comment_ranker_; }
+  QuestionRouter& router() { return router_; }
+
+  // ---- official data (registrar / staff feeds) ----
+  Result<DeptId> AddDepartment(const std::string& code,
+                               const std::string& name,
+                               const std::string& school);
+  Result<CourseId> AddCourse(DeptId dept, int number, const std::string& title,
+                             const std::string& description, int units);
+  Status AddPrereq(CourseId course, CourseId prereq);
+  Result<int64_t> AddOffering(CourseId course, int year, Quarter quarter,
+                              const std::string& instructor, TimeSlot slot);
+  /// Official per-course grade release: `letter` bucket had `count`
+  /// students.
+  Status LoadOfficialGrades(CourseId course, const std::string& letter,
+                            int64_t count);
+
+  // ---- directory ----
+  Status RegisterStudent(UserId id, const std::string& name,
+                         const std::string& class_year,
+                         std::optional<DeptId> major);
+  Status RegisterFaculty(UserId id, const std::string& name);
+  Status RegisterStaff(UserId id, const std::string& name);
+
+  // ---- student actions (role-checked) ----
+  Status ReportCourseTaken(UserId student, CourseId course, int year,
+                           Quarter quarter, std::optional<double> grade);
+  /// Upserts the student's rating (one rating per student per course).
+  Status RateCourse(UserId student, CourseId course, double score, int day);
+  Result<CommentId> AddComment(UserId student, CourseId course,
+                               const std::string& text, int day);
+  /// One vote per voter per comment; voting on your own comment is denied.
+  Status VoteComment(UserId voter, CommentId comment, bool helpful);
+  Result<QuestionId> AskQuestion(UserId user, const std::string& text, int day,
+                                 std::optional<DeptId> dept);
+  Result<AnswerId> AnswerQuestion(UserId user, QuestionId question,
+                                  const std::string& text, int day);
+  /// Only the asker may accept; awards the best-answer bonus.
+  Status AcceptAnswer(UserId asker, AnswerId answer, int day);
+  Result<int64_t> ReportTextbook(UserId student, CourseId course,
+                                 const std::string& title, int day);
+  Status PlanCourse(UserId student, CourseId course, int year,
+                    Quarter quarter);
+  Status UnplanCourse(UserId student, CourseId course, int year,
+                      Quarter quarter);
+  Status SetSharePlans(UserId student, bool share);
+
+  /// Staff seed the forum with FAQ question/answer pairs (paper §2.2).
+  Status SeedFaqs(UserId staff, const std::vector<FaqSeed>& seeds, int day);
+
+  // ---- faculty actions ----
+  Status UpdateCourseDescription(UserId faculty, CourseId course,
+                                 const std::string& description);
+
+  // ---- privacy-guarded views ----
+  Result<std::vector<UserId>> WhoIsPlanning(UserId viewer, CourseId course);
+  Result<GradeDistribution> GradeDistributionFor(UserId viewer,
+                                                 CourseId course);
+
+  // ---- search & clouds ----
+  /// Builds (or rebuilds) the course search index over the current data.
+  Status BuildSearchIndex();
+  bool HasSearchIndex() const { return index_ != nullptr; }
+  const search::InvertedIndex& index() const { return *index_; }
+  /// Searcher over the built index; FailedPrecondition before Build.
+  Result<search::Searcher> MakeSearcher(search::SearchOptions opts = {}) const;
+
+  // ---- course descriptor (Fig. 1 left) ----
+
+  /// Everything the course page shows, assembled with the viewer's
+  /// permissions applied.
+  struct CourseDescriptor {
+    CourseId course = 0;
+    std::string dept_code;
+    int number = 0;
+    std::string title;
+    std::string description;
+    int units = 0;
+    std::vector<std::string> instructors;      ///< distinct, sorted
+    size_t num_ratings = 0;
+    std::optional<double> avg_rating;          ///< nullopt when unrated
+    std::vector<ScoredComment> comments;       ///< trust-ranked
+    /// Grade distribution, or the PermissionDenied reason when suppressed.
+    Result<GradeDistribution> grades = GradeDistribution{};
+    std::vector<std::string> textbooks;
+    std::vector<UserId> planners;              ///< SharePlans honored
+    std::vector<CourseId> prerequisites;
+
+    std::string ToString() const;
+  };
+
+  /// Builds the descriptor page for `viewer` (must be a member).
+  Result<CourseDescriptor> GetCourseDescriptor(UserId viewer,
+                                               CourseId course);
+
+  // ---- deployment statistics (paper §2 census) ----
+  struct Stats {
+    size_t departments = 0;
+    size_t courses = 0;
+    size_t offerings = 0;
+    size_t students = 0;
+    size_t faculty = 0;
+    size_t staff = 0;
+    size_t active_students = 0;  ///< students with ≥1 contribution
+    size_t enrollments = 0;
+    size_t ratings = 0;
+    size_t comments = 0;
+    size_t questions = 0;
+    size_t answers = 0;
+    size_t textbooks = 0;
+    size_t plans = 0;
+  };
+  Result<Stats> GetStats() const;
+
+ private:
+  CourseRankSite();
+
+  Status RequireCourse(CourseId course) const;
+  Status RecomputeGpa(UserId student);
+  /// Incrementally refreshes one course entity in the search index after a
+  /// content change (comment added, description edited).
+  void MaybeRefreshIndex(CourseId course);
+
+  storage::Database db_;
+  AuthService auth_;
+  IncentiveEngine incentives_;
+  query::SqlEngine sql_;
+  flexrecs::FlexRecsEngine flexrecs_;
+  PrivacyGuard privacy_;
+  CommentRanker comment_ranker_;
+  QuestionRouter router_;
+  std::unique_ptr<search::InvertedIndex> index_;
+};
+
+}  // namespace courserank::social
+
+#endif  // COURSERANK_SOCIAL_SITE_H_

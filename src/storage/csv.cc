@@ -1,0 +1,152 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace courserank::storage {
+
+namespace {
+
+std::string EscapeCell(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// Splits one CSV record starting at `pos`; advances `pos` past the record's
+/// trailing newline.
+std::vector<std::string> ParseRecord(const std::string& text, size_t& pos) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          cell += '"';
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\n' || c == '\r') {
+      while (pos < text.size() && (text[pos] == '\n' || text[pos] == '\r'))
+        ++pos;
+      cells.push_back(std::move(cell));
+      return cells;
+    } else {
+      cell += c;
+    }
+    ++pos;
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+Result<Value> CoerceCell(const std::string& cell, ValueType type) {
+  if (cell.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kBool:
+      if (cell == "true" || cell == "1") return Value(true);
+      if (cell == "false" || cell == "0") return Value(false);
+      return Status::InvalidArgument("bad BOOL cell: '" + cell + "'");
+    case ValueType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(cell.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("bad INT cell: '" + cell + "'");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(cell.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("bad DOUBLE cell: '" + cell + "'");
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(cell);
+    default:
+      return Status::Unimplemented("cannot parse CSV cell of type " +
+                                   std::string(ValueTypeName(type)));
+  }
+}
+
+}  // namespace
+
+std::string ToCsv(const Schema& schema, const std::vector<Row>& rows) {
+  std::string out;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out += ",";
+    out += EscapeCell(schema.column(i).name);
+  }
+  out += "\n";
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ",";
+      if (!row[i].is_null()) out += EscapeCell(row[i].ToString());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  std::vector<Row> rows;
+  rows.reserve(table.size());
+  table.Scan([&](RowId, const Row& row) { rows.push_back(row); });
+  f << ToCsv(table.schema(), rows);
+  return f.good() ? Status::OK()
+                  : Status::Internal("write to '" + path + "' failed");
+}
+
+Result<std::vector<Row>> ParseCsv(const Schema& schema,
+                                  const std::string& text) {
+  std::vector<Row> rows;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    std::vector<std::string> cells = ParseRecord(text, pos);
+    if (first) {  // header row
+      first = false;
+      continue;
+    }
+    if (cells.size() == 1 && cells[0].empty()) continue;  // blank line
+    if (cells.size() != schema.num_columns()) {
+      return Status::Corruption(
+          "CSV record has " + std::to_string(cells.size()) +
+          " cells, schema has " + std::to_string(schema.num_columns()));
+    }
+    Row row;
+    row.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      CR_ASSIGN_OR_RETURN(Value v,
+                          CoerceCell(cells[i], schema.column(i).type));
+      row.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace courserank::storage

@@ -1,0 +1,26 @@
+#ifndef COURSERANK_STORAGE_CSV_H_
+#define COURSERANK_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace courserank::storage {
+
+/// Serializes a table to RFC-4180-style CSV with a header row. LIST values
+/// are rendered with Value::ToString (lossy; intended for reports, not
+/// round-tripping nested data).
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Renders a table (or any schema+rows pair) as CSV text.
+std::string ToCsv(const Schema& schema, const std::vector<Row>& rows);
+
+/// Parses CSV text produced by ToCsv back into rows of `schema`, coercing
+/// each cell to the declared column type. Empty cells become NULL.
+Result<std::vector<Row>> ParseCsv(const Schema& schema,
+                                  const std::string& text);
+
+}  // namespace courserank::storage
+
+#endif  // COURSERANK_STORAGE_CSV_H_

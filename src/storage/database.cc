@@ -1,0 +1,125 @@
+#include "storage/database.h"
+
+#include "common/strings.h"
+
+namespace courserank::storage {
+
+Result<Table*> Database::CreateTable(std::string name, Schema schema,
+                                     std::vector<std::string> primary_key) {
+  if (FindTable(name) != nullptr) {
+    return Status::AlreadyExists("table '" + name + "' exists");
+  }
+  CR_ASSIGN_OR_RETURN(
+      std::unique_ptr<Table> table,
+      Table::Create(std::move(name), std::move(schema),
+                    std::move(primary_key)));
+  Table* ptr = table.get();
+  tables_.push_back(std::move(table));
+  return ptr;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  Table* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("no table '" + name + "'");
+  return t;
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  const Table* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("no table '" + name + "'");
+  return t;
+}
+
+Table* Database::FindTable(const std::string& name) {
+  for (const auto& t : tables_) {
+    if (EqualsIgnoreCase(t->name(), name)) return t.get();
+  }
+  return nullptr;
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (EqualsIgnoreCase(t->name(), name)) return t.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& t : tables_) out.push_back(t->name());
+  return out;
+}
+
+Status Database::AddForeignKey(const std::string& table,
+                               const std::string& column,
+                               const std::string& ref_table,
+                               const std::string& ref_column) {
+  CR_ASSIGN_OR_RETURN(Table * src, GetTable(table));
+  CR_ASSIGN_OR_RETURN(Table * dst, GetTable(ref_table));
+  CR_RETURN_IF_ERROR(src->schema().ColumnIndex(column).status());
+  CR_RETURN_IF_ERROR(dst->schema().ColumnIndex(ref_column).status());
+  // Ensure the referenced side is probe-able.
+  if (dst->FindHashIndex({ref_column}) == nullptr) {
+    CR_RETURN_IF_ERROR(dst->CreateHashIndex("__fk_" + table + "_" + column,
+                                            {ref_column}, /*unique=*/false));
+  }
+  foreign_keys_.push_back({table, column, ref_table, ref_column});
+  return Status::OK();
+}
+
+Result<RowId> Database::Insert(const std::string& table, Row row) {
+  CR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  CR_RETURN_IF_ERROR(CheckForeignKeysForRow(table, row));
+  return t->Insert(std::move(row));
+}
+
+Status Database::CheckForeignKeysForRow(const std::string& table,
+                                        const Row& row) {
+  for (const ForeignKey& fk : foreign_keys_) {
+    if (!EqualsIgnoreCase(fk.table, table)) continue;
+    Table* src = FindTable(fk.table);
+    Table* dst = FindTable(fk.ref_table);
+    CR_ASSIGN_OR_RETURN(size_t ci, src->schema().ColumnIndex(fk.column));
+    if (ci >= row.size() || row[ci].is_null()) continue;
+    std::vector<RowId> hits = dst->LookupEqual({fk.ref_column}, {row[ci]});
+    if (hits.empty()) {
+      return Status::FailedPrecondition(
+          "foreign key violation: " + fk.table + "." + fk.column + " = " +
+          row[ci].ToString() + " has no match in " + fk.ref_table + "." +
+          fk.ref_column);
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::CheckIntegrity() const {
+  for (const ForeignKey& fk : foreign_keys_) {
+    const Table* src = FindTable(fk.table);
+    const Table* dst = FindTable(fk.ref_table);
+    if (src == nullptr || dst == nullptr) {
+      return Status::Corruption("foreign key references missing table");
+    }
+    auto ci = src->schema().FindColumn(fk.column);
+    if (!ci.has_value()) {
+      return Status::Corruption("foreign key references missing column");
+    }
+    Status bad = Status::OK();
+    src->Scan([&](RowId, const Row& row) {
+      if (!bad.ok() || row[*ci].is_null()) return;
+      if (dst->LookupEqual({fk.ref_column}, {row[*ci]}).empty()) {
+        bad = Status::FailedPrecondition(
+            "integrity violation: " + fk.table + "." + fk.column + " = " +
+            row[*ci].ToString() + " dangling");
+      }
+    });
+    if (!bad.ok()) return bad;
+  }
+  return Status::OK();
+}
+
+int64_t Database::NextSequence(const std::string& name) {
+  return ++sequences_[ToLower(name)];
+}
+
+}  // namespace courserank::storage

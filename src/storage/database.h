@@ -1,0 +1,75 @@
+#ifndef COURSERANK_STORAGE_DATABASE_H_
+#define COURSERANK_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace courserank::storage {
+
+/// Declarative foreign-key constraint: `table.column` must reference an
+/// existing value of `ref_table.ref_column` (NULLs are exempt).
+struct ForeignKey {
+  std::string table;
+  std::string column;
+  std::string ref_table;
+  std::string ref_column;
+};
+
+/// The catalog: owns tables, enforces foreign keys, and hands out sequence
+/// values for surrogate ids.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table; name must be unique (case-insensitive).
+  Result<Table*> CreateTable(std::string name, Schema schema,
+                             std::vector<std::string> primary_key = {});
+
+  /// Table by name; NotFound when absent.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// nullptr when absent — convenience for hot paths.
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  /// Names of all tables, in creation order.
+  std::vector<std::string> TableNames() const;
+
+  /// Registers a foreign key. Both endpoints must exist; the referenced
+  /// column must have an index or be the PK for efficient checks (a unique
+  /// hash index is created on the referenced column when missing).
+  Status AddForeignKey(const std::string& table, const std::string& column,
+                       const std::string& ref_table,
+                       const std::string& ref_column);
+
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  /// Inserts with FK enforcement (Table::Insert alone does not know about
+  /// FKs). All domain-layer writes go through this.
+  Result<RowId> Insert(const std::string& table, Row row);
+
+  /// Full referential-integrity audit across all registered FKs. Returns the
+  /// first violation found, or OK.
+  Status CheckIntegrity() const;
+
+  /// Next value of a named monotone sequence, starting at 1.
+  int64_t NextSequence(const std::string& name);
+
+ private:
+  Status CheckForeignKeysForRow(const std::string& table, const Row& row);
+
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<ForeignKey> foreign_keys_;
+  std::unordered_map<std::string, int64_t> sequences_;
+};
+
+}  // namespace courserank::storage
+
+#endif  // COURSERANK_STORAGE_DATABASE_H_

@@ -1,0 +1,105 @@
+#include "storage/schema.h"
+
+#include "common/strings.h"
+
+namespace courserank::storage {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  // Exact (case-insensitive) match first.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  // Unqualified lookup against qualified columns: "title" matches "c.title"
+  // when unambiguous.
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const std::string& cn = columns_[i].name;
+    size_t dot = cn.rfind('.');
+    if (dot == std::string::npos) continue;
+    if (EqualsIgnoreCase(cn.substr(dot + 1), name)) {
+      if (found.has_value()) return std::nullopt;  // ambiguous
+      found = i;
+    }
+  }
+  return found;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  auto idx = FindColumn(name);
+  if (idx.has_value()) return *idx;
+  return Status::NotFound("no column '" + name + "' in schema [" +
+                          ToString() + "]");
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = columns_[i];
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("NULL in NOT NULL column '" +
+                                       col.name + "'");
+      }
+      continue;
+    }
+    bool type_ok = v.type() == col.type ||
+                   (col.type == ValueType::kDouble &&
+                    v.type() == ValueType::kInt);
+    if (!type_ok) {
+      return Status::InvalidArgument(
+          std::string("type mismatch in column '") + col.name + "': got " +
+          ValueTypeName(v.type()) + ", want " + ValueTypeName(col.type));
+    }
+  }
+  return Status::OK();
+}
+
+Schema Schema::WithPrefix(const std::string& alias) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    std::string base = c.name;
+    size_t dot = base.rfind('.');
+    if (dot != std::string::npos) base = base.substr(dot + 1);
+    cols.emplace_back(alias + "." + base, c.type, c.nullable);
+  }
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<Column> cols = a.columns();
+  cols.insert(cols.end(), b.columns().begin(), b.columns().end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!EqualsIgnoreCase(columns_[i].name, other.columns_[i].name) ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace courserank::storage

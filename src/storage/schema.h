@@ -1,0 +1,63 @@
+#ifndef COURSERANK_STORAGE_SCHEMA_H_
+#define COURSERANK_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace courserank::storage {
+
+/// One column definition. Column names are matched case-insensitively,
+/// following SQL identifier convention.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool nullable = true;
+
+  Column() = default;
+  Column(std::string n, ValueType t, bool null_ok = true)
+      : name(std::move(n)), type(t), nullable(null_ok) {}
+};
+
+/// An ordered list of columns with by-name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Case-insensitive column lookup; nullopt when absent. Also accepts
+  /// "alias.name" qualified forms when columns were named that way.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Like FindColumn but returns a Status mentioning the available columns.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Validates arity, column types (NULL passes any type; INT accepted where
+  /// DOUBLE declared), and NOT NULL constraints.
+  Status ValidateRow(const Row& row) const;
+
+  /// Schema whose column names are prefixed "alias.name"; used by joins.
+  Schema WithPrefix(const std::string& alias) const;
+
+  /// Concatenation of two schemas (join output).
+  static Schema Concat(const Schema& a, const Schema& b);
+
+  /// "name:TYPE, name:TYPE, ...".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace courserank::storage
+
+#endif  // COURSERANK_STORAGE_SCHEMA_H_

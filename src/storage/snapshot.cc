@@ -1,0 +1,196 @@
+#include "storage/snapshot.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "storage/csv.h"
+
+namespace courserank::storage {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Result<ValueType> ParseTypeName(const std::string& name) {
+  for (ValueType t : {ValueType::kBool, ValueType::kInt, ValueType::kDouble,
+                      ValueType::kString}) {
+    if (EqualsIgnoreCase(name, ValueTypeName(t))) return t;
+  }
+  return Status::Corruption("unknown column type '" + name +
+                            "' in manifest");
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory '" + dir +
+                            "': " + ec.message());
+  }
+
+  std::ofstream manifest(fs::path(dir) / "_manifest.txt");
+  if (!manifest.is_open()) {
+    return Status::Internal("cannot write manifest in '" + dir + "'");
+  }
+
+  for (const std::string& name : db.TableNames()) {
+    CR_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
+    manifest << "table " << table->name() << "\n";
+    for (const Column& col : table->schema().columns()) {
+      if (col.type == ValueType::kList || col.type == ValueType::kNull) {
+        return Status::Unimplemented(
+            "cannot snapshot column '" + col.name + "' of type " +
+            ValueTypeName(col.type));
+      }
+      manifest << "column " << col.name << " " << ValueTypeName(col.type)
+               << " " << (col.nullable ? 1 : 0) << "\n";
+    }
+    if (!table->primary_key().empty()) {
+      manifest << "pk";
+      for (const std::string& col : table->primary_key()) {
+        manifest << " " << col;
+      }
+      manifest << "\n";
+    }
+    for (const HashIndex* index : table->hash_indexes()) {
+      if (index->name() == "__pk") continue;  // recreated with the table
+      manifest << "hashindex " << index->name() << " "
+               << (index->unique() ? 1 : 0);
+      for (size_t ci : index->column_indices()) {
+        manifest << " " << table->schema().column(ci).name;
+      }
+      manifest << "\n";
+    }
+    for (const OrderedIndex* index : table->ordered_indexes()) {
+      manifest << "orderedindex " << index->name() << " "
+               << table->schema().column(index->column_index()).name << "\n";
+    }
+    manifest << "endtable\n";
+
+    CR_RETURN_IF_ERROR(
+        WriteCsv(*table, (fs::path(dir) / (table->name() + ".csv")).string()));
+  }
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    manifest << "fk " << fk.table << " " << fk.column << " " << fk.ref_table
+             << " " << fk.ref_column << "\n";
+  }
+  return manifest.good()
+             ? Status::OK()
+             : Status::Internal("manifest write failed in '" + dir + "'");
+}
+
+Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
+  CR_ASSIGN_OR_RETURN(std::string manifest,
+                      ReadFile((fs::path(dir) / "_manifest.txt").string()));
+  auto db = std::make_unique<Database>();
+
+  struct PendingIndex {
+    std::string table;
+    std::string name;
+    bool unique = false;
+    bool ordered = false;
+    std::vector<std::string> columns;
+  };
+  std::vector<PendingIndex> indexes;
+  struct PendingFk {
+    std::string table, column, ref_table, ref_column;
+  };
+  std::vector<PendingFk> fks;
+  std::vector<std::string> table_order;
+
+  std::string current_table;
+  std::vector<Column> columns;
+  std::vector<std::string> pk;
+
+  auto flush_table = [&]() -> Status {
+    if (current_table.empty()) return Status::OK();
+    CR_RETURN_IF_ERROR(
+        db->CreateTable(current_table, Schema(columns), pk).status());
+    table_order.push_back(current_table);
+    current_table.clear();
+    columns.clear();
+    pk.clear();
+    return Status::OK();
+  };
+
+  for (const std::string& raw : Split(manifest, '\n')) {
+    std::vector<std::string> parts = SplitWhitespace(raw);
+    if (parts.empty()) continue;
+    const std::string& kind = parts[0];
+    if (kind == "table" && parts.size() == 2) {
+      current_table = parts[1];
+    } else if (kind == "column" && parts.size() == 4) {
+      CR_ASSIGN_OR_RETURN(ValueType type, ParseTypeName(parts[2]));
+      columns.emplace_back(parts[1], type, parts[3] == "1");
+    } else if (kind == "pk" && parts.size() >= 2) {
+      pk.assign(parts.begin() + 1, parts.end());
+    } else if (kind == "hashindex" && parts.size() >= 4) {
+      PendingIndex index;
+      index.table = current_table;
+      index.name = parts[1];
+      index.unique = parts[2] == "1";
+      index.columns.assign(parts.begin() + 3, parts.end());
+      indexes.push_back(std::move(index));
+    } else if (kind == "orderedindex" && parts.size() == 3) {
+      PendingIndex index;
+      index.table = current_table;
+      index.name = parts[1];
+      index.ordered = true;
+      index.columns.push_back(parts[2]);
+      indexes.push_back(std::move(index));
+    } else if (kind == "endtable") {
+      CR_RETURN_IF_ERROR(flush_table());
+    } else if (kind == "fk" && parts.size() == 5) {
+      fks.push_back({parts[1], parts[2], parts[3], parts[4]});
+    } else {
+      return Status::Corruption("bad manifest line: '" + raw + "'");
+    }
+  }
+  CR_RETURN_IF_ERROR(flush_table());
+
+  // Load rows before secondary indexes exist? Either order works; create
+  // indexes first so unique violations in the data surface immediately.
+  for (const PendingIndex& index : indexes) {
+    CR_ASSIGN_OR_RETURN(Table * table, db->GetTable(index.table));
+    if (index.ordered) {
+      CR_RETURN_IF_ERROR(
+          table->CreateOrderedIndex(index.name, index.columns[0]));
+    } else {
+      CR_RETURN_IF_ERROR(
+          table->CreateHashIndex(index.name, index.columns, index.unique));
+    }
+  }
+
+  for (const std::string& name : table_order) {
+    CR_ASSIGN_OR_RETURN(Table * table, db->GetTable(name));
+    CR_ASSIGN_OR_RETURN(std::string csv,
+                        ReadFile((fs::path(dir) / (name + ".csv")).string()));
+    CR_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                        ParseCsv(table->schema(), csv));
+    for (Row& row : rows) {
+      CR_RETURN_IF_ERROR(table->Insert(std::move(row)).status());
+    }
+  }
+
+  for (const PendingFk& fk : fks) {
+    CR_RETURN_IF_ERROR(
+        db->AddForeignKey(fk.table, fk.column, fk.ref_table, fk.ref_column));
+  }
+  return db;
+}
+
+}  // namespace courserank::storage

@@ -1,0 +1,30 @@
+#ifndef COURSERANK_STORAGE_SNAPSHOT_H_
+#define COURSERANK_STORAGE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace courserank::storage {
+
+/// Serializes a whole Database to a directory: one CSV per table plus a
+/// `_manifest.txt` recording schemas, primary keys, secondary indexes, and
+/// foreign keys. The directory is created if missing; existing files are
+/// overwritten. Sequence counters are not persisted (callers re-seed them
+/// from max ids when needed).
+///
+/// LIST-typed columns are not supported (they only occur in transient
+/// relations, never in stored tables).
+Status SaveDatabase(const Database& db, const std::string& dir);
+
+/// Rebuilds a Database from a SaveDatabase directory: recreates tables,
+/// indexes, and foreign keys, then loads rows. Fails with Corruption on a
+/// malformed manifest and propagates any constraint violation found while
+/// re-inserting rows.
+Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir);
+
+}  // namespace courserank::storage
+
+#endif  // COURSERANK_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,332 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace courserank::storage {
+
+// ---------------------------------------------------------------- HashIndex
+
+Row HashIndex::ExtractKey(const Row& row) const {
+  Row key;
+  key.reserve(column_indices_.size());
+  for (size_t ci : column_indices_) key.push_back(row[ci]);
+  return key;
+}
+
+const std::vector<RowId>* HashIndex::Lookup(const Row& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  return &it->second;
+}
+
+Status HashIndex::Add(const Row& row, RowId id) {
+  Row key = ExtractKey(row);
+  auto& ids = map_[key];
+  if (unique_ && !ids.empty()) {
+    return Status::AlreadyExists("duplicate key in unique index '" + name_ +
+                                 "'");
+  }
+  ids.push_back(id);
+  return Status::OK();
+}
+
+void HashIndex::Remove(const Row& row, RowId id) {
+  auto it = map_.find(ExtractKey(row));
+  if (it == map_.end()) return;
+  auto& ids = it->second;
+  ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+  if (ids.empty()) map_.erase(it);
+}
+
+// ------------------------------------------------------------- OrderedIndex
+
+std::vector<RowId> OrderedIndex::Range(const Value& lo, const Value& hi) const {
+  auto begin = lo.is_null() ? map_.begin() : map_.lower_bound(lo);
+  auto end = hi.is_null() ? map_.end() : map_.upper_bound(hi);
+  std::vector<RowId> out;
+  for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  return out;
+}
+
+void OrderedIndex::Add(const Value& key, RowId id) {
+  map_.emplace(key, id);
+}
+
+void OrderedIndex::Remove(const Value& key, RowId id) {
+  auto range = map_.equal_range(key);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == id) {
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+// -------------------------------------------------------------------- Table
+
+Result<std::unique_ptr<Table>> Table::Create(
+    std::string name, Schema schema, std::vector<std::string> primary_key) {
+  std::vector<size_t> pk_indices;
+  std::vector<Column> cols = schema.columns();
+  for (const std::string& pk : primary_key) {
+    auto idx = schema.FindColumn(pk);
+    if (!idx.has_value()) {
+      return Status::InvalidArgument("primary key column '" + pk +
+                                     "' not in schema of table '" + name +
+                                     "'");
+    }
+    pk_indices.push_back(*idx);
+    cols[*idx].nullable = false;  // PK implies NOT NULL
+  }
+  auto table = std::unique_ptr<Table>(new Table(
+      std::move(name), Schema(std::move(cols)), std::move(primary_key),
+      std::move(pk_indices)));
+  if (!table->pk_names_.empty()) {
+    CR_RETURN_IF_ERROR(
+        table->CreateHashIndex("__pk", table->pk_names_, /*unique=*/true));
+    table->pk_index_ = table->hash_indexes_.back().get();
+  }
+  return table;
+}
+
+Table::Table(std::string name, Schema schema,
+             std::vector<std::string> pk_names, std::vector<size_t> pk_indices)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      pk_names_(std::move(pk_names)),
+      pk_indices_(std::move(pk_indices)) {}
+
+Result<RowId> Table::Insert(Row row) {
+  CR_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  for (const auto& index : hash_indexes_) {
+    if (index->unique()) {
+      CR_RETURN_IF_ERROR(CheckUniqueForInsert(row, *index));
+    }
+  }
+  RowId id = rows_.size();
+  AddToIndexes(row, id);
+  rows_.push_back(std::move(row));
+  deleted_.push_back(false);
+  ++live_count_;
+  return id;
+}
+
+Status Table::Update(RowId id, Row row) {
+  const Row* old = Get(id);
+  if (old == nullptr) {
+    return Status::NotFound("row " + std::to_string(id) + " not in table '" +
+                            name_ + "'");
+  }
+  CR_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  // Unique checks must ignore the row being replaced.
+  for (const auto& index : hash_indexes_) {
+    if (!index->unique()) continue;
+    const std::vector<RowId>* ids = index->Lookup(index->ExtractKey(row));
+    if (ids != nullptr && !(ids->size() == 1 && (*ids)[0] == id)) {
+      return Status::AlreadyExists("duplicate key in unique index '" +
+                                   index->name() + "'");
+    }
+  }
+  RemoveFromIndexes(*old, id);
+  rows_[id] = std::move(row);
+  AddToIndexes(rows_[id], id);
+  return Status::OK();
+}
+
+Status Table::UpdateColumn(RowId id, size_t column, Value value) {
+  const Row* old = Get(id);
+  if (old == nullptr) {
+    return Status::NotFound("row " + std::to_string(id) + " not in table '" +
+                            name_ + "'");
+  }
+  if (column >= schema_.num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  Row updated = *old;
+  updated[column] = std::move(value);
+  return Update(id, std::move(updated));
+}
+
+Status Table::Delete(RowId id) {
+  const Row* row = Get(id);
+  if (row == nullptr) {
+    return Status::NotFound("row " + std::to_string(id) + " not in table '" +
+                            name_ + "'");
+  }
+  RemoveFromIndexes(*row, id);
+  deleted_[id] = true;
+  --live_count_;
+  return Status::OK();
+}
+
+const Row* Table::Get(RowId id) const {
+  if (id >= rows_.size() || deleted_[id]) return nullptr;
+  return &rows_[id];
+}
+
+Result<RowId> Table::FindByPrimaryKey(const Row& key) const {
+  if (pk_index_ == nullptr) {
+    return Status::FailedPrecondition("table '" + name_ +
+                                      "' has no primary key");
+  }
+  const std::vector<RowId>* ids = pk_index_->Lookup(key);
+  if (ids == nullptr || ids->empty()) {
+    Row k = key;
+    std::string key_str;
+    for (size_t i = 0; i < k.size(); ++i) {
+      if (i > 0) key_str += ", ";
+      key_str += k[i].ToString();
+    }
+    return Status::NotFound("no row with key (" + key_str + ") in table '" +
+                            name_ + "'");
+  }
+  return (*ids)[0];
+}
+
+void Table::Scan(const std::function<void(RowId, const Row&)>& fn) const {
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (!deleted_[id]) fn(id, rows_[id]);
+  }
+}
+
+std::vector<RowId> Table::LiveRowIds() const {
+  std::vector<RowId> out;
+  out.reserve(live_count_);
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (!deleted_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+Status Table::CreateHashIndex(const std::string& index_name,
+                              const std::vector<std::string>& columns,
+                              bool unique) {
+  for (const auto& idx : hash_indexes_) {
+    if (EqualsIgnoreCase(idx->name(), index_name)) {
+      return Status::AlreadyExists("index '" + index_name + "' exists");
+    }
+  }
+  std::vector<size_t> indices;
+  for (const std::string& c : columns) {
+    CR_ASSIGN_OR_RETURN(size_t ci, schema_.ColumnIndex(c));
+    indices.push_back(ci);
+  }
+  auto index =
+      std::make_unique<HashIndex>(index_name, std::move(indices), unique);
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (deleted_[id]) continue;
+    CR_RETURN_IF_ERROR(index->Add(rows_[id], id));
+  }
+  hash_indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+Status Table::CreateOrderedIndex(const std::string& index_name,
+                                 const std::string& column) {
+  for (const auto& idx : ordered_indexes_) {
+    if (EqualsIgnoreCase(idx->name(), index_name)) {
+      return Status::AlreadyExists("index '" + index_name + "' exists");
+    }
+  }
+  CR_ASSIGN_OR_RETURN(size_t ci, schema_.ColumnIndex(column));
+  auto index = std::make_unique<OrderedIndex>(index_name, ci);
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (!deleted_[id]) index->Add(rows_[id][ci], id);
+  }
+  ordered_indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+const HashIndex* Table::FindHashIndex(
+    const std::vector<std::string>& columns) const {
+  std::vector<size_t> want;
+  for (const std::string& c : columns) {
+    auto ci = schema_.FindColumn(c);
+    if (!ci.has_value()) return nullptr;
+    want.push_back(*ci);
+  }
+  for (const auto& idx : hash_indexes_) {
+    if (idx->column_indices() == want) return idx.get();
+  }
+  return nullptr;
+}
+
+const OrderedIndex* Table::FindOrderedIndex(const std::string& column) const {
+  auto ci = schema_.FindColumn(column);
+  if (!ci.has_value()) return nullptr;
+  for (const auto& idx : ordered_indexes_) {
+    if (idx->column_index() == *ci) return idx.get();
+  }
+  return nullptr;
+}
+
+std::vector<RowId> Table::LookupEqual(const std::vector<std::string>& columns,
+                                      const Row& key) const {
+  const HashIndex* index = FindHashIndex(columns);
+  if (index != nullptr) {
+    const std::vector<RowId>* ids = index->Lookup(key);
+    if (ids == nullptr) return {};
+    return *ids;
+  }
+  // Fallback: full scan.
+  std::vector<size_t> indices;
+  for (const std::string& c : columns) {
+    auto ci = schema_.FindColumn(c);
+    if (!ci.has_value()) return {};
+    indices.push_back(*ci);
+  }
+  std::vector<RowId> out;
+  Scan([&](RowId id, const Row& row) {
+    for (size_t i = 0; i < indices.size(); ++i) {
+      if (!(row[indices[i]] == key[i])) return;
+    }
+    out.push_back(id);
+  });
+  return out;
+}
+
+std::vector<const HashIndex*> Table::hash_indexes() const {
+  std::vector<const HashIndex*> out;
+  out.reserve(hash_indexes_.size());
+  for (const auto& idx : hash_indexes_) out.push_back(idx.get());
+  return out;
+}
+
+std::vector<const OrderedIndex*> Table::ordered_indexes() const {
+  std::vector<const OrderedIndex*> out;
+  out.reserve(ordered_indexes_.size());
+  for (const auto& idx : ordered_indexes_) out.push_back(idx.get());
+  return out;
+}
+
+Status Table::CheckUniqueForInsert(const Row& row,
+                                   const HashIndex& index) const {
+  const std::vector<RowId>* ids = index.Lookup(index.ExtractKey(row));
+  if (ids != nullptr && !ids->empty()) {
+    return Status::AlreadyExists("duplicate key in unique index '" +
+                                 index.name() + "' of table '" + name_ + "'");
+  }
+  return Status::OK();
+}
+
+void Table::AddToIndexes(const Row& row, RowId id) {
+  for (const auto& index : hash_indexes_) {
+    Status s = index->Add(row, id);
+    CR_CHECK(s.ok());  // uniqueness pre-checked by callers
+  }
+  for (const auto& index : ordered_indexes_) {
+    index->Add(row[index->column_index()], id);
+  }
+}
+
+void Table::RemoveFromIndexes(const Row& row, RowId id) {
+  for (const auto& index : hash_indexes_) index->Remove(row, id);
+  for (const auto& index : ordered_indexes_) {
+    index->Remove(row[index->column_index()], id);
+  }
+}
+
+}  // namespace courserank::storage

@@ -1,0 +1,172 @@
+#ifndef COURSERANK_STORAGE_TABLE_H_
+#define COURSERANK_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace courserank::storage {
+
+/// Stable identifier of a row within one table (slot position; slots are
+/// never reused, deleted slots are tombstoned).
+using RowId = uint64_t;
+
+/// Hash index over one or more columns. Maintained by Table; exposed
+/// read-only to query execution for index lookups.
+class HashIndex {
+ public:
+  HashIndex(std::string name, std::vector<size_t> column_indices, bool unique)
+      : name_(std::move(name)),
+        column_indices_(std::move(column_indices)),
+        unique_(unique) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<size_t>& column_indices() const {
+    return column_indices_;
+  }
+  bool unique() const { return unique_; }
+
+  /// Row ids whose key equals `key` (key = values of the indexed columns in
+  /// index order). Missing keys yield an empty vector.
+  const std::vector<RowId>* Lookup(const Row& key) const;
+
+ private:
+  friend class Table;
+
+  Row ExtractKey(const Row& row) const;
+  Status Add(const Row& row, RowId id);
+  void Remove(const Row& row, RowId id);
+
+  std::string name_;
+  std::vector<size_t> column_indices_;
+  bool unique_;
+  std::unordered_map<Row, std::vector<RowId>, RowHash> map_;
+};
+
+/// Ordered (multimap) index over a single column, for range scans.
+class OrderedIndex {
+ public:
+  OrderedIndex(std::string name, size_t column_index)
+      : name_(std::move(name)), column_index_(column_index) {}
+
+  const std::string& name() const { return name_; }
+  size_t column_index() const { return column_index_; }
+
+  /// Row ids whose key lies in [lo, hi]; a null bound is unbounded on that
+  /// side. Results are in key order.
+  std::vector<RowId> Range(const Value& lo, const Value& hi) const;
+
+ private:
+  friend class Table;
+
+  void Add(const Value& key, RowId id);
+  void Remove(const Value& key, RowId id);
+
+  std::string name_;
+  size_t column_index_;
+  std::multimap<Value, RowId> map_;
+};
+
+/// An in-memory heap table with optional primary key and secondary indexes.
+/// Rows live in append-only slots; deletion tombstones the slot so RowIds
+/// stay stable for index postings and external references.
+class Table {
+ public:
+  /// `primary_key`: names of the PK columns (may be empty for no PK). PK
+  /// columns are implicitly NOT NULL and backed by a unique hash index.
+  static Result<std::unique_ptr<Table>> Create(
+      std::string name, Schema schema,
+      std::vector<std::string> primary_key = {});
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<std::string>& primary_key() const { return pk_names_; }
+
+  /// Number of live (non-deleted) rows.
+  size_t size() const { return live_count_; }
+  /// Number of slots including tombstones; RowIds range over [0, capacity).
+  size_t capacity() const { return rows_.size(); }
+
+  /// Validates against the schema and PK/unique constraints, then appends.
+  Result<RowId> Insert(Row row);
+
+  /// Replaces the row at `id`. Re-validates constraints and indexes.
+  Status Update(RowId id, Row row);
+
+  /// Sets a single column of an existing row.
+  Status UpdateColumn(RowId id, size_t column, Value value);
+
+  /// Tombstones the row at `id`.
+  Status Delete(RowId id);
+
+  /// Returns the live row at `id`, or nullptr if deleted / out of range.
+  const Row* Get(RowId id) const;
+
+  /// Looks up by full primary key. NotFound when absent.
+  Result<RowId> FindByPrimaryKey(const Row& key) const;
+
+  /// Calls `fn(id, row)` for every live row, in slot order.
+  void Scan(const std::function<void(RowId, const Row&)>& fn) const;
+
+  /// All live row ids in slot order.
+  std::vector<RowId> LiveRowIds() const;
+
+  /// Creates a (possibly unique) hash index over `columns`. Fails if any
+  /// existing rows violate a unique constraint.
+  Status CreateHashIndex(const std::string& index_name,
+                         const std::vector<std::string>& columns, bool unique);
+
+  /// Creates an ordered index over one column.
+  Status CreateOrderedIndex(const std::string& index_name,
+                            const std::string& column);
+
+  /// Looks up a hash index usable for an equality probe on exactly
+  /// `columns`; nullptr when none exists.
+  const HashIndex* FindHashIndex(const std::vector<std::string>& columns) const;
+
+  /// Ordered index on `column`, or nullptr.
+  const OrderedIndex* FindOrderedIndex(const std::string& column) const;
+
+  /// Equality probe through an index on `columns`; falls back to a scan when
+  /// no suitable index exists. Returns live row ids.
+  std::vector<RowId> LookupEqual(const std::vector<std::string>& columns,
+                                 const Row& key) const;
+
+  /// All hash indexes (including the implicit "__pk" index when a primary
+  /// key exists), for catalog introspection and snapshots.
+  std::vector<const HashIndex*> hash_indexes() const;
+  std::vector<const OrderedIndex*> ordered_indexes() const;
+
+ private:
+  Table(std::string name, Schema schema, std::vector<std::string> pk_names,
+        std::vector<size_t> pk_indices);
+
+  Status CheckUniqueForInsert(const Row& row, const HashIndex& index) const;
+  void AddToIndexes(const Row& row, RowId id);
+  void RemoveFromIndexes(const Row& row, RowId id);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<std::string> pk_names_;
+  std::vector<size_t> pk_indices_;
+
+  std::vector<Row> rows_;
+  std::vector<bool> deleted_;
+  size_t live_count_ = 0;
+
+  std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
+  std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
+  HashIndex* pk_index_ = nullptr;  // owned by hash_indexes_
+};
+
+}  // namespace courserank::storage
+
+#endif  // COURSERANK_STORAGE_TABLE_H_

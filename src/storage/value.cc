@@ -1,0 +1,186 @@
+#include "storage/value.h"
+
+#include <functional>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace courserank::storage {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kList:
+      return "LIST";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(v_.index());
+}
+
+bool Value::AsBool() const {
+  CR_CHECK(std::holds_alternative<bool>(v_));
+  return std::get<bool>(v_);
+}
+
+int64_t Value::AsInt() const {
+  CR_CHECK(std::holds_alternative<int64_t>(v_));
+  return std::get<int64_t>(v_);
+}
+
+double Value::AsDouble() const {
+  CR_CHECK(std::holds_alternative<double>(v_));
+  return std::get<double>(v_);
+}
+
+const std::string& Value::AsString() const {
+  CR_CHECK(std::holds_alternative<std::string>(v_));
+  return std::get<std::string>(v_);
+}
+
+const Value::List& Value::AsList() const {
+  CR_CHECK(std::holds_alternative<ListHandle>(v_));
+  return *std::get<ListHandle>(v_);
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      return Status::InvalidArgument(std::string("cannot convert ") +
+                                     ValueTypeName(type()) + " to DOUBLE");
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble:
+      return FormatDouble(AsDouble());
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kList: {
+      std::string out = "[";
+      const List& items = AsList();
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += items[i].ToString();
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+/// Rank used for cross-type ordering; int and double share a rank so they
+/// compare numerically.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 2;
+    case ValueType::kString:
+      return 3;
+    case ValueType::kList:
+      return 4;
+  }
+  return 5;
+}
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+    case ValueType::kInt:
+      if (other.type() == ValueType::kInt) {
+        int64_t a = AsInt();
+        int64_t b = other.AsInt();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      return Sign(static_cast<double>(AsInt()) - other.AsDouble());
+    case ValueType::kDouble: {
+      double b = other.type() == ValueType::kInt
+                     ? static_cast<double>(other.AsInt())
+                     : other.AsDouble();
+      return Sign(AsDouble() - b);
+    }
+    case ValueType::kString:
+      return AsString().compare(other.AsString());
+    case ValueType::kList: {
+      const List& a = AsList();
+      const List& b = other.AsList();
+      for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      if (a.size() == b.size()) return 0;
+      return a.size() < b.size() ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b9u;
+    case ValueType::kBool:
+      return AsBool() ? 0x11u : 0x22u;
+    case ValueType::kInt:
+      // Hash ints as doubles when exactly representable so 1 == 1.0 hashes
+      // consistently with Compare().
+      return std::hash<double>()(static_cast<double>(AsInt()));
+    case ValueType::kDouble:
+      return std::hash<double>()(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+    case ValueType::kList: {
+      size_t h = 0xcbf29ce484222325ULL;
+      for (const Value& v : AsList()) {
+        h ^= v.Hash();
+        h *= 0x100000001b3ULL;
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+}  // namespace courserank::storage

@@ -1,0 +1,105 @@
+#ifndef COURSERANK_STORAGE_VALUE_H_
+#define COURSERANK_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace courserank::storage {
+
+/// Runtime type tags for Value. kList holds an immutable vector of Values and
+/// exists to support the FlexRecs ε-extend operator, which nests a set of
+/// related tuples into a single attribute.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kList,
+};
+
+/// Returns a stable name: "NULL", "BOOL", "INT", "DOUBLE", "STRING", "LIST".
+const char* ValueTypeName(ValueType t);
+
+/// A dynamically typed SQL value. Small, copyable; list payloads are shared
+/// immutably so copies stay cheap.
+class Value {
+ public:
+  using List = std::vector<Value>;
+
+  /// Constructs SQL NULL.
+  Value() : v_(std::monostate{}) {}
+  explicit Value(bool b) : v_(b) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(int i) : v_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+  explicit Value(List items)
+      : v_(std::make_shared<const List>(std::move(items))) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors. Calling the wrong accessor is a checked programming
+  /// error; use type() or the As* coercions for dynamic data.
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const List& AsList() const;
+
+  /// True for kInt or kDouble.
+  bool is_numeric() const {
+    ValueType t = type();
+    return t == ValueType::kInt || t == ValueType::kDouble;
+  }
+
+  /// Numeric coercion: int and double widen to double; bool becomes 0/1.
+  /// Fails on null, string, list.
+  Result<double> ToDouble() const;
+
+  /// Renders the value for display ("NULL", "3.5", "abc", "[1, 2]").
+  std::string ToString() const;
+
+  /// Total ordering across types (NULL < BOOL < numerics < STRING < LIST);
+  /// ints and doubles compare numerically with each other. Returns -1/0/1.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator== (numeric cross-type equality included).
+  size_t Hash() const;
+
+ private:
+  using ListHandle = std::shared_ptr<const List>;
+  std::variant<std::monostate, bool, int64_t, double, std::string, ListHandle>
+      v_;
+};
+
+/// A tuple: one Value per schema column.
+using Row = std::vector<Value>;
+
+/// Hash functor for composite keys (e.g. multi-column index keys).
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const Value& v : row) {
+      h ^= v.Hash();
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace courserank::storage
+
+#endif  // COURSERANK_STORAGE_VALUE_H_

@@ -1,0 +1,76 @@
+#include "text/analyzer.h"
+
+#include <cctype>
+
+#include "text/stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace courserank::text {
+
+namespace {
+
+bool IsNumeric(std::string_view s) {
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return !s.empty();
+}
+
+}  // namespace
+
+std::vector<AnalyzedToken> Analyzer::Analyze(std::string_view text) const {
+  std::vector<PositionedToken> raw = TokenizePositioned(text);
+  std::vector<AnalyzedToken> out;
+  out.reserve(raw.size());
+  for (const PositionedToken& tok : raw) {
+    if (options_.remove_stopwords && IsStopword(tok.text)) continue;
+    if (options_.drop_numeric && IsNumeric(tok.text)) continue;
+    AnalyzedToken at;
+    at.surface = tok.text;
+    at.term = options_.stem ? PorterStem(tok.text) : tok.text;
+    at.position = tok.position;
+    out.push_back(std::move(at));
+  }
+  return out;
+}
+
+std::vector<std::string> Analyzer::AnalyzeQuery(std::string_view query) const {
+  std::vector<std::string> terms;
+  for (AnalyzedToken& t : Analyze(query)) {
+    terms.push_back(std::move(t.term));
+  }
+  return terms;
+}
+
+std::vector<AnalyzedToken> Analyzer::Bigrams(
+    const std::vector<AnalyzedToken>& tokens) {
+  std::vector<AnalyzedToken> out;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i + 1].position != tokens[i].position + 1) continue;
+    AnalyzedToken bg;
+    bg.term = tokens[i].term + " " + tokens[i + 1].term;
+    bg.surface = tokens[i].surface + " " + tokens[i + 1].surface;
+    bg.position = tokens[i].position;
+    out.push_back(std::move(bg));
+  }
+  return out;
+}
+
+void SurfaceRegistry::Record(const std::string& term,
+                             const std::string& surface) {
+  SurfaceCounts& sc = by_term_[term];
+  size_t n = ++sc.counts[surface];
+  if (n > sc.best_count) {
+    sc.best_count = n;
+    sc.best = surface;
+  }
+}
+
+const std::string& SurfaceRegistry::DisplayForm(const std::string& term) const {
+  auto it = by_term_.find(term);
+  if (it == by_term_.end() || it->second.best.empty()) return term;
+  return it->second.best;
+}
+
+}  // namespace courserank::text

@@ -1,0 +1,76 @@
+#ifndef COURSERANK_TEXT_ANALYZER_H_
+#define COURSERANK_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace courserank::text {
+
+/// One analyzed token: the index term (stem), the surface form it came from,
+/// and its position in the original token stream (positions keep gaps where
+/// stopwords were removed, so bigram adjacency is faithful to the text).
+struct AnalyzedToken {
+  std::string term;
+  std::string surface;
+  size_t position = 0;
+};
+
+/// Analysis pipeline: tokenize → drop stopwords → Porter-stem. This is the
+/// shared normalization used by the inverted index, the data cloud, and the
+/// forum question router, so all of them agree on what a "term" is.
+struct AnalyzerOptions {
+  bool remove_stopwords = true;
+  bool stem = true;
+  /// Drop bare numbers ("2008") — they clutter clouds.
+  bool drop_numeric = true;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {}) : options_(options) {}
+
+  /// Full pipeline over free text.
+  std::vector<AnalyzedToken> Analyze(std::string_view text) const;
+
+  /// Analyzes a query string into index terms (same pipeline; a query term
+  /// that is all stopwords yields an empty vector).
+  std::vector<std::string> AnalyzeQuery(std::string_view query) const;
+
+  /// Adjacent pairs from an analyzed stream: returns "stemA stemB" terms
+  /// with their combined surface "surfA surfB". Only truly adjacent source
+  /// tokens pair up.
+  static std::vector<AnalyzedToken> Bigrams(
+      const std::vector<AnalyzedToken>& tokens);
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+};
+
+/// Maps index terms (stems / stem pairs) back to the most frequent surface
+/// form seen, for display in data clouds ("politi" → "politics").
+class SurfaceRegistry {
+ public:
+  /// Records one sighting of `surface` for `term`.
+  void Record(const std::string& term, const std::string& surface);
+
+  /// Most frequently recorded surface; falls back to the term itself.
+  const std::string& DisplayForm(const std::string& term) const;
+
+  size_t size() const { return by_term_.size(); }
+
+ private:
+  struct SurfaceCounts {
+    std::unordered_map<std::string, size_t> counts;
+    std::string best;
+    size_t best_count = 0;
+  };
+  std::unordered_map<std::string, SurfaceCounts> by_term_;
+};
+
+}  // namespace courserank::text
+
+#endif  // COURSERANK_TEXT_ANALYZER_H_

@@ -1,0 +1,314 @@
+#include "text/stemmer.h"
+
+namespace courserank::text {
+
+namespace {
+
+/// Working buffer for one stemming run. Implements the consonant/vowel
+/// classification, the measure m(), and the condition helpers from the
+/// original paper, operating on word_[0..end_].
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : word_(std::move(word)) {
+    end_ = word_.empty() ? 0 : word_.size() - 1;
+  }
+
+  std::string Run() {
+    if (word_.size() <= 2) return word_;
+    Step1a();
+    Step1b();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5a();
+    Step5b();
+    return word_.substr(0, end_ + 1);
+  }
+
+ private:
+  /// True if word_[i] is a consonant per Porter's definition ('y' is a
+  /// consonant when word-initial or preceded by a vowel).
+  bool IsConsonant(size_t i) const {
+    char c = word_[i];
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') return false;
+    if (c == 'y') return i == 0 ? true : !IsConsonant(i - 1);
+    return true;
+  }
+
+  /// Porter's measure m of word_[0..j]: the number of VC sequences.
+  int Measure(size_t j) const {
+    int m = 0;
+    size_t i = 0;
+    // Skip initial consonants.
+    while (i <= j && IsConsonant(i)) ++i;
+    for (;;) {
+      if (i > j) return m;
+      // Vowel run.
+      while (i <= j && !IsConsonant(i)) ++i;
+      if (i > j) return m;
+      ++m;
+      // Consonant run.
+      while (i <= j && IsConsonant(i)) ++i;
+    }
+  }
+
+  /// True when word_[0..j] contains a vowel.
+  bool HasVowel(size_t j) const {
+    for (size_t i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  /// True when word_[0..j] ends in a double consonant.
+  bool DoubleConsonant(size_t j) const {
+    if (j < 1) return false;
+    return word_[j] == word_[j - 1] && IsConsonant(j);
+  }
+
+  /// cvc test at j: consonant-vowel-consonant where the final consonant is
+  /// not w, x, or y. Used to decide whether to restore a final 'e'.
+  bool CvcEnd(size_t j) const {
+    if (j < 2 || !IsConsonant(j) || IsConsonant(j - 1) || !IsConsonant(j - 2))
+      return false;
+    char c = word_[j];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  /// True when the live word ends with `suffix`. On success `stem_end_` is
+  /// set to the index of the character before the suffix.
+  bool EndsWith(std::string_view suffix) {
+    if (suffix.size() > end_ + 1) return false;
+    size_t start = end_ + 1 - suffix.size();
+    if (word_.compare(start, suffix.size(), suffix) != 0) return false;
+    if (start == 0) return false;  // suffix must leave a non-empty stem
+    stem_end_ = start - 1;
+    return true;
+  }
+
+  /// Replaces the matched suffix with `repl`.
+  void SetSuffix(std::string_view repl) {
+    word_.resize(stem_end_ + 1);
+    word_.append(repl);
+    end_ = word_.size() - 1;
+  }
+
+  /// Replaces the matched suffix when m(stem) > 0.
+  bool ReplaceIfM0(std::string_view suffix, std::string_view repl) {
+    if (EndsWith(suffix)) {
+      if (Measure(stem_end_) > 0) SetSuffix(repl);
+      return true;  // suffix matched (rule consumed), even if not applied
+    }
+    return false;
+  }
+
+  void Step1a() {
+    if (EndsWith("sses")) {
+      SetSuffix("ss");
+    } else if (EndsWith("ies")) {
+      SetSuffix("i");
+    } else if (EndsWith("ss")) {
+      // no-op
+    } else if (EndsWith("s")) {
+      SetSuffix("");
+    }
+  }
+
+  void Step1b() {
+    bool cleanup = false;
+    if (EndsWith("eed")) {
+      if (Measure(stem_end_) > 0) SetSuffix("ee");
+    } else if (EndsWith("ed")) {
+      if (HasVowel(stem_end_)) {
+        SetSuffix("");
+        cleanup = true;
+      }
+    } else if (EndsWith("ing")) {
+      if (HasVowel(stem_end_)) {
+        SetSuffix("");
+        cleanup = true;
+      }
+    }
+    if (!cleanup) return;
+    if (EndsWith("at") || EndsWith("bl") || EndsWith("iz")) {
+      word_.resize(end_ + 1);
+      word_ += 'e';
+      end_ = word_.size() - 1;
+    } else if (DoubleConsonant(end_)) {
+      char c = word_[end_];
+      if (c != 'l' && c != 's' && c != 'z') {
+        --end_;
+        word_.resize(end_ + 1);
+      }
+    } else if (Measure(end_) == 1 && CvcEnd(end_)) {
+      word_.resize(end_ + 1);
+      word_ += 'e';
+      end_ = word_.size() - 1;
+    }
+  }
+
+  void Step1c() {
+    if (EndsWith("y") && HasVowel(stem_end_)) SetSuffix("i");
+  }
+
+  void Step2() {
+    if (end_ < 1) return;
+    // Dispatch on the penultimate character, per Porter's program.
+    switch (word_[end_ - 1]) {
+      case 'a':
+        if (ReplaceIfM0("ational", "ate")) return;
+        if (ReplaceIfM0("tional", "tion")) return;
+        break;
+      case 'c':
+        if (ReplaceIfM0("enci", "ence")) return;
+        if (ReplaceIfM0("anci", "ance")) return;
+        break;
+      case 'e':
+        if (ReplaceIfM0("izer", "ize")) return;
+        break;
+      case 'l':
+        if (ReplaceIfM0("abli", "able")) return;
+        if (ReplaceIfM0("alli", "al")) return;
+        if (ReplaceIfM0("entli", "ent")) return;
+        if (ReplaceIfM0("eli", "e")) return;
+        if (ReplaceIfM0("ousli", "ous")) return;
+        break;
+      case 'o':
+        if (ReplaceIfM0("ization", "ize")) return;
+        if (ReplaceIfM0("ation", "ate")) return;
+        if (ReplaceIfM0("ator", "ate")) return;
+        break;
+      case 's':
+        if (ReplaceIfM0("alism", "al")) return;
+        if (ReplaceIfM0("iveness", "ive")) return;
+        if (ReplaceIfM0("fulness", "ful")) return;
+        if (ReplaceIfM0("ousness", "ous")) return;
+        break;
+      case 't':
+        if (ReplaceIfM0("aliti", "al")) return;
+        if (ReplaceIfM0("iviti", "ive")) return;
+        if (ReplaceIfM0("biliti", "ble")) return;
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (word_[end_]) {
+      case 'e':
+        if (ReplaceIfM0("icate", "ic")) return;
+        if (ReplaceIfM0("ative", "")) return;
+        if (ReplaceIfM0("alize", "al")) return;
+        break;
+      case 'i':
+        if (ReplaceIfM0("iciti", "ic")) return;
+        break;
+      case 'l':
+        if (ReplaceIfM0("ical", "ic")) return;
+        if (ReplaceIfM0("ful", "")) return;
+        break;
+      case 's':
+        if (ReplaceIfM0("ness", "")) return;
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Step 4 drops a suffix when m(stem) > 1.
+  bool DropIfM1(std::string_view suffix) {
+    if (EndsWith(suffix)) {
+      if (Measure(stem_end_) > 1) SetSuffix("");
+      return true;
+    }
+    return false;
+  }
+
+  void Step4() {
+    if (end_ < 1) return;
+    switch (word_[end_ - 1]) {
+      case 'a':
+        if (DropIfM1("al")) return;
+        break;
+      case 'c':
+        if (DropIfM1("ance")) return;
+        if (DropIfM1("ence")) return;
+        break;
+      case 'e':
+        if (DropIfM1("er")) return;
+        break;
+      case 'i':
+        if (DropIfM1("ic")) return;
+        break;
+      case 'l':
+        if (DropIfM1("able")) return;
+        if (DropIfM1("ible")) return;
+        break;
+      case 'n':
+        if (DropIfM1("ant")) return;
+        if (DropIfM1("ement")) return;
+        if (DropIfM1("ment")) return;
+        if (DropIfM1("ent")) return;
+        break;
+      case 'o':
+        // (m>1 and (*S or *T)) ION
+        if (EndsWith("ion")) {
+          if (Measure(stem_end_) > 1 &&
+              (word_[stem_end_] == 's' || word_[stem_end_] == 't')) {
+            SetSuffix("");
+          }
+          return;
+        }
+        if (DropIfM1("ou")) return;
+        break;
+      case 's':
+        if (DropIfM1("ism")) return;
+        break;
+      case 't':
+        if (DropIfM1("ate")) return;
+        if (DropIfM1("iti")) return;
+        break;
+      case 'u':
+        if (DropIfM1("ous")) return;
+        break;
+      case 'v':
+        if (DropIfM1("ive")) return;
+        break;
+      case 'z':
+        if (DropIfM1("ize")) return;
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step5a() {
+    if (word_[end_] != 'e') return;
+    int m = Measure(end_ - 1);
+    if (m > 1 || (m == 1 && !CvcEnd(end_ - 1))) {
+      --end_;
+      word_.resize(end_ + 1);
+    }
+  }
+
+  void Step5b() {
+    if (word_[end_] == 'l' && DoubleConsonant(end_) && Measure(end_) > 1) {
+      --end_;
+      word_.resize(end_ + 1);
+    }
+  }
+
+  std::string word_;
+  size_t end_ = 0;
+  size_t stem_end_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  return Stemmer(std::string(word)).Run();
+}
+
+}  // namespace courserank::text

@@ -1,0 +1,16 @@
+#ifndef COURSERANK_TEXT_STEMMER_H_
+#define COURSERANK_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace courserank::text {
+
+/// Porter stemming algorithm (M.F. Porter, 1980), the classic IR stemmer.
+/// Input must be a lowercase alphabetic token; tokens shorter than three
+/// characters are returned unchanged, matching the original definition.
+std::string PorterStem(std::string_view word);
+
+}  // namespace courserank::text
+
+#endif  // COURSERANK_TEXT_STEMMER_H_

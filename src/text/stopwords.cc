@@ -1,0 +1,49 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace courserank::text {
+
+namespace {
+
+// Sorted for binary search. Keep sorted when editing.
+constexpr std::array<std::string_view, 151> kStopwords = {
+    "a",        "about",   "above",   "after",    "again",     "against",
+    "all",      "also",    "am",      "an",       "and",       "any",
+    "are",      "as",      "at",      "be",       "because",   "been",
+    "before",   "being",   "below",   "between",  "both",      "but",
+    "by",       "can",     "cannot",  "class",    "could",     "course",
+    "courses",  "covers",  "did",     "do",       "does",      "doing",
+    "down",     "during",  "each",    "emphasis", "examines",  "few",
+    "focus",
+    "for",      "from",    "further", "had",      "has",       "have",
+    "having",   "he",      "her",     "here",     "hers",      "him",
+    "his",      "how",     "i",       "if",       "in",        "includes",
+    "including","into",    "introduction", "is",  "it",        "its",
+    "itself",   "may",     "me",      "more",     "most",      "must",
+    "my",       "no",      "nor",     "not",      "of",        "off",
+    "on",       "once",    "only",    "or",       "other",     "ought",
+    "our",      "ours",    "out",     "over",     "own",       "prerequisite",
+    "prerequisites", "prof", "professor", "quarter", "same",   "section",
+    "seminar",  "she",
+    "should",   "so",      "some",    "students", "study",     "such",
+    "taught",   "than",    "that",    "the",      "their",     "theirs",
+    "them",     "then",    "there",   "these",    "they",      "this",
+    "those",    "through", "to",      "too",      "topics",    "under",
+    "undergraduate", "units", "until", "up",      "upon",      "use",
+    "used",     "very",    "was",     "we",       "were",      "what",
+    "when",     "where",   "which",   "while",    "who",       "whom",
+    "why",      "will",    "with",    "within",   "would",     "you",
+    "your",     "yours",   "yourself"};
+
+}  // namespace
+
+bool IsStopword(std::string_view token) {
+  return std::binary_search(kStopwords.begin(), kStopwords.end(), token);
+}
+
+size_t StopwordCount() { return kStopwords.size(); }
+
+}  // namespace courserank::text

@@ -1,0 +1,19 @@
+#ifndef COURSERANK_TEXT_STOPWORDS_H_
+#define COURSERANK_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace courserank::text {
+
+/// True when `token` (already lowercase) is an English stopword from the
+/// built-in list (classic SMART-derived set plus course-catalog boilerplate
+/// such as "course", "students", "topics" that would otherwise dominate
+/// every data cloud).
+bool IsStopword(std::string_view token);
+
+/// Number of entries in the built-in list (exposed for tests).
+size_t StopwordCount();
+
+}  // namespace courserank::text
+
+#endif  // COURSERANK_TEXT_STOPWORDS_H_

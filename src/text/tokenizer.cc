@@ -1,0 +1,78 @@
+#include "text/tokenizer.h"
+
+namespace courserank::text {
+
+namespace {
+
+inline bool IsAlnum(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
+}
+
+inline char Lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view input) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (size_t i = 0; i < input.size(); ++i) {
+    char c = input[i];
+    if (IsAlnum(c)) {
+      current += Lower(c);
+    } else if (c == '\'' && !current.empty() && i + 1 < input.size() &&
+               IsAlnum(input[i + 1])) {
+      // Drop in-word apostrophes: "don't" -> "dont".
+      continue;
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<PositionedToken> TokenizePositioned(std::string_view input) {
+  std::vector<PositionedToken> tokens;
+  std::string current;
+  size_t position = 0;
+  bool pending_break = false;
+  auto flush = [&]() {
+    if (current.empty()) return;
+    if (pending_break && !tokens.empty()) ++position;  // sentence gap
+    pending_break = false;
+    tokens.push_back({std::move(current), position++});
+    current.clear();
+  };
+  for (size_t i = 0; i < input.size(); ++i) {
+    char c = input[i];
+    if (IsAlnum(c)) {
+      current += Lower(c);
+    } else if (c == '\'' && !current.empty() && i + 1 < input.size() &&
+               IsAlnum(input[i + 1])) {
+      continue;
+    } else {
+      flush();
+      if (c == '.' || c == '!' || c == '?' || c == ';' || c == ':' ||
+          c == '\n') {
+        pending_break = true;
+      }
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::string NormalizeToken(std::string_view token) {
+  std::string out;
+  out.reserve(token.size());
+  for (char c : token) {
+    if (IsAlnum(c)) out += Lower(c);
+  }
+  return out;
+}
+
+}  // namespace courserank::text

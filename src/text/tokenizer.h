@@ -1,0 +1,32 @@
+#ifndef COURSERANK_TEXT_TOKENIZER_H_
+#define COURSERANK_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace courserank::text {
+
+/// Splits text into lowercase alphanumeric tokens. A token is a maximal run
+/// of ASCII letters/digits; apostrophes inside words are dropped ("don't" →
+/// "dont") so possessives and contractions normalize consistently.
+std::vector<std::string> Tokenize(std::string_view input);
+
+/// A token plus its position in the stream. Positions advance by one per
+/// token and skip an extra slot at sentence boundaries (. ! ? ; : and
+/// newlines), so bigram extraction never pairs words across sentences.
+struct PositionedToken {
+  std::string text;
+  size_t position = 0;
+};
+
+/// Tokenize with sentence-aware positions.
+std::vector<PositionedToken> TokenizePositioned(std::string_view input);
+
+/// Single-token normalization: lowercases and strips non-alphanumerics.
+/// Returns an empty string when nothing survives.
+std::string NormalizeToken(std::string_view token);
+
+}  // namespace courserank::text
+
+#endif  // COURSERANK_TEXT_TOKENIZER_H_

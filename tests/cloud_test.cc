@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/data_cloud.h"
+#include "search/searcher.h"
+#include "storage/database.h"
+
+namespace courserank::cloud {
+namespace {
+
+using search::EntityDefinition;
+using search::InvertedIndex;
+using search::ResultSet;
+using search::Searcher;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class CloudTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto courses = db_.CreateTable(
+        "Courses",
+        Schema({{"CourseID", ValueType::kInt, false},
+                {"Title", ValueType::kString, false},
+                {"Description", ValueType::kString, true}}),
+        {"CourseID"});
+    ASSERT_TRUE(courses.ok());
+
+    int id = 0;
+    // Ten "american" courses with co-occurring concepts; politics appears
+    // in several, "latin american" in three, "african american" in two.
+    Add(++id, "American Politics", "american politics and democracy");
+    Add(++id, "American Culture", "american culture and politics");
+    Add(++id, "American West", "the american west and its frontier");
+    Add(++id, "Latin American History", "latin american revolutions");
+    Add(++id, "Latin American Film", "latin american cinema and culture");
+    Add(++id, "Latin American Poetry", "latin american poets");
+    Add(++id, "African American Studies", "african american migration");
+    Add(++id, "African American Music", "african american jazz and blues");
+    Add(++id, "American Foreign Policy", "american diplomacy and politics");
+    Add(++id, "American Novels", "novels of american writers");
+    // Unrelated courses.
+    Add(++id, "Databases", "relational algebra and sql");
+    Add(++id, "Compilers", "parsing and code generation");
+
+    EntityDefinition def;
+    def.name = "course";
+    def.primary_table = "Courses";
+    def.key_column = "CourseID";
+    def.display_column = "Title";
+    def.fields = {
+        {"title", 3.0, "Courses", "Title", "CourseID"},
+        {"description", 1.5, "Courses", "Description", "CourseID"},
+    };
+    index_ = std::make_unique<InvertedIndex>(def);
+    ASSERT_TRUE(index_->Build(db_).ok());
+    searcher_ = std::make_unique<Searcher>(index_.get());
+  }
+
+  void Add(int id, const std::string& title, const std::string& desc) {
+    ASSERT_TRUE(db_.FindTable("Courses")
+                    ->Insert({Value(id), Value(title), Value(desc)})
+                    .ok());
+  }
+
+  ResultSet Search(const std::string& q) {
+    auto r = searcher_->Search(q);
+    EXPECT_TRUE(r.ok());
+    return std::move(*r);
+  }
+
+  storage::Database db_;
+  std::unique_ptr<InvertedIndex> index_;
+  std::unique_ptr<Searcher> searcher_;
+};
+
+TEST_F(CloudTest, CloudExcludesQueryTerms) {
+  CloudBuilder builder(index_.get());
+  DataCloud cloud = builder.Build(Search("american"));
+  for (const CloudTerm& t : cloud.terms) {
+    EXPECT_NE(t.term, "american") << "query term leaked into cloud";
+  }
+}
+
+TEST_F(CloudTest, CloudSurfacesCoOccurringConcepts) {
+  CloudBuilder builder(index_.get());
+  DataCloud cloud = builder.Build(Search("american"));
+  EXPECT_TRUE(cloud.Contains("politics")) << cloud.ToString();
+  EXPECT_TRUE(cloud.Contains("latin american")) << cloud.ToString();
+  EXPECT_TRUE(cloud.Contains("african american")) << cloud.ToString();
+}
+
+TEST_F(CloudTest, CloudOmitsTermsAbsentFromResults) {
+  CloudBuilder builder(index_.get());
+  DataCloud cloud = builder.Build(Search("american"));
+  EXPECT_FALSE(cloud.Contains("sql"));
+  EXPECT_FALSE(cloud.Contains("parsing"));
+}
+
+TEST_F(CloudTest, MinDocCountFiltersSingletons) {
+  CloudOptions opts;
+  opts.min_doc_count = 3;
+  CloudBuilder builder(index_.get(), opts);
+  DataCloud cloud = builder.Build(Search("american"));
+  for (const CloudTerm& t : cloud.terms) {
+    EXPECT_GE(t.doc_count, 3u) << t.term;
+  }
+}
+
+TEST_F(CloudTest, MaxTermsCapsCloudSize) {
+  CloudOptions opts;
+  opts.max_terms = 3;
+  opts.min_doc_count = 1;
+  CloudBuilder builder(index_.get(), opts);
+  DataCloud cloud = builder.Build(Search("american"));
+  EXPECT_LE(cloud.terms.size(), 3u);
+}
+
+TEST_F(CloudTest, TermsSortedByScoreDescending) {
+  CloudBuilder builder(index_.get());
+  DataCloud cloud = builder.Build(Search("american"));
+  for (size_t i = 1; i < cloud.terms.size(); ++i) {
+    EXPECT_GE(cloud.terms[i - 1].score, cloud.terms[i].score);
+  }
+}
+
+TEST_F(CloudTest, FontBucketsSpanRange) {
+  CloudBuilder builder(index_.get());
+  DataCloud cloud = builder.Build(Search("american"));
+  ASSERT_FALSE(cloud.terms.empty());
+  EXPECT_EQ(cloud.terms.front().font_bucket, 5);  // highest score
+  EXPECT_EQ(cloud.terms.back().font_bucket, 1);   // lowest selected
+  for (const CloudTerm& t : cloud.terms) {
+    EXPECT_GE(t.font_bucket, 1);
+    EXPECT_LE(t.font_bucket, 5);
+  }
+}
+
+TEST_F(CloudTest, EmptyResultsYieldEmptyCloud) {
+  CloudBuilder builder(index_.get());
+  ResultSet empty;
+  empty.terms = {"nothing"};
+  EXPECT_TRUE(builder.Build(empty).terms.empty());
+}
+
+TEST_F(CloudTest, ScoringModesDiffer) {
+  ResultSet results = Search("american");
+  CloudOptions tf_opts;
+  tf_opts.scoring = TermScoring::kTf;
+  CloudOptions pop_opts;
+  pop_opts.scoring = TermScoring::kPopularity;
+  DataCloud tf = CloudBuilder(index_.get(), tf_opts).Build(results);
+  DataCloud pop = CloudBuilder(index_.get(), pop_opts).Build(results);
+  ASSERT_FALSE(tf.terms.empty());
+  ASSERT_FALSE(pop.terms.empty());
+  // Popularity scoring equals the doc count by definition.
+  for (const CloudTerm& t : pop.terms) {
+    if (!t.is_phrase) {
+      EXPECT_DOUBLE_EQ(t.score,
+                       static_cast<double>(t.doc_count));
+    }
+  }
+}
+
+TEST_F(CloudTest, ReanalysisOracleMatchesPrecomputed) {
+  CloudBuilder builder(index_.get());
+  ResultSet results = Search("american");
+  DataCloud fast = builder.Build(results);
+  DataCloud slow = builder.BuildByReanalysis(results);
+  ASSERT_EQ(fast.terms.size(), slow.terms.size());
+  for (size_t i = 0; i < fast.terms.size(); ++i) {
+    EXPECT_EQ(fast.terms[i].term, slow.terms[i].term);
+    EXPECT_DOUBLE_EQ(fast.terms[i].score, slow.terms[i].score);
+    EXPECT_EQ(fast.terms[i].doc_count, slow.terms[i].doc_count);
+  }
+}
+
+TEST_F(CloudTest, RefinementLoopNarrowsResults) {
+  // The Fig. 3 -> Fig. 4 interaction: search, click a cloud term, get a
+  // smaller result set and a new cloud.
+  CloudBuilder builder(index_.get());
+  ResultSet results = Search("american");
+  DataCloud cloud = builder.Build(results);
+  ASSERT_TRUE(cloud.Contains("african american"));
+
+  auto refined = searcher_->Refine(results, "african american");
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(refined->size(), 2u);
+  EXPECT_LT(refined->size(), results.size());
+
+  DataCloud refined_cloud = builder.Build(*refined);
+  // The clicked term's components are now query terms and excluded.
+  EXPECT_FALSE(refined_cloud.Contains("african american"));
+}
+
+TEST_F(CloudTest, CloudTermRefinementByDisplayForm) {
+  // Clicking uses the display form; stems resolve identically.
+  ResultSet results = Search("american");
+  auto by_display = searcher_->Refine(results, "politics");
+  auto by_stem = searcher_->Refine(results, "polit");
+  ASSERT_TRUE(by_display.ok());
+  ASSERT_TRUE(by_stem.ok());
+  EXPECT_EQ(by_display->size(), by_stem->size());
+}
+
+TEST_F(CloudTest, SubsumedUnigramsSuppressed) {
+  // "latin" appears only inside "latin american"; with dedup on, the
+  // unigram should not ride along with the stronger phrase.
+  CloudOptions opts;
+  opts.bigram_boost = 10.0;  // phrases picked first
+  opts.min_doc_count = 2;
+  opts.dedup_subsumed_unigrams = true;
+  DataCloud with_dedup =
+      CloudBuilder(index_.get(), opts).Build(Search("american"));
+  EXPECT_TRUE(with_dedup.Contains("latin american"));
+  EXPECT_FALSE(with_dedup.Contains("latin")) << with_dedup.ToString();
+
+  opts.dedup_subsumed_unigrams = false;
+  DataCloud without =
+      CloudBuilder(index_.get(), opts).Build(Search("american"));
+  EXPECT_TRUE(without.Contains("latin")) << without.ToString();
+}
+
+TEST_F(CloudTest, ContainsMatchesStemOrDisplay) {
+  CloudBuilder builder(index_.get());
+  DataCloud cloud = builder.Build(Search("american"));
+  ASSERT_TRUE(cloud.Contains("politics"));  // display form
+  EXPECT_TRUE(cloud.Contains("polit"));     // stem form
+  EXPECT_FALSE(cloud.Contains("nonexistent term"));
+}
+
+TEST_F(CloudTest, SingleFontBucketWhenScoresEqual) {
+  CloudOptions opts;
+  opts.scoring = TermScoring::kPopularity;
+  opts.max_terms = 50;
+  opts.min_doc_count = 2;
+  CloudBuilder builder(index_.get(), opts);
+  // A query whose results produce some equal-score terms: buckets stay in
+  // [1, font_buckets] regardless.
+  DataCloud cloud = builder.Build(Search("latin"));
+  for (const CloudTerm& t : cloud.terms) {
+    EXPECT_GE(t.font_bucket, 1);
+    EXPECT_LE(t.font_bucket, opts.font_buckets);
+  }
+}
+
+TEST_F(CloudTest, BigramBoostPromotesPhrases) {
+  CloudOptions boosted;
+  boosted.bigram_boost = 10.0;
+  boosted.min_doc_count = 2;
+  DataCloud cloud =
+      CloudBuilder(index_.get(), boosted).Build(Search("american"));
+  ASSERT_FALSE(cloud.terms.empty());
+  EXPECT_TRUE(cloud.terms.front().is_phrase) << cloud.ToString();
+}
+
+}  // namespace
+}  // namespace courserank::cloud

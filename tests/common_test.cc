@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/term.h"
+
+namespace courserank {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::PermissionDenied("x").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> Doubler(Result<int> input) {
+  CR_ASSIGN_OR_RETURN(int v, input);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(Status::NotFound("gone")).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLower("Hello World 42"), "hello world 42");
+  EXPECT_EQ(ToUpper("Hello World 42"), "HELLO WORLD 42");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  abc \t\n"), "abc");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("courserank", "course"));
+  EXPECT_FALSE(StartsWith("course", "courserank"));
+  EXPECT_TRUE(EndsWith("courserank", "rank"));
+  EXPECT_FALSE(EndsWith("rank", "courserank"));
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("CourseID", "courseid"));
+  EXPECT_FALSE(EqualsIgnoreCase("course", "courses"));
+}
+
+TEST(StringsTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("Latin American Politics", "AMERICAN"));
+  EXPECT_FALSE(ContainsIgnoreCase("Latin", "American"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", ""));
+}
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool match;
+};
+
+class LikeMatchTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatchTest, Matches) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(LikeMatch(c.text, c.pattern), c.match)
+      << c.text << " LIKE " << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LikeMatchTest,
+    ::testing::Values(
+        LikeCase{"hello", "hello", true}, LikeCase{"hello", "HELLO", true},
+        LikeCase{"hello", "h%", true}, LikeCase{"hello", "%o", true},
+        LikeCase{"hello", "%ell%", true}, LikeCase{"hello", "h_llo", true},
+        LikeCase{"hello", "h_lo", false}, LikeCase{"hello", "%", true},
+        LikeCase{"", "%", true}, LikeCase{"", "_", false},
+        LikeCase{"abc", "a%c", true}, LikeCase{"abdc", "a%c", true},
+        LikeCase{"ac", "a%c", true}, LikeCase{"ab", "a%c", false},
+        LikeCase{"aXbXc", "a%b%c", true},
+        LikeCase{"mississippi", "%ss%ss%", true},
+        LikeCase{"mississippi", "%ssXss%", false}));
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.5), "3.5");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.123456789, 4), "0.1235");
+  EXPECT_EQ(FormatDouble(-2.50), "-2.5");
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differ = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differ;
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(10), 10u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, NextBoolApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, WeightedRespectsZeroWeights) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    size_t pick = rng.NextWeighted({0.0, 1.0, 0.0});
+    EXPECT_EQ(pick, 1u);
+  }
+}
+
+TEST(ZipfTest, RankOneMostProbable) {
+  Rng rng(17);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+class ZipfThetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfThetaTest, SamplesInRange) {
+  Rng rng(19);
+  ZipfSampler zipf(50, GetParam());
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfThetaTest,
+                         ::testing::Values(0.0, 0.5, 0.9, 1.2, 2.0));
+
+// ---------------------------------------------------------------- term
+
+TEST(TermTest, Ordering) {
+  Term autumn08{2008, Quarter::kAutumn};
+  Term winter08{2008, Quarter::kWinter};
+  Term autumn09{2009, Quarter::kAutumn};
+  EXPECT_LT(autumn08, winter08);
+  EXPECT_LT(winter08, autumn09);
+  EXPECT_EQ(autumn08, (Term{2008, Quarter::kAutumn}));
+}
+
+TEST(TermTest, PlusWrapsYears) {
+  // Quarter order within an academic year: Autumn, Winter, Spring, Summer.
+  Term t{2008, Quarter::kSpring};
+  EXPECT_EQ(t.Plus(1), (Term{2008, Quarter::kSummer}));
+  EXPECT_EQ(t.Plus(2), (Term{2009, Quarter::kAutumn}));
+  EXPECT_EQ(t.Plus(-3), (Term{2007, Quarter::kSummer}));
+  EXPECT_EQ(t.Plus(0), t);
+}
+
+TEST(TermTest, ParseRoundTrip) {
+  Term t{2008, Quarter::kWinter};
+  auto parsed = Term::Parse(t.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(TermTest, ParseEitherOrder) {
+  auto a = Term::Parse("Autumn 2008");
+  auto b = Term::Parse("2008 Autumn");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(TermTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Term::Parse("whenever").ok());
+  EXPECT_FALSE(Term::Parse("Autumn").ok());
+  EXPECT_FALSE(Term::Parse("Autumn twenty").ok());
+}
+
+TEST(QuarterTest, ParseNamesAndPrefixes) {
+  EXPECT_TRUE(ParseQuarter("autumn").ok());
+  EXPECT_TRUE(ParseQuarter("WINTER").ok());
+  EXPECT_TRUE(ParseQuarter("Sp").ok());
+  EXPECT_FALSE(ParseQuarter("fall quarter").ok());
+}
+
+// ---------------------------------------------------------------- TimeSlot
+
+TEST(TimeSlotTest, OverlapSameDay) {
+  TimeSlot a{kMon | kWed, 9 * 60, 10 * 60};
+  TimeSlot b{kWed, 9 * 60 + 30, 11 * 60};
+  EXPECT_TRUE(a.ConflictsWith(b));
+  EXPECT_TRUE(b.ConflictsWith(a));
+}
+
+TEST(TimeSlotTest, NoOverlapDifferentDays) {
+  TimeSlot a{kMon | kWed | kFri, 9 * 60, 10 * 60};
+  TimeSlot b{kTue | kThu, 9 * 60, 10 * 60};
+  EXPECT_FALSE(a.ConflictsWith(b));
+}
+
+TEST(TimeSlotTest, BackToBackIsNotConflict) {
+  TimeSlot a{kMon, 9 * 60, 10 * 60};
+  TimeSlot b{kMon, 10 * 60, 11 * 60};
+  EXPECT_FALSE(a.ConflictsWith(b));
+}
+
+TEST(TimeSlotTest, EmptySlotNeverConflicts) {
+  TimeSlot a{};  // TBA
+  TimeSlot b{kMon, 9 * 60, 10 * 60};
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(a.ConflictsWith(b));
+  EXPECT_FALSE(b.ConflictsWith(a));
+}
+
+TEST(TimeSlotTest, ToStringFormat) {
+  TimeSlot a{kMon | kWed | kFri, 9 * 60, 9 * 60 + 50};
+  EXPECT_EQ(a.ToString(), "MWF 09:00-09:50");
+  EXPECT_EQ(TimeSlot{}.ToString(), "TBA");
+}
+
+}  // namespace
+}  // namespace courserank

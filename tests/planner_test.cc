@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include "planner/plan.h"
+#include "planner/prereq.h"
+#include "planner/requirements.h"
+#include "social/site.h"
+
+namespace courserank::planner {
+namespace {
+
+using social::CourseRankSite;
+using social::Role;
+using storage::Value;
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto site = CourseRankSite::Create();
+    ASSERT_TRUE(site.ok());
+    site_ = std::move(*site);
+
+    cs_ = Must(site_->AddDepartment("CS", "Computer Science", "Engineering"));
+    math_ = Must(site_->AddDepartment("MATH", "Mathematics",
+                                      "Humanities and Sciences"));
+
+    intro_ = Must(site_->AddCourse(cs_, 106, "Intro to Programming", "", 5));
+    ds_ = Must(site_->AddCourse(cs_, 161, "Data Structures", "", 5));
+    os_ = Must(site_->AddCourse(cs_, 240, "Operating Systems", "", 4));
+    db_ = Must(site_->AddCourse(cs_, 245, "Databases", "", 4));
+    calc_ = Must(site_->AddCourse(math_, 41, "Calculus", "", 5));
+    algebra_ = Must(site_->AddCourse(math_, 113, "Linear Algebra", "", 4));
+
+    ASSERT_TRUE(site_->AddPrereq(ds_, intro_).ok());
+    ASSERT_TRUE(site_->AddPrereq(os_, ds_).ok());
+    ASSERT_TRUE(site_->AddPrereq(db_, ds_).ok());
+
+    // Offerings: intro every Autumn, ds Winter, os/db Spring with the same
+    // single meeting time (forced conflict), calc Autumn+Winter.
+    TimeSlot mwf9{kMon | kWed | kFri, 9 * 60, 9 * 60 + 50};
+    TimeSlot mwf10{kMon | kWed | kFri, 10 * 60, 10 * 60 + 50};
+    TimeSlot tth11{kTue | kThu, 11 * 60, 12 * 60 + 20};
+    for (int year : {2007, 2008}) {
+      Must(site_->AddOffering(intro_, year, Quarter::kAutumn, "Prof A",
+                              mwf9));
+      Must(site_->AddOffering(calc_, year, Quarter::kAutumn, "Prof B",
+                              mwf10));
+      Must(site_->AddOffering(calc_, year, Quarter::kWinter, "Prof B",
+                              mwf10));
+      Must(site_->AddOffering(ds_, year, Quarter::kWinter, "Prof C", mwf9));
+      Must(site_->AddOffering(os_, year, Quarter::kSpring, "Prof D", tth11));
+      Must(site_->AddOffering(db_, year, Quarter::kSpring, "Prof E", tth11));
+      Must(site_->AddOffering(algebra_, year, Quarter::kSpring, "Prof F",
+                              mwf9));
+    }
+
+    ASSERT_TRUE(site_->RegisterStudent(1, "Sally", "Junior", cs_).ok());
+  }
+
+  template <typename T>
+  T Must(Result<T> r) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  PrereqGraph Graph() { return Must(PrereqGraph::Build(site_->db())); }
+
+  std::vector<PlanIssue::Kind> IssueKinds(const AcademicPlan& plan) {
+    auto issues = plan.Validate(site_->db(), Graph());
+    EXPECT_TRUE(issues.ok());
+    std::vector<PlanIssue::Kind> kinds;
+    for (const auto& issue : *issues) kinds.push_back(issue.kind);
+    return kinds;
+  }
+
+  std::unique_ptr<CourseRankSite> site_;
+  social::DeptId cs_ = 0;
+  social::DeptId math_ = 0;
+  CourseId intro_ = 0, ds_ = 0, os_ = 0, db_ = 0, calc_ = 0, algebra_ = 0;
+};
+
+// ---------------------------------------------------------------- prereqs
+
+TEST_F(PlannerTest, GraphEdges) {
+  PrereqGraph graph = Graph();
+  EXPECT_EQ(graph.num_edges(), 3u);
+  EXPECT_EQ(graph.PrereqsOf(ds_), std::vector<CourseId>{intro_});
+  EXPECT_TRUE(graph.PrereqsOf(intro_).empty());
+}
+
+TEST_F(PlannerTest, TransitivePrereqs) {
+  PrereqGraph graph = Graph();
+  auto trans = graph.TransitivePrereqs(os_);
+  EXPECT_EQ(trans, (std::set<CourseId>{intro_, ds_}));
+}
+
+TEST_F(PlannerTest, MissingPrereqs) {
+  PrereqGraph graph = Graph();
+  EXPECT_EQ(graph.MissingPrereqs(os_, {intro_, ds_}),
+            std::vector<CourseId>{});
+  EXPECT_EQ(graph.MissingPrereqs(os_, {intro_}), std::vector<CourseId>{ds_});
+}
+
+TEST_F(PlannerTest, TopologicalOrderRespectsEdges) {
+  PrereqGraph graph = Graph();
+  auto order = graph.TopologicalOrder();
+  auto pos = [&](CourseId c) {
+    return std::find(order.begin(), order.end(), c) - order.begin();
+  };
+  EXPECT_LT(pos(intro_), pos(ds_));
+  EXPECT_LT(pos(ds_), pos(os_));
+  EXPECT_LT(pos(ds_), pos(db_));
+}
+
+TEST_F(PlannerTest, CycleDetected) {
+  ASSERT_TRUE(site_->AddPrereq(intro_, os_).ok());  // closes a cycle
+  EXPECT_EQ(PrereqGraph::Build(site_->db()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------- plan
+
+TEST_F(PlannerTest, ValidPlanHasNoIssues) {
+  AcademicPlan plan(1);
+  ASSERT_TRUE(plan.Add(intro_, {2007, Quarter::kAutumn}, 4.0).ok());
+  ASSERT_TRUE(plan.Add(calc_, {2007, Quarter::kAutumn}, 3.7).ok());
+  ASSERT_TRUE(plan.Add(ds_, {2007, Quarter::kWinter}, 3.3).ok());
+  ASSERT_TRUE(plan.Add(os_, {2007, Quarter::kSpring}).ok());
+  EXPECT_TRUE(IssueKinds(plan).empty());
+}
+
+TEST_F(PlannerTest, MissingPrereqFlagged) {
+  AcademicPlan plan(1);
+  ASSERT_TRUE(plan.Add(os_, {2007, Quarter::kSpring}).ok());
+  auto kinds = IssueKinds(plan);
+  ASSERT_EQ(kinds.size(), 1u);
+  EXPECT_EQ(kinds[0], PlanIssue::Kind::kMissingPrereq);
+}
+
+TEST_F(PlannerTest, PrereqInSameTermDoesNotCount) {
+  AcademicPlan plan(1);
+  ASSERT_TRUE(plan.Add(intro_, {2007, Quarter::kAutumn}).ok());
+  // Taking ds in the same quarter as its prereq is invalid...
+  AcademicPlan same(1);
+  ASSERT_TRUE(same.Add(intro_, {2007, Quarter::kWinter}).ok());
+  ASSERT_TRUE(same.Add(ds_, {2007, Quarter::kWinter}).ok());
+  auto kinds = IssueKinds(same);
+  bool missing_prereq = false;
+  for (auto k : kinds) missing_prereq |= k == PlanIssue::Kind::kMissingPrereq;
+  EXPECT_TRUE(missing_prereq);
+}
+
+TEST_F(PlannerTest, TimeConflictFlaggedOnlyWhenUnavoidable) {
+  // os and db share the only Spring slot -> conflict.
+  AcademicPlan plan(1);
+  ASSERT_TRUE(plan.Add(intro_, {2007, Quarter::kAutumn}).ok());
+  ASSERT_TRUE(plan.Add(ds_, {2007, Quarter::kWinter}).ok());
+  ASSERT_TRUE(plan.Add(os_, {2008, Quarter::kSpring}).ok());
+  ASSERT_TRUE(plan.Add(db_, {2008, Quarter::kSpring}).ok());
+  auto kinds = IssueKinds(plan);
+  bool conflict = false;
+  for (auto k : kinds) conflict |= k == PlanIssue::Kind::kTimeConflict;
+  EXPECT_TRUE(conflict);
+
+  // os + algebra meet at different times -> fine.
+  AcademicPlan ok_plan(1);
+  ASSERT_TRUE(ok_plan.Add(intro_, {2007, Quarter::kAutumn}).ok());
+  ASSERT_TRUE(ok_plan.Add(ds_, {2007, Quarter::kWinter}).ok());
+  ASSERT_TRUE(ok_plan.Add(os_, {2008, Quarter::kSpring}).ok());
+  ASSERT_TRUE(ok_plan.Add(algebra_, {2008, Quarter::kSpring}).ok());
+  for (auto k : IssueKinds(ok_plan)) {
+    EXPECT_NE(k, PlanIssue::Kind::kTimeConflict);
+  }
+}
+
+TEST_F(PlannerTest, NotOfferedFlagged) {
+  AcademicPlan plan(1);
+  ASSERT_TRUE(plan.Add(intro_, {2007, Quarter::kSpring}).ok());  // Autumn only
+  auto kinds = IssueKinds(plan);
+  ASSERT_FALSE(kinds.empty());
+  EXPECT_EQ(kinds[0], PlanIssue::Kind::kNotOffered);
+}
+
+TEST_F(PlannerTest, OverloadFlagged) {
+  AcademicPlan plan(1);
+  // 5 + 5 + 5 + 4 = 19 is fine; add one more course -> 24 > 20.
+  ASSERT_TRUE(plan.Add(intro_, {2007, Quarter::kAutumn}).ok());
+  ASSERT_TRUE(plan.Add(calc_, {2007, Quarter::kAutumn}).ok());
+  ASSERT_TRUE(plan.Add(ds_, {2007, Quarter::kAutumn}).ok());
+  ASSERT_TRUE(plan.Add(os_, {2007, Quarter::kAutumn}).ok());
+  ASSERT_TRUE(plan.Add(db_, {2007, Quarter::kAutumn}).ok());
+  auto kinds = IssueKinds(plan);
+  bool overload = false;
+  for (auto k : kinds) overload |= k == PlanIssue::Kind::kOverload;
+  EXPECT_TRUE(overload);
+}
+
+TEST_F(PlannerTest, DuplicateCourseFlagged) {
+  AcademicPlan plan(1);
+  ASSERT_TRUE(plan.Add(intro_, {2007, Quarter::kAutumn}).ok());
+  ASSERT_TRUE(plan.Add(intro_, {2008, Quarter::kAutumn}).ok());
+  auto kinds = IssueKinds(plan);
+  bool dup = false;
+  for (auto k : kinds) dup |= k == PlanIssue::Kind::kDuplicate;
+  EXPECT_TRUE(dup);
+  // Exact same (course, term) rejected at insert.
+  EXPECT_EQ(plan.Add(intro_, {2007, Quarter::kAutumn}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(PlannerTest, GpaPerTermAndCumulative) {
+  AcademicPlan plan(1);
+  ASSERT_TRUE(plan.Add(intro_, {2007, Quarter::kAutumn}, 4.0).ok());
+  ASSERT_TRUE(plan.Add(calc_, {2007, Quarter::kAutumn}, 3.0).ok());
+  ASSERT_TRUE(plan.Add(ds_, {2007, Quarter::kWinter}, 2.0).ok());
+  ASSERT_TRUE(plan.Add(os_, {2007, Quarter::kSpring}).ok());  // ungraded
+  EXPECT_DOUBLE_EQ(*plan.TermGpa({2007, Quarter::kAutumn}), 3.5);
+  EXPECT_DOUBLE_EQ(*plan.TermGpa({2007, Quarter::kWinter}), 2.0);
+  EXPECT_FALSE(plan.TermGpa({2007, Quarter::kSpring}).has_value());
+  EXPECT_DOUBLE_EQ(*plan.CumulativeGpa(), 3.0);
+}
+
+TEST_F(PlannerTest, TermUnits) {
+  AcademicPlan plan(1);
+  ASSERT_TRUE(plan.Add(intro_, {2007, Quarter::kAutumn}).ok());
+  ASSERT_TRUE(plan.Add(calc_, {2007, Quarter::kAutumn}).ok());
+  EXPECT_EQ(*plan.TermUnits(site_->db(), {2007, Quarter::kAutumn}), 10);
+}
+
+TEST_F(PlannerTest, FromDatabaseMergesEnrollmentAndPlans) {
+  ASSERT_TRUE(site_->ReportCourseTaken(1, intro_, 2007, Quarter::kAutumn,
+                                       4.0).ok());
+  ASSERT_TRUE(site_->PlanCourse(1, ds_, 2007, Quarter::kWinter).ok());
+  auto plan = AcademicPlan::FromDatabase(site_->db(), 1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->entries().size(), 2u);
+  EXPECT_DOUBLE_EQ(*plan->CumulativeGpa(), 4.0);
+  auto text = plan->ToString(site_->db());
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Intro to Programming"), std::string::npos);
+  EXPECT_NE(text->find("Cumulative GPA: 4"), std::string::npos);
+}
+
+// ------------------------------------------------------------- requirements
+
+TEST_F(PlannerTest, SimpleRequirementTree) {
+  RequirementTracker tracker(&site_->db());
+  auto root = RequirementNode::AllOf(
+      "cs core",
+      [&] {
+        std::vector<ReqPtr> kids;
+        kids.push_back(RequirementNode::Course("intro", intro_));
+        kids.push_back(RequirementNode::Course("data structures", ds_));
+        return kids;
+      }());
+  auto report = tracker.Check(*root, {intro_, ds_, calc_});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->satisfied);
+  auto partial = tracker.Check(*root, {intro_});
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(partial->satisfied);
+}
+
+TEST_F(PlannerTest, NOfSetRequirement) {
+  RequirementTracker tracker(&site_->db());
+  auto root = RequirementNode::NOfSet("two systems courses", 2,
+                                      {os_, db_, ds_});
+  EXPECT_TRUE(tracker.Check(*root, {os_, db_})->satisfied);
+  EXPECT_FALSE(tracker.Check(*root, {os_})->satisfied);
+  EXPECT_TRUE(tracker.Check(*root, {os_, db_, ds_})->satisfied);
+}
+
+TEST_F(PlannerTest, MatchingAvoidsDoubleCounting) {
+  // Two overlapping requirements both accept ds; a single ds cannot satisfy
+  // both. Greedy in the wrong order fails; maximum matching succeeds when a
+  // second course exists.
+  RequirementTracker tracker(&site_->db());
+  std::vector<ReqPtr> kids;
+  kids.push_back(RequirementNode::NOfSet("systems", 1, {ds_, os_}));
+  kids.push_back(RequirementNode::Course("ds required", ds_));
+  auto root = RequirementNode::AllOf("major", std::move(kids));
+
+  // Only ds taken: one course cannot fill two slots.
+  EXPECT_FALSE(tracker.Check(*root, {ds_})->satisfied);
+  // ds + os: matching assigns os->systems, ds->course.
+  EXPECT_TRUE(tracker.Check(*root, {ds_, os_})->satisfied);
+}
+
+TEST_F(PlannerTest, GreedyBaselineUnderCountsOnOverlap) {
+  RequirementTracker tracker(&site_->db());
+  std::vector<ReqPtr> kids;
+  // Greedy fills "systems" with ds first (tree order), starving the
+  // specific-course leaf even though os could have covered systems.
+  kids.push_back(RequirementNode::NOfSet("systems", 1, {ds_, os_}));
+  kids.push_back(RequirementNode::Course("ds required", ds_));
+  auto root = RequirementNode::AllOf("major", std::move(kids));
+
+  auto greedy = tracker.Check(*root, {ds_, os_}, MatchStrategy::kGreedy);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_FALSE(greedy->satisfied);  // the documented greedy failure
+
+  auto matched = tracker.Check(*root, {ds_, os_},
+                               MatchStrategy::kMaximumMatching);
+  ASSERT_TRUE(matched.ok());
+  EXPECT_TRUE(matched->satisfied);
+}
+
+TEST_F(PlannerTest, UnitsFromDeptRequirement) {
+  RequirementTracker tracker(&site_->db());
+  // 12 units of CS numbered >= 100.
+  auto root = RequirementNode::UnitsFromDept("cs units", cs_, 100, 12);
+  // intro(5) + ds(5) + os(4) = 14 >= 12.
+  EXPECT_TRUE(tracker.Check(*root, {intro_, ds_, os_})->satisfied);
+  // intro + os = 9 < 12.
+  EXPECT_FALSE(tracker.Check(*root, {intro_, os_})->satisfied);
+  // Math courses don't count.
+  EXPECT_FALSE(tracker.Check(*root, {calc_, algebra_, intro_})->satisfied);
+}
+
+TEST_F(PlannerTest, UnitsLeafOnlyConsumesLeftovers) {
+  RequirementTracker tracker(&site_->db());
+  std::vector<ReqPtr> kids;
+  kids.push_back(RequirementNode::Course("intro", intro_));
+  kids.push_back(RequirementNode::UnitsFromDept("cs electives", cs_, 100, 8));
+  auto root = RequirementNode::AllOf("major", std::move(kids));
+  // intro consumed by the course leaf; ds + os (9 units) cover electives.
+  EXPECT_TRUE(tracker.Check(*root, {intro_, ds_, os_})->satisfied);
+  // Without ds/os, intro alone cannot double-count into electives.
+  EXPECT_FALSE(tracker.Check(*root, {intro_})->satisfied);
+}
+
+TEST_F(PlannerTest, AnyNCombinator) {
+  RequirementTracker tracker(&site_->db());
+  std::vector<ReqPtr> kids;
+  kids.push_back(RequirementNode::Course("os", os_));
+  kids.push_back(RequirementNode::Course("db", db_));
+  kids.push_back(RequirementNode::Course("algebra", algebra_));
+  auto root = RequirementNode::AnyN("breadth: two of three", 2,
+                                    std::move(kids));
+  EXPECT_TRUE(tracker.Check(*root, {os_, algebra_})->satisfied);
+  EXPECT_FALSE(tracker.Check(*root, {os_})->satisfied);
+}
+
+TEST_F(PlannerTest, ReportListsLeafProgress) {
+  RequirementTracker tracker(&site_->db());
+  std::vector<ReqPtr> kids;
+  kids.push_back(RequirementNode::Course("intro", intro_));
+  kids.push_back(RequirementNode::NOfSet("systems", 2, {os_, db_}));
+  auto root = RequirementNode::AllOf("major", std::move(kids));
+  auto report = tracker.Check(*root, {intro_, os_});
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->leaves.size(), 2u);
+  EXPECT_TRUE(report->leaves[0].satisfied);
+  EXPECT_EQ(report->leaves[1].have, 1u);
+  EXPECT_EQ(report->leaves[1].need, 2u);
+  EXPECT_FALSE(report->leaves[1].satisfied);
+  std::string text = report->ToString();
+  EXPECT_NE(text.find("NOT SATISFIED"), std::string::npos);
+  EXPECT_NE(text.find("systems (1/2)"), std::string::npos);
+}
+
+TEST_F(PlannerTest, ProgramRegistryAndCheckStudent) {
+  RequirementTracker tracker(&site_->db());
+  EXPECT_FALSE(tracker.HasProgram(cs_));
+  EXPECT_EQ(tracker.CheckStudent(cs_, 1).status().code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(tracker
+                  .DefineProgram(cs_, RequirementNode::Course("intro",
+                                                              intro_))
+                  .ok());
+  EXPECT_TRUE(tracker.HasProgram(cs_));
+  ASSERT_TRUE(site_->ReportCourseTaken(1, intro_, 2007, Quarter::kAutumn,
+                                       4.0).ok());
+  auto report = tracker.CheckStudent(cs_, 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->satisfied);
+}
+
+TEST_F(PlannerTest, RetakesDoNotDoubleCount) {
+  RequirementTracker tracker(&site_->db());
+  auto root = RequirementNode::NOfSet("two systems", 2, {os_, db_});
+  // Taking os twice is one distinct course.
+  EXPECT_FALSE(tracker.Check(*root, {os_, os_})->satisfied);
+}
+
+TEST_F(PlannerTest, RequirementCloneIsDeep) {
+  std::vector<ReqPtr> kids;
+  kids.push_back(RequirementNode::Course("intro", intro_));
+  auto root = RequirementNode::AllOf("major", std::move(kids));
+  ReqPtr clone = root->Clone();
+  EXPECT_EQ(clone->children.size(), 1u);
+  EXPECT_EQ(clone->children[0]->course, intro_);
+  EXPECT_NE(clone->children[0].get(), root->children[0].get());
+}
+
+}  // namespace
+}  // namespace courserank::planner

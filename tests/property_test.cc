@@ -1,0 +1,375 @@
+// Property-style tests: randomized inputs checked against independent
+// oracles or algebraic invariants. All randomness is seeded — failures
+// reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/similarity.h"
+#include "planner/requirements.h"
+#include "query/plan.h"
+#include "query/sql_parser.h"
+#include "search/inverted_index.h"
+#include "search/searcher.h"
+#include "social/site.h"
+#include "storage/database.h"
+#include "text/stemmer.h"
+#include "text/tokenizer.h"
+
+namespace courserank {
+namespace {
+
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+// ------------------------------------------------------------- LikeMatch
+
+/// Exponential-time but obviously-correct LIKE oracle.
+bool LikeOracle(std::string_view text, std::string_view pattern) {
+  if (pattern.empty()) return text.empty();
+  char p = pattern[0];
+  if (p == '%') {
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (LikeOracle(text.substr(i), pattern.substr(1))) return true;
+    }
+    return false;
+  }
+  if (text.empty()) return false;
+  if (p == '_' || std::tolower(static_cast<unsigned char>(p)) ==
+                      std::tolower(static_cast<unsigned char>(text[0]))) {
+    return LikeOracle(text.substr(1), pattern.substr(1));
+  }
+  return false;
+}
+
+class LikePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LikePropertyTest, AgreesWithOracle) {
+  Rng rng(GetParam());
+  const char kChars[] = "ab%_";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    for (size_t i = rng.NextBounded(7); i > 0; --i) {
+      text += static_cast<char>('a' + rng.NextBounded(2));
+    }
+    std::string pattern;
+    for (size_t i = rng.NextBounded(6); i > 0; --i) {
+      pattern += kChars[rng.NextBounded(4)];
+    }
+    EXPECT_EQ(LikeMatch(text, pattern), LikeOracle(text, pattern))
+        << "'" << text << "' LIKE '" << pattern << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LikePropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ------------------------------------------------------------- stemmer
+
+TEST(StemmerProperty, NeverGrowsAndStaysLowerAlpha) {
+  Rng rng(99);
+  const std::string kSuffixes[] = {"ing",  "ed",    "s",     "es",
+                                   "ation", "ness", "ously", "izer",
+                                   "ful",  "ment",  "ity",   "al"};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string word;
+    for (size_t i = 3 + rng.NextBounded(6); i > 0; --i) {
+      word += static_cast<char>('a' + rng.NextBounded(26));
+    }
+    word += kSuffixes[rng.NextBounded(12)];
+    std::string stem = text::PorterStem(word);
+    EXPECT_LE(stem.size(), word.size()) << word;
+    EXPECT_GE(stem.size(), 1u) << word;
+    for (char c : stem) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << word << " -> " << stem;
+    }
+    // Stems are prefixes of the word except for tail rewrites; at least the
+    // first two characters always survive.
+    EXPECT_EQ(stem.substr(0, 2), word.substr(0, 2)) << word;
+  }
+}
+
+// ------------------------------------------------------------- sort oracle
+
+TEST(SortOperatorProperty, MatchesStdStableSort) {
+  Rng rng(7);
+  storage::Database db;
+  auto table = db.CreateTable("t", Schema({{"k", ValueType::kInt, true},
+                                           {"v", ValueType::kInt, false}}),
+                              {});
+  ASSERT_TRUE(table.ok());
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int i = 0; i < 300; ++i) {
+    int64_t k = static_cast<int64_t>(rng.NextBounded(20));
+    rows.push_back({k, i});
+    ASSERT_TRUE((*table)->Insert({Value(k), Value(int64_t{i})}).ok());
+  }
+  std::vector<query::SortKey> keys;
+  auto expr = query::ParseExpression("k");
+  ASSERT_TRUE(expr.ok());
+  keys.push_back({std::move(*expr), true});
+  auto plan = query::MakeSort(query::MakeTableScan("t"), std::move(keys));
+  auto rel = query::Run(*plan, db);
+  ASSERT_TRUE(rel.ok());
+
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  ASSERT_EQ(rel->rows.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rel->rows[i][0].AsInt(), rows[i].first);
+    EXPECT_EQ(rel->rows[i][1].AsInt(), rows[i].second);  // stability
+  }
+}
+
+// ----------------------------------------------- index add/remove inverse
+
+TEST(IndexProperty, RemoveRestoresDocFrequencies) {
+  Rng rng(17);
+  storage::Database db;
+  auto courses = db.CreateTable(
+      "Courses", Schema({{"CourseID", ValueType::kInt, false},
+                         {"Title", ValueType::kString, false},
+                         {"Description", ValueType::kString, true}}),
+      {"CourseID"});
+  ASSERT_TRUE(courses.ok());
+  const char* kWords[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+  for (int i = 1; i <= 40; ++i) {
+    std::string title;
+    for (int w = 0; w < 3; ++w) {
+      title += std::string(kWords[rng.NextBounded(5)]) + " ";
+    }
+    ASSERT_TRUE(
+        (*courses)->Insert({Value(i), Value(title), Value("")}).ok());
+  }
+  search::EntityDefinition def;
+  def.name = "course";
+  def.primary_table = "Courses";
+  def.key_column = "CourseID";
+  def.display_column = "Title";
+  def.fields = {{"title", 1.0, "Courses", "Title", "CourseID", ""}};
+
+  search::InvertedIndex index(def);
+  ASSERT_TRUE(index.Build(db).ok());
+
+  auto df_snapshot = [&]() {
+    std::map<std::string, size_t> out;
+    for (const char* w : kWords) {
+      search::TermId t = index.LookupTerm(text::PorterStem(w));
+      out[w] = t == search::kNoTerm ? 0 : index.DocFrequency(t);
+    }
+    return out;
+  };
+  auto before = df_snapshot();
+
+  // Remove 15 random docs, re-add them, expect identical statistics.
+  std::vector<int> doomed;
+  for (int i = 0; i < 15; ++i) {
+    doomed.push_back(1 + static_cast<int>(rng.NextBounded(40)));
+  }
+  std::sort(doomed.begin(), doomed.end());
+  doomed.erase(std::unique(doomed.begin(), doomed.end()), doomed.end());
+  search::EntityExtractor extractor(&db, def);
+  for (int id : doomed) {
+    ASSERT_TRUE(index.RemoveByKey(Value(id)).ok());
+  }
+  for (int id : doomed) {
+    auto doc = extractor.ExtractOne(Value(id));
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(index.AddDocument(std::move(*doc)).ok());
+  }
+  EXPECT_EQ(df_snapshot(), before);
+  EXPECT_EQ(index.num_docs(), 40u);
+}
+
+// ------------------------------------------------ refine == requery
+
+TEST(RefineProperty, RefineEqualsConjunctiveRequery) {
+  storage::Database db;
+  auto courses = db.CreateTable(
+      "Courses", Schema({{"CourseID", ValueType::kInt, false},
+                         {"Title", ValueType::kString, false},
+                         {"Description", ValueType::kString, true}}),
+      {"CourseID"});
+  ASSERT_TRUE(courses.ok());
+  Rng rng(23);
+  const char* kWords[] = {"history", "politics", "science",  "culture",
+                          "music",   "writing",  "networks", "markets"};
+  for (int i = 1; i <= 120; ++i) {
+    std::string text;
+    for (int w = 0; w < 5; ++w) {
+      text += std::string(kWords[rng.NextBounded(8)]) + " ";
+    }
+    ASSERT_TRUE((*courses)->Insert({Value(i), Value(text), Value("")}).ok());
+  }
+  search::EntityDefinition def;
+  def.name = "course";
+  def.primary_table = "Courses";
+  def.key_column = "CourseID";
+  def.display_column = "Title";
+  def.fields = {{"title", 1.0, "Courses", "Title", "CourseID", ""}};
+  search::InvertedIndex index(def);
+  ASSERT_TRUE(index.Build(db).ok());
+  search::Searcher searcher(&index);
+
+  for (const char* base : kWords) {
+    auto results = searcher.Search(base);
+    ASSERT_TRUE(results.ok());
+    for (const char* refine : kWords) {
+      if (std::string(base) == refine) continue;
+      auto refined = searcher.Refine(*results, refine);
+      ASSERT_TRUE(refined.ok());
+      auto direct = searcher.SearchTerms(refined->terms);
+      ASSERT_TRUE(direct.ok());
+      ASSERT_EQ(refined->size(), direct->size()) << base << "+" << refine;
+      for (size_t i = 0; i < refined->hits.size(); ++i) {
+        EXPECT_EQ(refined->hits[i].doc, direct->hits[i].doc);
+        EXPECT_NEAR(refined->hits[i].score, direct->hits[i].score, 1e-9);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------- matching dominates greedy
+
+TEST(RequirementProperty, MatchingNeverWorseThanGreedy) {
+  // Random overlapping requirement structures over a tiny catalog: on every
+  // instance, maximum matching must satisfy the tree whenever greedy does.
+  auto site = social::CourseRankSite::Create();
+  ASSERT_TRUE(site.ok());
+  auto dept = (*site)->AddDepartment("X", "Xology", "Engineering");
+  ASSERT_TRUE(dept.ok());
+  std::vector<int64_t> catalog;
+  for (int i = 0; i < 8; ++i) {
+    auto c = (*site)->AddCourse(*dept, 100 + i, "X " + std::to_string(i), "",
+                                3);
+    ASSERT_TRUE(c.ok());
+    catalog.push_back(*c);
+  }
+  planner::RequirementTracker tracker(&(*site)->db());
+  Rng rng(31);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random tree: 2-3 NOfSet leaves with random sets.
+    std::vector<planner::ReqPtr> kids;
+    size_t num_leaves = 2 + rng.NextBounded(2);
+    for (size_t l = 0; l < num_leaves; ++l) {
+      std::vector<int64_t> set;
+      for (int64_t c : catalog) {
+        if (rng.NextBool(0.5)) set.push_back(c);
+      }
+      if (set.empty()) set.push_back(catalog[0]);
+      size_t need = 1 + rng.NextBounded(std::min<size_t>(2, set.size()));
+      kids.push_back(planner::RequirementNode::NOfSet(
+          "leaf" + std::to_string(l), need, std::move(set)));
+    }
+    auto root = planner::RequirementNode::AllOf("random", std::move(kids));
+
+    std::vector<int64_t> taken;
+    for (int64_t c : catalog) {
+      if (rng.NextBool(0.6)) taken.push_back(c);
+    }
+
+    auto matched = tracker.Check(*root, taken,
+                                 planner::MatchStrategy::kMaximumMatching);
+    auto greedy =
+        tracker.Check(*root, taken, planner::MatchStrategy::kGreedy);
+    ASSERT_TRUE(matched.ok());
+    ASSERT_TRUE(greedy.ok());
+    // Dominance: greedy satisfied => matching satisfied.
+    if (greedy->satisfied) {
+      EXPECT_TRUE(matched->satisfied) << "trial " << trial;
+    }
+    // Matching also never assigns fewer total courses.
+    size_t matched_used = 0;
+    size_t greedy_used = 0;
+    for (const auto& leaf : matched->leaves) matched_used += leaf.used.size();
+    for (const auto& leaf : greedy->leaves) greedy_used += leaf.used.size();
+    EXPECT_GE(matched_used, greedy_used) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------- expression round-trips
+
+TEST(ExprProperty, RandomExpressionsRoundTripThroughToString) {
+  Rng rng(41);
+  Schema schema({{"a", ValueType::kInt, true},
+                 {"b", ValueType::kDouble, true},
+                 {"s", ValueType::kString, true}});
+  storage::Row row{Value(5), Value(2.5), Value("xy")};
+
+  // Random expression generator over a safe grammar (no division: avoids
+  // synthesized div-by-zero errors that would end evaluation early).
+  std::function<std::string(int)> gen = [&](int depth) -> std::string {
+    if (depth <= 0 || rng.NextBool(0.3)) {
+      switch (rng.NextBounded(4)) {
+        case 0:
+          return "a";
+        case 1:
+          return "b";
+        case 2:
+          return std::to_string(rng.NextBounded(9));
+        default:
+          return "s";
+      }
+    }
+    switch (rng.NextBounded(5)) {
+      case 0:
+        return "(" + gen(depth - 1) + " + " + gen(depth - 1) + ")";
+      case 1:
+        return "(" + gen(depth - 1) + " * " + gen(depth - 1) + ")";
+      case 2:
+        return "(" + gen(depth - 1) + " = " + gen(depth - 1) + ")";
+      case 3:
+        return "(" + gen(depth - 1) + " < " + gen(depth - 1) + ")";
+      default:
+        return "COALESCE(" + gen(depth - 1) + ", " + gen(depth - 1) + ")";
+    }
+  };
+
+  int evaluated = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string text = gen(3);
+    auto e1 = query::ParseExpression(text);
+    ASSERT_TRUE(e1.ok()) << text;
+    std::string rendered = (*e1)->ToString();
+    auto e2 = query::ParseExpression(rendered);
+    ASSERT_TRUE(e2.ok()) << rendered;
+    ASSERT_TRUE((*e1)->Bind(schema, nullptr).ok()) << text;
+    ASSERT_TRUE((*e2)->Bind(schema, nullptr).ok()) << rendered;
+    auto v1 = (*e1)->Eval(row);
+    auto v2 = (*e2)->Eval(row);
+    ASSERT_EQ(v1.ok(), v2.ok()) << text;
+    if (v1.ok()) {
+      EXPECT_EQ(*v1, *v2) << text << " vs " << rendered;
+      ++evaluated;
+    }
+  }
+  EXPECT_GT(evaluated, 100);  // most random expressions evaluate cleanly
+}
+
+// ---------------------------------------------- similarity triangle-ish
+
+TEST(SimilarityProperty, JaccardSelfIsOneAndBounded) {
+  Rng rng(53);
+  for (int trial = 0; trial < 200; ++trial) {
+    Value::List items;
+    size_t n = 1 + rng.NextBounded(10);
+    for (size_t i = 0; i < n; ++i) {
+      items.push_back(Value(static_cast<int64_t>(rng.NextBounded(12))));
+    }
+    Value set(std::move(items));
+    auto self = flexrecs::JaccardSets(set, set);
+    ASSERT_TRUE(self.ok());
+    EXPECT_DOUBLE_EQ(**self, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace courserank

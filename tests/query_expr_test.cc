@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "query/expr.h"
+#include "query/sql_parser.h"
+#include "storage/schema.h"
+
+namespace courserank::query {
+namespace {
+
+using storage::Column;
+using storage::Value;
+using storage::ValueType;
+
+Schema TestSchema() {
+  return Schema({{"i", ValueType::kInt, true},
+                 {"d", ValueType::kDouble, true},
+                 {"s", ValueType::kString, true},
+                 {"b", ValueType::kBool, true}});
+}
+
+Row TestRow() {
+  return {Value(10), Value(2.5), Value("Hello"), Value(true)};
+}
+
+/// Parses, binds against the test schema, and evaluates on the test row.
+Result<Value> Eval(const std::string& text, const ParamMap* params = nullptr) {
+  auto expr = ParseExpression(text);
+  if (!expr.ok()) return expr.status();
+  Schema schema = TestSchema();
+  Status bound = (*expr)->Bind(schema, params);
+  if (!bound.ok()) return bound;
+  return (*expr)->Eval(TestRow());
+}
+
+TEST(ExprTest, Literals) {
+  EXPECT_EQ(Eval("42")->AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Eval("4.5")->AsDouble(), 4.5);
+  EXPECT_EQ(Eval("'abc'")->AsString(), "abc");
+  EXPECT_EQ(Eval("TRUE")->AsBool(), true);
+  EXPECT_EQ(Eval("false")->AsBool(), false);
+  EXPECT_TRUE(Eval("NULL")->is_null());
+}
+
+TEST(ExprTest, StringEscapes) {
+  EXPECT_EQ(Eval("'it''s'")->AsString(), "it's");
+}
+
+TEST(ExprTest, ColumnReferences) {
+  EXPECT_EQ(Eval("i")->AsInt(), 10);
+  EXPECT_DOUBLE_EQ(Eval("d")->AsDouble(), 2.5);
+  EXPECT_EQ(Eval("S")->AsString(), "Hello");  // case-insensitive
+}
+
+TEST(ExprTest, UnknownColumnFailsAtBind) {
+  auto r = Eval("nope");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExprTest, IntegerArithmetic) {
+  EXPECT_EQ(Eval("i + 5")->AsInt(), 15);
+  EXPECT_EQ(Eval("i - 3")->AsInt(), 7);
+  EXPECT_EQ(Eval("i * 2")->AsInt(), 20);
+  EXPECT_EQ(Eval("i / 3")->AsInt(), 3);  // integer division
+  EXPECT_EQ(Eval("i % 3")->AsInt(), 1);
+}
+
+TEST(ExprTest, MixedArithmeticWidensToDouble) {
+  EXPECT_DOUBLE_EQ(Eval("i + d")->AsDouble(), 12.5);
+  EXPECT_DOUBLE_EQ(Eval("i / 4.0")->AsDouble(), 2.5);
+}
+
+TEST(ExprTest, DivisionByZero) {
+  EXPECT_FALSE(Eval("1 / 0").ok());
+  EXPECT_FALSE(Eval("1 % 0").ok());
+}
+
+TEST(ExprTest, StringConcatViaPlus) {
+  EXPECT_EQ(Eval("s + '!'")->AsString(), "Hello!");
+}
+
+TEST(ExprTest, UnaryMinusAndPrecedence) {
+  EXPECT_EQ(Eval("-i")->AsInt(), -10);
+  EXPECT_EQ(Eval("2 + 3 * 4")->AsInt(), 14);
+  EXPECT_EQ(Eval("(2 + 3) * 4")->AsInt(), 20);
+  EXPECT_EQ(Eval("-2 * 3")->AsInt(), -6);
+}
+
+TEST(ExprTest, Comparisons) {
+  EXPECT_TRUE(Eval("i = 10")->AsBool());
+  EXPECT_TRUE(Eval("i <> 11")->AsBool());
+  EXPECT_TRUE(Eval("i != 11")->AsBool());
+  EXPECT_TRUE(Eval("i < 11")->AsBool());
+  EXPECT_TRUE(Eval("i <= 10")->AsBool());
+  EXPECT_TRUE(Eval("i > 9")->AsBool());
+  EXPECT_TRUE(Eval("i >= 10")->AsBool());
+  EXPECT_FALSE(Eval("i = 11")->AsBool());
+}
+
+TEST(ExprTest, CrossTypeNumericComparison) {
+  EXPECT_TRUE(Eval("i = 10.0")->AsBool());
+  EXPECT_TRUE(Eval("d < 3")->AsBool());
+}
+
+TEST(ExprTest, BooleanLogic) {
+  EXPECT_TRUE(Eval("TRUE AND b")->AsBool());
+  EXPECT_FALSE(Eval("FALSE AND b")->AsBool());
+  EXPECT_TRUE(Eval("FALSE OR b")->AsBool());
+  EXPECT_FALSE(Eval("NOT b")->AsBool());
+  // Precedence: AND binds tighter than OR.
+  EXPECT_TRUE(Eval("TRUE OR FALSE AND FALSE")->AsBool());
+}
+
+TEST(ExprTest, ThreeValuedLogic) {
+  EXPECT_TRUE(Eval("NULL AND TRUE")->is_null());
+  EXPECT_FALSE(Eval("NULL AND FALSE")->AsBool());  // FALSE dominates
+  EXPECT_TRUE(Eval("NULL OR TRUE")->AsBool());     // TRUE dominates
+  EXPECT_TRUE(Eval("NULL OR FALSE")->is_null());
+  EXPECT_TRUE(Eval("NOT NULL")->is_null());
+  EXPECT_TRUE(Eval("NULL = NULL")->is_null());  // SQL semantics
+  EXPECT_TRUE(Eval("i + NULL")->is_null());
+  EXPECT_TRUE(Eval("NULL < 1")->is_null());
+}
+
+TEST(ExprTest, IsNull) {
+  EXPECT_FALSE(Eval("i IS NULL")->AsBool());
+  EXPECT_TRUE(Eval("i IS NOT NULL")->AsBool());
+  EXPECT_TRUE(Eval("NULL IS NULL")->AsBool());
+}
+
+TEST(ExprTest, InList) {
+  EXPECT_TRUE(Eval("i IN (5, 10, 15)")->AsBool());
+  EXPECT_FALSE(Eval("i IN (5, 15)")->AsBool());
+  EXPECT_TRUE(Eval("i NOT IN (5, 15)")->AsBool());
+  EXPECT_TRUE(Eval("s IN ('Hello', 'World')")->AsBool());
+  EXPECT_TRUE(Eval("NULL IN (1, 2)")->is_null());
+}
+
+TEST(ExprTest, Like) {
+  EXPECT_TRUE(Eval("s LIKE 'He%'")->AsBool());
+  EXPECT_TRUE(Eval("s LIKE '%LLO'")->AsBool());  // case-insensitive dialect
+  EXPECT_FALSE(Eval("s LIKE 'x%'")->AsBool());
+  EXPECT_TRUE(Eval("s NOT LIKE 'x%'")->AsBool());
+}
+
+TEST(ExprTest, ScalarFunctions) {
+  EXPECT_EQ(Eval("LOWER(s)")->AsString(), "hello");
+  EXPECT_EQ(Eval("UPPER(s)")->AsString(), "HELLO");
+  EXPECT_EQ(Eval("LENGTH(s)")->AsInt(), 5);
+  EXPECT_EQ(Eval("ABS(-4)")->AsInt(), 4);
+  EXPECT_DOUBLE_EQ(Eval("ABS(-4.5)")->AsDouble(), 4.5);
+  EXPECT_DOUBLE_EQ(Eval("ROUND(2.567, 1)")->AsDouble(), 2.6);
+  EXPECT_TRUE(Eval("CONTAINS(s, 'ell')")->AsBool());
+  EXPECT_FALSE(Eval("CONTAINS(s, 'xyz')")->AsBool());
+  EXPECT_EQ(Eval("SUBSTR(s, 2, 3)")->AsString(), "ell");
+  EXPECT_EQ(Eval("COALESCE(NULL, NULL, 7)")->AsInt(), 7);
+  EXPECT_TRUE(Eval("COALESCE(NULL, NULL)")->is_null());
+}
+
+TEST(ExprTest, FunctionsAreNullStrict) {
+  EXPECT_TRUE(Eval("LOWER(NULL)")->is_null());
+  EXPECT_TRUE(Eval("ROUND(NULL, 1)")->is_null());
+}
+
+TEST(ExprTest, UnknownFunctionFailsAtBind) {
+  EXPECT_EQ(Eval("FROBNICATE(1)").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExprTest, WrongArityFailsAtBind) {
+  EXPECT_FALSE(Eval("LOWER(s, s)").ok());
+  EXPECT_FALSE(Eval("ROUND(1.5)").ok());
+}
+
+TEST(ExprTest, ParamsBindByName) {
+  ParamMap params;
+  params["x"] = Value(4);
+  EXPECT_EQ(Eval("i + $x", &params)->AsInt(), 14);
+}
+
+TEST(ExprTest, MissingParamFailsAtBind) {
+  ParamMap params;
+  EXPECT_FALSE(Eval("$nope", &params).ok());
+  EXPECT_FALSE(Eval("$nope", nullptr).ok());
+}
+
+TEST(ExprTest, ToStringIsParseable) {
+  // Round-trip: render and re-parse yields the same evaluation.
+  const char* exprs[] = {
+      "(i + 5) * 2", "s LIKE 'He%'", "i IN (1, 10)", "NOT (b AND i > 5)",
+      "LOWER(s)",    "i IS NOT NULL"};
+  for (const char* text : exprs) {
+    auto e1 = ParseExpression(text);
+    ASSERT_TRUE(e1.ok()) << text;
+    std::string rendered = (*e1)->ToString();
+    auto e2 = ParseExpression(rendered);
+    ASSERT_TRUE(e2.ok()) << rendered;
+    Schema schema = TestSchema();
+    ASSERT_TRUE((*e1)->Bind(schema, nullptr).ok());
+    ASSERT_TRUE((*e2)->Bind(schema, nullptr).ok());
+    EXPECT_EQ(*(*e1)->Eval(TestRow()), *(*e2)->Eval(TestRow())) << text;
+  }
+}
+
+TEST(ExprTest, CloneIsIndependent) {
+  auto expr = ParseExpression("i + 1");
+  ASSERT_TRUE(expr.ok());
+  ExprPtr clone = (*expr)->Clone();
+  Schema schema = TestSchema();
+  ASSERT_TRUE(clone->Bind(schema, nullptr).ok());
+  EXPECT_EQ(clone->Eval(TestRow())->AsInt(), 11);
+}
+
+TEST(ExprTest, ParseErrors) {
+  EXPECT_FALSE(ParseExpression("").ok());
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("(1").ok());
+  EXPECT_FALSE(ParseExpression("'unterminated").ok());
+  EXPECT_FALSE(ParseExpression("1 2").ok());
+  EXPECT_FALSE(ParseExpression("$").ok());
+}
+
+}  // namespace
+}  // namespace courserank::query

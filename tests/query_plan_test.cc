@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "query/plan.h"
+#include "query/sql_parser.h"
+#include "storage/database.h"
+
+namespace courserank::query {
+namespace {
+
+using storage::Column;
+using storage::Database;
+using storage::Value;
+using storage::ValueType;
+
+ExprPtr P(const std::string& text) {
+  auto e = ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return std::move(*e);
+}
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto users = db_.CreateTable(
+        "users",
+        Schema({{"id", ValueType::kInt, false},
+                {"name", ValueType::kString, false},
+                {"dept", ValueType::kInt, true}}),
+        {"id"});
+    ASSERT_TRUE(users.ok());
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE((*users)
+                      ->Insert({Value(i), Value("user" + std::to_string(i)),
+                                Value(i % 2)})
+                      .ok());
+    }
+    auto depts = db_.CreateTable("depts",
+                                 Schema({{"id", ValueType::kInt, false},
+                                         {"label", ValueType::kString, false}}),
+                                 {"id"});
+    ASSERT_TRUE(depts.ok());
+    ASSERT_TRUE((*depts)->Insert({Value(0), Value("even")}).ok());
+    ASSERT_TRUE((*depts)->Insert({Value(1), Value("odd")}).ok());
+    ASSERT_TRUE((*depts)->Insert({Value(2), Value("empty")}).ok());
+  }
+
+  Relation MustRun(const PlanNode& plan) {
+    auto rel = ::courserank::query::Run(plan, db_);
+    EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+    return std::move(*rel);
+  }
+
+  Database db_;
+};
+
+TEST_F(PlanTest, TableScan) {
+  Relation rel = MustRun(*MakeTableScan("users"));
+  EXPECT_EQ(rel.rows.size(), 6u);
+  EXPECT_EQ(rel.schema.num_columns(), 3u);
+}
+
+TEST_F(PlanTest, TableScanWithAliasPrefixesColumns) {
+  Relation rel = MustRun(*MakeTableScan("users", "u"));
+  EXPECT_EQ(rel.schema.column(0).name, "u.id");
+}
+
+TEST_F(PlanTest, MissingTableFails) {
+  auto rel = ::courserank::query::Run(*MakeTableScan("nope"), db_);
+  EXPECT_EQ(rel.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PlanTest, Filter) {
+  Relation rel = MustRun(*MakeFilter(MakeTableScan("users"), P("id >= 4")));
+  EXPECT_EQ(rel.rows.size(), 2u);
+}
+
+TEST_F(PlanTest, FilterDropsNullPredicateRows) {
+  // dept IS NULL comparisons yield NULL, which is not TRUE.
+  Relation rel =
+      MustRun(*MakeFilter(MakeTableScan("users"), P("NULL = 1")));
+  EXPECT_TRUE(rel.rows.empty());
+}
+
+TEST_F(PlanTest, Project) {
+  std::vector<ProjectItem> items;
+  items.push_back({P("name"), "n"});
+  items.push_back({P("id * 10"), "tens"});
+  Relation rel = MustRun(*MakeProject(MakeTableScan("users"),
+                                      std::move(items)));
+  EXPECT_EQ(rel.schema.column(0).name, "n");
+  EXPECT_EQ(rel.rows[3][1].AsInt(), 30);
+}
+
+TEST_F(PlanTest, HashJoin) {
+  Relation rel = MustRun(*MakeJoin(MakeTableScan("users", "u"),
+                                   MakeTableScan("depts", "d"),
+                                   P("u.dept = d.id")));
+  EXPECT_EQ(rel.rows.size(), 6u);
+  EXPECT_EQ(rel.schema.num_columns(), 5u);
+}
+
+TEST_F(PlanTest, JoinWithResidualCondition) {
+  Relation rel = MustRun(*MakeJoin(MakeTableScan("users", "u"),
+                                   MakeTableScan("depts", "d"),
+                                   P("u.dept = d.id AND u.id > 3")));
+  EXPECT_EQ(rel.rows.size(), 2u);
+}
+
+TEST_F(PlanTest, LeftJoinPadsUnmatched) {
+  // depts "empty" (id 2) has no users.
+  Relation rel = MustRun(*MakeJoin(MakeTableScan("depts", "d"),
+                                   MakeTableScan("users", "u"),
+                                   P("d.id = u.dept"), JoinType::kLeft));
+  size_t padded = 0;
+  for (const Row& row : rel.rows) {
+    if (row[2].is_null()) ++padded;
+  }
+  EXPECT_EQ(rel.rows.size(), 7u);  // 6 matches + 1 padded
+  EXPECT_EQ(padded, 1u);
+}
+
+TEST_F(PlanTest, NestedLoopJoinOnInequality) {
+  Relation rel = MustRun(*MakeJoin(MakeTableScan("users", "u"),
+                                   MakeTableScan("depts", "d"),
+                                   P("u.id < d.id")));
+  // users with id < dept id: dept 1: id 0; dept 2: ids 0,1.
+  EXPECT_EQ(rel.rows.size(), 3u);
+}
+
+TEST_F(PlanTest, AggregateGlobal) {
+  std::vector<AggregateItem> aggs;
+  aggs.push_back({AggFn::kCountStar, nullptr, "n"});
+  aggs.push_back({AggFn::kSum, P("id"), "total"});
+  aggs.push_back({AggFn::kAvg, P("id"), "mean"});
+  aggs.push_back({AggFn::kMin, P("id"), "lo"});
+  aggs.push_back({AggFn::kMax, P("id"), "hi"});
+  Relation rel =
+      MustRun(*MakeAggregate(MakeTableScan("users"), {}, std::move(aggs)));
+  ASSERT_EQ(rel.rows.size(), 1u);
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 6);
+  EXPECT_DOUBLE_EQ(rel.rows[0][1].AsDouble(), 15.0);
+  EXPECT_DOUBLE_EQ(rel.rows[0][2].AsDouble(), 2.5);
+  EXPECT_EQ(rel.rows[0][3].AsInt(), 0);
+  EXPECT_EQ(rel.rows[0][4].AsInt(), 5);
+}
+
+TEST_F(PlanTest, AggregateGroupBy) {
+  std::vector<ProjectItem> groups;
+  groups.push_back({P("dept"), "dept"});
+  std::vector<AggregateItem> aggs;
+  aggs.push_back({AggFn::kCountStar, nullptr, "n"});
+  Relation rel = MustRun(*MakeAggregate(MakeTableScan("users"),
+                                        std::move(groups), std::move(aggs)));
+  ASSERT_EQ(rel.rows.size(), 2u);
+  EXPECT_EQ(rel.rows[0][1].AsInt(), 3);
+  EXPECT_EQ(rel.rows[1][1].AsInt(), 3);
+}
+
+TEST_F(PlanTest, AggregateOnEmptyInputYieldsOneRow) {
+  std::vector<AggregateItem> aggs;
+  aggs.push_back({AggFn::kCountStar, nullptr, "n"});
+  aggs.push_back({AggFn::kSum, P("id"), "total"});
+  Relation rel = MustRun(*MakeAggregate(
+      MakeFilter(MakeTableScan("users"), P("id > 100")), {},
+      std::move(aggs)));
+  ASSERT_EQ(rel.rows.size(), 1u);
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(rel.rows[0][1].is_null());  // SUM of nothing is NULL
+}
+
+TEST_F(PlanTest, CountSkipsNulls) {
+  std::vector<AggregateItem> aggs;
+  aggs.push_back({AggFn::kCount, P("dept"), "n"});
+  // Make one dept NULL first.
+  storage::Table* users = db_.FindTable("users");
+  ASSERT_TRUE(users->UpdateColumn(0, 2, Value()).ok());
+  Relation rel =
+      MustRun(*MakeAggregate(MakeTableScan("users"), {}, std::move(aggs)));
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 5);
+}
+
+TEST_F(PlanTest, SortAscendingDescending) {
+  std::vector<SortKey> keys;
+  keys.push_back({P("id"), false});
+  Relation rel = MustRun(*MakeSort(MakeTableScan("users"), std::move(keys)));
+  EXPECT_EQ(rel.rows.front()[0].AsInt(), 5);
+  EXPECT_EQ(rel.rows.back()[0].AsInt(), 0);
+}
+
+TEST_F(PlanTest, SortIsStableOnTies) {
+  std::vector<SortKey> keys;
+  keys.push_back({P("dept"), true});
+  Relation rel = MustRun(*MakeSort(MakeTableScan("users"), std::move(keys)));
+  // Within dept 0 group, original order 0,2,4 preserved.
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 0);
+  EXPECT_EQ(rel.rows[1][0].AsInt(), 2);
+  EXPECT_EQ(rel.rows[2][0].AsInt(), 4);
+}
+
+TEST_F(PlanTest, LimitAndOffset) {
+  std::vector<SortKey> keys;
+  keys.push_back({P("id"), true});
+  Relation rel = MustRun(
+      *MakeLimit(MakeSort(MakeTableScan("users"), std::move(keys)), 2, 3));
+  ASSERT_EQ(rel.rows.size(), 2u);
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(rel.rows[1][0].AsInt(), 4);
+}
+
+TEST_F(PlanTest, Distinct) {
+  std::vector<ProjectItem> items;
+  items.push_back({P("dept"), "dept"});
+  Relation rel = MustRun(
+      *MakeDistinct(MakeProject(MakeTableScan("users"), std::move(items))));
+  EXPECT_EQ(rel.rows.size(), 2u);
+}
+
+TEST_F(PlanTest, UnionAllAndSet) {
+  Relation all = MustRun(
+      *MakeUnion(MakeTableScan("users"), MakeTableScan("users"), true));
+  EXPECT_EQ(all.rows.size(), 12u);
+  Relation set = MustRun(
+      *MakeUnion(MakeTableScan("users"), MakeTableScan("users"), false));
+  EXPECT_EQ(set.rows.size(), 6u);
+}
+
+TEST_F(PlanTest, UnionArityMismatchFails) {
+  auto rel = ::courserank::query::Run(*MakeUnion(MakeTableScan("users"), MakeTableScan("depts"),
+                            true),
+                 db_);
+  EXPECT_FALSE(rel.ok());
+}
+
+TEST_F(PlanTest, ExtendCollectsLists) {
+  std::vector<ExprPtr> collect;
+  collect.push_back(P("id"));
+  Relation rel = MustRun(*MakeExtend(
+      MakeTableScan("depts", "d"), MakeTableScan("users", "u"), P("d.id"),
+      P("u.dept"), std::move(collect), "members"));
+  ASSERT_EQ(rel.rows.size(), 3u);
+  EXPECT_EQ(rel.schema.column(2).name, "members");
+  // depts 0 and 1 have 3 members each; dept 2 has none (empty list).
+  EXPECT_EQ(rel.rows[0][2].AsList().size(), 3u);
+  EXPECT_EQ(rel.rows[1][2].AsList().size(), 3u);
+  EXPECT_TRUE(rel.rows[2][2].AsList().empty());
+}
+
+TEST_F(PlanTest, ExtendWithMultipleCollectMakesPairs) {
+  std::vector<ExprPtr> collect;
+  collect.push_back(P("id"));
+  collect.push_back(P("name"));
+  Relation rel = MustRun(*MakeExtend(
+      MakeTableScan("depts", "d"), MakeTableScan("users", "u"), P("d.id"),
+      P("u.dept"), std::move(collect), "members"));
+  const Value::List& members = rel.rows[0][2].AsList();
+  ASSERT_FALSE(members.empty());
+  ASSERT_EQ(members[0].AsList().size(), 2u);
+  EXPECT_EQ(members[0].AsList()[1].type(), ValueType::kString);
+}
+
+TEST_F(PlanTest, ExplainRendersTree) {
+  auto plan = MakeLimit(
+      MakeFilter(MakeTableScan("users"), P("id > 1")), 3);
+  std::string text = plan->Explain();
+  EXPECT_NE(text.find("Limit(3)"), std::string::npos);
+  EXPECT_NE(text.find("Filter"), std::string::npos);
+  EXPECT_NE(text.find("TableScan(users)"), std::string::npos);
+}
+
+TEST_F(PlanTest, ParamsFlowThroughContext) {
+  ExecContext ctx;
+  ctx.db = &db_;
+  ctx.params["min"] = Value(4);
+  auto plan = MakeFilter(MakeTableScan("users"), P("id >= $min"));
+  auto rel = plan->Execute(ctx);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace courserank::query

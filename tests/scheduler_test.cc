@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "planner/scheduler.h"
+#include "social/site.h"
+
+namespace courserank::planner {
+namespace {
+
+using social::CourseRankSite;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto site = CourseRankSite::Create();
+    ASSERT_TRUE(site.ok());
+    site_ = std::move(*site);
+    cs_ = Must(site_->AddDepartment("CS", "Computer Science", "Engineering"));
+    intro_ = Must(site_->AddCourse(cs_, 106, "Intro", "", 5));
+    ds_ = Must(site_->AddCourse(cs_, 161, "Data Structures", "", 5));
+    os_ = Must(site_->AddCourse(cs_, 240, "OS", "", 4));
+    alg_ = Must(site_->AddCourse(cs_, 161 + 100, "Algorithms", "", 4));
+    ASSERT_TRUE(site_->AddPrereq(ds_, intro_).ok());
+    ASSERT_TRUE(site_->AddPrereq(os_, ds_).ok());
+
+    mwf9_ = TimeSlot{static_cast<uint8_t>(kMon | kWed | kFri), 540, 590};
+    mwf10_ = TimeSlot{static_cast<uint8_t>(kMon | kWed | kFri), 600, 650};
+    tth9_ = TimeSlot{static_cast<uint8_t>(kTue | kThu), 540, 620};
+  }
+
+  template <typename T>
+  T Must(courserank::Result<T> r) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  void Offer(CourseId course, int year, Quarter q, TimeSlot slot) {
+    Must(site_->AddOffering(course, year, q, "Prof", slot));
+  }
+
+  ScheduleSuggestion Suggest(std::vector<CourseId> wanted,
+                             std::set<CourseId> completed = {},
+                             int num_terms = 4, int max_units = 18) {
+    ScheduleRequest request;
+    request.wanted = std::move(wanted);
+    request.first_term = {2008, Quarter::kAutumn};
+    request.num_terms = num_terms;
+    request.max_units_per_term = max_units;
+    auto graph = PrereqGraph::Build(site_->db());
+    EXPECT_TRUE(graph.ok());
+    auto suggestion =
+        SuggestSchedule(site_->db(), *graph, completed, request);
+    EXPECT_TRUE(suggestion.ok()) << suggestion.status().ToString();
+    return std::move(*suggestion);
+  }
+
+  std::optional<Term> TermOf(const ScheduleSuggestion& s, CourseId c) {
+    for (const Placement& p : s.placements) {
+      if (p.course == c) return p.term;
+    }
+    return std::nullopt;
+  }
+
+  std::unique_ptr<CourseRankSite> site_;
+  social::DeptId cs_ = 0;
+  CourseId intro_ = 0, ds_ = 0, os_ = 0, alg_ = 0;
+  TimeSlot mwf9_, mwf10_, tth9_;
+};
+
+TEST_F(SchedulerTest, PlacesPrereqChainsInOrder) {
+  Offer(intro_, 2008, Quarter::kAutumn, mwf9_);
+  Offer(ds_, 2008, Quarter::kWinter, mwf9_);
+  Offer(os_, 2008, Quarter::kSpring, mwf9_);
+  auto s = Suggest({os_, ds_, intro_});
+  EXPECT_TRUE(s.unplaced.empty());
+  ASSERT_TRUE(TermOf(s, intro_).has_value());
+  EXPECT_LT(*TermOf(s, intro_), *TermOf(s, ds_));
+  EXPECT_LT(*TermOf(s, ds_), *TermOf(s, os_));
+}
+
+TEST_F(SchedulerTest, CompletedPrereqsUnlockImmediately) {
+  Offer(ds_, 2008, Quarter::kAutumn, mwf9_);
+  auto s = Suggest({ds_}, /*completed=*/{intro_});
+  EXPECT_TRUE(s.unplaced.empty());
+  EXPECT_EQ(*TermOf(s, ds_), (Term{2008, Quarter::kAutumn}));
+}
+
+TEST_F(SchedulerTest, PrereqNotSatisfiableReported) {
+  // ds offered but intro never offered in the window.
+  Offer(ds_, 2008, Quarter::kWinter, mwf9_);
+  auto s = Suggest({ds_, intro_});
+  ASSERT_EQ(s.unplaced.size(), 2u);  // intro not offered; ds blocked
+}
+
+TEST_F(SchedulerTest, AvoidsTimeConflictsAcrossSections) {
+  // Two wanted courses share MWF9, but algorithms has a TTh section too.
+  Offer(intro_, 2008, Quarter::kAutumn, mwf9_);
+  Offer(alg_, 2008, Quarter::kAutumn, mwf9_);
+  Offer(alg_, 2008, Quarter::kAutumn, tth9_);
+  auto s = Suggest({intro_, alg_}, {}, /*num_terms=*/1);
+  EXPECT_TRUE(s.unplaced.empty());
+  EXPECT_EQ(*TermOf(s, intro_), *TermOf(s, alg_));  // same quarter works
+}
+
+TEST_F(SchedulerTest, SpillsToLaterTermOnConflict) {
+  Offer(intro_, 2008, Quarter::kAutumn, mwf9_);
+  Offer(alg_, 2008, Quarter::kAutumn, mwf9_);  // clashes, single section
+  Offer(alg_, 2008, Quarter::kWinter, mwf9_);
+  auto s = Suggest({intro_, alg_});
+  EXPECT_TRUE(s.unplaced.empty());
+  EXPECT_NE(*TermOf(s, intro_), *TermOf(s, alg_));
+}
+
+TEST_F(SchedulerTest, HonorsUnitCap) {
+  // Three 5-unit and one 4-unit course all offered only in Autumn; cap 10.
+  Offer(intro_, 2008, Quarter::kAutumn, mwf9_);
+  Offer(alg_, 2008, Quarter::kAutumn, mwf10_);
+  Offer(ds_, 2008, Quarter::kAutumn, tth9_);
+  auto s = Suggest({intro_, alg_}, {}, /*num_terms=*/1, /*max_units=*/5);
+  EXPECT_EQ(s.placements.size(), 1u);
+  ASSERT_EQ(s.unplaced.size(), 1u);
+  EXPECT_NE(s.unplaced[0].reason.find("unit cap"), std::string::npos);
+}
+
+TEST_F(SchedulerTest, AlreadyCompletedIsReported) {
+  Offer(intro_, 2008, Quarter::kAutumn, mwf9_);
+  auto s = Suggest({intro_}, /*completed=*/{intro_});
+  ASSERT_EQ(s.unplaced.size(), 1u);
+  EXPECT_EQ(s.unplaced[0].reason, "already completed");
+}
+
+TEST_F(SchedulerTest, NotOfferedIsReported) {
+  auto s = Suggest({intro_});
+  ASSERT_EQ(s.unplaced.size(), 1u);
+  EXPECT_NE(s.unplaced[0].reason.find("not offered"), std::string::npos);
+}
+
+TEST_F(SchedulerTest, EmptyWantedYieldsEmptySuggestion) {
+  auto s = Suggest({});
+  EXPECT_TRUE(s.placements.empty());
+  EXPECT_TRUE(s.unplaced.empty());
+}
+
+}  // namespace
+}  // namespace courserank::planner

@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include "search/entity.h"
+#include "search/inverted_index.h"
+#include "search/naive_search.h"
+#include "search/searcher.h"
+#include "storage/database.h"
+
+namespace courserank::search {
+namespace {
+
+using storage::Column;
+using storage::Schema;
+using storage::Table;
+using storage::ValueType;
+
+/// A small deterministic catalog: 6 courses, comments attached to some.
+class SearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto courses = db_.CreateTable(
+        "Courses",
+        Schema({{"CourseID", ValueType::kInt, false},
+                {"Title", ValueType::kString, false},
+                {"Description", ValueType::kString, true}}),
+        {"CourseID"});
+    ASSERT_TRUE(courses.ok());
+    auto comments = db_.CreateTable(
+        "Comments", Schema({{"CommentID", ValueType::kInt, false},
+                            {"CourseID", ValueType::kInt, false},
+                            {"Text", ValueType::kString, false}}),
+        {"CommentID"});
+    ASSERT_TRUE(comments.ok());
+    ASSERT_TRUE(
+        (*comments)->CreateHashIndex("by_course", {"CourseID"}, false).ok());
+
+    AddCourse(1, "American History",
+              "Surveys american politics and culture since 1900.");
+    AddCourse(2, "Latin American Literature",
+              "Novels and poetry from latin american writers.");
+    AddCourse(3, "Databases", "Relational model, SQL, and transactions.");
+    AddCourse(4, "Greek Science",
+              "History of science covering the famous greek scientists.");
+    AddCourse(5, "African American Studies",
+              "African american politics, music, and migration.");
+    AddCourse(6, "Compilers", "Parsing, optimization, code generation.");
+
+    AddComment(1, 1, "loved the american politics units");
+    AddComment(2, 3, "the sql homework was heavy but fair");
+    AddComment(3, 6, "best programming course ever; compilers demystified");
+
+    def_.name = "course";
+    def_.primary_table = "Courses";
+    def_.key_column = "CourseID";
+    def_.display_column = "Title";
+    def_.fields = {
+        {"title", 3.0, "Courses", "Title", "CourseID"},
+        {"description", 1.5, "Courses", "Description", "CourseID"},
+        {"comments", 1.0, "Comments", "Text", "CourseID"},
+    };
+
+    index_ = std::make_unique<InvertedIndex>(def_);
+    ASSERT_TRUE(index_->Build(db_).ok());
+  }
+
+  void AddCourse(int id, const std::string& title, const std::string& desc) {
+    ASSERT_TRUE(db_.FindTable("Courses")
+                    ->Insert({storage::Value(id), storage::Value(title),
+                              storage::Value(desc)})
+                    .ok());
+  }
+
+  void AddComment(int id, int course, const std::string& text) {
+    ASSERT_TRUE(db_.FindTable("Comments")
+                    ->Insert({storage::Value(id), storage::Value(course),
+                              storage::Value(text)})
+                    .ok());
+  }
+
+  std::vector<int64_t> Keys(const ResultSet& results) {
+    std::vector<int64_t> out;
+    for (const SearchHit& hit : results.hits) {
+      out.push_back(index_->doc(hit.doc).key.AsInt());
+    }
+    return out;
+  }
+
+  storage::Database db_;
+  EntityDefinition def_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+// ---------------------------------------------------------------- extractor
+
+TEST_F(SearchTest, ExtractorSpansRelations) {
+  EntityExtractor extractor(&db_, def_);
+  auto doc = extractor.ExtractOne(storage::Value(3));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->display, "Databases");
+  ASSERT_EQ(doc->field_texts.size(), 3u);
+  EXPECT_NE(doc->field_texts[2].find("sql homework"), std::string::npos);
+}
+
+TEST_F(SearchTest, ExtractorMissingKey) {
+  EntityExtractor extractor(&db_, def_);
+  EXPECT_EQ(extractor.ExtractOne(storage::Value(99)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SearchTest, ExtractAllCoversCatalog) {
+  EntityExtractor extractor(&db_, def_);
+  auto docs = extractor.ExtractAll();
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(docs->size(), 6u);
+}
+
+// ---------------------------------------------------------------- index
+
+TEST_F(SearchTest, IndexStatistics) {
+  EXPECT_EQ(index_->num_docs(), 6u);
+  TermId t = index_->LookupTerm("american");
+  ASSERT_NE(t, kNoTerm);
+  EXPECT_EQ(index_->DocFrequency(t), 3u);
+  EXPECT_EQ(index_->LookupTerm("nonexistent"), kNoTerm);
+}
+
+TEST_F(SearchTest, IdfDecreasesWithFrequency) {
+  TermId rare = index_->LookupTerm("compil");  // 1 doc
+  TermId common = index_->LookupTerm("american");  // 3 docs
+  ASSERT_NE(rare, kNoTerm);
+  ASSERT_NE(common, kNoTerm);
+  EXPECT_GT(index_->Idf(rare), index_->Idf(common));
+}
+
+TEST_F(SearchTest, BigramTracking) {
+  TermId bg = index_->LookupTerm("african american");
+  ASSERT_NE(bg, kNoTerm);
+  EXPECT_EQ(index_->BigramDocFrequency(bg), 1u);
+  TermId latin = index_->LookupTerm("latin american");
+  ASSERT_NE(latin, kNoTerm);
+  EXPECT_EQ(index_->BigramDocFrequency(latin), 1u);
+}
+
+TEST_F(SearchTest, DisplayFormTracksSurfaces) {
+  EXPECT_EQ(index_->DisplayForm("american"), "american");
+  EXPECT_EQ(index_->DisplayForm("databas"), "databases");
+}
+
+TEST_F(SearchTest, RemoveByKeyTombstones) {
+  ASSERT_TRUE(index_->RemoveByKey(storage::Value(1)).ok());
+  EXPECT_EQ(index_->num_docs(), 5u);
+  TermId t = index_->LookupTerm("american");
+  EXPECT_EQ(index_->DocFrequency(t), 2u);
+  EXPECT_FALSE(index_->FindByKey(storage::Value(1)).ok());
+  EXPECT_EQ(index_->RemoveByKey(storage::Value(1)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SearchTest, RefreshPicksUpNewComment) {
+  Searcher searcher(index_.get());
+  EXPECT_EQ(searcher.Search("transactions")->size(), 1u);
+  EXPECT_EQ(searcher.Search("normalization")->size(), 0u);
+
+  AddComment(10, 3, "the normalization lectures were the highlight");
+  ASSERT_TRUE(index_->Refresh(db_, storage::Value(3)).ok());
+  EXPECT_EQ(index_->num_docs(), 6u);
+  EXPECT_EQ(searcher.Search("normalization")->size(), 1u);
+  EXPECT_EQ(searcher.Search("transactions")->size(), 1u);
+}
+
+TEST_F(SearchTest, DuplicateAddRejected) {
+  EntityExtractor extractor(&db_, def_);
+  auto doc = extractor.ExtractOne(storage::Value(1));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(index_->AddDocument(*doc).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+// ---------------------------------------------------------------- searcher
+
+TEST_F(SearchTest, SingleTermSearch) {
+  Searcher searcher(index_.get());
+  auto results = searcher.Search("american");
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 3u);
+}
+
+TEST_F(SearchTest, SearchMatchesCommentsToo) {
+  Searcher searcher(index_.get());
+  // "programming" only appears in a comment on Compilers.
+  auto results = searcher.Search("programming");
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ(Keys(*results), (std::vector<int64_t>{6}));
+}
+
+TEST_F(SearchTest, MultiTermIsConjunctive) {
+  Searcher searcher(index_.get());
+  // The serendipity example: "greek science" finds the history course.
+  auto results = searcher.Search("greek science");
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ(Keys(*results), (std::vector<int64_t>{4}));
+}
+
+TEST_F(SearchTest, UnknownTermEmptiesConjunction) {
+  Searcher searcher(index_.get());
+  EXPECT_EQ(searcher.Search("american xenomorph")->size(), 0u);
+}
+
+TEST_F(SearchTest, StemmingUnifiesQueryForms) {
+  Searcher searcher(index_.get());
+  EXPECT_EQ(searcher.Search("database")->size(),
+            searcher.Search("databases")->size());
+}
+
+TEST_F(SearchTest, TitleHitOutranksCommentHit) {
+  Searcher searcher(index_.get());
+  auto results = searcher.Search("american");
+  ASSERT_TRUE(results.ok());
+  // Course 1 has "american" in title, description, and a comment; courses
+  // 2 and 5 in title+description. Course 1 should rank first.
+  EXPECT_EQ(Keys(*results)[0], 1);
+}
+
+TEST_F(SearchTest, TfIdfModeStillFindsSameDocs) {
+  SearchOptions opts;
+  opts.ranking = RankingMode::kTfIdf;
+  Searcher flat(index_.get(), opts);
+  EXPECT_EQ(flat.Search("american")->size(), 3u);
+}
+
+TEST_F(SearchTest, MaxResultsTruncates) {
+  SearchOptions opts;
+  opts.max_results = 2;
+  Searcher searcher(index_.get(), opts);
+  EXPECT_EQ(searcher.Search("american")->size(), 2u);
+}
+
+TEST_F(SearchTest, EmptyQueryYieldsNothing) {
+  Searcher searcher(index_.get());
+  EXPECT_EQ(searcher.Search("")->size(), 0u);
+  EXPECT_EQ(searcher.Search("the of and")->size(), 0u);
+}
+
+// ---------------------------------------------------------------- refine
+
+TEST_F(SearchTest, RefineNarrowsByPhrase) {
+  Searcher searcher(index_.get());
+  auto base = searcher.Search("american");
+  ASSERT_TRUE(base.ok());
+  auto refined = searcher.Refine(*base, "african american");
+  ASSERT_TRUE(refined.ok());
+  ASSERT_EQ(refined->size(), 1u);
+  EXPECT_EQ(Keys(*refined), (std::vector<int64_t>{5}));
+  EXPECT_EQ(refined->terms.size(), 2u);
+}
+
+TEST_F(SearchTest, RefineByUnigram) {
+  Searcher searcher(index_.get());
+  auto base = searcher.Search("american");
+  auto refined = searcher.Refine(*base, "politics");
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(refined->size(), 2u);  // courses 1 and 5
+}
+
+TEST_F(SearchTest, RefineMatchesFromScratchQuery) {
+  Searcher searcher(index_.get());
+  auto base = searcher.Search("american");
+  auto refined = searcher.Refine(*base, "politics");
+  ASSERT_TRUE(refined.ok());
+  auto direct = searcher.SearchTerms(refined->terms);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(Keys(*refined), Keys(*direct));
+}
+
+TEST_F(SearchTest, RefineWithStopwordsOnlyFails) {
+  Searcher searcher(index_.get());
+  auto base = searcher.Search("american");
+  EXPECT_FALSE(searcher.Refine(*base, "the of").ok());
+}
+
+// ---------------------------------------------------------------- baseline
+
+// ------------------------------------------------- textbook entity (§3.1)
+
+TEST(TextbookEntityTest, JoinsThroughForeignKey) {
+  // "We could easily expand searching with clouds to other entities, such
+  // as books": the textbook entity pulls in the course's text through
+  // Textbooks.CourseID via EntityField::key_from_column.
+  storage::Database db;
+  ASSERT_TRUE(db.CreateTable("Courses",
+                             Schema({{"CourseID", ValueType::kInt, false},
+                                     {"Title", ValueType::kString, false},
+                                     {"Description", ValueType::kString,
+                                      true}}),
+                             {"CourseID"})
+                  .ok());
+  ASSERT_TRUE(db.CreateTable("Textbooks",
+                             Schema({{"BookID", ValueType::kInt, false},
+                                     {"CourseID", ValueType::kInt, false},
+                                     {"Title", ValueType::kString, false}}),
+                             {"BookID"})
+                  .ok());
+  ASSERT_TRUE(db.FindTable("Courses")
+                  ->Insert({storage::Value(1),
+                            storage::Value("Compilers"),
+                            storage::Value("parsing and code generation")})
+                  .ok());
+  ASSERT_TRUE(db.FindTable("Textbooks")
+                  ->Insert({storage::Value(10), storage::Value(1),
+                            storage::Value("The Dragon Book")})
+                  .ok());
+
+  InvertedIndex index(MakeTextbookEntity());
+  ASSERT_TRUE(index.Build(db).ok());
+  ASSERT_EQ(index.num_docs(), 1u);
+
+  Searcher searcher(&index);
+  // Matches on the book's own title...
+  EXPECT_EQ(searcher.Search("dragon")->size(), 1u);
+  // ...and on the course text reached through the foreign key.
+  EXPECT_EQ(searcher.Search("parsing")->size(), 1u);
+  EXPECT_EQ(searcher.Search("compilers")->size(), 1u);
+  EXPECT_EQ(searcher.Search("unrelated")->size(), 0u);
+}
+
+TEST_F(SearchTest, NaiveBaselineAgreesOnMatchSets) {
+  NaiveSearcher naive(&db_, def_);
+  Searcher indexed(index_.get());
+  for (const char* query : {"american", "greek science", "sql",
+                            "programming", "compilers"}) {
+    auto slow = naive.Search(query);
+    auto fast = indexed.Search(query);
+    ASSERT_TRUE(slow.ok());
+    ASSERT_TRUE(fast.ok());
+    std::set<int64_t> slow_keys;
+    for (const auto& hit : *slow) slow_keys.insert(hit.key.AsInt());
+    std::set<int64_t> fast_keys;
+    for (int64_t k : Keys(*fast)) fast_keys.insert(k);
+    EXPECT_EQ(slow_keys, fast_keys) << query;
+  }
+}
+
+}  // namespace
+}  // namespace courserank::search

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/similarity.h"
+
+namespace courserank::flexrecs {
+namespace {
+
+using storage::Value;
+
+Value Set(std::vector<int> items) {
+  Value::List list;
+  for (int i : items) list.push_back(Value(i));
+  return Value(std::move(list));
+}
+
+Value Pairs(std::vector<std::pair<int, double>> items) {
+  Value::List list;
+  for (const auto& [k, v] : items) {
+    list.push_back(Value(Value::List{Value(k), Value(v)}));
+  }
+  return Value(std::move(list));
+}
+
+double Must(Result<std::optional<double>> r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->has_value());
+  return **r;
+}
+
+bool Missing(Result<std::optional<double>> r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return !r->has_value();
+}
+
+// ---------------------------------------------------------------- sets
+
+TEST(JaccardTest, BasicOverlap) {
+  EXPECT_DOUBLE_EQ(Must(JaccardSets(Set({1, 2, 3}), Set({2, 3, 4}))), 0.5);
+  EXPECT_DOUBLE_EQ(Must(JaccardSets(Set({1}), Set({1}))), 1.0);
+  EXPECT_DOUBLE_EQ(Must(JaccardSets(Set({1}), Set({2}))), 0.0);
+}
+
+TEST(JaccardTest, EmptyBothIsIncomparable) {
+  EXPECT_TRUE(Missing(JaccardSets(Set({}), Set({}))));
+}
+
+TEST(JaccardTest, PairListsDegradeToKeySets) {
+  EXPECT_DOUBLE_EQ(
+      Must(JaccardSets(Pairs({{1, 5.0}, {2, 3.0}}), Pairs({{2, 1.0}}))), 0.5);
+}
+
+TEST(JaccardTest, NonListIsTypeError) {
+  EXPECT_FALSE(JaccardSets(Value(1), Set({1})).ok());
+}
+
+TEST(DiceTest, Formula) {
+  // 2*1 / (2+2) = 0.5
+  EXPECT_DOUBLE_EQ(Must(DiceSets(Set({1, 2}), Set({2, 3}))), 0.5);
+}
+
+TEST(OverlapTest, NormalizesBySmallerSet) {
+  EXPECT_DOUBLE_EQ(Must(OverlapSets(Set({1, 2}), Set({1, 2, 3, 4}))), 1.0);
+  EXPECT_TRUE(Missing(OverlapSets(Set({}), Set({1}))));
+}
+
+// ---------------------------------------------------------------- vectors
+
+TEST(CosineTest, ParallelVectors) {
+  EXPECT_NEAR(Must(CosinePairs(Pairs({{1, 1.0}, {2, 2.0}}),
+                               Pairs({{1, 2.0}, {2, 4.0}}))),
+              1.0, 1e-12);
+}
+
+TEST(CosineTest, OrthogonalKeys) {
+  EXPECT_DOUBLE_EQ(
+      Must(CosinePairs(Pairs({{1, 1.0}}), Pairs({{2, 1.0}}))), 0.0);
+}
+
+TEST(CosineTest, ZeroNormIncomparable) {
+  EXPECT_TRUE(Missing(CosinePairs(Pairs({}), Pairs({{1, 1.0}}))));
+}
+
+TEST(PearsonTest, PerfectPositiveCorrelation) {
+  EXPECT_NEAR(Must(PearsonPairs(Pairs({{1, 1.0}, {2, 2.0}, {3, 3.0}}),
+                                Pairs({{1, 2.0}, {2, 4.0}, {3, 6.0}}))),
+              1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegativeCorrelation) {
+  EXPECT_NEAR(Must(PearsonPairs(Pairs({{1, 1.0}, {2, 2.0}, {3, 3.0}}),
+                                Pairs({{1, 3.0}, {2, 2.0}, {3, 1.0}}))),
+              -1.0, 1e-12);
+}
+
+TEST(PearsonTest, NeedsTwoCommonKeysAndVariance) {
+  EXPECT_TRUE(Missing(PearsonPairs(Pairs({{1, 1.0}}), Pairs({{1, 2.0}}))));
+  EXPECT_TRUE(Missing(PearsonPairs(Pairs({{1, 1.0}, {2, 1.0}}),
+                                   Pairs({{1, 2.0}, {2, 3.0}}))));
+}
+
+TEST(InverseEuclideanTest, IdenticalRatingsGiveOne) {
+  Value a = Pairs({{1, 4.0}, {2, 3.0}});
+  EXPECT_DOUBLE_EQ(Must(InverseEuclideanPairs(a, a)), 1.0);
+}
+
+TEST(InverseEuclideanTest, DistanceDecaysScore) {
+  // dist = sqrt((4-2)^2) = 2 -> 1/3.
+  EXPECT_NEAR(Must(InverseEuclideanPairs(Pairs({{1, 4.0}}),
+                                         Pairs({{1, 2.0}}))),
+              1.0 / 3.0, 1e-12);
+}
+
+TEST(InverseEuclideanTest, NoCommonKeysIncomparable) {
+  EXPECT_TRUE(Missing(
+      InverseEuclideanPairs(Pairs({{1, 4.0}}), Pairs({{2, 4.0}}))));
+}
+
+TEST(InverseManhattanTest, Formula) {
+  // |4-2| + |3-5| = 4 -> 1/5.
+  EXPECT_NEAR(Must(InverseManhattanPairs(Pairs({{1, 4.0}, {2, 3.0}}),
+                                         Pairs({{1, 2.0}, {2, 5.0}}))),
+              0.2, 1e-12);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(TokenJaccardTest, StopwordsIgnored) {
+  EXPECT_DOUBLE_EQ(Must(TokenJaccard(Value("Introduction to Programming"),
+                                     Value("Advanced Programming"))),
+                   1.0 / 2.0);  // {programming} vs {advanced, programming}
+}
+
+TEST(TokenJaccardTest, IdenticalTitles) {
+  EXPECT_DOUBLE_EQ(
+      Must(TokenJaccard(Value("Calculus"), Value("calculus"))), 1.0);
+}
+
+TEST(TokenJaccardTest, RequiresStrings) {
+  EXPECT_FALSE(TokenJaccard(Value(1), Value("x")).ok());
+}
+
+TEST(TrigramTest, SimilarWordsScoreHigh) {
+  double close = Must(TrigramSimilarity(Value("programming"),
+                                        Value("programs")));
+  double far = Must(TrigramSimilarity(Value("programming"),
+                                      Value("calculus")));
+  EXPECT_GT(close, far);
+  EXPECT_DOUBLE_EQ(
+      Must(TrigramSimilarity(Value("abc"), Value("ABC"))), 1.0);
+}
+
+TEST(LevenshteinTest, RatioProperties) {
+  EXPECT_DOUBLE_EQ(Must(LevenshteinRatio(Value("abc"), Value("abc"))), 1.0);
+  EXPECT_DOUBLE_EQ(Must(LevenshteinRatio(Value("abc"), Value("abd"))),
+                   1.0 - 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Must(LevenshteinRatio(Value(""), Value(""))), 1.0);
+  EXPECT_DOUBLE_EQ(Must(LevenshteinRatio(Value("abc"), Value(""))), 0.0);
+}
+
+// ---------------------------------------------------------------- misc
+
+TEST(NumericProximityTest, Formula) {
+  EXPECT_DOUBLE_EQ(Must(NumericProximity(Value(3.0), Value(3.0))), 1.0);
+  EXPECT_DOUBLE_EQ(Must(NumericProximity(Value(3.0), Value(4.0))), 0.5);
+  EXPECT_TRUE(Missing(NumericProximity(Value(), Value(1.0))));
+}
+
+TEST(ExactMatchTest, Indicator) {
+  EXPECT_DOUBLE_EQ(Must(ExactMatch(Value("a"), Value("a"))), 1.0);
+  EXPECT_DOUBLE_EQ(Must(ExactMatch(Value("a"), Value("b"))), 0.0);
+  EXPECT_TRUE(Missing(ExactMatch(Value(), Value("a"))));
+}
+
+TEST(RatingOfTest, LooksUpKeyInPairs) {
+  Value ratings = Pairs({{10, 4.5}, {20, 2.0}});
+  EXPECT_DOUBLE_EQ(Must(RatingOf(Value(10), ratings)), 4.5);
+  EXPECT_TRUE(Missing(RatingOf(Value(99), ratings)));
+  EXPECT_TRUE(Missing(RatingOf(Value(), ratings)));
+}
+
+// ---------------------------------------------------------------- library
+
+TEST(LibraryTest, BuiltinsRegistered) {
+  SimilarityLibrary library;
+  for (const char* name :
+       {"jaccard", "dice", "overlap", "cosine", "pearson", "inv_euclidean",
+        "inv_manhattan", "token_jaccard", "trigram", "levenshtein",
+        "numeric_proximity", "exact", "rating_of"}) {
+    EXPECT_TRUE(library.Has(name)) << name;
+  }
+  EXPECT_EQ(library.Names().size(), 13u);
+}
+
+TEST(LibraryTest, LookupIsCaseInsensitive) {
+  SimilarityLibrary library;
+  EXPECT_TRUE(library.Get("JACCARD").ok());
+  EXPECT_EQ(library.Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(LibraryTest, CustomRegistration) {
+  SimilarityLibrary library;
+  library.Register("always_half", [](const Value&, const Value&) {
+    return Result<std::optional<double>>(std::optional<double>(0.5));
+  });
+  auto fn = library.Get("always_half");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_DOUBLE_EQ(Must((*fn)(Value(1), Value(2))), 0.5);
+}
+
+struct SymmetryCase {
+  const char* name;
+};
+
+class SymmetryTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SymmetryTest, SimilarityIsSymmetric) {
+  SimilarityLibrary library;
+  auto fn = library.Get(GetParam());
+  ASSERT_TRUE(fn.ok());
+  Value a = Pairs({{1, 4.0}, {2, 3.0}, {3, 5.0}});
+  Value b = Pairs({{2, 2.0}, {3, 4.0}, {4, 1.0}});
+  auto ab = (*fn)(a, b);
+  auto ba = (*fn)(b, a);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  ASSERT_EQ(ab->has_value(), ba->has_value());
+  if (ab->has_value()) {
+    EXPECT_NEAR(**ab, **ba, 1e-12) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PairFunctions, SymmetryTest,
+                         ::testing::Values("jaccard", "dice", "overlap",
+                                           "cosine", "pearson",
+                                           "inv_euclidean", "inv_manhattan"));
+
+class RangeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RangeTest, ScoreWithinUnitInterval) {
+  SimilarityLibrary library;
+  auto fn = library.Get(GetParam());
+  ASSERT_TRUE(fn.ok());
+  // A few random-ish sparse vectors.
+  std::vector<Value> vectors = {
+      Pairs({{1, 1.0}}), Pairs({{1, 5.0}, {2, 1.0}}),
+      Pairs({{2, 3.0}, {3, 3.0}}), Pairs({{1, 2.0}, {2, 2.0}, {3, 2.0}})};
+  for (const Value& a : vectors) {
+    for (const Value& b : vectors) {
+      auto r = (*fn)(a, b);
+      ASSERT_TRUE(r.ok());
+      if (r->has_value()) {
+        EXPECT_GE(**r, 0.0) << GetParam();
+        EXPECT_LE(**r, 1.0 + 1e-12) << GetParam();  // fp rounding at 1.0
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UnitRangeFunctions, RangeTest,
+                         ::testing::Values("jaccard", "dice", "overlap",
+                                           "cosine", "inv_euclidean",
+                                           "inv_manhattan"));
+
+}  // namespace
+}  // namespace courserank::flexrecs

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gen/generator.h"
+#include "storage/snapshot.h"
+
+namespace courserank::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const char* name) {
+  fs::path dir = fs::temp_directory_path() / "courserank_snapshot_tests" /
+                 name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parent = db_.CreateTable(
+        "parent", Schema({{"id", ValueType::kInt, false},
+                          {"name", ValueType::kString, false}}),
+        {"id"});
+    ASSERT_TRUE(parent.ok());
+    ASSERT_TRUE((*parent)->CreateHashIndex("by_name", {"name"}, false).ok());
+    ASSERT_TRUE((*parent)->CreateOrderedIndex("by_id_ordered", "id").ok());
+    auto child = db_.CreateTable(
+        "child", Schema({{"id", ValueType::kInt, false},
+                         {"parent_id", ValueType::kInt, true},
+                         {"weight", ValueType::kDouble, true},
+                         {"flag", ValueType::kBool, true}}),
+        {"id"});
+    ASSERT_TRUE(child.ok());
+    ASSERT_TRUE(db_.AddForeignKey("child", "parent_id", "parent", "id").ok());
+
+    ASSERT_TRUE(db_.Insert("parent", {Value(1), Value("alpha, with comma")})
+                    .ok());
+    ASSERT_TRUE(db_.Insert("parent", {Value(2), Value("beta \"quoted\"")})
+                    .ok());
+    ASSERT_TRUE(
+        db_.Insert("child", {Value(10), Value(1), Value(2.5), Value(true)})
+            .ok());
+    ASSERT_TRUE(
+        db_.Insert("child", {Value(11), Value(), Value(), Value(false)})
+            .ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesRowsAndConstraints) {
+  std::string dir = TempDir("roundtrip");
+  ASSERT_TRUE(SaveDatabase(db_, dir).ok());
+
+  auto loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Database& db2 = **loaded;
+
+  auto parent = db2.GetTable("parent");
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ((*parent)->size(), 2u);
+  auto child = db2.GetTable("child");
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ((*child)->size(), 2u);
+
+  // PK survives.
+  auto rid = (*parent)->FindByPrimaryKey({Value(1)});
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ((*parent)->Get(*rid)->at(1).AsString(), "alpha, with comma");
+  // NULLs survive.
+  auto crow = (*child)->FindByPrimaryKey({Value(11)});
+  ASSERT_TRUE(crow.ok());
+  EXPECT_TRUE((*child)->Get(*crow)->at(1).is_null());
+  EXPECT_FALSE((*child)->Get(*crow)->at(3).AsBool());
+  // Secondary indexes survive.
+  EXPECT_NE((*parent)->FindHashIndex({"name"}), nullptr);
+  EXPECT_NE((*parent)->FindOrderedIndex("id"), nullptr);
+  // FK survives and is enforced.
+  EXPECT_FALSE(db2.Insert("child", {Value(12), Value(99), Value(), Value()})
+                   .ok());
+  EXPECT_TRUE(db2.CheckIntegrity().ok());
+}
+
+TEST_F(SnapshotTest, PkUniquenessEnforcedAfterLoad) {
+  std::string dir = TempDir("pk");
+  ASSERT_TRUE(SaveDatabase(db_, dir).ok());
+  auto loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)
+                ->Insert("parent", {Value(1), Value("dup")})
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(SnapshotTest, LoadMissingDirFails) {
+  EXPECT_EQ(LoadDatabase("/nonexistent/surely/missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, CorruptManifestFails) {
+  std::string dir = TempDir("corrupt");
+  ASSERT_TRUE(SaveDatabase(db_, dir).ok());
+  std::ofstream f(fs::path(dir) / "_manifest.txt", std::ios::app);
+  f << "gibberish line here\n";
+  f.close();
+  EXPECT_EQ(LoadDatabase(dir).status().code(), StatusCode::kCorruption);
+}
+
+TEST(SnapshotSiteTest, GeneratedSiteRoundTrips) {
+  // Snapshot a whole generated community and reload it.
+  gen::Generator generator(gen::GenConfig::Tiny(3));
+  auto site = generator.Generate();
+  ASSERT_TRUE(site.ok());
+
+  std::string dir = TempDir("site");
+  ASSERT_TRUE(SaveDatabase((*site)->db(), dir).ok());
+  auto loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  for (const std::string& table : (*site)->db().TableNames()) {
+    auto original = (*site)->db().GetTable(table);
+    auto restored = (*loaded)->GetTable(table);
+    ASSERT_TRUE(restored.ok()) << table;
+    EXPECT_EQ((*original)->size(), (*restored)->size()) << table;
+  }
+  EXPECT_TRUE((*loaded)->CheckIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace courserank::storage

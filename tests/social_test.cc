@@ -1,0 +1,519 @@
+#include <gtest/gtest.h>
+
+#include "social/site.h"
+
+namespace courserank::social {
+namespace {
+
+using storage::Value;
+
+/// Fresh hand-built site per fixture: 2 departments, 3 courses, a handful
+/// of users. Small enough that every expectation is exact.
+class SocialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto site = CourseRankSite::Create();
+    ASSERT_TRUE(site.ok()) << site.status().ToString();
+    site_ = std::move(*site);
+
+    cs_ = Must(site_->AddDepartment("CS", "Computer Science", "Engineering"));
+    hist_ = Must(site_->AddDepartment("HIST", "History",
+                                      "Humanities and Sciences"));
+    intro_ = Must(site_->AddCourse(cs_, 106, "Intro to Programming",
+                                   "java programming basics", 5));
+    db_ = Must(site_->AddCourse(cs_, 245, "Databases",
+                                "relational systems", 4));
+    amhist_ = Must(site_->AddCourse(hist_, 150, "American History",
+                                    "american politics since 1900", 4));
+
+    ASSERT_TRUE(site_->RegisterStudent(1, "Sally", "Junior", cs_).ok());
+    ASSERT_TRUE(site_->RegisterStudent(2, "Bob", "Senior", cs_).ok());
+    ASSERT_TRUE(site_->RegisterStudent(3, "Carol", "Freshman",
+                                       std::nullopt).ok());
+    ASSERT_TRUE(site_->RegisterFaculty(50, "Prof. Knuth").ok());
+    ASSERT_TRUE(site_->RegisterStaff(90, "Dean Smith").ok());
+  }
+
+  template <typename T>
+  T Must(Result<T> r) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  std::unique_ptr<CourseRankSite> site_;
+  DeptId cs_ = 0;
+  DeptId hist_ = 0;
+  CourseId intro_ = 0;
+  CourseId db_ = 0;
+  CourseId amhist_ = 0;
+};
+
+// ---------------------------------------------------------------- model
+
+TEST(GradeModelTest, BucketsRoundTrip) {
+  for (size_t i = 0; i < kNumGradeBuckets; ++i) {
+    EXPECT_EQ(GradeBucket(kGradePoints[i]), i) << kGradeLetters[i];
+    auto points = GradePointsFor(kGradeLetters[i]);
+    ASSERT_TRUE(points.ok());
+    EXPECT_DOUBLE_EQ(*points, kGradePoints[i]);
+  }
+  EXPECT_FALSE(GradePointsFor("Z").ok());
+  EXPECT_STREQ(GradeLetter(4.3), "A+");
+  EXPECT_STREQ(GradeLetter(0.0), "F");
+  EXPECT_STREQ(GradeLetter(3.85), "A");
+}
+
+TEST(RoleTest, ParseAndName) {
+  EXPECT_EQ(*ParseRole("student"), Role::kStudent);
+  EXPECT_EQ(*ParseRole("FACULTY"), Role::kFaculty);
+  EXPECT_FALSE(ParseRole("wizard").ok());
+}
+
+// ---------------------------------------------------------------- auth
+
+TEST_F(SocialTest, AuthKnowsRoles) {
+  EXPECT_TRUE(site_->auth().IsMember(1));
+  EXPECT_FALSE(site_->auth().IsMember(999));
+  EXPECT_EQ(*site_->auth().RoleOf(1), Role::kStudent);
+  EXPECT_EQ(*site_->auth().RoleOf(50), Role::kFaculty);
+  EXPECT_EQ(*site_->auth().RoleOf(90), Role::kStaff);
+  EXPECT_TRUE(site_->auth().Require(1, Role::kStudent).ok());
+  EXPECT_EQ(site_->auth().Require(50, Role::kStudent).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(site_->auth().Require(999, Role::kStudent).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(*site_->auth().NameOf(2), "Bob");
+}
+
+TEST_F(SocialTest, DuplicateUserIdRejected) {
+  EXPECT_FALSE(site_->RegisterStudent(1, "Clone", "Senior",
+                                      std::nullopt).ok());
+}
+
+// ---------------------------------------------------------------- actions
+
+TEST_F(SocialTest, OnlyStudentsRateAndComment) {
+  EXPECT_EQ(site_->RateCourse(50, intro_, 5.0, 1).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(site_->AddComment(50, intro_, "nice", 1).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(site_->RateCourse(999, intro_, 5.0, 1).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(SocialTest, RatingValidatesRangeAndCourse) {
+  EXPECT_TRUE(site_->RateCourse(1, intro_, 4.0, 1).ok());
+  EXPECT_FALSE(site_->RateCourse(1, intro_, 0.5, 1).ok());
+  EXPECT_FALSE(site_->RateCourse(1, intro_, 5.5, 1).ok());
+  EXPECT_EQ(site_->RateCourse(1, 9999, 4.0, 1).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SocialTest, RatingUpsertsPerStudentCourse) {
+  ASSERT_TRUE(site_->RateCourse(1, intro_, 2.0, 1).ok());
+  ASSERT_TRUE(site_->RateCourse(1, intro_, 5.0, 2).ok());
+  const auto* ratings = site_->db().FindTable("Ratings");
+  EXPECT_EQ(ratings->size(), 1u);
+  auto rid = ratings->FindByPrimaryKey({Value(int64_t{1}), Value(intro_)});
+  ASSERT_TRUE(rid.ok());
+  EXPECT_DOUBLE_EQ(ratings->Get(*rid)->at(2).AsDouble(), 5.0);
+}
+
+TEST_F(SocialTest, CommentsEarnPointsUpToDailyCap) {
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(
+        site_->AddComment(1, intro_, "comment body number " +
+                          std::to_string(i), /*day=*/1).ok());
+  }
+  // CourseRank scheme: 3 points per comment, capped at 5 per day.
+  EXPECT_EQ(*site_->incentives().PointsOf(1), 15);
+  // Next day the cap resets.
+  ASSERT_TRUE(site_->AddComment(1, intro_, "fresh day comment", 2).ok());
+  EXPECT_EQ(*site_->incentives().PointsOf(1), 18);
+}
+
+TEST_F(SocialTest, EmptyCommentRejected) {
+  EXPECT_FALSE(site_->AddComment(1, intro_, "", 1).ok());
+}
+
+TEST_F(SocialTest, CommentVotingRules) {
+  CommentId c = Must(site_->AddComment(1, intro_, "useful review text", 1));
+  // Self-vote denied.
+  EXPECT_EQ(site_->VoteComment(1, c, true).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_TRUE(site_->VoteComment(2, c, true).ok());
+  // Double vote denied by PK.
+  EXPECT_EQ(site_->VoteComment(2, c, false).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(site_->VoteComment(3, c, false).ok());
+  // Faculty may vote too.
+  EXPECT_TRUE(site_->VoteComment(50, c, true).ok());
+
+  auto ranked = site_->comment_ranker().RankedForCourse(intro_);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 1u);
+  EXPECT_EQ((*ranked)[0].helpful, 2);
+  EXPECT_EQ((*ranked)[0].unhelpful, 1);
+}
+
+TEST_F(SocialTest, CommentTrustOrdersByVotes) {
+  CommentId good = Must(site_->AddComment(
+      1, intro_, "a long and careful review of the assignments and exams",
+      1));
+  CommentId bad = Must(site_->AddComment(
+      2, intro_, "another detailed writeup of lectures and problem sets",
+      1));
+  for (UserId voter : {2, 3, 50, 90}) {
+    if (voter != 2) ASSERT_TRUE(site_->VoteComment(voter, good, true).ok());
+  }
+  ASSERT_TRUE(site_->VoteComment(1, bad, false).ok());
+  ASSERT_TRUE(site_->VoteComment(3, bad, false).ok());
+
+  auto ranked = site_->comment_ranker().RankedForCourse(intro_);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 2u);
+  EXPECT_EQ((*ranked)[0].id, good);
+  EXPECT_GT((*ranked)[0].trust, (*ranked)[1].trust);
+}
+
+TEST_F(SocialTest, ShortCommentsPenalized) {
+  CommentRanker ranker(&site_->db());
+  double longer = ranker.TrustScore(2, 0, 0.5, 120);
+  double shorter = ranker.TrustScore(2, 0, 0.5, 10);
+  EXPECT_GT(longer, shorter);
+}
+
+TEST_F(SocialTest, ReportCourseTakenUpdatesGpa) {
+  ASSERT_TRUE(site_->ReportCourseTaken(1, intro_, 2007, Quarter::kAutumn,
+                                       4.0).ok());
+  ASSERT_TRUE(site_->ReportCourseTaken(1, db_, 2007, Quarter::kWinter,
+                                       3.0).ok());
+  // Unreported grade doesn't shift GPA.
+  ASSERT_TRUE(site_->ReportCourseTaken(1, amhist_, 2007, Quarter::kSpring,
+                                       std::nullopt).ok());
+  const auto* students = site_->db().FindTable("Students");
+  auto rid = students->FindByPrimaryKey({Value(int64_t{1})});
+  ASSERT_TRUE(rid.ok());
+  EXPECT_DOUBLE_EQ(students->Get(*rid)->at(4).AsDouble(), 3.5);
+}
+
+TEST_F(SocialTest, DuplicateEnrollmentRejected) {
+  ASSERT_TRUE(site_->ReportCourseTaken(1, intro_, 2007, Quarter::kAutumn,
+                                       4.0).ok());
+  EXPECT_EQ(site_->ReportCourseTaken(1, intro_, 2007, Quarter::kAutumn,
+                                     3.0).code(),
+            StatusCode::kAlreadyExists);
+}
+
+// ---------------------------------------------------------------- forum
+
+TEST_F(SocialTest, QaLifecycleWithPoints) {
+  QuestionId q = Must(site_->AskQuestion(1, "Is Databases hard?", 1, cs_));
+  AnswerId a = Must(site_->AnswerQuestion(2, q, "Manageable with 106.", 1));
+  // Only the asker may accept.
+  EXPECT_EQ(site_->AcceptAnswer(2, a, 1).code(),
+            StatusCode::kPermissionDenied);
+  ASSERT_TRUE(site_->AcceptAnswer(1, a, 1).ok());
+  // Bob earned answer (2) + best_answer (5).
+  EXPECT_EQ(*site_->incentives().PointsOf(2), 7);
+}
+
+TEST_F(SocialTest, AnswerToMissingQuestionFails) {
+  EXPECT_FALSE(site_->AnswerQuestion(2, 999, "?", 1).ok());
+}
+
+TEST_F(SocialTest, FaqSeedingIsStaffOnly) {
+  std::vector<FaqSeed> seeds = DefaultFaqSeeds();
+  EXPECT_EQ(site_->SeedFaqs(1, seeds, 1).code(),
+            StatusCode::kPermissionDenied);
+  ASSERT_TRUE(site_->SeedFaqs(90, seeds, 1).ok());
+  EXPECT_EQ(site_->db().FindTable("Questions")->size(), seeds.size());
+  EXPECT_EQ(site_->db().FindTable("Answers")->size(), seeds.size());
+}
+
+TEST_F(SocialTest, QuestionRoutingPrefersExperts) {
+  // Sally took and discussed the programming course; Bob took history.
+  ASSERT_TRUE(site_->ReportCourseTaken(1, intro_, 2007, Quarter::kAutumn,
+                                       4.0).ok());
+  ASSERT_TRUE(site_->AddComment(1, intro_,
+                                "great java programming assignments", 1)
+                  .ok());
+  ASSERT_TRUE(site_->ReportCourseTaken(2, amhist_, 2007, Quarter::kAutumn,
+                                       3.7).ok());
+  ASSERT_TRUE(site_->AddComment(2, amhist_,
+                                "american politics discussions were lively",
+                                1).ok());
+
+  ASSERT_TRUE(site_->router().Build().ok());
+  auto candidates =
+      site_->router().Route("which java programming class to take?", 2);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_FALSE(candidates->empty());
+  EXPECT_EQ((*candidates)[0].user, 1);
+
+  auto hist_candidates =
+      site_->router().Route("looking for american politics material", 2);
+  ASSERT_TRUE(hist_candidates.ok());
+  ASSERT_FALSE(hist_candidates->empty());
+  EXPECT_EQ((*hist_candidates)[0].user, 2);
+}
+
+TEST_F(SocialTest, RoutingRequiresBuild) {
+  EXPECT_EQ(site_->router().Route("anything", 3).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------- privacy
+
+TEST_F(SocialTest, PlanSharingRespectsOptOut) {
+  ASSERT_TRUE(site_->PlanCourse(1, db_, 2008, Quarter::kAutumn).ok());
+  ASSERT_TRUE(site_->PlanCourse(2, db_, 2008, Quarter::kAutumn).ok());
+  auto planners = site_->WhoIsPlanning(3, db_);
+  ASSERT_TRUE(planners.ok());
+  EXPECT_EQ(*planners, (std::vector<UserId>{1, 2}));
+
+  // Bob opts out; Sally stays visible (the Sally-and-Bob anecdote).
+  ASSERT_TRUE(site_->SetSharePlans(2, false).ok());
+  planners = site_->WhoIsPlanning(3, db_);
+  ASSERT_TRUE(planners.ok());
+  EXPECT_EQ(*planners, (std::vector<UserId>{1}));
+
+  // Non-members see nothing at all.
+  EXPECT_EQ(site_->WhoIsPlanning(999, db_).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(SocialTest, UnplanRemovesEntry) {
+  ASSERT_TRUE(site_->PlanCourse(1, db_, 2008, Quarter::kAutumn).ok());
+  ASSERT_TRUE(site_->UnplanCourse(1, db_, 2008, Quarter::kAutumn).ok());
+  EXPECT_FALSE(site_->UnplanCourse(1, db_, 2008, Quarter::kAutumn).ok());
+  EXPECT_TRUE(site_->WhoIsPlanning(3, db_)->empty());
+}
+
+TEST_F(SocialTest, SmallCohortDistributionSuppressed) {
+  // Three self-reported grades < min_cohort of 5.
+  ASSERT_TRUE(site_->ReportCourseTaken(1, db_, 2007, Quarter::kAutumn,
+                                       4.0).ok());
+  ASSERT_TRUE(site_->ReportCourseTaken(2, db_, 2007, Quarter::kAutumn,
+                                       3.0).ok());
+  ASSERT_TRUE(site_->ReportCourseTaken(3, db_, 2007, Quarter::kAutumn,
+                                       3.7).ok());
+  EXPECT_EQ(site_->GradeDistributionFor(1, db_).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(SocialTest, EngineeringShowsOfficialDistribution) {
+  // CS is in Engineering, whose official release is on.
+  ASSERT_TRUE(site_->LoadOfficialGrades(db_, "A", 20).ok());
+  ASSERT_TRUE(site_->LoadOfficialGrades(db_, "B", 10).ok());
+  auto dist = site_->GradeDistributionFor(1, db_);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  EXPECT_EQ(dist->total(), 30);
+  EXPECT_EQ(dist->counts[GradeBucket(4.0)], 20);
+}
+
+TEST_F(SocialTest, NonEngineeringFallsBackToSelfReported) {
+  // History's official release is withheld even if loaded.
+  ASSERT_TRUE(site_->LoadOfficialGrades(amhist_, "A", 50).ok());
+  for (UserId s : {1, 2, 3}) {
+    ASSERT_TRUE(site_->ReportCourseTaken(s, amhist_, 2007, Quarter::kAutumn,
+                                         3.0).ok());
+  }
+  // 3 self-reported < cohort 5 -> suppressed despite 50 official grades.
+  EXPECT_EQ(site_->GradeDistributionFor(1, amhist_).status().code(),
+            StatusCode::kPermissionDenied);
+
+  PrivacyGuard relaxed(&site_->db(), PrivacyPolicy{.min_cohort = 2});
+  auto dist = relaxed.VisibleDistribution(amhist_);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->total(), 3);  // self-reported, not the official 50
+}
+
+// ---------------------------------------------------------------- grades
+
+TEST_F(SocialTest, DistributionMathAndTotalVariation) {
+  GradeDistribution a;
+  a.counts[0] = 10;  // A+
+  a.counts[11] = 10; // F
+  GradeDistribution b;
+  b.counts[0] = 20;
+  EXPECT_DOUBLE_EQ(TotalVariation(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(TotalVariation(a, b), 0.5);
+  GradeDistribution empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(a.Fraction(0), 0.5);
+  EXPECT_NE(a.ToString().find("A+:10"), std::string::npos);
+}
+
+TEST_F(SocialTest, FacultyUpdatesDescription) {
+  EXPECT_EQ(site_->UpdateCourseDescription(1, intro_, "hax").code(),
+            StatusCode::kPermissionDenied);
+  ASSERT_TRUE(site_->UpdateCourseDescription(
+                      50, intro_, "programming methodology and abstraction")
+                  .ok());
+  const auto* courses = site_->db().FindTable("Courses");
+  auto rid = courses->FindByPrimaryKey({Value(intro_)});
+  EXPECT_NE(courses->Get(*rid)->at(4).AsString().find("methodology"),
+            std::string::npos);
+}
+
+TEST_F(SocialTest, TextbookReportsAreStudentVolunteered) {
+  EXPECT_EQ(site_->ReportTextbook(50, intro_, "TAOCP", 1).status().code(),
+            StatusCode::kPermissionDenied);
+  ASSERT_TRUE(site_->ReportTextbook(1, intro_, "The Art of Java", 1).ok());
+  EXPECT_EQ(site_->db().FindTable("Textbooks")->size(), 1u);
+}
+
+TEST_F(SocialTest, IncentiveCountTodayTracksPerDay) {
+  ASSERT_TRUE(site_->AddComment(1, intro_, "first comment of the day", 3)
+                  .ok());
+  ASSERT_TRUE(site_->AddComment(1, intro_, "second comment of the day", 3)
+                  .ok());
+  EXPECT_EQ(*site_->incentives().CountToday(1, "comment", 3), 2);
+  EXPECT_EQ(*site_->incentives().CountToday(1, "comment", 4), 0);
+  EXPECT_EQ(*site_->incentives().CountToday(2, "comment", 3), 0);
+}
+
+TEST_F(SocialTest, UncappedActionKeepsEarning) {
+  IncentiveScheme yahoo = IncentiveScheme::YahooAnswers();
+  IncentiveEngine engine(&site_->db(), yahoo);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(engine.Record(1, "best_answer", 1).ok());
+  }
+  EXPECT_EQ(*engine.PointsOf(1), 120);  // no cap on best answers
+  // But login caps at once per day.
+  EXPECT_EQ(*engine.Record(1, "login", 1), 1);
+  EXPECT_EQ(*engine.Record(1, "login", 1), 0);
+  EXPECT_EQ(*engine.Record(1, "login", 2), 1);
+}
+
+TEST_F(SocialTest, UnknownIncentiveActionEarnsNothing) {
+  EXPECT_EQ(*site_->incentives().Record(1, "poke_friend", 1), 0);
+  EXPECT_EQ(*site_->incentives().PointsOf(1), 0);
+}
+
+TEST_F(SocialTest, RouterTruncatesToK) {
+  for (UserId s : {1, 2, 3}) {
+    ASSERT_TRUE(site_->ReportCourseTaken(s, intro_, 2007, Quarter::kAutumn,
+                                         3.0).ok());
+  }
+  ASSERT_TRUE(site_->router().Build().ok());
+  auto candidates = site_->router().Route("intro programming advice?", 2);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_LE(candidates->size(), 2u);
+}
+
+TEST_F(SocialTest, IncentiveLeaderboard) {
+  ASSERT_TRUE(site_->AddComment(1, intro_, "long enough comment one", 1).ok());
+  ASSERT_TRUE(site_->AddComment(1, intro_, "long enough comment two", 1).ok());
+  ASSERT_TRUE(site_->RateCourse(2, intro_, 4.0, 1).ok());
+  auto board = site_->incentives().Leaderboard(10);
+  ASSERT_TRUE(board.ok());
+  ASSERT_EQ(board->size(), 2u);
+  EXPECT_EQ((*board)[0].first, 1);
+  EXPECT_EQ((*board)[0].second, 6);
+  EXPECT_EQ((*board)[1].second, 1);
+}
+
+TEST_F(SocialTest, YahooSchemeShapeMatchesPaper) {
+  IncentiveScheme yahoo = IncentiveScheme::YahooAnswers();
+  EXPECT_EQ(yahoo.rules.at("best_answer").points, 10);
+  EXPECT_EQ(yahoo.rules.at("login").points, 1);
+  EXPECT_EQ(yahoo.rules.at("login").daily_cap, 1);
+  EXPECT_EQ(yahoo.rules.at("vote_best").points, 1);
+}
+
+TEST_F(SocialTest, SearchIndexRefreshOnComment) {
+  ASSERT_TRUE(site_->BuildSearchIndex().ok());
+  auto searcher = site_->MakeSearcher();
+  ASSERT_TRUE(searcher.ok());
+  EXPECT_EQ(searcher->Search("recursion")->size(), 0u);
+  ASSERT_TRUE(site_->AddComment(1, intro_,
+                                "the recursion unit was mind bending", 1)
+                  .ok());
+  EXPECT_EQ(searcher->Search("recursion")->size(), 1u);
+}
+
+TEST_F(SocialTest, StatsCountContributions) {
+  ASSERT_TRUE(site_->RateCourse(1, intro_, 4.0, 1).ok());
+  ASSERT_TRUE(site_->AddComment(2, db_, "solid course overall", 1).ok());
+  auto stats = site_->GetStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->departments, 2u);
+  EXPECT_EQ(stats->courses, 3u);
+  EXPECT_EQ(stats->students, 3u);
+  EXPECT_EQ(stats->faculty, 1u);
+  EXPECT_EQ(stats->staff, 1u);
+  EXPECT_EQ(stats->ratings, 1u);
+  EXPECT_EQ(stats->comments, 1u);
+  EXPECT_EQ(stats->active_students, 2u);  // Sally and Bob contributed
+}
+
+// ------------------------------------------------ course descriptor (Fig. 1)
+
+TEST_F(SocialTest, CourseDescriptorAggregatesEverything) {
+  ASSERT_TRUE(site_->AddPrereq(db_, intro_).ok());
+  TimeSlot slot{static_cast<uint8_t>(kMon | kWed), 600, 650};
+  ASSERT_TRUE(site_->AddOffering(db_, 2007, Quarter::kAutumn, "Prof. Widom",
+                                 slot).ok());
+  ASSERT_TRUE(site_->AddOffering(db_, 2008, Quarter::kAutumn, "Prof. Widom",
+                                 slot).ok());
+  ASSERT_TRUE(site_->RateCourse(1, db_, 5.0, 1).ok());
+  ASSERT_TRUE(site_->RateCourse(2, db_, 4.0, 1).ok());
+  ASSERT_TRUE(site_->AddComment(1, db_, "query optimization was the best "
+                                        "unit of the whole year", 1).ok());
+  ASSERT_TRUE(site_->ReportTextbook(1, db_, "Database Systems: The "
+                                            "Complete Book", 1).ok());
+  ASSERT_TRUE(site_->PlanCourse(3, db_, 2008, Quarter::kAutumn).ok());
+  ASSERT_TRUE(site_->LoadOfficialGrades(db_, "A", 12).ok());
+  ASSERT_TRUE(site_->LoadOfficialGrades(db_, "B", 6).ok());
+
+  auto page = site_->GetCourseDescriptor(2, db_);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page->dept_code, "CS");
+  EXPECT_EQ(page->number, 245);
+  EXPECT_EQ(page->title, "Databases");
+  EXPECT_EQ(page->units, 4);
+  EXPECT_EQ(page->instructors, std::vector<std::string>{"Prof. Widom"});
+  EXPECT_EQ(page->num_ratings, 2u);
+  EXPECT_DOUBLE_EQ(*page->avg_rating, 4.5);
+  ASSERT_EQ(page->comments.size(), 1u);
+  ASSERT_TRUE(page->grades.ok());  // CS is Engineering: official released
+  EXPECT_EQ(page->grades->total(), 18);
+  EXPECT_EQ(page->textbooks.size(), 1u);
+  EXPECT_EQ(page->planners, std::vector<UserId>{3});
+  EXPECT_EQ(page->prerequisites, std::vector<CourseId>{intro_});
+
+  std::string text = page->ToString();
+  EXPECT_NE(text.find("CS 245: Databases"), std::string::npos);
+  EXPECT_NE(text.find("4.5/5 from 2 ratings"), std::string::npos);
+  EXPECT_NE(text.find("Prof. Widom"), std::string::npos);
+}
+
+TEST_F(SocialTest, CourseDescriptorCarriesSuppressionReason) {
+  // One self-reported grade in a non-Engineering course: suppressed, but
+  // the page still renders with the reason instead of the distribution.
+  ASSERT_TRUE(site_->ReportCourseTaken(1, amhist_, 2007, Quarter::kAutumn,
+                                       3.7).ok());
+  auto page = site_->GetCourseDescriptor(1, amhist_);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_FALSE(page->grades.ok());
+  EXPECT_EQ(page->grades.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(page->ToString().find("suppressed"), std::string::npos);
+}
+
+TEST_F(SocialTest, CourseDescriptorRequiresMembership) {
+  EXPECT_EQ(site_->GetCourseDescriptor(999, db_).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(site_->GetCourseDescriptor(1, 424242).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SocialTest, ReferentialIntegrityHolds) {
+  ASSERT_TRUE(site_->RateCourse(1, intro_, 4.0, 1).ok());
+  ASSERT_TRUE(site_->AddComment(1, intro_, "decent intro material", 1).ok());
+  EXPECT_TRUE(site_->db().CheckIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace courserank::social

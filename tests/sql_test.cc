@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include "query/sql_engine.h"
+#include "storage/database.h"
+
+namespace courserank::query {
+namespace {
+
+using storage::Database;
+using storage::Value;
+using storage::ValueType;
+
+class SqlTest : public ::testing::Test {
+ protected:
+  SqlTest() : sql_(&db_) {}
+
+  void SetUp() override {
+    Must("CREATE TABLE courses (id INT NOT NULL, dept TEXT NOT NULL, "
+         "title TEXT NOT NULL, units INT, PRIMARY KEY (id))");
+    Must("CREATE TABLE ratings (student INT NOT NULL, course INT NOT NULL, "
+         "score DOUBLE NOT NULL, PRIMARY KEY (student, course))");
+    Must("INSERT INTO courses VALUES "
+         "(1, 'CS', 'Intro to Programming', 5), "
+         "(2, 'CS', 'Operating Systems', 4), "
+         "(3, 'MATH', 'Calculus', 5), "
+         "(4, 'HISTORY', 'American History', 3), "
+         "(5, 'CS', 'Databases', 3)");
+    Must("INSERT INTO ratings VALUES (100, 1, 5.0), (100, 2, 3.0), "
+         "(101, 1, 4.0), (101, 3, 2.0), (102, 5, 4.5)");
+  }
+
+  Relation Must(const std::string& stmt, const ParamMap& params = {}) {
+    auto rel = sql_.Execute(stmt, params);
+    EXPECT_TRUE(rel.ok()) << stmt << " -> " << rel.status().ToString();
+    return rel.ok() ? std::move(*rel) : Relation{};
+  }
+
+  Status Fails(const std::string& stmt) {
+    auto rel = sql_.Execute(stmt);
+    EXPECT_FALSE(rel.ok()) << stmt << " unexpectedly succeeded";
+    return rel.ok() ? Status::OK() : rel.status();
+  }
+
+  Database db_;
+  SqlEngine sql_;
+};
+
+TEST_F(SqlTest, SelectStar) {
+  Relation rel = Must("SELECT * FROM courses");
+  EXPECT_EQ(rel.rows.size(), 5u);
+  EXPECT_EQ(rel.schema.num_columns(), 4u);
+}
+
+TEST_F(SqlTest, SelectColumnsAndAliases) {
+  Relation rel = Must("SELECT title AS t, units * 2 AS double_units "
+                      "FROM courses WHERE id = 1");
+  ASSERT_EQ(rel.rows.size(), 1u);
+  EXPECT_EQ(rel.schema.column(0).name, "t");
+  EXPECT_EQ(rel.rows[0][1].AsInt(), 10);
+}
+
+TEST_F(SqlTest, WhereFilters) {
+  EXPECT_EQ(Must("SELECT * FROM courses WHERE dept = 'CS'").rows.size(), 3u);
+  EXPECT_EQ(Must("SELECT * FROM courses WHERE units >= 4 AND dept = 'CS'")
+                .rows.size(),
+            2u);
+  EXPECT_EQ(Must("SELECT * FROM courses WHERE title LIKE '%program%'")
+                .rows.size(),
+            1u);
+  EXPECT_EQ(
+      Must("SELECT * FROM courses WHERE dept IN ('MATH', 'HISTORY')")
+          .rows.size(),
+      2u);
+}
+
+TEST_F(SqlTest, OrderByAndLimit) {
+  Relation rel =
+      Must("SELECT title FROM courses ORDER BY units DESC, title ASC LIMIT 2");
+  ASSERT_EQ(rel.rows.size(), 2u);
+  EXPECT_EQ(rel.rows[0][0].AsString(), "Calculus");
+  EXPECT_EQ(rel.rows[1][0].AsString(), "Intro to Programming");
+}
+
+TEST_F(SqlTest, OrderByNonSelectedColumn) {
+  // "units" is not in the select list; carried as a hidden sort column.
+  Relation rel = Must("SELECT title FROM courses ORDER BY units ASC LIMIT 1");
+  ASSERT_EQ(rel.rows.size(), 1u);
+  EXPECT_EQ(rel.schema.num_columns(), 1u);  // hidden column dropped
+  EXPECT_EQ(rel.rows[0][0].AsString(), "American History");
+}
+
+TEST_F(SqlTest, LimitOffset) {
+  Relation rel =
+      Must("SELECT id FROM courses ORDER BY id ASC LIMIT 2 OFFSET 2");
+  ASSERT_EQ(rel.rows.size(), 2u);
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SqlTest, Distinct) {
+  EXPECT_EQ(Must("SELECT DISTINCT dept FROM courses").rows.size(), 3u);
+}
+
+TEST_F(SqlTest, InnerJoin) {
+  Relation rel = Must(
+      "SELECT c.title, r.score FROM ratings r JOIN courses c "
+      "ON r.course = c.id WHERE r.score >= 4");
+  EXPECT_EQ(rel.rows.size(), 3u);
+}
+
+TEST_F(SqlTest, LeftJoin) {
+  Relation rel = Must(
+      "SELECT c.id, r.score FROM courses c LEFT JOIN ratings r "
+      "ON c.id = r.course");
+  // Courses 1 (x2), 2, 3, 5 matched; course 4 padded -> 6 rows.
+  EXPECT_EQ(rel.rows.size(), 6u);
+  size_t nulls = 0;
+  for (const Row& row : rel.rows) nulls += row[1].is_null();
+  EXPECT_EQ(nulls, 1u);
+}
+
+TEST_F(SqlTest, AggregateGlobal) {
+  Relation rel =
+      Must("SELECT COUNT(*) AS n, AVG(score) AS mean FROM ratings");
+  ASSERT_EQ(rel.rows.size(), 1u);
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 5);
+  EXPECT_DOUBLE_EQ(rel.rows[0][1].AsDouble(), 3.7);
+}
+
+TEST_F(SqlTest, GroupBy) {
+  Relation rel = Must(
+      "SELECT dept, COUNT(*) AS n, MAX(units) AS top FROM courses "
+      "GROUP BY dept ORDER BY n DESC");
+  ASSERT_EQ(rel.rows.size(), 3u);
+  EXPECT_EQ(rel.rows[0][0].AsString(), "CS");
+  EXPECT_EQ(rel.rows[0][1].AsInt(), 3);
+  EXPECT_EQ(rel.rows[0][2].AsInt(), 5);
+}
+
+TEST_F(SqlTest, GroupByWithHaving) {
+  // Dialect note: HAVING binds against the aggregate's output schema, so it
+  // references select-list aliases ("n"), not re-spelled aggregate calls.
+  Relation rel = Must(
+      "SELECT course, COUNT(*) AS n, AVG(score) AS mean FROM ratings "
+      "GROUP BY course HAVING n >= 2");
+  ASSERT_EQ(rel.rows.size(), 1u);
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(rel.rows[0][2].AsDouble(), 4.5);
+}
+
+TEST_F(SqlTest, GroupByJoin) {
+  Relation rel = Must(
+      "SELECT c.dept, AVG(r.score) AS mean FROM ratings r "
+      "JOIN courses c ON r.course = c.id GROUP BY c.dept "
+      "ORDER BY mean DESC");
+  ASSERT_EQ(rel.rows.size(), 2u);
+  EXPECT_EQ(rel.rows[0][0].AsString(), "CS");
+}
+
+TEST_F(SqlTest, SelectItemNotInGroupByRejected) {
+  Fails("SELECT title, COUNT(*) AS n FROM courses GROUP BY dept");
+}
+
+TEST_F(SqlTest, Params) {
+  ParamMap params;
+  params["dept"] = Value("CS");
+  params["min_units"] = Value(4);
+  Relation rel = Must(
+      "SELECT * FROM courses WHERE dept = $dept AND units >= $min_units",
+      params);
+  EXPECT_EQ(rel.rows.size(), 2u);
+}
+
+TEST_F(SqlTest, InsertReturnsAffected) {
+  Relation rel =
+      Must("INSERT INTO courses VALUES (10, 'ART', 'Drawing', 2)");
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(Must("SELECT * FROM courses").rows.size(), 6u);
+}
+
+TEST_F(SqlTest, InsertWithColumnList) {
+  Must("INSERT INTO courses (id, title, dept) VALUES (11, 'Yoga', 'ART')");
+  Relation rel = Must("SELECT units FROM courses WHERE id = 11");
+  EXPECT_TRUE(rel.rows[0][0].is_null());
+}
+
+TEST_F(SqlTest, InsertDuplicatePkFails) {
+  Fails("INSERT INTO courses VALUES (1, 'CS', 'Dup', 1)");
+}
+
+TEST_F(SqlTest, InsertNullIntoNotNullFails) {
+  Fails("INSERT INTO courses VALUES (12, NULL, 'X', 1)");
+}
+
+TEST_F(SqlTest, Update) {
+  Relation rel =
+      Must("UPDATE courses SET units = units + 1 WHERE dept = 'CS'");
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 3);
+  Relation check = Must("SELECT units FROM courses WHERE id = 1");
+  EXPECT_EQ(check.rows[0][0].AsInt(), 6);
+}
+
+TEST_F(SqlTest, UpdateWithoutWhereTouchesAll) {
+  Relation rel = Must("UPDATE courses SET units = 1");
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 5);
+}
+
+TEST_F(SqlTest, Delete) {
+  Relation rel = Must("DELETE FROM ratings WHERE score < 4");
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(Must("SELECT * FROM ratings").rows.size(), 3u);
+}
+
+TEST_F(SqlTest, DeleteAll) {
+  Relation rel = Must("DELETE FROM ratings");
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(Must("SELECT * FROM ratings").rows.size(), 0u);
+}
+
+TEST_F(SqlTest, CreateTableRejectsDuplicate) {
+  Fails("CREATE TABLE courses (x INT)");
+}
+
+TEST_F(SqlTest, CreateTableTypeNames) {
+  Must("CREATE TABLE t (a INTEGER, b REAL, c VARCHAR, d BOOLEAN)");
+  auto table = db_.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->schema().column(0).type, ValueType::kInt);
+  EXPECT_EQ((*table)->schema().column(1).type, ValueType::kDouble);
+  EXPECT_EQ((*table)->schema().column(2).type, ValueType::kString);
+  EXPECT_EQ((*table)->schema().column(3).type, ValueType::kBool);
+}
+
+TEST_F(SqlTest, ExplainShowsPlan) {
+  auto text = sql_.Explain(
+      "SELECT title FROM courses WHERE dept = 'CS' ORDER BY title LIMIT 2");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("TableScan(courses)"), std::string::npos);
+  EXPECT_NE(text->find("Filter"), std::string::npos);
+  EXPECT_NE(text->find("Sort"), std::string::npos);
+  EXPECT_NE(text->find("Limit"), std::string::npos);
+}
+
+TEST_F(SqlTest, ParseErrorsAreInvalidArgument) {
+  EXPECT_EQ(Fails("SELEKT * FROM courses").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Fails("SELECT * FORM courses").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Fails("SELECT * FROM courses LIMIT banana").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Fails("SELECT * FROM courses; DROP TABLE courses").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SqlTest, StarWithOtherItemsRejected) {
+  Fails("SELECT *, title FROM courses");
+}
+
+TEST_F(SqlTest, SelfJoinWithAliases) {
+  Relation rel = Must(
+      "SELECT a.title, b.title FROM courses a JOIN courses b "
+      "ON a.dept = b.dept WHERE a.id < b.id");
+  // CS has 3 courses -> 3 pairs; others single -> 0.
+  EXPECT_EQ(rel.rows.size(), 3u);
+}
+
+TEST_F(SqlTest, ScalarFunctionsInSelect) {
+  Relation rel = Must(
+      "SELECT UPPER(dept) AS d, LENGTH(title) AS len FROM courses "
+      "WHERE id = 3");
+  EXPECT_EQ(rel.rows[0][0].AsString(), "MATH");
+  EXPECT_EQ(rel.rows[0][1].AsInt(), 8);
+}
+
+TEST_F(SqlTest, CountDistinctViaSubqueryFreeForm) {
+  // Dialect has no subqueries; document the supported alternative.
+  Relation rel = Must("SELECT DISTINCT dept FROM courses");
+  EXPECT_EQ(rel.rows.size(), 3u);
+}
+
+TEST_F(SqlTest, ParamsInMutations) {
+  ParamMap params;
+  params["id"] = Value(20);
+  params["title"] = Value("Networks");
+  Must("INSERT INTO courses (id, dept, title) VALUES ($id, 'CS', $title)",
+       params);
+  Relation check = Must("SELECT title FROM courses WHERE id = $id", params);
+  ASSERT_EQ(check.rows.size(), 1u);
+  EXPECT_EQ(check.rows[0][0].AsString(), "Networks");
+
+  params["bump"] = Value(2);
+  Must("UPDATE courses SET units = $bump WHERE id = $id", params);
+  EXPECT_EQ(Must("SELECT units FROM courses WHERE id = $id", params)
+                .rows[0][0]
+                .AsInt(),
+            2);
+  Relation deleted = Must("DELETE FROM courses WHERE id = $id", params);
+  EXPECT_EQ(deleted.rows[0][0].AsInt(), 1);
+}
+
+TEST_F(SqlTest, WhereWithArithmeticAndFunctions) {
+  EXPECT_EQ(Must("SELECT * FROM courses WHERE units * 2 >= 8").rows.size(),
+            3u);
+  EXPECT_EQ(
+      Must("SELECT * FROM courses WHERE LOWER(dept) = 'cs'").rows.size(),
+      3u);
+  EXPECT_EQ(Must("SELECT * FROM ratings WHERE score - 1 > 3").rows.size(),
+            2u);
+}
+
+TEST_F(SqlTest, IsNullPredicates) {
+  Must("INSERT INTO courses (id, dept, title) VALUES (30, 'ART', 'Clay')");
+  EXPECT_EQ(Must("SELECT * FROM courses WHERE units IS NULL").rows.size(),
+            1u);
+  EXPECT_EQ(
+      Must("SELECT * FROM courses WHERE units IS NOT NULL").rows.size(), 5u);
+}
+
+TEST_F(SqlTest, MultiColumnOrderByMixedDirections) {
+  Relation rel = Must(
+      "SELECT dept, title FROM courses ORDER BY dept ASC, units DESC");
+  ASSERT_EQ(rel.rows.size(), 5u);
+  EXPECT_EQ(rel.rows[0][0].AsString(), "CS");
+  EXPECT_EQ(rel.rows[0][1].AsString(), "Intro to Programming");  // 5 units
+  EXPECT_EQ(rel.rows[2][1].AsString(), "Databases");             // 3 units
+}
+
+TEST_F(SqlTest, MinMaxOnStrings) {
+  Relation rel =
+      Must("SELECT MIN(title) AS lo, MAX(title) AS hi FROM courses");
+  EXPECT_EQ(rel.rows[0][0].AsString(), "American History");
+  EXPECT_EQ(rel.rows[0][1].AsString(), "Operating Systems");
+}
+
+TEST_F(SqlTest, UpdateThatViolatesPkRolls) {
+  // Moving every course to id 1 must fail on the second row; the first
+  // row's update has applied (no multi-statement transactions — documented
+  // storage-layer behavior).
+  Fails("UPDATE courses SET id = 1");
+  EXPECT_EQ(Must("SELECT * FROM courses").rows.size(), 5u);
+}
+
+TEST_F(SqlTest, RelationToStringRendersTable) {
+  Relation rel = Must("SELECT id, title FROM courses ORDER BY id LIMIT 2");
+  std::string text = rel.ToString();
+  EXPECT_NE(text.find("Intro to Programming"), std::string::npos);
+  EXPECT_NE(text.find("(2 rows)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace courserank::query

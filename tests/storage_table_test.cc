@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+#include "storage/database.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace courserank::storage {
+namespace {
+
+Schema PeopleSchema() {
+  return Schema({{"id", ValueType::kInt, false},
+                 {"name", ValueType::kString, false},
+                 {"age", ValueType::kInt, true},
+                 {"gpa", ValueType::kDouble, true}});
+}
+
+std::unique_ptr<Table> MakePeople() {
+  auto table = Table::Create("people", PeopleSchema(), {"id"});
+  EXPECT_TRUE(table.ok());
+  return std::move(*table);
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s = PeopleSchema();
+  EXPECT_EQ(*s.FindColumn("ID"), 0u);
+  EXPECT_EQ(*s.FindColumn("Name"), 1u);
+  EXPECT_FALSE(s.FindColumn("missing").has_value());
+}
+
+TEST(SchemaTest, QualifiedLookupThroughPrefix) {
+  Schema s = PeopleSchema().WithPrefix("p");
+  EXPECT_EQ(s.column(0).name, "p.id");
+  EXPECT_TRUE(s.FindColumn("p.id").has_value());
+  // Unqualified lookup resolves through the prefix when unambiguous.
+  EXPECT_TRUE(s.FindColumn("name").has_value());
+}
+
+TEST(SchemaTest, AmbiguousUnqualifiedLookupFails) {
+  Schema s = Schema::Concat(PeopleSchema().WithPrefix("a"),
+                            PeopleSchema().WithPrefix("b"));
+  EXPECT_FALSE(s.FindColumn("id").has_value());
+  EXPECT_TRUE(s.FindColumn("a.id").has_value());
+  EXPECT_TRUE(s.FindColumn("b.id").has_value());
+}
+
+TEST(SchemaTest, ValidateRowChecksArity) {
+  Schema s = PeopleSchema();
+  EXPECT_FALSE(s.ValidateRow({Value(1)}).ok());
+}
+
+TEST(SchemaTest, ValidateRowChecksNullability) {
+  Schema s = PeopleSchema();
+  EXPECT_FALSE(
+      s.ValidateRow({Value(1), Value(), Value(20), Value(3.0)}).ok());
+  EXPECT_TRUE(
+      s.ValidateRow({Value(1), Value("x"), Value(), Value()}).ok());
+}
+
+TEST(SchemaTest, ValidateRowChecksTypes) {
+  Schema s = PeopleSchema();
+  EXPECT_FALSE(
+      s.ValidateRow({Value("x"), Value("n"), Value(1), Value(1.0)}).ok());
+  // INT accepted where DOUBLE declared.
+  EXPECT_TRUE(
+      s.ValidateRow({Value(1), Value("n"), Value(1), Value(3)}).ok());
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(TableTest, InsertAndGet) {
+  auto table = MakePeople();
+  auto id = table->Insert({Value(1), Value("ann"), Value(20), Value(3.5)});
+  ASSERT_TRUE(id.ok());
+  const Row* row = table->Get(*id);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1].AsString(), "ann");
+  EXPECT_EQ(table->size(), 1u);
+}
+
+TEST(TableTest, PrimaryKeyDuplicateRejected) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->Insert({Value(1), Value("a"), Value(), Value()}).ok());
+  auto dup = table->Insert({Value(1), Value("b"), Value(), Value()});
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(table->size(), 1u);
+}
+
+TEST(TableTest, PrimaryKeyImpliesNotNull) {
+  auto table = MakePeople();
+  EXPECT_FALSE(table->Insert({Value(), Value("a"), Value(), Value()}).ok());
+}
+
+TEST(TableTest, FindByPrimaryKey) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->Insert({Value(7), Value("x"), Value(), Value()}).ok());
+  auto rid = table->FindByPrimaryKey({Value(7)});
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(table->Get(*rid)->at(1).AsString(), "x");
+  EXPECT_EQ(table->FindByPrimaryKey({Value(8)}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TableTest, DeleteTombstonesRow) {
+  auto table = MakePeople();
+  auto id = table->Insert({Value(1), Value("a"), Value(), Value()});
+  ASSERT_TRUE(table->Delete(*id).ok());
+  EXPECT_EQ(table->Get(*id), nullptr);
+  EXPECT_EQ(table->size(), 0u);
+  EXPECT_EQ(table->capacity(), 1u);  // slot kept
+  // PK becomes free again.
+  EXPECT_TRUE(table->Insert({Value(1), Value("b"), Value(), Value()}).ok());
+}
+
+TEST(TableTest, DeleteTwiceFails) {
+  auto table = MakePeople();
+  auto id = table->Insert({Value(1), Value("a"), Value(), Value()});
+  ASSERT_TRUE(table->Delete(*id).ok());
+  EXPECT_EQ(table->Delete(*id).code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, UpdateReplacesRowAndIndexes) {
+  auto table = MakePeople();
+  auto id = table->Insert({Value(1), Value("a"), Value(20), Value(3.0)});
+  ASSERT_TRUE(
+      table->Update(*id, {Value(2), Value("b"), Value(21), Value(3.1)}).ok());
+  EXPECT_TRUE(table->FindByPrimaryKey({Value(2)}).ok());
+  EXPECT_FALSE(table->FindByPrimaryKey({Value(1)}).ok());
+}
+
+TEST(TableTest, UpdateToExistingKeyRejected) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->Insert({Value(1), Value("a"), Value(), Value()}).ok());
+  auto id2 = table->Insert({Value(2), Value("b"), Value(), Value()});
+  EXPECT_EQ(
+      table->Update(*id2, {Value(1), Value("c"), Value(), Value()}).code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, UpdateSameKeyAllowed) {
+  auto table = MakePeople();
+  auto id = table->Insert({Value(1), Value("a"), Value(), Value()});
+  EXPECT_TRUE(
+      table->Update(*id, {Value(1), Value("renamed"), Value(), Value()}).ok());
+}
+
+TEST(TableTest, UpdateColumn) {
+  auto table = MakePeople();
+  auto id = table->Insert({Value(1), Value("a"), Value(20), Value()});
+  ASSERT_TRUE(table->UpdateColumn(*id, 2, Value(21)).ok());
+  EXPECT_EQ(table->Get(*id)->at(2).AsInt(), 21);
+  EXPECT_FALSE(table->UpdateColumn(*id, 99, Value(1)).ok());
+}
+
+TEST(TableTest, ScanVisitsLiveRowsInOrder) {
+  auto table = MakePeople();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        table->Insert({Value(i), Value("p"), Value(), Value()}).ok());
+  }
+  ASSERT_TRUE(table->Delete(2).ok());
+  std::vector<int64_t> seen;
+  table->Scan([&](RowId, const Row& row) { seen.push_back(row[0].AsInt()); });
+  EXPECT_EQ(seen, (std::vector<int64_t>{0, 1, 3, 4}));
+}
+
+TEST(TableTest, SecondaryHashIndexLookup) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->CreateHashIndex("by_name", {"name"}, false).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(table
+                    ->Insert({Value(i), Value(i % 2 == 0 ? "even" : "odd"),
+                              Value(), Value()})
+                    .ok());
+  }
+  EXPECT_EQ(table->LookupEqual({"name"}, {Value("even")}).size(), 2u);
+  EXPECT_EQ(table->LookupEqual({"name"}, {Value("odd")}).size(), 2u);
+  EXPECT_TRUE(table->LookupEqual({"name"}, {Value("none")}).empty());
+}
+
+TEST(TableTest, LookupFallsBackToScanWithoutIndex) {
+  auto table = MakePeople();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        table->Insert({Value(i), Value("n"), Value(i / 2), Value()}).ok());
+  }
+  EXPECT_EQ(table->LookupEqual({"age"}, {Value(1)}).size(), 2u);
+}
+
+TEST(TableTest, UniqueSecondaryIndexEnforced) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->CreateHashIndex("uniq_name", {"name"}, true).ok());
+  ASSERT_TRUE(table->Insert({Value(1), Value("a"), Value(), Value()}).ok());
+  EXPECT_EQ(
+      table->Insert({Value(2), Value("a"), Value(), Value()}).status().code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, CreateIndexOnExistingDataValidatesUniqueness) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->Insert({Value(1), Value("a"), Value(), Value()}).ok());
+  ASSERT_TRUE(table->Insert({Value(2), Value("a"), Value(), Value()}).ok());
+  EXPECT_FALSE(table->CreateHashIndex("uniq_name", {"name"}, true).ok());
+  EXPECT_TRUE(table->CreateHashIndex("plain_name", {"name"}, false).ok());
+}
+
+TEST(TableTest, DuplicateIndexNameRejected) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->CreateHashIndex("x", {"name"}, false).ok());
+  EXPECT_EQ(table->CreateHashIndex("x", {"age"}, false).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, OrderedIndexRangeScan) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->CreateOrderedIndex("by_age", "age").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        table->Insert({Value(i), Value("p"), Value(i * 10), Value()}).ok());
+  }
+  const OrderedIndex* index = table->FindOrderedIndex("age");
+  ASSERT_NE(index, nullptr);
+  std::vector<RowId> hits = index->Range(Value(25), Value(55));
+  ASSERT_EQ(hits.size(), 3u);  // ages 30, 40, 50
+  EXPECT_EQ(table->Get(hits[0])->at(2).AsInt(), 30);
+  EXPECT_EQ(table->Get(hits[2])->at(2).AsInt(), 50);
+  // Unbounded below.
+  EXPECT_EQ(index->Range(Value(), Value(15)).size(), 2u);
+}
+
+TEST(TableTest, OrderedIndexTracksDeletes) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->CreateOrderedIndex("by_age", "age").ok());
+  auto id = table->Insert({Value(1), Value("p"), Value(30), Value()});
+  ASSERT_TRUE(table->Delete(*id).ok());
+  EXPECT_TRUE(
+      table->FindOrderedIndex("age")->Range(Value(0), Value(99)).empty());
+}
+
+TEST(TableTest, CompositeIndex) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->CreateHashIndex("name_age", {"name", "age"}, false).ok());
+  ASSERT_TRUE(table->Insert({Value(1), Value("a"), Value(20), Value()}).ok());
+  ASSERT_TRUE(table->Insert({Value(2), Value("a"), Value(21), Value()}).ok());
+  EXPECT_EQ(
+      table->LookupEqual({"name", "age"}, {Value("a"), Value(20)}).size(),
+      1u);
+}
+
+TEST(TableTest, OrderedIndexUnboundedAbove) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->CreateOrderedIndex("by_age", "age").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        table->Insert({Value(i), Value("p"), Value(i * 10), Value()}).ok());
+  }
+  const OrderedIndex* index = table->FindOrderedIndex("age");
+  EXPECT_EQ(index->Range(Value(25), Value()).size(), 2u);  // 30, 40
+  EXPECT_EQ(index->Range(Value(), Value()).size(), 5u);    // everything
+}
+
+TEST(TableTest, OrderedIndexTracksUpdates) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->CreateOrderedIndex("by_age", "age").ok());
+  auto id = table->Insert({Value(1), Value("p"), Value(30), Value()});
+  ASSERT_TRUE(table->UpdateColumn(*id, 2, Value(70)).ok());
+  const OrderedIndex* index = table->FindOrderedIndex("age");
+  EXPECT_TRUE(index->Range(Value(25), Value(35)).empty());
+  EXPECT_EQ(index->Range(Value(65), Value(75)).size(), 1u);
+}
+
+TEST(TableTest, IndexEnumerationForSnapshots) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->CreateHashIndex("by_name", {"name"}, false).ok());
+  ASSERT_TRUE(table->CreateOrderedIndex("by_age", "age").ok());
+  // "__pk" plus "by_name".
+  EXPECT_EQ(table->hash_indexes().size(), 2u);
+  EXPECT_EQ(table->ordered_indexes().size(), 1u);
+}
+
+TEST(TableTest, NullKeysIndexableAndLookupable) {
+  auto table = MakePeople();
+  ASSERT_TRUE(table->CreateHashIndex("by_age", {"age"}, false).ok());
+  ASSERT_TRUE(table->Insert({Value(1), Value("a"), Value(), Value()}).ok());
+  ASSERT_TRUE(table->Insert({Value(2), Value("b"), Value(), Value()}).ok());
+  // NULL is a hashable storage value (SQL semantics live in the executor).
+  EXPECT_EQ(table->LookupEqual({"age"}, {Value()}).size(), 2u);
+}
+
+TEST(TableTest, CreateRejectsBadPrimaryKey) {
+  EXPECT_FALSE(Table::Create("t", PeopleSchema(), {"nope"}).ok());
+}
+
+// ---------------------------------------------------------------- Database
+
+TEST(DatabaseTest, CreateAndGetTable) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", PeopleSchema(), {"id"}).ok());
+  EXPECT_TRUE(db.GetTable("T").ok());  // case-insensitive
+  EXPECT_EQ(db.GetTable("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.CreateTable("t", PeopleSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, ForeignKeyEnforcedOnInsert) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("parent", Schema({{"id", ValueType::kInt, false}}),
+                             {"id"})
+                  .ok());
+  ASSERT_TRUE(db.CreateTable("child",
+                             Schema({{"id", ValueType::kInt, false},
+                                     {"parent_id", ValueType::kInt, true}}),
+                             {"id"})
+                  .ok());
+  ASSERT_TRUE(db.AddForeignKey("child", "parent_id", "parent", "id").ok());
+
+  ASSERT_TRUE(db.Insert("parent", {Value(1)}).ok());
+  EXPECT_TRUE(db.Insert("child", {Value(10), Value(1)}).ok());
+  EXPECT_EQ(db.Insert("child", {Value(11), Value(99)}).status().code(),
+            StatusCode::kFailedPrecondition);
+  // NULL FK values are exempt.
+  EXPECT_TRUE(db.Insert("child", {Value(12), Value()}).ok());
+}
+
+TEST(DatabaseTest, CheckIntegrityFindsDanglingRows) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("parent", Schema({{"id", ValueType::kInt, false}}),
+                             {"id"})
+                  .ok());
+  ASSERT_TRUE(db.CreateTable("child",
+                             Schema({{"id", ValueType::kInt, false},
+                                     {"parent_id", ValueType::kInt, true}}),
+                             {"id"})
+                  .ok());
+  ASSERT_TRUE(db.AddForeignKey("child", "parent_id", "parent", "id").ok());
+  ASSERT_TRUE(db.Insert("parent", {Value(1)}).ok());
+  ASSERT_TRUE(db.Insert("child", {Value(10), Value(1)}).ok());
+  EXPECT_TRUE(db.CheckIntegrity().ok());
+
+  // Delete the parent behind the database's back; integrity now fails.
+  Table* parent = db.FindTable("parent");
+  ASSERT_TRUE(parent->Delete(*parent->FindByPrimaryKey({Value(1)})).ok());
+  EXPECT_FALSE(db.CheckIntegrity().ok());
+}
+
+TEST(DatabaseTest, SequencesAreMonotonePerName) {
+  Database db;
+  EXPECT_EQ(db.NextSequence("a"), 1);
+  EXPECT_EQ(db.NextSequence("a"), 2);
+  EXPECT_EQ(db.NextSequence("b"), 1);
+  EXPECT_EQ(db.NextSequence("A"), 3);  // case-insensitive name
+}
+
+// ---------------------------------------------------------------- CSV
+
+TEST(CsvTest, RoundTrip) {
+  Schema schema({{"id", ValueType::kInt, false},
+                 {"name", ValueType::kString, true},
+                 {"score", ValueType::kDouble, true},
+                 {"flag", ValueType::kBool, true}});
+  std::vector<Row> rows{
+      {Value(1), Value("plain"), Value(3.5), Value(true)},
+      {Value(2), Value("comma, quoted \"x\""), Value(), Value(false)},
+      {Value(3), Value("line\nbreak"), Value(0.25), Value()},
+  };
+  std::string text = ToCsv(schema, rows);
+  auto parsed = ParseCsv(schema, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[1][1].AsString(), "comma, quoted \"x\"");
+  EXPECT_TRUE((*parsed)[1][2].is_null());
+  EXPECT_EQ((*parsed)[2][1].AsString(), "line\nbreak");
+  EXPECT_DOUBLE_EQ((*parsed)[2][2].AsDouble(), 0.25);
+}
+
+TEST(CsvTest, RejectsWrongArity) {
+  Schema schema({{"a", ValueType::kInt, true}, {"b", ValueType::kInt, true}});
+  EXPECT_FALSE(ParseCsv(schema, "a,b\n1,2,3\n").ok());
+}
+
+TEST(CsvTest, RejectsBadCellTypes) {
+  Schema schema({{"a", ValueType::kInt, true}});
+  EXPECT_FALSE(ParseCsv(schema, "a\nnot_an_int\n").ok());
+}
+
+}  // namespace
+}  // namespace courserank::storage

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "storage/value.h"
+
+namespace courserank::storage {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value(true).AsBool(), true);
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, IntLiteralFromInt) {
+  Value v(7);
+  EXPECT_EQ(v.type(), ValueType::kInt);
+  EXPECT_EQ(v.AsInt(), 7);
+}
+
+TEST(ValueTest, ListConstruction) {
+  Value v(Value::List{Value(1), Value("a")});
+  EXPECT_EQ(v.type(), ValueType::kList);
+  ASSERT_EQ(v.AsList().size(), 2u);
+  EXPECT_EQ(v.AsList()[0].AsInt(), 1);
+  EXPECT_EQ(v.AsList()[1].AsString(), "a");
+  EXPECT_EQ(v.ToString(), "[1, a]");
+}
+
+TEST(ValueTest, ListCopiesShareStorageCheaply) {
+  Value a(Value::List{Value(1), Value(2), Value(3)});
+  Value b = a;  // shared immutable payload
+  EXPECT_EQ(a, b);
+}
+
+TEST(ValueTest, ToDoubleCoercions) {
+  EXPECT_DOUBLE_EQ(*Value(int64_t{3}).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(*Value(2.5).ToDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(*Value(true).ToDouble(), 1.0);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+  EXPECT_FALSE(Value().ToDouble().ok());
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_LT(Value(int64_t{2}), Value(2.5));
+  EXPECT_LT(Value(2.5), Value(int64_t{3}));
+}
+
+TEST(ValueTest, CrossTypeOrdering) {
+  // NULL < BOOL < numeric < STRING < LIST.
+  Value null;
+  Value b(true);
+  Value i(int64_t{1});
+  Value s("a");
+  Value l(Value::List{});
+  EXPECT_LT(null, b);
+  EXPECT_LT(b, i);
+  EXPECT_LT(i, s);
+  EXPECT_LT(s, l);
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value("ab"), Value("abc"));
+  EXPECT_EQ(Value("abc"), Value("abc"));
+}
+
+TEST(ValueTest, ListOrderingLexicographic) {
+  Value a(Value::List{Value(1), Value(2)});
+  Value b(Value::List{Value(1), Value(3)});
+  Value c(Value::List{Value(1)});
+  EXPECT_LT(a, b);
+  EXPECT_LT(c, a);
+  EXPECT_EQ(a, Value(Value::List{Value(1), Value(2)}));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value(Value::List{Value(1)}).Hash(),
+            Value(Value::List{Value(1)}).Hash());
+}
+
+TEST(ValueTest, NullComparesEqualToNull) {
+  // Storage-level total ordering (not SQL semantics, which live in Expr).
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, DoubleToStringTrimsZeros) {
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value(2.0).ToString(), "2");
+}
+
+TEST(RowHashTest, CompositeKeys) {
+  RowHash hash;
+  Row a{Value(1), Value("x")};
+  Row b{Value(1), Value("x")};
+  Row c{Value(1), Value("y")};
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));  // overwhelmingly likely
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "NULL");
+  EXPECT_STREQ(ValueTypeName(ValueType::kBool), "BOOL");
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt), "INT");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "DOUBLE");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "STRING");
+  EXPECT_STREQ(ValueTypeName(ValueType::kList), "LIST");
+}
+
+}  // namespace
+}  // namespace courserank::storage

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "core/baseline_recommender.h"
+#include "core/strategies.h"
+#include "core/workflow_parser.h"
+#include "gen/generator.h"
+
+namespace courserank::flexrecs {
+namespace {
+
+using gen::GenConfig;
+using gen::Generator;
+using social::CourseRankSite;
+using storage::Value;
+
+/// One generated Tiny site shared by all strategy tests (generation is the
+/// expensive part; strategies only read).
+struct SharedSite {
+  std::unique_ptr<Generator> generator;
+  std::unique_ptr<CourseRankSite> site;
+};
+
+SharedSite& Site() {
+  static SharedSite* shared = [] {
+    auto* s = new SharedSite();
+    s->generator = std::make_unique<Generator>(GenConfig::Tiny(11));
+    auto site = s->generator->Generate();
+    CR_CHECK(site.ok());
+    s->site = std::move(*site);
+    return s;
+  }();
+  return *shared;
+}
+
+/// A student with at least `n` ratings (needed for CF strategies).
+int64_t StudentWithRatings(size_t n = 3) {
+  const auto* ratings = Site().site->db().FindTable("Ratings");
+  std::map<int64_t, size_t> counts;
+  ratings->Scan([&](storage::RowId, const storage::Row& row) {
+    ++counts[row[0].AsInt()];
+  });
+  for (const auto& [student, count] : counts) {
+    if (count >= n) return student;
+  }
+  return counts.empty() ? 0 : counts.begin()->first;
+}
+
+TEST(StrategiesTest, AllDefaultsRegistered) {
+  auto names = Site().site->flexrecs().StrategyNames();
+  std::set<std::string> set(names.begin(), names.end());
+  for (const char* name :
+       {"related_courses", "user_cf", "weighted_user_cf", "grade_cf",
+        "major_popular", "recommend_major", "best_quarter"}) {
+    EXPECT_TRUE(set.count(name)) << name;
+  }
+}
+
+TEST(StrategiesTest, DslSourcesParse) {
+  for (const std::string& dsl :
+       {strategies::RelatedCoursesDsl(), strategies::UserCfDsl(),
+        strategies::WeightedUserCfDsl(), strategies::GradeCfDsl(),
+        strategies::MajorPopularDsl(), strategies::RecommendMajorDsl(),
+        strategies::BestQuarterDsl()}) {
+    EXPECT_TRUE(ParseWorkflow(dsl).ok());
+  }
+}
+
+TEST(StrategiesTest, RelatedCoursesExcludesTarget) {
+  query::ParamMap params;
+  params["title"] = Value("Introduction to Programming");
+  params["year"] = Value(int64_t{2005});
+  auto rel = Site().site->flexrecs().RunStrategy("related_courses", params);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  auto title_ci = rel->schema.FindColumn("Title");
+  ASSERT_TRUE(title_ci.has_value());
+  for (const auto& row : rel->rows) {
+    EXPECT_NE(row[*title_ci].AsString(), "Introduction to Programming");
+  }
+  EXPECT_LE(rel->rows.size(), 10u);
+}
+
+TEST(StrategiesTest, UserCfExcludesAlreadyRated) {
+  int64_t student = StudentWithRatings();
+  ASSERT_NE(student, 0);
+  query::ParamMap params;
+  params["student"] = Value(student);
+  auto rel = Site().site->flexrecs().RunStrategy("user_cf", params);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+
+  std::set<int64_t> rated;
+  const auto* ratings = Site().site->db().FindTable("Ratings");
+  for (auto rid : ratings->LookupEqual({"SuID"}, {Value(student)})) {
+    rated.insert(ratings->Get(rid)->at(1).AsInt());
+  }
+  auto course_ci = rel->schema.FindColumn("CourseID");
+  ASSERT_TRUE(course_ci.has_value());
+  for (const auto& row : rel->rows) {
+    EXPECT_EQ(rated.count(row[*course_ci].AsInt()), 0u);
+  }
+}
+
+TEST(StrategiesTest, UserCfScoresWithinRatingScale) {
+  int64_t student = StudentWithRatings();
+  query::ParamMap params;
+  params["student"] = Value(student);
+  auto rel = Site().site->flexrecs().RunStrategy("user_cf", params);
+  ASSERT_TRUE(rel.ok());
+  size_t score_ci = rel->schema.num_columns() - 1;
+  for (const auto& row : rel->rows) {
+    double s = row[score_ci].AsDouble();
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 5.0);
+  }
+}
+
+TEST(StrategiesTest, WeightedVariantRuns) {
+  query::ParamMap params;
+  params["student"] = Value(StudentWithRatings());
+  auto rel =
+      Site().site->flexrecs().RunStrategy("weighted_user_cf", params);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+}
+
+TEST(StrategiesTest, GradeCfRuns) {
+  query::ParamMap params;
+  params["student"] = Value(Site().generator->artifacts().active_students[0]);
+  auto rel = Site().site->flexrecs().RunStrategy("grade_cf", params);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+}
+
+TEST(StrategiesTest, MajorPopularOrderedByScore) {
+  query::ParamMap params;
+  params["major"] = Value(Site().generator->artifacts().departments[0]);
+  auto rel = Site().site->flexrecs().RunStrategy("major_popular", params);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  auto score_ci = rel->schema.FindColumn("score");
+  ASSERT_TRUE(score_ci.has_value());
+  for (size_t i = 1; i < rel->rows.size(); ++i) {
+    EXPECT_GE(rel->rows[i - 1][*score_ci].AsDouble(),
+              rel->rows[i][*score_ci].AsDouble());
+  }
+}
+
+TEST(StrategiesTest, RecommendMajorReturnsDepartments) {
+  query::ParamMap params;
+  params["student"] = Value(Site().generator->artifacts().active_students[0]);
+  auto rel = Site().site->flexrecs().RunStrategy("recommend_major", params);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_LE(rel->rows.size(), 5u);
+  EXPECT_TRUE(rel->schema.FindColumn("Name").has_value());
+}
+
+TEST(StrategiesTest, BestQuarterGroupsTerms) {
+  query::ParamMap params;
+  params["course"] = Value(Site().generator->artifacts().calculus);
+  auto rel = Site().site->flexrecs().RunStrategy("best_quarter", params);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_LE(rel->rows.size(), 4u);  // at most four quarters
+  auto grade_ci = rel->schema.FindColumn("avg_grade");
+  ASSERT_TRUE(grade_ci.has_value());
+  for (size_t i = 1; i < rel->rows.size(); ++i) {
+    EXPECT_GE(rel->rows[i - 1][*grade_ci].AsDouble(),
+              rel->rows[i][*grade_ci].AsDouble());
+  }
+}
+
+TEST(StrategiesTest, ExplainShowsSqlSequence) {
+  auto text = Site().site->flexrecs().ExplainStrategy("user_cf");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Recommend"), std::string::npos);
+  EXPECT_NE(text->find("[SQL]"), std::string::npos);
+  EXPECT_NE(text->find("Extend"), std::string::npos);
+}
+
+TEST(StrategiesTest, FlexRecsUserCfMatchesHardcodedBaseline) {
+  // The declarative user_cf strategy and the hand-coded CF engine implement
+  // the same algorithm; their top recommendations must agree substantially
+  // (tie-breaking may differ).
+  int64_t student = StudentWithRatings(4);
+  ASSERT_NE(student, 0);
+
+  auto cf = HardcodedCf::Build(Site().site->db());
+  ASSERT_TRUE(cf.ok());
+  auto baseline = cf->RecommendFor(student);
+  ASSERT_TRUE(baseline.ok());
+
+  query::ParamMap params;
+  params["student"] = Value(student);
+  auto flex = Site().site->flexrecs().RunStrategy("user_cf", params);
+  ASSERT_TRUE(flex.ok());
+
+  std::set<int64_t> baseline_set;
+  for (const auto& r : *baseline) baseline_set.insert(r.course_id);
+  auto course_ci = flex->schema.FindColumn("CourseID");
+  size_t agree = 0;
+  for (const auto& row : flex->rows) {
+    agree += baseline_set.count(row[*course_ci].AsInt());
+  }
+  ASSERT_FALSE(flex->rows.empty());
+  // At least 60% overlap between the two top-10 lists.
+  EXPECT_GE(static_cast<double>(agree) /
+                static_cast<double>(flex->rows.size()),
+            0.6);
+}
+
+}  // namespace
+}  // namespace courserank::flexrecs

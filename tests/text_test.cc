@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "text/analyzer.h"
+#include "text/stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace courserank::text {
+namespace {
+
+// ---------------------------------------------------------------- tokenizer
+
+TEST(TokenizerTest, BasicSplitting) {
+  EXPECT_EQ(Tokenize("Hello, World!"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  EXPECT_EQ(Tokenize("CS 106 rocks"),
+            (std::vector<std::string>{"cs", "106", "rocks"}));
+}
+
+TEST(TokenizerTest, ApostrophesCollapse) {
+  EXPECT_EQ(Tokenize("don't O'Brien's"),
+            (std::vector<std::string>{"dont", "obriens"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... --- !!!").empty());
+}
+
+TEST(TokenizerTest, PositionedTokensContiguousWithinSentence) {
+  auto tokens = TokenizePositioned("latin american politics");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].position + 1, tokens[1].position);
+  EXPECT_EQ(tokens[1].position + 1, tokens[2].position);
+}
+
+TEST(TokenizerTest, PositionedTokensGapAtSentenceBoundary) {
+  auto tokens = TokenizePositioned("was brutal. Great coverage");
+  ASSERT_EQ(tokens.size(), 4u);
+  // "brutal" and "great" must not be adjacent.
+  EXPECT_GT(tokens[2].position, tokens[1].position + 1);
+  // "great coverage" stays adjacent.
+  EXPECT_EQ(tokens[3].position, tokens[2].position + 1);
+}
+
+TEST(TokenizerTest, NormalizeToken) {
+  EXPECT_EQ(NormalizeToken("Hello!"), "hello");
+  EXPECT_EQ(NormalizeToken("***"), "");
+}
+
+// ---------------------------------------------------------------- stopwords
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  for (const char* w : {"the", "and", "of", "is", "a", "to"}) {
+    EXPECT_TRUE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, CatalogBoilerplateIsStopword) {
+  for (const char* w : {"course", "students", "topics", "introduction",
+                        "prerequisite", "units"}) {
+    EXPECT_TRUE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ContentWordsAreNot) {
+  for (const char* w : {"american", "java", "calculus", "politics",
+                        "history"}) {
+    EXPECT_FALSE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ListIsSortedForBinarySearch) {
+  // Spot-check via behavior: words at both ends of the alphabet resolve.
+  EXPECT_TRUE(IsStopword("a"));
+  EXPECT_TRUE(IsStopword("yourself"));
+  EXPECT_GT(StopwordCount(), 100u);
+}
+
+// ---------------------------------------------------------------- stemmer
+
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+class PorterTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterTest, MatchesReferenceVectors) {
+  EXPECT_EQ(PorterStem(GetParam().word), GetParam().stem) << GetParam().word;
+}
+
+// Reference outputs from the original Porter (1980) algorithm.
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, PorterTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}, StemCase{"programming", "program"},
+        StemCase{"databases", "databas"}, StemCase{"american", "american"},
+        StemCase{"politics", "polit"}, StemCase{"at", "at"},
+        StemCase{"by", "by"}));
+
+TEST(PorterTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+}
+
+TEST(PorterTest, SameStemForRelatedForms) {
+  EXPECT_EQ(PorterStem("recommend"), PorterStem("recommendation"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connected"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connections"));
+}
+
+// ---------------------------------------------------------------- analyzer
+
+TEST(AnalyzerTest, PipelineStopsAndStems) {
+  Analyzer analyzer;
+  auto tokens = analyzer.Analyze("The programming assignments were great");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].term, "program");
+  EXPECT_EQ(tokens[0].surface, "programming");
+  EXPECT_EQ(tokens[1].term, "assign");
+  EXPECT_EQ(tokens[2].term, "great");
+}
+
+TEST(AnalyzerTest, DropsNumericTokensByDefault) {
+  Analyzer analyzer;
+  auto tokens = analyzer.Analyze("cs 106 in 2008");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].term, "cs");
+}
+
+TEST(AnalyzerTest, OptionsDisablePipelineStages) {
+  AnalyzerOptions opts;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  opts.drop_numeric = false;
+  Analyzer analyzer(opts);
+  auto tokens = analyzer.Analyze("The 2 programs");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].term, "programs");
+}
+
+TEST(AnalyzerTest, AnalyzeQueryReturnsTerms) {
+  Analyzer analyzer;
+  EXPECT_EQ(analyzer.AnalyzeQuery("American History"),
+            (std::vector<std::string>{"american", "histori"}));
+  EXPECT_TRUE(analyzer.AnalyzeQuery("the of and").empty());
+}
+
+TEST(AnalyzerTest, BigramsRequireAdjacency) {
+  Analyzer analyzer;
+  auto tokens = analyzer.Analyze("latin american politics");
+  auto bigrams = Analyzer::Bigrams(tokens);
+  ASSERT_EQ(bigrams.size(), 2u);
+  EXPECT_EQ(bigrams[0].term, "latin american");
+  EXPECT_EQ(bigrams[1].term, "american polit");
+}
+
+TEST(AnalyzerTest, BigramsSkipStopwordGaps) {
+  Analyzer analyzer;
+  // "history of science": "of" removed leaves a positional gap.
+  auto tokens = analyzer.Analyze("history of science");
+  auto bigrams = Analyzer::Bigrams(tokens);
+  EXPECT_TRUE(bigrams.empty());
+}
+
+TEST(AnalyzerTest, BigramsDoNotCrossSentences) {
+  Analyzer analyzer;
+  auto tokens = analyzer.Analyze("pace was brutal. Great material");
+  for (const auto& bg : Analyzer::Bigrams(tokens)) {
+    EXPECT_EQ(bg.term.find("brutal great"), std::string::npos);
+  }
+}
+
+TEST(SurfaceRegistryTest, MostFrequentSurfaceWins) {
+  SurfaceRegistry registry;
+  registry.Record("polit", "political");
+  registry.Record("polit", "politics");
+  registry.Record("polit", "politics");
+  EXPECT_EQ(registry.DisplayForm("polit"), "politics");
+  EXPECT_EQ(registry.DisplayForm("unknown"), "unknown");
+}
+
+}  // namespace
+}  // namespace courserank::text

@@ -1,0 +1,492 @@
+#include <gtest/gtest.h>
+
+#include "core/flexrecs_engine.h"
+#include "core/workflow.h"
+#include "core/workflow_parser.h"
+#include "storage/database.h"
+
+namespace courserank::flexrecs {
+namespace {
+
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+/// A miniature Students/Courses/Ratings world with a known CF answer.
+class WorkflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto students = db_.CreateTable(
+        "Students", Schema({{"SuID", ValueType::kInt, false},
+                            {"Name", ValueType::kString, false}}),
+        {"SuID"});
+    ASSERT_TRUE(students.ok());
+    auto courses = db_.CreateTable(
+        "Courses", Schema({{"CourseID", ValueType::kInt, false},
+                           {"Title", ValueType::kString, false},
+                           {"Year", ValueType::kInt, false}}),
+        {"CourseID"});
+    ASSERT_TRUE(courses.ok());
+    auto ratings = db_.CreateTable(
+        "Ratings", Schema({{"SuID", ValueType::kInt, false},
+                           {"CourseID", ValueType::kInt, false},
+                           {"Score", ValueType::kDouble, false}}),
+        {"SuID", "CourseID"});
+    ASSERT_TRUE(ratings.ok());
+
+    auto ins = [&](const char* table, storage::Row row) {
+      ASSERT_TRUE(db_.FindTable(table)->Insert(std::move(row)).ok());
+    };
+    ins("Students", {Value(444), Value("target")});
+    ins("Students", {Value(1), Value("twin")});      // rates like target
+    ins("Students", {Value(2), Value("opposite")});  // rates inversely
+    ins("Students", {Value(3), Value("stranger")});  // no overlap
+
+    ins("Courses", {Value(10), Value("Introduction to Programming"),
+                    Value(2008)});
+    ins("Courses", {Value(11), Value("Advanced Programming"), Value(2008)});
+    ins("Courses", {Value(12), Value("Calculus"), Value(2008)});
+    ins("Courses", {Value(13), Value("Databases"), Value(2007)});
+    ins("Courses", {Value(14), Value("Painting"), Value(2008)});
+
+    // Target rated 10 and 12.
+    ins("Ratings", {Value(444), Value(10), Value(5.0)});
+    ins("Ratings", {Value(444), Value(12), Value(4.0)});
+    // Twin agrees exactly, and also loves 11.
+    ins("Ratings", {Value(1), Value(10), Value(5.0)});
+    ins("Ratings", {Value(1), Value(12), Value(4.0)});
+    ins("Ratings", {Value(1), Value(11), Value(5.0)});
+    // Opposite disagrees, likes 14.
+    ins("Ratings", {Value(2), Value(10), Value(1.0)});
+    ins("Ratings", {Value(2), Value(12), Value(1.0)});
+    ins("Ratings", {Value(2), Value(14), Value(4.5)});
+    // Stranger rates only 13.
+    ins("Ratings", {Value(3), Value(13), Value(3.0)});
+
+    engine_ = std::make_unique<FlexRecsEngine>(&db_);
+  }
+
+  Relation MustRun(const WorkflowNode& root, ParamMap params = {}) {
+    auto rel = engine_->Run(root, params);
+    EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+    return rel.ok() ? std::move(*rel) : Relation{};
+  }
+
+  storage::Database db_;
+  std::unique_ptr<FlexRecsEngine> engine_;
+};
+
+// ---------------------------------------------------------------- builder
+
+TEST_F(WorkflowTest, TableSelectCompilesToSingleSql) {
+  NodePtr wf =
+      std::move(Workflow::Table("Courses").Select("Year = 2008")).Build();
+  auto compiled = engine_->Compile(*wf);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->steps().size(), 1u);
+  EXPECT_EQ(compiled->steps()[0].kind, CompiledStep::Kind::kSql);
+  EXPECT_NE(compiled->steps()[0].sql.find("WHERE"), std::string::npos);
+  Relation rel = MustRun(*wf);
+  EXPECT_EQ(rel.rows.size(), 4u);
+}
+
+TEST_F(WorkflowTest, ProjectAndTopKStillOneSqlStep) {
+  NodePtr wf = std::move(Workflow::Table("Courses")
+                             .Select("Year = 2008")
+                             .Project({{"Title", "Title"}})
+                             .TopK("Title", 2, /*descending=*/false))
+                   .Build();
+  auto compiled = engine_->Compile(*wf);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->steps().size(), 1u);
+  Relation rel = MustRun(*wf);
+  ASSERT_EQ(rel.rows.size(), 2u);
+  EXPECT_EQ(rel.rows[0][0].AsString(), "Advanced Programming");
+}
+
+TEST_F(WorkflowTest, JoinCompilesToSql) {
+  NodePtr wf = std::move(Workflow::Table("Ratings")
+                             .Join(Workflow::Table("Students"),
+                                   "Ratings.SuID = Students.SuID"))
+                   .Build();
+  // Unaliased self-contained join: our From builder uses bare table names.
+  auto compiled = engine_->Compile(*wf);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->steps().size(), 1u);
+  Relation rel = MustRun(*wf);
+  EXPECT_EQ(rel.rows.size(), 9u);
+}
+
+TEST_F(WorkflowTest, RecommendRunsPhysically) {
+  RecommendSpec spec;
+  spec.similarity = "token_jaccard";
+  spec.input_attr = "Title";
+  spec.reference_attr = "Title";
+  spec.agg = RecommendAgg::kMax;
+  spec.score_column = "score";
+  NodePtr wf =
+      std::move(Workflow::Table("Courses")
+                    .Recommend(Workflow::Table("Courses")
+                                   .Select("CourseID = 10"),
+                               spec))
+          .Build();
+  Relation rel = MustRun(*wf);
+  ASSERT_EQ(rel.schema.column(rel.schema.num_columns() - 1).name, "score");
+  // Course 10 itself scores 1.0 and ranks first.
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 10);
+  // "Advanced Programming" shares a content word; beats "Calculus".
+  EXPECT_EQ(rel.rows[1][0].AsInt(), 11);
+}
+
+TEST_F(WorkflowTest, RecommendAggregations) {
+  // Reference with two rows: scores for course keys via rating_of.
+  for (RecommendAgg agg : {RecommendAgg::kMax, RecommendAgg::kAvg,
+                           RecommendAgg::kSum}) {
+    RecommendSpec spec;
+    spec.similarity = "rating_of";
+    spec.input_attr = "CourseID";
+    spec.reference_attr = "ratings";
+    spec.agg = agg;
+    NodePtr wf = std::move(
+        Workflow::Table("Courses")
+            .Recommend(Workflow::Table("Students")
+                           .Extend(Workflow::Table("Ratings"), "SuID",
+                                   "SuID", {"CourseID", "Score"}, "ratings")
+                           .Select("SuID IN (444, 1)"),
+                       spec))
+        .Build();
+    Relation rel = MustRun(*wf);
+    // Course 10 rated 5.0 by both refs.
+    double expected = agg == RecommendAgg::kSum ? 10.0 : 5.0;
+    bool found = false;
+    size_t score_col = rel.schema.num_columns() - 1;
+    for (const auto& row : rel.rows) {
+      if (row[0].AsInt() == 10) {
+        EXPECT_DOUBLE_EQ(row[score_col].AsDouble(), expected);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(WorkflowTest, RecommendDropsIncomparableInputs) {
+  RecommendSpec spec;
+  spec.similarity = "rating_of";
+  spec.input_attr = "CourseID";
+  spec.reference_attr = "ratings";
+  spec.agg = RecommendAgg::kAvg;
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Recommend(Workflow::Table("Students")
+                         .Extend(Workflow::Table("Ratings"), "SuID", "SuID",
+                                 {"CourseID", "Score"}, "ratings")
+                         .Select("SuID = 3"),
+                     spec))
+      .Build();
+  Relation rel = MustRun(*wf);
+  // Stranger only rated course 13, so only course 13 is scoreable.
+  ASSERT_EQ(rel.rows.size(), 1u);
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 13);
+}
+
+TEST_F(WorkflowTest, RecommendTopKAndMinScore) {
+  RecommendSpec spec;
+  spec.similarity = "token_jaccard";
+  spec.input_attr = "Title";
+  spec.reference_attr = "Title";
+  spec.top_k = 2;
+  spec.min_score = 0.01;
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Recommend(Workflow::Table("Courses").Select("CourseID = 10"),
+                     spec))
+      .Build();
+  Relation rel = MustRun(*wf);
+  EXPECT_EQ(rel.rows.size(), 2u);
+}
+
+TEST_F(WorkflowTest, WeightedAvgUsesWeights) {
+  // Two references for course 10: twin (weight 1.0, score 5) and opposite
+  // (weight 0.25, score 1): weighted avg = (5 + 0.25) / 1.25 = 4.2.
+  Relation refs;
+  refs.schema = Schema({{"ratings", ValueType::kList, true},
+                        {"w", ValueType::kDouble, false}});
+  refs.rows.push_back(
+      {Value(Value::List{Value(Value::List{Value(10), Value(5.0)})}),
+       Value(1.0)});
+  refs.rows.push_back(
+      {Value(Value::List{Value(Value::List{Value(10), Value(1.0)})}),
+       Value(0.25)});
+  RecommendSpec spec;
+  spec.similarity = "rating_of";
+  spec.input_attr = "CourseID";
+  spec.reference_attr = "ratings";
+  spec.agg = RecommendAgg::kWeightedAvg;
+  spec.weight_attr = "w";
+  NodePtr wf = std::move(Workflow::Table("Courses")
+                             .Recommend(Workflow::Values(std::move(refs)),
+                                        spec))
+                   .Build();
+  Relation rel = MustRun(*wf);
+  ASSERT_EQ(rel.rows.size(), 1u);
+  EXPECT_NEAR(rel.rows.back()[3].AsDouble(), 4.2, 1e-12);
+}
+
+TEST_F(WorkflowTest, AntiJoinExcludesKeys) {
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .AntiJoin(Workflow::Table("Ratings").Select("SuID = 444"),
+                    "CourseID", "CourseID"))
+      .Build();
+  Relation rel = MustRun(*wf);
+  // 5 courses minus the 2 the target rated.
+  EXPECT_EQ(rel.rows.size(), 3u);
+}
+
+TEST_F(WorkflowTest, UnknownSimilarityFailsAtCompile) {
+  RecommendSpec spec;
+  spec.similarity = "bogus";
+  spec.input_attr = "Title";
+  spec.reference_attr = "Title";
+  NodePtr wf = std::move(Workflow::Table("Courses")
+                             .Recommend(Workflow::Table("Courses"), spec))
+                   .Build();
+  EXPECT_EQ(engine_->Compile(*wf).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(WorkflowTest, MissingAttributeFailsAtExecution) {
+  RecommendSpec spec;
+  spec.similarity = "exact";
+  spec.input_attr = "Nope";
+  spec.reference_attr = "Title";
+  NodePtr wf = std::move(Workflow::Table("Courses")
+                             .Recommend(Workflow::Table("Courses"), spec))
+                   .Build();
+  EXPECT_FALSE(engine_->Run(*wf).ok());
+}
+
+TEST_F(WorkflowTest, ExplainListsSqlSteps) {
+  RecommendSpec spec;
+  spec.similarity = "token_jaccard";
+  spec.input_attr = "Title";
+  spec.reference_attr = "Title";
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Select("Year = 2008")
+          .Recommend(Workflow::Table("Courses").Select("CourseID = 10"),
+                     spec))
+      .Build();
+  auto compiled = engine_->Compile(*wf);
+  ASSERT_TRUE(compiled.ok());
+  std::string text = compiled->Explain();
+  EXPECT_NE(text.find("[SQL]"), std::string::npos);
+  EXPECT_NE(text.find("[PHYSICAL]"), std::string::npos);
+  EXPECT_NE(text.find("SELECT * FROM Courses WHERE"), std::string::npos);
+}
+
+TEST_F(WorkflowTest, CloneProducesIndependentTree) {
+  NodePtr wf =
+      std::move(Workflow::Table("Courses").Select("Year = 2008")).Build();
+  NodePtr clone = wf->Clone();
+  EXPECT_EQ(wf->ToString(), clone->ToString());
+  Relation a = MustRun(*wf);
+  Relation b = MustRun(*clone);
+  EXPECT_EQ(a.rows.size(), b.rows.size());
+}
+
+// ---------------------------------------------------------------- DSL
+
+TEST_F(WorkflowTest, DslRoundTripFig5a) {
+  auto wf = ParseWorkflow(R"(
+courses = TABLE Courses
+recent  = SELECT courses WHERE Year = 2008
+target  = SELECT courses WHERE Title = $title
+out     = RECOMMEND recent AGAINST target USING token_jaccard(Title, Title) AGG max SCORE score TOP 3
+RETURN out
+)");
+  ASSERT_TRUE(wf.ok()) << wf.status().ToString();
+  ParamMap params;
+  params["title"] = Value("Introduction to Programming");
+  Relation rel = MustRun(**wf, params);
+  ASSERT_EQ(rel.rows.size(), 3u);
+  EXPECT_EQ(rel.rows[0][1].AsString(), "Introduction to Programming");
+}
+
+TEST_F(WorkflowTest, DslExtendAndRecommend) {
+  auto wf = ParseWorkflow(R"(
+# Fig. 5(b) in miniature
+students = TABLE Students
+ratings  = TABLE Ratings
+ext      = EXTEND students WITH ratings ON SuID = SuID COLLECT CourseID, Score AS ratings
+target   = SELECT ext WHERE SuID = 444
+others   = SELECT ext WHERE SuID <> 444
+similar  = RECOMMEND others AGAINST target USING inv_euclidean(ratings, ratings) AGG max SCORE sim TOP 2
+RETURN similar
+)");
+  ASSERT_TRUE(wf.ok()) << wf.status().ToString();
+  Relation rel = MustRun(**wf);
+  ASSERT_EQ(rel.rows.size(), 2u);
+  // Twin (SuID 1) is the most similar with sim = 1.0.
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(rel.rows[0][3].AsDouble(), 1.0);
+  // Opposite is less similar.
+  EXPECT_EQ(rel.rows[1][0].AsInt(), 2);
+  EXPECT_LT(rel.rows[1][3].AsDouble(), 0.5);
+}
+
+TEST_F(WorkflowTest, DslExceptAndTopK) {
+  auto wf = ParseWorkflow(R"(
+courses = TABLE Courses
+mine    = SQL SELECT CourseID FROM Ratings WHERE SuID = 444
+fresh   = EXCEPT courses ON CourseID = CourseID FROM mine
+top     = TOPK fresh BY CourseID ASC LIMIT 2
+RETURN top
+)");
+  ASSERT_TRUE(wf.ok()) << wf.status().ToString();
+  Relation rel = MustRun(**wf);
+  ASSERT_EQ(rel.rows.size(), 2u);
+  EXPECT_EQ(rel.rows[0][0].AsInt(), 11);
+  EXPECT_EQ(rel.rows[1][0].AsInt(), 13);
+}
+
+TEST_F(WorkflowTest, DslProjectAndJoin) {
+  auto wf = ParseWorkflow(R"(
+r = TABLE Ratings
+s = TABLE Students
+j = JOIN r WITH s ON Ratings.SuID = Students.SuID
+p = PROJECT j TO Name AS who, Score AS score
+RETURN p
+)");
+  ASSERT_TRUE(wf.ok()) << wf.status().ToString();
+  Relation rel = MustRun(**wf);
+  EXPECT_EQ(rel.rows.size(), 9u);
+  EXPECT_EQ(rel.schema.column(0).name, "who");
+}
+
+TEST_F(WorkflowTest, DslErrors) {
+  EXPECT_FALSE(ParseWorkflow("").ok());  // no RETURN
+  EXPECT_FALSE(ParseWorkflow("x = TABLE T\n").ok());
+  EXPECT_FALSE(ParseWorkflow("RETURN nothing\n").ok());
+  EXPECT_FALSE(ParseWorkflow("x = FROBNICATE y\nRETURN x\n").ok());
+  EXPECT_FALSE(
+      ParseWorkflow("x = SELECT missing WHERE a = 1\nRETURN x\n").ok());
+  EXPECT_FALSE(ParseWorkflow(
+                   "c = TABLE Courses\n"
+                   "x = RECOMMEND c AGAINST c USING broken\nRETURN x\n")
+                   .ok());
+}
+
+TEST_F(WorkflowTest, DslReferenceReuseClones) {
+  // "courses" referenced twice — both uses must work.
+  auto wf = ParseWorkflow(R"(
+courses = TABLE Courses
+a = SELECT courses WHERE Year = 2008
+b = SELECT courses WHERE Year = 2007
+u = JOIN a WITH b ON a.Year <> b.Year
+RETURN u
+)");
+  // Our join condition references unprefixed columns; just check parsing.
+  ASSERT_TRUE(wf.ok()) << wf.status().ToString();
+}
+
+// ---------------------------------------------------------------- to-DSL
+
+TEST_F(WorkflowTest, WorkflowToDslRoundTripsCannedStrategies) {
+  // Serialize each default strategy's tree back to DSL, reparse, and check
+  // the operator trees match.
+  for (const std::string& dsl :
+       {std::string(R"(
+c = TABLE Courses
+t = SELECT c WHERE Year = 2008
+r = RECOMMEND c AGAINST t USING token_jaccard(Title, Title) AGG max SCORE s TOP 5
+k = TOPK r BY s DESC LIMIT 3
+RETURN k
+)"),
+        std::string(R"(
+s = TABLE Students
+r = TABLE Ratings
+e = EXTEND s WITH r ON SuID = SuID COLLECT CourseID, Score AS ratings
+p = PROJECT e TO Name AS who, ratings AS ratings
+RETURN p
+)"),
+        std::string(R"(
+c = TABLE Courses
+m = SQL SELECT CourseID FROM Ratings WHERE SuID = 444
+f = EXCEPT c ON CourseID = CourseID FROM m
+RETURN f
+)")}) {
+    auto wf = ParseWorkflow(dsl);
+    ASSERT_TRUE(wf.ok()) << wf.status().ToString();
+    auto text = WorkflowToDsl(**wf);
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    auto reparsed = ParseWorkflow(*text);
+    ASSERT_TRUE(reparsed.ok()) << *text;
+    EXPECT_EQ((*wf)->ToString(), (*reparsed)->ToString()) << *text;
+  }
+}
+
+TEST_F(WorkflowTest, WorkflowToDslPreservesRecommendClauses) {
+  RecommendSpec spec;
+  spec.similarity = "inv_euclidean";
+  spec.input_attr = "ratings";
+  spec.reference_attr = "ratings";
+  spec.agg = RecommendAgg::kWeightedAvg;
+  spec.weight_attr = "sim";
+  spec.score_column = "blended";
+  spec.top_k = 7;
+  spec.min_score = 0.25;
+  NodePtr wf = std::move(Workflow::Table("Students")
+                             .Recommend(Workflow::Table("Students"), spec))
+                   .Build();
+  auto text = WorkflowToDsl(*wf);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("AGG weighted sim"), std::string::npos);
+  EXPECT_NE(text->find("SCORE blended"), std::string::npos);
+  EXPECT_NE(text->find("TOP 7"), std::string::npos);
+  EXPECT_NE(text->find("MIN 0.25"), std::string::npos);
+  auto reparsed = ParseWorkflow(*text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)->recommend.min_score, 0.25);
+}
+
+TEST_F(WorkflowTest, WorkflowToDslRejectsValuesNodes) {
+  Relation rel;
+  rel.schema = Schema({{"x", ValueType::kInt, true}});
+  NodePtr wf = std::move(Workflow::Values(std::move(rel))).Build();
+  EXPECT_EQ(WorkflowToDsl(*wf).status().code(), StatusCode::kUnimplemented);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST_F(WorkflowTest, StrategyRegistryRoundTrip) {
+  NodePtr wf =
+      std::move(Workflow::Table("Courses").Select("Year = $year")).Build();
+  ASSERT_TRUE(engine_->RegisterStrategy("recent", std::move(wf)).ok());
+  ParamMap params;
+  params["year"] = Value(2008);
+  auto rel = engine_->RunStrategy("recent", params);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->rows.size(), 4u);
+  EXPECT_EQ(engine_->RunStrategy("nope").status().code(),
+            StatusCode::kNotFound);
+  auto explain = engine_->ExplainStrategy("recent");
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("Select"), std::string::npos);
+  EXPECT_EQ(engine_->StrategyNames().size(), 1u);
+}
+
+TEST_F(WorkflowTest, RegisterRejectsInvalidWorkflow) {
+  RecommendSpec spec;
+  spec.similarity = "bogus";
+  spec.input_attr = "a";
+  spec.reference_attr = "b";
+  NodePtr wf = std::move(Workflow::Table("Courses")
+                             .Recommend(Workflow::Table("Courses"), spec))
+                   .Build();
+  EXPECT_FALSE(engine_->RegisterStrategy("bad", std::move(wf)).ok());
+  EXPECT_FALSE(engine_->RegisterStrategy("null", nullptr).ok());
+}
+
+}  // namespace
+}  // namespace courserank::flexrecs
