@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cloud.dir/bench_fig3_cloud.cc.o"
+  "CMakeFiles/bench_fig3_cloud.dir/bench_fig3_cloud.cc.o.d"
+  "bench_fig3_cloud"
+  "bench_fig3_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

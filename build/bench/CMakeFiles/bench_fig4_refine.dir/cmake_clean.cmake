@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_refine.dir/bench_fig4_refine.cc.o"
+  "CMakeFiles/bench_fig4_refine.dir/bench_fig4_refine.cc.o.d"
+  "bench_fig4_refine"
+  "bench_fig4_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

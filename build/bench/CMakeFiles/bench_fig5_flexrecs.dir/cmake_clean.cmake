@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_flexrecs.dir/bench_fig5_flexrecs.cc.o"
+  "CMakeFiles/bench_fig5_flexrecs.dir/bench_fig5_flexrecs.cc.o.d"
+  "bench_fig5_flexrecs"
+  "bench_fig5_flexrecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_flexrecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

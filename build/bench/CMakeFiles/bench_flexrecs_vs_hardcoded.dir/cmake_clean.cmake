@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flexrecs_vs_hardcoded.dir/bench_flexrecs_vs_hardcoded.cc.o"
+  "CMakeFiles/bench_flexrecs_vs_hardcoded.dir/bench_flexrecs_vs_hardcoded.cc.o.d"
+  "bench_flexrecs_vs_hardcoded"
+  "bench_flexrecs_vs_hardcoded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flexrecs_vs_hardcoded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

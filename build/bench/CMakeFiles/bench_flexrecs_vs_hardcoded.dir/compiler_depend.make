@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_flexrecs_vs_hardcoded.
+# This may be replaced when dependencies are built.

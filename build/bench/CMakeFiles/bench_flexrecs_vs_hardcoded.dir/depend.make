@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_flexrecs_vs_hardcoded.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corporate_site.dir/corporate_site.cpp.o"
+  "CMakeFiles/corporate_site.dir/corporate_site.cpp.o.d"
+  "corporate_site"
+  "corporate_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corporate_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

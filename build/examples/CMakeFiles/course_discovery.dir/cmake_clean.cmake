@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/course_discovery.dir/course_discovery.cpp.o"
+  "CMakeFiles/course_discovery.dir/course_discovery.cpp.o.d"
+  "course_discovery"
+  "course_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/course_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_common.dir/rng.cc.o"
+  "CMakeFiles/cr_common.dir/rng.cc.o.d"
+  "CMakeFiles/cr_common.dir/status.cc.o"
+  "CMakeFiles/cr_common.dir/status.cc.o.d"
+  "CMakeFiles/cr_common.dir/strings.cc.o"
+  "CMakeFiles/cr_common.dir/strings.cc.o.d"
+  "CMakeFiles/cr_common.dir/term.cc.o"
+  "CMakeFiles/cr_common.dir/term.cc.o.d"
+  "libcr_common.a"
+  "libcr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

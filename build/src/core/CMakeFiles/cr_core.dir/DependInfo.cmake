@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_recommender.cc" "src/core/CMakeFiles/cr_core.dir/baseline_recommender.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/baseline_recommender.cc.o.d"
+  "/root/repo/src/core/data_cloud.cc" "src/core/CMakeFiles/cr_core.dir/data_cloud.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/data_cloud.cc.o.d"
+  "/root/repo/src/core/flexrecs_engine.cc" "src/core/CMakeFiles/cr_core.dir/flexrecs_engine.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/flexrecs_engine.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/cr_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/strategies.cc" "src/core/CMakeFiles/cr_core.dir/strategies.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/strategies.cc.o.d"
+  "/root/repo/src/core/workflow.cc" "src/core/CMakeFiles/cr_core.dir/workflow.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/workflow.cc.o.d"
+  "/root/repo/src/core/workflow_optimizer.cc" "src/core/CMakeFiles/cr_core.dir/workflow_optimizer.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/workflow_optimizer.cc.o.d"
+  "/root/repo/src/core/workflow_parser.cc" "src/core/CMakeFiles/cr_core.dir/workflow_parser.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/workflow_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/cr_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/cr_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

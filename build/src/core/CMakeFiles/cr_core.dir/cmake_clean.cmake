@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_core.dir/baseline_recommender.cc.o"
+  "CMakeFiles/cr_core.dir/baseline_recommender.cc.o.d"
+  "CMakeFiles/cr_core.dir/data_cloud.cc.o"
+  "CMakeFiles/cr_core.dir/data_cloud.cc.o.d"
+  "CMakeFiles/cr_core.dir/flexrecs_engine.cc.o"
+  "CMakeFiles/cr_core.dir/flexrecs_engine.cc.o.d"
+  "CMakeFiles/cr_core.dir/similarity.cc.o"
+  "CMakeFiles/cr_core.dir/similarity.cc.o.d"
+  "CMakeFiles/cr_core.dir/strategies.cc.o"
+  "CMakeFiles/cr_core.dir/strategies.cc.o.d"
+  "CMakeFiles/cr_core.dir/workflow.cc.o"
+  "CMakeFiles/cr_core.dir/workflow.cc.o.d"
+  "CMakeFiles/cr_core.dir/workflow_optimizer.cc.o"
+  "CMakeFiles/cr_core.dir/workflow_optimizer.cc.o.d"
+  "CMakeFiles/cr_core.dir/workflow_parser.cc.o"
+  "CMakeFiles/cr_core.dir/workflow_parser.cc.o.d"
+  "libcr_core.a"
+  "libcr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_gen.dir/generator.cc.o"
+  "CMakeFiles/cr_gen.dir/generator.cc.o.d"
+  "CMakeFiles/cr_gen.dir/vocab.cc.o"
+  "CMakeFiles/cr_gen.dir/vocab.cc.o.d"
+  "libcr_gen.a"
+  "libcr_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_planner.dir/plan.cc.o"
+  "CMakeFiles/cr_planner.dir/plan.cc.o.d"
+  "CMakeFiles/cr_planner.dir/prereq.cc.o"
+  "CMakeFiles/cr_planner.dir/prereq.cc.o.d"
+  "CMakeFiles/cr_planner.dir/requirements.cc.o"
+  "CMakeFiles/cr_planner.dir/requirements.cc.o.d"
+  "CMakeFiles/cr_planner.dir/scheduler.cc.o"
+  "CMakeFiles/cr_planner.dir/scheduler.cc.o.d"
+  "libcr_planner.a"
+  "libcr_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/expr.cc" "src/query/CMakeFiles/cr_query.dir/expr.cc.o" "gcc" "src/query/CMakeFiles/cr_query.dir/expr.cc.o.d"
+  "/root/repo/src/query/plan.cc" "src/query/CMakeFiles/cr_query.dir/plan.cc.o" "gcc" "src/query/CMakeFiles/cr_query.dir/plan.cc.o.d"
+  "/root/repo/src/query/relation.cc" "src/query/CMakeFiles/cr_query.dir/relation.cc.o" "gcc" "src/query/CMakeFiles/cr_query.dir/relation.cc.o.d"
+  "/root/repo/src/query/sql_engine.cc" "src/query/CMakeFiles/cr_query.dir/sql_engine.cc.o" "gcc" "src/query/CMakeFiles/cr_query.dir/sql_engine.cc.o.d"
+  "/root/repo/src/query/sql_parser.cc" "src/query/CMakeFiles/cr_query.dir/sql_parser.cc.o" "gcc" "src/query/CMakeFiles/cr_query.dir/sql_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/cr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

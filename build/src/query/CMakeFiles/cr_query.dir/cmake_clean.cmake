@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_query.dir/expr.cc.o"
+  "CMakeFiles/cr_query.dir/expr.cc.o.d"
+  "CMakeFiles/cr_query.dir/plan.cc.o"
+  "CMakeFiles/cr_query.dir/plan.cc.o.d"
+  "CMakeFiles/cr_query.dir/relation.cc.o"
+  "CMakeFiles/cr_query.dir/relation.cc.o.d"
+  "CMakeFiles/cr_query.dir/sql_engine.cc.o"
+  "CMakeFiles/cr_query.dir/sql_engine.cc.o.d"
+  "CMakeFiles/cr_query.dir/sql_parser.cc.o"
+  "CMakeFiles/cr_query.dir/sql_parser.cc.o.d"
+  "libcr_query.a"
+  "libcr_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/entity.cc" "src/search/CMakeFiles/cr_search.dir/entity.cc.o" "gcc" "src/search/CMakeFiles/cr_search.dir/entity.cc.o.d"
+  "/root/repo/src/search/inverted_index.cc" "src/search/CMakeFiles/cr_search.dir/inverted_index.cc.o" "gcc" "src/search/CMakeFiles/cr_search.dir/inverted_index.cc.o.d"
+  "/root/repo/src/search/naive_search.cc" "src/search/CMakeFiles/cr_search.dir/naive_search.cc.o" "gcc" "src/search/CMakeFiles/cr_search.dir/naive_search.cc.o.d"
+  "/root/repo/src/search/searcher.cc" "src/search/CMakeFiles/cr_search.dir/searcher.cc.o" "gcc" "src/search/CMakeFiles/cr_search.dir/searcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/cr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

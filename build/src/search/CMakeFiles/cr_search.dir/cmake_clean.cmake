@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_search.dir/entity.cc.o"
+  "CMakeFiles/cr_search.dir/entity.cc.o.d"
+  "CMakeFiles/cr_search.dir/inverted_index.cc.o"
+  "CMakeFiles/cr_search.dir/inverted_index.cc.o.d"
+  "CMakeFiles/cr_search.dir/naive_search.cc.o"
+  "CMakeFiles/cr_search.dir/naive_search.cc.o.d"
+  "CMakeFiles/cr_search.dir/searcher.cc.o"
+  "CMakeFiles/cr_search.dir/searcher.cc.o.d"
+  "libcr_search.a"
+  "libcr_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

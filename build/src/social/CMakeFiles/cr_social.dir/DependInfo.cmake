@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/social/auth.cc" "src/social/CMakeFiles/cr_social.dir/auth.cc.o" "gcc" "src/social/CMakeFiles/cr_social.dir/auth.cc.o.d"
+  "/root/repo/src/social/comments.cc" "src/social/CMakeFiles/cr_social.dir/comments.cc.o" "gcc" "src/social/CMakeFiles/cr_social.dir/comments.cc.o.d"
+  "/root/repo/src/social/forum.cc" "src/social/CMakeFiles/cr_social.dir/forum.cc.o" "gcc" "src/social/CMakeFiles/cr_social.dir/forum.cc.o.d"
+  "/root/repo/src/social/grades.cc" "src/social/CMakeFiles/cr_social.dir/grades.cc.o" "gcc" "src/social/CMakeFiles/cr_social.dir/grades.cc.o.d"
+  "/root/repo/src/social/incentives.cc" "src/social/CMakeFiles/cr_social.dir/incentives.cc.o" "gcc" "src/social/CMakeFiles/cr_social.dir/incentives.cc.o.d"
+  "/root/repo/src/social/model.cc" "src/social/CMakeFiles/cr_social.dir/model.cc.o" "gcc" "src/social/CMakeFiles/cr_social.dir/model.cc.o.d"
+  "/root/repo/src/social/privacy.cc" "src/social/CMakeFiles/cr_social.dir/privacy.cc.o" "gcc" "src/social/CMakeFiles/cr_social.dir/privacy.cc.o.d"
+  "/root/repo/src/social/schema.cc" "src/social/CMakeFiles/cr_social.dir/schema.cc.o" "gcc" "src/social/CMakeFiles/cr_social.dir/schema.cc.o.d"
+  "/root/repo/src/social/site.cc" "src/social/CMakeFiles/cr_social.dir/site.cc.o" "gcc" "src/social/CMakeFiles/cr_social.dir/site.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/cr_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/cr_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_social.dir/auth.cc.o"
+  "CMakeFiles/cr_social.dir/auth.cc.o.d"
+  "CMakeFiles/cr_social.dir/comments.cc.o"
+  "CMakeFiles/cr_social.dir/comments.cc.o.d"
+  "CMakeFiles/cr_social.dir/forum.cc.o"
+  "CMakeFiles/cr_social.dir/forum.cc.o.d"
+  "CMakeFiles/cr_social.dir/grades.cc.o"
+  "CMakeFiles/cr_social.dir/grades.cc.o.d"
+  "CMakeFiles/cr_social.dir/incentives.cc.o"
+  "CMakeFiles/cr_social.dir/incentives.cc.o.d"
+  "CMakeFiles/cr_social.dir/model.cc.o"
+  "CMakeFiles/cr_social.dir/model.cc.o.d"
+  "CMakeFiles/cr_social.dir/privacy.cc.o"
+  "CMakeFiles/cr_social.dir/privacy.cc.o.d"
+  "CMakeFiles/cr_social.dir/schema.cc.o"
+  "CMakeFiles/cr_social.dir/schema.cc.o.d"
+  "CMakeFiles/cr_social.dir/site.cc.o"
+  "CMakeFiles/cr_social.dir/site.cc.o.d"
+  "libcr_social.a"
+  "libcr_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_storage.dir/csv.cc.o"
+  "CMakeFiles/cr_storage.dir/csv.cc.o.d"
+  "CMakeFiles/cr_storage.dir/database.cc.o"
+  "CMakeFiles/cr_storage.dir/database.cc.o.d"
+  "CMakeFiles/cr_storage.dir/schema.cc.o"
+  "CMakeFiles/cr_storage.dir/schema.cc.o.d"
+  "CMakeFiles/cr_storage.dir/snapshot.cc.o"
+  "CMakeFiles/cr_storage.dir/snapshot.cc.o.d"
+  "CMakeFiles/cr_storage.dir/table.cc.o"
+  "CMakeFiles/cr_storage.dir/table.cc.o.d"
+  "CMakeFiles/cr_storage.dir/value.cc.o"
+  "CMakeFiles/cr_storage.dir/value.cc.o.d"
+  "libcr_storage.a"
+  "libcr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_text.dir/analyzer.cc.o"
+  "CMakeFiles/cr_text.dir/analyzer.cc.o.d"
+  "CMakeFiles/cr_text.dir/stemmer.cc.o"
+  "CMakeFiles/cr_text.dir/stemmer.cc.o.d"
+  "CMakeFiles/cr_text.dir/stopwords.cc.o"
+  "CMakeFiles/cr_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/cr_text.dir/tokenizer.cc.o"
+  "CMakeFiles/cr_text.dir/tokenizer.cc.o.d"
+  "libcr_text.a"
+  "libcr_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

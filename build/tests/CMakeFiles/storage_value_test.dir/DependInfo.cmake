@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage_value_test.cc" "tests/CMakeFiles/storage_value_test.dir/storage_value_test.cc.o" "gcc" "tests/CMakeFiles/storage_value_test.dir/storage_value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/cr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/cr_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/cr_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/cr_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/cr_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
