@@ -5,20 +5,28 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/data_cloud.h"
 #include "search/naive_search.h"
+#include "search/query_cache.h"
 #include "search/searcher.h"
 
 namespace courserank::bench {
 namespace {
 
+using cloud::CachingCloudBuilder;
 using cloud::CloudBuilder;
+using search::CachingSearcher;
+using search::MatchStrategy;
 using search::NaiveSearcher;
+using search::SearchOptions;
 using search::Searcher;
 
 /// Worlds at several catalog scales, generated once.
@@ -71,6 +79,124 @@ void PrintScalingTable() {
   }
 }
 
+// ---------------------------------------------------------------- JSON out
+
+/// Median ns/op over `iters` timed runs of `fn`.
+template <typename Fn>
+double TimeNs(Fn&& fn, int iters) {
+  std::vector<double> samples;
+  samples.reserve(iters);
+  for (int i = 0; i < iters; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct JsonRow {
+  std::string name;
+  int scale;
+  double ns_per_op;
+};
+
+/// Machine-readable perf trajectory for future PRs: ns/op per benchmark
+/// per corpus scale, written to BENCH_search.json in the working dir.
+void WriteBenchJson() {
+  std::vector<JsonRow> rows;
+  auto add = [&](const std::string& name, int scale, double ns) {
+    rows.push_back({name, scale, ns});
+    std::fprintf(stderr, "  %-40s scale=%-6d %14.0f ns/op\n", name.c_str(),
+                 scale, ns);
+  };
+
+  std::fprintf(stderr, "\n[bench] BENCH_search.json rows:\n");
+  const char* kConjunctive = "american politics";
+  for (int courses : {1000, 4000, 18605}) {
+    World& world = WorldAtScale(courses);
+    const auto& index = world.site->index();
+
+    SearchOptions intersect_opts;  // default: postings intersection
+    SearchOptions filter_opts;     // the seed's per-doc DocContains loop
+    filter_opts.strategy = MatchStrategy::kPerDocFilter;
+    Searcher intersect(&index, intersect_opts);
+    Searcher filter(&index, filter_opts);
+
+    int iters = courses > 10000 ? 15 : 31;
+    add("cold_conjunctive_intersection", courses, TimeNs([&] {
+          auto r = intersect.Search(kConjunctive);
+          CR_CHECK(r.ok());
+          benchmark::DoNotOptimize(r);
+        }, iters));
+    add("cold_conjunctive_perdoc_filter", courses, TimeNs([&] {
+          auto r = filter.Search(kConjunctive);
+          CR_CHECK(r.ok());
+          benchmark::DoNotOptimize(r);
+        }, iters));
+
+    CachingSearcher cached(&index);
+    CR_CHECK(cached.Search(kConjunctive).ok());  // warm the entry
+    add("warm_repeated_query_cached", courses, TimeNs([&] {
+          auto r = cached.Search(kConjunctive);
+          CR_CHECK(r.ok());
+          benchmark::DoNotOptimize(r);
+        }, 101));
+
+    // The Fig. 4 cloud-click workload: base query then a refinement,
+    // repeated as users bounce between the two result pages.
+    auto base = cached.Search("american");
+    CR_CHECK(base.ok());
+    CR_CHECK(cached.Refine(**base, "politics").ok());
+    add("warm_refined_query_cached", courses, TimeNs([&] {
+          auto r = cached.Refine(**base, "politics");
+          CR_CHECK(r.ok());
+          benchmark::DoNotOptimize(r);
+        }, 101));
+    Searcher plain(&index);
+    auto plain_base = plain.Search("american");
+    CR_CHECK(plain_base.ok());
+    add("cold_refined_query", courses, TimeNs([&] {
+          auto r = plain.Refine(*plain_base, "politics");
+          CR_CHECK(r.ok());
+          benchmark::DoNotOptimize(r);
+        }, iters));
+
+    // Cloud accumulation over the result term vectors, cold vs cached.
+    CloudBuilder clouds(&index);
+    add("cold_cloud_build", courses, TimeNs([&] {
+          auto c = clouds.Build(**base);
+          benchmark::DoNotOptimize(c);
+        }, iters));
+    CachingCloudBuilder cached_clouds(&index);
+    CR_CHECK(cached_clouds.Build(**base) != nullptr);
+    add("warm_cloud_build_cached", courses, TimeNs([&] {
+          auto c = cached_clouds.Build(**base);
+          benchmark::DoNotOptimize(c);
+        }, 101));
+  }
+
+  std::FILE* f = std::fopen("BENCH_search.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write BENCH_search.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_search_scaling\",\n"
+               "  \"unit\": \"ns/op\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"scale\": %d, \"ns_per_op\": %.0f}%s\n",
+                 rows[i].name.c_str(), rows[i].scale, rows[i].ns_per_op,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote BENCH_search.json (%zu rows)\n",
+               rows.size());
+}
+
 void BM_IndexedSearch(benchmark::State& state) {
   World& world = WorldAtScale(static_cast<int>(state.range(0)));
   auto searcher = world.site->MakeSearcher();
@@ -82,6 +208,43 @@ void BM_IndexedSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexedSearch)->Arg(1000)->Arg(4000)->Arg(18605)
     ->Unit(benchmark::kMillisecond);
+
+void BM_ConjunctiveIntersection(benchmark::State& state) {
+  World& world = WorldAtScale(static_cast<int>(state.range(0)));
+  Searcher searcher(&world.site->index());
+  for (auto _ : state) {
+    auto r = searcher.Search("american politics");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ConjunctiveIntersection)->Arg(1000)->Arg(4000)->Arg(18605)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConjunctivePerDocFilter(benchmark::State& state) {
+  // The seed's candidate loop: one DocContains + ScoreTerm (string hash +
+  // binary searches) per candidate per term.
+  World& world = WorldAtScale(static_cast<int>(state.range(0)));
+  SearchOptions opts;
+  opts.strategy = MatchStrategy::kPerDocFilter;
+  Searcher searcher(&world.site->index(), opts);
+  for (auto _ : state) {
+    auto r = searcher.Search("american politics");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ConjunctivePerDocFilter)->Arg(1000)->Arg(4000)->Arg(18605)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CachedRepeatedSearch(benchmark::State& state) {
+  World& world = WorldAtScale(18605);
+  CachingSearcher cached(&world.site->index());
+  CR_CHECK(cached.Search("american politics").ok());
+  for (auto _ : state) {
+    auto r = cached.Search("american politics");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CachedRepeatedSearch)->Unit(benchmark::kMicrosecond);
 
 void BM_NaiveScanSearch(benchmark::State& state) {
   World& world = WorldAtScale(static_cast<int>(state.range(0)));
@@ -152,6 +315,7 @@ BENCHMARK(BM_IncrementalRefresh)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   courserank::bench::PrintScalingTable();
+  courserank::bench::WriteBenchJson();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,117 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace courserank {
+
+namespace {
+
+/// Set while a thread is executing pool work, so nested ParallelFor calls
+/// run inline instead of blocking on a queue they are supposed to drain.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+size_t ThreadPool::NumChunks(size_t n, size_t min_chunk) {
+  if (n == 0) return 0;
+  if (min_chunk == 0) min_chunk = 1;
+  return std::min(kMaxChunks, (n + min_chunk - 1) / min_chunk);
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t min_chunk,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  size_t chunks = NumChunks(n, min_chunk);
+  if (chunks == 0) return;
+
+  // The partition below is a pure function of (n, chunks).
+  auto chunk_bounds = [n, chunks](size_t c) {
+    size_t begin = n * c / chunks;
+    size_t end = n * (c + 1) / chunks;
+    return std::pair<size_t, size_t>(begin, end);
+  };
+
+  if (chunks == 1 || workers_.empty() || t_in_pool_worker) {
+    for (size_t c = 0; c < chunks; ++c) {
+      auto [begin, end] = chunk_bounds(c);
+      fn(c, begin, end);
+    }
+    return;
+  }
+
+  std::atomic<size_t> remaining(chunks);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t c = 0; c < chunks; ++c) {
+      auto [begin, end] = chunk_bounds(c);
+      queue_.push_back([&, c, begin, end] {
+        fn(c, begin, end);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> done_lock(done_mu);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+  // The caller helps drain its own chunks so a small pool never stalls a
+  // large ParallelFor.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+    }
+    if (!task) break;
+    task();
+  }
+  std::unique_lock<std::mutex> done_lock(done_mu);
+  done_cv.wait(done_lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& SharedThreadPool() {
+  static ThreadPool* pool = [] {
+    unsigned hc = std::thread::hardware_concurrency();
+    return new ThreadPool(hc <= 1 ? 0 : hc - 1);
+  }();
+  return *pool;
+}
+
+}  // namespace courserank

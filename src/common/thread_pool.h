@@ -1,0 +1,66 @@
+#ifndef COURSERANK_COMMON_THREAD_POOL_H_
+#define COURSERANK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace courserank {
+
+/// A fixed pool of worker threads shared by the read-side query path
+/// (index build, cloud accumulation) and any later scaling work.
+///
+/// Determinism contract: `ParallelFor` partitions work into chunks as a
+/// function of the item count only — never of the worker count — and every
+/// chunk writes to caller-provided disjoint slots. A pool with zero workers
+/// (the `hardware_concurrency() <= 1` container case) therefore runs the
+/// exact same chunks inline in order, and produces byte-identical results.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means no workers: all work runs inline on the
+  /// calling thread.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(chunk_index, begin, end)` over `[0, n)` split into
+  /// `NumChunks(n, min_chunk)` contiguous ranges and blocks until all
+  /// chunks finish. Chunk boundaries depend only on `n` and `min_chunk`.
+  /// Called from a worker thread (nested parallelism) it degrades to
+  /// inline execution rather than deadlocking on its own pool.
+  void ParallelFor(size_t n, size_t min_chunk,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// The fixed chunk partition ParallelFor uses; exposed so callers can
+  /// pre-size per-chunk output slots.
+  static size_t NumChunks(size_t n, size_t min_chunk);
+
+  /// Maximum number of chunks any ParallelFor produces (bounds per-chunk
+  /// scratch memory).
+  static constexpr size_t kMaxChunks = 16;
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool sized to the hardware, created on first use. Holds
+/// zero workers (inline execution) when `hardware_concurrency() <= 1`.
+ThreadPool& SharedThreadPool();
+
+}  // namespace courserank
+
+#endif  // COURSERANK_COMMON_THREAD_POOL_H_

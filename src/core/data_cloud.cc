@@ -10,7 +10,30 @@
 namespace courserank::cloud {
 
 using search::kNoTerm;
-using search::TermId;
+
+namespace {
+
+/// Minimum hits per accumulation shard; below this, sharding overhead
+/// beats the parallelism. The shard count is a pure function of the hit
+/// count (see ThreadPool::NumChunks), never of the worker count.
+constexpr size_t kMinShardHits = 256;
+
+/// Query terms (and their components) never appear in the cloud — clicking
+/// them would be a no-op refinement.
+std::set<std::string> ExcludedTerms(const ResultSet& results) {
+  std::set<std::string> excluded;
+  for (const std::string& q : results.terms) {
+    excluded.insert(q);
+    size_t space = q.find(' ');
+    if (space != std::string::npos) {
+      excluded.insert(q.substr(0, space));
+      excluded.insert(q.substr(space + 1));
+    }
+  }
+  return excluded;
+}
+
+}  // namespace
 
 bool DataCloud::Contains(const std::string& display_or_term) const {
   for (const CloudTerm& t : terms) {
@@ -39,28 +62,111 @@ std::string DataCloud::ToString() const {
   return out;
 }
 
-DataCloud CloudBuilder::Build(const ResultSet& results) const {
-  AggMap unigrams;
-  AggMap bigrams;
-  for (const search::SearchHit& hit : results.hits) {
+// ------------------------------------------------------------ accumulators
+
+void CloudBuilder::Accumulator::EnsureSize(size_t num_terms) {
+  if (agg.size() < num_terms) agg.resize(num_terms);
+}
+
+void CloudBuilder::Accumulator::Clear() {
+  for (TermId tid : touched_unigrams) agg[tid] = TermAgg{};
+  for (TermId tid : touched_bigrams) agg[tid] = TermAgg{};
+  touched_unigrams.clear();
+  touched_bigrams.clear();
+}
+
+std::unique_ptr<CloudBuilder::Accumulator> CloudBuilder::TakeScratch() const {
+  std::unique_ptr<Accumulator> acc;
+  {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    if (!scratch_.empty()) {
+      acc = std::move(scratch_.back());
+      scratch_.pop_back();
+    }
+  }
+  if (!acc) acc = std::make_unique<Accumulator>();
+  acc->EnsureSize(index_->num_terms());
+  return acc;
+}
+
+void CloudBuilder::ReturnScratch(std::unique_ptr<Accumulator> acc) const {
+  acc->Clear();
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  if (scratch_.size() < ThreadPool::kMaxChunks + 1) {
+    scratch_.push_back(std::move(acc));
+  }
+}
+
+void CloudBuilder::AccumulateRange(const ResultSet& results, size_t begin,
+                                   size_t end, Accumulator* acc) const {
+  for (size_t h = begin; h < end; ++h) {
+    const search::SearchHit& hit = results.hits[h];
     if (!index_->IsLive(hit.doc)) continue;
     const search::DocTermVector& vec = index_->doc_terms(hit.doc);
     for (const auto& [tid, tf] : vec.unigrams) {
-      TermAgg& agg = unigrams[index_->TermString(tid)];
+      TermAgg& agg = acc->agg[tid];
+      if (agg.doc_count == 0) acc->touched_unigrams.push_back(tid);
       agg.total_tf += tf;
       agg.doc_count += 1;
       agg.sum_log_tf += 1.0 + std::log(static_cast<double>(tf));
     }
     if (options_.include_bigrams) {
       for (const auto& [tid, tf] : vec.bigrams) {
-        TermAgg& agg = bigrams[index_->TermString(tid)];
+        TermAgg& agg = acc->agg[tid];
+        if (agg.doc_count == 0) acc->touched_bigrams.push_back(tid);
         agg.total_tf += tf;
         agg.doc_count += 1;
         agg.sum_log_tf += 1.0 + std::log(static_cast<double>(tf));
       }
     }
   }
-  return Assemble(unigrams, bigrams, results);
+}
+
+void CloudBuilder::MergeInto(const Accumulator& shard, Accumulator* main) {
+  for (TermId tid : shard.touched_unigrams) {
+    TermAgg& agg = main->agg[tid];
+    if (agg.doc_count == 0) main->touched_unigrams.push_back(tid);
+    const TermAgg& s = shard.agg[tid];
+    agg.total_tf += s.total_tf;
+    agg.doc_count += s.doc_count;
+    agg.sum_log_tf += s.sum_log_tf;
+  }
+  for (TermId tid : shard.touched_bigrams) {
+    TermAgg& agg = main->agg[tid];
+    if (agg.doc_count == 0) main->touched_bigrams.push_back(tid);
+    const TermAgg& s = shard.agg[tid];
+    agg.total_tf += s.total_tf;
+    agg.doc_count += s.doc_count;
+    agg.sum_log_tf += s.sum_log_tf;
+  }
+}
+
+DataCloud CloudBuilder::Build(const ResultSet& results) const {
+  std::unique_ptr<Accumulator> main = TakeScratch();
+
+  size_t shards = ThreadPool::NumChunks(results.hits.size(), kMinShardHits);
+  if (shards <= 1) {
+    AccumulateRange(results, 0, results.hits.size(), main.get());
+  } else {
+    // Per-shard partials merged in shard order: the floating-point
+    // addition tree depends only on the (hit-count-determined) partition,
+    // so any pool size — including inline — produces identical bytes.
+    std::vector<std::unique_ptr<Accumulator>> parts(shards);
+    pool_->ParallelFor(
+        results.hits.size(), kMinShardHits,
+        [&](size_t shard, size_t begin, size_t end) {
+          parts[shard] = TakeScratch();
+          AccumulateRange(results, begin, end, parts[shard].get());
+        });
+    for (size_t s = 0; s < shards; ++s) {
+      MergeInto(*parts[s], main.get());
+      ReturnScratch(std::move(parts[s]));
+    }
+  }
+
+  DataCloud cloud = AssembleDense(*main, results);
+  ReturnScratch(std::move(main));
+  return cloud;
 }
 
 DataCloud CloudBuilder::BuildByReanalysis(const ResultSet& results) const {
@@ -97,36 +203,66 @@ DataCloud CloudBuilder::BuildByReanalysis(const ResultSet& results) const {
   return Assemble(unigrams, bigrams, results);
 }
 
-DataCloud CloudBuilder::Assemble(const AggMap& unigrams, const AggMap& bigrams,
-                                 const ResultSet& results) const {
-  // Terms already in the query (and their components) never appear in the
-  // cloud — clicking them would be a no-op refinement.
-  std::set<std::string> excluded;
-  for (const std::string& q : results.terms) {
-    excluded.insert(q);
-    size_t space = q.find(' ');
-    if (space != std::string::npos) {
-      excluded.insert(q.substr(0, space));
-      excluded.insert(q.substr(space + 1));
-    }
-  }
+// --------------------------------------------------------------- assembly
 
-  struct Candidate {
-    CloudTerm term;
-  };
+double CloudBuilder::ScoreOf(const TermAgg& agg, double idf) const {
+  switch (options_.scoring) {
+    case TermScoring::kTf:
+      return static_cast<double>(agg.total_tf);
+    case TermScoring::kPopularity:
+      return static_cast<double>(agg.doc_count);
+    case TermScoring::kTfIdf:
+      return agg.sum_log_tf * idf;
+  }
+  return 0.0;
+}
+
+DataCloud CloudBuilder::AssembleDense(const Accumulator& acc,
+                                      const ResultSet& results) const {
+  std::set<std::string> excluded = ExcludedTerms(results);
   std::vector<CloudTerm> candidates;
 
-  auto score_of = [&](const TermAgg& agg, double idf) {
-    switch (options_.scoring) {
-      case TermScoring::kTf:
-        return static_cast<double>(agg.total_tf);
-      case TermScoring::kPopularity:
-        return static_cast<double>(agg.doc_count);
-      case TermScoring::kTfIdf:
-        return agg.sum_log_tf * idf;
-    }
-    return 0.0;
-  };
+  for (TermId tid : acc.touched_unigrams) {
+    const TermAgg& agg = acc.agg[tid];
+    if (agg.doc_count < options_.min_doc_count) continue;
+    const std::string& term = index_->TermString(tid);
+    if (term.size() < 2) continue;
+    if (excluded.count(term) > 0) continue;
+    CloudTerm ct;
+    ct.term = term;
+    ct.display = index_->DisplayForm(term);
+    ct.total_tf = agg.total_tf;
+    ct.doc_count = agg.doc_count;
+    ct.score = ScoreOf(agg, index_->Idf(tid));
+    ct.is_phrase = false;
+    candidates.push_back(std::move(ct));
+  }
+  for (TermId tid : acc.touched_bigrams) {
+    const TermAgg& agg = acc.agg[tid];
+    if (agg.doc_count < options_.min_doc_count) continue;
+    const std::string& term = index_->TermString(tid);
+    if (excluded.count(term) > 0) continue;
+    // A bigram both of whose components are query terms adds nothing.
+    size_t space = term.find(' ');
+    std::string first = term.substr(0, space);
+    std::string second = term.substr(space + 1);
+    if (excluded.count(first) > 0 && excluded.count(second) > 0) continue;
+    CloudTerm ct;
+    ct.term = term;
+    ct.display = index_->DisplayForm(term);
+    ct.total_tf = agg.total_tf;
+    ct.doc_count = agg.doc_count;
+    ct.score = ScoreOf(agg, index_->BigramIdf(tid)) * options_.bigram_boost;
+    ct.is_phrase = true;
+    candidates.push_back(std::move(ct));
+  }
+  return SelectTopTerms(std::move(candidates));
+}
+
+DataCloud CloudBuilder::Assemble(const AggMap& unigrams, const AggMap& bigrams,
+                                 const ResultSet& results) const {
+  std::set<std::string> excluded = ExcludedTerms(results);
+  std::vector<CloudTerm> candidates;
 
   for (const auto& [term, agg] : unigrams) {
     if (agg.doc_count < options_.min_doc_count) continue;
@@ -139,7 +275,7 @@ DataCloud CloudBuilder::Assemble(const AggMap& unigrams, const AggMap& bigrams,
     ct.display = index_->DisplayForm(term);
     ct.total_tf = agg.total_tf;
     ct.doc_count = agg.doc_count;
-    ct.score = score_of(agg, idf);
+    ct.score = ScoreOf(agg, idf);
     ct.is_phrase = false;
     candidates.push_back(std::move(ct));
   }
@@ -158,11 +294,15 @@ DataCloud CloudBuilder::Assemble(const AggMap& unigrams, const AggMap& bigrams,
     ct.display = index_->DisplayForm(term);
     ct.total_tf = agg.total_tf;
     ct.doc_count = agg.doc_count;
-    ct.score = score_of(agg, idf) * options_.bigram_boost;
+    ct.score = ScoreOf(agg, idf) * options_.bigram_boost;
     ct.is_phrase = true;
     candidates.push_back(std::move(ct));
   }
+  return SelectTopTerms(std::move(candidates));
+}
 
+DataCloud CloudBuilder::SelectTopTerms(
+    std::vector<CloudTerm> candidates) const {
   std::sort(candidates.begin(), candidates.end(),
             [](const CloudTerm& a, const CloudTerm& b) {
               if (a.score != b.score) return a.score > b.score;
@@ -216,6 +356,52 @@ DataCloud CloudBuilder::Assemble(const AggMap& unigrams, const AggMap& bigrams,
     }
   }
   return cloud;
+}
+
+// ---------------------------------------------------------------- caching
+
+std::string CachingCloudBuilder::CloudKey(const ResultSet& results) const {
+  std::string key;
+  for (const std::string& t : search::NormalizedTerms(results.terms)) {
+    key += t;
+    key += '\x1f';
+  }
+  // Distinguish differently-truncated result sets that share a term set
+  // (callers with max_results): size plus boundary doc ids.
+  key += '|';
+  key += std::to_string(results.hits.size());
+  if (!results.hits.empty()) {
+    key += ',';
+    key += std::to_string(results.hits.front().doc);
+    key += ',';
+    key += std::to_string(results.hits.back().doc);
+  }
+  const CloudOptions& o = builder_.options();
+  key += '|';
+  key += std::to_string(o.max_terms);
+  key += static_cast<char>('0' + static_cast<int>(o.scoring));
+  key += o.include_bigrams ? 'B' : '-';
+  key += std::to_string(o.bigram_boost);
+  key += ',';
+  key += std::to_string(o.min_doc_count);
+  key += ',';
+  key += std::to_string(o.font_buckets);
+  key += o.dedup_subsumed_unigrams ? 'D' : '-';
+  return key;
+}
+
+std::shared_ptr<const DataCloud> CachingCloudBuilder::Build(
+    const ResultSet& results) const {
+  uint64_t epoch = index_->epoch();
+  if (results.epoch != epoch) {
+    // A stale result set's cloud must not be cached as current.
+    return std::make_shared<const DataCloud>(builder_.Build(results));
+  }
+  std::string key = CloudKey(results);
+  if (std::shared_ptr<const DataCloud> hit = cache_.Get(key, epoch)) {
+    return hit;
+  }
+  return cache_.Put(key, epoch, builder_.Build(results));
 }
 
 }  // namespace courserank::cloud

@@ -1,11 +1,15 @@
 #ifndef COURSERANK_CORE_DATA_CLOUD_H_
 #define COURSERANK_CORE_DATA_CLOUD_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "search/inverted_index.h"
+#include "search/query_cache.h"
 #include "search/searcher.h"
 
 namespace courserank::cloud {
@@ -13,6 +17,7 @@ namespace courserank::cloud {
 using search::DocId;
 using search::InvertedIndex;
 using search::ResultSet;
+using search::TermId;
 
 /// How cloud terms are scored within the current result set (paper §3.1:
 /// "the most significant or representative terms within the currently found
@@ -67,10 +72,18 @@ struct DataCloud {
 /// Builds data clouds from the precomputed per-document term vectors of an
 /// InvertedIndex — no result document is re-tokenized at query time
 /// (DESIGN.md E5 ablation quantifies this against re-analysis).
+///
+/// Aggregation runs over dense TermId-indexed accumulators (no per-doc
+/// hash maps on the hot path) that are reused across builds as scratch
+/// buffers. Large result sets are split into a fixed number of shards —
+/// a function of the hit count only, never of the worker count — whose
+/// partials are accumulated on the thread pool and merged in shard order,
+/// so pooled and single-threaded builds are byte-identical.
 class CloudBuilder {
  public:
-  explicit CloudBuilder(const InvertedIndex* index, CloudOptions options = {})
-      : index_(index), options_(options) {}
+  explicit CloudBuilder(const InvertedIndex* index, CloudOptions options = {},
+                        ThreadPool* pool = &SharedThreadPool())
+      : index_(index), options_(options), pool_(pool) {}
 
   /// Cloud over the hits of `results`; the result set's own query terms
   /// (and bigrams made only of them) are excluded.
@@ -87,16 +100,76 @@ class CloudBuilder {
   /// Accumulated statistics for one candidate term over the result set.
   struct TermAgg {
     uint64_t total_tf = 0;
-    size_t doc_count = 0;
+    uint32_t doc_count = 0;
     double sum_log_tf = 0.0;  ///< Σ_docs (1 + ln tf_d)
   };
   using AggMap = std::unordered_map<std::string, TermAgg>;
 
+  /// Dense TermId-indexed scratch accumulator. Touched-term lists make
+  /// clearing O(touched), not O(dictionary), so buffers amortize across
+  /// builds.
+  struct Accumulator {
+    std::vector<TermAgg> agg;
+    std::vector<TermId> touched_unigrams;
+    std::vector<TermId> touched_bigrams;
+
+    void EnsureSize(size_t num_terms);
+    void Clear();
+  };
+
+  /// Takes a scratch accumulator from the pool (or makes one), sized to
+  /// the current dictionary and cleared.
+  std::unique_ptr<Accumulator> TakeScratch() const;
+  void ReturnScratch(std::unique_ptr<Accumulator> acc) const;
+
+  /// Accumulates hits [begin, end) of `results` into `acc`.
+  void AccumulateRange(const ResultSet& results, size_t begin, size_t end,
+                       Accumulator* acc) const;
+  /// Adds `shard`'s partials into `main`, preserving shard order
+  /// determinism.
+  static void MergeInto(const Accumulator& shard, Accumulator* main);
+
+  DataCloud AssembleDense(const Accumulator& acc,
+                          const ResultSet& results) const;
   DataCloud Assemble(const AggMap& unigrams, const AggMap& bigrams,
                      const ResultSet& results) const;
+  /// Shared tail: score-sort, subsumption dedup, top-k, font buckets.
+  DataCloud SelectTopTerms(std::vector<CloudTerm> candidates) const;
+
+  double ScoreOf(const TermAgg& agg, double idf) const;
 
   const InvertedIndex* index_;
   CloudOptions options_;
+  ThreadPool* pool_;
+
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<Accumulator>> scratch_;
+};
+
+/// A CloudBuilder with an epoch-validated cloud cache in front, keyed by
+/// the result set's term set + cloud options. Sound because the searcher
+/// is deterministic: at a given index epoch, one term set has exactly one
+/// result list and therefore one cloud.
+class CachingCloudBuilder {
+ public:
+  explicit CachingCloudBuilder(const InvertedIndex* index,
+                               CloudOptions options = {},
+                               size_t capacity = 128,
+                               ThreadPool* pool = &SharedThreadPool())
+      : builder_(index, options, pool), index_(index), cache_(capacity) {}
+
+  std::shared_ptr<const DataCloud> Build(const ResultSet& results) const;
+
+  const CloudBuilder& builder() const { return builder_; }
+  uint64_t cache_hits() const { return cache_.hits(); }
+  uint64_t cache_misses() const { return cache_.misses(); }
+
+ private:
+  std::string CloudKey(const ResultSet& results) const;
+
+  CloudBuilder builder_;
+  const InvertedIndex* index_;
+  mutable search::EpochLru<DataCloud> cache_;
 };
 
 }  // namespace courserank::cloud

@@ -14,17 +14,51 @@ InvertedIndex::InvertedIndex(EntityDefinition def,
   field_length_sums_.assign(def_.fields.size(), 0.0);
 }
 
-Status InvertedIndex::Build(const Database& db) {
+Status InvertedIndex::Build(const Database& db, ThreadPool* pool) {
   if (!docs_.empty()) {
     return Status::FailedPrecondition("Build on non-empty index");
   }
   EntityExtractor extractor(&db, def_);
   CR_ASSIGN_OR_RETURN(std::vector<EntityDocument> docs,
                       extractor.ExtractAll());
-  for (EntityDocument& doc : docs) {
-    CR_RETURN_IF_ERROR(AddDocument(std::move(doc)).status());
+
+  // Phase 1 (parallel): analyze every document into per-slot outputs. The
+  // chunk partition depends only on the doc count, so any pool — including
+  // a zero-worker inline one — fills the same slots with the same bytes.
+  std::vector<AnalyzedDocument> analyzed(docs.size());
+  auto analyze_range = [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (docs[i].field_texts.size() == def_.fields.size()) {
+        analyzed[i] = AnalyzeDocument(docs[i]);
+      }
+    }
+  };
+  if (pool == nullptr) {
+    analyze_range(0, 0, docs.size());
+  } else {
+    pool->ParallelFor(docs.size(), /*min_chunk=*/64, analyze_range);
+  }
+
+  // Phase 2 (serial, doc order): intern terms and append postings. Term
+  // ids come out in first-occurrence order, identical to a sequential
+  // AddDocument loop.
+  for (size_t i = 0; i < docs.size(); ++i) {
+    CR_RETURN_IF_ERROR(
+        AddAnalyzed(std::move(docs[i]), std::move(analyzed[i])).status());
   }
   return Status::OK();
+}
+
+InvertedIndex::AnalyzedDocument InvertedIndex::AnalyzeDocument(
+    const EntityDocument& doc) const {
+  AnalyzedDocument out;
+  out.field_tokens.resize(def_.fields.size());
+  out.field_bigrams.resize(def_.fields.size());
+  for (size_t f = 0; f < def_.fields.size(); ++f) {
+    out.field_tokens[f] = analyzer_.Analyze(doc.field_texts[f]);
+    out.field_bigrams[f] = text::Analyzer::Bigrams(out.field_tokens[f]);
+  }
+  return out;
 }
 
 TermId InvertedIndex::InternTerm(const std::string& term) {
@@ -37,6 +71,15 @@ TermId InvertedIndex::InternTerm(const std::string& term) {
 }
 
 Result<DocId> InvertedIndex::AddDocument(EntityDocument doc) {
+  if (doc.field_texts.size() != def_.fields.size()) {
+    return Status::InvalidArgument("document has wrong field count");
+  }
+  AnalyzedDocument analyzed = AnalyzeDocument(doc);
+  return AddAnalyzed(std::move(doc), std::move(analyzed));
+}
+
+Result<DocId> InvertedIndex::AddAnalyzed(EntityDocument doc,
+                                         AnalyzedDocument analyzed) {
   if (doc.field_texts.size() != def_.fields.size()) {
     return Status::InvalidArgument("document has wrong field count");
   }
@@ -55,8 +98,7 @@ Result<DocId> InvertedIndex::AddDocument(EntityDocument doc) {
   std::vector<uint32_t> lengths(def_.fields.size(), 0);
 
   for (size_t f = 0; f < def_.fields.size(); ++f) {
-    std::vector<text::AnalyzedToken> tokens =
-        analyzer_.Analyze(doc.field_texts[f]);
+    const std::vector<text::AnalyzedToken>& tokens = analyzed.field_tokens[f];
     lengths[f] = static_cast<uint32_t>(tokens.size());
 
     std::map<TermId, uint32_t> field_counts;
@@ -66,7 +108,7 @@ Result<DocId> InvertedIndex::AddDocument(EntityDocument doc) {
       ++doc_unigrams[tid];
       surfaces_.Record(t.term, t.surface);
     }
-    for (const text::AnalyzedToken& bg : text::Analyzer::Bigrams(tokens)) {
+    for (const text::AnalyzedToken& bg : analyzed.field_bigrams[f]) {
       TermId tid = InternTerm(bg.term);
       ++doc_bigrams[tid];
       surfaces_.Record(bg.term, bg.surface);
@@ -91,6 +133,7 @@ Result<DocId> InvertedIndex::AddDocument(EntityDocument doc) {
   field_lengths_.push_back(std::move(lengths));
   deleted_.push_back(false);
   ++live_docs_;
+  ++epoch_;
   return id;
 }
 
@@ -114,6 +157,7 @@ Status InvertedIndex::RemoveByKey(const Value& key) {
     field_length_sums_[f] -= field_lengths_[id][f];
   }
   by_key_.erase(it);
+  ++epoch_;
   return Status::OK();
 }
 

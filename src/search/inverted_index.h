@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "search/entity.h"
 #include "text/analyzer.h"
 
@@ -48,8 +49,10 @@ class InvertedIndex {
   const text::Analyzer& analyzer() const { return analyzer_; }
 
   /// Extracts every entity from `db` and indexes it. May be called on an
-  /// empty index only.
-  Status Build(const Database& db);
+  /// empty index only. Document analysis (tokenize/stem/bigram) runs on
+  /// `pool`; term interning stays serial in document order, so the built
+  /// index is byte-identical for any pool size (including inline).
+  Status Build(const Database& db, ThreadPool* pool = &SharedThreadPool());
 
   /// Indexes one document; fails on duplicate live key.
   Result<DocId> AddDocument(EntityDocument doc);
@@ -65,6 +68,11 @@ class InvertedIndex {
 
   size_t num_docs() const { return live_docs_; }
   size_t num_terms() const { return dictionary_.size(); }
+
+  /// Monotone content version: bumped by every successful AddDocument,
+  /// RemoveByKey, and Refresh. Query caches key on it — an entry is valid
+  /// only while the epoch it was computed at is still current.
+  uint64_t epoch() const { return epoch_; }
 
   bool IsLive(DocId doc) const { return doc < docs_.size() && !deleted_[doc]; }
 
@@ -114,6 +122,17 @@ class InvertedIndex {
   std::vector<DocId> AllLiveDocs() const;
 
  private:
+  /// Analysis output for one document: per-field token and bigram streams.
+  /// Producing it touches only the (stateless) analyzer, so Build runs it
+  /// on the pool; consuming it (interning) is serial.
+  struct AnalyzedDocument {
+    std::vector<std::vector<text::AnalyzedToken>> field_tokens;
+    std::vector<std::vector<text::AnalyzedToken>> field_bigrams;
+  };
+
+  AnalyzedDocument AnalyzeDocument(const EntityDocument& doc) const;
+  Result<DocId> AddAnalyzed(EntityDocument doc, AnalyzedDocument analyzed);
+
   TermId InternTerm(const std::string& term);
 
   EntityDefinition def_;
@@ -134,6 +153,8 @@ class InvertedIndex {
   size_t live_docs_ = 0;
 
   std::vector<double> field_length_sums_;  // over live docs
+
+  uint64_t epoch_ = 0;
 
   text::SurfaceRegistry surfaces_;
 };

@@ -1,0 +1,141 @@
+#ifndef COURSERANK_SEARCH_QUERY_CACHE_H_
+#define COURSERANK_SEARCH_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "search/searcher.h"
+
+namespace courserank::search {
+
+/// Canonical cache form of a query: terms sorted and deduplicated (the
+/// conjunction is order-insensitive, so "greek science" and "science
+/// greek" share one entry).
+std::vector<std::string> NormalizedTerms(std::vector<std::string> terms);
+
+/// Cache key text for a term set under given search options. Does not
+/// include the epoch — epochs are validated per entry so one write
+/// invalidates without rehashing every key.
+std::string SearchKey(const std::vector<std::string>& terms,
+                      const SearchOptions& options);
+
+/// Epoch-validated LRU cache. An entry stores the index epoch it was
+/// computed at; `Get` only returns it while that epoch is still current,
+/// and evicts it otherwise — so a comment write (which bumps the index
+/// epoch via Refresh) invalidates every cached result at once, with no
+/// explicit flush call. Values are shared_ptr so hits are zero-copy and
+/// survive concurrent eviction. Thread-safe.
+template <typename V>
+class EpochLru {
+ public:
+  explicit EpochLru(size_t capacity = 128) : capacity_(capacity) {}
+
+  std::shared_ptr<const V> Get(const std::string& key, uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it == by_key_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    if (it->second->epoch != epoch) {
+      // Stale: computed against an index state that no longer exists.
+      lru_.erase(it->second);
+      by_key_.erase(it);
+      ++misses_;
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return it->second->value;
+  }
+
+  std::shared_ptr<const V> Put(const std::string& key, uint64_t epoch,
+                               V value) {
+    auto shared = std::make_shared<const V>(std::move(value));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      lru_.erase(it->second);
+      by_key_.erase(it);
+    }
+    lru_.push_front(Entry{key, epoch, shared});
+    by_key_[key] = lru_.begin();
+    while (by_key_.size() > capacity_) {
+      by_key_.erase(lru_.back().key);
+      lru_.pop_back();
+    }
+    return shared;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    by_key_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return by_key_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t epoch;
+    std::shared_ptr<const V> value;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> by_key_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// A Searcher with an epoch-validated result cache in front: repeated and
+/// refined queries (the Fig. 4 cloud-click workload) are served from cache
+/// until the next index write. Refinements land on the same cache entry a
+/// from-scratch query of the combined term set would, so "american" +
+/// click "politics" primes the cache for a later "american politics".
+class CachingSearcher {
+ public:
+  explicit CachingSearcher(const InvertedIndex* index,
+                           SearchOptions options = {}, size_t capacity = 256)
+      : searcher_(index, options), index_(index), cache_(capacity) {}
+
+  Result<std::shared_ptr<const ResultSet>> Search(
+      const std::string& query) const;
+  Result<std::shared_ptr<const ResultSet>> SearchTerms(
+      const std::vector<std::string>& terms) const;
+  Result<std::shared_ptr<const ResultSet>> Refine(
+      const ResultSet& prior, const std::string& term) const;
+
+  const Searcher& searcher() const { return searcher_; }
+  uint64_t cache_hits() const { return cache_.hits(); }
+  uint64_t cache_misses() const { return cache_.misses(); }
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  Searcher searcher_;
+  const InvertedIndex* index_;
+  mutable EpochLru<ResultSet> cache_;
+};
+
+}  // namespace courserank::search
+
+#endif  // COURSERANK_SEARCH_QUERY_CACHE_H_

@@ -19,6 +19,49 @@ uint32_t CountOf(const std::vector<std::pair<TermId, uint32_t>>& vec,
   return it->second;
 }
 
+bool PostingDocLess(const Posting& p, DocId d) { return p.doc < d; }
+
+/// Advances `idx` to the first entry of `v` with doc >= target. Gallops
+/// from the current position, so a full merge over k lists costs
+/// O(Σ log-gaps) instead of O(Σ len) — the win grows with the df skew
+/// between the rarest and the most common term.
+size_t GallopTo(const std::vector<Posting>& v, size_t idx, DocId target) {
+  size_t n = v.size();
+  if (idx >= n || v[idx].doc >= target) return idx;
+  size_t step = 1;
+  while (idx + step < n && v[idx + step].doc < target) {
+    idx += step;
+    step <<= 1;
+  }
+  size_t hi = std::min(n, idx + step + 1);
+  return static_cast<size_t>(
+      std::lower_bound(v.begin() + idx, v.begin() + hi, target,
+                       PostingDocLess) -
+      v.begin());
+}
+
+/// First-occurrence-order dedup ("database database" matches and scores
+/// like "database").
+std::vector<std::string> DedupTerms(const std::vector<std::string>& terms) {
+  std::vector<std::string> out;
+  out.reserve(terms.size());
+  for (const std::string& t : terms) {
+    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+  }
+  return out;
+}
+
+void SortAndTruncate(std::vector<SearchHit>* hits, size_t max_results) {
+  std::sort(hits->begin(), hits->end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (max_results > 0 && hits->size() > max_results) {
+    hits->resize(max_results);
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> Searcher::AnalyzeTermText(const std::string& text,
@@ -38,35 +81,28 @@ bool Searcher::DocContains(DocId doc, const std::string& term) const {
   return CountOf(is_phrase ? vec.bigrams : vec.unigrams, tid) > 0;
 }
 
-double Searcher::ScoreTerm(DocId doc, const std::string& term) const {
-  TermId tid = index_->LookupTerm(term);
-  if (tid == kNoTerm) return 0.0;
-  bool is_phrase = term.find(' ') != std::string::npos;
+double Searcher::ScorePhrase(DocId doc, TermId tid) const {
+  // Phrase terms come from cloud clicks; score them with a doc-level
+  // saturating tf on the bigram statistics.
+  uint32_t tf = CountOf(index_->doc_terms(doc).bigrams, tid);
+  if (tf == 0) return 0.0;
+  double tfd = static_cast<double>(tf);
+  return index_->BigramIdf(tid) * tfd / (options_.k1 + tfd);
+}
 
-  if (is_phrase) {
-    // Phrase terms come from cloud clicks; score them with a doc-level
-    // saturating tf on the bigram statistics.
-    uint32_t tf = CountOf(index_->doc_terms(doc).bigrams, tid);
-    if (tf == 0) return 0.0;
-    double tfd = static_cast<double>(tf);
-    return index_->BigramIdf(tid) * tfd / (options_.k1 + tfd);
-  }
-
+double Searcher::ScoreUnigramRun(DocId doc, TermId tid, const Posting* begin,
+                                 const Posting* end) const {
   if (options_.ranking == RankingMode::kTfIdf) {
-    uint32_t tf = CountOf(index_->doc_terms(doc).unigrams, tid);
+    uint32_t tf = 0;
+    for (const Posting* it = begin; it != end; ++it) tf += it->tf;
     if (tf == 0) return 0.0;
     return index_->Idf(tid) * (1.0 + std::log(static_cast<double>(tf)));
   }
 
   // BM25F: per-field normalized tf, weighted, saturated once.
-  const std::vector<Posting>* postings = index_->Postings(tid);
-  if (postings == nullptr) return 0.0;
-  auto it = std::lower_bound(
-      postings->begin(), postings->end(), doc,
-      [](const Posting& p, DocId d) { return p.doc < d; });
   double wtf = 0.0;
   const auto& fields = index_->definition().fields;
-  for (; it != postings->end() && it->doc == doc; ++it) {
+  for (const Posting* it = begin; it != end; ++it) {
     double len = static_cast<double>(index_->FieldLength(doc, it->field));
     double avg = index_->AvgFieldLength(it->field);
     double norm = 1.0 - options_.b + options_.b * (len / avg);
@@ -76,15 +112,112 @@ double Searcher::ScoreTerm(DocId doc, const std::string& term) const {
   return index_->Idf(tid) * wtf / (options_.k1 + wtf);
 }
 
+double Searcher::ScoreTerm(DocId doc, const std::string& term) const {
+  TermId tid = index_->LookupTerm(term);
+  if (tid == kNoTerm) return 0.0;
+  if (term.find(' ') != std::string::npos) return ScorePhrase(doc, tid);
+
+  const std::vector<Posting>* postings = index_->Postings(tid);
+  if (postings == nullptr) return 0.0;
+  size_t b = static_cast<size_t>(
+      std::lower_bound(postings->begin(), postings->end(), doc,
+                       PostingDocLess) -
+      postings->begin());
+  size_t e = b;
+  while (e < postings->size() && (*postings)[e].doc == doc) ++e;
+  return ScoreUnigramRun(doc, tid, postings->data() + b, postings->data() + e);
+}
+
 Result<ResultSet> Searcher::Search(const std::string& query) const {
   return SearchTerms(index_->analyzer().AnalyzeQuery(query));
 }
 
+void Searcher::IntersectAndScore(std::vector<ResolvedTerm> terms,
+                                 ResultSet* out) const {
+  // Rarest driver first: it enumerates the candidates, the rest only skip.
+  std::stable_sort(terms.begin(), terms.end(),
+                   [](const ResolvedTerm& a, const ResolvedTerm& b) {
+                     return a.driver->size() < b.driver->size();
+                   });
+
+  const std::vector<Posting>& lead = *terms[0].driver;
+  // Per-term contributions, summed in query order so scores are
+  // byte-identical to the per-doc ablation path.
+  std::vector<double> contrib(terms.size(), 0.0);
+  size_t i = 0;
+  while (i < lead.size()) {
+    DocId doc = lead[i].doc;
+    size_t lead_end = i + 1;
+    while (lead_end < lead.size() && lead[lead_end].doc == doc) ++lead_end;
+
+    if (!index_->IsLive(doc)) {
+      i = lead_end;
+      continue;
+    }
+
+    bool all = true;
+    for (ResolvedTerm& t : terms) {
+      const std::vector<Posting>& v = *t.driver;
+      size_t b = (&t == &terms[0]) ? i : (t.cursor = GallopTo(v, t.cursor, doc));
+      if (b >= v.size() || v[b].doc != doc) {
+        all = false;
+        break;
+      }
+      if (t.is_phrase) {
+        // The driver only proves the first word is present; the phrase
+        // itself is checked against the doc's bigram vector.
+        double s = ScorePhrase(doc, t.tid);
+        if (s == 0.0) {
+          all = false;
+          break;
+        }
+        contrib[t.query_pos] = s;
+      } else {
+        size_t e = b;
+        while (e < v.size() && v[e].doc == doc) ++e;
+        contrib[t.query_pos] =
+            ScoreUnigramRun(doc, t.tid, v.data() + b, v.data() + e);
+      }
+    }
+    if (all) {
+      double score = 0.0;
+      for (double c : contrib) score += c;
+      out->hits.push_back({doc, score});
+    }
+    i = lead_end;
+  }
+}
+
 Result<ResultSet> Searcher::SearchTerms(
-    const std::vector<std::string>& terms) const {
+    const std::vector<std::string>& raw_terms) const {
   ResultSet out;
-  out.terms = terms;
+  out.epoch = index_->epoch();
+  out.terms = DedupTerms(raw_terms);
+  const std::vector<std::string>& terms = out.terms;
   if (terms.empty()) return out;
+
+  if (options_.strategy == MatchStrategy::kPostingsIntersection) {
+    std::vector<ResolvedTerm> resolved(terms.size());
+    for (size_t i = 0; i < terms.size(); ++i) {
+      ResolvedTerm& rt = resolved[i];
+      rt.query_pos = i;
+      rt.is_phrase = terms[i].find(' ') != std::string::npos;
+      rt.tid = index_->LookupTerm(terms[i]);
+      if (rt.tid == kNoTerm) return out;  // conjunctive: a dead term empties all
+      TermId driver_tid = rt.tid;
+      if (rt.is_phrase) {
+        driver_tid = index_->LookupTerm(terms[i].substr(0, terms[i].find(' ')));
+        if (driver_tid == kNoTerm) return out;
+      }
+      rt.driver = index_->Postings(driver_tid);
+      if (rt.driver == nullptr) return out;
+    }
+    IntersectAndScore(std::move(resolved), &out);
+    SortAndTruncate(&out.hits, options_.max_results);
+    return out;
+  }
+
+  // ---- kPerDocFilter: the original per-candidate loop (ablation) ----
 
   // Pick the rarest term's postings as the candidate enumerator. For phrase
   // terms, enumerate on the first component word.
@@ -126,14 +259,7 @@ Result<ResultSet> Searcher::SearchTerms(
     out.hits.push_back({p.doc, score});
   }
 
-  std::sort(out.hits.begin(), out.hits.end(),
-            [](const SearchHit& a, const SearchHit& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;
-            });
-  if (options_.max_results > 0 && out.hits.size() > options_.max_results) {
-    out.hits.resize(options_.max_results);
-  }
+  SortAndTruncate(&out.hits, options_.max_results);
   return out;
 }
 
@@ -145,20 +271,35 @@ Result<ResultSet> Searcher::Refine(const ResultSet& prior,
                                    "' has no content words");
   }
   const std::string& new_term = analyzed[0];
+  if (std::find(prior.terms.begin(), prior.terms.end(), new_term) !=
+      prior.terms.end()) {
+    return prior;  // refining by an existing term is a no-op, not a re-score
+  }
 
   ResultSet out;
+  out.epoch = index_->epoch();
   out.terms = prior.terms;
   out.terms.push_back(new_term);
+
+  // Resolve once; every prior hit then costs one binary search instead of a
+  // string hash + lookup per DocContains/ScoreTerm call.
+  TermId tid = index_->LookupTerm(new_term);
+  if (tid == kNoTerm) return out;
+  bool is_phrase = new_term.find(' ') != std::string::npos;
+
   for (const SearchHit& hit : prior.hits) {
     if (!index_->IsLive(hit.doc)) continue;
-    if (!DocContains(hit.doc, new_term)) continue;
-    out.hits.push_back({hit.doc, hit.score + ScoreTerm(hit.doc, new_term)});
+    double s;
+    if (is_phrase) {
+      s = ScorePhrase(hit.doc, tid);
+      if (s == 0.0) continue;  // phrase absent from this doc
+    } else {
+      if (CountOf(index_->doc_terms(hit.doc).unigrams, tid) == 0) continue;
+      s = ScoreTerm(hit.doc, new_term);
+    }
+    out.hits.push_back({hit.doc, hit.score + s});
   }
-  std::sort(out.hits.begin(), out.hits.end(),
-            [](const SearchHit& a, const SearchHit& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;
-            });
+  SortAndTruncate(&out.hits, /*max_results=*/0);
   return out;
 }
 

@@ -14,8 +14,16 @@ namespace courserank::search {
 /// question); kTfIdf is the flat baseline used for the ablation.
 enum class RankingMode { kBm25f, kTfIdf };
 
+/// How the conjunction is evaluated. kPostingsIntersection resolves every
+/// term to a TermId once and gallop-intersects sorted postings lists from
+/// rarest to most common, scoring during the merge. kPerDocFilter is the
+/// original per-candidate `DocContains`/`ScoreTerm` loop, kept as the
+/// ablation baseline; both produce byte-identical result sets.
+enum class MatchStrategy { kPostingsIntersection, kPerDocFilter };
+
 struct SearchOptions {
   RankingMode ranking = RankingMode::kBm25f;
+  MatchStrategy strategy = MatchStrategy::kPostingsIntersection;
   /// 0 = unlimited.
   size_t max_results = 0;
   /// BM25 parameters.
@@ -31,11 +39,14 @@ struct SearchHit {
 /// A ranked result set, retaining the analyzed query so data clouds can be
 /// computed and refined against it.
 struct ResultSet {
-  /// Analyzed query terms. Unigram terms are index terms; phrase terms
-  /// ("latin american" from a cloud click) contain a space and match
-  /// against the document bigram vectors.
+  /// Analyzed query terms, deduplicated in first-occurrence order. Unigram
+  /// terms are index terms; phrase terms ("latin american" from a cloud
+  /// click) contain a space and match against the document bigram vectors.
   std::vector<std::string> terms;
   std::vector<SearchHit> hits;  ///< descending score
+  /// Index epoch this set was computed at; lets caches and refinements
+  /// detect that the index has changed underneath a held result.
+  uint64_t epoch = 0;
 
   size_t size() const { return hits.size(); }
 };
@@ -55,21 +66,46 @@ class Searcher {
   /// Refinement (cloud click): conjoins `term` — a display-form term from a
   /// data cloud, possibly a two-word phrase — onto a previous result set.
   /// The intersection is computed on the prior hits, not from scratch
-  /// (DESIGN.md ablation: refinement vs re-query).
+  /// (DESIGN.md ablation: refinement vs re-query). Refining by a term the
+  /// query already contains returns the prior set unchanged.
   Result<ResultSet> Refine(const ResultSet& prior,
                            const std::string& term) const;
 
   /// Runs the full conjunctive query from scratch (used to cross-check
-  /// Refine and by the refinement ablation bench).
+  /// Refine and by the refinement ablation bench). Repeated terms are
+  /// deduplicated before evaluation so they are neither matched nor scored
+  /// twice.
   Result<ResultSet> SearchTerms(const std::vector<std::string>& terms) const;
 
   const SearchOptions& options() const { return options_; }
 
  private:
+  /// One query term resolved against the index for the intersection path.
+  struct ResolvedTerm {
+    bool is_phrase = false;
+    TermId tid = kNoTerm;  ///< unigram id, or bigram id for phrases
+    /// Postings list driving the intersection: the term's own for
+    /// unigrams, its first component word's for phrases.
+    const std::vector<Posting>* driver = nullptr;
+    size_t cursor = 0;    ///< merge cursor into *driver
+    size_t query_pos = 0; ///< position in the deduplicated query
+  };
+
+  void IntersectAndScore(std::vector<ResolvedTerm> terms,
+                         ResultSet* out) const;
+
+  /// Scoring for a term already resolved to a TermId. For unigrams,
+  /// `begin/end` is the doc's run in the term's postings list.
+  double ScoreUnigramRun(DocId doc, TermId tid, const Posting* begin,
+                         const Posting* end) const;
+  double ScorePhrase(DocId doc, TermId tid) const;
+
   /// True when the live document contains the (possibly phrase) term.
+  /// Per-doc ablation path.
   bool DocContains(DocId doc, const std::string& term) const;
 
-  /// Per-term score contribution of a document.
+  /// Per-term score contribution of a document (per-doc ablation path and
+  /// Refine).
   double ScoreTerm(DocId doc, const std::string& term) const;
 
   /// Analyzes raw text to query terms; a phrase of two analyzed terms is

@@ -356,6 +356,18 @@ Result<search::Searcher> CourseRankSite::MakeSearcher(
   return search::Searcher(index_.get(), opts);
 }
 
+Result<std::unique_ptr<search::CachingSearcher>>
+CourseRankSite::MakeCachingSearcher(search::SearchOptions opts,
+                                    size_t cache_capacity) const {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition("BuildSearchIndex not called");
+  }
+  // Writes that touch indexed content go through MaybeRefreshIndex, which
+  // bumps the index epoch — cached results invalidate automatically.
+  return std::make_unique<search::CachingSearcher>(index_.get(), opts,
+                                                   cache_capacity);
+}
+
 void CourseRankSite::MaybeRefreshIndex(CourseId course) {
   if (index_ == nullptr) return;
   // Refresh failures leave the stale entry in place; content converges on

@@ -11,6 +11,7 @@
 #include "core/flexrecs_engine.h"
 #include "query/sql_engine.h"
 #include "search/inverted_index.h"
+#include "search/query_cache.h"
 #include "search/searcher.h"
 #include "social/auth.h"
 #include "social/comments.h"
@@ -110,6 +111,11 @@ class CourseRankSite {
   const search::InvertedIndex& index() const { return *index_; }
   /// Searcher over the built index; FailedPrecondition before Build.
   Result<search::Searcher> MakeSearcher(search::SearchOptions opts = {}) const;
+  /// Searcher with an epoch-validated result cache in front: repeated and
+  /// refined queries hit cache until a comment/description write refreshes
+  /// the index. FailedPrecondition before Build.
+  Result<std::unique_ptr<search::CachingSearcher>> MakeCachingSearcher(
+      search::SearchOptions opts = {}, size_t cache_capacity = 256) const;
 
   // ---- course descriptor (Fig. 1 left) ----
 

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "common/term.h"
+#include "common/thread_pool.h"
 
 namespace courserank {
 namespace {
@@ -347,6 +350,66 @@ TEST(TimeSlotTest, ToStringFormat) {
   TimeSlot a{kMon | kWed | kFri, 9 * 60, 9 * 60 + 50};
   EXPECT_EQ(a.ToString(), "MWF 09:00-09:50");
   EXPECT_EQ(TimeSlot{}.ToString(), "TBA");
+}
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t workers : {size_t{0}, size_t{1}, size_t{4}}) {
+    ThreadPool pool(workers);
+    std::vector<std::atomic<int>> seen(1000);
+    pool.ParallelFor(seen.size(), /*min_chunk=*/16,
+                     [&](size_t, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) ++seen[i];
+                     });
+    for (size_t i = 0; i < seen.size(); ++i) {
+      ASSERT_EQ(seen[i].load(), 1) << "workers=" << workers << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkPartitionIgnoresWorkerCount) {
+  // The determinism contract: chunk boundaries are a pure function of the
+  // item count, so any pool produces identical per-chunk inputs.
+  ThreadPool a(0);
+  ThreadPool b(4);
+  std::vector<std::pair<size_t, size_t>> bounds_a(ThreadPool::kMaxChunks),
+      bounds_b(ThreadPool::kMaxChunks);
+  a.ParallelFor(5000, 64, [&](size_t c, size_t begin, size_t end) {
+    bounds_a[c] = {begin, end};
+  });
+  b.ParallelFor(5000, 64, [&](size_t c, size_t begin, size_t end) {
+    bounds_b[c] = {begin, end};
+  });
+  EXPECT_EQ(bounds_a, bounds_b);
+  EXPECT_EQ(ThreadPool::NumChunks(5000, 64), ThreadPool::kMaxChunks);
+  EXPECT_EQ(ThreadPool::NumChunks(0, 64), 0u);
+  EXPECT_EQ(ThreadPool::NumChunks(63, 64), 1u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, 1, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      // A worker issuing its own ParallelFor must not deadlock on the
+      // queue it is supposed to drain.
+      pool.ParallelFor(4, 1, [&](size_t, size_t b2, size_t e2) {
+        total += static_cast<int>(e2 - b2);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, SharedPoolDegradesOnSingleCore) {
+  // On this container the shared pool may have zero workers; either way
+  // ParallelFor must still complete all work.
+  std::atomic<int> count{0};
+  SharedThreadPool().ParallelFor(100, 10, [&](size_t, size_t b, size_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 100);
 }
 
 }  // namespace

@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/data_cloud.h"
+#include "search/entity.h"
+#include "search/inverted_index.h"
+#include "search/query_cache.h"
+#include "search/searcher.h"
+#include "storage/database.h"
+
+namespace courserank::search {
+namespace {
+
+using cloud::CachingCloudBuilder;
+using cloud::CloudBuilder;
+using cloud::DataCloud;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+/// Same deterministic catalog as search_test, plus cache-centric helpers.
+class QueryCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto courses = db_.CreateTable(
+        "Courses",
+        Schema({{"CourseID", ValueType::kInt, false},
+                {"Title", ValueType::kString, false},
+                {"Description", ValueType::kString, true}}),
+        {"CourseID"});
+    ASSERT_TRUE(courses.ok());
+    auto comments = db_.CreateTable(
+        "Comments", Schema({{"CommentID", ValueType::kInt, false},
+                            {"CourseID", ValueType::kInt, false},
+                            {"Text", ValueType::kString, false}}),
+        {"CommentID"});
+    ASSERT_TRUE(comments.ok());
+    ASSERT_TRUE(
+        (*comments)->CreateHashIndex("by_course", {"CourseID"}, false).ok());
+
+    AddCourse(1, "American History",
+              "Surveys american politics and culture since 1900.");
+    AddCourse(2, "Latin American Literature",
+              "Novels and poetry from latin american writers.");
+    AddCourse(3, "Databases", "Relational model, SQL, and transactions.");
+    AddCourse(4, "Greek Science",
+              "History of science covering the famous greek scientists.");
+    AddCourse(5, "African American Studies",
+              "African american politics, music, and migration.");
+
+    def_.name = "course";
+    def_.primary_table = "Courses";
+    def_.key_column = "CourseID";
+    def_.display_column = "Title";
+    def_.fields = {
+        {"title", 3.0, "Courses", "Title", "CourseID"},
+        {"description", 1.5, "Courses", "Description", "CourseID"},
+        {"comments", 1.0, "Comments", "Text", "CourseID"},
+    };
+
+    index_ = std::make_unique<InvertedIndex>(def_);
+    ASSERT_TRUE(index_->Build(db_).ok());
+  }
+
+  void AddCourse(int id, const std::string& title, const std::string& desc) {
+    ASSERT_TRUE(db_.FindTable("Courses")
+                    ->Insert({Value(id), Value(title), Value(desc)})
+                    .ok());
+  }
+
+  void AddComment(int id, int course, const std::string& text) {
+    ASSERT_TRUE(db_.FindTable("Comments")
+                    ->Insert({Value(id), Value(course), Value(text)})
+                    .ok());
+  }
+
+  std::vector<int64_t> Keys(const ResultSet& results) {
+    std::vector<int64_t> out;
+    for (const SearchHit& hit : results.hits) {
+      out.push_back(index_->doc(hit.doc).key.AsInt());
+    }
+    return out;
+  }
+
+  storage::Database db_;
+  EntityDefinition def_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+// ------------------------------------------------------------------ epochs
+
+TEST_F(QueryCacheTest, EpochAdvancesOnEveryWrite) {
+  uint64_t e0 = index_->epoch();
+  EXPECT_GT(e0, 0u);  // Build added documents
+
+  AddComment(1, 3, "sql was great");
+  ASSERT_TRUE(index_->Refresh(db_, Value(3)).ok());
+  uint64_t e1 = index_->epoch();
+  EXPECT_GT(e1, e0);
+
+  ASSERT_TRUE(index_->RemoveByKey(Value(5)).ok());
+  EXPECT_GT(index_->epoch(), e1);
+}
+
+// ------------------------------------------------------------- result cache
+
+TEST_F(QueryCacheTest, RepeatedQueryHitsCache) {
+  CachingSearcher cached(index_.get());
+  auto first = cached.Search("american");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cached.cache_hits(), 0u);
+  auto second = cached.Search("american");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cached.cache_hits(), 1u);
+  // Zero-copy: both calls return the same underlying result set.
+  EXPECT_EQ(first->get(), second->get());
+}
+
+TEST_F(QueryCacheTest, QueryOrderSharesEntry) {
+  CachingSearcher cached(index_.get());
+  auto a = cached.Search("greek science");
+  auto b = cached.Search("science greek");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(cached.cache_hits(), 1u);  // conjunction is order-insensitive
+}
+
+TEST_F(QueryCacheTest, RefreshInvalidatesCachedQuery) {
+  CachingSearcher cached(index_.get());
+  auto before = cached.Search("normalization");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->size(), 0u);
+
+  AddComment(10, 3, "the normalization lectures were the highlight");
+  ASSERT_TRUE(index_->Refresh(db_, Value(3)).ok());
+
+  auto after = cached.Search("normalization");
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ((*after)->size(), 1u);
+  EXPECT_EQ(Keys(**after), (std::vector<int64_t>{3}));
+}
+
+TEST_F(QueryCacheTest, RemoveByKeyInvalidatesCachedQuery) {
+  CachingSearcher cached(index_.get());
+  auto before = cached.Search("american");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->size(), 3u);
+
+  ASSERT_TRUE(index_->RemoveByKey(Value(5)).ok());
+
+  auto after = cached.Search("american");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->size(), 2u);
+  EXPECT_EQ(cached.cache_hits(), 0u);  // stale entry must not serve
+}
+
+TEST_F(QueryCacheTest, LruEvictsOldestEntry) {
+  CachingSearcher cached(index_.get(), {}, /*capacity=*/2);
+  ASSERT_TRUE(cached.Search("american").ok());
+  ASSERT_TRUE(cached.Search("greek").ok());
+  ASSERT_TRUE(cached.Search("sql").ok());  // evicts "american"
+  EXPECT_EQ(cached.cache_size(), 2u);
+  ASSERT_TRUE(cached.Search("american").ok());
+  EXPECT_EQ(cached.cache_hits(), 0u);  // all four were computed fresh
+}
+
+TEST_F(QueryCacheTest, RefinePrimesCombinedQueryEntry) {
+  CachingSearcher cached(index_.get());
+  auto base = cached.Search("american");
+  ASSERT_TRUE(base.ok());
+  auto refined = cached.Refine(**base, "politics");
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ((*refined)->size(), 2u);
+
+  // A later from-scratch query of the combined terms hits the entry the
+  // refinement stored.
+  uint64_t hits_before = cached.cache_hits();
+  auto direct = cached.Search("american politics");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(cached.cache_hits(), hits_before + 1);
+  EXPECT_EQ(direct->get(), refined->get());
+}
+
+TEST_F(QueryCacheTest, RefineOfStaleResultRequeries) {
+  CachingSearcher cached(index_.get());
+  auto base = cached.Search("american");
+  ASSERT_TRUE(base.ok());
+  std::shared_ptr<const ResultSet> held = *base;
+
+  // Course 6 gains "american politics" content after the base query.
+  AddCourse(6, "Political Americana", "american politics memorabilia");
+  EntityExtractor extractor(&db_, def_);
+  auto doc = extractor.ExtractOne(Value(6));
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(index_->AddDocument(*doc).ok());
+
+  // Refining the stale set must not miss the new document.
+  auto refined = cached.Refine(*held, "politics");
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ((*refined)->size(), 3u);  // courses 1, 5, and the new 6
+}
+
+TEST_F(QueryCacheTest, StopwordRefinementStillFails) {
+  CachingSearcher cached(index_.get());
+  auto base = cached.Search("american");
+  ASSERT_TRUE(base.ok());
+  EXPECT_FALSE(cached.Refine(**base, "the of").ok());
+}
+
+// -------------------------------------------------------------- cloud cache
+
+TEST_F(QueryCacheTest, CloudCacheHitsAndInvalidates) {
+  Searcher searcher(index_.get());
+  CachingCloudBuilder clouds(index_.get());
+
+  auto results = searcher.Search("american");
+  ASSERT_TRUE(results.ok());
+  auto c1 = clouds.Build(*results);
+  auto c2 = clouds.Build(*results);
+  EXPECT_EQ(c1.get(), c2.get());
+  EXPECT_EQ(clouds.cache_hits(), 1u);
+
+  AddComment(20, 1, "fascinating frontier lectures");
+  ASSERT_TRUE(index_->Refresh(db_, Value(1)).ok());
+
+  auto fresh = searcher.Search("american");
+  ASSERT_TRUE(fresh.ok());
+  auto c3 = clouds.Build(*fresh);
+  EXPECT_NE(c1.get(), c3.get());  // old entry was epoch-invalidated
+}
+
+// ------------------------------------------------------------- determinism
+
+/// Serializes everything observable about an index so pooled and serial
+/// builds can be compared byte for byte.
+std::string IndexFingerprint(const InvertedIndex& index) {
+  std::string out;
+  out += std::to_string(index.num_docs()) + ";" +
+         std::to_string(index.num_terms()) + ";";
+  for (TermId t = 0; t < index.num_terms(); ++t) {
+    out += index.TermString(t);
+    out += '\x1f';
+    out += std::to_string(index.DocFrequency(t)) + "," +
+           std::to_string(index.BigramDocFrequency(t)) + ";";
+    const std::vector<Posting>* postings = index.Postings(t);
+    if (postings != nullptr) {
+      for (const Posting& p : *postings) {
+        out += std::to_string(p.doc) + ":" + std::to_string(p.field) + ":" +
+               std::to_string(p.tf) + " ";
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TEST_F(QueryCacheTest, PooledBuildMatchesSerialBuildByteForByte) {
+  ThreadPool pool4(4);
+  ThreadPool inline_pool(0);
+
+  InvertedIndex pooled(def_);
+  ASSERT_TRUE(pooled.Build(db_, &pool4).ok());
+  InvertedIndex serial(def_);
+  ASSERT_TRUE(serial.Build(db_, &inline_pool).ok());
+
+  EXPECT_EQ(IndexFingerprint(pooled), IndexFingerprint(serial));
+
+  // Scores, not just match sets, must agree exactly.
+  Searcher ps(&pooled);
+  Searcher ss(&serial);
+  for (const char* q : {"american", "greek science", "american politics"}) {
+    auto pr = ps.Search(q);
+    auto sr = ss.Search(q);
+    ASSERT_TRUE(pr.ok());
+    ASSERT_TRUE(sr.ok());
+    ASSERT_EQ(pr->size(), sr->size()) << q;
+    for (size_t i = 0; i < pr->hits.size(); ++i) {
+      EXPECT_EQ(pr->hits[i].doc, sr->hits[i].doc) << q;
+      EXPECT_EQ(pr->hits[i].score, sr->hits[i].score) << q;
+    }
+  }
+}
+
+std::string CloudFingerprint(const DataCloud& cloud) {
+  std::string out;
+  for (const cloud::CloudTerm& t : cloud.terms) {
+    out += t.term + "|" + t.display + "|" + std::to_string(t.score) + "|" +
+           std::to_string(t.doc_count) + "|" + std::to_string(t.total_tf) +
+           "|" + std::to_string(t.font_bucket) + "\n";
+  }
+  return out;
+}
+
+TEST_F(QueryCacheTest, PooledCloudMatchesSerialCloudByteForByte) {
+  // A corpus large enough to trigger sharded accumulation (>= 2 shards).
+  storage::Database big;
+  ASSERT_TRUE(big.CreateTable("Courses",
+                              Schema({{"CourseID", ValueType::kInt, false},
+                                      {"Title", ValueType::kString, false},
+                                      {"Description", ValueType::kString,
+                                       true}}),
+                              {"CourseID"})
+                  .ok());
+  const char* topics[] = {"politics", "culture", "migration", "frontier",
+                          "poetry", "jazz", "cinema", "democracy"};
+  for (int i = 0; i < 700; ++i) {
+    std::string topic = topics[i % 8];
+    std::string other = topics[(i + 3) % 8];
+    ASSERT_TRUE(
+        big.FindTable("Courses")
+            ->Insert({Value(i), Value("American " + topic),
+                      Value("american " + topic + " and " + other +
+                            " studies")})
+            .ok());
+  }
+  EntityDefinition def;
+  def.name = "course";
+  def.primary_table = "Courses";
+  def.key_column = "CourseID";
+  def.display_column = "Title";
+  def.fields = {
+      {"title", 3.0, "Courses", "Title", "CourseID"},
+      {"description", 1.5, "Courses", "Description", "CourseID"},
+  };
+  InvertedIndex index(def);
+  ASSERT_TRUE(index.Build(big).ok());
+
+  Searcher searcher(&index);
+  auto results = searcher.Search("american");
+  ASSERT_TRUE(results.ok());
+  ASSERT_GE(results->size(), 512u) << "need enough hits to shard";
+
+  ThreadPool pool4(4);
+  ThreadPool inline_pool(0);
+  CloudBuilder pooled(&index, {}, &pool4);
+  CloudBuilder serial(&index, {}, &inline_pool);
+
+  std::string serial_fp = CloudFingerprint(serial.Build(*results));
+  ASSERT_FALSE(serial_fp.empty());
+  for (int round = 0; round < 3; ++round) {
+    // Repeats also exercise scratch-buffer reuse across builds.
+    EXPECT_EQ(CloudFingerprint(pooled.Build(*results)), serial_fp);
+    EXPECT_EQ(CloudFingerprint(serial.Build(*results)), serial_fp);
+  }
+}
+
+}  // namespace
+}  // namespace courserank::search

@@ -237,6 +237,48 @@ TEST_F(SearchTest, MaxResultsTruncates) {
   EXPECT_EQ(searcher.Search("american")->size(), 2u);
 }
 
+TEST_F(SearchTest, DuplicateQueryTermsScoreOnce) {
+  Searcher searcher(index_.get());
+  auto once = searcher.Search("database");
+  auto twice = searcher.Search("database database");
+  ASSERT_TRUE(once.ok());
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(twice->terms, once->terms);  // deduplicated before evaluation
+  ASSERT_EQ(twice->size(), once->size());
+  for (size_t i = 0; i < once->hits.size(); ++i) {
+    EXPECT_EQ(twice->hits[i].doc, once->hits[i].doc);
+    EXPECT_EQ(twice->hits[i].score, once->hits[i].score);
+  }
+}
+
+TEST_F(SearchTest, IntersectionMatchesPerDocFilterExactly) {
+  SearchOptions filter_opts;
+  filter_opts.strategy = MatchStrategy::kPerDocFilter;
+  Searcher intersect(index_.get());
+  Searcher filter(index_.get(), filter_opts);
+  for (const char* q : {"american", "greek science", "american politics",
+                        "sql", "database", "the of and"}) {
+    auto a = intersect.Search(q);
+    auto b = filter.Search(q);
+    ASSERT_TRUE(a.ok()) << q;
+    ASSERT_TRUE(b.ok()) << q;
+    ASSERT_EQ(a->size(), b->size()) << q;
+    for (size_t i = 0; i < a->hits.size(); ++i) {
+      EXPECT_EQ(a->hits[i].doc, b->hits[i].doc) << q;
+      EXPECT_EQ(a->hits[i].score, b->hits[i].score) << q;
+    }
+  }
+}
+
+TEST_F(SearchTest, IntersectionHandlesPhraseTerms) {
+  Searcher searcher(index_.get());
+  // Phrase term via SearchTerms, as a cloud-click re-query would issue it.
+  auto results = searcher.SearchTerms({"american", "latin american"});
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ(Keys(*results), (std::vector<int64_t>{2}));
+}
+
 TEST_F(SearchTest, EmptyQueryYieldsNothing) {
   Searcher searcher(index_.get());
   EXPECT_EQ(searcher.Search("")->size(), 0u);
