@@ -191,7 +191,11 @@ void WriteBenchJson() {
                  rows[i].name.c_str(), rows[i].scale, rows[i].ns_per_op,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  // Metrics snapshot of everything the bench run just exercised. A new
+  // top-level key only — the existing benchmark/unit/rows keys and their
+  // shapes are a stable contract for cross-PR comparisons.
+  std::string metrics = MetricsSnapshotJson();
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.c_str());
   std::fclose(f);
   std::fprintf(stderr, "[bench] wrote BENCH_search.json (%zu rows)\n",
                rows.size());

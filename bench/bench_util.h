@@ -3,9 +3,11 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "common/logging.h"
 #include "gen/generator.h"
+#include "obs/metrics.h"
 #include "social/site.h"
 
 namespace courserank::bench {
@@ -47,6 +49,14 @@ inline World& SmallWorld() {
   static World* world =
       new World(BuildWorld(gen::GenConfig::Small(42), true));
   return *world;
+}
+
+/// JSON snapshot of every process-wide metric the run touched, for
+/// embedding under a "metrics" key in BENCH_*.json dumps. What the query
+/// path did (cache hit rates, postings advanced, rows scanned) then rides
+/// along with the timings it explains.
+inline std::string MetricsSnapshotJson() {
+  return obs::MetricsRegistry::Default().RenderJson();
 }
 
 }  // namespace courserank::bench

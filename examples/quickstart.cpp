@@ -6,6 +6,7 @@
 
 #include "core/data_cloud.h"
 #include "gen/generator.h"
+#include "obs/metrics.h"
 #include "social/site.h"
 
 using courserank::gen::GenConfig;
@@ -78,6 +79,13 @@ int main() {
   if (!cf_or.ok()) return Fail(cf_or.status());
   std::printf("\nrecommended courses (Fig. 5b):\n%s",
               cf_or->ToString(5).c_str());
+
+  // 7. Everything above was observed: dump the process-wide metrics the
+  //    run accumulated (Prometheus text; RenderJson() for JSON).
+  std::printf("\nmetrics:\n%s",
+              courserank::obs::MetricsRegistry::Default()
+                  .RenderPrometheus()
+                  .c_str());
 
   std::printf("\nquickstart OK\n");
   return 0;

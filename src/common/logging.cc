@@ -1,0 +1,95 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include <chrono>
+
+namespace courserank {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+int ParseLevelEnv() {
+  const char* env = std::getenv("COURSERANK_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return COURSERANK_LOG_LEVEL_INFO;
+  }
+  if (std::strcmp(env, "INFO") == 0 || std::strcmp(env, "0") == 0) {
+    return COURSERANK_LOG_LEVEL_INFO;
+  }
+  if (std::strcmp(env, "WARN") == 0 || std::strcmp(env, "1") == 0) {
+    return COURSERANK_LOG_LEVEL_WARN;
+  }
+  if (std::strcmp(env, "ERROR") == 0 || std::strcmp(env, "2") == 0) {
+    return COURSERANK_LOG_LEVEL_ERROR;
+  }
+  std::fprintf(stderr, "[log] ignoring malformed COURSERANK_LOG_LEVEL=%s\n",
+               env);
+  return COURSERANK_LOG_LEVEL_INFO;
+}
+
+std::atomic<int>& LevelVar() {
+  static std::atomic<int> level{ParseLevelEnv()};
+  return level;
+}
+
+}  // namespace
+
+LogLevel RuntimeLogLevel() {
+  return static_cast<LogLevel>(LevelVar().load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  LevelVar().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) {
+  using Clock = std::chrono::system_clock;
+  Clock::time_point now = Clock::now();
+  std::time_t secs = Clock::to_time_t(now);
+  int ms = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_buf;
+  localtime_r(&secs, &tm_buf);
+  char ts[32];
+  std::strftime(ts, sizeof(ts), "%Y-%m-%d %H:%M:%S", &tm_buf);
+
+  const char* base = std::strrchr(file, '/');
+  base = base != nullptr ? base + 1 : file;
+
+  char msg[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+
+  std::fprintf(stderr, "%s.%03d %s %s:%d] %s\n", ts, ms, LevelName(level),
+               base, line, msg);
+}
+
+void CheckFailed(const char* file, int line, const char* expr) {
+  LogMessage(LogLevel::kError, file, line, "CHECK failed: %s", expr);
+  std::abort();
+}
+
+}  // namespace courserank

@@ -1,20 +1,61 @@
 #ifndef COURSERANK_COMMON_LOGGING_H_
 #define COURSERANK_COMMON_LOGGING_H_
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace courserank {
 
-/// Prints the failure location and aborts. Used by CR_CHECK; not intended to
-/// be called directly.
-[[noreturn]] inline void CheckFailed(const char* file, int line,
-                                     const char* expr) {
-  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
-  std::abort();
-}
+/// Severity of a CR_LOG statement, ordered so numeric comparison works.
+enum class LogLevel : int { kInfo = 0, kWarn = 1, kError = 2 };
+
+/// The runtime log threshold: statements below it are skipped. Initialized
+/// once from the COURSERANK_LOG_LEVEL env var (INFO/WARN/ERROR or 0/1/2;
+/// default INFO), adjustable afterwards for tests and tools.
+LogLevel RuntimeLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Formats and writes one log line to stderr:
+///   2026-08-05 14:03:07.123 WARN searcher.cc:42] message
+/// The line is assembled into one buffer and written with a single stdio
+/// call, so concurrent log statements do not interleave mid-line. Not
+/// intended to be called directly — use CR_LOG.
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) __attribute__((format(printf, 4, 5)));
+
+/// Prints the failure location through the logging backend and aborts. Used
+/// by CR_CHECK; not intended to be called directly.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
 
 }  // namespace courserank
+
+// Compile-time floor: CR_LOG statements strictly below it cost nothing, not
+// even the runtime level check. Release builds drop INFO; override with
+// -DCOURSERANK_MIN_LOG_LEVEL=n for release debugging.
+#define COURSERANK_LOG_LEVEL_INFO 0
+#define COURSERANK_LOG_LEVEL_WARN 1
+#define COURSERANK_LOG_LEVEL_ERROR 2
+#ifndef COURSERANK_MIN_LOG_LEVEL
+#ifdef NDEBUG
+#define COURSERANK_MIN_LOG_LEVEL COURSERANK_LOG_LEVEL_WARN
+#else
+#define COURSERANK_MIN_LOG_LEVEL COURSERANK_LOG_LEVEL_INFO
+#endif
+#endif
+
+/// Leveled printf-style logging: CR_LOG(WARN, "refresh failed: %s", msg).
+/// Levels below COURSERANK_MIN_LOG_LEVEL compile away entirely; the rest
+/// are filtered at runtime against RuntimeLogLevel().
+#define CR_LOG(severity, ...)                                             \
+  do {                                                                    \
+    if constexpr (COURSERANK_LOG_LEVEL_##severity >=                      \
+                  COURSERANK_MIN_LOG_LEVEL) {                             \
+      if (COURSERANK_LOG_LEVEL_##severity >=                              \
+          static_cast<int>(::courserank::RuntimeLogLevel())) {            \
+        ::courserank::LogMessage(                                         \
+            static_cast<::courserank::LogLevel>(                          \
+                COURSERANK_LOG_LEVEL_##severity),                         \
+            __FILE__, __LINE__, __VA_ARGS__);                             \
+      }                                                                   \
+    }                                                                     \
+  } while (false)
 
 /// Aborts the process when `cond` is false. For internal invariants only —
 /// user-facing errors go through Status.

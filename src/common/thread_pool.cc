@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace courserank {
 
 namespace {
@@ -10,6 +13,42 @@ namespace {
 /// Set while a thread is executing pool work, so nested ParallelFor calls
 /// run inline instead of blocking on a queue they are supposed to drain.
 thread_local bool t_in_pool_worker = false;
+
+/// Pool-wide registry metrics, resolved once. `queue_depth` counts enqueued
+/// but not yet started chunks; `caller_drained` counts chunks the submitting
+/// thread stole back while helping drain; `worker_idle` counts transitions
+/// of a worker into the idle wait.
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_ns;
+  obs::Counter* tasks;
+  obs::Counter* inline_chunks;
+  obs::Counter* caller_drained;
+  obs::Counter* worker_idle;
+  obs::Counter* parallel_fors;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    return PoolMetrics{reg.GetGauge("cr_pool_queue_depth"),
+                       reg.GetHistogram("cr_pool_task_ns"),
+                       reg.GetCounter("cr_pool_tasks_total"),
+                       reg.GetCounter("cr_pool_inline_chunks_total"),
+                       reg.GetCounter("cr_pool_caller_drained_total"),
+                       reg.GetCounter("cr_pool_worker_idle_total"),
+                       reg.GetCounter("cr_pool_parallel_fors_total")};
+  }();
+  return m;
+}
+
+/// Runs one dequeued task with latency accounting.
+void RunTimed(const std::function<void()>& task) {
+  uint64_t t0 = obs::NowNs();
+  task();
+  Metrics().task_ns->Record(obs::NowNs() - t0);
+  Metrics().tasks->Add();
+}
 
 }  // namespace
 
@@ -35,12 +74,14 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty() && !stop_) Metrics().worker_idle->Add();
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    Metrics().queue_depth->Add(-1);
+    RunTimed(task);
   }
 }
 
@@ -63,7 +104,9 @@ void ThreadPool::ParallelFor(
     return std::pair<size_t, size_t>(begin, end);
   };
 
+  Metrics().parallel_fors->Add();
   if (chunks == 1 || workers_.empty() || t_in_pool_worker) {
+    Metrics().inline_chunks->Add(chunks);
     for (size_t c = 0; c < chunks; ++c) {
       auto [begin, end] = chunk_bounds(c);
       fn(c, begin, end);
@@ -86,6 +129,9 @@ void ThreadPool::ParallelFor(
         }
       });
     }
+    // Inside the lock so the gauge never reads negative: workers decrement
+    // only after they pop, which requires this lock.
+    Metrics().queue_depth->Add(static_cast<int64_t>(chunks));
   }
   cv_.notify_all();
   // The caller helps drain its own chunks so a small pool never stalls a
@@ -100,7 +146,9 @@ void ThreadPool::ParallelFor(
       }
     }
     if (!task) break;
-    task();
+    Metrics().queue_depth->Add(-1);
+    Metrics().caller_drained->Add();
+    RunTimed(task);
   }
   std::unique_lock<std::mutex> done_lock(done_mu);
   done_cv.wait(done_lock, [&] { return remaining.load() == 0; });

@@ -6,12 +6,39 @@
 #include <set>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace courserank::cloud {
 
 using search::kNoTerm;
 
 namespace {
+
+/// Cloud-path metrics, resolved once per process. `terms_touched` is the
+/// number of distinct accumulator slots a build dirtied — the dense
+/// aggregation's unit of work (and of the O(touched) clear).
+struct CloudMetrics {
+  obs::Histogram* build_ns;
+  obs::Histogram* topk_ns;
+  obs::Histogram* cached_build_ns;
+  obs::Counter* builds;
+  obs::Counter* terms_touched;
+  obs::Counter* hits_accumulated;
+};
+
+const CloudMetrics& Metrics() {
+  static const CloudMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    return CloudMetrics{reg.GetHistogram("cr_cloud_build_ns"),
+                        reg.GetHistogram("cr_cloud_topk_ns"),
+                        reg.GetHistogram("cr_cloud_cached_build_ns"),
+                        reg.GetCounter("cr_cloud_builds_total"),
+                        reg.GetCounter("cr_cloud_terms_touched_total"),
+                        reg.GetCounter("cr_cloud_hits_accumulated_total")};
+  }();
+  return m;
+}
 
 /// Minimum hits per accumulation shard; below this, sharding overhead
 /// beats the parallelism. The shard count is a pure function of the hit
@@ -142,27 +169,36 @@ void CloudBuilder::MergeInto(const Accumulator& shard, Accumulator* main) {
 }
 
 DataCloud CloudBuilder::Build(const ResultSet& results) const {
+  const CloudMetrics& m = Metrics();
+  obs::ScopedSpan span(obs::stage::kCloudBuild, m.build_ns);
+  m.builds->Add();
+  m.hits_accumulated->Add(results.hits.size());
   std::unique_ptr<Accumulator> main = TakeScratch();
 
-  size_t shards = ThreadPool::NumChunks(results.hits.size(), kMinShardHits);
-  if (shards <= 1) {
-    AccumulateRange(results, 0, results.hits.size(), main.get());
-  } else {
-    // Per-shard partials merged in shard order: the floating-point
-    // addition tree depends only on the (hit-count-determined) partition,
-    // so any pool size — including inline — produces identical bytes.
-    std::vector<std::unique_ptr<Accumulator>> parts(shards);
-    pool_->ParallelFor(
-        results.hits.size(), kMinShardHits,
-        [&](size_t shard, size_t begin, size_t end) {
-          parts[shard] = TakeScratch();
-          AccumulateRange(results, begin, end, parts[shard].get());
-        });
-    for (size_t s = 0; s < shards; ++s) {
-      MergeInto(*parts[s], main.get());
-      ReturnScratch(std::move(parts[s]));
+  {
+    obs::ScopedSpan accumulate(obs::stage::kCloudAccumulate);
+    size_t shards = ThreadPool::NumChunks(results.hits.size(), kMinShardHits);
+    if (shards <= 1) {
+      AccumulateRange(results, 0, results.hits.size(), main.get());
+    } else {
+      // Per-shard partials merged in shard order: the floating-point
+      // addition tree depends only on the (hit-count-determined) partition,
+      // so any pool size — including inline — produces identical bytes.
+      std::vector<std::unique_ptr<Accumulator>> parts(shards);
+      pool_->ParallelFor(
+          results.hits.size(), kMinShardHits,
+          [&](size_t shard, size_t begin, size_t end) {
+            parts[shard] = TakeScratch();
+            AccumulateRange(results, begin, end, parts[shard].get());
+          });
+      for (size_t s = 0; s < shards; ++s) {
+        MergeInto(*parts[s], main.get());
+        ReturnScratch(std::move(parts[s]));
+      }
     }
   }
+  m.terms_touched->Add(main->touched_unigrams.size() +
+                       main->touched_bigrams.size());
 
   DataCloud cloud = AssembleDense(*main, results);
   ReturnScratch(std::move(main));
@@ -303,6 +339,7 @@ DataCloud CloudBuilder::Assemble(const AggMap& unigrams, const AggMap& bigrams,
 
 DataCloud CloudBuilder::SelectTopTerms(
     std::vector<CloudTerm> candidates) const {
+  obs::ScopedSpan span(obs::stage::kCloudTopK, Metrics().topk_ns);
   std::sort(candidates.begin(), candidates.end(),
             [](const CloudTerm& a, const CloudTerm& b) {
               if (a.score != b.score) return a.score > b.score;
@@ -392,13 +429,22 @@ std::string CachingCloudBuilder::CloudKey(const ResultSet& results) const {
 
 std::shared_ptr<const DataCloud> CachingCloudBuilder::Build(
     const ResultSet& results) const {
+  obs::ScopedSpan span(obs::stage::kCloudCachedBuild,
+                       Metrics().cached_build_ns);
   uint64_t epoch = index_->epoch();
   if (results.epoch != epoch) {
     // A stale result set's cloud must not be cached as current.
     return std::make_shared<const DataCloud>(builder_.Build(results));
   }
   std::string key = CloudKey(results);
-  if (std::shared_ptr<const DataCloud> hit = cache_.Get(key, epoch)) {
+  // The warm hit path is ~330ns, so the probe span — a few ns even
+  // unsampled — is only constructed when this query is being traced.
+  if (obs::ScopedSpan::active()) {
+    obs::ScopedSpan probe(obs::stage::kCloudCacheProbe);
+    if (std::shared_ptr<const DataCloud> hit = cache_.Get(key, epoch)) {
+      return hit;
+    }
+  } else if (std::shared_ptr<const DataCloud> hit = cache_.Get(key, epoch)) {
     return hit;
   }
   return cache_.Put(key, epoch, builder_.Build(results));

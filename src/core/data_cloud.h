@@ -156,13 +156,17 @@ class CachingCloudBuilder {
                                CloudOptions options = {},
                                size_t capacity = 128,
                                ThreadPool* pool = &SharedThreadPool())
-      : builder_(index, options, pool), index_(index), cache_(capacity) {}
+      : builder_(index, options, pool),
+        index_(index),
+        cache_(capacity, "cr_cloud_cache") {}
 
   std::shared_ptr<const DataCloud> Build(const ResultSet& results) const;
 
   const CloudBuilder& builder() const { return builder_; }
   uint64_t cache_hits() const { return cache_.hits(); }
   uint64_t cache_misses() const { return cache_.misses(); }
+  uint64_t cache_evictions() const { return cache_.evictions(); }
+  uint64_t cache_stale_drops() const { return cache_.stale_drops(); }
 
  private:
   std::string CloudKey(const ResultSet& results) const;

@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/plan.h"
 #include "query/sql_parser.h"
 #include "storage/value.h"
@@ -217,21 +219,69 @@ Result<CompiledWorkflow> FlexRecsEngine::Compile(
   return compiled;
 }
 
+namespace {
+
+/// Workflow-engine metrics, resolved once per process. Steps run at ms
+/// scale, so each operator kind is timed unconditionally (kAlways spans):
+/// the per-operator histograms are what shows whether a slow strategy
+/// spends its time in compiled SQL or in the recommend/extend operators.
+struct FlexMetrics {
+  obs::Histogram* run_ns;
+  obs::Histogram* sql_step_ns;
+  obs::Histogram* values_step_ns;
+  obs::Histogram* physical_step_ns;
+  obs::Counter* runs;
+  obs::Counter* steps;
+};
+
+const FlexMetrics& Metrics() {
+  static const FlexMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    return FlexMetrics{reg.GetHistogram("cr_flexrecs_run_ns"),
+                       reg.GetHistogram("cr_flexrecs_sql_step_ns"),
+                       reg.GetHistogram("cr_flexrecs_values_step_ns"),
+                       reg.GetHistogram("cr_flexrecs_physical_step_ns"),
+                       reg.GetCounter("cr_flexrecs_runs_total"),
+                       reg.GetCounter("cr_flexrecs_steps_total")};
+  }();
+  return m;
+}
+
+}  // namespace
+
 Result<Relation> FlexRecsEngine::Execute(const CompiledWorkflow& compiled,
                                          const ParamMap& params) {
+  const FlexMetrics& m = Metrics();
+  obs::ScopedSpan run_span(obs::stage::kFlexRun, m.run_ns,
+                           &obs::TraceSink::Default(),
+                           obs::ScopedSpan::Mode::kAlways);
+  m.runs->Add();
   std::vector<Relation> results;
   results.reserve(compiled.steps().size());
   for (const CompiledStep& step : compiled.steps()) {
+    m.steps->Add();
     switch (step.kind) {
       case CompiledStep::Kind::kSql: {
+        obs::ScopedSpan step_span(obs::stage::kFlexSqlStep, m.sql_step_ns,
+                                  &obs::TraceSink::Default(),
+                                  obs::ScopedSpan::Mode::kAlways);
         CR_ASSIGN_OR_RETURN(Relation rel, sql_.Execute(step.sql, params));
         results.push_back(std::move(rel));
         break;
       }
-      case CompiledStep::Kind::kValues:
+      case CompiledStep::Kind::kValues: {
+        obs::ScopedSpan step_span(obs::stage::kFlexValuesStep,
+                                  m.values_step_ns,
+                                  &obs::TraceSink::Default(),
+                                  obs::ScopedSpan::Mode::kAlways);
         results.push_back(step.values);
         break;
+      }
       case CompiledStep::Kind::kPhysical: {
+        obs::ScopedSpan step_span(obs::stage::kFlexPhysicalStep,
+                                  m.physical_step_ns,
+                                  &obs::TraceSink::Default(),
+                                  obs::ScopedSpan::Mode::kAlways);
         CR_ASSIGN_OR_RETURN(
             Relation rel,
             ExecutePhysical(*step.node, results, step.inputs, params));

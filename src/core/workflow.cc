@@ -52,8 +52,8 @@ const char* AggName(RecommendAgg agg) {
 ExprPtr MustParseExpr(const std::string& text) {
   auto parsed = query::ParseExpression(text);
   if (!parsed.ok()) {
-    std::fprintf(stderr, "workflow expression error: %s\n",
-                 parsed.status().ToString().c_str());
+    CR_LOG(ERROR, "workflow expression error: %s",
+           parsed.status().ToString().c_str());
   }
   CR_CHECK(parsed.ok());
   return std::move(parsed).value();

@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace courserank::obs {
+
+size_t Histogram::BucketIndexFor(uint64_t v) {
+  if (v <= 1) return 0;
+  // Smallest i with v <= 2^i is bit_width(v - 1); exact powers of two stay
+  // in their own bound's bucket.
+  size_t i = static_cast<size_t>(std::bit_width(v - 1));
+  return i < kNumBuckets - 1 ? i : kNumBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i >= kNumBuckets - 1) return UINT64_MAX;
+  return uint64_t{1} << i;
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  uint64_t total = 0;
+  uint64_t counts[kNumBuckets];
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = bucket_count(i);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile sample, 1-based; q=0 maps to the first sample.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cum += counts[i];
+    if (cum >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+
+/// [first, last] covering every non-empty bucket; [0, 0] when all empty.
+std::pair<size_t, size_t> NonEmptyBucketRange(const Histogram& h) {
+  size_t first = Histogram::kNumBuckets, last = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h.bucket_count(i) == 0) continue;
+    if (first == Histogram::kNumBuckets) first = i;
+    last = i;
+  }
+  if (first == Histogram::kNumBuckets) first = last = 0;
+  return {first, last};
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    AppendF(&out, "# TYPE %s counter\n", name.c_str());
+    AppendF(&out, "%s %" PRIu64 "\n", name.c_str(), c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    AppendF(&out, "# TYPE %s gauge\n", name.c_str());
+    AppendF(&out, "%s %" PRId64 "\n", name.c_str(), g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    AppendF(&out, "# TYPE %s histogram\n", name.c_str());
+    auto [first, last] = NonEmptyBucketRange(*h);
+    uint64_t cum = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      cum += h->bucket_count(i);
+      if (i < first || i > last) continue;
+      if (i == Histogram::kNumBuckets - 1) break;  // +Inf printed below
+      AppendF(&out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+              name.c_str(), Histogram::BucketUpperBound(i), cum);
+    }
+    AppendF(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
+            h->count());
+    AppendF(&out, "%s_sum %" PRIu64 "\n", name.c_str(), h->sum());
+    AppendF(&out, "%s_count %" PRIu64 "\n", name.c_str(), h->count());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool sep = false;
+  for (const auto& [name, c] : counters_) {
+    AppendF(&out, "%s\n    \"%s\": %" PRIu64, sep ? "," : "", name.c_str(),
+            c->value());
+    sep = true;
+  }
+  out += sep ? "\n  },\n" : "},\n";
+  out += "  \"gauges\": {";
+  sep = false;
+  for (const auto& [name, g] : gauges_) {
+    AppendF(&out, "%s\n    \"%s\": %" PRId64, sep ? "," : "", name.c_str(),
+            g->value());
+    sep = true;
+  }
+  out += sep ? "\n  },\n" : "},\n";
+  out += "  \"histograms\": {";
+  sep = false;
+  for (const auto& [name, h] : histograms_) {
+    uint64_t count = h->count();
+    uint64_t sum = h->sum();
+    AppendF(&out, "%s\n    \"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64,
+            sep ? "," : "", name.c_str(), count, sum);
+    AppendF(&out, ", \"mean\": %.1f",
+            count == 0 ? 0.0
+                       : static_cast<double>(sum) / static_cast<double>(count));
+    AppendF(&out, ", \"p50\": %" PRIu64 ", \"p90\": %" PRIu64
+                  ", \"p99\": %" PRIu64,
+            h->Quantile(0.5), h->Quantile(0.9), h->Quantile(0.99));
+    out += ", \"buckets\": [";
+    bool bsep = false;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      uint64_t bc = h->bucket_count(i);
+      if (bc == 0) continue;
+      if (i == Histogram::kNumBuckets - 1) {
+        AppendF(&out, "%s{\"le\": \"+Inf\", \"count\": %" PRIu64 "}",
+                bsep ? ", " : "", bc);
+      } else {
+        AppendF(&out, "%s{\"le\": %" PRIu64 ", \"count\": %" PRIu64 "}",
+                bsep ? ", " : "", Histogram::BucketUpperBound(i), bc);
+      }
+      bsep = true;
+    }
+    out += "]}";
+    sep = true;
+  }
+  out += sep ? "\n  }\n}" : "}\n}";
+  return out;
+}
+
+}  // namespace courserank::obs

@@ -1,0 +1,133 @@
+#ifndef COURSERANK_OBS_METRICS_H_
+#define COURSERANK_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace courserank::obs {
+
+/// Monotonically increasing event count. All operations are relaxed atomics:
+/// counters order nothing, they only have to end up with the right totals,
+/// so a hot-path `Add` costs one uncontended fetch_add.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, live cache entries).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-bucketed histogram over non-negative integer samples (latencies in
+/// ns, sizes in rows). Buckets are fixed powers of two — bucket `i` holds
+/// samples with `2^(i-1) < v <= 2^i` (bucket 0 holds v <= 1) and the last
+/// bucket is +Inf — so recording is one shift-class computation plus three
+/// relaxed fetch_adds, and quantile estimation walks a fixed array with no
+/// allocation. ~55% worst-case relative quantile error is the price of a
+/// branch-free hot path; per-stage latency work only needs the decade.
+class Histogram {
+ public:
+  /// 47 finite buckets (upper bounds 2^0 .. 2^46 ≈ 19.5h in ns) + overflow.
+  static constexpr size_t kNumBuckets = 48;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Bucket index a value lands in: smallest i with v <= 2^i, clamped to
+  /// the overflow bucket. Exact powers of two land in their own bound's
+  /// bucket (`le` semantics, matching Prometheus exposition).
+  static size_t BucketIndexFor(uint64_t v);
+
+  /// Inclusive upper bound of bucket `i`; UINT64_MAX for the overflow
+  /// bucket.
+  static uint64_t BucketUpperBound(size_t i);
+
+  void Record(uint64_t v) {
+    buckets_[BucketIndexFor(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the bucket containing the q-quantile sample
+  /// (0 <= q <= 1), or 0 when empty. Within one bucket width of the true
+  /// value by construction; allocation-free.
+  uint64_t Quantile(double q) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Process-wide named-metric registry. `Get*` interns by name and returns a
+/// pointer that stays valid for the registry's lifetime, so hot paths
+/// resolve a metric once (function-local static) and then touch only the
+/// atomic. Thread-safe; exposition renders a consistent-enough snapshot
+/// (each value is read atomically, the set of metrics under the lock).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem instruments into. Never
+  /// destroyed: worker threads may increment counters during shutdown.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Prometheus text exposition format 0.0.4: counters/gauges as single
+  /// samples, histograms as cumulative `_bucket{le="..."}` series (empty
+  /// leading/trailing buckets elided) plus `_sum` and `_count`.
+  std::string RenderPrometheus() const;
+
+  /// The same snapshot as one JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
+  /// p50,p90,p99,buckets:[{"le":...,"count":...}]}}}. Histogram buckets are
+  /// non-cumulative and only non-empty ones appear; the overflow bucket's
+  /// "le" is the string "+Inf".
+  std::string RenderJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map for deterministic exposition order.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace courserank::obs
+
+#endif  // COURSERANK_OBS_METRICS_H_

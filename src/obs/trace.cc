@@ -1,0 +1,67 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace courserank::obs {
+
+thread_local ScopedSpan::Tls ScopedSpan::tls_;
+
+TraceSink::TraceSink(size_t capacity, uint32_t period)
+    : period_(period), ring_(capacity == 0 ? 1 : capacity) {}
+
+TraceSink& TraceSink::Default() {
+  static TraceSink* sink = [] {
+    uint32_t period = kDefaultPeriod;
+    if (const char* env = std::getenv("COURSERANK_TRACE_PERIOD")) {
+      char* end = nullptr;
+      unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && v <= UINT32_MAX) {
+        period = static_cast<uint32_t>(v);
+      } else {
+        std::fprintf(stderr,
+                     "[obs] ignoring malformed COURSERANK_TRACE_PERIOD=%s\n",
+                     env);
+      }
+    }
+    return new TraceSink(kDefaultCapacity, period);  // never destroyed
+  }();
+  return *sink;
+}
+
+void TraceSink::Record(const char* stage, uint64_t start_ns, uint64_t dur_ns,
+                       uint32_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent& ev = ring_[next_];
+  ev.stage = stage;
+  ev.seq = ++seq_;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.depth = depth;
+  next_ = (next_ + 1) % ring_.size();
+}
+
+std::vector<TraceEvent> TraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Oldest event sits at `next_` once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& ev = ring_[(next_ + i) % ring_.size()];
+    if (ev.stage != nullptr) out.push_back(ev);
+  }
+  return out;
+}
+
+uint64_t TraceSink::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (TraceEvent& ev : ring_) ev = TraceEvent{};
+  next_ = 0;
+}
+
+}  // namespace courserank::obs

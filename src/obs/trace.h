@@ -1,0 +1,191 @@
+#ifndef COURSERANK_OBS_TRACE_H_
+#define COURSERANK_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace courserank::obs {
+
+/// Stage names recorded into traces. These are a stable contract: dashboards
+/// and the verify-obs fixture match on them, so renaming one is a breaking
+/// change (DESIGN.md §7).
+namespace stage {
+inline constexpr char kTokenize[] = "search.tokenize";
+inline constexpr char kQuery[] = "search.query";
+inline constexpr char kIntersect[] = "search.intersect";
+inline constexpr char kFilter[] = "search.filter";
+inline constexpr char kRank[] = "search.rank";
+inline constexpr char kRefine[] = "search.refine";
+inline constexpr char kCachedQuery[] = "search.cached_query";
+inline constexpr char kCachedRefine[] = "search.cached_refine";
+inline constexpr char kCacheProbe[] = "search.cache_probe";
+inline constexpr char kCloudBuild[] = "cloud.build";
+inline constexpr char kCloudAccumulate[] = "cloud.accumulate";
+inline constexpr char kCloudTopK[] = "cloud.topk";
+inline constexpr char kCloudCachedBuild[] = "cloud.cached_build";
+inline constexpr char kCloudCacheProbe[] = "cloud.cache_probe";
+inline constexpr char kSqlParse[] = "sql.parse";
+inline constexpr char kSqlExec[] = "sql.exec";
+inline constexpr char kFlexCompile[] = "flexrecs.compile";
+inline constexpr char kFlexRun[] = "flexrecs.run";
+inline constexpr char kFlexSqlStep[] = "flexrecs.step.sql";
+inline constexpr char kFlexValuesStep[] = "flexrecs.step.values";
+inline constexpr char kFlexPhysicalStep[] = "flexrecs.step.physical";
+}  // namespace stage
+
+/// Monotonic nanoseconds (steady clock); the time base of all spans.
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One closed span. Events are recorded when the span *closes*, so within a
+/// thread an inner span always precedes its enclosing span in the buffer,
+/// and `depth` reconstructs the nesting.
+struct TraceEvent {
+  const char* stage = nullptr;  ///< one of obs::stage — static storage only
+  uint64_t seq = 0;             ///< global close order, starts at 1
+  uint64_t start_ns = 0;        ///< NowNs() at open
+  uint64_t dur_ns = 0;
+  uint32_t depth = 0;  ///< nesting depth at open; roots are 0
+};
+
+/// Fixed-capacity ring buffer of the most recent spans. `period` is the
+/// root-span sampling stride ScopedSpan applies per thread: only every
+/// `period`-th root span on a thread (the first one always) times itself
+/// and its children, which keeps steady-state tracing off the ns-scale warm
+/// cache paths. Recording takes a mutex — sampled spans are a handful per
+/// traced query, so contention is not a concern.
+class TraceSink {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+  static constexpr uint32_t kDefaultPeriod = 16;
+
+  explicit TraceSink(size_t capacity = kDefaultCapacity,
+                     uint32_t period = kDefaultPeriod);
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// The process-wide sink. Capacity 4096; period from the
+  /// COURSERANK_TRACE_PERIOD env var (0 disables tracing entirely,
+  /// 1 traces every query). Never destroyed.
+  static TraceSink& Default();
+
+  uint32_t period() const { return period_.load(std::memory_order_relaxed); }
+  void set_period(uint32_t p) {
+    period_.store(p, std::memory_order_relaxed);
+  }
+
+  void Record(const char* stage, uint64_t start_ns, uint64_t dur_ns,
+              uint32_t depth);
+
+  /// The retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Spans ever recorded (>= Snapshot().size() once the ring wraps).
+  uint64_t total_recorded() const;
+
+  void Clear();
+
+ private:
+  std::atomic<uint32_t> period_;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // capacity-sized, written round-robin
+  size_t next_ = 0;
+  uint64_t seq_ = 0;
+};
+
+/// RAII span. Opens a stage on construction, and on destruction records the
+/// duration into `hist` (when given) and the trace sink.
+///
+/// Sampling: a root span (nesting depth 0) with mode kSampled consumes a
+/// thread-local countdown — the first root on a thread is sampled, then
+/// every `sink->period()`-th after. The decision is ambient for the thread,
+/// so nested spans of a sampled query are all timed, while unsampled roots
+/// and their children pay only a few thread-local ops per span — no shared
+/// atomics, no clock reads, no histogram write. Mode kAlways times and
+/// records the histogram unconditionally (for ms-scale operations like SQL
+/// statements where the sample matters more than the ~50ns of clock reads)
+/// and traces whenever tracing is on at all (period != 0), without
+/// consuming the countdown.
+class ScopedSpan {
+ public:
+  enum class Mode { kSampled, kAlways };
+
+  explicit ScopedSpan(const char* stage, Histogram* hist = nullptr,
+                      TraceSink* sink = &TraceSink::Default(),
+                      Mode mode = Mode::kSampled)
+      : stage_(stage), hist_(hist), sink_(sink) {
+    Tls& tls = tls_;
+    if (tls.depth == 0) {
+      root_ = true;
+      if (sink_ == nullptr) {
+        tls.active = false;
+      } else if (mode == Mode::kAlways) {
+        tls.active = sink_->period() != 0;
+      } else if (tls.countdown == 0) {
+        uint32_t p = sink_->period();
+        tls.active = p != 0;
+        if (p > 0) tls.countdown = p - 1;
+      } else {
+        --tls.countdown;
+        tls.active = false;
+      }
+    }
+    timed_ = tls.active || mode == Mode::kAlways;
+    depth_ = tls.depth++;
+    if (timed_) start_ = NowNs();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    Tls& tls = tls_;
+    --tls.depth;
+    if (timed_) {
+      uint64_t dur = NowNs() - start_;
+      if (hist_ != nullptr) hist_->Record(dur);
+      if (tls.active && sink_ != nullptr) {
+        sink_->Record(stage_, start_, dur, depth_);
+      }
+    }
+    if (root_) tls.active = false;
+  }
+
+  /// True while the calling thread is inside a sampled (traced) span tree.
+  static bool active() { return tls_.active; }
+
+  /// Resets the calling thread's sampling countdown so its next root span
+  /// is sampled. Test support: lets sampling-pattern assertions start from
+  /// a known state regardless of spans earlier tests opened.
+  static void ResetSamplingForTest() { tls_.countdown = 0; }
+
+ private:
+  struct Tls {
+    uint32_t depth = 0;
+    bool active = false;
+    uint32_t countdown = 0;  ///< roots to skip before the next sample
+  };
+  static thread_local Tls tls_;
+
+  const char* stage_;
+  Histogram* hist_;
+  TraceSink* sink_;
+  uint64_t start_ = 0;
+  uint32_t depth_ = 0;
+  bool timed_ = false;
+  bool root_ = false;
+};
+
+}  // namespace courserank::obs
+
+#endif  // COURSERANK_OBS_TRACE_H_

@@ -1,9 +1,34 @@
 #include "query/sql_engine.h"
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/sql_parser.h"
 
 namespace courserank::query {
+
+namespace {
+
+/// SQL-engine metrics, resolved once per process. Statements are ms-scale,
+/// so parse and execute are timed unconditionally (ScopedSpan kAlways) —
+/// every statement lands in the histograms, not just trace-sampled ones.
+struct SqlMetrics {
+  obs::Histogram* parse_ns;
+  obs::Histogram* execute_ns;
+  obs::Counter* statements;
+};
+
+const SqlMetrics& Metrics() {
+  static const SqlMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    return SqlMetrics{reg.GetHistogram("cr_sql_parse_ns"),
+                      reg.GetHistogram("cr_sql_execute_ns"),
+                      reg.GetCounter("cr_sql_statements_total")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 using storage::Column;
 using storage::RowId;
@@ -200,7 +225,18 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
 
 Result<Relation> SqlEngine::Execute(const std::string& sql,
                                     const ParamMap& params) {
-  CR_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  const SqlMetrics& m = Metrics();
+  obs::ScopedSpan span(obs::stage::kSqlExec, m.execute_ns,
+                       &obs::TraceSink::Default(),
+                       obs::ScopedSpan::Mode::kAlways);
+  m.statements->Add();
+  Result<Statement> parsed = [&] {
+    obs::ScopedSpan parse(obs::stage::kSqlParse, m.parse_ns,
+                          &obs::TraceSink::Default(),
+                          obs::ScopedSpan::Mode::kAlways);
+    return ParseSql(sql);
+  }();
+  CR_ASSIGN_OR_RETURN(Statement stmt, std::move(parsed));
   if (stmt.select != nullptr) {
     CR_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(*stmt.select));
     ExecContext ctx;

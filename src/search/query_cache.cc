@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace courserank::search {
+
+namespace {
+
+/// Caching-layer metrics, resolved once per process.
+struct CacheMetrics {
+  obs::Histogram* cached_query_ns;
+  obs::Histogram* cached_refine_ns;
+};
+
+const CacheMetrics& Metrics() {
+  static const CacheMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    return CacheMetrics{reg.GetHistogram("cr_search_cached_query_ns"),
+                        reg.GetHistogram("cr_search_cached_refine_ns")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 std::vector<std::string> NormalizedTerms(std::vector<std::string> terms) {
   std::sort(terms.begin(), terms.end());
@@ -30,15 +51,30 @@ std::string SearchKey(const std::vector<std::string>& terms,
 
 Result<std::shared_ptr<const ResultSet>> CachingSearcher::Search(
     const std::string& query) const {
-  return SearchTerms(index_->analyzer().AnalyzeQuery(query));
+  obs::ScopedSpan span(obs::stage::kCachedQuery, Metrics().cached_query_ns);
+  std::vector<std::string> terms;
+  {
+    obs::ScopedSpan tok(obs::stage::kTokenize);
+    terms = index_->analyzer().AnalyzeQuery(query);
+  }
+  return SearchTermsImpl(terms);
 }
 
 Result<std::shared_ptr<const ResultSet>> CachingSearcher::SearchTerms(
     const std::vector<std::string>& terms) const {
+  obs::ScopedSpan span(obs::stage::kCachedQuery, Metrics().cached_query_ns);
+  return SearchTermsImpl(terms);
+}
+
+Result<std::shared_ptr<const ResultSet>> CachingSearcher::SearchTermsImpl(
+    const std::vector<std::string>& terms) const {
   std::string key = SearchKey(terms, searcher_.options());
   uint64_t epoch = index_->epoch();
-  if (std::shared_ptr<const ResultSet> hit = cache_.Get(key, epoch)) {
-    return hit;
+  {
+    obs::ScopedSpan probe(obs::stage::kCacheProbe);
+    if (std::shared_ptr<const ResultSet> hit = cache_.Get(key, epoch)) {
+      return hit;
+    }
   }
   CR_ASSIGN_OR_RETURN(ResultSet computed, searcher_.SearchTerms(terms));
   return cache_.Put(key, epoch, std::move(computed));
@@ -46,6 +82,7 @@ Result<std::shared_ptr<const ResultSet>> CachingSearcher::SearchTerms(
 
 Result<std::shared_ptr<const ResultSet>> CachingSearcher::Refine(
     const ResultSet& prior, const std::string& term) const {
+  obs::ScopedSpan span(obs::stage::kCachedRefine, Metrics().cached_refine_ns);
   // A refinement of an untruncated result set equals the from-scratch
   // query over the combined term set (cross-checked in tests), so it can
   // share that cache entry: the Fig. 4 click sequence primes the cache for
@@ -72,12 +109,16 @@ Result<std::shared_ptr<const ResultSet>> CachingSearcher::Refine(
   uint64_t epoch = index_->epoch();
   if (prior.epoch != epoch) {
     // The index changed under the prior set; narrowing a stale set could
-    // miss documents added since, so run the combined query from scratch.
-    return SearchTerms(combined);
+    // miss documents added since, so run the combined query from scratch
+    // (still under this refine's root span).
+    return SearchTermsImpl(combined);
   }
   std::string key = SearchKey(combined, searcher_.options());
-  if (std::shared_ptr<const ResultSet> hit = cache_.Get(key, epoch)) {
-    return hit;
+  {
+    obs::ScopedSpan probe(obs::stage::kCacheProbe);
+    if (std::shared_ptr<const ResultSet> hit = cache_.Get(key, epoch)) {
+      return hit;
+    }
   }
   CR_ASSIGN_OR_RETURN(ResultSet refined, searcher_.Refine(prior, term));
   return cache_.Put(key, epoch, std::move(refined));

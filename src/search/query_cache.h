@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "search/searcher.h"
 
 namespace courserank::search {
@@ -30,28 +31,50 @@ std::string SearchKey(const std::vector<std::string>& terms,
 /// and evicts it otherwise — so a comment write (which bumps the index
 /// epoch via Refresh) invalidates every cached result at once, with no
 /// explicit flush call. Values are shared_ptr so hits are zero-copy and
-/// survive concurrent eviction. Thread-safe.
+/// survive concurrent eviction. Thread-safe, including the statistics
+/// accessors: counts live in obs::Counter atomics, so benches and the
+/// metrics exposition can poll them while other threads hit the cache
+/// without touching the cache mutex.
+///
+/// When `metrics_prefix` is given, the same events also feed process-wide
+/// registry counters `<prefix>_{hits,misses,evictions,stale_drops}_total`
+/// and the `<prefix>_entries` gauge, aggregated across every instance
+/// constructed with that prefix; the accessors stay per-instance.
 template <typename V>
 class EpochLru {
  public:
-  explicit EpochLru(size_t capacity = 128) : capacity_(capacity) {}
+  explicit EpochLru(size_t capacity = 128,
+                    const char* metrics_prefix = nullptr)
+      : capacity_(capacity) {
+    if (metrics_prefix != nullptr) {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      std::string prefix(metrics_prefix);
+      reg_hits_ = reg.GetCounter(prefix + "_hits_total");
+      reg_misses_ = reg.GetCounter(prefix + "_misses_total");
+      reg_evictions_ = reg.GetCounter(prefix + "_evictions_total");
+      reg_stale_drops_ = reg.GetCounter(prefix + "_stale_drops_total");
+      reg_entries_ = reg.GetGauge(prefix + "_entries");
+    }
+  }
 
   std::shared_ptr<const V> Get(const std::string& key, uint64_t epoch) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = by_key_.find(key);
     if (it == by_key_.end()) {
-      ++misses_;
+      Count(misses_, reg_misses_);
       return nullptr;
     }
     if (it->second->epoch != epoch) {
       // Stale: computed against an index state that no longer exists.
       lru_.erase(it->second);
       by_key_.erase(it);
-      ++misses_;
+      Count(stale_drops_, reg_stale_drops_);
+      Count(misses_, reg_misses_);
+      if (reg_entries_ != nullptr) reg_entries_->Add(-1);
       return nullptr;
     }
     lru_.splice(lru_.begin(), lru_, it->second);
-    ++hits_;
+    Count(hits_, reg_hits_);
     return it->second->value;
   }
 
@@ -63,18 +86,25 @@ class EpochLru {
     if (it != by_key_.end()) {
       lru_.erase(it->second);
       by_key_.erase(it);
+      if (reg_entries_ != nullptr) reg_entries_->Add(-1);
     }
     lru_.push_front(Entry{key, epoch, shared});
     by_key_[key] = lru_.begin();
+    if (reg_entries_ != nullptr) reg_entries_->Add(1);
     while (by_key_.size() > capacity_) {
       by_key_.erase(lru_.back().key);
       lru_.pop_back();
+      Count(evictions_, reg_evictions_);
+      if (reg_entries_ != nullptr) reg_entries_->Add(-1);
     }
     return shared;
   }
 
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
+    if (reg_entries_ != nullptr) {
+      reg_entries_->Add(-static_cast<int64_t>(by_key_.size()));
+    }
     lru_.clear();
     by_key_.clear();
   }
@@ -83,14 +113,10 @@ class EpochLru {
     std::lock_guard<std::mutex> lock(mu_);
     return by_key_.size();
   }
-  uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return hits_;
-  }
-  uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return misses_;
-  }
+  uint64_t hits() const { return hits_.value(); }
+  uint64_t misses() const { return misses_.value(); }
+  uint64_t evictions() const { return evictions_.value(); }
+  uint64_t stale_drops() const { return stale_drops_.value(); }
 
  private:
   struct Entry {
@@ -99,12 +125,25 @@ class EpochLru {
     std::shared_ptr<const V> value;
   };
 
+  static void Count(obs::Counter& local, obs::Counter* global) {
+    local.Add();
+    if (global != nullptr) global->Add();
+  }
+
   mutable std::mutex mu_;
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::string, typename std::list<Entry>::iterator> by_key_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter stale_drops_;
+  obs::Counter* reg_hits_ = nullptr;
+  obs::Counter* reg_misses_ = nullptr;
+  obs::Counter* reg_evictions_ = nullptr;
+  obs::Counter* reg_stale_drops_ = nullptr;
+  obs::Gauge* reg_entries_ = nullptr;
 };
 
 /// A Searcher with an epoch-validated result cache in front: repeated and
@@ -116,7 +155,9 @@ class CachingSearcher {
  public:
   explicit CachingSearcher(const InvertedIndex* index,
                            SearchOptions options = {}, size_t capacity = 256)
-      : searcher_(index, options), index_(index), cache_(capacity) {}
+      : searcher_(index, options),
+        index_(index),
+        cache_(capacity, "cr_search_result_cache") {}
 
   Result<std::shared_ptr<const ResultSet>> Search(
       const std::string& query) const;
@@ -128,9 +169,16 @@ class CachingSearcher {
   const Searcher& searcher() const { return searcher_; }
   uint64_t cache_hits() const { return cache_.hits(); }
   uint64_t cache_misses() const { return cache_.misses(); }
+  uint64_t cache_evictions() const { return cache_.evictions(); }
+  uint64_t cache_stale_drops() const { return cache_.stale_drops(); }
   size_t cache_size() const { return cache_.size(); }
 
  private:
+  /// Cache probe + miss path shared by Search/SearchTerms; callers own the
+  /// root `search.cached_query` span so one query opens exactly one root.
+  Result<std::shared_ptr<const ResultSet>> SearchTermsImpl(
+      const std::vector<std::string>& terms) const;
+
   Searcher searcher_;
   const InvertedIndex* index_;
   mutable EpochLru<ResultSet> cache_;

@@ -4,10 +4,44 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace courserank::search {
 
 namespace {
+
+/// Search-path metrics, resolved once per process. Latency histograms are
+/// split per match strategy so the ablation carries its own distribution;
+/// `postings_advanced` is the total cursor movement across all postings
+/// lists (the intersection's unit of work) and `docs_examined` the number
+/// of candidate documents the driving list enumerated.
+struct SearchMetrics {
+  obs::Histogram* query_ns_intersection;
+  obs::Histogram* query_ns_perdoc;
+  obs::Histogram* refine_ns;
+  obs::Counter* queries_intersection;
+  obs::Counter* queries_perdoc;
+  obs::Counter* refines;
+  obs::Counter* postings_advanced;
+  obs::Counter* docs_examined;
+};
+
+const SearchMetrics& Metrics() {
+  static const SearchMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    return SearchMetrics{
+        reg.GetHistogram("cr_search_query_ns_intersection"),
+        reg.GetHistogram("cr_search_query_ns_perdoc"),
+        reg.GetHistogram("cr_search_refine_ns"),
+        reg.GetCounter("cr_search_queries_intersection_total"),
+        reg.GetCounter("cr_search_queries_perdoc_total"),
+        reg.GetCounter("cr_search_refines_total"),
+        reg.GetCounter("cr_search_postings_advanced_total"),
+        reg.GetCounter("cr_search_docs_examined_total")};
+  }();
+  return m;
+}
 
 /// Binary search in a sorted (TermId, count) vector.
 uint32_t CountOf(const std::vector<std::pair<TermId, uint32_t>>& vec,
@@ -129,11 +163,17 @@ double Searcher::ScoreTerm(DocId doc, const std::string& term) const {
 }
 
 Result<ResultSet> Searcher::Search(const std::string& query) const {
-  return SearchTerms(index_->analyzer().AnalyzeQuery(query));
+  std::vector<std::string> terms;
+  {
+    obs::ScopedSpan span(obs::stage::kTokenize);
+    terms = index_->analyzer().AnalyzeQuery(query);
+  }
+  return SearchTerms(terms);
 }
 
 void Searcher::IntersectAndScore(std::vector<ResolvedTerm> terms,
                                  ResultSet* out) const {
+  obs::ScopedSpan span(obs::stage::kIntersect);
   // Rarest driver first: it enumerates the candidates, the rest only skip.
   std::stable_sort(terms.begin(), terms.end(),
                    [](const ResolvedTerm& a, const ResolvedTerm& b) {
@@ -144,11 +184,13 @@ void Searcher::IntersectAndScore(std::vector<ResolvedTerm> terms,
   // Per-term contributions, summed in query order so scores are
   // byte-identical to the per-doc ablation path.
   std::vector<double> contrib(terms.size(), 0.0);
+  uint64_t docs_examined = 0;  // flushed to counters once at the end
   size_t i = 0;
   while (i < lead.size()) {
     DocId doc = lead[i].doc;
     size_t lead_end = i + 1;
     while (lead_end < lead.size() && lead[lead_end].doc == doc) ++lead_end;
+    ++docs_examined;
 
     if (!index_->IsLive(doc)) {
       i = lead_end;
@@ -186,10 +228,27 @@ void Searcher::IntersectAndScore(std::vector<ResolvedTerm> terms,
     }
     i = lead_end;
   }
+
+  // Total cursor movement over all postings lists: the lead cursor walked
+  // its whole list, every other cursor stopped where the merge left it.
+  uint64_t advanced = i;
+  for (const ResolvedTerm& t : terms) {
+    if (&t != &terms[0]) advanced += t.cursor;
+  }
+  Metrics().postings_advanced->Add(advanced);
+  Metrics().docs_examined->Add(docs_examined);
 }
 
 Result<ResultSet> Searcher::SearchTerms(
     const std::vector<std::string>& raw_terms) const {
+  const SearchMetrics& m = Metrics();
+  bool intersection =
+      options_.strategy == MatchStrategy::kPostingsIntersection;
+  obs::ScopedSpan span(
+      obs::stage::kQuery,
+      intersection ? m.query_ns_intersection : m.query_ns_perdoc);
+  (intersection ? m.queries_intersection : m.queries_perdoc)->Add();
+
   ResultSet out;
   out.epoch = index_->epoch();
   out.terms = DedupTerms(raw_terms);
@@ -213,7 +272,10 @@ Result<ResultSet> Searcher::SearchTerms(
       if (rt.driver == nullptr) return out;
     }
     IntersectAndScore(std::move(resolved), &out);
-    SortAndTruncate(&out.hits, options_.max_results);
+    {
+      obs::ScopedSpan rank(obs::stage::kRank);
+      SortAndTruncate(&out.hits, options_.max_results);
+    }
     return out;
   }
 
@@ -241,30 +303,41 @@ Result<ResultSet> Searcher::SearchTerms(
   const std::vector<Posting>* postings = index_->Postings(enum_tid);
   if (postings == nullptr) return out;
 
-  DocId prev = static_cast<DocId>(-1);
-  for (const Posting& p : *postings) {
-    if (p.doc == prev) continue;  // postings grouped by doc
-    prev = p.doc;
-    if (!index_->IsLive(p.doc)) continue;
-    bool all = true;
-    for (const std::string& t : terms) {
-      if (!DocContains(p.doc, t)) {
-        all = false;
-        break;
+  uint64_t docs_examined = 0;
+  {
+    obs::ScopedSpan filter(obs::stage::kFilter);
+    DocId prev = static_cast<DocId>(-1);
+    for (const Posting& p : *postings) {
+      if (p.doc == prev) continue;  // postings grouped by doc
+      prev = p.doc;
+      ++docs_examined;
+      if (!index_->IsLive(p.doc)) continue;
+      bool all = true;
+      for (const std::string& t : terms) {
+        if (!DocContains(p.doc, t)) {
+          all = false;
+          break;
+        }
       }
+      if (!all) continue;
+      double score = 0.0;
+      for (const std::string& t : terms) score += ScoreTerm(p.doc, t);
+      out.hits.push_back({p.doc, score});
     }
-    if (!all) continue;
-    double score = 0.0;
-    for (const std::string& t : terms) score += ScoreTerm(p.doc, t);
-    out.hits.push_back({p.doc, score});
   }
+  m.docs_examined->Add(docs_examined);
 
-  SortAndTruncate(&out.hits, options_.max_results);
+  {
+    obs::ScopedSpan rank(obs::stage::kRank);
+    SortAndTruncate(&out.hits, options_.max_results);
+  }
   return out;
 }
 
 Result<ResultSet> Searcher::Refine(const ResultSet& prior,
                                    const std::string& term) const {
+  obs::ScopedSpan span(obs::stage::kRefine, Metrics().refine_ns);
+  Metrics().refines->Add();
   std::vector<std::string> analyzed = AnalyzeTermText(term, /*as_phrase=*/true);
   if (analyzed.empty()) {
     return Status::InvalidArgument("refinement term '" + term +

@@ -4,8 +4,25 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace courserank::storage {
+
+namespace {
+
+obs::Counter& RowsScannedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("cr_storage_rows_scanned_total");
+  return *c;
+}
+
+obs::Counter& ScansCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("cr_storage_scans_total");
+  return *c;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- HashIndex
 
@@ -187,9 +204,13 @@ Result<RowId> Table::FindByPrimaryKey(const Row& key) const {
 }
 
 void Table::Scan(const std::function<void(RowId, const Row&)>& fn) const {
+  // Counted once per scan, not per row — the Scan loop is a hot path for
+  // un-indexed predicates and a per-row fetch_add would be visible there.
   for (RowId id = 0; id < rows_.size(); ++id) {
     if (!deleted_[id]) fn(id, rows_[id]);
   }
+  ScansCounter().Add();
+  RowsScannedCounter().Add(rows_.size());
 }
 
 std::vector<RowId> Table::LiveRowIds() const {

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -400,6 +401,19 @@ TEST(ThreadPoolTest, NestedParallelForRunsInline) {
     }
   });
   EXPECT_EQ(total.load(), 32);
+}
+
+TEST(LoggingTest, RuntimeLevelRoundTripsAndFiltersBelowThreshold) {
+  LogLevel before = RuntimeLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(RuntimeLogLevel(), LogLevel::kError);
+  // Filtered out at runtime (WARN < ERROR); must still compile and be a
+  // plain statement usable without braces.
+  if (true) CR_LOG(WARN, "suppressed %d", 1);
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(RuntimeLogLevel(), LogLevel::kWarn);
+  CR_LOG(WARN, "one warn line to stderr: %s", "expected in test output");
+  SetLogLevel(before);
 }
 
 TEST(ThreadPoolTest, SharedPoolDegradesOnSingleCore) {

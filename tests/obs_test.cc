@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace courserank::obs {
+namespace {
+
+// ----------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BucketIndexEdges) {
+  // Bucket 0 holds v <= 1; bucket i holds 2^(i-1) < v <= 2^i (le semantics),
+  // so exact powers of two land in their own bound's bucket.
+  EXPECT_EQ(Histogram::BucketIndexFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndexFor(1), 0u);
+  EXPECT_EQ(Histogram::BucketIndexFor(2), 1u);
+  EXPECT_EQ(Histogram::BucketIndexFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndexFor(4), 2u);
+  EXPECT_EQ(Histogram::BucketIndexFor(5), 3u);
+  EXPECT_EQ(Histogram::BucketIndexFor(8), 3u);
+  EXPECT_EQ(Histogram::BucketIndexFor(9), 4u);
+  EXPECT_EQ(Histogram::BucketIndexFor(1024), 10u);
+  EXPECT_EQ(Histogram::BucketIndexFor(1025), 11u);
+  EXPECT_EQ(Histogram::BucketIndexFor(uint64_t{1} << 46), 46u);
+  EXPECT_EQ(Histogram::BucketIndexFor((uint64_t{1} << 46) + 1),
+            Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndexFor(UINT64_MAX), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketUpperBounds) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024u);
+  EXPECT_EQ(Histogram::BucketUpperBound(46), uint64_t{1} << 46);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            UINT64_MAX);
+}
+
+TEST(HistogramTest, RecordAndQuantile) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0u);  // empty
+  for (int i = 0; i < 90; ++i) h.Record(1);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 90u + 10u * 1000u);
+  EXPECT_EQ(h.bucket_count(0), 90u);
+  EXPECT_EQ(h.bucket_count(10), 10u);  // 1000 <= 1024
+  // The quantile is the containing bucket's upper bound.
+  EXPECT_EQ(h.Quantile(0.0), 1u);
+  EXPECT_EQ(h.Quantile(0.5), 1u);
+  EXPECT_EQ(h.Quantile(0.99), 1024u);
+  EXPECT_EQ(h.Quantile(1.0), 1024u);
+}
+
+TEST(HistogramTest, OverflowBucket) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.Quantile(0.5), UINT64_MAX);
+}
+
+// ------------------------------------------------------------------ Registry
+
+TEST(MetricsRegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.GetCounter("x"), reg.GetCounter("x"));
+  EXPECT_NE(reg.GetCounter("x"), reg.GetCounter("y"));
+  EXPECT_EQ(reg.GetGauge("g"), reg.GetGauge("g"));
+  EXPECT_EQ(reg.GetHistogram("h"), reg.GetHistogram("h"));
+  // Counter / gauge / histogram namespaces are independent.
+  reg.GetCounter("shared");
+  reg.GetGauge("shared");
+  reg.GetHistogram("shared");
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("t_c")->Add(3);
+  reg.GetGauge("t_g")->Set(-2);
+  Histogram* h = reg.GetHistogram("t_h");
+  h->Record(1);
+  h->Record(5);
+  h->Record(1000);
+  std::string out = reg.RenderPrometheus();
+  EXPECT_NE(out.find("# TYPE t_c counter\nt_c 3\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE t_g gauge\nt_g -2\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE t_h histogram\n"), std::string::npos);
+  // Cumulative buckets: le="1" has 1 sample, le="8" has 2, le="1024" all 3.
+  EXPECT_NE(out.find("t_h_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("t_h_bucket{le=\"8\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("t_h_bucket{le=\"1024\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find("t_h_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find("t_h_sum 1006\n"), std::string::npos);
+  EXPECT_NE(out.find("t_h_count 3\n"), std::string::npos);
+  // Buckets outside the non-empty range are elided.
+  EXPECT_EQ(out.find("t_h_bucket{le=\"2048\"}"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("t_c")->Add(3);
+  reg.GetGauge("t_g")->Set(-2);
+  Histogram* h = reg.GetHistogram("t_h");
+  h->Record(1);
+  h->Record(5);
+  h->Record(1000);
+  h->Record(UINT64_MAX);
+  std::string out = reg.RenderJson();
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+  EXPECT_NE(out.find("\"t_c\": 3"), std::string::npos);
+  EXPECT_NE(out.find("\"t_g\": -2"), std::string::npos);
+  EXPECT_NE(out.find("\"t_h\": {\"count\": 4"), std::string::npos);
+  // Non-cumulative buckets, only non-empty ones; overflow le is a string.
+  EXPECT_NE(out.find("{\"le\": 1, \"count\": 1}"), std::string::npos);
+  EXPECT_NE(out.find("{\"le\": 8, \"count\": 1}"), std::string::npos);
+  EXPECT_NE(out.find("{\"le\": 1024, \"count\": 1}"), std::string::npos);
+  EXPECT_NE(out.find("{\"le\": \"+Inf\", \"count\": 1}"), std::string::npos);
+  EXPECT_NE(out.find("\"p50\""), std::string::npos);
+  // Balanced braces — cheap well-formedness check without a JSON parser.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryRendersValidSkeleton) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.RenderPrometheus(), "");
+  std::string out = reg.RenderJson();
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+}
+
+// --------------------------------------------------------------- Concurrency
+
+// Hammers one counter / gauge / histogram from all pool workers while also
+// reading them mid-flight. Run under -DCOURSERANK_SANITIZE=thread this
+// certifies the relaxed-atomic design is race-free.
+TEST(MetricsConcurrencyTest, ParallelWritesAndReadsAreClean) {
+  ThreadPool pool(4);
+  Counter counter;
+  Gauge gauge;
+  Histogram hist;
+  constexpr size_t kN = 100000;
+  pool.ParallelFor(kN, 1, [&](size_t /*chunk*/, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      counter.Add();
+      gauge.Add(1);
+      hist.Record(i & 1023);
+    }
+    // Concurrent reads must also be clean (exposition during load).
+    (void)counter.value();
+    (void)gauge.value();
+    (void)hist.Quantile(0.5);
+  });
+  EXPECT_EQ(counter.value(), kN);
+  EXPECT_EQ(gauge.value(), static_cast<int64_t>(kN));
+  EXPECT_EQ(hist.count(), kN);
+}
+
+TEST(MetricsConcurrencyTest, RegistryInterningUnderParallelFor) {
+  ThreadPool pool(4);
+  MetricsRegistry reg;
+  std::vector<Counter*> seen(ThreadPool::kMaxChunks, nullptr);
+  pool.ParallelFor(ThreadPool::kMaxChunks, 1,
+                   [&](size_t chunk, size_t /*begin*/, size_t /*end*/) {
+                     Counter* c = reg.GetCounter("contended");
+                     c->Add();
+                     seen[chunk] = c;
+                   });
+  Counter* expected = reg.GetCounter("contended");
+  uint64_t total = expected->value();
+  for (Counter* c : seen) {
+    if (c == nullptr) continue;  // fewer chunks than kMaxChunks
+    EXPECT_EQ(c, expected);
+  }
+  EXPECT_GE(total, 1u);
+}
+
+// ----------------------------------------------------------------- TraceSink
+
+TEST(TraceSinkTest, SamplingPattern) {
+  // Period 4: the thread's first root span is sampled, then every 4th.
+  ScopedSpan::ResetSamplingForTest();
+  TraceSink sink(16, 4);
+  for (int i = 0; i < 8; ++i) {
+    ScopedSpan root("r", nullptr, &sink);
+  }
+  EXPECT_EQ(sink.total_recorded(), 2u);  // roots 0 and 4
+
+  ScopedSpan::ResetSamplingForTest();
+  TraceSink off(16, 0);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan root("r", nullptr, &off);
+  }
+  EXPECT_EQ(off.total_recorded(), 0u);
+
+  sink.set_period(0);
+  EXPECT_EQ(sink.period(), 0u);
+}
+
+TEST(TraceSinkTest, RingWraparoundKeepsNewestOldestFirst) {
+  TraceSink sink(4, 1);
+  for (uint64_t i = 1; i <= 10; ++i) sink.Record("s", i, 1, 0);
+  EXPECT_EQ(sink.total_recorded(), 10u);
+  std::vector<TraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The 4 newest events, oldest first: seq 7, 8, 9, 10.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 7u + i);
+    EXPECT_EQ(events[i].start_ns, 7u + i);
+  }
+  sink.Clear();
+  EXPECT_TRUE(sink.Snapshot().empty());
+}
+
+// ---------------------------------------------------------------- ScopedSpan
+
+TEST(ScopedSpanTest, NestingRecordsInnerBeforeOuterWithDepths) {
+  ScopedSpan::ResetSamplingForTest();
+  TraceSink sink(16, 1);  // sample every root
+  {
+    ScopedSpan outer("outer", nullptr, &sink);
+    EXPECT_TRUE(ScopedSpan::active());
+    { ScopedSpan a("a", nullptr, &sink); }
+    { ScopedSpan b("b", nullptr, &sink); }
+  }
+  EXPECT_FALSE(ScopedSpan::active());
+  std::vector<TraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans are recorded at close: inner spans precede the enclosing one.
+  EXPECT_STREQ(events[0].stage, "a");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_STREQ(events[1].stage, "b");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_STREQ(events[2].stage, "outer");
+  EXPECT_EQ(events[2].depth, 0u);
+  // The outer span encloses its children in time.
+  EXPECT_LE(events[2].start_ns, events[0].start_ns);
+  EXPECT_GE(events[2].start_ns + events[2].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+}
+
+TEST(ScopedSpanTest, UnsampledRootSkipsHistogramAndSink) {
+  ScopedSpan::ResetSamplingForTest();
+  TraceSink sink(16, 0);  // tracing off
+  Histogram hist;
+  { ScopedSpan span("quiet", &hist, &sink); }
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_TRUE(sink.Snapshot().empty());
+}
+
+TEST(ScopedSpanTest, AlwaysModeTimesHistogramEvenWhenTracingOff) {
+  TraceSink sink(16, 0);
+  Histogram hist;
+  {
+    ScopedSpan span("always", &hist, &sink, ScopedSpan::Mode::kAlways);
+  }
+  EXPECT_EQ(hist.count(), 1u);          // histogram sample unconditional
+  EXPECT_TRUE(sink.Snapshot().empty());  // but period 0 keeps the ring empty
+}
+
+TEST(ScopedSpanTest, SampledChildrenInheritAmbientDecision) {
+  ScopedSpan::ResetSamplingForTest();
+  TraceSink sink(16, 2);  // roots alternate sampled / unsampled
+  Histogram hist;
+  for (int root = 0; root < 4; ++root) {
+    ScopedSpan outer("root", nullptr, &sink);
+    ScopedSpan inner("child", &hist, &sink);
+  }
+  // Roots 0 and 2 sampled: 2 child + 2 root events, 2 histogram samples.
+  EXPECT_EQ(sink.total_recorded(), 4u);
+  EXPECT_EQ(hist.count(), 2u);
+}
+
+}  // namespace
+}  // namespace courserank::obs

@@ -1,0 +1,177 @@
+/// End-to-end observability fixture (the `verify-obs` CTest label): drives a
+/// real query workload through CachingSearcher + CachingCloudBuilder and
+/// asserts the metrics layer observed it — non-zero latency samples,
+/// cache-counter conservation, a trace with the documented stage names, and
+/// one Prometheus dump covering search, cloud, cache, and pool metrics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/data_cloud.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "search/entity.h"
+#include "search/inverted_index.h"
+#include "search/query_cache.h"
+#include "search/searcher.h"
+#include "storage/database.h"
+
+namespace courserank::search {
+namespace {
+
+using cloud::CachingCloudBuilder;
+using cloud::DataCloud;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class VerifyObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Trace every root span so a single query deterministically produces a
+    // full stage breakdown regardless of the sampling period env default.
+    obs::TraceSink::Default().set_period(1);
+    obs::TraceSink::Default().Clear();
+    obs::ScopedSpan::ResetSamplingForTest();
+
+    auto courses = db_.CreateTable(
+        "Courses",
+        Schema({{"CourseID", ValueType::kInt, false},
+                {"Title", ValueType::kString, false},
+                {"Description", ValueType::kString, true}}),
+        {"CourseID"});
+    ASSERT_TRUE(courses.ok());
+    AddCourse(1, "American History",
+              "Surveys american politics and culture since 1900.");
+    AddCourse(2, "Latin American Literature",
+              "Novels and poetry from latin american writers.");
+    AddCourse(3, "Databases", "Relational model, SQL, and transactions.");
+    AddCourse(4, "Greek Science",
+              "History of science covering the famous greek scientists.");
+    AddCourse(5, "African American Studies",
+              "African american politics, music, and migration.");
+
+    def_.name = "course";
+    def_.primary_table = "Courses";
+    def_.key_column = "CourseID";
+    def_.display_column = "Title";
+    def_.fields = {
+        {"title", 3.0, "Courses", "Title", "CourseID"},
+        {"description", 1.5, "Courses", "Description", "CourseID"},
+    };
+    index_ = std::make_unique<InvertedIndex>(def_);
+    ASSERT_TRUE(index_->Build(db_).ok());
+  }
+
+  void AddCourse(int id, const std::string& title, const std::string& desc) {
+    ASSERT_TRUE(db_.FindTable("Courses")
+                    ->Insert({Value(id), Value(title), Value(desc)})
+                    .ok());
+  }
+
+  storage::Database db_;
+  EntityDefinition def_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(VerifyObsTest, QueryWorkloadProducesTraceMetricsAndCounters) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Histogram* query_ns = reg.GetHistogram("cr_search_cached_query_ns");
+  obs::Histogram* cloud_ns = reg.GetHistogram("cr_cloud_cached_build_ns");
+  uint64_t query_samples_before = query_ns->count();
+  uint64_t cloud_samples_before = cloud_ns->count();
+
+  CachingSearcher searcher(index_.get());
+  CachingCloudBuilder clouds(index_.get());
+
+  // Cold query + warm repeat + refinement + a second distinct query.
+  auto first = searcher.Search("american");
+  ASSERT_TRUE(first.ok());
+  auto repeat = searcher.Search("american");
+  ASSERT_TRUE(repeat.ok());
+  auto refined = searcher.Refine(**first, "politics");
+  ASSERT_TRUE(refined.ok());
+  auto other = searcher.Search("greek science");
+  ASSERT_TRUE(other.ok());
+
+  std::shared_ptr<const DataCloud> cloud_a = clouds.Build(**first);
+  std::shared_ptr<const DataCloud> cloud_b = clouds.Build(**repeat);
+  ASSERT_NE(cloud_a, nullptr);
+  EXPECT_EQ(cloud_a.get(), cloud_b.get());  // second build served from cache
+
+  // (1) Latency histograms gained non-zero samples from this workload.
+  EXPECT_GT(query_ns->count(), query_samples_before);
+  EXPECT_GT(query_ns->sum(), 0u);
+  EXPECT_GT(cloud_ns->count(), cloud_samples_before);
+  EXPECT_GT(cloud_ns->sum(), 0u);
+
+  // (2) Cache counter conservation: every probe is either a hit or a miss.
+  // The searcher probed once per Search (3×) and once for the refinement.
+  EXPECT_EQ(searcher.cache_hits() + searcher.cache_misses(), 4u);
+  EXPECT_EQ(searcher.cache_hits(), 1u);
+  EXPECT_EQ(clouds.cache_hits() + clouds.cache_misses(), 2u);
+  EXPECT_EQ(clouds.cache_hits(), 1u);
+  // The shared registry aggregates at least this instance's traffic.
+  EXPECT_GE(reg.GetCounter("cr_search_result_cache_hits_total")->value(),
+            searcher.cache_hits());
+  EXPECT_GE(reg.GetCounter("cr_search_result_cache_misses_total")->value(),
+            searcher.cache_misses());
+  EXPECT_GE(reg.GetCounter("cr_cloud_cache_hits_total")->value(),
+            clouds.cache_hits());
+
+  // (3) The trace contains the documented stage breakdown: at least four
+  // distinct named stages from the query path.
+  std::set<std::string> stages;
+  for (const obs::TraceEvent& ev : obs::TraceSink::Default().Snapshot()) {
+    stages.insert(ev.stage);
+  }
+  EXPECT_GE(stages.size(), 4u);
+  EXPECT_TRUE(stages.count(obs::stage::kCachedQuery));
+  EXPECT_TRUE(stages.count(obs::stage::kCacheProbe));
+  EXPECT_TRUE(stages.count(obs::stage::kQuery));
+  EXPECT_TRUE(stages.count(obs::stage::kCloudBuild));
+
+  // (4) One Prometheus dump exposes search, cloud, cache, and pool metrics.
+  std::string prom = reg.RenderPrometheus();
+  EXPECT_NE(prom.find("cr_search_cached_query_ns_count"), std::string::npos);
+  EXPECT_NE(prom.find("cr_search_postings_advanced_total"), std::string::npos);
+  EXPECT_NE(prom.find("cr_search_result_cache_hits_total"), std::string::npos);
+  EXPECT_NE(prom.find("cr_cloud_cached_build_ns_count"), std::string::npos);
+  EXPECT_NE(prom.find("cr_cloud_cache_misses_total"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE cr_pool_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(prom.find("cr_storage_rows_scanned_total"), std::string::npos);
+
+  // And the JSON rendering of the same snapshot is well-formed enough to
+  // embed in bench output.
+  std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"cr_search_cached_query_ns\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(VerifyObsTest, EvictionAndStaleDropCountersAreExported) {
+  CachingSearcher small(index_.get(), {}, /*capacity=*/2);
+  ASSERT_TRUE(small.Search("american").ok());
+  ASSERT_TRUE(small.Search("greek").ok());
+  ASSERT_TRUE(small.Search("sql").ok());  // evicts the LRU entry
+  EXPECT_EQ(small.cache_evictions(), 1u);
+
+  CachingSearcher stale(index_.get());
+  ASSERT_TRUE(stale.Search("american").ok());
+  ASSERT_TRUE(index_->RemoveByKey(Value(5)).ok());  // bumps the epoch
+  ASSERT_TRUE(stale.Search("american").ok());       // stale entry dropped
+  EXPECT_EQ(stale.cache_stale_drops(), 1u);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  EXPECT_GE(reg.GetCounter("cr_search_result_cache_evictions_total")->value(),
+            1u);
+  EXPECT_GE(reg.GetCounter("cr_search_result_cache_stale_drops_total")->value(),
+            1u);
+}
+
+}  // namespace
+}  // namespace courserank::search
