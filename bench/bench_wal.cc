@@ -1,0 +1,147 @@
+// E11 — durability cost: WAL append throughput (buffered vs fsync-per-append,
+// small vs wide rows), replay speed, and full snapshot+WAL recovery time.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace courserank::bench {
+namespace {
+
+using namespace courserank::storage;
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / ("cr_bench_wal_" + name)).string();
+}
+
+Schema EventsSchema() {
+  return Schema({{"id", ValueType::kInt, false},
+                 {"payload", ValueType::kString, true},
+                 {"score", ValueType::kDouble, true}});
+}
+
+Row MakeRow(int64_t id, size_t payload_bytes) {
+  return {Value(id), Value(std::string(payload_bytes, 'x')),
+          Value(static_cast<double>(id) * 0.25)};
+}
+
+/// Append throughput. Arg 0: payload bytes. Arg 1: fsync each append (0/1).
+void BM_WalAppend(benchmark::State& state) {
+  size_t payload_bytes = static_cast<size_t>(state.range(0));
+  WalOptions options;
+  options.sync_each_append = state.range(1) != 0;
+  std::string path = TempPath("append.log");
+  fs::remove(path);
+  auto wal = WalWriter::Open(path, options);
+  CR_CHECK(wal.ok());
+  int64_t id = 0;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    Row row = MakeRow(id, payload_bytes);
+    auto lsn = (*wal)->AppendMutation(WalRecordType::kInsert, "events",
+                                      static_cast<RowId>(id), row);
+    CR_CHECK(lsn.ok());
+    ++id;
+    bytes += payload_bytes;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+  wal->reset();
+  fs::remove(path);
+}
+BENCHMARK(BM_WalAppend)
+    ->Args({16, 0})
+    ->Args({256, 0})
+    ->Args({4096, 0})
+    ->Args({16, 1})
+    ->Args({256, 1});
+
+/// Replay throughput over a log of `range(0)` insert records.
+void BM_WalReplay(benchmark::State& state) {
+  int64_t n = state.range(0);
+  std::string path = TempPath("replay.log");
+  fs::remove(path);
+  {
+    auto wal = WalWriter::Open(path);
+    CR_CHECK(wal.ok());
+    for (int64_t i = 0; i < n; ++i) {
+      CR_CHECK((*wal)
+                   ->AppendMutation(WalRecordType::kInsert, "events",
+                                    static_cast<RowId>(i), MakeRow(i, 64))
+                   .ok());
+    }
+    CR_CHECK((*wal)->Sync().ok());
+  }
+  for (auto _ : state) {
+    uint64_t applied = 0;
+    auto stats = ReplayWal(path, 0, [&](const WalRecord&) {
+      ++applied;
+      return Status::OK();
+    });
+    CR_CHECK(stats.ok() && applied == static_cast<uint64_t>(n));
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  fs::remove(path);
+}
+BENCHMARK(BM_WalReplay)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+/// End-to-end recovery: load a snapshot of `range(0)` rows and replay a WAL
+/// tail of `range(1)` further mutations into it.
+void BM_Recovery(benchmark::State& state) {
+  int64_t snapshot_rows = state.range(0);
+  int64_t wal_tail = state.range(1);
+  std::string snap = TempPath("recover_snap");
+  std::string wal_path = TempPath("recover.log");
+  fs::remove_all(snap);
+  fs::remove(wal_path);
+  {
+    Database db;
+    CR_CHECK(db.CreateTable("events", EventsSchema(), {"id"}).ok());
+    for (int64_t i = 0; i < snapshot_rows; ++i) {
+      CR_CHECK(db.Insert("events", MakeRow(i, 64)).ok());
+    }
+    CR_CHECK(SaveDatabase(db, snap).ok());
+    auto wal = WalWriter::Open(wal_path);
+    CR_CHECK(wal.ok());
+    db.AttachWal(wal->get());
+    for (int64_t i = snapshot_rows; i < snapshot_rows + wal_tail; ++i) {
+      CR_CHECK(db.Insert("events", MakeRow(i, 64)).ok());
+    }
+    CR_CHECK((*wal)->Sync().ok());
+  }
+  for (auto _ : state) {
+    auto recovered = RecoverDatabase(snap, wal_path);
+    CR_CHECK(recovered.ok());
+    CR_CHECK(recovered->db->FindTable("events")->size() ==
+             static_cast<size_t>(snapshot_rows + wal_tail));
+    benchmark::DoNotOptimize(recovered);
+  }
+  state.SetItemsProcessed(state.iterations() * (snapshot_rows + wal_tail));
+  fs::remove_all(snap);
+  fs::remove(wal_path);
+}
+BENCHMARK(BM_Recovery)
+    ->Args({10000, 0})
+    ->Args({10000, 1000})
+    ->Args({0, 10000})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace courserank::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

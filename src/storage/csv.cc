@@ -1,5 +1,8 @@
 #include "storage/csv.h"
 
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 
@@ -8,7 +11,10 @@ namespace courserank::storage {
 namespace {
 
 std::string EscapeCell(const std::string& cell) {
-  bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
+  // An empty cell is quoted so it stays distinguishable from NULL (which is
+  // written as nothing at all).
+  bool needs_quote =
+      cell.empty() || cell.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quote) return cell;
   std::string out = "\"";
   for (char c : cell) {
@@ -19,69 +25,123 @@ std::string EscapeCell(const std::string& cell) {
   return out;
 }
 
+/// Renders one value as a CSV cell. Doubles use the shortest representation
+/// that parses back to the same bits (std::to_chars), not the display-oriented
+/// Value::ToString, so snapshots round-trip exactly.
+std::string RenderCell(const Value& v) {
+  if (v.type() == ValueType::kDouble) {
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v.AsDouble());
+    if (ec == std::errc()) return std::string(buf, end);
+  }
+  return v.ToString();
+}
+
+/// One parsed cell plus whether it was quoted in the input; ParseCsv needs
+/// quotedness to tell an empty STRING ("") from NULL (nothing).
+struct CsvCell {
+  std::string text;
+  bool quoted = false;
+};
+
 /// Splits one CSV record starting at `pos`; advances `pos` past the record's
-/// trailing newline.
-std::vector<std::string> ParseRecord(const std::string& text, size_t& pos) {
-  std::vector<std::string> cells;
-  std::string cell;
+/// trailing newline. Exactly one line terminator (`\n`, `\r`, or `\r\n`) is
+/// consumed, so an empty line is an empty single-cell record, not part of the
+/// previous one. Characters after a closing quote that are not a separator
+/// are Corruption (`"a"b` is malformed, not "ab").
+Result<std::vector<CsvCell>> ParseRecord(const std::string& text,
+                                         size_t& pos) {
+  std::vector<CsvCell> cells;
+  CsvCell cell;
   bool in_quotes = false;
+  bool was_quoted = false;  // cell had a closing quote already
+  auto end_record = [&]() {
+    if (pos < text.size() && text[pos] == '\r') ++pos;
+    if (pos < text.size() && text[pos] == '\n') ++pos;
+    cells.push_back(std::move(cell));
+    return cells;
+  };
   while (pos < text.size()) {
     char c = text[pos];
     if (in_quotes) {
       if (c == '"') {
         if (pos + 1 < text.size() && text[pos + 1] == '"') {
-          cell += '"';
+          cell.text += '"';
           ++pos;
         } else {
           in_quotes = false;
+          was_quoted = true;
         }
       } else {
-        cell += c;
+        cell.text += c;
       }
-    } else if (c == '"') {
-      in_quotes = true;
     } else if (c == ',') {
       cells.push_back(std::move(cell));
-      cell.clear();
+      cell = CsvCell{};
+      was_quoted = false;
     } else if (c == '\n' || c == '\r') {
-      while (pos < text.size() && (text[pos] == '\n' || text[pos] == '\r'))
-        ++pos;
-      cells.push_back(std::move(cell));
-      return cells;
+      return end_record();
+    } else if (was_quoted) {
+      return Status::Corruption(
+          "stray character after closing quote in CSV record");
+    } else if (c == '"') {
+      if (!cell.text.empty()) {
+        return Status::Corruption("quote inside unquoted CSV cell");
+      }
+      in_quotes = true;
+      cell.quoted = true;
     } else {
-      cell += c;
+      cell.text += c;
     }
     ++pos;
+  }
+  if (in_quotes) {
+    return Status::Corruption("unterminated quote in CSV record");
   }
   cells.push_back(std::move(cell));
   return cells;
 }
 
-Result<Value> CoerceCell(const std::string& cell, ValueType type) {
-  if (cell.empty()) return Value::Null();
+Result<Value> CoerceCell(const CsvCell& cell, ValueType type) {
+  // Only an *unquoted* empty cell is NULL; a quoted empty cell ("") is a
+  // genuine empty value (meaningful for STRING, malformed for the rest).
+  if (cell.text.empty() && !cell.quoted) return Value::Null();
   switch (type) {
     case ValueType::kBool:
-      if (cell == "true" || cell == "1") return Value(true);
-      if (cell == "false" || cell == "0") return Value(false);
-      return Status::InvalidArgument("bad BOOL cell: '" + cell + "'");
+      if (cell.text == "true" || cell.text == "1") return Value(true);
+      if (cell.text == "false" || cell.text == "0") return Value(false);
+      return Status::InvalidArgument("bad BOOL cell: '" + cell.text + "'");
     case ValueType::kInt: {
       char* end = nullptr;
-      long long v = std::strtoll(cell.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0') {
-        return Status::InvalidArgument("bad INT cell: '" + cell + "'");
+      errno = 0;
+      long long v = std::strtoll(cell.text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || end == cell.text.c_str()) {
+        return Status::InvalidArgument("bad INT cell: '" + cell.text + "'");
+      }
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("INT cell out of int64 range: '" +
+                                       cell.text + "'");
       }
       return Value(static_cast<int64_t>(v));
     }
     case ValueType::kDouble: {
       char* end = nullptr;
-      double v = std::strtod(cell.c_str(), &end);
-      if (end == nullptr || *end != '\0') {
-        return Status::InvalidArgument("bad DOUBLE cell: '" + cell + "'");
+      errno = 0;
+      double v = std::strtod(cell.text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || end == cell.text.c_str()) {
+        return Status::InvalidArgument("bad DOUBLE cell: '" + cell.text +
+                                       "'");
+      }
+      // Overflow clamps to ±HUGE_VAL with ERANGE set; underflow (also
+      // ERANGE) yields the nearest denormal and is accepted.
+      if (errno == ERANGE && std::abs(v) == HUGE_VAL) {
+        return Status::InvalidArgument("DOUBLE cell out of range: '" +
+                                       cell.text + "'");
       }
       return Value(v);
     }
     case ValueType::kString:
-      return Value(cell);
+      return Value(cell.text);
     default:
       return Status::Unimplemented("cannot parse CSV cell of type " +
                                    std::string(ValueTypeName(type)));
@@ -100,7 +160,7 @@ std::string ToCsv(const Schema& schema, const std::vector<Row>& rows) {
   for (const Row& row : rows) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) out += ",";
-      if (!row[i].is_null()) out += EscapeCell(row[i].ToString());
+      if (!row[i].is_null()) out += EscapeCell(RenderCell(row[i]));
     }
     out += "\n";
   }
@@ -126,12 +186,17 @@ Result<std::vector<Row>> ParseCsv(const Schema& schema,
   size_t pos = 0;
   bool first = true;
   while (pos < text.size()) {
-    std::vector<std::string> cells = ParseRecord(text, pos);
+    CR_ASSIGN_OR_RETURN(std::vector<CsvCell> cells, ParseRecord(text, pos));
     if (first) {  // header row
       first = false;
       continue;
     }
-    if (cells.size() == 1 && cells[0].empty()) continue;  // blank line
+    // A single unquoted empty cell is a blank line — except for one-column
+    // schemas, where it is a legitimate record (a NULL cell).
+    if (cells.size() == 1 && cells[0].text.empty() && !cells[0].quoted &&
+        schema.num_columns() != 1) {
+      continue;
+    }
     if (cells.size() != schema.num_columns()) {
       return Status::Corruption(
           "CSV record has " + std::to_string(cells.size()) +

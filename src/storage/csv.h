@@ -13,11 +13,17 @@ namespace courserank::storage {
 /// round-tripping nested data).
 Status WriteCsv(const Table& table, const std::string& path);
 
-/// Renders a table (or any schema+rows pair) as CSV text.
+/// Renders a table (or any schema+rows pair) as CSV text. NULL is written as
+/// an empty cell; an empty non-null STRING is written quoted (`""`) so the
+/// two stay distinguishable on reload. DOUBLE cells use the shortest
+/// representation that parses back to the same bits.
 std::string ToCsv(const Schema& schema, const std::vector<Row>& rows);
 
 /// Parses CSV text produced by ToCsv back into rows of `schema`, coercing
-/// each cell to the declared column type. Empty cells become NULL.
+/// each cell to the declared column type. Only *unquoted* empty cells become
+/// NULL; quoted empty cells are empty strings. Out-of-range INT/DOUBLE
+/// cells, stray characters after a closing quote, and unterminated quotes
+/// are errors rather than silently mangled data.
 Result<std::vector<Row>> ParseCsv(const Schema& schema,
                                   const std::string& text);
 

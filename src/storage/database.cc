@@ -14,8 +14,14 @@ Result<Table*> Database::CreateTable(std::string name, Schema schema,
       Table::Create(std::move(name), std::move(schema),
                     std::move(primary_key)));
   Table* ptr = table.get();
+  ptr->set_wal(wal_);
   tables_.push_back(std::move(table));
   return ptr;
+}
+
+void Database::AttachWal(WalWriter* wal) {
+  wal_ = wal;
+  for (const auto& t : tables_) t->set_wal(wal);
 }
 
 Result<Table*> Database::GetTable(const std::string& name) {

@@ -62,12 +62,21 @@ class Database {
   /// Next value of a named monotone sequence, starting at 1.
   int64_t NextSequence(const std::string& name);
 
+  /// Attaches a write-ahead log to every table (existing and future): each
+  /// mutation is appended to `wal` after validation and before it is
+  /// applied, so the log is always a superset of the in-memory state.
+  /// Non-owning; pass nullptr to detach. Attach only after recovery —
+  /// replayed mutations must not be re-logged.
+  void AttachWal(WalWriter* wal);
+  WalWriter* wal() const { return wal_; }
+
  private:
   Status CheckForeignKeysForRow(const std::string& table, const Row& row);
 
   std::vector<std::unique_ptr<Table>> tables_;
   std::vector<ForeignKey> foreign_keys_;
   std::unordered_map<std::string, int64_t> sequences_;
+  WalWriter* wal_ = nullptr;  // not owned; see AttachWal
 };
 
 }  // namespace courserank::storage

@@ -1,0 +1,124 @@
+#include "storage/fault.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace courserank::storage {
+
+namespace {
+
+obs::Counter& InjectedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "cr_storage_faults_injected_total");
+  return *c;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Default() {
+  static FaultInjector* injector = [] {
+    auto* f = new FaultInjector();
+    if (const char* spec = std::getenv("COURSERANK_FAULT")) f->ParseEnv(spec);
+    return f;
+  }();
+  return *injector;
+}
+
+void FaultInjector::ParseEnv(const char* spec) {
+  std::vector<std::string> parts = Split(spec, ':');
+  if (parts.size() >= 2 && parts[0] == "fail") {
+    Arm(Kind::kFail, std::strtoull(parts[1].c_str(), nullptr, 10));
+  } else if (parts.size() >= 3 && parts[0] == "truncate") {
+    Arm(Kind::kTruncate, std::strtoull(parts[1].c_str(), nullptr, 10),
+        std::strtoull(parts[2].c_str(), nullptr, 10));
+  } else {
+    CR_LOG(WARN, "ignoring malformed COURSERANK_FAULT spec '%s'", spec);
+  }
+}
+
+void FaultInjector::Arm(Kind kind, uint64_t nth, size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_ = kind;
+  nth_ = nth;
+  keep_bytes_ = keep_bytes;
+  writes_seen_ = 0;
+  dead_ = false;
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_ = Kind::kNone;
+  nth_ = 0;
+  keep_bytes_ = 0;
+  writes_seen_ = 0;
+  dead_ = false;
+}
+
+FaultInjector::WriteDecision FaultInjector::BeforeWrite(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) return {true, 0};
+  if (kind_ == Kind::kNone) return {false, n};
+  if (++writes_seen_ != nth_) return {false, n};
+  dead_ = true;
+  InjectedCounter().Add();
+  if (kind_ == Kind::kTruncate) return {true, std::min(keep_bytes_, n)};
+  return {true, 0};
+}
+
+uint64_t FaultInjector::writes_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_seen_;
+}
+
+bool FaultInjector::dead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
+Status WriteFdWithFaults(int fd, std::string_view contents,
+                         const std::string& what) {
+  FaultInjector::WriteDecision d =
+      FaultInjector::Default().BeforeWrite(contents.size());
+  size_t want = d.allowed;
+  size_t done = 0;
+  while (done < want) {
+    ssize_t n = ::write(fd, contents.data() + done, want - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("write to " + what +
+                              " failed: " + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (d.fail) {
+    return Status::Internal("injected fault while writing " + what);
+  }
+  return Status::OK();
+}
+
+Status WriteFileWithFaults(const std::string& path, std::string_view contents,
+                           bool sync) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open '" + path +
+                            "' for writing: " + std::strerror(errno));
+  }
+  Status s = WriteFdWithFaults(fd, contents, "'" + path + "'");
+  if (s.ok() && sync && ::fsync(fd) != 0) {
+    s = Status::Internal("fsync of '" + path +
+                         "' failed: " + std::strerror(errno));
+  }
+  ::close(fd);
+  return s;
+}
+
+}  // namespace courserank::storage

@@ -1,0 +1,88 @@
+#ifndef COURSERANK_STORAGE_FAULT_H_
+#define COURSERANK_STORAGE_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace courserank::storage {
+
+/// Deterministic write-fault injector for crash-safety tests. Every durable
+/// write in the storage layer (WAL appends, snapshot file writes) consults
+/// the process-wide injector before touching the disk, so a test — or the
+/// `COURSERANK_FAULT` environment variable — can make the Nth write fail
+/// outright or stop partway through, simulating a kill or a torn write.
+///
+/// Once a fault fires the injector goes "dead": every later instrumented
+/// write fails too, the way a crashed process never writes again. `Disarm`
+/// (the test's stand-in for restarting the process) clears everything.
+///
+/// Env syntax, read once at first use:
+///   COURSERANK_FAULT=fail:<n>             fail the n-th write (1-based)
+///   COURSERANK_FAULT=truncate:<n>:<bytes> write only <bytes> of the n-th
+class FaultInjector {
+ public:
+  enum class Kind { kNone, kFail, kTruncate };
+
+  /// What an instrumented write site must do: write `allowed` bytes, then
+  /// return an error if `fail` is set.
+  struct WriteDecision {
+    bool fail = false;
+    size_t allowed = 0;
+  };
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The process-wide injector (never destroyed). Parses COURSERANK_FAULT
+  /// on first access.
+  static FaultInjector& Default();
+
+  /// Arms a fault at the `nth` (1-based) instrumented write from now.
+  /// kTruncate allows `keep_bytes` of that write through before failing.
+  void Arm(Kind kind, uint64_t nth, size_t keep_bytes = 0);
+
+  /// Clears the armed fault and the dead state; resets the write count.
+  void Disarm();
+
+  /// Consulted by write sites before writing `n` bytes.
+  WriteDecision BeforeWrite(size_t n);
+
+  /// Instrumented writes observed since the last Arm/Disarm.
+  uint64_t writes_seen() const;
+
+  /// True once a fault has fired (and until Disarm).
+  bool dead() const;
+
+ private:
+  void ParseEnv(const char* spec);
+
+  mutable std::mutex mu_;
+  Kind kind_ = Kind::kNone;
+  uint64_t nth_ = 0;
+  size_t keep_bytes_ = 0;
+  uint64_t writes_seen_ = 0;
+  bool dead_ = false;
+};
+
+/// Writes `contents` to `path` through the fault injector (create/truncate),
+/// optionally fsyncing before close. Used for snapshot files so an injected
+/// fault can abort a save mid-way; returns Internal on a real or injected
+/// failure, in which case the file may be missing or partial.
+Status WriteFileWithFaults(const std::string& path, std::string_view contents,
+                           bool sync);
+
+/// Appends `contents` to the already-open descriptor `fd` through the fault
+/// injector. On an injected truncation, the allowed prefix is written before
+/// the error returns — exactly the torn-write shape a crash leaves behind.
+Status WriteFdWithFaults(int fd, std::string_view contents,
+                         const std::string& what);
+
+}  // namespace courserank::storage
+
+#endif  // COURSERANK_STORAGE_FAULT_H_

@@ -1,11 +1,19 @@
 #include "storage/snapshot.h"
 
+#include <fcntl.h>
+#include <stdio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/strings.h"
 #include "storage/csv.h"
+#include "storage/fault.h"
 
 namespace courserank::storage {
 
@@ -32,68 +40,155 @@ Result<std::string> ReadFile(const std::string& path) {
   return out.str();
 }
 
+/// fsyncs a directory so renames inside it are durable.
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory '" + dir +
+                            "': " + std::strerror(errno));
+  }
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) {
+    s = Status::Internal("fsync of directory '" + dir +
+                         "' failed: " + std::strerror(errno));
+  }
+  ::close(fd);
+  return s;
+}
+
+/// Publishes the fully-written `tmp` directory at `dir` atomically. When a
+/// snapshot already exists the two are swapped with RENAME_EXCHANGE — a
+/// crash at any instant leaves either the old or the new snapshot at `dir`,
+/// never a mix — and the displaced old snapshot (now at `tmp`) is removed.
+Status PublishDir(const std::string& tmp, const std::string& dir) {
+  std::error_code ec;
+  Status renamed = Status::OK();
+  if (fs::exists(dir)) {
+    if (::renameat2(AT_FDCWD, tmp.c_str(), AT_FDCWD, dir.c_str(),
+                    RENAME_EXCHANGE) != 0) {
+      // Old kernel / filesystem without exchange support: fall back to
+      // replace-by-rename. The window where `dir` is missing is the price
+      // of the fallback; Linux ≥ 3.15 never takes this path.
+      if (errno != ENOSYS && errno != EINVAL) {
+        return Status::Internal("cannot exchange '" + tmp + "' with '" + dir +
+                                "': " + std::strerror(errno));
+      }
+      fs::remove_all(dir, ec);
+      if (std::rename(tmp.c_str(), dir.c_str()) != 0) {
+        return Status::Internal("cannot rename '" + tmp + "' to '" + dir +
+                                "': " + std::strerror(errno));
+      }
+    }
+  } else if (std::rename(tmp.c_str(), dir.c_str()) != 0) {
+    return Status::Internal("cannot rename '" + tmp + "' to '" + dir +
+                            "': " + std::strerror(errno));
+  }
+  fs::remove_all(tmp, ec);  // displaced old snapshot (or nothing)
+  fs::path parent = fs::path(dir).parent_path();
+  return SyncDir(parent.empty() ? "." : parent.string());
+}
+
+std::string TmpDirFor(const std::string& dir) { return dir + ".tmp"; }
+
 }  // namespace
 
 Status SaveDatabase(const Database& db, const std::string& dir) {
+  const std::string tmp = TmpDirFor(dir);
   std::error_code ec;
-  fs::create_directories(dir, ec);
+  fs::remove_all(tmp, ec);  // stale leftover from a crashed save
+  fs::create_directories(tmp, ec);
   if (ec) {
-    return Status::Internal("cannot create directory '" + dir +
+    return Status::Internal("cannot create directory '" + tmp +
                             "': " + ec.message());
   }
 
-  std::ofstream manifest(fs::path(dir) / "_manifest.txt");
-  if (!manifest.is_open()) {
-    return Status::Internal("cannot write manifest in '" + dir + "'");
-  }
+  // Build the manifest and per-table files in memory, then write each file
+  // durably into the temp directory. Any failure — including an injected
+  // fault — aborts before the rename, leaving a pre-existing snapshot at
+  // `dir` untouched.
+  auto save = [&]() -> Status {
+    std::string manifest;
+    if (db.wal() != nullptr) {
+      manifest += "wal_lsn " + std::to_string(db.wal()->last_lsn()) + "\n";
+    }
+    for (const std::string& name : db.TableNames()) {
+      CR_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
+      manifest += "table " + table->name() + "\n";
+      for (const Column& col : table->schema().columns()) {
+        if (col.type == ValueType::kList || col.type == ValueType::kNull) {
+          return Status::Unimplemented(
+              "cannot snapshot column '" + col.name + "' of type " +
+              ValueTypeName(col.type));
+        }
+        manifest += "column " + col.name + " " + ValueTypeName(col.type) +
+                    " " + (col.nullable ? "1" : "0") + "\n";
+      }
+      if (!table->primary_key().empty()) {
+        manifest += "pk";
+        for (const std::string& col : table->primary_key()) {
+          manifest += " " + col;
+        }
+        manifest += "\n";
+      }
+      for (const HashIndex* index : table->hash_indexes()) {
+        if (index->name() == "__pk") continue;  // recreated with the table
+        manifest += "hashindex " + index->name() + " " +
+                    (index->unique() ? "1" : "0");
+        for (size_t ci : index->column_indices()) {
+          manifest += " " + table->schema().column(ci).name;
+        }
+        manifest += "\n";
+      }
+      for (const OrderedIndex* index : table->ordered_indexes()) {
+        manifest += "orderedindex " + index->name() + " " +
+                    table->schema().column(index->column_index()).name + "\n";
+      }
+      manifest += "endtable\n";
 
-  for (const std::string& name : db.TableNames()) {
-    CR_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
-    manifest << "table " << table->name() << "\n";
-    for (const Column& col : table->schema().columns()) {
-      if (col.type == ValueType::kList || col.type == ValueType::kNull) {
-        return Status::Unimplemented(
-            "cannot snapshot column '" + col.name + "' of type " +
-            ValueTypeName(col.type));
-      }
-      manifest << "column " << col.name << " " << ValueTypeName(col.type)
-               << " " << (col.nullable ? 1 : 0) << "\n";
+      std::vector<Row> rows;
+      rows.reserve(table->size());
+      std::string rowids;
+      table->Scan([&](RowId id, const Row& row) {
+        rows.push_back(row);
+        rowids += std::to_string(id) + "\n";
+      });
+      CR_RETURN_IF_ERROR(WriteFileWithFaults(
+          (fs::path(tmp) / (table->name() + ".csv")).string(),
+          ToCsv(table->schema(), rows), /*sync=*/true));
+      CR_RETURN_IF_ERROR(WriteFileWithFaults(
+          (fs::path(tmp) / (table->name() + ".rowids")).string(), rowids,
+          /*sync=*/true));
     }
-    if (!table->primary_key().empty()) {
-      manifest << "pk";
-      for (const std::string& col : table->primary_key()) {
-        manifest << " " << col;
-      }
-      manifest << "\n";
+    for (const ForeignKey& fk : db.foreign_keys()) {
+      manifest += "fk " + fk.table + " " + fk.column + " " + fk.ref_table +
+                  " " + fk.ref_column + "\n";
     }
-    for (const HashIndex* index : table->hash_indexes()) {
-      if (index->name() == "__pk") continue;  // recreated with the table
-      manifest << "hashindex " << index->name() << " "
-               << (index->unique() ? 1 : 0);
-      for (size_t ci : index->column_indices()) {
-        manifest << " " << table->schema().column(ci).name;
-      }
-      manifest << "\n";
-    }
-    for (const OrderedIndex* index : table->ordered_indexes()) {
-      manifest << "orderedindex " << index->name() << " "
-               << table->schema().column(index->column_index()).name << "\n";
-    }
-    manifest << "endtable\n";
-
     CR_RETURN_IF_ERROR(
-        WriteCsv(*table, (fs::path(dir) / (table->name() + ".csv")).string()));
-  }
-  for (const ForeignKey& fk : db.foreign_keys()) {
-    manifest << "fk " << fk.table << " " << fk.column << " " << fk.ref_table
-             << " " << fk.ref_column << "\n";
-  }
-  return manifest.good()
-             ? Status::OK()
-             : Status::Internal("manifest write failed in '" + dir + "'");
+        WriteFileWithFaults((fs::path(tmp) / "_manifest.txt").string(),
+                            manifest, /*sync=*/true));
+    CR_RETURN_IF_ERROR(SyncDir(tmp));
+    return PublishDir(tmp, dir);
+  };
+
+  Status s = save();
+  if (!s.ok()) fs::remove_all(tmp, ec);  // best effort; stale tmp is benign
+  return s;
 }
 
-Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
+Status CheckpointDatabase(Database& db, const std::string& dir) {
+  CR_RETURN_IF_ERROR(SaveDatabase(db, dir));
+  if (db.wal() != nullptr) {
+    CR_RETURN_IF_ERROR(db.wal()->Reset());
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Parses the manifest and loads rows; `snapshot_lsn` receives the recorded
+/// `wal_lsn` (0 for snapshots that predate the WAL).
+Result<std::unique_ptr<Database>> LoadDatabaseImpl(const std::string& dir,
+                                                   uint64_t* snapshot_lsn) {
   CR_ASSIGN_OR_RETURN(std::string manifest,
                       ReadFile((fs::path(dir) / "_manifest.txt").string()));
   auto db = std::make_unique<Database>();
@@ -156,6 +251,10 @@ Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
       CR_RETURN_IF_ERROR(flush_table());
     } else if (kind == "fk" && parts.size() == 5) {
       fks.push_back({parts[1], parts[2], parts[3], parts[4]});
+    } else if (kind == "wal_lsn" && parts.size() == 2) {
+      if (snapshot_lsn != nullptr) {
+        *snapshot_lsn = std::strtoull(parts[1].c_str(), nullptr, 10);
+      }
     } else {
       return Status::Corruption("bad manifest line: '" + raw + "'");
     }
@@ -181,8 +280,26 @@ Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
                         ReadFile((fs::path(dir) / (name + ".csv")).string()));
     CR_ASSIGN_OR_RETURN(std::vector<Row> rows,
                         ParseCsv(table->schema(), csv));
-    for (Row& row : rows) {
-      CR_RETURN_IF_ERROR(table->Insert(std::move(row)).status());
+    // Restore rows at their original slot ids when the sidecar is present
+    // (WAL records address rows by RowId); otherwise insert sequentially,
+    // which keeps pre-WAL snapshots loadable.
+    auto rowids = ReadFile((fs::path(dir) / (name + ".rowids")).string());
+    if (rowids.ok()) {
+      std::vector<std::string> ids = SplitWhitespace(*rowids);
+      if (ids.size() != rows.size()) {
+        return Status::Corruption("rowid sidecar of table '" + name +
+                                  "' has " + std::to_string(ids.size()) +
+                                  " ids for " + std::to_string(rows.size()) +
+                                  " rows");
+      }
+      for (size_t i = 0; i < rows.size(); ++i) {
+        RowId id = std::strtoull(ids[i].c_str(), nullptr, 10);
+        CR_RETURN_IF_ERROR(table->RestoreRow(id, std::move(rows[i])));
+      }
+    } else {
+      for (Row& row : rows) {
+        CR_RETURN_IF_ERROR(table->Insert(std::move(row)).status());
+      }
     }
   }
 
@@ -191,6 +308,40 @@ Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
         db->AddForeignKey(fk.table, fk.column, fk.ref_table, fk.ref_column));
   }
   return db;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
+  return LoadDatabaseImpl(dir, nullptr);
+}
+
+Result<RecoveredDatabase> RecoverDatabase(const std::string& dir,
+                                          const std::string& wal_path) {
+  RecoveredDatabase out;
+  CR_ASSIGN_OR_RETURN(out.db, LoadDatabaseImpl(dir, &out.snapshot_lsn));
+  Database& db = *out.db;
+  CR_ASSIGN_OR_RETURN(
+      out.replay,
+      ReplayWal(wal_path, out.snapshot_lsn,
+                [&db](const WalRecord& record) -> Status {
+                  if (record.type == WalRecordType::kEpoch) {
+                    return Status::OK();  // cache-generation marker only
+                  }
+                  CR_ASSIGN_OR_RETURN(Table * table,
+                                      db.GetTable(record.table));
+                  switch (record.type) {
+                    case WalRecordType::kInsert:
+                      return table->RestoreRow(record.row_id, record.row);
+                    case WalRecordType::kUpdate:
+                      return table->Update(record.row_id, record.row);
+                    case WalRecordType::kDelete:
+                      return table->Delete(record.row_id);
+                    default:
+                      return Status::Corruption("unexpected WAL record type");
+                  }
+                }));
+  return out;
 }
 
 }  // namespace courserank::storage

@@ -6,24 +6,52 @@
 
 #include "common/status.h"
 #include "storage/database.h"
+#include "storage/wal.h"
 
 namespace courserank::storage {
 
 /// Serializes a whole Database to a directory: one CSV per table plus a
-/// `_manifest.txt` recording schemas, primary keys, secondary indexes, and
-/// foreign keys. The directory is created if missing; existing files are
-/// overwritten. Sequence counters are not persisted (callers re-seed them
-/// from max ids when needed).
+/// `<table>.rowids` sidecar (live slot ids, so reload and WAL replay see the
+/// original slot layout) and a `_manifest.txt` recording schemas, primary
+/// keys, secondary indexes, foreign keys, and — when a WAL is attached —
+/// the last WAL sequence number the snapshot includes (`wal_lsn`).
+///
+/// The snapshot is crash-safe: everything is written and fsynced into a
+/// sibling `<dir>.tmp` directory which is atomically renamed (exchanged)
+/// into place only once complete. A failed or killed save therefore leaves
+/// any pre-existing snapshot at `dir` untouched. Sequence counters are not
+/// persisted (callers re-seed them from max ids when needed).
 ///
 /// LIST-typed columns are not supported (they only occur in transient
 /// relations, never in stored tables).
 Status SaveDatabase(const Database& db, const std::string& dir);
 
+/// SaveDatabase, then truncates the attached WAL (if any): the snapshot now
+/// owns everything up to its recorded `wal_lsn`, so the log restarts empty.
+/// The truncation happens only after the snapshot is durably in place.
+Status CheckpointDatabase(Database& db, const std::string& dir);
+
 /// Rebuilds a Database from a SaveDatabase directory: recreates tables,
-/// indexes, and foreign keys, then loads rows. Fails with Corruption on a
-/// malformed manifest and propagates any constraint violation found while
-/// re-inserting rows.
+/// indexes, and foreign keys, then loads rows (at their original RowIds when
+/// the sidecar is present). Fails with Corruption on a malformed manifest
+/// and propagates any constraint violation found while re-inserting rows.
 Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir);
+
+/// A recovered database plus what recovery found.
+struct RecoveredDatabase {
+  std::unique_ptr<Database> db;
+  uint64_t snapshot_lsn = 0;  ///< highest LSN the snapshot already includes
+  WalReplayStats replay;      ///< what the WAL tail contributed
+};
+
+/// Crash recovery: loads the snapshot at `dir` — the snapshot is the schema
+/// baseline, so one must exist (save one right after creating tables) —
+/// then replays every committed WAL record past the snapshot's `wal_lsn`
+/// from `wal_path`, stopping cleanly at a torn tail.
+/// The returned database has no WAL attached; the caller re-opens the log
+/// (WalWriter::Open truncates the torn tail) and calls Database::AttachWal.
+Result<RecoveredDatabase> RecoverDatabase(const std::string& dir,
+                                          const std::string& wal_path);
 
 }  // namespace courserank::storage
 

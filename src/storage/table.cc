@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "storage/wal.h"
 
 namespace courserank::storage {
 
@@ -124,6 +125,14 @@ Result<RowId> Table::Insert(Row row) {
     }
   }
   RowId id = rows_.size();
+  // Log-then-apply: once validation passes, the mutation reaches the WAL
+  // before any in-memory state changes, so a crash never leaves an applied
+  // but unlogged write.
+  if (wal_ != nullptr) {
+    CR_RETURN_IF_ERROR(
+        wal_->AppendMutation(WalRecordType::kInsert, name_, id, row)
+            .status());
+  }
   AddToIndexes(row, id);
   rows_.push_back(std::move(row));
   deleted_.push_back(false);
@@ -146,6 +155,11 @@ Status Table::Update(RowId id, Row row) {
       return Status::AlreadyExists("duplicate key in unique index '" +
                                    index->name() + "'");
     }
+  }
+  if (wal_ != nullptr) {
+    CR_RETURN_IF_ERROR(
+        wal_->AppendMutation(WalRecordType::kUpdate, name_, id, row)
+            .status());
   }
   RemoveFromIndexes(*old, id);
   rows_[id] = std::move(row);
@@ -173,9 +187,36 @@ Status Table::Delete(RowId id) {
     return Status::NotFound("row " + std::to_string(id) + " not in table '" +
                             name_ + "'");
   }
+  if (wal_ != nullptr) {
+    CR_RETURN_IF_ERROR(
+        wal_->AppendMutation(WalRecordType::kDelete, name_, id, {}).status());
+  }
   RemoveFromIndexes(*row, id);
   deleted_[id] = true;
   --live_count_;
+  return Status::OK();
+}
+
+Status Table::RestoreRow(RowId id, Row row) {
+  if (id < rows_.size()) {
+    return Status::InvalidArgument(
+        "RestoreRow id " + std::to_string(id) + " below capacity " +
+        std::to_string(rows_.size()) + " of table '" + name_ + "'");
+  }
+  CR_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  for (const auto& index : hash_indexes_) {
+    if (index->unique()) {
+      CR_RETURN_IF_ERROR(CheckUniqueForInsert(row, *index));
+    }
+  }
+  while (rows_.size() < id) {  // pad the gap with tombstones
+    rows_.emplace_back();
+    deleted_.push_back(true);
+  }
+  AddToIndexes(row, id);
+  rows_.push_back(std::move(row));
+  deleted_.push_back(false);
+  ++live_count_;
   return Status::OK();
 }
 

@@ -15,6 +15,8 @@
 
 namespace courserank::storage {
 
+class WalWriter;
+
 /// Stable identifier of a row within one table (slot position; slots are
 /// never reused, deleted slots are tombstoned).
 using RowId = uint64_t;
@@ -96,6 +98,8 @@ class Table {
   size_t capacity() const { return rows_.size(); }
 
   /// Validates against the schema and PK/unique constraints, then appends.
+  /// With a WAL attached, the mutation is logged after validation and
+  /// before it is applied; a failed log append rejects the mutation.
   Result<RowId> Insert(Row row);
 
   /// Replaces the row at `id`. Re-validates constraints and indexes.
@@ -106,6 +110,17 @@ class Table {
 
   /// Tombstones the row at `id`.
   Status Delete(RowId id);
+
+  /// Recovery-only insert at an explicit slot: re-creates the row at exactly
+  /// `id` (which must be at or past the current capacity), padding any gap
+  /// with tombstoned slots so snapshot reload and WAL replay reproduce the
+  /// original slot layout. Never WAL-logged.
+  Status RestoreRow(RowId id, Row row);
+
+  /// Attaches (or detaches, with nullptr) a write-ahead log. Non-owning;
+  /// normally set for all tables at once via Database::AttachWal.
+  void set_wal(WalWriter* wal) { wal_ = wal; }
+  WalWriter* wal() const { return wal_; }
 
   /// Returns the live row at `id`, or nullptr if deleted / out of range.
   const Row* Get(RowId id) const;
@@ -165,6 +180,7 @@ class Table {
   std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
   std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
   HashIndex* pk_index_ = nullptr;  // owned by hash_indexes_
+  WalWriter* wal_ = nullptr;       // not owned; see set_wal
 };
 
 }  // namespace courserank::storage

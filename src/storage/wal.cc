@@ -1,0 +1,450 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/fault.h"
+
+namespace courserank::storage {
+
+namespace {
+
+// ------------------------------------------------------------------ metrics
+
+obs::Counter& AppendsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("cr_wal_appends_total");
+  return *c;
+}
+
+obs::Counter& AppendBytesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("cr_wal_append_bytes_total");
+  return *c;
+}
+
+obs::Counter& FsyncsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("cr_wal_fsyncs_total");
+  return *c;
+}
+
+obs::Counter& ReplaysCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("cr_wal_replays_total");
+  return *c;
+}
+
+obs::Counter& ReplayedRecordsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "cr_wal_replayed_records_total");
+  return *c;
+}
+
+obs::Counter& TornTailsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("cr_wal_torn_tails_total");
+  return *c;
+}
+
+obs::Histogram& AppendNsHistogram() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Default().GetHistogram("cr_wal_append_ns");
+  return *h;
+}
+
+obs::Histogram& FsyncNsHistogram() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Default().GetHistogram("cr_wal_fsync_ns");
+  return *h;
+}
+
+// ------------------------------------------------------- binary en/decoding
+
+void PutU32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutString(std::string& out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+/// Bounds-checked little-endian reader over a payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    uint32_t lo = 0, hi = 0;
+    if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *v = (static_cast<uint64_t>(hi) << 32) | lo;
+    return true;
+  }
+
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status EncodeValue(std::string& out, const Value& v) {
+  ValueType t = v.type();
+  out.push_back(static_cast<char>(t));
+  switch (t) {
+    case ValueType::kNull:
+      return Status::OK();
+    case ValueType::kBool:
+      out.push_back(v.AsBool() ? 1 : 0);
+      return Status::OK();
+    case ValueType::kInt:
+      PutU64(out, static_cast<uint64_t>(v.AsInt()));
+      return Status::OK();
+    case ValueType::kDouble: {
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      return Status::OK();
+    }
+    case ValueType::kString:
+      PutString(out, v.AsString());
+      return Status::OK();
+    case ValueType::kList:
+      return Status::Unimplemented("LIST values cannot be WAL-logged");
+  }
+  return Status::Internal("unhandled value type");
+}
+
+Result<Value> DecodeValue(Reader& r) {
+  uint8_t tag = 0;
+  if (!r.ReadU8(&tag)) return Status::Corruption("truncated value tag");
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      uint8_t b = 0;
+      if (!r.ReadU8(&b)) return Status::Corruption("truncated BOOL value");
+      return Value(b != 0);
+    }
+    case ValueType::kInt: {
+      uint64_t v = 0;
+      if (!r.ReadU64(&v)) return Status::Corruption("truncated INT value");
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      uint64_t bits = 0;
+      if (!r.ReadU64(&bits)) {
+        return Status::Corruption("truncated DOUBLE value");
+      }
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!r.ReadString(&s)) {
+        return Status::Corruption("truncated STRING value");
+      }
+      return Value(std::move(s));
+    }
+    default:
+      return Status::Corruption("unknown value tag " + std::to_string(tag));
+  }
+}
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+/// One frame scanned off the log. `frame_end` is the offset just past it.
+struct ScannedFrame {
+  std::string_view payload;
+  size_t frame_end = 0;
+};
+
+/// Reads the frame at `pos`; nullopt when the bytes from `pos` do not form a
+/// complete, checksum-valid frame (a torn tail).
+std::optional<ScannedFrame> ReadFrame(std::string_view log, size_t pos) {
+  if (pos + kFrameHeaderBytes > log.size()) return std::nullopt;
+  Reader header(log.substr(pos, kFrameHeaderBytes));
+  uint32_t len = 0, crc = 0;
+  header.ReadU32(&len);
+  header.ReadU32(&crc);
+  if (len > kMaxPayloadBytes) return std::nullopt;
+  if (pos + kFrameHeaderBytes + len > log.size()) return std::nullopt;
+  std::string_view payload = log.substr(pos + kFrameHeaderBytes, len);
+  if (Crc32(payload.data(), payload.size()) != crc) return std::nullopt;
+  return ScannedFrame{payload, pos + kFrameHeaderBytes + len};
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<std::string> EncodeWalPayload(const WalRecord& record) {
+  std::string out;
+  out.push_back(static_cast<char>(record.type));
+  PutU64(out, record.lsn);
+  switch (record.type) {
+    case WalRecordType::kInsert:
+    case WalRecordType::kUpdate:
+    case WalRecordType::kDelete:
+      PutString(out, record.table);
+      PutU64(out, record.row_id);
+      PutU32(out, static_cast<uint32_t>(record.row.size()));
+      for (const Value& v : record.row) {
+        CR_RETURN_IF_ERROR(EncodeValue(out, v));
+      }
+      return out;
+    case WalRecordType::kEpoch:
+      PutU64(out, record.epoch);
+      return out;
+  }
+  return Status::InvalidArgument("unknown WAL record type");
+}
+
+Result<WalRecord> DecodeWalPayload(std::string_view payload) {
+  Reader r(payload);
+  uint8_t type = 0;
+  WalRecord record;
+  if (!r.ReadU8(&type) || !r.ReadU64(&record.lsn)) {
+    return Status::Corruption("truncated WAL record header");
+  }
+  record.type = static_cast<WalRecordType>(type);
+  switch (record.type) {
+    case WalRecordType::kInsert:
+    case WalRecordType::kUpdate:
+    case WalRecordType::kDelete: {
+      uint32_t count = 0;
+      if (!r.ReadString(&record.table) || !r.ReadU64(&record.row_id) ||
+          !r.ReadU32(&count)) {
+        return Status::Corruption("truncated WAL mutation record");
+      }
+      record.row.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        CR_ASSIGN_OR_RETURN(Value v, DecodeValue(r));
+        record.row.push_back(std::move(v));
+      }
+      break;
+    }
+    case WalRecordType::kEpoch:
+      if (!r.ReadU64(&record.epoch)) {
+        return Status::Corruption("truncated WAL epoch record");
+      }
+      break;
+    default:
+      return Status::Corruption("unknown WAL record type " +
+                                std::to_string(type));
+  }
+  if (!r.at_end()) {
+    return Status::Corruption("trailing bytes in WAL record");
+  }
+  return record;
+}
+
+// ---------------------------------------------------------------- WalWriter
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   Options options) {
+  // Scan any existing log: resume LSNs after the last committed record and
+  // drop a torn tail so the next append starts on a frame boundary.
+  CR_ASSIGN_OR_RETURN(WalReplayStats stats,
+                      ReplayWal(path, UINT64_MAX,
+                                [](const WalRecord&) { return Status::OK(); }));
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open WAL '" + path +
+                            "': " + std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(stats.valid_bytes)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    Status s = Status::Internal("cannot truncate WAL '" + path +
+                                "' to its valid prefix: " +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(path, fd, options, stats.last_lsn + 1));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> WalWriter::Append(WalRecord record) {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "WAL '" + path_ + "' is failed; reopen to resume appends");
+  }
+  record.lsn = next_lsn_;
+  CR_ASSIGN_OR_RETURN(std::string payload, EncodeWalPayload(record));
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  PutU32(frame, Crc32(payload.data(), payload.size()));
+  frame += payload;
+
+  uint64_t start = obs::NowNs();
+  Status s = WriteFdWithFaults(fd_, frame, "WAL '" + path_ + "'");
+  if (!s.ok()) {
+    failed_ = true;
+    return s;
+  }
+  if (options_.sync_each_append) {
+    Status sync = Sync();
+    if (!sync.ok()) {
+      failed_ = true;
+      return sync;
+    }
+  }
+  AppendNsHistogram().Record(obs::NowNs() - start);
+  AppendsCounter().Add();
+  AppendBytesCounter().Add(frame.size());
+  return next_lsn_++;
+}
+
+Result<uint64_t> WalWriter::AppendMutation(WalRecordType type,
+                                           const std::string& table,
+                                           RowId row_id, const Row& row) {
+  WalRecord record;
+  record.type = type;
+  record.table = table;
+  record.row_id = row_id;
+  record.row = row;
+  return Append(std::move(record));
+}
+
+Result<uint64_t> WalWriter::AppendEpoch(uint64_t epoch) {
+  WalRecord record;
+  record.type = WalRecordType::kEpoch;
+  record.epoch = epoch;
+  return Append(std::move(record));
+}
+
+Status WalWriter::Sync() {
+  uint64_t start = obs::NowNs();
+  if (::fsync(fd_) != 0) {
+    return Status::Internal("fsync of WAL '" + path_ +
+                            "' failed: " + std::strerror(errno));
+  }
+  FsyncNsHistogram().Record(obs::NowNs() - start);
+  FsyncsCounter().Add();
+  return Status::OK();
+}
+
+Status WalWriter::Reset() {
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::Internal("cannot reset WAL '" + path_ +
+                            "': " + std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Internal("fsync of WAL '" + path_ +
+                            "' failed: " + std::strerror(errno));
+  }
+  failed_ = false;
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- ReplayWal
+
+Result<WalReplayStats> ReplayWal(
+    const std::string& path, uint64_t after_lsn,
+    const std::function<Status(const WalRecord&)>& apply) {
+  WalReplayStats stats;
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) return stats;  // no log yet: empty history
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  std::string log = buf.str();
+
+  ReplaysCounter().Add();
+  size_t pos = 0;
+  while (pos < log.size()) {
+    std::optional<ScannedFrame> frame = ReadFrame(log, pos);
+    if (!frame.has_value()) {
+      stats.torn_tail = true;
+      TornTailsCounter().Add();
+      break;
+    }
+    CR_ASSIGN_OR_RETURN(WalRecord record, DecodeWalPayload(frame->payload));
+    if (record.lsn <= stats.last_lsn) {
+      return Status::Corruption("WAL LSNs not increasing at byte offset " +
+                                std::to_string(pos));
+    }
+    stats.last_lsn = record.lsn;
+    if (record.lsn > after_lsn) {
+      CR_RETURN_IF_ERROR(apply(record));
+      ++stats.applied;
+      ReplayedRecordsCounter().Add();
+    } else {
+      ++stats.skipped;
+    }
+    pos = frame->frame_end;
+    stats.valid_bytes = pos;
+  }
+  return stats;
+}
+
+}  // namespace courserank::storage

@@ -1,0 +1,139 @@
+#ifndef COURSERANK_STORAGE_WAL_H_
+#define COURSERANK_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace courserank::storage {
+
+/// CRC-32 (IEEE 802.3, reflected) of `n` bytes; `seed` chains partial
+/// computations. Standard check value: Crc32("123456789", 9) == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// What a WAL record describes. Mutations carry a table name and the RowId
+/// the mutation targeted, so replay reproduces the exact slot layout; kEpoch
+/// marks an index-epoch advance (PR 1 caches key on epochs), letting
+/// recovery correlate a log position with the cache generation that was
+/// current when it was written.
+enum class WalRecordType : uint8_t {
+  kInsert = 1,
+  kUpdate = 2,
+  kDelete = 3,
+  kEpoch = 4,
+};
+
+/// One logical WAL entry. LSNs are assigned by WalWriter, start at 1, and
+/// increase by 1 per record with no gaps inside one log file.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kInsert;
+  uint64_t lsn = 0;
+  std::string table;  ///< mutations only
+  RowId row_id = 0;   ///< mutations only
+  Row row;            ///< insert/update payload; empty for delete
+  uint64_t epoch = 0; ///< kEpoch only
+};
+
+/// Serializes a record's payload (everything but the framing header).
+/// LIST-typed values are rejected — stored tables never hold them.
+Result<std::string> EncodeWalPayload(const WalRecord& record);
+
+/// Decodes a payload produced by EncodeWalPayload. Corruption on any
+/// malformed byte (unknown type tag, truncated field, trailing garbage).
+Result<WalRecord> DecodeWalPayload(std::string_view payload);
+
+/// fsync policy for WalWriter.
+struct WalOptions {
+  /// fsync after every append. Off by default: group-commit callers fsync
+  /// explicitly via Sync(); crash tests exercise torn tails either way.
+  bool sync_each_append = false;
+};
+
+/// Append-only writer over a binary log file. On-disk framing per record:
+///
+///   [u32 payload_len][u32 crc32(payload)][payload bytes]
+///
+/// all little-endian. A record is committed iff its frame is fully on disk
+/// with a matching CRC; replay stops at the first frame that is short or
+/// fails its checksum (a torn tail), which is exactly the state a crash
+/// mid-append leaves behind.
+///
+/// Open() scans any existing log, truncates a torn tail so new appends
+/// start on a clean boundary, and resumes LSNs after the last valid record.
+/// All file writes go through the FaultInjector (storage/fault.h).
+///
+/// Not thread-safe: writes are expected to be serialized by the owner, as
+/// Table mutations already are.
+class WalWriter {
+ public:
+  using Options = WalOptions;
+
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 Options options = {});
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends a mutation record; assigns and returns its LSN. On any error
+  /// (including an injected fault) nothing is considered committed and the
+  /// writer refuses further appends until reopened — matching the crash
+  /// the fault simulates.
+  Result<uint64_t> AppendMutation(WalRecordType type, const std::string& table,
+                                  RowId row_id, const Row& row);
+
+  /// Appends an epoch marker (see WalRecordType::kEpoch).
+  Result<uint64_t> AppendEpoch(uint64_t epoch);
+
+  /// fsyncs the log file.
+  Status Sync();
+
+  /// Truncates the log to empty after a successful snapshot; LSNs continue
+  /// from where they were (the snapshot manifest records the boundary).
+  Status Reset();
+
+  /// LSN the next append will get.
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// LSN of the last appended record (0 when none).
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, Options options, uint64_t next_lsn)
+      : path_(std::move(path)), fd_(fd), options_(options),
+        next_lsn_(next_lsn) {}
+
+  Result<uint64_t> Append(WalRecord record);
+
+  std::string path_;
+  int fd_ = -1;
+  Options options_;
+  uint64_t next_lsn_ = 1;
+  bool failed_ = false;
+};
+
+/// Outcome of a replay pass.
+struct WalReplayStats {
+  uint64_t applied = 0;      ///< records delivered to the callback
+  uint64_t skipped = 0;      ///< records at or below `after_lsn`
+  uint64_t last_lsn = 0;     ///< highest LSN seen (applied or skipped)
+  bool torn_tail = false;    ///< log ended in a short or corrupt frame
+  uint64_t valid_bytes = 0;  ///< prefix length ending at the last good frame
+};
+
+/// Streams every committed record with LSN > `after_lsn` through `apply`, in
+/// log order. A missing file is an empty log. A torn or corrupt tail frame
+/// ends replay cleanly (torn_tail set); an error from `apply` aborts and
+/// propagates — that is state corruption, not a torn write.
+Result<WalReplayStats> ReplayWal(
+    const std::string& path, uint64_t after_lsn,
+    const std::function<Status(const WalRecord&)>& apply);
+
+}  // namespace courserank::storage
+
+#endif  // COURSERANK_STORAGE_WAL_H_

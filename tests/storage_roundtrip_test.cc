@@ -1,0 +1,325 @@
+// Property tests for the storage round trip: random schemas and rows —
+// quotes, embedded newlines, CRLF, empty vs NULL strings, int64 boundary
+// values, full-precision doubles — must survive Save/Load exactly, and a
+// second Save must be byte-identical to the first.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "common/rng.h"
+#include "storage/csv.h"
+#include "storage/fault.h"
+#include "storage/snapshot.h"
+
+namespace courserank::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / "courserank_roundtrip" / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+// ------------------------------------------------------------ CSV unit bugs
+
+TEST(CsvBugfixTest, EmptyStringSurvivesRoundTrip) {
+  Schema schema({{"s", ValueType::kString, true}});
+  std::vector<Row> rows = {{Value("")}, {Value()}, {Value("x")}};
+  std::string text = ToCsv(schema, rows);
+  EXPECT_EQ(text, "s\n\"\"\n\nx\n");
+  auto parsed = ParseCsv(schema, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_FALSE((*parsed)[0][0].is_null());
+  EXPECT_EQ((*parsed)[0][0].AsString(), "");
+  EXPECT_TRUE((*parsed)[1][0].is_null());
+  EXPECT_EQ((*parsed)[2][0].AsString(), "x");
+}
+
+TEST(CsvBugfixTest, OutOfRangeIntIsAnErrorNotClamped) {
+  Schema schema({{"i", ValueType::kInt, true}});
+  // One past INT64_MAX / below INT64_MIN.
+  EXPECT_EQ(ParseCsv(schema, "i\n9223372036854775808\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCsv(schema, "i\n-9223372036854775809\n").status().code(),
+            StatusCode::kInvalidArgument);
+  // The exact boundaries parse fine.
+  auto ok = ParseCsv(schema, "i\n9223372036854775807\n-9223372036854775808\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[0][0].AsInt(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ((*ok)[1][0].AsInt(), std::numeric_limits<int64_t>::min());
+}
+
+TEST(CsvBugfixTest, OutOfRangeDoubleIsAnErrorNotHugeVal) {
+  Schema schema({{"d", ValueType::kDouble, true}});
+  EXPECT_EQ(ParseCsv(schema, "d\n1e999\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCsv(schema, "d\n-1e999\n").status().code(),
+            StatusCode::kInvalidArgument);
+  // Denormal underflow is accepted, not an error.
+  auto ok = ParseCsv(schema, "d\n5e-324\n1.7976931348623157e308\n");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_GT((*ok)[0][0].AsDouble(), 0.0);
+}
+
+TEST(CsvBugfixTest, EmptySingleColumnRecordsSurviveCrlf) {
+  Schema schema({{"s", ValueType::kString, true}});
+  // Three records in a CRLF file: "a", NULL (empty line), "b". The old
+  // parser gulped both newlines and lost the NULL record.
+  auto parsed = ParseCsv(schema, "s\r\na\r\n\r\nb\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[0][0].AsString(), "a");
+  EXPECT_TRUE((*parsed)[1][0].is_null());
+  EXPECT_EQ((*parsed)[2][0].AsString(), "b");
+}
+
+TEST(CsvBugfixTest, GarbageAfterClosingQuoteIsCorruption) {
+  Schema schema({{"s", ValueType::kString, true}});
+  EXPECT_EQ(ParseCsv(schema, "s\n\"a\"b\n").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(ParseCsv(schema, "s\n\"a\n").status().code(),
+            StatusCode::kCorruption);  // unterminated quote
+}
+
+TEST(CsvBugfixTest, BlankLinesStillSkippedForMultiColumnSchemas) {
+  Schema schema({{"a", ValueType::kInt, true}, {"b", ValueType::kInt, true}});
+  auto parsed = ParseCsv(schema, "a,b\n1,2\n\n3,4\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(CsvBugfixTest, QuotesNewlinesAndCrlfInsideCellsRoundTrip) {
+  Schema schema({{"s", ValueType::kString, true}});
+  std::vector<Row> rows = {{Value("a\"b")}, {Value("line1\nline2")},
+                           {Value("crlf\r\nhere")}, {Value("comma,cell")}};
+  auto parsed = ParseCsv(schema, ToCsv(schema, rows));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ((*parsed)[i][0].AsString(), rows[i][0].AsString()) << i;
+  }
+}
+
+TEST(CsvBugfixTest, DoublesRoundTripToTheExactBits) {
+  Schema schema({{"d", ValueType::kDouble, true}});
+  std::vector<Row> rows = {{Value(0.1)},
+                           {Value(1.0 / 3.0)},
+                           {Value(std::numeric_limits<double>::max())},
+                           {Value(std::numeric_limits<double>::denorm_min())},
+                           {Value(-0.0)},
+                           {Value(123456789.123456789)}};
+  auto parsed = ParseCsv(schema, ToCsv(schema, rows));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    double want = rows[i][0].AsDouble();
+    double got = (*parsed)[i][0].AsDouble();
+    EXPECT_EQ(std::memcmp(&want, &got, sizeof(double)), 0) << i;
+  }
+}
+
+// ------------------------------------------------------- property round trip
+
+/// Random printable-ish string exercising every CSV special character.
+std::string RandomString(Rng& rng) {
+  static const char* kAlphabet = "ab,\"\n\r xyz0;\t'|\\";
+  size_t len = rng.NextBounded(12);
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s += kAlphabet[rng.NextBounded(16)];
+  }
+  return s;
+}
+
+Value RandomValue(Rng& rng, ValueType type, bool nullable) {
+  if (nullable && rng.NextBool(0.2)) return Value::Null();
+  switch (type) {
+    case ValueType::kBool:
+      return Value(rng.NextBool(0.5));
+    case ValueType::kInt:
+      switch (rng.NextBounded(4)) {
+        case 0:
+          return Value(std::numeric_limits<int64_t>::max());
+        case 1:
+          return Value(std::numeric_limits<int64_t>::min());
+        default:
+          return Value(rng.NextInt(-1000000, 1000000));
+      }
+    case ValueType::kDouble:
+      switch (rng.NextBounded(4)) {
+        case 0:
+          return Value(std::numeric_limits<double>::max());
+        case 1:
+          return Value(std::numeric_limits<double>::denorm_min());
+        default:
+          return Value(rng.NextGaussian(0.0, 1e6));
+      }
+    default:
+      return Value(RandomString(rng));
+  }
+}
+
+std::string ReadAll(const fs::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Byte-level comparison of two snapshot directories.
+void ExpectSameSnapshotBytes(const std::string& a, const std::string& b) {
+  std::vector<std::string> names_a, names_b;
+  for (const auto& e : fs::directory_iterator(a)) {
+    names_a.push_back(e.path().filename().string());
+  }
+  for (const auto& e : fs::directory_iterator(b)) {
+    names_b.push_back(e.path().filename().string());
+  }
+  std::sort(names_a.begin(), names_a.end());
+  std::sort(names_b.begin(), names_b.end());
+  ASSERT_EQ(names_a, names_b);
+  for (const std::string& name : names_a) {
+    EXPECT_EQ(ReadAll(fs::path(a) / name), ReadAll(fs::path(b) / name))
+        << name;
+  }
+}
+
+TEST(SnapshotRoundTripPropertyTest, RandomDatabasesRoundTripByteIdentically) {
+  constexpr int kIterations = 25;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    Rng rng(0xF00D + static_cast<uint64_t>(iter));
+
+    Database db;
+    size_t num_tables = 1 + rng.NextBounded(3);
+    for (size_t t = 0; t < num_tables; ++t) {
+      std::string table_name = "t" + std::to_string(t);
+      bool with_pk = rng.NextBool(0.7);
+      std::vector<Column> cols;
+      cols.emplace_back("id", ValueType::kInt, false);
+      size_t extra = 1 + rng.NextBounded(5);
+      for (size_t c = 0; c < extra; ++c) {
+        ValueType type = std::vector<ValueType>{
+            ValueType::kBool, ValueType::kInt, ValueType::kDouble,
+            ValueType::kString}[rng.NextBounded(4)];
+        cols.emplace_back("c" + std::to_string(c), type, rng.NextBool(0.7));
+      }
+      auto table = db.CreateTable(
+          table_name, Schema(cols),
+          with_pk ? std::vector<std::string>{"id"}
+                  : std::vector<std::string>{});
+      ASSERT_TRUE(table.ok());
+
+      size_t rows = rng.NextBounded(30);
+      for (size_t r = 0; r < rows; ++r) {
+        Row row;
+        row.push_back(Value(static_cast<int64_t>(r)));
+        for (size_t c = 1; c < cols.size(); ++c) {
+          row.push_back(RandomValue(rng, cols[c].type, cols[c].nullable));
+        }
+        ASSERT_TRUE((*table)->Insert(std::move(row)).ok());
+      }
+      // Tombstone a few rows so slot layout (not just content) must survive.
+      for (RowId id : (*table)->LiveRowIds()) {
+        if (rng.NextBool(0.15)) {
+          ASSERT_TRUE((*table)->Delete(id).ok());
+        }
+      }
+    }
+
+    std::string dir1 = TempDir("prop1_" + std::to_string(iter));
+    std::string dir2 = TempDir("prop2_" + std::to_string(iter));
+    ASSERT_TRUE(SaveDatabase(db, dir1).ok());
+    auto loaded = LoadDatabase(dir1);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    // Loaded contents equal the original, slot for slot.
+    for (const std::string& name : db.TableNames()) {
+      Table* orig = *db.GetTable(name);
+      Table* copy = *(*loaded)->GetTable(name);
+      ASSERT_EQ(orig->size(), copy->size()) << name;
+      ASSERT_EQ(orig->LiveRowIds(), copy->LiveRowIds()) << name;
+      orig->Scan([&](RowId id, const Row& row) {
+        const Row* got = copy->Get(id);
+        ASSERT_NE(got, nullptr);
+        ASSERT_EQ(got->size(), row.size());
+        for (size_t i = 0; i < row.size(); ++i) {
+          EXPECT_EQ((*got)[i], row[i]) << name << " row " << id << " col "
+                                       << i;
+          EXPECT_EQ((*got)[i].type(), row[i].type())
+              << name << " row " << id << " col " << i;
+        }
+      });
+    }
+
+    // Saving the loaded copy is byte-identical to the first snapshot.
+    ASSERT_TRUE(SaveDatabase(**loaded, dir2).ok());
+    ExpectSameSnapshotBytes(dir1, dir2);
+  }
+}
+
+// --------------------------------------------- mid-save failure regression
+
+TEST(SnapshotFaultTest, FailedSaveLeavesExistingSnapshotIntact) {
+  std::string dir = TempDir("failed_save");
+  Database db;
+  auto t = db.CreateTable("t", Schema({{"id", ValueType::kInt, false},
+                                       {"s", ValueType::kString, true}}),
+                          {"id"});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(db.Insert("t", {Value(1), Value("original")}).ok());
+  ASSERT_TRUE(SaveDatabase(db, dir).ok());
+
+  // Mutate, then fail each possible write of the next save. Whatever the
+  // kill point, the on-disk snapshot must still load as the original.
+  ASSERT_TRUE(db.Insert("t", {Value(2), Value("newer")}).ok());
+  for (uint64_t nth = 1; nth <= 3; ++nth) {
+    FaultInjector::Default().Arm(FaultInjector::Kind::kFail, nth);
+    EXPECT_FALSE(SaveDatabase(db, dir).ok()) << nth;
+    FaultInjector::Default().Disarm();
+
+    auto loaded = LoadDatabase(dir);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    Table* lt = *(*loaded)->GetTable("t");
+    EXPECT_EQ(lt->size(), 1u) << nth;
+    EXPECT_TRUE(lt->FindByPrimaryKey({Value(1)}).ok());
+  }
+
+  // A truncating fault (torn file) must not publish either.
+  FaultInjector::Default().Arm(FaultInjector::Kind::kTruncate, 1, 4);
+  EXPECT_FALSE(SaveDatabase(db, dir).ok());
+  FaultInjector::Default().Disarm();
+  auto loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*(*loaded)->GetTable("t"))->size(), 1u);
+
+  // With no fault armed the save goes through and picks up the new row.
+  ASSERT_TRUE(SaveDatabase(db, dir).ok());
+  auto final_loaded = LoadDatabase(dir);
+  ASSERT_TRUE(final_loaded.ok());
+  EXPECT_EQ((*(*final_loaded)->GetTable("t"))->size(), 2u);
+}
+
+TEST(SnapshotFaultTest, FirstSaveFailureLeavesNoSnapshot) {
+  std::string dir = TempDir("failed_first_save");
+  Database db;
+  auto t = db.CreateTable("t", Schema({{"id", ValueType::kInt, false}}),
+                          {"id"});
+  ASSERT_TRUE(t.ok());
+  FaultInjector::Default().Arm(FaultInjector::Kind::kFail, 1);
+  EXPECT_FALSE(SaveDatabase(db, dir).ok());
+  FaultInjector::Default().Disarm();
+  EXPECT_FALSE(fs::exists(dir));
+  EXPECT_EQ(LoadDatabase(dir).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace courserank::storage

@@ -1,0 +1,349 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "storage/database.h"
+#include "storage/fault.h"
+
+namespace courserank::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempWal(const char* name) {
+  fs::path dir = fs::temp_directory_path() / "courserank_wal_tests";
+  fs::create_directories(dir);
+  fs::path p = dir / name;
+  fs::remove(p);
+  return p.string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f << bytes;
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The standard CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(WalPayloadTest, MutationRoundTripsAllValueTypes) {
+  WalRecord record;
+  record.type = WalRecordType::kInsert;
+  record.lsn = 42;
+  record.table = "people";
+  record.row_id = 7;
+  record.row = {Value(), Value(true), Value(int64_t{-5}), Value(0.25),
+                Value("héllo\nworld"), Value(std::string())};
+  auto payload = EncodeWalPayload(record);
+  ASSERT_TRUE(payload.ok());
+  auto decoded = DecodeWalPayload(*payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, WalRecordType::kInsert);
+  EXPECT_EQ(decoded->lsn, 42u);
+  EXPECT_EQ(decoded->table, "people");
+  EXPECT_EQ(decoded->row_id, 7u);
+  ASSERT_EQ(decoded->row.size(), record.row.size());
+  for (size_t i = 0; i < record.row.size(); ++i) {
+    EXPECT_EQ(decoded->row[i], record.row[i]) << i;
+  }
+}
+
+TEST(WalPayloadTest, EpochRoundTrips) {
+  WalRecord record;
+  record.type = WalRecordType::kEpoch;
+  record.lsn = 3;
+  record.epoch = 99;
+  auto payload = EncodeWalPayload(record);
+  ASSERT_TRUE(payload.ok());
+  auto decoded = DecodeWalPayload(*payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, WalRecordType::kEpoch);
+  EXPECT_EQ(decoded->epoch, 99u);
+}
+
+TEST(WalPayloadTest, RejectsListValues) {
+  WalRecord record;
+  record.type = WalRecordType::kInsert;
+  record.table = "t";
+  record.row = {Value(Value::List{Value(1)})};
+  EXPECT_EQ(EncodeWalPayload(record).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(WalPayloadTest, RejectsTruncatedAndTrailingBytes) {
+  WalRecord record;
+  record.type = WalRecordType::kInsert;
+  record.table = "t";
+  record.row = {Value(1)};
+  auto payload = EncodeWalPayload(record);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(DecodeWalPayload(payload->substr(0, payload->size() - 2))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DecodeWalPayload(*payload + "x").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(WalWriterTest, AppendAndReplayInOrder) {
+  std::string path = TempWal("append_replay.wal");
+  auto wal = WalWriter::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)
+                  ->AppendMutation(WalRecordType::kInsert, "t", 0,
+                                   {Value(1), Value("a")})
+                  .ok());
+  ASSERT_TRUE((*wal)->AppendEpoch(5).ok());
+  ASSERT_TRUE((*wal)
+                  ->AppendMutation(WalRecordType::kDelete, "t", 0, {})
+                  .ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  EXPECT_EQ((*wal)->last_lsn(), 3u);
+
+  std::vector<WalRecord> seen;
+  auto stats = ReplayWal(path, 0, [&](const WalRecord& r) {
+    seen.push_back(r);
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->applied, 3u);
+  EXPECT_FALSE(stats->torn_tail);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].type, WalRecordType::kInsert);
+  EXPECT_EQ(seen[0].lsn, 1u);
+  EXPECT_EQ(seen[1].type, WalRecordType::kEpoch);
+  EXPECT_EQ(seen[1].epoch, 5u);
+  EXPECT_EQ(seen[2].type, WalRecordType::kDelete);
+  EXPECT_EQ(seen[2].lsn, 3u);
+}
+
+TEST(WalWriterTest, ReplaySkipsRecordsAtOrBelowAfterLsn) {
+  std::string path = TempWal("after_lsn.wal");
+  auto wal = WalWriter::Open(path);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*wal)
+                    ->AppendMutation(WalRecordType::kInsert, "t",
+                                     static_cast<RowId>(i), {Value(i)})
+                    .ok());
+  }
+  auto stats = ReplayWal(path, 3, [](const WalRecord& r) {
+    EXPECT_GT(r.lsn, 3u);
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->applied, 2u);
+  EXPECT_EQ(stats->skipped, 3u);
+  EXPECT_EQ(stats->last_lsn, 5u);
+}
+
+TEST(WalWriterTest, MissingFileIsEmptyLog) {
+  auto stats = ReplayWal(TempWal("never_written.wal"), 0,
+                         [](const WalRecord&) { return Status::OK(); });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->applied, 0u);
+  EXPECT_FALSE(stats->torn_tail);
+}
+
+TEST(WalWriterTest, TornTailStopsReplayCleanly) {
+  std::string path = TempWal("torn.wal");
+  {
+    auto wal = WalWriter::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*wal)
+                      ->AppendMutation(WalRecordType::kInsert, "table_name",
+                                       static_cast<RowId>(i),
+                                       {Value(i), Value("payload")})
+                      .ok());
+    }
+  }
+  std::string bytes = ReadAll(path);
+  WriteAll(path, bytes.substr(0, bytes.size() - 5));  // tear the last frame
+
+  uint64_t applied = 0;
+  auto stats = ReplayWal(path, 0, [&](const WalRecord&) {
+    ++applied;
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->torn_tail);
+  EXPECT_EQ(applied, 2u);
+  EXPECT_EQ(stats->last_lsn, 2u);
+}
+
+TEST(WalWriterTest, CorruptRecordStopsReplayCleanly) {
+  std::string path = TempWal("corrupt.wal");
+  {
+    auto wal = WalWriter::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*wal)
+                      ->AppendMutation(WalRecordType::kInsert, "t",
+                                       static_cast<RowId>(i), {Value(i)})
+                      .ok());
+    }
+  }
+  std::string bytes = ReadAll(path);
+  bytes[bytes.size() - 3] ^= 0x5a;  // flip a bit inside the last payload
+  WriteAll(path, bytes);
+
+  uint64_t applied = 0;
+  auto stats = ReplayWal(path, 0, [&](const WalRecord&) {
+    ++applied;
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->torn_tail);
+  EXPECT_EQ(applied, 2u);
+}
+
+TEST(WalWriterTest, OpenTruncatesTornTailAndResumesLsns) {
+  std::string path = TempWal("reopen.wal");
+  {
+    auto wal = WalWriter::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)
+                    ->AppendMutation(WalRecordType::kInsert, "t", 0,
+                                     {Value(1)})
+                    .ok());
+    ASSERT_TRUE((*wal)
+                    ->AppendMutation(WalRecordType::kInsert, "t", 1,
+                                     {Value(2)})
+                    .ok());
+  }
+  std::string bytes = ReadAll(path);
+  WriteAll(path, bytes.substr(0, bytes.size() - 1));  // torn tail
+
+  {
+    auto wal = WalWriter::Open(path);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ((*wal)->next_lsn(), 2u);  // record 2 was torn away
+    ASSERT_TRUE((*wal)
+                    ->AppendMutation(WalRecordType::kInsert, "t", 1,
+                                     {Value(3)})
+                    .ok());
+  }
+  std::vector<int64_t> values;
+  auto stats = ReplayWal(path, 0, [&](const WalRecord& r) {
+    values.push_back(r.row[0].AsInt());
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->torn_tail);
+  EXPECT_EQ(values, (std::vector<int64_t>{1, 3}));
+}
+
+TEST(WalWriterTest, ResetTruncatesAndKeepsLsnCounter) {
+  std::string path = TempWal("reset.wal");
+  auto wal = WalWriter::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(
+      (*wal)->AppendMutation(WalRecordType::kInsert, "t", 0, {Value(1)}).ok());
+  ASSERT_TRUE((*wal)->Reset().ok());
+  EXPECT_EQ(fs::file_size(path), 0u);
+  ASSERT_TRUE(
+      (*wal)->AppendMutation(WalRecordType::kInsert, "t", 1, {Value(2)}).ok());
+  EXPECT_EQ((*wal)->last_lsn(), 2u);  // LSNs keep counting across Reset
+
+  auto stats = ReplayWal(path, 1, [](const WalRecord& r) {
+    EXPECT_EQ(r.lsn, 2u);
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->applied, 1u);
+}
+
+TEST(WalWriterTest, InjectedFaultFailsAppendAndWriterStaysFailed) {
+  std::string path = TempWal("fault.wal");
+  auto wal = WalWriter::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(
+      (*wal)->AppendMutation(WalRecordType::kInsert, "t", 0, {Value(1)}).ok());
+
+  FaultInjector::Default().Arm(FaultInjector::Kind::kFail, 1);
+  EXPECT_FALSE(
+      (*wal)->AppendMutation(WalRecordType::kInsert, "t", 1, {Value(2)}).ok());
+  FaultInjector::Default().Disarm();
+  // The writer simulates a crashed process: still failed after disarm.
+  EXPECT_EQ((*wal)
+                ->AppendMutation(WalRecordType::kInsert, "t", 1, {Value(2)})
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  uint64_t applied = 0;
+  auto stats = ReplayWal(path, 0, [&](const WalRecord&) {
+    ++applied;
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(applied, 1u);
+}
+
+TEST(WalWriterTest, InjectedTruncationLeavesTornTail) {
+  std::string path = TempWal("fault_torn.wal");
+  auto wal = WalWriter::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(
+      (*wal)->AppendMutation(WalRecordType::kInsert, "t", 0, {Value(1)}).ok());
+
+  FaultInjector::Default().Arm(FaultInjector::Kind::kTruncate, 1,
+                               /*keep_bytes=*/10);
+  EXPECT_FALSE((*wal)
+                   ->AppendMutation(WalRecordType::kInsert, "t", 1,
+                                    {Value("long payload to truncate")})
+                   .ok());
+  FaultInjector::Default().Disarm();
+
+  uint64_t applied = 0;
+  auto stats = ReplayWal(path, 0, [&](const WalRecord&) {
+    ++applied;
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->torn_tail);
+  EXPECT_EQ(applied, 1u);
+}
+
+TEST(FaultInjectorTest, FiresOnNthWriteThenStaysDead) {
+  FaultInjector& f = FaultInjector::Default();
+  f.Arm(FaultInjector::Kind::kFail, 2);
+  auto d1 = f.BeforeWrite(100);
+  EXPECT_FALSE(d1.fail);
+  EXPECT_EQ(d1.allowed, 100u);
+  auto d2 = f.BeforeWrite(100);
+  EXPECT_TRUE(d2.fail);
+  EXPECT_EQ(d2.allowed, 0u);
+  EXPECT_TRUE(f.dead());
+  auto d3 = f.BeforeWrite(100);  // dead: everything fails now
+  EXPECT_TRUE(d3.fail);
+  f.Disarm();
+  EXPECT_FALSE(f.dead());
+  auto d4 = f.BeforeWrite(100);
+  EXPECT_FALSE(d4.fail);
+}
+
+TEST(FaultInjectorTest, TruncateAllowsPrefix) {
+  FaultInjector& f = FaultInjector::Default();
+  f.Arm(FaultInjector::Kind::kTruncate, 1, 7);
+  auto d = f.BeforeWrite(100);
+  EXPECT_TRUE(d.fail);
+  EXPECT_EQ(d.allowed, 7u);
+  f.Disarm();
+}
+
+}  // namespace
+}  // namespace courserank::storage
