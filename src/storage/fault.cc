@@ -104,6 +104,21 @@ Status WriteFdWithFaults(int fd, std::string_view contents,
   return Status::OK();
 }
 
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory '" + dir +
+                            "': " + std::strerror(errno));
+  }
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) {
+    s = Status::Internal("fsync of directory '" + dir +
+                         "' failed: " + std::strerror(errno));
+  }
+  ::close(fd);
+  return s;
+}
+
 Status WriteFileWithFaults(const std::string& path, std::string_view contents,
                            bool sync) {
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,

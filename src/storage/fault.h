@@ -83,6 +83,12 @@ Status WriteFileWithFaults(const std::string& path, std::string_view contents,
 Status WriteFdWithFaults(int fd, std::string_view contents,
                          const std::string& what);
 
+/// fsyncs a directory so entries created or renamed inside it survive a
+/// crash (file data fsyncs alone do not make a *new* file's directory entry
+/// durable on strictly-POSIX filesystems). Not fault-instrumented: it
+/// carries no payload a torn write could corrupt.
+Status SyncDir(const std::string& dir);
+
 }  // namespace courserank::storage
 
 #endif  // COURSERANK_STORAGE_FAULT_H_

@@ -5,7 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstdlib>
+#include <charconv>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -40,20 +40,17 @@ Result<std::string> ReadFile(const std::string& path) {
   return out.str();
 }
 
-/// fsyncs a directory so renames inside it are durable.
-Status SyncDir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) {
-    return Status::Internal("cannot open directory '" + dir +
-                            "': " + std::strerror(errno));
+/// Strict decimal parse for manifest/sidecar numbers: the whole string must
+/// be a base-10 uint64, else Corruption — strtoull-style silent zeros would
+/// surface much later as bogus replay or RestoreRow failures.
+Result<uint64_t> ParseU64(const std::string& s, const std::string& what) {
+  uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 10);
+  if (ec != std::errc() || ptr != s.data() + s.size() || s.empty()) {
+    return Status::Corruption("malformed " + what + " '" + s +
+                              "' in snapshot");
   }
-  Status s = Status::OK();
-  if (::fsync(fd) != 0) {
-    s = Status::Internal("fsync of directory '" + dir +
-                         "' failed: " + std::strerror(errno));
-  }
-  ::close(fd);
-  return s;
+  return v;
 }
 
 /// Publishes the fully-written `tmp` directory at `dir` atomically. When a
@@ -252,9 +249,8 @@ Result<std::unique_ptr<Database>> LoadDatabaseImpl(const std::string& dir,
     } else if (kind == "fk" && parts.size() == 5) {
       fks.push_back({parts[1], parts[2], parts[3], parts[4]});
     } else if (kind == "wal_lsn" && parts.size() == 2) {
-      if (snapshot_lsn != nullptr) {
-        *snapshot_lsn = std::strtoull(parts[1].c_str(), nullptr, 10);
-      }
+      CR_ASSIGN_OR_RETURN(uint64_t lsn, ParseU64(parts[1], "wal_lsn"));
+      if (snapshot_lsn != nullptr) *snapshot_lsn = lsn;
     } else {
       return Status::Corruption("bad manifest line: '" + raw + "'");
     }
@@ -293,8 +289,10 @@ Result<std::unique_ptr<Database>> LoadDatabaseImpl(const std::string& dir,
                                   " rows");
       }
       for (size_t i = 0; i < rows.size(); ++i) {
-        RowId id = std::strtoull(ids[i].c_str(), nullptr, 10);
-        CR_RETURN_IF_ERROR(table->RestoreRow(id, std::move(rows[i])));
+        CR_ASSIGN_OR_RETURN(
+            uint64_t id, ParseU64(ids[i], "rowid of table '" + name + "'"));
+        CR_RETURN_IF_ERROR(
+            table->RestoreRow(static_cast<RowId>(id), std::move(rows[i])));
       }
     } else {
       for (Row& row : rows) {

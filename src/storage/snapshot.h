@@ -42,6 +42,17 @@ struct RecoveredDatabase {
   std::unique_ptr<Database> db;
   uint64_t snapshot_lsn = 0;  ///< highest LSN the snapshot already includes
   WalReplayStats replay;      ///< what the WAL tail contributed
+
+  /// Floor to pass as WalOptions::min_next_lsn when re-opening the log
+  /// after recovery: one past everything the snapshot or the replayed tail
+  /// owns. Relying on the log alone is not enough — if the WAL file was
+  /// lost (or its post-checkpoint LSN-floor record torn), Open would
+  /// restart LSNs at 1 and the *next* recovery would skip the new appends
+  /// as already-snapshotted.
+  uint64_t wal_min_next_lsn() const {
+    return (snapshot_lsn > replay.last_lsn ? snapshot_lsn : replay.last_lsn) +
+           1;
+  }
 };
 
 /// Crash recovery: loads the snapshot at `dir` — the snapshot is the schema
@@ -49,7 +60,9 @@ struct RecoveredDatabase {
 /// then replays every committed WAL record past the snapshot's `wal_lsn`
 /// from `wal_path`, stopping cleanly at a torn tail.
 /// The returned database has no WAL attached; the caller re-opens the log
-/// (WalWriter::Open truncates the torn tail) and calls Database::AttachWal.
+/// (WalWriter::Open truncates the torn tail) with
+/// `WalOptions::min_next_lsn = result.wal_min_next_lsn()` and calls
+/// Database::AttachWal.
 Result<RecoveredDatabase> RecoverDatabase(const std::string& dir,
                                           const std::string& wal_path);
 

@@ -3,8 +3,10 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -260,6 +262,8 @@ Result<std::string> EncodeWalPayload(const WalRecord& record) {
     case WalRecordType::kEpoch:
       PutU64(out, record.epoch);
       return out;
+    case WalRecordType::kLsnFloor:
+      return out;  // the LSN itself is the whole message
   }
   return Status::InvalidArgument("unknown WAL record type");
 }
@@ -293,6 +297,8 @@ Result<WalRecord> DecodeWalPayload(std::string_view payload) {
         return Status::Corruption("truncated WAL epoch record");
       }
       break;
+    case WalRecordType::kLsnFloor:
+      break;
     default:
       return Status::Corruption("unknown WAL record type " +
                                 std::to_string(type));
@@ -307,8 +313,9 @@ Result<WalRecord> DecodeWalPayload(std::string_view payload) {
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
                                                    Options options) {
-  // Scan any existing log: resume LSNs after the last committed record and
-  // drop a torn tail so the next append starts on a frame boundary.
+  // Scan any existing log: resume LSNs after the last committed record
+  // (kLsnFloor markers included) and drop a torn tail so the next append
+  // starts on a frame boundary.
   CR_ASSIGN_OR_RETURN(WalReplayStats stats,
                       ReplayWal(path, UINT64_MAX,
                                 [](const WalRecord&) { return Status::OK(); }));
@@ -325,12 +332,36 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
     ::close(fd);
     return s;
   }
+  // O_CREAT may have made a new directory entry; fsync the parent so the
+  // file — and with it any record a later Sync() makes durable — cannot
+  // itself vanish after a crash.
+  {
+    std::filesystem::path parent = std::filesystem::path(path).parent_path();
+    Status s = SyncDir(parent.empty() ? "." : parent.string());
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+  }
+  uint64_t next_lsn = std::max(stats.last_lsn + 1, options.min_next_lsn);
   return std::unique_ptr<WalWriter>(
-      new WalWriter(path, fd, options, stats.last_lsn + 1));
+      new WalWriter(path, fd, options, next_lsn));
 }
 
 WalWriter::~WalWriter() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::WriteFrame(const WalRecord& record) {
+  CR_ASSIGN_OR_RETURN(std::string payload, EncodeWalPayload(record));
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  PutU32(frame, Crc32(payload.data(), payload.size()));
+  frame += payload;
+  CR_RETURN_IF_ERROR(WriteFdWithFaults(fd_, frame, "WAL '" + path_ + "'"));
+  AppendBytesCounter().Add(frame.size());
+  return Status::OK();
 }
 
 Result<uint64_t> WalWriter::Append(WalRecord record) {
@@ -339,15 +370,8 @@ Result<uint64_t> WalWriter::Append(WalRecord record) {
         "WAL '" + path_ + "' is failed; reopen to resume appends");
   }
   record.lsn = next_lsn_;
-  CR_ASSIGN_OR_RETURN(std::string payload, EncodeWalPayload(record));
-  std::string frame;
-  frame.reserve(kFrameHeaderBytes + payload.size());
-  PutU32(frame, static_cast<uint32_t>(payload.size()));
-  PutU32(frame, Crc32(payload.data(), payload.size()));
-  frame += payload;
-
   uint64_t start = obs::NowNs();
-  Status s = WriteFdWithFaults(fd_, frame, "WAL '" + path_ + "'");
+  Status s = WriteFrame(record);
   if (!s.ok()) {
     failed_ = true;
     return s;
@@ -361,7 +385,6 @@ Result<uint64_t> WalWriter::Append(WalRecord record) {
   }
   AppendNsHistogram().Record(obs::NowNs() - start);
   AppendsCounter().Add();
-  AppendBytesCounter().Add(frame.size());
   return next_lsn_++;
 }
 
@@ -396,10 +419,26 @@ Status WalWriter::Sync() {
 
 Status WalWriter::Reset() {
   if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    failed_ = true;
     return Status::Internal("cannot reset WAL '" + path_ +
                             "': " + std::strerror(errno));
   }
+  // Seed the empty log with an LSN floor so a process restart resumes the
+  // numbering past what the snapshot owns; without it, Open() would restart
+  // at 1 and the next recovery would skip every post-checkpoint append as
+  // "already in the snapshot".
+  if (last_lsn() > 0) {
+    WalRecord floor;
+    floor.type = WalRecordType::kLsnFloor;
+    floor.lsn = last_lsn();
+    Status s = WriteFrame(floor);
+    if (!s.ok()) {
+      failed_ = true;
+      return s;
+    }
+  }
   if (::fsync(fd_) != 0) {
+    failed_ = true;
     return Status::Internal("fsync of WAL '" + path_ +
                             "' failed: " + std::strerror(errno));
   }
@@ -434,7 +473,9 @@ Result<WalReplayStats> ReplayWal(
                                 std::to_string(pos));
     }
     stats.last_lsn = record.lsn;
-    if (record.lsn > after_lsn) {
+    if (record.type == WalRecordType::kLsnFloor) {
+      // Pure LSN bookkeeping (written by Reset); nothing to deliver.
+    } else if (record.lsn > after_lsn) {
       CR_RETURN_IF_ERROR(apply(record));
       ++stats.applied;
       ReplayedRecordsCounter().Add();

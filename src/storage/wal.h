@@ -20,16 +20,22 @@ uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
 /// the mutation targeted, so replay reproduces the exact slot layout; kEpoch
 /// marks an index-epoch advance (PR 1 caches key on epochs), letting
 /// recovery correlate a log position with the cache generation that was
-/// current when it was written.
+/// current when it was written. kLsnFloor is written by Reset() as the first
+/// record of a freshly-truncated log: it carries only its LSN — the last LSN
+/// the just-published snapshot absorbed — so a later Open() resumes LSNs
+/// past everything the snapshot owns instead of restarting at 1 (which
+/// would make post-checkpoint appends invisible to the next recovery).
 enum class WalRecordType : uint8_t {
   kInsert = 1,
   kUpdate = 2,
   kDelete = 3,
   kEpoch = 4,
+  kLsnFloor = 5,
 };
 
 /// One logical WAL entry. LSNs are assigned by WalWriter, start at 1, and
-/// increase by 1 per record with no gaps inside one log file.
+/// strictly increase within one log file (gapless except across a recovery
+/// reopen that raised the floor, see WalOptions::min_next_lsn).
 struct WalRecord {
   WalRecordType type = WalRecordType::kInsert;
   uint64_t lsn = 0;
@@ -47,11 +53,18 @@ Result<std::string> EncodeWalPayload(const WalRecord& record);
 /// malformed byte (unknown type tag, truncated field, trailing garbage).
 Result<WalRecord> DecodeWalPayload(std::string_view payload);
 
-/// fsync policy for WalWriter.
+/// fsync policy and LSN floor for WalWriter.
 struct WalOptions {
   /// fsync after every append. Off by default: group-commit callers fsync
   /// explicitly via Sync(); crash tests exercise torn tails either way.
   bool sync_each_append = false;
+
+  /// Lower bound for the LSN Open() resumes at: next_lsn starts at
+  /// max(last LSN in the log + 1, min_next_lsn). Recovery callers pass
+  /// RecoveredDatabase::wal_min_next_lsn() so new appends can never reuse
+  /// LSNs the snapshot already owns, even when the log file itself was
+  /// lost (its kLsnFloor record gone with it).
+  uint64_t min_next_lsn = 0;
 };
 
 /// Append-only writer over a binary log file. On-disk framing per record:
@@ -64,7 +77,11 @@ struct WalOptions {
 /// mid-append leaves behind.
 ///
 /// Open() scans any existing log, truncates a torn tail so new appends
-/// start on a clean boundary, and resumes LSNs after the last valid record.
+/// start on a clean boundary, and resumes LSNs after the last valid record
+/// (kLsnFloor records count, so a checkpoint-truncated log keeps its
+/// numbering) or at Options::min_next_lsn, whichever is higher. Creating
+/// the file also fsyncs its parent directory, so a log that survived an
+/// fsynced append cannot itself vanish in a crash.
 /// All file writes go through the FaultInjector (storage/fault.h).
 ///
 /// Not thread-safe: writes are expected to be serialized by the owner, as
@@ -92,8 +109,12 @@ class WalWriter {
   /// fsyncs the log file.
   Status Sync();
 
-  /// Truncates the log to empty after a successful snapshot; LSNs continue
-  /// from where they were (the snapshot manifest records the boundary).
+  /// Truncates the log after a successful snapshot, leaving a single
+  /// kLsnFloor record carrying last_lsn() so the numbering survives a
+  /// process restart; the in-memory counter keeps counting from where it
+  /// was. On any failure (including an injected fault) the writer is
+  /// poisoned like a failed append — the log may hold a torn floor frame,
+  /// which recovery treats as an empty log.
   Status Reset();
 
   /// LSN the next append will get.
@@ -110,6 +131,9 @@ class WalWriter {
 
   Result<uint64_t> Append(WalRecord record);
 
+  /// Frames `record` (whose lsn must already be set) and writes it to fd_.
+  Status WriteFrame(const WalRecord& record);
+
   std::string path_;
   int fd_ = -1;
   Options options_;
@@ -121,15 +145,17 @@ class WalWriter {
 struct WalReplayStats {
   uint64_t applied = 0;      ///< records delivered to the callback
   uint64_t skipped = 0;      ///< records at or below `after_lsn`
-  uint64_t last_lsn = 0;     ///< highest LSN seen (applied or skipped)
+  uint64_t last_lsn = 0;     ///< highest LSN seen, incl. kLsnFloor markers
   bool torn_tail = false;    ///< log ended in a short or corrupt frame
   uint64_t valid_bytes = 0;  ///< prefix length ending at the last good frame
 };
 
 /// Streams every committed record with LSN > `after_lsn` through `apply`, in
-/// log order. A missing file is an empty log. A torn or corrupt tail frame
-/// ends replay cleanly (torn_tail set); an error from `apply` aborts and
-/// propagates — that is state corruption, not a torn write.
+/// log order. kLsnFloor markers advance `last_lsn` but are never delivered
+/// (nor counted as applied/skipped). A missing file is an empty log. A torn
+/// or corrupt tail frame ends replay cleanly (torn_tail set); an error from
+/// `apply` aborts and propagates — that is state corruption, not a torn
+/// write.
 Result<WalReplayStats> ReplayWal(
     const std::string& path, uint64_t after_lsn,
     const std::function<Status(const WalRecord&)>& apply);

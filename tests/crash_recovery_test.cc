@@ -189,18 +189,133 @@ TEST(CrashRecoveryTest, RandomKillPointsRecoverACommittedPrefix) {
 
     // And the recovered database must accept new writes through a reopened
     // WAL without clashing with replayed state.
-    auto wal2 = WalWriter::Open(wal_path);
+    WalOptions reopen_options;
+    reopen_options.min_next_lsn = recovered->wal_min_next_lsn();
+    auto wal2 = WalWriter::Open(wal_path, reopen_options);
     ASSERT_TRUE(wal2.ok());
     recovered->db->AttachWal(wal2->get());
     EXPECT_TRUE(recovered->db
                     ->Insert("events", {Value(int64_t{1000000}),
                                         Value("post-recovery"), Value(1.0)})
                     .ok());
+
+    // --- Phase C: a second crash right here must not lose that insert —
+    // its LSN has to land above the snapshot's wal_lsn even when the kill
+    // tore the checkpoint's log truncation. ---
+    auto recovered2 = RecoverDatabase(snap, wal_path);
+    ASSERT_TRUE(recovered2.ok()) << recovered2.status().ToString();
+    ASSERT_TRUE(expected->Insert("events", {Value(int64_t{1000000}),
+                                            Value("post-recovery"),
+                                            Value(1.0)})
+                    .ok());
+    EXPECT_EQ(Dump(*recovered2->db), Dump(*expected));
   }
 
   // The kill-point distribution must actually exercise both phases.
   EXPECT_GT(faults_fired, kIterations / 2);
   EXPECT_GT(checkpoints_hit, 0);
+}
+
+TEST(CrashRecoveryTest, MutationsAfterCheckpointRestartSurviveNextRecovery) {
+  // Regression for LSN continuity across a checkpoint + process restart:
+  // the truncated log must not restart numbering at 1, or every write of
+  // the second session replays as "already in the snapshot" and is lost.
+  fs::path root = fs::temp_directory_path() / "courserank_crash_restart";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  std::string snap = (root / "snap").string();
+  std::string wal_path = (root / "wal").string();
+
+  Rng rng(11);
+  std::vector<Mutation> script = MakeScript(rng, 24);
+  const size_t half = script.size() / 2;
+
+  // Session 1: first half of the history, then checkpoint and exit.
+  {
+    auto db = MakeDb();
+    ASSERT_TRUE(SaveDatabase(*db, snap).ok());
+    auto wal = WalWriter::Open(wal_path);
+    ASSERT_TRUE(wal.ok());
+    db->AttachWal(wal->get());
+    for (size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE(ApplyMutation(*db, script[i]).ok()) << i;
+    }
+    ASSERT_TRUE(CheckpointDatabase(*db, snap).ok());
+  }
+
+  // Session 2: restart, recover, apply the second half.
+  {
+    auto rec = RecoverDatabase(snap, wal_path);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    EXPECT_EQ(rec->replay.applied, 0u);  // everything was checkpointed
+    WalOptions options;
+    options.min_next_lsn = rec->wal_min_next_lsn();
+    auto wal = WalWriter::Open(wal_path, options);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_GT((*wal)->next_lsn(), rec->snapshot_lsn);
+    rec->db->AttachWal(wal->get());
+    for (size_t i = half; i < script.size(); ++i) {
+      ASSERT_TRUE(ApplyMutation(*rec->db, script[i]).ok()) << i;
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+
+  // Session 3: crash-recover again — the second session's fsynced writes
+  // must all be there.
+  auto rec = RecoverDatabase(snap, wal_path);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  auto expected = ExpectedPrefix(script, script.size());
+  EXPECT_EQ(Dump(*rec->db), Dump(*expected));
+  EXPECT_TRUE(rec->db->CheckIntegrity().ok());
+}
+
+TEST(CrashRecoveryTest, LostWalAfterCheckpointStillResumesLsnsAboveSnapshot) {
+  // Harsher variant: the checkpoint-truncated log vanishes entirely (e.g.
+  // an unsynced directory on a strictly-POSIX filesystem), taking its
+  // LSN-floor record with it. RecoveredDatabase::wal_min_next_lsn() is then
+  // the only thing keeping new LSNs above the snapshot's wal_lsn.
+  fs::path root = fs::temp_directory_path() / "courserank_crash_lostwal";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  std::string snap = (root / "snap").string();
+  std::string wal_path = (root / "wal").string();
+
+  Rng rng(13);
+  std::vector<Mutation> script = MakeScript(rng, 16);
+  const size_t half = script.size() / 2;
+  {
+    auto db = MakeDb();
+    ASSERT_TRUE(SaveDatabase(*db, snap).ok());
+    auto wal = WalWriter::Open(wal_path);
+    ASSERT_TRUE(wal.ok());
+    db->AttachWal(wal->get());
+    for (size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE(ApplyMutation(*db, script[i]).ok()) << i;
+    }
+    ASSERT_TRUE(CheckpointDatabase(*db, snap).ok());
+  }
+  fs::remove(wal_path);  // the log is gone; the snapshot still has wal_lsn
+
+  {
+    auto rec = RecoverDatabase(snap, wal_path);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    ASSERT_GT(rec->snapshot_lsn, 0u);
+    WalOptions options;
+    options.min_next_lsn = rec->wal_min_next_lsn();
+    auto wal = WalWriter::Open(wal_path, options);
+    ASSERT_TRUE(wal.ok());
+    rec->db->AttachWal(wal->get());
+    for (size_t i = half; i < script.size(); ++i) {
+      ASSERT_TRUE(ApplyMutation(*rec->db, script[i]).ok()) << i;
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+
+  auto rec = RecoverDatabase(snap, wal_path);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->replay.applied, script.size() - half);
+  auto expected = ExpectedPrefix(script, script.size());
+  EXPECT_EQ(Dump(*rec->db), Dump(*expected));
 }
 
 TEST(CrashRecoveryTest, RecoveryAfterCleanShutdownIsExact) {

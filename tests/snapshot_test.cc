@@ -111,6 +111,32 @@ TEST_F(SnapshotTest, CorruptManifestFails) {
   EXPECT_EQ(LoadDatabase(dir).status().code(), StatusCode::kCorruption);
 }
 
+TEST_F(SnapshotTest, MalformedWalLsnInManifestIsCorruption) {
+  // A non-numeric wal_lsn must fail loudly, not strtoull-silently become 0
+  // (which would make recovery re-replay records the snapshot already
+  // contains).
+  std::string dir = TempDir("bad_wal_lsn");
+  ASSERT_TRUE(SaveDatabase(db_, dir).ok());
+  std::string manifest_path = (fs::path(dir) / "_manifest.txt").string();
+  std::ifstream in(manifest_path);
+  std::string manifest((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(manifest_path, std::ios::trunc);
+  out << "wal_lsn not-a-number\n" << manifest;
+  out.close();
+  EXPECT_EQ(LoadDatabase(dir).status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(SnapshotTest, MalformedRowIdSidecarIsCorruption) {
+  std::string dir = TempDir("bad_rowids");
+  ASSERT_TRUE(SaveDatabase(db_, dir).ok());
+  std::ofstream out(fs::path(dir) / "parent.rowids", std::ios::trunc);
+  out << "0\nxyz\n";  // two entries for two rows, second one garbage
+  out.close();
+  EXPECT_EQ(LoadDatabase(dir).status().code(), StatusCode::kCorruption);
+}
+
 TEST(SnapshotSiteTest, GeneratedSiteRoundTrips) {
   // Snapshot a whole generated community and reload it.
   gen::Generator generator(gen::GenConfig::Tiny(3));

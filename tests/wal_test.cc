@@ -252,8 +252,12 @@ TEST(WalWriterTest, ResetTruncatesAndKeepsLsnCounter) {
   ASSERT_TRUE(wal.ok());
   ASSERT_TRUE(
       (*wal)->AppendMutation(WalRecordType::kInsert, "t", 0, {Value(1)}).ok());
+  size_t one_record = fs::file_size(path);
   ASSERT_TRUE((*wal)->Reset().ok());
-  EXPECT_EQ(fs::file_size(path), 0u);
+  // The log now holds only the LSN-floor marker, strictly smaller than the
+  // mutation record it replaced.
+  EXPECT_LT(fs::file_size(path), one_record);
+  EXPECT_GT(fs::file_size(path), 0u);
   ASSERT_TRUE(
       (*wal)->AppendMutation(WalRecordType::kInsert, "t", 1, {Value(2)}).ok());
   EXPECT_EQ((*wal)->last_lsn(), 2u);  // LSNs keep counting across Reset
@@ -264,6 +268,73 @@ TEST(WalWriterTest, ResetTruncatesAndKeepsLsnCounter) {
   });
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->applied, 1u);
+  EXPECT_EQ(stats->last_lsn, 2u);
+}
+
+TEST(WalWriterTest, ReopenAfterResetResumesLsnsFromTheFloor) {
+  // Regression: checkpoint truncates the log, the process "restarts", and
+  // the reopened writer must not restart LSNs at 1 — records numbered at or
+  // below the snapshot's wal_lsn would be silently skipped by the next
+  // recovery.
+  std::string path = TempWal("reset_reopen.wal");
+  {
+    auto wal = WalWriter::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*wal)
+                      ->AppendMutation(WalRecordType::kInsert, "t",
+                                       static_cast<RowId>(i), {Value(i)})
+                      .ok());
+    }
+    ASSERT_TRUE((*wal)->Reset().ok());  // as CheckpointDatabase does
+  }
+  auto wal = WalWriter::Open(path);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ((*wal)->next_lsn(), 4u);  // floor record carried the counter
+  ASSERT_TRUE(
+      (*wal)->AppendMutation(WalRecordType::kInsert, "t", 3, {Value(9)}).ok());
+
+  // Replay past the checkpoint boundary sees exactly the new record.
+  std::vector<uint64_t> lsns;
+  auto stats = ReplayWal(path, 3, [&](const WalRecord& r) {
+    lsns.push_back(r.lsn);
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(lsns, (std::vector<uint64_t>{4}));
+  EXPECT_EQ(stats->applied, 1u);
+  EXPECT_EQ(stats->skipped, 0u);  // floor markers are not counted
+}
+
+TEST(WalWriterTest, OpenHonorsMinNextLsn) {
+  // A lost or empty log must still respect an externally-known LSN floor
+  // (recovery passes the snapshot's wal_lsn via this option).
+  std::string path = TempWal("min_next.wal");
+  WalOptions options;
+  options.min_next_lsn = 10;
+  auto wal = WalWriter::Open(path, options);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ((*wal)->next_lsn(), 10u);
+  ASSERT_TRUE(
+      (*wal)->AppendMutation(WalRecordType::kInsert, "t", 0, {Value(1)}).ok());
+  EXPECT_EQ((*wal)->last_lsn(), 10u);
+
+  // An existing log that is already past the floor wins.
+  auto reopened = WalWriter::Open(path, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->next_lsn(), 11u);
+}
+
+TEST(WalPayloadTest, LsnFloorRoundTrips) {
+  WalRecord record;
+  record.type = WalRecordType::kLsnFloor;
+  record.lsn = 17;
+  auto payload = EncodeWalPayload(record);
+  ASSERT_TRUE(payload.ok());
+  auto decoded = DecodeWalPayload(*payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, WalRecordType::kLsnFloor);
+  EXPECT_EQ(decoded->lsn, 17u);
 }
 
 TEST(WalWriterTest, InjectedFaultFailsAppendAndWriterStaysFailed) {
