@@ -1,0 +1,79 @@
+// Static-analysis latency: the analyzer runs on every Compile() and on the
+// admin lint path, so a representative workflow must analyze in well under
+// 100µs — cheap enough to never justify skipping it.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/analyzer.h"
+#include "core/strategies.h"
+#include "core/workflow_parser.h"
+#include "social/site.h"
+
+namespace courserank {
+namespace {
+
+/// Fixture shared across iterations: canonical catalog + parsed user_cf
+/// workflow (the deepest canned strategy: two ε-extends, two recommends,
+/// except, topk).
+struct AnalysisFixture {
+  std::unique_ptr<social::CourseRankSite> site;
+  flexrecs::NodePtr workflow;
+
+  static AnalysisFixture& Get() {
+    static AnalysisFixture f = [] {
+      AnalysisFixture out;
+      out.site = std::move(social::CourseRankSite::Create()).value();
+      out.workflow = std::move(flexrecs::ParseWorkflow(
+                                   flexrecs::strategies::UserCfDsl()))
+                         .value();
+      return out;
+    }();
+    return f;
+  }
+};
+
+/// Analyze the parsed user_cf operator tree (the Compile()-path cost).
+void BM_AnalyzeWorkflow(benchmark::State& state) {
+  AnalysisFixture& f = AnalysisFixture::Get();
+  analysis::Analyzer analyzer(&f.site->db(),
+                              &f.site->flexrecs().library());
+  for (auto _ : state) {
+    analysis::DiagnosticBag diags;
+    analyzer.AnalyzeWorkflow(*f.workflow, &diags);
+    benchmark::DoNotOptimize(diags);
+  }
+}
+BENCHMARK(BM_AnalyzeWorkflow);
+
+/// Parse + analyze from DSL text (the lint-CLI path cost).
+void BM_LintDsl(benchmark::State& state) {
+  AnalysisFixture& f = AnalysisFixture::Get();
+  analysis::Analyzer analyzer(&f.site->db(),
+                              &f.site->flexrecs().library());
+  std::string dsl = flexrecs::strategies::UserCfDsl();
+  for (auto _ : state) {
+    analysis::DiagnosticBag diags = analyzer.LintDsl(dsl);
+    benchmark::DoNotOptimize(diags);
+  }
+}
+BENCHMARK(BM_LintDsl);
+
+/// Analyze one joined SQL statement (the per-statement validator cost).
+void BM_AnalyzeSql(benchmark::State& state) {
+  AnalysisFixture& f = AnalysisFixture::Get();
+  analysis::Analyzer analyzer(&f.site->db(), nullptr);
+  std::string sql =
+      "SELECT c.Title, AVG(r.Score) AS avg_score FROM Courses c JOIN "
+      "Ratings r ON c.CourseID = r.CourseID WHERE c.Units >= 3 GROUP BY "
+      "c.Title ORDER BY avg_score DESC LIMIT 10";
+  for (auto _ : state) {
+    analysis::DiagnosticBag diags = analyzer.LintSql(sql);
+    benchmark::DoNotOptimize(diags);
+  }
+}
+BENCHMARK(BM_AnalyzeSql);
+
+}  // namespace
+}  // namespace courserank
+
+BENCHMARK_MAIN();

@@ -124,7 +124,7 @@ void BM_ExtendOperator(benchmark::State& state) {
                           .Extend(flexrecs::Workflow::Table("Ratings"),
                                   "SuID", "SuID", {"CourseID", "Score"},
                                   "ratings"))
-                .Build();
+                .Build().value();
   for (auto _ : state) {
     auto rel = world.site->flexrecs().Run(*wf);
     benchmark::DoNotOptimize(rel);

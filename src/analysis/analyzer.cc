@@ -1,0 +1,1254 @@
+#include "analysis/analyzer.h"
+
+#include <set>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/workflow_parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/sql_parser.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace courserank::analysis {
+
+namespace {
+
+using flexrecs::NodeKind;
+using flexrecs::RecommendAgg;
+using flexrecs::RecommendSpec;
+using flexrecs::SimArgKind;
+using flexrecs::WorkflowNode;
+using query::BinaryOp;
+using query::Expr;
+using query::ExprPtr;
+using query::UnaryOp;
+using storage::Column;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+using storage::ValueTypeName;
+
+bool IsNumericType(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kDouble;
+}
+
+/// Last dot-segment: "Ratings.SuID" -> "SuID".
+std::string Unqualify(const std::string& name) {
+  size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+/// A column of type kNull in an inferred schema means "type unknown" —
+/// either genuinely untyped (all-NULL Values relation) or beyond the
+/// analyzer's modeling. Dependent checks skip it.
+std::optional<ValueType> KnownType(const Column& c) {
+  if (c.type == ValueType::kNull) return std::nullopt;
+  return c.type;
+}
+
+/// Outcome of resolving a column reference against an inferred schema.
+struct ResolvedColumn {
+  bool found = false;
+  std::optional<ValueType> type;  ///< nullopt = ambiguous or untyped
+  bool nullable = true;
+};
+
+/// Resolution mirrors (and is deliberately more lenient than) runtime
+/// binding: exact/qualified lookup first, then suffix-vs-suffix matching,
+/// because the SQL compiler prefixes scan schemas with aliases in ways the
+/// analyzer does not always reproduce. Ambiguity resolves to "found, type
+/// unknown" — never a false unknown-column error.
+ResolvedColumn Resolve(const Schema& schema, const std::string& name) {
+  if (auto idx = schema.FindColumn(name)) {
+    const Column& c = schema.column(*idx);
+    return {true, KnownType(c), c.nullable};
+  }
+  std::string want = ToLower(Unqualify(name));
+  const Column* match = nullptr;
+  int count = 0;
+  for (const Column& c : schema.columns()) {
+    if (ToLower(Unqualify(c.name)) == want) {
+      match = &c;
+      ++count;
+    }
+  }
+  if (count == 1) return {true, KnownType(*match), match->nullable};
+  if (count > 1) return {true, std::nullopt, true};
+  return {};
+}
+
+// ---- expression shape extraction --------------------------------------
+//
+// Expr subclasses are private to expr.cc, so structure is recovered through
+// single-dispatch Accept: each probe visitor records the one callback that
+// fires.
+
+struct BinaryShape : query::ExprVisitor {
+  std::optional<BinaryOp> op;
+  const Expr* lhs = nullptr;
+  const Expr* rhs = nullptr;
+  void VisitBinary(BinaryOp o, const Expr& l, const Expr& r) override {
+    op = o;
+    lhs = &l;
+    rhs = &r;
+  }
+};
+
+BinaryShape ShapeOf(const Expr& e) {
+  BinaryShape s;
+  e.Accept(s);
+  return s;
+}
+
+std::optional<std::string> ColumnNameOf(const Expr& e) {
+  struct Probe : query::ExprVisitor {
+    std::optional<std::string> name;
+    void VisitColumn(const std::string& n) override { name = n; }
+  } probe;
+  e.Accept(probe);
+  return probe.name;
+}
+
+std::optional<Value> LiteralOf(const Expr& e) {
+  struct Probe : query::ExprVisitor {
+    std::optional<Value> value;
+    void VisitLiteral(const Value& v) override { value = v; }
+  } probe;
+  e.Accept(probe);
+  return probe.value;
+}
+
+/// Flattens a top-level AND chain into its conjuncts.
+void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  BinaryShape s = ShapeOf(e);
+  if (s.op == BinaryOp::kAnd) {
+    CollectConjuncts(*s.lhs, out);
+    CollectConjuncts(*s.rhs, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+/// Collects every referenced column, lowercased and unqualified, for the
+/// liveness pass.
+struct ColumnCollector : query::ExprVisitor {
+  std::set<std::string>* out;
+  explicit ColumnCollector(std::set<std::string>* o) : out(o) {}
+  void VisitColumn(const std::string& n) override {
+    out->insert(ToLower(Unqualify(n)));
+  }
+  void VisitUnary(UnaryOp, const Expr& operand) override {
+    operand.Accept(*this);
+  }
+  void VisitBinary(BinaryOp, const Expr& l, const Expr& r) override {
+    l.Accept(*this);
+    r.Accept(*this);
+  }
+  void VisitIsNull(const Expr& operand, bool) override {
+    operand.Accept(*this);
+  }
+  void VisitInList(const Expr& operand,
+                   const std::vector<Value>&) override {
+    operand.Accept(*this);
+  }
+  void VisitCall(const std::string&,
+                 const std::vector<ExprPtr>& args) override {
+    for (const ExprPtr& a : args) a->Accept(*this);
+  }
+};
+
+/// Evaluates an expression that references no columns or parameters;
+/// nullopt when it does (or evaluation itself fails, e.g. 1/0).
+std::optional<Value> FoldConstant(const Expr& e) {
+  ExprPtr clone = e.Clone();
+  Schema empty;
+  query::ParamMap no_params;
+  if (!clone->Bind(empty, &no_params).ok()) return std::nullopt;
+  auto v = clone->Eval({});
+  if (!v.ok()) return std::nullopt;
+  return std::move(v).value();
+}
+
+// ---- expression type checking -----------------------------------------
+
+/// Inferred static type of an expression. `type` nullopt means the analyzer
+/// cannot pin it down (parameter, ambiguous column, polymorphic function);
+/// every check treats unknown as "could be fine".
+struct TypeInfo {
+  std::optional<ValueType> type;
+  bool nullable = true;
+};
+
+/// Recursive type inference + checking over one schema. Emits CR102 and the
+/// 2xx type diagnostics as it walks.
+class ExprChecker : public query::ExprVisitor {
+ public:
+  ExprChecker(const Schema& schema, SourceSpan span, DiagnosticBag* diags)
+      : schema_(schema), span_(span), diags_(diags) {}
+
+  TypeInfo Check(const Expr& e) {
+    result_ = TypeInfo{};
+    e.Accept(*this);
+    return result_;
+  }
+
+  void VisitLiteral(const Value& v) override {
+    if (v.is_null()) {
+      result_ = {std::nullopt, true};
+    } else {
+      result_ = {v.type(), false};
+    }
+  }
+
+  void VisitColumn(const std::string& name) override {
+    ResolvedColumn rc = Resolve(schema_, name);
+    if (!rc.found) {
+      Add(Code::kUnknownColumn, "no column '" + name + "' in schema [" +
+                                    schema_.ToString() + "]");
+      result_ = {std::nullopt, true};
+      return;
+    }
+    result_ = {rc.type, rc.nullable};
+  }
+
+  void VisitParam(const std::string&) override {
+    result_ = {std::nullopt, true};
+  }
+
+  void VisitUnary(UnaryOp op, const Expr& operand) override {
+    TypeInfo t = Check(operand);
+    if (op == UnaryOp::kNot) {
+      if (t.type && *t.type != ValueType::kBool) {
+        Add(Code::kArgumentType, "NOT applied to " + Name(t) +
+                                     " operand: " + operand.ToString());
+      }
+      result_ = {ValueType::kBool, t.nullable};
+    } else {
+      if (t.type && !IsNumericType(*t.type)) {
+        Add(Code::kArithmeticType,
+            "unary '-' on " + Name(t) + " operand: " + operand.ToString());
+      }
+      result_ = {ValueType::kDouble, t.nullable};
+    }
+  }
+
+  void VisitBinary(BinaryOp op, const Expr& lhs, const Expr& rhs) override {
+    TypeInfo l = Check(lhs);
+    TypeInfo r = Check(rhs);
+    bool nullable = l.nullable || r.nullable;
+    switch (op) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+      case BinaryOp::kMod: {
+        // '+' doubles as string concatenation when BOTH sides are strings.
+        if (op == BinaryOp::kAdd && l.type == ValueType::kString &&
+            r.type == ValueType::kString) {
+          result_ = {ValueType::kString, nullable};
+          return;
+        }
+        auto flag = [&](const TypeInfo& t, const Expr& e) {
+          if (!t.type || IsNumericType(*t.type)) return;
+          // A lone string under '+' might still concat with an
+          // unknown-typed partner; bool/list never work.
+          if (op == BinaryOp::kAdd && *t.type == ValueType::kString &&
+              (!l.type || !r.type)) {
+            return;
+          }
+          Add(Code::kArithmeticType,
+              std::string("'") + query::BinaryOpName(op) + "' on " +
+                  Name(t) + " operand: " + e.ToString());
+        };
+        flag(l, lhs);
+        flag(r, rhs);
+        if (l.type == ValueType::kInt && r.type == ValueType::kInt) {
+          result_ = {ValueType::kInt, nullable};
+        } else if (l.type && r.type && IsNumericType(*l.type) &&
+                   IsNumericType(*r.type)) {
+          result_ = {ValueType::kDouble, nullable};
+        } else {
+          result_ = {std::nullopt, nullable};
+        }
+        return;
+      }
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        if (l.type && r.type && *l.type != *r.type &&
+            !(IsNumericType(*l.type) && IsNumericType(*r.type))) {
+          Add(Code::kCrossTypeCompare,
+              "comparison of " + Name(l) + " and " + Name(r) +
+                  " is decided by type rank, never by value: (" +
+                  lhs.ToString() + " " + query::BinaryOpName(op) + " " +
+                  rhs.ToString() + ")");
+        }
+        result_ = {ValueType::kBool, nullable};
+        return;
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr: {
+        auto flag = [&](const TypeInfo& t, const Expr& e) {
+          if (t.type && *t.type != ValueType::kBool) {
+            Add(Code::kNonBooleanPredicate,
+                std::string(query::BinaryOpName(op)) + " on " + Name(t) +
+                    " operand: " + e.ToString());
+          }
+        };
+        flag(l, lhs);
+        flag(r, rhs);
+        result_ = {ValueType::kBool, nullable};
+        return;
+      }
+      case BinaryOp::kLike: {
+        auto flag = [&](const TypeInfo& t, const Expr& e) {
+          if (t.type && *t.type != ValueType::kString) {
+            Add(Code::kArgumentType,
+                "LIKE requires STRING operands, got " + Name(t) + ": " +
+                    e.ToString());
+          }
+        };
+        flag(l, lhs);
+        flag(r, rhs);
+        result_ = {ValueType::kBool, nullable};
+        return;
+      }
+    }
+    result_ = {std::nullopt, nullable};
+  }
+
+  void VisitIsNull(const Expr& operand, bool) override {
+    Check(operand);
+    result_ = {ValueType::kBool, false};
+  }
+
+  void VisitInList(const Expr& operand,
+                   const std::vector<Value>& values) override {
+    TypeInfo t = Check(operand);
+    if (t.type && !values.empty()) {
+      bool any_comparable = false;
+      for (const Value& v : values) {
+        if (v.is_null() || v.type() == *t.type ||
+            (IsNumericType(v.type()) && IsNumericType(*t.type))) {
+          any_comparable = true;
+          break;
+        }
+      }
+      if (!any_comparable) {
+        Add(Code::kCrossTypeCompare,
+            "IN list holds no value of type " + Name(t) + ": " +
+                operand.ToString());
+      }
+    }
+    result_ = {ValueType::kBool, t.nullable};
+  }
+
+  void VisitCall(const std::string& function,
+                 const std::vector<ExprPtr>& args) override {
+    std::vector<TypeInfo> ts;
+    ts.reserve(args.size());
+    for (const ExprPtr& a : args) ts.push_back(Check(*a));
+
+    Status arity = query::CheckScalarCall(function, args.size());
+    if (!arity.ok()) {
+      Add(Code::kBadCall, arity.message());
+      result_ = {std::nullopt, true};
+      return;
+    }
+
+    auto want = [&](size_t i, ValueType t, const char* what) {
+      if (ts[i].type && *ts[i].type != t &&
+          !(IsNumericType(t) && IsNumericType(*ts[i].type))) {
+        Add(Code::kArgumentType,
+            function + " argument " + std::to_string(i + 1) + " must be " +
+                std::string(what) + ", got " + Name(ts[i]) + ": " +
+                args[i]->ToString());
+      }
+    };
+    if (function == "LOWER" || function == "UPPER" ||
+        function == "LENGTH") {
+      want(0, ValueType::kString, "STRING");
+    } else if (function == "ABS") {
+      want(0, ValueType::kDouble, "numeric");
+    } else if (function == "ROUND") {
+      want(0, ValueType::kDouble, "numeric");
+      want(1, ValueType::kDouble, "numeric");
+    } else if (function == "CONTAINS") {
+      want(0, ValueType::kString, "STRING");
+      want(1, ValueType::kString, "STRING");
+    } else if (function == "SUBSTR") {
+      want(0, ValueType::kString, "STRING");
+      want(1, ValueType::kDouble, "numeric");
+      want(2, ValueType::kDouble, "numeric");
+    } else if (function == "LIST_LEN") {
+      want(0, ValueType::kList, "LIST");
+    }
+
+    bool nullable = false;
+    for (const TypeInfo& t : ts) nullable = nullable || t.nullable;
+    if (function == "COALESCE") {
+      ValueType common = ValueType::kNull;
+      bool have_common = false;
+      bool mixed = false;
+      bool all_nullable = true;
+      for (const TypeInfo& t : ts) {
+        if (!t.type) {
+          mixed = true;
+        } else if (!have_common) {
+          common = *t.type;
+          have_common = true;
+        } else if (*t.type != common) {
+          mixed = true;
+        }
+        all_nullable = all_nullable && t.nullable;
+      }
+      result_ = {have_common && !mixed ? std::optional<ValueType>(common)
+                                       : std::nullopt,
+                 all_nullable};
+      return;
+    }
+    if (function == "ABS") {
+      result_ = {ts[0].type && IsNumericType(*ts[0].type)
+                     ? ts[0].type
+                     : std::optional<ValueType>(),
+                 nullable};
+      return;
+    }
+    result_ = {query::ScalarFunctionResultType(function), nullable};
+  }
+
+ private:
+  void Add(Code code, std::string message) {
+    diags_->Add(code, span_, std::move(message));
+  }
+
+  static std::string Name(const TypeInfo& t) {
+    return t.type ? ValueTypeName(*t.type) : "unknown";
+  }
+
+  const Schema& schema_;
+  SourceSpan span_;
+  DiagnosticBag* diags_;
+  TypeInfo result_;
+};
+
+/// Full predicate treatment: type check, boolean-ness, and (when `fold`)
+/// constant folding and never-true equality detection. `fold` is set for
+/// filtering positions (σ, WHERE) where an always-false/true predicate is a
+/// plan bug, and clear for join conditions (CR401 covers those).
+void CheckPredicate(const Expr& pred, const Schema& schema, SourceSpan span,
+                    DiagnosticBag* diags, bool fold) {
+  ExprChecker checker(schema, span, diags);
+  TypeInfo t = checker.Check(pred);
+  if (t.type && *t.type != ValueType::kBool) {
+    diags->Add(Code::kNonBooleanPredicate, span,
+               "predicate has type " + std::string(ValueTypeName(*t.type)) +
+                   ", expected BOOL: " + pred.ToString());
+  }
+  if (!fold) return;
+
+  if (std::optional<Value> c = FoldConstant(pred)) {
+    if (c->is_null() ||
+        (c->type() == ValueType::kBool && !c->AsBool())) {
+      diags->Add(Code::kAlwaysFalse, span,
+                 std::string("predicate is always ") +
+                     (c->is_null() ? "NULL" : "FALSE") +
+                     "; the filter drops every row: " + pred.ToString());
+    } else if (c->type() == ValueType::kBool && c->AsBool()) {
+      diags->Add(Code::kAlwaysTrue, span,
+                 "predicate is always TRUE; the filter keeps every row: " +
+                     pred.ToString());
+    }
+    return;
+  }
+
+  // Not constant — but one never-true AND conjunct still empties the σ.
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(pred, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    BinaryShape s = ShapeOf(*c);
+    if (!s.op.has_value()) continue;
+    bool comparison = *s.op == BinaryOp::kEq || *s.op == BinaryOp::kNe ||
+                      *s.op == BinaryOp::kLt || *s.op == BinaryOp::kLe ||
+                      *s.op == BinaryOp::kGt || *s.op == BinaryOp::kGe;
+    if (!comparison) continue;
+    // `x = NULL` is NULL for every row — the classic "meant IS NULL" bug.
+    std::optional<Value> ll = LiteralOf(*s.lhs);
+    std::optional<Value> rl = LiteralOf(*s.rhs);
+    if ((ll && ll->is_null()) || (rl && rl->is_null())) {
+      diags->Add(Code::kAlwaysFalse, span,
+                 "comparison with NULL is never TRUE (use IS NULL): " +
+                     c->ToString());
+      break;
+    }
+    if (*s.op != BinaryOp::kEq) continue;
+    DiagnosticBag scratch;
+    ExprChecker quiet(schema, span, &scratch);
+    TypeInfo l = quiet.Check(*s.lhs);
+    TypeInfo r = quiet.Check(*s.rhs);
+    if (l.type && r.type && *l.type != *r.type &&
+        !(IsNumericType(*l.type) && IsNumericType(*r.type))) {
+      diags->Add(Code::kAlwaysFalse, span,
+                 "equality compares " + std::string(ValueTypeName(*l.type)) +
+                     " with " + ValueTypeName(*r.type) +
+                     " and can never hold: " + c->ToString());
+      break;
+    }
+  }
+}
+
+/// True when `pred` has a top-level equality conjunct linking a column of
+/// `left` with a column of `right` — the join can hash instead of degrading
+/// to a filtered cross product.
+bool HasEquiConjunct(const Expr& pred, const Schema& left,
+                     const Schema& right) {
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(pred, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    BinaryShape s = ShapeOf(*c);
+    if (s.op != BinaryOp::kEq) continue;
+    std::optional<std::string> lc = ColumnNameOf(*s.lhs);
+    std::optional<std::string> rc = ColumnNameOf(*s.rhs);
+    if (!lc || !rc) continue;
+    bool l_in_left = Resolve(left, *lc).found;
+    bool l_in_right = Resolve(right, *lc).found;
+    bool r_in_left = Resolve(left, *rc).found;
+    bool r_in_right = Resolve(right, *rc).found;
+    if ((l_in_left && r_in_right) || (l_in_right && r_in_left)) return true;
+  }
+  return false;
+}
+
+bool KindMatches(ValueType t, SimArgKind kind) {
+  switch (kind) {
+    case SimArgKind::kAny:
+      return true;
+    case SimArgKind::kString:
+      return t == ValueType::kString;
+    case SimArgKind::kNumber:
+      return IsNumericType(t);
+    case SimArgKind::kSet:
+    case SimArgKind::kPairs:
+      return t == ValueType::kList;
+    case SimArgKind::kScalar:
+      return t != ValueType::kList;
+  }
+  return true;
+}
+
+/// What the liveness pass knows is consumed above the current node. `all`
+/// models "everything" (the workflow result, a SQL escape hatch); Project
+/// and the reference sides of ε/▷/except narrow it.
+struct LiveSet {
+  bool all = false;
+  std::set<std::string> names;  ///< lowercased, unqualified
+
+  bool Contains(const std::string& name) const {
+    return all || names.count(ToLower(Unqualify(name))) > 0;
+  }
+  void Insert(const std::string& name) {
+    if (!name.empty()) names.insert(ToLower(Unqualify(name)));
+  }
+  void InsertExpr(const Expr* e) {
+    if (e == nullptr) return;
+    ColumnCollector c(&names);
+    e->Accept(c);
+  }
+};
+
+// ---- workflow walk -----------------------------------------------------
+
+/// Everything inferred about one operator's output.
+struct NodeInfo {
+  std::optional<Schema> schema;
+  bool bounded = false;  ///< result size capped independent of input data
+};
+
+class WorkflowChecker {
+ public:
+  WorkflowChecker(const storage::Database* db,
+                  const flexrecs::SimilarityLibrary* library,
+                  DiagnosticBag* diags)
+      : db_(db), library_(library), diags_(diags) {}
+
+  NodeInfo Analyze(const WorkflowNode& node) {
+    switch (node.kind) {
+      case NodeKind::kTable:
+        return AnalyzeTable(node);
+      case NodeKind::kSql:
+        return AnalyzeSql(node);
+      case NodeKind::kValues:
+        return {node.values.schema, true};
+      case NodeKind::kSelect: {
+        NodeInfo in = Analyze(*node.children[0]);
+        if (in.schema && node.predicate != nullptr) {
+          CheckPredicate(*node.predicate, *in.schema, node.span, diags_,
+                         /*fold=*/true);
+        }
+        return in;
+      }
+      case NodeKind::kProject:
+        return AnalyzeProject(node);
+      case NodeKind::kJoin:
+        return AnalyzeJoin(node);
+      case NodeKind::kExtend:
+        return AnalyzeExtend(node);
+      case NodeKind::kRecommend:
+        return AnalyzeRecommend(node);
+      case NodeKind::kAntiJoin:
+        return AnalyzeAntiJoin(node);
+      case NodeKind::kTopK: {
+        NodeInfo in = Analyze(*node.children[0]);
+        if (in.schema && !Resolve(*in.schema, node.order_column).found) {
+          diags_->Add(Code::kUnknownColumn, node.span,
+                      "no column '" + node.order_column +
+                          "' to order by in schema [" +
+                          in.schema->ToString() + "]");
+        }
+        in.bounded = true;
+        return in;
+      }
+    }
+    return {};
+  }
+
+  /// Top-down liveness: flags ε-extended columns nothing above consumes.
+  void MarkLive(const WorkflowNode& node, const LiveSet& live) {
+    switch (node.kind) {
+      case NodeKind::kTable:
+      case NodeKind::kSql:
+      case NodeKind::kValues:
+        return;
+      case NodeKind::kSelect: {
+        LiveSet child = live;
+        child.InsertExpr(node.predicate.get());
+        MarkLive(*node.children[0], child);
+        return;
+      }
+      case NodeKind::kProject: {
+        LiveSet child;
+        for (const auto& item : node.items) {
+          child.InsertExpr(item.expr.get());
+        }
+        MarkLive(*node.children[0], child);
+        return;
+      }
+      case NodeKind::kJoin: {
+        LiveSet side = live;
+        side.InsertExpr(node.predicate.get());
+        MarkLive(*node.children[0], side);
+        MarkLive(*node.children[1], side);
+        return;
+      }
+      case NodeKind::kExtend: {
+        if (!live.Contains(node.column_name)) {
+          diags_->Add(Code::kUnusedColumn, node.span,
+                      "extended column '" + node.column_name +
+                          "' is never consumed by any downstream operator");
+        }
+        LiveSet child = live;
+        child.names.erase(ToLower(Unqualify(node.column_name)));
+        child.InsertExpr(node.child_key.get());
+        MarkLive(*node.children[0], child);
+        LiveSet source;
+        source.InsertExpr(node.source_key.get());
+        for (const ExprPtr& c : node.collect) source.InsertExpr(c.get());
+        MarkLive(*node.children[1], source);
+        return;
+      }
+      case NodeKind::kRecommend: {
+        LiveSet input = live;
+        input.names.erase(ToLower(Unqualify(node.recommend.score_column)));
+        input.Insert(node.recommend.input_attr);
+        MarkLive(*node.children[0], input);
+        LiveSet reference;
+        reference.Insert(node.recommend.reference_attr);
+        reference.Insert(node.recommend.weight_attr);
+        MarkLive(*node.children[1], reference);
+        return;
+      }
+      case NodeKind::kAntiJoin: {
+        LiveSet child = live;
+        child.InsertExpr(node.child_key.get());
+        MarkLive(*node.children[0], child);
+        LiveSet source;
+        source.InsertExpr(node.source_key.get());
+        MarkLive(*node.children[1], source);
+        return;
+      }
+      case NodeKind::kTopK: {
+        LiveSet child = live;
+        child.Insert(node.order_column);
+        MarkLive(*node.children[0], child);
+        return;
+      }
+    }
+  }
+
+  /// Analyzes a parsed SELECT against the catalog; returns its inferred
+  /// output schema (nullopt when a referenced table is unknown) and whether
+  /// a LIMIT bounds it.
+  NodeInfo AnalyzeSelect(const query::SelectStmt& stmt, SourceSpan span) {
+    if (db_ == nullptr) return {};
+
+    // Scan schemas, aliased exactly like SqlEngine::PlanSelect.
+    auto effective_alias = [&](const query::TableRef& ref) {
+      if (!ref.alias.empty()) return ref.alias;
+      return stmt.joins.empty() ? std::string() : ref.table;
+    };
+    auto scan_schema =
+        [&](const query::TableRef& ref) -> std::optional<Schema> {
+      const storage::Table* t = db_->FindTable(ref.table);
+      if (t == nullptr) {
+        diags_->Add(Code::kUnknownTable, span,
+                    "no table '" + ref.table + "' in catalog");
+        return std::nullopt;
+      }
+      std::string alias = effective_alias(ref);
+      if (alias.empty()) return t->schema();
+      return t->schema().WithPrefix(alias);
+    };
+
+    std::optional<Schema> joined = scan_schema(stmt.from);
+    for (const query::JoinClause& jc : stmt.joins) {
+      std::optional<Schema> right = scan_schema(jc.table);
+      if (jc.on == nullptr) {
+        diags_->Add(Code::kCartesianProduct, span,
+                    "JOIN of '" + jc.table.table +
+                        "' has no ON condition; every row pairs with every "
+                        "row");
+      } else if (joined && right &&
+                 !HasEquiConjunct(*jc.on, *joined, *right)) {
+        diags_->Add(Code::kCartesianProduct, span,
+                    "JOIN of '" + jc.table.table +
+                        "' has no equality condition linking both sides; "
+                        "executes as a filtered cross product");
+      }
+      if (joined && right) {
+        joined = Schema::Concat(*joined, *right);
+      } else {
+        joined = std::nullopt;
+      }
+    }
+    if (joined) {
+      for (const query::JoinClause& jc : stmt.joins) {
+        if (jc.on != nullptr) {
+          CheckPredicate(*jc.on, *joined, span, diags_, /*fold=*/false);
+        }
+      }
+      if (stmt.where != nullptr) {
+        CheckPredicate(*stmt.where, *joined, span, diags_, /*fold=*/true);
+      }
+    }
+    if (!joined) return {std::nullopt, stmt.limit.has_value()};
+
+    // Output schema.
+    bool has_agg = false;
+    for (const query::SelectItem& item : stmt.items) {
+      if (item.agg.has_value()) has_agg = true;
+    }
+    bool bare_star = stmt.items.size() == 1 && stmt.items[0].star;
+
+    std::optional<Schema> out;
+    if (bare_star) {
+      out = joined;
+    } else if (has_agg || !stmt.group_by.empty()) {
+      ExprChecker checker(*joined, span, diags_);
+      for (const ExprPtr& g : stmt.group_by) checker.Check(*g);
+      std::vector<Column> cols;
+      for (const query::SelectItem& item : stmt.items) {
+        if (item.star) continue;  // engine rejects this shape at plan time
+        if (item.agg.has_value()) {
+          TypeInfo arg;
+          if (item.expr != nullptr) arg = checker.Check(*item.expr);
+          cols.emplace_back(DefaultName(item), AggType(*item.agg, arg),
+                            true);
+        } else if (item.expr != nullptr) {
+          TypeInfo t = checker.Check(*item.expr);
+          cols.emplace_back(DefaultName(item),
+                            t.type.value_or(ValueType::kNull), t.nullable);
+        }
+      }
+      out = Schema(std::move(cols));
+      if (stmt.having != nullptr) {
+        // HAVING binds against the aggregate's output schema (aliases).
+        CheckPredicate(*stmt.having, *out, span, diags_, /*fold=*/true);
+      }
+    } else {
+      ExprChecker checker(*joined, span, diags_);
+      std::vector<Column> cols;
+      for (const query::SelectItem& item : stmt.items) {
+        if (item.star || item.expr == nullptr) {
+          return {std::nullopt, stmt.limit.has_value()};
+        }
+        TypeInfo t = checker.Check(*item.expr);
+        cols.emplace_back(DefaultName(item),
+                          t.type.value_or(ValueType::kNull), t.nullable);
+      }
+      out = Schema(std::move(cols));
+    }
+
+    // ORDER BY: a select alias, or any expression over the scan schema.
+    for (const query::OrderItem& oi : stmt.order_by) {
+      if (out && Resolve(*out, oi.expr->ToString()).found) continue;
+      ExprChecker checker(*joined, span, diags_);
+      checker.Check(*oi.expr);
+    }
+    return {out, stmt.limit.has_value()};
+  }
+
+  void AnalyzeStatement(const query::Statement& stmt, SourceSpan span) {
+    if (stmt.select != nullptr) {
+      AnalyzeSelect(*stmt.select, span);
+    } else if (stmt.insert != nullptr) {
+      AnalyzeInsert(*stmt.insert, span);
+    } else if (stmt.update != nullptr) {
+      AnalyzeUpdate(*stmt.update, span);
+    } else if (stmt.del != nullptr) {
+      AnalyzeDelete(*stmt.del, span);
+    }
+    // CREATE TABLE carries its own schema; nothing to cross-check.
+  }
+
+ private:
+  NodeInfo AnalyzeTable(const WorkflowNode& node) {
+    if (db_ == nullptr) return {};
+    const storage::Table* t = db_->FindTable(node.table);
+    if (t == nullptr) {
+      diags_->Add(Code::kUnknownTable, node.span,
+                  "no table '" + node.table + "' in catalog");
+      return {};
+    }
+    return {t->schema(), false};
+  }
+
+  NodeInfo AnalyzeSql(const WorkflowNode& node) {
+    auto parsed = query::ParseSql(node.sql);
+    if (!parsed.ok()) {
+      diags_->Add(Code::kParseSql, node.span, parsed.status().message());
+      return {};
+    }
+    if (parsed->select == nullptr) {
+      diags_->Add(Code::kSqlNotSelect, node.span,
+                  "workflow SQL nodes must be SELECT statements: " +
+                      node.sql);
+      return {};
+    }
+    return AnalyzeSelect(*parsed->select, node.span);
+  }
+
+  NodeInfo AnalyzeProject(const WorkflowNode& node) {
+    NodeInfo in = Analyze(*node.children[0]);
+    if (!in.schema) return {std::nullopt, in.bounded};
+    ExprChecker checker(*in.schema, node.span, diags_);
+    std::vector<Column> cols;
+    for (const auto& item : node.items) {
+      TypeInfo t = checker.Check(*item.expr);
+      cols.emplace_back(item.name, t.type.value_or(ValueType::kNull),
+                        t.nullable);
+    }
+    return {Schema(std::move(cols)), in.bounded};
+  }
+
+  NodeInfo AnalyzeJoin(const WorkflowNode& node) {
+    NodeInfo left = Analyze(*node.children[0]);
+    NodeInfo right = Analyze(*node.children[1]);
+    // The SQL compiler prefixes bare-table sides with the table name;
+    // mirror that so qualified references resolve exactly.
+    auto side_schema = [](const NodeInfo& info, const WorkflowNode& child)
+        -> std::optional<Schema> {
+      if (!info.schema) return std::nullopt;
+      if (child.kind == NodeKind::kTable) {
+        return info.schema->WithPrefix(child.table);
+      }
+      return info.schema;
+    };
+    std::optional<Schema> ls = side_schema(left, *node.children[0]);
+    std::optional<Schema> rs = side_schema(right, *node.children[1]);
+    if (node.predicate == nullptr) {
+      diags_->Add(Code::kCartesianProduct, node.span,
+                  "join has no condition; every row pairs with every row");
+    } else if (ls && rs) {
+      Schema joined = Schema::Concat(*ls, *rs);
+      CheckPredicate(*node.predicate, joined, node.span, diags_,
+                     /*fold=*/false);
+      if (!HasEquiConjunct(*node.predicate, *ls, *rs)) {
+        diags_->Add(Code::kCartesianProduct, node.span,
+                    "join condition has no equality linking both sides; "
+                    "executes as a filtered cross product: " +
+                        node.predicate->ToString());
+      }
+    }
+    if (!ls || !rs) {
+      return {std::nullopt, left.bounded && right.bounded};
+    }
+    return {Schema::Concat(*ls, *rs), left.bounded && right.bounded};
+  }
+
+  /// Resolves a key expression, returning its type when it pins down.
+  std::optional<ValueType> CheckKey(const ExprPtr& key,
+                                    const std::optional<Schema>& schema,
+                                    SourceSpan span, const char* what) {
+    if (key == nullptr || !schema) return std::nullopt;
+    DiagnosticBag local;
+    ExprChecker checker(*schema, span, &local);
+    TypeInfo t = checker.Check(*key);
+    for (const Diagnostic& d : local.items()) {
+      Diagnostic copy = d;
+      copy.message = std::string(what) + ": " + copy.message;
+      diags_->Add(copy.severity, copy.code, copy.span,
+                  std::move(copy.message));
+    }
+    return t.type;
+  }
+
+  void CheckKeyPair(const WorkflowNode& node,
+                    const std::optional<Schema>& child_schema,
+                    const std::optional<Schema>& source_schema,
+                    const char* op_name) {
+    std::optional<ValueType> ct =
+        CheckKey(node.child_key, child_schema, node.span,
+                 op_name);
+    std::optional<ValueType> st =
+        CheckKey(node.source_key, source_schema, node.span, op_name);
+    if (ct && st && *ct != *st &&
+        !(IsNumericType(*ct) && IsNumericType(*st))) {
+      diags_->Add(Code::kKeyTypeMismatch, node.span,
+                  std::string(op_name) + " keys compare " +
+                      ValueTypeName(*ct) + " with " + ValueTypeName(*st) +
+                      " and can never match");
+    }
+  }
+
+  NodeInfo AnalyzeExtend(const WorkflowNode& node) {
+    NodeInfo child = Analyze(*node.children[0]);
+    NodeInfo source = Analyze(*node.children[1]);
+    CheckKeyPair(node, child.schema, source.schema, "extend");
+    if (source.schema) {
+      ExprChecker checker(*source.schema, node.span, diags_);
+      for (const ExprPtr& c : node.collect) checker.Check(*c);
+    }
+    if (!child.schema) return {std::nullopt, child.bounded};
+    std::vector<Column> cols = child.schema->columns();
+    cols.emplace_back(node.column_name, ValueType::kList, false);
+    return {Schema(std::move(cols)), child.bounded};
+  }
+
+  NodeInfo AnalyzeRecommend(const WorkflowNode& node) {
+    NodeInfo input = Analyze(*node.children[0]);
+    NodeInfo reference = Analyze(*node.children[1]);
+    const RecommendSpec& spec = node.recommend;
+
+    std::optional<flexrecs::SimilaritySignature> sig;
+    if (library_ != nullptr) {
+      sig = library_->GetSignature(spec.similarity);
+      if (!sig) {
+        std::string names;
+        for (const std::string& n : library_->Names()) {
+          if (!names.empty()) names += ", ";
+          names += n;
+        }
+        diags_->Add(Code::kUnknownSimilarity, node.span,
+                    "no similarity function '" + spec.similarity +
+                        "' (available: " + names + ")");
+      }
+    }
+
+    auto check_attr = [&](const std::optional<Schema>& schema,
+                          const std::string& attr, SimArgKind kind,
+                          const char* what) -> std::optional<ValueType> {
+      if (!schema || attr.empty()) return std::nullopt;
+      ResolvedColumn rc = Resolve(*schema, attr);
+      if (!rc.found) {
+        diags_->Add(Code::kUnknownColumn, node.span,
+                    std::string("recommend ") + what + " attribute '" +
+                        attr + "' not found in schema [" +
+                        schema->ToString() + "]");
+        return std::nullopt;
+      }
+      if (rc.type && sig && !KindMatches(*rc.type, kind)) {
+        diags_->Add(Code::kSimilaritySignature, node.span,
+                    "similarity '" + spec.similarity + "' expects a " +
+                        flexrecs::SimArgKindName(kind) + " " + what +
+                        " attribute, but '" + attr + "' has type " +
+                        ValueTypeName(*rc.type));
+      }
+      return rc.type;
+    };
+    check_attr(input.schema, spec.input_attr,
+               sig ? sig->input : SimArgKind::kAny, "input");
+    check_attr(reference.schema, spec.reference_attr,
+               sig ? sig->reference : SimArgKind::kAny, "reference");
+
+    if (spec.agg == RecommendAgg::kWeightedAvg && reference.schema) {
+      ResolvedColumn rc = Resolve(*reference.schema, spec.weight_attr);
+      if (!rc.found) {
+        diags_->Add(Code::kUnknownColumn, node.span,
+                    "recommend weight attribute '" + spec.weight_attr +
+                        "' not found in schema [" +
+                        reference.schema->ToString() + "]");
+      } else if (rc.type && !IsNumericType(*rc.type)) {
+        diags_->Add(Code::kWeightNotNumeric, node.span,
+                    "weighted-avg weight attribute '" + spec.weight_attr +
+                        "' has type " + ValueTypeName(*rc.type) +
+                        ", expected a number");
+      }
+    }
+
+    bool bounded = input.bounded || spec.top_k > 0;
+    if (!input.schema) return {std::nullopt, bounded};
+    std::vector<Column> cols = input.schema->columns();
+    cols.emplace_back(spec.score_column, ValueType::kDouble, false);
+    return {Schema(std::move(cols)), bounded};
+  }
+
+  NodeInfo AnalyzeAntiJoin(const WorkflowNode& node) {
+    NodeInfo child = Analyze(*node.children[0]);
+    NodeInfo source = Analyze(*node.children[1]);
+    CheckKeyPair(node, child.schema, source.schema, "except");
+    return {child.schema, child.bounded};
+  }
+
+  std::string DefaultName(const query::SelectItem& item) const {
+    if (!item.alias.empty()) return item.alias;
+    if (item.agg.has_value()) {
+      std::string base = query::AggFnName(*item.agg);
+      return base + "(" + (item.expr ? item.expr->ToString() : "*") + ")";
+    }
+    return item.expr->ToString();
+  }
+
+  ValueType AggType(query::AggFn fn, const TypeInfo& arg) const {
+    switch (fn) {
+      case query::AggFn::kCountStar:
+      case query::AggFn::kCount:
+        return ValueType::kInt;
+      case query::AggFn::kAvg:
+        return ValueType::kDouble;
+      case query::AggFn::kSum:
+        return arg.type == ValueType::kInt ? ValueType::kInt
+                                           : ValueType::kDouble;
+      case query::AggFn::kMin:
+      case query::AggFn::kMax:
+        return arg.type.value_or(ValueType::kNull);
+    }
+    return ValueType::kNull;
+  }
+
+  void AnalyzeInsert(const query::InsertStmt& stmt, SourceSpan span) {
+    if (db_ == nullptr) return;
+    const storage::Table* t = db_->FindTable(stmt.table);
+    if (t == nullptr) {
+      diags_->Add(Code::kUnknownTable, span,
+                  "no table '" + stmt.table + "' in catalog");
+      return;
+    }
+    const Schema& schema = t->schema();
+    std::vector<const Column*> targets;
+    if (stmt.columns.empty()) {
+      for (const Column& c : schema.columns()) targets.push_back(&c);
+    } else {
+      for (const std::string& name : stmt.columns) {
+        auto idx = schema.FindColumn(name);
+        if (!idx) {
+          diags_->Add(Code::kUnknownColumn, span,
+                      "no column '" + name + "' in table '" + stmt.table +
+                          "'");
+          return;
+        }
+        targets.push_back(&schema.column(*idx));
+      }
+    }
+    for (const auto& row : stmt.rows) {
+      if (row.size() != targets.size()) {
+        diags_->Add(Code::kArgumentType, span,
+                    "INSERT row has " + std::to_string(row.size()) +
+                        " values for " + std::to_string(targets.size()) +
+                        " columns");
+        continue;
+      }
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::optional<Value> lit = LiteralOf(*row[i]);
+        if (!lit) continue;  // expression/parameter — checked at runtime
+        const Column& col = *targets[i];
+        if (lit->is_null()) {
+          if (!col.nullable) {
+            diags_->Add(Code::kArgumentType, span,
+                        "NULL for NOT NULL column '" + col.name + "'");
+          }
+          continue;
+        }
+        if (col.type == ValueType::kNull) continue;
+        bool ok = lit->type() == col.type ||
+                  (col.type == ValueType::kDouble &&
+                   lit->type() == ValueType::kInt);
+        if (!ok) {
+          diags_->Add(Code::kArgumentType, span,
+                      std::string("value of type ") +
+                          ValueTypeName(lit->type()) + " for column '" +
+                          col.name + "' (" + ValueTypeName(col.type) + ")");
+        }
+      }
+    }
+  }
+
+  void AnalyzeUpdate(const query::UpdateStmt& stmt, SourceSpan span) {
+    if (db_ == nullptr) return;
+    const storage::Table* t = db_->FindTable(stmt.table);
+    if (t == nullptr) {
+      diags_->Add(Code::kUnknownTable, span,
+                  "no table '" + stmt.table + "' in catalog");
+      return;
+    }
+    const Schema& schema = t->schema();
+    ExprChecker checker(schema, span, diags_);
+    for (const auto& [name, expr] : stmt.assignments) {
+      auto idx = schema.FindColumn(name);
+      if (!idx) {
+        diags_->Add(Code::kUnknownColumn, span,
+                    "no column '" + name + "' in table '" + stmt.table +
+                        "'");
+        continue;
+      }
+      TypeInfo v = checker.Check(*expr);
+      const Column& col = schema.column(*idx);
+      if (v.type && col.type != ValueType::kNull && *v.type != col.type &&
+          !(col.type == ValueType::kDouble &&
+            *v.type == ValueType::kInt)) {
+        diags_->Add(Code::kArgumentType, span,
+                    std::string("assignment of ") + ValueTypeName(*v.type) +
+                        " to column '" + col.name + "' (" +
+                        ValueTypeName(col.type) + ")");
+      }
+    }
+    if (stmt.where != nullptr) {
+      CheckPredicate(*stmt.where, schema, span, diags_, /*fold=*/true);
+    }
+  }
+
+  void AnalyzeDelete(const query::DeleteStmt& stmt, SourceSpan span) {
+    if (db_ == nullptr) return;
+    const storage::Table* t = db_->FindTable(stmt.table);
+    if (t == nullptr) {
+      diags_->Add(Code::kUnknownTable, span,
+                  "no table '" + stmt.table + "' in catalog");
+      return;
+    }
+    if (stmt.where != nullptr) {
+      CheckPredicate(*stmt.where, t->schema(), span, diags_,
+                     /*fold=*/true);
+    }
+  }
+
+  const storage::Database* db_;
+  const flexrecs::SimilarityLibrary* library_;
+  DiagnosticBag* diags_;
+};
+
+/// Analyzer metrics, resolved once per process (DESIGN.md §7 conventions).
+struct AnalysisMetrics {
+  obs::Histogram* run_ns;
+  obs::Counter* runs;
+  obs::Counter* errors;
+  obs::Counter* warnings;
+};
+
+const AnalysisMetrics& Metrics() {
+  static const AnalysisMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    return AnalysisMetrics{reg.GetHistogram("cr_analysis_ns"),
+                           reg.GetCounter("cr_analysis_runs_total"),
+                           reg.GetCounter("cr_analysis_errors_total"),
+                           reg.GetCounter("cr_analysis_warnings_total")};
+  }();
+  return m;
+}
+
+/// Counts findings added during one run into the obs registry.
+class MetricScope {
+ public:
+  explicit MetricScope(const DiagnosticBag& diags)
+      : diags_(diags),
+        span_(obs::stage::kAnalysis, Metrics().run_ns,
+              &obs::TraceSink::Default(), obs::ScopedSpan::Mode::kAlways),
+        errors_before_(diags.error_count()),
+        warnings_before_(diags.warning_count()) {
+    Metrics().runs->Add();
+  }
+  ~MetricScope() {
+    Metrics().errors->Add(diags_.error_count() - errors_before_);
+    Metrics().warnings->Add(diags_.warning_count() - warnings_before_);
+  }
+
+ private:
+  const DiagnosticBag& diags_;
+  obs::ScopedSpan span_;
+  size_t errors_before_;
+  size_t warnings_before_;
+};
+
+}  // namespace
+
+Analyzer::Analyzer(const storage::Database* db,
+                   const flexrecs::SimilarityLibrary* library,
+                   AnalyzerOptions options)
+    : db_(db), library_(library), options_(options) {}
+
+std::optional<Schema> Analyzer::AnalyzeWorkflow(const WorkflowNode& root,
+                                                DiagnosticBag* diags) const {
+  MetricScope metrics(*diags);
+  WorkflowChecker checker(db_, library_, diags);
+  NodeInfo info = checker.Analyze(root);
+  LiveSet everything;
+  everything.all = true;
+  checker.MarkLive(root, everything);
+  if (options_.pedantic && !info.bounded) {
+    diags->Add(Code::kUnboundedResult, root.span,
+               "workflow result size is unbounded; consider TOPK or "
+               "RECOMMEND ... TOP k");
+  }
+  return info.schema;
+}
+
+void Analyzer::AnalyzeStatement(const query::Statement& stmt,
+                                DiagnosticBag* diags) const {
+  MetricScope metrics(*diags);
+  WorkflowChecker checker(db_, library_, diags);
+  checker.AnalyzeStatement(stmt, SourceSpan{});
+}
+
+DiagnosticBag Analyzer::LintDsl(const std::string& text) const {
+  DiagnosticBag diags;
+  flexrecs::ParseError error;
+  auto parsed = flexrecs::ParseWorkflow(text, &error);
+  if (!parsed.ok()) {
+    MetricScope metrics(diags);
+    diags.Add(Code::kParseDsl, error.span,
+              error.message.empty() ? parsed.status().message()
+                                    : error.message);
+    return diags;
+  }
+  AnalyzeWorkflow(**parsed, &diags);
+  return diags;
+}
+
+DiagnosticBag Analyzer::LintSql(const std::string& sql) const {
+  DiagnosticBag diags;
+  auto parsed = query::ParseSql(sql);
+  SourceSpan span{1, 1, static_cast<int>(sql.size())};
+  if (!parsed.ok()) {
+    MetricScope metrics(diags);
+    diags.Add(Code::kParseSql, span, parsed.status().message());
+    return diags;
+  }
+  MetricScope metrics(diags);
+  WorkflowChecker checker(db_, library_, &diags);
+  checker.AnalyzeStatement(*parsed, span);
+  return diags;
+}
+
+}  // namespace courserank::analysis

@@ -1,0 +1,67 @@
+#ifndef COURSERANK_ANALYSIS_ANALYZER_H_
+#define COURSERANK_ANALYSIS_ANALYZER_H_
+
+#include <optional>
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "core/similarity.h"
+#include "core/workflow.h"
+#include "query/sql_ast.h"
+#include "storage/database.h"
+#include "storage/schema.h"
+
+namespace courserank::analysis {
+
+struct AnalyzerOptions {
+  /// Enables advisory checks that are noisy on reasonable plans (CR402
+  /// unbounded-result warnings). The lint CLI turns this on with
+  /// --pedantic; the engines leave it off.
+  bool pedantic = false;
+};
+
+/// Schema-aware semantic analyzer for FlexRecs workflow plans and SQL
+/// statements. Runs entirely before execution: it resolves names against
+/// the catalog, pushes types through every operator (π/σ/ε/recommend),
+/// folds constant predicates, and flags structurally suspicious plans.
+/// Findings land in a DiagnosticBag; the analyzer itself never fails.
+///
+/// The analyzer is deliberately lenient where the runtime is: a type it
+/// cannot pin down (parameters, ambiguous columns, SQL escape hatches it
+/// cannot model) suppresses the dependent checks rather than guessing, so
+/// a clean bill of health is meaningful and an error is trustworthy.
+class Analyzer {
+ public:
+  /// Both pointers are borrowed and must outlive the analyzer. `library`
+  /// may be null — similarity checks are skipped then.
+  Analyzer(const storage::Database* db,
+           const flexrecs::SimilarityLibrary* library,
+           AnalyzerOptions options = {});
+
+  /// Analyzes a workflow operator tree. Returns the inferred schema of the
+  /// root when every operator resolved (nullopt otherwise — diagnostics say
+  /// why).
+  std::optional<storage::Schema> AnalyzeWorkflow(
+      const flexrecs::WorkflowNode& root, DiagnosticBag* diags) const;
+
+  /// Analyzes one parsed SQL statement (SELECT and DML) against the
+  /// catalog.
+  void AnalyzeStatement(const query::Statement& stmt,
+                        DiagnosticBag* diags) const;
+
+  /// Parses workflow DSL text and analyzes it; parse failures become CR001
+  /// diagnostics with the offending statement's span.
+  DiagnosticBag LintDsl(const std::string& text) const;
+
+  /// Parses a SQL statement and analyzes it; parse failures become CR002.
+  DiagnosticBag LintSql(const std::string& sql) const;
+
+ private:
+  const storage::Database* db_;
+  const flexrecs::SimilarityLibrary* library_;
+  AnalyzerOptions options_;
+};
+
+}  // namespace courserank::analysis
+
+#endif  // COURSERANK_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,181 @@
+#include "analysis/diagnostics.h"
+
+#include <cstdio>
+
+namespace courserank::analysis {
+
+namespace {
+
+/// JSON string escaping (control characters, quote, backslash).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string CodeName(Code code) {
+  int n = static_cast<int>(code);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "CR%03d", n);
+  return buf;
+}
+
+Severity DefaultSeverity(Code code) {
+  switch (code) {
+    case Code::kParseDsl:
+    case Code::kParseSql:
+    case Code::kSqlNotSelect:
+    case Code::kUnknownTable:
+    case Code::kUnknownColumn:
+    case Code::kUnknownSimilarity:
+    case Code::kNonBooleanPredicate:
+    case Code::kArithmeticType:
+    case Code::kArgumentType:
+    case Code::kBadCall:
+    case Code::kSimilaritySignature:
+    case Code::kWeightNotNumeric:
+    case Code::kKeyTypeMismatch:
+      return Severity::kError;
+    case Code::kCrossTypeCompare:
+    case Code::kAlwaysFalse:
+    case Code::kAlwaysTrue:
+    case Code::kCartesianProduct:
+    case Code::kUnboundedResult:
+    case Code::kUnusedColumn:
+      return Severity::kWarning;
+  }
+  return Severity::kError;
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = SeverityName(severity);
+  out += " ";
+  out += CodeName(code);
+  if (span.valid()) {
+    out += " at " + span.ToString();
+  }
+  out += ": " + message;
+  return out;
+}
+
+void DiagnosticBag::Add(Code code, SourceSpan span, std::string message) {
+  Add(DefaultSeverity(code), code, span, std::move(message));
+}
+
+void DiagnosticBag::Add(Severity severity, Code code, SourceSpan span,
+                        std::string message) {
+  // Workflow references expand by cloning subtrees, so the same finding can
+  // surface once per expansion; exact repeats carry no information.
+  for (const Diagnostic& d : items_) {
+    if (d.code == code && d.severity == severity && d.span == span &&
+        d.message == message) {
+      return;
+    }
+  }
+  items_.push_back({code, severity, span, std::move(message)});
+}
+
+size_t DiagnosticBag::error_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : items_) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+size_t DiagnosticBag::warning_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : items_) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+bool DiagnosticBag::Has(Code code) const {
+  for (const Diagnostic& d : items_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string DiagnosticBag::ToText() const {
+  std::string out;
+  for (const Diagnostic& d : items_) {
+    out += d.ToString() + "\n";
+  }
+  return out;
+}
+
+std::string DiagnosticBag::ToJson() const {
+  std::string out = "{\"diagnostics\":[";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    const Diagnostic& d = items_[i];
+    if (i > 0) out += ",";
+    out += "{\"code\":\"" + CodeName(d.code) + "\"";
+    out += ",\"severity\":\"" + std::string(SeverityName(d.severity)) + "\"";
+    if (d.span.valid()) {
+      out += ",\"line\":" + std::to_string(d.span.line);
+      out += ",\"col\":" + std::to_string(d.span.col);
+      out += ",\"len\":" + std::to_string(d.span.len);
+    }
+    out += ",\"message\":\"" + JsonEscape(d.message) + "\"}";
+  }
+  out += "],\"errors\":" + std::to_string(error_count());
+  out += ",\"warnings\":" + std::to_string(warning_count());
+  out += "}";
+  return out;
+}
+
+Status DiagnosticBag::ToStatus() const {
+  if (!has_errors()) return Status::OK();
+  std::string msg;
+  for (const Diagnostic& d : items_) {
+    if (d.severity != Severity::kError) continue;
+    if (!msg.empty()) msg += "; ";
+    msg += d.ToString();
+  }
+  return Status::InvalidArgument(std::move(msg));
+}
+
+}  // namespace courserank::analysis

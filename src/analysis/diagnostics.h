@@ -1,0 +1,108 @@
+#ifndef COURSERANK_ANALYSIS_DIAGNOSTICS_H_
+#define COURSERANK_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/source_span.h"
+#include "common/status.h"
+
+namespace courserank::analysis {
+
+/// How bad a finding is. Errors mean the plan would fail (or silently do
+/// nothing sensible) at runtime and the engines refuse to execute it;
+/// warnings flag suspicious-but-executable plans; notes are advice.
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+/// "note", "warning", or "error".
+const char* SeverityName(Severity severity);
+
+/// Stable diagnostic codes. The numeric value is part of the contract
+/// (rendered as CRnnn, asserted by tests and grep-able from CI logs), so
+/// codes are never renumbered — retired checks leave holes.
+///
+/// Bands: 0xx syntax, 1xx name resolution, 2xx type checking, 3xx
+/// predicate semantics, 4xx plan shape.
+enum class Code {
+  kParseDsl = 1,             ///< CR001 workflow DSL parse error
+  kParseSql = 2,             ///< CR002 SQL parse error
+  kSqlNotSelect = 3,         ///< CR003 workflow SQL node is not a SELECT
+  kUnknownTable = 101,       ///< CR101 table not in catalog
+  kUnknownColumn = 102,      ///< CR102 column not in scope
+  kUnknownSimilarity = 103,  ///< CR103 similarity function not registered
+  kCrossTypeCompare = 201,   ///< CR201 comparison can never be true
+  kNonBooleanPredicate = 202,///< CR202 predicate is not boolean
+  kArithmeticType = 203,     ///< CR203 arithmetic on non-numeric operand
+  kArgumentType = 204,       ///< CR204 function/operator argument type
+  kBadCall = 205,            ///< CR205 unknown function or wrong arity
+  kSimilaritySignature = 206,///< CR206 attribute violates similarity signature
+  kWeightNotNumeric = 207,   ///< CR207 weighted-avg weight attr not numeric
+  kKeyTypeMismatch = 208,    ///< CR208 extend/except key types can never match
+  kAlwaysFalse = 301,        ///< CR301 σ predicate can never hold
+  kAlwaysTrue = 302,         ///< CR302 σ predicate always holds
+  kCartesianProduct = 401,   ///< CR401 join without an equality conjunct
+  kUnboundedResult = 402,    ///< CR402 result size unbounded (pedantic)
+  kUnusedColumn = 403,       ///< CR403 extended column never consumed
+};
+
+/// "CR102" — zero-padded three-digit rendering.
+std::string CodeName(Code code);
+
+/// The severity a code carries unless the reporter overrides it.
+Severity DefaultSeverity(Code code);
+
+/// One finding: where, what, how bad.
+struct Diagnostic {
+  Code code;
+  Severity severity;
+  SourceSpan span;  ///< invalid for programmatically built nodes
+  std::string message;
+
+  /// "error CR102 at 3:1: no column 'Titel' ..." (span omitted when
+  /// unknown).
+  std::string ToString() const;
+};
+
+/// Ordered collection of findings from one analysis run, with renderers for
+/// humans (ToText) and machines (ToJson).
+class DiagnosticBag {
+ public:
+  /// Appends with the code's default severity.
+  void Add(Code code, SourceSpan span, std::string message);
+  void Add(Severity severity, Code code, SourceSpan span,
+           std::string message);
+
+  const std::vector<Diagnostic>& items() const { return items_; }
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+
+  size_t error_count() const;
+  size_t warning_count() const;
+  bool has_errors() const { return error_count() > 0; }
+
+  /// True when any diagnostic carries `code`.
+  bool Has(Code code) const;
+
+  /// One diagnostic per line.
+  std::string ToText() const;
+
+  /// {"diagnostics":[{"code":"CR102","severity":"error","line":3,
+  ///   "col":1,"len":12,"message":"..."}],"errors":1,"warnings":0}
+  /// line/col/len are omitted for spanless diagnostics.
+  std::string ToJson() const;
+
+  /// OK when no errors; otherwise InvalidArgument carrying every error line
+  /// (warnings excluded) so engine callers surface the full story at once.
+  Status ToStatus() const;
+
+ private:
+  std::vector<Diagnostic> items_;
+};
+
+}  // namespace courserank::analysis
+
+#endif  // COURSERANK_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,32 @@
+#ifndef COURSERANK_COMMON_SOURCE_SPAN_H_
+#define COURSERANK_COMMON_SOURCE_SPAN_H_
+
+#include <string>
+
+namespace courserank {
+
+/// A half-open character range in a source text (workflow DSL or SQL),
+/// 1-based like every compiler's. Line 0 means "no location" — diagnostics
+/// on nodes built programmatically (fluent builder, hand-built trees) carry
+/// no span and render without one.
+struct SourceSpan {
+  int line = 0;  ///< 1-based physical line; 0 = unknown
+  int col = 0;   ///< 1-based byte column of the first character
+  int len = 0;   ///< number of bytes covered (0 = point)
+
+  bool valid() const { return line > 0; }
+
+  /// "line:col" or "" when unknown.
+  std::string ToString() const {
+    if (!valid()) return std::string();
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+
+  bool operator==(const SourceSpan& other) const {
+    return line == other.line && col == other.col && len == other.len;
+  }
+};
+
+}  // namespace courserank
+
+#endif  // COURSERANK_COMMON_SOURCE_SPAN_H_

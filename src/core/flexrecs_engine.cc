@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <optional>
 
+#include "analysis/analyzer.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/plan.h"
-#include "query/sql_parser.h"
 #include "storage/value.h"
 
 namespace courserank::flexrecs {
@@ -144,7 +144,16 @@ std::string CompiledWorkflow::Explain() const {
   return out;
 }
 
-FlexRecsEngine::FlexRecsEngine(storage::Database* db) : db_(db), sql_(db) {}
+FlexRecsEngine::FlexRecsEngine(storage::Database* db) : db_(db), sql_(db) {
+  // Compiled SQL steps go through the same pre-execution analysis as
+  // workflow plans. The hook captures only the database pointer (not
+  // `this`) so it stays valid however the engine object moves.
+  sql_.set_validator([db](const query::Statement& stmt) {
+    analysis::DiagnosticBag diags;
+    analysis::Analyzer(db, nullptr).AnalyzeStatement(stmt, &diags);
+    return diags.ToStatus();
+  });
+}
 
 size_t FlexRecsEngine::CompileNode(const WorkflowNode* node,
                                    std::vector<CompiledStep>* steps) const {
@@ -187,31 +196,18 @@ size_t FlexRecsEngine::CompileNode(const WorkflowNode* node,
   return steps->size() - 1;
 }
 
+void FlexRecsEngine::Analyze(const WorkflowNode& root,
+                             analysis::DiagnosticBag* diags) const {
+  analysis::Analyzer(db_, &library_).AnalyzeWorkflow(root, diags);
+}
+
 Result<CompiledWorkflow> FlexRecsEngine::Compile(
     const WorkflowNode& root) const {
-  // Validate similarity names up front so admins get errors at definition
-  // time, not when a student asks for recommendations.
-  Status bad = Status::OK();
-  std::function<void(const WorkflowNode&)> validate =
-      [&](const WorkflowNode& node) {
-        if (node.kind == NodeKind::kRecommend &&
-            !library_.Has(node.recommend.similarity)) {
-          bad = Status::NotFound("no similarity function '" +
-                                 node.recommend.similarity + "'");
-        }
-        if (node.kind == NodeKind::kSql) {
-          auto parsed = query::ParseSql(node.sql);
-          if (!parsed.ok()) {
-            bad = parsed.status();
-          } else if (parsed->select == nullptr) {
-            bad = Status::InvalidArgument(
-                "workflow SQL nodes must be SELECT statements: " + node.sql);
-          }
-        }
-        for (const NodePtr& child : node.children) validate(*child);
-      };
-  validate(root);
-  CR_RETURN_IF_ERROR(bad);
+  // Static analysis up front so admins get errors at definition time, not
+  // when a student asks for recommendations. Warnings don't block.
+  analysis::DiagnosticBag diags;
+  Analyze(root, &diags);
+  CR_RETURN_IF_ERROR(diags.ToStatus());
 
   CompiledWorkflow compiled;
   compiled.root_ = root.Clone();

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "common/status.h"
 #include "core/similarity.h"
 #include "core/workflow.h"
@@ -61,7 +62,14 @@ class FlexRecsEngine {
   SimilarityLibrary& library() { return library_; }
   const SimilarityLibrary& library() const { return library_; }
 
-  /// Compiles the workflow into steps. Fails on unknown similarity names.
+  /// Runs the static analyzer over a workflow against this engine's
+  /// catalog and similarity library; findings accumulate in `diags`.
+  void Analyze(const WorkflowNode& root,
+               analysis::DiagnosticBag* diags) const;
+
+  /// Compiles the workflow into steps. Runs static analysis first and
+  /// returns the error diagnostics as a Status — invalid plans are
+  /// rejected here, never aborted on mid-execution.
   Result<CompiledWorkflow> Compile(const WorkflowNode& root) const;
 
   /// Executes a compiled workflow with the given parameters.

@@ -266,24 +266,51 @@ Result<std::optional<double>> RatingOf(const Value& a, const Value& b) {
   return std::optional<double>(it->second);
 }
 
+const char* SimArgKindName(SimArgKind kind) {
+  switch (kind) {
+    case SimArgKind::kAny:
+      return "any";
+    case SimArgKind::kString:
+      return "string";
+    case SimArgKind::kNumber:
+      return "number";
+    case SimArgKind::kSet:
+      return "set";
+    case SimArgKind::kPairs:
+      return "pairs";
+    case SimArgKind::kScalar:
+      return "scalar";
+  }
+  return "?";
+}
+
 SimilarityLibrary::SimilarityLibrary() {
-  Register("jaccard", JaccardSets);
-  Register("dice", DiceSets);
-  Register("overlap", OverlapSets);
-  Register("cosine", CosinePairs);
-  Register("pearson", PearsonPairs);
-  Register("inv_euclidean", InverseEuclideanPairs);
-  Register("inv_manhattan", InverseManhattanPairs);
-  Register("token_jaccard", TokenJaccard);
-  Register("trigram", TrigramSimilarity);
-  Register("levenshtein", LevenshteinRatio);
-  Register("numeric_proximity", NumericProximity);
+  const SimilaritySignature sets{SimArgKind::kSet, SimArgKind::kSet};
+  const SimilaritySignature pairs{SimArgKind::kPairs, SimArgKind::kPairs};
+  const SimilaritySignature strings{SimArgKind::kString, SimArgKind::kString};
+  Register("jaccard", JaccardSets, sets);
+  Register("dice", DiceSets, sets);
+  Register("overlap", OverlapSets, sets);
+  Register("cosine", CosinePairs, pairs);
+  Register("pearson", PearsonPairs, pairs);
+  Register("inv_euclidean", InverseEuclideanPairs, pairs);
+  Register("inv_manhattan", InverseManhattanPairs, pairs);
+  Register("token_jaccard", TokenJaccard, strings);
+  Register("trigram", TrigramSimilarity, strings);
+  Register("levenshtein", LevenshteinRatio, strings);
+  Register("numeric_proximity", NumericProximity,
+           {SimArgKind::kNumber, SimArgKind::kNumber});
   Register("exact", ExactMatch);
-  Register("rating_of", RatingOf);
+  Register("rating_of", RatingOf, {SimArgKind::kScalar, SimArgKind::kPairs});
 }
 
 void SimilarityLibrary::Register(const std::string& name, SimilarityFn fn) {
-  fns_[ToLower(name)] = std::move(fn);
+  Register(name, std::move(fn), SimilaritySignature{});
+}
+
+void SimilarityLibrary::Register(const std::string& name, SimilarityFn fn,
+                                 SimilaritySignature signature) {
+  fns_[ToLower(name)] = Entry{std::move(fn), signature};
 }
 
 Result<SimilarityFn> SimilarityLibrary::Get(const std::string& name) const {
@@ -291,11 +318,18 @@ Result<SimilarityFn> SimilarityLibrary::Get(const std::string& name) const {
   if (it == fns_.end()) {
     return Status::NotFound("no similarity function '" + name + "'");
   }
-  return it->second;
+  return it->second.fn;
 }
 
 bool SimilarityLibrary::Has(const std::string& name) const {
   return fns_.count(ToLower(name)) > 0;
+}
+
+std::optional<SimilaritySignature> SimilarityLibrary::GetSignature(
+    const std::string& name) const {
+  auto it = fns_.find(ToLower(name));
+  if (it == fns_.end()) return std::nullopt;
+  return it->second.signature;
 }
 
 std::vector<std::string> SimilarityLibrary::Names() const {

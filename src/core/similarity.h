@@ -24,6 +24,28 @@ using storage::Value;
 using SimilarityFn =
     std::function<Result<std::optional<double>>(const Value&, const Value&)>;
 
+/// What a comparison function expects each operand to be. The static
+/// analyzer checks the recommend operator's resolved attribute types against
+/// this; functions registered without a signature accept anything.
+enum class SimArgKind {
+  kAny,     ///< no constraint
+  kString,  ///< STRING
+  kNumber,  ///< INT or DOUBLE
+  kSet,     ///< LIST treated as a set of values
+  kPairs,   ///< LIST of [key, number] two-element lists (sparse vector)
+  kScalar,  ///< any non-LIST value (a lookup key)
+};
+
+/// Returns "any", "string", "number", "set", "pairs", or "scalar".
+const char* SimArgKindName(SimArgKind kind);
+
+/// Declared operand expectations of one comparison function: the input
+/// tuple's attribute and the reference tuple's attribute.
+struct SimilaritySignature {
+  SimArgKind input = SimArgKind::kAny;
+  SimArgKind reference = SimArgKind::kAny;
+};
+
 /// Named registry of comparison functions. Construction installs the
 /// built-ins below; applications may Register additional ones — this is the
 /// paper's extensibility story for new recommendation semantics.
@@ -32,18 +54,30 @@ class SimilarityLibrary {
   SimilarityLibrary();
 
   /// Registers (or replaces) a function under `name` (case-insensitive).
+  /// The two-argument form registers an unconstrained {kAny, kAny}
+  /// signature.
   void Register(const std::string& name, SimilarityFn fn);
+  void Register(const std::string& name, SimilarityFn fn,
+                SimilaritySignature signature);
 
   /// NotFound when the name is unknown.
   Result<SimilarityFn> Get(const std::string& name) const;
 
   bool Has(const std::string& name) const;
 
+  /// Declared signature; nullopt when the name is unknown.
+  std::optional<SimilaritySignature> GetSignature(
+      const std::string& name) const;
+
   /// Names of all registered functions, sorted.
   std::vector<std::string> Names() const;
 
  private:
-  std::unordered_map<std::string, SimilarityFn> fns_;
+  struct Entry {
+    SimilarityFn fn;
+    SimilaritySignature signature;
+  };
+  std::unordered_map<std::string, Entry> fns_;
 };
 
 // ---- built-in comparison math, exposed for direct use and testing ----

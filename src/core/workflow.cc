@@ -1,6 +1,5 @@
 #include "core/workflow.h"
 
-#include "common/logging.h"
 #include "query/sql_parser.h"
 
 namespace courserank::flexrecs {
@@ -49,14 +48,18 @@ const char* AggName(RecommendAgg agg) {
 
 }  // namespace
 
-ExprPtr MustParseExpr(const std::string& text) {
+ExprPtr Workflow::ParseOrDefer(const std::string& text, const char* what) {
   auto parsed = query::ParseExpression(text);
   if (!parsed.ok()) {
-    CR_LOG(ERROR, "workflow expression error: %s",
-           parsed.status().ToString().c_str());
+    Defer(Status::InvalidArgument(std::string(what) + " \"" + text +
+                                  "\": " + parsed.status().message()));
+    return nullptr;
   }
-  CR_CHECK(parsed.ok());
   return std::move(parsed).value();
+}
+
+void Workflow::Defer(Status error) {
+  if (error_.ok() && !error.ok()) error_ = std::move(error);
 }
 
 NodePtr WorkflowNode::Clone() const {
@@ -77,6 +80,7 @@ NodePtr WorkflowNode::Clone() const {
   node->order_column = order_column;
   node->descending = descending;
   node->k = k;
+  node->span = span;
   for (const auto& child : children) node->children.push_back(child->Clone());
   return node;
 }
@@ -155,72 +159,94 @@ Workflow Workflow::Values(Relation rel) {
 }
 
 Workflow Workflow::Select(const std::string& predicate) && {
-  return std::move(*this).Select(MustParseExpr(predicate));
+  ExprPtr parsed = ParseOrDefer(predicate, "σ predicate");
+  return std::move(*this).Select(std::move(parsed));
 }
 
 Workflow Workflow::Select(ExprPtr predicate) && {
   auto node = std::make_unique<WorkflowNode>();
   node->kind = NodeKind::kSelect;
+  if (!predicate) Defer(Status::InvalidArgument("σ: missing predicate"));
   node->predicate = std::move(predicate);
   node->children.push_back(std::move(node_));
-  return Workflow(std::move(node));
+  Workflow out(std::move(node));
+  out.error_ = std::move(error_);
+  return out;
 }
 
 Workflow Workflow::Project(
     std::vector<std::pair<std::string, std::string>> items) && {
   auto node = std::make_unique<WorkflowNode>();
   node->kind = NodeKind::kProject;
+  if (items.empty()) Defer(Status::InvalidArgument("π: empty item list"));
   for (auto& [expr_text, name] : items) {
-    node->items.push_back({MustParseExpr(expr_text), std::move(name)});
+    ExprPtr expr = ParseOrDefer(expr_text, "π item");
+    if (expr) node->items.push_back({std::move(expr), std::move(name)});
   }
   node->children.push_back(std::move(node_));
-  return Workflow(std::move(node));
+  Workflow out(std::move(node));
+  out.error_ = std::move(error_);
+  return out;
 }
 
 Workflow Workflow::Join(Workflow right, const std::string& condition) && {
+  Absorb(right);
   auto node = std::make_unique<WorkflowNode>();
   node->kind = NodeKind::kJoin;
-  node->predicate = MustParseExpr(condition);
+  node->predicate = ParseOrDefer(condition, "⋈ condition");
   node->children.push_back(std::move(node_));
   node->children.push_back(std::move(right.node_));
-  return Workflow(std::move(node));
+  Workflow out(std::move(node));
+  out.error_ = std::move(error_);
+  return out;
 }
 
 Workflow Workflow::Extend(Workflow source, const std::string& child_key,
                           const std::string& source_key,
                           std::vector<std::string> collect,
                           std::string column_name) && {
+  Absorb(source);
   auto node = std::make_unique<WorkflowNode>();
   node->kind = NodeKind::kExtend;
-  node->child_key = MustParseExpr(child_key);
-  node->source_key = MustParseExpr(source_key);
+  node->child_key = ParseOrDefer(child_key, "ε child key");
+  node->source_key = ParseOrDefer(source_key, "ε source key");
+  if (collect.empty()) Defer(Status::InvalidArgument("ε: empty collect list"));
   for (const std::string& c : collect) {
-    node->collect.push_back(MustParseExpr(c));
+    ExprPtr expr = ParseOrDefer(c, "ε collect item");
+    if (expr) node->collect.push_back(std::move(expr));
   }
   node->column_name = std::move(column_name);
   node->children.push_back(std::move(node_));
   node->children.push_back(std::move(source.node_));
-  return Workflow(std::move(node));
+  Workflow out(std::move(node));
+  out.error_ = std::move(error_);
+  return out;
 }
 
 Workflow Workflow::Recommend(Workflow reference, RecommendSpec spec) && {
+  Absorb(reference);
   auto node = std::make_unique<WorkflowNode>();
   node->kind = NodeKind::kRecommend;
   node->recommend = std::move(spec);
   node->children.push_back(std::move(node_));
   node->children.push_back(std::move(reference.node_));
-  return Workflow(std::move(node));
+  Workflow out(std::move(node));
+  out.error_ = std::move(error_);
+  return out;
 }
 
 Workflow Workflow::AntiJoin(Workflow source, const std::string& child_key,
                             const std::string& source_key) && {
+  Absorb(source);
   auto node = std::make_unique<WorkflowNode>();
   node->kind = NodeKind::kAntiJoin;
-  node->child_key = MustParseExpr(child_key);
-  node->source_key = MustParseExpr(source_key);
+  node->child_key = ParseOrDefer(child_key, "anti-join child key");
+  node->source_key = ParseOrDefer(source_key, "anti-join source key");
   node->children.push_back(std::move(node_));
   node->children.push_back(std::move(source.node_));
-  return Workflow(std::move(node));
+  Workflow out(std::move(node));
+  out.error_ = std::move(error_);
+  return out;
 }
 
 Workflow Workflow::TopK(const std::string& order_column, size_t k,
@@ -231,9 +257,14 @@ Workflow Workflow::TopK(const std::string& order_column, size_t k,
   node->k = k;
   node->descending = descending;
   node->children.push_back(std::move(node_));
-  return Workflow(std::move(node));
+  Workflow out(std::move(node));
+  out.error_ = std::move(error_);
+  return out;
 }
 
-NodePtr Workflow::Build() && { return std::move(node_); }
+Result<NodePtr> Workflow::Build() && {
+  if (!error_.ok()) return error_;
+  return std::move(node_);
+}
 
 }  // namespace courserank::flexrecs

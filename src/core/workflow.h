@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/source_span.h"
 #include "query/expr.h"
 #include "query/plan.h"
 #include "query/relation.h"
@@ -93,6 +94,11 @@ struct WorkflowNode {
 
   std::vector<NodePtr> children;
 
+  /// Where this operator was defined in DSL text; invalid (line 0) for
+  /// nodes built programmatically. The static analyzer attaches its
+  /// diagnostics here.
+  SourceSpan span;
+
   /// Deep copy.
   NodePtr Clone() const;
 
@@ -106,14 +112,17 @@ struct WorkflowNode {
 ///       .Select("Year = 2008")
 ///       .Recommend(Workflow::Table("Courses").Select("Title = $title"),
 ///                  spec)
+///
+/// Builder misuse (a malformed expression string, an empty item list) is
+/// recorded, not fatal: the chain keeps accepting calls and Build() returns
+/// the first error as a Status. Library code never aborts.
 class Workflow {
  public:
   static Workflow Table(std::string name);
   static Workflow Sql(std::string select_stmt);
   static Workflow Values(Relation rel);
 
-  /// σ with a SQL expression string; dies on parse error (builder misuse is
-  /// a programming bug, checked by tests).
+  /// σ with a SQL expression string; a parse error is deferred to Build().
   Workflow Select(const std::string& predicate) &&;
   Workflow Select(ExprPtr predicate) &&;
 
@@ -140,17 +149,26 @@ class Workflow {
   Workflow TopK(const std::string& order_column, size_t k,
                 bool descending = true) &&;
 
-  /// Releases the built tree.
-  NodePtr Build() &&;
+  /// Releases the built tree, or the first error recorded along the chain
+  /// (e.g. an expression string that failed to parse).
+  Result<NodePtr> Build() &&;
+
+  /// First deferred error of the chain so far (OK when clean).
+  const Status& status() const { return error_; }
 
  private:
   explicit Workflow(NodePtr node) : node_(std::move(node)) {}
 
-  NodePtr node_;
-};
+  /// Parses `text`, recording a deferred error on failure (returns null).
+  ExprPtr ParseOrDefer(const std::string& text, const char* what);
+  /// Records `error` if it is the chain's first.
+  void Defer(Status error);
+  /// Merges a sub-builder's deferred error into this chain.
+  void Absorb(const Workflow& other) { Defer(other.error_); }
 
-/// Parses an expression string, aborting on failure (builder-internal).
-ExprPtr MustParseExpr(const std::string& text);
+  NodePtr node_;
+  Status error_;
+};
 
 }  // namespace courserank::flexrecs
 

@@ -106,29 +106,43 @@ std::vector<std::string> SplitTopLevel(const std::string& s, char sep) {
 
 class WorkflowParser {
  public:
+  explicit WorkflowParser(ParseError* error) : error_(error) {}
+
   Result<NodePtr> Parse(const std::string& text) {
     // Assemble logical lines (continuation: a line that is not a new
-    // statement extends the previous one).
-    std::vector<std::string> logical;
+    // statement extends the previous one), remembering the 1-based physical
+    // line each statement starts on so nodes and errors carry spans.
+    struct Statement {
+      std::string text;
+      int line_no;
+    };
+    std::vector<Statement> logical;
+    int line_no = 0;
     for (const std::string& raw : Split(text, '\n')) {
+      ++line_no;
       std::string line(Trim(raw));
       size_t hash = line.find('#');
       if (hash != std::string::npos) line = std::string(Trim(line.substr(0, hash)));
       if (line.empty()) continue;
       if (IsNewStatement(line) || logical.empty()) {
-        logical.push_back(line);
+        logical.push_back({line, line_no});
       } else {
-        logical.back() += " " + line;
+        logical.back().text += " " + line;
       }
     }
 
     NodePtr returned;
-    for (const std::string& line : logical) {
+    for (const Statement& stmt : logical) {
+      const std::string& line = stmt.text;
+      cur_span_ = SourceSpan{stmt.line_no, 1,
+                             static_cast<int>(line.size())};
       LineCursor cur(line);
       std::string first = cur.NextWord();
       if (EqualsIgnoreCase(first, "RETURN")) {
         std::string name = cur.NextWord();
-        CR_ASSIGN_OR_RETURN(returned, Ref(name));
+        Result<NodePtr> ref = Ref(name);
+        if (!ref.ok()) return Fail(ref.status());
+        returned = std::move(ref).value();
         if (!cur.AtEnd()) {
           return Err(line, "trailing text after RETURN");
         }
@@ -159,11 +173,13 @@ class WorkflowParser {
       } else {
         return Err(line, "unknown operator '" + kind + "'");
       }
-      CR_RETURN_IF_ERROR(node.status());
+      if (!node.ok()) return Fail(node.status());
+      node.value()->span = cur_span_;
       defined_[ToLower(first)] = std::move(node).value();
     }
     if (returned == nullptr) {
-      return Status::InvalidArgument("workflow has no RETURN statement");
+      cur_span_ = SourceSpan{};  // whole-file problem, no single statement
+      return Fail(Status::InvalidArgument("workflow has no RETURN statement"));
     }
     return returned;
   }
@@ -186,9 +202,19 @@ class WorkflowParser {
     return i < line.size() && line[i] == '=';
   }
 
-  Status Err(const std::string& line, const std::string& msg) const {
-    return Status::InvalidArgument("workflow parse error in '" + line +
-                                   "': " + msg);
+  Status Err(const std::string& line, const std::string& msg) {
+    return Fail(Status::InvalidArgument("workflow parse error in '" + line +
+                                        "': " + msg));
+  }
+
+  /// Records the first failure (with the current statement's span) into the
+  /// caller-provided ParseError, then passes the status through.
+  Status Fail(Status s) {
+    if (error_ != nullptr && error_->message.empty()) {
+      error_->span = cur_span_;
+      error_->message = s.message();
+    }
+    return s;
   }
 
   /// Clones the named intermediate so it can be referenced repeatedly.
@@ -434,6 +460,8 @@ class WorkflowParser {
   }
 
   std::map<std::string, NodePtr> defined_;
+  SourceSpan cur_span_;
+  ParseError* error_ = nullptr;
 };
 
 /// Emits one statement per node, post-order, into `out`; returns the name
@@ -563,8 +591,8 @@ class DslWriter {
 
 }  // namespace
 
-Result<NodePtr> ParseWorkflow(const std::string& text) {
-  WorkflowParser parser;
+Result<NodePtr> ParseWorkflow(const std::string& text, ParseError* error) {
+  WorkflowParser parser(error);
   return parser.Parse(text);
 }
 

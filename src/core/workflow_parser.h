@@ -3,10 +3,19 @@
 
 #include <string>
 
+#include "common/source_span.h"
 #include "common/status.h"
 #include "core/workflow.h"
 
 namespace courserank::flexrecs {
+
+/// Where and why parsing failed. `span` covers the offending statement
+/// (line numbers are 1-based over the input text; a whole-file problem such
+/// as a missing RETURN leaves it invalid).
+struct ParseError {
+  SourceSpan span;
+  std::string message;
+};
 
 /// Parses the textual FlexRecs workflow DSL — the concrete syntax site
 /// administrators use to "quickly define recommendation strategies" (paper
@@ -38,7 +47,13 @@ namespace courserank::flexrecs {
 ///
 /// A RECOMMEND line may wrap onto following indented lines (a line that
 /// does not match `name = ...` or `RETURN ...` continues the previous one).
-Result<NodePtr> ParseWorkflow(const std::string& text);
+///
+/// Every parsed node carries the SourceSpan of its defining statement, so
+/// the static analyzer can point diagnostics back at the DSL text. On
+/// failure, `error` (when non-null) receives the offending statement's span
+/// and message in addition to the returned Status.
+Result<NodePtr> ParseWorkflow(const std::string& text,
+                              ParseError* error = nullptr);
 
 /// Serializes a workflow tree back to DSL text (intermediate nodes are
 /// named n1, n2, ...). The result is verified by re-parsing before being

@@ -36,6 +36,7 @@ inline constexpr char kFlexRun[] = "flexrecs.run";
 inline constexpr char kFlexSqlStep[] = "flexrecs.step.sql";
 inline constexpr char kFlexValuesStep[] = "flexrecs.step.values";
 inline constexpr char kFlexPhysicalStep[] = "flexrecs.step.physical";
+inline constexpr char kAnalysis[] = "analysis.run";
 }  // namespace stage
 
 /// Monotonic nanoseconds (steady clock); the time base of all spans.

@@ -71,6 +71,10 @@ class LiteralExpr : public Expr {
     return std::make_unique<LiteralExpr>(value_);
   }
 
+  void Accept(ExprVisitor& visitor) const override {
+    visitor.VisitLiteral(value_);
+  }
+
  private:
   Value value_;
 };
@@ -91,6 +95,10 @@ class ColumnExpr : public Expr {
   }
   std::string ToString() const override { return name_; }
   ExprPtr Clone() const override { return std::make_unique<ColumnExpr>(name_); }
+
+  void Accept(ExprVisitor& visitor) const override {
+    visitor.VisitColumn(name_);
+  }
 
  private:
   std::string name_;
@@ -115,6 +123,10 @@ class ParamExpr : public Expr {
   Result<Value> Eval(const Row&) const override { return value_; }
   std::string ToString() const override { return "$" + name_; }
   ExprPtr Clone() const override { return std::make_unique<ParamExpr>(name_); }
+
+  void Accept(ExprVisitor& visitor) const override {
+    visitor.VisitParam(name_);
+  }
 
  private:
   std::string name_;
@@ -154,6 +166,10 @@ class UnaryExpr : public Expr {
   }
   ExprPtr Clone() const override {
     return std::make_unique<UnaryExpr>(op_, operand_->Clone());
+  }
+
+  void Accept(ExprVisitor& visitor) const override {
+    visitor.VisitUnary(op_, *operand_);
   }
 
  private:
@@ -280,6 +296,10 @@ class BinaryExpr : public Expr {
     return std::make_unique<BinaryExpr>(op_, lhs_->Clone(), rhs_->Clone());
   }
 
+  void Accept(ExprVisitor& visitor) const override {
+    visitor.VisitBinary(op_, *lhs_, *rhs_);
+  }
+
  private:
   BinaryOp op_;
   ExprPtr lhs_;
@@ -304,6 +324,10 @@ class IsNullExpr : public Expr {
   }
   ExprPtr Clone() const override {
     return std::make_unique<IsNullExpr>(operand_->Clone(), negated_);
+  }
+
+  void Accept(ExprVisitor& visitor) const override {
+    visitor.VisitIsNull(*operand_, negated_);
   }
 
  private:
@@ -340,6 +364,10 @@ class InListExpr : public Expr {
   }
   ExprPtr Clone() const override {
     return std::make_unique<InListExpr>(operand_->Clone(), values_);
+  }
+
+  void Accept(ExprVisitor& visitor) const override {
+    visitor.VisitInList(*operand_, values_);
   }
 
  private:
@@ -382,30 +410,12 @@ class CallExpr : public Expr {
     return std::make_unique<CallExpr>(function_, std::move(args));
   }
 
- private:
-  Status CheckArity() const {
-    auto need = [&](size_t n) -> Status {
-      if (args_.size() != n) {
-        return Status::InvalidArgument(function_ + " expects " +
-                                       std::to_string(n) + " arguments");
-      }
-      return Status::OK();
-    };
-    if (function_ == "LOWER" || function_ == "UPPER" ||
-        function_ == "LENGTH" || function_ == "ABS" ||
-        function_ == "LIST_LEN") {
-      return need(1);
-    }
-    if (function_ == "ROUND" || function_ == "CONTAINS") return need(2);
-    if (function_ == "SUBSTR") return need(3);
-    if (function_ == "COALESCE") {
-      if (args_.empty()) {
-        return Status::InvalidArgument("COALESCE needs at least 1 argument");
-      }
-      return Status::OK();
-    }
-    return Status::NotFound("unknown function " + function_);
+  void Accept(ExprVisitor& visitor) const override {
+    visitor.VisitCall(function_, args_);
   }
+
+ private:
+  Status CheckArity() const { return CheckScalarCall(function_, args_.size()); }
 
   Result<Value> Apply(const std::vector<Value>& v) const {
     if (function_ == "COALESCE") {
@@ -490,6 +500,39 @@ ExprPtr MakeCall(std::string function, std::vector<ExprPtr> args) {
 ExprPtr MakeColumnEquals(std::string column, Value v) {
   return MakeBinary(BinaryOp::kEq, MakeColumn(std::move(column)),
                     MakeLiteral(std::move(v)));
+}
+
+Status CheckScalarCall(const std::string& name, size_t arity) {
+  auto need = [&](size_t n) -> Status {
+    if (arity != n) {
+      return Status::InvalidArgument(name + " expects " + std::to_string(n) +
+                                     " arguments");
+    }
+    return Status::OK();
+  };
+  if (name == "LOWER" || name == "UPPER" || name == "LENGTH" ||
+      name == "ABS" || name == "LIST_LEN") {
+    return need(1);
+  }
+  if (name == "ROUND" || name == "CONTAINS") return need(2);
+  if (name == "SUBSTR") return need(3);
+  if (name == "COALESCE") {
+    if (arity == 0) {
+      return Status::InvalidArgument("COALESCE needs at least 1 argument");
+    }
+    return Status::OK();
+  }
+  return Status::NotFound("unknown function " + name);
+}
+
+std::optional<ValueType> ScalarFunctionResultType(const std::string& name) {
+  if (name == "LOWER" || name == "UPPER" || name == "SUBSTR") {
+    return ValueType::kString;
+  }
+  if (name == "LENGTH" || name == "LIST_LEN") return ValueType::kInt;
+  if (name == "ROUND") return ValueType::kDouble;
+  if (name == "CONTAINS") return ValueType::kBool;
+  return std::nullopt;  // ABS/COALESCE depend on their arguments
 }
 
 }  // namespace courserank::query

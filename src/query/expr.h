@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,67 @@ namespace courserank::query {
 /// Named query parameters ("$student" in SQL / workflow text), bound at
 /// execution time.
 using ParamMap = std::map<std::string, Value>;
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Binary operators. Comparison ops return BOOL (or NULL); LIKE is
+/// case-insensitive with %/_ wildcards.
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kLike,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+/// Structural visitor over expression trees. Expr::Accept dispatches to
+/// exactly one method per node; the visitor drives recursion itself by
+/// calling Accept on the sub-expressions it is handed. Used by the static
+/// analyzer (type inference, column collection, constant folding) — the
+/// evaluator does not go through this.
+class ExprVisitor {
+ public:
+  virtual ~ExprVisitor() = default;
+
+  virtual void VisitLiteral(const storage::Value& value) { (void)value; }
+  virtual void VisitColumn(const std::string& name) { (void)name; }
+  virtual void VisitParam(const std::string& name) { (void)name; }
+  virtual void VisitUnary(UnaryOp op, const Expr& operand) {
+    (void)op;
+    (void)operand;
+  }
+  virtual void VisitBinary(BinaryOp op, const Expr& lhs, const Expr& rhs) {
+    (void)op;
+    (void)lhs;
+    (void)rhs;
+  }
+  virtual void VisitIsNull(const Expr& operand, bool negated) {
+    (void)operand;
+    (void)negated;
+  }
+  virtual void VisitInList(const Expr& operand,
+                           const std::vector<storage::Value>& values) {
+    (void)operand;
+    (void)values;
+  }
+  virtual void VisitCall(const std::string& function,
+                         const std::vector<ExprPtr>& args) {
+    (void)function;
+    (void)args;
+  }
+};
 
 /// Scalar expression tree with SQL NULL semantics: comparisons and
 /// arithmetic involving NULL yield NULL; AND/OR use three-valued logic; a
@@ -40,30 +102,10 @@ class Expr {
 
   /// Deep copy (unbound).
   virtual std::unique_ptr<Expr> Clone() const = 0;
+
+  /// Single dispatch to the matching ExprVisitor method (no recursion).
+  virtual void Accept(ExprVisitor& visitor) const = 0;
 };
-
-using ExprPtr = std::unique_ptr<Expr>;
-
-/// Binary operators. Comparison ops return BOOL (or NULL); LIKE is
-/// case-insensitive with %/_ wildcards.
-enum class BinaryOp {
-  kAdd,
-  kSub,
-  kMul,
-  kDiv,
-  kMod,
-  kEq,
-  kNe,
-  kLt,
-  kLe,
-  kGt,
-  kGe,
-  kAnd,
-  kOr,
-  kLike,
-};
-
-enum class UnaryOp { kNot, kNeg };
 
 /// Factory helpers. All return unbound expressions.
 ExprPtr MakeLiteral(Value v);
@@ -85,6 +127,18 @@ ExprPtr MakeColumnEquals(std::string column, Value v);
 
 /// Token for rendering a BinaryOp ("+", "AND", ...).
 const char* BinaryOpName(BinaryOp op);
+
+/// Arity/name validation for the scalar function registry, shared between
+/// CallExpr::Bind and the static analyzer. `name` must already be
+/// upper-cased. NotFound for unknown functions, InvalidArgument for wrong
+/// arity.
+Status CheckScalarCall(const std::string& name, size_t arity);
+
+/// Static result type of a registry function when it has one (LENGTH →
+/// INT, LOWER → STRING, ...). nullopt for functions whose type depends on
+/// their arguments (ABS, COALESCE). `name` must already be upper-cased.
+std::optional<storage::ValueType> ScalarFunctionResultType(
+    const std::string& name);
 
 }  // namespace courserank::query
 

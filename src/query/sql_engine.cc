@@ -237,6 +237,7 @@ Result<Relation> SqlEngine::Execute(const std::string& sql,
     return ParseSql(sql);
   }();
   CR_ASSIGN_OR_RETURN(Statement stmt, std::move(parsed));
+  if (validator_) CR_RETURN_IF_ERROR(validator_(stmt));
   if (stmt.select != nullptr) {
     CR_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(*stmt.select));
     ExecContext ctx;

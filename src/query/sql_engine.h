@@ -1,7 +1,9 @@
 #ifndef COURSERANK_QUERY_SQL_ENGINE_H_
 #define COURSERANK_QUERY_SQL_ENGINE_H_
 
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 #include "query/plan.h"
@@ -18,7 +20,15 @@ namespace courserank::query {
 /// into (paper §3.2).
 class SqlEngine {
  public:
+  /// Inspects a parsed statement before execution; a non-OK status rejects
+  /// the statement. Installed by layers that know how to validate (the
+  /// FlexRecs engine plugs in the static analyzer) without cr_query
+  /// depending on them.
+  using Validator = std::function<Status(const Statement&)>;
+
   explicit SqlEngine(storage::Database* db) : db_(db) {}
+
+  void set_validator(Validator v) { validator_ = std::move(v); }
 
   /// Parses, plans, and executes one statement.
   Result<Relation> Execute(const std::string& sql, const ParamMap& params = {});
@@ -41,6 +51,7 @@ class SqlEngine {
   Result<Relation> ExecuteCreateTable(const CreateTableStmt& stmt);
 
   storage::Database* db_;
+  Validator validator_;
 };
 
 }  // namespace courserank::query

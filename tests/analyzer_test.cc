@@ -1,0 +1,428 @@
+#include "analysis/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostics.h"
+#include "core/flexrecs_engine.h"
+#include "core/strategies.h"
+#include "core/workflow_parser.h"
+#include "social/site.h"
+#include "storage/database.h"
+
+namespace courserank::analysis {
+namespace {
+
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+/// A catalog with enough shape to exercise every check: typed columns,
+/// nullable columns, list-typed attributes via ε, and a similarity library.
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(
+                       "Students",
+                       Schema({{"SuID", ValueType::kInt, false},
+                               {"Name", ValueType::kString, false},
+                               {"Major", ValueType::kString, true}}),
+                       {"SuID"})
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(
+                       "Courses",
+                       Schema({{"CourseID", ValueType::kInt, false},
+                               {"Title", ValueType::kString, false},
+                               {"Units", ValueType::kInt, false}}),
+                       {"CourseID"})
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(
+                       "Ratings",
+                       Schema({{"SuID", ValueType::kInt, false},
+                               {"CourseID", ValueType::kInt, false},
+                               {"Score", ValueType::kDouble, false}}),
+                       {"SuID", "CourseID"})
+                    .ok());
+    engine_ = std::make_unique<flexrecs::FlexRecsEngine>(&db_);
+  }
+
+  /// Lints DSL text with the engine's similarity library.
+  DiagnosticBag Lint(const std::string& dsl, bool pedantic = false) {
+    AnalyzerOptions options;
+    options.pedantic = pedantic;
+    Analyzer analyzer(&db_, &engine_->library(), options);
+    return analyzer.LintDsl(dsl);
+  }
+
+  DiagnosticBag LintSql(const std::string& sql) {
+    return Analyzer(&db_, &engine_->library()).LintSql(sql);
+  }
+
+  /// The single diagnostic in the bag, asserted to exist.
+  const Diagnostic& Only(const DiagnosticBag& bag) {
+    EXPECT_EQ(bag.size(), 1u) << bag.ToText();
+    static Diagnostic fallback{};
+    return bag.empty() ? fallback : bag.items()[0];
+  }
+
+  storage::Database db_;
+  std::unique_ptr<flexrecs::FlexRecsEngine> engine_;
+};
+
+// ---- golden diagnostics: one per check -------------------------------
+
+TEST_F(AnalyzerTest, ParseErrorCarriesStatementSpan) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "b = FROBNICATE a\n"
+      "RETURN b\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kParseDsl);
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.span.line, 2);
+  EXPECT_EQ(d.span.col, 1);
+  EXPECT_NE(d.message.find("FROBNICATE"), std::string::npos) << d.message;
+}
+
+TEST_F(AnalyzerTest, SqlParseErrorInWorkflowIsCr002) {
+  DiagnosticBag bag = Lint(
+      "a = SQL SELECT FROM WHERE\n"
+      "RETURN a\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kParseSql);
+  EXPECT_EQ(d.span.line, 1);
+}
+
+TEST_F(AnalyzerTest, NonSelectSqlNodeIsCr003) {
+  DiagnosticBag bag = Lint(
+      "a = SQL DELETE FROM Courses\n"
+      "RETURN a\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kSqlNotSelect);
+  EXPECT_EQ(d.severity, Severity::kError);
+}
+
+TEST_F(AnalyzerTest, UnknownTableIsCr101WithSpan) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Coursez\n"
+      "RETURN a\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kUnknownTable);
+  EXPECT_EQ(d.span.line, 1);
+  EXPECT_NE(d.message.find("Coursez"), std::string::npos) << d.message;
+}
+
+TEST_F(AnalyzerTest, UnknownColumnIsCr102WithSpan) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "b = SELECT a WHERE Titel = 'Calculus'\n"
+      "RETURN b\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kUnknownColumn);
+  EXPECT_EQ(d.span.line, 2);
+  EXPECT_NE(d.message.find("Titel"), std::string::npos) << d.message;
+}
+
+TEST_F(AnalyzerTest, UnknownSimilarityIsCr103) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "r = RECOMMEND a AGAINST a USING bogus(Title, Title) AGG max SCORE "
+      "s\n"
+      "RETURN r\n");
+  ASSERT_TRUE(bag.Has(Code::kUnknownSimilarity)) << bag.ToText();
+  EXPECT_TRUE(bag.has_errors());
+}
+
+TEST_F(AnalyzerTest, CrossTypeCompareIsCr201Warning) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "b = SELECT a WHERE Title > 5\n"
+      "RETURN b\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kCrossTypeCompare);
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.span.line, 2);
+}
+
+TEST_F(AnalyzerTest, NonBooleanPredicateIsCr202) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "b = SELECT a WHERE Units + 1\n"
+      "RETURN b\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kNonBooleanPredicate);
+  EXPECT_EQ(d.severity, Severity::kError);
+}
+
+TEST_F(AnalyzerTest, ArithmeticOnStringIsCr203) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "b = SELECT a WHERE Title * 2 > 3\n"
+      "RETURN b\n");
+  ASSERT_TRUE(bag.Has(Code::kArithmeticType)) << bag.ToText();
+  EXPECT_TRUE(bag.has_errors());
+}
+
+TEST_F(AnalyzerTest, LikeOnNumericIsCr204) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "b = SELECT a WHERE Units LIKE '%x%'\n"
+      "RETURN b\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kArgumentType);
+  EXPECT_NE(d.message.find("LIKE"), std::string::npos) << d.message;
+}
+
+TEST_F(AnalyzerTest, UnknownFunctionIsCr205) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "b = SELECT a WHERE FROB(Title) = 'x'\n"
+      "RETURN b\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kBadCall);
+}
+
+TEST_F(AnalyzerTest, WrongArityIsCr205) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "b = SELECT a WHERE LOWER(Title, Title) = 'x'\n"
+      "RETURN b\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kBadCall);
+}
+
+TEST_F(AnalyzerTest, SetSimilarityOverScalarAttrIsCr206) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "r = RECOMMEND a AGAINST a USING jaccard(Title, Title) AGG max SCORE "
+      "s\n"
+      "RETURN r\n");
+  ASSERT_TRUE(bag.Has(Code::kSimilaritySignature)) << bag.ToText();
+  for (const Diagnostic& d : bag.items()) {
+    EXPECT_EQ(d.span.line, 2);
+  }
+}
+
+TEST_F(AnalyzerTest, NonNumericWeightIsCr207) {
+  DiagnosticBag bag = Lint(
+      "s = TABLE Students\n"
+      "r = RECOMMEND s AGAINST s USING exact(SuID, SuID) AGG weighted "
+      "Name SCORE score\n"
+      "RETURN r\n");
+  ASSERT_TRUE(bag.Has(Code::kWeightNotNumeric)) << bag.ToText();
+}
+
+TEST_F(AnalyzerTest, ExtendKeyTypeMismatchIsCr208) {
+  DiagnosticBag bag = Lint(
+      "s = TABLE Students\n"
+      "c = TABLE Courses\n"
+      "e = EXTEND s WITH c ON SuID = Title COLLECT CourseID AS taken\n"
+      "t = TOPK e BY taken DESC LIMIT 5\n"
+      "RETURN t\n");
+  ASSERT_TRUE(bag.Has(Code::kKeyTypeMismatch)) << bag.ToText();
+}
+
+TEST_F(AnalyzerTest, ConstantFalsePredicateIsCr301) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "b = SELECT a WHERE 1 = 2\n"
+      "RETURN b\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kAlwaysFalse);
+  EXPECT_EQ(d.severity, Severity::kWarning);
+}
+
+TEST_F(AnalyzerTest, ComparisonWithNullLiteralIsCr301) {
+  DiagnosticBag bag = Lint(
+      "s = TABLE Students\n"
+      "b = SELECT s WHERE Major = NULL\n"
+      "RETURN b\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kAlwaysFalse);
+  EXPECT_NE(d.message.find("IS NULL"), std::string::npos) << d.message;
+}
+
+TEST_F(AnalyzerTest, CrossTypeEqualityConjunctIsCr301) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "b = SELECT a WHERE Units > 2 AND Title = 7\n"
+      "RETURN b\n");
+  ASSERT_TRUE(bag.Has(Code::kAlwaysFalse)) << bag.ToText();
+}
+
+TEST_F(AnalyzerTest, ConstantTruePredicateIsCr302) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "b = SELECT a WHERE 1 = 1\n"
+      "RETURN b\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kAlwaysTrue);
+  EXPECT_EQ(d.severity, Severity::kWarning);
+}
+
+TEST_F(AnalyzerTest, JoinWithoutEquiConjunctIsCr401) {
+  DiagnosticBag bag = Lint(
+      "s = TABLE Students\n"
+      "c = TABLE Courses\n"
+      "j = JOIN s WITH c ON SuID > CourseID\n"
+      "RETURN j\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kCartesianProduct);
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.span.line, 3);
+}
+
+TEST_F(AnalyzerTest, UnboundedResultIsPedanticOnlyCr402) {
+  const char* dsl =
+      "a = TABLE Courses\n"
+      "RETURN a\n";
+  EXPECT_TRUE(Lint(dsl).empty()) << Lint(dsl).ToText();
+  DiagnosticBag pedantic = Lint(dsl, /*pedantic=*/true);
+  ASSERT_TRUE(pedantic.Has(Code::kUnboundedResult)) << pedantic.ToText();
+  EXPECT_FALSE(pedantic.has_errors());
+}
+
+TEST_F(AnalyzerTest, UnconsumedExtendColumnIsCr403) {
+  DiagnosticBag bag = Lint(
+      "s = TABLE Students\n"
+      "r = TABLE Ratings\n"
+      "e = EXTEND s WITH r ON SuID = SuID COLLECT CourseID AS taken\n"
+      "p = PROJECT e TO Name\n"
+      "RETURN p\n");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kUnusedColumn);
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.span.line, 3);
+}
+
+// ---- clean inputs produce zero diagnostics ---------------------------
+
+TEST_F(AnalyzerTest, CleanWorkflowHasNoDiagnostics) {
+  DiagnosticBag bag = Lint(
+      "s = TABLE Students\n"
+      "r = TABLE Ratings\n"
+      "e = EXTEND s WITH r ON SuID = SuID COLLECT CourseID, Score AS "
+      "prefs\n"
+      "mine = SELECT e WHERE SuID = $student\n"
+      "rest = SELECT e WHERE SuID <> $student\n"
+      "sim = RECOMMEND rest AGAINST mine USING inv_euclidean(prefs, prefs) "
+      "AGG max SCORE sim TOP 10\n"
+      "t = TOPK sim BY sim DESC LIMIT 10\n"
+      "RETURN t\n");
+  EXPECT_TRUE(bag.empty()) << bag.ToText();
+}
+
+TEST_F(AnalyzerTest, DefaultStrategiesLintClean) {
+  // The canned strategies reference the canonical site schema; lint them
+  // against it exactly as an administrator would.
+  auto site = social::CourseRankSite::Create();
+  ASSERT_TRUE(site.ok());
+  Analyzer analyzer(&(*site)->db(), &(*site)->flexrecs().library());
+  for (const std::string& dsl :
+       {flexrecs::strategies::RelatedCoursesDsl(),
+        flexrecs::strategies::UserCfDsl(),
+        flexrecs::strategies::WeightedUserCfDsl(),
+        flexrecs::strategies::GradeCfDsl(),
+        flexrecs::strategies::MajorPopularDsl(),
+        flexrecs::strategies::RecommendMajorDsl(),
+        flexrecs::strategies::BestQuarterDsl()}) {
+    DiagnosticBag bag = analyzer.LintDsl(dsl);
+    EXPECT_TRUE(bag.empty()) << dsl << "\n" << bag.ToText();
+  }
+}
+
+// ---- SQL statement analysis ------------------------------------------
+
+TEST_F(AnalyzerTest, SqlUnknownColumnIsCr102) {
+  DiagnosticBag bag = LintSql("SELECT Titel FROM Courses");
+  const Diagnostic& d = Only(bag);
+  EXPECT_EQ(d.code, Code::kUnknownColumn);
+}
+
+TEST_F(AnalyzerTest, SqlJoinWithoutEqualityIsCr401) {
+  DiagnosticBag bag = LintSql(
+      "SELECT c.Title FROM Courses c JOIN Ratings r ON c.Units > r.Score");
+  ASSERT_TRUE(bag.Has(Code::kCartesianProduct)) << bag.ToText();
+}
+
+TEST_F(AnalyzerTest, SqlInsertArityMismatchIsCr204) {
+  DiagnosticBag bag =
+      LintSql("INSERT INTO Courses (CourseID, Title) VALUES (1)");
+  ASSERT_TRUE(bag.Has(Code::kArgumentType)) << bag.ToText();
+}
+
+TEST_F(AnalyzerTest, SqlInsertTypeMismatchIsCr204) {
+  DiagnosticBag bag = LintSql(
+      "INSERT INTO Courses (CourseID, Title, Units) VALUES ('x', 'T', 3)");
+  ASSERT_TRUE(bag.Has(Code::kArgumentType)) << bag.ToText();
+}
+
+TEST_F(AnalyzerTest, SqlUpdateAssignmentTypeIsCr204) {
+  DiagnosticBag bag = LintSql("UPDATE Courses SET Units = 'many'");
+  ASSERT_TRUE(bag.Has(Code::kArgumentType)) << bag.ToText();
+}
+
+TEST_F(AnalyzerTest, CleanSqlHasNoDiagnostics) {
+  DiagnosticBag bag = LintSql(
+      "SELECT c.Title, AVG(r.Score) AS avg_score FROM Courses c JOIN "
+      "Ratings r ON c.CourseID = r.CourseID WHERE c.Units >= 3 GROUP BY "
+      "c.Title ORDER BY avg_score DESC LIMIT 10");
+  EXPECT_TRUE(bag.empty()) << bag.ToText();
+}
+
+// ---- engine integration ----------------------------------------------
+
+TEST_F(AnalyzerTest, EngineRejectsInvalidPlanWithDiagnosticsNotAbort) {
+  auto parsed = flexrecs::ParseWorkflow(
+      "a = TABLE Coursez\n"
+      "RETURN a\n");
+  ASSERT_TRUE(parsed.ok());
+  auto compiled = engine_->Compile(**parsed);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.status().message().find("CR101"), std::string::npos)
+      << compiled.status().message();
+}
+
+TEST_F(AnalyzerTest, EngineSqlPathRejectsBadStatement) {
+  auto parsed = flexrecs::ParseWorkflow(
+      "a = SQL SELECT Titel FROM Courses\n"
+      "RETURN a\n");
+  ASSERT_TRUE(parsed.ok());
+  auto compiled = engine_->Compile(**parsed);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.status().message().find("CR102"), std::string::npos)
+      << compiled.status().message();
+}
+
+TEST_F(AnalyzerTest, WarningsDoNotBlockExecution) {
+  auto parsed = flexrecs::ParseWorkflow(
+      "a = TABLE Courses\n"
+      "b = SELECT a WHERE 1 = 1\n"
+      "RETURN b\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(engine_->Compile(**parsed).ok());
+}
+
+// ---- rendering --------------------------------------------------------
+
+TEST_F(AnalyzerTest, JsonRenderingIsStable) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Coursez\n"
+      "RETURN a\n");
+  std::string json = bag.ToJson();
+  EXPECT_NE(json.find("\"code\":\"CR101\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos) << json;
+}
+
+TEST_F(AnalyzerTest, TextRenderingIncludesCodeAndSpan) {
+  DiagnosticBag bag = Lint(
+      "a = TABLE Courses\n"
+      "b = SELECT a WHERE Titel = 'x'\n"
+      "RETURN b\n");
+  EXPECT_NE(bag.ToText().find("error CR102 at 2:1:"), std::string::npos)
+      << bag.ToText();
+}
+
+}  // namespace
+}  // namespace courserank::analysis

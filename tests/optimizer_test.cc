@@ -58,7 +58,7 @@ TEST_F(OptimizerTest, TopKFusesIntoRecommend) {
           .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
                      TitleSpec())
           .TopK("score", 3))
-      .Build();
+      .Build().value();
   OptimizerStats stats;
   NodePtr optimized = OptimizeWorkflow(wf->Clone(), &stats, nullptr);
   EXPECT_EQ(stats.topk_fused, 1);
@@ -80,7 +80,7 @@ TEST_F(OptimizerTest, TopKFusionKeepsSmallerK) {
           .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
                      spec)
           .TopK("score", 5))
-      .Build();
+      .Build().value();
   NodePtr optimized = OptimizeWorkflow(std::move(wf), nullptr);
   EXPECT_EQ(optimized->recommend.top_k, 2u);
 }
@@ -91,7 +91,7 @@ TEST_F(OptimizerTest, TopKOnOtherColumnNotFused) {
           .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
                      TitleSpec())
           .TopK("Units", 3))
-      .Build();
+      .Build().value();
   OptimizerStats stats;
   NodePtr optimized = OptimizeWorkflow(std::move(wf), &stats, nullptr);
   EXPECT_EQ(stats.topk_fused, 0);
@@ -104,7 +104,7 @@ TEST_F(OptimizerTest, AscendingTopKNotFused) {
           .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
                      TitleSpec())
           .TopK("score", 3, /*descending=*/false))
-      .Build();
+      .Build().value();
   OptimizerStats stats;
   OptimizeWorkflow(std::move(wf), &stats, nullptr);
   EXPECT_EQ(stats.topk_fused, 0);
@@ -116,7 +116,7 @@ TEST_F(OptimizerTest, SelectPushesBelowRecommend) {
           .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
                      TitleSpec())
           .Select("Units = 4"))
-      .Build();
+      .Build().value();
   OptimizerStats stats;
   NodePtr optimized = OptimizeWorkflow(wf->Clone(), &stats, nullptr);
   EXPECT_EQ(stats.selects_pushed, 1);
@@ -138,7 +138,7 @@ TEST_F(OptimizerTest, SelectOnScoreNotPushed) {
           .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
                      TitleSpec())
           .Select("score > 0.2"))
-      .Build();
+      .Build().value();
   OptimizerStats stats;
   NodePtr optimized = OptimizeWorkflow(std::move(wf), &stats, nullptr);
   EXPECT_EQ(stats.selects_pushed, 0);
@@ -152,7 +152,7 @@ TEST_F(OptimizerTest, SelectAboveTopKRecommendNotPushed) {
           .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
                      TitleSpec(/*top_k=*/3))
           .Select("Units = 4"))
-      .Build();
+      .Build().value();
   OptimizerStats stats;
   OptimizeWorkflow(std::move(wf), &stats, nullptr);
   EXPECT_EQ(stats.selects_pushed, 0);
@@ -162,7 +162,7 @@ TEST_F(OptimizerTest, AdjacentSelectsMerge) {
   NodePtr wf = std::move(Workflow::Table("Courses")
                              .Select("Units >= 3")
                              .Select("CourseID <= 6"))
-      .Build();
+      .Build().value();
   OptimizerStats stats;
   NodePtr optimized = OptimizeWorkflow(wf->Clone(), &stats, nullptr);
   EXPECT_EQ(stats.selects_merged, 1);
@@ -183,7 +183,7 @@ TEST_F(OptimizerTest, PushdownEnablesSqlCompilation) {
           .Recommend(Workflow::Table("Courses").Select("CourseID = 1"),
                      TitleSpec())
           .Select("Units = 4"))
-      .Build();
+      .Build().value();
   NodePtr optimized = OptimizeWorkflow(wf->Clone(), nullptr);
 
   auto before = engine_->Compile(*wf);
@@ -211,7 +211,7 @@ TEST_F(OptimizerTest, ChainedRulesReachFixpoint) {
           .TopK("score", 5)
           .Select("Units >= 3")
           .Select("CourseID <= 10"))
-      .Build();
+      .Build().value();
   OptimizerStats stats;
   std::string trace;
   NodePtr optimized = OptimizeWorkflow(std::move(wf), &stats, &trace);

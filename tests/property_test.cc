@@ -7,9 +7,12 @@
 #include <algorithm>
 #include <cctype>
 
+#include "analysis/analyzer.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/similarity.h"
+#include "core/workflow_parser.h"
+#include "gen/generator.h"
 #include "planner/requirements.h"
 #include "query/plan.h"
 #include "query/sql_parser.h"
@@ -370,6 +373,145 @@ TEST(SimilarityProperty, JaccardSelfIsOneAndBounded) {
     EXPECT_DOUBLE_EQ(**self, 1.0);
   }
 }
+
+// ------------------------------------------- analyzer soundness
+
+/// Emits random workflow DSL over the canonical schema. Roughly half the
+/// outputs contain a seeded mistake (bogus column/table/similarity, type
+/// confusion) so the corpus exercises both accept and reject paths.
+class RandomWorkflowGen {
+ public:
+  explicit RandomWorkflowGen(Rng* rng) : rng_(*rng) {}
+
+  std::string Next() {
+    std::string dsl;
+    dsl += "base = TABLE " + TableName() + "\n";
+    std::string cur = "base";
+    size_t ops = 1 + rng_.NextBounded(3);
+    for (size_t i = 0; i < ops; ++i) {
+      switch (rng_.NextBounded(4)) {
+        case 0:
+          dsl += "s" + std::to_string(i) + " = SELECT " + cur + " WHERE " +
+                 Predicate() + "\n";
+          cur = "s" + std::to_string(i);
+          break;
+        case 1: {
+          dsl += "e" + std::to_string(i) + " = EXTEND " + cur +
+                 " WITH base ON " + ColumnName() + " = " + ColumnName() +
+                 " COLLECT " + ColumnName() + " AS bag" +
+                 std::to_string(i) + "\n";
+          cur = "e" + std::to_string(i);
+          break;
+        }
+        case 2: {
+          dsl += "r" + std::to_string(i) + " = RECOMMEND " + cur +
+                 " AGAINST base USING " + Similarity() + "(" +
+                 ColumnName() + ", " + ColumnName() +
+                 ") AGG max SCORE sc" + std::to_string(i) + " TOP 5\n";
+          cur = "r" + std::to_string(i);
+          break;
+        }
+        default:
+          dsl += "t" + std::to_string(i) + " = TOPK " + cur + " BY " +
+                 ColumnName() + " DESC LIMIT 5\n";
+          cur = "t" + std::to_string(i);
+          break;
+      }
+    }
+    dsl += "RETURN " + cur + "\n";
+    return dsl;
+  }
+
+ private:
+  /// One-in-ten draws are deliberately wrong (bogus name, set similarity
+  /// over a scalar) so the rejected path stays covered.
+  bool Sabotage() { return rng_.NextBounded(10) == 0; }
+
+  std::string TableName() {
+    if (Sabotage()) return "Studentz";
+    static const char* kTables[] = {"Students", "Courses", "Ratings",
+                                    "Offerings"};
+    table_ = rng_.NextBounded(4);
+    return kTables[table_];
+  }
+  std::string ColumnName() {
+    if (Sabotage()) return "Bogus";
+    // Columns of the base table chosen by TableName(), same order.
+    static const std::vector<const char*> kColumns[] = {
+        {"SuID", "Name", "Class", "GPA"},
+        {"CourseID", "Title", "Number", "Units"},
+        {"SuID", "CourseID", "Score", "Day"},
+        {"OfferingID", "CourseID", "Year", "Term"}};
+    const auto& cols = kColumns[table_];
+    return cols[rng_.NextBounded(cols.size())];
+  }
+  std::string Similarity() {
+    if (Sabotage()) return "frobnitz";
+    static const char* kSims[] = {"exact", "numeric_proximity",
+                                  "token_jaccard"};
+    return kSims[rng_.NextBounded(3)];
+  }
+  std::string Predicate() {
+    static const char* kOps[] = {"=", "<>", "<", ">="};
+    std::string lhs = ColumnName();
+    std::string rhs;
+    switch (rng_.NextBounded(3)) {
+      case 0:
+        rhs = std::to_string(rng_.NextBounded(100));
+        break;
+      case 1:
+        rhs = "'x" + std::to_string(rng_.NextBounded(10)) + "'";
+        break;
+      default:
+        rhs = ColumnName();
+        break;
+    }
+    return lhs + " " + kOps[rng_.NextBounded(4)] + " " + rhs;
+  }
+  Rng& rng_;
+  size_t table_ = 0;  ///< index of the last base table drawn
+};
+
+class AnalyzerSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Analyzer soundness over random workflows: any plan the analyzer accepts
+/// (zero error diagnostics) must execute through the FlexRecs engine
+/// without runtime type or schema failures.
+TEST_P(AnalyzerSoundnessTest, AcceptedWorkflowsExecuteCleanly) {
+  auto site = gen::Generator(gen::GenConfig::Tiny(GetParam())).Generate();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  auto& engine = (*site)->flexrecs();
+  analysis::Analyzer analyzer(&(*site)->db(), &engine.library());
+
+  Rng rng(GetParam() * 7919 + 17);
+  RandomWorkflowGen gen(&rng);
+  int accepted = 0, rejected = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    std::string dsl = gen.Next();
+    analysis::DiagnosticBag bag = analyzer.LintDsl(dsl);
+    if (bag.has_errors()) {
+      ++rejected;
+      // The engine must agree: compilation reports the problem as a
+      // Status, never an abort.
+      auto parsed = flexrecs::ParseWorkflow(dsl);
+      if (parsed.ok()) {
+        EXPECT_FALSE(engine.Compile(**parsed).ok()) << dsl;
+      }
+      continue;
+    }
+    ++accepted;
+    auto parsed = flexrecs::ParseWorkflow(dsl);
+    ASSERT_TRUE(parsed.ok()) << dsl;
+    auto result = engine.Run(**parsed);
+    EXPECT_TRUE(result.ok()) << dsl << "\n" << result.status().ToString();
+  }
+  // The corpus must exercise both paths to mean anything.
+  EXPECT_GT(accepted, 10) << "corpus skewed: " << accepted << " accepted";
+  EXPECT_GT(rejected, 10) << "corpus skewed: " << rejected << " rejected";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyzerSoundnessTest,
+                         ::testing::Values(11, 12, 13));
 
 }  // namespace
 }  // namespace courserank

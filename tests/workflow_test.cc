@@ -80,7 +80,7 @@ class WorkflowTest : public ::testing::Test {
 
 TEST_F(WorkflowTest, TableSelectCompilesToSingleSql) {
   NodePtr wf =
-      std::move(Workflow::Table("Courses").Select("Year = 2008")).Build();
+      std::move(Workflow::Table("Courses").Select("Year = 2008")).Build().value();
   auto compiled = engine_->Compile(*wf);
   ASSERT_TRUE(compiled.ok());
   ASSERT_EQ(compiled->steps().size(), 1u);
@@ -95,7 +95,7 @@ TEST_F(WorkflowTest, ProjectAndTopKStillOneSqlStep) {
                              .Select("Year = 2008")
                              .Project({{"Title", "Title"}})
                              .TopK("Title", 2, /*descending=*/false))
-                   .Build();
+                   .Build().value();
   auto compiled = engine_->Compile(*wf);
   ASSERT_TRUE(compiled.ok());
   ASSERT_EQ(compiled->steps().size(), 1u);
@@ -108,7 +108,7 @@ TEST_F(WorkflowTest, JoinCompilesToSql) {
   NodePtr wf = std::move(Workflow::Table("Ratings")
                              .Join(Workflow::Table("Students"),
                                    "Ratings.SuID = Students.SuID"))
-                   .Build();
+                   .Build().value();
   // Unaliased self-contained join: our From builder uses bare table names.
   auto compiled = engine_->Compile(*wf);
   ASSERT_TRUE(compiled.ok());
@@ -129,7 +129,7 @@ TEST_F(WorkflowTest, RecommendRunsPhysically) {
                     .Recommend(Workflow::Table("Courses")
                                    .Select("CourseID = 10"),
                                spec))
-          .Build();
+          .Build().value();
   Relation rel = MustRun(*wf);
   ASSERT_EQ(rel.schema.column(rel.schema.num_columns() - 1).name, "score");
   // Course 10 itself scores 1.0 and ranks first.
@@ -154,7 +154,7 @@ TEST_F(WorkflowTest, RecommendAggregations) {
                                    "SuID", {"CourseID", "Score"}, "ratings")
                            .Select("SuID IN (444, 1)"),
                        spec))
-        .Build();
+        .Build().value();
     Relation rel = MustRun(*wf);
     // Course 10 rated 5.0 by both refs.
     double expected = agg == RecommendAgg::kSum ? 10.0 : 5.0;
@@ -183,7 +183,7 @@ TEST_F(WorkflowTest, RecommendDropsIncomparableInputs) {
                                  {"CourseID", "Score"}, "ratings")
                          .Select("SuID = 3"),
                      spec))
-      .Build();
+      .Build().value();
   Relation rel = MustRun(*wf);
   // Stranger only rated course 13, so only course 13 is scoreable.
   ASSERT_EQ(rel.rows.size(), 1u);
@@ -201,7 +201,7 @@ TEST_F(WorkflowTest, RecommendTopKAndMinScore) {
       Workflow::Table("Courses")
           .Recommend(Workflow::Table("Courses").Select("CourseID = 10"),
                      spec))
-      .Build();
+      .Build().value();
   Relation rel = MustRun(*wf);
   EXPECT_EQ(rel.rows.size(), 2u);
 }
@@ -227,7 +227,7 @@ TEST_F(WorkflowTest, WeightedAvgUsesWeights) {
   NodePtr wf = std::move(Workflow::Table("Courses")
                              .Recommend(Workflow::Values(std::move(refs)),
                                         spec))
-                   .Build();
+                   .Build().value();
   Relation rel = MustRun(*wf);
   ASSERT_EQ(rel.rows.size(), 1u);
   EXPECT_NEAR(rel.rows.back()[3].AsDouble(), 4.2, 1e-12);
@@ -238,7 +238,7 @@ TEST_F(WorkflowTest, AntiJoinExcludesKeys) {
       Workflow::Table("Courses")
           .AntiJoin(Workflow::Table("Ratings").Select("SuID = 444"),
                     "CourseID", "CourseID"))
-      .Build();
+      .Build().value();
   Relation rel = MustRun(*wf);
   // 5 courses minus the 2 the target rated.
   EXPECT_EQ(rel.rows.size(), 3u);
@@ -251,8 +251,11 @@ TEST_F(WorkflowTest, UnknownSimilarityFailsAtCompile) {
   spec.reference_attr = "Title";
   NodePtr wf = std::move(Workflow::Table("Courses")
                              .Recommend(Workflow::Table("Courses"), spec))
-                   .Build();
-  EXPECT_EQ(engine_->Compile(*wf).status().code(), StatusCode::kNotFound);
+                   .Build().value();
+  Status status = engine_->Compile(*wf).status();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("CR103"), std::string::npos)
+      << status.message();
 }
 
 TEST_F(WorkflowTest, MissingAttributeFailsAtExecution) {
@@ -262,7 +265,7 @@ TEST_F(WorkflowTest, MissingAttributeFailsAtExecution) {
   spec.reference_attr = "Title";
   NodePtr wf = std::move(Workflow::Table("Courses")
                              .Recommend(Workflow::Table("Courses"), spec))
-                   .Build();
+                   .Build().value();
   EXPECT_FALSE(engine_->Run(*wf).ok());
 }
 
@@ -276,7 +279,7 @@ TEST_F(WorkflowTest, ExplainListsSqlSteps) {
           .Select("Year = 2008")
           .Recommend(Workflow::Table("Courses").Select("CourseID = 10"),
                      spec))
-      .Build();
+      .Build().value();
   auto compiled = engine_->Compile(*wf);
   ASSERT_TRUE(compiled.ok());
   std::string text = compiled->Explain();
@@ -287,7 +290,7 @@ TEST_F(WorkflowTest, ExplainListsSqlSteps) {
 
 TEST_F(WorkflowTest, CloneProducesIndependentTree) {
   NodePtr wf =
-      std::move(Workflow::Table("Courses").Select("Year = 2008")).Build();
+      std::move(Workflow::Table("Courses").Select("Year = 2008")).Build().value();
   NodePtr clone = wf->Clone();
   EXPECT_EQ(wf->ToString(), clone->ToString());
   Relation a = MustRun(*wf);
@@ -438,7 +441,7 @@ TEST_F(WorkflowTest, WorkflowToDslPreservesRecommendClauses) {
   spec.min_score = 0.25;
   NodePtr wf = std::move(Workflow::Table("Students")
                              .Recommend(Workflow::Table("Students"), spec))
-                   .Build();
+                   .Build().value();
   auto text = WorkflowToDsl(*wf);
   ASSERT_TRUE(text.ok()) << text.status().ToString();
   EXPECT_NE(text->find("AGG weighted sim"), std::string::npos);
@@ -453,7 +456,7 @@ TEST_F(WorkflowTest, WorkflowToDslPreservesRecommendClauses) {
 TEST_F(WorkflowTest, WorkflowToDslRejectsValuesNodes) {
   Relation rel;
   rel.schema = Schema({{"x", ValueType::kInt, true}});
-  NodePtr wf = std::move(Workflow::Values(std::move(rel))).Build();
+  NodePtr wf = std::move(Workflow::Values(std::move(rel))).Build().value();
   EXPECT_EQ(WorkflowToDsl(*wf).status().code(), StatusCode::kUnimplemented);
 }
 
@@ -461,7 +464,7 @@ TEST_F(WorkflowTest, WorkflowToDslRejectsValuesNodes) {
 
 TEST_F(WorkflowTest, StrategyRegistryRoundTrip) {
   NodePtr wf =
-      std::move(Workflow::Table("Courses").Select("Year = $year")).Build();
+      std::move(Workflow::Table("Courses").Select("Year = $year")).Build().value();
   ASSERT_TRUE(engine_->RegisterStrategy("recent", std::move(wf)).ok());
   ParamMap params;
   params["year"] = Value(2008);
@@ -483,7 +486,7 @@ TEST_F(WorkflowTest, RegisterRejectsInvalidWorkflow) {
   spec.reference_attr = "b";
   NodePtr wf = std::move(Workflow::Table("Courses")
                              .Recommend(Workflow::Table("Courses"), spec))
-                   .Build();
+                   .Build().value();
   EXPECT_FALSE(engine_->RegisterStrategy("bad", std::move(wf)).ok());
   EXPECT_FALSE(engine_->RegisterStrategy("null", nullptr).ok());
 }

@@ -1,0 +1,112 @@
+// courserank_lint: static analysis for FlexRecs workflow DSL and SQL.
+//
+// Reads workflow text from files (or stdin when none are given), runs the
+// analyzer against the canonical CourseRank catalog, and prints diagnostics
+// as text or JSON. Exit code 0 = clean, 1 = errors found, 2 = usage or I/O
+// problem — suitable as a CI gate for strategy definitions.
+//
+//   courserank_lint strategy.wf            lint a workflow file
+//   cat strategy.wf | courserank_lint      lint stdin
+//   courserank_lint --sql query.sql        lint a SQL statement
+//   courserank_lint --json --pedantic f.wf machine-readable, all checks
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "social/site.h"
+
+namespace {
+
+int Usage(std::ostream& out, int code) {
+  out << "usage: courserank_lint [options] [file...]\n"
+         "Lints FlexRecs workflow DSL (or SQL) against the CourseRank "
+         "schema.\n"
+         "Reads stdin when no files are given.\n\n"
+         "options:\n"
+         "  --sql       treat input as a SQL statement, not workflow DSL\n"
+         "  --json      print diagnostics as JSON\n"
+         "  --pedantic  enable advisory checks (CR402 unbounded result)\n"
+         "  --help      show this message\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool as_sql = false;
+  bool as_json = false;
+  bool pedantic = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--sql") {
+      as_sql = true;
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--pedantic") {
+      pedantic = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return Usage(std::cerr, 2);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  // The canonical catalog: schema plus the default similarity library.
+  auto site = courserank::social::CourseRankSite::Create();
+  if (!site.ok()) {
+    std::cerr << "failed to build catalog: " << site.status().message()
+              << "\n";
+    return 2;
+  }
+  courserank::analysis::AnalyzerOptions options;
+  options.pedantic = pedantic;
+  courserank::analysis::Analyzer analyzer(
+      &(*site)->db(), &(*site)->flexrecs().library(), options);
+
+  struct Input {
+    std::string name;
+    std::string text;
+  };
+  std::vector<Input> inputs;
+  if (files.empty()) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    inputs.push_back({"<stdin>", buf.str()});
+  } else {
+    for (const std::string& path : files) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "cannot read " << path << "\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      inputs.push_back({path, buf.str()});
+    }
+  }
+
+  bool any_errors = false;
+  for (const Input& input : inputs) {
+    courserank::analysis::DiagnosticBag diags =
+        as_sql ? analyzer.LintSql(input.text)
+               : analyzer.LintDsl(input.text);
+    any_errors = any_errors || diags.has_errors();
+    if (as_json) {
+      std::cout << diags.ToJson() << "\n";
+      continue;
+    }
+    if (inputs.size() > 1 && !diags.empty()) {
+      std::cout << input.name << ":\n";
+    }
+    std::cout << diags.ToText();
+  }
+  return any_errors ? 1 : 0;
+}
