@@ -1,0 +1,230 @@
+// E13 — Execution-engine ablations (DESIGN.md §11): morsel-parallel
+// FlexRecs/SQL execution, scan pushdown, and bounded top-k. Measures each
+// shipped strategy serial vs parallel at paper scale, sweeps the worker
+// count, and isolates the single-threaded planner gains (pushdown + TopN
+// vs full scan + sort). Writes BENCH_flexrecs.json in the same shape as
+// BENCH_search.json ({benchmark, unit, rows:[{name, scale, ns_per_op}],
+// metrics}); for the *_threads rows "scale" is the worker count, otherwise
+// the course count.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/strategies.h"
+#include "query/sql_engine.h"
+
+namespace courserank::bench {
+namespace {
+
+using query::ExecOptions;
+using query::ParamMap;
+using query::PlannerOptions;
+using query::SqlEngine;
+using storage::Value;
+
+constexpr int kPaperCourses = 18605;
+
+ExecOptions SerialExec() {
+  ExecOptions o;
+  o.parallel = false;
+  return o;
+}
+
+ExecOptions ParallelExec(ThreadPool* pool = nullptr) {
+  ExecOptions o;
+  o.parallel = true;
+  o.min_parallel_rows = 0;  // benches measure the fan-out itself
+  o.pool = pool;
+  return o;
+}
+
+int64_t StudentWithRatings(const World& world, size_t min_ratings) {
+  const auto* ratings = world.site->db().FindTable("Ratings");
+  std::map<int64_t, size_t> counts;
+  ratings->Scan([&](storage::RowId, const storage::Row& row) {
+    ++counts[row[0].AsInt()];
+  });
+  for (const auto& [student, n] : counts) {
+    if (n >= min_ratings) return student;
+  }
+  return counts.begin()->first;
+}
+
+template <typename Fn>
+double TimeNs(Fn&& fn, int iters) {
+  std::vector<double> samples;
+  samples.reserve(iters);
+  for (int i = 0; i < iters; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct JsonRow {
+  std::string name;
+  int scale;
+  double ns_per_op;
+};
+
+/// The strategies whose execution is dominated by the recommend scoring
+/// loop and the relational operators this PR parallelizes.
+std::vector<std::pair<std::string, ParamMap>> StrategyWorkload(
+    const World& world) {
+  ParamMap by_student{{"student", Value(StudentWithRatings(world, 5))}};
+  return {
+      {"related_courses",
+       {{"title", Value("Introduction to Programming")},
+        {"year", Value(int64_t{2006})}}},
+      {"user_cf", by_student},
+      {"weighted_user_cf", by_student},
+      {"grade_cf", by_student},
+      {"major_popular", {{"major", Value(world.artifacts().departments[0])}}},
+  };
+}
+
+/// Machine-readable perf trajectory for future PRs, written to
+/// BENCH_flexrecs.json in the working dir.
+void WriteBenchJson() {
+  auto& world = PaperWorld();
+  auto& engine = world.site->flexrecs();
+  std::vector<JsonRow> rows;
+  auto add = [&](const std::string& name, int scale, double ns) {
+    rows.push_back({name, scale, ns});
+    std::fprintf(stderr, "  %-40s scale=%-6d %14.0f ns/op\n", name.c_str(),
+                 scale, ns);
+  };
+
+  std::fprintf(stderr, "\n[bench] BENCH_flexrecs.json rows:\n");
+
+  // Serial vs morsel-parallel per strategy, paper scale.
+  auto workload = StrategyWorkload(world);
+  for (const auto& [name, params] : workload) {
+    engine.set_exec_options(SerialExec());
+    add(name + "_serial", kPaperCourses, TimeNs([&] {
+          auto rel = engine.RunStrategy(name, params);
+          CR_CHECK(rel.ok());
+          benchmark::DoNotOptimize(rel);
+        }, 9));
+    engine.set_exec_options(ParallelExec());
+    add(name + "_parallel", kPaperCourses, TimeNs([&] {
+          auto rel = engine.RunStrategy(name, params);
+          CR_CHECK(rel.ok());
+          benchmark::DoNotOptimize(rel);
+        }, 9));
+  }
+
+  // Worker-count sweep over the heaviest scoring strategy ("scale" is the
+  // worker count here). Each run uses its own pool so the sweep measures
+  // pool width, not shared-pool contention.
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(static_cast<size_t>(threads));
+    engine.set_exec_options(ParallelExec(&pool));
+    add("user_cf_threads", threads, TimeNs([&] {
+          auto rel = engine.RunStrategy("user_cf", workload[1].second);
+          CR_CHECK(rel.ok());
+          benchmark::DoNotOptimize(rel);
+        }, 9));
+  }
+  engine.set_exec_options(ExecOptions{});
+
+  // Single-threaded planner ablation: scan pushdown (predicate + column
+  // pruning) and bounded top-k vs full materialization + stable sort.
+  const std::string sql =
+      "SELECT Title, Units FROM Courses WHERE Units >= 3 "
+      "ORDER BY Title LIMIT 10";
+  SqlEngine plain(&world.site->db());
+  plain.set_planner_options(PlannerOptions{false, false});
+  plain.set_exec_options(SerialExec());
+  SqlEngine pushed(&world.site->db());
+  pushed.set_planner_options(PlannerOptions{true, true});
+  pushed.set_exec_options(SerialExec());
+  add("sql_topk_scan_plain", kPaperCourses, TimeNs([&] {
+        auto rel = plain.Execute(sql);
+        CR_CHECK(rel.ok());
+        benchmark::DoNotOptimize(rel);
+      }, 25));
+  add("sql_topk_scan_pushdown", kPaperCourses, TimeNs([&] {
+        auto rel = pushed.Execute(sql);
+        CR_CHECK(rel.ok());
+        benchmark::DoNotOptimize(rel);
+      }, 25));
+
+  std::FILE* f = std::fopen("BENCH_flexrecs.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write BENCH_flexrecs.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_exec\",\n"
+               "  \"unit\": \"ns/op\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"scale\": %d, \"ns_per_op\": %.0f}%s\n",
+                 rows[i].name.c_str(), rows[i].scale, rows[i].ns_per_op,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  // Metrics snapshot of everything the run exercised (exec morsel/pushdown
+  // counters included). The benchmark/unit/rows keys and their shapes are
+  // a stable contract for cross-PR comparisons.
+  std::string metrics = MetricsSnapshotJson();
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.c_str());
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote BENCH_flexrecs.json (%zu rows)\n",
+               rows.size());
+}
+
+void BM_UserCfExec(benchmark::State& state) {
+  auto& world = PaperWorld();
+  auto& engine = world.site->flexrecs();
+  engine.set_exec_options(state.range(0) == 0 ? SerialExec()
+                                              : ParallelExec());
+  ParamMap params;
+  params["student"] = Value(StudentWithRatings(world, 5));
+  for (auto _ : state) {
+    auto rel = engine.RunStrategy("user_cf", params);
+    benchmark::DoNotOptimize(rel);
+  }
+  engine.set_exec_options(ExecOptions{});
+  state.SetLabel(state.range(0) == 0 ? "serial" : "parallel");
+}
+BENCHMARK(BM_UserCfExec)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SqlTopKScan(benchmark::State& state) {
+  auto& world = PaperWorld();
+  SqlEngine engine(&world.site->db());
+  engine.set_planner_options(state.range(0) == 0
+                                 ? PlannerOptions{false, false}
+                                 : PlannerOptions{true, true});
+  engine.set_exec_options(SerialExec());
+  for (auto _ : state) {
+    auto rel = engine.Execute(
+        "SELECT Title, Units FROM Courses WHERE Units >= 3 "
+        "ORDER BY Title LIMIT 10");
+    benchmark::DoNotOptimize(rel);
+  }
+  state.SetLabel(state.range(0) == 0 ? "plain" : "pushdown+topk");
+}
+BENCHMARK(BM_SqlTopKScan)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace courserank::bench
+
+int main(int argc, char** argv) {
+  courserank::bench::WriteBenchJson();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -97,15 +97,24 @@ void BM_Fig5aRelatedCourses(benchmark::State& state) {
 BENCHMARK(BM_Fig5aRelatedCourses)->Unit(benchmark::kMillisecond);
 
 void BM_Fig5bUserCf(benchmark::State& state) {
+  // Arg 0 forces the serial execution path; arg 1 enables morsel-parallel
+  // scoring and operators even for small intermediates (DESIGN.md §11).
   auto& world = PaperWorld();
+  auto& engine = world.site->flexrecs();
+  query::ExecOptions exec;
+  exec.parallel = state.range(0) != 0;
+  exec.min_parallel_rows = 0;
+  engine.set_exec_options(exec);
   ParamMap params;
   params["student"] = Value(StudentWithRatings(world, 5));
   for (auto _ : state) {
-    auto rel = world.site->flexrecs().RunStrategy("user_cf", params);
+    auto rel = engine.RunStrategy("user_cf", params);
     benchmark::DoNotOptimize(rel);
   }
+  engine.set_exec_options(query::ExecOptions{});
+  state.SetLabel(state.range(0) == 0 ? "serial" : "parallel");
 }
-BENCHMARK(BM_Fig5bUserCf)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig5bUserCf)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_Fig5bWeighted(benchmark::State& state) {
   auto& world = PaperWorld();

@@ -105,22 +105,53 @@ void ThreadPool::ParallelFor(
   };
 
   Metrics().parallel_fors->Add();
-  if (chunks == 1 || workers_.empty() || t_in_pool_worker) {
-    Metrics().inline_chunks->Add(chunks);
-    for (size_t c = 0; c < chunks; ++c) {
-      auto [begin, end] = chunk_bounds(c);
+  Dispatch(chunks, chunk_bounds, fn);
+}
+
+size_t ThreadPool::NumMorsels(size_t n, size_t morsel_rows) {
+  if (n == 0) return 0;
+  if (morsel_rows == 0) morsel_rows = 1;
+  return std::min(kMaxMorsels, (n + morsel_rows - 1) / morsel_rows);
+}
+
+void ThreadPool::ParallelForMorsels(
+    size_t n, size_t morsel_rows,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  size_t morsels = NumMorsels(n, morsel_rows);
+  if (morsels == 0) return;
+
+  // Same even partition as ParallelFor, but the part count comes from the
+  // morsel size so inputs far above `morsel_rows * kMaxMorsels` simply get
+  // proportionally larger morsels. Pure function of (n, morsels).
+  auto morsel_bounds = [n, morsels](size_t m) {
+    size_t begin = n * m / morsels;
+    size_t end = n * (m + 1) / morsels;
+    return std::pair<size_t, size_t>(begin, end);
+  };
+
+  Metrics().parallel_fors->Add();
+  Dispatch(morsels, morsel_bounds, fn);
+}
+
+void ThreadPool::Dispatch(
+    size_t parts,
+    const std::function<std::pair<size_t, size_t>(size_t)>& bounds,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (parts == 1 || workers_.empty() || t_in_pool_worker) {
+    Metrics().inline_chunks->Add(parts);
+    for (size_t c = 0; c < parts; ++c) {
+      auto [begin, end] = bounds(c);
       fn(c, begin, end);
     }
     return;
   }
-
-  std::atomic<size_t> remaining(chunks);
+  std::atomic<size_t> remaining(parts);
   std::mutex done_mu;
   std::condition_variable done_cv;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (size_t c = 0; c < chunks; ++c) {
-      auto [begin, end] = chunk_bounds(c);
+    for (size_t c = 0; c < parts; ++c) {
+      auto [begin, end] = bounds(c);
       queue_.push_back([&, c, begin, end] {
         fn(c, begin, end);
         if (remaining.fetch_sub(1) == 1) {
@@ -131,7 +162,7 @@ void ThreadPool::ParallelFor(
     }
     // Inside the lock so the gauge never reads negative: workers decrement
     // only after they pop, which requires this lock.
-    Metrics().queue_depth->Add(static_cast<int64_t>(chunks));
+    Metrics().queue_depth->Add(static_cast<int64_t>(parts));
   }
   cv_.notify_all();
   // The caller helps drain its own chunks so a small pool never stalls a

@@ -47,8 +47,32 @@ class ThreadPool {
   /// scratch memory).
   static constexpr size_t kMaxChunks = 16;
 
+  /// Morsel-driven variant for the query executor: splits `[0, n)` into
+  /// `NumMorsels(n, morsel_rows)` fixed-size ranges of `morsel_rows` items
+  /// each (the last may be short) and runs `fn(morsel_index, begin, end)`
+  /// for every one, blocking until all finish. Unlike ParallelFor, the
+  /// morsel size — not the morsel count — is fixed, so a big input yields
+  /// many small morsels that late workers can steal for load balance. The
+  /// partition depends only on `(n, morsel_rows)`, never on worker count,
+  /// preserving the determinism contract above.
+  void ParallelForMorsels(size_t n, size_t morsel_rows,
+                          const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// The fixed morsel partition ParallelForMorsels uses; exposed so callers
+  /// can pre-size per-morsel output chunks.
+  static size_t NumMorsels(size_t n, size_t morsel_rows);
+
+  /// Maximum number of morsels any ParallelForMorsels produces. Above this
+  /// the morsel size grows so per-morsel bookkeeping stays bounded.
+  static constexpr size_t kMaxMorsels = 256;
+
  private:
   void WorkerLoop();
+  /// Shared dispatch: enqueues `parts` tasks with the given bounds, lets the
+  /// caller help drain, and blocks until every part has run.
+  void Dispatch(size_t parts,
+                const std::function<std::pair<size_t, size_t>(size_t)>& bounds,
+                const std::function<void(size_t, size_t, size_t)>& fn);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

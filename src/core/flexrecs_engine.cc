@@ -5,6 +5,7 @@
 
 #include "analysis/analyzer.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/plan.h"
@@ -226,8 +227,13 @@ struct FlexMetrics {
   obs::Histogram* sql_step_ns;
   obs::Histogram* values_step_ns;
   obs::Histogram* physical_step_ns;
+  obs::Histogram* recommend_ns;
   obs::Counter* runs;
   obs::Counter* steps;
+  // Shared with the plan executor's morsel accounting (same registry
+  // entries) so recommend fan-out shows up alongside operator fan-out.
+  obs::Counter* exec_morsels;
+  obs::Counter* exec_parallel_ops;
 };
 
 const FlexMetrics& Metrics() {
@@ -237,8 +243,11 @@ const FlexMetrics& Metrics() {
                        reg.GetHistogram("cr_flexrecs_sql_step_ns"),
                        reg.GetHistogram("cr_flexrecs_values_step_ns"),
                        reg.GetHistogram("cr_flexrecs_physical_step_ns"),
+                       reg.GetHistogram("cr_exec_recommend_ns"),
                        reg.GetCounter("cr_flexrecs_runs_total"),
-                       reg.GetCounter("cr_flexrecs_steps_total")};
+                       reg.GetCounter("cr_flexrecs_steps_total"),
+                       reg.GetCounter("cr_exec_morsels_total"),
+                       reg.GetCounter("cr_exec_parallel_ops_total")};
   }();
   return m;
 }
@@ -302,6 +311,7 @@ Result<Relation> FlexRecsEngine::ExecutePhysical(
   query::ExecContext ctx;
   ctx.db = db_;
   ctx.params = params;
+  ctx.exec = exec_;
 
   auto input = [&](size_t i) -> Relation { return results[inputs[i]]; };
 
@@ -342,9 +352,9 @@ Result<Relation> FlexRecsEngine::ExecutePhysical(
     case NodeKind::kTopK: {
       std::vector<query::SortKey> keys;
       keys.push_back({query::MakeColumn(node.order_column), !node.descending});
-      PlanPtr plan = query::MakeLimit(
-          query::MakeSort(query::MakeValues(input(0)), std::move(keys)),
-          node.k);
+      // Bounded top-k heap; byte-identical to Sort + Limit (plan.h).
+      PlanPtr plan = query::MakeTopN(query::MakeValues(input(0)),
+                                     std::move(keys), node.k);
       return plan->Execute(ctx);
     }
     case NodeKind::kAntiJoin: {
@@ -400,68 +410,152 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(const WorkflowNode& node,
   cols.emplace_back(spec.score_column, ValueType::kDouble);
   out.schema = query::Schema(std::move(cols));
 
+  obs::ScopedSpan score_span(obs::stage::kExecMorsel,
+                             Metrics().recommend_ns,
+                             &obs::TraceSink::Default(),
+                             obs::ScopedSpan::Mode::kAlways);
+
   struct Scored {
     Row row;
     double score;
   };
-  std::vector<Scored> scored;
-  scored.reserve(input.rows.size());
 
-  for (Row& row : input.rows) {
-    double acc = 0.0;
-    double weight_sum = 0.0;
-    double best = 0.0;
-    size_t n = 0;
-    for (const Row& ref : reference.rows) {
-      CR_ASSIGN_OR_RETURN(std::optional<double> sim,
-                          fn(row[in_attr], ref[ref_attr]));
-      if (!sim.has_value()) continue;
-      ++n;
-      switch (spec.agg) {
-        case RecommendAgg::kMax:
-          best = n == 1 ? *sim : std::max(best, *sim);
-          break;
-        case RecommendAgg::kAvg:
-        case RecommendAgg::kSum:
-          acc += *sim;
-          break;
-        case RecommendAgg::kWeightedAvg: {
-          CR_ASSIGN_OR_RETURN(double w, ref[weight_attr].ToDouble());
-          acc += w * *sim;
-          weight_sum += w;
-          break;
+  // Per-candidate scoring fans out over morsels of input rows. Every
+  // similarity function is reentrant (similarity.h contract) and the
+  // reference relation is shared read-only; each morsel accumulates into
+  // its own chunk — the per-thread scratch — and chunks concatenate in
+  // morsel order, so the scored sequence is byte-identical to the serial
+  // loop's (ExecOptions determinism contract).
+  size_t n_rows = input.rows.size();
+  const query::ExecOptions& eo = exec_;
+  size_t morsels = (eo.parallel && n_rows >= eo.min_parallel_rows)
+                       ? ThreadPool::NumMorsels(n_rows, eo.morsel_rows)
+                       : 1;
+  if (morsels == 0) morsels = 1;
+  std::vector<std::vector<Scored>> chunks(morsels);
+
+  auto score_range = [&](size_t m, size_t begin, size_t end) -> Status {
+    std::vector<Scored>& chunk = chunks[m];
+    for (size_t i = begin; i < end; ++i) {
+      Row& row = input.rows[i];
+      double acc = 0.0;
+      double weight_sum = 0.0;
+      double best = 0.0;
+      size_t n = 0;
+      for (const Row& ref : reference.rows) {
+        CR_ASSIGN_OR_RETURN(std::optional<double> sim,
+                            fn(row[in_attr], ref[ref_attr]));
+        if (!sim.has_value()) continue;
+        ++n;
+        switch (spec.agg) {
+          case RecommendAgg::kMax:
+            best = n == 1 ? *sim : std::max(best, *sim);
+            break;
+          case RecommendAgg::kAvg:
+          case RecommendAgg::kSum:
+            acc += *sim;
+            break;
+          case RecommendAgg::kWeightedAvg: {
+            CR_ASSIGN_OR_RETURN(double w, ref[weight_attr].ToDouble());
+            acc += w * *sim;
+            weight_sum += w;
+            break;
+          }
         }
       }
+      if (n == 0) continue;  // not comparable to any reference tuple
+      double score = 0.0;
+      switch (spec.agg) {
+        case RecommendAgg::kMax:
+          score = best;
+          break;
+        case RecommendAgg::kAvg:
+          score = acc / static_cast<double>(n);
+          break;
+        case RecommendAgg::kSum:
+          score = acc;
+          break;
+        case RecommendAgg::kWeightedAvg:
+          if (weight_sum <= 0.0) continue;
+          score = acc / weight_sum;
+          break;
+      }
+      if (score < spec.min_score) continue;
+      Row out_row = std::move(row);
+      out_row.push_back(Value(score));
+      chunk.push_back({std::move(out_row), score});
     }
-    if (n == 0) continue;  // not comparable to any reference tuple
-    double score = 0.0;
-    switch (spec.agg) {
-      case RecommendAgg::kMax:
-        score = best;
-        break;
-      case RecommendAgg::kAvg:
-        score = acc / static_cast<double>(n);
-        break;
-      case RecommendAgg::kSum:
-        score = acc;
-        break;
-      case RecommendAgg::kWeightedAvg:
-        if (weight_sum <= 0.0) continue;
-        score = acc / weight_sum;
-        break;
+    return Status::OK();
+  };
+
+  Metrics().exec_morsels->Add(static_cast<int64_t>(morsels));
+  if (morsels == 1) {
+    if (n_rows > 0) CR_RETURN_IF_ERROR(score_range(0, 0, n_rows));
+  } else {
+    Metrics().exec_parallel_ops->Add();
+    ThreadPool& pool =
+        eo.pool != nullptr ? *eo.pool : SharedThreadPool();
+    std::vector<Status> status(morsels);
+    pool.ParallelForMorsels(n_rows, eo.morsel_rows,
+                            [&](size_t m, size_t begin, size_t end) {
+                              status[m] = score_range(m, begin, end);
+                            });
+    // Deterministic error merge: the lowest-indexed failing morsel wins —
+    // the same error the serial loop would have hit first.
+    for (Status& st : status) CR_RETURN_IF_ERROR(std::move(st));
+  }
+
+  std::vector<Scored> scored;
+  if (chunks.size() == 1) {
+    scored = std::move(chunks[0]);
+  } else {
+    size_t total = 0;
+    for (const auto& c : chunks) total += c.size();
+    scored.reserve(total);
+    for (auto& c : chunks) {
+      for (Scored& s : c) scored.push_back(std::move(s));
     }
-    if (score < spec.min_score) continue;
-    Row out_row = std::move(row);
-    out_row.push_back(Value(score));
-    scored.push_back({std::move(out_row), score});
+  }
+
+  size_t keep = spec.top_k > 0 ? std::min(spec.top_k, scored.size())
+                               : scored.size();
+  if (keep < scored.size()) {
+    // Bounded top-k: keep the `keep` best under (score desc, index asc) in
+    // a heap instead of sorting everything. The index tiebreak makes this
+    // byte-identical to the stable sort below.
+    struct Ranked {
+      double score;
+      size_t idx;
+    };
+    auto comes_first = [](const Ranked& a, const Ranked& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.idx < b.idx;
+    };
+    std::vector<Ranked> heap;
+    heap.reserve(keep + 1);
+    for (size_t i = 0; i < scored.size(); ++i) {
+      Ranked cand{scored[i].score, i};
+      if (heap.size() < keep) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), comes_first);
+      } else if (comes_first(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), comes_first);
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), comes_first);
+      }
+    }
+    std::sort_heap(heap.begin(), heap.end(), comes_first);
+    out.rows.reserve(keep);
+    for (const Ranked& r : heap) {
+      out.rows.push_back(std::move(scored[r.idx].row));
+    }
+    return out;
   }
 
   std::stable_sort(scored.begin(), scored.end(),
                    [](const Scored& a, const Scored& b) {
                      return a.score > b.score;
                    });
-  size_t keep = spec.top_k > 0 ? std::min(spec.top_k, scored.size())
-                               : scored.size();
   out.rows.reserve(keep);
   for (size_t i = 0; i < keep; ++i) {
     out.rows.push_back(std::move(scored[i].row));

@@ -62,6 +62,15 @@ class FlexRecsEngine {
   SimilarityLibrary& library() { return library_; }
   const SimilarityLibrary& library() const { return library_; }
 
+  /// Execution options for every plan this engine runs — forwarded to the
+  /// embedded SQL engine and used by the physical operators (including the
+  /// morsel-parallel recommend scoring loop).
+  void set_exec_options(const query::ExecOptions& o) {
+    exec_ = o;
+    sql_.set_exec_options(o);
+  }
+  const query::ExecOptions& exec_options() const { return exec_; }
+
   /// Runs the static analyzer over a workflow against this engine's
   /// catalog and similarity library; findings accumulate in `diags`.
   void Analyze(const WorkflowNode& root,
@@ -106,6 +115,7 @@ class FlexRecsEngine {
   storage::Database* db_;
   query::SqlEngine sql_;
   SimilarityLibrary library_;
+  query::ExecOptions exec_;
   std::map<std::string, NodePtr> strategies_;
 };
 

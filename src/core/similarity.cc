@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/strings.h"
 #include "storage/value.h"
@@ -21,11 +22,25 @@ Status TypeError(const char* fn, const char* want, const Value& got) {
                                  ", got " + ValueTypeName(got.type()));
 }
 
-/// Decodes a LIST of [key, number] pairs into a key→double map. A LIST of
-/// scalars decodes as key→1.0 (set semantics).
-Result<std::map<Value, double>> DecodePairs(const char* fn, const Value& v) {
+/// Sparse vector decoded from a pair-list: (key, weight) entries sorted
+/// ascending by key, keys unique. A flat sorted vector instead of a
+/// node-based std::map keeps the recommend scoring loop — which decodes two
+/// of these per (input, reference) pair — allocation-light and
+/// cache-friendly, and lets the similarity kernels below run as linear
+/// merge walks.
+using PairVec = std::vector<std::pair<Value, double>>;
+
+/// Key equivalence under the same strict weak order std::map used, so the
+/// flat representation keeps exactly the old map semantics.
+bool KeyEquiv(const Value& a, const Value& b) { return !(a < b) && !(b < a); }
+
+/// Decodes a LIST of [key, number] pairs into a sorted sparse vector. A
+/// LIST of scalars decodes as key→1.0 (set semantics). A duplicated key
+/// keeps its last weight, matching the previous map-assignment behavior.
+Result<PairVec> DecodePairs(const char* fn, const Value& v) {
   if (v.type() != ValueType::kList) return TypeError(fn, "a LIST", v);
-  std::map<Value, double> out;
+  PairVec out;
+  out.reserve(v.AsList().size());
   for (const Value& item : v.AsList()) {
     if (item.type() == ValueType::kList) {
       const Value::List& pair = item.AsList();
@@ -36,34 +51,74 @@ Result<std::map<Value, double>> DecodePairs(const char* fn, const Value& v) {
       // A NULL number means "unknown"; the key cannot contribute.
       if (pair[1].is_null()) continue;
       CR_ASSIGN_OR_RETURN(double num, pair[1].ToDouble());
-      out[pair[0]] = num;
+      out.emplace_back(pair[0], num);
     } else {
-      out[item] = 1.0;
+      out.emplace_back(item, 1.0);
     }
   }
+  // Stable sort keeps duplicates in arrival order; compaction then takes
+  // the last entry of each equal-key run (last wins).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t w = 0;
+  for (size_t r = 0; r < out.size(); ++r) {
+    if (w > 0 && KeyEquiv(out[w - 1].first, out[r].first)) {
+      out[w - 1].second = out[r].second;
+    } else {
+      out[w++] = std::move(out[r]);
+    }
+  }
+  out.resize(w);
   return out;
 }
 
-Result<std::set<Value>> DecodeSet(const char* fn, const Value& v) {
+/// Decodes a LIST into a sorted, deduplicated vector of values (a flat
+/// set).
+Result<std::vector<Value>> DecodeSet(const char* fn, const Value& v) {
   if (v.type() != ValueType::kList) return TypeError(fn, "a LIST", v);
-  std::set<Value> out;
+  std::vector<Value> out;
+  out.reserve(v.AsList().size());
   for (const Value& item : v.AsList()) {
     // Pair-lists degrade to their key set.
     if (item.type() == ValueType::kList && item.AsList().size() == 2) {
-      out.insert(item.AsList()[0]);
+      out.push_back(item.AsList()[0]);
     } else {
-      out.insert(item);
+      out.push_back(item);
     }
   }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end(), KeyEquiv), out.end());
   return out;
 }
 
-size_t IntersectionSize(const std::set<Value>& a, const std::set<Value>& b) {
-  const std::set<Value>& small = a.size() <= b.size() ? a : b;
-  const std::set<Value>& big = a.size() <= b.size() ? b : a;
+size_t IntersectionSize(const std::vector<Value>& a,
+                        const std::vector<Value>& b) {
   size_t n = 0;
-  for (const Value& v : small) n += big.count(v);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
   return n;
+}
+
+/// Binary-searches a sorted PairVec; nullptr when the key is absent.
+const double* FindKey(const PairVec& v, const Value& key) {
+  auto it = std::lower_bound(
+      v.begin(), v.end(), key,
+      [](const std::pair<Value, double>& p, const Value& k) {
+        return p.first < k;
+      });
+  if (it == v.end() || key < it->first) return nullptr;
+  return &it->second;
 }
 
 Result<std::string> DecodeString(const char* fn, const Value& v) {
@@ -74,8 +129,8 @@ Result<std::string> DecodeString(const char* fn, const Value& v) {
 }  // namespace
 
 Result<std::optional<double>> JaccardSets(const Value& a, const Value& b) {
-  CR_ASSIGN_OR_RETURN(std::set<Value> sa, DecodeSet("jaccard", a));
-  CR_ASSIGN_OR_RETURN(std::set<Value> sb, DecodeSet("jaccard", b));
+  CR_ASSIGN_OR_RETURN(std::vector<Value> sa, DecodeSet("jaccard", a));
+  CR_ASSIGN_OR_RETURN(std::vector<Value> sb, DecodeSet("jaccard", b));
   if (sa.empty() && sb.empty()) return std::optional<double>();
   size_t inter = IntersectionSize(sa, sb);
   size_t uni = sa.size() + sb.size() - inter;
@@ -84,8 +139,8 @@ Result<std::optional<double>> JaccardSets(const Value& a, const Value& b) {
 }
 
 Result<std::optional<double>> DiceSets(const Value& a, const Value& b) {
-  CR_ASSIGN_OR_RETURN(std::set<Value> sa, DecodeSet("dice", a));
-  CR_ASSIGN_OR_RETURN(std::set<Value> sb, DecodeSet("dice", b));
+  CR_ASSIGN_OR_RETURN(std::vector<Value> sa, DecodeSet("dice", a));
+  CR_ASSIGN_OR_RETURN(std::vector<Value> sb, DecodeSet("dice", b));
   if (sa.empty() && sb.empty()) return std::optional<double>();
   size_t inter = IntersectionSize(sa, sb);
   return std::optional<double>(2.0 * static_cast<double>(inter) /
@@ -93,8 +148,8 @@ Result<std::optional<double>> DiceSets(const Value& a, const Value& b) {
 }
 
 Result<std::optional<double>> OverlapSets(const Value& a, const Value& b) {
-  CR_ASSIGN_OR_RETURN(std::set<Value> sa, DecodeSet("overlap", a));
-  CR_ASSIGN_OR_RETURN(std::set<Value> sb, DecodeSet("overlap", b));
+  CR_ASSIGN_OR_RETURN(std::vector<Value> sa, DecodeSet("overlap", a));
+  CR_ASSIGN_OR_RETURN(std::vector<Value> sb, DecodeSet("overlap", b));
   if (sa.empty() || sb.empty()) return std::optional<double>();
   size_t inter = IntersectionSize(sa, sb);
   return std::optional<double>(static_cast<double>(inter) /
@@ -108,12 +163,23 @@ Result<std::optional<double>> CosinePairs(const Value& a, const Value& b) {
   double dot = 0.0;
   double na = 0.0;
   double nb = 0.0;
-  for (const auto& [k, v] : pa) {
-    na += v * v;
-    auto it = pb.find(k);
-    if (it != pb.end()) dot += v * it->second;
+  // Merge walk over the two key-sorted vectors: dot product over common
+  // keys, norms over each full vector.
+  for (size_t i = 0, j = 0; i < pa.size() || j < pb.size();) {
+    if (j == pb.size() || (i < pa.size() && pa[i].first < pb[j].first)) {
+      na += pa[i].second * pa[i].second;
+      ++i;
+    } else if (i == pa.size() || pb[j].first < pa[i].first) {
+      nb += pb[j].second * pb[j].second;
+      ++j;
+    } else {
+      dot += pa[i].second * pb[j].second;
+      na += pa[i].second * pa[i].second;
+      nb += pb[j].second * pb[j].second;
+      ++i;
+      ++j;
+    }
   }
-  for (const auto& [k, v] : pb) nb += v * v;
   if (na <= 0.0 || nb <= 0.0) return std::optional<double>();
   return std::optional<double>(dot / (std::sqrt(na) * std::sqrt(nb)));
 }
@@ -122,9 +188,16 @@ Result<std::optional<double>> PearsonPairs(const Value& a, const Value& b) {
   CR_ASSIGN_OR_RETURN(auto pa, DecodePairs("pearson", a));
   CR_ASSIGN_OR_RETURN(auto pb, DecodePairs("pearson", b));
   std::vector<std::pair<double, double>> common;
-  for (const auto& [k, v] : pa) {
-    auto it = pb.find(k);
-    if (it != pb.end()) common.emplace_back(v, it->second);
+  for (size_t i = 0, j = 0; i < pa.size() && j < pb.size();) {
+    if (pa[i].first < pb[j].first) {
+      ++i;
+    } else if (pb[j].first < pa[i].first) {
+      ++j;
+    } else {
+      common.emplace_back(pa[i].second, pb[j].second);
+      ++i;
+      ++j;
+    }
   }
   if (common.size() < 2) return std::optional<double>();
   double ma = 0.0;
@@ -155,12 +228,18 @@ Result<std::optional<double>> InverseDistance(const char* fn, const Value& a,
   CR_ASSIGN_OR_RETURN(auto pb, DecodePairs(fn, b));
   double acc = 0.0;
   size_t common = 0;
-  for (const auto& [k, v] : pa) {
-    auto it = pb.find(k);
-    if (it == pb.end()) continue;
-    ++common;
-    double d = v - it->second;
-    acc += euclidean ? d * d : std::fabs(d);
+  for (size_t i = 0, j = 0; i < pa.size() && j < pb.size();) {
+    if (pa[i].first < pb[j].first) {
+      ++i;
+    } else if (pb[j].first < pa[i].first) {
+      ++j;
+    } else {
+      ++common;
+      double d = pa[i].second - pb[j].second;
+      acc += euclidean ? d * d : std::fabs(d);
+      ++i;
+      ++j;
+    }
   }
   if (common == 0) return std::optional<double>();
   double dist = euclidean ? std::sqrt(acc) : acc;
@@ -261,9 +340,9 @@ Result<std::optional<double>> ExactMatch(const Value& a, const Value& b) {
 Result<std::optional<double>> RatingOf(const Value& a, const Value& b) {
   if (a.is_null()) return std::optional<double>();
   CR_ASSIGN_OR_RETURN(auto pairs, DecodePairs("rating_of", b));
-  auto it = pairs.find(a);
-  if (it == pairs.end()) return std::optional<double>();
-  return std::optional<double>(it->second);
+  const double* found = FindKey(pairs, a);
+  if (found == nullptr) return std::optional<double>();
+  return std::optional<double>(*found);
 }
 
 const char* SimArgKindName(SimArgKind kind) {

@@ -21,6 +21,14 @@ using storage::Value;
 /// Returns nullopt when the pair is not comparable (e.g. no overlapping
 /// rated items); the recommend operator skips such pairs rather than
 /// scoring them zero. Errors are reserved for type misuse.
+///
+/// Reentrancy contract: the morsel-parallel recommend scoring loop
+/// (DESIGN.md §11) invokes one SimilarityFn concurrently from multiple
+/// worker threads over disjoint row ranges. Implementations must be
+/// reentrant — pure functions of their two operands with no unsynchronized
+/// mutable state (every built-in below qualifies). Registration is NOT
+/// synchronized with execution: install custom functions before running
+/// workflows, never while one executes.
 using SimilarityFn =
     std::function<Result<std::optional<double>>(const Value&, const Value&)>;
 

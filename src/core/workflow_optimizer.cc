@@ -87,6 +87,25 @@ bool RewriteOnce(NodePtr& node, OptimizerStats* stats, std::string* trace) {
     return true;
   }
 
+  // Rule 4: Select over Extend pushes below when the predicate ignores the
+  // extend's collected list column — σ_p(ε(x, src)) = ε(σ_p(x), src) since
+  // ε only appends a column and never drops or reorders child rows. This
+  // exposes Select-over-Table subtrees to the SQL compiler, whose WHERE
+  // then becomes a scan pushdown.
+  if (node->kind == NodeKind::kSelect &&
+      node->children[0]->kind == NodeKind::kExtend &&
+      !MentionsIdentifier(node->predicate->ToString(),
+                          node->children[0]->column_name)) {
+    NodePtr ext = std::move(node->children[0]);
+    NodePtr select = std::move(node);
+    select->children[0] = std::move(ext->children[0]);
+    ext->children[0] = std::move(select);
+    node = std::move(ext);
+    ++stats->selects_pushed_below_extend;
+    if (trace != nullptr) *trace += "pushed Select below Extend\n";
+    return true;
+  }
+
   return changed;
 }
 

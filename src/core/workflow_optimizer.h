@@ -21,6 +21,12 @@ namespace courserank::flexrecs {
 ///     (and often merging into the compiled SQL of the input subtree).
 ///  3. Select-Select fusion — adjacent Selects AND-merge, giving the SQL
 ///     compiler one conjunctive WHERE.
+///  4. Select-below-Extend pushdown — a Select above an Extend whose
+///     predicate does not reference the extend's collected list column
+///     moves below the operator: ε only appends a column per child row, so
+///     filtering first is equivalent. This exposes Select-over-Table
+///     subtrees to the SQL compiler, whose WHERE the planner then pushes
+///     into the table scan (scan pushdown, DESIGN.md §11).
 ///
 /// Returns the rewritten tree and (optionally) a human-readable trace of
 /// the rules that fired.
@@ -32,6 +38,7 @@ struct OptimizerStats {
   int topk_fused = 0;
   int selects_pushed = 0;
   int selects_merged = 0;
+  int selects_pushed_below_extend = 0;
 };
 
 NodePtr OptimizeWorkflow(NodePtr root, OptimizerStats* stats,

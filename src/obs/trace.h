@@ -37,6 +37,7 @@ inline constexpr char kFlexSqlStep[] = "flexrecs.step.sql";
 inline constexpr char kFlexValuesStep[] = "flexrecs.step.values";
 inline constexpr char kFlexPhysicalStep[] = "flexrecs.step.physical";
 inline constexpr char kAnalysis[] = "analysis.run";
+inline constexpr char kExecMorsel[] = "exec.morsel";
 }  // namespace stage
 
 /// Monotonic nanoseconds (steady clock); the time base of all spans.

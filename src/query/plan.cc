@@ -4,6 +4,9 @@
 #include <unordered_map>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/value.h"
 
 namespace courserank::query {
@@ -31,6 +34,116 @@ const char* AggFnName(AggFn fn) {
 
 namespace {
 
+/// Executor-wide registry metrics, resolved once. Morsel counts include the
+/// serial degenerate case (one morsel) so the counter tracks total operator
+/// passes; `parallel_ops` counts operator executions that actually fanned
+/// out over more than one morsel.
+struct ExecMetrics {
+  obs::Counter* morsels;
+  obs::Counter* parallel_ops;
+  obs::Histogram* morsel_ns;
+  obs::Histogram* scan_ns;
+  obs::Histogram* filter_ns;
+  obs::Histogram* project_ns;
+  obs::Histogram* join_ns;
+  obs::Histogram* aggregate_ns;
+  obs::Histogram* sort_ns;
+  obs::Histogram* topk_ns;
+  obs::Histogram* extend_ns;
+};
+
+const ExecMetrics& Exec() {
+  static const ExecMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    return ExecMetrics{reg.GetCounter("cr_exec_morsels_total"),
+                       reg.GetCounter("cr_exec_parallel_ops_total"),
+                       reg.GetHistogram("cr_exec_morsel_ns"),
+                       reg.GetHistogram("cr_exec_scan_ns"),
+                       reg.GetHistogram("cr_exec_filter_ns"),
+                       reg.GetHistogram("cr_exec_project_ns"),
+                       reg.GetHistogram("cr_exec_join_ns"),
+                       reg.GetHistogram("cr_exec_aggregate_ns"),
+                       reg.GetHistogram("cr_exec_sort_ns"),
+                       reg.GetHistogram("cr_exec_topk_ns"),
+                       reg.GetHistogram("cr_exec_extend_ns")};
+  }();
+  return m;
+}
+
+/// Records an operator's own processing time (children excluded — construct
+/// after the child Execute calls return).
+class OpTimer {
+ public:
+  explicit OpTimer(obs::Histogram* h) : h_(h), t0_(obs::NowNs()) {}
+  ~OpTimer() { h_->Record(obs::NowNs() - t0_); }
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+
+ private:
+  obs::Histogram* h_;
+  uint64_t t0_;
+};
+
+/// How an operator should split `n` input rows. `morsels == 1` is the
+/// serial path; the partition is a pure function of (n, exec options), so
+/// chunk concatenation order — and thus the result — never depends on how
+/// many workers the pool happens to have (ExecOptions determinism contract).
+struct MorselPlan {
+  size_t morsels = 1;
+  bool parallel = false;
+};
+
+MorselPlan PlanMorsels(const ExecContext& ctx, size_t n) {
+  const ExecOptions& o = ctx.exec;
+  if (!o.parallel || n < o.min_parallel_rows || n == 0) return {1, false};
+  size_t m = ThreadPool::NumMorsels(n, o.morsel_rows);
+  if (m <= 1) return {1, false};
+  return {m, true};
+}
+
+/// Runs `body(morsel, begin, end)` over `[0, n)` per `plan` — inline when
+/// serial, on the context's pool when parallel — and blocks until done.
+/// Every morsel runs to completion even after another fails; the error
+/// returned is the one from the lowest-indexed failing morsel, which is
+/// exactly the error the serial loop would have hit first.
+Status RunMorsels(ExecContext& ctx, size_t n, const MorselPlan& plan,
+                  const std::function<Status(size_t, size_t, size_t)>& body) {
+  Exec().morsels->Add(plan.morsels);
+  if (!plan.parallel) {
+    if (n == 0) return Status::OK();
+    return body(0, 0, n);
+  }
+  Exec().parallel_ops->Add();
+  obs::ScopedSpan span(obs::stage::kExecMorsel, Exec().morsel_ns);
+  ThreadPool& pool =
+      ctx.exec.pool != nullptr ? *ctx.exec.pool : SharedThreadPool();
+  std::vector<Status> status(plan.morsels);
+  pool.ParallelForMorsels(n, ctx.exec.morsel_rows,
+                          [&](size_t m, size_t begin, size_t end) {
+                            status[m] = body(m, begin, end);
+                          });
+  for (Status& st : status) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+/// Concatenates per-morsel output chunks in morsel order; moves the single
+/// chunk wholesale on the serial path.
+void ConcatChunks(std::vector<std::vector<Row>>&& chunks,
+                  std::vector<Row>* out) {
+  if (chunks.size() == 1) {
+    *out = std::move(chunks[0]);
+    return;
+  }
+  size_t total = 0;
+  for (const auto& c : chunks) total += c.size();
+  out->reserve(total);
+  for (auto& c : chunks) {
+    for (Row& r : c) out->push_back(std::move(r));
+  }
+}
+
 std::string Indent(int n) { return std::string(2 * n, ' '); }
 
 /// Column type inferred from the values an expression produced; used to give
@@ -46,26 +159,104 @@ class TableScanNode : public PlanNode {
  public:
   TableScanNode(std::string table, std::string alias)
       : table_(std::move(table)), alias_(std::move(alias)) {}
+  TableScanNode(std::string table, std::string alias, ScanPushdown push)
+      : table_(std::move(table)),
+        alias_(std::move(alias)),
+        push_(std::move(push)) {}
 
   Result<Relation> Execute(ExecContext& ctx) const override {
     if (ctx.db == nullptr) return Status::Internal("no database in context");
     CR_ASSIGN_OR_RETURN(const storage::Table* t, ctx.db->GetTable(table_));
+    OpTimer timer(Exec().scan_ns);
+    Schema full =
+        alias_.empty() ? t->schema() : t->schema().WithPrefix(alias_);
+    bool pushed = push_.predicate != nullptr || !push_.columns.empty() ||
+                  push_.limit > 0;
     Relation out;
-    out.schema = alias_.empty() ? t->schema() : t->schema().WithPrefix(alias_);
-    out.rows.reserve(t->size());
-    t->Scan([&](storage::RowId, const Row& row) { out.rows.push_back(row); });
+    if (!pushed) {
+      out.schema = std::move(full);
+      out.rows.reserve(t->size());
+      t->Scan(
+          [&](storage::RowId, const Row& row) { out.rows.push_back(row); });
+      return out;
+    }
+
+    ExprPtr pred;
+    if (push_.predicate != nullptr) {
+      pred = push_.predicate->Clone();
+      CR_RETURN_IF_ERROR(pred->Bind(full, &ctx.params));
+    }
+    std::vector<size_t> keep;  // full-schema indices of output columns
+    if (push_.columns.empty()) {
+      out.schema = full;
+    } else {
+      std::vector<Column> cols;
+      keep.reserve(push_.columns.size());
+      cols.reserve(push_.columns.size());
+      for (const std::string& name : push_.columns) {
+        auto idx = full.FindColumn(name);
+        if (!idx.has_value()) {
+          return Status::Internal("pushdown column '" + name +
+                                  "' not in scan schema of '" + table_ + "'");
+        }
+        keep.push_back(*idx);
+        cols.push_back(full.column(*idx));
+      }
+      out.schema = Schema(std::move(cols));
+    }
+
+    size_t cap = push_.limit > 0 ? std::min(push_.limit, t->size()) : t->size();
+    out.rows.reserve(cap);
+    Status scan_status;
+    t->ScanWhile([&](storage::RowId, const Row& row) -> bool {
+      if (pred != nullptr) {
+        Result<Value> v = pred->Eval(row);
+        if (!v.ok()) {
+          scan_status = v.status();
+          return false;
+        }
+        if (v->is_null() || v->type() != ValueType::kBool || !v->AsBool()) {
+          return true;
+        }
+      }
+      if (keep.empty()) {
+        out.rows.push_back(row);
+      } else {
+        Row projected;
+        projected.reserve(keep.size());
+        for (size_t c : keep) projected.push_back(row[c]);
+        out.rows.push_back(std::move(projected));
+      }
+      return push_.limit == 0 || out.rows.size() < push_.limit;
+    });
+    CR_RETURN_IF_ERROR(scan_status);
     return out;
   }
 
   std::string Explain(int indent) const override {
     std::string out = Indent(indent) + "TableScan(" + table_;
     if (!alias_.empty()) out += " AS " + alias_;
+    if (push_.predicate != nullptr) {
+      out += ", pushed-filter=" + push_.predicate->ToString();
+    }
+    if (!push_.columns.empty()) {
+      out += ", pushed-cols=[";
+      for (size_t i = 0; i < push_.columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += push_.columns[i];
+      }
+      out += "]";
+    }
+    if (push_.limit > 0) {
+      out += ", pushed-limit=" + std::to_string(push_.limit);
+    }
     return out + ")\n";
   }
 
  private:
   std::string table_;
   std::string alias_;
+  ScanPushdown push_;
 };
 
 class ValuesNode : public PlanNode {
@@ -90,16 +281,28 @@ class FilterNode : public PlanNode {
 
   Result<Relation> Execute(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
+    OpTimer timer(Exec().filter_ns);
+    // Bound once on this thread, then shared read-only across morsel
+    // workers — Eval is const and stateless for every Expr subclass.
     ExprPtr pred = predicate_->Clone();
     CR_RETURN_IF_ERROR(pred->Bind(in.schema, &ctx.params));
     Relation out;
     out.schema = in.schema;
-    for (Row& row : in.rows) {
-      CR_ASSIGN_OR_RETURN(Value v, pred->Eval(row));
-      if (!v.is_null() && v.type() == ValueType::kBool && v.AsBool()) {
-        out.rows.push_back(std::move(row));
-      }
-    }
+    MorselPlan mp = PlanMorsels(ctx, in.rows.size());
+    std::vector<std::vector<Row>> chunks(mp.morsels);
+    CR_RETURN_IF_ERROR(RunMorsels(
+        ctx, in.rows.size(), mp,
+        [&](size_t m, size_t begin, size_t end) -> Status {
+          std::vector<Row>& chunk = chunks[m];
+          for (size_t i = begin; i < end; ++i) {
+            CR_ASSIGN_OR_RETURN(Value v, pred->Eval(in.rows[i]));
+            if (!v.is_null() && v.type() == ValueType::kBool && v.AsBool()) {
+              chunk.push_back(std::move(in.rows[i]));
+            }
+          }
+          return Status::OK();
+        }));
+    ConcatChunks(std::move(chunks), &out.rows);
     return out;
   }
 
@@ -120,6 +323,7 @@ class ProjectNode : public PlanNode {
 
   Result<Relation> Execute(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
+    OpTimer timer(Exec().project_ns);
     std::vector<ExprPtr> exprs;
     exprs.reserve(items_.size());
     for (const auto& item : items_) {
@@ -128,16 +332,25 @@ class ProjectNode : public PlanNode {
       exprs.push_back(std::move(e));
     }
     Relation out;
-    out.rows.reserve(in.rows.size());
-    for (const Row& row : in.rows) {
-      Row projected;
-      projected.reserve(exprs.size());
-      for (const auto& e : exprs) {
-        CR_ASSIGN_OR_RETURN(Value v, e->Eval(row));
-        projected.push_back(std::move(v));
-      }
-      out.rows.push_back(std::move(projected));
-    }
+    MorselPlan mp = PlanMorsels(ctx, in.rows.size());
+    std::vector<std::vector<Row>> chunks(mp.morsels);
+    CR_RETURN_IF_ERROR(RunMorsels(
+        ctx, in.rows.size(), mp,
+        [&](size_t m, size_t begin, size_t end) -> Status {
+          std::vector<Row>& chunk = chunks[m];
+          chunk.reserve(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            Row projected;
+            projected.reserve(exprs.size());
+            for (const auto& e : exprs) {
+              CR_ASSIGN_OR_RETURN(Value v, e->Eval(in.rows[i]));
+              projected.push_back(std::move(v));
+            }
+            chunk.push_back(std::move(projected));
+          }
+          return Status::OK();
+        }));
+    ConcatChunks(std::move(chunks), &out.rows);
     std::vector<Column> cols;
     cols.reserve(items_.size());
     for (size_t i = 0; i < items_.size(); ++i) {
@@ -183,10 +396,12 @@ class JoinNode : public PlanNode {
   Result<Relation> Execute(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation l, left_->Execute(ctx));
     CR_ASSIGN_OR_RETURN(Relation r, right_->Execute(ctx));
+    OpTimer timer(Exec().join_ns);
     Relation out;
     out.schema = Schema::Concat(l.schema, r.schema);
 
-    // Bind the full condition against the concatenated schema.
+    // Bind the full condition against the concatenated schema. Shared
+    // read-only by all probe morsels (Eval is const and stateless).
     ExprPtr cond;
     if (condition_ != nullptr) {
       cond = condition_->Clone();
@@ -196,9 +411,11 @@ class JoinNode : public PlanNode {
     EquiSplit split = SplitEquiPairs(l.schema, r.schema);
     size_t rnull = r.schema.num_columns();
 
-    auto emit_if_match = [&](const Row& lr, const Row& rr,
-                             bool* matched) -> Status {
-      Row combined = lr;
+    auto emit_if_match = [&](const Row& lr, const Row& rr, bool* matched,
+                             std::vector<Row>* sink) -> Status {
+      Row combined;
+      combined.reserve(lr.size() + rr.size());
+      combined.insert(combined.end(), lr.begin(), lr.end());
       combined.insert(combined.end(), rr.begin(), rr.end());
       if (cond != nullptr) {
         CR_ASSIGN_OR_RETURN(Value v, cond->Eval(combined));
@@ -207,13 +424,25 @@ class JoinNode : public PlanNode {
         }
       }
       if (matched != nullptr) *matched = true;
-      out.rows.push_back(std::move(combined));
+      sink->push_back(std::move(combined));
       return Status::OK();
     };
+    auto pad_left = [&](const Row& lr, std::vector<Row>* sink) {
+      Row combined;
+      combined.reserve(lr.size() + rnull);
+      combined.insert(combined.end(), lr.begin(), lr.end());
+      combined.resize(combined.size() + rnull, Value::Null());
+      sink->push_back(std::move(combined));
+    };
+
+    // The probe side (left rows) splits into morsels; the build table /
+    // right relation is shared read-only. Per-morsel chunks concatenate in
+    // morsel order, preserving the serial output order exactly.
+    MorselPlan mp = PlanMorsels(ctx, l.rows.size());
+    std::vector<std::vector<Row>> chunks(mp.morsels);
 
     if (!split.pairs.empty()) {
       // Hash join: build on right.
-      std::unordered_multimap<size_t, size_t> build;  // key hash -> right row
       auto key_of = [&](const Row& row,
                         const std::vector<size_t>& cols) -> Row {
         Row key;
@@ -228,45 +457,55 @@ class JoinNode : public PlanNode {
         rcols.push_back(rc);
       }
       std::unordered_map<Row, std::vector<size_t>, RowHash> table;
+      table.reserve(r.rows.size());
       for (size_t i = 0; i < r.rows.size(); ++i) {
         Row key = key_of(r.rows[i], rcols);
         bool has_null = false;
         for (const Value& v : key) has_null |= v.is_null();
         if (!has_null) table[std::move(key)].push_back(i);
       }
-      for (const Row& lr : l.rows) {
-        bool matched = false;
-        Row key = key_of(lr, lcols);
-        bool has_null = false;
-        for (const Value& v : key) has_null |= v.is_null();
-        if (!has_null) {
-          auto it = table.find(key);
-          if (it != table.end()) {
-            for (size_t ri : it->second) {
-              CR_RETURN_IF_ERROR(emit_if_match(lr, r.rows[ri], &matched));
+      CR_RETURN_IF_ERROR(RunMorsels(
+          ctx, l.rows.size(), mp,
+          [&](size_t m, size_t begin, size_t end) -> Status {
+            std::vector<Row>& chunk = chunks[m];
+            chunk.reserve(end - begin);
+            for (size_t i = begin; i < end; ++i) {
+              const Row& lr = l.rows[i];
+              bool matched = false;
+              Row key = key_of(lr, lcols);
+              bool has_null = false;
+              for (const Value& v : key) has_null |= v.is_null();
+              if (!has_null) {
+                auto it = table.find(key);
+                if (it != table.end()) {
+                  for (size_t ri : it->second) {
+                    CR_RETURN_IF_ERROR(
+                        emit_if_match(lr, r.rows[ri], &matched, &chunk));
+                  }
+                }
+              }
+              if (!matched && type_ == JoinType::kLeft) pad_left(lr, &chunk);
             }
-          }
-        }
-        if (!matched && type_ == JoinType::kLeft) {
-          Row combined = lr;
-          combined.resize(combined.size() + rnull, Value::Null());
-          out.rows.push_back(std::move(combined));
-        }
-      }
+            return Status::OK();
+          }));
     } else {
       // Nested loop.
-      for (const Row& lr : l.rows) {
-        bool matched = false;
-        for (const Row& rr : r.rows) {
-          CR_RETURN_IF_ERROR(emit_if_match(lr, rr, &matched));
-        }
-        if (!matched && type_ == JoinType::kLeft) {
-          Row combined = lr;
-          combined.resize(combined.size() + rnull, Value::Null());
-          out.rows.push_back(std::move(combined));
-        }
-      }
+      CR_RETURN_IF_ERROR(RunMorsels(
+          ctx, l.rows.size(), mp,
+          [&](size_t m, size_t begin, size_t end) -> Status {
+            std::vector<Row>& chunk = chunks[m];
+            for (size_t i = begin; i < end; ++i) {
+              const Row& lr = l.rows[i];
+              bool matched = false;
+              for (const Row& rr : r.rows) {
+                CR_RETURN_IF_ERROR(emit_if_match(lr, rr, &matched, &chunk));
+              }
+              if (!matched && type_ == JoinType::kLeft) pad_left(lr, &chunk);
+            }
+            return Status::OK();
+          }));
     }
+    ConcatChunks(std::move(chunks), &out.rows);
     return out;
   }
 
@@ -382,6 +621,7 @@ class AggregateNode : public PlanNode {
 
   Result<Relation> Execute(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
+    OpTimer timer(Exec().aggregate_ns);
 
     std::vector<ExprPtr> keys;
     for (const auto& g : group_by_) {
@@ -533,6 +773,7 @@ class SortNode : public PlanNode {
 
   Result<Relation> Execute(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
+    OpTimer timer(Exec().sort_ns);
     std::vector<ExprPtr> exprs;
     for (const auto& k : keys_) {
       ExprPtr e = k.expr->Clone();
@@ -581,6 +822,103 @@ class SortNode : public PlanNode {
   std::vector<SortKey> keys_;
 };
 
+/// ORDER BY + LIMIT fused into a bounded heap: keeps the first
+/// `limit + offset` rows of the sorted order in O(n log k) time and O(k)
+/// extra space instead of sorting the whole input. The comparator breaks
+/// key ties on original row index, which makes its total order identical to
+/// what stable_sort produces — so TopN output is byte-identical to
+/// Sort + Limit on the same input.
+class TopNNode : public PlanNode {
+ public:
+  TopNNode(PlanPtr child, std::vector<SortKey> keys, size_t limit,
+           size_t offset)
+      : child_(std::move(child)),
+        keys_(std::move(keys)),
+        limit_(limit),
+        offset_(offset) {}
+
+  Result<Relation> Execute(ExecContext& ctx) const override {
+    CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
+    OpTimer timer(Exec().topk_ns);
+    Relation out;
+    out.schema = in.schema;
+    size_t keep = limit_ + offset_;
+    if (keep < limit_) keep = in.rows.size();  // overflow → keep everything
+
+    std::vector<ExprPtr> exprs;
+    exprs.reserve(keys_.size());
+    for (const auto& k : keys_) {
+      ExprPtr e = k.expr->Clone();
+      CR_RETURN_IF_ERROR(e->Bind(in.schema, &ctx.params));
+      exprs.push_back(std::move(e));
+    }
+
+    struct Keyed {
+      Row key;
+      size_t idx = 0;
+    };
+    // True when `a` comes strictly before `b` in the sorted output.
+    auto comes_first = [this](const Keyed& a, const Keyed& b) {
+      for (size_t k = 0; k < keys_.size(); ++k) {
+        int c = a.key[k].Compare(b.key[k]);
+        if (c != 0) return keys_[k].ascending ? c < 0 : c > 0;
+      }
+      return a.idx < b.idx;
+    };
+
+    // Max-heap under `comes_first`: the root is the kept row that sorts
+    // last, i.e. the one a better candidate evicts.
+    std::vector<Keyed> heap;
+    heap.reserve(std::min(keep + 1, in.rows.size() + 1));
+    for (size_t i = 0; i < in.rows.size(); ++i) {
+      Keyed cand;
+      cand.idx = i;
+      cand.key.reserve(exprs.size());
+      for (const auto& e : exprs) {
+        CR_ASSIGN_OR_RETURN(Value v, e->Eval(in.rows[i]));
+        cand.key.push_back(std::move(v));
+      }
+      if (keep == 0) continue;  // LIMIT 0: evaluate keys, keep nothing
+      if (heap.size() < keep) {
+        heap.push_back(std::move(cand));
+        std::push_heap(heap.begin(), heap.end(), comes_first);
+      } else if (comes_first(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), comes_first);
+        heap.back() = std::move(cand);
+        std::push_heap(heap.begin(), heap.end(), comes_first);
+      }
+    }
+    std::sort_heap(heap.begin(), heap.end(), comes_first);
+
+    if (offset_ < heap.size()) {
+      out.rows.reserve(std::min(limit_, heap.size() - offset_));
+      for (size_t i = offset_; i < heap.size(); ++i) {
+        out.rows.push_back(std::move(in.rows[heap[i].idx]));
+      }
+    }
+    return out;
+  }
+
+  std::string Explain(int indent) const override {
+    std::string list;
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (i > 0) list += ", ";
+      list += keys_[i].expr->ToString() +
+              (keys_[i].ascending ? " ASC" : " DESC");
+    }
+    return Indent(indent) + "TopN(" + list +
+           ", limit=" + std::to_string(limit_) +
+           (offset_ > 0 ? ", offset=" + std::to_string(offset_) : "") +
+           ")\n" + child_->Explain(indent + 1);
+  }
+
+ private:
+  PlanPtr child_;
+  std::vector<SortKey> keys_;
+  size_t limit_;
+  size_t offset_;
+};
+
 class LimitNode : public PlanNode {
  public:
   LimitNode(PlanPtr child, size_t limit, size_t offset)
@@ -618,6 +956,7 @@ class DistinctNode : public PlanNode {
     Relation out;
     out.schema = in.schema;
     std::unordered_map<Row, bool, RowHash> seen;
+    seen.reserve(in.rows.size());
     for (Row& row : in.rows) {
       auto [it, inserted] = seen.try_emplace(row, true);
       if (inserted) out.rows.push_back(std::move(row));
@@ -650,6 +989,7 @@ class UnionNode : public PlanNode {
     for (Row& row : r.rows) out.rows.push_back(std::move(row));
     if (!all_) {
       std::unordered_map<Row, bool, RowHash> seen;
+      seen.reserve(out.rows.size());
       std::vector<Row> deduped;
       for (Row& row : out.rows) {
         auto [it, inserted] = seen.try_emplace(row, true);
@@ -686,6 +1026,7 @@ class ExtendNode : public PlanNode {
   Result<Relation> Execute(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
     CR_ASSIGN_OR_RETURN(Relation src, source_->Execute(ctx));
+    OpTimer timer(Exec().extend_ns);
 
     ExprPtr ck = child_key_->Clone();
     CR_RETURN_IF_ERROR(ck->Bind(in.schema, &ctx.params));
@@ -700,6 +1041,7 @@ class ExtendNode : public PlanNode {
 
     // Group source rows by key.
     std::unordered_map<Row, std::vector<Value>, RowHash> grouped;
+    grouped.reserve(src.rows.size());
     for (const Row& row : src.rows) {
       CR_ASSIGN_OR_RETURN(Value key, sk->Eval(row));
       if (key.is_null()) continue;
@@ -722,15 +1064,27 @@ class ExtendNode : public PlanNode {
     std::vector<Column> cols = in.schema.columns();
     cols.emplace_back(column_name_, ValueType::kList);
     out.schema = Schema(std::move(cols));
-    out.rows.reserve(in.rows.size());
-    for (Row& row : in.rows) {
-      CR_ASSIGN_OR_RETURN(Value key, ck->Eval(row));
-      auto it = key.is_null() ? grouped.end() : grouped.find({key});
-      Value::List items =
-          it == grouped.end() ? Value::List{} : Value::List(it->second);
-      row.push_back(Value(std::move(items)));
-      out.rows.push_back(std::move(row));
-    }
+    // The probe over child rows splits into morsels; `grouped` and the
+    // bound keys are shared read-only across workers.
+    MorselPlan mp = PlanMorsels(ctx, in.rows.size());
+    std::vector<std::vector<Row>> chunks(mp.morsels);
+    CR_RETURN_IF_ERROR(RunMorsels(
+        ctx, in.rows.size(), mp,
+        [&](size_t m, size_t begin, size_t end) -> Status {
+          std::vector<Row>& chunk = chunks[m];
+          chunk.reserve(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            Row& row = in.rows[i];
+            CR_ASSIGN_OR_RETURN(Value key, ck->Eval(row));
+            auto it = key.is_null() ? grouped.end() : grouped.find({key});
+            Value::List items =
+                it == grouped.end() ? Value::List{} : Value::List(it->second);
+            row.push_back(Value(std::move(items)));
+            chunk.push_back(std::move(row));
+          }
+          return Status::OK();
+        }));
+    ConcatChunks(std::move(chunks), &out.rows);
     return out;
   }
 
@@ -760,6 +1114,11 @@ class ExtendNode : public PlanNode {
 PlanPtr MakeTableScan(std::string table, std::string alias) {
   return std::make_unique<TableScanNode>(std::move(table), std::move(alias));
 }
+PlanPtr MakePushdownScan(std::string table, std::string alias,
+                         ScanPushdown push) {
+  return std::make_unique<TableScanNode>(std::move(table), std::move(alias),
+                                         std::move(push));
+}
 PlanPtr MakeValues(Relation rel) {
   return std::make_unique<ValuesNode>(std::move(rel));
 }
@@ -784,6 +1143,11 @@ PlanPtr MakeSort(PlanPtr child, std::vector<SortKey> keys) {
 }
 PlanPtr MakeLimit(PlanPtr child, size_t limit, size_t offset) {
   return std::make_unique<LimitNode>(std::move(child), limit, offset);
+}
+PlanPtr MakeTopN(PlanPtr child, std::vector<SortKey> keys, size_t limit,
+                 size_t offset) {
+  return std::make_unique<TopNNode>(std::move(child), std::move(keys), limit,
+                                    offset);
 }
 PlanPtr MakeDistinct(PlanPtr child) {
   return std::make_unique<DistinctNode>(std::move(child));

@@ -10,12 +10,37 @@
 #include "query/relation.h"
 #include "storage/database.h"
 
+namespace courserank {
+class ThreadPool;
+}  // namespace courserank
+
 namespace courserank::query {
+
+/// Knobs for morsel-driven parallel execution (DESIGN.md §11).
+///
+/// Determinism contract: the morsel partition is a pure function of the
+/// input row count and `morsel_rows` — never of the worker count — and each
+/// morsel fills its own output chunk, concatenated in morsel order. Parallel
+/// results are therefore byte-identical to the serial path, and a failing
+/// plan reports the error of the lowest-indexed failing morsel.
+struct ExecOptions {
+  /// Master switch; false forces every operator down the serial path.
+  bool parallel = true;
+  /// Rows per morsel. Inputs above `ThreadPool::kMaxMorsels * morsel_rows`
+  /// get proportionally larger morsels.
+  size_t morsel_rows = 1024;
+  /// Inputs with fewer rows than this run serially — fan-out overhead beats
+  /// the win on small relations.
+  size_t min_parallel_rows = 4096;
+  /// Pool to dispatch on; nullptr means `SharedThreadPool()`.
+  ThreadPool* pool = nullptr;
+};
 
 /// Per-execution state shared by all operators of a plan.
 struct ExecContext {
   const storage::Database* db = nullptr;
   ParamMap params;
+  ExecOptions exec;
 };
 
 /// A physical operator. Execution is materialized: each node fully computes
@@ -64,6 +89,23 @@ const char* AggFnName(AggFn fn);
 /// "alias.col".
 PlanPtr MakeTableScan(std::string table, std::string alias = "");
 
+/// Work pushed down into a table scan so σ/π/LIMIT directly above a scan
+/// never materialize the full table.
+struct ScanPushdown {
+  /// Filter evaluated against the full (alias-prefixed) scan schema while
+  /// scanning; non-matching rows are never materialized. May be null.
+  ExprPtr predicate;
+  /// Output column subset (names resolved against the scan schema, output
+  /// in this order). Empty keeps every column.
+  std::vector<std::string> columns;
+  /// Stop scanning after this many post-predicate rows (0 = no limit).
+  size_t limit = 0;
+};
+
+/// Table scan with pushed-down predicate / projection / limit.
+PlanPtr MakePushdownScan(std::string table, std::string alias,
+                         ScanPushdown push);
+
 /// Wraps a literal relation (used for VALUES and for feeding precomputed
 /// relations into plans).
 PlanPtr MakeValues(Relation rel);
@@ -84,6 +126,13 @@ PlanPtr MakeAggregate(PlanPtr child, std::vector<ProjectItem> group_by,
 
 PlanPtr MakeSort(PlanPtr child, std::vector<SortKey> keys);
 PlanPtr MakeLimit(PlanPtr child, size_t limit, size_t offset = 0);
+
+/// Bounded top-k: ORDER BY `keys` then keep rows [offset, offset+limit)
+/// using an (offset+limit)-element heap instead of sorting the whole input.
+/// Ties break on original row index, so the output is byte-identical to
+/// MakeSort + MakeLimit (which stable-sorts).
+PlanPtr MakeTopN(PlanPtr child, std::vector<SortKey> keys, size_t limit,
+                 size_t offset = 0);
 PlanPtr MakeDistinct(PlanPtr child);
 
 /// UNION (set) or UNION ALL (bag) of two inputs with equal arity.

@@ -1,5 +1,8 @@
 #include "query/sql_engine.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -16,6 +19,7 @@ struct SqlMetrics {
   obs::Histogram* parse_ns;
   obs::Histogram* execute_ns;
   obs::Counter* statements;
+  obs::Counter* pushdown_rewrites;
 };
 
 const SqlMetrics& Metrics() {
@@ -23,10 +27,39 @@ const SqlMetrics& Metrics() {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
     return SqlMetrics{reg.GetHistogram("cr_sql_parse_ns"),
                       reg.GetHistogram("cr_sql_execute_ns"),
-                      reg.GetCounter("cr_sql_statements_total")};
+                      reg.GetCounter("cr_sql_statements_total"),
+                      reg.GetCounter("cr_exec_pushdown_rewrites_total")};
   }();
   return m;
 }
+
+/// Collects every column name an expression tree references.
+class ColumnCollector : public ExprVisitor {
+ public:
+  std::vector<std::string> names;
+
+  void VisitColumn(const std::string& name) override {
+    names.push_back(name);
+  }
+  void VisitUnary(UnaryOp, const Expr& operand) override {
+    operand.Accept(*this);
+  }
+  void VisitBinary(BinaryOp, const Expr& lhs, const Expr& rhs) override {
+    lhs.Accept(*this);
+    rhs.Accept(*this);
+  }
+  void VisitIsNull(const Expr& operand, bool) override {
+    operand.Accept(*this);
+  }
+  void VisitInList(const Expr& operand,
+                   const std::vector<storage::Value>&) override {
+    operand.Accept(*this);
+  }
+  void VisitCall(const std::string&,
+                 const std::vector<ExprPtr>& args) override {
+    for (const ExprPtr& a : args) a->Accept(*this);
+  }
+};
 
 }  // namespace
 
@@ -37,6 +70,10 @@ using storage::Value;
 using storage::ValueType;
 
 namespace {
+
+/// Upper bound on a pushable LIMIT + OFFSET (guards size_t overflow when
+/// summing them).
+constexpr size_t kMaxPushdownLimit = std::numeric_limits<size_t>::max() / 2;
 
 /// One-row relation reporting a mutation's effect.
 Relation AffectedRelation(int64_t n) {
@@ -67,23 +104,100 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
     if (!ref.alias.empty()) return ref.alias;
     return stmt.joins.empty() ? std::string() : ref.table;
   };
-  PlanPtr plan = MakeTableScan(stmt.from.table, effective_alias(stmt.from));
+
+  bool has_agg = false;
+  bool any_star = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.agg.has_value()) has_agg = true;
+    if (item.star) any_star = true;
+  }
+  bool bare_star = stmt.items.size() == 1 && stmt.items[0].star;
+  bool plain_rows = !has_agg && stmt.group_by.empty() && !any_star;
+
+  // ---- scan pushdown (DESIGN.md §11) ----
+  // Single-table queries push σ, the referenced-column subset π, and
+  // ORDER-BY-free LIMITs into the scan so it never materializes rows the
+  // plan would immediately drop. The rewrite is result-preserving: the
+  // predicate is evaluated against the identical scan schema the Filter
+  // node would have seen, and rows stream out in the same slot order.
+  ScanPushdown push;
+  bool where_pushed = false;
+  int64_t pushed_components = 0;
+  bool can_push = planner_.scan_pushdown && stmt.joins.empty();
+  if (can_push && stmt.where != nullptr) {
+    push.predicate = stmt.where->Clone();
+    where_pushed = true;
+    ++pushed_components;
+  }
+  if (can_push && plain_rows) {
+    // Project only the columns the select list and ORDER BY actually
+    // reference. ORDER BY keys naming a select alias resolve against the
+    // projection, not the scan, so they are excluded; every collected name
+    // must resolve against the scan schema or the pruning is skipped.
+    ColumnCollector cc;
+    for (const SelectItem& item : stmt.items) item.expr->Accept(cc);
+    std::vector<std::string> visible;
+    for (const SelectItem& item : stmt.items) {
+      visible.push_back(DefaultName(item));
+    }
+    for (const OrderItem& oi : stmt.order_by) {
+      bool is_alias = false;
+      for (const std::string& name : visible) {
+        if (EqualsIgnoreCase(name, oi.expr->ToString())) is_alias = true;
+      }
+      if (!is_alias) oi.expr->Accept(cc);
+    }
+    auto table = db_->GetTable(stmt.from.table);
+    if (table.ok() && !cc.names.empty()) {
+      const std::string alias = effective_alias(stmt.from);
+      Schema scan_schema = alias.empty() ? (*table)->schema()
+                                         : (*table)->schema().WithPrefix(alias);
+      std::vector<size_t> kept;
+      bool all_resolve = true;
+      for (const std::string& name : cc.names) {
+        auto idx = scan_schema.FindColumn(name);
+        if (!idx.has_value()) {
+          all_resolve = false;
+          break;
+        }
+        if (std::find(kept.begin(), kept.end(), *idx) == kept.end()) {
+          kept.push_back(*idx);
+        }
+      }
+      if (all_resolve && kept.size() < scan_schema.num_columns()) {
+        std::sort(kept.begin(), kept.end());
+        for (size_t idx : kept) {
+          push.columns.push_back(scan_schema.column(idx).name);
+        }
+        ++pushed_components;
+      }
+    }
+  }
+  if (can_push && plain_rows && !stmt.distinct && stmt.order_by.empty() &&
+      stmt.limit.has_value() && *stmt.limit < kMaxPushdownLimit &&
+      stmt.offset < kMaxPushdownLimit) {
+    push.limit = *stmt.limit + stmt.offset;
+    if (push.limit == 0) push.limit = 1;  // LIMIT 0: scan stops on row one
+    ++pushed_components;
+  }
+
+  PlanPtr plan;
+  if (pushed_components > 0) {
+    Metrics().pushdown_rewrites->Add(pushed_components);
+    plan = MakePushdownScan(stmt.from.table, effective_alias(stmt.from),
+                            std::move(push));
+  } else {
+    plan = MakeTableScan(stmt.from.table, effective_alias(stmt.from));
+  }
   for (const JoinClause& jc : stmt.joins) {
     PlanPtr right = MakeTableScan(jc.table.table, effective_alias(jc.table));
     plan = MakeJoin(std::move(plan), std::move(right),
                     jc.on ? jc.on->Clone() : nullptr,
                     jc.left ? JoinType::kLeft : JoinType::kInner);
   }
-  if (stmt.where != nullptr) {
+  if (stmt.where != nullptr && !where_pushed) {
     plan = MakeFilter(std::move(plan), stmt.where->Clone());
   }
-
-  bool has_agg = false;
-  for (const SelectItem& item : stmt.items) {
-    if (item.agg.has_value()) has_agg = true;
-  }
-
-  bool bare_star = stmt.items.size() == 1 && stmt.items[0].star;
 
   if (has_agg || !stmt.group_by.empty()) {
     // Aggregate path.
@@ -192,9 +306,19 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
         sk.expr = is_alias ? MakeColumn(key) : MakeColumn(hidden[h++]);
         keys.push_back(std::move(sk));
       }
-      plan = MakeSort(std::move(plan), std::move(keys));
-    }
-    if (stmt.limit.has_value()) {
+      // ORDER BY + LIMIT fuses into a bounded top-k heap; output is
+      // byte-identical to Sort + Limit (TopNNode ties break on row index,
+      // matching the stable sort).
+      if (stmt.limit.has_value() && planner_.bounded_topk) {
+        plan = MakeTopN(std::move(plan), std::move(keys), *stmt.limit,
+                        stmt.offset);
+      } else {
+        plan = MakeSort(std::move(plan), std::move(keys));
+        if (stmt.limit.has_value()) {
+          plan = MakeLimit(std::move(plan), *stmt.limit, stmt.offset);
+        }
+      }
+    } else if (stmt.limit.has_value()) {
       plan = MakeLimit(std::move(plan), *stmt.limit, stmt.offset);
     }
     if (!hidden.empty()) {
@@ -208,15 +332,24 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
   }
 
   // Bare star or aggregate path: ORDER BY binds directly to the current
-  // output schema.
+  // output schema. Sort + Limit fuses into TopN unless a DISTINCT sits
+  // between them (bare-star DISTINCT dedupes after the sort, so bounding
+  // the sort first would change the result).
+  bool distinct_between = stmt.distinct && bare_star;
   if (!stmt.order_by.empty()) {
     std::vector<SortKey> keys;
     for (const OrderItem& oi : stmt.order_by) {
       keys.push_back({oi.expr->Clone(), oi.ascending});
     }
+    if (stmt.limit.has_value() && planner_.bounded_topk &&
+        !distinct_between) {
+      plan = MakeTopN(std::move(plan), std::move(keys), *stmt.limit,
+                      stmt.offset);
+      return plan;
+    }
     plan = MakeSort(std::move(plan), std::move(keys));
   }
-  if (stmt.distinct && bare_star) plan = MakeDistinct(std::move(plan));
+  if (distinct_between) plan = MakeDistinct(std::move(plan));
   if (stmt.limit.has_value()) {
     plan = MakeLimit(std::move(plan), *stmt.limit, stmt.offset);
   }
@@ -243,6 +376,7 @@ Result<Relation> SqlEngine::Execute(const std::string& sql,
     ExecContext ctx;
     ctx.db = db_;
     ctx.params = params;
+    ctx.exec = exec_;
     return plan->Execute(ctx);
   }
   if (stmt.insert != nullptr) return ExecuteInsert(*stmt.insert, params);

@@ -18,6 +18,17 @@ namespace courserank::query {
 ///
 /// This is the "conventional DBMS" the FlexRecs engine compiles workflows
 /// into (paper §3.2).
+/// Planner rewrites that change the plan shape but never the result; both
+/// on by default, individually switchable for A/B tests and benchmarks.
+struct PlannerOptions {
+  /// Push single-table WHERE predicates, the referenced-column subset, and
+  /// ORDER-BY-free LIMITs into the table scan.
+  bool scan_pushdown = true;
+  /// Fuse ORDER BY + LIMIT into a bounded top-k heap (TopN) instead of a
+  /// full sort.
+  bool bounded_topk = true;
+};
+
 class SqlEngine {
  public:
   /// Inspects a parsed statement before execution; a non-OK status rejects
@@ -29,6 +40,14 @@ class SqlEngine {
   explicit SqlEngine(storage::Database* db) : db_(db) {}
 
   void set_validator(Validator v) { validator_ = std::move(v); }
+
+  /// Planner rewrites applied by PlanSelect.
+  void set_planner_options(const PlannerOptions& o) { planner_ = o; }
+  const PlannerOptions& planner_options() const { return planner_; }
+
+  /// Execution options stamped into every ExecContext this engine creates.
+  void set_exec_options(const ExecOptions& o) { exec_ = o; }
+  const ExecOptions& exec_options() const { return exec_; }
 
   /// Parses, plans, and executes one statement.
   Result<Relation> Execute(const std::string& sql, const ParamMap& params = {});
@@ -52,6 +71,8 @@ class SqlEngine {
 
   storage::Database* db_;
   Validator validator_;
+  PlannerOptions planner_;
+  ExecOptions exec_;
 };
 
 }  // namespace courserank::query

@@ -254,6 +254,21 @@ void Table::Scan(const std::function<void(RowId, const Row&)>& fn) const {
   RowsScannedCounter().Add(rows_.size());
 }
 
+void Table::ScanWhile(const std::function<bool(RowId, const Row&)>& fn) const {
+  // Early-exit variant for pushed-down limits: stops as soon as `fn`
+  // returns false. Rows-scanned accounting reflects the slots actually
+  // visited, so pushdown wins show up in cr_storage_rows_scanned_total.
+  RowId id = 0;
+  for (; id < rows_.size(); ++id) {
+    if (!deleted_[id] && !fn(id, rows_[id])) {
+      ++id;
+      break;
+    }
+  }
+  ScansCounter().Add();
+  RowsScannedCounter().Add(id);
+}
+
 std::vector<RowId> Table::LiveRowIds() const {
   std::vector<RowId> out;
   out.reserve(live_count_);

@@ -131,6 +131,10 @@ class Table {
   /// Calls `fn(id, row)` for every live row, in slot order.
   void Scan(const std::function<void(RowId, const Row&)>& fn) const;
 
+  /// Like Scan, but stops (after the current row) once `fn` returns false —
+  /// the early-exit path for pushed-down scan limits.
+  void ScanWhile(const std::function<bool(RowId, const Row&)>& fn) const;
+
   /// All live row ids in slot order.
   std::vector<RowId> LiveRowIds() const;
 

@@ -1,0 +1,514 @@
+// Morsel-parallel execution equivalence tests (DESIGN.md §11). The
+// contract under test: for every plan, parallel execution produces a
+// relation byte-identical to serial execution — same schema, same rows,
+// same order, same value types — and the same error when evaluation fails.
+// Also covers planner rewrites (scan pushdown, bounded top-k) and the
+// workflow optimizer, which must never change results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/strategies.h"
+#include "core/workflow_optimizer.h"
+#include "core/workflow_parser.h"
+#include "gen/generator.h"
+#include "obs/metrics.h"
+#include "query/plan.h"
+#include "query/sql_engine.h"
+#include "query/sql_parser.h"
+#include "social/site.h"
+#include "storage/database.h"
+
+namespace courserank {
+namespace {
+
+using flexrecs::FlexRecsEngine;
+using gen::GenConfig;
+using gen::Generator;
+using query::ExecOptions;
+using query::ParamMap;
+using query::PlannerOptions;
+using query::Relation;
+using query::SqlEngine;
+using storage::Database;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+/// Aggressive fan-out: tiny morsels, no serial cutoff — every operator
+/// takes its parallel path even on toy inputs.
+ExecOptions Aggressive(size_t morsel_rows = 3) {
+  ExecOptions o;
+  o.parallel = true;
+  o.morsel_rows = morsel_rows;
+  o.min_parallel_rows = 0;
+  return o;
+}
+
+ExecOptions Serial() {
+  ExecOptions o;
+  o.parallel = false;
+  return o;
+}
+
+/// Byte-identity check: schemas equal, rows in the same order, every cell
+/// the same type and value. (Value::operator== treats INT 1 and DOUBLE 1.0
+/// as equal, so the type is compared explicitly.)
+void ExpectSameRelation(const Relation& a, const Relation& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.schema.num_columns(), b.schema.num_columns()) << what;
+  for (size_t c = 0; c < a.schema.num_columns(); ++c) {
+    EXPECT_EQ(a.schema.column(c).name, b.schema.column(c).name) << what;
+    EXPECT_EQ(a.schema.column(c).type, b.schema.column(c).type) << what;
+  }
+  ASSERT_EQ(a.rows.size(), b.rows.size()) << what;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    ASSERT_EQ(a.rows[r].size(), b.rows[r].size()) << what << " row " << r;
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      EXPECT_EQ(a.rows[r][c].type(), b.rows[r][c].type())
+          << what << " row " << r << " col " << c;
+      EXPECT_TRUE(a.rows[r][c] == b.rows[r][c])
+          << what << " row " << r << " col " << c << ": "
+          << a.rows[r][c].ToString() << " vs " << b.rows[r][c].ToString();
+    }
+  }
+}
+
+// ----------------------------------------------------- morsel boundaries
+
+class MorselBoundaryTest : public ::testing::Test {
+ protected:
+  /// A one-column table with `n` sequential ints.
+  void Fill(size_t n) {
+    db_ = std::make_unique<Database>();
+    auto table = db_->CreateTable(
+        "t", Schema({{"v", ValueType::kInt, true}}), {});
+    ASSERT_TRUE(table.ok());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          (*table)->Insert({Value(static_cast<int64_t>(i))}).ok());
+    }
+  }
+
+  Relation RunSql(const std::string& sql, const ExecOptions& exec) {
+    SqlEngine engine(db_.get());
+    engine.set_exec_options(exec);
+    auto rel = engine.Execute(sql);
+    EXPECT_TRUE(rel.ok()) << sql << " -> " << rel.status().ToString();
+    return rel.ok() ? std::move(*rel) : Relation{};
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(MorselBoundaryTest, EdgeRowCountsMatchSerial) {
+  const size_t kMorsel = 4;
+  // 0, 1, and ±1 around every morsel boundary up to a few morsels, plus a
+  // count above ThreadPool::kMaxMorsels * morsel_rows (morsels grow).
+  const size_t counts[] = {0,  1,  kMorsel - 1, kMorsel, kMorsel + 1,
+                           2 * kMorsel - 1, 2 * kMorsel, 2 * kMorsel + 1,
+                           ThreadPool::kMaxMorsels * kMorsel + 5};
+  for (size_t n : counts) {
+    Fill(n);
+    const std::string sql =
+        "SELECT v, v * 2 AS dbl FROM t WHERE v % 3 <> 1";
+    Relation serial = RunSql(sql, Serial());
+    Relation parallel = RunSql(sql, Aggressive(kMorsel));
+    ExpectSameRelation(serial, parallel, "n=" + std::to_string(n));
+  }
+}
+
+TEST_F(MorselBoundaryTest, ExplicitPoolMatchesShared) {
+  Fill(101);
+  ThreadPool pool(3);
+  ExecOptions with_pool = Aggressive(5);
+  with_pool.pool = &pool;
+  const std::string sql = "SELECT v FROM t WHERE v % 2 = 0 ORDER BY v DESC";
+  ExpectSameRelation(RunSql(sql, Serial()), RunSql(sql, with_pool),
+                     "explicit pool");
+}
+
+TEST_F(MorselBoundaryTest, MidMorselErrorMatchesSerialError) {
+  // Row 9 (second morsel of 4) divides by zero; serial stops at the first
+  // failing row, and the parallel merge must surface the same morsel-order
+  // first error.
+  Fill(20);
+  const std::string sql = "SELECT 100 / (v - 9) FROM t";
+  SqlEngine serial_engine(db_.get());
+  serial_engine.set_exec_options(Serial());
+  SqlEngine parallel_engine(db_.get());
+  parallel_engine.set_exec_options(Aggressive(4));
+  auto serial = serial_engine.Execute(sql);
+  auto parallel = parallel_engine.Execute(sql);
+  ASSERT_FALSE(serial.ok());
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(serial.status().code(), parallel.status().code());
+  EXPECT_EQ(serial.status().message(), parallel.status().message());
+}
+
+TEST_F(MorselBoundaryTest, JoinAndDistinctAndUnionMatchSerial) {
+  Fill(37);
+  const std::string queries[] = {
+      "SELECT a.v, b.v FROM t a JOIN t b ON a.v = b.v WHERE a.v < 30",
+      "SELECT DISTINCT v % 5 AS m FROM t ORDER BY m",
+      "SELECT a.v, b.v FROM t a LEFT JOIN t b ON a.v = b.v * 2",
+  };
+  for (const std::string& sql : queries) {
+    ExpectSameRelation(RunSql(sql, Serial()), RunSql(sql, Aggressive(4)),
+                       sql);
+  }
+}
+
+// ------------------------------------------------ TopN vs Sort + Limit
+
+TEST(TopNTest, MatchesSortLimitIncludingTies) {
+  Rng rng(271828);
+  Database db;
+  auto table = db.CreateTable("t", Schema({{"k", ValueType::kInt, true},
+                                           {"v", ValueType::kInt, true}}),
+                              {});
+  ASSERT_TRUE(table.ok());
+  for (int64_t i = 0; i < 500; ++i) {
+    // Heavy ties on k: stability (original order within equal keys) must
+    // survive the heap.
+    ASSERT_TRUE(
+        (*table)
+            ->Insert({Value(static_cast<int64_t>(rng.NextBounded(7))),
+                      Value(i)})
+            .ok());
+  }
+  for (bool descending : {false, true}) {
+    for (size_t limit : {0u, 1u, 3u, 17u, 499u, 500u, 900u}) {
+      for (size_t offset : {0u, 2u, 120u}) {
+        auto make = [&](bool top_n) {
+          std::vector<query::SortKey> keys;
+          auto expr = query::ParseExpression("k");
+          EXPECT_TRUE(expr.ok());
+          keys.push_back({std::move(*expr), !descending});
+          auto scan = query::MakeTableScan("t");
+          return top_n ? query::MakeTopN(std::move(scan), std::move(keys),
+                                         limit, offset)
+                       : query::MakeLimit(
+                             query::MakeSort(std::move(scan),
+                                             std::move(keys)),
+                             limit, offset);
+        };
+        auto sorted = query::Run(*make(false), db);
+        auto topped = query::Run(*make(true), db);
+        ASSERT_TRUE(sorted.ok());
+        ASSERT_TRUE(topped.ok());
+        ExpectSameRelation(*sorted, *topped,
+                           "limit=" + std::to_string(limit) +
+                               " offset=" + std::to_string(offset) +
+                               " desc=" + std::to_string(descending));
+      }
+    }
+  }
+}
+
+// ------------------------------------------- pushdown planner rewrites
+
+class PushdownEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Every query must return the same relation with and without scan
+/// pushdown + bounded top-k, serial and parallel.
+TEST_P(PushdownEquivalenceTest, RewrittenPlansMatchPlainPlans) {
+  auto site = Generator(GenConfig::Tiny(GetParam())).Generate();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  Database& db = (*site)->db();
+
+  SqlEngine plain(&db);
+  plain.set_planner_options(PlannerOptions{false, false});
+  plain.set_exec_options(Serial());
+  SqlEngine pushed(&db);
+  pushed.set_planner_options(PlannerOptions{true, true});
+  pushed.set_exec_options(Aggressive(5));
+
+  const std::string queries[] = {
+      "SELECT * FROM Courses",
+      "SELECT Title FROM Courses WHERE Units >= 3 ORDER BY Title LIMIT 7",
+      "SELECT Title, Number FROM Courses WHERE Number < 200 "
+      "ORDER BY Number DESC, Title LIMIT 5 OFFSET 2",
+      "SELECT DISTINCT Units FROM Courses ORDER BY Units",
+      "SELECT * FROM Ratings WHERE Score >= 3 LIMIT 9",
+      "SELECT Day, COUNT(*) AS n, AVG(Score) AS mean FROM Ratings "
+      "GROUP BY Day ORDER BY n DESC LIMIT 3",
+      "SELECT c.Title, r.Score FROM Courses c "
+      "JOIN Ratings r ON c.CourseID = r.CourseID "
+      "WHERE r.Score > 2 ORDER BY r.Score DESC, c.Title LIMIT 10",
+      "SELECT UPPER(Title) AS t FROM Courses WHERE Title LIKE '%a%' "
+      "ORDER BY t LIMIT 4",
+      "SELECT Title FROM Courses ORDER BY Units LIMIT 0",
+  };
+  for (const std::string& sql : queries) {
+    auto a = plain.Execute(sql);
+    auto b = pushed.Execute(sql);
+    ASSERT_TRUE(a.ok()) << sql << " -> " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << sql << " -> " << b.status().ToString();
+    ExpectSameRelation(*a, *b, sql);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PushdownEquivalenceTest,
+                         ::testing::Values(21, 22, 23));
+
+// ------------------------------------------- strategies & the optimizer
+
+struct StrategyCase {
+  const char* name;
+  std::string dsl;
+  ParamMap params;
+};
+
+/// Every shipped strategy with working parameters against the given site.
+std::vector<StrategyCase> ShippedStrategies(Generator& generator,
+                                            social::CourseRankSite& site) {
+  // A student with enough ratings for the CF strategies.
+  const auto* ratings = site.db().FindTable("Ratings");
+  std::map<int64_t, size_t> counts;
+  ratings->Scan([&](storage::RowId, const storage::Row& row) {
+    ++counts[row[0].AsInt()];
+  });
+  int64_t student = counts.empty() ? 0 : counts.begin()->first;
+  for (const auto& [s, count] : counts) {
+    if (count >= 3) {
+      student = s;
+      break;
+    }
+  }
+  ParamMap by_student{{"student", Value(student)}};
+  return {
+      {"related_courses", flexrecs::strategies::RelatedCoursesDsl(),
+       {{"title", Value("Introduction to Programming")},
+        {"year", Value(int64_t{2005})}}},
+      {"user_cf", flexrecs::strategies::UserCfDsl(), by_student},
+      {"weighted_user_cf", flexrecs::strategies::WeightedUserCfDsl(),
+       by_student},
+      {"grade_cf", flexrecs::strategies::GradeCfDsl(), by_student},
+      {"major_popular", flexrecs::strategies::MajorPopularDsl(),
+       {{"major", Value(generator.artifacts().departments[0])}}},
+      {"recommend_major", flexrecs::strategies::RecommendMajorDsl(),
+       by_student},
+      {"best_quarter", flexrecs::strategies::BestQuarterDsl(),
+       {{"course", Value(generator.artifacts().calculus)}}},
+  };
+}
+
+class StrategyEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Serial vs morsel-parallel execution of every shipped strategy.
+TEST_P(StrategyEquivalenceTest, ParallelMatchesSerial) {
+  Generator generator(GenConfig::Tiny(GetParam()));
+  auto site = generator.Generate();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  FlexRecsEngine& engine = (*site)->flexrecs();
+  for (const StrategyCase& sc : ShippedStrategies(generator, **site)) {
+    engine.set_exec_options(Serial());
+    auto serial = engine.RunStrategy(sc.name, sc.params);
+    ASSERT_TRUE(serial.ok())
+        << sc.name << " -> " << serial.status().ToString();
+    engine.set_exec_options(Aggressive(4));
+    auto parallel = engine.RunStrategy(sc.name, sc.params);
+    ASSERT_TRUE(parallel.ok())
+        << sc.name << " -> " << parallel.status().ToString();
+    ExpectSameRelation(*serial, *parallel, sc.name);
+  }
+}
+
+/// Optimizer-rewritten workflows (TopK fusion, Select pushdowns) must
+/// produce identical relations to the raw trees for every shipped
+/// strategy — the end-to-end guarantee behind scan pushdown.
+TEST_P(StrategyEquivalenceTest, OptimizedWorkflowsMatchRaw) {
+  Generator generator(GenConfig::Tiny(GetParam()));
+  auto site = generator.Generate();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  FlexRecsEngine& engine = (*site)->flexrecs();
+  engine.set_exec_options(Aggressive(4));
+  for (const StrategyCase& sc : ShippedStrategies(generator, **site)) {
+    auto raw = flexrecs::ParseWorkflow(sc.dsl);
+    ASSERT_TRUE(raw.ok()) << sc.name;
+    auto raw_rel = engine.Run(**raw, sc.params);
+    ASSERT_TRUE(raw_rel.ok())
+        << sc.name << " -> " << raw_rel.status().ToString();
+
+    auto to_optimize = flexrecs::ParseWorkflow(sc.dsl);
+    ASSERT_TRUE(to_optimize.ok()) << sc.name;
+    flexrecs::NodePtr optimized =
+        flexrecs::OptimizeWorkflow(std::move(*to_optimize));
+    auto opt_rel = engine.Run(*optimized, sc.params);
+    ASSERT_TRUE(opt_rel.ok())
+        << sc.name << " -> " << opt_rel.status().ToString();
+    ExpectSameRelation(*raw_rel, *opt_rel, sc.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyEquivalenceTest,
+                         ::testing::Values(11, 31));
+
+// ------------------------------------ randomized workflows (soundness gen)
+
+/// Random workflow DSL over the canonical schema — same grammar as
+/// property_test.cc's analyzer corpus, but sabotage-free: every emitted
+/// workflow is meant to execute.
+class RandomWorkflowGen {
+ public:
+  explicit RandomWorkflowGen(Rng* rng) : rng_(*rng) {}
+
+  std::string Next() {
+    std::string dsl;
+    dsl += "base = TABLE " + TableName() + "\n";
+    std::string cur = "base";
+    size_t ops = 1 + rng_.NextBounded(3);
+    for (size_t i = 0; i < ops; ++i) {
+      switch (rng_.NextBounded(4)) {
+        case 0:
+          dsl += "s" + std::to_string(i) + " = SELECT " + cur + " WHERE " +
+                 Predicate() + "\n";
+          cur = "s" + std::to_string(i);
+          break;
+        case 1:
+          dsl += "e" + std::to_string(i) + " = EXTEND " + cur +
+                 " WITH base ON " + ColumnName() + " = " + ColumnName() +
+                 " COLLECT " + ColumnName() + " AS bag" +
+                 std::to_string(i) + "\n";
+          cur = "e" + std::to_string(i);
+          break;
+        case 2:
+          dsl += "r" + std::to_string(i) + " = RECOMMEND " + cur +
+                 " AGAINST base USING " + Similarity() + "(" +
+                 ColumnName() + ", " + ColumnName() +
+                 ") AGG max SCORE sc" + std::to_string(i) + " TOP 5\n";
+          cur = "r" + std::to_string(i);
+          break;
+        default:
+          dsl += "t" + std::to_string(i) + " = TOPK " + cur + " BY " +
+                 ColumnName() + " DESC LIMIT 5\n";
+          cur = "t" + std::to_string(i);
+          break;
+      }
+    }
+    dsl += "RETURN " + cur + "\n";
+    return dsl;
+  }
+
+ private:
+  std::string TableName() {
+    static const char* kTables[] = {"Students", "Courses", "Ratings",
+                                    "Offerings"};
+    table_ = rng_.NextBounded(4);
+    return kTables[table_];
+  }
+  std::string ColumnName() {
+    static const std::vector<const char*> kColumns[] = {
+        {"SuID", "Name", "Class", "GPA"},
+        {"CourseID", "Title", "Number", "Units"},
+        {"SuID", "CourseID", "Score", "Day"},
+        {"OfferingID", "CourseID", "Year", "Term"}};
+    const auto& cols = kColumns[table_];
+    return cols[rng_.NextBounded(cols.size())];
+  }
+  std::string Similarity() {
+    static const char* kSims[] = {"exact", "numeric_proximity",
+                                  "token_jaccard"};
+    return kSims[rng_.NextBounded(3)];
+  }
+  std::string Predicate() {
+    static const char* kOps[] = {"=", "<>", "<", ">="};
+    std::string lhs = ColumnName();
+    std::string rhs;
+    switch (rng_.NextBounded(3)) {
+      case 0:
+        rhs = std::to_string(rng_.NextBounded(100));
+        break;
+      case 1:
+        rhs = "'x" + std::to_string(rng_.NextBounded(10)) + "'";
+        break;
+      default:
+        rhs = ColumnName();
+        break;
+    }
+    return lhs + " " + kOps[rng_.NextBounded(4)] + " " + rhs;
+  }
+  Rng& rng_;
+  size_t table_ = 0;
+};
+
+class RandomWorkflowEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+/// Any analyzer-accepted random workflow must produce byte-identical
+/// results serially and with aggressive morsel fan-out, raw and optimized.
+TEST_P(RandomWorkflowEquivalenceTest, SerialParallelOptimizedAgree) {
+  auto site = Generator(GenConfig::Tiny(GetParam())).Generate();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  FlexRecsEngine& engine = (*site)->flexrecs();
+  analysis::Analyzer analyzer(&(*site)->db(), &engine.library());
+
+  Rng rng(GetParam() * 6151 + 3);
+  RandomWorkflowGen gen(&rng);
+  int executed = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string dsl = gen.Next();
+    if (analyzer.LintDsl(dsl).has_errors()) continue;
+    auto parsed = flexrecs::ParseWorkflow(dsl);
+    ASSERT_TRUE(parsed.ok()) << dsl;
+
+    engine.set_exec_options(Serial());
+    auto serial = engine.Run(**parsed, {});
+    ASSERT_TRUE(serial.ok()) << dsl << "\n" << serial.status().ToString();
+
+    engine.set_exec_options(Aggressive(3));
+    auto parallel = engine.Run(**parsed, {});
+    ASSERT_TRUE(parallel.ok()) << dsl << "\n"
+                               << parallel.status().ToString();
+    ExpectSameRelation(*serial, *parallel, dsl);
+
+    auto reparsed = flexrecs::ParseWorkflow(dsl);
+    ASSERT_TRUE(reparsed.ok()) << dsl;
+    auto opt_rel =
+        engine.Run(*flexrecs::OptimizeWorkflow(std::move(*reparsed)), {});
+    ASSERT_TRUE(opt_rel.ok()) << dsl << "\n" << opt_rel.status().ToString();
+    ExpectSameRelation(*serial, *opt_rel, "optimized: " + dsl);
+    ++executed;
+  }
+  EXPECT_GT(executed, 15) << "corpus skewed toward rejection";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkflowEquivalenceTest,
+                         ::testing::Values(41, 42, 43));
+
+// ------------------------------------------------------------- metrics
+
+TEST(ExecMetricsTest, ParallelRunPopulatesCountersAndHistograms) {
+  Database db;
+  auto table =
+      db.CreateTable("t", Schema({{"v", ValueType::kInt, true}}), {});
+  ASSERT_TRUE(table.ok());
+  for (int64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE((*table)->Insert({Value(i)}).ok());
+  }
+  SqlEngine engine(&db);
+  engine.set_exec_options(Aggressive(4));
+  auto rel = engine.Execute(
+      "SELECT v FROM t WHERE v % 2 = 0 ORDER BY v DESC LIMIT 5");
+  ASSERT_TRUE(rel.ok());
+
+  std::string prom = obs::MetricsRegistry::Default().RenderPrometheus();
+  for (const char* metric :
+       {"cr_exec_morsels_total", "cr_exec_parallel_ops_total",
+        "cr_exec_pushdown_rewrites_total", "cr_exec_scan_ns",
+        "cr_exec_filter_ns", "cr_exec_topk_ns", "cr_exec_morsel_ns"}) {
+    EXPECT_NE(prom.find(metric), std::string::npos) << metric;
+  }
+}
+
+}  // namespace
+}  // namespace courserank

@@ -202,6 +202,55 @@ TEST_F(OptimizerTest, PushdownEnablesSqlCompilation) {
   EXPECT_TRUE(has_where) << after->Explain();
 }
 
+TEST_F(OptimizerTest, SelectPushesBelowExtend) {
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Extend(Workflow::Table("Courses"), "CourseID", "CourseID",
+                  {"Units"}, "bag")
+          .Select("Units = 4"))
+      .Build().value();
+  OptimizerStats stats;
+  NodePtr optimized = OptimizeWorkflow(wf->Clone(), &stats, nullptr);
+  EXPECT_EQ(stats.selects_pushed_below_extend, 1);
+  EXPECT_EQ(optimized->kind, NodeKind::kExtend);
+  EXPECT_EQ(optimized->children[0]->kind, NodeKind::kSelect);
+
+  // Semantics preserved, and the pushed Select now heads a
+  // Select-over-Table subtree the SQL compiler turns into a WHERE (which
+  // the planner then pushes into the scan).
+  Relation before = MustRun(*wf);
+  Relation after = MustRun(*optimized);
+  ASSERT_EQ(before.rows.size(), after.rows.size());
+  for (size_t i = 0; i < before.rows.size(); ++i) {
+    EXPECT_EQ(before.rows[i], after.rows[i]);
+  }
+  auto compiled = engine_->Compile(*optimized);
+  ASSERT_TRUE(compiled.ok());
+  bool has_where = false;
+  for (const auto& step : compiled->steps()) {
+    if (step.kind == CompiledStep::Kind::kSql &&
+        step.sql.find("WHERE") != std::string::npos) {
+      has_where = true;
+    }
+  }
+  EXPECT_TRUE(has_where) << compiled->Explain();
+}
+
+TEST_F(OptimizerTest, SelectOnCollectedColumnNotPushedBelowExtend) {
+  // The predicate reads the ε-collected list column, which only exists
+  // above the Extend — pushing would be unsound.
+  NodePtr wf = std::move(
+      Workflow::Table("Courses")
+          .Extend(Workflow::Table("Courses"), "CourseID", "CourseID",
+                  {"Units"}, "bag")
+          .Select("bag IS NOT NULL"))
+      .Build().value();
+  OptimizerStats stats;
+  NodePtr optimized = OptimizeWorkflow(std::move(wf), &stats, nullptr);
+  EXPECT_EQ(stats.selects_pushed_below_extend, 0);
+  EXPECT_EQ(optimized->kind, NodeKind::kSelect);
+}
+
 TEST_F(OptimizerTest, ChainedRulesReachFixpoint) {
   // Select(Select(TopK(Recommend))) — multiple rules fire across rounds.
   NodePtr wf = std::move(

@@ -230,8 +230,34 @@ TEST_F(SqlTest, CreateTableTypeNames) {
   EXPECT_EQ((*table)->schema().column(3).type, ValueType::kBool);
 }
 
-TEST_F(SqlTest, ExplainShowsPlan) {
+TEST_F(SqlTest, ExplainShowsPushdownPlan) {
+  // Single-table plans push the WHERE, the referenced columns, and fuse
+  // ORDER BY + LIMIT into TopN.
   auto text = sql_.Explain(
+      "SELECT title FROM courses WHERE dept = 'CS' ORDER BY title LIMIT 2");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("TableScan(courses"), std::string::npos);
+  EXPECT_NE(text->find("pushed-filter="), std::string::npos);
+  EXPECT_NE(text->find("pushed-cols="), std::string::npos);
+  EXPECT_NE(text->find("TopN"), std::string::npos);
+  EXPECT_EQ(text->find("Filter"), std::string::npos);
+}
+
+TEST_F(SqlTest, ExplainShowsPlanWithoutPushdown) {
+  // Joins keep the classic Filter/Sort/Limit shape, and so does a planner
+  // with pushdown and bounded top-k disabled.
+  auto join = sql_.Explain(
+      "SELECT c.title FROM courses c JOIN ratings r ON c.id = r.course "
+      "WHERE r.score > 3 ORDER BY c.title LIMIT 2");
+  ASSERT_TRUE(join.ok());
+  EXPECT_NE(join->find("TableScan(courses"), std::string::npos);
+  EXPECT_NE(join->find("Filter"), std::string::npos);
+  EXPECT_NE(join->find("TopN"), std::string::npos);
+
+  SqlEngine plain(&db_);
+  plain.set_planner_options({/*scan_pushdown=*/false,
+                             /*bounded_topk=*/false});
+  auto text = plain.Explain(
       "SELECT title FROM courses WHERE dept = 'CS' ORDER BY title LIMIT 2");
   ASSERT_TRUE(text.ok());
   EXPECT_NE(text->find("TableScan(courses)"), std::string::npos);
