@@ -35,6 +35,15 @@ constexpr int kPaperCourses = 18605;
 ExecOptions SerialExec() {
   ExecOptions o;
   o.parallel = false;
+  return o;  // columnar stays on: this is the shipped serial configuration
+}
+
+/// Row-at-a-time oracle: columnar kernels and the memoized recommend
+/// scorer disabled (DESIGN.md §12 ablation baseline).
+ExecOptions RowSerialExec() {
+  ExecOptions o;
+  o.parallel = false;
+  o.columnar = false;
   return o;
 }
 
@@ -109,9 +118,17 @@ void WriteBenchJson() {
 
   std::fprintf(stderr, "\n[bench] BENCH_flexrecs.json rows:\n");
 
-  // Serial vs morsel-parallel per strategy, paper scale.
+  // Row-oracle vs columnar-serial vs morsel-parallel per strategy, paper
+  // scale. The *_row_serial rows isolate the columnar/vectorized win from
+  // parallelism (EXPERIMENTS.md E14).
   auto workload = StrategyWorkload(world);
   for (const auto& [name, params] : workload) {
+    engine.set_exec_options(RowSerialExec());
+    add(name + "_row_serial", kPaperCourses, TimeNs([&] {
+          auto rel = engine.RunStrategy(name, params);
+          CR_CHECK(rel.ok());
+          benchmark::DoNotOptimize(rel);
+        }, 9));
     engine.set_exec_options(SerialExec());
     add(name + "_serial", kPaperCourses, TimeNs([&] {
           auto rel = engine.RunStrategy(name, params);
@@ -158,6 +175,16 @@ void WriteBenchJson() {
       }, 25));
   add("sql_topk_scan_pushdown", kPaperCourses, TimeNs([&] {
         auto rel = pushed.Execute(sql);
+        CR_CHECK(rel.ok());
+        benchmark::DoNotOptimize(rel);
+      }, 25));
+  // Pushdown with the vectorized chunk scan disabled — isolates the
+  // compiled-predicate kernel from the planner rewrite.
+  SqlEngine pushed_row(&world.site->db());
+  pushed_row.set_planner_options(PlannerOptions{true, true});
+  pushed_row.set_exec_options(RowSerialExec());
+  add("sql_topk_scan_pushdown_row", kPaperCourses, TimeNs([&] {
+        auto rel = pushed_row.Execute(sql);
         CR_CHECK(rel.ok());
         benchmark::DoNotOptimize(rel);
       }, 25));

@@ -150,6 +150,12 @@ void CloudBuilder::AccumulateRange(const ResultSet& results, size_t begin,
 }
 
 void CloudBuilder::MergeInto(const Accumulator& shard, Accumulator* main) {
+  // Worst case (disjoint term sets) adds every shard entry; reserving it
+  // keeps the merge loop free of reallocation.
+  main->touched_unigrams.reserve(main->touched_unigrams.size() +
+                                 shard.touched_unigrams.size());
+  main->touched_bigrams.reserve(main->touched_bigrams.size() +
+                                shard.touched_bigrams.size());
   for (TermId tid : shard.touched_unigrams) {
     TermAgg& agg = main->agg[tid];
     if (agg.doc_count == 0) main->touched_unigrams.push_back(tid);
@@ -257,6 +263,8 @@ DataCloud CloudBuilder::AssembleDense(const Accumulator& acc,
                                       const ResultSet& results) const {
   std::set<std::string> excluded = ExcludedTerms(results);
   std::vector<CloudTerm> candidates;
+  candidates.reserve(acc.touched_unigrams.size() +
+                     acc.touched_bigrams.size());
 
   for (TermId tid : acc.touched_unigrams) {
     const TermAgg& agg = acc.agg[tid];

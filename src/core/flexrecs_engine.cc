@@ -263,6 +263,13 @@ Result<Relation> FlexRecsEngine::Execute(const CompiledWorkflow& compiled,
   m.runs->Add();
   std::vector<Relation> results;
   results.reserve(compiled.steps().size());
+  // How many later steps read each step's result; lets the physical
+  // executor move an intermediate into its last consumer instead of
+  // copying it (move vs copy is unobservable in the output).
+  std::vector<size_t> remaining_uses(compiled.steps().size(), 0);
+  for (const CompiledStep& step : compiled.steps()) {
+    for (size_t idx : step.inputs) ++remaining_uses[idx];
+  }
   for (const CompiledStep& step : compiled.steps()) {
     m.steps->Add();
     switch (step.kind) {
@@ -288,8 +295,8 @@ Result<Relation> FlexRecsEngine::Execute(const CompiledWorkflow& compiled,
                                   &obs::TraceSink::Default(),
                                   obs::ScopedSpan::Mode::kAlways);
         CR_ASSIGN_OR_RETURN(
-            Relation rel,
-            ExecutePhysical(*step.node, results, step.inputs, params));
+            Relation rel, ExecutePhysical(*step.node, results, step.inputs,
+                                          remaining_uses, params));
         results.push_back(std::move(rel));
         break;
       }
@@ -307,13 +314,22 @@ Result<Relation> FlexRecsEngine::Run(const WorkflowNode& root,
 
 Result<Relation> FlexRecsEngine::ExecutePhysical(
     const WorkflowNode& node, std::vector<Relation>& results,
-    const std::vector<size_t>& inputs, const ParamMap& params) {
+    const std::vector<size_t>& inputs, std::vector<size_t>& remaining_uses,
+    const ParamMap& params) {
   query::ExecContext ctx;
   ctx.db = db_;
   ctx.params = params;
   ctx.exec = exec_;
 
-  auto input = [&](size_t i) -> Relation { return results[inputs[i]]; };
+  // Consumes one declared input: the last consumer of a step's result moves
+  // it out, earlier consumers copy. Decrement-before-read makes the lambda
+  // safe under unspecified argument evaluation order, including a step
+  // listing the same input twice (one copy, one move, either order).
+  auto take_input = [&](size_t i) -> Relation {
+    size_t idx = inputs[i];
+    if (--remaining_uses[idx] == 0) return std::move(results[idx]);
+    return results[idx];
+  };
 
   switch (node.kind) {
     case NodeKind::kTable: {
@@ -321,7 +337,7 @@ Result<Relation> FlexRecsEngine::ExecutePhysical(
       return plan->Execute(ctx);
     }
     case NodeKind::kSelect: {
-      PlanPtr plan = query::MakeFilter(query::MakeValues(input(0)),
+      PlanPtr plan = query::MakeFilter(query::MakeValuesOnce(take_input(0)),
                                        node.predicate->Clone());
       return plan->Execute(ctx);
     }
@@ -330,13 +346,14 @@ Result<Relation> FlexRecsEngine::ExecutePhysical(
       for (const auto& item : node.items) {
         items.push_back({item.expr->Clone(), item.name});
       }
-      PlanPtr plan =
-          query::MakeProject(query::MakeValues(input(0)), std::move(items));
+      PlanPtr plan = query::MakeProject(query::MakeValuesOnce(take_input(0)),
+                                        std::move(items));
       return plan->Execute(ctx);
     }
     case NodeKind::kJoin: {
       PlanPtr plan = query::MakeJoin(
-          query::MakeValues(input(0)), query::MakeValues(input(1)),
+          query::MakeValuesOnce(take_input(0)),
+          query::MakeValuesOnce(take_input(1)),
           node.predicate ? node.predicate->Clone() : nullptr);
       return plan->Execute(ctx);
     }
@@ -344,22 +361,22 @@ Result<Relation> FlexRecsEngine::ExecutePhysical(
       std::vector<query::ExprPtr> collect;
       for (const auto& c : node.collect) collect.push_back(c->Clone());
       PlanPtr plan = query::MakeExtend(
-          query::MakeValues(input(0)), query::MakeValues(input(1)),
-          node.child_key->Clone(), node.source_key->Clone(),
-          std::move(collect), node.column_name);
+          query::MakeValuesOnce(take_input(0)),
+          query::MakeValuesOnce(take_input(1)), node.child_key->Clone(),
+          node.source_key->Clone(), std::move(collect), node.column_name);
       return plan->Execute(ctx);
     }
     case NodeKind::kTopK: {
       std::vector<query::SortKey> keys;
       keys.push_back({query::MakeColumn(node.order_column), !node.descending});
       // Bounded top-k heap; byte-identical to Sort + Limit (plan.h).
-      PlanPtr plan = query::MakeTopN(query::MakeValues(input(0)),
+      PlanPtr plan = query::MakeTopN(query::MakeValuesOnce(take_input(0)),
                                      std::move(keys), node.k);
       return plan->Execute(ctx);
     }
     case NodeKind::kAntiJoin: {
-      Relation child = input(0);
-      Relation source = input(1);
+      Relation child = take_input(0);
+      Relation source = take_input(1);
       query::ExprPtr ck = node.child_key->Clone();
       CR_RETURN_IF_ERROR(ck->Bind(child.schema, &ctx.params));
       query::ExprPtr sk = node.source_key->Clone();
@@ -379,7 +396,7 @@ Result<Relation> FlexRecsEngine::ExecutePhysical(
       return out;
     }
     case NodeKind::kRecommend:
-      return ExecuteRecommend(node, input(0), input(1), params);
+      return ExecuteRecommend(node, take_input(0), take_input(1), params);
     case NodeKind::kSql:
     case NodeKind::kValues:
       return Status::Internal("SQL/Values node reached physical executor");
@@ -394,6 +411,7 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(const WorkflowNode& node,
   (void)params;
   const RecommendSpec& spec = node.recommend;
   CR_ASSIGN_OR_RETURN(SimilarityFn fn, library_.Get(spec.similarity));
+  const SimKernel kernel = library_.GetKernel(spec.similarity);
   CR_ASSIGN_OR_RETURN(size_t in_attr,
                       FindColumn(input.schema, spec.input_attr, "input"));
   CR_ASSIGN_OR_RETURN(
@@ -428,23 +446,51 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(const WorkflowNode& node,
   // loop's (ExecOptions determinism contract).
   size_t n_rows = input.rows.size();
   const query::ExecOptions& eo = exec_;
-  size_t morsels = (eo.parallel && n_rows >= eo.min_parallel_rows)
+  ThreadPool& pool = eo.pool != nullptr ? *eo.pool : SharedThreadPool();
+  // A pool with zero or one workers runs morsels inline anyway, so fan-out
+  // would only pay partitioning overhead — take the serial path outright.
+  size_t morsels = (eo.parallel && pool.num_threads() > 1 &&
+                    n_rows >= eo.min_parallel_rows)
                        ? ThreadPool::NumMorsels(n_rows, eo.morsel_rows)
                        : 1;
   if (morsels == 0) morsels = 1;
   std::vector<std::vector<Scored>> chunks(morsels);
 
+  // Built-in similarity kernels score through a decode-memoizing
+  // PairwiseScorer (similarity.h): each reference operand is decoded once
+  // per morsel and each input operand once per row, instead of per pair.
+  // Byte-identical to the per-pair calls by the scorer's contract. Custom
+  // functions (and built-in names the application overrode) keep the
+  // opaque per-pair path, as does the row-oracle mode used by the
+  // differential tests.
+  const bool use_scorer = eo.columnar && kernel != SimKernel::kCustom;
+  std::vector<const Value*> ref_vals;
+  if (use_scorer) {
+    ref_vals.reserve(reference.rows.size());
+    for (const Row& ref : reference.rows) ref_vals.push_back(&ref[ref_attr]);
+  }
+
   auto score_range = [&](size_t m, size_t begin, size_t end) -> Status {
     std::vector<Scored>& chunk = chunks[m];
+    chunk.reserve(end - begin);
+    std::optional<PairwiseScorer> scorer;
+    if (use_scorer) scorer.emplace(kernel, fn, ref_vals);
+    const size_t n_refs = reference.rows.size();
     for (size_t i = begin; i < end; ++i) {
       Row& row = input.rows[i];
       double acc = 0.0;
       double weight_sum = 0.0;
       double best = 0.0;
       size_t n = 0;
-      for (const Row& ref : reference.rows) {
-        CR_ASSIGN_OR_RETURN(std::optional<double> sim,
-                            fn(row[in_attr], ref[ref_attr]));
+      if (scorer.has_value()) scorer->BeginRow(row[in_attr]);
+      for (size_t j = 0; j < n_refs; ++j) {
+        std::optional<double> sim;
+        if (scorer.has_value()) {
+          CR_ASSIGN_OR_RETURN(sim, scorer->ScorePair(j));
+        } else {
+          CR_ASSIGN_OR_RETURN(
+              sim, fn(row[in_attr], reference.rows[j][ref_attr]));
+        }
         if (!sim.has_value()) continue;
         ++n;
         switch (spec.agg) {
@@ -456,7 +502,8 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(const WorkflowNode& node,
             acc += *sim;
             break;
           case RecommendAgg::kWeightedAvg: {
-            CR_ASSIGN_OR_RETURN(double w, ref[weight_attr].ToDouble());
+            CR_ASSIGN_OR_RETURN(
+                double w, reference.rows[j][weight_attr].ToDouble());
             acc += w * *sim;
             weight_sum += w;
             break;
@@ -493,8 +540,6 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(const WorkflowNode& node,
     if (n_rows > 0) CR_RETURN_IF_ERROR(score_range(0, 0, n_rows));
   } else {
     Metrics().exec_parallel_ops->Add();
-    ThreadPool& pool =
-        eo.pool != nullptr ? *eo.pool : SharedThreadPool();
     std::vector<Status> status(morsels);
     pool.ParallelForMorsels(n_rows, eo.morsel_rows,
                             [&](size_t m, size_t begin, size_t end) {

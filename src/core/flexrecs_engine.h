@@ -104,9 +104,13 @@ class FlexRecsEngine {
  private:
   size_t CompileNode(const WorkflowNode* node,
                      std::vector<CompiledStep>* steps) const;
+  /// `remaining_uses[i]` counts how many later step inputs still read step
+  /// i's result; the executor decrements it per consumed input and moves
+  /// (rather than copies) a result into its last consumer.
   Result<Relation> ExecutePhysical(const WorkflowNode& node,
                                    std::vector<Relation>& results,
                                    const std::vector<size_t>& inputs,
+                                   std::vector<size_t>& remaining_uses,
                                    const ParamMap& params);
   Result<Relation> ExecuteRecommend(const WorkflowNode& node, Relation input,
                                     Relation reference,

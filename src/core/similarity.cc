@@ -126,40 +126,37 @@ Result<std::string> DecodeString(const char* fn, const Value& v) {
   return v.AsString();
 }
 
-}  // namespace
+// ---- comparison math over decoded operands -------------------------------
+//
+// Each built-in is decode + one of these compute halves. The PairwiseScorer
+// memoizes the decodes and calls the same compute half per pair, so both
+// paths share one implementation of the math.
 
-Result<std::optional<double>> JaccardSets(const Value& a, const Value& b) {
-  CR_ASSIGN_OR_RETURN(std::vector<Value> sa, DecodeSet("jaccard", a));
-  CR_ASSIGN_OR_RETURN(std::vector<Value> sb, DecodeSet("jaccard", b));
-  if (sa.empty() && sb.empty()) return std::optional<double>();
+std::optional<double> JaccardFrom(const std::vector<Value>& sa,
+                                  const std::vector<Value>& sb) {
+  if (sa.empty() && sb.empty()) return std::nullopt;
   size_t inter = IntersectionSize(sa, sb);
   size_t uni = sa.size() + sb.size() - inter;
-  return std::optional<double>(static_cast<double>(inter) /
-                               static_cast<double>(uni));
+  return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
-Result<std::optional<double>> DiceSets(const Value& a, const Value& b) {
-  CR_ASSIGN_OR_RETURN(std::vector<Value> sa, DecodeSet("dice", a));
-  CR_ASSIGN_OR_RETURN(std::vector<Value> sb, DecodeSet("dice", b));
-  if (sa.empty() && sb.empty()) return std::optional<double>();
+std::optional<double> DiceFrom(const std::vector<Value>& sa,
+                               const std::vector<Value>& sb) {
+  if (sa.empty() && sb.empty()) return std::nullopt;
   size_t inter = IntersectionSize(sa, sb);
-  return std::optional<double>(2.0 * static_cast<double>(inter) /
-                               static_cast<double>(sa.size() + sb.size()));
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(sa.size() + sb.size());
 }
 
-Result<std::optional<double>> OverlapSets(const Value& a, const Value& b) {
-  CR_ASSIGN_OR_RETURN(std::vector<Value> sa, DecodeSet("overlap", a));
-  CR_ASSIGN_OR_RETURN(std::vector<Value> sb, DecodeSet("overlap", b));
-  if (sa.empty() || sb.empty()) return std::optional<double>();
+std::optional<double> OverlapFrom(const std::vector<Value>& sa,
+                                  const std::vector<Value>& sb) {
+  if (sa.empty() || sb.empty()) return std::nullopt;
   size_t inter = IntersectionSize(sa, sb);
-  return std::optional<double>(static_cast<double>(inter) /
-                               static_cast<double>(std::min(sa.size(),
-                                                            sb.size())));
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(sa.size(), sb.size()));
 }
 
-Result<std::optional<double>> CosinePairs(const Value& a, const Value& b) {
-  CR_ASSIGN_OR_RETURN(auto pa, DecodePairs("cosine", a));
-  CR_ASSIGN_OR_RETURN(auto pb, DecodePairs("cosine", b));
+std::optional<double> CosineFrom(const PairVec& pa, const PairVec& pb) {
   double dot = 0.0;
   double na = 0.0;
   double nb = 0.0;
@@ -180,13 +177,11 @@ Result<std::optional<double>> CosinePairs(const Value& a, const Value& b) {
       ++j;
     }
   }
-  if (na <= 0.0 || nb <= 0.0) return std::optional<double>();
-  return std::optional<double>(dot / (std::sqrt(na) * std::sqrt(nb)));
+  if (na <= 0.0 || nb <= 0.0) return std::nullopt;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
 }
 
-Result<std::optional<double>> PearsonPairs(const Value& a, const Value& b) {
-  CR_ASSIGN_OR_RETURN(auto pa, DecodePairs("pearson", a));
-  CR_ASSIGN_OR_RETURN(auto pb, DecodePairs("pearson", b));
+std::optional<double> PearsonFrom(const PairVec& pa, const PairVec& pb) {
   std::vector<std::pair<double, double>> common;
   for (size_t i = 0, j = 0; i < pa.size() && j < pb.size();) {
     if (pa[i].first < pb[j].first) {
@@ -199,7 +194,7 @@ Result<std::optional<double>> PearsonPairs(const Value& a, const Value& b) {
       ++j;
     }
   }
-  if (common.size() < 2) return std::optional<double>();
+  if (common.size() < 2) return std::nullopt;
   double ma = 0.0;
   double mb = 0.0;
   for (const auto& [x, y] : common) {
@@ -216,16 +211,12 @@ Result<std::optional<double>> PearsonPairs(const Value& a, const Value& b) {
     va += (x - ma) * (x - ma);
     vb += (y - mb) * (y - mb);
   }
-  if (va <= 0.0 || vb <= 0.0) return std::optional<double>();
-  return std::optional<double>(cov / (std::sqrt(va) * std::sqrt(vb)));
+  if (va <= 0.0 || vb <= 0.0) return std::nullopt;
+  return cov / (std::sqrt(va) * std::sqrt(vb));
 }
 
-namespace {
-
-Result<std::optional<double>> InverseDistance(const char* fn, const Value& a,
-                                              const Value& b, bool euclidean) {
-  CR_ASSIGN_OR_RETURN(auto pa, DecodePairs(fn, a));
-  CR_ASSIGN_OR_RETURN(auto pb, DecodePairs(fn, b));
+std::optional<double> InverseDistanceFrom(const PairVec& pa, const PairVec& pb,
+                                          bool euclidean) {
   double acc = 0.0;
   size_t common = 0;
   for (size_t i = 0, j = 0; i < pa.size() && j < pb.size();) {
@@ -241,9 +232,108 @@ Result<std::optional<double>> InverseDistance(const char* fn, const Value& a,
       ++j;
     }
   }
-  if (common == 0) return std::optional<double>();
+  if (common == 0) return std::nullopt;
   double dist = euclidean ? std::sqrt(acc) : acc;
-  return std::optional<double>(1.0 / (1.0 + dist));
+  return 1.0 / (1.0 + dist);
+}
+
+/// Lowercase non-stopword word set; the decoded form of a token_jaccard
+/// operand. Tokenization never fails.
+std::set<std::string> TokenSet(const std::string& s) {
+  std::set<std::string> out;
+  for (std::string& t : text::Tokenize(s)) {
+    if (!text::IsStopword(t)) out.insert(std::move(t));
+  }
+  return out;
+}
+
+std::optional<double> TokenJaccardFrom(const std::set<std::string>& ta,
+                                       const std::set<std::string>& tb) {
+  if (ta.empty() && tb.empty()) return std::nullopt;
+  size_t inter = 0;
+  for (const std::string& t : ta) inter += tb.count(t);
+  size_t uni = ta.size() + tb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+/// Padded lowercase character trigram set of a trigram operand.
+std::set<std::string> GramSet(const std::string& s) {
+  std::set<std::string> out;
+  std::string low = "  " + ToLower(s) + "  ";
+  for (size_t i = 0; i + 3 <= low.size(); ++i) out.insert(low.substr(i, 3));
+  return out;
+}
+
+std::optional<double> TrigramFrom(const std::set<std::string>& ga,
+                                  const std::set<std::string>& gb) {
+  if (ga.empty() && gb.empty()) return std::nullopt;
+  size_t inter = 0;
+  for (const std::string& g : ga) inter += gb.count(g);
+  size_t uni = ga.size() + gb.size() - inter;
+  if (uni == 0) return std::nullopt;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::optional<double> LevenshteinFromLower(const std::string& la,
+                                           const std::string& lb) {
+  if (la.empty() && lb.empty()) return 1.0;
+  size_t n = la.size();
+  size_t m = lb.size();
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = la[i - 1] == lb[j - 1] ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  double dist = static_cast<double>(prev[m]);
+  double maxlen = static_cast<double>(std::max(n, m));
+  return 1.0 - dist / maxlen;
+}
+
+}  // namespace
+
+Result<std::optional<double>> JaccardSets(const Value& a, const Value& b) {
+  CR_ASSIGN_OR_RETURN(std::vector<Value> sa, DecodeSet("jaccard", a));
+  CR_ASSIGN_OR_RETURN(std::vector<Value> sb, DecodeSet("jaccard", b));
+  return JaccardFrom(sa, sb);
+}
+
+Result<std::optional<double>> DiceSets(const Value& a, const Value& b) {
+  CR_ASSIGN_OR_RETURN(std::vector<Value> sa, DecodeSet("dice", a));
+  CR_ASSIGN_OR_RETURN(std::vector<Value> sb, DecodeSet("dice", b));
+  return DiceFrom(sa, sb);
+}
+
+Result<std::optional<double>> OverlapSets(const Value& a, const Value& b) {
+  CR_ASSIGN_OR_RETURN(std::vector<Value> sa, DecodeSet("overlap", a));
+  CR_ASSIGN_OR_RETURN(std::vector<Value> sb, DecodeSet("overlap", b));
+  return OverlapFrom(sa, sb);
+}
+
+Result<std::optional<double>> CosinePairs(const Value& a, const Value& b) {
+  CR_ASSIGN_OR_RETURN(auto pa, DecodePairs("cosine", a));
+  CR_ASSIGN_OR_RETURN(auto pb, DecodePairs("cosine", b));
+  return CosineFrom(pa, pb);
+}
+
+Result<std::optional<double>> PearsonPairs(const Value& a, const Value& b) {
+  CR_ASSIGN_OR_RETURN(auto pa, DecodePairs("pearson", a));
+  CR_ASSIGN_OR_RETURN(auto pb, DecodePairs("pearson", b));
+  return PearsonFrom(pa, pb);
+}
+
+namespace {
+
+Result<std::optional<double>> InverseDistance(const char* fn, const Value& a,
+                                              const Value& b, bool euclidean) {
+  CR_ASSIGN_OR_RETURN(auto pa, DecodePairs(fn, a));
+  CR_ASSIGN_OR_RETURN(auto pb, DecodePairs(fn, b));
+  return InverseDistanceFrom(pa, pb, euclidean);
 }
 
 }  // namespace
@@ -261,67 +351,22 @@ Result<std::optional<double>> InverseManhattanPairs(const Value& a,
 Result<std::optional<double>> TokenJaccard(const Value& a, const Value& b) {
   CR_ASSIGN_OR_RETURN(std::string sa, DecodeString("token_jaccard", a));
   CR_ASSIGN_OR_RETURN(std::string sb, DecodeString("token_jaccard", b));
-  // Stopwords are dropped so "Introduction to X" and "Introduction to Y"
-  // differ by more than one function word.
-  std::set<std::string> ta;
-  std::set<std::string> tb;
-  for (std::string& t : text::Tokenize(sa)) {
-    if (!text::IsStopword(t)) ta.insert(std::move(t));
-  }
-  for (std::string& t : text::Tokenize(sb)) {
-    if (!text::IsStopword(t)) tb.insert(std::move(t));
-  }
-  if (ta.empty() && tb.empty()) return std::optional<double>();
-  size_t inter = 0;
-  for (const std::string& t : ta) inter += tb.count(t);
-  size_t uni = ta.size() + tb.size() - inter;
-  return std::optional<double>(static_cast<double>(inter) /
-                               static_cast<double>(uni));
+  // Stopwords are dropped (in TokenSet) so "Introduction to X" and
+  // "Introduction to Y" differ by more than one function word.
+  return TokenJaccardFrom(TokenSet(sa), TokenSet(sb));
 }
 
 Result<std::optional<double>> TrigramSimilarity(const Value& a,
                                                 const Value& b) {
   CR_ASSIGN_OR_RETURN(std::string sa, DecodeString("trigram", a));
   CR_ASSIGN_OR_RETURN(std::string sb, DecodeString("trigram", b));
-  auto grams = [](const std::string& s) {
-    std::set<std::string> out;
-    std::string low = "  " + ToLower(s) + "  ";
-    for (size_t i = 0; i + 3 <= low.size(); ++i) out.insert(low.substr(i, 3));
-    return out;
-  };
-  std::set<std::string> ga = grams(sa);
-  std::set<std::string> gb = grams(sb);
-  if (ga.empty() && gb.empty()) return std::optional<double>();
-  size_t inter = 0;
-  for (const std::string& g : ga) inter += gb.count(g);
-  size_t uni = ga.size() + gb.size() - inter;
-  if (uni == 0) return std::optional<double>();
-  return std::optional<double>(static_cast<double>(inter) /
-                               static_cast<double>(uni));
+  return TrigramFrom(GramSet(sa), GramSet(sb));
 }
 
 Result<std::optional<double>> LevenshteinRatio(const Value& a, const Value& b) {
   CR_ASSIGN_OR_RETURN(std::string sa, DecodeString("levenshtein", a));
   CR_ASSIGN_OR_RETURN(std::string sb, DecodeString("levenshtein", b));
-  std::string la = ToLower(sa);
-  std::string lb = ToLower(sb);
-  if (la.empty() && lb.empty()) return std::optional<double>(1.0);
-  size_t n = la.size();
-  size_t m = lb.size();
-  std::vector<size_t> prev(m + 1);
-  std::vector<size_t> cur(m + 1);
-  for (size_t j = 0; j <= m; ++j) prev[j] = j;
-  for (size_t i = 1; i <= n; ++i) {
-    cur[0] = i;
-    for (size_t j = 1; j <= m; ++j) {
-      size_t cost = la[i - 1] == lb[j - 1] ? 0 : 1;
-      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
-    }
-    std::swap(prev, cur);
-  }
-  double dist = static_cast<double>(prev[m]);
-  double maxlen = static_cast<double>(std::max(n, m));
-  return std::optional<double>(1.0 - dist / maxlen);
+  return LevenshteinFromLower(ToLower(sa), ToLower(sb));
 }
 
 Result<std::optional<double>> NumericProximity(const Value& a,
@@ -367,20 +412,28 @@ SimilarityLibrary::SimilarityLibrary() {
   const SimilaritySignature sets{SimArgKind::kSet, SimArgKind::kSet};
   const SimilaritySignature pairs{SimArgKind::kPairs, SimArgKind::kPairs};
   const SimilaritySignature strings{SimArgKind::kString, SimArgKind::kString};
-  Register("jaccard", JaccardSets, sets);
-  Register("dice", DiceSets, sets);
-  Register("overlap", OverlapSets, sets);
-  Register("cosine", CosinePairs, pairs);
-  Register("pearson", PearsonPairs, pairs);
-  Register("inv_euclidean", InverseEuclideanPairs, pairs);
-  Register("inv_manhattan", InverseManhattanPairs, pairs);
-  Register("token_jaccard", TokenJaccard, strings);
-  Register("trigram", TrigramSimilarity, strings);
-  Register("levenshtein", LevenshteinRatio, strings);
-  Register("numeric_proximity", NumericProximity,
-           {SimArgKind::kNumber, SimArgKind::kNumber});
-  Register("exact", ExactMatch);
-  Register("rating_of", RatingOf, {SimArgKind::kScalar, SimArgKind::kPairs});
+  RegisterBuiltin("jaccard", JaccardSets, sets, SimKernel::kJaccard);
+  RegisterBuiltin("dice", DiceSets, sets, SimKernel::kDice);
+  RegisterBuiltin("overlap", OverlapSets, sets, SimKernel::kOverlap);
+  RegisterBuiltin("cosine", CosinePairs, pairs, SimKernel::kCosine);
+  RegisterBuiltin("pearson", PearsonPairs, pairs, SimKernel::kPearson);
+  RegisterBuiltin("inv_euclidean", InverseEuclideanPairs, pairs,
+                  SimKernel::kInvEuclidean);
+  RegisterBuiltin("inv_manhattan", InverseManhattanPairs, pairs,
+                  SimKernel::kInvManhattan);
+  RegisterBuiltin("token_jaccard", TokenJaccard, strings,
+                  SimKernel::kTokenJaccard);
+  RegisterBuiltin("trigram", TrigramSimilarity, strings, SimKernel::kTrigram);
+  RegisterBuiltin("levenshtein", LevenshteinRatio, strings,
+                  SimKernel::kLevenshtein);
+  RegisterBuiltin("numeric_proximity", NumericProximity,
+                  {SimArgKind::kNumber, SimArgKind::kNumber},
+                  SimKernel::kNumericProximity);
+  RegisterBuiltin("exact", ExactMatch, SimilaritySignature{},
+                  SimKernel::kExact);
+  RegisterBuiltin("rating_of", RatingOf,
+                  {SimArgKind::kScalar, SimArgKind::kPairs},
+                  SimKernel::kRatingOf);
 }
 
 void SimilarityLibrary::Register(const std::string& name, SimilarityFn fn) {
@@ -389,7 +442,23 @@ void SimilarityLibrary::Register(const std::string& name, SimilarityFn fn) {
 
 void SimilarityLibrary::Register(const std::string& name, SimilarityFn fn,
                                  SimilaritySignature signature) {
-  fns_[ToLower(name)] = Entry{std::move(fn), signature};
+  // Deliberately resets the kernel tag: re-registering over a built-in name
+  // installs an arbitrary user function, so the scorer must stop assuming
+  // the built-in's decode structure.
+  fns_[ToLower(name)] = Entry{std::move(fn), signature, SimKernel::kCustom};
+}
+
+void SimilarityLibrary::RegisterBuiltin(const std::string& name,
+                                        SimilarityFn fn,
+                                        SimilaritySignature signature,
+                                        SimKernel kernel) {
+  fns_[ToLower(name)] = Entry{std::move(fn), signature, kernel};
+}
+
+SimKernel SimilarityLibrary::GetKernel(const std::string& name) const {
+  auto it = fns_.find(ToLower(name));
+  if (it == fns_.end()) return SimKernel::kCustom;
+  return it->second.kernel;
 }
 
 Result<SimilarityFn> SimilarityLibrary::Get(const std::string& name) const {
@@ -417,6 +486,235 @@ std::vector<std::string> SimilarityLibrary::Names() const {
   for (const auto& [name, fn] : fns_) out.push_back(name);
   std::sort(out.begin(), out.end());
   return out;
+}
+
+namespace {
+
+/// Registered name of a built-in kernel, for byte-identical error messages.
+const char* KernelFnName(SimKernel k) {
+  switch (k) {
+    case SimKernel::kJaccard:
+      return "jaccard";
+    case SimKernel::kDice:
+      return "dice";
+    case SimKernel::kOverlap:
+      return "overlap";
+    case SimKernel::kCosine:
+      return "cosine";
+    case SimKernel::kPearson:
+      return "pearson";
+    case SimKernel::kInvEuclidean:
+      return "inv_euclidean";
+    case SimKernel::kInvManhattan:
+      return "inv_manhattan";
+    case SimKernel::kTokenJaccard:
+      return "token_jaccard";
+    case SimKernel::kTrigram:
+      return "trigram";
+    case SimKernel::kLevenshtein:
+      return "levenshtein";
+    case SimKernel::kNumericProximity:
+      return "numeric_proximity";
+    case SimKernel::kExact:
+      return "exact";
+    case SimKernel::kRatingOf:
+      return "rating_of";
+    case SimKernel::kCustom:
+      break;
+  }
+  return "custom";
+}
+
+}  // namespace
+
+struct PairwiseScorer::Impl {
+  SimKernel kernel;
+  SimilarityFn fn;
+  std::vector<const Value*> refs;
+
+  // Current input operand and its lazily decoded form. `a_ready` is reset
+  // per BeginRow; decode happens at the first ScorePair so a row with no
+  // reference pairs never surfaces a decode error (same as the per-pair
+  // loop, which would not run at all).
+  const Value* a = nullptr;
+  bool a_ready = false;
+  std::vector<Value> a_set;
+  PairVec a_pairs;
+  std::set<std::string> a_tokens;  // token or trigram set
+  std::string a_str;               // lowered, for levenshtein
+  double a_num = 0.0;
+
+  // Per-reference memos, filled on first *successful* decode — a failing
+  // decode is retried (and re-fails identically) so the first error the
+  // caller sees matches the per-pair path.
+  std::vector<uint8_t> b_ready;
+  std::vector<std::vector<Value>> b_sets;
+  std::vector<PairVec> b_pairs;
+  std::vector<std::set<std::string>> b_tokens;
+  std::vector<std::string> b_strs;
+  std::vector<double> b_nums;
+
+  Impl(SimKernel k, SimilarityFn f, std::vector<const Value*> r)
+      : kernel(k), fn(std::move(f)), refs(std::move(r)) {
+    size_t m = refs.size();
+    switch (kernel) {
+      case SimKernel::kJaccard:
+      case SimKernel::kDice:
+      case SimKernel::kOverlap:
+        b_ready.assign(m, 0);
+        b_sets.resize(m);
+        break;
+      case SimKernel::kCosine:
+      case SimKernel::kPearson:
+      case SimKernel::kInvEuclidean:
+      case SimKernel::kInvManhattan:
+      case SimKernel::kRatingOf:
+        b_ready.assign(m, 0);
+        b_pairs.resize(m);
+        break;
+      case SimKernel::kTokenJaccard:
+      case SimKernel::kTrigram:
+        b_ready.assign(m, 0);
+        b_tokens.resize(m);
+        break;
+      case SimKernel::kLevenshtein:
+        b_ready.assign(m, 0);
+        b_strs.resize(m);
+        break;
+      case SimKernel::kNumericProximity:
+        b_ready.assign(m, 0);
+        b_nums.assign(m, 0.0);
+        break;
+      case SimKernel::kExact:
+      case SimKernel::kCustom:
+        break;  // forwarded per pair, nothing to memoize
+    }
+  }
+};
+
+PairwiseScorer::PairwiseScorer(SimKernel kernel, SimilarityFn fn,
+                               std::vector<const Value*> reference)
+    : impl_(std::make_unique<Impl>(kernel, std::move(fn),
+                                   std::move(reference))) {}
+
+PairwiseScorer::~PairwiseScorer() = default;
+
+void PairwiseScorer::BeginRow(const Value& input) {
+  impl_->a = &input;
+  impl_->a_ready = false;
+}
+
+Result<std::optional<double>> PairwiseScorer::ScorePair(size_t j) {
+  Impl& im = *impl_;
+  const Value& b = *im.refs[j];
+  const char* name = KernelFnName(im.kernel);
+  switch (im.kernel) {
+    case SimKernel::kJaccard:
+    case SimKernel::kDice:
+    case SimKernel::kOverlap: {
+      if (!im.a_ready) {
+        CR_ASSIGN_OR_RETURN(im.a_set, DecodeSet(name, *im.a));
+        im.a_ready = true;
+      }
+      if (im.b_ready[j] == 0) {
+        CR_ASSIGN_OR_RETURN(im.b_sets[j], DecodeSet(name, b));
+        im.b_ready[j] = 1;
+      }
+      if (im.kernel == SimKernel::kJaccard) {
+        return JaccardFrom(im.a_set, im.b_sets[j]);
+      }
+      if (im.kernel == SimKernel::kDice) {
+        return DiceFrom(im.a_set, im.b_sets[j]);
+      }
+      return OverlapFrom(im.a_set, im.b_sets[j]);
+    }
+    case SimKernel::kCosine:
+    case SimKernel::kPearson:
+    case SimKernel::kInvEuclidean:
+    case SimKernel::kInvManhattan: {
+      if (!im.a_ready) {
+        CR_ASSIGN_OR_RETURN(im.a_pairs, DecodePairs(name, *im.a));
+        im.a_ready = true;
+      }
+      if (im.b_ready[j] == 0) {
+        CR_ASSIGN_OR_RETURN(im.b_pairs[j], DecodePairs(name, b));
+        im.b_ready[j] = 1;
+      }
+      if (im.kernel == SimKernel::kCosine) {
+        return CosineFrom(im.a_pairs, im.b_pairs[j]);
+      }
+      if (im.kernel == SimKernel::kPearson) {
+        return PearsonFrom(im.a_pairs, im.b_pairs[j]);
+      }
+      return InverseDistanceFrom(im.a_pairs, im.b_pairs[j],
+                                 im.kernel == SimKernel::kInvEuclidean);
+    }
+    case SimKernel::kTokenJaccard:
+    case SimKernel::kTrigram: {
+      // The per-pair built-in decodes both strings before tokenizing;
+      // tokenizing never fails, so folding it into the memo step keeps the
+      // same first error.
+      if (!im.a_ready) {
+        CR_ASSIGN_OR_RETURN(std::string sa, DecodeString(name, *im.a));
+        im.a_tokens = im.kernel == SimKernel::kTokenJaccard ? TokenSet(sa)
+                                                            : GramSet(sa);
+        im.a_ready = true;
+      }
+      if (im.b_ready[j] == 0) {
+        CR_ASSIGN_OR_RETURN(std::string sb, DecodeString(name, b));
+        im.b_tokens[j] = im.kernel == SimKernel::kTokenJaccard ? TokenSet(sb)
+                                                               : GramSet(sb);
+        im.b_ready[j] = 1;
+      }
+      if (im.kernel == SimKernel::kTokenJaccard) {
+        return TokenJaccardFrom(im.a_tokens, im.b_tokens[j]);
+      }
+      return TrigramFrom(im.a_tokens, im.b_tokens[j]);
+    }
+    case SimKernel::kLevenshtein: {
+      if (!im.a_ready) {
+        CR_ASSIGN_OR_RETURN(std::string sa, DecodeString(name, *im.a));
+        im.a_str = ToLower(sa);
+        im.a_ready = true;
+      }
+      if (im.b_ready[j] == 0) {
+        CR_ASSIGN_OR_RETURN(std::string sb, DecodeString(name, b));
+        im.b_strs[j] = ToLower(sb);
+        im.b_ready[j] = 1;
+      }
+      return LevenshteinFromLower(im.a_str, im.b_strs[j]);
+    }
+    case SimKernel::kNumericProximity: {
+      // Null checks come before either conversion, exactly as in
+      // NumericProximity, so a null operand never surfaces the other
+      // side's conversion error.
+      if (im.a->is_null() || b.is_null()) return std::optional<double>();
+      if (!im.a_ready) {
+        CR_ASSIGN_OR_RETURN(im.a_num, im.a->ToDouble());
+        im.a_ready = true;
+      }
+      if (im.b_ready[j] == 0) {
+        CR_ASSIGN_OR_RETURN(im.b_nums[j], b.ToDouble());
+        im.b_ready[j] = 1;
+      }
+      return std::optional<double>(1.0 /
+                                   (1.0 + std::fabs(im.a_num - im.b_nums[j])));
+    }
+    case SimKernel::kRatingOf: {
+      if (im.a->is_null()) return std::optional<double>();
+      if (im.b_ready[j] == 0) {
+        CR_ASSIGN_OR_RETURN(im.b_pairs[j], DecodePairs(name, b));
+        im.b_ready[j] = 1;
+      }
+      const double* found = FindKey(im.b_pairs[j], *im.a);
+      if (found == nullptr) return std::optional<double>();
+      return std::optional<double>(*found);
+    }
+    case SimKernel::kExact:
+    case SimKernel::kCustom:
+      return im.fn(*im.a, b);
+  }
+  return im.fn(*im.a, b);
 }
 
 }  // namespace courserank::flexrecs

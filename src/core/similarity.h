@@ -2,6 +2,7 @@
 #define COURSERANK_CORE_SIMILARITY_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -54,6 +55,28 @@ struct SimilaritySignature {
   SimArgKind reference = SimArgKind::kAny;
 };
 
+/// Which built-in comparison kernel a registered name resolves to. The
+/// recommend operator uses this to route scoring through the
+/// decode-memoizing PairwiseScorer below; kCustom (user-registered
+/// functions, or a built-in name the application overrode) stays on the
+/// opaque per-pair SimilarityFn call.
+enum class SimKernel {
+  kCustom,
+  kJaccard,
+  kDice,
+  kOverlap,
+  kCosine,
+  kPearson,
+  kInvEuclidean,
+  kInvManhattan,
+  kTokenJaccard,
+  kTrigram,
+  kLevenshtein,
+  kNumericProximity,
+  kExact,
+  kRatingOf,
+};
+
 /// Named registry of comparison functions. Construction installs the
 /// built-ins below; applications may Register additional ones — this is the
 /// paper's extensibility story for new recommendation semantics.
@@ -77,6 +100,10 @@ class SimilarityLibrary {
   std::optional<SimilaritySignature> GetSignature(
       const std::string& name) const;
 
+  /// Kernel tag of `name`; kCustom for unknown names, user registrations,
+  /// and built-in names the application re-registered over.
+  SimKernel GetKernel(const std::string& name) const;
+
   /// Names of all registered functions, sorted.
   std::vector<std::string> Names() const;
 
@@ -84,8 +111,52 @@ class SimilarityLibrary {
   struct Entry {
     SimilarityFn fn;
     SimilaritySignature signature;
+    SimKernel kernel = SimKernel::kCustom;
   };
+
+  void RegisterBuiltin(const std::string& name, SimilarityFn fn,
+                       SimilaritySignature signature, SimKernel kernel);
+
   std::unordered_map<std::string, Entry> fns_;
+};
+
+/// Decode-memoizing scorer for the recommend operator's O(N×M) loop.
+///
+/// The per-pair built-ins above re-decode both LIST/STRING operands on
+/// every call, which makes recommend scoring O(N×M) *decodes*. This scorer
+/// decodes each reference operand once per instance and each input operand
+/// once per row, then runs only the comparison math per pair — the decode
+/// work drops to O(N+M).
+///
+/// Byte-identity with the per-pair path: decoding is pure, so memoizing
+/// successful decodes cannot change any result; the input operand is
+/// decoded lazily at the *first* ScorePair (not in BeginRow), and each
+/// kernel replicates its built-in's exact null-check/decode order, so the
+/// first error surfaced is the same one the per-pair loop would hit.
+/// kCustom and kExact kernels forward every pair to `fn` unmemoized.
+///
+/// Not thread-safe; the morsel-parallel recommend loop creates one scorer
+/// per morsel.
+class PairwiseScorer {
+ public:
+  /// `reference[j]` is the reference operand of pair index j. The pointed-to
+  /// values must outlive the scorer.
+  PairwiseScorer(SimKernel kernel, SimilarityFn fn,
+                 std::vector<const Value*> reference);
+  ~PairwiseScorer();
+  PairwiseScorer(const PairwiseScorer&) = delete;
+  PairwiseScorer& operator=(const PairwiseScorer&) = delete;
+
+  /// Starts scoring a new input row. `input` must stay valid until the next
+  /// BeginRow; it is decoded lazily at the first ScorePair.
+  void BeginRow(const Value& input);
+
+  /// Scores the current input against reference operand `j`.
+  Result<std::optional<double>> ScorePair(size_t j);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 // ---- built-in comparison math, exposed for direct use and testing ----

@@ -38,6 +38,7 @@ inline constexpr char kFlexValuesStep[] = "flexrecs.step.values";
 inline constexpr char kFlexPhysicalStep[] = "flexrecs.step.physical";
 inline constexpr char kAnalysis[] = "analysis.run";
 inline constexpr char kExecMorsel[] = "exec.morsel";
+inline constexpr char kExecChunk[] = "exec.chunk";
 }  // namespace stage
 
 /// Monotonic nanoseconds (steady clock); the time base of all spans.

@@ -1,12 +1,15 @@
 #include "query/plan.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/vector_ops.h"
+#include "storage/chunked_table.h"
 #include "storage/value.h"
 
 namespace courserank::query {
@@ -41,6 +44,8 @@ namespace {
 struct ExecMetrics {
   obs::Counter* morsels;
   obs::Counter* parallel_ops;
+  obs::Counter* chunks;
+  obs::Counter* dict_hits;
   obs::Histogram* morsel_ns;
   obs::Histogram* scan_ns;
   obs::Histogram* filter_ns;
@@ -57,6 +62,8 @@ const ExecMetrics& Exec() {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
     return ExecMetrics{reg.GetCounter("cr_exec_morsels_total"),
                        reg.GetCounter("cr_exec_parallel_ops_total"),
+                       reg.GetCounter("cr_exec_chunks_total"),
+                       reg.GetCounter("cr_exec_dict_hits_total"),
                        reg.GetHistogram("cr_exec_morsel_ns"),
                        reg.GetHistogram("cr_exec_scan_ns"),
                        reg.GetHistogram("cr_exec_filter_ns"),
@@ -96,9 +103,27 @@ struct MorselPlan {
 MorselPlan PlanMorsels(const ExecContext& ctx, size_t n) {
   const ExecOptions& o = ctx.exec;
   if (!o.parallel || n < o.min_parallel_rows || n == 0) return {1, false};
+  // Fan-out over a 0/1-worker pool only adds task-queue and chunk-concat
+  // overhead (BENCH shows *_parallel slower than serial on 1-CPU hosts);
+  // run serially instead. Determinism is unaffected either way.
+  ThreadPool& pool = o.pool != nullptr ? *o.pool : SharedThreadPool();
+  if (pool.num_threads() <= 1) return {1, false};
   size_t m = ThreadPool::NumMorsels(n, o.morsel_rows);
   if (m <= 1) return {1, false};
   return {m, true};
+}
+
+/// Storage-level scan counters, shared with the row path in table.cc so the
+/// columnar scan stays visible through the same dashboard series.
+obs::Counter* StorageScans() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("cr_storage_scans_total");
+  return c;
+}
+obs::Counter* StorageRowsScanned() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "cr_storage_rows_scanned_total");
+  return c;
 }
 
 /// Runs `body(morsel, begin, end)` over `[0, n)` per `plan` — inline when
@@ -145,6 +170,14 @@ void ConcatChunks(std::vector<std::vector<Row>>&& chunks,
 }
 
 std::string Indent(int n) { return std::string(2 * n, ' '); }
+
+/// Captures the name of a bare column-reference expression (and nothing
+/// else) — the shape the Project fast path can execute as an index copy.
+class ColumnOnly final : public ExprVisitor {
+ public:
+  std::optional<std::string> name;
+  void VisitColumn(const std::string& n) override { name = n; }
+};
 
 /// Column type inferred from the values an expression produced; used to give
 /// projected/aggregated relations usable schemas.
@@ -207,6 +240,58 @@ class TableScanNode : public PlanNode {
 
     size_t cap = push_.limit > 0 ? std::min(push_.limit, t->size()) : t->size();
     out.rows.reserve(cap);
+
+    // Columnar chunk path: when the pushed predicate compiles into the
+    // error-free vectorized subset, evaluate it over the table's chunked
+    // mirror — tight typed loops with dictionary-id string equality — and
+    // materialize only the passing rows (straight from row storage, so the
+    // output is byte-identical to the ScanWhile path below). Compile success
+    // implies Bind success (same name resolution), so no error divergence.
+    if (ctx.exec.columnar && pred != nullptr) {
+      CompiledPredicatePtr cp = CompilePredicate(*push_.predicate, full,
+                                                 ctx.params);
+      if (cp != nullptr) {
+        obs::ScopedSpan span(obs::stage::kExecChunk);
+        const storage::ChunkedTable* ct = t->columnar();
+        Exec().chunks->Add(ct->chunks().size() +
+                           (ct->pending().empty() ? 0 : 1));
+        VectorStats vstats;
+        uint64_t examined = 0;
+        bool done = false;
+        auto emit = [&](const Row& row) {
+          if (keep.empty()) {
+            out.rows.push_back(row);
+          } else {
+            Row projected;
+            projected.reserve(keep.size());
+            for (size_t c : keep) projected.push_back(row[c]);
+            out.rows.push_back(std::move(projected));
+          }
+          if (push_.limit > 0 && out.rows.size() >= push_.limit) done = true;
+        };
+        std::vector<uint8_t> sel;
+        for (const storage::ColumnChunk& chunk : ct->chunks()) {
+          if (done) break;
+          sel.resize(chunk.size());
+          cp->EvalChunk(chunk, ct->dict(), sel.data(), &vstats);
+          examined += chunk.size();
+          for (size_t i = 0; i < sel.size() && !done; ++i) {
+            if (sel[i] == kSelTrue) emit(*t->Get(chunk.row_ids[i]));
+          }
+        }
+        for (size_t i = 0; i < ct->pending().size() && !done; ++i) {
+          ++examined;
+          if (cp->EvalRow(ct->pending()[i]) == kSelTrue) {
+            emit(ct->pending()[i]);
+          }
+        }
+        Exec().dict_hits->Add(vstats.dict_hits);
+        StorageScans()->Add();
+        StorageRowsScanned()->Add(examined);
+        return out;
+      }
+    }
+
     Status scan_status;
     t->ScanWhile([&](storage::RowId, const Row& row) -> bool {
       if (pred != nullptr) {
@@ -274,6 +359,28 @@ class ValuesNode : public PlanNode {
   Relation rel_;
 };
 
+/// MakeValues for single-shot plans: Execute moves the relation out instead
+/// of copying. The FlexRecs engine uses this to feed a large intermediate to
+/// its last consumer without duplicating every row.
+class ValuesOnceNode : public PlanNode {
+ public:
+  explicit ValuesOnceNode(Relation rel)
+      : size_(rel.rows.size()), rel_(std::move(rel)) {}
+
+  Result<Relation> Execute(ExecContext&) const override {
+    return std::move(rel_);
+  }
+
+  std::string Explain(int indent) const override {
+    return Indent(indent) + "ValuesOnce(" + std::to_string(size_) +
+           " rows)\n";
+  }
+
+ private:
+  size_t size_;
+  mutable Relation rel_;  // consumed by the single Execute
+};
+
 class FilterNode : public PlanNode {
  public:
   FilterNode(PlanPtr child, ExprPtr predicate)
@@ -286,6 +393,13 @@ class FilterNode : public PlanNode {
     // workers — Eval is const and stateless for every Expr subclass.
     ExprPtr pred = predicate_->Clone();
     CR_RETURN_IF_ERROR(pred->Bind(in.schema, &ctx.params));
+    // Predicates in the vectorized subset skip the Expr tree walk (and its
+    // Result<Value> temporaries) entirely; EvalRow's tri-state TRUE is
+    // exactly the keep condition below.
+    CompiledPredicatePtr cp;
+    if (ctx.exec.columnar) {
+      cp = CompilePredicate(*predicate_, in.schema, ctx.params);
+    }
     Relation out;
     out.schema = in.schema;
     MorselPlan mp = PlanMorsels(ctx, in.rows.size());
@@ -294,6 +408,14 @@ class FilterNode : public PlanNode {
         ctx, in.rows.size(), mp,
         [&](size_t m, size_t begin, size_t end) -> Status {
           std::vector<Row>& chunk = chunks[m];
+          if (cp != nullptr) {
+            for (size_t i = begin; i < end; ++i) {
+              if (cp->EvalRow(in.rows[i]) == kSelTrue) {
+                chunk.push_back(std::move(in.rows[i]));
+              }
+            }
+            return Status::OK();
+          }
           for (size_t i = begin; i < end; ++i) {
             CR_ASSIGN_OR_RETURN(Value v, pred->Eval(in.rows[i]));
             if (!v.is_null() && v.type() == ValueType::kBool && v.AsBool()) {
@@ -331,6 +453,23 @@ class ProjectNode : public PlanNode {
       CR_RETURN_IF_ERROR(e->Bind(in.schema, &ctx.params));
       exprs.push_back(std::move(e));
     }
+    // Pure column-shuffle projections (SELECT a, b — the common pushdown
+    // residue) index straight into the row, skipping Expr::Eval.
+    std::vector<size_t> col_idx;
+    bool all_columns = ctx.exec.columnar && !items_.empty();
+    if (all_columns) {
+      for (const auto& item : items_) {
+        ColumnOnly c;
+        item.expr->Accept(c);
+        std::optional<size_t> idx;
+        if (c.name.has_value()) idx = in.schema.FindColumn(*c.name);
+        if (!idx.has_value()) {
+          all_columns = false;
+          break;
+        }
+        col_idx.push_back(*idx);
+      }
+    }
     Relation out;
     MorselPlan mp = PlanMorsels(ctx, in.rows.size());
     std::vector<std::vector<Row>> chunks(mp.morsels);
@@ -339,6 +478,15 @@ class ProjectNode : public PlanNode {
         [&](size_t m, size_t begin, size_t end) -> Status {
           std::vector<Row>& chunk = chunks[m];
           chunk.reserve(end - begin);
+          if (all_columns) {
+            for (size_t i = begin; i < end; ++i) {
+              Row projected;
+              projected.reserve(col_idx.size());
+              for (size_t c : col_idx) projected.push_back(in.rows[i][c]);
+              chunk.push_back(std::move(projected));
+            }
+            return Status::OK();
+          }
           for (size_t i = begin; i < end; ++i) {
             Row projected;
             projected.reserve(exprs.size());
@@ -1060,6 +1208,21 @@ class ExtendNode : public PlanNode {
       grouped[{key}].push_back(std::move(element));
     }
 
+    // List payloads are immutable behind a shared handle, so sealing each
+    // group's list into one Value and copying that handle per child row is
+    // byte-identical to rebuilding the list — minus the per-row deep copy
+    // that used to dominate ε over large groups. Gated on `columnar` so the
+    // row oracle keeps the historical allocation pattern for ablation.
+    std::unordered_map<Row, Value, RowHash> shared;
+    const bool share_lists = ctx.exec.columnar;
+    if (share_lists) {
+      shared.reserve(grouped.size());
+      for (auto& [key, values] : grouped) {
+        shared.emplace(key, Value(std::move(values)));
+      }
+    }
+    const Value empty_list{Value::List{}};
+
     Relation out;
     std::vector<Column> cols = in.schema.columns();
     cols.emplace_back(column_name_, ValueType::kList);
@@ -1076,10 +1239,16 @@ class ExtendNode : public PlanNode {
           for (size_t i = begin; i < end; ++i) {
             Row& row = in.rows[i];
             CR_ASSIGN_OR_RETURN(Value key, ck->Eval(row));
-            auto it = key.is_null() ? grouped.end() : grouped.find({key});
-            Value::List items =
-                it == grouped.end() ? Value::List{} : Value::List(it->second);
-            row.push_back(Value(std::move(items)));
+            if (share_lists) {
+              auto it = key.is_null() ? shared.end() : shared.find({key});
+              row.push_back(it == shared.end() ? empty_list : it->second);
+            } else {
+              auto it = key.is_null() ? grouped.end() : grouped.find({key});
+              Value::List items = it == grouped.end()
+                                      ? Value::List{}
+                                      : Value::List(it->second);
+              row.push_back(Value(std::move(items)));
+            }
             chunk.push_back(std::move(row));
           }
           return Status::OK();
@@ -1121,6 +1290,9 @@ PlanPtr MakePushdownScan(std::string table, std::string alias,
 }
 PlanPtr MakeValues(Relation rel) {
   return std::make_unique<ValuesNode>(std::move(rel));
+}
+PlanPtr MakeValuesOnce(Relation rel) {
+  return std::make_unique<ValuesOnceNode>(std::move(rel));
 }
 PlanPtr MakeFilter(PlanPtr child, ExprPtr predicate) {
   return std::make_unique<FilterNode>(std::move(child), std::move(predicate));

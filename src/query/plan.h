@@ -34,6 +34,12 @@ struct ExecOptions {
   size_t min_parallel_rows = 4096;
   /// Pool to dispatch on; nullptr means `SharedThreadPool()`.
   ThreadPool* pool = nullptr;
+  /// Use the columnar chunk path: vectorized predicate kernels over the
+  /// table's ChunkedTable mirror, compiled filter fast paths, and the
+  /// memoized recommend scorer (DESIGN.md §12). False = the row-at-a-time
+  /// oracle, kept for differential testing and ablation benchmarks. Both
+  /// paths are byte-identical by contract.
+  bool columnar = true;
 };
 
 /// Per-execution state shared by all operators of a plan.
@@ -109,6 +115,12 @@ PlanPtr MakePushdownScan(std::string table, std::string alias,
 /// Wraps a literal relation (used for VALUES and for feeding precomputed
 /// relations into plans).
 PlanPtr MakeValues(Relation rel);
+
+/// Like MakeValues, but the relation is moved out on first Execute instead
+/// of copied — for single-shot plans feeding a large intermediate to its
+/// last consumer. A second Execute of the same node yields an empty
+/// relation, so only use in plans executed exactly once.
+PlanPtr MakeValuesOnce(Relation rel);
 
 PlanPtr MakeFilter(PlanPtr child, ExprPtr predicate);
 PlanPtr MakeProject(PlanPtr child, std::vector<ProjectItem> items);

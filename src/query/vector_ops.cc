@@ -1,0 +1,519 @@
+#include "query/vector_ops.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "storage/column.h"
+
+namespace courserank::query {
+namespace {
+
+using storage::ColumnChunk;
+using storage::ColumnEncoding;
+using storage::ColumnVector;
+using storage::Row;
+using storage::StringDictionary;
+using storage::Value;
+using storage::ValueType;
+
+// Mirror of value.cc's Sign so the double-space loops order exactly like
+// Value::Compare (including its treatment of NaN).
+inline int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+inline bool Decide(BinaryOp op, int c) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return c == 0;
+    case BinaryOp::kNe:
+      return c != 0;
+    case BinaryOp::kLt:
+      return c < 0;
+    case BinaryOp::kLe:
+      return c <= 0;
+    case BinaryOp::kGt:
+      return c > 0;
+    case BinaryOp::kGe:
+      return c >= 0;
+    default:
+      return false;  // unreachable: only comparisons compile
+  }
+}
+
+/// Mirror a comparison across `=`: `lit OP col` becomes `col Flip(OP) lit`.
+inline BinaryOp Flip(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // Eq/Ne are symmetric
+  }
+}
+
+/// Predicate whose value is the same for every row (e.g. a comparison
+/// against a NULL literal, or a literal TRUE/FALSE).
+class ConstPred final : public CompiledPredicate {
+ public:
+  explicit ConstPred(uint8_t state) : state_(state) {}
+
+  uint8_t EvalRow(const Row&) const override { return state_; }
+
+  void EvalChunk(const ColumnChunk& chunk, const StringDictionary&,
+                 uint8_t* out, VectorStats*) const override {
+    std::fill(out, out + chunk.size(), state_);
+  }
+
+ private:
+  uint8_t state_;
+};
+
+/// `col OP lit` where lit is a non-null constant. Never errors: comparison
+/// over Value::Compare is total across types.
+class CmpPred final : public CompiledPredicate {
+ public:
+  CmpPred(size_t col, BinaryOp op, Value lit)
+      : col_(col), op_(op), lit_(std::move(lit)) {}
+
+  uint8_t EvalRow(const Row& row) const override {
+    const Value& v = row[col_];
+    if (v.is_null()) return kSelNull;
+    return Decide(op_, v.Compare(lit_)) ? kSelTrue : kSelFalse;
+  }
+
+  void EvalChunk(const ColumnChunk& chunk, const StringDictionary& dict,
+                 uint8_t* out, VectorStats* stats) const override {
+    const ColumnVector& cv = chunk.columns[col_];
+    const size_t n = chunk.size();
+    const uint8_t* nulls = cv.nulls().data();
+
+    // Exact int loop: INT cells vs INT literal compare in int64 space.
+    if (cv.encoding() == ColumnEncoding::kInt64 &&
+        lit_.type() == ValueType::kInt) {
+      const int64_t* xs = cv.ints().data();
+      const int64_t b = lit_.AsInt();
+      for (size_t i = 0; i < n; ++i) {
+        int c = xs[i] < b ? -1 : (xs[i] > b ? 1 : 0);
+        out[i] = nulls[i] ? kSelNull
+                          : (Decide(op_, c) ? kSelTrue : kSelFalse);
+      }
+      return;
+    }
+
+    // Double-space loops. Valid whenever every per-cell comparison the row
+    // oracle would do is itself a double-space Sign(): INT cells vs DOUBLE
+    // literal always are; INT literals only when they round-trip through
+    // double (then double order == int order for the round-tripping cells
+    // a kDouble chunk is guaranteed to hold).
+    if (cv.encoding() == ColumnEncoding::kInt64 &&
+        lit_.type() == ValueType::kDouble) {
+      const int64_t* xs = cv.ints().data();
+      const double b = lit_.AsDouble();
+      for (size_t i = 0; i < n; ++i) {
+        int c = Sign(static_cast<double>(xs[i]) - b);
+        out[i] = nulls[i] ? kSelNull
+                          : (Decide(op_, c) ? kSelTrue : kSelFalse);
+      }
+      return;
+    }
+    if (cv.encoding() == ColumnEncoding::kDouble &&
+        (lit_.type() == ValueType::kDouble ||
+         (lit_.type() == ValueType::kInt &&
+          storage::Int64RoundTripsDouble(lit_.AsInt())))) {
+      const double* xs = cv.doubles().data();
+      const double b = lit_.type() == ValueType::kDouble
+                           ? lit_.AsDouble()
+                           : static_cast<double>(lit_.AsInt());
+      for (size_t i = 0; i < n; ++i) {
+        int c = Sign(xs[i] - b);
+        out[i] = nulls[i] ? kSelNull
+                          : (Decide(op_, c) ? kSelTrue : kSelFalse);
+      }
+      return;
+    }
+
+    // Dictionary equality: intern the literal once and compare ids —
+    // no string bytes touched per row. Ids are insertion-ordered, not
+    // lexicographic, so only Eq/Ne qualify; ordered ops fall through to
+    // the generic loop, which decodes via dict.At().
+    if (cv.encoding() == ColumnEncoding::kDict &&
+        lit_.type() == ValueType::kString &&
+        (op_ == BinaryOp::kEq || op_ == BinaryOp::kNe)) {
+      std::optional<StringDictionary::Id> id = dict.Find(lit_.AsString());
+      const StringDictionary::Id* ids = cv.ids().data();
+      const bool want_eq = op_ == BinaryOp::kEq;
+      if (!id.has_value()) {
+        // Literal absent from the dictionary: no cell can equal it.
+        const uint8_t miss = want_eq ? kSelFalse : kSelTrue;
+        for (size_t i = 0; i < n; ++i) out[i] = nulls[i] ? kSelNull : miss;
+      } else {
+        const StringDictionary::Id b = *id;
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = nulls[i] ? kSelNull
+                            : (((ids[i] == b) == want_eq) ? kSelTrue
+                                                          : kSelFalse);
+        }
+      }
+      if (stats != nullptr) stats->dict_hits += n;
+      return;
+    }
+
+    // Cross-type comparison against a uniformly-encoded chunk: every
+    // non-null cell has the same type rank, so the comparison is one
+    // constant. (kValue chunks are mixed and take the generic loop.)
+    std::optional<int> rank_c = ConstantRank(cv.encoding(), lit_);
+    if (rank_c.has_value()) {
+      const uint8_t r = Decide(op_, *rank_c) ? kSelTrue : kSelFalse;
+      for (size_t i = 0; i < n; ++i) out[i] = nulls[i] ? kSelNull : r;
+      return;
+    }
+
+    // Generic loop: per-cell Value::Compare semantics via CompareCell.
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = nulls[i] ? kSelNull
+                        : (Decide(op_, cv.CompareCell(i, lit_, dict))
+                               ? kSelTrue
+                               : kSelFalse);
+    }
+  }
+
+ private:
+  /// When every non-null cell of an `enc` chunk compares to `lit` purely by
+  /// type rank, the shared -1/1 result; nullopt when ranks can tie.
+  static std::optional<int> ConstantRank(ColumnEncoding enc,
+                                         const Value& lit) {
+    int cell_rank;
+    switch (enc) {
+      case ColumnEncoding::kInt64:
+      case ColumnEncoding::kDouble:
+        cell_rank = 2;
+        break;
+      case ColumnEncoding::kBool:
+        cell_rank = 1;
+        break;
+      case ColumnEncoding::kDict:
+        cell_rank = 3;
+        break;
+      default:
+        return std::nullopt;
+    }
+    int lit_rank;
+    switch (lit.type()) {
+      case ValueType::kBool:
+        lit_rank = 1;
+        break;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        lit_rank = 2;
+        break;
+      case ValueType::kString:
+        lit_rank = 3;
+        break;
+      case ValueType::kList:
+        lit_rank = 4;
+        break;
+      default:
+        return std::nullopt;  // NULL literals never reach CmpPred
+    }
+    if (cell_rank == lit_rank) return std::nullopt;
+    return cell_rank < lit_rank ? -1 : 1;
+  }
+
+  size_t col_;
+  BinaryOp op_;
+  Value lit_;
+};
+
+class IsNullPred final : public CompiledPredicate {
+ public:
+  IsNullPred(size_t col, bool negated) : col_(col), negated_(negated) {}
+
+  uint8_t EvalRow(const Row& row) const override {
+    return (row[col_].is_null() != negated_) ? kSelTrue : kSelFalse;
+  }
+
+  void EvalChunk(const ColumnChunk& chunk, const StringDictionary&,
+                 uint8_t* out, VectorStats*) const override {
+    const ColumnVector& cv = chunk.columns[col_];
+    const uint8_t* nulls = cv.nulls().data();
+    const size_t n = chunk.size();
+    const uint8_t on_null = negated_ ? kSelFalse : kSelTrue;
+    const uint8_t on_value = negated_ ? kSelTrue : kSelFalse;
+    for (size_t i = 0; i < n; ++i) out[i] = nulls[i] ? on_null : on_value;
+  }
+
+ private:
+  size_t col_;
+  bool negated_;
+};
+
+class InListPred final : public CompiledPredicate {
+ public:
+  InListPred(size_t col, std::vector<Value> values)
+      : col_(col), values_(std::move(values)) {}
+
+  uint8_t EvalRow(const Row& row) const override {
+    const Value& v = row[col_];
+    if (v.is_null()) return kSelNull;
+    for (const Value& cand : values_) {
+      if (v.Compare(cand) == 0) return kSelTrue;
+    }
+    return kSelFalse;
+  }
+
+  void EvalChunk(const ColumnChunk& chunk, const StringDictionary& dict,
+                 uint8_t* out, VectorStats*) const override {
+    const ColumnVector& cv = chunk.columns[col_];
+    const uint8_t* nulls = cv.nulls().data();
+    const size_t n = chunk.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (nulls[i]) {
+        out[i] = kSelNull;
+        continue;
+      }
+      uint8_t r = kSelFalse;
+      for (const Value& cand : values_) {
+        if (cv.CompareCell(i, cand, dict) == 0) {
+          r = kSelTrue;
+          break;
+        }
+      }
+      out[i] = r;
+    }
+  }
+
+ private:
+  size_t col_;
+  std::vector<Value> values_;
+};
+
+class NotPred final : public CompiledPredicate {
+ public:
+  explicit NotPred(CompiledPredicatePtr child) : child_(std::move(child)) {}
+
+  uint8_t EvalRow(const Row& row) const override {
+    return Invert(child_->EvalRow(row));
+  }
+
+  void EvalChunk(const ColumnChunk& chunk, const StringDictionary& dict,
+                 uint8_t* out, VectorStats* stats) const override {
+    child_->EvalChunk(chunk, dict, out, stats);
+    const size_t n = chunk.size();
+    for (size_t i = 0; i < n; ++i) out[i] = Invert(out[i]);
+  }
+
+ private:
+  static uint8_t Invert(uint8_t s) {
+    return s == kSelNull ? kSelNull : (s == kSelTrue ? kSelFalse : kSelTrue);
+  }
+
+  CompiledPredicatePtr child_;
+};
+
+/// Kleene AND/OR. The compiled subset is pure and error-free, so always
+/// evaluating both sides is unobservable relative to the row oracle's
+/// short-circuit.
+class AndOrPred final : public CompiledPredicate {
+ public:
+  AndOrPred(bool is_and, CompiledPredicatePtr lhs, CompiledPredicatePtr rhs)
+      : is_and_(is_and), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  uint8_t EvalRow(const Row& row) const override {
+    return Merge(lhs_->EvalRow(row), rhs_->EvalRow(row));
+  }
+
+  void EvalChunk(const ColumnChunk& chunk, const StringDictionary& dict,
+                 uint8_t* out, VectorStats* stats) const override {
+    const size_t n = chunk.size();
+    std::vector<uint8_t> rhs(n);
+    lhs_->EvalChunk(chunk, dict, out, stats);
+    rhs_->EvalChunk(chunk, dict, rhs.data(), stats);
+    for (size_t i = 0; i < n; ++i) out[i] = Merge(out[i], rhs[i]);
+  }
+
+ private:
+  uint8_t Merge(uint8_t a, uint8_t b) const {
+    const uint8_t absorbing = is_and_ ? kSelFalse : kSelTrue;
+    if (a == absorbing || b == absorbing) return absorbing;
+    if (a == kSelNull || b == kSelNull) return kSelNull;
+    return is_and_ ? kSelTrue : kSelFalse;
+  }
+
+  bool is_and_;
+  CompiledPredicatePtr lhs_;
+  CompiledPredicatePtr rhs_;
+};
+
+/// Classifies a sub-expression as a column reference or a constant
+/// (literal / resolvable parameter). Anything else — including a missing
+/// parameter, which must surface its Bind error on the row path — stays
+/// kNone and makes the compile refuse.
+class LeafClassifier final : public ExprVisitor {
+ public:
+  explicit LeafClassifier(const ParamMap& params) : params_(params) {}
+
+  enum class Kind { kNone, kColumn, kConst };
+
+  Kind kind = Kind::kNone;
+  std::string column;
+  Value value;
+
+  void VisitColumn(const std::string& name) override {
+    kind = Kind::kColumn;
+    column = name;
+  }
+  void VisitLiteral(const Value& v) override {
+    kind = Kind::kConst;
+    value = v;
+  }
+  void VisitParam(const std::string& name) override {
+    auto it = params_.find(name);
+    if (it != params_.end()) {
+      kind = Kind::kConst;
+      value = it->second;
+    }
+  }
+
+ private:
+  const ParamMap& params_;
+};
+
+/// Recursive compiler. Refusal (result_ == nullptr after a visit) is the
+/// default for every construct outside the error-free subset.
+class Compiler final : public ExprVisitor {
+ public:
+  Compiler(const Schema& schema, const ParamMap& params)
+      : schema_(schema), params_(params) {}
+
+  CompiledPredicatePtr Compile(const Expr& e) {
+    result_.reset();
+    e.Accept(*this);
+    return std::move(result_);
+  }
+
+  void VisitLiteral(const Value& v) override {
+    // A bare literal in predicate position: TRUE/FALSE/NULL are safe. A
+    // non-bool literal is row-dependent-free too, but under NOT/AND/OR the
+    // row oracle errors on it, so refuse rather than track context.
+    if (v.is_null()) {
+      result_ = std::make_unique<ConstPred>(kSelNull);
+    } else if (v.type() == ValueType::kBool) {
+      result_ = std::make_unique<ConstPred>(v.AsBool() ? kSelTrue : kSelFalse);
+    }
+  }
+
+  void VisitParam(const std::string& name) override {
+    auto it = params_.find(name);
+    if (it == params_.end()) return;
+    VisitLiteral(it->second);
+  }
+
+  void VisitUnary(UnaryOp op, const Expr& operand) override {
+    if (op != UnaryOp::kNot) return;
+    CompiledPredicatePtr child = Compile(operand);
+    if (child != nullptr) result_ = std::make_unique<NotPred>(std::move(child));
+  }
+
+  void VisitBinary(BinaryOp op, const Expr& lhs, const Expr& rhs) override {
+    if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+      CompiledPredicatePtr l = Compile(lhs);
+      if (l == nullptr) return;
+      CompiledPredicatePtr r = Compile(rhs);
+      if (r == nullptr) {
+        result_.reset();
+        return;
+      }
+      result_ = std::make_unique<AndOrPred>(op == BinaryOp::kAnd,
+                                            std::move(l), std::move(r));
+      return;
+    }
+    switch (op) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        break;
+      default:
+        result_.reset();  // arithmetic / LIKE can error mid-row
+        return;
+    }
+
+    LeafClassifier a(params_);
+    lhs.Accept(a);
+    LeafClassifier b(params_);
+    rhs.Accept(b);
+    using Kind = LeafClassifier::Kind;
+    result_.reset();
+    if (a.kind == Kind::kColumn && b.kind == Kind::kConst) {
+      MakeCmp(a.column, op, std::move(b.value));
+    } else if (a.kind == Kind::kConst && b.kind == Kind::kColumn) {
+      MakeCmp(b.column, Flip(op), std::move(a.value));
+    }
+    // col-vs-col, nested expressions: refuse.
+  }
+
+  void VisitIsNull(const Expr& operand, bool negated) override {
+    LeafClassifier leaf(params_);
+    operand.Accept(leaf);
+    result_.reset();
+    if (leaf.kind == LeafClassifier::Kind::kColumn) {
+      std::optional<size_t> col = schema_.FindColumn(leaf.column);
+      if (col.has_value()) {
+        result_ = std::make_unique<IsNullPred>(*col, negated);
+      }
+    } else if (leaf.kind == LeafClassifier::Kind::kConst) {
+      result_ = std::make_unique<ConstPred>(
+          (leaf.value.is_null() != negated) ? kSelTrue : kSelFalse);
+    }
+  }
+
+  void VisitInList(const Expr& operand,
+                   const std::vector<Value>& values) override {
+    LeafClassifier leaf(params_);
+    operand.Accept(leaf);
+    result_.reset();
+    if (leaf.kind != LeafClassifier::Kind::kColumn) return;
+    std::optional<size_t> col = schema_.FindColumn(leaf.column);
+    if (!col.has_value()) return;
+    result_ = std::make_unique<InListPred>(*col, values);
+  }
+
+  // VisitCall: inherited no-op leaves result_ null → refused.
+
+ private:
+  void MakeCmp(const std::string& column, BinaryOp op, Value lit) {
+    // Unresolvable / ambiguous names refuse, so Bind reports the error
+    // identically on the fallback path.
+    std::optional<size_t> col = schema_.FindColumn(column);
+    if (!col.has_value()) return;
+    if (lit.is_null()) {
+      // x OP NULL is NULL for every row (comparisons are NULL-strict).
+      result_ = std::make_unique<ConstPred>(kSelNull);
+      return;
+    }
+    result_ = std::make_unique<CmpPred>(*col, op, std::move(lit));
+  }
+
+  const Schema& schema_;
+  const ParamMap& params_;
+  CompiledPredicatePtr result_;
+};
+
+}  // namespace
+
+CompiledPredicatePtr CompilePredicate(const Expr& predicate,
+                                      const Schema& schema,
+                                      const ParamMap& params) {
+  Compiler compiler(schema, params);
+  return compiler.Compile(predicate);
+}
+
+}  // namespace courserank::query

@@ -1,0 +1,60 @@
+#ifndef COURSERANK_QUERY_VECTOR_OPS_H_
+#define COURSERANK_QUERY_VECTOR_OPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "query/expr.h"
+#include "storage/chunked_table.h"
+
+namespace courserank::query {
+
+/// SQL three-valued logic over a selection vector: one byte per row.
+enum : uint8_t { kSelFalse = 0, kSelTrue = 1, kSelNull = 2 };
+
+/// Counters a chunk evaluation reports back to the executor's metrics.
+struct VectorStats {
+  /// Rows whose string predicate was decided by dictionary-id equality
+  /// without touching string bytes (cr_exec_dict_hits_total).
+  uint64_t dict_hits = 0;
+};
+
+/// A predicate compiled out of the Expr tree into a branch-light form the
+/// columnar scan can evaluate over whole chunks (DESIGN.md §12).
+///
+/// Only the error-free subset of the expression language compiles:
+/// comparisons of a column against a constant (literal or bound
+/// parameter), IS [NOT] NULL on a column, IN lists, and NOT/AND/OR over
+/// those. Every such expression evaluates via Value::Compare semantics and
+/// cannot raise — which is what makes the chunk path's result (and error
+/// behavior) byte-identical to row-at-a-time Expr::Eval. Arithmetic, LIKE,
+/// and function calls can error mid-row, so Compile refuses them and the
+/// caller stays on the row oracle.
+class CompiledPredicate {
+ public:
+  virtual ~CompiledPredicate() = default;
+
+  /// Tri-state evaluation of one row-major row (the pending tail and the
+  /// FilterNode fast path).
+  virtual uint8_t EvalRow(const storage::Row& row) const = 0;
+
+  /// Evaluates all rows of `chunk` into `out` (resized by the caller to
+  /// chunk.size()).
+  virtual void EvalChunk(const storage::ColumnChunk& chunk,
+                         const storage::StringDictionary& dict,
+                         uint8_t* out, VectorStats* stats) const = 0;
+};
+
+using CompiledPredicatePtr = std::unique_ptr<CompiledPredicate>;
+
+/// Compiles an UNBOUND predicate against `schema` + `params`. Returns
+/// nullptr when the expression falls outside the compilable subset (the
+/// caller falls back to Bind + Eval, which also surfaces any bind errors
+/// the normal way).
+CompiledPredicatePtr CompilePredicate(const Expr& predicate,
+                                      const Schema& schema,
+                                      const ParamMap& params);
+
+}  // namespace courserank::query
+
+#endif  // COURSERANK_QUERY_VECTOR_OPS_H_

@@ -1,0 +1,25 @@
+#include "storage/chunked_table.h"
+
+#include <utility>
+
+namespace courserank::storage {
+
+void ChunkedTable::Append(const Row& row, uint64_t id) {
+  pending_.push_back(row);
+  pending_ids_.push_back(id);
+  if (pending_.size() < kChunkRows) return;
+
+  ColumnChunk chunk;
+  chunk.columns.reserve(num_columns_);
+  for (size_t c = 0; c < num_columns_; ++c) {
+    chunk.columns.push_back(
+        ColumnVector::Encode(pending_, 0, pending_.size(), c, &dict_));
+  }
+  chunk.row_ids = std::move(pending_ids_);
+  sealed_rows_ += chunk.size();
+  chunks_.push_back(std::move(chunk));
+  pending_.clear();
+  pending_ids_.clear();
+}
+
+}  // namespace courserank::storage

@@ -1,0 +1,65 @@
+#ifndef COURSERANK_STORAGE_CHUNKED_TABLE_H_
+#define COURSERANK_STORAGE_CHUNKED_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/dictionary.h"
+#include "storage/value.h"
+
+namespace courserank::storage {
+
+/// A sealed run of rows in column-major layout: one ColumnVector per schema
+/// column plus the originating slot ids (live rows only, in slot order).
+struct ColumnChunk {
+  std::vector<ColumnVector> columns;
+  std::vector<uint64_t> row_ids;
+
+  size_t size() const { return row_ids.size(); }
+};
+
+/// Column-major mirror of a Table's live rows (DESIGN.md §12): rows
+/// accumulate into a row-major pending tail and seal into typed
+/// ColumnChunks of `kChunkRows`, sharing one append-only per-table string
+/// dictionary. The chunk sequence covers live rows in slot order, so a scan
+/// over chunks-then-pending visits rows exactly as Table::Scan does.
+///
+/// The mirror is derived state: Table builds it lazily, appends through on
+/// Insert/RestoreRow, and drops it wholesale on Update/Delete (mutating a
+/// sealed chunk in place is not supported).
+class ChunkedTable {
+ public:
+  /// ~4k rows amortizes per-chunk dispatch while keeping a chunk's working
+  /// set cache-resident (SNIPPETS.md Snippet 3 uses the same shape).
+  static constexpr size_t kChunkRows = 4096;
+
+  explicit ChunkedTable(size_t num_columns) : num_columns_(num_columns) {}
+
+  /// Appends a live row (copies); seals a chunk when the pending tail
+  /// reaches kChunkRows. Ids must arrive in increasing slot order.
+  void Append(const Row& row, uint64_t id);
+
+  const StringDictionary& dict() const { return dict_; }
+  const std::vector<ColumnChunk>& chunks() const { return chunks_; }
+
+  /// Rows not yet sealed into a chunk, row-major, in slot order after the
+  /// last chunk. Scans must cover chunks() then pending().
+  const std::vector<Row>& pending() const { return pending_; }
+  const std::vector<uint64_t>& pending_ids() const { return pending_ids_; }
+
+  size_t num_columns() const { return num_columns_; }
+  size_t size() const { return sealed_rows_ + pending_.size(); }
+
+ private:
+  size_t num_columns_;
+  StringDictionary dict_;
+  std::vector<ColumnChunk> chunks_;
+  size_t sealed_rows_ = 0;
+  std::vector<Row> pending_;
+  std::vector<uint64_t> pending_ids_;
+};
+
+}  // namespace courserank::storage
+
+#endif  // COURSERANK_STORAGE_CHUNKED_TABLE_H_

@@ -1,0 +1,154 @@
+#include "storage/column.h"
+
+namespace courserank::storage {
+
+bool Int64RoundTripsDouble(int64_t v) {
+  double d = static_cast<double>(v);
+  if (d < -9223372036854775808.0 || d >= 9223372036854775808.0) return false;
+  return static_cast<int64_t>(d) == v;
+}
+
+ColumnVector ColumnVector::Encode(const std::vector<Row>& rows, size_t begin,
+                                  size_t end, size_t col,
+                                  StringDictionary* dict) {
+  ColumnVector out;
+  size_t n = end - begin;
+  out.nulls_.resize(n, 0);
+
+  bool has_int = false;
+  bool has_double = false;
+  bool has_bool = false;
+  bool has_string = false;
+  bool has_other = false;
+  bool ints_roundtrip = true;
+  for (size_t i = 0; i < n; ++i) {
+    const Value& v = rows[begin + i][col];
+    switch (v.type()) {
+      case ValueType::kNull:
+        out.nulls_[i] = 1;
+        break;
+      case ValueType::kInt:
+        has_int = true;
+        ints_roundtrip = ints_roundtrip && Int64RoundTripsDouble(v.AsInt());
+        break;
+      case ValueType::kDouble:
+        has_double = true;
+        break;
+      case ValueType::kBool:
+        has_bool = true;
+        break;
+      case ValueType::kString:
+        has_string = true;
+        break;
+      default:
+        has_other = true;
+        break;
+    }
+  }
+
+  int categories = (has_int || has_double ? 1 : 0) + (has_bool ? 1 : 0) +
+                   (has_string ? 1 : 0) + (has_other ? 1 : 0);
+  if (has_other || categories > 1 || (has_double && !ints_roundtrip)) {
+    out.encoding_ = ColumnEncoding::kValue;
+  } else if (has_string) {
+    out.encoding_ = ColumnEncoding::kDict;
+  } else if (has_bool) {
+    out.encoding_ = ColumnEncoding::kBool;
+  } else if (has_double) {
+    out.encoding_ = ColumnEncoding::kDouble;
+  } else {
+    out.encoding_ = ColumnEncoding::kInt64;  // all-INT, or all-NULL
+  }
+
+  switch (out.encoding_) {
+    case ColumnEncoding::kInt64:
+      out.ints_.resize(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (!out.nulls_[i]) out.ints_[i] = rows[begin + i][col].AsInt();
+      }
+      break;
+    case ColumnEncoding::kDouble:
+      out.doubles_.resize(n, 0.0);
+      out.is_int_.resize(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (out.nulls_[i]) continue;
+        const Value& v = rows[begin + i][col];
+        if (v.type() == ValueType::kInt) {
+          out.doubles_[i] = static_cast<double>(v.AsInt());
+          out.is_int_[i] = 1;
+        } else {
+          out.doubles_[i] = v.AsDouble();
+        }
+      }
+      break;
+    case ColumnEncoding::kBool:
+      out.bools_.resize(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (!out.nulls_[i]) {
+          out.bools_[i] = rows[begin + i][col].AsBool() ? 1 : 0;
+        }
+      }
+      break;
+    case ColumnEncoding::kDict:
+      out.ids_.resize(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (!out.nulls_[i]) {
+          out.ids_[i] = dict->Intern(rows[begin + i][col].AsString());
+        }
+      }
+      break;
+    case ColumnEncoding::kValue:
+      out.values_.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (!out.nulls_[i]) out.values_[i] = rows[begin + i][col];
+      }
+      break;
+  }
+  return out;
+}
+
+Value ColumnVector::Get(size_t i, const StringDictionary& dict) const {
+  if (nulls_[i]) return Value::Null();
+  switch (encoding_) {
+    case ColumnEncoding::kInt64:
+      return Value(ints_[i]);
+    case ColumnEncoding::kDouble:
+      // `is_int` restores the original INT tag; the cast is exact because
+      // non-round-tripping ints never take this encoding.
+      return is_int_[i] ? Value(static_cast<int64_t>(doubles_[i]))
+                        : Value(doubles_[i]);
+    case ColumnEncoding::kBool:
+      return Value(bools_[i] != 0);
+    case ColumnEncoding::kDict:
+      return Value(dict.At(ids_[i]));
+    case ColumnEncoding::kValue:
+      return values_[i];
+  }
+  return Value::Null();
+}
+
+int ColumnVector::CompareCell(size_t i, const Value& other,
+                              const StringDictionary& dict) const {
+  switch (encoding_) {
+    case ColumnEncoding::kInt64:
+      return Value(ints_[i]).Compare(other);
+    case ColumnEncoding::kDouble:
+      return is_int_[i] ? Value(static_cast<int64_t>(doubles_[i])).Compare(other)
+                        : Value(doubles_[i]).Compare(other);
+    case ColumnEncoding::kBool:
+      return Value(bools_[i] != 0).Compare(other);
+    case ColumnEncoding::kDict: {
+      if (other.type() == ValueType::kString) {
+        int c = dict.At(ids_[i]).compare(other.AsString());
+        return c < 0 ? -1 : (c > 0 ? 1 : 0);
+      }
+      // Cross-type: STRING ranks above everything but LIST.
+      return other.type() == ValueType::kList ? -1 : 1;
+    }
+    case ColumnEncoding::kValue:
+      return values_[i].Compare(other);
+  }
+  return 0;
+}
+
+}  // namespace courserank::storage

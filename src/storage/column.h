@@ -1,0 +1,78 @@
+#ifndef COURSERANK_STORAGE_COLUMN_H_
+#define COURSERANK_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/dictionary.h"
+#include "storage/value.h"
+
+namespace courserank::storage {
+
+/// True when `v` survives int64 → double → int64 unchanged. Ints beyond
+/// 2^53 can lose bits; both the kDouble encoding and the vectorized
+/// numeric comparison loops must exclude them to stay exact.
+bool Int64RoundTripsDouble(int64_t v);
+
+/// Physical layout of one column within a chunk. Encodings are chosen per
+/// chunk from the values actually present, so a column declared DOUBLE but
+/// holding only ints in some chunk still gets an exact representation.
+enum class ColumnEncoding : uint8_t {
+  kInt64,   ///< all non-null values are INT
+  kDouble,  ///< INT/DOUBLE mix; `is_int` preserves the original type tag
+  kBool,    ///< all non-null values are BOOL
+  kDict,    ///< all non-null values are STRING, stored as dictionary ids
+  kValue,   ///< fallback: LIST values, mixed types, or non-round-tripping
+            ///< ints — stored as plain Values
+};
+
+/// A typed, null-mask-carrying column vector for one chunk of rows.
+/// Decoding through Get() reproduces the original Value exactly —
+/// including the INT-vs-DOUBLE type tag — which is what keeps the
+/// columnar execution path byte-identical to the row oracle.
+class ColumnVector {
+ public:
+  /// Encodes `rows[begin, end)` column `col`. String values intern into
+  /// `dict` (shared per table, append-only).
+  static ColumnVector Encode(const std::vector<Row>& rows, size_t begin,
+                             size_t end, size_t col, StringDictionary* dict);
+
+  ColumnEncoding encoding() const { return encoding_; }
+  size_t size() const { return nulls_.size(); }
+  bool IsNull(size_t i) const { return nulls_[i] != 0; }
+
+  /// Reconstructs the original Value at row `i`.
+  Value Get(size_t i, const StringDictionary& dict) const;
+
+  /// Three-way comparison of row `i` (non-null) against `other`, with
+  /// exactly Value::Compare semantics but without materializing a Value
+  /// for the common encodings. Caller handles NULL rows.
+  int CompareCell(size_t i, const Value& other,
+                  const StringDictionary& dict) const;
+
+  // Raw accessors for the vectorized kernels in query/vector_ops.cc.
+  const std::vector<uint8_t>& nulls() const { return nulls_; }
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<uint8_t>& is_int() const { return is_int_; }
+  const std::vector<uint8_t>& bools() const { return bools_; }
+  const std::vector<StringDictionary::Id>& ids() const { return ids_; }
+  const std::vector<Value>& values() const { return values_; }
+
+ private:
+  ColumnEncoding encoding_ = ColumnEncoding::kValue;
+  std::vector<uint8_t> nulls_;  ///< one byte per row; 1 = SQL NULL
+
+  // Exactly one payload vector is populated, per `encoding_`. Null rows
+  // hold a zero placeholder in the payload so indexes line up.
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> is_int_;  ///< kDouble only: original tag was INT
+  std::vector<uint8_t> bools_;
+  std::vector<StringDictionary::Id> ids_;
+  std::vector<Value> values_;
+};
+
+}  // namespace courserank::storage
+
+#endif  // COURSERANK_STORAGE_COLUMN_H_

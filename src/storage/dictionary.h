@@ -1,0 +1,57 @@
+#ifndef COURSERANK_STORAGE_DICTIONARY_H_
+#define COURSERANK_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace courserank::storage {
+
+/// Append-only string dictionary backing dictionary-encoded columns
+/// (DESIGN.md §12). Ids are assigned in first-intern order and never
+/// change or disappear, so encoded column vectors stay valid as the
+/// dictionary grows — a chunk encoded early keeps its ids when later
+/// chunks intern new strings.
+///
+/// Ids are NOT ordered like the strings they encode: equality predicates
+/// may compare ids directly, but ordered comparisons must go through
+/// At(). The empty string is an ordinary entry, distinct from SQL NULL
+/// (which lives in the column's null mask, never in the dictionary).
+class StringDictionary {
+ public:
+  using Id = uint32_t;
+
+  /// Returns the id of `s`, interning it first if absent.
+  Id Intern(const std::string& s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    Id id = static_cast<Id>(strings_.size());
+    strings_.push_back(s);
+    ids_.emplace(s, id);
+    return id;
+  }
+
+  /// The string for an id previously returned by Intern.
+  const std::string& At(Id id) const { return strings_[id]; }
+
+  /// Id of `s` if already interned; nullopt otherwise (the probe for
+  /// equality predicates over dictionary columns — an absent constant
+  /// matches no row).
+  std::optional<Id> Find(const std::string& s) const {
+    auto it = ids_.find(s);
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Id> ids_;
+};
+
+}  // namespace courserank::storage
+
+#endif  // COURSERANK_STORAGE_DICTIONARY_H_

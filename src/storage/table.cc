@@ -137,6 +137,7 @@ Result<RowId> Table::Insert(Row row) {
   rows_.push_back(std::move(row));
   deleted_.push_back(false);
   ++live_count_;
+  AppendToColumnar(rows_.back(), id);
   return id;
 }
 
@@ -164,6 +165,7 @@ Status Table::Update(RowId id, Row row) {
   RemoveFromIndexes(*old, id);
   rows_[id] = std::move(row);
   AddToIndexes(rows_[id], id);
+  InvalidateColumnar();
   return Status::OK();
 }
 
@@ -194,6 +196,7 @@ Status Table::Delete(RowId id) {
   RemoveFromIndexes(*row, id);
   deleted_[id] = true;
   --live_count_;
+  InvalidateColumnar();
   return Status::OK();
 }
 
@@ -217,7 +220,30 @@ Status Table::RestoreRow(RowId id, Row row) {
   rows_.push_back(std::move(row));
   deleted_.push_back(false);
   ++live_count_;
+  AppendToColumnar(rows_.back(), id);
   return Status::OK();
+}
+
+const ChunkedTable* Table::columnar() const {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  if (columnar_ == nullptr) {
+    auto mirror = std::make_unique<ChunkedTable>(schema_.num_columns());
+    for (RowId id = 0; id < rows_.size(); ++id) {
+      if (!deleted_[id]) mirror->Append(rows_[id], id);
+    }
+    columnar_ = std::move(mirror);
+  }
+  return columnar_.get();
+}
+
+void Table::AppendToColumnar(const Row& row, RowId id) {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  if (columnar_ != nullptr) columnar_->Append(row, id);
+}
+
+void Table::InvalidateColumnar() {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  columnar_.reset();
 }
 
 const Row* Table::Get(RowId id) const {

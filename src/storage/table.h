@@ -5,11 +5,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "storage/chunked_table.h"
 #include "storage/schema.h"
 #include "storage/value.h"
 
@@ -138,6 +140,13 @@ class Table {
   /// All live row ids in slot order.
   std::vector<RowId> LiveRowIds() const;
 
+  /// Column-major mirror of the live rows, built lazily on first use
+  /// (DESIGN.md §12). Inserts append through so the mirror stays warm
+  /// across the common load-then-query lifecycle; Update/Delete drop it
+  /// and the next call rebuilds. The pointer stays valid until the next
+  /// mutation of this table — callers must not hold it across mutations.
+  const ChunkedTable* columnar() const;
+
   /// Creates a (possibly unique) hash index over `columns`. Fails if any
   /// existing rows violate a unique constraint.
   Status CreateHashIndex(const std::string& index_name,
@@ -171,6 +180,8 @@ class Table {
   Status CheckUniqueForInsert(const Row& row, const HashIndex& index) const;
   void AddToIndexes(const Row& row, RowId id);
   void RemoveFromIndexes(const Row& row, RowId id);
+  void AppendToColumnar(const Row& row, RowId id);
+  void InvalidateColumnar();
 
   std::string name_;
   Schema schema_;
@@ -180,6 +191,12 @@ class Table {
   std::vector<Row> rows_;
   std::vector<bool> deleted_;
   size_t live_count_ = 0;
+
+  // Lazily-built columnar mirror; the mutex guards only build/invalidate
+  // races between concurrent readers (mutations are single-threaded by the
+  // existing Table contract).
+  mutable std::mutex columnar_mu_;
+  mutable std::unique_ptr<ChunkedTable> columnar_;
 
   std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
   std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;

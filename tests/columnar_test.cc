@@ -1,0 +1,425 @@
+// Columnar storage layer tests (DESIGN.md §12): the string dictionary,
+// per-chunk column encodings, the ChunkedTable mirror lifecycle on Table,
+// dictionary growth across chunk seals / snapshot restore / WAL replay,
+// and the comparison semantics of dictionary-encoded columns (ids are
+// insertion-ordered, NOT lexicographic — only equality may compare ids).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/sql_engine.h"
+#include "storage/chunked_table.h"
+#include "storage/column.h"
+#include "storage/database.h"
+#include "storage/dictionary.h"
+#include "storage/snapshot.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+
+namespace courserank {
+namespace {
+
+using query::ExecOptions;
+using query::PlannerOptions;
+using query::Relation;
+using query::SqlEngine;
+using storage::ChunkedTable;
+using storage::ColumnEncoding;
+using storage::ColumnVector;
+using storage::Database;
+using storage::Row;
+using storage::RowId;
+using storage::Schema;
+using storage::StringDictionary;
+using storage::Value;
+using storage::ValueType;
+
+namespace fs = std::filesystem;
+
+int Sign(int v) { return v < 0 ? -1 : (v > 0 ? 1 : 0); }
+
+// ------------------------------------------------------------- dictionary
+
+TEST(StringDictionaryTest, IdsFollowInsertionOrderNotLexicographic) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.Intern("zebra"), 0u);
+  EXPECT_EQ(dict.Intern("apple"), 1u);
+  EXPECT_EQ(dict.Intern("mango"), 2u);
+  // Re-interning is idempotent.
+  EXPECT_EQ(dict.Intern("zebra"), 0u);
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.At(0), "zebra");
+  EXPECT_EQ(dict.At(1), "apple");
+  EXPECT_EQ(dict.At(2), "mango");
+  // "zebra" > "apple" lexicographically but its id is smaller: encoded ids
+  // must never be compared with < / >.
+  EXPECT_LT(dict.Intern("zebra"), dict.Intern("apple"));
+}
+
+TEST(StringDictionaryTest, FindProbesWithoutInterning) {
+  StringDictionary dict;
+  dict.Intern("present");
+  EXPECT_EQ(dict.Find("present"), std::optional<StringDictionary::Id>(0));
+  EXPECT_EQ(dict.Find("absent"), std::nullopt);
+  EXPECT_EQ(dict.size(), 1u);  // Find must not intern
+}
+
+TEST(StringDictionaryTest, EmptyStringIsAnOrdinaryEntry) {
+  StringDictionary dict;
+  StringDictionary::Id id = dict.Intern("");
+  EXPECT_EQ(dict.At(id), "");
+  EXPECT_EQ(dict.Find(""), std::optional<StringDictionary::Id>(id));
+}
+
+// ------------------------------------------------------ column encodings
+
+TEST(ColumnVectorTest, IntColumnRoundTrips) {
+  std::vector<Row> rows = {{Value(int64_t{7})},
+                           {Value()},
+                           {Value(int64_t{-3})}};
+  StringDictionary dict;
+  ColumnVector col = ColumnVector::Encode(rows, 0, rows.size(), 0, &dict);
+  EXPECT_EQ(col.encoding(), ColumnEncoding::kInt64);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Value v = col.Get(i, dict);
+    EXPECT_EQ(v.type(), rows[i][0].type()) << i;
+    EXPECT_TRUE(v == rows[i][0] || (v.is_null() && rows[i][0].is_null()))
+        << i;
+  }
+}
+
+TEST(ColumnVectorTest, IntDoubleMixKeepsTypeTags) {
+  std::vector<Row> rows = {{Value(int64_t{4})},
+                           {Value(2.5)},
+                           {Value()},
+                           {Value(int64_t{-9})}};
+  StringDictionary dict;
+  ColumnVector col = ColumnVector::Encode(rows, 0, rows.size(), 0, &dict);
+  EXPECT_EQ(col.encoding(), ColumnEncoding::kDouble);
+  // Byte-identity hinges on the original INT-vs-DOUBLE tag surviving.
+  EXPECT_EQ(col.Get(0, dict).type(), ValueType::kInt);
+  EXPECT_EQ(col.Get(0, dict).AsInt(), 4);
+  EXPECT_EQ(col.Get(1, dict).type(), ValueType::kDouble);
+  EXPECT_TRUE(col.Get(2, dict).is_null());
+  EXPECT_EQ(col.Get(3, dict).AsInt(), -9);
+}
+
+TEST(ColumnVectorTest, NonRoundTrippingIntFallsBackToValues) {
+  // INT64_MAX does not survive a double round trip; mixed with a DOUBLE the
+  // chunk cannot use the kDouble encoding without corrupting it.
+  std::vector<Row> rows = {{Value(int64_t{9223372036854775807LL})},
+                           {Value(0.5)}};
+  StringDictionary dict;
+  ColumnVector col = ColumnVector::Encode(rows, 0, rows.size(), 0, &dict);
+  EXPECT_EQ(col.encoding(), ColumnEncoding::kValue);
+  EXPECT_EQ(col.Get(0, dict).AsInt(), 9223372036854775807LL);
+  EXPECT_FALSE(storage::Int64RoundTripsDouble(9223372036854775807LL));
+  EXPECT_TRUE(storage::Int64RoundTripsDouble(1LL << 53));
+  EXPECT_FALSE(storage::Int64RoundTripsDouble((1LL << 53) + 1));
+}
+
+TEST(ColumnVectorTest, StringColumnDictEncodesNullVsEmptyDistinct) {
+  std::vector<Row> rows = {
+      {Value("alpha")}, {Value(std::string())}, {Value()}, {Value("alpha")}};
+  StringDictionary dict;
+  ColumnVector col = ColumnVector::Encode(rows, 0, rows.size(), 0, &dict);
+  EXPECT_EQ(col.encoding(), ColumnEncoding::kDict);
+  // NULL lives in the null mask; the empty string is a dictionary entry.
+  Value empty = col.Get(1, dict);
+  EXPECT_EQ(empty.type(), ValueType::kString);
+  EXPECT_EQ(empty.AsString(), "");
+  EXPECT_TRUE(col.Get(2, dict).is_null());
+  // Duplicate strings share an id.
+  EXPECT_EQ(col.ids()[0], col.ids()[3]);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(ColumnVectorTest, CompareCellMatchesValueCompare) {
+  std::vector<Row> rows = {{Value(int64_t{5})}, {Value(2.5)},
+                           {Value("mango")},    {Value(true)},
+                           {Value(int64_t{-1})}};
+  std::vector<Value> literals = {Value(int64_t{3}), Value(2.5),
+                                 Value("zebra"),    Value("apple"),
+                                 Value(false),      Value(int64_t{5})};
+  StringDictionary dict;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    // One-row chunks give each value its natural encoding.
+    ColumnVector col = ColumnVector::Encode(rows, r, r + 1, 0, &dict);
+    for (const Value& lit : literals) {
+      EXPECT_EQ(Sign(col.CompareCell(0, lit, dict)),
+                Sign(rows[r][0].Compare(lit)))
+          << "row " << r << " vs " << lit.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------- chunked table
+
+TEST(ChunkedTableTest, SealsAtChunkRowsInSlotOrder) {
+  const size_t kRows = ChunkedTable::kChunkRows + 10;
+  ChunkedTable ct(2);
+  for (size_t i = 0; i < kRows; ++i) {
+    ct.Append({Value(static_cast<int64_t>(i)),
+               Value("s" + std::to_string(i % 97))},
+              /*id=*/i * 2);
+  }
+  ASSERT_EQ(ct.chunks().size(), 1u);
+  EXPECT_EQ(ct.chunks()[0].size(), ChunkedTable::kChunkRows);
+  EXPECT_EQ(ct.pending().size(), 10u);
+  EXPECT_EQ(ct.size(), kRows);
+  // Chunk then pending covers the rows in append (slot) order.
+  EXPECT_EQ(ct.chunks()[0].row_ids.front(), 0u);
+  EXPECT_EQ(ct.chunks()[0].row_ids.back(),
+            (ChunkedTable::kChunkRows - 1) * 2);
+  EXPECT_EQ(ct.pending_ids().front(), ChunkedTable::kChunkRows * 2);
+  const ColumnVector& ints = ct.chunks()[0].columns[0];
+  EXPECT_EQ(ints.encoding(), ColumnEncoding::kInt64);
+  EXPECT_EQ(ints.Get(17, ct.dict()).AsInt(), 17);
+  const ColumnVector& strs = ct.chunks()[0].columns[1];
+  EXPECT_EQ(strs.encoding(), ColumnEncoding::kDict);
+  EXPECT_EQ(strs.Get(17, ct.dict()).AsString(), "s17");
+  // 97 distinct strings, interned once each across 4k+ rows.
+  EXPECT_EQ(ct.dict().size(), 97u);
+}
+
+// ----------------------------------------------- table mirror lifecycle
+
+/// Decodes the mirror (chunks then pending) and checks it equals the
+/// table's Scan output, row for row, cell for cell.
+void ExpectMirrorMatchesScan(const storage::Table& table) {
+  const ChunkedTable* ct = table.columnar();
+  ASSERT_NE(ct, nullptr);
+  std::vector<Row> scanned;
+  std::vector<RowId> scanned_ids;
+  table.Scan([&](RowId id, const Row& row) {
+    scanned.push_back(row);
+    scanned_ids.push_back(id);
+  });
+  ASSERT_EQ(ct->size(), scanned.size());
+  size_t r = 0;
+  for (const auto& chunk : ct->chunks()) {
+    for (size_t i = 0; i < chunk.size(); ++i, ++r) {
+      ASSERT_EQ(chunk.row_ids[i], scanned_ids[r]) << "row " << r;
+      for (size_t c = 0; c < chunk.columns.size(); ++c) {
+        Value v = chunk.columns[c].Get(i, ct->dict());
+        const Value& expect = scanned[r][c];
+        EXPECT_EQ(v.type(), expect.type()) << "row " << r << " col " << c;
+        EXPECT_TRUE(v == expect || (v.is_null() && expect.is_null()))
+            << "row " << r << " col " << c;
+      }
+    }
+  }
+  for (size_t i = 0; i < ct->pending().size(); ++i, ++r) {
+    ASSERT_EQ(ct->pending_ids()[i], scanned_ids[r]) << "row " << r;
+    for (size_t c = 0; c < ct->pending()[i].size(); ++c) {
+      EXPECT_TRUE(ct->pending()[i][c] == scanned[r][c] ||
+                  (ct->pending()[i][c].is_null() && scanned[r][c].is_null()))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(TableMirrorTest, BuildsLazilyAppendsThroughAndInvalidates) {
+  Database db;
+  auto table = db.CreateTable(
+      "t",
+      Schema({{"id", ValueType::kInt, false}, {"s", ValueType::kString, true}}),
+      {"id"});
+  ASSERT_TRUE(table.ok());
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        (*table)->Insert({Value(i), Value("v" + std::to_string(i % 7))}).ok());
+  }
+  ExpectMirrorMatchesScan(**table);
+
+  // Insert after the mirror exists: append-through, no rebuild needed.
+  ASSERT_TRUE((*table)->Insert({Value(int64_t{100}), Value("fresh")}).ok());
+  ExpectMirrorMatchesScan(**table);
+
+  // Update invalidates; the rebuilt mirror sees the new value.
+  ASSERT_TRUE(
+      (*table)->Update(0, {Value(int64_t{0}), Value("updated")}).ok());
+  ExpectMirrorMatchesScan(**table);
+
+  // Delete invalidates; the rebuilt mirror drops the row.
+  ASSERT_TRUE((*table)->Delete(3).ok());
+  ExpectMirrorMatchesScan(**table);
+  EXPECT_EQ((*table)->columnar()->size(), 100u);
+}
+
+TEST(TableMirrorTest, DictGrowsAcrossChunkSealsWithStableIds) {
+  Database db;
+  auto table = db.CreateTable(
+      "t", Schema({{"s", ValueType::kString, true}}), {});
+  ASSERT_TRUE(table.ok());
+  // Fill past one chunk so early ids live in a sealed chunk...
+  const size_t kRows = ChunkedTable::kChunkRows + 50;
+  for (size_t i = 0; i < kRows; ++i) {
+    ASSERT_TRUE(
+        (*table)->Insert({Value("w" + std::to_string(i % 201))}).ok());
+  }
+  const ChunkedTable* ct = (*table)->columnar();
+  size_t dict_before = ct->dict().size();
+  EXPECT_EQ(dict_before, 201u);
+  // Pending-tail rows intern lazily at seal time: a new string appended
+  // through sits row-major in the tail without touching the dictionary.
+  ASSERT_TRUE((*table)->Insert({Value("brand-new")}).ok());
+  ct = (*table)->columnar();
+  EXPECT_EQ(ct->dict().size(), dict_before);
+  ExpectMirrorMatchesScan(**table);
+  // Fill to the next seal boundary: the dictionary grows by exactly the
+  // one new string, and ids already encoded into the first sealed chunk
+  // stay stable (ExpectMirrorMatchesScan decodes them).
+  while ((*table)->columnar()->chunks().size() < 2) {
+    ASSERT_TRUE((*table)->Insert({Value("w0")}).ok());
+  }
+  ct = (*table)->columnar();
+  EXPECT_EQ(ct->dict().size(), dict_before + 1);
+  ExpectMirrorMatchesScan(**table);
+}
+
+// ----------------------------------- persistence: snapshot + WAL replay
+
+TEST(ColumnarPersistenceTest, MirrorRebuildsAfterSnapshotAndWalRecovery) {
+  fs::path dir = fs::temp_directory_path() / "courserank_columnar_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string snap_dir = (dir / "snap").string();
+  std::string wal_path = (dir / "wal.log").string();
+
+  Database db;
+  auto table = db.CreateTable(
+      "t",
+      Schema({{"id", ValueType::kInt, false}, {"s", ValueType::kString, true}}),
+      {"id"});
+  ASSERT_TRUE(table.ok());
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        (*table)->Insert({Value(i), Value("base" + std::to_string(i % 31))})
+            .ok());
+  }
+  ASSERT_TRUE(storage::SaveDatabase(db, snap_dir).ok());
+
+  auto wal = storage::WalWriter::Open(wal_path, {});
+  ASSERT_TRUE(wal.ok());
+  db.AttachWal(wal->get());
+  // Post-snapshot inserts reach the recovered database only via WAL
+  // replay (Table::RestoreRow), which must keep the mirror append-through
+  // path consistent.
+  for (int64_t i = 500; i < 600; ++i) {
+    ASSERT_TRUE(
+        (*table)->Insert({Value(i), Value("tail" + std::to_string(i % 13))})
+            .ok());
+  }
+  ExpectMirrorMatchesScan(**table);
+
+  auto recovered = storage::RecoverDatabase(snap_dir, wal_path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->replay.applied, 100u);
+  const storage::Table* rt = recovered->db->FindTable("t");
+  ASSERT_NE(rt, nullptr);
+  // The mirror is derived state: the recovered table rebuilds it from
+  // scratch (fresh dictionary, re-interned in slot order) and it must
+  // decode to exactly the recovered rows — which equal the original's.
+  ExpectMirrorMatchesScan(*rt);
+  std::vector<Row> original;
+  (*table)->Scan([&](RowId, const Row& row) { original.push_back(row); });
+  std::vector<Row> restored;
+  rt->Scan([&](RowId, const Row& row) { restored.push_back(row); });
+  ASSERT_EQ(original.size(), restored.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    for (size_t c = 0; c < original[i].size(); ++c) {
+      EXPECT_TRUE(original[i][c] == restored[i][c]) << i << "," << c;
+    }
+  }
+  // Dictionary growth continues cleanly after recovery.
+  auto* mutable_rt = recovered->db->FindTable("t");
+  ASSERT_TRUE(
+      mutable_rt->Insert({Value(int64_t{600}), Value("post-recovery")}).ok());
+  ExpectMirrorMatchesScan(*mutable_rt);
+
+  db.AttachWal(nullptr);
+  fs::remove_all(dir);
+}
+
+// -------------------------- encoded-id comparison semantics (SQL level)
+
+/// Dictionary ids follow insertion order, so a table loaded in reverse
+/// lexicographic order is the adversarial case: id order and string order
+/// disagree on every pair. Ordered predicates must decode; only equality
+/// may compare ids. The row oracle (columnar=false) is the ground truth.
+TEST(EncodedIdComparisonTest, OrderedPredicatesMatchRowOracle) {
+  Database db;
+  auto table = db.CreateTable(
+      "t",
+      Schema({{"id", ValueType::kInt, false}, {"s", ValueType::kString, true}}),
+      {"id"});
+  ASSERT_TRUE(table.ok());
+  // > kChunkRows rows so the sealed-chunk kernels run, strings interned in
+  // descending order, plus NULLs and an empty string.
+  const size_t kRows = ChunkedTable::kChunkRows + 64;
+  for (size_t i = 0; i < kRows; ++i) {
+    Value s;
+    if (i % 53 == 0) {
+      s = Value();  // NULL
+    } else if (i % 53 == 1) {
+      s = Value(std::string());  // empty string, distinct from NULL
+    } else {
+      char c = static_cast<char>('z' - (i % 26));
+      s = Value(std::string(1, c) + std::to_string(i % 100));
+    }
+    ASSERT_TRUE(
+        (*table)->Insert({Value(static_cast<int64_t>(i)), s}).ok());
+  }
+
+  SqlEngine oracle(&db);
+  oracle.set_planner_options(PlannerOptions{true, true});
+  ExecOptions row_exec;
+  row_exec.parallel = false;
+  row_exec.columnar = false;
+  oracle.set_exec_options(row_exec);
+
+  SqlEngine columnar(&db);
+  columnar.set_planner_options(PlannerOptions{true, true});
+  ExecOptions col_exec;
+  col_exec.parallel = false;
+  col_exec.columnar = true;
+  columnar.set_exec_options(col_exec);
+
+  const std::string queries[] = {
+      "SELECT id FROM t WHERE s = 'm42'",
+      "SELECT id FROM t WHERE s = 'no-such-string'",  // absent from dict
+      "SELECT id FROM t WHERE s = ''",                // empty, not NULL
+      "SELECT id FROM t WHERE s <> 'q7'",
+      "SELECT id FROM t WHERE s < 'm'",    // ordered: must decode, not
+      "SELECT id FROM t WHERE s >= 'w'",   // compare insertion-order ids
+      "SELECT id FROM t WHERE s > '' AND s <= 'd99'",
+      "SELECT id FROM t WHERE s IS NULL",
+      "SELECT id FROM t WHERE s IS NOT NULL AND s < 'b'",
+      "SELECT id, s FROM t WHERE s IN ('m42', 'z1', 'absent') ORDER BY id",
+  };
+  for (const std::string& sql : queries) {
+    auto a = oracle.Execute(sql);
+    auto b = columnar.Execute(sql);
+    ASSERT_TRUE(a.ok()) << sql << " -> " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << sql << " -> " << b.status().ToString();
+    ASSERT_EQ(a->rows.size(), b->rows.size()) << sql;
+    for (size_t r = 0; r < a->rows.size(); ++r) {
+      for (size_t c = 0; c < a->rows[r].size(); ++c) {
+        EXPECT_TRUE(a->rows[r][c] == b->rows[r][c] ||
+                    (a->rows[r][c].is_null() && b->rows[r][c].is_null()))
+            << sql << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace courserank

@@ -43,19 +43,36 @@ using storage::Schema;
 using storage::Value;
 using storage::ValueType;
 
-/// Aggressive fan-out: tiny morsels, no serial cutoff — every operator
-/// takes its parallel path even on toy inputs.
+/// Aggressive fan-out: tiny morsels, no serial cutoff, and an explicit
+/// multi-worker pool — every operator takes its parallel path even on toy
+/// inputs and single-CPU machines (operators skip fan-out when the pool has
+/// at most one worker, and SharedThreadPool() may have none here).
 ExecOptions Aggressive(size_t morsel_rows = 3) {
+  static ThreadPool pool(3);
   ExecOptions o;
   o.parallel = true;
   o.morsel_rows = morsel_rows;
   o.min_parallel_rows = 0;
+  o.pool = &pool;
   return o;
 }
 
+/// The row-at-a-time serial oracle: no fan-out, no columnar fast paths.
+/// Comparing it against Aggressive() (columnar stays on by default) makes
+/// every equivalence test in this file a row-vs-columnar differential too.
 ExecOptions Serial() {
   ExecOptions o;
   o.parallel = false;
+  o.columnar = false;
+  return o;
+}
+
+/// Columnar fast paths without parallelism — isolates the vectorized
+/// kernels and the memoized recommend scorer from morsel fan-out.
+ExecOptions ColumnarSerial() {
+  ExecOptions o;
+  o.parallel = false;
+  o.columnar = true;
   return o;
 }
 
@@ -123,6 +140,9 @@ TEST_F(MorselBoundaryTest, EdgeRowCountsMatchSerial) {
     Relation serial = RunSql(sql, Serial());
     Relation parallel = RunSql(sql, Aggressive(kMorsel));
     ExpectSameRelation(serial, parallel, "n=" + std::to_string(n));
+    Relation columnar = RunSql(sql, ColumnarSerial());
+    ExpectSameRelation(serial, columnar,
+                       "columnar n=" + std::to_string(n));
   }
 }
 
@@ -231,6 +251,11 @@ TEST_P(PushdownEquivalenceTest, RewrittenPlansMatchPlainPlans) {
   SqlEngine pushed(&db);
   pushed.set_planner_options(PlannerOptions{true, true});
   pushed.set_exec_options(Aggressive(5));
+  // Pushdown + vectorized chunk scan, serially: isolates the compiled
+  // predicate kernels from morsel fan-out.
+  SqlEngine pushed_columnar(&db);
+  pushed_columnar.set_planner_options(PlannerOptions{true, true});
+  pushed_columnar.set_exec_options(ColumnarSerial());
 
   const std::string queries[] = {
       "SELECT * FROM Courses",
@@ -254,6 +279,9 @@ TEST_P(PushdownEquivalenceTest, RewrittenPlansMatchPlainPlans) {
     ASSERT_TRUE(a.ok()) << sql << " -> " << a.status().ToString();
     ASSERT_TRUE(b.ok()) << sql << " -> " << b.status().ToString();
     ExpectSameRelation(*a, *b, sql);
+    auto c = pushed_columnar.Execute(sql);
+    ASSERT_TRUE(c.ok()) << sql << " -> " << c.status().ToString();
+    ExpectSameRelation(*a, *c, "columnar: " + sql);
   }
 }
 
@@ -320,6 +348,14 @@ TEST_P(StrategyEquivalenceTest, ParallelMatchesSerial) {
     ASSERT_TRUE(parallel.ok())
         << sc.name << " -> " << parallel.status().ToString();
     ExpectSameRelation(*serial, *parallel, sc.name);
+    // Columnar serial: the memoized recommend scorer against the per-pair
+    // row oracle, with fan-out out of the picture.
+    engine.set_exec_options(ColumnarSerial());
+    auto columnar = engine.RunStrategy(sc.name, sc.params);
+    ASSERT_TRUE(columnar.ok())
+        << sc.name << " -> " << columnar.status().ToString();
+    ExpectSameRelation(*serial, *columnar,
+                       std::string("columnar: ") + sc.name);
   }
 }
 
@@ -470,6 +506,12 @@ TEST_P(RandomWorkflowEquivalenceTest, SerialParallelOptimizedAgree) {
     ASSERT_TRUE(parallel.ok()) << dsl << "\n"
                                << parallel.status().ToString();
     ExpectSameRelation(*serial, *parallel, dsl);
+
+    engine.set_exec_options(ColumnarSerial());
+    auto columnar = engine.Run(**parsed, {});
+    ASSERT_TRUE(columnar.ok()) << dsl << "\n"
+                               << columnar.status().ToString();
+    ExpectSameRelation(*serial, *columnar, "columnar: " + dsl);
 
     auto reparsed = flexrecs::ParseWorkflow(dsl);
     ASSERT_TRUE(reparsed.ok()) << dsl;
