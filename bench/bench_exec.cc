@@ -189,6 +189,36 @@ void WriteBenchJson() {
         benchmark::DoNotOptimize(rel);
       }, 25));
 
+  // Profiling A/B (EXPERIMENTS.md E15): the same pushdown query and the
+  // heaviest strategy with the profile collector attached. "profiled" pays
+  // for Push/Pop + NowNs per operator plus the flight-recorder submit;
+  // "plain" (above / *_parallel) is the profiling-off baseline and must be
+  // unaffected because the collector is a null-pointer check per operator.
+  pushed.set_profiling(true);
+  add("sql_topk_scan_pushdown_profiled", kPaperCourses, TimeNs([&] {
+        auto rel = pushed.Execute(sql);
+        CR_CHECK(rel.ok());
+        benchmark::DoNotOptimize(rel);
+      }, 25));
+  pushed.set_profiling(false);
+  // Back-to-back pair for the strategy path: the box drifts over a full
+  // run, so the off-baseline is re-measured adjacent to the profiled run
+  // rather than reusing user_cf_parallel from the loop above.
+  engine.set_exec_options(ParallelExec());
+  add("user_cf_parallel_ab_plain", kPaperCourses, TimeNs([&] {
+        auto rel = engine.RunStrategy("user_cf", workload[1].second);
+        CR_CHECK(rel.ok());
+        benchmark::DoNotOptimize(rel);
+      }, 9));
+  engine.set_profiling(true);
+  add("user_cf_parallel_profiled", kPaperCourses, TimeNs([&] {
+        auto rel = engine.RunStrategy("user_cf", workload[1].second);
+        CR_CHECK(rel.ok());
+        benchmark::DoNotOptimize(rel);
+      }, 9));
+  engine.set_profiling(false);
+  engine.set_exec_options(ExecOptions{});
+
   std::FILE* f = std::fopen("BENCH_flexrecs.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "[bench] cannot write BENCH_flexrecs.json\n");

@@ -1,14 +1,18 @@
 #include "core/flexrecs_engine.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <optional>
 
 #include "analysis/analyzer.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/profile_recorder.h"
 #include "obs/trace.h"
 #include "query/plan.h"
+#include "query/profile.h"
 #include "storage/value.h"
 
 namespace courserank::flexrecs {
@@ -114,6 +118,26 @@ Result<size_t> FindColumn(const query::Schema& schema,
   return *idx;
 }
 
+/// First line of the node rendering — the same label Compile() gives the
+/// step, reused as the profile node's describe text.
+std::string NodeLabel(const WorkflowNode& node) {
+  std::string repr = node.ToString(0);
+  size_t nl = repr.find('\n');
+  return nl == std::string::npos ? repr : repr.substr(0, nl);
+}
+
+const char* StepKindName(CompiledStep::Kind kind) {
+  switch (kind) {
+    case CompiledStep::Kind::kSql:
+      return "sql";
+    case CompiledStep::Kind::kValues:
+      return "values";
+    case CompiledStep::Kind::kPhysical:
+      return "physical";
+  }
+  return "?";
+}
+
 }  // namespace
 
 std::string CompiledWorkflow::Explain() const {
@@ -142,6 +166,55 @@ std::string CompiledWorkflow::Explain() const {
     }
     out += "\n";
   }
+  return out;
+}
+
+std::string WorkflowProfile::Render() const {
+  char buf[64];
+  std::string out = name.empty() ? "<workflow>" : name;
+  out += "  [total " + query::FormatNs(total_ns) + "]\n";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const WorkflowStepProfile& s = steps[i];
+    double pct = total_ns == 0
+                     ? 0.0
+                     : 100.0 * static_cast<double>(s.wall_ns) /
+                           static_cast<double>(total_ns);
+    out += "step " + std::to_string(i + 1) + " [" + s.kind + "] " + s.label;
+    snprintf(buf, sizeof(buf), "  [wall %s (%.1f%%), rows=%" PRIu64 "]\n",
+             query::FormatNs(s.wall_ns).c_str(), pct, s.rows_out);
+    out += buf;
+    // Per-node percentages read against the whole workflow, so a hot
+    // operator stands out across steps, not just within its own.
+    if (s.plan != nullptr) {
+      query::AppendProfileText(*s.plan, total_ns, 1, &out);
+    }
+  }
+  return out;
+}
+
+std::string WorkflowProfile::RenderJson() const {
+  char buf[48];
+  std::string out = "{\"name\": " + obs::JsonEscaped(name);
+  snprintf(buf, sizeof(buf), ", \"total_ns\": %" PRIu64, total_ns);
+  out += buf;
+  out += ", \"steps\": [";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const WorkflowStepProfile& s = steps[i];
+    if (i > 0) out += ", ";
+    out += "{\"label\": " + obs::JsonEscaped(s.label);
+    out += ", \"kind\": " + obs::JsonEscaped(s.kind);
+    snprintf(buf, sizeof(buf), ", \"wall_ns\": %" PRIu64 ", \"rows_out\": %" PRIu64,
+             s.wall_ns, s.rows_out);
+    out += buf;
+    out += ", \"plan\": ";
+    if (s.plan != nullptr) {
+      query::AppendProfileJson(*s.plan, &out);
+    } else {
+      out += "null";
+    }
+    out += "}";
+  }
+  out += "]}";
   return out;
 }
 
@@ -231,9 +304,14 @@ struct FlexMetrics {
   obs::Counter* runs;
   obs::Counter* steps;
   // Shared with the plan executor's morsel accounting (same registry
-  // entries) so recommend fan-out shows up alongside operator fan-out.
+  // entries) so recommend fan-out shows up alongside operator fan-out —
+  // including the fan-out decision counters.
   obs::Counter* exec_morsels;
   obs::Counter* exec_parallel_ops;
+  obs::Counter* fanout_parallel;
+  obs::Counter* fanout_small;
+  obs::Counter* fanout_pool;
+  obs::Counter* fanout_off;
 };
 
 const FlexMetrics& Metrics() {
@@ -247,15 +325,20 @@ const FlexMetrics& Metrics() {
                        reg.GetCounter("cr_flexrecs_runs_total"),
                        reg.GetCounter("cr_flexrecs_steps_total"),
                        reg.GetCounter("cr_exec_morsels_total"),
-                       reg.GetCounter("cr_exec_parallel_ops_total")};
+                       reg.GetCounter("cr_exec_parallel_ops_total"),
+                       reg.GetCounter("cr_exec_fanout_parallel_total"),
+                       reg.GetCounter("cr_exec_fanout_skipped_small_total"),
+                       reg.GetCounter("cr_exec_fanout_skipped_pool_total"),
+                       reg.GetCounter("cr_exec_fanout_serial_config_total")};
   }();
   return m;
 }
 
 }  // namespace
 
-Result<Relation> FlexRecsEngine::Execute(const CompiledWorkflow& compiled,
-                                         const ParamMap& params) {
+Result<Relation> FlexRecsEngine::ExecuteImpl(const CompiledWorkflow& compiled,
+                                             const ParamMap& params,
+                                             WorkflowProfile* profile) {
   const FlexMetrics& m = Metrics();
   obs::ScopedSpan run_span(obs::stage::kFlexRun, m.run_ns,
                            &obs::TraceSink::Default(),
@@ -272,13 +355,24 @@ Result<Relation> FlexRecsEngine::Execute(const CompiledWorkflow& compiled,
   }
   for (const CompiledStep& step : compiled.steps()) {
     m.steps->Add();
+    WorkflowStepProfile sp;
+    uint64_t step_t0 = profile != nullptr ? obs::NowNs() : 0;
     switch (step.kind) {
       case CompiledStep::Kind::kSql: {
         obs::ScopedSpan step_span(obs::stage::kFlexSqlStep, m.sql_step_ns,
                                   &obs::TraceSink::Default(),
                                   obs::ScopedSpan::Mode::kAlways);
-        CR_ASSIGN_OR_RETURN(Relation rel, sql_.Execute(step.sql, params));
-        results.push_back(std::move(rel));
+        if (profile == nullptr) {
+          CR_ASSIGN_OR_RETURN(Relation rel, sql_.Execute(step.sql, params));
+          results.push_back(std::move(rel));
+        } else {
+          query::QueryProfile qp;
+          CR_ASSIGN_OR_RETURN(Relation rel,
+                              sql_.Execute(step.sql, params, &qp));
+          sp.label = step.sql;
+          sp.plan = std::move(qp.root);
+          results.push_back(std::move(rel));
+        }
         break;
       }
       case CompiledStep::Kind::kValues: {
@@ -286,6 +380,9 @@ Result<Relation> FlexRecsEngine::Execute(const CompiledWorkflow& compiled,
                                   m.values_step_ns,
                                   &obs::TraceSink::Default(),
                                   obs::ScopedSpan::Mode::kAlways);
+        if (profile != nullptr) {
+          sp.label = std::to_string(step.values.rows.size()) + " rows";
+        }
         results.push_back(step.values);
         break;
       }
@@ -294,32 +391,98 @@ Result<Relation> FlexRecsEngine::Execute(const CompiledWorkflow& compiled,
                                   m.physical_step_ns,
                                   &obs::TraceSink::Default(),
                                   obs::ScopedSpan::Mode::kAlways);
+        query::ProfileCollector collector;
         CR_ASSIGN_OR_RETURN(
-            Relation rel, ExecutePhysical(*step.node, results, step.inputs,
-                                          remaining_uses, params));
+            Relation rel,
+            ExecutePhysical(*step.node, results, step.inputs, remaining_uses,
+                            params, profile != nullptr ? &collector : nullptr));
+        if (profile != nullptr) {
+          sp.label = step.label;
+          sp.plan = collector.TakeRoot();
+        }
         results.push_back(std::move(rel));
         break;
       }
+    }
+    if (profile != nullptr) {
+      sp.kind = StepKindName(step.kind);
+      sp.wall_ns = obs::NowNs() - step_t0;
+      sp.rows_out = results.back().rows.size();
+      profile->steps.push_back(std::move(sp));
     }
   }
   if (results.empty()) return Status::Internal("empty workflow");
   return std::move(results.back());
 }
 
+namespace {
+
+/// Renders a finished WorkflowProfile into the flight recorder's entry form.
+obs::RecordedProfile ToRecorded(const WorkflowProfile& wp) {
+  obs::RecordedProfile rec;
+  rec.kind = "flexrecs";
+  rec.query = wp.name.empty() ? "<workflow>" : wp.name;
+  rec.total_ns = wp.total_ns;
+  rec.text = wp.Render();
+  rec.json = wp.RenderJson();
+  return rec;
+}
+
+}  // namespace
+
+Result<Relation> FlexRecsEngine::Execute(const CompiledWorkflow& compiled,
+                                         const ParamMap& params) {
+  if (!profiling_) return ExecuteImpl(compiled, params, nullptr);
+  WorkflowProfile wp;
+  wp.name = "<workflow>";
+  uint64_t t0 = obs::NowNs();
+  Result<Relation> result = ExecuteImpl(compiled, params, &wp);
+  wp.total_ns = obs::NowNs() - t0;
+  obs::ProfileRecorder::Default().Submit(ToRecorded(wp));
+  return result;
+}
+
+Result<Relation> FlexRecsEngine::Execute(const CompiledWorkflow& compiled,
+                                         const ParamMap& params,
+                                         WorkflowProfile* profile) {
+  uint64_t t0 = obs::NowNs();
+  Result<Relation> result = ExecuteImpl(compiled, params, profile);
+  profile->total_ns = obs::NowNs() - t0;
+  return result;
+}
+
 Result<Relation> FlexRecsEngine::Run(const WorkflowNode& root,
                                      const ParamMap& params) {
+  if (profiling_) return RunProfiled(root, params);
   CR_ASSIGN_OR_RETURN(CompiledWorkflow compiled, Compile(root));
-  return Execute(compiled, params);
+  return ExecuteImpl(compiled, params, nullptr);
+}
+
+Result<Relation> FlexRecsEngine::RunProfiled(const WorkflowNode& root,
+                                             const ParamMap& params,
+                                             WorkflowProfile* out) {
+  WorkflowProfile local;
+  WorkflowProfile* wp = out != nullptr ? out : &local;
+  if (wp->name.empty()) wp->name = "<workflow>";
+  // Compile time counts toward the total: a strategy that is slow to
+  // compile is slow, and the step percentages should say so.
+  uint64_t t0 = obs::NowNs();
+  CR_ASSIGN_OR_RETURN(CompiledWorkflow compiled, Compile(root));
+  Result<Relation> result = ExecuteImpl(compiled, params, wp);
+  wp->total_ns = obs::NowNs() - t0;
+  obs::ProfileRecorder::Default().Submit(ToRecorded(*wp));
+  return result;
 }
 
 Result<Relation> FlexRecsEngine::ExecutePhysical(
     const WorkflowNode& node, std::vector<Relation>& results,
     const std::vector<size_t>& inputs, std::vector<size_t>& remaining_uses,
-    const ParamMap& params) {
+    const ParamMap& params, query::ProfileCollector* collector) {
   query::ExecContext ctx;
   ctx.db = db_;
   ctx.params = params;
   ctx.exec = exec_;
+  ctx.profile = collector;
 
   // Consumes one declared input: the last consumer of a step's result moves
   // it out, earlier consumers copy. Decrement-before-read makes the lambda
@@ -377,26 +540,53 @@ Result<Relation> FlexRecsEngine::ExecutePhysical(
     case NodeKind::kAntiJoin: {
       Relation child = take_input(0);
       Relation source = take_input(1);
-      query::ExprPtr ck = node.child_key->Clone();
-      CR_RETURN_IF_ERROR(ck->Bind(child.schema, &ctx.params));
-      query::ExprPtr sk = node.source_key->Clone();
-      CR_RETURN_IF_ERROR(sk->Bind(source.schema, &ctx.params));
-      std::unordered_map<Row, bool, RowHash> keys;
-      for (const Row& row : source.rows) {
-        CR_ASSIGN_OR_RETURN(Value v, sk->Eval(row));
-        if (!v.is_null()) keys[{v}] = true;
+      // AntiJoin has no PlanNode, so it books its profile node by hand —
+      // same push/time/pop PlanNode::Execute does.
+      query::PlanProfileNode* pn = nullptr;
+      if (collector != nullptr) {
+        pn = collector->Push(NodeLabel(node));
+        pn->rows_in = child.rows.size() + source.rows.size();
       }
-      Relation out;
-      out.schema = child.schema;
-      for (Row& row : child.rows) {
-        CR_ASSIGN_OR_RETURN(Value v, ck->Eval(row));
-        if (!v.is_null() && keys.count({v}) > 0) continue;
-        out.rows.push_back(std::move(row));
+      uint64_t t0 = pn != nullptr ? obs::NowNs() : 0;
+      Result<Relation> res = [&]() -> Result<Relation> {
+        query::ExprPtr ck = node.child_key->Clone();
+        CR_RETURN_IF_ERROR(ck->Bind(child.schema, &ctx.params));
+        query::ExprPtr sk = node.source_key->Clone();
+        CR_RETURN_IF_ERROR(sk->Bind(source.schema, &ctx.params));
+        std::unordered_map<Row, bool, RowHash> keys;
+        for (const Row& row : source.rows) {
+          CR_ASSIGN_OR_RETURN(Value v, sk->Eval(row));
+          if (!v.is_null()) keys[{v}] = true;
+        }
+        Relation out;
+        out.schema = child.schema;
+        for (Row& row : child.rows) {
+          CR_ASSIGN_OR_RETURN(Value v, ck->Eval(row));
+          if (!v.is_null() && keys.count({v}) > 0) continue;
+          out.rows.push_back(std::move(row));
+        }
+        return out;
+      }();
+      if (pn != nullptr) {
+        collector->Pop(pn, obs::NowNs() - t0,
+                       res.ok() ? res->rows.size() : 0, !res.ok());
       }
-      return out;
+      return res;
     }
-    case NodeKind::kRecommend:
-      return ExecuteRecommend(node, take_input(0), take_input(1), params);
+    case NodeKind::kRecommend: {
+      Relation input = take_input(0);
+      Relation reference = take_input(1);
+      query::PlanProfileNode* pn =
+          collector != nullptr ? collector->Push(NodeLabel(node)) : nullptr;
+      uint64_t t0 = pn != nullptr ? obs::NowNs() : 0;
+      Result<Relation> res = ExecuteRecommend(node, std::move(input),
+                                              std::move(reference), params, pn);
+      if (pn != nullptr) {
+        collector->Pop(pn, obs::NowNs() - t0,
+                       res.ok() ? res->rows.size() : 0, !res.ok());
+      }
+      return res;
+    }
     case NodeKind::kSql:
     case NodeKind::kValues:
       return Status::Internal("SQL/Values node reached physical executor");
@@ -404,10 +594,9 @@ Result<Relation> FlexRecsEngine::ExecutePhysical(
   return Status::Internal("unhandled node kind");
 }
 
-Result<Relation> FlexRecsEngine::ExecuteRecommend(const WorkflowNode& node,
-                                                  Relation input,
-                                                  Relation reference,
-                                                  const ParamMap& params) {
+Result<Relation> FlexRecsEngine::ExecuteRecommend(
+    const WorkflowNode& node, Relation input, Relation reference,
+    const ParamMap& params, query::PlanProfileNode* prof) {
   (void)params;
   const RecommendSpec& spec = node.recommend;
   CR_ASSIGN_OR_RETURN(SimilarityFn fn, library_.Get(spec.similarity));
@@ -447,13 +636,27 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(const WorkflowNode& node,
   size_t n_rows = input.rows.size();
   const query::ExecOptions& eo = exec_;
   ThreadPool& pool = eo.pool != nullptr ? *eo.pool : SharedThreadPool();
+  // Same fan-out decision ladder (and decision counters) as the plan
+  // executor's PlanMorsels, so recommend scoring shows up in the
+  // ran-parallel vs skipped-why breakdown alongside the plan operators.
   // A pool with zero or one workers runs morsels inline anyway, so fan-out
   // would only pay partitioning overhead — take the serial path outright.
-  size_t morsels = (eo.parallel && pool.num_threads() > 1 &&
-                    n_rows >= eo.min_parallel_rows)
-                       ? ThreadPool::NumMorsels(n_rows, eo.morsel_rows)
-                       : 1;
-  if (morsels == 0) morsels = 1;
+  size_t morsels = 1;
+  if (!eo.parallel) {
+    Metrics().fanout_off->Add();
+  } else if (n_rows < eo.min_parallel_rows || n_rows == 0) {
+    Metrics().fanout_small->Add();
+  } else if (pool.num_threads() <= 1) {
+    Metrics().fanout_pool->Add();
+  } else {
+    morsels = ThreadPool::NumMorsels(n_rows, eo.morsel_rows);
+    if (morsels <= 1) {
+      morsels = 1;
+      Metrics().fanout_small->Add();
+    } else {
+      Metrics().fanout_parallel->Add();
+    }
+  }
   std::vector<std::vector<Scored>> chunks(morsels);
 
   // Built-in similarity kernels score through a decode-memoizing
@@ -464,6 +667,12 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(const WorkflowNode& node,
   // opaque per-pair path, as does the row-oracle mode used by the
   // differential tests.
   const bool use_scorer = eo.columnar && kernel != SimKernel::kCustom;
+  if (prof != nullptr) {
+    prof->rows_in = n_rows + reference.rows.size();
+    prof->morsels = morsels;
+    prof->parallel = morsels > 1;
+    prof->columnar = use_scorer;
+  }
   std::vector<const Value*> ref_vals;
   if (use_scorer) {
     ref_vals.reserve(reference.rows.size());
@@ -622,11 +831,25 @@ Status FlexRecsEngine::RegisterStrategy(const std::string& name,
 
 Result<Relation> FlexRecsEngine::RunStrategy(const std::string& name,
                                              const ParamMap& params) {
+  if (profiling_) return RunStrategyProfiled(name, params);
   auto it = strategies_.find(ToLower(name));
   if (it == strategies_.end()) {
     return Status::NotFound("no strategy '" + name + "'");
   }
   return Run(*it->second, params);
+}
+
+Result<Relation> FlexRecsEngine::RunStrategyProfiled(const std::string& name,
+                                                     const ParamMap& params,
+                                                     WorkflowProfile* out) {
+  auto it = strategies_.find(ToLower(name));
+  if (it == strategies_.end()) {
+    return Status::NotFound("no strategy '" + name + "'");
+  }
+  WorkflowProfile local;
+  WorkflowProfile* wp = out != nullptr ? out : &local;
+  wp->name = it->first;
+  return RunProfiled(*it->second, params, wp);
 }
 
 Result<std::string> FlexRecsEngine::ExplainStrategy(

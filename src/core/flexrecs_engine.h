@@ -10,11 +10,39 @@
 #include "common/status.h"
 #include "core/similarity.h"
 #include "core/workflow.h"
+#include "query/profile.h"
 #include "query/sql_engine.h"
 
 namespace courserank::flexrecs {
 
 using query::ParamMap;
+
+/// Profile of one executed workflow step. SQL and physical steps carry the
+/// per-operator plan tree their execution produced; values steps have none.
+struct WorkflowStepProfile {
+  std::string label;  ///< SQL text, row count, or physical operator line
+  std::string kind;   ///< "sql" | "values" | "physical"
+  uint64_t wall_ns = 0;
+  uint64_t rows_out = 0;
+  std::unique_ptr<query::PlanProfileNode> plan;  ///< may be null
+};
+
+/// Profile of one workflow run: the executed step sequence (the compiled
+/// workflow's Explain() order) annotated with wall time, output rows, and
+/// nested operator trees (DESIGN.md §13).
+struct WorkflowProfile {
+  std::string name;  ///< strategy name or "<workflow>"
+  uint64_t total_ns = 0;
+  std::vector<WorkflowStepProfile> steps;
+
+  /// Human-readable rendering: one header line, then per step the kind,
+  /// label, wall time (% of total), and rows, with the operator tree
+  /// indented underneath.
+  std::string Render() const;
+
+  /// {"name","total_ns","steps":[{label,kind,wall_ns,rows_out,plan}...]}.
+  std::string RenderJson() const;
+};
 
 /// One step of a compiled workflow, executed in order. Relational subtrees
 /// compile into SQL text run by the conventional engine (paper §3.2: "The
@@ -81,12 +109,29 @@ class FlexRecsEngine {
   /// rejected here, never aborted on mid-execution.
   Result<CompiledWorkflow> Compile(const WorkflowNode& root) const;
 
+  /// Always-on profiling: every Run/RunStrategy collects a WorkflowProfile
+  /// and submits it to the process-wide ProfileRecorder (feeding
+  /// /debug/profiles and the slow-query log). Off by default.
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
+
   /// Executes a compiled workflow with the given parameters.
   Result<Relation> Execute(const CompiledWorkflow& compiled,
                            const ParamMap& params = {});
 
+  /// Executes a compiled workflow, collecting per-step profiles into
+  /// `profile`. Collect-only: nothing is submitted to the ProfileRecorder.
+  Result<Relation> Execute(const CompiledWorkflow& compiled,
+                           const ParamMap& params, WorkflowProfile* profile);
+
   /// Compile + execute in one call.
   Result<Relation> Run(const WorkflowNode& root, const ParamMap& params = {});
+
+  /// Compile + execute with profiling; submits the profile to
+  /// ProfileRecorder::Default(). `out` optionally receives the profile.
+  Result<Relation> RunProfiled(const WorkflowNode& root,
+                               const ParamMap& params = {},
+                               WorkflowProfile* out = nullptr);
 
   // ---- strategy registry ----
 
@@ -96,6 +141,11 @@ class FlexRecsEngine {
   Result<Relation> RunStrategy(const std::string& name,
                                const ParamMap& params = {});
 
+  /// RunStrategy with profiling; the profile's name is the strategy name.
+  Result<Relation> RunStrategyProfiled(const std::string& name,
+                                       const ParamMap& params = {},
+                                       WorkflowProfile* out = nullptr);
+
   /// Compiled view of a registered strategy.
   Result<std::string> ExplainStrategy(const std::string& name) const;
 
@@ -104,23 +154,30 @@ class FlexRecsEngine {
  private:
   size_t CompileNode(const WorkflowNode* node,
                      std::vector<CompiledStep>* steps) const;
+  /// The step loop behind both Execute overloads; `profile` may be null.
+  Result<Relation> ExecuteImpl(const CompiledWorkflow& compiled,
+                               const ParamMap& params,
+                               WorkflowProfile* profile);
   /// `remaining_uses[i]` counts how many later step inputs still read step
   /// i's result; the executor decrements it per consumed input and moves
-  /// (rather than copies) a result into its last consumer.
+  /// (rather than copies) a result into its last consumer. With `collector`
+  /// non-null the executed plan records a profile tree into it.
   Result<Relation> ExecutePhysical(const WorkflowNode& node,
                                    std::vector<Relation>& results,
                                    const std::vector<size_t>& inputs,
                                    std::vector<size_t>& remaining_uses,
-                                   const ParamMap& params);
+                                   const ParamMap& params,
+                                   query::ProfileCollector* collector);
   Result<Relation> ExecuteRecommend(const WorkflowNode& node, Relation input,
-                                    Relation reference,
-                                    const ParamMap& params);
+                                    Relation reference, const ParamMap& params,
+                                    query::PlanProfileNode* prof);
 
   storage::Database* db_;
   query::SqlEngine sql_;
   SimilarityLibrary library_;
   query::ExecOptions exec_;
   std::map<std::string, NodePtr> strategies_;
+  bool profiling_ = false;
 };
 
 }  // namespace courserank::flexrecs

@@ -1,0 +1,205 @@
+#include "obs/http_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/profile_recorder.h"
+#include "obs/trace.h"
+
+namespace courserank::obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+Counter* RequestCounter() {
+  static Counter* c =
+      MetricsRegistry::Default().GetCounter("cr_http_requests_total");
+  return c;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+}  // namespace
+
+HttpResponse HandleDebugRoute(const std::string& target) {
+  std::string path = target.substr(0, target.find('?'));
+  HttpResponse resp;
+  if (path == "/healthz") {
+    resp.body = "ok\n";
+  } else if (path == "/metrics") {
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = MetricsRegistry::Default().RenderPrometheus();
+  } else if (path == "/debug/profiles") {
+    resp.content_type = "application/json";
+    resp.body = ProfileRecorder::Default().RenderJson();
+  } else if (path == "/debug/traces") {
+    resp.content_type = "application/json";
+    resp.body = TraceSink::Default().RenderJson();
+  } else if (path == "/") {
+    resp.body =
+        "courserank debug endpoint\n"
+        "  /healthz          liveness\n"
+        "  /metrics          Prometheus exposition\n"
+        "  /debug/profiles   query profile flight recorder (JSON)\n"
+        "  /debug/traces     trace ring buffer (JSON)\n";
+  } else {
+    resp.status = 404;
+    resp.body = "not found: " + path + "\n";
+  }
+  return resp;
+}
+
+Result<std::unique_ptr<DebugHttpServer>> DebugHttpServer::Start(
+    const Options& options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " + options.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status st =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status st =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+
+  auto server = std::unique_ptr<DebugHttpServer>(new DebugHttpServer());
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(bound.sin_port);
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  CR_LOG(INFO, "debug http endpoint listening on %s:%u", options.host.c_str(),
+         static_cast<unsigned>(server->port_));
+  return server;
+}
+
+DebugHttpServer::~DebugHttpServer() { Stop(); }
+
+void DebugHttpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // shutdown() wakes the blocking accept(); close() follows after the join
+  // so the fd number can't be recycled under the accept thread.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void DebugHttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listen socket is gone; nothing sane to do but exit
+    }
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void DebugHttpServer::ServeConnection(int fd) {
+  // A stalled client should not wedge the single accept thread.
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  RequestCounter()->Add();
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  HttpResponse resp;
+  size_t line_end = request.find("\r\n");
+  size_t sp1 = request.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : request.find(' ', sp1 + 1);
+  if (line_end == std::string::npos || sp1 == std::string::npos ||
+      sp2 == std::string::npos || sp2 > line_end || sp1 == 0 ||
+      sp2 == sp1 + 1) {
+    resp.status = 400;
+    resp.body = "malformed request\n";
+  } else {
+    std::string method = request.substr(0, sp1);
+    std::string target = request.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (method != "GET") {
+      resp.status = 405;
+      resp.body = "method not allowed: " + method + "\n";
+    } else {
+      resp = HandleDebugRoute(target);
+    }
+  }
+
+  char header[256];
+  int n = snprintf(header, sizeof(header),
+                   "HTTP/1.0 %d %s\r\n"
+                   "Content-Type: %s\r\n"
+                   "Content-Length: %zu\r\n"
+                   "Connection: close\r\n"
+                   "\r\n",
+                   resp.status, StatusText(resp.status),
+                   resp.content_type.c_str(), resp.body.size());
+  std::string out(header, static_cast<size_t>(n));
+  out += resp.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    ssize_t w = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (w <= 0) break;
+    sent += static_cast<size_t>(w);
+  }
+}
+
+}  // namespace courserank::obs

@@ -1,0 +1,75 @@
+#ifndef COURSERANK_OBS_HTTP_ENDPOINT_H_
+#define COURSERANK_OBS_HTTP_ENDPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace courserank::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Routes one GET target to a debug page. Pure function of target + the
+/// process-wide obs singletons, so it is unit-testable without sockets:
+///   /healthz          liveness probe ("ok")
+///   /metrics          MetricsRegistry::Default() in Prometheus exposition
+///   /debug/profiles   ProfileRecorder::Default().RenderJson()
+///   /debug/traces     TraceSink::Default().RenderJson()
+///   /                 plain-text index of the above
+/// Anything else is a 404. A query string ("?x=y") is stripped and ignored.
+HttpResponse HandleDebugRoute(const std::string& target);
+
+/// Minimal blocking HTTP/1.0 server for the debug routes above. One accept
+/// thread, one request per connection, connection closed after the
+/// response — deliberately not a production server, just enough for
+/// curl / Prometheus scrapes against a dev or test process.
+class DebugHttpServer {
+ public:
+  struct Options {
+    /// Bind address. Loopback by default: the debug surface exposes query
+    /// text, so opting into a wider bind is explicit.
+    std::string host = "127.0.0.1";
+    /// 0 picks an ephemeral port; see port() for the one chosen.
+    uint16_t port = 0;
+  };
+
+  /// Binds, listens, and starts the accept thread. Fails with
+  /// kInternal if the socket can't be set up (e.g. port in use).
+  static Result<std::unique_ptr<DebugHttpServer>> Start(const Options& options);
+  static Result<std::unique_ptr<DebugHttpServer>> Start() {
+    return Start(Options{});
+  }
+
+  ~DebugHttpServer();
+  DebugHttpServer(const DebugHttpServer&) = delete;
+  DebugHttpServer& operator=(const DebugHttpServer&) = delete;
+
+  /// The bound port (the chosen one when Options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting and joins the accept thread. Idempotent; also run by
+  /// the destructor.
+  void Stop();
+
+ private:
+  DebugHttpServer() = default;
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+};
+
+}  // namespace courserank::obs
+
+#endif  // COURSERANK_OBS_HTTP_ENDPOINT_H_

@@ -7,8 +7,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 namespace courserank::obs {
+
+/// `s` as a double-quoted JSON string literal: quotes and backslashes
+/// escaped, control characters rendered as \uXXXX. Shared by every JSON
+/// exposition in the obs and query layers.
+std::string JsonEscaped(std::string_view s);
 
 /// Monotonically increasing event count. All operations are relaxed atomics:
 /// counters order nothing, they only have to end up with the right totals,

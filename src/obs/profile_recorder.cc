@@ -1,0 +1,167 @@
+#include "obs/profile_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace courserank::obs {
+
+namespace {
+
+Counter* ProfiledCounter() {
+  static Counter* c =
+      MetricsRegistry::Default().GetCounter("cr_exec_profiled_queries_total");
+  return c;
+}
+
+Counter* SlowCounter() {
+  static Counter* c =
+      MetricsRegistry::Default().GetCounter("cr_slow_queries_total");
+  return c;
+}
+
+int64_t UnixMsNow() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendEntry(const RecordedProfile& p, bool first, std::string* out) {
+  char buf[128];
+  if (!first) *out += ",";
+  *out += "\n  {\"id\": ";
+  snprintf(buf, sizeof(buf), "%" PRIu64, p.id);
+  *out += buf;
+  *out += ", \"kind\": " + JsonEscaped(p.kind);
+  *out += ", \"query\": " + JsonEscaped(p.query);
+  snprintf(buf, sizeof(buf),
+           ", \"total_ns\": %" PRIu64 ", \"unix_ms\": %" PRId64
+           ", \"profile\": ",
+           p.total_ns, p.unix_ms);
+  *out += buf;
+  *out += p.json.empty() ? "null" : p.json;
+  *out += "}";
+}
+
+}  // namespace
+
+ProfileRecorder::ProfileRecorder(size_t recent_capacity,
+                                 size_t slowest_capacity)
+    : recent_cap_(recent_capacity == 0 ? 1 : recent_capacity),
+      slowest_cap_(slowest_capacity == 0 ? 1 : slowest_capacity) {}
+
+ProfileRecorder& ProfileRecorder::Default() {
+  static ProfileRecorder* recorder = [] {
+    auto* r = new ProfileRecorder();  // never destroyed
+    if (const char* env = std::getenv("COURSERANK_SLOW_QUERY_MS")) {
+      char* end = nullptr;
+      unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0') {
+        r->set_slow_threshold_ns(static_cast<uint64_t>(v) * 1'000'000);
+      } else {
+        std::fprintf(stderr,
+                     "[obs] ignoring malformed COURSERANK_SLOW_QUERY_MS=%s\n",
+                     env);
+      }
+    }
+    return r;
+  }();
+  return *recorder;
+}
+
+void ProfileRecorder::Submit(RecordedProfile profile) {
+  ProfiledCounter()->Add();
+  if (profile.unix_ms == 0) profile.unix_ms = UnixMsNow();
+
+  uint64_t threshold = slow_threshold_ns();
+  bool slow = threshold != 0 && profile.total_ns >= threshold;
+  // Copied under the lock, logged after releasing it: LogMessage does I/O.
+  std::string slow_query;
+  std::string slow_text;
+  uint64_t slow_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    profile.id = ++submitted_;
+    if (slow) {
+      slow_query = profile.query;
+      slow_text = profile.text;
+      slow_ns = profile.total_ns;
+    }
+
+    // Slowest set: insert sorted (slowest first, earlier id wins ties),
+    // then truncate. Linear over <= slowest_cap_ entries.
+    auto it = std::upper_bound(
+        slowest_.begin(), slowest_.end(), profile,
+        [](const RecordedProfile& a, const RecordedProfile& b) {
+          return a.total_ns > b.total_ns;
+        });
+    if (it != slowest_.end() || slowest_.size() < slowest_cap_) {
+      slowest_.insert(it, profile);
+      if (slowest_.size() > slowest_cap_) slowest_.resize(slowest_cap_);
+    }
+
+    recent_.push_back(std::move(profile));
+    if (recent_.size() > recent_cap_) recent_.pop_front();
+  }
+
+  if (slow) {
+    SlowCounter()->Add();
+    CR_LOG(WARN, "slow query (%.1fms >= %.1fms): %s\n%s",
+           static_cast<double>(slow_ns) / 1e6,
+           static_cast<double>(threshold) / 1e6, slow_query.c_str(),
+           slow_text.c_str());
+  }
+}
+
+std::vector<RecordedProfile> ProfileRecorder::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {recent_.begin(), recent_.end()};
+}
+
+std::vector<RecordedProfile> ProfileRecorder::Slowest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slowest_;
+}
+
+uint64_t ProfileRecorder::total_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+void ProfileRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_.clear();
+  slowest_.clear();
+  submitted_ = 0;
+}
+
+std::string ProfileRecorder::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char buf[96];
+  std::string out;
+  snprintf(buf, sizeof(buf),
+           "{\"total_submitted\": %" PRIu64 ", \"slow_threshold_ns\": %" PRIu64
+           ", \"recent\": [",
+           submitted_, slow_threshold_ns());
+  out += buf;
+  bool first = true;
+  for (const RecordedProfile& p : recent_) {
+    AppendEntry(p, first, &out);
+    first = false;
+  }
+  out += first ? "], \"slowest\": [" : "\n], \"slowest\": [";
+  first = true;
+  for (const RecordedProfile& p : slowest_) {
+    AppendEntry(p, first, &out);
+    first = false;
+  }
+  out += first ? "]}" : "\n]}";
+  return out;
+}
+
+}  // namespace courserank::obs

@@ -1,0 +1,92 @@
+#ifndef COURSERANK_OBS_PROFILE_RECORDER_H_
+#define COURSERANK_OBS_PROFILE_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace courserank::obs {
+
+/// One recorded query profile, fully rendered at submit time so readers
+/// (the debug endpoint, the slow-query log) never touch live plan
+/// structures. `text` / `json` are the QueryProfile / WorkflowProfile
+/// renderings.
+struct RecordedProfile {
+  uint64_t id = 0;       ///< 1-based submission order, recorder-assigned
+  std::string kind;      ///< "sql" or "flexrecs"
+  std::string query;     ///< statement text or strategy name
+  uint64_t total_ns = 0;
+  int64_t unix_ms = 0;   ///< wall-clock submit time, recorder-stamped
+  std::string text;
+  std::string json;
+};
+
+/// Flight recorder for query profiles (DESIGN.md §13): a bounded ring of
+/// the most recent profiles plus a separate bounded set of the slowest ever
+/// seen, both queryable at runtime. Submissions take one short mutex —
+/// profiles arrive at query rate (ms-scale), so contention is irrelevant —
+/// and feed the slow-query log: any profile at or above the threshold is
+/// CR_LOG(WARN)-ed with its rendered plan.
+class ProfileRecorder {
+ public:
+  static constexpr size_t kDefaultRecentCapacity = 128;
+  static constexpr size_t kDefaultSlowestCapacity = 16;
+
+  explicit ProfileRecorder(size_t recent_capacity = kDefaultRecentCapacity,
+                           size_t slowest_capacity = kDefaultSlowestCapacity);
+  ProfileRecorder(const ProfileRecorder&) = delete;
+  ProfileRecorder& operator=(const ProfileRecorder&) = delete;
+
+  /// The process-wide recorder every profiled engine submits to. Slow-query
+  /// threshold from the COURSERANK_SLOW_QUERY_MS env var (unset or 0
+  /// disables the log). Never destroyed.
+  static ProfileRecorder& Default();
+
+  /// Slow-query log threshold; 0 disables logging.
+  uint64_t slow_threshold_ns() const {
+    return slow_ns_.load(std::memory_order_relaxed);
+  }
+  void set_slow_threshold_ns(uint64_t ns) {
+    slow_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  /// Records one profile: assigns its id, stamps unix_ms, inserts it into
+  /// the recent ring (evicting the oldest) and the slowest set (evicting
+  /// the fastest), and emits the slow-query log line when it crosses the
+  /// threshold.
+  void Submit(RecordedProfile profile);
+
+  /// The retained recent profiles, oldest first.
+  std::vector<RecordedProfile> Recent() const;
+
+  /// The slowest profiles ever submitted, slowest first (ties: earlier
+  /// submission first).
+  std::vector<RecordedProfile> Slowest() const;
+
+  /// Profiles ever submitted (>= Recent().size() once the ring wraps).
+  uint64_t total_submitted() const;
+
+  void Clear();
+
+  /// Recorder contents as one JSON object: {"total_submitted",
+  /// "slow_threshold_ns","recent":[...],"slowest":[...]} where each entry
+  /// carries id/kind/query/total_ns/unix_ms and the profile JSON.
+  std::string RenderJson() const;
+
+ private:
+  const size_t recent_cap_;
+  const size_t slowest_cap_;
+  std::atomic<uint64_t> slow_ns_{0};
+
+  mutable std::mutex mu_;
+  std::deque<RecordedProfile> recent_;
+  std::vector<RecordedProfile> slowest_;  // sorted: slowest first
+  uint64_t submitted_ = 0;
+};
+
+}  // namespace courserank::obs
+
+#endif  // COURSERANK_OBS_PROFILE_RECORDER_H_

@@ -1,9 +1,20 @@
 #include "obs/trace.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 
 namespace courserank::obs {
+
+namespace {
+
+Counter* DroppedCounter() {
+  static Counter* c =
+      MetricsRegistry::Default().GetCounter("cr_trace_dropped_total");
+  return c;
+}
+
+}  // namespace
 
 thread_local ScopedSpan::Tls ScopedSpan::tls_;
 
@@ -33,6 +44,12 @@ void TraceSink::Record(const char* stage, uint64_t start_ns, uint64_t dur_ns,
                        uint32_t depth) {
   std::lock_guard<std::mutex> lock(mu_);
   TraceEvent& ev = ring_[next_];
+  if (ev.stage != nullptr) {
+    // The ring wraps by overwriting its oldest event; account for it
+    // instead of dropping silently.
+    ++dropped_;
+    DroppedCounter()->Add();
+  }
   ev.stage = stage;
   ev.seq = ++seq_;
   ev.start_ns = start_ns;
@@ -58,10 +75,42 @@ uint64_t TraceSink::total_recorded() const {
   return seq_;
 }
 
+uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceSink::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char buf[160];
+  std::string out;
+  snprintf(buf, sizeof(buf),
+           "{\"period\": %" PRIu32 ", \"total_recorded\": %" PRIu64
+           ", \"dropped\": %" PRIu64 ", \"events\": [",
+           period_.load(std::memory_order_relaxed), seq_, dropped_);
+  out += buf;
+  bool sep = false;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& ev = ring_[(next_ + i) % ring_.size()];
+    if (ev.stage == nullptr) continue;
+    snprintf(buf, sizeof(buf),
+             "%s\n  {\"stage\": \"%s\", \"seq\": %" PRIu64
+             ", \"start_ns\": %" PRIu64 ", \"dur_ns\": %" PRIu64
+             ", \"depth\": %" PRIu32 "}",
+             sep ? "," : "", ev.stage, ev.seq, ev.start_ns, ev.dur_ns,
+             ev.depth);
+    out += buf;
+    sep = true;
+  }
+  out += sep ? "\n]}" : "]}";
+  return out;
+}
+
 void TraceSink::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   for (TraceEvent& ev : ring_) ev = TraceEvent{};
   next_ = 0;
+  dropped_ = 0;
 }
 
 }  // namespace courserank::obs

@@ -95,6 +95,16 @@ class TraceSink {
   /// Spans ever recorded (>= Snapshot().size() once the ring wraps).
   uint64_t total_recorded() const;
 
+  /// Events evicted by the ring before any reader saw them — the "silent
+  /// drop" of a full ring made visible. Also exported as the
+  /// cr_trace_dropped_total registry counter.
+  uint64_t dropped() const;
+
+  /// The sink state as one JSON object:
+  /// {"period","total_recorded","dropped","events":[{stage,seq,start_ns,
+  /// dur_ns,depth}...]} with events oldest first.
+  std::string RenderJson() const;
+
   void Clear();
 
  private:
@@ -104,6 +114,7 @@ class TraceSink {
   std::vector<TraceEvent> ring_;  // capacity-sized, written round-robin
   size_t next_ = 0;
   uint64_t seq_ = 0;
+  uint64_t dropped_ = 0;  ///< events overwritten by the wrapping ring
 };
 
 /// RAII span. Opens a stage on construction, and on destruction records the

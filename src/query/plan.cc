@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/profile.h"
 #include "query/vector_ops.h"
 #include "storage/chunked_table.h"
 #include "storage/value.h"
@@ -46,6 +47,15 @@ struct ExecMetrics {
   obs::Counter* parallel_ops;
   obs::Counter* chunks;
   obs::Counter* dict_hits;
+  // Morsel fan-out decisions, one increment per operator pass: ran
+  // parallel, skipped because the input was under min_parallel_rows (or
+  // split into a single morsel), skipped because the pool has <= 1 worker
+  // (the 1-CPU caveat from BENCH runs), or parallelism was off in the
+  // ExecOptions.
+  obs::Counter* fanout_parallel;
+  obs::Counter* fanout_small;
+  obs::Counter* fanout_pool;
+  obs::Counter* fanout_off;
   obs::Histogram* morsel_ns;
   obs::Histogram* scan_ns;
   obs::Histogram* filter_ns;
@@ -55,6 +65,13 @@ struct ExecMetrics {
   obs::Histogram* sort_ns;
   obs::Histogram* topk_ns;
   obs::Histogram* extend_ns;
+  // Parallel runs of the morselized operators record here instead of the
+  // base series, so serial latencies are no longer diluted by fan-out runs
+  // with different cost profiles.
+  obs::Histogram* filter_par_ns;
+  obs::Histogram* project_par_ns;
+  obs::Histogram* join_par_ns;
+  obs::Histogram* extend_par_ns;
 };
 
 const ExecMetrics& Exec() {
@@ -64,6 +81,10 @@ const ExecMetrics& Exec() {
                        reg.GetCounter("cr_exec_parallel_ops_total"),
                        reg.GetCounter("cr_exec_chunks_total"),
                        reg.GetCounter("cr_exec_dict_hits_total"),
+                       reg.GetCounter("cr_exec_fanout_parallel_total"),
+                       reg.GetCounter("cr_exec_fanout_skipped_small_total"),
+                       reg.GetCounter("cr_exec_fanout_skipped_pool_total"),
+                       reg.GetCounter("cr_exec_fanout_serial_config_total"),
                        reg.GetHistogram("cr_exec_morsel_ns"),
                        reg.GetHistogram("cr_exec_scan_ns"),
                        reg.GetHistogram("cr_exec_filter_ns"),
@@ -72,7 +93,11 @@ const ExecMetrics& Exec() {
                        reg.GetHistogram("cr_exec_aggregate_ns"),
                        reg.GetHistogram("cr_exec_sort_ns"),
                        reg.GetHistogram("cr_exec_topk_ns"),
-                       reg.GetHistogram("cr_exec_extend_ns")};
+                       reg.GetHistogram("cr_exec_extend_ns"),
+                       reg.GetHistogram("cr_exec_filter_parallel_ns"),
+                       reg.GetHistogram("cr_exec_project_parallel_ns"),
+                       reg.GetHistogram("cr_exec_join_parallel_ns"),
+                       reg.GetHistogram("cr_exec_extend_parallel_ns")};
   }();
   return m;
 }
@@ -86,10 +111,21 @@ class OpTimer {
   OpTimer(const OpTimer&) = delete;
   OpTimer& operator=(const OpTimer&) = delete;
 
+  /// Redirects the pending sample — operators switch to their parallel
+  /// series once the morsel plan decides to fan out.
+  void set_histogram(obs::Histogram* h) { h_ = h; }
+
  private:
   obs::Histogram* h_;
   uint64_t t0_;
 };
+
+/// The profile node of the operator currently executing, or null when
+/// profiling is off. Valid only on the plan-execution thread (the morsel
+/// contract keeps all Execute recursion there).
+PlanProfileNode* Prof(ExecContext& ctx) {
+  return ctx.profile == nullptr ? nullptr : ctx.profile->current();
+}
 
 /// How an operator should split `n` input rows. `morsels == 1` is the
 /// serial path; the partition is a pure function of (n, exec options), so
@@ -102,14 +138,28 @@ struct MorselPlan {
 
 MorselPlan PlanMorsels(const ExecContext& ctx, size_t n) {
   const ExecOptions& o = ctx.exec;
-  if (!o.parallel || n < o.min_parallel_rows || n == 0) return {1, false};
+  if (!o.parallel) {
+    Exec().fanout_off->Add();
+    return {1, false};
+  }
+  if (n < o.min_parallel_rows || n == 0) {
+    Exec().fanout_small->Add();
+    return {1, false};
+  }
   // Fan-out over a 0/1-worker pool only adds task-queue and chunk-concat
   // overhead (BENCH shows *_parallel slower than serial on 1-CPU hosts);
   // run serially instead. Determinism is unaffected either way.
   ThreadPool& pool = o.pool != nullptr ? *o.pool : SharedThreadPool();
-  if (pool.num_threads() <= 1) return {1, false};
+  if (pool.num_threads() <= 1) {
+    Exec().fanout_pool->Add();
+    return {1, false};
+  }
   size_t m = ThreadPool::NumMorsels(n, o.morsel_rows);
-  if (m <= 1) return {1, false};
+  if (m <= 1) {
+    Exec().fanout_small->Add();
+    return {1, false};
+  }
+  Exec().fanout_parallel->Add();
   return {m, true};
 }
 
@@ -134,6 +184,10 @@ obs::Counter* StorageRowsScanned() {
 Status RunMorsels(ExecContext& ctx, size_t n, const MorselPlan& plan,
                   const std::function<Status(size_t, size_t, size_t)>& body) {
   Exec().morsels->Add(plan.morsels);
+  if (PlanProfileNode* prof = Prof(ctx)) {
+    prof->morsels = plan.morsels;
+    prof->parallel = plan.parallel;
+  }
   if (!plan.parallel) {
     if (n == 0) return Status::OK();
     return body(0, 0, n);
@@ -197,7 +251,7 @@ class TableScanNode : public PlanNode {
         alias_(std::move(alias)),
         push_(std::move(push)) {}
 
-  Result<Relation> Execute(ExecContext& ctx) const override {
+  Result<Relation> ExecuteNode(ExecContext& ctx) const override {
     if (ctx.db == nullptr) return Status::Internal("no database in context");
     CR_ASSIGN_OR_RETURN(const storage::Table* t, ctx.db->GetTable(table_));
     OpTimer timer(Exec().scan_ns);
@@ -205,6 +259,13 @@ class TableScanNode : public PlanNode {
         alias_.empty() ? t->schema() : t->schema().WithPrefix(alias_);
     bool pushed = push_.predicate != nullptr || !push_.columns.empty() ||
                   push_.limit > 0;
+    PlanProfileNode* prof = Prof(ctx);
+    if (prof != nullptr) {
+      // Scans report the rows they examined as rows_in — overwritten below
+      // by the early-exit paths that examine fewer.
+      prof->pushdown = pushed;
+      prof->rows_in = t->size();
+    }
     Relation out;
     if (!pushed) {
       out.schema = std::move(full);
@@ -288,12 +349,19 @@ class TableScanNode : public PlanNode {
         Exec().dict_hits->Add(vstats.dict_hits);
         StorageScans()->Add();
         StorageRowsScanned()->Add(examined);
+        if (prof != nullptr) {
+          prof->columnar = true;
+          prof->rows_in = examined;
+          prof->dict_hits = vstats.dict_hits;
+        }
         return out;
       }
     }
 
+    size_t examined = 0;
     Status scan_status;
     t->ScanWhile([&](storage::RowId, const Row& row) -> bool {
+      ++examined;
       if (pred != nullptr) {
         Result<Value> v = pred->Eval(row);
         if (!v.ok()) {
@@ -315,11 +383,12 @@ class TableScanNode : public PlanNode {
       return push_.limit == 0 || out.rows.size() < push_.limit;
     });
     CR_RETURN_IF_ERROR(scan_status);
+    if (prof != nullptr) prof->rows_in = examined;
     return out;
   }
 
-  std::string Explain(int indent) const override {
-    std::string out = Indent(indent) + "TableScan(" + table_;
+  std::string Describe() const override {
+    std::string out = "TableScan(" + table_;
     if (!alias_.empty()) out += " AS " + alias_;
     if (push_.predicate != nullptr) {
       out += ", pushed-filter=" + push_.predicate->ToString();
@@ -335,7 +404,7 @@ class TableScanNode : public PlanNode {
     if (push_.limit > 0) {
       out += ", pushed-limit=" + std::to_string(push_.limit);
     }
-    return out + ")\n";
+    return out + ")";
   }
 
  private:
@@ -348,11 +417,10 @@ class ValuesNode : public PlanNode {
  public:
   explicit ValuesNode(Relation rel) : rel_(std::move(rel)) {}
 
-  Result<Relation> Execute(ExecContext&) const override { return rel_; }
+  Result<Relation> ExecuteNode(ExecContext&) const override { return rel_; }
 
-  std::string Explain(int indent) const override {
-    return Indent(indent) + "Values(" + std::to_string(rel_.rows.size()) +
-           " rows)\n";
+  std::string Describe() const override {
+    return "Values(" + std::to_string(rel_.rows.size()) + " rows)";
   }
 
  private:
@@ -367,13 +435,12 @@ class ValuesOnceNode : public PlanNode {
   explicit ValuesOnceNode(Relation rel)
       : size_(rel.rows.size()), rel_(std::move(rel)) {}
 
-  Result<Relation> Execute(ExecContext&) const override {
+  Result<Relation> ExecuteNode(ExecContext&) const override {
     return std::move(rel_);
   }
 
-  std::string Explain(int indent) const override {
-    return Indent(indent) + "ValuesOnce(" + std::to_string(size_) +
-           " rows)\n";
+  std::string Describe() const override {
+    return "ValuesOnce(" + std::to_string(size_) + " rows)";
   }
 
  private:
@@ -386,7 +453,7 @@ class FilterNode : public PlanNode {
   FilterNode(PlanPtr child, ExprPtr predicate)
       : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-  Result<Relation> Execute(ExecContext& ctx) const override {
+  Result<Relation> ExecuteNode(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
     OpTimer timer(Exec().filter_ns);
     // Bound once on this thread, then shared read-only across morsel
@@ -400,9 +467,11 @@ class FilterNode : public PlanNode {
     if (ctx.exec.columnar) {
       cp = CompilePredicate(*predicate_, in.schema, ctx.params);
     }
+    if (PlanProfileNode* prof = Prof(ctx)) prof->columnar = cp != nullptr;
     Relation out;
     out.schema = in.schema;
     MorselPlan mp = PlanMorsels(ctx, in.rows.size());
+    if (mp.parallel) timer.set_histogram(Exec().filter_par_ns);
     std::vector<std::vector<Row>> chunks(mp.morsels);
     CR_RETURN_IF_ERROR(RunMorsels(
         ctx, in.rows.size(), mp,
@@ -428,9 +497,11 @@ class FilterNode : public PlanNode {
     return out;
   }
 
-  std::string Explain(int indent) const override {
-    return Indent(indent) + "Filter(" + predicate_->ToString() + ")\n" +
-           child_->Explain(indent + 1);
+  std::string Describe() const override {
+    return "Filter(" + predicate_->ToString() + ")";
+  }
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
   }
 
  private:
@@ -443,7 +514,7 @@ class ProjectNode : public PlanNode {
   ProjectNode(PlanPtr child, std::vector<ProjectItem> items)
       : child_(std::move(child)), items_(std::move(items)) {}
 
-  Result<Relation> Execute(ExecContext& ctx) const override {
+  Result<Relation> ExecuteNode(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
     OpTimer timer(Exec().project_ns);
     std::vector<ExprPtr> exprs;
@@ -470,8 +541,10 @@ class ProjectNode : public PlanNode {
         col_idx.push_back(*idx);
       }
     }
+    if (PlanProfileNode* prof = Prof(ctx)) prof->columnar = all_columns;
     Relation out;
     MorselPlan mp = PlanMorsels(ctx, in.rows.size());
+    if (mp.parallel) timer.set_histogram(Exec().project_par_ns);
     std::vector<std::vector<Row>> chunks(mp.morsels);
     CR_RETURN_IF_ERROR(RunMorsels(
         ctx, in.rows.size(), mp,
@@ -510,14 +583,16 @@ class ProjectNode : public PlanNode {
     return out;
   }
 
-  std::string Explain(int indent) const override {
+  std::string Describe() const override {
     std::string list;
     for (size_t i = 0; i < items_.size(); ++i) {
       if (i > 0) list += ", ";
       list += items_[i].expr->ToString() + " AS " + items_[i].name;
     }
-    return Indent(indent) + "Project(" + list + ")\n" +
-           child_->Explain(indent + 1);
+    return "Project(" + list + ")";
+  }
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
   }
 
  private:
@@ -541,7 +616,7 @@ class JoinNode : public PlanNode {
         condition_(std::move(condition)),
         type_(type) {}
 
-  Result<Relation> Execute(ExecContext& ctx) const override {
+  Result<Relation> ExecuteNode(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation l, left_->Execute(ctx));
     CR_ASSIGN_OR_RETURN(Relation r, right_->Execute(ctx));
     OpTimer timer(Exec().join_ns);
@@ -587,6 +662,7 @@ class JoinNode : public PlanNode {
     // right relation is shared read-only. Per-morsel chunks concatenate in
     // morsel order, preserving the serial output order exactly.
     MorselPlan mp = PlanMorsels(ctx, l.rows.size());
+    if (mp.parallel) timer.set_histogram(Exec().join_par_ns);
     std::vector<std::vector<Row>> chunks(mp.morsels);
 
     if (!split.pairs.empty()) {
@@ -657,13 +733,13 @@ class JoinNode : public PlanNode {
     return out;
   }
 
-  std::string Explain(int indent) const override {
-    std::string out = Indent(indent) +
-                      (type_ == JoinType::kInner ? "Join(" : "LeftJoin(") +
-                      (condition_ ? condition_->ToString() : "true") + ")\n";
-    out += left_->Explain(indent + 1);
-    out += right_->Explain(indent + 1);
-    return out;
+  std::string Describe() const override {
+    return (type_ == JoinType::kInner ? std::string("Join(")
+                                      : std::string("LeftJoin(")) +
+           (condition_ ? condition_->ToString() : "true") + ")";
+  }
+  std::vector<const PlanNode*> Children() const override {
+    return {left_.get(), right_.get()};
   }
 
  private:
@@ -767,7 +843,7 @@ class AggregateNode : public PlanNode {
         group_by_(std::move(group_by)),
         aggs_(std::move(aggs)) {}
 
-  Result<Relation> Execute(ExecContext& ctx) const override {
+  Result<Relation> ExecuteNode(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
     OpTimer timer(Exec().aggregate_ns);
 
@@ -892,7 +968,7 @@ class AggregateNode : public PlanNode {
     return out;
   }
 
-  std::string Explain(int indent) const override {
+  std::string Describe() const override {
     std::string list;
     for (size_t i = 0; i < group_by_.size(); ++i) {
       if (i > 0) list += ", ";
@@ -904,8 +980,10 @@ class AggregateNode : public PlanNode {
       agg_list += std::string(AggFnName(aggs_[i].fn)) + "(" +
                   (aggs_[i].arg ? aggs_[i].arg->ToString() : "*") + ")";
     }
-    return Indent(indent) + "Aggregate(by=[" + list + "], aggs=[" + agg_list +
-           "])\n" + child_->Explain(indent + 1);
+    return "Aggregate(by=[" + list + "], aggs=[" + agg_list + "])";
+  }
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
   }
 
  private:
@@ -919,7 +997,7 @@ class SortNode : public PlanNode {
   SortNode(PlanPtr child, std::vector<SortKey> keys)
       : child_(std::move(child)), keys_(std::move(keys)) {}
 
-  Result<Relation> Execute(ExecContext& ctx) const override {
+  Result<Relation> ExecuteNode(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
     OpTimer timer(Exec().sort_ns);
     std::vector<ExprPtr> exprs;
@@ -954,15 +1032,17 @@ class SortNode : public PlanNode {
     return out;
   }
 
-  std::string Explain(int indent) const override {
+  std::string Describe() const override {
     std::string list;
     for (size_t i = 0; i < keys_.size(); ++i) {
       if (i > 0) list += ", ";
       list += keys_[i].expr->ToString() +
               (keys_[i].ascending ? " ASC" : " DESC");
     }
-    return Indent(indent) + "Sort(" + list + ")\n" +
-           child_->Explain(indent + 1);
+    return "Sort(" + list + ")";
+  }
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
   }
 
  private:
@@ -985,7 +1065,7 @@ class TopNNode : public PlanNode {
         limit_(limit),
         offset_(offset) {}
 
-  Result<Relation> Execute(ExecContext& ctx) const override {
+  Result<Relation> ExecuteNode(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
     OpTimer timer(Exec().topk_ns);
     Relation out;
@@ -1047,17 +1127,18 @@ class TopNNode : public PlanNode {
     return out;
   }
 
-  std::string Explain(int indent) const override {
+  std::string Describe() const override {
     std::string list;
     for (size_t i = 0; i < keys_.size(); ++i) {
       if (i > 0) list += ", ";
       list += keys_[i].expr->ToString() +
               (keys_[i].ascending ? " ASC" : " DESC");
     }
-    return Indent(indent) + "TopN(" + list +
-           ", limit=" + std::to_string(limit_) +
-           (offset_ > 0 ? ", offset=" + std::to_string(offset_) : "") +
-           ")\n" + child_->Explain(indent + 1);
+    return "TopN(" + list + ", limit=" + std::to_string(limit_) +
+           (offset_ > 0 ? ", offset=" + std::to_string(offset_) : "") + ")";
+  }
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
   }
 
  private:
@@ -1072,7 +1153,7 @@ class LimitNode : public PlanNode {
   LimitNode(PlanPtr child, size_t limit, size_t offset)
       : child_(std::move(child)), limit_(limit), offset_(offset) {}
 
-  Result<Relation> Execute(ExecContext& ctx) const override {
+  Result<Relation> ExecuteNode(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
     Relation out;
     out.schema = in.schema;
@@ -1083,10 +1164,12 @@ class LimitNode : public PlanNode {
     return out;
   }
 
-  std::string Explain(int indent) const override {
-    return Indent(indent) + "Limit(" + std::to_string(limit_) +
-           (offset_ > 0 ? ", offset=" + std::to_string(offset_) : "") + ")\n" +
-           child_->Explain(indent + 1);
+  std::string Describe() const override {
+    return "Limit(" + std::to_string(limit_) +
+           (offset_ > 0 ? ", offset=" + std::to_string(offset_) : "") + ")";
+  }
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
   }
 
  private:
@@ -1099,7 +1182,7 @@ class DistinctNode : public PlanNode {
  public:
   explicit DistinctNode(PlanPtr child) : child_(std::move(child)) {}
 
-  Result<Relation> Execute(ExecContext& ctx) const override {
+  Result<Relation> ExecuteNode(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
     Relation out;
     out.schema = in.schema;
@@ -1112,8 +1195,9 @@ class DistinctNode : public PlanNode {
     return out;
   }
 
-  std::string Explain(int indent) const override {
-    return Indent(indent) + "Distinct\n" + child_->Explain(indent + 1);
+  std::string Describe() const override { return "Distinct"; }
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get()};
   }
 
  private:
@@ -1125,7 +1209,7 @@ class UnionNode : public PlanNode {
   UnionNode(PlanPtr left, PlanPtr right, bool all)
       : left_(std::move(left)), right_(std::move(right)), all_(all) {}
 
-  Result<Relation> Execute(ExecContext& ctx) const override {
+  Result<Relation> ExecuteNode(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation l, left_->Execute(ctx));
     CR_ASSIGN_OR_RETURN(Relation r, right_->Execute(ctx));
     if (l.schema.num_columns() != r.schema.num_columns()) {
@@ -1148,9 +1232,9 @@ class UnionNode : public PlanNode {
     return out;
   }
 
-  std::string Explain(int indent) const override {
-    return Indent(indent) + (all_ ? "UnionAll\n" : "Union\n") +
-           left_->Explain(indent + 1) + right_->Explain(indent + 1);
+  std::string Describe() const override { return all_ ? "UnionAll" : "Union"; }
+  std::vector<const PlanNode*> Children() const override {
+    return {left_.get(), right_.get()};
   }
 
  private:
@@ -1171,7 +1255,7 @@ class ExtendNode : public PlanNode {
         collect_(std::move(collect)),
         column_name_(std::move(column_name)) {}
 
-  Result<Relation> Execute(ExecContext& ctx) const override {
+  Result<Relation> ExecuteNode(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
     CR_ASSIGN_OR_RETURN(Relation src, source_->Execute(ctx));
     OpTimer timer(Exec().extend_ns);
@@ -1229,7 +1313,9 @@ class ExtendNode : public PlanNode {
     out.schema = Schema(std::move(cols));
     // The probe over child rows splits into morsels; `grouped` and the
     // bound keys are shared read-only across workers.
+    if (PlanProfileNode* prof = Prof(ctx)) prof->columnar = share_lists;
     MorselPlan mp = PlanMorsels(ctx, in.rows.size());
+    if (mp.parallel) timer.set_histogram(Exec().extend_par_ns);
     std::vector<std::vector<Row>> chunks(mp.morsels);
     CR_RETURN_IF_ERROR(RunMorsels(
         ctx, in.rows.size(), mp,
@@ -1257,16 +1343,17 @@ class ExtendNode : public PlanNode {
     return out;
   }
 
-  std::string Explain(int indent) const override {
+  std::string Describe() const override {
     std::string list;
     for (size_t i = 0; i < collect_.size(); ++i) {
       if (i > 0) list += ", ";
       list += collect_[i]->ToString();
     }
-    return Indent(indent) + "Extend(" + column_name_ + " = collect[" + list +
-           "] where " + source_key_->ToString() + " = " +
-           child_key_->ToString() + ")\n" + child_->Explain(indent + 1) +
-           source_->Explain(indent + 1);
+    return "Extend(" + column_name_ + " = collect[" + list + "] where " +
+           source_key_->ToString() + " = " + child_key_->ToString() + ")";
+  }
+  std::vector<const PlanNode*> Children() const override {
+    return {child_.get(), source_.get()};
   }
 
  private:
@@ -1279,6 +1366,26 @@ class ExtendNode : public PlanNode {
 };
 
 }  // namespace
+
+Result<Relation> PlanNode::Execute(ExecContext& ctx) const {
+  // Profiling off is the hot path: one branch, then straight into the
+  // operator body.
+  if (ctx.profile == nullptr) return ExecuteNode(ctx);
+  PlanProfileNode* node = ctx.profile->Push(Describe());
+  uint64_t t0 = obs::NowNs();
+  Result<Relation> result = ExecuteNode(ctx);
+  ctx.profile->Pop(node, obs::NowNs() - t0,
+                   result.ok() ? result->rows.size() : 0, !result.ok());
+  return result;
+}
+
+std::string PlanNode::Explain(int indent) const {
+  std::string out = Indent(indent) + Describe() + "\n";
+  for (const PlanNode* child : Children()) {
+    out += child->Explain(indent + 1);
+  }
+  return out;
+}
 
 PlanPtr MakeTableScan(std::string table, std::string alias) {
   return std::make_unique<TableScanNode>(std::move(table), std::move(alias));

@@ -42,11 +42,17 @@ struct ExecOptions {
   bool columnar = true;
 };
 
+class ProfileCollector;
+
 /// Per-execution state shared by all operators of a plan.
 struct ExecContext {
   const storage::Database* db = nullptr;
   ParamMap params;
   ExecOptions exec;
+  /// When non-null, Execute records a PlanProfileNode per operator into the
+  /// collector (rows in/out, wall ns, morsel/columnar annotations —
+  /// DESIGN.md §13). Null costs one branch per operator execution.
+  ProfileCollector* profile = nullptr;
 };
 
 /// A physical operator. Execution is materialized: each node fully computes
@@ -57,10 +63,25 @@ class PlanNode {
  public:
   virtual ~PlanNode() = default;
 
-  virtual Result<Relation> Execute(ExecContext& ctx) const = 0;
+  /// Runs the operator (children included). When `ctx.profile` is set, the
+  /// execution is wrapped in a profile node carrying Describe() — the
+  /// profile tree therefore has exactly the Explain() tree's shape.
+  Result<Relation> Execute(ExecContext& ctx) const;
 
-  /// One line per node, two spaces per `indent` level.
-  virtual std::string Explain(int indent = 0) const = 0;
+  /// One line per node, two spaces per `indent` level: Describe() for this
+  /// node, then each child of Children() at indent + 1.
+  std::string Explain(int indent = 0) const;
+
+  /// This node's Explain line (no indent, no newline, no children).
+  virtual std::string Describe() const = 0;
+
+  /// Child operators in Explain order; leaves return {}.
+  virtual std::vector<const PlanNode*> Children() const { return {}; }
+
+ protected:
+  /// The operator body. Implementations execute children via the public
+  /// Execute so nested profiling keeps working.
+  virtual Result<Relation> ExecuteNode(ExecContext& ctx) const = 0;
 };
 
 using PlanPtr = std::unique_ptr<PlanNode>;

@@ -1,0 +1,164 @@
+#include "query/profile.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace courserank::query {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out->append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+double Pct(uint64_t part, uint64_t whole) {
+  if (whole == 0) return 0.0;
+  return 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+std::string PlanProfileNode::op() const {
+  size_t paren = describe.find('(');
+  return paren == std::string::npos ? describe : describe.substr(0, paren);
+}
+
+uint64_t PlanProfileNode::self_ns() const {
+  uint64_t kids = 0;
+  for (const auto& c : children) kids += c->wall_ns;
+  return kids >= wall_ns ? 0 : wall_ns - kids;
+}
+
+PlanProfileNode* ProfileCollector::Push(std::string describe) {
+  auto node = std::make_unique<PlanProfileNode>();
+  node->describe = std::move(describe);
+  PlanProfileNode* raw = node.get();
+  if (stack_.empty()) {
+    roots_.push_back(std::move(node));
+  } else {
+    stack_.back()->children.push_back(std::move(node));
+  }
+  stack_.push_back(raw);
+  return raw;
+}
+
+void ProfileCollector::Pop(PlanProfileNode* node, uint64_t wall_ns,
+                           uint64_t rows_out, bool error) {
+  CR_CHECK(!stack_.empty() && stack_.back() == node);
+  node->wall_ns = wall_ns;
+  node->rows_out = rows_out;
+  node->error = error;
+  stack_.pop_back();
+  // A parent's input is whatever its children produced; scans overwrite
+  // rows_in themselves with the rows they examined.
+  if (!stack_.empty()) stack_.back()->rows_in += rows_out;
+}
+
+std::unique_ptr<PlanProfileNode> ProfileCollector::TakeRoot() {
+  if (roots_.empty()) return nullptr;
+  std::unique_ptr<PlanProfileNode> root = std::move(roots_.back());
+  roots_.pop_back();
+  return root;
+}
+
+std::string FormatNs(uint64_t ns) {
+  char buf[32];
+  if (ns < 10'000) {
+    snprintf(buf, sizeof(buf), "%" PRIu64 "ns", ns);
+  } else if (ns < 10'000'000) {
+    snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 10'000'000'000ULL) {
+    snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(ns) / 1e6);
+  } else {
+    snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+void AppendProfileText(const PlanProfileNode& node, uint64_t total_ns,
+                       int indent, std::string* out) {
+  out->append(static_cast<size_t>(2 * indent), ' ');
+  *out += node.describe;
+  AppendF(out, "  [rows %" PRIu64 " -> %" PRIu64, node.rows_in,
+          node.rows_out);
+  if (node.rows_in > 0) {
+    AppendF(out, " (sel %.1f%%)", Pct(node.rows_out, node.rows_in));
+  }
+  *out += ", self " + FormatNs(node.self_ns());
+  AppendF(out, " (%.1f%%)", Pct(node.self_ns(), total_ns));
+  if (node.morsels > 1) {
+    AppendF(out, ", morsels=%" PRIu64 "%s", node.morsels,
+            node.parallel ? " parallel" : "");
+  }
+  if (node.columnar) *out += ", columnar";
+  if (node.pushdown) *out += ", pushdown";
+  if (node.dict_hits > 0) {
+    AppendF(out, ", dict_hits=%" PRIu64, node.dict_hits);
+  }
+  if (node.error) *out += ", ERROR";
+  *out += "]\n";
+  for (const auto& c : node.children) {
+    AppendProfileText(*c, total_ns, indent + 1, out);
+  }
+}
+
+void AppendProfileJson(const PlanProfileNode& node, std::string* out) {
+  *out += "{\"op\": " + obs::JsonEscaped(node.op());
+  *out += ", \"describe\": " + obs::JsonEscaped(node.describe);
+  AppendF(out,
+          ", \"wall_ns\": %" PRIu64 ", \"self_ns\": %" PRIu64
+          ", \"rows_in\": %" PRIu64 ", \"rows_out\": %" PRIu64
+          ", \"morsels\": %" PRIu64,
+          node.wall_ns, node.self_ns(), node.rows_in, node.rows_out,
+          node.morsels);
+  AppendF(out,
+          ", \"parallel\": %s, \"columnar\": %s, \"pushdown\": %s"
+          ", \"dict_hits\": %" PRIu64 ", \"error\": %s",
+          node.parallel ? "true" : "false", node.columnar ? "true" : "false",
+          node.pushdown ? "true" : "false", node.dict_hits,
+          node.error ? "true" : "false");
+  *out += ", \"children\": [";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) *out += ", ";
+    AppendProfileJson(*node.children[i], out);
+  }
+  *out += "]}";
+}
+
+std::string QueryProfile::Render() const {
+  std::string out;
+  if (!statement.empty()) out += statement + "  ";
+  out += "[total " + FormatNs(total_ns) + "]\n";
+  if (root != nullptr) AppendProfileText(*root, total_ns, 0, &out);
+  return out;
+}
+
+std::string QueryProfile::RenderJson() const {
+  std::string out = "{\"statement\": " + obs::JsonEscaped(statement);
+  AppendF(&out, ", \"total_ns\": %" PRIu64, total_ns);
+  out += ", \"plan\": ";
+  if (root == nullptr) {
+    out += "null";
+  } else {
+    AppendProfileJson(*root, &out);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace courserank::query

@@ -1,0 +1,106 @@
+#ifndef COURSERANK_QUERY_PROFILE_H_
+#define COURSERANK_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace courserank::query {
+
+/// Per-operator measurements for one execution of one plan node
+/// (DESIGN.md §13). The tree mirrors the Explain() tree exactly: `describe`
+/// is the same line Explain() prints for the node and `children` follow the
+/// same order, so a rendered profile is the annotated Explain output.
+struct PlanProfileNode {
+  std::string describe;
+
+  /// Inclusive wall time of Execute on this node, children included.
+  uint64_t wall_ns = 0;
+  /// Rows this operator consumed: the sum of its children's rows_out, or —
+  /// for table scans — the rows examined in storage (pushed-down predicates
+  /// examine rows they never materialize).
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+
+  /// Morsel fan-out this operator ran with; 1 is the serial path.
+  uint64_t morsels = 1;
+  bool parallel = false;
+  /// Took a vectorized path: compiled-predicate kernel, chunked scan, or
+  /// the memoized recommend scorer.
+  bool columnar = false;
+  /// Scan executed pushed-down work (predicate / columns / limit).
+  bool pushdown = false;
+  /// Dictionary-encoded comparisons the vectorized scan answered by id.
+  uint64_t dict_hits = 0;
+  bool error = false;
+
+  std::vector<std::unique_ptr<PlanProfileNode>> children;
+
+  /// Operator name: `describe` up to its first '('.
+  std::string op() const;
+  /// Wall time minus the children's wall time, clamped at zero. Summing
+  /// self_ns over a tree telescopes back to the root's wall_ns exactly.
+  uint64_t self_ns() const;
+};
+
+/// Builds a PlanProfileNode tree as a plan executes. PlanNode::Execute
+/// pushes a node before running and pops it after, so the collector's stack
+/// mirrors the live Execute recursion — which stays on one thread by the
+/// morsel contract (workers run operator bodies, never Execute), so no
+/// synchronization is needed. Popping a child credits its rows_out to the
+/// parent's rows_in.
+class ProfileCollector {
+ public:
+  ProfileCollector() = default;
+  ProfileCollector(const ProfileCollector&) = delete;
+  ProfileCollector& operator=(const ProfileCollector&) = delete;
+
+  PlanProfileNode* Push(std::string describe);
+  void Pop(PlanProfileNode* node, uint64_t wall_ns, uint64_t rows_out,
+           bool error);
+
+  /// The node whose Execute is currently running (operators use it to stamp
+  /// morsel/columnar annotations); null outside any Execute.
+  PlanProfileNode* current() {
+    return stack_.empty() ? nullptr : stack_.back();
+  }
+
+  /// Detaches and returns the most recently completed root, or null when
+  /// nothing finished. Plans executed back-to-back on one collector each
+  /// produce their own root.
+  std::unique_ptr<PlanProfileNode> TakeRoot();
+
+ private:
+  std::vector<std::unique_ptr<PlanProfileNode>> roots_;
+  std::vector<PlanProfileNode*> stack_;
+};
+
+/// One profiled statement: the plan profile plus end-to-end wall time
+/// (parse + plan + execute), which is what the per-node percentages are
+/// computed against.
+struct QueryProfile {
+  std::string statement;
+  uint64_t total_ns = 0;
+  std::unique_ptr<PlanProfileNode> root;  // null for DML / failed parses
+
+  /// Annotated Explain-shaped text: one header line, then one line per
+  /// operator with rows in/out, selectivity, self time, and % of total.
+  std::string Render() const;
+  std::string RenderJson() const;
+};
+
+/// "412ns" / "12.5us" / "3.1ms" / "1.24s" — fixed render for profiles.
+std::string FormatNs(uint64_t ns);
+
+/// Appends the annotated text rendering of `node` (and its subtree) at
+/// `indent`, with self-time percentages against `total_ns`.
+void AppendProfileText(const PlanProfileNode& node, uint64_t total_ns,
+                       int indent, std::string* out);
+
+/// Appends the JSON object rendering of `node` (and its subtree).
+void AppendProfileJson(const PlanProfileNode& node, std::string* out);
+
+}  // namespace courserank::query
+
+#endif  // COURSERANK_QUERY_PROFILE_H_

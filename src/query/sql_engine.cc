@@ -1,10 +1,13 @@
 #include "query/sql_engine.h"
 
 #include <algorithm>
+#include <cctype>
 #include <limits>
+#include <string_view>
 
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "obs/profile_recorder.h"
 #include "obs/trace.h"
 #include "query/sql_parser.h"
 
@@ -60,6 +63,36 @@ class ColumnCollector : public ExprVisitor {
     for (const ExprPtr& a : args) a->Accept(*this);
   }
 };
+
+/// Consumes a leading keyword (case-insensitive, whole word) plus the
+/// whitespace after it. Leaves *s untouched and returns false otherwise.
+bool ConsumeKeyword(std::string_view* s, std::string_view kw) {
+  if (s->size() < kw.size()) return false;
+  if (!EqualsIgnoreCase(s->substr(0, kw.size()), kw)) return false;
+  std::string_view rest = s->substr(kw.size());
+  if (!rest.empty() &&
+      !std::isspace(static_cast<unsigned char>(rest.front()))) {
+    return false;
+  }
+  *s = Trim(rest);
+  return true;
+}
+
+/// Wraps rendered plan text as the EXPLAIN result relation: one `plan`
+/// string column, one row per line.
+Relation PlanLines(const std::string& text) {
+  Relation out;
+  out.schema = storage::Schema(
+      {storage::Column("plan", storage::ValueType::kString, false)});
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    out.rows.push_back({storage::Value(text.substr(start, end - start))});
+    start = end + 1;
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -358,6 +391,62 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
 
 Result<Relation> SqlEngine::Execute(const std::string& sql,
                                     const ParamMap& params) {
+  // EXPLAIN [ANALYZE] is an engine-level prefix, not parser syntax: the
+  // inner statement is parsed and planned exactly as it would run.
+  std::string_view rest = Trim(std::string_view(sql));
+  if (ConsumeKeyword(&rest, "EXPLAIN")) {
+    std::string inner(rest);
+    if (ConsumeKeyword(&rest, "ANALYZE")) {
+      CR_ASSIGN_OR_RETURN(std::string text,
+                          ExplainAnalyze(std::string(rest), params));
+      return PlanLines(text);
+    }
+    CR_ASSIGN_OR_RETURN(std::string text, Explain(inner));
+    return PlanLines(text);
+  }
+  if (profiling_) return ExecuteProfiled(sql, params);
+  return ExecuteStatement(sql, params, nullptr);
+}
+
+Result<Relation> SqlEngine::Execute(const std::string& sql,
+                                    const ParamMap& params,
+                                    QueryProfile* profile) {
+  profile->statement = sql;
+  profile->root.reset();
+  uint64_t t0 = obs::NowNs();
+  Result<Relation> result = ExecuteStatement(sql, params, profile);
+  // Full-statement wall time (parse + plan + execute), so the root
+  // operator's self-percentage reads against what the caller actually paid.
+  profile->total_ns = obs::NowNs() - t0;
+  return result;
+}
+
+Result<Relation> SqlEngine::ExecuteProfiled(const std::string& sql,
+                                            const ParamMap& params,
+                                            QueryProfile* out) {
+  QueryProfile local;
+  QueryProfile* profile = out != nullptr ? out : &local;
+  Result<Relation> result = Execute(sql, params, profile);
+  obs::RecordedProfile rec;
+  rec.kind = "sql";
+  rec.query = sql;
+  rec.total_ns = profile->total_ns;
+  rec.text = profile->Render();
+  rec.json = profile->RenderJson();
+  obs::ProfileRecorder::Default().Submit(std::move(rec));
+  return result;
+}
+
+Result<std::string> SqlEngine::ExplainAnalyze(const std::string& sql,
+                                              const ParamMap& params) {
+  QueryProfile profile;
+  CR_RETURN_IF_ERROR(ExecuteProfiled(sql, params, &profile).status());
+  return profile.Render();
+}
+
+Result<Relation> SqlEngine::ExecuteStatement(const std::string& sql,
+                                             const ParamMap& params,
+                                             QueryProfile* profile) {
   const SqlMetrics& m = Metrics();
   obs::ScopedSpan span(obs::stage::kSqlExec, m.execute_ns,
                        &obs::TraceSink::Default(),
@@ -377,7 +466,12 @@ Result<Relation> SqlEngine::Execute(const std::string& sql,
     ctx.db = db_;
     ctx.params = params;
     ctx.exec = exec_;
-    return plan->Execute(ctx);
+    if (profile == nullptr) return plan->Execute(ctx);
+    ProfileCollector collector;
+    ctx.profile = &collector;
+    Result<Relation> result = plan->Execute(ctx);
+    profile->root = collector.TakeRoot();
+    return result;
   }
   if (stmt.insert != nullptr) return ExecuteInsert(*stmt.insert, params);
   if (stmt.update != nullptr) return ExecuteUpdate(*stmt.update, params);

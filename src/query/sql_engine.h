@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "query/plan.h"
+#include "query/profile.h"
 #include "query/sql_ast.h"
 #include "storage/database.h"
 
@@ -49,8 +50,37 @@ class SqlEngine {
   void set_exec_options(const ExecOptions& o) { exec_ = o; }
   const ExecOptions& exec_options() const { return exec_; }
 
-  /// Parses, plans, and executes one statement.
+  /// Always-on profiling: every statement this engine executes collects a
+  /// QueryProfile and submits it to the process-wide ProfileRecorder.
+  /// Off (the default), profiling costs one null check per operator.
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
+
+  /// Parses, plans, and executes one statement. Statements prefixed with
+  /// `EXPLAIN` (plan only) or `EXPLAIN ANALYZE` (execute + profile) return
+  /// a one-column `plan` relation, one row per rendered line.
   Result<Relation> Execute(const std::string& sql, const ParamMap& params = {});
+
+  /// Executes one statement, collecting its profile into `profile`
+  /// (statement text, total wall ns, and for SELECTs the per-operator plan
+  /// tree). Collect-only: nothing is submitted to the ProfileRecorder —
+  /// callers that embed the profile elsewhere (FlexRecs workflow steps) use
+  /// this. No EXPLAIN prefix handling.
+  Result<Relation> Execute(const std::string& sql, const ParamMap& params,
+                           QueryProfile* profile);
+
+  /// Executes one statement with profiling and submits the profile to
+  /// ProfileRecorder::Default() (feeding /debug/profiles and the slow-query
+  /// log). `out` optionally receives a copy-free view of the same profile.
+  Result<Relation> ExecuteProfiled(const std::string& sql,
+                                   const ParamMap& params = {},
+                                   QueryProfile* out = nullptr);
+
+  /// Executes `sql` and renders the profiled plan: the Explain() tree
+  /// annotated per node with rows in/out, selectivity, self time and % of
+  /// total, morsel fan-out, and columnar/pushdown flags.
+  Result<std::string> ExplainAnalyze(const std::string& sql,
+                                     const ParamMap& params = {});
 
   /// Plans a SELECT statement into a physical plan without executing it.
   Result<PlanPtr> PlanSelect(const SelectStmt& stmt) const;
@@ -61,6 +91,14 @@ class SqlEngine {
   storage::Database* db() { return db_; }
 
  private:
+  /// The statement pipeline shared by all Execute flavors: parse, validate,
+  /// plan, run. With `profile` non-null, SELECT plans execute under a
+  /// ProfileCollector and `profile->root` receives the operator tree (DML
+  /// leaves it null); the caller stamps statement text and total wall time.
+  Result<Relation> ExecuteStatement(const std::string& sql,
+                                    const ParamMap& params,
+                                    QueryProfile* profile);
+
   Result<Relation> ExecuteInsert(const InsertStmt& stmt,
                                  const ParamMap& params);
   Result<Relation> ExecuteUpdate(const UpdateStmt& stmt,
@@ -73,6 +111,7 @@ class SqlEngine {
   Validator validator_;
   PlannerOptions planner_;
   ExecOptions exec_;
+  bool profiling_ = false;
 };
 
 }  // namespace courserank::query

@@ -1,0 +1,664 @@
+// Query-level profiling tests (DESIGN.md §13): the profile tree a
+// collector records must have exactly the Explain() tree's shape with
+// consistent row accounting, profiling must never change results, the
+// flight recorder must evict in order and keep the true slowest set, the
+// slow-query threshold must fire its counter, trace drops must be counted,
+// and the debug HTTP endpoint must answer its routes.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/flexrecs_engine.h"
+#include "core/workflow_parser.h"
+#include "gen/generator.h"
+#include "obs/http_endpoint.h"
+#include "obs/metrics.h"
+#include "obs/profile_recorder.h"
+#include "obs/trace.h"
+#include "query/profile.h"
+#include "query/sql_engine.h"
+#include "social/site.h"
+#include "storage/database.h"
+
+namespace courserank {
+namespace {
+
+using flexrecs::CompiledWorkflow;
+using flexrecs::FlexRecsEngine;
+using flexrecs::WorkflowProfile;
+using gen::GenConfig;
+using gen::Generator;
+using obs::ProfileRecorder;
+using obs::RecordedProfile;
+using query::ExecOptions;
+using query::ParamMap;
+using query::PlanProfileNode;
+using query::QueryProfile;
+using query::Relation;
+using query::SqlEngine;
+using storage::Database;
+using storage::Value;
+
+/// Multi-worker fan-out on toy inputs (exec_parallel_test's Aggressive).
+ExecOptions Aggressive(size_t morsel_rows = 3) {
+  static ThreadPool pool(3);
+  ExecOptions o;
+  o.parallel = true;
+  o.morsel_rows = morsel_rows;
+  o.min_parallel_rows = 0;
+  o.pool = &pool;
+  return o;
+}
+
+/// Byte-identity check (exec_parallel_test contract): same schema, same
+/// rows, same order, same value types.
+void ExpectSameRelation(const Relation& a, const Relation& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.schema.num_columns(), b.schema.num_columns()) << what;
+  for (size_t c = 0; c < a.schema.num_columns(); ++c) {
+    EXPECT_EQ(a.schema.column(c).name, b.schema.column(c).name) << what;
+    EXPECT_EQ(a.schema.column(c).type, b.schema.column(c).type) << what;
+  }
+  ASSERT_EQ(a.rows.size(), b.rows.size()) << what;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    ASSERT_EQ(a.rows[r].size(), b.rows[r].size()) << what << " row " << r;
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      EXPECT_EQ(a.rows[r][c].type(), b.rows[r][c].type())
+          << what << " row " << r << " col " << c;
+      EXPECT_TRUE(a.rows[r][c] == b.rows[r][c])
+          << what << " row " << r << " col " << c;
+    }
+  }
+}
+
+/// Re-renders a profile tree in Explain()'s exact format: indent, describe,
+/// newline, children. Equal strings == equal tree shapes.
+void RebuildExplain(const PlanProfileNode& node, int indent,
+                    std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  *out += node.describe;
+  *out += "\n";
+  for (const auto& child : node.children) {
+    RebuildExplain(*child, indent + 1, out);
+  }
+}
+
+/// Every non-leaf's rows_in must be the sum of its children's rows_out
+/// (leaves set rows_in themselves: scans count examined rows), and wall
+/// time must cover the children.
+void CheckRowAndTimeConsistency(const PlanProfileNode& node,
+                                const std::string& what) {
+  if (!node.children.empty()) {
+    uint64_t child_rows = 0;
+    uint64_t child_ns = 0;
+    for (const auto& child : node.children) {
+      child_rows += child->rows_out;
+      child_ns += child->wall_ns;
+      CheckRowAndTimeConsistency(*child, what);
+    }
+    EXPECT_EQ(node.rows_in, child_rows) << what << " at " << node.describe;
+    EXPECT_GE(node.wall_ns, child_ns) << what << " at " << node.describe;
+  }
+  EXPECT_FALSE(node.error) << what << " at " << node.describe;
+}
+
+uint64_t SumSelfNs(const PlanProfileNode& node) {
+  uint64_t total = node.self_ns();
+  for (const auto& child : node.children) total += SumSelfNs(*child);
+  return total;
+}
+
+// Random workflow DSL over the canonical schema — the sabotage-free
+// generator from exec_parallel_test.cc.
+class RandomWorkflowGen {
+ public:
+  explicit RandomWorkflowGen(Rng* rng) : rng_(*rng) {}
+
+  std::string Next() {
+    std::string dsl;
+    dsl += "base = TABLE " + TableName() + "\n";
+    std::string cur = "base";
+    size_t ops = 1 + rng_.NextBounded(3);
+    for (size_t i = 0; i < ops; ++i) {
+      switch (rng_.NextBounded(4)) {
+        case 0:
+          dsl += "s" + std::to_string(i) + " = SELECT " + cur + " WHERE " +
+                 Predicate() + "\n";
+          cur = "s" + std::to_string(i);
+          break;
+        case 1:
+          dsl += "e" + std::to_string(i) + " = EXTEND " + cur +
+                 " WITH base ON " + ColumnName() + " = " + ColumnName() +
+                 " COLLECT " + ColumnName() + " AS bag" + std::to_string(i) +
+                 "\n";
+          cur = "e" + std::to_string(i);
+          break;
+        case 2:
+          dsl += "r" + std::to_string(i) + " = RECOMMEND " + cur +
+                 " AGAINST base USING " + Similarity() + "(" + ColumnName() +
+                 ", " + ColumnName() + ") AGG max SCORE sc" +
+                 std::to_string(i) + " TOP 5\n";
+          cur = "r" + std::to_string(i);
+          break;
+        default:
+          dsl += "t" + std::to_string(i) + " = TOPK " + cur + " BY " +
+                 ColumnName() + " DESC LIMIT 5\n";
+          cur = "t" + std::to_string(i);
+          break;
+      }
+    }
+    dsl += "RETURN " + cur + "\n";
+    return dsl;
+  }
+
+ private:
+  std::string TableName() {
+    static const char* kTables[] = {"Students", "Courses", "Ratings",
+                                    "Offerings"};
+    table_ = rng_.NextBounded(4);
+    return kTables[table_];
+  }
+  std::string ColumnName() {
+    static const std::vector<const char*> kColumns[] = {
+        {"SuID", "Name", "Class", "GPA"},
+        {"CourseID", "Title", "Number", "Units"},
+        {"SuID", "CourseID", "Score", "Day"},
+        {"OfferingID", "CourseID", "Year", "Term"}};
+    const auto& cols = kColumns[table_];
+    return cols[rng_.NextBounded(cols.size())];
+  }
+  std::string Similarity() {
+    static const char* kSims[] = {"exact", "numeric_proximity",
+                                  "token_jaccard"};
+    return kSims[rng_.NextBounded(3)];
+  }
+  std::string Predicate() {
+    static const char* kOps[] = {"=", "<>", "<", ">="};
+    std::string lhs = ColumnName();
+    std::string rhs;
+    switch (rng_.NextBounded(3)) {
+      case 0:
+        rhs = std::to_string(rng_.NextBounded(100));
+        break;
+      case 1:
+        rhs = "'x" + std::to_string(rng_.NextBounded(10)) + "'";
+        break;
+      default:
+        rhs = ColumnName();
+        break;
+    }
+    return lhs + " " + kOps[rng_.NextBounded(4)] + " " + rhs;
+  }
+  Rng& rng_;
+  size_t table_ = 0;
+};
+
+// -------------------------------------------------- SQL profile trees
+
+const char* kSqlQueries[] = {
+    "SELECT * FROM Courses",
+    "SELECT Title FROM Courses WHERE Units >= 3 ORDER BY Title LIMIT 7",
+    "SELECT Title, Number FROM Courses WHERE Number < 200 "
+    "ORDER BY Number DESC, Title LIMIT 5 OFFSET 2",
+    "SELECT DISTINCT Units FROM Courses ORDER BY Units",
+    "SELECT Day, COUNT(*) AS n, AVG(Score) AS mean FROM Ratings "
+    "GROUP BY Day ORDER BY n DESC LIMIT 3",
+    "SELECT c.Title, r.Score FROM Courses c "
+    "JOIN Ratings r ON c.CourseID = r.CourseID "
+    "WHERE r.Score > 2 ORDER BY r.Score DESC, c.Title LIMIT 10",
+    "SELECT UPPER(Title) AS t FROM Courses WHERE Title LIKE '%a%' "
+    "ORDER BY t LIMIT 4",
+};
+
+class SqlProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto site = Generator(GenConfig::Tiny(7)).Generate();
+    ASSERT_TRUE(site.ok()) << site.status().ToString();
+    site_ = std::move(*site);
+  }
+
+  std::unique_ptr<social::CourseRankSite> site_;
+};
+
+TEST_F(SqlProfileTest, ProfileTreeMatchesExplainShape) {
+  for (const ExecOptions& exec : {ExecOptions{}, Aggressive()}) {
+    SqlEngine engine(&site_->db());
+    engine.set_exec_options(exec);
+    for (const char* sql : kSqlQueries) {
+      QueryProfile qp;
+      auto rel = engine.Execute(sql, {}, &qp);
+      ASSERT_TRUE(rel.ok()) << sql << " -> " << rel.status().ToString();
+      ASSERT_NE(qp.root, nullptr) << sql;
+      EXPECT_EQ(qp.statement, sql);
+
+      auto explain = engine.Explain(sql);
+      ASSERT_TRUE(explain.ok()) << sql;
+      std::string rebuilt;
+      RebuildExplain(*qp.root, 0, &rebuilt);
+      EXPECT_EQ(rebuilt, *explain) << sql;
+
+      CheckRowAndTimeConsistency(*qp.root, sql);
+      // The root's rows_out is the result itself.
+      EXPECT_EQ(qp.root->rows_out, rel->rows.size()) << sql;
+      // Statement wall covers the plan; self times telescope to the root.
+      EXPECT_GE(qp.total_ns, qp.root->wall_ns) << sql;
+      EXPECT_EQ(SumSelfNs(*qp.root), qp.root->wall_ns) << sql;
+    }
+  }
+}
+
+TEST_F(SqlProfileTest, ProfilingChangesNoResults) {
+  SqlEngine engine(&site_->db());
+  engine.set_exec_options(Aggressive());
+  for (const char* sql : kSqlQueries) {
+    auto plain = engine.Execute(sql);
+    ASSERT_TRUE(plain.ok()) << sql;
+    QueryProfile qp;
+    auto profiled = engine.Execute(sql, {}, &qp);
+    ASSERT_TRUE(profiled.ok()) << sql;
+    ExpectSameRelation(*plain, *profiled, sql);
+  }
+}
+
+TEST_F(SqlProfileTest, ExplainAnalyzeStatementPrefix) {
+  SqlEngine engine(&site_->db());
+  const std::string inner =
+      "SELECT Title FROM Courses WHERE Units >= 3 ORDER BY Title LIMIT 7";
+
+  // EXPLAIN: the plain plan tree, one line per row of the `plan` column.
+  auto explained = engine.Execute("EXPLAIN " + inner);
+  ASSERT_TRUE(explained.ok());
+  ASSERT_EQ(explained->schema.num_columns(), 1u);
+  EXPECT_EQ(explained->schema.column(0).name, "plan");
+  auto tree = engine.Explain(inner);
+  ASSERT_TRUE(tree.ok());
+  std::string joined;
+  for (const auto& row : explained->rows) {
+    joined += row[0].AsString() + "\n";
+  }
+  EXPECT_EQ(joined, *tree);
+
+  // EXPLAIN ANALYZE: executed plan with timings; keyword case-insensitive.
+  for (const std::string prefix : {"EXPLAIN ANALYZE ", "explain  analyze "}) {
+    auto analyzed = engine.Execute(prefix + inner);
+    ASSERT_TRUE(analyzed.ok()) << prefix;
+    ASSERT_GE(analyzed->rows.size(), 2u);
+    const std::string header = analyzed->rows[0][0].AsString();
+    EXPECT_NE(header.find("[total "), std::string::npos) << header;
+    std::string body;
+    for (const auto& row : analyzed->rows) body += row[0].AsString();
+    EXPECT_NE(body.find("TableScan"), std::string::npos);
+    EXPECT_NE(body.find("rows"), std::string::npos);
+    EXPECT_NE(body.find("self "), std::string::npos);
+  }
+
+  // Not a word boundary: parses (and fails) as a regular statement.
+  EXPECT_FALSE(engine.Execute("EXPLAINANALYZE " + inner).ok());
+  // EXPLAIN of DML is rejected, and nothing was executed.
+  EXPECT_FALSE(engine.Execute("EXPLAIN DELETE FROM Courses").ok());
+}
+
+TEST_F(SqlProfileTest, ProfiledEngineSubmitsToRecorder) {
+  ProfileRecorder& rec = ProfileRecorder::Default();
+  uint64_t before = rec.total_submitted();
+  SqlEngine engine(&site_->db());
+  engine.set_profiling(true);
+  ASSERT_TRUE(engine.Execute("SELECT * FROM Courses").ok());
+  ASSERT_TRUE(
+      engine.Execute("EXPLAIN ANALYZE SELECT COUNT(*) AS n FROM Ratings")
+          .ok());
+  EXPECT_GE(rec.total_submitted(), before + 2);
+  auto recent = rec.Recent();
+  ASSERT_FALSE(recent.empty());
+  EXPECT_EQ(recent.back().kind, "sql");
+  EXPECT_NE(recent.back().text.find("[total "), std::string::npos);
+}
+
+// ---------------------------------------------- workflow profile trees
+
+TEST(WorkflowProfileTest, StepsMirrorCompiledWorkflow) {
+  auto site = Generator(GenConfig::Tiny(43)).Generate();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  FlexRecsEngine& engine = (*site)->flexrecs();
+  analysis::Analyzer analyzer(&(*site)->db(), &engine.library());
+
+  Rng rng(271);
+  RandomWorkflowGen gen(&rng);
+  int executed = 0;
+  for (int trial = 0; trial < 40 && executed < 12; ++trial) {
+    std::string dsl = gen.Next();
+    if (analyzer.LintDsl(dsl).has_errors()) continue;
+    auto parsed = flexrecs::ParseWorkflow(dsl);
+    ASSERT_TRUE(parsed.ok()) << dsl;
+    auto compiled = engine.Compile(**parsed);
+    ASSERT_TRUE(compiled.ok()) << dsl;
+
+    auto plain = engine.Execute(*compiled, {});
+    ASSERT_TRUE(plain.ok()) << dsl << "\n" << plain.status().ToString();
+
+    WorkflowProfile wp;
+    auto profiled = engine.Execute(*compiled, {}, &wp);
+    ASSERT_TRUE(profiled.ok()) << dsl;
+    ExpectSameRelation(*plain, *profiled, dsl);
+
+    // One step profile per compiled step, kinds aligned, SQL plans shaped
+    // exactly like an independent Explain of the same statement.
+    ASSERT_EQ(wp.steps.size(), compiled->steps().size()) << dsl;
+    for (size_t i = 0; i < wp.steps.size(); ++i) {
+      const auto& step = compiled->steps()[i];
+      const auto& sp = wp.steps[i];
+      switch (step.kind) {
+        case flexrecs::CompiledStep::Kind::kSql: {
+          EXPECT_EQ(sp.kind, "sql") << dsl;
+          EXPECT_EQ(sp.label, step.sql) << dsl;
+          ASSERT_NE(sp.plan, nullptr) << dsl;
+          SqlEngine probe(&(*site)->db());
+          auto explain = probe.Explain(step.sql);
+          ASSERT_TRUE(explain.ok()) << step.sql;
+          std::string rebuilt;
+          RebuildExplain(*sp.plan, 0, &rebuilt);
+          EXPECT_EQ(rebuilt, *explain) << dsl;
+          CheckRowAndTimeConsistency(*sp.plan, dsl);
+          break;
+        }
+        case flexrecs::CompiledStep::Kind::kValues:
+          EXPECT_EQ(sp.kind, "values") << dsl;
+          EXPECT_EQ(sp.plan, nullptr) << dsl;
+          break;
+        case flexrecs::CompiledStep::Kind::kPhysical:
+          EXPECT_EQ(sp.kind, "physical") << dsl;
+          ASSERT_NE(sp.plan, nullptr) << dsl;
+          CheckRowAndTimeConsistency(*sp.plan, dsl);
+          break;
+      }
+    }
+    EXPECT_EQ(wp.steps.back().rows_out, profiled->rows.size()) << dsl;
+    EXPECT_GT(wp.total_ns, 0u) << dsl;
+
+    // Renderings carry the step structure.
+    std::string text = wp.Render();
+    EXPECT_NE(text.find("[total "), std::string::npos);
+    EXPECT_NE(text.find("step 1 ["), std::string::npos);
+    std::string json = wp.RenderJson();
+    EXPECT_NE(json.find("\"steps\": ["), std::string::npos);
+    ++executed;
+  }
+  EXPECT_GE(executed, 5) << "corpus skewed toward rejection";
+}
+
+TEST(WorkflowProfileTest, RunStrategyProfiledRecordsAndMatches) {
+  auto site = Generator(GenConfig::Tiny(11)).Generate();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  FlexRecsEngine& engine = (*site)->flexrecs();
+  engine.set_exec_options(Aggressive());
+  ParamMap params{{"major", Value((*site)->db().FindTable("Students") != nullptr
+                                      ? std::string("CS")
+                                      : std::string("CS"))}};
+  // major_popular only needs a major param; any value yields a (possibly
+  // empty) result.
+  auto plain = engine.RunStrategy("major_popular", params);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  ProfileRecorder& rec = ProfileRecorder::Default();
+  uint64_t before = rec.total_submitted();
+  WorkflowProfile wp;
+  auto profiled = engine.RunStrategyProfiled("major_popular", params, &wp);
+  ASSERT_TRUE(profiled.ok());
+  ExpectSameRelation(*plain, *profiled, "major_popular");
+  EXPECT_EQ(wp.name, "major_popular");
+  EXPECT_FALSE(wp.steps.empty());
+  EXPECT_EQ(rec.total_submitted(), before + 1);
+  auto recent = rec.Recent();
+  ASSERT_FALSE(recent.empty());
+  EXPECT_EQ(recent.back().kind, "flexrecs");
+  EXPECT_EQ(recent.back().query, "major_popular");
+
+  // set_profiling routes the plain entry points through the recorder too.
+  engine.set_profiling(true);
+  ASSERT_TRUE(engine.RunStrategy("major_popular", params).ok());
+  engine.set_profiling(false);
+  EXPECT_EQ(rec.total_submitted(), before + 2);
+}
+
+// ------------------------------------------------------ flight recorder
+
+RecordedProfile MakeProfile(const std::string& query, uint64_t total_ns) {
+  RecordedProfile p;
+  p.kind = "sql";
+  p.query = query;
+  p.total_ns = total_ns;
+  p.text = query + " rendered";
+  p.json = "{\"statement\": \"" + query + "\"}";
+  return p;
+}
+
+TEST(ProfileRecorderTest, RecentEvictsOldestSlowestKeepsSlowest) {
+  ProfileRecorder rec(/*recent_capacity=*/3, /*slowest_capacity=*/2);
+  rec.Submit(MakeProfile("q1", 10));
+  rec.Submit(MakeProfile("q2", 50));
+  rec.Submit(MakeProfile("q3", 20));
+  rec.Submit(MakeProfile("q4", 40));
+  rec.Submit(MakeProfile("q5", 30));
+
+  EXPECT_EQ(rec.total_submitted(), 5u);
+  auto recent = rec.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].query, "q3");  // oldest retained first
+  EXPECT_EQ(recent[1].query, "q4");
+  EXPECT_EQ(recent[2].query, "q5");
+  EXPECT_EQ(recent[0].id, 3u);
+
+  auto slowest = rec.Slowest();
+  ASSERT_EQ(slowest.size(), 2u);
+  EXPECT_EQ(slowest[0].query, "q2");  // 50ns — evicted from recent, kept here
+  EXPECT_EQ(slowest[1].query, "q4");  // 40ns
+
+  rec.Clear();
+  EXPECT_TRUE(rec.Recent().empty());
+  EXPECT_TRUE(rec.Slowest().empty());
+  EXPECT_EQ(rec.total_submitted(), 0u);
+}
+
+TEST(ProfileRecorderTest, SlowestTiesKeepEarlierSubmission) {
+  ProfileRecorder rec(8, 2);
+  rec.Submit(MakeProfile("first", 100));
+  rec.Submit(MakeProfile("second", 100));
+  rec.Submit(MakeProfile("third", 100));
+  auto slowest = rec.Slowest();
+  ASSERT_EQ(slowest.size(), 2u);
+  EXPECT_EQ(slowest[0].query, "first");
+  EXPECT_EQ(slowest[1].query, "second");
+}
+
+TEST(ProfileRecorderTest, SlowThresholdFiresCounter) {
+  obs::Counter* slow =
+      obs::MetricsRegistry::Default().GetCounter("cr_slow_queries_total");
+  obs::Counter* profiled = obs::MetricsRegistry::Default().GetCounter(
+      "cr_exec_profiled_queries_total");
+  ProfileRecorder rec(4, 4);
+  rec.set_slow_threshold_ns(1'000'000);
+  uint64_t slow_before = slow->value();
+  uint64_t profiled_before = profiled->value();
+  rec.Submit(MakeProfile("fast", 999'999));
+  EXPECT_EQ(slow->value(), slow_before);
+  rec.Submit(MakeProfile("slow", 1'000'000));  // at threshold: fires
+  rec.Submit(MakeProfile("slower", 5'000'000));
+  EXPECT_EQ(slow->value(), slow_before + 2);
+  EXPECT_EQ(profiled->value(), profiled_before + 3);
+
+  // Threshold 0 disables the slow-query log entirely.
+  rec.set_slow_threshold_ns(0);
+  rec.Submit(MakeProfile("huge", 9'000'000'000));
+  EXPECT_EQ(slow->value(), slow_before + 2);
+}
+
+TEST(ProfileRecorderTest, RenderJsonShape) {
+  ProfileRecorder rec(4, 2);
+  rec.Submit(MakeProfile("SELECT \"x\" FROM t", 123));
+  std::string json = rec.RenderJson();
+  EXPECT_NE(json.find("\"total_submitted\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"recent\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"slowest\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total_ns\": 123"), std::string::npos) << json;
+  // The quote inside the query text must be escaped.
+  EXPECT_NE(json.find("SELECT \\\"x\\\" FROM t"), std::string::npos) << json;
+}
+
+// --------------------------------------------------- trace drop counting
+
+TEST(TraceDropTest, OverwrittenEventsAreCounted) {
+  obs::Counter* dropped_total =
+      obs::MetricsRegistry::Default().GetCounter("cr_trace_dropped_total");
+  uint64_t before = dropped_total->value();
+  obs::TraceSink sink(/*capacity=*/4, /*period=*/1);
+  for (uint64_t i = 0; i < 6; ++i) {
+    sink.Record(obs::stage::kSqlExec, i * 100, 10, 0);
+  }
+  EXPECT_EQ(sink.dropped(), 2u);
+  EXPECT_EQ(sink.total_recorded(), 6u);
+  EXPECT_EQ(sink.Snapshot().size(), 4u);
+  EXPECT_EQ(dropped_total->value(), before + 2);
+
+  std::string json = sink.RenderJson();
+  EXPECT_NE(json.find("\"dropped\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total_recorded\": 6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stage\": \"sql.exec\""), std::string::npos) << json;
+
+  sink.Clear();
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+// ------------------------------------------------------- debug endpoint
+
+TEST(DebugRouteTest, RoutesAnswer) {
+  obs::HttpResponse health = obs::HandleDebugRoute("/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  // Each gtest case runs in its own process; touch a counter so the
+  // exposition is non-empty.
+  obs::MetricsRegistry::Default().GetCounter("cr_http_requests_total");
+  obs::HttpResponse metrics = obs::HandleDebugRoute("/metrics?x=1");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(metrics.body.find("cr_"), std::string::npos);
+
+  obs::HttpResponse profiles = obs::HandleDebugRoute("/debug/profiles");
+  EXPECT_EQ(profiles.status, 200);
+  EXPECT_EQ(profiles.content_type, "application/json");
+  EXPECT_NE(profiles.body.find("\"recent\""), std::string::npos);
+
+  obs::HttpResponse traces = obs::HandleDebugRoute("/debug/traces");
+  EXPECT_EQ(traces.status, 200);
+  EXPECT_NE(traces.body.find("\"events\""), std::string::npos);
+
+  EXPECT_EQ(obs::HandleDebugRoute("/").status, 200);
+  EXPECT_EQ(obs::HandleDebugRoute("/nope").status, 404);
+}
+
+/// One raw HTTP exchange against 127.0.0.1:port; returns the full response.
+std::string RawRequest(uint16_t port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  ::send(fd, request.data(), request.size(), 0);
+  std::string out;
+  char buf[2048];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(DebugHttpServerTest, ServesRoutesOnEphemeralPort) {
+  auto server = obs::DebugHttpServer::Start({});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  uint16_t port = (*server)->port();
+  ASSERT_NE(port, 0);
+
+  for (const char* path :
+       {"/healthz", "/metrics", "/debug/profiles", "/debug/traces", "/"}) {
+    std::string resp = RawRequest(
+        port, std::string("GET ") + path + " HTTP/1.0\r\nHost: x\r\n\r\n");
+    EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos) << path;
+    EXPECT_NE(resp.find("Content-Length: "), std::string::npos) << path;
+  }
+
+  EXPECT_NE(RawRequest(port, "GET /nope HTTP/1.0\r\n\r\n").find("404"),
+            std::string::npos);
+  EXPECT_NE(RawRequest(port, "POST / HTTP/1.0\r\n\r\n").find("405"),
+            std::string::npos);
+  // No parseable request line at all.
+  EXPECT_NE(RawRequest(port, "garbage\r\n\r\n").find("400"),
+            std::string::npos);
+
+  obs::Counter* requests =
+      obs::MetricsRegistry::Default().GetCounter("cr_http_requests_total");
+  EXPECT_GE(requests->value(), 8u);
+
+  (*server)->Stop();
+  // Idempotent, and the destructor will run it again.
+  (*server)->Stop();
+}
+
+// ---------------------------------------------- fan-out decision counters
+
+TEST(FanoutCounterTest, DecisionsAreCategorized) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter* par = reg.GetCounter("cr_exec_fanout_parallel_total");
+  obs::Counter* small = reg.GetCounter("cr_exec_fanout_skipped_small_total");
+  obs::Counter* off = reg.GetCounter("cr_exec_fanout_serial_config_total");
+
+  Database db;
+  auto table = db.CreateTable(
+      "t", storage::Schema({{"v", storage::ValueType::kInt, true}}), {});
+  ASSERT_TRUE(table.ok());
+  for (int64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE((*table)->Insert({Value(i)}).ok());
+  }
+
+  SqlEngine engine(&db);
+  uint64_t par_before = par->value();
+  uint64_t small_before = small->value();
+  uint64_t off_before = off->value();
+
+  engine.set_exec_options(Aggressive(4));
+  ASSERT_TRUE(engine.Execute("SELECT v FROM t WHERE v % 2 = 0").ok());
+  EXPECT_GT(par->value(), par_before);
+
+  ExecOptions serial;
+  serial.parallel = false;
+  engine.set_exec_options(serial);
+  ASSERT_TRUE(engine.Execute("SELECT v FROM t WHERE v % 2 = 0").ok());
+  EXPECT_GT(off->value(), off_before);
+
+  ExecOptions high_floor = Aggressive(4);
+  high_floor.min_parallel_rows = 1'000'000;
+  engine.set_exec_options(high_floor);
+  ASSERT_TRUE(engine.Execute("SELECT v FROM t WHERE v % 2 = 0").ok());
+  EXPECT_GT(small->value(), small_before);
+}
+
+}  // namespace
+}  // namespace courserank

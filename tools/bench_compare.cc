@@ -1,0 +1,192 @@
+// bench_compare: diffs two BENCH_*.json files (the {benchmark, unit,
+// rows:[{name, scale, ns_per_op}]} shape bench_exec and bench_search write)
+// and fails when any series regressed past a threshold.
+//
+//   bench_compare OLD.json NEW.json [--threshold PCT] [--series a,b,...]
+//
+// A row is matched by (name, scale). Rows present in only one file are
+// reported but never fail the run — benchmarks come and go across PRs.
+// --series restricts the comparison to row names containing any of the
+// given substrings. Exit codes: 0 ok, 1 regression past threshold,
+// 2 usage / parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchRow {
+  std::string name;
+  long scale = 0;
+  double ns_per_op = 0.0;
+};
+
+/// Pulls the quoted string after `"key":` starting at `from`; npos-safe.
+bool ScanString(const std::string& text, size_t obj_start, size_t obj_end,
+                const char* key, std::string* out) {
+  std::string needle = std::string("\"") + key + "\"";
+  size_t k = text.find(needle, obj_start);
+  if (k == std::string::npos || k >= obj_end) return false;
+  size_t q1 = text.find('"', text.find(':', k));
+  if (q1 == std::string::npos || q1 >= obj_end) return false;
+  size_t q2 = text.find('"', q1 + 1);
+  if (q2 == std::string::npos || q2 > obj_end) return false;
+  *out = text.substr(q1 + 1, q2 - q1 - 1);
+  return true;
+}
+
+bool ScanNumber(const std::string& text, size_t obj_start, size_t obj_end,
+                const char* key, double* out) {
+  std::string needle = std::string("\"") + key + "\"";
+  size_t k = text.find(needle, obj_start);
+  if (k == std::string::npos || k >= obj_end) return false;
+  size_t colon = text.find(':', k);
+  if (colon == std::string::npos || colon >= obj_end) return false;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str() + colon + 1, &end);
+  if (end == text.c_str() + colon + 1) return false;
+  *out = v;
+  return true;
+}
+
+/// Tolerant row scanner: finds every {...} object that carries name, scale
+/// and ns_per_op. Ignores the metrics blob and any other structure.
+bool LoadRows(const char* path, std::vector<BenchRow>* rows) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+
+  size_t pos = 0;
+  while ((pos = text.find("\"ns_per_op\"", pos)) != std::string::npos) {
+    size_t obj_start = text.rfind('{', pos);
+    size_t obj_end = text.find('}', pos);
+    if (obj_start == std::string::npos || obj_end == std::string::npos) break;
+    BenchRow row;
+    double scale = 0.0;
+    if (ScanString(text, obj_start, obj_end, "name", &row.name) &&
+        ScanNumber(text, obj_start, obj_end, "scale", &scale) &&
+        ScanNumber(text, obj_start, obj_end, "ns_per_op", &row.ns_per_op)) {
+      row.scale = static_cast<long>(scale);
+      rows->push_back(std::move(row));
+    }
+    pos = obj_end;
+  }
+  if (rows->empty()) {
+    std::fprintf(stderr, "bench_compare: no benchmark rows in %s\n", path);
+    return false;
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare OLD.json NEW.json [--threshold PCT] "
+               "[--series a,b,...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* old_path = nullptr;
+  const char* new_path = nullptr;
+  double threshold = 25.0;
+  std::vector<std::string> series;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0) {
+      if (++i >= argc) return Usage();
+      char* end = nullptr;
+      threshold = std::strtod(argv[i], &end);
+      if (end == argv[i] || threshold < 0) return Usage();
+    } else if (std::strcmp(argv[i], "--series") == 0) {
+      if (++i >= argc) return Usage();
+      std::string list = argv[i];
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start) series.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+      }
+    } else if (old_path == nullptr) {
+      old_path = argv[i];
+    } else if (new_path == nullptr) {
+      new_path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (old_path == nullptr || new_path == nullptr) return Usage();
+
+  std::vector<BenchRow> old_rows, new_rows;
+  if (!LoadRows(old_path, &old_rows) || !LoadRows(new_path, &new_rows)) {
+    return 2;
+  }
+
+  auto selected = [&](const std::string& name) {
+    if (series.empty()) return true;
+    for (const std::string& s : series) {
+      if (name.find(s) != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  std::map<std::pair<std::string, long>, double> baseline;
+  for (const BenchRow& r : old_rows) baseline[{r.name, r.scale}] = r.ns_per_op;
+
+  int regressions = 0;
+  int compared = 0;
+  for (const BenchRow& r : new_rows) {
+    if (!selected(r.name)) continue;
+    auto it = baseline.find({r.name, r.scale});
+    if (it == baseline.end()) {
+      std::printf("  new      %-40s scale=%-6ld %14.0f ns/op\n",
+                  r.name.c_str(), r.scale, r.ns_per_op);
+      continue;
+    }
+    ++compared;
+    double old_ns = it->second;
+    double delta_pct =
+        old_ns > 0 ? 100.0 * (r.ns_per_op - old_ns) / old_ns : 0.0;
+    const char* tag = "ok      ";
+    if (delta_pct > threshold) {
+      tag = "REGRESS ";
+      ++regressions;
+    } else if (delta_pct < -threshold) {
+      tag = "improved";
+    }
+    std::printf("  %s %-40s scale=%-6ld %14.0f -> %14.0f ns/op  (%+.1f%%)\n",
+                tag, r.name.c_str(), r.scale, old_ns, r.ns_per_op, delta_pct);
+    baseline.erase(it);
+  }
+  for (const auto& [key, ns] : baseline) {
+    if (!selected(key.first)) continue;
+    std::printf("  removed  %-40s scale=%-6ld %14.0f ns/op\n",
+                key.first.c_str(), key.second, ns);
+  }
+
+  if (compared == 0) {
+    std::fprintf(stderr, "bench_compare: no comparable rows\n");
+    return 2;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_compare: %d series regressed more than %.0f%%\n",
+                 regressions, threshold);
+    return 1;
+  }
+  std::printf("bench_compare: %d series within %.0f%%\n", compared, threshold);
+  return 0;
+}
