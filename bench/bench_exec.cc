@@ -189,6 +189,44 @@ void WriteBenchJson() {
         benchmark::DoNotOptimize(rel);
       }, 25));
 
+  // Flat-hash vs map-backed operator ablation (EXPERIMENTS.md E16): the
+  // same paper-scale hash join and grouped aggregate with the RowKeyTable
+  // path on (the shipped default) and off (the historical
+  // std::unordered_map build). The names carry the _join_ / _agg_
+  // substrings that verify-bench-regression gates with --series.
+  const std::string join_sql =
+      "SELECT c.Title, r.Score FROM Ratings r "
+      "JOIN Courses c ON r.CourseID = c.CourseID WHERE r.Score >= 4";
+  const std::string agg_sql =
+      "SELECT CourseID, COUNT(*) AS n, AVG(Score) AS mean "
+      "FROM Ratings GROUP BY CourseID";
+  SqlEngine flat_engine(&world.site->db());
+  flat_engine.set_exec_options(SerialExec());
+  SqlEngine map_engine(&world.site->db());
+  ExecOptions map_exec = SerialExec();
+  map_exec.flat_hash = false;
+  map_engine.set_exec_options(map_exec);
+  add("sql_join_flat", kPaperCourses, TimeNs([&] {
+        auto rel = flat_engine.Execute(join_sql);
+        CR_CHECK(rel.ok());
+        benchmark::DoNotOptimize(rel);
+      }, 9));
+  add("sql_join_map", kPaperCourses, TimeNs([&] {
+        auto rel = map_engine.Execute(join_sql);
+        CR_CHECK(rel.ok());
+        benchmark::DoNotOptimize(rel);
+      }, 9));
+  add("sql_agg_flat", kPaperCourses, TimeNs([&] {
+        auto rel = flat_engine.Execute(agg_sql);
+        CR_CHECK(rel.ok());
+        benchmark::DoNotOptimize(rel);
+      }, 9));
+  add("sql_agg_map", kPaperCourses, TimeNs([&] {
+        auto rel = map_engine.Execute(agg_sql);
+        CR_CHECK(rel.ok());
+        benchmark::DoNotOptimize(rel);
+      }, 9));
+
   // Profiling A/B (EXPERIMENTS.md E15): the same pushdown query and the
   // heaviest strategy with the profile collector attached. "profiled" pays
   // for Push/Pop + NowNs per operator plus the flight-recorder submit;

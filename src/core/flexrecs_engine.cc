@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/profile_recorder.h"
 #include "obs/trace.h"
+#include "query/hash_table.h"
 #include "query/plan.h"
 #include "query/profile.h"
 #include "storage/value.h"
@@ -229,24 +230,73 @@ FlexRecsEngine::FlexRecsEngine(storage::Database* db) : db_(db), sql_(db) {
   });
 }
 
+namespace {
+
+/// Structural signature of a physical node's own operation — every field
+/// that affects its result, rendered exactly. Children are not included;
+/// CompileNode appends the (already deduplicated) input step indices, so
+/// two nodes merge only when their subtrees merged first. Parameters
+/// render as `$name`, which is correct: one run binds one ParamMap.
+/// (WorkflowNode::ToString is not reusable here — it elides the Extend
+/// collect expressions and renders Values as a row count.)
+std::string NodeSignature(const WorkflowNode& node) {
+  std::string s = std::to_string(static_cast<int>(node.kind));
+  s += '|';
+  s += node.table;
+  if (node.predicate != nullptr) {
+    s += '|';
+    s += node.predicate->ToString();
+  }
+  for (const auto& item : node.items) {
+    s += '|';
+    s += item.expr->ToString();
+    s += " AS ";
+    s += item.name;
+  }
+  if (node.child_key != nullptr) s += '|' + node.child_key->ToString();
+  if (node.source_key != nullptr) s += '|' + node.source_key->ToString();
+  for (const auto& c : node.collect) s += '|' + c->ToString();
+  s += '|' + node.column_name;
+  s += '|' + node.recommend.similarity + '/' + node.recommend.input_attr +
+       '/' + node.recommend.reference_attr + '/' +
+       std::to_string(static_cast<int>(node.recommend.agg)) + '/' +
+       node.recommend.weight_attr + '/' + node.recommend.score_column + '/' +
+       std::to_string(node.recommend.top_k) + '/' +
+       std::to_string(node.recommend.min_score);
+  s += '|' + node.order_column + (node.descending ? "D" : "A") +
+       std::to_string(node.k);
+  return s;
+}
+
+}  // namespace
+
 size_t FlexRecsEngine::CompileNode(const WorkflowNode* node,
-                                   std::vector<CompiledStep>* steps) const {
+                                   std::vector<CompiledStep>* steps,
+                                   std::map<std::string, size_t>* memo) const {
   // Whole-subtree SQL compilation first.
   if (std::optional<std::string> sql = TryBuildSql(node); sql.has_value()) {
+    if (auto it = memo->find("S|" + *sql); it != memo->end()) {
+      return it->second;
+    }
     CompiledStep step;
     step.kind = CompiledStep::Kind::kSql;
     step.sql = *sql;
     steps->push_back(std::move(step));
-    return steps->size() - 1;
+    return (*memo)["S|" + steps->back().sql] = steps->size() - 1;
   }
   if (node->kind == NodeKind::kSql) {
+    if (auto it = memo->find("S|" + node->sql); it != memo->end()) {
+      return it->second;
+    }
     CompiledStep step;
     step.kind = CompiledStep::Kind::kSql;
     step.sql = node->sql;
     steps->push_back(std::move(step));
-    return steps->size() - 1;
+    return (*memo)["S|" + node->sql] = steps->size() - 1;
   }
   if (node->kind == NodeKind::kValues) {
+    // Literal relations are not deduplicated: their contents don't render
+    // into a signature cheaply, and the step is a plain copy anyway.
     CompiledStep step;
     step.kind = CompiledStep::Kind::kValues;
     step.values = node->values;
@@ -264,10 +314,13 @@ size_t FlexRecsEngine::CompileNode(const WorkflowNode* node,
     step.label = nl == std::string::npos ? repr : repr.substr(0, nl);
   }
   for (const NodePtr& child : node->children) {
-    step.inputs.push_back(CompileNode(child.get(), steps));
+    step.inputs.push_back(CompileNode(child.get(), steps, memo));
   }
+  std::string key = "P|" + NodeSignature(*node);
+  for (size_t idx : step.inputs) key += ',' + std::to_string(idx);
+  if (auto it = memo->find(key); it != memo->end()) return it->second;
   steps->push_back(std::move(step));
-  return steps->size() - 1;
+  return (*memo)[key] = steps->size() - 1;
 }
 
 void FlexRecsEngine::Analyze(const WorkflowNode& root,
@@ -285,7 +338,8 @@ Result<CompiledWorkflow> FlexRecsEngine::Compile(
 
   CompiledWorkflow compiled;
   compiled.root_ = root.Clone();
-  CompileNode(compiled.root_.get(), &compiled.steps_);
+  std::map<std::string, size_t> memo;
+  CompileNode(compiled.root_.get(), &compiled.steps_, &memo);
   return compiled;
 }
 
@@ -553,13 +607,47 @@ Result<Relation> FlexRecsEngine::ExecutePhysical(
         CR_RETURN_IF_ERROR(ck->Bind(child.schema, &ctx.params));
         query::ExprPtr sk = node.source_key->Clone();
         CR_RETURN_IF_ERROR(sk->Bind(source.schema, &ctx.params));
+        Relation out;
+        out.schema = child.schema;
+        if (ctx.exec.flat_hash) {
+          // Width-1 RowKeyTable; join-style NULL semantics on both sides
+          // (NULL source keys get no entry, NULL child keys never match).
+          // Both loops stay serial-ascending, so error selection is
+          // identical to the map oracle with no replay needed.
+          query::RowKeyTable keys(1, /*build_chains=*/false);
+          keys.Reserve(source.rows.size());
+          for (size_t i = 0; i < source.rows.size(); ++i) {
+            CR_ASSIGN_OR_RETURN(Value v, sk->Eval(source.rows[i]));
+            keys.StageMove1(i, std::move(v));
+          }
+          keys.Build(source.rows.size(), /*skip_null_keys=*/true, nullptr);
+          uint64_t probes = 0;
+          uint64_t steps = 0;
+          for (Row& row : child.rows) {
+            CR_ASSIGN_OR_RETURN(Value v, ck->Eval(row));
+            if (!v.is_null()) {
+              ++probes;
+              if (keys.Find1(v, &steps) != query::RowKeyTable::kNoEntry) {
+                continue;
+              }
+            }
+            out.rows.push_back(std::move(row));
+          }
+          keys.AddProbeStats(probes, steps);
+          if (pn != nullptr) {
+            query::HashTableStats s = keys.stats();
+            pn->hash_entries += s.entries;
+            pn->hash_probes += s.probes;
+            pn->hash_steps += s.build_steps + s.probe_steps;
+            pn->hash_max_chain = std::max(pn->hash_max_chain, s.max_chain);
+          }
+          return out;
+        }
         std::unordered_map<Row, bool, RowHash> keys;
         for (const Row& row : source.rows) {
           CR_ASSIGN_OR_RETURN(Value v, sk->Eval(row));
           if (!v.is_null()) keys[{v}] = true;
         }
-        Relation out;
-        out.schema = child.schema;
         for (Row& row : child.rows) {
           CR_ASSIGN_OR_RETURN(Value v, ck->Eval(row));
           if (!v.is_null() && keys.count({v}) > 0) continue;

@@ -152,8 +152,16 @@ class FlexRecsEngine {
   std::vector<std::string> StrategyNames() const;
 
  private:
+  /// Compiles one node into `steps`, reusing an existing step when an
+  /// identical subtree was already compiled (`memo` maps a structural
+  /// signature to its step index). The DSL clones a variable's subtree
+  /// into every use site, so a workflow like user_cf re-derives `ext`
+  /// under both `target` and `others`; deduplication makes the step list
+  /// a DAG again and the executor's remaining_uses accounting shares the
+  /// materialized relation between consumers.
   size_t CompileNode(const WorkflowNode* node,
-                     std::vector<CompiledStep>* steps) const;
+                     std::vector<CompiledStep>* steps,
+                     std::map<std::string, size_t>* memo) const;
   /// The step loop behind both Execute overloads; `profile` may be null.
   Result<Relation> ExecuteImpl(const CompiledWorkflow& compiled,
                                const ParamMap& params,

@@ -110,6 +110,89 @@ size_t IntersectionSize(const std::vector<Value>& a,
   return n;
 }
 
+/// All-int64-key sparse vector: the common case for FlexRecs operands
+/// (CourseID keys). Sorting and merge-walking int64 keys skips the
+/// type-dispatching Value::operator< per comparison and the Value copy per
+/// decoded entry, which dominate the recommend scoring loop's per-row cost.
+using IntPairVec = std::vector<std::pair<int64_t, double>>;
+
+/// Attempts to decode a pair-list whose keys are all kInt64 into `out`
+/// (capacity reused across rows). Returns false — leaving semantics to the
+/// generic DecodePairs — on any non-int64 key, malformed entry, or failed
+/// weight conversion, so errors and mixed-type keys take exactly the
+/// generic path. A successful decode is equivalent to DecodePairs: int64
+/// keys order and compare identically under Value::operator<, so the
+/// sorted sequence, last-wins compaction, and merge-walk accumulation
+/// order are the same.
+bool TryDecodeIntPairsInto(const Value& v, IntPairVec* out) {
+  if (v.type() != ValueType::kList) return false;
+  out->clear();
+  out->reserve(v.AsList().size());
+  for (const Value& item : v.AsList()) {
+    if (item.type() == ValueType::kList) {
+      const Value::List& pair = item.AsList();
+      if (pair.size() != 2) return false;
+      if (pair[0].type() != ValueType::kInt) return false;
+      if (pair[1].is_null()) continue;
+      Result<double> num = pair[1].ToDouble();
+      if (!num.ok()) return false;
+      out->emplace_back(pair[0].AsInt(), num.value());
+    } else {
+      if (item.type() != ValueType::kInt) return false;
+      out->emplace_back(item.AsInt(), 1.0);
+    }
+  }
+  // Stable insertion sort for the typical ~20-element list (no temp-buffer
+  // allocation); stable_sort above that. Last-wins compaction as in
+  // DecodePairs.
+  if (out->size() <= 32) {
+    for (size_t i = 1; i < out->size(); ++i) {
+      std::pair<int64_t, double> key = (*out)[i];
+      size_t j = i;
+      while (j > 0 && key.first < (*out)[j - 1].first) {
+        (*out)[j] = (*out)[j - 1];
+        --j;
+      }
+      (*out)[j] = key;
+    }
+  } else {
+    std::stable_sort(
+        out->begin(), out->end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  size_t w = 0;
+  for (size_t r = 0; r < out->size(); ++r) {
+    if (w > 0 && (*out)[w - 1].first == (*out)[r].first) {
+      (*out)[w - 1].second = (*out)[r].second;
+    } else {
+      (*out)[w++] = (*out)[r];
+    }
+  }
+  out->resize(w);
+  return true;
+}
+
+/// Rebuilds the generic PairVec form of an int-decoded operand (already
+/// sorted; int64 Value order matches int64 order) for pairs whose other
+/// operand decoded generically.
+PairVec PromoteIntPairs(const IntPairVec& v) {
+  PairVec out;
+  out.reserve(v.size());
+  for (const auto& [k, num] : v) out.emplace_back(Value(k), num);
+  return out;
+}
+
+/// Binary-searches a sorted IntPairVec; nullptr when the key is absent.
+const double* FindKey(const IntPairVec& v, int64_t key) {
+  auto it = std::lower_bound(
+      v.begin(), v.end(), key,
+      [](const std::pair<int64_t, double>& p, int64_t k) {
+        return p.first < k;
+      });
+  if (it == v.end() || key < it->first) return nullptr;
+  return &it->second;
+}
+
 /// Binary-searches a sorted PairVec; nullptr when the key is absent.
 const double* FindKey(const PairVec& v, const Value& key) {
   auto it = std::lower_bound(
@@ -156,7 +239,12 @@ std::optional<double> OverlapFrom(const std::vector<Value>& sa,
          static_cast<double>(std::min(sa.size(), sb.size()));
 }
 
-std::optional<double> CosineFrom(const PairVec& pa, const PairVec& pb) {
+// The pair merge walks are templated over the decoded vector type so the
+// IntPairVec fast path and the generic PairVec path share one
+// implementation (key comparison is `.first < .first` in both; the
+// accumulation order is identical because the key orders coincide).
+template <typename V>
+std::optional<double> CosineFrom(const V& pa, const V& pb) {
   double dot = 0.0;
   double na = 0.0;
   double nb = 0.0;
@@ -181,7 +269,8 @@ std::optional<double> CosineFrom(const PairVec& pa, const PairVec& pb) {
   return dot / (std::sqrt(na) * std::sqrt(nb));
 }
 
-std::optional<double> PearsonFrom(const PairVec& pa, const PairVec& pb) {
+template <typename V>
+std::optional<double> PearsonFrom(const V& pa, const V& pb) {
   std::vector<std::pair<double, double>> common;
   for (size_t i = 0, j = 0; i < pa.size() && j < pb.size();) {
     if (pa[i].first < pb[j].first) {
@@ -215,7 +304,8 @@ std::optional<double> PearsonFrom(const PairVec& pa, const PairVec& pb) {
   return cov / (std::sqrt(va) * std::sqrt(vb));
 }
 
-std::optional<double> InverseDistanceFrom(const PairVec& pa, const PairVec& pb,
+template <typename V>
+std::optional<double> InverseDistanceFrom(const V& pa, const V& pb,
                                           bool euclidean) {
   double acc = 0.0;
   size_t common = 0;
@@ -544,6 +634,17 @@ struct PairwiseScorer::Impl {
   std::string a_str;               // lowered, for levenshtein
   double a_num = 0.0;
 
+  // Pair kernels decode all-int64-key operands (the FlexRecs common case:
+  // CourseID keys) into IntPairVec and run the merge walk on raw int64
+  // comparisons. `a_int` / `b_int[j]` mark which representation holds the
+  // decoded operand; a mixed (int, generic) pair promotes the int side to
+  // its equivalent PairVec once (`a_promoted` / b_int[j] == 2).
+  bool a_int = false;
+  bool a_promoted = false;
+  IntPairVec a_ipairs;
+  std::vector<uint8_t> b_int;  // 0=generic, 1=int, 2=int+promoted
+  std::vector<IntPairVec> b_ipairs;
+
   // Per-reference memos, filled on first *successful* decode — a failing
   // decode is retried (and re-fails identically) so the first error the
   // caller sees matches the per-pair path.
@@ -570,7 +671,9 @@ struct PairwiseScorer::Impl {
       case SimKernel::kInvManhattan:
       case SimKernel::kRatingOf:
         b_ready.assign(m, 0);
+        b_int.assign(m, 0);
         b_pairs.resize(m);
+        b_ipairs.resize(m);
         break;
       case SimKernel::kTokenJaccard:
       case SimKernel::kTrigram:
@@ -602,6 +705,8 @@ PairwiseScorer::~PairwiseScorer() = default;
 void PairwiseScorer::BeginRow(const Value& input) {
   impl_->a = &input;
   impl_->a_ready = false;
+  impl_->a_int = false;
+  impl_->a_promoted = false;
 }
 
 Result<std::optional<double>> PairwiseScorer::ScorePair(size_t j) {
@@ -632,22 +737,49 @@ Result<std::optional<double>> PairwiseScorer::ScorePair(size_t j) {
     case SimKernel::kPearson:
     case SimKernel::kInvEuclidean:
     case SimKernel::kInvManhattan: {
+      // Int-key fast path: a TryDecode never fails — a bail falls through
+      // to the generic decode, so errors surface in the same order as the
+      // per-pair path (input operand first, then the reference).
       if (!im.a_ready) {
-        CR_ASSIGN_OR_RETURN(im.a_pairs, DecodePairs(name, *im.a));
+        im.a_int = TryDecodeIntPairsInto(*im.a, &im.a_ipairs);
+        if (!im.a_int) {
+          CR_ASSIGN_OR_RETURN(im.a_pairs, DecodePairs(name, *im.a));
+        }
         im.a_ready = true;
       }
       if (im.b_ready[j] == 0) {
-        CR_ASSIGN_OR_RETURN(im.b_pairs[j], DecodePairs(name, b));
+        if (TryDecodeIntPairsInto(b, &im.b_ipairs[j])) {
+          im.b_int[j] = 1;
+        } else {
+          CR_ASSIGN_OR_RETURN(im.b_pairs[j], DecodePairs(name, b));
+          im.b_int[j] = 0;
+        }
         im.b_ready[j] = 1;
       }
+      const bool both_int = im.a_int && im.b_int[j] != 0;
+      if (!both_int) {
+        // Mixed representations: promote the int side to its equivalent
+        // PairVec once and score generically.
+        if (im.a_int && !im.a_promoted) {
+          im.a_pairs = PromoteIntPairs(im.a_ipairs);
+          im.a_promoted = true;
+        }
+        if (im.b_int[j] == 1) {
+          im.b_pairs[j] = PromoteIntPairs(im.b_ipairs[j]);
+          im.b_int[j] = 2;
+        }
+      }
       if (im.kernel == SimKernel::kCosine) {
-        return CosineFrom(im.a_pairs, im.b_pairs[j]);
+        return both_int ? CosineFrom(im.a_ipairs, im.b_ipairs[j])
+                        : CosineFrom(im.a_pairs, im.b_pairs[j]);
       }
       if (im.kernel == SimKernel::kPearson) {
-        return PearsonFrom(im.a_pairs, im.b_pairs[j]);
+        return both_int ? PearsonFrom(im.a_ipairs, im.b_ipairs[j])
+                        : PearsonFrom(im.a_pairs, im.b_pairs[j]);
       }
-      return InverseDistanceFrom(im.a_pairs, im.b_pairs[j],
-                                 im.kernel == SimKernel::kInvEuclidean);
+      const bool euclid = im.kernel == SimKernel::kInvEuclidean;
+      return both_int ? InverseDistanceFrom(im.a_ipairs, im.b_ipairs[j], euclid)
+                      : InverseDistanceFrom(im.a_pairs, im.b_pairs[j], euclid);
     }
     case SimKernel::kTokenJaccard:
     case SimKernel::kTrigram: {
@@ -703,10 +835,27 @@ Result<std::optional<double>> PairwiseScorer::ScorePair(size_t j) {
     case SimKernel::kRatingOf: {
       if (im.a->is_null()) return std::optional<double>();
       if (im.b_ready[j] == 0) {
-        CR_ASSIGN_OR_RETURN(im.b_pairs[j], DecodePairs(name, b));
+        if (TryDecodeIntPairsInto(b, &im.b_ipairs[j])) {
+          im.b_int[j] = 1;
+        } else {
+          CR_ASSIGN_OR_RETURN(im.b_pairs[j], DecodePairs(name, b));
+          im.b_int[j] = 0;
+        }
         im.b_ready[j] = 1;
       }
-      const double* found = FindKey(im.b_pairs[j], *im.a);
+      const double* found;
+      if (im.b_int[j] != 0 && im.a->type() == ValueType::kInt) {
+        found = FindKey(im.b_ipairs[j], im.a->AsInt());
+      } else {
+        // A non-int64 probe key needs Value comparison semantics
+        // (cross-type numeric equality); promote once and search the
+        // generic form.
+        if (im.b_int[j] == 1) {
+          im.b_pairs[j] = PromoteIntPairs(im.b_ipairs[j]);
+          im.b_int[j] = 2;
+        }
+        found = FindKey(im.b_pairs[j], *im.a);
+      }
       if (found == nullptr) return std::optional<double>();
       return std::optional<double>(*found);
     }

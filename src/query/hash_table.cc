@@ -1,0 +1,401 @@
+#include "query/hash_table.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace courserank::query {
+
+using storage::HashMix64;
+using storage::Row;
+using storage::Value;
+using storage::ValueType;
+
+namespace {
+
+/// FNV-1a offset basis: the RowHash seed, so table hashes equal
+/// storage::RowHash over the same cells.
+constexpr uint64_t kHashSeed = 0xcbf29ce484222325ULL;
+
+/// Canonical bit pattern all NaN payloads collapse to (NaN == NaN under
+/// Value::Compare's total order).
+constexpr uint64_t kCanonicalNaN = 0x7ff8000000000000ULL;
+
+/// Doubles at or beyond these bounds are outside int64 range.
+constexpr double kInt64Lo = -9223372036854775808.0;
+constexpr double kInt64Hi = 9223372036854775808.0;
+
+/// Initial slot cap: partitions with more distinct keys than this grow via
+/// saved-hash re-scatter, so duplicate-heavy inputs (DISTINCT over few
+/// uniques) never over-allocate up front.
+constexpr size_t kInitialSlotCap = size_t{1} << 14;
+
+}  // namespace
+
+RowKeyTable::RowKeyTable(size_t width, bool build_chains)
+    : width_(width), build_chains_(build_chains) {}
+
+RowKeyTable::~RowKeyTable() = default;
+
+void RowKeyTable::Reserve(size_t n) {
+  arena_.resize(n * width_);
+  hashes_.resize(n);
+  has_null_.resize(n);
+  tags_.resize(n * width_);
+  codes_.resize(n * width_);
+}
+
+void RowKeyTable::EncodeCell(const Value& v, uint8_t* tag, uint64_t* code) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      *tag = kTagNull;
+      *code = 0;
+      return;
+    case ValueType::kBool:
+      *tag = v.AsBool() ? kTagTrue : kTagFalse;
+      *code = 0;
+      return;
+    case ValueType::kInt:
+      *tag = kTagInt;
+      *code = static_cast<uint64_t>(v.AsInt());
+      return;
+    case ValueType::kDouble: {
+      double d = v.AsDouble();
+      if (d != d) {
+        *tag = kTagReal;
+        *code = kCanonicalNaN;
+        return;
+      }
+      if (d == 0.0) d = 0.0;  // -0.0 == 0.0 → one equality class
+      if (d >= kInt64Lo && d < kInt64Hi) {
+        int64_t i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) == d) {
+          // Integral double: same class as the matching int (1 == 1.0).
+          *tag = kTagInt;
+          *code = static_cast<uint64_t>(i);
+          return;
+        }
+      }
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      *tag = kTagReal;
+      *code = bits;
+      return;
+    }
+    case ValueType::kString:
+      *tag = kTagStr;
+      *code = 0;  // interned per partition at Build
+      return;
+    case ValueType::kList:
+      *tag = kTagList;
+      *code = 0;  // equality via Value::Compare on the arena cells
+      return;
+  }
+  *tag = kTagNull;
+  *code = 0;
+}
+
+/// Shared staging body: `assign(dst, c)` materializes cell c into the
+/// arena slot. One pass computes the canonical hash, null flag, tag, and
+/// code per cell.
+template <typename Assign>
+void RowKeyTable::StageImpl(size_t i, Assign&& assign) {
+  Value* dst = &arena_[i * width_];
+  size_t off = i * width_;
+  uint64_t h = kHashSeed;
+  uint8_t null = 0;
+  for (size_t c = 0; c < width_; ++c) {
+    assign(&dst[c], c);
+    h = HashMix64(h ^ dst[c].Hash());
+    if (dst[c].is_null()) null = 1;
+    EncodeCell(dst[c], &tags_[off + c], &codes_[off + c]);
+  }
+  hashes_[i] = h;
+  has_null_[i] = null;
+}
+
+void RowKeyTable::StageRow(size_t i, const Row& row) {
+  CR_CHECK(row.size() == width_);
+  StageImpl(i, [&](Value* dst, size_t c) { *dst = row[c]; });
+}
+
+void RowKeyTable::StageCols(size_t i, const Row& row,
+                            const std::vector<size_t>& cols) {
+  StageImpl(i, [&](Value* dst, size_t c) { *dst = row[cols[c]]; });
+}
+
+void RowKeyTable::StageMove1(size_t i, Value&& v) {
+  StageImpl(i, [&](Value* dst, size_t) { *dst = std::move(v); });
+}
+
+void RowKeyTable::StageMove(size_t i, Row& key) {
+  CR_CHECK(key.size() == width_);
+  StageImpl(i, [&](Value* dst, size_t c) { *dst = std::move(key[c]); });
+}
+
+bool RowKeyTable::StagedKeysEqual(size_t a, size_t b) const {
+  size_t oa = a * width_;
+  size_t ob = b * width_;
+  for (size_t c = 0; c < width_; ++c) {
+    uint8_t t = tags_[oa + c];
+    if (t != tags_[ob + c]) return false;
+    if (t == kTagList) {
+      if (arena_[oa + c].Compare(arena_[ob + c]) != 0) return false;
+    } else if (codes_[oa + c] != codes_[ob + c]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RowKeyTable::GrowPartition(Partition& part) {
+  size_t cap = (part.mask + 1) * 2;
+  std::vector<uint64_t> old_hash = std::move(part.slot_hash);
+  std::vector<uint32_t> old_entry = std::move(part.slot_entry);
+  part.slot_hash.assign(cap, 0);
+  part.slot_entry.assign(cap, 0);
+  part.mask = cap - 1;
+  // Saved-hash re-scatter: no key material is touched, just the slots.
+  for (size_t s = 0; s < old_entry.size(); ++s) {
+    if (old_entry[s] == 0) continue;
+    size_t idx = old_hash[s] & part.mask;
+    while (part.slot_entry[idx] != 0) idx = (idx + 1) & part.mask;
+    part.slot_hash[idx] = old_hash[s];
+    part.slot_entry[idx] = old_entry[s];
+  }
+  ++part.resizes;
+}
+
+void RowKeyTable::BuildPartition(Partition& part, bool skip_null_keys) {
+  const size_t nkeys = part.keys.size();
+  if (nkeys == 0) return;
+  size_t want = nkeys + nkeys / 2 + 8;  // ~0.7 target load
+  size_t cap = 16;
+  while (cap < want && cap < kInitialSlotCap) cap <<= 1;
+  part.slot_hash.assign(cap, 0);
+  part.slot_entry.assign(cap, 0);
+  part.mask = cap - 1;
+  part.first_row.reserve(nkeys);
+  part.entry_rows.reserve(nkeys);
+
+  for (uint32_t i : part.keys) {
+    if (skip_null_keys && has_null_[i] != 0) continue;
+    // Dictionary-id codes for string cells: interning happens here, inside
+    // the partition's single build thread, in ascending staged order — so
+    // ids are deterministic and identical serial vs parallel.
+    size_t off = size_t{i} * width_;
+    for (size_t c = 0; c < width_; ++c) {
+      if (tags_[off + c] == kTagStr) {
+        codes_[off + c] = part.dict.Intern(arena_[off + c].AsString());
+      }
+    }
+
+    if ((part.size + 1) * 10 > (part.mask + 1) * 7) GrowPartition(part);
+    const uint64_t h = hashes_[i];
+    size_t idx = h & part.mask;
+    uint32_t local;
+    for (;;) {
+      ++part.build_steps;
+      uint32_t se = part.slot_entry[idx];
+      if (se == 0) {
+        local = static_cast<uint32_t>(part.size);
+        part.slot_hash[idx] = h;
+        part.slot_entry[idx] = local + 1;
+        ++part.size;
+        part.first_row.push_back(i);
+        part.entry_rows.push_back(0);
+        if (build_chains_) {
+          part.head.push_back(kNoEntry);
+          part.tail.push_back(kNoEntry);
+        }
+        break;
+      }
+      if (part.slot_hash[idx] == h &&
+          StagedKeysEqual(part.first_row[se - 1], i)) {
+        local = se - 1;
+        break;
+      }
+      idx = (idx + 1) & part.mask;
+    }
+    local_entry_[i] = local;
+    ++part.entry_rows[local];
+    if (build_chains_) {
+      uint32_t t = part.tail[local];
+      if (t != kNoEntry && part.batches[t].count < Batch::kBatchRows) {
+        part.batches[t].rows[part.batches[t].count++] = i;
+      } else {
+        // Forward-linked batches keep chain iteration in ascending staged
+        // order — the same order the old per-key vectors accumulated.
+        uint32_t nb = static_cast<uint32_t>(part.batches.size());
+        part.batches.push_back(Batch{});
+        Batch& b = part.batches.back();
+        b.rows[0] = i;
+        b.count = 1;
+        if (t == kNoEntry) {
+          part.head[local] = nb;
+        } else {
+          part.batches[t].next = nb;
+        }
+        part.tail[local] = nb;
+      }
+    }
+  }
+}
+
+void RowKeyTable::Build(size_t n, bool skip_null_keys, ThreadPool* pool) {
+  CR_CHECK(!built_);
+  staged_n_ = n;
+  local_entry_.assign(n, kNoEntry);
+
+  // Scatter staged indices into their partitions, ascending.
+  size_t counts[kNumPartitions] = {0};
+  for (size_t i = 0; i < n; ++i) ++counts[PartitionOfHash(hashes_[i])];
+  for (size_t p = 0; p < kNumPartitions; ++p) parts_[p].keys.reserve(counts[p]);
+  for (size_t i = 0; i < n; ++i) {
+    parts_[PartitionOfHash(hashes_[i])].keys.push_back(
+        static_cast<uint32_t>(i));
+  }
+
+  // Each partition owns a disjoint slice of the key space (and of the
+  // staged arrays it writes: codes of its keys, local_entry_ of its keys),
+  // so partitions build concurrently without synchronization and the merged
+  // result is identical to the serial build.
+  if (pool != nullptr && pool->num_threads() > 1 && n >= kNumPartitions) {
+    pool->ParallelFor(kNumPartitions, 1, [&](size_t, size_t begin, size_t end) {
+      for (size_t p = begin; p < end; ++p) {
+        BuildPartition(parts_[p], skip_null_keys);
+      }
+    });
+  } else {
+    for (size_t p = 0; p < kNumPartitions; ++p) {
+      BuildPartition(parts_[p], skip_null_keys);
+    }
+  }
+
+  // Merge in partition order: global entry ids are base + local.
+  uint32_t base = 0;
+  for (size_t p = 0; p < kNumPartitions; ++p) {
+    parts_[p].base = base;
+    base += static_cast<uint32_t>(parts_[p].size);
+  }
+  total_entries_ = base;
+  built_ = true;
+}
+
+size_t RowKeyTable::PartitionOfEntry(uint32_t entry) const {
+  for (size_t p = kNumPartitions; p-- > 1;) {
+    if (parts_[p].size > 0 && entry >= parts_[p].base) return p;
+  }
+  return 0;
+}
+
+size_t RowKeyTable::LeaderRow(uint32_t entry) const {
+  const Partition& part = parts_[PartitionOfEntry(entry)];
+  return part.first_row[entry - part.base];
+}
+
+size_t RowKeyTable::EntryRows(uint32_t entry) const {
+  const Partition& part = parts_[PartitionOfEntry(entry)];
+  return part.entry_rows[entry - part.base];
+}
+
+/// Shared probe body: `cell(c)` yields the c-th probe cell.
+template <typename GetCell>
+uint32_t RowKeyTable::FindImpl(GetCell&& cell, uint64_t* steps) const {
+  uint64_t h = kHashSeed;
+  for (size_t c = 0; c < width_; ++c) h = HashMix64(h ^ cell(c).Hash());
+  const Partition& part = parts_[PartitionOfHash(h)];
+  if (part.size == 0) return kNoEntry;
+
+  // Probe-side tag/code scratch, allocation-free for realistic key widths.
+  uint8_t tag_inline[8];
+  uint64_t code_inline[8];
+  std::vector<uint8_t> tag_heap;
+  std::vector<uint64_t> code_heap;
+  uint8_t* tags = tag_inline;
+  uint64_t* codes = code_inline;
+  if (width_ > 8) {
+    tag_heap.resize(width_);
+    code_heap.resize(width_);
+    tags = tag_heap.data();
+    codes = code_heap.data();
+  }
+  for (size_t c = 0; c < width_; ++c) {
+    EncodeCell(cell(c), &tags[c], &codes[c]);
+    if (tags[c] == kTagStr) {
+      // Dictionary-id fast path: a string the build side never interned
+      // cannot match any entry — miss without inspecting a slot.
+      auto id = part.dict.Find(cell(c).AsString());
+      if (!id.has_value()) return kNoEntry;
+      codes[c] = *id;
+    }
+  }
+
+  size_t idx = h & part.mask;
+  for (;;) {
+    ++*steps;
+    uint32_t se = part.slot_entry[idx];
+    if (se == 0) return kNoEntry;
+    if (part.slot_hash[idx] == h) {
+      uint32_t cand = se - 1;
+      size_t off = size_t{part.first_row[cand]} * width_;
+      bool eq = true;
+      for (size_t c = 0; c < width_; ++c) {
+        uint8_t t = tags_[off + c];
+        if (t != tags[c]) {
+          eq = false;
+          break;
+        }
+        if (t == kTagList) {
+          if (arena_[off + c].Compare(cell(c)) != 0) {
+            eq = false;
+            break;
+          }
+        } else if (codes_[off + c] != codes[c]) {
+          eq = false;
+          break;
+        }
+      }
+      if (eq) return part.base + cand;
+    }
+    idx = (idx + 1) & part.mask;
+  }
+}
+
+uint32_t RowKeyTable::FindRow(const Row& row, uint64_t* steps) const {
+  return FindImpl([&](size_t c) -> const Value& { return row[c]; }, steps);
+}
+
+uint32_t RowKeyTable::FindCols(const Row& row, const std::vector<size_t>& cols,
+                               uint64_t* steps) const {
+  return FindImpl([&](size_t c) -> const Value& { return row[cols[c]]; },
+                  steps);
+}
+
+uint32_t RowKeyTable::Find1(const Value& v, uint64_t* steps) const {
+  return FindImpl([&](size_t) -> const Value& { return v; }, steps);
+}
+
+void RowKeyTable::AddProbeStats(uint64_t probes, uint64_t steps) const {
+  probes_.fetch_add(probes, std::memory_order_relaxed);
+  probe_steps_.fetch_add(steps, std::memory_order_relaxed);
+}
+
+HashTableStats RowKeyTable::stats() const {
+  HashTableStats s;
+  s.staged = staged_n_;
+  s.entries = total_entries_;
+  s.probes = probes_.load(std::memory_order_relaxed);
+  s.probe_steps = probe_steps_.load(std::memory_order_relaxed);
+  for (const Partition& part : parts_) {
+    s.build_steps += part.build_steps;
+    s.resizes += part.resizes;
+    for (uint32_t rows : part.entry_rows) {
+      if (rows > s.max_chain) s.max_chain = rows;
+    }
+  }
+  return s;
+}
+
+}  // namespace courserank::query

@@ -1,0 +1,268 @@
+#ifndef COURSERANK_QUERY_HASH_TABLE_H_
+#define COURSERANK_QUERY_HASH_TABLE_H_
+
+// RowKeyTable: the shared open-addressing hash table behind HashJoin,
+// Aggregate, Distinct/Union dedup, ε-extend grouping and EXCEPT
+// (DESIGN.md §14). Replaces the std::unordered_map<Row, ...> states with:
+//
+//  - Keys materialized ONCE into a flat Value arena (no per-probe Row
+//    copies, no per-row heap allocation in the old key_of lambdas).
+//  - Canonicalized 64-bit row hashes (storage::RowHash over the canonical
+//    Value::Hash) saved in the slots, so resize re-scatters without
+//    re-hashing and equality checks short-circuit on the saved hash.
+//  - Linear-probing slots (two parallel arrays: hash + entry id) with
+//    power-of-two capacity and a 0.7 load-factor growth trigger.
+//  - Radix partitioning by the lead bits of the hash: each partition owns a
+//    disjoint slice of the key space, so the build side parallelizes across
+//    partitions on the ThreadPool while the serial result stays
+//    byte-identical (each partition processes its keys in ascending staged
+//    order, and entry numbering is merged in partition order).
+//  - RowRefList-style batched collision chains: per-key row lists live in
+//    fixed-size forward-linked batches in a per-partition arena instead of
+//    one std::vector<size_t> per key.
+//  - Per-cell canonical equality codes with a dictionary-id fast path for
+//    string keys: strings are interned into a per-partition
+//    StringDictionary at build, so probe-side misses return without a
+//    single byte compare and hits compare one uint32.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "storage/value.h"
+
+namespace courserank {
+class ThreadPool;
+}
+
+namespace courserank::query {
+
+/// Build/probe statistics, surfaced through PlanProfileNode and the
+/// cr_exec_hash_* metrics.
+struct HashTableStats {
+  uint64_t staged = 0;       ///< keys staged (input rows seen)
+  uint64_t entries = 0;      ///< distinct keys across all partitions
+  uint64_t build_steps = 0;  ///< slot inspections during build
+  uint64_t probes = 0;       ///< Find() calls (caller-reported)
+  uint64_t probe_steps = 0;  ///< slot inspections during probes
+  uint64_t max_chain = 0;    ///< rows under the most-duplicated key
+  uint64_t resizes = 0;      ///< saved-hash re-scatters
+};
+
+class RowKeyTable {
+ public:
+  static constexpr uint32_t kNoEntry = 0xffffffffu;
+  /// Partition = lead bits of the canonical hash. Slot indexing uses the
+  /// low bits, so the two never alias.
+  static constexpr int kRadixBits = 4;
+  static constexpr size_t kNumPartitions = size_t{1} << kRadixBits;
+
+  /// `width` cells per key. `build_chains` turns on the RowRefList batches
+  /// (joins and ε-extend need per-key row lists; aggregates and dedup only
+  /// need the group id per staged key).
+  RowKeyTable(size_t width, bool build_chains);
+  ~RowKeyTable();
+  RowKeyTable(const RowKeyTable&) = delete;
+  RowKeyTable& operator=(const RowKeyTable&) = delete;
+
+  // ---- staging ----------------------------------------------------------
+
+  /// Pre-sizes the staging arrays for `n` keys so Stage() calls touch
+  /// disjoint slices and can run morsel-parallel.
+  void Reserve(size_t n);
+
+  /// Staging copies (or moves) the key cells into the arena and computes
+  /// the canonical hash, null flag, and equality codes. All variants are
+  /// thread-safe for distinct `i` (morsel-parallel staging).
+  void StageRow(size_t i, const storage::Row& row);  ///< whole row is key
+  void StageCols(size_t i, const storage::Row& row,
+                 const std::vector<size_t>& cols);   ///< row[cols[c]] cells
+  void StageMove1(size_t i, storage::Value&& v);     ///< width-1 key
+  /// Moves the cells out of `key` (aggregate path: the evaluated key row is
+  /// owned by nobody else). `key` is left moved-from but reusable.
+  void StageMove(size_t i, storage::Row& key);
+
+  /// True when staged key `i` contains a SQL NULL cell.
+  bool StagedHasNull(size_t i) const { return has_null_[i] != 0; }
+
+  // ---- build ------------------------------------------------------------
+
+  /// Builds the per-partition tables over staged keys [0, n). When `pool`
+  /// has workers, partitions build concurrently; the result is identical
+  /// either way. `skip_null_keys` leaves keys containing NULL without an
+  /// entry (join semantics: NULL never matches); otherwise NULL is an
+  /// ordinary value and NULLs compare equal — one NULL group, the
+  /// SQLite-documented GROUP BY / DISTINCT rule.
+  void Build(size_t n, bool skip_null_keys, ThreadPool* pool);
+
+  // ---- post-build queries (read-only, thread-safe) ----------------------
+
+  size_t width() const { return width_; }
+  size_t entry_count() const { return total_entries_; }
+
+  /// Dense global entry id for staged key `i` (entries are numbered by
+  /// partition, then by first occurrence); kNoEntry for skipped NULL keys.
+  uint32_t EntryOf(size_t i) const {
+    uint32_t local = local_entry_[i];
+    if (local == kNoEntry) return kNoEntry;
+    return parts_[PartitionOf(i)].base + local;
+  }
+
+  /// True when staged key `i` is the first occurrence of its entry — the
+  /// emission test that preserves the serial first-appearance output order.
+  bool IsEntryLeader(size_t i) const {
+    uint32_t local = local_entry_[i];
+    return local != kNoEntry &&
+           parts_[PartitionOf(i)].first_row[local] == static_cast<uint32_t>(i);
+  }
+
+  /// First staged index of global entry `e`.
+  size_t LeaderRow(uint32_t entry) const;
+
+  /// Staged occurrences of global entry `e` (rows under the key).
+  size_t EntryRows(uint32_t entry) const;
+
+  /// The staged key cells of key `i` (mutable so the aggregate finalize can
+  /// move the leader's cells into the output row).
+  const storage::Value* KeyCells(size_t i) const { return &arena_[i * width_]; }
+  storage::Value* MutableKeyCells(size_t i) { return &arena_[i * width_]; }
+
+  /// Probes with a key assembled in place — no Row copy, no allocation.
+  /// Returns the global entry id or kNoEntry. A string cell absent from
+  /// the partition dictionary is a definite miss before any slot is
+  /// inspected (the dictionary-id fast path). Adds slot inspections to
+  /// `*steps` (caller-local; fold into stats via AddProbeStats once per
+  /// morsel, not per row).
+  uint32_t FindRow(const storage::Row& row, uint64_t* steps) const;
+  uint32_t FindCols(const storage::Row& row, const std::vector<size_t>& cols,
+                    uint64_t* steps) const;
+  uint32_t Find1(const storage::Value& cell, uint64_t* steps) const;
+
+  /// Walks the RowRefList chain of global entry `e` in ascending staged
+  /// order (requires build_chains); stops at the first non-OK status.
+  template <typename Fn>
+  Status ForEachEntryRow(uint32_t entry, Fn&& fn) const {
+    const Partition& part = parts_[PartitionOfEntry(entry)];
+    uint32_t local = entry - part.base;
+    for (uint32_t b = part.head[local]; b != kNoEntry;
+         b = part.batches[b].next) {
+      const Batch& batch = part.batches[b];
+      for (uint32_t k = 0; k < batch.count; ++k) {
+        CR_RETURN_IF_ERROR(fn(batch.rows[k]));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Folds caller-side probe counters into the shared stats (thread-safe).
+  void AddProbeStats(uint64_t probes, uint64_t steps) const;
+
+  /// Build-side stats plus everything folded in via AddProbeStats.
+  HashTableStats stats() const;
+
+  // ---- per-partition access (parallel aggregate accumulation) -----------
+
+  static size_t NumPartitions() { return kNumPartitions; }
+  /// Staged key indices owned by partition `p`, ascending.
+  const std::vector<uint32_t>& PartitionKeys(size_t p) const {
+    return parts_[p].keys;
+  }
+  size_t PartitionEntryCount(size_t p) const { return parts_[p].size; }
+  size_t PartitionBase(size_t p) const { return parts_[p].base; }
+  /// Partition-local entry id of staged key `i` (kNoEntry if skipped).
+  uint32_t LocalEntryOf(size_t i) const { return local_entry_[i]; }
+  size_t PartitionOf(size_t i) const {
+    return static_cast<size_t>(hashes_[i] >> (64 - kRadixBits));
+  }
+
+ private:
+  /// Canonical per-cell equality classes. Two cells are equal iff their
+  /// tags match and (a) the codes match for exactly-coded tags, or (b)
+  /// Value::Compare says so for kTagList (codes are only a hash there).
+  enum CellTag : uint8_t {
+    kTagNull = 0,
+    kTagFalse,
+    kTagTrue,
+    kTagInt,   ///< int64, or a double holding an exact int64 (1 == 1.0)
+    kTagReal,  ///< non-integral double; code = canonical bits (NaN unified)
+    kTagStr,   ///< code = per-partition dictionary id
+    kTagList,  ///< code = hash only; equality falls back to Value::Compare
+  };
+
+  /// One RowRefList batch: up to kBatchRows staged indices plus a forward
+  /// link, bump-allocated per partition.
+  struct Batch {
+    static constexpr uint32_t kBatchRows = 6;
+    uint32_t rows[kBatchRows];
+    uint32_t count = 0;
+    uint32_t next = kNoEntry;
+  };
+
+  struct Partition {
+    // Open-addressing slots: parallel arrays, power-of-two size. entry+1
+    // in slot_entry, 0 = empty.
+    std::vector<uint64_t> slot_hash;
+    std::vector<uint32_t> slot_entry;
+    size_t mask = 0;
+    size_t size = 0;  ///< entries
+
+    std::vector<uint32_t> first_row;   ///< per entry: first staged index
+    std::vector<uint32_t> entry_rows;  ///< per entry: staged occurrences
+    std::vector<uint32_t> head;        ///< chain mode: first batch
+    std::vector<uint32_t> tail;        ///< chain mode: last batch
+    std::vector<Batch> batches;
+
+    std::vector<uint32_t> keys;  ///< staged indices here, ascending
+    storage::StringDictionary dict;
+
+    uint32_t base = 0;  ///< global id of this partition's first entry
+    uint64_t build_steps = 0;
+    uint64_t resizes = 0;
+  };
+
+  static size_t PartitionOfHash(uint64_t h) {
+    return static_cast<size_t>(h >> (64 - kRadixBits));
+  }
+  size_t PartitionOfEntry(uint32_t entry) const;
+
+  /// Computes tag/code for one cell (strings get kTagStr with the code left
+  /// for Build to intern).
+  static void EncodeCell(const storage::Value& v, uint8_t* tag,
+                         uint64_t* code);
+
+  template <typename Assign>
+  void StageImpl(size_t i, Assign&& assign);
+  template <typename GetCell>
+  uint32_t FindImpl(GetCell&& cell, uint64_t* steps) const;
+
+  void BuildPartition(Partition& part, bool skip_null_keys);
+  void GrowPartition(Partition& part);
+  bool StagedKeysEqual(size_t i, size_t j) const;
+
+  size_t width_;
+  bool build_chains_;
+  size_t staged_n_ = 0;
+  size_t total_entries_ = 0;
+  bool built_ = false;
+
+  std::vector<storage::Value> arena_;  ///< width_ * n staged cells
+  std::vector<uint64_t> hashes_;       ///< per key: canonical row hash
+  std::vector<uint8_t> has_null_;      ///< per key
+  std::vector<uint8_t> tags_;          ///< width_ * n
+  std::vector<uint64_t> codes_;        ///< width_ * n
+  std::vector<uint32_t> local_entry_;  ///< per key: partition-local entry
+
+  Partition parts_[kNumPartitions];
+
+  /// Probe counters folded in by AddProbeStats; padded-free simple atomics
+  /// (one add per morsel, not per row).
+  mutable std::atomic<uint64_t> probes_{0};
+  mutable std::atomic<uint64_t> probe_steps_{0};
+};
+
+}  // namespace courserank::query
+
+#endif  // COURSERANK_QUERY_HASH_TABLE_H_

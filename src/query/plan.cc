@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/hash_table.h"
 #include "query/profile.h"
 #include "query/vector_ops.h"
 #include "storage/chunked_table.h"
@@ -72,6 +73,13 @@ struct ExecMetrics {
   obs::Histogram* project_par_ns;
   obs::Histogram* join_par_ns;
   obs::Histogram* extend_par_ns;
+  // RowKeyTable (flat_hash) totals across all hash-keyed operators:
+  // distinct keys built, probe lookups, slot inspections (build + probe),
+  // and saved-hash resizes.
+  obs::Counter* hash_entries;
+  obs::Counter* hash_probes;
+  obs::Counter* hash_steps;
+  obs::Counter* hash_resizes;
 };
 
 const ExecMetrics& Exec() {
@@ -97,7 +105,11 @@ const ExecMetrics& Exec() {
                        reg.GetHistogram("cr_exec_filter_parallel_ns"),
                        reg.GetHistogram("cr_exec_project_parallel_ns"),
                        reg.GetHistogram("cr_exec_join_parallel_ns"),
-                       reg.GetHistogram("cr_exec_extend_parallel_ns")};
+                       reg.GetHistogram("cr_exec_extend_parallel_ns"),
+                       reg.GetCounter("cr_exec_hash_entries_total"),
+                       reg.GetCounter("cr_exec_hash_probes_total"),
+                       reg.GetCounter("cr_exec_hash_steps_total"),
+                       reg.GetCounter("cr_exec_hash_resizes_total")};
   }();
   return m;
 }
@@ -221,6 +233,56 @@ void ConcatChunks(std::vector<std::vector<Row>>&& chunks,
   for (auto& c : chunks) {
     for (Row& r : c) out->push_back(std::move(r));
   }
+}
+
+/// Pool to hand RowKeyTable::Build for partition-parallel construction, or
+/// null when the build should stay serial — same gating as PlanMorsels so
+/// the "did we fan out" decision matches the rest of the operator. (Build
+/// itself is deterministic either way; this only decides who does the work.)
+ThreadPool* BuildPool(const ExecContext& ctx, size_t n) {
+  const ExecOptions& o = ctx.exec;
+  if (!o.parallel || n < o.min_parallel_rows) return nullptr;
+  ThreadPool& pool = o.pool != nullptr ? *o.pool : SharedThreadPool();
+  return pool.num_threads() > 1 ? &pool : nullptr;
+}
+
+/// Folds a finished RowKeyTable's stats into the executor metrics and the
+/// current profile node.
+void RecordHashStats(ExecContext& ctx, const RowKeyTable& table) {
+  HashTableStats s = table.stats();
+  Exec().hash_entries->Add(s.entries);
+  Exec().hash_probes->Add(s.probes);
+  Exec().hash_steps->Add(s.build_steps + s.probe_steps);
+  Exec().hash_resizes->Add(s.resizes);
+  if (PlanProfileNode* prof = Prof(ctx)) {
+    prof->hash_entries += s.entries;
+    prof->hash_probes += s.probes;
+    prof->hash_steps += s.build_steps + s.probe_steps;
+    prof->hash_max_chain = std::max(prof->hash_max_chain, s.max_chain);
+  }
+}
+
+/// Runs `fn(p)` over every radix partition — on `pool` when non-null — and
+/// returns the first non-OK status in partition order. Callers treat any
+/// error as "replay the serial oracle", so serial vs parallel error
+/// selection here never reaches the user.
+Status ForEachPartition(ThreadPool* pool,
+                        const std::function<Status(size_t)>& fn) {
+  if (pool == nullptr) {
+    for (size_t p = 0; p < RowKeyTable::kNumPartitions; ++p) {
+      CR_RETURN_IF_ERROR(fn(p));
+    }
+    return Status::OK();
+  }
+  Status status[RowKeyTable::kNumPartitions];
+  pool->ParallelFor(RowKeyTable::kNumPartitions, 1,
+                    [&](size_t, size_t begin, size_t end) {
+                      for (size_t p = begin; p < end; ++p) status[p] = fn(p);
+                    });
+  for (Status& st : status) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
 }
 
 std::string Indent(int n) { return std::string(2 * n, ' '); }
@@ -667,51 +729,104 @@ class JoinNode : public PlanNode {
 
     if (!split.pairs.empty()) {
       // Hash join: build on right.
-      auto key_of = [&](const Row& row,
-                        const std::vector<size_t>& cols) -> Row {
-        Row key;
-        key.reserve(cols.size());
-        for (size_t c : cols) key.push_back(row[c]);
-        return key;
-      };
       std::vector<size_t> lcols;
       std::vector<size_t> rcols;
       for (auto& [lc, rc] : split.pairs) {
         lcols.push_back(lc);
         rcols.push_back(rc);
       }
-      std::unordered_map<Row, std::vector<size_t>, RowHash> table;
-      table.reserve(r.rows.size());
-      for (size_t i = 0; i < r.rows.size(); ++i) {
-        Row key = key_of(r.rows[i], rcols);
-        bool has_null = false;
-        for (const Value& v : key) has_null |= v.is_null();
-        if (!has_null) table[std::move(key)].push_back(i);
-      }
-      CR_RETURN_IF_ERROR(RunMorsels(
-          ctx, l.rows.size(), mp,
-          [&](size_t m, size_t begin, size_t end) -> Status {
-            std::vector<Row>& chunk = chunks[m];
-            chunk.reserve(end - begin);
-            for (size_t i = begin; i < end; ++i) {
-              const Row& lr = l.rows[i];
-              bool matched = false;
-              Row key = key_of(lr, lcols);
-              bool has_null = false;
-              for (const Value& v : key) has_null |= v.is_null();
-              if (!has_null) {
-                auto it = table.find(key);
-                if (it != table.end()) {
-                  for (size_t ri : it->second) {
-                    CR_RETURN_IF_ERROR(
-                        emit_if_match(lr, r.rows[ri], &matched, &chunk));
+      if (ctx.exec.flat_hash) {
+        // RowKeyTable build: stage the right-side keys (morsel-parallel —
+        // staging slots are disjoint per row), then build the radix
+        // partitions (partition-parallel). NULL build keys get no entry and
+        // a NULL probe cell's tag can never equal a non-NULL cell's, so the
+        // no-match-on-NULL join rule needs no extra checks on either side.
+        RowKeyTable table(rcols.size(), /*build_chains=*/true);
+        table.Reserve(r.rows.size());
+        ThreadPool* bpool = BuildPool(ctx, r.rows.size());
+        if (bpool != nullptr) {
+          bpool->ParallelForMorsels(r.rows.size(), ctx.exec.morsel_rows,
+                                    [&](size_t, size_t begin, size_t end) {
+                                      for (size_t i = begin; i < end; ++i) {
+                                        table.StageCols(i, r.rows[i], rcols);
+                                      }
+                                    });
+        } else {
+          for (size_t i = 0; i < r.rows.size(); ++i) {
+            table.StageCols(i, r.rows[i], rcols);
+          }
+        }
+        table.Build(r.rows.size(), /*skip_null_keys=*/true, bpool);
+        Status st = RunMorsels(
+            ctx, l.rows.size(), mp,
+            [&](size_t m, size_t begin, size_t end) -> Status {
+              std::vector<Row>& chunk = chunks[m];
+              chunk.reserve(end - begin);
+              uint64_t probes = 0;
+              uint64_t steps = 0;
+              Status morsel_st;
+              for (size_t i = begin; i < end; ++i) {
+                const Row& lr = l.rows[i];
+                bool matched = false;
+                ++probes;
+                uint32_t entry = table.FindCols(lr, lcols, &steps);
+                if (entry != RowKeyTable::kNoEntry) {
+                  morsel_st =
+                      table.ForEachEntryRow(entry, [&](uint32_t ri) -> Status {
+                        return emit_if_match(lr, r.rows[ri], &matched, &chunk);
+                      });
+                  if (!morsel_st.ok()) break;
+                }
+                if (!matched && type_ == JoinType::kLeft) pad_left(lr, &chunk);
+              }
+              table.AddProbeStats(probes, steps);
+              return morsel_st;
+            });
+        RecordHashStats(ctx, table);
+        CR_RETURN_IF_ERROR(std::move(st));
+      } else {
+        // Historical map-backed build, kept as the differential oracle
+        // (ExecOptions::flat_hash = false).
+        auto key_of = [&](const Row& row,
+                          const std::vector<size_t>& cols) -> Row {
+          Row key;
+          key.reserve(cols.size());
+          for (size_t c : cols) key.push_back(row[c]);
+          return key;
+        };
+        std::unordered_map<Row, std::vector<size_t>, RowHash> table;
+        table.reserve(r.rows.size());
+        for (size_t i = 0; i < r.rows.size(); ++i) {
+          Row key = key_of(r.rows[i], rcols);
+          bool has_null = false;
+          for (const Value& v : key) has_null |= v.is_null();
+          if (!has_null) table[std::move(key)].push_back(i);
+        }
+        CR_RETURN_IF_ERROR(RunMorsels(
+            ctx, l.rows.size(), mp,
+            [&](size_t m, size_t begin, size_t end) -> Status {
+              std::vector<Row>& chunk = chunks[m];
+              chunk.reserve(end - begin);
+              for (size_t i = begin; i < end; ++i) {
+                const Row& lr = l.rows[i];
+                bool matched = false;
+                Row key = key_of(lr, lcols);
+                bool has_null = false;
+                for (const Value& v : key) has_null |= v.is_null();
+                if (!has_null) {
+                  auto it = table.find(key);
+                  if (it != table.end()) {
+                    for (size_t ri : it->second) {
+                      CR_RETURN_IF_ERROR(
+                          emit_if_match(lr, r.rows[ri], &matched, &chunk));
+                    }
                   }
                 }
+                if (!matched && type_ == JoinType::kLeft) pad_left(lr, &chunk);
               }
-              if (!matched && type_ == JoinType::kLeft) pad_left(lr, &chunk);
-            }
-            return Status::OK();
-          }));
+              return Status::OK();
+            }));
+      }
     } else {
       // Nested loop.
       CR_RETURN_IF_ERROR(RunMorsels(
@@ -863,90 +978,11 @@ class AggregateNode : public PlanNode {
       args.push_back(std::move(e));
     }
 
-    struct GroupState {
-      Row key;
-      std::vector<int64_t> counts;
-      std::vector<double> sums;
-      std::vector<Value> mins;
-      std::vector<Value> maxs;
-    };
-    std::unordered_map<Row, GroupState, RowHash> groups;
-    std::vector<Row> group_order;
-
-    for (const Row& row : in.rows) {
-      Row key;
-      key.reserve(keys.size());
-      for (const auto& k : keys) {
-        CR_ASSIGN_OR_RETURN(Value v, k->Eval(row));
-        key.push_back(std::move(v));
-      }
-      auto [it, inserted] = groups.try_emplace(key);
-      GroupState& g = it->second;
-      if (inserted) {
-        g.key = key;
-        g.counts.assign(aggs_.size(), 0);
-        g.sums.assign(aggs_.size(), 0.0);
-        g.mins.assign(aggs_.size(), Value::Null());
-        g.maxs.assign(aggs_.size(), Value::Null());
-        group_order.push_back(key);
-      }
-      for (size_t i = 0; i < aggs_.size(); ++i) {
-        if (aggs_[i].fn == AggFn::kCountStar) {
-          ++g.counts[i];
-          continue;
-        }
-        CR_ASSIGN_OR_RETURN(Value v, args[i]->Eval(row));
-        if (v.is_null()) continue;
-        ++g.counts[i];
-        if (aggs_[i].fn == AggFn::kSum || aggs_[i].fn == AggFn::kAvg) {
-          CR_ASSIGN_OR_RETURN(double d, v.ToDouble());
-          g.sums[i] += d;
-        }
-        if (g.mins[i].is_null() || v < g.mins[i]) g.mins[i] = v;
-        if (g.maxs[i].is_null() || g.maxs[i] < v) g.maxs[i] = v;
-      }
-    }
-
-    // Global aggregate over empty input still yields one row.
-    if (group_by_.empty() && groups.empty()) {
-      GroupState g;
-      g.counts.assign(aggs_.size(), 0);
-      g.sums.assign(aggs_.size(), 0.0);
-      g.mins.assign(aggs_.size(), Value::Null());
-      g.maxs.assign(aggs_.size(), Value::Null());
-      groups[{}] = g;
-      group_order.push_back({});
-    }
-
     Relation out;
-    for (const Row& key : group_order) {
-      const GroupState& g = groups[key];
-      Row row = key;
-      for (size_t i = 0; i < aggs_.size(); ++i) {
-        switch (aggs_[i].fn) {
-          case AggFn::kCountStar:
-          case AggFn::kCount:
-            row.push_back(Value(g.counts[i]));
-            break;
-          case AggFn::kSum:
-            row.push_back(g.counts[i] == 0 ? Value::Null()
-                                           : Value(g.sums[i]));
-            break;
-          case AggFn::kAvg:
-            row.push_back(g.counts[i] == 0
-                              ? Value::Null()
-                              : Value(g.sums[i] /
-                                      static_cast<double>(g.counts[i])));
-            break;
-          case AggFn::kMin:
-            row.push_back(g.mins[i]);
-            break;
-          case AggFn::kMax:
-            row.push_back(g.maxs[i]);
-            break;
-        }
-      }
-      out.rows.push_back(std::move(row));
+    if (ctx.exec.flat_hash) {
+      CR_RETURN_IF_ERROR(FlatAggregate(ctx, in, keys, args, &out));
+    } else {
+      CR_RETURN_IF_ERROR(MapAggregate(in, keys, args, &out));
     }
 
     std::vector<Column> cols;
@@ -987,6 +1023,235 @@ class AggregateNode : public PlanNode {
   }
 
  private:
+  /// Historical unordered_map accumulation, kept as the differential oracle
+  /// (ExecOptions::flat_hash = false) and as the error-replay path: when the
+  /// flat path hits an Eval error mid-stage, replaying this loop from
+  /// scratch reproduces the exact error the serial order hits first (Eval is
+  /// deterministic and row-local).
+  Status MapAggregate(const Relation& in, const std::vector<ExprPtr>& keys,
+                      const std::vector<ExprPtr>& args, Relation* out) const {
+    struct GroupState {
+      Row key;
+      std::vector<int64_t> counts;
+      std::vector<double> sums;
+      std::vector<Value> mins;
+      std::vector<Value> maxs;
+    };
+    std::unordered_map<Row, GroupState, RowHash> groups;
+    // First-appearance emission order. Pointers into `groups` stay valid
+    // across inserts (unordered_map never moves nodes); re-looking keys up
+    // at finalize through operator[] used to default-construct an empty
+    // GroupState whenever hash and equality disagreed (pre-canonical 1 vs
+    // 1.0 keys) and then read counts[] out of bounds.
+    std::vector<GroupState*> group_order;
+
+    for (const Row& row : in.rows) {
+      Row key;
+      key.reserve(keys.size());
+      for (const auto& k : keys) {
+        CR_ASSIGN_OR_RETURN(Value v, k->Eval(row));
+        key.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.try_emplace(key);
+      GroupState& g = it->second;
+      if (inserted) {
+        g.key = std::move(key);
+        g.counts.assign(aggs_.size(), 0);
+        g.sums.assign(aggs_.size(), 0.0);
+        g.mins.assign(aggs_.size(), Value::Null());
+        g.maxs.assign(aggs_.size(), Value::Null());
+        group_order.push_back(&g);
+      }
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        if (aggs_[i].fn == AggFn::kCountStar) {
+          ++g.counts[i];
+          continue;
+        }
+        CR_ASSIGN_OR_RETURN(Value v, args[i]->Eval(row));
+        if (v.is_null()) continue;
+        ++g.counts[i];
+        if (aggs_[i].fn == AggFn::kSum || aggs_[i].fn == AggFn::kAvg) {
+          CR_ASSIGN_OR_RETURN(double d, v.ToDouble());
+          g.sums[i] += d;
+        }
+        if (g.mins[i].is_null() || v < g.mins[i]) g.mins[i] = v;
+        if (g.maxs[i].is_null() || g.maxs[i] < v) g.maxs[i] = v;
+      }
+    }
+
+    // Global aggregate over empty input still yields one row: COUNT 0,
+    // SUM/AVG/MIN/MAX NULL.
+    if (group_by_.empty() && groups.empty()) {
+      GroupState& g = groups[{}];
+      g.counts.assign(aggs_.size(), 0);
+      g.sums.assign(aggs_.size(), 0.0);
+      g.mins.assign(aggs_.size(), Value::Null());
+      g.maxs.assign(aggs_.size(), Value::Null());
+      group_order.push_back(&g);
+    }
+
+    out->rows.reserve(group_order.size());
+    for (GroupState* g : group_order) {
+      Row row = std::move(g->key);
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        switch (aggs_[i].fn) {
+          case AggFn::kCountStar:
+          case AggFn::kCount:
+            row.push_back(Value(g->counts[i]));
+            break;
+          case AggFn::kSum:
+            row.push_back(g->counts[i] == 0 ? Value::Null()
+                                            : Value(g->sums[i]));
+            break;
+          case AggFn::kAvg:
+            row.push_back(g->counts[i] == 0
+                              ? Value::Null()
+                              : Value(g->sums[i] /
+                                      static_cast<double>(g->counts[i])));
+            break;
+          case AggFn::kMin:
+            row.push_back(g->mins[i]);
+            break;
+          case AggFn::kMax:
+            row.push_back(g->maxs[i]);
+            break;
+        }
+      }
+      out->rows.push_back(std::move(row));
+    }
+    return Status::OK();
+  }
+
+  /// RowKeyTable path: morsel-parallel key staging, radix-partitioned
+  /// build, then partition-parallel accumulation into flat per-entry state.
+  /// Each group lives entirely in one partition and each partition visits
+  /// its rows in ascending staged order, so per-group accumulation (and FP
+  /// summation) order matches the serial loop exactly; emission iterates
+  /// staged rows and emits at each entry's leader, which is first-appearance
+  /// order. Byte-identical to MapAggregate by construction.
+  Status FlatAggregate(ExecContext& ctx, const Relation& in,
+                       const std::vector<ExprPtr>& keys,
+                       const std::vector<ExprPtr>& args,
+                       Relation* out) const {
+    const size_t n = in.rows.size();
+    const size_t width = keys.size();
+    const size_t naggs = aggs_.size();
+
+    RowKeyTable table(width, /*build_chains=*/false);
+    table.Reserve(n);
+    MorselPlan mp = PlanMorsels(ctx, n);
+    Status staged = RunMorsels(
+        ctx, n, mp, [&](size_t, size_t begin, size_t end) -> Status {
+          Row key;
+          for (size_t i = begin; i < end; ++i) {
+            key.clear();
+            key.reserve(width);
+            for (const auto& k : keys) {
+              CR_ASSIGN_OR_RETURN(Value v, k->Eval(in.rows[i]));
+              key.push_back(std::move(v));
+            }
+            table.StageMove(i, key);
+          }
+          return Status::OK();
+        });
+    if (!staged.ok()) return MapAggregate(in, keys, args, out);
+
+    ThreadPool* bpool = BuildPool(ctx, n);
+    // GROUP BY / one-NULL-group semantics: NULL is an ordinary key value.
+    table.Build(n, /*skip_null_keys=*/false, bpool);
+    const size_t ne = table.entry_count();
+
+    // Flat accumulator state, indexed entry * naggs + agg.
+    std::vector<int64_t> counts(ne * naggs, 0);
+    std::vector<double> sums(ne * naggs, 0.0);
+    std::vector<Value> mins(ne * naggs);
+    std::vector<Value> maxs(ne * naggs);
+
+    auto accumulate = [&](size_t p) -> Status {
+      for (uint32_t i : table.PartitionKeys(p)) {
+        const Row& row = in.rows[i];
+        size_t off = size_t{table.EntryOf(i)} * naggs;
+        for (size_t a = 0; a < naggs; ++a) {
+          if (aggs_[a].fn == AggFn::kCountStar) {
+            ++counts[off + a];
+            continue;
+          }
+          CR_ASSIGN_OR_RETURN(Value v, args[a]->Eval(row));
+          if (v.is_null()) continue;
+          ++counts[off + a];
+          if (aggs_[a].fn == AggFn::kSum || aggs_[a].fn == AggFn::kAvg) {
+            CR_ASSIGN_OR_RETURN(double d, v.ToDouble());
+            sums[off + a] += d;
+          }
+          if (mins[off + a].is_null() || v < mins[off + a]) {
+            mins[off + a] = v;
+          }
+          if (maxs[off + a].is_null() || maxs[off + a] < v) {
+            maxs[off + a] = v;
+          }
+        }
+      }
+      return Status::OK();
+    };
+    if (!ForEachPartition(bpool, accumulate).ok()) {
+      return MapAggregate(in, keys, args, out);
+    }
+
+    auto append_aggs = [&](Row& row, size_t off) {
+      for (size_t a = 0; a < naggs; ++a) {
+        switch (aggs_[a].fn) {
+          case AggFn::kCountStar:
+          case AggFn::kCount:
+            row.push_back(Value(counts[off + a]));
+            break;
+          case AggFn::kSum:
+            row.push_back(counts[off + a] == 0 ? Value::Null()
+                                               : Value(sums[off + a]));
+            break;
+          case AggFn::kAvg:
+            row.push_back(counts[off + a] == 0
+                              ? Value::Null()
+                              : Value(sums[off + a] /
+                                      static_cast<double>(counts[off + a])));
+            break;
+          case AggFn::kMin:
+            row.push_back(std::move(mins[off + a]));
+            break;
+          case AggFn::kMax:
+            row.push_back(std::move(maxs[off + a]));
+            break;
+        }
+      }
+    };
+
+    out->rows.reserve(ne);
+    for (size_t i = 0; i < n; ++i) {
+      if (!table.IsEntryLeader(i)) continue;
+      Row row;
+      row.reserve(width + naggs);
+      Value* cells = table.MutableKeyCells(i);
+      for (size_t c = 0; c < width; ++c) row.push_back(std::move(cells[c]));
+      append_aggs(row, size_t{table.EntryOf(i)} * naggs);
+      out->rows.push_back(std::move(row));
+    }
+
+    // Global aggregate over empty input still yields one row: COUNT 0,
+    // SUM/AVG/MIN/MAX NULL (the state arrays are sized 0 here, so emit from
+    // freshly defaulted state).
+    if (group_by_.empty() && ne == 0) {
+      counts.assign(naggs, 0);
+      sums.assign(naggs, 0.0);
+      mins.assign(naggs, Value());
+      maxs.assign(naggs, Value());
+      Row row;
+      row.reserve(naggs);
+      append_aggs(row, 0);
+      out->rows.push_back(std::move(row));
+    }
+    RecordHashStats(ctx, table);
+    return Status::OK();
+  }
+
   PlanPtr child_;
   std::vector<ProjectItem> group_by_;
   std::vector<AggregateItem> aggs_;
@@ -1178,6 +1443,48 @@ class LimitNode : public PlanNode {
   size_t offset_;
 };
 
+/// First-occurrence dedup over whole rows, shared by Distinct and UNION.
+/// SQL DISTINCT semantics: NULLs compare equal, so all-NULL duplicates
+/// collapse to one row. The flat path stages every row into a RowKeyTable
+/// (morsel-parallel), builds the radix partitions, and keeps each entry's
+/// leader; the map path is the historical oracle.
+void DedupRows(ExecContext& ctx, std::vector<Row>* rows) {
+  if (rows->empty()) return;
+  if (ctx.exec.flat_hash) {
+    const size_t n = rows->size();
+    RowKeyTable table((*rows)[0].size(), /*build_chains=*/false);
+    table.Reserve(n);
+    ThreadPool* bpool = BuildPool(ctx, n);
+    if (bpool != nullptr) {
+      bpool->ParallelForMorsels(n, ctx.exec.morsel_rows,
+                                [&](size_t, size_t begin, size_t end) {
+                                  for (size_t i = begin; i < end; ++i) {
+                                    table.StageRow(i, (*rows)[i]);
+                                  }
+                                });
+    } else {
+      for (size_t i = 0; i < n; ++i) table.StageRow(i, (*rows)[i]);
+    }
+    table.Build(n, /*skip_null_keys=*/false, bpool);
+    std::vector<Row> deduped;
+    deduped.reserve(table.entry_count());
+    for (size_t i = 0; i < n; ++i) {
+      if (table.IsEntryLeader(i)) deduped.push_back(std::move((*rows)[i]));
+    }
+    *rows = std::move(deduped);
+    RecordHashStats(ctx, table);
+    return;
+  }
+  std::unordered_map<Row, bool, RowHash> seen;
+  seen.reserve(rows->size());
+  std::vector<Row> deduped;
+  for (Row& row : *rows) {
+    auto [it, inserted] = seen.try_emplace(row, true);
+    if (inserted) deduped.push_back(std::move(row));
+  }
+  *rows = std::move(deduped);
+}
+
 class DistinctNode : public PlanNode {
  public:
   explicit DistinctNode(PlanPtr child) : child_(std::move(child)) {}
@@ -1186,12 +1493,8 @@ class DistinctNode : public PlanNode {
     CR_ASSIGN_OR_RETURN(Relation in, child_->Execute(ctx));
     Relation out;
     out.schema = in.schema;
-    std::unordered_map<Row, bool, RowHash> seen;
-    seen.reserve(in.rows.size());
-    for (Row& row : in.rows) {
-      auto [it, inserted] = seen.try_emplace(row, true);
-      if (inserted) out.rows.push_back(std::move(row));
-    }
+    out.rows = std::move(in.rows);
+    DedupRows(ctx, &out.rows);
     return out;
   }
 
@@ -1219,16 +1522,7 @@ class UnionNode : public PlanNode {
     out.schema = l.schema;
     out.rows = std::move(l.rows);
     for (Row& row : r.rows) out.rows.push_back(std::move(row));
-    if (!all_) {
-      std::unordered_map<Row, bool, RowHash> seen;
-      seen.reserve(out.rows.size());
-      std::vector<Row> deduped;
-      for (Row& row : out.rows) {
-        auto [it, inserted] = seen.try_emplace(row, true);
-        if (inserted) deduped.push_back(std::move(row));
-      }
-      out.rows = std::move(deduped);
-    }
+    if (!all_) DedupRows(ctx, &out.rows);
     return out;
   }
 
@@ -1271,25 +1565,138 @@ class ExtendNode : public PlanNode {
       collect.push_back(std::move(e));
     }
 
-    // Group source rows by key.
-    std::unordered_map<Row, std::vector<Value>, RowHash> grouped;
-    grouped.reserve(src.rows.size());
-    for (const Row& row : src.rows) {
-      CR_ASSIGN_OR_RETURN(Value key, sk->Eval(row));
-      if (key.is_null()) continue;
-      Value element;
-      if (collect.size() == 1) {
-        CR_ASSIGN_OR_RETURN(element, collect[0]->Eval(row));
-      } else {
-        Value::List tuple;
-        tuple.reserve(collect.size());
-        for (const auto& c : collect) {
-          CR_ASSIGN_OR_RETURN(Value v, c->Eval(row));
-          tuple.push_back(std::move(v));
+    // Group source rows by key. Flat path: stage each source row's key into
+    // a width-1 RowKeyTable (morsel-parallel), build the radix partitions —
+    // NULL source keys get no entry, the same skip the serial loop takes —
+    // then accumulate each partition's collect lists; partitions visit rows
+    // in ascending staged order and every key lives in exactly one
+    // partition, so per-key element order matches the serial loop. Any Eval
+    // error anywhere falls back to the serial map loop below, which
+    // reproduces the exact serial-first error (Eval is deterministic and
+    // row-local).
+    bool flat = ctx.exec.flat_hash;
+    std::optional<RowKeyTable> table;
+    std::vector<Value::List> flat_groups;
+    // Bare column-reference keys and collect lists (the common DSL shape:
+    // `EXTEND ... ON SuID = SuID COLLECT CourseID, Score`) skip the
+    // generic Eval machinery — a direct row[index] copy per cell instead
+    // of a virtual call returning Result<Value>. A bare-column read on a
+    // well-formed row cannot fail, so the fast path stays inside the flat
+    // branch's no-error envelope; short rows divert to Eval, which
+    // produces the same diagnostic the serial loop would.
+    auto bare_col = [](const Expr& e, const Schema& schema,
+                       size_t width) -> std::optional<size_t> {
+      ColumnOnly v;
+      e.Accept(v);
+      if (!v.name.has_value()) return std::nullopt;
+      Result<size_t> idx = schema.ColumnIndex(*v.name);
+      if (!idx.ok() || *idx >= width) return std::nullopt;
+      return *idx;
+    };
+    if (flat) {
+      const size_t sn = src.rows.size();
+      const size_t swidth = src.schema.columns().size();
+      std::optional<size_t> sk_col = bare_col(*sk, src.schema, swidth);
+      std::vector<size_t> ccols;
+      bool collect_bare = true;
+      for (const auto& c : collect) {
+        std::optional<size_t> idx = bare_col(*c, src.schema, swidth);
+        if (!idx.has_value()) {
+          collect_bare = false;
+          break;
         }
-        element = Value(std::move(tuple));
+        ccols.push_back(*idx);
       }
-      grouped[{key}].push_back(std::move(element));
+      table.emplace(1, /*build_chains=*/false);
+      table->Reserve(sn);
+      MorselPlan smp = PlanMorsels(ctx, sn);
+      Status st = RunMorsels(
+          ctx, sn, smp, [&](size_t, size_t begin, size_t end) -> Status {
+            for (size_t i = begin; i < end; ++i) {
+              const Row& row = src.rows[i];
+              if (sk_col.has_value() && *sk_col < row.size()) {
+                table->StageMove1(i, Value(row[*sk_col]));
+              } else {
+                CR_ASSIGN_OR_RETURN(Value key, sk->Eval(row));
+                table->StageMove1(i, std::move(key));
+              }
+            }
+            return Status::OK();
+          });
+      if (st.ok()) {
+        ThreadPool* bpool = BuildPool(ctx, sn);
+        table->Build(sn, /*skip_null_keys=*/true, bpool);
+        flat_groups.resize(table->entry_count());
+        st = ForEachPartition(bpool, [&](size_t p) -> Status {
+          // First pass sizes each group exactly, so the fill pass never
+          // reallocates mid-growth. Entries of partition p are contiguous
+          // from its base, so the counts live in a small local vector.
+          const uint32_t pbase = table->PartitionBase(p);
+          std::vector<uint32_t> counts(table->PartitionEntryCount(p), 0);
+          for (uint32_t i : table->PartitionKeys(p)) {
+            uint32_t local = table->LocalEntryOf(i);
+            if (local != RowKeyTable::kNoEntry) ++counts[local];
+          }
+          for (size_t e = 0; e < counts.size(); ++e) {
+            flat_groups[pbase + e].reserve(counts[e]);
+          }
+          for (uint32_t i : table->PartitionKeys(p)) {
+            uint32_t e = table->EntryOf(i);
+            if (e == RowKeyTable::kNoEntry) continue;
+            const Row& row = src.rows[i];
+            Value element;
+            if (collect_bare && row.size() >= swidth) {
+              if (ccols.size() == 1) {
+                element = row[ccols[0]];
+              } else {
+                Value::List tuple;
+                tuple.reserve(ccols.size());
+                for (size_t c : ccols) tuple.push_back(row[c]);
+                element = Value(std::move(tuple));
+              }
+            } else if (collect.size() == 1) {
+              CR_ASSIGN_OR_RETURN(element, collect[0]->Eval(row));
+            } else {
+              Value::List tuple;
+              tuple.reserve(collect.size());
+              for (const auto& c : collect) {
+                CR_ASSIGN_OR_RETURN(Value v, c->Eval(row));
+                tuple.push_back(std::move(v));
+              }
+              element = Value(std::move(tuple));
+            }
+            flat_groups[table->EntryOf(i)].push_back(std::move(element));
+          }
+          return Status::OK();
+        });
+      }
+      if (!st.ok()) {
+        flat = false;
+        table.reset();
+        flat_groups.clear();
+      }
+    }
+
+    std::unordered_map<Row, std::vector<Value>, RowHash> grouped;
+    if (!flat) {
+      grouped.reserve(src.rows.size());
+      for (const Row& row : src.rows) {
+        CR_ASSIGN_OR_RETURN(Value key, sk->Eval(row));
+        if (key.is_null()) continue;
+        Value element;
+        if (collect.size() == 1) {
+          CR_ASSIGN_OR_RETURN(element, collect[0]->Eval(row));
+        } else {
+          Value::List tuple;
+          tuple.reserve(collect.size());
+          for (const auto& c : collect) {
+            CR_ASSIGN_OR_RETURN(Value v, c->Eval(row));
+            tuple.push_back(std::move(v));
+          }
+          element = Value(std::move(tuple));
+        }
+        grouped[{key}].push_back(std::move(element));
+      }
     }
 
     // List payloads are immutable behind a shared handle, so sealing each
@@ -1297,12 +1704,20 @@ class ExtendNode : public PlanNode {
     // byte-identical to rebuilding the list — minus the per-row deep copy
     // that used to dominate ε over large groups. Gated on `columnar` so the
     // row oracle keeps the historical allocation pattern for ablation.
-    std::unordered_map<Row, Value, RowHash> shared;
     const bool share_lists = ctx.exec.columnar;
+    std::vector<Value> flat_shared;
+    std::unordered_map<Row, Value, RowHash> shared;
     if (share_lists) {
-      shared.reserve(grouped.size());
-      for (auto& [key, values] : grouped) {
-        shared.emplace(key, Value(std::move(values)));
+      if (flat) {
+        flat_shared.reserve(flat_groups.size());
+        for (Value::List& g : flat_groups) {
+          flat_shared.push_back(Value(std::move(g)));
+        }
+      } else {
+        shared.reserve(grouped.size());
+        for (auto& [key, values] : grouped) {
+          shared.emplace(key, Value(std::move(values)));
+        }
       }
     }
     const Value empty_list{Value::List{}};
@@ -1316,16 +1731,40 @@ class ExtendNode : public PlanNode {
     if (PlanProfileNode* prof = Prof(ctx)) prof->columnar = share_lists;
     MorselPlan mp = PlanMorsels(ctx, in.rows.size());
     if (mp.parallel) timer.set_histogram(Exec().extend_par_ns);
+    const std::optional<size_t> ck_col =
+        flat ? bare_col(*ck, in.schema, in.schema.columns().size())
+             : std::nullopt;
     std::vector<std::vector<Row>> chunks(mp.morsels);
     CR_RETURN_IF_ERROR(RunMorsels(
         ctx, in.rows.size(), mp,
         [&](size_t m, size_t begin, size_t end) -> Status {
           std::vector<Row>& chunk = chunks[m];
           chunk.reserve(end - begin);
+          uint64_t probes = 0;
+          uint64_t steps = 0;
           for (size_t i = begin; i < end; ++i) {
             Row& row = in.rows[i];
-            CR_ASSIGN_OR_RETURN(Value key, ck->Eval(row));
-            if (share_lists) {
+            Value key;
+            if (ck_col.has_value() && *ck_col < row.size()) {
+              key = row[*ck_col];
+            } else {
+              CR_ASSIGN_OR_RETURN(key, ck->Eval(row));
+            }
+            if (flat) {
+              uint32_t e = RowKeyTable::kNoEntry;
+              if (!key.is_null()) {
+                ++probes;
+                e = table->Find1(key, &steps);
+              }
+              if (share_lists) {
+                row.push_back(e == RowKeyTable::kNoEntry ? empty_list
+                                                         : flat_shared[e]);
+              } else {
+                row.push_back(Value(e == RowKeyTable::kNoEntry
+                                        ? Value::List{}
+                                        : Value::List(flat_groups[e])));
+              }
+            } else if (share_lists) {
               auto it = key.is_null() ? shared.end() : shared.find({key});
               row.push_back(it == shared.end() ? empty_list : it->second);
             } else {
@@ -1337,8 +1776,10 @@ class ExtendNode : public PlanNode {
             }
             chunk.push_back(std::move(row));
           }
+          if (flat) table->AddProbeStats(probes, steps);
           return Status::OK();
         }));
+    if (flat) RecordHashStats(ctx, *table);
     ConcatChunks(std::move(chunks), &out.rows);
     return out;
   }

@@ -40,6 +40,12 @@ struct ExecOptions {
   /// oracle, kept for differential testing and ablation benchmarks. Both
   /// paths are byte-identical by contract.
   bool columnar = true;
+  /// Use the shared open-addressing RowKeyTable (radix-partitioned parallel
+  /// build, RowRefList chains — DESIGN.md §14) for join / aggregate /
+  /// distinct / union / ε-extend key state. False = the historical
+  /// std::unordered_map<Row, ...> path, kept as the differential oracle.
+  /// Both paths are byte-identical by contract.
+  bool flat_hash = true;
 };
 
 class ProfileCollector;

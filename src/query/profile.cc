@@ -110,6 +110,13 @@ void AppendProfileText(const PlanProfileNode& node, uint64_t total_ns,
   if (node.dict_hits > 0) {
     AppendF(out, ", dict_hits=%" PRIu64, node.dict_hits);
   }
+  if (node.hash_entries > 0) {
+    AppendF(out,
+            ", hash=%" PRIu64 " entries/%" PRIu64 " probes/%" PRIu64
+            " steps, maxchain=%" PRIu64,
+            node.hash_entries, node.hash_probes, node.hash_steps,
+            node.hash_max_chain);
+  }
   if (node.error) *out += ", ERROR";
   *out += "]\n";
   for (const auto& c : node.children) {
@@ -132,6 +139,11 @@ void AppendProfileJson(const PlanProfileNode& node, std::string* out) {
           node.parallel ? "true" : "false", node.columnar ? "true" : "false",
           node.pushdown ? "true" : "false", node.dict_hits,
           node.error ? "true" : "false");
+  AppendF(out,
+          ", \"hash_entries\": %" PRIu64 ", \"hash_probes\": %" PRIu64
+          ", \"hash_steps\": %" PRIu64 ", \"hash_max_chain\": %" PRIu64,
+          node.hash_entries, node.hash_probes, node.hash_steps,
+          node.hash_max_chain);
   *out += ", \"children\": [";
   for (size_t i = 0; i < node.children.size(); ++i) {
     if (i > 0) *out += ", ";

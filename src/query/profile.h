@@ -33,6 +33,14 @@ struct PlanProfileNode {
   bool pushdown = false;
   /// Dictionary-encoded comparisons the vectorized scan answered by id.
   uint64_t dict_hits = 0;
+  /// RowKeyTable stats for hash-keyed operators (join / aggregate /
+  /// distinct / union / ε-extend on the flat_hash path): distinct keys
+  /// built, probe lookups, slot inspections across build + probe, and the
+  /// longest RowRefList chain (rows under the most-duplicated key).
+  uint64_t hash_entries = 0;
+  uint64_t hash_probes = 0;
+  uint64_t hash_steps = 0;
+  uint64_t hash_max_chain = 0;
   bool error = false;
 
   std::vector<std::unique_ptr<PlanProfileNode>> children;

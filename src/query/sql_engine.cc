@@ -215,6 +215,9 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
   }
 
   PlanPtr plan;
+  // Pruned-column names in scan-output order, kept for the
+  // identity-projection elision below (push itself is moved into the scan).
+  std::vector<std::string> pushed_cols = push.columns;
   if (pushed_components > 0) {
     Metrics().pushdown_rewrites->Add(pushed_components);
     plan = MakePushdownScan(stmt.from.table, effective_alias(stmt.from),
@@ -323,7 +326,23 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
       return Status::Unimplemented(
           "SELECT DISTINCT with ORDER BY on non-selected expressions");
     }
-    plan = MakeProject(std::move(plan), std::move(items));
+    // Identity-projection elision: when column pruning pushed exactly the
+    // select list into the scan — same columns, same order, same output
+    // spelling, every item a bare column reference — the Project would
+    // copy every row to rebuild the relation the scan already produced.
+    // A bare ColumnExpr renders as its unadorned name, so ToString
+    // equality against the scan-schema spelling identifies the shape.
+    bool identity = hidden.empty() && !pushed_cols.empty() &&
+                    items.size() == pushed_cols.size();
+    for (size_t i = 0; identity && i < items.size(); ++i) {
+      if (items[i].name != pushed_cols[i] ||
+          items[i].expr->ToString() != pushed_cols[i]) {
+        identity = false;
+      }
+    }
+    if (!identity) {
+      plan = MakeProject(std::move(plan), std::move(items));
+    }
     if (stmt.distinct) plan = MakeDistinct(std::move(plan));
     if (!stmt.order_by.empty()) {
       std::vector<SortKey> keys;

@@ -18,8 +18,8 @@ using storage::StringDictionary;
 using storage::Value;
 using storage::ValueType;
 
-// Mirror of value.cc's Sign so the double-space loops order exactly like
-// Value::Compare (including its treatment of NaN).
+// Sign of a double-space difference. Callers handle NaN explicitly before
+// using it, so the loops order exactly like Value::Compare's total order.
 inline int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
 
 inline bool Decide(BinaryOp op, int c) {
@@ -106,22 +106,26 @@ class CmpPred final : public CompiledPredicate {
       return;
     }
 
-    // Double-space loops. Valid whenever every per-cell comparison the row
-    // oracle would do is itself a double-space Sign(): INT cells vs DOUBLE
-    // literal always are; INT literals only when they round-trip through
-    // double (then double order == int order for the round-tripping cells
-    // a kDouble chunk is guaranteed to hold).
+    // INT cells vs DOUBLE literal: exact mixed compare (same helper as
+    // Value::Compare, so ints beyond 2^53 and NaN literals match the row
+    // oracle bit-for-bit).
     if (cv.encoding() == ColumnEncoding::kInt64 &&
         lit_.type() == ValueType::kDouble) {
       const int64_t* xs = cv.ints().data();
       const double b = lit_.AsDouble();
       for (size_t i = 0; i < n; ++i) {
-        int c = Sign(static_cast<double>(xs[i]) - b);
+        int c = storage::CompareInt64Double(xs[i], b);
         out[i] = nulls[i] ? kSelNull
                           : (Decide(op_, c) ? kSelTrue : kSelFalse);
       }
       return;
     }
+    // Double-space loop. Valid whenever every per-cell comparison the row
+    // oracle would do is itself double-vs-double: DOUBLE literals always
+    // are; INT literals only when they round-trip through double (then
+    // double order == int order for the round-tripping cells a kDouble
+    // chunk is guaranteed to hold). NaN cells sort below every non-NaN and
+    // equal to each other, mirroring Value::Compare's total order.
     if (cv.encoding() == ColumnEncoding::kDouble &&
         (lit_.type() == ValueType::kDouble ||
          (lit_.type() == ValueType::kInt &&
@@ -130,8 +134,16 @@ class CmpPred final : public CompiledPredicate {
       const double b = lit_.type() == ValueType::kDouble
                            ? lit_.AsDouble()
                            : static_cast<double>(lit_.AsInt());
+      if (b != b) {  // NaN literal: every non-NaN cell sorts above it
+        for (size_t i = 0; i < n; ++i) {
+          int c = xs[i] != xs[i] ? 0 : 1;
+          out[i] = nulls[i] ? kSelNull
+                            : (Decide(op_, c) ? kSelTrue : kSelFalse);
+        }
+        return;
+      }
       for (size_t i = 0; i < n; ++i) {
-        int c = Sign(xs[i] - b);
+        int c = xs[i] != xs[i] ? -1 : Sign(xs[i] - b);
         out[i] = nulls[i] ? kSelNull
                           : (Decide(op_, c) ? kSelTrue : kSelFalse);
       }

@@ -1,5 +1,7 @@
 #include "storage/value.h"
 
+#include <cmath>
+#include <cstring>
 #include <functional>
 
 #include "common/logging.h"
@@ -115,7 +117,48 @@ int TypeRank(ValueType t) {
   return 5;
 }
 
-int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+/// Doubles at or beyond these bounds are outside int64 range. The lower
+/// bound is exactly representable (-2^63); the upper is 2^63, the first
+/// double past INT64_MAX.
+constexpr double kInt64Lo = -9223372036854775808.0;
+constexpr double kInt64Hi = 9223372036854775808.0;
+
+int CompareDoubles(double a, double b) {
+  // NaN forms one equivalence class below every other numeric, so the
+  // ordering stays transitive (IEEE comparisons would make NaN unordered
+  // and break hash-table equality).
+  if (std::isnan(a)) return std::isnan(b) ? 0 : -1;
+  if (std::isnan(b)) return 1;
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+/// Per-type hash tags; arbitrary odd constants feeding HashMix64.
+constexpr uint64_t kHashNull = 0x7b1dcb5c631f40adULL;
+constexpr uint64_t kHashFalse = 0xa24baed4963ee407ULL;
+constexpr uint64_t kHashTrue = 0x9fb21c651e98df25ULL;
+constexpr uint64_t kHashNumeric = 0xd6e8feb86659fd93ULL;
+constexpr uint64_t kHashReal = 0xc2b2ae3d27d4eb4fULL;
+constexpr uint64_t kHashNaN = 0x5851f42d4c957f2dULL;
+constexpr uint64_t kHashString = 0x8cb92ba72f3d8dd7ULL;
+constexpr uint64_t kHashList = 0xff51afd7ed558ccdULL;
+
+uint64_t HashInt64(int64_t i) {
+  return HashMix64(kHashNumeric ^ static_cast<uint64_t>(i));
+}
+
+uint64_t HashDouble(double d) {
+  if (std::isnan(d)) return kHashNaN;    // every NaN payload, one hash
+  if (d == 0.0) d = 0.0;                 // -0.0 == 0.0, so same hash
+  // Integral doubles inside int64 range compare equal to the matching int
+  // (1 == 1.0), so they must share its hash.
+  if (d >= kInt64Lo && d < kInt64Hi) {
+    int64_t i = static_cast<int64_t>(d);
+    if (static_cast<double>(i) == d) return HashInt64(i);
+  }
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return HashMix64(kHashReal ^ bits);
+}
 
 }  // namespace
 
@@ -134,13 +177,12 @@ int Value::Compare(const Value& other) const {
         int64_t b = other.AsInt();
         return a < b ? -1 : (a > b ? 1 : 0);
       }
-      return Sign(static_cast<double>(AsInt()) - other.AsDouble());
-    case ValueType::kDouble: {
-      double b = other.type() == ValueType::kInt
-                     ? static_cast<double>(other.AsInt())
-                     : other.AsDouble();
-      return Sign(AsDouble() - b);
-    }
+      return CompareInt64Double(AsInt(), other.AsDouble());
+    case ValueType::kDouble:
+      if (other.type() == ValueType::kInt) {
+        return -CompareInt64Double(other.AsInt(), AsDouble());
+      }
+      return CompareDoubles(AsDouble(), other.AsDouble());
     case ValueType::kString:
       return AsString().compare(other.AsString());
     case ValueType::kList: {
@@ -160,24 +202,26 @@ int Value::Compare(const Value& other) const {
 size_t Value::Hash() const {
   switch (type()) {
     case ValueType::kNull:
-      return 0x9e3779b9u;
+      return static_cast<size_t>(kHashNull);
     case ValueType::kBool:
-      return AsBool() ? 0x11u : 0x22u;
+      return static_cast<size_t>(AsBool() ? kHashTrue : kHashFalse);
     case ValueType::kInt:
-      // Hash ints as doubles when exactly representable so 1 == 1.0 hashes
-      // consistently with Compare().
-      return std::hash<double>()(static_cast<double>(AsInt()));
+      return static_cast<size_t>(HashInt64(AsInt()));
     case ValueType::kDouble:
-      return std::hash<double>()(AsDouble());
-    case ValueType::kString:
-      return std::hash<std::string>()(AsString());
-    case ValueType::kList: {
-      size_t h = 0xcbf29ce484222325ULL;
-      for (const Value& v : AsList()) {
-        h ^= v.Hash();
+      return static_cast<size_t>(HashDouble(AsDouble()));
+    case ValueType::kString: {
+      // FNV-1a-64 over the bytes, then mixed so low bits avalanche.
+      uint64_t h = 0xcbf29ce484222325ULL;
+      for (unsigned char c : AsString()) {
+        h ^= c;
         h *= 0x100000001b3ULL;
       }
-      return h;
+      return static_cast<size_t>(HashMix64(kHashString ^ h));
+    }
+    case ValueType::kList: {
+      uint64_t h = kHashList;
+      for (const Value& v : AsList()) h = HashMix64(h ^ v.Hash());
+      return static_cast<size_t>(h);
     }
   }
   return 0;

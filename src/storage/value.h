@@ -70,13 +70,18 @@ class Value {
   std::string ToString() const;
 
   /// Total ordering across types (NULL < BOOL < numerics < STRING < LIST);
-  /// ints and doubles compare numerically with each other. Returns -1/0/1.
+  /// ints and doubles compare numerically with each other, exactly (no
+  /// lossy conversion to double, so values beyond 2^53 order correctly).
+  /// NaN sorts below every other numeric and equal to itself, giving a
+  /// transitive total order hash tables can rely on. Returns -1/0/1.
   int Compare(const Value& other) const;
 
   bool operator==(const Value& other) const { return Compare(other) == 0; }
   bool operator<(const Value& other) const { return Compare(other) < 0; }
 
-  /// Hash consistent with operator== (numeric cross-type equality included).
+  /// Hash consistent with operator== (numeric cross-type equality included):
+  /// 1 and 1.0 hash identically, -0.0 hashes as 0.0, and every NaN payload
+  /// hashes to one fixed value (NaN == NaN under Compare).
   size_t Hash() const;
 
  private:
@@ -88,15 +93,40 @@ class Value {
 /// A tuple: one Value per schema column.
 using Row = std::vector<Value>;
 
-/// Hash functor for composite keys (e.g. multi-column index keys).
+/// Exact comparison of an int64 against a double, SQLite-style: compares in
+/// integer space when the double is within int64 range (so ints beyond 2^53
+/// order correctly) and never loses precision. NaN compares below every
+/// integer. Returns -1/0/1 for a <,==,> b. Shared by Value::Compare and the
+/// vectorized predicate kernels so row and columnar paths agree bit-for-bit.
+inline int CompareInt64Double(int64_t a, double b) {
+  if (b != b) return 1;  // NaN: integers sort above it
+  if (b < -9223372036854775808.0) return 1;
+  if (b >= 9223372036854775808.0) return -1;
+  // b is in int64 range; truncation is exact, and for |b| >= 2^53 the double
+  // is integral so the fraction below is exactly 0.
+  int64_t t = static_cast<int64_t>(b);
+  if (a != t) return a < t ? -1 : 1;
+  double frac = b - static_cast<double>(t);
+  return frac > 0 ? -1 : (frac < 0 ? 1 : 0);
+}
+
+/// splitmix64 finalizer: the 64-bit mixer behind Value::Hash and the flat
+/// hash table's slot hashing.
+inline uint64_t HashMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash functor for composite keys (e.g. multi-column index keys). Mixes the
+/// per-cell canonical hashes through splitmix64 so low bits avalanche (the
+/// open-addressing table indexes slots by the low bits).
 struct RowHash {
   size_t operator()(const Row& row) const {
-    size_t h = 0xcbf29ce484222325ULL;
-    for (const Value& v : row) {
-      h ^= v.Hash();
-      h *= 0x100000001b3ULL;
-    }
-    return h;
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const Value& v : row) h = HashMix64(h ^ v.Hash());
+    return static_cast<size_t>(h);
   }
 };
 

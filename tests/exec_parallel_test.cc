@@ -57,13 +57,16 @@ ExecOptions Aggressive(size_t morsel_rows = 3) {
   return o;
 }
 
-/// The row-at-a-time serial oracle: no fan-out, no columnar fast paths.
-/// Comparing it against Aggressive() (columnar stays on by default) makes
-/// every equivalence test in this file a row-vs-columnar differential too.
+/// The row-at-a-time serial oracle: no fan-out, no columnar fast paths,
+/// and the historical unordered_map hash operators instead of the
+/// RowKeyTable. Comparing it against Aggressive() (columnar and flat_hash
+/// stay on by default) makes every equivalence test in this file a
+/// row-vs-columnar AND map-vs-flat-hash differential too.
 ExecOptions Serial() {
   ExecOptions o;
   o.parallel = false;
   o.columnar = false;
+  o.flat_hash = false;
   return o;
 }
 
@@ -526,6 +529,216 @@ TEST_P(RandomWorkflowEquivalenceTest, SerialParallelOptimizedAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkflowEquivalenceTest,
                          ::testing::Values(41, 42, 43));
+
+// ----------------------------- hash-key semantics regressions (§14)
+//
+// SQLite-checked semantics for the three bugs the RowKeyTable rebuild
+// fixed: int-tagged doubles group with their integer twins, NULL keys form
+// one GROUP BY / DISTINCT group but never match as join keys, and a global
+// aggregate over zero rows still emits its row. Every case runs on both
+// the flat RowKeyTable path and the unordered_map oracle and must agree.
+
+query::PlanPtr ValuesPlan(const Relation& rel) {
+  Relation copy;
+  copy.schema = rel.schema;
+  copy.rows = rel.rows;
+  return query::MakeValuesOnce(std::move(copy));
+}
+
+Relation ExecutePlan(query::PlanPtr plan, const ExecOptions& exec) {
+  query::ExecContext ctx;
+  ctx.exec = exec;
+  auto rel = plan->Execute(ctx);
+  EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+  return rel.ok() ? std::move(*rel) : Relation{};
+}
+
+ExecOptions MapOracle() {
+  ExecOptions o = Serial();
+  return o;  // flat_hash already false
+}
+
+ExecOptions FlatSerial() {
+  ExecOptions o;
+  o.parallel = false;
+  return o;  // flat_hash/columnar default true
+}
+
+TEST(HashKeySemanticsTest, IntTaggedDoubleKeysFormOneGroup) {
+  Relation in;
+  in.schema = Schema({{"k", ValueType::kInt, true}});
+  in.rows = {{Value(int64_t{1})},
+             {Value(1.0)},
+             {Value(2.0)},
+             {Value(int64_t{2})},
+             {Value(int64_t{1})}};
+
+  for (const ExecOptions& exec :
+       {FlatSerial(), MapOracle(), Aggressive(2)}) {
+    Relation distinct =
+        ExecutePlan(query::MakeDistinct(ValuesPlan(in)), exec);
+    ASSERT_EQ(distinct.rows.size(), 2u);
+    // First occurrence is the representative: INT 1, then DOUBLE 2.0.
+    EXPECT_EQ(distinct.rows[0][0].type(), ValueType::kInt);
+    EXPECT_TRUE(distinct.rows[0][0] == Value(int64_t{1}));
+    EXPECT_EQ(distinct.rows[1][0].type(), ValueType::kDouble);
+    EXPECT_TRUE(distinct.rows[1][0] == Value(int64_t{2}));
+
+    auto make_agg = [&] {
+      std::vector<query::ProjectItem> by;
+      auto expr = query::ParseExpression("k");
+      EXPECT_TRUE(expr.ok());
+      by.push_back({std::move(*expr), "k"});
+      std::vector<query::AggregateItem> aggs;
+      aggs.push_back({query::AggFn::kCountStar, nullptr, "n"});
+      return query::MakeAggregate(ValuesPlan(in), std::move(by),
+                                  std::move(aggs));
+    };
+    Relation grouped = ExecutePlan(make_agg(), exec);
+    ASSERT_EQ(grouped.rows.size(), 2u);
+    EXPECT_TRUE(grouped.rows[0][1] == Value(int64_t{3}));  // 1, 1.0, 1
+    EXPECT_TRUE(grouped.rows[1][1] == Value(int64_t{2}));  // 2.0, 2
+  }
+}
+
+TEST(HashKeySemanticsTest, NullKeysGroupTogetherButNeverJoin) {
+  Relation in;
+  in.schema = Schema({{"k", ValueType::kInt, true}});
+  in.rows = {{Value::Null()}, {Value(int64_t{1})}, {Value::Null()}};
+
+  for (const ExecOptions& exec :
+       {FlatSerial(), MapOracle(), Aggressive(1)}) {
+    // One NULL group in DISTINCT...
+    Relation distinct =
+        ExecutePlan(query::MakeDistinct(ValuesPlan(in)), exec);
+    ASSERT_EQ(distinct.rows.size(), 2u);
+    EXPECT_TRUE(distinct.rows[0][0].is_null());
+
+    // ...and in GROUP BY: (NULL, 2), (1, 1).
+    auto make_agg = [&] {
+      std::vector<query::ProjectItem> by;
+      auto expr = query::ParseExpression("k");
+      EXPECT_TRUE(expr.ok());
+      by.push_back({std::move(*expr), "k"});
+      std::vector<query::AggregateItem> aggs;
+      aggs.push_back({query::AggFn::kCountStar, nullptr, "n"});
+      return query::MakeAggregate(ValuesPlan(in), std::move(by),
+                                  std::move(aggs));
+    };
+    Relation grouped = ExecutePlan(make_agg(), exec);
+    ASSERT_EQ(grouped.rows.size(), 2u);
+    EXPECT_TRUE(grouped.rows[0][0].is_null());
+    EXPECT_TRUE(grouped.rows[0][1] == Value(int64_t{2}));
+    EXPECT_TRUE(grouped.rows[1][1] == Value(int64_t{1}));
+
+    // ...but a NULL join key matches nothing (inner drops, left pads).
+    Relation left;
+    left.schema = Schema({{"lk", ValueType::kInt, true}});
+    left.rows = {{Value::Null()}, {Value(int64_t{1})}};
+    Relation right;
+    right.schema = Schema({{"rk", ValueType::kInt, true}});
+    right.rows = {{Value::Null()}, {Value(int64_t{1})}};
+    auto make_join = [&](query::JoinType type) {
+      auto cond = query::ParseExpression("lk = rk");
+      EXPECT_TRUE(cond.ok());
+      return query::MakeJoin(ValuesPlan(left), ValuesPlan(right),
+                             std::move(*cond), type);
+    };
+    Relation inner = ExecutePlan(make_join(query::JoinType::kInner), exec);
+    ASSERT_EQ(inner.rows.size(), 1u);
+    EXPECT_TRUE(inner.rows[0][0] == Value(int64_t{1}));
+    Relation outer = ExecutePlan(make_join(query::JoinType::kLeft), exec);
+    ASSERT_EQ(outer.rows.size(), 2u);
+    EXPECT_TRUE(outer.rows[0][0].is_null());  // NULL key row, padded
+    EXPECT_TRUE(outer.rows[0][1].is_null());
+    EXPECT_TRUE(outer.rows[1][1] == Value(int64_t{1}));
+  }
+}
+
+TEST(HashKeySemanticsTest, ZeroRowGlobalAggregateEmitsOneRow) {
+  Database db;
+  auto table =
+      db.CreateTable("t", Schema({{"v", ValueType::kInt, true}}), {});
+  ASSERT_TRUE(table.ok());
+  for (int64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*table)->Insert({Value(i)}).ok());
+  }
+  const std::string sql =
+      "SELECT COUNT(*) AS n, SUM(v) AS s, AVG(v) AS a, MIN(v) AS mn "
+      "FROM t WHERE v > 1000";
+  for (const ExecOptions& exec :
+       {FlatSerial(), MapOracle(), Aggressive(2)}) {
+    SqlEngine engine(&db);
+    engine.set_exec_options(exec);
+    auto rel = engine.Execute(sql);
+    ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+    ASSERT_EQ(rel->rows.size(), 1u);
+    EXPECT_TRUE(rel->rows[0][0] == Value(int64_t{0}));
+    EXPECT_TRUE(rel->rows[0][1].is_null());
+    EXPECT_TRUE(rel->rows[0][2].is_null());
+    EXPECT_TRUE(rel->rows[0][3].is_null());
+  }
+}
+
+/// Mixed-key relations through Distinct / Aggregate / Join / Union on the
+/// flat path vs the map oracle, serial vs aggressive fan-out: all four
+/// executions must be byte-identical.
+TEST(HashKeySemanticsTest, FlatAndMapPathsAgreeOnMixedKeys) {
+  Rng rng(88);
+  Relation in;
+  in.schema = Schema({{"k", ValueType::kInt, true},
+                      {"v", ValueType::kInt, true}});
+  for (int64_t i = 0; i < 300; ++i) {
+    Value key;
+    switch (rng.NextBounded(5)) {
+      case 0: key = Value::Null(); break;
+      case 1: key = Value(rng.NextInt(-3, 3)); break;
+      case 2: key = Value(static_cast<double>(rng.NextInt(-3, 3))); break;
+      case 3: key = Value(rng.NextInt(-3, 3) + 0.5); break;
+      default: key = Value("s" + std::to_string(rng.NextBounded(4))); break;
+    }
+    in.rows.push_back({std::move(key), Value(i)});
+  }
+  auto make_plans = [&]() -> std::vector<query::PlanPtr> {
+    std::vector<query::PlanPtr> plans;
+    plans.push_back(query::MakeDistinct(query::MakeProject(
+        ValuesPlan(in), [] {
+          std::vector<query::ProjectItem> items;
+          auto expr = query::ParseExpression("k");
+          EXPECT_TRUE(expr.ok());
+          items.push_back({std::move(*expr), "k"});
+          return items;
+        }())));
+    {
+      std::vector<query::ProjectItem> by;
+      auto expr = query::ParseExpression("k");
+      EXPECT_TRUE(expr.ok());
+      by.push_back({std::move(*expr), "k"});
+      std::vector<query::AggregateItem> aggs;
+      aggs.push_back({query::AggFn::kCountStar, nullptr, "n"});
+      auto arg = query::ParseExpression("v");
+      EXPECT_TRUE(arg.ok());
+      aggs.push_back({query::AggFn::kSum, std::move(*arg), "s"});
+      plans.push_back(query::MakeAggregate(ValuesPlan(in), std::move(by),
+                                           std::move(aggs)));
+    }
+    return plans;
+  };
+  const ExecOptions options[] = {MapOracle(), FlatSerial(), Aggressive(3)};
+  std::vector<Relation> base;
+  for (auto& plan : make_plans()) {
+    base.push_back(ExecutePlan(std::move(plan), options[0]));
+  }
+  for (size_t o = 1; o < 3; ++o) {
+    auto plans = make_plans();
+    for (size_t p = 0; p < plans.size(); ++p) {
+      Relation got = ExecutePlan(std::move(plans[p]), options[o]);
+      ExpectSameRelation(base[p], got,
+                         "plan " + std::to_string(p) + " options " +
+                             std::to_string(o));
+    }
+  }
+}
 
 // ------------------------------------------------------------- metrics
 

@@ -1,0 +1,357 @@
+// RowKeyTable differential fuzz (DESIGN.md §14): random mixed-type keys —
+// NULLs, bools, ints, int-tagged doubles (1 vs 1.0, -0.0, NaN), dictionary
+// strings, lists — staged into the open-addressing table and checked
+// against a std::map oracle keyed by canonical Value::Compare order. Also
+// locks down the canonical hash/compare contract in storage::Value and the
+// serial-vs-parallel build identity.
+//
+// Tagged verify-hash-differential: `ctest -L verify-hash-differential`,
+// also exercised under the address/thread sanitizer configs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "query/hash_table.h"
+#include "storage/value.h"
+
+namespace courserank::query {
+namespace {
+
+using storage::Row;
+using storage::RowHash;
+using storage::Value;
+
+// ------------------------------------------------ canonical hash/compare
+
+TEST(CanonicalValueTest, IntTaggedDoublesCompareAndHashEqual) {
+  EXPECT_EQ(Value(int64_t{1}).Compare(Value(1.0)), 0);
+  EXPECT_EQ(Value(1.0).Compare(Value(int64_t{1})), 0);
+  EXPECT_EQ(Value(int64_t{1}).Hash(), Value(1.0).Hash());
+  EXPECT_EQ(Value(int64_t{-7}).Hash(), Value(-7.0).Hash());
+  EXPECT_NE(Value(int64_t{1}).Compare(Value(1.5)), 0);
+  // -0.0 canonicalizes to 0.0 and to integer 0.
+  EXPECT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
+  EXPECT_EQ(Value(-0.0).Hash(), Value(int64_t{0}).Hash());
+  EXPECT_EQ(Value(-0.0).Compare(Value(int64_t{0})), 0);
+}
+
+TEST(CanonicalValueTest, LargeMagnitudeIntDoubleComparisonIsExact) {
+  // 2^63 is not representable as int64; every int64 sorts below it.
+  const double two63 = 9223372036854775808.0;
+  EXPECT_LT(Value(std::numeric_limits<int64_t>::max()).Compare(Value(two63)),
+            0);
+  EXPECT_GT(Value(two63).Compare(Value(std::numeric_limits<int64_t>::max())),
+            0);
+  // -2^63 is exactly representable and equals int64 min.
+  EXPECT_EQ(
+      Value(std::numeric_limits<int64_t>::min()).Compare(Value(-two63)), 0);
+  EXPECT_EQ(Value(std::numeric_limits<int64_t>::min()).Hash(),
+            Value(-two63).Hash());
+  // Above 2^53 doubles lose integer precision; comparison must not. 2^53
+  // and 2^53 + 1 both round to the same double, so the ints must compare
+  // unequal to prove the path is not double(a) - b.
+  const int64_t p53 = int64_t{1} << 53;
+  EXPECT_EQ(Value(p53).Compare(Value(static_cast<double>(p53))), 0);
+  EXPECT_GT(Value(p53 + 1).Compare(Value(static_cast<double>(p53))), 0);
+  // Fractional doubles between adjacent large ints order correctly.
+  EXPECT_LT(Value(p53).Compare(Value(static_cast<double>(p53) + 2.5)), 0);
+}
+
+TEST(CanonicalValueTest, NaNIsOneEquivalenceClass) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double nan2 = std::nan("0x7777");
+  EXPECT_EQ(Value(nan).Compare(Value(nan2)), 0);
+  EXPECT_EQ(Value(nan).Hash(), Value(nan2).Hash());
+  // NaN sorts below every non-NaN numeric, above nothing else numeric.
+  EXPECT_LT(Value(nan).Compare(Value(-1e308)), 0);
+  EXPECT_LT(Value(nan).Compare(Value(std::numeric_limits<int64_t>::min())),
+            0);
+  EXPECT_GT(Value(0.0).Compare(Value(nan)), 0);
+}
+
+TEST(CanonicalValueTest, HashConsistentWithCompareOnRandomPairs) {
+  Rng rng(20260808);
+  auto random_value = [&]() -> Value {
+    switch (rng.NextBounded(6)) {
+      case 0:
+        return Value::Null();
+      case 1:
+        return Value(rng.NextBounded(2) == 0);
+      case 2:
+        return Value(rng.NextInt(-4, 4));
+      case 3:
+        // Mostly int-valued doubles to force cross-type collisions.
+        return Value(static_cast<double>(rng.NextInt(-4, 4)) +
+                     (rng.NextBounded(3) == 0 ? 0.5 : 0.0));
+      case 4:
+        return Value("s" + std::to_string(rng.NextBounded(4)));
+      default:
+        return Value(Value::List{Value(rng.NextInt(0, 2)),
+                                 Value(static_cast<double>(rng.NextInt(0, 2)))});
+    }
+  };
+  for (int trial = 0; trial < 20000; ++trial) {
+    Value a = random_value();
+    Value b = random_value();
+    if (a.Compare(b) == 0) {
+      EXPECT_EQ(a.Hash(), b.Hash())
+          << a.ToString() << " == " << b.ToString() << " but hashes differ";
+    }
+  }
+}
+
+// ------------------------------------------------------ differential fuzz
+
+/// std::map-based oracle: keys ordered by lexicographic Value::Compare, so
+/// keys the canonical semantics call equal (1 vs 1.0, NaN vs NaN, NULL vs
+/// NULL) land in one bucket.
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+Value RandomCell(Rng& rng) {
+  switch (rng.NextBounded(8)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value(rng.NextBounded(2) == 0);
+    case 2:
+      return Value(rng.NextInt(-6, 6));
+    case 3:
+      return Value(static_cast<double>(rng.NextInt(-6, 6)));  // int-tagged
+    case 4:
+      return Value(static_cast<double>(rng.NextInt(-6, 6)) + 0.25);
+    case 5:
+      return rng.NextBounded(4) == 0
+                 ? Value(-0.0)
+                 : Value(std::numeric_limits<double>::quiet_NaN());
+    case 6:
+      return Value("k" + std::to_string(rng.NextBounded(9)));
+    default:
+      return Value(Value::List{Value(rng.NextInt(0, 2)),
+                               Value("t" + std::to_string(rng.NextBounded(2)))});
+  }
+}
+
+bool RowHasNull(const Row& row) {
+  for (const Value& v : row) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+/// One fuzz round: random keys staged into a RowKeyTable and grouped by the
+/// oracle; every post-build query must agree with the oracle.
+void FuzzRound(uint64_t seed, size_t width, size_t n, bool skip_null_keys,
+               ThreadPool* pool) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " width=" + std::to_string(width) + " n=" + std::to_string(n) +
+               " skip_null=" + std::to_string(skip_null_keys) +
+               " pool=" + std::to_string(pool != nullptr));
+  Rng rng(seed);
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Row row;
+    row.reserve(width);
+    for (size_t c = 0; c < width; ++c) row.push_back(RandomCell(rng));
+    rows.push_back(std::move(row));
+  }
+
+  RowKeyTable table(width, /*build_chains=*/true);
+  table.Reserve(n);
+  for (size_t i = 0; i < n; ++i) table.StageRow(i, rows[i]);
+  table.Build(n, skip_null_keys, pool);
+
+  // Oracle groups in first-appearance order.
+  std::map<Row, std::vector<uint32_t>, RowLess> oracle;
+  size_t oracle_groups = 0;
+  std::vector<uint32_t> first_of(n, 0);  // staged index -> leader index
+  for (size_t i = 0; i < n; ++i) {
+    if (skip_null_keys && RowHasNull(rows[i])) continue;
+    auto [it, inserted] = oracle.try_emplace(rows[i]);
+    if (inserted) ++oracle_groups;
+    it->second.push_back(static_cast<uint32_t>(i));
+  }
+  ASSERT_EQ(table.entry_count(), oracle_groups);
+
+  // Per staged key: entry assignment, leader flag, chain contents.
+  for (auto& [key, members] : oracle) {
+    uint32_t entry = table.EntryOf(members[0]);
+    ASSERT_NE(entry, RowKeyTable::kNoEntry);
+    EXPECT_EQ(table.LeaderRow(entry), members[0]);
+    EXPECT_EQ(table.EntryRows(entry), members.size());
+    EXPECT_TRUE(table.IsEntryLeader(members[0]));
+    std::vector<uint32_t> chained;
+    ASSERT_TRUE(table
+                    .ForEachEntryRow(entry,
+                                     [&](uint32_t r) {
+                                       chained.push_back(r);
+                                       return Status::OK();
+                                     })
+                    .ok());
+    EXPECT_EQ(chained, members);  // ascending staged order
+    for (size_t k = 1; k < members.size(); ++k) {
+      EXPECT_EQ(table.EntryOf(members[k]), entry);
+      EXPECT_FALSE(table.IsEntryLeader(members[k]));
+    }
+    // Probing an existing key finds its entry.
+    uint64_t steps = 0;
+    EXPECT_EQ(table.FindRow(key, &steps), entry);
+  }
+
+  // Skipped NULL keys have no entry; probes for them miss.
+  for (size_t i = 0; i < n; ++i) {
+    if (skip_null_keys && RowHasNull(rows[i])) {
+      EXPECT_EQ(table.EntryOf(i), RowKeyTable::kNoEntry);
+      EXPECT_FALSE(table.IsEntryLeader(i));
+    }
+  }
+
+  // Random probe keys: hit iff the oracle has the key.
+  for (int probe = 0; probe < 200; ++probe) {
+    Row key;
+    key.reserve(width);
+    for (size_t c = 0; c < width; ++c) key.push_back(RandomCell(rng));
+    uint64_t steps = 0;
+    uint32_t got = table.FindRow(key, &steps);
+    auto it = oracle.find(key);
+    if (it == oracle.end()) {
+      EXPECT_EQ(got, RowKeyTable::kNoEntry);
+    } else {
+      EXPECT_EQ(got, table.EntryOf(it->second[0]));
+    }
+  }
+}
+
+TEST(RowKeyTableFuzzTest, MatchesMapOracleSerial) {
+  uint64_t seed = 97;
+  for (size_t width : {1, 2, 3}) {
+    for (size_t n : {0, 1, 7, 64, 1500}) {
+      for (bool skip_null : {false, true}) {
+        FuzzRound(seed++, width, n, skip_null, nullptr);
+      }
+    }
+  }
+}
+
+TEST(RowKeyTableFuzzTest, MatchesMapOracleParallelBuild) {
+  ThreadPool pool(3);
+  uint64_t seed = 570;
+  for (size_t width : {1, 2}) {
+    for (size_t n : {64, 1500, 9000}) {
+      for (bool skip_null : {false, true}) {
+        FuzzRound(seed++, width, n, skip_null, &pool);
+      }
+    }
+  }
+}
+
+/// Serial and parallel builds over the same staged keys must agree on
+/// every observable: entry ids, leaders, chains, and stats that are
+/// structural (entries, staged, max_chain).
+TEST(RowKeyTableFuzzTest, ParallelBuildIdenticalToSerial) {
+  ThreadPool pool(3);
+  Rng rng(4242);
+  const size_t kWidth = 2;
+  const size_t kN = 4000;
+  std::vector<Row> rows;
+  rows.reserve(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    rows.push_back(Row{RandomCell(rng), RandomCell(rng)});
+  }
+  RowKeyTable serial(kWidth, /*build_chains=*/true);
+  RowKeyTable parallel(kWidth, /*build_chains=*/true);
+  serial.Reserve(kN);
+  parallel.Reserve(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    serial.StageRow(i, rows[i]);
+    parallel.StageRow(i, rows[i]);
+  }
+  serial.Build(kN, /*skip_null_keys=*/false, nullptr);
+  parallel.Build(kN, /*skip_null_keys=*/false, &pool);
+  ASSERT_EQ(serial.entry_count(), parallel.entry_count());
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(serial.EntryOf(i), parallel.EntryOf(i)) << i;
+    EXPECT_EQ(serial.IsEntryLeader(i), parallel.IsEntryLeader(i)) << i;
+  }
+  HashTableStats a = serial.stats();
+  HashTableStats b = parallel.stats();
+  EXPECT_EQ(a.staged, b.staged);
+  EXPECT_EQ(a.entries, b.entries);
+  EXPECT_EQ(a.max_chain, b.max_chain);
+}
+
+/// The canonical-equality bug the table exists to fix: int-tagged doubles,
+/// -0.0, NaN, and NULLs each collapse to one group.
+TEST(RowKeyTableTest, CanonicalKeyClasses) {
+  std::vector<Row> rows = {
+      {Value(int64_t{1})}, {Value(1.0)},                              // same
+      {Value(-0.0)},       {Value(0.0)},       {Value(int64_t{0})},  // same
+      {Value(std::numeric_limits<double>::quiet_NaN())},
+      {Value(std::nan("2"))},                                        // same
+      {Value::Null()},     {Value::Null()},                          // same
+      {Value(1.5)},
+  };
+  RowKeyTable table(1, /*build_chains=*/false);
+  table.Reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) table.StageRow(i, rows[i]);
+  table.Build(rows.size(), /*skip_null_keys=*/false, nullptr);
+  EXPECT_EQ(table.entry_count(), 5u);
+  EXPECT_EQ(table.EntryOf(0), table.EntryOf(1));
+  EXPECT_EQ(table.EntryOf(2), table.EntryOf(3));
+  EXPECT_EQ(table.EntryOf(2), table.EntryOf(4));
+  EXPECT_EQ(table.EntryOf(5), table.EntryOf(6));
+  EXPECT_EQ(table.EntryOf(7), table.EntryOf(8));
+  EXPECT_NE(table.EntryOf(9), table.EntryOf(0));
+  // Dictionary fast path: a probe string that was never staged misses.
+  RowKeyTable strs(1, /*build_chains=*/false);
+  strs.Reserve(2);
+  Row sa{Value("alpha")};
+  Row sb{Value("beta")};
+  strs.StageRow(0, sa);
+  strs.StageRow(1, sb);
+  strs.Build(2, /*skip_null_keys=*/false, nullptr);
+  uint64_t steps = 0;
+  EXPECT_EQ(strs.Find1(Value("alpha"), &steps), strs.EntryOf(0));
+  EXPECT_EQ(strs.Find1(Value("gamma"), &steps), RowKeyTable::kNoEntry);
+}
+
+/// Forces saved-hash resize: more distinct keys than the initial slot
+/// capacity of any partition can hold without growth.
+TEST(RowKeyTableTest, GrowthPreservesEntries) {
+  const size_t kN = 200000;
+  RowKeyTable table(1, /*build_chains=*/false);
+  table.Reserve(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    Row row{Value(static_cast<int64_t>(i))};
+    table.StageRow(i, row);
+  }
+  table.Build(kN, /*skip_null_keys=*/false, nullptr);
+  EXPECT_EQ(table.entry_count(), kN);
+  EXPECT_GT(table.stats().resizes, 0u);
+  uint64_t steps = 0;
+  for (size_t i = 0; i < kN; i += 997) {
+    EXPECT_EQ(table.Find1(Value(static_cast<int64_t>(i)), &steps),
+              table.EntryOf(i));
+  }
+  EXPECT_EQ(table.Find1(Value(static_cast<int64_t>(kN)), &steps),
+            RowKeyTable::kNoEntry);
+}
+
+}  // namespace
+}  // namespace courserank::query
