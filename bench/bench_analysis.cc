@@ -6,6 +6,7 @@
 
 #include "analysis/analyzer.h"
 #include "core/strategies.h"
+#include "core/workflow_optimizer.h"
 #include "core/workflow_parser.h"
 #include "social/site.h"
 
@@ -72,6 +73,37 @@ void BM_AnalyzeSql(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnalyzeSql);
+
+/// Property inference on top of analysis: the per-node table EXPLAIN
+/// STATIC and lint --properties pay for (DESIGN.md §15).
+void BM_AnalyzeWorkflowProperties(benchmark::State& state) {
+  AnalysisFixture& f = AnalysisFixture::Get();
+  analysis::Analyzer analyzer(&f.site->db(),
+                              &f.site->flexrecs().library());
+  for (auto _ : state) {
+    analysis::DiagnosticBag diags;
+    analysis::Analyzer::WorkflowAnalysis wa =
+        analyzer.AnalyzeWorkflowProperties(*f.workflow, &diags);
+    benchmark::DoNotOptimize(wa);
+  }
+}
+BENCHMARK(BM_AnalyzeWorkflowProperties);
+
+/// CR5xx rewrite verification: optimizer pass + double analysis + property
+/// comparison — the extra Compile() cost when verify_rewrites is on.
+void BM_VerifyWorkflowRewrite(benchmark::State& state) {
+  AnalysisFixture& f = AnalysisFixture::Get();
+  analysis::Analyzer analyzer(&f.site->db(),
+                              &f.site->flexrecs().library());
+  flexrecs::NodePtr optimized = flexrecs::OptimizeWorkflow(
+      f.workflow->Clone());
+  for (auto _ : state) {
+    analysis::DiagnosticBag diags;
+    bool ok = analyzer.VerifyWorkflowRewrite(*f.workflow, *optimized, &diags);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_VerifyWorkflowRewrite);
 
 }  // namespace
 }  // namespace courserank

@@ -1,5 +1,6 @@
 #include "analysis/analyzer.h"
 
+#include <map>
 #include <set>
 #include <vector>
 
@@ -560,12 +561,230 @@ struct LiveSet {
   }
 };
 
+// ---- plan-property inference ------------------------------------------
+
+size_t MinCard(size_t a, size_t b) { return a < b ? a : b; }
+
+/// Resolves a property column name to a column index of `schema`, with the
+/// same exact-then-unique-suffix leniency as Resolve. nullopt = no unique
+/// match.
+std::optional<size_t> ResolveIndex(const Schema& schema,
+                                   const std::string& name) {
+  if (auto idx = schema.FindColumn(name)) return idx;
+  std::string want = ToLower(Unqualify(name));
+  std::optional<size_t> match;
+  int count = 0;
+  for (size_t i = 0; i < schema.columns().size(); ++i) {
+    if (ToLower(Unqualify(schema.columns()[i].name)) == want) {
+      match = i;
+      ++count;
+    }
+  }
+  if (count == 1) return match;
+  return std::nullopt;
+}
+
+/// Renames every property column the way Schema::WithPrefix renames the
+/// schema's ("alias.col"); no-op for an empty prefix.
+void PrefixProps(PlanProperties* p, const std::string& prefix) {
+  if (prefix.empty()) return;
+  auto fix = [&](std::string* n) { *n = prefix + "." + *n; };
+  for (std::vector<std::string>& key : p->keys) {
+    for (std::string& n : key) fix(&n);
+  }
+  for (SortProp& s : p->sort_order) fix(&s.column);
+  for (std::string& n : p->non_null) fix(&n);
+  for (std::string& n : p->dict_id_safe) fix(&n);
+}
+
+/// Join property combination. Cardinality is the cross-product bound (with
+/// a zero minimum once a condition filters); keys are pairwise unions — a
+/// (left key, right key) pair identifies each joined row even for left
+/// joins, where an unmatched left row appears exactly once. Both hash-join
+/// build sides and the nested-loop fallback emit matches grouped by left
+/// row in left order, so the left sort order survives. Left-outer joins
+/// NULL-pad the right side, dropping its non-NULL facts.
+PlanProperties JoinProps(PlanProperties l, const PlanProperties& r,
+                         bool filtered, bool left_outer) {
+  PlanProperties p;
+  if (left_outer) {
+    p.card_min = l.card_min;
+    p.card_max = SaturatingMul(l.card_max, r.card_max == 0 ? 1 : r.card_max);
+  } else {
+    p.card_min = filtered ? 0 : SaturatingMul(l.card_min, r.card_min);
+    p.card_max = SaturatingMul(l.card_max, r.card_max);
+  }
+  for (const std::vector<std::string>& lk : l.keys) {
+    for (const std::vector<std::string>& rk : r.keys) {
+      std::vector<std::string> k = lk;
+      k.insert(k.end(), rk.begin(), rk.end());
+      p.keys.push_back(std::move(k));
+    }
+  }
+  p.sort_order = std::move(l.sort_order);
+  p.non_null = std::move(l.non_null);
+  if (!left_outer) {
+    p.non_null.insert(p.non_null.end(), r.non_null.begin(),
+                      r.non_null.end());
+  }
+  p.dict_id_safe = std::move(l.dict_id_safe);
+  p.dict_id_safe.insert(p.dict_id_safe.end(), r.dict_id_safe.begin(),
+                        r.dict_id_safe.end());
+  return p;
+}
+
+/// Properties of one base-table scan: NOT NULL columns (Schema::ValidateRow
+/// enforces them on every insert), string columns as dictionary-backed, and
+/// each unique hash index as a key.
+PlanProperties TableProps(const storage::Table& t) {
+  PlanProperties p;
+  const Schema& schema = t.schema();
+  for (const Column& c : schema.columns()) {
+    if (!c.nullable) p.non_null.push_back(c.name);
+    if (c.type == ValueType::kString) p.dict_id_safe.push_back(c.name);
+  }
+  for (const storage::HashIndex* idx : t.hash_indexes()) {
+    if (!idx->unique()) continue;
+    std::vector<std::string> key;
+    for (size_t ci : idx->column_indices()) {
+      key.push_back(schema.columns()[ci].name);
+    }
+    if (!key.empty()) p.keys.push_back(std::move(key));
+  }
+  p.fusion_eligible = true;
+  return p;
+}
+
+/// Properties of a literal relation: exact cardinality, plus the columns
+/// scanned NULL-free.
+PlanProperties ValuesProps(const query::Relation& rel) {
+  PlanProperties p;
+  p.card_min = p.card_max = rel.rows.size();
+  p.fusion_eligible = true;
+  for (size_t i = 0; i < rel.schema.columns().size(); ++i) {
+    bool has_null = false;
+    for (const query::Row& row : rel.rows) {
+      if (i >= row.size() || row[i].is_null()) {
+        has_null = true;
+        break;
+      }
+    }
+    if (!has_null) p.non_null.push_back(rel.schema.columns()[i].name);
+  }
+  return p;
+}
+
+/// Rewrites property column names through a projection: `out_name_of[i]` is
+/// the output name of input column i, empty when the column is dropped or
+/// only reachable through a computed expression.
+struct ProjectionMap {
+  const Schema* in;
+  std::vector<std::string> out_name_of;
+
+  std::optional<std::string> Map(const std::string& name) const {
+    std::optional<size_t> idx = ResolveIndex(*in, name);
+    if (!idx || *idx >= out_name_of.size() || out_name_of[*idx].empty()) {
+      return std::nullopt;
+    }
+    return out_name_of[*idx];
+  }
+};
+
+/// Pushes child properties through a projection: cardinality is preserved
+/// exactly (π is 1:1 on rows); keys / non-NULL / dict facts survive where
+/// every referenced column maps to an output column, and the sort order
+/// survives as its mappable prefix.
+PlanProperties ProjectProps(const PlanProperties& in,
+                            const ProjectionMap& m) {
+  PlanProperties p;
+  p.card_min = in.card_min;
+  p.card_max = in.card_max;
+  p.fusion_eligible = in.fusion_eligible;
+  for (const std::vector<std::string>& key : in.keys) {
+    std::vector<std::string> mapped;
+    bool complete = true;
+    for (const std::string& n : key) {
+      std::optional<std::string> out = m.Map(n);
+      if (!out) {
+        complete = false;
+        break;
+      }
+      mapped.push_back(*out);
+    }
+    if (complete && !mapped.empty()) p.keys.push_back(std::move(mapped));
+  }
+  for (const SortProp& s : in.sort_order) {
+    std::optional<std::string> out = m.Map(s.column);
+    if (!out) break;
+    p.sort_order.push_back({*out, s.descending});
+  }
+  for (const std::string& n : in.non_null) {
+    if (std::optional<std::string> out = m.Map(n)) {
+      p.non_null.push_back(*out);
+    }
+  }
+  for (const std::string& n : in.dict_id_safe) {
+    if (std::optional<std::string> out = m.Map(n)) {
+      p.dict_id_safe.push_back(*out);
+    }
+  }
+  return p;
+}
+
+/// First line of the operator's ToString — the node label in property
+/// tables.
+std::string NodeLabel(const WorkflowNode& node) {
+  std::string s = node.ToString(0);
+  size_t nl = s.find('\n');
+  if (nl != std::string::npos) s.resize(nl);
+  return s;
+}
+
+std::string CardBound(size_t n) {
+  return n == kUnboundedCard ? std::string("unbounded") : std::to_string(n);
+}
+
+std::string JoinList(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+bool HasName(const std::vector<std::string>& names, const std::string& n) {
+  std::string want = ToLower(Unqualify(n));
+  for (const std::string& c : names) {
+    if (ToLower(Unqualify(c)) == want) return true;
+  }
+  return false;
+}
+
+/// True when every column of `sub` appears in `super` (case-insensitive,
+/// unqualified) — a key over `sub` implies uniqueness of any superset.
+bool KeySubset(const std::vector<std::string>& sub,
+               const std::vector<std::string>& super) {
+  for (const std::string& n : sub) {
+    if (!HasName(super, n)) return false;
+  }
+  return true;
+}
+
+bool SameKey(const std::vector<std::string>& a,
+             const std::vector<std::string>& b) {
+  return a.size() == b.size() && KeySubset(a, b) && KeySubset(b, a);
+}
+
 // ---- workflow walk -----------------------------------------------------
 
-/// Everything inferred about one operator's output.
+/// Everything inferred about one operator's output: its schema and its
+/// plan properties (DESIGN.md §15). Both flow bottom-up through the same
+/// walk; a node the analyzer cannot model keeps the unbounded/empty
+/// property defaults.
 struct NodeInfo {
   std::optional<Schema> schema;
-  bool bounded = false;  ///< result size capped independent of input data
+  PlanProperties props;
 };
 
 class WorkflowChecker {
@@ -575,20 +794,35 @@ class WorkflowChecker {
                   DiagnosticBag* diags)
       : db_(db), library_(library), diags_(diags) {}
 
+  /// When set, Analyze records every node's inferred NodeInfo — the
+  /// per-node property table behind EXPLAIN STATIC and lint --properties.
+  void set_memo(std::map<const WorkflowNode*, NodeInfo>* memo) {
+    memo_ = memo;
+  }
+
   NodeInfo Analyze(const WorkflowNode& node) {
+    NodeInfo info = AnalyzeImpl(node);
+    if (memo_ != nullptr) (*memo_)[&node] = info;
+    return info;
+  }
+
+  NodeInfo AnalyzeImpl(const WorkflowNode& node) {
     switch (node.kind) {
       case NodeKind::kTable:
         return AnalyzeTable(node);
       case NodeKind::kSql:
         return AnalyzeSql(node);
       case NodeKind::kValues:
-        return {node.values.schema, true};
+        return {node.values.schema, ValuesProps(node.values)};
       case NodeKind::kSelect: {
         NodeInfo in = Analyze(*node.children[0]);
         if (in.schema && node.predicate != nullptr) {
           CheckPredicate(*node.predicate, *in.schema, node.span, diags_,
                          /*fold=*/true);
         }
+        // σ keeps an ordered row subset: every upper bound, key, sort and
+        // non-NULL fact survives; only the lower bound collapses.
+        in.props.card_min = 0;
         return in;
       }
       case NodeKind::kProject:
@@ -609,7 +843,12 @@ class WorkflowChecker {
                           "' to order by in schema [" +
                           in.schema->ToString() + "]");
         }
-        in.bounded = true;
+        // TOPK emits min(k, n) rows fully sorted by the order column; the
+        // bound is min(k, input bound), not just k.
+        in.props.card_min = MinCard(node.k, in.props.card_min);
+        in.props.card_max = MinCard(node.k, in.props.card_max);
+        in.props.sort_order = {{node.order_column, node.descending}};
+        in.props.fusion_eligible = false;
         return in;
       }
     }
@@ -690,46 +929,62 @@ class WorkflowChecker {
   }
 
   /// Analyzes a parsed SELECT against the catalog; returns its inferred
-  /// output schema (nullopt when a referenced table is unknown) and whether
-  /// a LIMIT bounds it.
+  /// output schema (nullopt when a referenced table is unknown) plus the
+  /// statement's root plan properties.
   NodeInfo AnalyzeSelect(const query::SelectStmt& stmt, SourceSpan span) {
     if (db_ == nullptr) return {};
+
+    // LIMIT/OFFSET bound the final result whatever path produced it.
+    auto apply_limit = [&](PlanProperties* p) {
+      if (!stmt.limit.has_value()) return;
+      p->card_max = MinCard(*stmt.limit, p->card_max);
+      p->card_min = p->card_min > stmt.offset
+                        ? MinCard(p->card_min - stmt.offset, *stmt.limit)
+                        : 0;
+    };
 
     // Scan schemas, aliased exactly like SqlEngine::PlanSelect.
     auto effective_alias = [&](const query::TableRef& ref) {
       if (!ref.alias.empty()) return ref.alias;
       return stmt.joins.empty() ? std::string() : ref.table;
     };
-    auto scan_schema =
-        [&](const query::TableRef& ref) -> std::optional<Schema> {
+    auto scan_info = [&](const query::TableRef& ref) -> NodeInfo {
       const storage::Table* t = db_->FindTable(ref.table);
       if (t == nullptr) {
         diags_->Add(Code::kUnknownTable, span,
                     "no table '" + ref.table + "' in catalog");
-        return std::nullopt;
+        return {};
       }
+      NodeInfo info{t->schema(), TableProps(*t)};
       std::string alias = effective_alias(ref);
-      if (alias.empty()) return t->schema();
-      return t->schema().WithPrefix(alias);
+      if (!alias.empty()) {
+        info.schema = info.schema->WithPrefix(alias);
+        PrefixProps(&info.props, alias);
+      }
+      return info;
     };
 
-    std::optional<Schema> joined = scan_schema(stmt.from);
+    NodeInfo base = scan_info(stmt.from);
+    std::optional<Schema> joined = base.schema;
     for (const query::JoinClause& jc : stmt.joins) {
-      std::optional<Schema> right = scan_schema(jc.table);
+      NodeInfo right = scan_info(jc.table);
       if (jc.on == nullptr) {
         diags_->Add(Code::kCartesianProduct, span,
                     "JOIN of '" + jc.table.table +
                         "' has no ON condition; every row pairs with every "
                         "row");
-      } else if (joined && right &&
-                 !HasEquiConjunct(*jc.on, *joined, *right)) {
+      } else if (joined && right.schema &&
+                 !HasEquiConjunct(*jc.on, *joined, *right.schema)) {
         diags_->Add(Code::kCartesianProduct, span,
                     "JOIN of '" + jc.table.table +
                         "' has no equality condition linking both sides; "
                         "executes as a filtered cross product");
       }
-      if (joined && right) {
-        joined = Schema::Concat(*joined, *right);
+      base.props = JoinProps(std::move(base.props), right.props,
+                             /*filtered=*/jc.on != nullptr,
+                             /*left_outer=*/jc.left);
+      if (joined && right.schema) {
+        joined = Schema::Concat(*joined, *right.schema);
       } else {
         joined = std::nullopt;
       }
@@ -744,9 +999,14 @@ class WorkflowChecker {
         CheckPredicate(*stmt.where, *joined, span, diags_, /*fold=*/true);
       }
     }
-    if (!joined) return {std::nullopt, stmt.limit.has_value()};
+    if (stmt.where != nullptr) base.props.card_min = 0;
+    if (!joined) {
+      PlanProperties p;
+      apply_limit(&p);
+      return {std::nullopt, std::move(p)};
+    }
 
-    // Output schema.
+    // Output schema + properties.
     bool has_agg = false;
     for (const query::SelectItem& item : stmt.items) {
       if (item.agg.has_value()) has_agg = true;
@@ -754,8 +1014,18 @@ class WorkflowChecker {
     bool bare_star = stmt.items.size() == 1 && stmt.items[0].star;
 
     std::optional<Schema> out;
+    PlanProperties props;
     if (bare_star) {
       out = joined;
+      props = base.props;
+      if (stmt.distinct) {
+        // Distinct over full rows: every column together forms a key, and
+        // a non-empty input keeps at least one row.
+        if (props.card_min > 0) props.card_min = 1;
+        std::vector<std::string> all;
+        for (const Column& c : out->columns()) all.push_back(c.name);
+        if (!all.empty()) props.keys.push_back(std::move(all));
+      }
     } else if (has_agg || !stmt.group_by.empty()) {
       ExprChecker checker(*joined, span, diags_);
       for (const ExprPtr& g : stmt.group_by) checker.Check(*g);
@@ -778,27 +1048,120 @@ class WorkflowChecker {
         // HAVING binds against the aggregate's output schema (aliases).
         CheckPredicate(*stmt.having, *out, span, diags_, /*fold=*/true);
       }
+      if (stmt.group_by.empty()) {
+        // Global aggregate: exactly one row, always.
+        props.card_min = 1;
+        props.card_max = 1;
+      } else {
+        props.card_min = base.props.card_min > 0 ? 1 : 0;
+        props.card_max = base.props.card_max;
+        // When every GROUP BY expression is itself an output column, those
+        // columns form a key of the grouped result.
+        std::vector<std::string> group_names;
+        bool all_out = true;
+        for (const ExprPtr& g : stmt.group_by) {
+          std::string gs = g->ToString();
+          std::string name;
+          for (const query::SelectItem& item : stmt.items) {
+            if (!item.agg.has_value() && item.expr != nullptr &&
+                item.expr->ToString() == gs) {
+              name = DefaultName(item);
+              break;
+            }
+          }
+          if (name.empty()) {
+            all_out = false;
+            break;
+          }
+          group_names.push_back(std::move(name));
+        }
+        if (all_out && !group_names.empty()) {
+          props.keys.push_back(std::move(group_names));
+        }
+      }
+      // COUNT aggregates never yield NULL; grouping columns inherit the
+      // source column's non-NULL guarantee.
+      for (const query::SelectItem& item : stmt.items) {
+        if (item.star) continue;
+        if (item.agg.has_value()) {
+          if (*item.agg == query::AggFn::kCountStar ||
+              *item.agg == query::AggFn::kCount) {
+            props.non_null.push_back(DefaultName(item));
+          }
+          continue;
+        }
+        if (item.expr == nullptr) continue;
+        std::optional<std::string> src = ColumnNameOf(*item.expr);
+        if (!src) continue;
+        std::optional<size_t> si = ResolveIndex(*joined, *src);
+        if (!si) continue;
+        for (const std::string& nn : base.props.non_null) {
+          if (ResolveIndex(*joined, nn) == si) {
+            props.non_null.push_back(DefaultName(item));
+            break;
+          }
+        }
+      }
+      if (stmt.having != nullptr) props.card_min = 0;
     } else {
       ExprChecker checker(*joined, span, diags_);
       std::vector<Column> cols;
+      ProjectionMap pm{&*joined,
+                       std::vector<std::string>(joined->columns().size())};
+      std::vector<std::string> literal_non_null;
       for (const query::SelectItem& item : stmt.items) {
         if (item.star || item.expr == nullptr) {
-          return {std::nullopt, stmt.limit.has_value()};
+          PlanProperties p;
+          apply_limit(&p);
+          return {std::nullopt, std::move(p)};
         }
         TypeInfo t = checker.Check(*item.expr);
-        cols.emplace_back(DefaultName(item),
-                          t.type.value_or(ValueType::kNull), t.nullable);
+        std::string name = DefaultName(item);
+        cols.emplace_back(name, t.type.value_or(ValueType::kNull),
+                          t.nullable);
+        if (std::optional<std::string> src = ColumnNameOf(*item.expr)) {
+          if (std::optional<size_t> idx = ResolveIndex(*joined, *src)) {
+            if (pm.out_name_of[*idx].empty()) pm.out_name_of[*idx] = name;
+          }
+        } else if (std::optional<Value> lit = LiteralOf(*item.expr)) {
+          if (!lit->is_null()) literal_non_null.push_back(name);
+        }
       }
       out = Schema(std::move(cols));
+      props = ProjectProps(base.props, pm);
+      props.non_null.insert(props.non_null.end(), literal_non_null.begin(),
+                            literal_non_null.end());
+      if (stmt.distinct) {
+        if (props.card_min > 0) props.card_min = 1;
+        std::vector<std::string> all;
+        for (const Column& c : out->columns()) all.push_back(c.name);
+        if (!all.empty()) props.keys.push_back(std::move(all));
+      }
     }
 
     // ORDER BY: a select alias, or any expression over the scan schema.
+    // A sort replaces whatever order claim the input carried; the claim
+    // covers the prefix of sort keys that are themselves output columns
+    // (hidden sort columns are dropped after sorting, so positions past
+    // the first non-output key say nothing about the visible order).
+    if (!stmt.order_by.empty()) props.sort_order.clear();
+    bool sort_prefix_open = true;
     for (const query::OrderItem& oi : stmt.order_by) {
+      std::optional<size_t> out_idx;
+      if (out) out_idx = ResolveIndex(*out, oi.expr->ToString());
+      if (out_idx && sort_prefix_open) {
+        props.sort_order.push_back(
+            {out->columns()[*out_idx].name, !oi.ascending});
+      } else {
+        sort_prefix_open = false;
+      }
       if (out && Resolve(*out, oi.expr->ToString()).found) continue;
       ExprChecker checker(*joined, span, diags_);
       checker.Check(*oi.expr);
     }
-    return {out, stmt.limit.has_value()};
+
+    apply_limit(&props);
+    return {out, std::move(props)};
   }
 
   void AnalyzeStatement(const query::Statement& stmt, SourceSpan span) {
@@ -823,7 +1186,7 @@ class WorkflowChecker {
                   "no table '" + node.table + "' in catalog");
       return {};
     }
-    return {t->schema(), false};
+    return {t->schema(), TableProps(*t)};
   }
 
   NodeInfo AnalyzeSql(const WorkflowNode& node) {
@@ -843,15 +1206,35 @@ class WorkflowChecker {
 
   NodeInfo AnalyzeProject(const WorkflowNode& node) {
     NodeInfo in = Analyze(*node.children[0]);
-    if (!in.schema) return {std::nullopt, in.bounded};
+    if (!in.schema) {
+      // Cannot map claims without a schema; π still preserves cardinality.
+      PlanProperties p;
+      p.card_min = in.props.card_min;
+      p.card_max = in.props.card_max;
+      p.fusion_eligible = in.props.fusion_eligible;
+      return {std::nullopt, std::move(p)};
+    }
     ExprChecker checker(*in.schema, node.span, diags_);
     std::vector<Column> cols;
+    ProjectionMap pm{&*in.schema,
+                     std::vector<std::string>(in.schema->columns().size())};
+    std::vector<std::string> literal_non_null;
     for (const auto& item : node.items) {
       TypeInfo t = checker.Check(*item.expr);
       cols.emplace_back(item.name, t.type.value_or(ValueType::kNull),
                         t.nullable);
+      if (std::optional<std::string> src = ColumnNameOf(*item.expr)) {
+        if (std::optional<size_t> idx = ResolveIndex(*in.schema, *src)) {
+          if (pm.out_name_of[*idx].empty()) pm.out_name_of[*idx] = item.name;
+        }
+      } else if (std::optional<Value> lit = LiteralOf(*item.expr)) {
+        if (!lit->is_null()) literal_non_null.push_back(item.name);
+      }
     }
-    return {Schema(std::move(cols)), in.bounded};
+    PlanProperties p = ProjectProps(in.props, pm);
+    p.non_null.insert(p.non_null.end(), literal_non_null.begin(),
+                      literal_non_null.end());
+    return {Schema(std::move(cols)), std::move(p)};
   }
 
   NodeInfo AnalyzeJoin(const WorkflowNode& node) {
@@ -883,10 +1266,20 @@ class WorkflowChecker {
                         node.predicate->ToString());
       }
     }
-    if (!ls || !rs) {
-      return {std::nullopt, left.bounded && right.bounded};
+    // Property names get the same table prefix the side schemas did.
+    if (node.children[0]->kind == NodeKind::kTable) {
+      PrefixProps(&left.props, node.children[0]->table);
     }
-    return {Schema::Concat(*ls, *rs), left.bounded && right.bounded};
+    if (node.children[1]->kind == NodeKind::kTable) {
+      PrefixProps(&right.props, node.children[1]->table);
+    }
+    PlanProperties p = JoinProps(std::move(left.props), right.props,
+                                 /*filtered=*/node.predicate != nullptr,
+                                 /*left_outer=*/false);
+    if (!ls || !rs) {
+      return {std::nullopt, std::move(p)};
+    }
+    return {Schema::Concat(*ls, *rs), std::move(p)};
   }
 
   /// Resolves a key expression, returning its type when it pins down.
@@ -932,10 +1325,13 @@ class WorkflowChecker {
       ExprChecker checker(*source.schema, node.span, diags_);
       for (const ExprPtr& c : node.collect) checker.Check(*c);
     }
-    if (!child.schema) return {std::nullopt, child.bounded};
+    // ε appends one LIST column (never NULL — empty list when nothing
+    // matches) to every row; everything else is preserved 1:1.
+    child.props.non_null.push_back(node.column_name);
+    if (!child.schema) return {std::nullopt, std::move(child.props)};
     std::vector<Column> cols = child.schema->columns();
     cols.emplace_back(node.column_name, ValueType::kList, false);
-    return {Schema(std::move(cols)), child.bounded};
+    return {Schema(std::move(cols)), std::move(child.props)};
   }
 
   NodeInfo AnalyzeRecommend(const WorkflowNode& node) {
@@ -999,18 +1395,29 @@ class WorkflowChecker {
       }
     }
 
-    bool bounded = input.bounded || spec.top_k > 0;
-    if (!input.schema) return {std::nullopt, bounded};
+    // Recommend keeps a subset of input rows (min_score / top-k filtering),
+    // appends a never-NULL score column, and emits in score-descending
+    // order on both the heap and stable-sort paths.
+    PlanProperties p = std::move(input.props);
+    p.card_min = 0;
+    if (spec.top_k > 0) p.card_max = MinCard(spec.top_k, p.card_max);
+    p.sort_order = {{spec.score_column, /*descending=*/true}};
+    p.non_null.push_back(spec.score_column);
+    p.fusion_eligible = false;
+    if (!input.schema) return {std::nullopt, std::move(p)};
     std::vector<Column> cols = input.schema->columns();
     cols.emplace_back(spec.score_column, ValueType::kDouble, false);
-    return {Schema(std::move(cols)), bounded};
+    return {Schema(std::move(cols)), std::move(p)};
   }
 
   NodeInfo AnalyzeAntiJoin(const WorkflowNode& node) {
     NodeInfo child = Analyze(*node.children[0]);
     NodeInfo source = Analyze(*node.children[1]);
     CheckKeyPair(node, child.schema, source.schema, "except");
-    return {child.schema, child.bounded};
+    // ▷ filters child rows in place: an ordered subset, like σ.
+    child.props.card_min = 0;
+    child.props.fusion_eligible = false;
+    return {child.schema, std::move(child.props)};
   }
 
   std::string DefaultName(const query::SelectItem& item) const {
@@ -1147,6 +1554,7 @@ class WorkflowChecker {
   const storage::Database* db_;
   const flexrecs::SimilarityLibrary* library_;
   DiagnosticBag* diags_;
+  std::map<const WorkflowNode*, NodeInfo>* memo_ = nullptr;
 };
 
 /// Analyzer metrics, resolved once per process (DESIGN.md §7 conventions).
@@ -1191,6 +1599,24 @@ class MetricScope {
   size_t warnings_before_;
 };
 
+/// Pre-order walk pairing each node with its memoized analysis result.
+void CollectNodeProperties(const WorkflowNode& node, int depth,
+                           const std::map<const WorkflowNode*, NodeInfo>& memo,
+                           std::vector<NodeProperties>* out) {
+  NodeProperties np;
+  np.depth = depth;
+  np.label = NodeLabel(node);
+  auto it = memo.find(&node);
+  if (it != memo.end()) {
+    np.schema = it->second.schema;
+    np.props = it->second.props;
+  }
+  out->push_back(std::move(np));
+  for (const flexrecs::NodePtr& child : node.children) {
+    CollectNodeProperties(*child, depth + 1, memo, out);
+  }
+}
+
 }  // namespace
 
 Analyzer::Analyzer(const storage::Database* db,
@@ -1206,7 +1632,7 @@ std::optional<Schema> Analyzer::AnalyzeWorkflow(const WorkflowNode& root,
   LiveSet everything;
   everything.all = true;
   checker.MarkLive(root, everything);
-  if (options_.pedantic && !info.bounded) {
+  if (options_.pedantic && !info.props.bounded()) {
     diags->Add(Code::kUnboundedResult, root.span,
                "workflow result size is unbounded; consider TOPK or "
                "RECOMMEND ... TOP k");
@@ -1214,11 +1640,150 @@ std::optional<Schema> Analyzer::AnalyzeWorkflow(const WorkflowNode& root,
   return info.schema;
 }
 
+Analyzer::WorkflowAnalysis Analyzer::AnalyzeWorkflowProperties(
+    const WorkflowNode& root, DiagnosticBag* diags) const {
+  MetricScope metrics(*diags);
+  WorkflowChecker checker(db_, library_, diags);
+  std::map<const WorkflowNode*, NodeInfo> memo;
+  checker.set_memo(&memo);
+  NodeInfo info = checker.Analyze(root);
+  LiveSet everything;
+  everything.all = true;
+  checker.MarkLive(root, everything);
+  if (options_.pedantic && !info.props.bounded()) {
+    diags->Add(Code::kUnboundedResult, root.span,
+               "workflow result size is unbounded; consider TOPK or "
+               "RECOMMEND ... TOP k");
+  }
+  WorkflowAnalysis result;
+  result.schema = info.schema;
+  result.props = std::move(info.props);
+  CollectNodeProperties(root, 0, memo, &result.nodes);
+  return result;
+}
+
 void Analyzer::AnalyzeStatement(const query::Statement& stmt,
                                 DiagnosticBag* diags) const {
   MetricScope metrics(*diags);
   WorkflowChecker checker(db_, library_, diags);
   checker.AnalyzeStatement(stmt, SourceSpan{});
+}
+
+Analyzer::StatementAnalysis Analyzer::AnalyzeStatementProperties(
+    const query::Statement& stmt, DiagnosticBag* diags) const {
+  MetricScope metrics(*diags);
+  WorkflowChecker checker(db_, library_, diags);
+  if (stmt.select != nullptr) {
+    NodeInfo info = checker.AnalyzeSelect(*stmt.select, SourceSpan{});
+    return {info.schema, std::move(info.props)};
+  }
+  checker.AnalyzeStatement(stmt, SourceSpan{});
+  return {};
+}
+
+bool Analyzer::VerifyWorkflowRewrite(const WorkflowNode& original,
+                                     const WorkflowNode& rewritten,
+                                     DiagnosticBag* diags) const {
+  MetricScope metrics(*diags);
+  size_t errors_before = diags->error_count();
+  DiagnosticBag obag;
+  DiagnosticBag rbag;
+  WorkflowChecker ochecker(db_, library_, &obag);
+  NodeInfo o = ochecker.Analyze(original);
+  // An original that does not analyze cleanly is no baseline to hold the
+  // rewrite against.
+  if (obag.has_errors()) return true;
+  WorkflowChecker rchecker(db_, library_, &rbag);
+  NodeInfo r = rchecker.Analyze(rewritten);
+  const SourceSpan span = rewritten.span;
+
+  if (rbag.has_errors()) {
+    diags->Add(Code::kRewriteUnanalyzable, span,
+               "rewritten plan fails analysis the original passed: " +
+                   std::string(rbag.ToStatus().message()));
+  } else if (o.schema && !r.schema) {
+    diags->Add(Code::kRewriteUnanalyzable, span,
+               "rewritten plan's schema is no longer inferable");
+  }
+
+  if (o.schema && r.schema) {
+    bool mismatch =
+        o.schema->columns().size() != r.schema->columns().size();
+    if (!mismatch) {
+      for (size_t i = 0; i < o.schema->columns().size(); ++i) {
+        const Column& oc = o.schema->columns()[i];
+        const Column& rc = r.schema->columns()[i];
+        if (ToLower(oc.name) != ToLower(rc.name) || oc.type != rc.type) {
+          mismatch = true;
+          break;
+        }
+      }
+    }
+    if (mismatch) {
+      diags->Add(Code::kRewriteSchemaChanged, span,
+                 "rewrite changed the output schema: [" +
+                     o.schema->ToString() + "] became [" +
+                     r.schema->ToString() + "]");
+    }
+  }
+
+  if (r.props.card_max > o.props.card_max) {
+    diags->Add(Code::kRewriteCardinalityWeakened, span,
+               "rewrite weakened card_max from " +
+                   CardBound(o.props.card_max) + " to " +
+                   CardBound(r.props.card_max));
+  }
+  if (r.props.card_min < o.props.card_min) {
+    diags->Add(Code::kRewriteCardinalityWeakened, span,
+               "rewrite weakened card_min from " +
+                   std::to_string(o.props.card_min) + " to " +
+                   std::to_string(r.props.card_min));
+  }
+
+  // The original's sort claim must survive as a prefix of the rewritten's.
+  if (!o.props.sort_order.empty()) {
+    bool ok = r.props.sort_order.size() >= o.props.sort_order.size();
+    for (size_t i = 0; ok && i < o.props.sort_order.size(); ++i) {
+      const SortProp& os = o.props.sort_order[i];
+      const SortProp& rs = r.props.sort_order[i];
+      ok = ToLower(Unqualify(os.column)) == ToLower(Unqualify(rs.column)) &&
+           os.descending == rs.descending;
+    }
+    if (!ok) {
+      std::string want;
+      for (const SortProp& s : o.props.sort_order) {
+        if (!want.empty()) want += ", ";
+        want += s.column + (s.descending ? " desc" : " asc");
+      }
+      diags->Add(Code::kRewriteSortLost, span,
+                 "rewrite lost the sort guarantee (" + want + ")");
+    }
+  }
+
+  // Every original key must survive — either verbatim or implied by a
+  // rewritten key over a subset of its columns.
+  for (const std::vector<std::string>& key : o.props.keys) {
+    bool found = false;
+    for (const std::vector<std::string>& rkey : r.props.keys) {
+      if (SameKey(key, rkey) || KeySubset(rkey, key)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      diags->Add(Code::kRewriteKeyLost, span,
+                 "rewrite lost uniqueness key (" + JoinList(key) + ")");
+    }
+  }
+
+  for (const std::string& n : o.props.non_null) {
+    if (!HasName(r.props.non_null, n)) {
+      diags->Add(Code::kRewriteNullabilityWeakened, span,
+                 "rewrite lost the non-NULL guarantee on '" + n + "'");
+    }
+  }
+
+  return diags->error_count() == errors_before;
 }
 
 DiagnosticBag Analyzer::LintDsl(const std::string& text) const {

@@ -3,8 +3,10 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/diagnostics.h"
+#include "analysis/plan_properties.h"
 #include "core/similarity.h"
 #include "core/workflow.h"
 #include "query/sql_ast.h"
@@ -18,20 +20,51 @@ struct AnalyzerOptions {
   /// unbounded-result warnings). The lint CLI turns this on with
   /// --pedantic; the engines leave it off.
   bool pedantic = false;
+  /// Re-analyze plans after the workflow optimizer / SQL planner rewrote
+  /// them and fail compilation with CR5xx diagnostics when a rewrite
+  /// changed the inferred schema or weakened a plan property. Defaults on
+  /// in debug builds — the configuration ctest runs — and off in release,
+  /// where the double analysis would tax the hot path.
+#ifdef NDEBUG
+  bool verify_rewrites = false;
+#else
+  bool verify_rewrites = true;
+#endif
 };
 
 /// Schema-aware semantic analyzer for FlexRecs workflow plans and SQL
 /// statements. Runs entirely before execution: it resolves names against
 /// the catalog, pushes types through every operator (π/σ/ε/recommend),
-/// folds constant predicates, and flags structurally suspicious plans.
-/// Findings land in a DiagnosticBag; the analyzer itself never fails.
+/// folds constant predicates, flags structurally suspicious plans, and
+/// infers per-node PlanProperties (cardinality bounds, keys, sort order,
+/// NULL-ability, dictionary safety — DESIGN.md §15) via the same bottom-up
+/// walk. Findings land in a DiagnosticBag; the analyzer itself never fails.
 ///
 /// The analyzer is deliberately lenient where the runtime is: a type it
 /// cannot pin down (parameters, ambiguous columns, SQL escape hatches it
 /// cannot model) suppresses the dependent checks rather than guessing, so
-/// a clean bill of health is meaningful and an error is trustworthy.
+/// a clean bill of health is meaningful and an error is trustworthy. The
+/// same contract extends to properties: every inferred fact is a runtime
+/// guarantee (asserted by ExecOptions::check_static_claims), never an
+/// estimate.
 class Analyzer {
  public:
+  /// Full result of analyzing a workflow tree: root schema + properties,
+  /// plus the per-node property table in pre-order (EXPLAIN STATIC / lint
+  /// --properties rendering).
+  struct WorkflowAnalysis {
+    std::optional<storage::Schema> schema;
+    PlanProperties props;
+    std::vector<NodeProperties> nodes;
+  };
+
+  /// Root schema + properties of one SQL statement (SELECTs; DML returns
+  /// the defaults).
+  struct StatementAnalysis {
+    std::optional<storage::Schema> schema;
+    PlanProperties props;
+  };
+
   /// Both pointers are borrowed and must outlive the analyzer. `library`
   /// may be null — similarity checks are skipped then.
   Analyzer(const storage::Database* db,
@@ -44,10 +77,28 @@ class Analyzer {
   std::optional<storage::Schema> AnalyzeWorkflow(
       const flexrecs::WorkflowNode& root, DiagnosticBag* diags) const;
 
+  /// AnalyzeWorkflow plus the inferred per-node property table.
+  WorkflowAnalysis AnalyzeWorkflowProperties(
+      const flexrecs::WorkflowNode& root, DiagnosticBag* diags) const;
+
   /// Analyzes one parsed SQL statement (SELECT and DML) against the
   /// catalog.
   void AnalyzeStatement(const query::Statement& stmt,
                         DiagnosticBag* diags) const;
+
+  /// AnalyzeStatement plus the statement's inferred root properties.
+  StatementAnalysis AnalyzeStatementProperties(const query::Statement& stmt,
+                                               DiagnosticBag* diags) const;
+
+  /// Rewrite-soundness verifier (CR5xx): re-analyzes `rewritten` and
+  /// compares its inferred schema and properties against `original`'s. A
+  /// semantics-preserving rewrite may tighten properties but never weaken
+  /// them; a changed schema, a raised cardinality bound, or a lost
+  /// sort/key/non-NULL guarantee is reported as a CR50x error. Returns
+  /// true when no error was added.
+  bool VerifyWorkflowRewrite(const flexrecs::WorkflowNode& original,
+                             const flexrecs::WorkflowNode& rewritten,
+                             DiagnosticBag* diags) const;
 
   /// Parses workflow DSL text and analyzes it; parse failures become CR001
   /// diagnostics with the offending statement's span.

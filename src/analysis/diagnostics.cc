@@ -76,6 +76,13 @@ Severity DefaultSeverity(Code code) {
     case Code::kSimilaritySignature:
     case Code::kWeightNotNumeric:
     case Code::kKeyTypeMismatch:
+    case Code::kRewriteUnanalyzable:
+    case Code::kRewriteSchemaChanged:
+    case Code::kRewriteCardinalityWeakened:
+    case Code::kRewriteSortLost:
+    case Code::kRewriteKeyLost:
+    case Code::kRewriteNullabilityWeakened:
+    case Code::kStaticClaimViolation:
       return Severity::kError;
     case Code::kCrossTypeCompare:
     case Code::kAlwaysFalse:

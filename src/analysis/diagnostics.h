@@ -26,7 +26,7 @@ const char* SeverityName(Severity severity);
 /// codes are never renumbered — retired checks leave holes.
 ///
 /// Bands: 0xx syntax, 1xx name resolution, 2xx type checking, 3xx
-/// predicate semantics, 4xx plan shape.
+/// predicate semantics, 4xx plan shape, 5xx rewrite soundness.
 enum class Code {
   kParseDsl = 1,             ///< CR001 workflow DSL parse error
   kParseSql = 2,             ///< CR002 SQL parse error
@@ -47,6 +47,13 @@ enum class Code {
   kCartesianProduct = 401,   ///< CR401 join without an equality conjunct
   kUnboundedResult = 402,    ///< CR402 result size unbounded (pedantic)
   kUnusedColumn = 403,       ///< CR403 extended column never consumed
+  kRewriteUnanalyzable = 500,///< CR500 rewritten plan failed re-analysis
+  kRewriteSchemaChanged = 501,     ///< CR501 rewrite changed output schema
+  kRewriteCardinalityWeakened = 502,///< CR502 rewrite weakened card bounds
+  kRewriteSortLost = 503,          ///< CR503 rewrite lost a sort guarantee
+  kRewriteKeyLost = 504,           ///< CR504 rewrite lost a key/uniqueness
+  kRewriteNullabilityWeakened = 505,///< CR505 rewrite made a column nullable
+  kStaticClaimViolation = 510,     ///< CR510 runtime output broke a claim
 };
 
 /// "CR102" — zero-padded three-digit rendering.

@@ -1,0 +1,161 @@
+#include "analysis/plan_properties.h"
+
+namespace courserank::analysis {
+
+namespace {
+
+std::string CardString(size_t n) {
+  return n == kUnboundedCard ? std::string("*") : std::to_string(n);
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonStringArray(const std::vector<std::string>& names) {
+  std::string out = "[";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(names[i]) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+size_t SaturatingMul(size_t a, size_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == kUnboundedCard || b == kUnboundedCard) return kUnboundedCard;
+  if (a > kUnboundedCard / b) return kUnboundedCard;
+  return a * b;
+}
+
+std::string PlanProperties::ToString() const {
+  std::string out = "{card=" + CardString(card_min) + ".." +
+                    CardString(card_max);
+  if (!sort_order.empty()) {
+    std::string list;
+    for (const SortProp& s : sort_order) {
+      if (!list.empty()) list += ", ";
+      list += s.column + (s.descending ? " desc" : " asc");
+    }
+    out += " sort=(" + list + ")";
+  }
+  for (const std::vector<std::string>& k : keys) {
+    out += " key=(" + JoinNames(k) + ")";
+  }
+  if (!non_null.empty()) out += " nonnull=(" + JoinNames(non_null) + ")";
+  if (!dict_id_safe.empty()) {
+    out += " dict=(" + JoinNames(dict_id_safe) + ")";
+  }
+  if (fusion_eligible) out += " fusable";
+  out += "}";
+  return out;
+}
+
+query::StaticClaims PlanProperties::ToStaticClaims() const {
+  query::StaticClaims claims;
+  claims.card_min =
+      card_min == kUnboundedCard ? query::StaticClaims::kUnbounded : card_min;
+  claims.card_max =
+      card_max == kUnboundedCard ? query::StaticClaims::kUnbounded : card_max;
+  for (const SortProp& s : sort_order) {
+    claims.sort.push_back({s.column, !s.descending});
+  }
+  if (!keys.empty()) claims.key = keys.front();
+  claims.non_null = non_null;
+  return claims;
+}
+
+std::string RenderPropertiesTable(const std::vector<NodeProperties>& nodes) {
+  std::string out;
+  for (const NodeProperties& n : nodes) {
+    out.append(static_cast<size_t>(n.depth) * 2, ' ');
+    out += n.label;
+    out += "  ";
+    out += n.props.ToString();
+    if (n.schema.has_value()) {
+      out += "  [" + n.schema->ToString() + "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string PropertiesToJson(const std::vector<NodeProperties>& nodes) {
+  std::string out = "[";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeProperties& n = nodes[i];
+    if (i > 0) out += ",";
+    out += "{\"depth\":" + std::to_string(n.depth);
+    out += ",\"node\":\"" + JsonEscape(n.label) + "\"";
+    if (n.schema.has_value()) {
+      out += ",\"schema\":\"" + JsonEscape(n.schema->ToString()) + "\"";
+    }
+    out += ",\"card_min\":" +
+           (n.props.card_min == kUnboundedCard
+                ? std::string("null")
+                : std::to_string(n.props.card_min));
+    out += ",\"card_max\":" +
+           (n.props.card_max == kUnboundedCard
+                ? std::string("null")
+                : std::to_string(n.props.card_max));
+    out += ",\"keys\":[";
+    for (size_t k = 0; k < n.props.keys.size(); ++k) {
+      if (k > 0) out += ",";
+      out += JsonStringArray(n.props.keys[k]);
+    }
+    out += "]";
+    out += ",\"sort\":[";
+    for (size_t s = 0; s < n.props.sort_order.size(); ++s) {
+      if (s > 0) out += ",";
+      out += "{\"column\":\"" + JsonEscape(n.props.sort_order[s].column) +
+             "\",\"descending\":" +
+             (n.props.sort_order[s].descending ? "true" : "false") + "}";
+    }
+    out += "]";
+    out += ",\"non_null\":" + JsonStringArray(n.props.non_null);
+    out += ",\"dict_id_safe\":" + JsonStringArray(n.props.dict_id_safe);
+    out += ",\"fusion_eligible\":";
+    out += n.props.fusion_eligible ? "true" : "false";
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace courserank::analysis

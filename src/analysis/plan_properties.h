@@ -1,0 +1,84 @@
+#ifndef COURSERANK_ANALYSIS_PLAN_PROPERTIES_H_
+#define COURSERANK_ANALYSIS_PLAN_PROPERTIES_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/plan.h"
+#include "storage/schema.h"
+
+namespace courserank::analysis {
+
+/// Sentinel for "no static bound" — compares greater than every real count
+/// and is absorbing under the saturating arithmetic below.
+inline constexpr size_t kUnboundedCard = static_cast<size_t>(-1);
+
+/// `a * b` saturating at kUnboundedCard (join fan-out bounds).
+size_t SaturatingMul(size_t a, size_t b);
+
+/// One position of an inferred sort order.
+struct SortProp {
+  std::string column;
+  bool descending = false;
+};
+
+/// Everything the abstract interpretation derives about one operator's
+/// output beyond its schema (DESIGN.md §15). All facts are SOUND
+/// (guaranteed by the runtime, asserted by ExecOptions::check_static_claims)
+/// rather than estimates: an operator the analyzer cannot bound keeps the
+/// unbounded / empty defaults, never a guess.
+struct PlanProperties {
+  /// Output row count is always within [card_min, card_max].
+  size_t card_min = 0;
+  size_t card_max = kUnboundedCard;
+  /// Functional-dependency keys: each inner vector is a set of output
+  /// columns no two rows agree on (base-table unique indexes, GROUP BY
+  /// columns, DISTINCT output). Survives row-subset operators.
+  std::vector<std::vector<std::string>> keys;
+  /// Output rows are lexicographically ordered by these columns (empty =
+  /// no guarantee).
+  std::vector<SortProp> sort_order;
+  /// Columns that never hold NULL at runtime. Deliberately narrower than
+  /// the schema's nullable flags: only facts the executor enforces
+  /// (NOT NULL base columns, ε-lists, recommend scores, non-NULL literals)
+  /// are claimed, so the runtime checker never false-positives.
+  std::vector<std::string> non_null;
+  /// String columns still backed by a single base table's dictionary ids —
+  /// comparisons on them may run on ids instead of bytes. Computed strings
+  /// (concats, aggregates) are never safe.
+  std::vector<std::string> dict_id_safe;
+  /// This node is part of a fusable σ/π/ε chain over one leaf — the
+  /// compilation tier's unit of fusion (ROADMAP codegen item).
+  bool fusion_eligible = false;
+
+  bool bounded() const { return card_max != kUnboundedCard; }
+
+  /// "{card=0..5 sort=(score desc) key=(SuID) nonnull=(score)
+  ///   dict=(Title) fusable}"; unclaimed dimensions are omitted.
+  std::string ToString() const;
+
+  /// The subset of these properties the executor can re-check per relation.
+  query::StaticClaims ToStaticClaims() const;
+};
+
+/// One row of the per-node property table rendered by
+/// `courserank_lint --properties` and EXPLAIN STATIC.
+struct NodeProperties {
+  int depth = 0;           ///< tree depth of the node (root = 0)
+  std::string label;       ///< first line of the operator's ToString
+  std::optional<storage::Schema> schema;
+  PlanProperties props;
+};
+
+/// Indented tree rendering: one line per node, label then properties.
+std::string RenderPropertiesTable(const std::vector<NodeProperties>& nodes);
+
+/// JSON array rendering, one object per node:
+/// [{"depth":0,"node":"...","schema":"...","card_min":0,"card_max":5,...}]
+std::string PropertiesToJson(const std::vector<NodeProperties>& nodes);
+
+}  // namespace courserank::analysis
+
+#endif  // COURSERANK_ANALYSIS_PLAN_PROPERTIES_H_

@@ -8,6 +8,7 @@
 #include "analysis/analyzer.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "core/workflow_optimizer.h"
 #include "obs/metrics.h"
 #include "obs/profile_recorder.h"
 #include "obs/trace.h"
@@ -325,7 +326,7 @@ size_t FlexRecsEngine::CompileNode(const WorkflowNode* node,
 
 void FlexRecsEngine::Analyze(const WorkflowNode& root,
                              analysis::DiagnosticBag* diags) const {
-  analysis::Analyzer(db_, &library_).AnalyzeWorkflow(root, diags);
+  analysis::Analyzer(db_, &library_, analyzer_).AnalyzeWorkflow(root, diags);
 }
 
 Result<CompiledWorkflow> FlexRecsEngine::Compile(
@@ -333,8 +334,18 @@ Result<CompiledWorkflow> FlexRecsEngine::Compile(
   // Static analysis up front so admins get errors at definition time, not
   // when a student asks for recommendations. Warnings don't block.
   analysis::DiagnosticBag diags;
-  Analyze(root, &diags);
+  analysis::Analyzer analyzer(db_, &library_, analyzer_);
+  analyzer.AnalyzeWorkflow(root, &diags);
   CR_RETURN_IF_ERROR(diags.ToStatus());
+  if (analyzer_.verify_rewrites) {
+    // CR5xx rewrite soundness: run the workflow optimizer over a throwaway
+    // clone and re-analyze — a shipped rewrite that changes the inferred
+    // schema or weakens a cardinality/sort/key/non-NULL guarantee fails
+    // compilation here instead of corrupting results downstream.
+    NodePtr optimized = OptimizeWorkflow(root.Clone());
+    analyzer.VerifyWorkflowRewrite(root, *optimized, &diags);
+    CR_RETURN_IF_ERROR(diags.ToStatus());
+  }
 
   CompiledWorkflow compiled;
   compiled.root_ = root.Clone();
@@ -466,6 +477,20 @@ Result<Relation> FlexRecsEngine::ExecuteImpl(const CompiledWorkflow& compiled,
     }
   }
   if (results.empty()) return Status::Internal("empty workflow");
+  if (exec_.check_static_claims) {
+    // Runtime invariant check: re-infer the root's static properties and
+    // assert the actual result against them (CR510 on violation). Analysis
+    // happens here — not at compile time — so cardinality bounds read the
+    // tables as they are now.
+    analysis::DiagnosticBag diags;
+    analysis::Analyzer analyzer(db_, &library_, analyzer_);
+    analysis::Analyzer::WorkflowAnalysis wa =
+        analyzer.AnalyzeWorkflowProperties(*compiled.root_, &diags);
+    if (wa.schema.has_value()) {
+      CR_RETURN_IF_ERROR(
+          query::CheckStaticClaims(results.back(), wa.props.ToStaticClaims()));
+    }
+  }
   return std::move(results.back());
 }
 

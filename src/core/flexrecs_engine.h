@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "analysis/diagnostics.h"
 #include "common/status.h"
 #include "core/similarity.h"
@@ -99,6 +100,16 @@ class FlexRecsEngine {
   }
   const query::ExecOptions& exec_options() const { return exec_; }
 
+  /// Analyzer options for every static pass this engine runs (Compile's
+  /// pre-execution analysis, the CR5xx rewrite verifier, and the
+  /// check_static_claims property inference).
+  void set_analyzer_options(const analysis::AnalyzerOptions& o) {
+    analyzer_ = o;
+  }
+  const analysis::AnalyzerOptions& analyzer_options() const {
+    return analyzer_;
+  }
+
   /// Runs the static analyzer over a workflow against this engine's
   /// catalog and similarity library; findings accumulate in `diags`.
   void Analyze(const WorkflowNode& root,
@@ -106,7 +117,11 @@ class FlexRecsEngine {
 
   /// Compiles the workflow into steps. Runs static analysis first and
   /// returns the error diagnostics as a Status — invalid plans are
-  /// rejected here, never aborted on mid-execution.
+  /// rejected here, never aborted on mid-execution. Under
+  /// AnalyzerOptions::verify_rewrites (debug default) it also runs the
+  /// workflow optimizer over a throwaway clone and fails with CR5xx
+  /// diagnostics if any shipped rewrite weakens the plan's inferred
+  /// properties.
   Result<CompiledWorkflow> Compile(const WorkflowNode& root) const;
 
   /// Always-on profiling: every Run/RunStrategy collects a WorkflowProfile
@@ -184,6 +199,7 @@ class FlexRecsEngine {
   query::SqlEngine sql_;
   SimilarityLibrary library_;
   query::ExecOptions exec_;
+  analysis::AnalyzerOptions analyzer_;
   std::map<std::string, NodePtr> strategies_;
   bool profiling_ = false;
 };

@@ -672,11 +672,13 @@ struct EquiSplit {
 
 class JoinNode : public PlanNode {
  public:
-  JoinNode(PlanPtr left, PlanPtr right, ExprPtr condition, JoinType type)
+  JoinNode(PlanPtr left, PlanPtr right, ExprPtr condition, JoinType type,
+           JoinBuildSide build)
       : left_(std::move(left)),
         right_(std::move(right)),
         condition_(std::move(condition)),
-        type_(type) {}
+        type_(type),
+        build_(build) {}
 
   Result<Relation> ExecuteNode(ExecContext& ctx) const override {
     CR_ASSIGN_OR_RETURN(Relation l, left_->Execute(ctx));
@@ -726,6 +728,77 @@ class JoinNode : public PlanNode {
     MorselPlan mp = PlanMorsels(ctx, l.rows.size());
     if (mp.parallel) timer.set_histogram(Exec().join_par_ns);
     std::vector<std::vector<Row>> chunks(mp.morsels);
+
+    if (!split.pairs.empty() && type_ == JoinType::kInner &&
+        build_ == JoinBuildSide::kLeft) {
+      // Planner-hinted build-on-left: the left (probe-order) side is
+      // statically much smaller, so hash it instead of the right relation.
+      // Probing right rows yields matches in right-major order; sorting the
+      // (left, right) index pairs restores the exact left-major,
+      // chain-in-insertion-order sequence the build-right path emits, so
+      // both orientations stay byte-identical.
+      std::vector<size_t> lcols;
+      std::vector<size_t> rcols;
+      for (auto& [lc, rc] : split.pairs) {
+        lcols.push_back(lc);
+        rcols.push_back(rc);
+      }
+      std::vector<std::pair<size_t, size_t>> matches;
+      if (ctx.exec.flat_hash) {
+        RowKeyTable table(lcols.size(), /*build_chains=*/true);
+        table.Reserve(l.rows.size());
+        for (size_t i = 0; i < l.rows.size(); ++i) {
+          table.StageCols(i, l.rows[i], lcols);
+        }
+        table.Build(l.rows.size(), /*skip_null_keys=*/true, nullptr);
+        uint64_t probes = 0;
+        uint64_t steps = 0;
+        for (size_t ri = 0; ri < r.rows.size(); ++ri) {
+          ++probes;
+          uint32_t entry = table.FindCols(r.rows[ri], rcols, &steps);
+          if (entry == RowKeyTable::kNoEntry) continue;
+          CR_RETURN_IF_ERROR(
+              table.ForEachEntryRow(entry, [&](uint32_t li) -> Status {
+                matches.emplace_back(li, ri);
+                return Status::OK();
+              }));
+        }
+        table.AddProbeStats(probes, steps);
+        RecordHashStats(ctx, table);
+      } else {
+        auto key_of = [&](const Row& row,
+                          const std::vector<size_t>& cols) -> Row {
+          Row key;
+          key.reserve(cols.size());
+          for (size_t c : cols) key.push_back(row[c]);
+          return key;
+        };
+        std::unordered_map<Row, std::vector<size_t>, RowHash> table;
+        table.reserve(l.rows.size());
+        for (size_t i = 0; i < l.rows.size(); ++i) {
+          Row key = key_of(l.rows[i], lcols);
+          bool has_null = false;
+          for (const Value& v : key) has_null |= v.is_null();
+          if (!has_null) table[std::move(key)].push_back(i);
+        }
+        for (size_t ri = 0; ri < r.rows.size(); ++ri) {
+          Row key = key_of(r.rows[ri], rcols);
+          bool has_null = false;
+          for (const Value& v : key) has_null |= v.is_null();
+          if (has_null) continue;
+          auto it = table.find(key);
+          if (it == table.end()) continue;
+          for (size_t li : it->second) matches.emplace_back(li, ri);
+        }
+      }
+      std::sort(matches.begin(), matches.end());
+      out.rows.reserve(matches.size());
+      for (const auto& [li, ri] : matches) {
+        CR_RETURN_IF_ERROR(
+            emit_if_match(l.rows[li], r.rows[ri], nullptr, &out.rows));
+      }
+      return out;
+    }
 
     if (!split.pairs.empty()) {
       // Hash join: build on right.
@@ -879,6 +952,7 @@ class JoinNode : public PlanNode {
   PlanPtr right_;
   ExprPtr condition_;
   JoinType type_;
+  JoinBuildSide build_;
 };
 
 // Equality-pair extraction needs structural access to the expression tree.
@@ -1809,14 +1883,25 @@ class ExtendNode : public PlanNode {
 }  // namespace
 
 Result<Relation> PlanNode::Execute(ExecContext& ctx) const {
-  // Profiling off is the hot path: one branch, then straight into the
-  // operator body.
-  if (ctx.profile == nullptr) return ExecuteNode(ctx);
-  PlanProfileNode* node = ctx.profile->Push(Describe());
-  uint64_t t0 = obs::NowNs();
-  Result<Relation> result = ExecuteNode(ctx);
-  ctx.profile->Pop(node, obs::NowNs() - t0,
-                   result.ok() ? result->rows.size() : 0, !result.ok());
+  // Profiling and claim checking both off is the hot path: one branch,
+  // then straight into the operator body.
+  bool check = ctx.exec.check_static_claims && claims_.has_value();
+  if (ctx.profile == nullptr && !check) return ExecuteNode(ctx);
+  Result<Relation> result = [&]() -> Result<Relation> {
+    if (ctx.profile == nullptr) return ExecuteNode(ctx);
+    PlanProfileNode* node = ctx.profile->Push(Describe());
+    uint64_t t0 = obs::NowNs();
+    Result<Relation> r = ExecuteNode(ctx);
+    ctx.profile->Pop(node, obs::NowNs() - t0, r.ok() ? r->rows.size() : 0,
+                     !r.ok());
+    return r;
+  }();
+  if (check && result.ok()) {
+    Status st = CheckStaticClaims(*result, *claims_);
+    if (!st.ok()) {
+      return Status::Internal(st.message() + " [node: " + Describe() + "]");
+    }
+  }
   return result;
 }
 
@@ -1849,9 +1934,9 @@ PlanPtr MakeProject(PlanPtr child, std::vector<ProjectItem> items) {
   return std::make_unique<ProjectNode>(std::move(child), std::move(items));
 }
 PlanPtr MakeJoin(PlanPtr left, PlanPtr right, ExprPtr condition,
-                 JoinType type) {
+                 JoinType type, JoinBuildSide build) {
   return std::make_unique<JoinNode>(std::move(left), std::move(right),
-                                    std::move(condition), type);
+                                    std::move(condition), type, build);
 }
 PlanPtr MakeAggregate(PlanPtr child, std::vector<ProjectItem> group_by,
                       std::vector<AggregateItem> aggs) {
@@ -1887,6 +1972,160 @@ Result<Relation> Run(const PlanNode& plan, const storage::Database& db) {
   ExecContext ctx;
   ctx.db = &db;
   return plan.Execute(ctx);
+}
+
+namespace {
+
+/// Lenient claim-column resolution: exact (case-insensitive) lookup, then a
+/// unique last-dot-segment suffix match; nullopt means "skip this claim".
+std::optional<size_t> ResolveClaimColumn(const Schema& schema,
+                                         const std::string& name) {
+  if (auto idx = schema.FindColumn(name)) return idx;
+  auto suffix = [](const std::string& s) {
+    size_t dot = s.rfind('.');
+    return ToLower(dot == std::string::npos ? s : s.substr(dot + 1));
+  };
+  // The suffix fallback bridges alias-prefix drift only when one side is
+  // unqualified: "A.x" must never resolve to "B.x".
+  bool name_bare = name.find('.') == std::string::npos;
+  std::string want = suffix(name);
+  std::optional<size_t> match;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    const std::string& col = schema.column(i).name;
+    if (!name_bare && col.find('.') != std::string::npos) continue;
+    if (suffix(col) == want) {
+      if (match.has_value()) return std::nullopt;  // ambiguous
+      match = i;
+    }
+  }
+  return match;
+}
+
+std::string CardString(size_t n) {
+  return n == StaticClaims::kUnbounded ? std::string("*")
+                                       : std::to_string(n);
+}
+
+}  // namespace
+
+std::string StaticClaims::ToString() const {
+  std::string out = "{card=" + CardString(card_min) + ".." +
+                    CardString(card_max);
+  if (!sort.empty()) {
+    out += " sort=(";
+    for (size_t i = 0; i < sort.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += sort[i].column + (sort[i].ascending ? " asc" : " desc");
+    }
+    out += ")";
+  }
+  if (!key.empty()) {
+    out += " key=(";
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += key[i];
+    }
+    out += ")";
+  }
+  if (!non_null.empty()) {
+    out += " nonnull=(";
+    for (size_t i = 0; i < non_null.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += non_null[i];
+    }
+    out += ")";
+  }
+  out += "}";
+  return out;
+}
+
+Status CheckStaticClaims(const Relation& rel, const StaticClaims& claims) {
+  auto violation = [](std::string what) {
+    return Status::Internal("CR510 static claim violated: " +
+                            std::move(what));
+  };
+  size_t n = rel.rows.size();
+  if (n < claims.card_min || n > claims.card_max) {
+    return violation(std::to_string(n) + " rows outside claimed bounds " +
+                     CardString(claims.card_min) + ".." +
+                     CardString(claims.card_max));
+  }
+
+  std::vector<std::pair<size_t, bool>> sort_cols;  // (index, ascending)
+  for (const StaticClaims::SortBy& s : claims.sort) {
+    auto idx = ResolveClaimColumn(rel.schema, s.column);
+    if (!idx.has_value()) break;  // prefix up to the first unresolved key
+    sort_cols.emplace_back(*idx, s.ascending);
+  }
+  for (size_t i = 0; i + 1 < n && !sort_cols.empty(); ++i) {
+    for (const auto& [c, asc] : sort_cols) {
+      int cmp = rel.rows[i][c].Compare(rel.rows[i + 1][c]);
+      if (cmp == 0) continue;
+      bool ok = asc ? cmp < 0 : cmp > 0;
+      if (!ok) {
+        return violation("rows " + std::to_string(i) + " and " +
+                         std::to_string(i + 1) +
+                         " break the claimed sort order on column '" +
+                         rel.schema.column(c).name + "'");
+      }
+      break;
+    }
+  }
+
+  if (!claims.key.empty()) {
+    std::vector<size_t> key_cols;
+    bool resolved = true;
+    for (const std::string& k : claims.key) {
+      auto idx = ResolveClaimColumn(rel.schema, k);
+      if (!idx.has_value()) {
+        resolved = false;
+        break;
+      }
+      key_cols.push_back(*idx);
+    }
+    if (resolved) {
+      auto less = [&](const Row* a, const Row* b) {
+        for (size_t c : key_cols) {
+          int cmp = (*a)[c].Compare((*b)[c]);
+          if (cmp != 0) return cmp < 0;
+        }
+        return false;
+      };
+      std::vector<const Row*> sorted;
+      sorted.reserve(n);
+      for (const Row& r : rel.rows) sorted.push_back(&r);
+      std::sort(sorted.begin(), sorted.end(), less);
+      for (size_t i = 0; i + 1 < n; ++i) {
+        if (!less(sorted[i], sorted[i + 1]) &&
+            !less(sorted[i + 1], sorted[i])) {
+          return violation(
+              "duplicate rows under the claimed key (" +
+              [&] {
+                std::string cols;
+                for (size_t c : key_cols) {
+                  if (!cols.empty()) cols += ", ";
+                  cols += rel.schema.column(c).name;
+                }
+                return cols;
+              }() +
+              ")");
+        }
+      }
+    }
+  }
+
+  for (const std::string& c : claims.non_null) {
+    auto idx = ResolveClaimColumn(rel.schema, c);
+    if (!idx.has_value()) continue;
+    for (size_t i = 0; i < n; ++i) {
+      if (rel.rows[i][*idx].is_null()) {
+        return violation("NULL in claimed non-NULL column '" +
+                         rel.schema.column(*idx).name + "' (row " +
+                         std::to_string(i) + ")");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace courserank::query

@@ -2,6 +2,7 @@
 #define COURSERANK_QUERY_PLAN_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,9 +47,51 @@ struct ExecOptions {
   /// std::unordered_map<Row, ...> path, kept as the differential oracle.
   /// Both paths are byte-identical by contract.
   bool flat_hash = true;
+  /// Debug invariant checker: after every operator whose node carries
+  /// StaticClaims, assert the actual output against them (row count within
+  /// the claimed cardinality bounds, claimed sort order holds, claimed
+  /// non-NULL columns hold no NULL, claimed key columns are unique).
+  /// Violations fail the query with a CR510-tagged InternalError. Off by
+  /// default; tests and debug harnesses turn it on.
+  bool check_static_claims = false;
 };
 
 class ProfileCollector;
+
+/// Statically-derived facts about one operator's output relation, attached
+/// by the SQL planner (and convertible from the analyzer's PlanProperties).
+/// EXPLAIN STATIC renders them per node; ExecOptions::check_static_claims
+/// re-checks them against actual rows after every execution. Columns are
+/// referenced by output-schema name; a claim whose column does not resolve
+/// is skipped rather than failed, mirroring the analyzer's leniency
+/// contract (a false violation is worse than a miss).
+struct StaticClaims {
+  static constexpr size_t kUnbounded = static_cast<size_t>(-1);
+  /// Output row count is always within [card_min, card_max].
+  size_t card_min = 0;
+  size_t card_max = kUnbounded;
+  struct SortBy {
+    std::string column;
+    bool ascending = true;
+  };
+  /// Output rows are lexicographically ordered by these columns (empty =
+  /// no ordering claim).
+  std::vector<SortBy> sort;
+  /// When non-empty, the named columns form a uniqueness key: no two output
+  /// rows agree on all of them.
+  std::vector<std::string> key;
+  /// The named columns never hold NULL.
+  std::vector<std::string> non_null;
+
+  /// "{card=0..5 sort=(score desc) key=(SuID) nonnull=(score)}"; omits
+  /// unclaimed dimensions, "*" renders an unbounded card_max.
+  std::string ToString() const;
+};
+
+/// Validates an executed relation against `claims`. Violations return an
+/// InternalError whose message carries the CR510 tag; claim columns that do
+/// not resolve against `rel.schema` are skipped.
+Status CheckStaticClaims(const Relation& rel, const StaticClaims& claims);
 
 /// Per-execution state shared by all operators of a plan.
 struct ExecContext {
@@ -84,10 +127,19 @@ class PlanNode {
   /// Child operators in Explain order; leaves return {}.
   virtual std::vector<const PlanNode*> Children() const { return {}; }
 
+  /// Static claims attached by whoever built the plan. Rendered by EXPLAIN
+  /// STATIC and asserted after execution when
+  /// ExecOptions::check_static_claims is set.
+  void set_claims(StaticClaims claims) { claims_ = std::move(claims); }
+  const std::optional<StaticClaims>& claims() const { return claims_; }
+
  protected:
   /// The operator body. Implementations execute children via the public
   /// Execute so nested profiling keeps working.
   virtual Result<Relation> ExecuteNode(ExecContext& ctx) const = 0;
+
+ private:
+  std::optional<StaticClaims> claims_;
 };
 
 using PlanPtr = std::unique_ptr<PlanNode>;
@@ -152,11 +204,21 @@ PlanPtr MakeValuesOnce(Relation rel);
 PlanPtr MakeFilter(PlanPtr child, ExprPtr predicate);
 PlanPtr MakeProject(PlanPtr child, std::vector<ProjectItem> items);
 
+/// Which input an inner hash join materializes its hash table over. kRight
+/// is the historical default (build right, probe left rows in order). kLeft
+/// builds over the left input instead — picked by the planner when static
+/// cardinality bounds say the left side is much smaller — then restores the
+/// probe-order output by sorting matches on (left row, right row) index, so
+/// the result stays byte-identical to the kRight path. Ignored for left
+/// joins and non-equi joins.
+enum class JoinBuildSide { kRight, kLeft };
+
 /// Join with arbitrary condition. Equality conjuncts between the two sides
 /// are executed as a hash join; any residual predicate is applied per
 /// candidate pair. kLeft pads unmatched left rows with NULLs.
 PlanPtr MakeJoin(PlanPtr left, PlanPtr right, ExprPtr condition,
-                 JoinType type = JoinType::kInner);
+                 JoinType type = JoinType::kInner,
+                 JoinBuildSide build = JoinBuildSide::kRight);
 
 /// GROUP BY `group_by` computing `aggs`; empty `group_by` aggregates the
 /// whole input to one row.

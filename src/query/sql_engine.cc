@@ -23,6 +23,8 @@ struct SqlMetrics {
   obs::Histogram* execute_ns;
   obs::Counter* statements;
   obs::Counter* pushdown_rewrites;
+  obs::Counter* distinct_elided;
+  obs::Counter* join_build_left;
 };
 
 const SqlMetrics& Metrics() {
@@ -31,7 +33,9 @@ const SqlMetrics& Metrics() {
     return SqlMetrics{reg.GetHistogram("cr_sql_parse_ns"),
                       reg.GetHistogram("cr_sql_execute_ns"),
                       reg.GetCounter("cr_sql_statements_total"),
-                      reg.GetCounter("cr_exec_pushdown_rewrites_total")};
+                      reg.GetCounter("cr_exec_pushdown_rewrites_total"),
+                      reg.GetCounter("cr_planner_distinct_elided_total"),
+                      reg.GetCounter("cr_planner_join_build_left_total")};
   }();
   return m;
 }
@@ -127,15 +131,256 @@ std::string DefaultName(const SelectItem& item) {
   return s;
 }
 
+// ---- planner-side property tracking (DESIGN.md §15) ----
+
+/// Sound StaticClaims threaded bottom-up through plan construction — every
+/// stamped fact is a runtime guarantee, asserted by
+/// ExecOptions::check_static_claims — plus planner-only state: the full key
+/// list (StaticClaims carries one key; heuristics want all of them) and an
+/// UNSOUND row estimate from Table::size() used only for cost choices like
+/// the join build side, never stamped as a claim.
+struct PlanFacts {
+  StaticClaims claims;
+  std::vector<std::vector<std::string>> keys;
+  size_t est_rows = StaticClaims::kUnbounded;
+};
+
+constexpr size_t kUnboundedCard = StaticClaims::kUnbounded;
+
+size_t MinCard(size_t a, size_t b) { return a < b ? a : b; }
+
+size_t SatMul(size_t a, size_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == kUnboundedCard || b == kUnboundedCard) return kUnboundedCard;
+  if (a > kUnboundedCard / b) return kUnboundedCard;
+  return a * b;
+}
+
+/// Attaches facts to a node; the strongest (first-derived) key becomes the
+/// node's uniqueness claim.
+void Stamp(const PlanPtr& plan, const PlanFacts& f) {
+  StaticClaims c = f.claims;
+  if (!f.keys.empty()) c.key = f.keys.front();
+  plan->set_claims(std::move(c));
+}
+
+/// Facts of a base-table scan: exact row count, NOT NULL columns, and
+/// unique-index keys, alias-qualified like the scan's output schema. The
+/// count is sound because plans execute immediately after planning under
+/// the engine's single-writer discipline.
+PlanFacts TableFacts(const storage::Database* db, const std::string& name,
+                     const std::string& alias) {
+  PlanFacts f;
+  auto table = db->GetTable(name);
+  if (!table.ok()) return f;  // execution will report the real error
+  const Table& t = **table;
+  auto qual = [&](const std::string& col) {
+    return alias.empty() ? col : alias + "." + col;
+  };
+  f.claims.card_min = f.claims.card_max = t.size();
+  f.est_rows = t.size();
+  const Schema& schema = t.schema();
+  for (const Column& c : schema.columns()) {
+    if (!c.nullable) f.claims.non_null.push_back(qual(c.name));
+  }
+  for (const storage::HashIndex* idx : t.hash_indexes()) {
+    if (!idx->unique()) continue;
+    std::vector<std::string> key;
+    for (size_t ci : idx->column_indices()) {
+      key.push_back(qual(schema.columns()[ci].name));
+    }
+    if (!key.empty()) f.keys.push_back(std::move(key));
+  }
+  return f;
+}
+
+/// Join output facts. Matches stream grouped by left row in left-input
+/// order (both hash orientations and the nested-loop path), so the left
+/// sort order survives. A left-outer join emits every left row at least
+/// once, so combined (left ∪ right) keys survive, but NULL padding voids
+/// the right side's non-NULL guarantees.
+PlanFacts JoinFacts(const PlanFacts& l, const PlanFacts& r, bool has_cond,
+                    bool left_outer) {
+  PlanFacts f;
+  f.claims.card_max = SatMul(l.claims.card_max, r.claims.card_max);
+  f.est_rows = SatMul(l.est_rows, r.est_rows);
+  if (left_outer) {
+    f.claims.card_min = l.claims.card_min;
+  } else if (!has_cond) {
+    f.claims.card_min = SatMul(l.claims.card_min, r.claims.card_min);
+  }
+  f.claims.sort = l.claims.sort;
+  f.claims.non_null = l.claims.non_null;
+  if (!left_outer) {
+    f.claims.non_null.insert(f.claims.non_null.end(),
+                             r.claims.non_null.begin(),
+                             r.claims.non_null.end());
+  }
+  for (const std::vector<std::string>& lk : l.keys) {
+    for (const std::vector<std::string>& rk : r.keys) {
+      std::vector<std::string> combined = lk;
+      combined.insert(combined.end(), rk.begin(), rk.end());
+      f.keys.push_back(std::move(combined));
+    }
+  }
+  return f;
+}
+
+/// Keeps only the claims fully expressible in the output columns `names`
+/// (case-insensitive): surviving non-NULL entries, keys whose every column
+/// survives, and the longest surviving sort prefix.
+void FilterFactsToOutput(PlanFacts* f, const std::vector<std::string>& names) {
+  auto has = [&](const std::string& n) {
+    for (const std::string& name : names) {
+      if (EqualsIgnoreCase(name, n)) return true;
+    }
+    return false;
+  };
+  std::vector<std::string> non_null;
+  for (const std::string& n : f->claims.non_null) {
+    if (has(n)) non_null.push_back(n);
+  }
+  f->claims.non_null = std::move(non_null);
+  std::vector<std::vector<std::string>> keys;
+  for (const std::vector<std::string>& key : f->keys) {
+    bool all = true;
+    for (const std::string& c : key) all = all && has(c);
+    if (all && !key.empty()) keys.push_back(key);
+  }
+  f->keys = std::move(keys);
+  size_t prefix = 0;
+  while (prefix < f->claims.sort.size() &&
+         has(f->claims.sort[prefix].column)) {
+    ++prefix;
+  }
+  f->claims.sort.resize(prefix);
+}
+
+std::string Unqualify(const std::string& s) {
+  size_t dot = s.rfind('.');
+  return dot == std::string::npos ? s : s.substr(dot + 1);
+}
+
+/// True when `s` renders like a bare (possibly qualified) column reference —
+/// the shape ColumnExpr::ToString produces. Computed expressions render
+/// with operators, parentheses, or quotes and never match.
+bool LooksLikeColumnRef(const std::string& s) {
+  if (s.empty()) return false;
+  char first = s[0];
+  if (!std::isalpha(static_cast<unsigned char>(first)) && first != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '.') {
+      return false;
+    }
+  }
+  return !EqualsIgnoreCase(s, "TRUE") && !EqualsIgnoreCase(s, "FALSE") &&
+         !EqualsIgnoreCase(s, "NULL");
+}
+
+/// Maps an input-claim column name to its projected output name via the
+/// pass-through `pairs` (input spelling → output name). Exact match first;
+/// the unqualified-suffix fallback bridges alias-prefix drift but is only
+/// taken when `allow_suffix` (single-table statements — in joins a bare
+/// name could bind to either side) and when one side is unqualified:
+/// "A.x" never maps to "B.x".
+std::optional<std::string> MapName(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    const std::string& name, bool allow_suffix) {
+  for (const auto& [src, dst] : pairs) {
+    if (EqualsIgnoreCase(src, name)) return dst;
+  }
+  if (!allow_suffix) return std::nullopt;
+  bool name_bare = name.find('.') == std::string::npos;
+  std::optional<std::string> found;
+  for (const auto& [src, dst] : pairs) {
+    bool src_bare = src.find('.') == std::string::npos;
+    if (!name_bare && !src_bare) continue;
+    if (EqualsIgnoreCase(Unqualify(src), Unqualify(name))) {
+      if (found.has_value()) return std::nullopt;  // ambiguous
+      found = dst;
+    }
+  }
+  return found;
+}
+
+/// Maps facts through a projection. `pairs` lists the pass-through columns
+/// (bare column references only — computed expressions guarantee nothing).
+/// Cardinality is preserved; claims whose source column is not passed
+/// through are dropped.
+PlanFacts ProjectFacts(
+    const PlanFacts& in,
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    bool allow_suffix) {
+  PlanFacts f;
+  f.claims.card_min = in.claims.card_min;
+  f.claims.card_max = in.claims.card_max;
+  f.est_rows = in.est_rows;
+  for (const std::string& n : in.claims.non_null) {
+    if (auto dst = MapName(pairs, n, allow_suffix)) {
+      f.claims.non_null.push_back(*dst);
+    }
+  }
+  for (const std::vector<std::string>& key : in.keys) {
+    std::vector<std::string> mapped;
+    for (const std::string& c : key) {
+      auto dst = MapName(pairs, c, allow_suffix);
+      if (!dst.has_value()) break;
+      mapped.push_back(*dst);
+    }
+    if (!key.empty() && mapped.size() == key.size()) {
+      f.keys.push_back(std::move(mapped));
+    }
+  }
+  for (const StaticClaims::SortBy& s : in.claims.sort) {
+    auto dst = MapName(pairs, s.column, allow_suffix);
+    if (!dst.has_value()) break;
+    f.claims.sort.push_back({*dst, s.ascending});
+  }
+  return f;
+}
+
+/// EXPLAIN STATIC rendering: the Explain tree with each node's claims.
+std::string RenderStatic(const PlanNode& node, int indent) {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += node.Describe();
+  if (node.claims().has_value()) {
+    out += "  " + node.claims()->ToString();
+  }
+  out += "\n";
+  for (const PlanNode* c : node.Children()) {
+    out += RenderStatic(*c, indent + 1);
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
+  return PlanSelectWith(stmt, planner_);
+}
+
+Result<PlanPtr> SqlEngine::PlanSelectWith(const SelectStmt& stmt,
+                                          const PlannerOptions& opts) const {
   // In multi-table queries every scan gets an alias (explicit, or the table
   // name itself) so that qualified references like "Ratings.SuID" resolve
   // and same-named columns from different tables stay distinguishable.
   auto effective_alias = [&](const TableRef& ref) {
     if (!ref.alias.empty()) return ref.alias;
     return stmt.joins.empty() ? std::string() : ref.table;
+  };
+  // Claim names map through projections by unqualified suffix only when a
+  // bare name is unambiguous — i.e. single-table statements.
+  const bool allow_suffix = stmt.joins.empty();
+  // Tightens cardinality claims through a LIMIT/OFFSET.
+  auto apply_limit = [](PlanFacts* f, size_t limit, size_t offset) {
+    f->claims.card_max = MinCard(f->claims.card_max, limit);
+    f->claims.card_min = f->claims.card_min > offset
+                             ? MinCard(f->claims.card_min - offset, limit)
+                             : 0;
+    f->est_rows = MinCard(f->est_rows, limit);
   };
 
   bool has_agg = false;
@@ -156,7 +401,7 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
   ScanPushdown push;
   bool where_pushed = false;
   int64_t pushed_components = 0;
-  bool can_push = planner_.scan_pushdown && stmt.joins.empty();
+  bool can_push = opts.scan_pushdown && stmt.joins.empty();
   if (can_push && stmt.where != nullptr) {
     push.predicate = stmt.where->Clone();
     where_pushed = true;
@@ -218,6 +463,16 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
   // Pruned-column names in scan-output order, kept for the
   // identity-projection elision below (push itself is moved into the scan).
   std::vector<std::string> pushed_cols = push.columns;
+  size_t pushed_limit = push.limit;
+  PlanFacts facts =
+      TableFacts(db_, stmt.from.table, effective_alias(stmt.from));
+  if (!pushed_cols.empty()) FilterFactsToOutput(&facts, pushed_cols);
+  if (where_pushed) facts.claims.card_min = 0;
+  if (pushed_limit > 0) {
+    facts.claims.card_max = MinCard(facts.claims.card_max, pushed_limit);
+    facts.claims.card_min = MinCard(facts.claims.card_min, pushed_limit);
+    facts.est_rows = MinCard(facts.est_rows, pushed_limit);
+  }
   if (pushed_components > 0) {
     Metrics().pushdown_rewrites->Add(pushed_components);
     plan = MakePushdownScan(stmt.from.table, effective_alias(stmt.from),
@@ -225,14 +480,38 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
   } else {
     plan = MakeTableScan(stmt.from.table, effective_alias(stmt.from));
   }
+  Stamp(plan, facts);
   for (const JoinClause& jc : stmt.joins) {
+    PlanFacts right_facts =
+        TableFacts(db_, jc.table.table, effective_alias(jc.table));
+    // Build-side choice: hash the left input instead of the right when the
+    // left is statically much smaller. The left bound uses the sound
+    // card_max when finite (it reflects pushed limits); the right side is a
+    // base table with an exact count.
+    JoinBuildSide build = JoinBuildSide::kRight;
+    if (opts.join_build_side && !jc.left && jc.on != nullptr) {
+      size_t lrows = facts.claims.card_max != kUnboundedCard
+                         ? facts.claims.card_max
+                         : facts.est_rows;
+      size_t rrows = right_facts.est_rows;
+      if (lrows != kUnboundedCard && rrows != kUnboundedCard && rrows >= 8 &&
+          lrows < rrows / 4) {
+        build = JoinBuildSide::kLeft;
+        Metrics().join_build_left->Add();
+      }
+    }
     PlanPtr right = MakeTableScan(jc.table.table, effective_alias(jc.table));
+    Stamp(right, right_facts);
     plan = MakeJoin(std::move(plan), std::move(right),
                     jc.on ? jc.on->Clone() : nullptr,
-                    jc.left ? JoinType::kLeft : JoinType::kInner);
+                    jc.left ? JoinType::kLeft : JoinType::kInner, build);
+    facts = JoinFacts(facts, right_facts, jc.on != nullptr, jc.left);
+    Stamp(plan, facts);
   }
   if (stmt.where != nullptr && !where_pushed) {
     plan = MakeFilter(std::move(plan), stmt.where->Clone());
+    facts.claims.card_min = 0;
+    Stamp(plan, facts);
   }
 
   if (has_agg || !stmt.group_by.empty()) {
@@ -245,6 +524,7 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
     }
     // Group-by columns, named after matching select aliases when possible.
     std::vector<ProjectItem> group_by;
+    std::vector<std::pair<std::string, std::string>> group_pairs;
     for (const ExprPtr& g : stmt.group_by) {
       std::string name = g->ToString();
       for (const SelectItem& item : stmt.items) {
@@ -254,21 +534,54 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
           break;
         }
       }
+      if (LooksLikeColumnRef(g->ToString())) {
+        group_pairs.emplace_back(g->ToString(), name);
+      }
       group_by.push_back({g->Clone(), name});
     }
+    std::vector<std::string> group_names;
+    for (const ProjectItem& gi : group_by) group_names.push_back(gi.name);
     std::vector<AggregateItem> aggs;
+    std::vector<std::string> count_names;
     for (const SelectItem& item : stmt.items) {
       if (!item.agg.has_value()) continue;
       AggregateItem agg;
       agg.fn = *item.agg;
       agg.arg = item.expr ? item.expr->Clone() : nullptr;
       agg.name = DefaultName(item);
+      if (agg.fn == AggFn::kCountStar || agg.fn == AggFn::kCount) {
+        count_names.push_back(agg.name);
+      }
       aggs.push_back(std::move(agg));
     }
+    PlanFacts agg_facts;
+    if (group_names.empty()) {
+      // Global aggregate: exactly one row, even on empty input.
+      agg_facts.claims.card_min = agg_facts.claims.card_max = 1;
+      agg_facts.est_rows = 1;
+    } else {
+      // One row per distinct group key: the group columns form a key, at
+      // least one group exists when the input is provably non-empty, and a
+      // NULL-free grouped column stays NULL-free.
+      agg_facts.claims.card_min = facts.claims.card_min > 0 ? 1 : 0;
+      agg_facts.claims.card_max = facts.claims.card_max;
+      agg_facts.est_rows = facts.est_rows;
+      agg_facts.keys.push_back(group_names);
+      agg_facts.claims.non_null =
+          ProjectFacts(facts, group_pairs, allow_suffix).claims.non_null;
+    }
+    // COUNT never yields NULL.
+    for (const std::string& n : count_names) {
+      agg_facts.claims.non_null.push_back(n);
+    }
+    facts = std::move(agg_facts);
     plan = MakeAggregate(std::move(plan), std::move(group_by),
                          std::move(aggs));
+    Stamp(plan, facts);
     if (stmt.having != nullptr) {
       plan = MakeFilter(std::move(plan), stmt.having->Clone());
+      facts.claims.card_min = 0;
+      Stamp(plan, facts);
     }
     // Reorder to the select-list order (aggregate output is group cols then
     // agg cols). Non-aggregate items must appear in GROUP BY.
@@ -291,7 +604,12 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
       final_items.push_back({MakeColumn(DefaultName(item)),
                              DefaultName(item)});
     }
+    std::vector<std::string> final_names;
+    for (const ProjectItem& fi : final_items) final_names.push_back(fi.name);
     plan = MakeProject(std::move(plan), std::move(final_items));
+    // The reorder passes aggregate output columns through by name.
+    FilterFactsToOutput(&facts, final_names);
+    Stamp(plan, facts);
   } else if (!bare_star) {
     for (const SelectItem& item : stmt.items) {
       if (item.star) {
@@ -301,8 +619,13 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
     }
     std::vector<ProjectItem> items;
     std::vector<std::string> visible_names;
+    // Pass-through (input column → output name) pairs for fact mapping;
+    // computed select items guarantee nothing and are left out.
+    std::vector<std::pair<std::string, std::string>> pass;
     for (const SelectItem& item : stmt.items) {
       std::string name = DefaultName(item);
+      std::string src = item.expr->ToString();
+      if (LooksLikeColumnRef(src)) pass.emplace_back(std::move(src), name);
       visible_names.push_back(name);
       items.push_back({item.expr->Clone(), std::move(name)});
     }
@@ -318,6 +641,7 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
       }
       if (!is_alias) {
         std::string hname = "__sort_" + std::to_string(i);
+        if (LooksLikeColumnRef(key)) pass.emplace_back(key, hname);
         items.push_back({stmt.order_by[i].expr->Clone(), hname});
         hidden.push_back(hname);
       }
@@ -343,9 +667,41 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
     if (!identity) {
       plan = MakeProject(std::move(plan), std::move(items));
     }
-    if (stmt.distinct) plan = MakeDistinct(std::move(plan));
+    facts = ProjectFacts(facts, pass, allow_suffix);
+    Stamp(plan, facts);
+    if (stmt.distinct) {
+      // DISTINCT is a no-op when some uniqueness key already lies entirely
+      // inside the output: rows unique on a column subset are unique as
+      // whole rows. The key must cover visible columns only (hidden sort
+      // columns cannot occur here — rejected above).
+      bool provably_unique = false;
+      for (const std::vector<std::string>& key : facts.keys) {
+        bool covered = !key.empty();
+        for (const std::string& c : key) {
+          bool found = false;
+          for (const std::string& v : visible_names) {
+            if (EqualsIgnoreCase(v, c)) found = true;
+          }
+          covered = covered && found;
+        }
+        if (covered) {
+          provably_unique = true;
+          break;
+        }
+      }
+      if (opts.distinct_elision && provably_unique) {
+        Metrics().distinct_elided->Add();
+      } else {
+        plan = MakeDistinct(std::move(plan));
+        if (facts.claims.card_min > 1) facts.claims.card_min = 1;
+      }
+      // Either way the output rows are now unique as whole rows.
+      facts.keys.push_back(visible_names);
+      Stamp(plan, facts);
+    }
     if (!stmt.order_by.empty()) {
       std::vector<SortKey> keys;
+      std::vector<StaticClaims::SortBy> sort_claims;
       size_t h = 0;
       for (const OrderItem& oi : stmt.order_by) {
         const std::string key = oi.expr->ToString();
@@ -355,23 +711,33 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
         }
         SortKey sk;
         sk.ascending = oi.ascending;
-        sk.expr = is_alias ? MakeColumn(key) : MakeColumn(hidden[h++]);
+        std::string col = is_alias ? key : hidden[h++];
+        sk.expr = MakeColumn(col);
+        sort_claims.push_back({std::move(col), oi.ascending});
         keys.push_back(std::move(sk));
       }
+      facts.claims.sort = std::move(sort_claims);
       // ORDER BY + LIMIT fuses into a bounded top-k heap; output is
       // byte-identical to Sort + Limit (TopNNode ties break on row index,
       // matching the stable sort).
-      if (stmt.limit.has_value() && planner_.bounded_topk) {
+      if (stmt.limit.has_value() && opts.bounded_topk) {
         plan = MakeTopN(std::move(plan), std::move(keys), *stmt.limit,
                         stmt.offset);
+        apply_limit(&facts, *stmt.limit, stmt.offset);
+        Stamp(plan, facts);
       } else {
         plan = MakeSort(std::move(plan), std::move(keys));
+        Stamp(plan, facts);
         if (stmt.limit.has_value()) {
           plan = MakeLimit(std::move(plan), *stmt.limit, stmt.offset);
+          apply_limit(&facts, *stmt.limit, stmt.offset);
+          Stamp(plan, facts);
         }
       }
     } else if (stmt.limit.has_value()) {
       plan = MakeLimit(std::move(plan), *stmt.limit, stmt.offset);
+      apply_limit(&facts, *stmt.limit, stmt.offset);
+      Stamp(plan, facts);
     }
     if (!hidden.empty()) {
       std::vector<ProjectItem> drop;
@@ -379,6 +745,8 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
         drop.push_back({MakeColumn(name), name});
       }
       plan = MakeProject(std::move(plan), std::move(drop));
+      FilterFactsToOutput(&facts, visible_names);
+      Stamp(plan, facts);
     }
     return plan;
   }
@@ -390,34 +758,123 @@ Result<PlanPtr> SqlEngine::PlanSelect(const SelectStmt& stmt) const {
   bool distinct_between = stmt.distinct && bare_star;
   if (!stmt.order_by.empty()) {
     std::vector<SortKey> keys;
+    std::vector<StaticClaims::SortBy> sort_claims;
+    bool claimable = true;
     for (const OrderItem& oi : stmt.order_by) {
+      const std::string key = oi.expr->ToString();
+      // Claim the longest leading run of bare column keys; a computed key
+      // ends the claimable prefix (still sorted by the prefix alone).
+      if (claimable && LooksLikeColumnRef(key)) {
+        sort_claims.push_back({key, oi.ascending});
+      } else {
+        claimable = false;
+      }
       keys.push_back({oi.expr->Clone(), oi.ascending});
     }
-    if (stmt.limit.has_value() && planner_.bounded_topk &&
-        !distinct_between) {
+    facts.claims.sort = std::move(sort_claims);
+    if (stmt.limit.has_value() && opts.bounded_topk && !distinct_between) {
       plan = MakeTopN(std::move(plan), std::move(keys), *stmt.limit,
                       stmt.offset);
+      apply_limit(&facts, *stmt.limit, stmt.offset);
+      Stamp(plan, facts);
       return plan;
     }
     plan = MakeSort(std::move(plan), std::move(keys));
+    Stamp(plan, facts);
   }
-  if (distinct_between) plan = MakeDistinct(std::move(plan));
+  if (distinct_between) {
+    // Dedup keeps first occurrences in input order, so the sort claim
+    // survives; the surviving rows are unique as whole rows, but with no
+    // select list there are no output names to claim a key over.
+    plan = MakeDistinct(std::move(plan));
+    if (facts.claims.card_min > 1) facts.claims.card_min = 1;
+    Stamp(plan, facts);
+  }
   if (stmt.limit.has_value()) {
     plan = MakeLimit(std::move(plan), *stmt.limit, stmt.offset);
+    apply_limit(&facts, *stmt.limit, stmt.offset);
+    Stamp(plan, facts);
   }
   return plan;
 }
 
+Status SqlEngine::VerifyPlannedRewrites(const SelectStmt& stmt,
+                                        const PlanNode& optimized) const {
+  PlannerOptions off;
+  off.scan_pushdown = false;
+  off.bounded_topk = false;
+  off.distinct_elision = false;
+  off.join_build_side = false;
+  off.verify_rewrites = false;
+  Result<PlanPtr> baseline = PlanSelectWith(stmt, off);
+  // A statement the baseline cannot plan, or roots carrying no claims, have
+  // nothing to compare — mirror the analyzer's leniency contract.
+  if (!baseline.ok()) return Status::OK();
+  const std::optional<StaticClaims>& base = (*baseline)->claims();
+  const std::optional<StaticClaims>& opt = optimized.claims();
+  if (!base.has_value() || !opt.has_value()) return Status::OK();
+  auto fail = [&](const char* code, const std::string& what) {
+    return Status::Internal(std::string(code) + " rewrite verification: " +
+                            what + "; baseline " + base->ToString() +
+                            " vs optimized " + opt->ToString());
+  };
+  if (opt->card_max > base->card_max) {
+    return fail("CR502", "planner rewrite raised the cardinality bound");
+  }
+  if (opt->card_min < base->card_min) {
+    return fail("CR502", "planner rewrite lowered the cardinality floor");
+  }
+  if (opt->sort.size() < base->sort.size()) {
+    return fail("CR503", "planner rewrite lost the sort guarantee");
+  }
+  for (size_t i = 0; i < base->sort.size(); ++i) {
+    if (!EqualsIgnoreCase(base->sort[i].column, opt->sort[i].column) ||
+        base->sort[i].ascending != opt->sort[i].ascending) {
+      return fail("CR503", "planner rewrite changed the sort guarantee");
+    }
+  }
+  if (!base->key.empty()) {
+    auto in_base = [&](const std::string& c) {
+      for (const std::string& b : base->key) {
+        if (EqualsIgnoreCase(b, c)) return true;
+      }
+      return false;
+    };
+    bool stronger_or_equal = !opt->key.empty();
+    for (const std::string& c : opt->key) {
+      stronger_or_equal = stronger_or_equal && in_base(c);
+    }
+    if (!stronger_or_equal) {
+      return fail("CR504", "planner rewrite lost the uniqueness key");
+    }
+  }
+  for (const std::string& n : base->non_null) {
+    bool found = false;
+    for (const std::string& o : opt->non_null) {
+      if (EqualsIgnoreCase(o, n)) found = true;
+    }
+    if (!found) {
+      return fail("CR505",
+                  "planner rewrite lost the non-NULL guarantee on " + n);
+    }
+  }
+  return Status::OK();
+}
+
 Result<Relation> SqlEngine::Execute(const std::string& sql,
                                     const ParamMap& params) {
-  // EXPLAIN [ANALYZE] is an engine-level prefix, not parser syntax: the
-  // inner statement is parsed and planned exactly as it would run.
+  // EXPLAIN [ANALYZE|STATIC] is an engine-level prefix, not parser syntax:
+  // the inner statement is parsed and planned exactly as it would run.
   std::string_view rest = Trim(std::string_view(sql));
   if (ConsumeKeyword(&rest, "EXPLAIN")) {
     std::string inner(rest);
     if (ConsumeKeyword(&rest, "ANALYZE")) {
       CR_ASSIGN_OR_RETURN(std::string text,
                           ExplainAnalyze(std::string(rest), params));
+      return PlanLines(text);
+    }
+    if (ConsumeKeyword(&rest, "STATIC")) {
+      CR_ASSIGN_OR_RETURN(std::string text, ExplainStatic(std::string(rest)));
       return PlanLines(text);
     }
     CR_ASSIGN_OR_RETURN(std::string text, Explain(inner));
@@ -481,6 +938,9 @@ Result<Relation> SqlEngine::ExecuteStatement(const std::string& sql,
   if (validator_) CR_RETURN_IF_ERROR(validator_(stmt));
   if (stmt.select != nullptr) {
     CR_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(*stmt.select));
+    if (planner_.verify_rewrites) {
+      CR_RETURN_IF_ERROR(VerifyPlannedRewrites(*stmt.select, *plan));
+    }
     ExecContext ctx;
     ctx.db = db_;
     ctx.params = params;
@@ -508,6 +968,15 @@ Result<std::string> SqlEngine::Explain(const std::string& sql) {
   }
   CR_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(*stmt.select));
   return plan->Explain(0);
+}
+
+Result<std::string> SqlEngine::ExplainStatic(const std::string& sql) {
+  CR_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  if (stmt.select == nullptr) {
+    return Status::InvalidArgument("EXPLAIN STATIC supports SELECT only");
+  }
+  CR_ASSIGN_OR_RETURN(PlanPtr plan, PlanSelect(*stmt.select));
+  return RenderStatic(*plan, 0);
 }
 
 Result<Relation> SqlEngine::ExecuteInsert(const InsertStmt& stmt,

@@ -28,6 +28,23 @@ struct PlannerOptions {
   /// Fuse ORDER BY + LIMIT into a bounded top-k heap (TopN) instead of a
   /// full sort.
   bool bounded_topk = true;
+  /// Elide a DISTINCT whose input already carries a uniqueness key entirely
+  /// inside the visible select list — the static properties prove the dedup
+  /// is a no-op (DESIGN.md §15).
+  bool distinct_elision = true;
+  /// Build the inner-join hash table over the left input when static
+  /// cardinality bounds say it is much smaller than the right relation
+  /// (JoinBuildSide::kLeft — output stays byte-identical).
+  bool join_build_side = true;
+  /// Rewrite-soundness check (CR5xx): after planning, re-plan with every
+  /// rewrite off and verify the optimized root never weakens the baseline's
+  /// static claims. On in debug builds — the configuration ctest runs — and
+  /// off in release, where the double planning would tax the hot path.
+#ifdef NDEBUG
+  bool verify_rewrites = false;
+#else
+  bool verify_rewrites = true;
+#endif
 };
 
 class SqlEngine {
@@ -88,6 +105,10 @@ class SqlEngine {
   /// Parses a SELECT and returns its physical plan tree rendering.
   Result<std::string> Explain(const std::string& sql);
 
+  /// Parses a SELECT and renders its plan tree annotated per node with the
+  /// planner's StaticClaims ("EXPLAIN STATIC <select>" routes here).
+  Result<std::string> ExplainStatic(const std::string& sql);
+
   storage::Database* db() { return db_; }
 
  private:
@@ -98,6 +119,17 @@ class SqlEngine {
   Result<Relation> ExecuteStatement(const std::string& sql,
                                     const ParamMap& params,
                                     QueryProfile* profile);
+
+  /// PlanSelect with an explicit option set (PlanSelect passes planner_;
+  /// the rewrite verifier passes the all-off baseline).
+  Result<PlanPtr> PlanSelectWith(const SelectStmt& stmt,
+                                 const PlannerOptions& opts) const;
+
+  /// CR5xx rewrite-soundness check: re-plans `stmt` with every rewrite off
+  /// and fails when `optimized`'s root claims weaken the baseline's (raised
+  /// cardinality bound, lost sort/key/non-NULL guarantee).
+  Status VerifyPlannedRewrites(const SelectStmt& stmt,
+                               const PlanNode& optimized) const;
 
   Result<Relation> ExecuteInsert(const InsertStmt& stmt,
                                  const ParamMap& params);

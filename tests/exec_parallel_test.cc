@@ -259,6 +259,13 @@ TEST_P(PushdownEquivalenceTest, RewrittenPlansMatchPlainPlans) {
   SqlEngine pushed_columnar(&db);
   pushed_columnar.set_planner_options(PlannerOptions{true, true});
   pushed_columnar.set_exec_options(ColumnarSerial());
+  // Full planner (pushdown, Distinct elision, build-side choice) with the
+  // runtime claim checker on: the planner's static claims must hold on
+  // every rewritten plan's actual output.
+  SqlEngine audited(&db);
+  ExecOptions audited_opts = Serial();
+  audited_opts.check_static_claims = true;
+  audited.set_exec_options(audited_opts);
 
   const std::string queries[] = {
       "SELECT * FROM Courses",
@@ -285,6 +292,9 @@ TEST_P(PushdownEquivalenceTest, RewrittenPlansMatchPlainPlans) {
     auto c = pushed_columnar.Execute(sql);
     ASSERT_TRUE(c.ok()) << sql << " -> " << c.status().ToString();
     ExpectSameRelation(*a, *c, "columnar: " + sql);
+    auto d = audited.Execute(sql);
+    ASSERT_TRUE(d.ok()) << sql << " -> " << d.status().ToString();
+    ExpectSameRelation(*a, *d, "claims-checked: " + sql);
   }
 }
 
@@ -359,6 +369,15 @@ TEST_P(StrategyEquivalenceTest, ParallelMatchesSerial) {
         << sc.name << " -> " << columnar.status().ToString();
     ExpectSameRelation(*serial, *columnar,
                        std::string("columnar: ") + sc.name);
+    // Shipped strategies must also satisfy their own inferred claims.
+    ExecOptions audited_opts = Serial();
+    audited_opts.check_static_claims = true;
+    engine.set_exec_options(audited_opts);
+    auto audited = engine.RunStrategy(sc.name, sc.params);
+    ASSERT_TRUE(audited.ok())
+        << sc.name << " -> " << audited.status().ToString();
+    ExpectSameRelation(*serial, *audited,
+                       std::string("claims-checked: ") + sc.name);
   }
 }
 
@@ -515,6 +534,15 @@ TEST_P(RandomWorkflowEquivalenceTest, SerialParallelOptimizedAgree) {
     ASSERT_TRUE(columnar.ok()) << dsl << "\n"
                                << columnar.status().ToString();
     ExpectSameRelation(*serial, *columnar, "columnar: " + dsl);
+
+    // Static-claims soundness: every property the analyzer inferred for
+    // this workflow must hold on its actual output (CR510 otherwise).
+    ExecOptions audited_opts = Serial();
+    audited_opts.check_static_claims = true;
+    engine.set_exec_options(audited_opts);
+    auto audited = engine.Run(**parsed, {});
+    ASSERT_TRUE(audited.ok()) << dsl << "\n" << audited.status().ToString();
+    ExpectSameRelation(*serial, *audited, "claims-checked: " + dsl);
 
     auto reparsed = flexrecs::ParseWorkflow(dsl);
     ASSERT_TRUE(reparsed.ok()) << dsl;

@@ -1,0 +1,792 @@
+// Plan-property inference and rewrite-soundness verification (DESIGN.md
+// §15): golden tests for the per-operator abstract interpretation, the
+// CR5xx verifier (including deliberately-broken rewrites it must catch),
+// the SQL planner's claim threading (EXPLAIN STATIC, Distinct elision,
+// join build-side choice), and the CR510 runtime claim checker.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/plan_properties.h"
+#include "core/flexrecs_engine.h"
+#include "core/strategies.h"
+#include "core/workflow_optimizer.h"
+#include "core/workflow_parser.h"
+#include "obs/metrics.h"
+#include "query/plan.h"
+#include "query/sql_engine.h"
+#include "social/site.h"
+#include "storage/database.h"
+
+namespace courserank::analysis {
+namespace {
+
+using query::Relation;
+using query::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+bool Has(const std::vector<std::string>& names, const std::string& want) {
+  for (const std::string& n : names) {
+    if (n == want) return true;
+  }
+  return false;
+}
+
+bool HasKey(const PlanProperties& p, const std::vector<std::string>& want) {
+  for (const std::vector<std::string>& key : p.keys) {
+    if (key == want) return true;
+  }
+  return false;
+}
+
+/// All distinct diagnostic codes in a bag, as their numeric CR values.
+std::set<int> Codes(const DiagnosticBag& bag) {
+  std::set<int> out;
+  for (const Diagnostic& d : bag.items()) {
+    out.insert(static_cast<int>(d.code));
+  }
+  return out;
+}
+
+// ==================================================================
+// Analyzer property inference over workflow DSL
+// ==================================================================
+
+class PlanPropertiesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(
+                       "Students",
+                       Schema({{"SuID", ValueType::kInt, false},
+                               {"Name", ValueType::kString, false},
+                               {"Major", ValueType::kString, true}}),
+                       {"SuID"})
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(
+                       "Courses",
+                       Schema({{"CourseID", ValueType::kInt, false},
+                               {"Title", ValueType::kString, false},
+                               {"Units", ValueType::kInt, false}}),
+                       {"CourseID"})
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(
+                       "Ratings",
+                       Schema({{"SuID", ValueType::kInt, false},
+                               {"CourseID", ValueType::kInt, false},
+                               {"Score", ValueType::kDouble, false}}),
+                       {"SuID", "CourseID"})
+                    .ok());
+    engine_ = std::make_unique<flexrecs::FlexRecsEngine>(&db_);
+  }
+
+  Analyzer MakeAnalyzer() { return Analyzer(&db_, &engine_->library()); }
+
+  /// Parses + analyzes, asserting both come back clean.
+  Analyzer::WorkflowAnalysis Analyze(const std::string& dsl) {
+    auto parsed = flexrecs::ParseWorkflow(dsl);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    if (!parsed.ok()) return {};
+    DiagnosticBag diags;
+    Analyzer::WorkflowAnalysis wa =
+        MakeAnalyzer().AnalyzeWorkflowProperties(**parsed, &diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.ToText();
+    return wa;
+  }
+
+  PlanProperties Root(const std::string& dsl) { return Analyze(dsl).props; }
+
+  /// Verifies `rewritten` against `original`, returning the diagnostics.
+  DiagnosticBag Verify(const std::string& original,
+                       const std::string& rewritten, bool* ok = nullptr) {
+    auto o = flexrecs::ParseWorkflow(original);
+    auto r = flexrecs::ParseWorkflow(rewritten);
+    EXPECT_TRUE(o.ok()) << o.status().ToString();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    DiagnosticBag diags;
+    bool clean = MakeAnalyzer().VerifyWorkflowRewrite(**o, **r, &diags);
+    if (ok != nullptr) *ok = clean;
+    return diags;
+  }
+
+  storage::Database db_;
+  std::unique_ptr<flexrecs::FlexRecsEngine> engine_;
+};
+
+// ---- leaves ------------------------------------------------------
+
+TEST_F(PlanPropertiesTest, TableClaimsKeyNonNullAndDictColumns) {
+  PlanProperties p = Root("c = TABLE Courses\nRETURN c\n");
+  EXPECT_EQ(p.card_min, 0u);
+  EXPECT_EQ(p.card_max, kUnboundedCard);  // tables mutate between runs
+  EXPECT_TRUE(HasKey(p, {"CourseID"})) << p.ToString();
+  EXPECT_TRUE(Has(p.non_null, "CourseID"));
+  EXPECT_TRUE(Has(p.non_null, "Title"));
+  EXPECT_TRUE(Has(p.non_null, "Units"));
+  EXPECT_TRUE(Has(p.dict_id_safe, "Title"));
+  EXPECT_TRUE(p.sort_order.empty());
+  EXPECT_TRUE(p.fusion_eligible);
+}
+
+TEST_F(PlanPropertiesTest, TableCompositeKeyAndNullableColumn) {
+  PlanProperties r = Root("r = TABLE Ratings\nRETURN r\n");
+  EXPECT_TRUE(HasKey(r, {"SuID", "CourseID"})) << r.ToString();
+
+  PlanProperties s = Root("s = TABLE Students\nRETURN s\n");
+  EXPECT_TRUE(Has(s.non_null, "Name"));
+  EXPECT_FALSE(Has(s.non_null, "Major"));  // nullable column never claimed
+  EXPECT_TRUE(Has(s.dict_id_safe, "Major"));
+}
+
+TEST_F(PlanPropertiesTest, ValuesNodeClaimsExactCardinality) {
+  Relation rel;
+  rel.schema = Schema({{"a", ValueType::kInt, false},
+                       {"b", ValueType::kInt, true}});
+  rel.rows.push_back({Value(1), Value(2)});
+  rel.rows.push_back({Value(3), Value::Null()});
+  auto wf = flexrecs::Workflow::Values(std::move(rel));
+  auto root = std::move(wf).Build();
+  ASSERT_TRUE(root.ok());
+  DiagnosticBag diags;
+  Analyzer::WorkflowAnalysis wa =
+      MakeAnalyzer().AnalyzeWorkflowProperties(**root, &diags);
+  EXPECT_EQ(wa.props.card_min, 2u);
+  EXPECT_EQ(wa.props.card_max, 2u);
+  EXPECT_TRUE(Has(wa.props.non_null, "a"));
+  EXPECT_FALSE(Has(wa.props.non_null, "b"));  // a row holds NULL
+}
+
+// ---- σ / π -------------------------------------------------------
+
+TEST_F(PlanPropertiesTest, SelectKeepsUpperBoundKeyAndNonNull) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "f = SELECT c WHERE Units = 5\n"
+      "RETURN f\n");
+  EXPECT_EQ(p.card_min, 0u);  // the filter may drop everything
+  EXPECT_TRUE(HasKey(p, {"CourseID"}));
+  EXPECT_TRUE(Has(p.non_null, "Title"));
+  EXPECT_TRUE(p.fusion_eligible);  // σ over a leaf stays fusable
+}
+
+TEST_F(PlanPropertiesTest, ProjectMapsKeyThroughRename) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "p = PROJECT c TO CourseID AS id, Title AS t\n"
+      "RETURN p\n");
+  EXPECT_TRUE(HasKey(p, {"id"})) << p.ToString();
+  EXPECT_TRUE(Has(p.non_null, "id"));
+  EXPECT_TRUE(Has(p.non_null, "t"));
+  EXPECT_TRUE(Has(p.dict_id_safe, "t"));
+}
+
+TEST_F(PlanPropertiesTest, ProjectDroppingKeyColumnDropsKey) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "p = PROJECT c TO Title AS t\n"
+      "RETURN p\n");
+  EXPECT_TRUE(p.keys.empty()) << p.ToString();
+  EXPECT_TRUE(Has(p.non_null, "t"));
+}
+
+TEST_F(PlanPropertiesTest, ComputedProjectionClaimsNothing) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "p = PROJECT c TO Units + 1 AS u\n"
+      "RETURN p\n");
+  EXPECT_TRUE(p.keys.empty());
+  EXPECT_FALSE(Has(p.non_null, "u"));  // computed, so never claimed
+  EXPECT_TRUE(p.dict_id_safe.empty());
+}
+
+TEST_F(PlanPropertiesTest, ProjectPreservesCardinalityBounds) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "t = TOPK c BY Units DESC LIMIT 5\n"
+      "p = PROJECT t TO Title AS t2\n"
+      "RETURN p\n");
+  EXPECT_EQ(p.card_max, 5u);  // π is 1:1 on rows
+}
+
+// ---- TOPK --------------------------------------------------------
+
+TEST_F(PlanPropertiesTest, TopKBoundsCardinalityAndClaimsSort) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "t = TOPK c BY Units DESC LIMIT 5\n"
+      "RETURN t\n");
+  EXPECT_EQ(p.card_min, 0u);
+  EXPECT_EQ(p.card_max, 5u);
+  ASSERT_EQ(p.sort_order.size(), 1u);
+  EXPECT_EQ(p.sort_order[0].column, "Units");
+  EXPECT_TRUE(p.sort_order[0].descending);
+  EXPECT_TRUE(HasKey(p, {"CourseID"}));  // row subset keeps keys
+  EXPECT_FALSE(p.fusion_eligible);
+}
+
+TEST_F(PlanPropertiesTest, TopKAscendingSort) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "t = TOPK c BY Title ASC LIMIT 3\n"
+      "RETURN t\n");
+  ASSERT_EQ(p.sort_order.size(), 1u);
+  EXPECT_FALSE(p.sort_order[0].descending);
+}
+
+// Regression: card_max must be min(k, input bound), not just k — a TOPK 7
+// over a TOPK 3 can never emit more than 3 rows.
+TEST_F(PlanPropertiesTest, TopKOverTighterInputKeepsTighterBound) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "a = TOPK c BY Units DESC LIMIT 3\n"
+      "b = TOPK a BY Title ASC LIMIT 7\n"
+      "RETURN b\n");
+  EXPECT_EQ(p.card_max, 3u);
+  ASSERT_EQ(p.sort_order.size(), 1u);
+  EXPECT_EQ(p.sort_order[0].column, "Title");  // outer sort wins
+}
+
+// ---- recommend / except / extend ---------------------------------
+
+TEST_F(PlanPropertiesTest, RecommendClaimsScoreSortAndTopKBound) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "t = SELECT c WHERE Units = 5\n"
+      "r = RECOMMEND c AGAINST t USING token_jaccard(Title, Title) "
+      "AGG max SCORE score TOP 10\n"
+      "RETURN r\n");
+  EXPECT_EQ(p.card_min, 0u);
+  EXPECT_EQ(p.card_max, 10u);
+  ASSERT_EQ(p.sort_order.size(), 1u);
+  EXPECT_EQ(p.sort_order[0].column, "score");
+  EXPECT_TRUE(p.sort_order[0].descending);
+  EXPECT_TRUE(Has(p.non_null, "score"));  // the engine always scores
+}
+
+TEST_F(PlanPropertiesTest, RecommendWithoutTopKStaysUnbounded) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "t = SELECT c WHERE Units = 5\n"
+      "r = RECOMMEND c AGAINST t USING token_jaccard(Title, Title)\n"
+      "RETURN r\n");
+  EXPECT_EQ(p.card_max, kUnboundedCard);
+  EXPECT_TRUE(Has(p.non_null, "score"));
+}
+
+TEST_F(PlanPropertiesTest, ExceptKeepsBoundAndKey) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "t = TOPK c BY Units DESC LIMIT 4\n"
+      "r = TABLE Ratings\n"
+      "e = EXCEPT t ON CourseID = CourseID FROM r\n"
+      "RETURN e\n");
+  EXPECT_EQ(p.card_min, 0u);
+  EXPECT_EQ(p.card_max, 4u);  // anti-join only removes rows
+  EXPECT_TRUE(HasKey(p, {"CourseID"}));
+}
+
+TEST_F(PlanPropertiesTest, ExtendAddsNonNullListColumn) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "r = TABLE Ratings\n"
+      "e = EXTEND c WITH r ON CourseID = CourseID COLLECT Score AS scores\n"
+      "RETURN e\n");
+  EXPECT_TRUE(Has(p.non_null, "scores"));  // ε always emits a list
+  EXPECT_TRUE(HasKey(p, {"CourseID"}));    // 1:1 on child rows
+}
+
+// ---- join --------------------------------------------------------
+
+TEST_F(PlanPropertiesTest, JoinMultipliesBoundsAndCombinesKeys) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "r = TABLE Ratings\n"
+      "a0 = TOPK c BY Units DESC LIMIT 2\n"
+      "a = PROJECT a0 TO CourseID AS cid, Units AS u\n"
+      "b = TOPK r BY Score DESC LIMIT 3\n"
+      "j = JOIN a WITH b ON cid = CourseID\n"
+      "RETURN j\n");
+  EXPECT_EQ(p.card_min, 0u);  // the condition filters
+  EXPECT_EQ(p.card_max, 6u);  // 2 × 3 cross-product bound
+  // Combined (left key, right key) identifies each joined row.
+  EXPECT_TRUE(HasKey(p, {"cid", "SuID", "CourseID"})) << p.ToString();
+}
+
+// ---- SQL escape hatch in a workflow ------------------------------
+
+TEST_F(PlanPropertiesTest, SqlNodeLimitBoundsCardinality) {
+  PlanProperties p = Root(
+      "a = SQL SELECT CourseID, Title FROM Courses LIMIT 5\n"
+      "RETURN a\n");
+  EXPECT_EQ(p.card_max, 5u);
+  EXPECT_TRUE(Has(p.non_null, "CourseID"));
+}
+
+// ---- per-node table, rendering, conversion -----------------------
+
+TEST_F(PlanPropertiesTest, NodeTableIsPreOrderWithDepths) {
+  Analyzer::WorkflowAnalysis wa = Analyze(
+      "c = TABLE Courses\n"
+      "f = SELECT c WHERE Units = 5\n"
+      "t = TOPK f BY Units DESC LIMIT 5\n"
+      "RETURN t\n");
+  ASSERT_EQ(wa.nodes.size(), 3u);
+  EXPECT_EQ(wa.nodes[0].depth, 0);  // TopK root
+  EXPECT_EQ(wa.nodes[1].depth, 1);  // Select
+  EXPECT_EQ(wa.nodes[2].depth, 2);  // Table leaf
+  EXPECT_EQ(wa.nodes[0].props.card_max, 5u);
+  EXPECT_EQ(wa.nodes[2].props.card_max, kUnboundedCard);
+  for (const NodeProperties& n : wa.nodes) {
+    EXPECT_FALSE(n.label.empty());
+    EXPECT_TRUE(n.schema.has_value());
+  }
+}
+
+TEST_F(PlanPropertiesTest, ToStringRendersClaimedDimensions) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "t = TOPK c BY Units DESC LIMIT 5\n"
+      "RETURN t\n");
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("card=0..5"), std::string::npos) << s;
+  EXPECT_NE(s.find("Units desc"), std::string::npos) << s;
+  EXPECT_NE(s.find("CourseID"), std::string::npos) << s;
+}
+
+TEST_F(PlanPropertiesTest, ToStaticClaimsMapsEveryDimension) {
+  PlanProperties p = Root(
+      "c = TABLE Courses\n"
+      "t = TOPK c BY Title ASC LIMIT 3\n"
+      "RETURN t\n");
+  query::StaticClaims claims = p.ToStaticClaims();
+  EXPECT_EQ(claims.card_max, 3u);
+  ASSERT_EQ(claims.sort.size(), 1u);
+  EXPECT_EQ(claims.sort[0].column, "Title");
+  EXPECT_TRUE(claims.sort[0].ascending);  // descending=false flips
+  EXPECT_EQ(claims.key, std::vector<std::string>{"CourseID"});
+  EXPECT_TRUE(Has(claims.non_null, "Title"));
+}
+
+TEST_F(PlanPropertiesTest, RenderAndJsonCoverEveryNode) {
+  Analyzer::WorkflowAnalysis wa = Analyze(
+      "c = TABLE Courses\n"
+      "t = TOPK c BY Units DESC LIMIT 5\n"
+      "RETURN t\n");
+  std::string table = RenderPropertiesTable(wa.nodes);
+  EXPECT_NE(table.find("TopK"), std::string::npos) << table;
+  EXPECT_NE(table.find("Table"), std::string::npos) << table;
+  EXPECT_NE(table.find("card=0..5"), std::string::npos) << table;
+  std::string json = PropertiesToJson(wa.nodes);
+  EXPECT_NE(json.find("\"card_max\":5"), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+// ==================================================================
+// Rewrite-soundness verifier (CR5xx)
+// ==================================================================
+
+TEST_F(PlanPropertiesTest, IdenticalWorkflowVerifies) {
+  const std::string dsl =
+      "c = TABLE Courses\n"
+      "t = TOPK c BY Units DESC LIMIT 5\n"
+      "RETURN t\n";
+  bool ok = false;
+  DiagnosticBag bag = Verify(dsl, dsl, &ok);
+  EXPECT_TRUE(ok) << bag.ToText();
+  EXPECT_FALSE(bag.has_errors());
+}
+
+// The acceptance gate: every shipped strategy must survive the shipped
+// optimizer with zero CR5xx findings.
+TEST_F(PlanPropertiesTest, ShippedStrategiesOptimizeWithZeroCr5xx) {
+  const std::vector<std::string> strategies = {
+      flexrecs::strategies::RelatedCoursesDsl(),
+      flexrecs::strategies::UserCfDsl(),
+      flexrecs::strategies::WeightedUserCfDsl(),
+      flexrecs::strategies::GradeCfDsl(),
+      flexrecs::strategies::MajorPopularDsl(),
+      flexrecs::strategies::RecommendMajorDsl(),
+      flexrecs::strategies::BestQuarterDsl(),
+  };
+  // The canonical catalog these strategies resolve against.
+  auto site = social::CourseRankSite::Create();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  Analyzer analyzer(&(*site)->db(), &(*site)->flexrecs().library());
+  for (const std::string& dsl : strategies) {
+    auto parsed = flexrecs::ParseWorkflow(dsl);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    flexrecs::NodePtr optimized = flexrecs::OptimizeWorkflow((*parsed)->Clone());
+    DiagnosticBag bag;
+    EXPECT_TRUE(analyzer.VerifyWorkflowRewrite(**parsed, *optimized, &bag))
+        << dsl << "\n" << bag.ToText();
+  }
+}
+
+// Deliberately-broken rewrite rules, each caught statically by its code.
+
+TEST_F(PlanPropertiesTest, DroppedTopKIsCaughtAsCr502) {
+  DiagnosticBag bag = Verify(
+      "c = TABLE Courses\n"
+      "t = TOPK c BY Units DESC LIMIT 5\n"
+      "RETURN t\n",
+      // A broken rule that "optimizes away" the TOPK entirely.
+      "c = TABLE Courses\n"
+      "RETURN c\n");
+  EXPECT_TRUE(Codes(bag).count(502)) << bag.ToText();  // bound 5 → unbounded
+  EXPECT_TRUE(Codes(bag).count(503)) << bag.ToText();  // sort lost too
+}
+
+TEST_F(PlanPropertiesTest, ChangedProjectionIsCaughtAsCr501) {
+  DiagnosticBag bag = Verify(
+      "c = TABLE Courses\n"
+      "p = PROJECT c TO Title AS t\n"
+      "RETURN p\n",
+      "c = TABLE Courses\n"
+      "p = PROJECT c TO Units AS t, Title AS extra\n"
+      "RETURN p\n");
+  EXPECT_TRUE(Codes(bag).count(501)) << bag.ToText();
+}
+
+TEST_F(PlanPropertiesTest, FlippedSortDirectionIsCaughtAsCr503) {
+  DiagnosticBag bag = Verify(
+      "c = TABLE Courses\n"
+      "t = TOPK c BY Units DESC LIMIT 5\n"
+      "RETURN t\n",
+      "c = TABLE Courses\n"
+      "t = TOPK c BY Units ASC LIMIT 5\n"
+      "RETURN t\n");
+  std::set<int> codes = Codes(bag);
+  EXPECT_TRUE(codes.count(503)) << bag.ToText();
+  EXPECT_FALSE(codes.count(501));  // same schema
+  EXPECT_FALSE(codes.count(502));  // same bounds
+}
+
+TEST_F(PlanPropertiesTest, LostKeyIsCaughtAsCr504) {
+  // Both project an INT column named x (same schema by name+type), but
+  // only the original's x is a key.
+  DiagnosticBag bag = Verify(
+      "c = TABLE Courses\n"
+      "p = PROJECT c TO CourseID AS x\n"
+      "RETURN p\n",
+      "c = TABLE Courses\n"
+      "p = PROJECT c TO Units AS x\n"
+      "RETURN p\n");
+  std::set<int> codes = Codes(bag);
+  EXPECT_TRUE(codes.count(504)) << bag.ToText();
+  EXPECT_FALSE(codes.count(501));
+}
+
+TEST_F(PlanPropertiesTest, LostNonNullGuaranteeIsCaughtAsCr505) {
+  // Name is NOT NULL, Major is nullable; both are strings named x after
+  // the projection, so only the non-NULL fact differs.
+  DiagnosticBag bag = Verify(
+      "s = TABLE Students\n"
+      "p = PROJECT s TO Name AS x\n"
+      "RETURN p\n",
+      "s = TABLE Students\n"
+      "p = PROJECT s TO Major AS x\n"
+      "RETURN p\n");
+  EXPECT_TRUE(Codes(bag).count(505)) << bag.ToText();
+}
+
+TEST_F(PlanPropertiesTest, UnanalyzableRewriteIsCaughtAsCr500) {
+  DiagnosticBag bag = Verify(
+      "c = TABLE Courses\n"
+      "RETURN c\n",
+      "c = TABLE NoSuchTable\n"
+      "RETURN c\n");
+  EXPECT_TRUE(Codes(bag).count(500)) << bag.ToText();
+}
+
+TEST_F(PlanPropertiesTest, BrokenOriginalIsNoBaseline) {
+  // An original that does not analyze cleanly cannot indict the rewrite.
+  bool ok = false;
+  DiagnosticBag bag = Verify(
+      "c = TABLE NoSuchTable\n"
+      "RETURN c\n",
+      "c = TABLE Courses\n"
+      "RETURN c\n",
+      &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(bag.has_errors()) << bag.ToText();
+}
+
+// ==================================================================
+// SQL planner claims: EXPLAIN STATIC, Distinct elision, build side
+// ==================================================================
+
+class SqlStaticTest : public ::testing::Test {
+ protected:
+  SqlStaticTest() : sql_(&db_) {}
+
+  void SetUp() override {
+    Must("CREATE TABLE courses (id INT NOT NULL, dept TEXT NOT NULL, "
+         "title TEXT NOT NULL, units INT, PRIMARY KEY (id))");
+    Must("CREATE TABLE ratings (student INT NOT NULL, course INT NOT NULL, "
+         "score DOUBLE NOT NULL, PRIMARY KEY (student, course))");
+    Must("INSERT INTO courses VALUES "
+         "(1, 'CS', 'Intro to Programming', 5), "
+         "(2, 'CS', 'Operating Systems', 4), "
+         "(3, 'MATH', 'Calculus', 5), "
+         "(4, 'HISTORY', 'American History', 3), "
+         "(5, 'CS', 'Databases', 3), "
+         "(6, 'CS', 'Compilers', 4), "
+         "(7, 'MATH', 'Linear Algebra', 4), "
+         "(8, 'CS', 'Networks', 3), "
+         "(9, 'HISTORY', 'World History', 4)");
+    Must("INSERT INTO ratings VALUES (100, 1, 5.0), (100, 2, 3.0), "
+         "(101, 1, 4.0), (101, 3, 2.0), (102, 5, 4.5)");
+  }
+
+  Relation Must(const std::string& stmt) {
+    auto rel = sql_.Execute(stmt);
+    EXPECT_TRUE(rel.ok()) << stmt << " -> " << rel.status().ToString();
+    return rel.ok() ? std::move(*rel) : Relation{};
+  }
+
+  std::string Plan(const std::string& select) {
+    auto out = sql_.Explain(select);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ok() ? *out : "";
+  }
+
+  storage::Database db_;
+  query::SqlEngine sql_;
+};
+
+TEST_F(SqlStaticTest, ExplainStaticRendersPerNodeClaims) {
+  auto out = sql_.Execute("EXPLAIN STATIC SELECT * FROM courses");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->rows.size(), 1u);
+  std::string text = out->rows[0][0].AsString();
+  EXPECT_NE(text.find("Scan"), std::string::npos) << text;
+  EXPECT_NE(text.find("{card=9..9"), std::string::npos) << text;
+  EXPECT_NE(text.find("key=(id)"), std::string::npos) << text;
+}
+
+TEST_F(SqlStaticTest, ExplainStaticShowsLimitBoundAndSort) {
+  auto out = sql_.Execute(
+      "EXPLAIN STATIC SELECT title, units FROM courses "
+      "ORDER BY units DESC LIMIT 2");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  std::string text = out->rows[0][0].AsString();
+  // No filter: 9 rows in, so the limit pins both bounds to exactly 2.
+  EXPECT_NE(text.find("card=2..2"), std::string::npos) << text;
+  EXPECT_NE(text.find("units desc"), std::string::npos) << text;
+
+  // A filter collapses the lower bound but keeps the limit's upper bound.
+  auto filtered = sql_.Execute(
+      "EXPLAIN STATIC SELECT title FROM courses WHERE units >= 4 LIMIT 3");
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  EXPECT_NE(filtered->rows[0][0].AsString().find("card=0..3"),
+            std::string::npos)
+      << filtered->rows[0][0].AsString();
+}
+
+TEST_F(SqlStaticTest, DistinctOnKeyColumnIsElided) {
+  obs::Counter* elided =
+      obs::MetricsRegistry::Default().GetCounter(
+          "cr_planner_distinct_elided_total");
+  uint64_t before = elided->value();
+  // id is the primary key: rows are already unique on it.
+  EXPECT_EQ(Plan("SELECT DISTINCT id FROM courses").find("Distinct"),
+            std::string::npos);
+  EXPECT_GT(elided->value(), before);
+  // dept is not a key, so the Distinct must stay.
+  EXPECT_NE(Plan("SELECT DISTINCT dept FROM courses").find("Distinct"),
+            std::string::npos);
+}
+
+TEST_F(SqlStaticTest, DistinctElisionCanBeDisabled) {
+  query::PlannerOptions off;
+  off.distinct_elision = false;
+  sql_.set_planner_options(off);
+  EXPECT_NE(Plan("SELECT DISTINCT id FROM courses").find("Distinct"),
+            std::string::npos);
+}
+
+TEST_F(SqlStaticTest, DistinctElisionPreservesResults) {
+  const std::string q = "SELECT DISTINCT id FROM courses ORDER BY id";
+  Relation with = Must(q);
+  query::PlannerOptions off;
+  off.distinct_elision = false;
+  sql_.set_planner_options(off);
+  Relation without = Must(q);
+  ASSERT_EQ(with.rows.size(), without.rows.size());
+  EXPECT_EQ(with.rows, without.rows);
+}
+
+TEST_F(SqlStaticTest, JoinBuildSidePicksSmallSideAndPreservesRows) {
+  obs::Counter* build_left =
+      obs::MetricsRegistry::Default().GetCounter(
+          "cr_planner_join_build_left_total");
+  // A 1-row left table against 9-row courses: the static bound proves the
+  // left side is under a quarter of the right, so the hash build flips.
+  Must("CREATE TABLE tiny (id INT NOT NULL, PRIMARY KEY (id))");
+  Must("INSERT INTO tiny VALUES (1)");
+  const std::string q =
+      "SELECT t.id, c.title FROM tiny t JOIN courses c ON t.id = c.id";
+  uint64_t before = build_left->value();
+  Relation heuristic = Must(q);
+  uint64_t after = build_left->value();
+  EXPECT_GT(after, before);  // the heuristic fired
+  query::PlannerOptions off;
+  off.join_build_side = false;
+  sql_.set_planner_options(off);
+  Relation baseline = Must(q);
+  EXPECT_EQ(heuristic.rows, baseline.rows);  // build side never changes rows
+  EXPECT_EQ(build_left->value(), after);     // and never fires when off
+}
+
+TEST_F(SqlStaticTest, CheckStaticClaimsCleanAcrossQueryShapes) {
+  query::ExecOptions exec;
+  exec.check_static_claims = true;
+  sql_.set_exec_options(exec);
+  const std::vector<std::string> queries = {
+      "SELECT * FROM courses",
+      "SELECT DISTINCT id FROM courses",
+      "SELECT DISTINCT dept FROM courses",
+      "SELECT title FROM courses WHERE units >= 4 ORDER BY title LIMIT 3",
+      "SELECT dept, COUNT(*) AS n FROM courses GROUP BY dept",
+      "SELECT COUNT(*) AS n FROM ratings",
+      "SELECT r.student, c.title FROM ratings r JOIN courses c "
+      "ON r.course = c.id",
+      "SELECT c.dept, AVG(r.score) AS s FROM ratings r JOIN courses c "
+      "ON r.course = c.id GROUP BY c.dept HAVING s > 1 "
+      "ORDER BY s DESC LIMIT 2",
+      "SELECT * FROM courses ORDER BY units DESC, title ASC LIMIT 4 OFFSET 1",
+  };
+  for (const std::string& q : queries) {
+    auto rel = sql_.Execute(q);
+    EXPECT_TRUE(rel.ok()) << q << " -> " << rel.status().ToString();
+  }
+}
+
+// ==================================================================
+// CR510: the runtime claim checker itself
+// ==================================================================
+
+class ClaimCheckTest : public ::testing::Test {
+ protected:
+  /// A two-column relation: a = 1,2,3 (NOT NULL), b = "x","y",NULL.
+  Relation MakeRel() {
+    Relation rel;
+    rel.schema = Schema({{"a", ValueType::kInt, false},
+                         {"b", ValueType::kString, true}});
+    rel.rows.push_back({Value(1), Value(std::string("x"))});
+    rel.rows.push_back({Value(2), Value(std::string("y"))});
+    rel.rows.push_back({Value(3), Value::Null()});
+    return rel;
+  }
+
+  Status Check(const query::StaticClaims& claims) {
+    return query::CheckStaticClaims(MakeRel(), claims);
+  }
+};
+
+TEST_F(ClaimCheckTest, TrueClaimsPass) {
+  query::StaticClaims claims;
+  claims.card_min = 3;
+  claims.card_max = 3;
+  claims.sort = {{"a", /*ascending=*/true}};
+  claims.key = {"a"};
+  claims.non_null = {"a"};
+  EXPECT_TRUE(Check(claims).ok());
+}
+
+TEST_F(ClaimCheckTest, CardinalityViolationIsCr510) {
+  query::StaticClaims claims;
+  claims.card_max = 2;  // rel has 3 rows
+  Status st = Check(claims);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(std::string(st.message()).find("CR510"), std::string::npos);
+}
+
+TEST_F(ClaimCheckTest, SortViolationIsCr510) {
+  query::StaticClaims claims;
+  claims.sort = {{"a", /*ascending=*/false}};  // actually ascending
+  Status st = Check(claims);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(std::string(st.message()).find("CR510"), std::string::npos);
+}
+
+TEST_F(ClaimCheckTest, KeyViolationIsCr510) {
+  Relation rel = MakeRel();
+  rel.rows.push_back({Value(1), Value(std::string("z"))});  // duplicate a=1
+  query::StaticClaims claims;
+  claims.key = {"a"};
+  Status st = query::CheckStaticClaims(rel, claims);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(std::string(st.message()).find("CR510"), std::string::npos);
+}
+
+TEST_F(ClaimCheckTest, NonNullViolationIsCr510) {
+  query::StaticClaims claims;
+  claims.non_null = {"b"};  // b holds a NULL
+  Status st = Check(claims);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(std::string(st.message()).find("CR510"), std::string::npos);
+}
+
+TEST_F(ClaimCheckTest, UnresolvableClaimColumnIsSkipped) {
+  query::StaticClaims claims;
+  claims.non_null = {"no_such_column"};
+  claims.key = {"no_such_column"};
+  claims.sort = {{"no_such_column", true}};
+  EXPECT_TRUE(Check(claims).ok());  // leniency: a miss beats a false alarm
+}
+
+TEST_F(ClaimCheckTest, ExecutorEnforcesClaimsWhenEnabled) {
+  storage::Database db;
+  Relation rel;
+  rel.schema = Schema({{"a", ValueType::kInt, false}});
+  rel.rows.push_back({Value(1)});
+  rel.rows.push_back({Value(2)});
+  query::PlanPtr plan = query::MakeValues(std::move(rel));
+  query::StaticClaims bogus;
+  bogus.card_max = 1;
+  plan->set_claims(bogus);
+
+  query::ExecContext off;
+  off.db = &db;
+  EXPECT_TRUE(plan->Execute(off).ok());  // checker off: claims ignored
+
+  query::ExecContext on;
+  on.db = &db;
+  on.exec.check_static_claims = true;
+  auto result = plan->Execute(on);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(std::string(result.status().message()).find("CR510"),
+            std::string::npos);
+}
+
+// ==================================================================
+// FlexRecs end-to-end: claims checked during workflow execution
+// ==================================================================
+
+TEST(FlexRecsClaimsTest, StrategiesRunCleanWithClaimChecking) {
+  auto site = social::CourseRankSite::Create();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  flexrecs::FlexRecsEngine& engine = (*site)->flexrecs();
+  query::ExecOptions exec = engine.exec_options();
+  exec.check_static_claims = true;
+  engine.set_exec_options(exec);
+  const std::string dsl =
+      "c = TABLE Courses\n"
+      "t = TOPK c BY Units DESC LIMIT 5\n"
+      "RETURN t\n";
+  auto parsed = flexrecs::ParseWorkflow(dsl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto rel = engine.Run(**parsed);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_LE(rel->rows.size(), 5u);
+}
+
+}  // namespace
+}  // namespace courserank::analysis

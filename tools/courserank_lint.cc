@@ -9,6 +9,7 @@
 //   cat strategy.wf | courserank_lint      lint stdin
 //   courserank_lint --sql query.sql        lint a SQL statement
 //   courserank_lint --json --pedantic f.wf machine-readable, all checks
+//   courserank_lint --properties f.wf      per-node inferred plan properties
 
 #include <fstream>
 #include <iostream>
@@ -17,6 +18,9 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/plan_properties.h"
+#include "core/workflow_parser.h"
+#include "query/sql_parser.h"
 #include "social/site.h"
 
 namespace {
@@ -27,10 +31,25 @@ int Usage(std::ostream& out, int code) {
          "schema.\n"
          "Reads stdin when no files are given.\n\n"
          "options:\n"
-         "  --sql       treat input as a SQL statement, not workflow DSL\n"
-         "  --json      print diagnostics as JSON\n"
-         "  --pedantic  enable advisory checks (CR402 unbounded result)\n"
-         "  --help      show this message\n";
+         "  --sql         treat input as a SQL statement, not workflow DSL\n"
+         "  --json        print diagnostics as JSON\n"
+         "  --pedantic    enable advisory checks (CR402 unbounded result)\n"
+         "  --properties  print the per-node inferred plan properties\n"
+         "                (cardinality bounds, keys, sort order, non-NULL\n"
+         "                columns — DESIGN.md §15); with --json the\n"
+         "                output becomes {\"diagnostics\",\"properties\"}\n"
+         "  --help        show this message\n\n"
+         "diagnostic codes:\n"
+         "  CR0xx  syntax (CR001 DSL parse, CR002 SQL parse)\n"
+         "  CR1xx  name resolution (tables, columns, similarity functions)\n"
+         "  CR2xx  type errors (predicates, projections, recommend inputs)\n"
+         "  CR3xx  predicate analysis (constant folding, contradictions)\n"
+         "  CR4xx  plan shape (cartesian products, unbounded results)\n"
+         "  CR5xx  rewrite soundness: CR500 unanalyzable after rewrite,\n"
+         "         CR501 schema changed, CR502 cardinality bound weakened,\n"
+         "         CR503 sort guarantee lost, CR504 uniqueness key lost,\n"
+         "         CR505 non-NULL guarantee lost, CR510 runtime static-\n"
+         "         claim violation (ExecOptions::check_static_claims)\n";
   return code;
 }
 
@@ -40,6 +59,7 @@ int main(int argc, char** argv) {
   bool as_sql = false;
   bool as_json = false;
   bool pedantic = false;
+  bool properties = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -49,6 +69,8 @@ int main(int argc, char** argv) {
       as_json = true;
     } else if (arg == "--pedantic") {
       pedantic = true;
+    } else if (arg == "--properties") {
+      properties = true;
     } else if (arg == "--help" || arg == "-h") {
       return Usage(std::cout, 0);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -99,14 +121,42 @@ int main(int argc, char** argv) {
         as_sql ? analyzer.LintSql(input.text)
                : analyzer.LintDsl(input.text);
     any_errors = any_errors || diags.has_errors();
+    // The per-node property table re-parses and re-analyzes; cheap (the
+    // analyzer is microseconds per workflow) and keeps LintDsl/LintSql as
+    // the single source of diagnostics.
+    std::vector<courserank::analysis::NodeProperties> nodes;
+    if (properties) {
+      courserank::analysis::DiagnosticBag scratch;
+      if (as_sql) {
+        auto parsed = courserank::query::ParseSql(input.text);
+        if (parsed.ok()) {
+          auto sa = analyzer.AnalyzeStatementProperties(*parsed, &scratch);
+          nodes.push_back({0, "statement", sa.schema, sa.props});
+        }
+      } else {
+        auto parsed = courserank::flexrecs::ParseWorkflow(input.text, nullptr);
+        if (parsed.ok()) {
+          auto wa = analyzer.AnalyzeWorkflowProperties(**parsed, &scratch);
+          nodes = std::move(wa.nodes);
+        }
+      }
+    }
     if (as_json) {
-      std::cout << diags.ToJson() << "\n";
+      if (properties) {
+        std::cout << "{\"diagnostics\":" << diags.ToJson() << ",\"properties\":"
+                  << courserank::analysis::PropertiesToJson(nodes) << "}\n";
+      } else {
+        std::cout << diags.ToJson() << "\n";
+      }
       continue;
     }
-    if (inputs.size() > 1 && !diags.empty()) {
+    if (inputs.size() > 1 && (!diags.empty() || properties)) {
       std::cout << input.name << ":\n";
     }
     std::cout << diags.ToText();
+    if (properties) {
+      std::cout << courserank::analysis::RenderPropertiesTable(nodes);
+    }
   }
   return any_errors ? 1 : 0;
 }
