@@ -227,6 +227,61 @@ void WriteBenchJson() {
         benchmark::DoNotOptimize(rel);
       }, 9));
 
+  // Fusion-tier ablation (EXPERIMENTS.md E18): the fused-pipeline
+  // compilation tier on (shipped default) and off at both layers —
+  // ExecOptions::fuse=false runs every FusedPipelineNode interpreted and
+  // PlannerOptions::fuse_pipelines=false disables join-side conjunct
+  // pushdown and Filter+Project collapsing. The names carry the _fused_
+  // substring that verify-bench-regression gates with --series.
+  {
+    ExecOptions no_fuse_exec = SerialExec();
+    no_fuse_exec.fuse = false;
+    PlannerOptions no_fuse_planner;
+    no_fuse_planner.fuse_pipelines = false;
+    for (const char* name : {"related_courses", "user_cf"}) {
+      const ParamMap& params =
+          name == std::string("related_courses") ? workload[0].second
+                                                 : workload[1].second;
+      engine.set_exec_options(SerialExec());
+      engine.set_planner_options(PlannerOptions{});
+      add(std::string(name) + "_fused_on", kPaperCourses, TimeNs([&] {
+            auto rel = engine.RunStrategy(name, params);
+            CR_CHECK(rel.ok());
+            benchmark::DoNotOptimize(rel);
+          }, 9));
+      engine.set_exec_options(no_fuse_exec);
+      engine.set_planner_options(no_fuse_planner);
+      add(std::string(name) + "_fused_off", kPaperCourses, TimeNs([&] {
+            auto rel = engine.RunStrategy(name, params);
+            CR_CHECK(rel.ok());
+            benchmark::DoNotOptimize(rel);
+          }, 9));
+    }
+    engine.set_exec_options(ExecOptions{});
+    engine.set_planner_options(PlannerOptions{});
+
+    // The same ablation on the dominant SQL shape: an inner join whose
+    // per-side WHERE conjuncts push into the scans under the fusion tier.
+    const std::string fused_sql =
+        "SELECT DISTINCT c.CourseID, c.Title FROM Courses c "
+        "JOIN Offerings o ON c.CourseID = o.CourseID WHERE o.Year = 2006";
+    SqlEngine fused_engine(&world.site->db());
+    fused_engine.set_exec_options(SerialExec());
+    SqlEngine unfused_engine(&world.site->db());
+    unfused_engine.set_planner_options(no_fuse_planner);
+    unfused_engine.set_exec_options(no_fuse_exec);
+    add("sql_join_fused_on", kPaperCourses, TimeNs([&] {
+          auto rel = fused_engine.Execute(fused_sql);
+          CR_CHECK(rel.ok());
+          benchmark::DoNotOptimize(rel);
+        }, 9));
+    add("sql_join_fused_off", kPaperCourses, TimeNs([&] {
+          auto rel = unfused_engine.Execute(fused_sql);
+          CR_CHECK(rel.ok());
+          benchmark::DoNotOptimize(rel);
+        }, 9));
+  }
+
   // Profiling A/B (EXPERIMENTS.md E15): the same pushdown query and the
   // heaviest strategy with the profile collector attached. "profiled" pays
   // for Push/Pop + NowNs per operator plus the flight-recorder submit;

@@ -1,0 +1,196 @@
+#include "analysis/fusion.h"
+
+#include <optional>
+
+#include "query/expr.h"
+#include "query/vector_ops.h"
+
+namespace courserank::analysis {
+
+namespace {
+
+using flexrecs::NodeKind;
+using flexrecs::WorkflowNode;
+
+/// Captures the name of a bare column-reference expression and nothing
+/// else — the shape the fused project/extend fast paths execute as an
+/// index copy.
+class BareColumn final : public query::ExprVisitor {
+ public:
+  std::optional<std::string> name;
+  void VisitColumn(const std::string& n) override { name = n; }
+};
+
+bool IsBareColumn(const query::Expr& e) {
+  BareColumn v;
+  e.Accept(v);
+  return v.name.has_value();
+}
+
+bool IsPipelineKind(NodeKind k) {
+  return k == NodeKind::kSelect || k == NodeKind::kProject ||
+         k == NodeKind::kExtend;
+}
+
+void Walk(const WorkflowNode& node, std::vector<FusionChain>* out) {
+  if (IsPipelineKind(node.kind)) {
+    // Gather the maximal run down the operator spine (input = children[0]).
+    std::vector<const WorkflowNode*> run;
+    const WorkflowNode* below = &node;
+    while (below != nullptr && IsPipelineKind(below->kind)) {
+      run.push_back(below);
+      below = below->children.empty() ? nullptr : below->children[0].get();
+    }
+    if (run.size() >= 2) {
+      // Pipeline order is producer-first: reverse of the top-down spine.
+      FusionChain chain;
+      bool seen_project = false;
+      for (auto it = run.rbegin(); it != run.rend(); ++it) {
+        FusionChainNode member;
+        member.node = *it;
+        FusedStageCheck check = CheckFusedStage(**it);
+        member.eligible = check.eligible;
+        member.reason = std::move(check.reason);
+        if (member.eligible && (*it)->kind == NodeKind::kSelect &&
+            seen_project) {
+          member.eligible = false;
+          member.reason = "filter over a computed projection schema";
+        }
+        if (member.eligible && (*it)->kind == NodeKind::kProject) {
+          seen_project = true;
+        }
+        chain.nodes.push_back(std::move(member));
+      }
+      out->push_back(std::move(chain));
+    }
+    // Recurse into side inputs (the ε source) and whatever the run sits on.
+    for (const WorkflowNode* member : run) {
+      for (size_t c = 1; c < member->children.size(); ++c) {
+        Walk(*member->children[c], out);
+      }
+    }
+    if (below != nullptr) Walk(*below, out);
+    return;
+  }
+  for (const auto& child : node.children) Walk(*child, out);
+}
+
+}  // namespace
+
+FusedStageCheck CheckFusedStage(const WorkflowNode& node) {
+  FusedStageCheck check;
+  switch (node.kind) {
+    case NodeKind::kSelect:
+      if (node.predicate == nullptr) {
+        check.reason = "missing predicate";
+        return check;
+      }
+      if (!query::CompilableShape(*node.predicate)) {
+        check.reason = "predicate outside the compilable subset";
+        return check;
+      }
+      check.eligible = true;
+      return check;
+    case NodeKind::kProject:
+      if (node.items.empty()) {
+        check.reason = "empty projection";
+        return check;
+      }
+      for (const auto& item : node.items) {
+        if (item.expr == nullptr || !IsBareColumn(*item.expr)) {
+          check.reason = "computed projection item \"" + item.name + "\"";
+          return check;
+        }
+      }
+      check.eligible = true;
+      return check;
+    case NodeKind::kExtend:
+      if (node.child_key == nullptr || !IsBareColumn(*node.child_key) ||
+          node.source_key == nullptr || !IsBareColumn(*node.source_key)) {
+        check.reason = "computed ε key";
+        return check;
+      }
+      for (const auto& c : node.collect) {
+        if (c == nullptr || !IsBareColumn(*c)) {
+          check.reason = "computed ε collect expression";
+          return check;
+        }
+      }
+      check.eligible = true;
+      return check;
+    default:
+      check.reason = "not a σ/π/ε operator";
+      return check;
+  }
+}
+
+std::vector<FusionChain> ExtractFusionChains(const WorkflowNode& root) {
+  std::vector<FusionChain> chains;
+  Walk(root, &chains);
+  return chains;
+}
+
+std::string FusionStageLabel(const WorkflowNode& node) {
+  switch (node.kind) {
+    case NodeKind::kSelect:
+      return "σ(" +
+             (node.predicate != nullptr ? node.predicate->ToString() : "?") +
+             ")";
+    case NodeKind::kProject: {
+      std::string list;
+      for (size_t i = 0; i < node.items.size(); ++i) {
+        if (i > 0) list += ", ";
+        list += node.items[i].name;
+      }
+      return "π(" + list + ")";
+    }
+    case NodeKind::kExtend:
+      return "ε(+" + node.column_name + ")";
+    default:
+      return "?";
+  }
+}
+
+std::string RenderFusionChains(const std::vector<FusionChain>& chains) {
+  if (chains.empty()) return "fusion chains: (none)\n";
+  std::string out = "fusion chains:\n";
+  for (const FusionChain& chain : chains) {
+    out += "  ";
+    for (size_t i = 0; i < chain.nodes.size(); ++i) {
+      if (i > 0) out += " -> ";
+      out += FusionStageLabel(*chain.nodes[i].node);
+    }
+    out += "\n";
+    // Maximal eligible sub-runs of >= 2 stages actually fuse.
+    size_t start = 0;
+    bool any_group = false;
+    while (start < chain.nodes.size()) {
+      if (!chain.nodes[start].eligible) {
+        ++start;
+        continue;
+      }
+      size_t end = start;
+      while (end < chain.nodes.size() && chain.nodes[end].eligible) ++end;
+      if (end - start >= 2) {
+        any_group = true;
+        out += "    fuses:";
+        for (size_t i = start; i < end; ++i) {
+          out += (i == start ? " " : " -> ") +
+                 FusionStageLabel(*chain.nodes[i].node);
+        }
+        out += "\n";
+      }
+      start = end;
+    }
+    for (const FusionChainNode& member : chain.nodes) {
+      if (!member.eligible) {
+        out += "    break at " + FusionStageLabel(*member.node) + ": " +
+               member.reason + "\n";
+      }
+    }
+    if (!any_group) out += "    (no fusable run of >= 2 stages)\n";
+  }
+  return out;
+}
+
+}  // namespace courserank::analysis

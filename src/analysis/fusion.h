@@ -1,0 +1,68 @@
+#ifndef COURSERANK_ANALYSIS_FUSION_H_
+#define COURSERANK_ANALYSIS_FUSION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/workflow.h"
+
+namespace courserank::analysis {
+
+/// Static fusion-eligibility analysis for the compilation tier
+/// (DESIGN.md §16). The analyzer's `PlanProperties::fusion_eligible` bit
+/// marks which σ/π/ε nodes sit over fusable inputs; the checks here decide
+/// whether each such operator can legally run as a stage of a
+/// query::FusedPipelineNode, and extract the maximal chains the FlexRecs
+/// compiler collapses. The engine and `courserank_lint --properties` share
+/// this logic so EXPLAIN output and lint output never disagree about why a
+/// chain broke.
+
+/// Verdict for one workflow operator considered as a fused stage.
+struct FusedStageCheck {
+  bool eligible = false;
+  /// Human-readable bailout reason when !eligible ("predicate outside the
+  /// compilable subset", "computed projection item", ...). Empty otherwise.
+  std::string reason;
+};
+
+/// Stage legality (DESIGN.md §16): σ predicates must lie in the
+/// query::CompilableShape subset (so the fused pass cannot error mid-row
+/// where the interpreter would succeed); π items and ε keys / collect
+/// expressions must be bare column references. Non-σ/π/ε operators are
+/// never eligible.
+FusedStageCheck CheckFusedStage(const flexrecs::WorkflowNode& node);
+
+/// One member of a σ/π/ε run, in pipeline (producer-first) order.
+struct FusionChainNode {
+  const flexrecs::WorkflowNode* node = nullptr;
+  bool eligible = false;
+  std::string reason;  ///< why this member breaks the chain, when !eligible
+};
+
+/// A maximal run of adjacent σ/π/ε operators along a workflow spine. Runs
+/// shorter than two operators are not reported — a single stage has
+/// nothing to fuse with.
+struct FusionChain {
+  std::vector<FusionChainNode> nodes;
+};
+
+/// Walks the workflow tree and reports every maximal σ/π/ε run together
+/// with per-member eligibility. Chain-order legality is applied here too:
+/// a σ above a π is marked ineligible ("filter over a computed projection
+/// schema"), because projected column types are data-dependent and the
+/// fused filter compiles against the static chain schema.
+std::vector<FusionChain> ExtractFusionChains(
+    const flexrecs::WorkflowNode& root);
+
+/// Compact σ/π/ε label for chain rendering ("σ(Year = $year)", "π(a, b)",
+/// "ε(+ratings)").
+std::string FusionStageLabel(const flexrecs::WorkflowNode& node);
+
+/// Renders chains for `courserank_lint --properties` and the golden tests:
+/// one line per chain, a "fuses:" line for every eligible sub-run of >= 2
+/// stages, and a "break at" line per ineligible member.
+std::string RenderFusionChains(const std::vector<FusionChain>& chains);
+
+}  // namespace courserank::analysis
+
+#endif  // COURSERANK_ANALYSIS_FUSION_H_

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "analysis/analyzer.h"
+#include "analysis/fusion.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/workflow_optimizer.h"
@@ -168,6 +169,27 @@ std::string CompiledWorkflow::Explain() const {
     }
     out += "\n";
   }
+  if (!groups_.empty() || !notes_.empty()) {
+    out += "fusion groups:";
+    out += groups_.empty() ? " (none)\n" : "\n";
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      out += "  group " + std::to_string(g + 1) + ": steps(";
+      for (size_t i = 0; i < groups_[g].members.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(groups_[g].members[i] + 1);
+      }
+      out += ")  ";
+      for (size_t i = 0; i < groups_[g].members.size(); ++i) {
+        if (i > 0) out += " -> ";
+        out += analysis::FusionStageLabel(*steps_[groups_[g].members[i]].node);
+      }
+      out += "\n";
+    }
+    for (const FusionNote& note : notes_) {
+      out += "  step " + std::to_string(note.step + 1) +
+             " not fused: " + note.reason + "\n";
+    }
+  }
   return out;
 }
 
@@ -271,6 +293,68 @@ std::string NodeSignature(const WorkflowNode& node) {
 
 }  // namespace
 
+namespace {
+
+/// Forms the maximal runs of adjacent physical σ/π/ε steps the executor
+/// collapses into single FusedPipelineNodes. A step extends the run ending
+/// at its spine input when the stage passes analysis::CheckFusedStage, the
+/// intermediate is consumed by no other step (a shared CSE result must stay
+/// materialized), and no σ follows a π in the run (projected column types
+/// are data-dependent, so a fused filter cannot compile against them).
+/// Eligible-but-isolated steps are normal and get no note; steps that fail
+/// a check get one, so Explain() can say where and why a chain broke.
+void FormFusionGroups(const std::vector<CompiledStep>& steps,
+                      std::vector<FusionGroup>* groups,
+                      std::vector<FusionNote>* notes) {
+  std::vector<size_t> uses(steps.size(), 0);
+  for (const CompiledStep& s : steps) {
+    for (size_t idx : s.inputs) ++uses[idx];
+  }
+  struct OpenRun {
+    std::vector<size_t> members;
+    bool seen_project = false;
+  };
+  std::map<size_t, OpenRun> open;  // keyed by the run's tail step index
+  for (size_t j = 0; j < steps.size(); ++j) {
+    const CompiledStep& s = steps[j];
+    if (s.kind != CompiledStep::Kind::kPhysical) continue;
+    NodeKind k = s.node->kind;
+    if (k != NodeKind::kSelect && k != NodeKind::kProject &&
+        k != NodeKind::kExtend) {
+      continue;
+    }
+    analysis::FusedStageCheck check = analysis::CheckFusedStage(*s.node);
+    if (!check.eligible) {
+      notes->push_back({j, std::move(check.reason)});
+      continue;
+    }
+    bool extended = false;
+    if (!s.inputs.empty()) {
+      size_t in = s.inputs[0];
+      if (auto it = open.find(in); it != open.end()) {
+        if (uses[in] > 1) {
+          notes->push_back({j, "shared intermediate (CSE)"});
+        } else if (k == NodeKind::kSelect && it->second.seen_project) {
+          notes->push_back({j, "filter over a computed projection schema"});
+        } else {
+          OpenRun run = std::move(it->second);
+          open.erase(it);
+          run.members.push_back(j);
+          run.seen_project = run.seen_project || k == NodeKind::kProject;
+          open.emplace(j, std::move(run));
+          extended = true;
+        }
+      }
+    }
+    if (!extended) open.emplace(j, OpenRun{{j}, k == NodeKind::kProject});
+  }
+  for (auto& [tail, run] : open) {
+    if (run.members.size() >= 2) groups->push_back({std::move(run.members)});
+  }
+}
+
+}  // namespace
+
 size_t FlexRecsEngine::CompileNode(const WorkflowNode* node,
                                    std::vector<CompiledStep>* steps,
                                    std::map<std::string, size_t>* memo) const {
@@ -351,6 +435,7 @@ Result<CompiledWorkflow> FlexRecsEngine::Compile(
   compiled.root_ = root.Clone();
   std::map<std::string, size_t> memo;
   CompileNode(compiled.root_.get(), &compiled.steps_, &memo);
+  FormFusionGroups(compiled.steps_, &compiled.groups_, &compiled.notes_);
   return compiled;
 }
 
@@ -418,7 +503,29 @@ Result<Relation> FlexRecsEngine::ExecuteImpl(const CompiledWorkflow& compiled,
   for (const CompiledStep& step : compiled.steps()) {
     for (size_t idx : step.inputs) ++remaining_uses[idx];
   }
-  for (const CompiledStep& step : compiled.steps()) {
+  // Fusion groups (DESIGN.md §16): non-last members are skipped and the
+  // whole run executes as one FusedPipelineNode at the last member's
+  // position. Each member's inputs are consumed at the member's own step —
+  // the same decrement order the unfused execution uses — and parked here
+  // until the fused plan is built.
+  constexpr size_t kNoGroup = static_cast<size_t>(-1);
+  std::vector<size_t> group_of(compiled.steps().size(), kNoGroup);
+  for (size_t g = 0; g < compiled.fusion_groups().size(); ++g) {
+    for (size_t idx : compiled.fusion_groups()[g].members) group_of[idx] = g;
+  }
+  struct PendingGroup {
+    Relation chain_input;
+    std::vector<Relation> sources;  // one per ε member, in member order
+  };
+  std::vector<PendingGroup> pending(compiled.fusion_groups().size());
+  // Consumes one step result: the last consumer moves it out, earlier
+  // consumers copy (same contract as ExecutePhysical's take_input).
+  auto consume = [&](size_t idx) -> Relation {
+    if (--remaining_uses[idx] == 0) return std::move(results[idx]);
+    return results[idx];
+  };
+  for (size_t si = 0; si < compiled.steps().size(); ++si) {
+    const CompiledStep& step = compiled.steps()[si];
     m.steps->Add();
     WorkflowStepProfile sp;
     uint64_t step_t0 = profile != nullptr ? obs::NowNs() : 0;
@@ -456,6 +563,80 @@ Result<Relation> FlexRecsEngine::ExecuteImpl(const CompiledWorkflow& compiled,
                                   m.physical_step_ns,
                                   &obs::TraceSink::Default(),
                                   obs::ScopedSpan::Mode::kAlways);
+        if (size_t g = group_of[si]; g != kNoGroup) {
+          const FusionGroup& grp = compiled.fusion_groups()[g];
+          PendingGroup& pg = pending[g];
+          if (grp.members.front() == si) {
+            pg.chain_input = consume(step.inputs[0]);
+          }
+          if (step.node->kind == NodeKind::kExtend) {
+            pg.sources.push_back(consume(step.inputs[1]));
+          }
+          if (grp.members.back() != si) {
+            // Skipped member: its work happens inside the fused node at the
+            // last member's position. The placeholder keeps step indices
+            // aligned; nothing reads it (the intermediate had exactly one
+            // consumer — the next member — or the run would not have formed).
+            if (profile != nullptr) {
+              sp.label = step.label + "  [fused -> step " +
+                         std::to_string(grp.members.back() + 1) + "]";
+            }
+            results.push_back(Relation{});
+            break;
+          }
+          std::vector<query::FusedStage> stages;
+          std::string label = "Fused[";
+          size_t src = 0;
+          for (size_t i = 0; i < grp.members.size(); ++i) {
+            const WorkflowNode* n = compiled.steps()[grp.members[i]].node;
+            if (i > 0) label += " -> ";
+            label += analysis::FusionStageLabel(*n);
+            query::FusedStage stage;
+            switch (n->kind) {
+              case NodeKind::kSelect:
+                stage.kind = query::FusedStage::Kind::kFilter;
+                stage.predicate = n->predicate->Clone();
+                break;
+              case NodeKind::kProject:
+                stage.kind = query::FusedStage::Kind::kProject;
+                for (const auto& item : n->items) {
+                  stage.items.push_back({item.expr->Clone(), item.name});
+                }
+                break;
+              case NodeKind::kExtend:
+                stage.kind = query::FusedStage::Kind::kExtend;
+                stage.source =
+                    query::MakeValuesOnce(std::move(pg.sources[src++]));
+                stage.child_key = n->child_key->Clone();
+                stage.source_key = n->source_key->Clone();
+                for (const auto& c : n->collect) {
+                  stage.collect.push_back(c->Clone());
+                }
+                stage.column_name = n->column_name;
+                break;
+              default:
+                return Status::Internal("non-pipeline node in fusion group");
+            }
+            stages.push_back(std::move(stage));
+          }
+          label += "]";
+          query::ExecContext ctx;
+          ctx.db = db_;
+          ctx.params = params;
+          ctx.exec = exec_;
+          query::ProfileCollector collector;
+          ctx.profile = profile != nullptr ? &collector : nullptr;
+          PlanPtr plan = query::MakeFusedPipeline(
+              query::MakeValuesOnce(std::move(pg.chain_input)),
+              std::move(stages));
+          CR_ASSIGN_OR_RETURN(Relation rel, plan->Execute(ctx));
+          if (profile != nullptr) {
+            sp.label = std::move(label);
+            sp.plan = collector.TakeRoot();
+          }
+          results.push_back(std::move(rel));
+          break;
+        }
         query::ProfileCollector collector;
         CR_ASSIGN_OR_RETURN(
             Relation rel,
@@ -735,9 +916,15 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(
                              &obs::TraceSink::Default(),
                              obs::ScopedSpan::Mode::kAlways);
 
+  // Two-phase scoring: phase one records (score, input-row index) pairs and
+  // never touches the rows; phase two materializes only the rows that
+  // survive min_score + top_k, each with one exact-capacity allocation.
+  // The old single-phase loop appended the score to every scored row — a
+  // reallocation (plus a full row of Value moves) per candidate, paid even
+  // for rows the top-k cut immediately threw away (EXPERIMENTS.md E16/E18).
   struct Scored {
-    Row row;
     double score;
+    size_t idx;  // index into input.rows
   };
 
   // Per-candidate scoring fans out over morsels of input rows. Every
@@ -799,7 +986,7 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(
     if (use_scorer) scorer.emplace(kernel, fn, ref_vals);
     const size_t n_refs = reference.rows.size();
     for (size_t i = begin; i < end; ++i) {
-      Row& row = input.rows[i];
+      const Row& row = input.rows[i];
       double acc = 0.0;
       double weight_sum = 0.0;
       double best = 0.0;
@@ -850,9 +1037,7 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(
           break;
       }
       if (score < spec.min_score) continue;
-      Row out_row = std::move(row);
-      out_row.push_back(Value(score));
-      chunk.push_back({std::move(out_row), score});
+      chunk.push_back({score, i});
     }
     return Status::OK();
   };
@@ -884,6 +1069,17 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(
     }
   }
 
+  // Phase two: materialize a winner as its input row plus the score column,
+  // reserved to exact width so the append never reallocates.
+  auto materialize = [&](const Scored& s) {
+    Row& src = input.rows[s.idx];
+    Row out_row;
+    out_row.reserve(src.size() + 1);
+    for (Value& v : src) out_row.push_back(std::move(v));
+    out_row.push_back(Value(s.score));
+    out.rows.push_back(std::move(out_row));
+  };
+
   size_t keep = spec.top_k > 0 ? std::min(spec.top_k, scored.size())
                                : scored.size();
   if (keep < scored.size()) {
@@ -913,9 +1109,7 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(
     }
     std::sort_heap(heap.begin(), heap.end(), comes_first);
     out.rows.reserve(keep);
-    for (const Ranked& r : heap) {
-      out.rows.push_back(std::move(scored[r.idx].row));
-    }
+    for (const Ranked& r : heap) materialize(scored[r.idx]);
     return out;
   }
 
@@ -924,9 +1118,7 @@ Result<Relation> FlexRecsEngine::ExecuteRecommend(
                      return a.score > b.score;
                    });
   out.rows.reserve(keep);
-  for (size_t i = 0; i < keep; ++i) {
-    out.rows.push_back(std::move(scored[i].row));
-  }
+  for (size_t i = 0; i < keep; ++i) materialize(scored[i]);
   return out;
 }
 

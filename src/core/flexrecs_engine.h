@@ -60,6 +60,21 @@ struct CompiledStep {
   std::string label;                  ///< for Explain()
 };
 
+/// A run of adjacent physical σ/π/ε steps the executor collapses into one
+/// query::FusedPipelineNode (DESIGN.md §16). Members are step indices in
+/// producer-first order; the fused node executes at the last member's
+/// position and earlier members are skipped.
+struct FusionGroup {
+  std::vector<size_t> members;
+};
+
+/// Why a physical σ/π/ε step stayed out of every fusion group — surfaced by
+/// Explain() so admins can see where a chain broke.
+struct FusionNote {
+  size_t step = 0;
+  std::string reason;
+};
+
 /// A compiled workflow: owns a clone of the operator tree plus the ordered
 /// step list referencing into it.
 class CompiledWorkflow {
@@ -70,7 +85,14 @@ class CompiledWorkflow {
 
   const std::vector<CompiledStep>& steps() const { return steps_; }
 
-  /// The sequence of SQL calls and physical operators, numbered.
+  /// Fused σ/π/ε runs the executor collapses (empty when nothing fuses).
+  const std::vector<FusionGroup>& fusion_groups() const { return groups_; }
+
+  /// Per-step bailout reasons for σ/π/ε steps left out of every group.
+  const std::vector<FusionNote>& fusion_notes() const { return notes_; }
+
+  /// The sequence of SQL calls and physical operators, numbered, followed
+  /// by the fusion groups and bailout notes when any exist.
   std::string Explain() const;
 
  private:
@@ -78,6 +100,8 @@ class CompiledWorkflow {
 
   NodePtr root_;
   std::vector<CompiledStep> steps_;
+  std::vector<FusionGroup> groups_;
+  std::vector<FusionNote> notes_;
 };
 
 /// The FlexRecs engine: compiles and executes recommendation workflows and
@@ -99,6 +123,17 @@ class FlexRecsEngine {
     sql_.set_exec_options(o);
   }
   const query::ExecOptions& exec_options() const { return exec_; }
+
+  /// Planner rewrites for every SQL step this engine runs — forwarded to
+  /// the embedded SQL engine. Ablation harnesses toggle the fusion tier
+  /// (PlannerOptions::fuse_pipelines) here; workflows recompile their SQL
+  /// steps per run, so a toggle takes effect immediately.
+  void set_planner_options(const query::PlannerOptions& o) {
+    sql_.set_planner_options(o);
+  }
+  const query::PlannerOptions& planner_options() const {
+    return sql_.planner_options();
+  }
 
   /// Analyzer options for every static pass this engine runs (Compile's
   /// pre-execution analysis, the CR5xx rewrite verifier, and the

@@ -106,6 +106,27 @@ bool RewriteOnce(NodePtr& node, OptimizerStats* stats, std::string* trace) {
     return true;
   }
 
+  // Rule 5: TopK over Extend pushes below when the order column is not the
+  // extend's collected list column — ε emits exactly one output row per
+  // child row in child order, so a top-k cut on a child column selects the
+  // same rows before or after it, and the TopK row-index tiebreak keeps the
+  // output byte-identical. The extend then builds groups for k rows instead
+  // of the whole child, and the rewrite can expose rule 1 (TopK-into-
+  // Recommend) further down the spine.
+  if (node->kind == NodeKind::kTopK &&
+      node->children[0]->kind == NodeKind::kExtend &&
+      !EqualsIgnoreCase(node->order_column,
+                        node->children[0]->column_name)) {
+    NodePtr ext = std::move(node->children[0]);
+    NodePtr topk = std::move(node);
+    topk->children[0] = std::move(ext->children[0]);
+    ext->children[0] = std::move(topk);
+    node = std::move(ext);
+    ++stats->topk_pushed_below_extend;
+    if (trace != nullptr) *trace += "pushed TopK below Extend\n";
+    return true;
+  }
+
   return changed;
 }
 

@@ -27,6 +27,11 @@ namespace courserank::flexrecs {
 ///     filtering first is equivalent. This exposes Select-over-Table
 ///     subtrees to the SQL compiler, whose WHERE the planner then pushes
 ///     into the table scan (scan pushdown, DESIGN.md §11).
+///  5. TopK-below-Extend pushdown — a TopK ordering on a column other than
+///     the extend's collected list column moves below the operator: ε is
+///     1:1 and order-preserving and the TopK tiebreak is the row index, so
+///     cutting first selects the same rows byte-identically while the
+///     extend builds groups for only k rows.
 ///
 /// Returns the rewritten tree and (optionally) a human-readable trace of
 /// the rules that fired.
@@ -39,6 +44,7 @@ struct OptimizerStats {
   int selects_pushed = 0;
   int selects_merged = 0;
   int selects_pushed_below_extend = 0;
+  int topk_pushed_below_extend = 0;
 };
 
 NodePtr OptimizeWorkflow(NodePtr root, OptimizerStats* stats,

@@ -80,6 +80,13 @@ struct ExecMetrics {
   obs::Counter* hash_probes;
   obs::Counter* hash_steps;
   obs::Counter* hash_resizes;
+  // Fusion tier (DESIGN.md §16): fused pipeline executions, total stages
+  // those pipelines collapsed, and bailouts — compile-time chain breaks
+  // plus runtime falls back to the interpreted stage chain.
+  obs::Counter* fused_pipelines;
+  obs::Counter* fused_nodes;
+  obs::Counter* fusion_bailouts;
+  obs::Histogram* fused_ns;
 };
 
 const ExecMetrics& Exec() {
@@ -109,7 +116,11 @@ const ExecMetrics& Exec() {
                        reg.GetCounter("cr_exec_hash_entries_total"),
                        reg.GetCounter("cr_exec_hash_probes_total"),
                        reg.GetCounter("cr_exec_hash_steps_total"),
-                       reg.GetCounter("cr_exec_hash_resizes_total")};
+                       reg.GetCounter("cr_exec_hash_resizes_total"),
+                       reg.GetCounter("cr_exec_fused_pipelines_total"),
+                       reg.GetCounter("cr_exec_fused_nodes_total"),
+                       reg.GetCounter("cr_exec_fusion_bailouts_total"),
+                       reg.GetHistogram("cr_exec_fused_ns")};
   }();
   return m;
 }
@@ -1880,6 +1891,429 @@ class ExtendNode : public PlanNode {
   std::string column_name_;
 };
 
+/// The fusion tier (DESIGN.md §16): a maximal σ/π/ε chain executed as one
+/// chunk-at-a-time pass over the input. Per morsel, a selection vector
+/// threads through every fused filter (compiled predicates, EvalRow ==
+/// kSelTrue — the exact FilterNode keep condition), projections rewrite
+/// surviving rows in place (moving cells when each source column is used
+/// once), and ε appends a shared sealed-list handle probed from a
+/// RowKeyTable built over the stage's materialized source — with no
+/// intermediate Relation between stages and dead rows dropped without ever
+/// being copied forward.
+///
+/// Byte-identity with the interpreted stage chain:
+///  - stage legality (analysis::CheckFusedStage) restricts filters to the
+///    compilable shape subset and π/ε to bare column references, so the
+///    fused pass cannot error where the interpreted chain would succeed;
+///  - no filter stage follows a project stage, so every project stage sees
+///    exactly the rows that survive the whole chain — the projected
+///    columns' types are therefore inferred over the final output rows,
+///    which is the same row set (and order) ProjectNode infers over;
+///  - ε group element order is RowKeyTable staged order == source order,
+///    and the shared-handle list append is byte-identical to rebuilding
+///    the list (the ExtendNode share_lists contract).
+/// Any compile-time refusal (unresolvable name, missing parameter) falls
+/// back to the interpreted chain below, which surfaces the same bind error
+/// — or the same rows — the unfused operators would.
+class FusedPipelineNode : public PlanNode {
+ public:
+  FusedPipelineNode(PlanPtr input, std::vector<FusedStage> stages)
+      : input_(std::move(input)), stages_(std::move(stages)) {}
+
+  Result<Relation> ExecuteNode(ExecContext& ctx) const override {
+    CR_ASSIGN_OR_RETURN(Relation in, input_->Execute(ctx));
+    // Extend sources materialize exactly once, in stage order, in BOTH
+    // modes — profiling shape and error ordering agree between them.
+    std::vector<Relation> sources(stages_.size());
+    for (size_t i = 0; i < stages_.size(); ++i) {
+      if (stages_[i].kind == FusedStage::Kind::kExtend) {
+        CR_ASSIGN_OR_RETURN(sources[i], stages_[i].source->Execute(ctx));
+      }
+    }
+    if (!ctx.exec.fuse) {
+      return ExecuteInterpreted(ctx, std::move(in), std::move(sources));
+    }
+    return ExecuteFused(ctx, std::move(in), std::move(sources));
+  }
+
+  std::string Describe() const override {
+    std::string out = "FusedPipeline(";
+    for (size_t s = 0; s < stages_.size(); ++s) {
+      if (s > 0) out += " -> ";
+      const FusedStage& st = stages_[s];
+      switch (st.kind) {
+        case FusedStage::Kind::kFilter:
+          out += "Filter(" + st.predicate->ToString() + ")";
+          break;
+        case FusedStage::Kind::kProject: {
+          std::string list;
+          for (size_t i = 0; i < st.items.size(); ++i) {
+            if (i > 0) list += ", ";
+            list += st.items[i].expr->ToString() + " AS " + st.items[i].name;
+          }
+          out += "Project(" + list + ")";
+          break;
+        }
+        case FusedStage::Kind::kExtend:
+          out += "Extend(" + st.column_name + ")";
+          break;
+      }
+    }
+    return out + ")";
+  }
+
+  std::vector<const PlanNode*> Children() const override {
+    std::vector<const PlanNode*> kids = {input_.get()};
+    for (const auto& st : stages_) {
+      if (st.source != nullptr) kids.push_back(st.source.get());
+    }
+    return kids;
+  }
+
+ private:
+  Result<Relation> ExecuteFused(ExecContext& ctx, Relation in,
+                                std::vector<Relation> sources) const {
+    OpTimer timer(Exec().fused_ns);
+    const size_t ns = stages_.size();
+    // Compile every stage against the static chain schema. Only column
+    // NAMES matter here — projected column types are data-dependent and
+    // patched after the pass — so projections track placeholder types.
+    std::vector<Column> cur = in.schema.columns();
+    std::vector<CompiledPredicatePtr> filters(ns);
+    std::vector<std::vector<size_t>> proj_cols(ns);
+    std::vector<char> proj_move(ns, 0);
+    std::vector<std::optional<size_t>> ext_ck(ns);
+    std::vector<ExprPtr> ext_ck_expr(ns);
+    std::vector<std::unique_ptr<RowKeyTable>> ext_table(ns);
+    std::vector<std::vector<Value>> ext_groups(ns);
+    int last_proj = -1;
+    bool ok = true;
+    for (size_t s = 0; s < ns && ok; ++s) {
+      const FusedStage& st = stages_[s];
+      Schema cur_schema(cur);
+      switch (st.kind) {
+        case FusedStage::Kind::kFilter: {
+          filters[s] = CompilePredicate(*st.predicate, cur_schema, ctx.params);
+          if (filters[s] == nullptr) ok = false;
+          break;
+        }
+        case FusedStage::Kind::kProject: {
+          std::vector<size_t> cols_idx;
+          std::vector<size_t> uses(cur.size(), 0);
+          for (const auto& item : st.items) {
+            ColumnOnly c;
+            item.expr->Accept(c);
+            std::optional<size_t> idx;
+            if (c.name.has_value()) idx = cur_schema.FindColumn(*c.name);
+            if (!idx.has_value()) {
+              ok = false;
+              break;
+            }
+            ++uses[*idx];
+            cols_idx.push_back(*idx);
+          }
+          if (!ok) break;
+          proj_cols[s] = std::move(cols_idx);
+          proj_move[s] = 1;
+          for (size_t c : proj_cols[s]) {
+            if (uses[c] > 1) proj_move[s] = 0;
+          }
+          last_proj = static_cast<int>(s);
+          std::vector<Column> next;
+          next.reserve(st.items.size());
+          for (const auto& item : st.items) {
+            next.emplace_back(item.name, ValueType::kString);
+          }
+          cur = std::move(next);
+          break;
+        }
+        case FusedStage::Kind::kExtend: {
+          const Relation& src = sources[s];
+          const size_t swidth = src.schema.columns().size();
+          ColumnOnly ckc;
+          st.child_key->Accept(ckc);
+          std::optional<size_t> ck;
+          if (ckc.name.has_value()) ck = cur_schema.FindColumn(*ckc.name);
+          ColumnOnly skc;
+          st.source_key->Accept(skc);
+          std::optional<size_t> sk;
+          if (skc.name.has_value()) sk = src.schema.FindColumn(*skc.name);
+          std::vector<size_t> ccols;
+          bool collect_bare = true;
+          for (const auto& c : st.collect) {
+            ColumnOnly cc;
+            c->Accept(cc);
+            std::optional<size_t> idx;
+            if (cc.name.has_value()) idx = src.schema.FindColumn(*cc.name);
+            if (!idx.has_value()) {
+              collect_bare = false;
+              break;
+            }
+            ccols.push_back(*idx);
+          }
+          if (!ck.has_value() || !sk.has_value() || !collect_bare) {
+            ok = false;
+            break;
+          }
+          // Bound twins for the short-row Eval diversion (the ExtendNode
+          // pattern) — a bind refusal falls back to the interpreted chain,
+          // which surfaces the identical diagnostic.
+          ExprPtr cke = st.child_key->Clone();
+          ExprPtr ske = st.source_key->Clone();
+          if (!cke->Bind(cur_schema, &ctx.params).ok() ||
+              !ske->Bind(src.schema, &ctx.params).ok()) {
+            ok = false;
+            break;
+          }
+          std::vector<ExprPtr> collect;
+          for (const auto& c : st.collect) {
+            ExprPtr e = c->Clone();
+            if (!e->Bind(src.schema, &ctx.params).ok()) {
+              ok = false;
+              break;
+            }
+            collect.push_back(std::move(e));
+          }
+          if (!ok) break;
+          // Build the key → sealed-list table exactly the way ExtendNode's
+          // flat path does: staged in source order, NULL source keys
+          // skipped, per-key element order == source order.
+          auto table = std::make_unique<RowKeyTable>(1, /*build_chains=*/false);
+          const size_t sn = src.rows.size();
+          table->Reserve(sn);
+          MorselPlan smp = PlanMorsels(ctx, sn);
+          Status bst = RunMorsels(
+              ctx, sn, smp, [&](size_t, size_t begin, size_t end) -> Status {
+                for (size_t i = begin; i < end; ++i) {
+                  const Row& row = src.rows[i];
+                  if (*sk < row.size()) {
+                    table->StageMove1(i, Value(row[*sk]));
+                  } else {
+                    CR_ASSIGN_OR_RETURN(Value key, ske->Eval(row));
+                    table->StageMove1(i, std::move(key));
+                  }
+                }
+                return Status::OK();
+              });
+          if (!bst.ok()) {
+            ok = false;
+            break;
+          }
+          ThreadPool* bpool = BuildPool(ctx, sn);
+          table->Build(sn, /*skip_null_keys=*/true, bpool);
+          std::vector<Value::List> flat_groups(table->entry_count());
+          Status fst = ForEachPartition(bpool, [&](size_t p) -> Status {
+            const uint32_t pbase = table->PartitionBase(p);
+            std::vector<uint32_t> counts(table->PartitionEntryCount(p), 0);
+            for (uint32_t i : table->PartitionKeys(p)) {
+              uint32_t local = table->LocalEntryOf(i);
+              if (local != RowKeyTable::kNoEntry) ++counts[local];
+            }
+            for (size_t e = 0; e < counts.size(); ++e) {
+              flat_groups[pbase + e].reserve(counts[e]);
+            }
+            for (uint32_t i : table->PartitionKeys(p)) {
+              uint32_t e = table->EntryOf(i);
+              if (e == RowKeyTable::kNoEntry) continue;
+              const Row& row = src.rows[i];
+              Value element;
+              if (row.size() >= swidth) {
+                if (ccols.size() == 1) {
+                  element = row[ccols[0]];
+                } else {
+                  Value::List tuple;
+                  tuple.reserve(ccols.size());
+                  for (size_t c : ccols) tuple.push_back(row[c]);
+                  element = Value(std::move(tuple));
+                }
+              } else if (collect.size() == 1) {
+                CR_ASSIGN_OR_RETURN(element, collect[0]->Eval(row));
+              } else {
+                Value::List tuple;
+                tuple.reserve(collect.size());
+                for (const auto& c : collect) {
+                  CR_ASSIGN_OR_RETURN(Value v, c->Eval(row));
+                  tuple.push_back(std::move(v));
+                }
+                element = Value(std::move(tuple));
+              }
+              flat_groups[e].push_back(std::move(element));
+            }
+            return Status::OK();
+          });
+          if (!fst.ok()) {
+            ok = false;
+            break;
+          }
+          // Seal each group behind one shared handle — byte-identical to
+          // rebuilding the list per row (the ExtendNode share contract).
+          ext_groups[s].reserve(flat_groups.size());
+          for (Value::List& g : flat_groups) {
+            ext_groups[s].push_back(Value(std::move(g)));
+          }
+          ext_ck[s] = ck;
+          ext_ck_expr[s] = std::move(cke);
+          ext_table[s] = std::move(table);
+          cur.emplace_back(st.column_name, ValueType::kList);
+          break;
+        }
+      }
+    }
+    if (!ok) {
+      Exec().fusion_bailouts->Add(1);
+      return ExecuteInterpreted(ctx, std::move(in), std::move(sources));
+    }
+    Exec().fused_pipelines->Add(1);
+    Exec().fused_nodes->Add(ns);
+    if (PlanProfileNode* prof = Prof(ctx)) prof->columnar = true;
+
+    const Value empty_list{Value::List{}};
+    Relation out;
+    MorselPlan mp = PlanMorsels(ctx, in.rows.size());
+    std::vector<std::vector<Row>> chunks(mp.morsels);
+    CR_RETURN_IF_ERROR(RunMorsels(
+        ctx, in.rows.size(), mp,
+        [&](size_t m, size_t begin, size_t end) -> Status {
+          std::vector<Row>& chunk = chunks[m];
+          const size_t n = end - begin;
+          std::vector<uint8_t> sel(n, 1);
+          for (size_t s = 0; s < ns; ++s) {
+            switch (stages_[s].kind) {
+              case FusedStage::Kind::kFilter: {
+                const CompiledPredicate* cp = filters[s].get();
+                for (size_t i = 0; i < n; ++i) {
+                  if (sel[i] != 0) {
+                    sel[i] = cp->EvalRow(in.rows[begin + i]) == kSelTrue;
+                  }
+                }
+                break;
+              }
+              case FusedStage::Kind::kProject: {
+                const std::vector<size_t>& cols_idx = proj_cols[s];
+                for (size_t i = 0; i < n; ++i) {
+                  if (sel[i] == 0) continue;
+                  Row& row = in.rows[begin + i];
+                  Row next;
+                  next.reserve(cols_idx.size());
+                  if (proj_move[s] != 0) {
+                    for (size_t c : cols_idx) next.push_back(std::move(row[c]));
+                  } else {
+                    for (size_t c : cols_idx) next.push_back(row[c]);
+                  }
+                  row = std::move(next);
+                }
+                break;
+              }
+              case FusedStage::Kind::kExtend: {
+                RowKeyTable* table = ext_table[s].get();
+                const std::vector<Value>& groups = ext_groups[s];
+                const size_t ck = *ext_ck[s];
+                uint64_t probes = 0;
+                uint64_t steps = 0;
+                for (size_t i = 0; i < n; ++i) {
+                  if (sel[i] == 0) continue;
+                  Row& row = in.rows[begin + i];
+                  Value key;
+                  if (ck < row.size()) {
+                    key = row[ck];
+                  } else {
+                    CR_ASSIGN_OR_RETURN(key, ext_ck_expr[s]->Eval(row));
+                  }
+                  uint32_t entry = RowKeyTable::kNoEntry;
+                  if (!key.is_null()) {
+                    ++probes;
+                    entry = table->Find1(key, &steps);
+                  }
+                  row.push_back(entry == RowKeyTable::kNoEntry ? empty_list
+                                                               : groups[entry]);
+                }
+                table->AddProbeStats(probes, steps);
+                break;
+              }
+            }
+          }
+          size_t kept = 0;
+          for (size_t i = 0; i < n; ++i) kept += sel[i];
+          chunk.reserve(kept);
+          for (size_t i = 0; i < n; ++i) {
+            if (sel[i] != 0) chunk.push_back(std::move(in.rows[begin + i]));
+          }
+          return Status::OK();
+        }));
+    for (size_t s = 0; s < ns; ++s) {
+      if (ext_table[s] != nullptr) RecordHashStats(ctx, *ext_table[s]);
+    }
+    ConcatChunks(std::move(chunks), &out.rows);
+
+    // Output schema: names from the static chain; projected column types
+    // inferred over the final rows (see class comment for why that matches
+    // ProjectNode's inference exactly).
+    std::vector<Column> final_cols;
+    if (last_proj >= 0) {
+      const auto& items = stages_[static_cast<size_t>(last_proj)].items;
+      final_cols.reserve(cur.size());
+      for (size_t i = 0; i < items.size(); ++i) {
+        final_cols.emplace_back(items[i].name,
+                                out.rows.empty() ? ValueType::kString
+                                                 : InferType(out.rows, i));
+      }
+      for (size_t s = static_cast<size_t>(last_proj) + 1; s < ns; ++s) {
+        if (stages_[s].kind == FusedStage::Kind::kExtend) {
+          final_cols.emplace_back(stages_[s].column_name, ValueType::kList);
+        }
+      }
+    } else {
+      final_cols = in.schema.columns();
+      for (const auto& st : stages_) {
+        if (st.kind == FusedStage::Kind::kExtend) {
+          final_cols.emplace_back(st.column_name, ValueType::kList);
+        }
+      }
+    }
+    out.schema = Schema(std::move(final_cols));
+    return out;
+  }
+
+  /// The differential oracle (ExecOptions::fuse=false) and the bailout
+  /// path: the identical stage chain through the ordinary interpreted
+  /// operators, fed via ValuesOnce so nothing is copied.
+  Result<Relation> ExecuteInterpreted(ExecContext& ctx, Relation in,
+                                      std::vector<Relation> sources) const {
+    PlanPtr plan = MakeValuesOnce(std::move(in));
+    for (size_t s = 0; s < stages_.size(); ++s) {
+      const FusedStage& st = stages_[s];
+      switch (st.kind) {
+        case FusedStage::Kind::kFilter:
+          plan = MakeFilter(std::move(plan), st.predicate->Clone());
+          break;
+        case FusedStage::Kind::kProject: {
+          std::vector<ProjectItem> items;
+          items.reserve(st.items.size());
+          for (const auto& item : st.items) {
+            items.push_back({item.expr->Clone(), item.name});
+          }
+          plan = MakeProject(std::move(plan), std::move(items));
+          break;
+        }
+        case FusedStage::Kind::kExtend: {
+          std::vector<ExprPtr> collect;
+          collect.reserve(st.collect.size());
+          for (const auto& c : st.collect) collect.push_back(c->Clone());
+          plan = MakeExtend(std::move(plan),
+                            MakeValuesOnce(std::move(sources[s])),
+                            st.child_key->Clone(), st.source_key->Clone(),
+                            std::move(collect), st.column_name);
+          break;
+        }
+      }
+    }
+    return plan->Execute(ctx);
+  }
+
+  PlanPtr input_;
+  std::vector<FusedStage> stages_;
+};
+
 }  // namespace
 
 Result<Relation> PlanNode::Execute(ExecContext& ctx) const {
@@ -1966,6 +2400,10 @@ PlanPtr MakeExtend(PlanPtr child, PlanPtr source, ExprPtr child_key,
   return std::make_unique<ExtendNode>(
       std::move(child), std::move(source), std::move(child_key),
       std::move(source_key), std::move(collect), std::move(column_name));
+}
+PlanPtr MakeFusedPipeline(PlanPtr input, std::vector<FusedStage> stages) {
+  return std::make_unique<FusedPipelineNode>(std::move(input),
+                                             std::move(stages));
 }
 
 Result<Relation> Run(const PlanNode& plan, const storage::Database& db) {

@@ -54,6 +54,11 @@ struct ExecOptions {
   /// Violations fail the query with a CR510-tagged InternalError. Off by
   /// default; tests and debug harnesses turn it on.
   bool check_static_claims = false;
+  /// Execute FusedPipelineNode stages as one fused chunk-at-a-time pass
+  /// (DESIGN.md §16). False runs the same stages as a chain of ordinary
+  /// interpreted operators — the differential oracle. Both paths are
+  /// byte-identical by contract.
+  bool fuse = true;
 };
 
 class ProfileCollector;
@@ -246,6 +251,36 @@ PlanPtr MakeUnion(PlanPtr left, PlanPtr right, bool all);
 PlanPtr MakeExtend(PlanPtr child, PlanPtr source, ExprPtr child_key,
                    ExprPtr source_key, std::vector<ExprPtr> collect,
                    std::string column_name);
+
+/// One stage of a FusedPipelineNode (DESIGN.md §16). Exactly one of the
+/// three shapes is populated:
+///   kFilter  — `predicate` (must lie in the compilable-shape subset, see
+///              CompilableShape(); a runtime CompilePredicate refusal makes
+///              the whole node fall back to the interpreted stage chain);
+///   kProject — `items`, every expr a bare column reference;
+///   kExtend  — `source` plan + bare-column `child_key` / `source_key` /
+///              `collect`, appending list column `column_name`.
+struct FusedStage {
+  enum class Kind { kFilter, kProject, kExtend };
+  Kind kind = Kind::kFilter;
+  ExprPtr predicate;                     // kFilter
+  std::vector<ProjectItem> items;        // kProject
+  PlanPtr source;                        // kExtend
+  ExprPtr child_key;                     // kExtend
+  ExprPtr source_key;                    // kExtend
+  std::vector<ExprPtr> collect;          // kExtend
+  std::string column_name;               // kExtend
+};
+
+/// A maximal fused σ/π/ε chain executed as one chunk-at-a-time pass over the
+/// input: a selection vector threads through all fused filters, projections
+/// rewrite surviving rows in place, and ε appends a shared list handle —
+/// with no intermediate Relation materialized between stages. With
+/// ExecOptions::fuse=false (or on a runtime compile bailout) the node runs
+/// the identical stage chain through the ordinary interpreted operators.
+/// Stage legality (bare columns, compilable-shape predicates, no σ after π)
+/// is the caller's responsibility; see analysis::CheckFusedStage.
+PlanPtr MakeFusedPipeline(PlanPtr input, std::vector<FusedStage> stages);
 
 /// Executes a bound plan against `db` with no parameters — convenience for
 /// tests and examples.

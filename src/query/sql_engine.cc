@@ -10,6 +10,7 @@
 #include "obs/profile_recorder.h"
 #include "obs/trace.h"
 #include "query/sql_parser.h"
+#include "query/vector_ops.h"
 
 namespace courserank::query {
 
@@ -261,6 +262,29 @@ std::string Unqualify(const std::string& s) {
   return dot == std::string::npos ? s : s.substr(dot + 1);
 }
 
+/// Splits an expression at its top-level ANDs ("a AND b AND c" → {a, b, c});
+/// anything else is a single conjunct. Used by the join-side conjunct
+/// pushdown (DESIGN.md §16).
+void SplitConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  struct AndProbe final : ExprVisitor {
+    const Expr* lhs = nullptr;
+    const Expr* rhs = nullptr;
+    void VisitBinary(BinaryOp op, const Expr& l, const Expr& r) override {
+      if (op == BinaryOp::kAnd) {
+        lhs = &l;
+        rhs = &r;
+      }
+    }
+  } probe;
+  e.Accept(probe);
+  if (probe.lhs != nullptr) {
+    SplitConjuncts(*probe.lhs, out);
+    SplitConjuncts(*probe.rhs, out);
+  } else {
+    out->push_back(&e);
+  }
+}
+
 /// True when `s` renders like a bare (possibly qualified) column reference —
 /// the shape ColumnExpr::ToString produces. Computed expressions render
 /// with operators, parentheses, or quotes and never match.
@@ -459,6 +483,96 @@ Result<PlanPtr> SqlEngine::PlanSelectWith(const SelectStmt& stmt,
     ++pushed_components;
   }
 
+  // ---- join-side conjunct pushdown (fusion tier, DESIGN.md §16) ----
+  // For all-inner joins, WHERE conjuncts whose columns resolve in exactly
+  // one scan's (alias-prefixed) schema — and in no other scan's — and whose
+  // shape lies in the compilable subset move into that scan's pushdown
+  // slot, so rows a per-side σ would drop after the join are never
+  // materialized, let alone joined. Filtering one input of an inner hash
+  // join preserves the probe-order output contract, and the scan applies
+  // the identical keep condition (tri-state TRUE) the post-join Filter
+  // would, so the rewrite is byte-identical. Conjuncts that straddle scans,
+  // reference no column, resolve ambiguously, or fall outside the
+  // compilable shape stay in the residual post-join Filter.
+  ExprPtr residual_where =
+      stmt.where != nullptr && !where_pushed ? stmt.where->Clone() : nullptr;
+  std::vector<ScanPushdown> join_push(stmt.joins.size() + 1);
+  {
+    bool all_inner = true;
+    for (const JoinClause& jc : stmt.joins) all_inner = all_inner && !jc.left;
+    std::vector<Schema> scan_schemas;
+    bool schemas_ok =
+        opts.scan_pushdown && opts.fuse_pipelines && !stmt.joins.empty() &&
+        all_inner && residual_where != nullptr;
+    if (schemas_ok) {
+      auto add_schema = [&](const TableRef& ref) {
+        auto table = db_->GetTable(ref.table);
+        if (!table.ok()) return false;
+        scan_schemas.push_back(
+            (*table)->schema().WithPrefix(effective_alias(ref)));
+        return true;
+      };
+      schemas_ok = add_schema(stmt.from);
+      for (const JoinClause& jc : stmt.joins) {
+        schemas_ok = schemas_ok && add_schema(jc.table);
+      }
+    }
+    if (schemas_ok) {
+      std::vector<const Expr*> conjuncts;
+      SplitConjuncts(*residual_where, &conjuncts);
+      std::vector<ExprPtr> kept;
+      bool any_pushed = false;
+      for (const Expr* c : conjuncts) {
+        ColumnCollector cc;
+        c->Accept(cc);
+        int target = -1;
+        bool unique = !cc.names.empty() && CompilableShape(*c);
+        for (size_t s = 0; unique && s < scan_schemas.size(); ++s) {
+          bool all = true;
+          bool any = false;
+          for (const std::string& n : cc.names) {
+            bool resolves = scan_schemas[s].FindColumn(n).has_value();
+            all = all && resolves;
+            any = any || resolves;
+          }
+          if (all) {
+            if (target >= 0) {
+              unique = false;  // resolves in two scans: would be ambiguous
+            } else {
+              target = static_cast<int>(s);
+            }
+          } else if (any) {
+            unique = false;  // straddles scans or partially resolves
+          }
+        }
+        if (unique && target >= 0) {
+          ExprPtr& slot = join_push[static_cast<size_t>(target)].predicate;
+          slot = slot == nullptr ? c->Clone()
+                                 : MakeBinary(BinaryOp::kAnd, std::move(slot),
+                                              c->Clone());
+          any_pushed = true;
+        } else {
+          kept.push_back(c->Clone());
+        }
+      }
+      if (any_pushed) {
+        residual_where = nullptr;
+        for (ExprPtr& k : kept) {
+          residual_where =
+              residual_where == nullptr
+                  ? std::move(k)
+                  : MakeBinary(BinaryOp::kAnd, std::move(residual_where),
+                               std::move(k));
+        }
+      }
+    }
+  }
+  // A conjunct assigned to the base scan rides the ordinary pushdown slot.
+  if (join_push[0].predicate != nullptr) {
+    push.predicate = std::move(join_push[0].predicate);
+    ++pushed_components;
+  }
+
   PlanPtr plan;
   // Pruned-column names in scan-output order, kept for the
   // identity-projection elision below (push itself is moved into the scan).
@@ -467,7 +581,9 @@ Result<PlanPtr> SqlEngine::PlanSelectWith(const SelectStmt& stmt,
   PlanFacts facts =
       TableFacts(db_, stmt.from.table, effective_alias(stmt.from));
   if (!pushed_cols.empty()) FilterFactsToOutput(&facts, pushed_cols);
-  if (where_pushed) facts.claims.card_min = 0;
+  // Any predicate in the scan (whole WHERE or a fused-tier conjunct) can
+  // drop rows, so the floor collapses.
+  if (push.predicate != nullptr) facts.claims.card_min = 0;
   if (pushed_limit > 0) {
     facts.claims.card_max = MinCard(facts.claims.card_max, pushed_limit);
     facts.claims.card_min = MinCard(facts.claims.card_min, pushed_limit);
@@ -481,7 +597,8 @@ Result<PlanPtr> SqlEngine::PlanSelectWith(const SelectStmt& stmt,
     plan = MakeTableScan(stmt.from.table, effective_alias(stmt.from));
   }
   Stamp(plan, facts);
-  for (const JoinClause& jc : stmt.joins) {
+  for (size_t ji = 0; ji < stmt.joins.size(); ++ji) {
+    const JoinClause& jc = stmt.joins[ji];
     PlanFacts right_facts =
         TableFacts(db_, jc.table.table, effective_alias(jc.table));
     // Build-side choice: hash the left input instead of the right when the
@@ -500,7 +617,16 @@ Result<PlanPtr> SqlEngine::PlanSelectWith(const SelectStmt& stmt,
         Metrics().join_build_left->Add();
       }
     }
-    PlanPtr right = MakeTableScan(jc.table.table, effective_alias(jc.table));
+    PlanPtr right;
+    if (join_push[ji + 1].predicate != nullptr) {
+      // Right-side conjunct from the fusion tier: filter before the build.
+      right_facts.claims.card_min = 0;
+      Metrics().pushdown_rewrites->Add(1);
+      right = MakePushdownScan(jc.table.table, effective_alias(jc.table),
+                               std::move(join_push[ji + 1]));
+    } else {
+      right = MakeTableScan(jc.table.table, effective_alias(jc.table));
+    }
     Stamp(right, right_facts);
     plan = MakeJoin(std::move(plan), std::move(right),
                     jc.on ? jc.on->Clone() : nullptr,
@@ -508,10 +634,19 @@ Result<PlanPtr> SqlEngine::PlanSelectWith(const SelectStmt& stmt,
     facts = JoinFacts(facts, right_facts, jc.on != nullptr, jc.left);
     Stamp(plan, facts);
   }
-  if (stmt.where != nullptr && !where_pushed) {
-    plan = MakeFilter(std::move(plan), stmt.where->Clone());
+  // Residual WHERE: whatever the pushdown passes above could not claim.
+  // When the fusion tier is on, a compilable-shape residual over plain rows
+  // is deferred — the projection branch below folds it and the project into
+  // one FusedPipelineNode instead of emitting a standalone Filter.
+  bool fuse_fp = false;
+  if (residual_where != nullptr) {
     facts.claims.card_min = 0;
-    Stamp(plan, facts);
+    fuse_fp = opts.fuse_pipelines && plain_rows &&
+              CompilableShape(*residual_where);
+    if (!fuse_fp) {
+      plan = MakeFilter(std::move(plan), residual_where->Clone());
+      Stamp(plan, facts);
+    }
   }
 
   if (has_agg || !stmt.group_by.empty()) {
@@ -664,7 +799,33 @@ Result<PlanPtr> SqlEngine::PlanSelectWith(const SelectStmt& stmt,
         identity = false;
       }
     }
-    if (!identity) {
+    bool fused_here = false;
+    if (fuse_fp) {
+      // Deferred residual filter: fuse it with the project into a single
+      // chunk-at-a-time pass when every output item (hidden sort columns
+      // included) is a bare column reference — the shape the fused π stage
+      // executes as an index copy. Otherwise emit the ordinary Filter here
+      // and fall through to the standalone Project.
+      bool all_bare = true;
+      for (const ProjectItem& it : items) {
+        all_bare = all_bare && LooksLikeColumnRef(it.expr->ToString());
+      }
+      if (all_bare) {
+        std::vector<FusedStage> stages(2);
+        stages[0].kind = FusedStage::Kind::kFilter;
+        stages[0].predicate = residual_where->Clone();
+        stages[1].kind = FusedStage::Kind::kProject;
+        for (const ProjectItem& it : items) {
+          stages[1].items.push_back({it.expr->Clone(), it.name});
+        }
+        plan = MakeFusedPipeline(std::move(plan), std::move(stages));
+        fused_here = true;
+      } else {
+        plan = MakeFilter(std::move(plan), residual_where->Clone());
+        Stamp(plan, facts);
+      }
+    }
+    if (!fused_here && !identity) {
       plan = MakeProject(std::move(plan), std::move(items));
     }
     facts = ProjectFacts(facts, pass, allow_suffix);
@@ -805,6 +966,7 @@ Status SqlEngine::VerifyPlannedRewrites(const SelectStmt& stmt,
   off.bounded_topk = false;
   off.distinct_elision = false;
   off.join_build_side = false;
+  off.fuse_pipelines = false;
   off.verify_rewrites = false;
   Result<PlanPtr> baseline = PlanSelectWith(stmt, off);
   // A statement the baseline cannot plan, or roots carrying no claims, have

@@ -36,6 +36,10 @@ struct PlannerOptions {
   /// cardinality bounds say it is much smaller than the right relation
   /// (JoinBuildSide::kLeft — output stays byte-identical).
   bool join_build_side = true;
+  /// Fusion tier (DESIGN.md §16): push per-side WHERE conjuncts of inner
+  /// joins into the individual table scans, and collapse the residual
+  /// Filter + bare-column Project above a join into one FusedPipelineNode.
+  bool fuse_pipelines = true;
   /// Rewrite-soundness check (CR5xx): after planning, re-plan with every
   /// rewrite off and verify the optimized root never weakens the baseline's
   /// static claims. On in debug builds — the configuration ctest runs — and

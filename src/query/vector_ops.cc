@@ -528,4 +528,79 @@ CompiledPredicatePtr CompilePredicate(const Expr& predicate,
   return compiler.Compile(predicate);
 }
 
+namespace {
+
+/// Leaf taxonomy for the structural checker: like LeafClassifier, but a
+/// parameter counts as a (potential) constant without being resolved.
+class LeafShape final : public ExprVisitor {
+ public:
+  enum class Kind { kNone, kColumn, kLiteral, kParam };
+  Kind kind = Kind::kNone;
+
+  void VisitColumn(const std::string&) override { kind = Kind::kColumn; }
+  void VisitLiteral(const Value&) override { kind = Kind::kLiteral; }
+  void VisitParam(const std::string&) override { kind = Kind::kParam; }
+};
+
+/// Structural twin of Compiler: accepts exactly the shapes Compiler can
+/// compile, minus name resolution and parameter binding. A bare top-level
+/// parameter is refused (its value's type is unknowable at plan time).
+class ShapeChecker final : public ExprVisitor {
+ public:
+  bool ok = false;
+
+  void VisitLiteral(const Value& v) override {
+    ok = v.is_null() || v.type() == ValueType::kBool;
+  }
+  void VisitUnary(UnaryOp op, const Expr& operand) override {
+    ok = op == UnaryOp::kNot && CompilableShape(operand);
+  }
+  void VisitBinary(BinaryOp op, const Expr& lhs, const Expr& rhs) override {
+    if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+      ok = CompilableShape(lhs) && CompilableShape(rhs);
+      return;
+    }
+    switch (op) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        break;
+      default:
+        return;  // arithmetic / LIKE can error mid-row
+    }
+    LeafShape a;
+    lhs.Accept(a);
+    LeafShape b;
+    rhs.Accept(b);
+    using Kind = LeafShape::Kind;
+    auto constish = [](Kind k) {
+      return k == Kind::kLiteral || k == Kind::kParam;
+    };
+    ok = (a.kind == Kind::kColumn && constish(b.kind)) ||
+         (constish(a.kind) && b.kind == Kind::kColumn);
+  }
+  void VisitIsNull(const Expr& operand, bool) override {
+    LeafShape leaf;
+    operand.Accept(leaf);
+    ok = leaf.kind != LeafShape::Kind::kNone;
+  }
+  void VisitInList(const Expr& operand, const std::vector<Value>&) override {
+    LeafShape leaf;
+    operand.Accept(leaf);
+    ok = leaf.kind == LeafShape::Kind::kColumn;
+  }
+  // VisitColumn / VisitParam / VisitCall: inherited no-op keeps ok=false.
+};
+
+}  // namespace
+
+bool CompilableShape(const Expr& predicate) {
+  ShapeChecker checker;
+  predicate.Accept(checker);
+  return checker.ok;
+}
+
 }  // namespace courserank::query

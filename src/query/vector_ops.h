@@ -55,6 +55,16 @@ CompiledPredicatePtr CompilePredicate(const Expr& predicate,
                                       const Schema& schema,
                                       const ParamMap& params);
 
+/// Structural (plan-time) mirror of CompilePredicate's accepted grammar:
+/// true iff the expression's *shape* lies in the error-free compilable
+/// subset — comparisons / IS NULL / IN over column-vs-constant leaves, and
+/// NOT/AND/OR over those. Parameters are accepted without being resolved
+/// (planning happens before parameters are bound), so CompilePredicate may
+/// still refuse at runtime when a parameter is absent; it never *errors*
+/// for a shape this function accepts, and neither does row-at-a-time Eval
+/// of such a shape. Column names are NOT resolved against any schema.
+bool CompilableShape(const Expr& predicate);
+
 }  // namespace courserank::query
 
 #endif  // COURSERANK_QUERY_VECTOR_OPS_H_

@@ -79,6 +79,15 @@ ExecOptions ColumnarSerial() {
   return o;
 }
 
+/// The fusion-tier interpreter oracle (DESIGN.md §16): fusion groups still
+/// form, but every FusedPipelineNode executes its stages as the chain of
+/// ordinary interpreted operators instead of the fused chunk pass.
+ExecOptions UnfusedSerial() {
+  ExecOptions o = Serial();
+  o.fuse = false;
+  return o;
+}
+
 /// Byte-identity check: schemas equal, rows in the same order, every cell
 /// the same type and value. (Value::operator== treats INT 1 and DOUBLE 1.0
 /// as equal, so the type is compared explicitly.)
@@ -266,6 +275,15 @@ TEST_P(PushdownEquivalenceTest, RewrittenPlansMatchPlainPlans) {
   ExecOptions audited_opts = Serial();
   audited_opts.check_static_claims = true;
   audited.set_exec_options(audited_opts);
+  // Fusion tier off at both layers: no join-side conjunct pushdown or
+  // Filter+Project collapsing in the planner, and any FusedPipelineNode
+  // that still forms runs interpreted. The oracle for the fused plans the
+  // default engines produce.
+  SqlEngine unfused(&db);
+  PlannerOptions no_fuse;
+  no_fuse.fuse_pipelines = false;
+  unfused.set_planner_options(no_fuse);
+  unfused.set_exec_options(UnfusedSerial());
 
   const std::string queries[] = {
       "SELECT * FROM Courses",
@@ -282,6 +300,20 @@ TEST_P(PushdownEquivalenceTest, RewrittenPlansMatchPlainPlans) {
       "SELECT UPPER(Title) AS t FROM Courses WHERE Title LIKE '%a%' "
       "ORDER BY t LIMIT 4",
       "SELECT Title FROM Courses ORDER BY Units LIMIT 0",
+      // Join-side conjunct pushdown: per-side conjuncts split into the
+      // scans, cross-side and non-compilable conjuncts stay residual.
+      "SELECT c.Title, r.Score FROM Courses c "
+      "JOIN Ratings r ON c.CourseID = r.CourseID "
+      "WHERE r.Score > 2 AND c.Units >= 3 ORDER BY r.Score DESC, c.Title "
+      "LIMIT 10",
+      "SELECT c.Title FROM Courses c "
+      "JOIN Ratings r ON c.CourseID = r.CourseID "
+      "WHERE r.Score >= 4 AND c.Units < r.Score + 2 ORDER BY c.Title "
+      "LIMIT 6",
+      "SELECT c.Title, o.Year FROM Courses c "
+      "JOIN Offerings o ON c.CourseID = o.CourseID "
+      "WHERE o.Year = 2007 AND c.Number < 300 ORDER BY o.Year, c.Title "
+      "LIMIT 8",
   };
   for (const std::string& sql : queries) {
     auto a = plain.Execute(sql);
@@ -295,6 +327,9 @@ TEST_P(PushdownEquivalenceTest, RewrittenPlansMatchPlainPlans) {
     auto d = audited.Execute(sql);
     ASSERT_TRUE(d.ok()) << sql << " -> " << d.status().ToString();
     ExpectSameRelation(*a, *d, "claims-checked: " + sql);
+    auto e = unfused.Execute(sql);
+    ASSERT_TRUE(e.ok()) << sql << " -> " << e.status().ToString();
+    ExpectSameRelation(*a, *e, "unfused: " + sql);
   }
 }
 
@@ -369,6 +404,14 @@ TEST_P(StrategyEquivalenceTest, ParallelMatchesSerial) {
         << sc.name << " -> " << columnar.status().ToString();
     ExpectSameRelation(*serial, *columnar,
                        std::string("columnar: ") + sc.name);
+    // Fusion differential: the fused chunk pass against the interpreted
+    // stage chain must be byte-identical.
+    engine.set_exec_options(UnfusedSerial());
+    auto unfused = engine.RunStrategy(sc.name, sc.params);
+    ASSERT_TRUE(unfused.ok())
+        << sc.name << " -> " << unfused.status().ToString();
+    ExpectSameRelation(*serial, *unfused,
+                       std::string("unfused: ") + sc.name);
     // Shipped strategies must also satisfy their own inferred claims.
     ExecOptions audited_opts = Serial();
     audited_opts.check_static_claims = true;
@@ -534,6 +577,22 @@ TEST_P(RandomWorkflowEquivalenceTest, SerialParallelOptimizedAgree) {
     ASSERT_TRUE(columnar.ok()) << dsl << "\n"
                                << columnar.status().ToString();
     ExpectSameRelation(*serial, *columnar, "columnar: " + dsl);
+
+    // Fusion differential, serial and parallel: random workflows are where
+    // σ/π/ε fusion groups actually form, so the fused chunk pass runs
+    // against the interpreted stage chain on every accepted corpus member.
+    engine.set_exec_options(UnfusedSerial());
+    auto unfused = engine.Run(**parsed, {});
+    ASSERT_TRUE(unfused.ok()) << dsl << "\n" << unfused.status().ToString();
+    ExpectSameRelation(*serial, *unfused, "unfused: " + dsl);
+
+    ExecOptions unfused_parallel = Aggressive(3);
+    unfused_parallel.fuse = false;
+    engine.set_exec_options(unfused_parallel);
+    auto unfused_par = engine.Run(**parsed, {});
+    ASSERT_TRUE(unfused_par.ok())
+        << dsl << "\n" << unfused_par.status().ToString();
+    ExpectSameRelation(*serial, *unfused_par, "unfused parallel: " + dsl);
 
     // Static-claims soundness: every property the analyzer inferred for
     // this workflow must hold on its actual output (CR510 otherwise).

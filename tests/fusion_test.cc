@@ -1,0 +1,604 @@
+// Fusion-tier tests (DESIGN.md §16): the FusedPipelineNode must be
+// byte-identical to the interpreted stage chain it replaces (selection
+// vector vs materialized intermediates, runtime bailout fallback), the
+// FlexRecs compiler's fusion groups and bailout notes must render in
+// Explain() exactly as the analysis::ExtractFusionChains goldens predict,
+// the SQL planner's join-side conjunct pushdown and Filter+Project
+// collapsing must survive the CR5xx rewrite verifier, and optimizer rule 5
+// (TopK-below-Extend) must fire, compose with rule 1, and preserve output.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/fusion.h"
+#include "core/flexrecs_engine.h"
+#include "core/workflow_optimizer.h"
+#include "core/workflow_parser.h"
+#include "gen/generator.h"
+#include "obs/metrics.h"
+#include "query/expr.h"
+#include "query/plan.h"
+#include "query/sql_engine.h"
+#include "query/sql_parser.h"
+#include "social/site.h"
+#include "storage/database.h"
+#include "storage/schema.h"
+
+namespace courserank {
+namespace {
+
+using flexrecs::CompiledWorkflow;
+using flexrecs::FlexRecsEngine;
+using flexrecs::OptimizerStats;
+using gen::GenConfig;
+using gen::Generator;
+using query::ExecContext;
+using query::ExecOptions;
+using query::Expr;
+using query::ExprPtr;
+using query::FusedStage;
+using query::ParamMap;
+using query::PlannerOptions;
+using query::PlanPtr;
+using query::ProjectItem;
+using query::Relation;
+using query::Row;
+using query::SqlEngine;
+using storage::Database;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+ExecOptions Fused() {
+  ExecOptions o;
+  o.parallel = false;
+  return o;
+}
+
+ExecOptions Interpreted() {
+  ExecOptions o = Fused();
+  o.fuse = false;
+  return o;
+}
+
+/// Byte-identity check (exec_parallel_test contract): same schema, same
+/// rows, same order, same value types.
+void ExpectSameRelation(const Relation& a, const Relation& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.schema.num_columns(), b.schema.num_columns()) << what;
+  for (size_t c = 0; c < a.schema.num_columns(); ++c) {
+    EXPECT_EQ(a.schema.column(c).name, b.schema.column(c).name) << what;
+    EXPECT_EQ(a.schema.column(c).type, b.schema.column(c).type) << what;
+  }
+  ASSERT_EQ(a.rows.size(), b.rows.size()) << what;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    ASSERT_EQ(a.rows[r].size(), b.rows[r].size()) << what << " row " << r;
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      EXPECT_EQ(a.rows[r][c].type(), b.rows[r][c].type())
+          << what << " row " << r << " col " << c;
+      EXPECT_TRUE(a.rows[r][c] == b.rows[r][c])
+          << what << " row " << r << " col " << c;
+    }
+  }
+}
+
+ExprPtr Parse(const std::string& text) {
+  auto e = query::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << text;
+  return std::move(*e);
+}
+
+uint64_t Counter(const char* name) {
+  return obs::MetricsRegistry::Default().GetCounter(name)->value();
+}
+
+// ------------------------------------------- FusedPipelineNode runtime
+
+/// A small database whose "t" table exercises NULLs, negatives, and
+/// repeated keys through the fused pass.
+class FusedPipelineNodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = db_.CreateTable("t", Schema({{"a", ValueType::kInt, false},
+                                          {"b", ValueType::kInt, true},
+                                          {"c", ValueType::kString, true}}),
+                             {});
+    ASSERT_TRUE(t.ok());
+    for (int64_t i = 0; i < 40; ++i) {
+      Row row;
+      row.push_back(Value(i % 7));
+      row.push_back(i % 5 == 0 ? Value() : Value(i - 20));
+      row.push_back(Value("s" + std::to_string(i % 3)));
+      ASSERT_TRUE((*t)->Insert(std::move(row)).ok());
+    }
+  }
+
+  /// Executes `make()`'s plan twice — fused and interpreted — and asserts
+  /// byte-identity. Returns the fused result for further checks.
+  Relation RunBoth(const std::function<PlanPtr()>& make,
+                   const std::string& what) {
+    ExecContext fused_ctx{&db_, {}, Fused()};
+    auto fused = make()->Execute(fused_ctx);
+    EXPECT_TRUE(fused.ok()) << what << ": " << fused.status().ToString();
+    ExecContext interp_ctx{&db_, {}, Interpreted()};
+    auto interp = make()->Execute(interp_ctx);
+    EXPECT_TRUE(interp.ok()) << what << ": " << interp.status().ToString();
+    ExpectSameRelation(*fused, *interp, what);
+    return std::move(*fused);
+  }
+
+  Database db_;
+};
+
+TEST_F(FusedPipelineNodeTest, FilterProjectChainMatchesInterpreter) {
+  uint64_t pipelines_before = Counter("cr_exec_fused_pipelines_total");
+  uint64_t nodes_before = Counter("cr_exec_fused_nodes_total");
+  auto make = [] {
+    std::vector<FusedStage> stages(3);
+    stages[0].kind = FusedStage::Kind::kFilter;
+    stages[0].predicate = Parse("a >= 2");
+    stages[1].kind = FusedStage::Kind::kFilter;
+    stages[1].predicate = Parse("b IS NOT NULL AND c <> 's2'");
+    stages[2].kind = FusedStage::Kind::kProject;
+    std::vector<ProjectItem> items;
+    items.push_back({query::MakeColumn("b"), "x"});
+    items.push_back({query::MakeColumn("a"), "y"});
+    items.push_back({query::MakeColumn("b"), "z"});  // reused source column
+    stages[2].items = std::move(items);
+    return query::MakeFusedPipeline(query::MakeTableScan("t"),
+                                    std::move(stages));
+  };
+  Relation out = RunBoth(make, "filter+filter+project");
+  EXPECT_FALSE(out.rows.empty());
+  ASSERT_EQ(out.schema.num_columns(), 3u);
+  EXPECT_EQ(out.schema.column(0).name, "x");
+  // Exactly one fused pass ran (the interpreted leg must not count).
+  EXPECT_EQ(Counter("cr_exec_fused_pipelines_total"), pipelines_before + 1);
+  EXPECT_EQ(Counter("cr_exec_fused_nodes_total"), nodes_before + 3);
+}
+
+TEST_F(FusedPipelineNodeTest, ExtendStageMatchesInterpreter) {
+  // ε source with duplicate keys, a NULL key, and an unmatched key.
+  auto make_source = [] {
+    Relation src;
+    src.schema = Schema({{"k", ValueType::kInt, true},
+                         {"v", ValueType::kInt, true}});
+    for (int64_t i = 0; i < 12; ++i) {
+      Row row;
+      row.push_back(i == 7 ? Value() : Value(i % 4));
+      row.push_back(Value(i * 10));
+      src.rows.push_back(std::move(row));
+    }
+    return src;
+  };
+  auto make = [&] {
+    std::vector<FusedStage> stages(2);
+    stages[0].kind = FusedStage::Kind::kFilter;
+    stages[0].predicate = Parse("a < 6");
+    stages[1].kind = FusedStage::Kind::kExtend;
+    stages[1].source = query::MakeValues(make_source());
+    stages[1].child_key = query::MakeColumn("a");
+    stages[1].source_key = query::MakeColumn("k");
+    stages[1].collect.push_back(query::MakeColumn("v"));
+    stages[1].column_name = "bag";
+    return query::MakeFusedPipeline(query::MakeTableScan("t"),
+                                    std::move(stages));
+  };
+  Relation out = RunBoth(make, "filter+extend");
+  ASSERT_EQ(out.schema.num_columns(), 4u);
+  EXPECT_EQ(out.schema.column(3).name, "bag");
+  EXPECT_EQ(out.schema.column(3).type, ValueType::kList);
+}
+
+TEST_F(FusedPipelineNodeTest, RuntimeBailoutFallsBackToInterpreter) {
+  // `b + 1 > 2` is outside the compilable shape subset (arithmetic can
+  // error mid-row), so the fused pass must bail out at compile time, count
+  // the bailout, and produce the interpreted chain's exact rows.
+  uint64_t bailouts_before = Counter("cr_exec_fusion_bailouts_total");
+  uint64_t pipelines_before = Counter("cr_exec_fused_pipelines_total");
+  auto make = [] {
+    std::vector<FusedStage> stages(2);
+    stages[0].kind = FusedStage::Kind::kFilter;
+    stages[0].predicate = Parse("b + 1 > 2");
+    stages[1].kind = FusedStage::Kind::kProject;
+    std::vector<ProjectItem> items;
+    items.push_back({query::MakeColumn("a"), "a"});
+    stages[1].items = std::move(items);
+    return query::MakeFusedPipeline(query::MakeTableScan("t"),
+                                    std::move(stages));
+  };
+  Relation out = RunBoth(make, "bailout chain");
+  EXPECT_FALSE(out.rows.empty());
+  EXPECT_EQ(Counter("cr_exec_fusion_bailouts_total"), bailouts_before + 1);
+  EXPECT_EQ(Counter("cr_exec_fused_pipelines_total"), pipelines_before);
+}
+
+TEST_F(FusedPipelineNodeTest, EmptyInputAndAllFilteredChains) {
+  for (const char* pred : {"a > 1000", "a >= 0"}) {
+    auto make = [&] {
+      std::vector<FusedStage> stages(2);
+      stages[0].kind = FusedStage::Kind::kFilter;
+      stages[0].predicate = Parse(pred);
+      stages[1].kind = FusedStage::Kind::kProject;
+      std::vector<ProjectItem> items;
+      items.push_back({query::MakeColumn("c"), "c"});
+      stages[1].items = std::move(items);
+      return query::MakeFusedPipeline(query::MakeTableScan("t"),
+                                      std::move(stages));
+    };
+    RunBoth(make, std::string("edge: ") + pred);
+  }
+}
+
+// ------------------------------------------ fusion chain analysis goldens
+
+std::string ChainsFor(const std::string& dsl) {
+  auto parsed = flexrecs::ParseWorkflow(dsl);
+  EXPECT_TRUE(parsed.ok()) << dsl;
+  return analysis::RenderFusionChains(
+      analysis::ExtractFusionChains(**parsed));
+}
+
+TEST(FusionChainAnalysisTest, EligibleSigmaExtendChain) {
+  std::string out = ChainsFor(
+      "courses = TABLE Courses\n"
+      "dept    = SELECT courses WHERE DepID = $dep\n"
+      "ratings = TABLE Ratings\n"
+      "ext     = EXTEND dept WITH ratings ON CourseID = CourseID "
+      "COLLECT Score AS scores\n"
+      "RETURN ext\n");
+  EXPECT_NE(out.find("fuses: "), std::string::npos) << out;
+  EXPECT_NE(out.find("σ((DepID = $dep))"), std::string::npos) << out;
+  EXPECT_NE(out.find("ε(+scores)"), std::string::npos) << out;
+  EXPECT_EQ(out.find("break at"), std::string::npos) << out;
+}
+
+TEST(FusionChainAnalysisTest, NonCompilablePredicateBreaksChain) {
+  std::string out = ChainsFor(
+      "courses = TABLE Courses\n"
+      "liked   = SELECT courses WHERE Title LIKE '%intro%'\n"
+      "cheap   = SELECT liked WHERE Units < 4\n"
+      "RETURN cheap\n");
+  EXPECT_NE(out.find("break at"), std::string::npos) << out;
+  EXPECT_NE(out.find("predicate outside the compilable subset"),
+            std::string::npos)
+      << out;
+}
+
+TEST(FusionChainAnalysisTest, SigmaAfterPiIsIneligible) {
+  std::string out = ChainsFor(
+      "courses = TABLE Courses\n"
+      "p       = PROJECT courses TO Title AS t, Units AS u\n"
+      "f       = SELECT p WHERE u >= 3\n"
+      "RETURN f\n");
+  EXPECT_NE(out.find("filter over a computed projection schema"),
+            std::string::npos)
+      << out;
+}
+
+// --------------------------------------- compiled fusion groups (engine)
+
+class CompiledFusionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto site = Generator(GenConfig::Tiny(31)).Generate();
+    ASSERT_TRUE(site.ok()) << site.status().ToString();
+    site_ = std::move(*site);
+  }
+
+  /// Compiles, executes fused and interpreted, asserts byte-identity, and
+  /// returns the compiled workflow for Explain/group inspection.
+  CompiledWorkflow CompileAndCheck(const std::string& dsl,
+                                   const ParamMap& params) {
+    FlexRecsEngine& engine = site_->flexrecs();
+    auto parsed = flexrecs::ParseWorkflow(dsl);
+    EXPECT_TRUE(parsed.ok()) << dsl;
+    auto compiled = engine.Compile(**parsed);
+    EXPECT_TRUE(compiled.ok()) << dsl << "\n" << compiled.status().ToString();
+
+    engine.set_exec_options(Fused());
+    auto fused = engine.Execute(*compiled, params);
+    EXPECT_TRUE(fused.ok()) << dsl << "\n" << fused.status().ToString();
+    engine.set_exec_options(Interpreted());
+    auto interp = engine.Execute(*compiled, params);
+    EXPECT_TRUE(interp.ok()) << dsl << "\n" << interp.status().ToString();
+    engine.set_exec_options(Fused());
+    ExpectSameRelation(*fused, *interp, dsl);
+    return std::move(*compiled);
+  }
+
+  std::unique_ptr<social::CourseRankSite> site_;
+};
+
+TEST_F(CompiledFusionTest, ExtendSelectGroupFormsAndExecutesFused) {
+  // ε over a single-use input chains with the σ above it; the compiled
+  // workflow must report the group, render it in Explain, and execute the
+  // fused node (pipeline counter moves).
+  const std::string dsl =
+      "students = TABLE Students\n"
+      "ratings  = TABLE Ratings\n"
+      "ext      = EXTEND students WITH ratings ON SuID = SuID "
+      "COLLECT Score AS scores\n"
+      "good     = SELECT ext WHERE GPA >= 2\n"
+      "RETURN good\n";
+  uint64_t before = Counter("cr_exec_fused_pipelines_total");
+  auto compiled = CompileAndCheck(dsl, {});
+  ASSERT_EQ(compiled.fusion_groups().size(), 1u);
+  EXPECT_EQ(compiled.fusion_groups()[0].members.size(), 2u);
+  std::string explain = compiled.Explain();
+  EXPECT_NE(explain.find("fusion groups:"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("group 1: steps("), std::string::npos) << explain;
+  EXPECT_NE(explain.find("ε(+scores) -> σ((GPA >= 2))"), std::string::npos)
+      << explain;
+  // Two executions above, but only the fused leg counts pipelines.
+  EXPECT_EQ(Counter("cr_exec_fused_pipelines_total"), before + 1);
+}
+
+TEST_F(CompiledFusionTest, SharedIntermediateBailsOutWithCseNote) {
+  // user_cf's shape: the extended relation feeds two selects, so neither
+  // select may consume it destructively inside a fused pass.
+  const std::string dsl =
+      "students = TABLE Students\n"
+      "ratings  = TABLE Ratings\n"
+      "ext      = EXTEND students WITH ratings ON SuID = SuID "
+      "COLLECT Score AS scores\n"
+      "a        = SELECT ext WHERE GPA >= 2\n"
+      "b        = SELECT ext WHERE GPA < 2\n"
+      "rest     = EXCEPT a ON SuID = SuID FROM b\n"
+      "RETURN rest\n";
+  auto compiled = CompileAndCheck(dsl, {});
+  EXPECT_TRUE(compiled.fusion_groups().empty());
+  std::string explain = compiled.Explain();
+  EXPECT_NE(explain.find("not fused: shared intermediate (CSE)"),
+            std::string::npos)
+      << explain;
+}
+
+TEST_F(CompiledFusionTest, SigmaAfterPiBailsOutWithOrderNote) {
+  const std::string dsl =
+      "students = TABLE Students\n"
+      "ratings  = TABLE Ratings\n"
+      "ext      = EXTEND students WITH ratings ON SuID = SuID "
+      "COLLECT Score AS scores\n"
+      "p        = PROJECT ext TO Name AS n, GPA AS g\n"
+      "f        = SELECT p WHERE g >= 2\n"
+      "RETURN f\n";
+  auto compiled = CompileAndCheck(dsl, {});
+  // ε -> π still fuses; the σ above the π is refused with the order note.
+  ASSERT_EQ(compiled.fusion_groups().size(), 1u);
+  std::string explain = compiled.Explain();
+  EXPECT_NE(explain.find("ε(+scores) -> π(n, g)"), std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("not fused: filter over a computed projection "
+                         "schema"),
+            std::string::npos)
+      << explain;
+}
+
+TEST_F(CompiledFusionTest, StrategiesMatchInterpretedOracle) {
+  // Every registered strategy, fused vs interpreted, same bytes. The *_cf
+  // strategies mostly bail out (documented CSE shapes) — the contract is
+  // identity either way.
+  FlexRecsEngine& engine = site_->flexrecs();
+  ParamMap params{{"student", Value(static_cast<int64_t>(1))},
+                  {"major", Value(std::string("CS"))},
+                  {"dep", Value(std::string("CS"))},
+                  {"year", Value(static_cast<int64_t>(2007))},
+                  {"term", Value(std::string("Fall"))},
+                  {"units", Value(static_cast<int64_t>(4))},
+                  {"class", Value(std::string("Senior"))}};
+  int compared = 0;
+  for (const std::string& name : engine.StrategyNames()) {
+    engine.set_exec_options(Fused());
+    auto fused = engine.RunStrategy(name, params);
+    engine.set_exec_options(Interpreted());
+    auto interp = engine.RunStrategy(name, params);
+    engine.set_exec_options(Fused());
+    ASSERT_EQ(fused.ok(), interp.ok()) << name;
+    if (!fused.ok()) continue;  // strategies needing other params
+    ExpectSameRelation(*fused, *interp, name);
+    ++compared;
+  }
+  EXPECT_GE(compared, 5);
+}
+
+// ------------------------------------------------- SQL planner fusion
+
+class SqlFusionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto site = Generator(GenConfig::Tiny(37)).Generate();
+    ASSERT_TRUE(site.ok()) << site.status().ToString();
+    site_ = std::move(*site);
+  }
+
+  std::unique_ptr<social::CourseRankSite> site_;
+};
+
+TEST_F(SqlFusionTest, JoinConjunctsSplitIntoBothScans) {
+  SqlEngine engine(&site_->db());
+  auto explain = engine.Explain(
+      "SELECT c.Title, r.Score FROM Courses c "
+      "JOIN Ratings r ON c.CourseID = r.CourseID "
+      "WHERE r.Score > 2 AND c.Units >= 3 "
+      "ORDER BY r.Score DESC, c.Title LIMIT 10");
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("pushed-filter=(c.Units >= 3)"), std::string::npos)
+      << *explain;
+  EXPECT_NE(explain->find("pushed-filter=(r.Score > 2)"), std::string::npos)
+      << *explain;
+  EXPECT_EQ(explain->find("Filter("), std::string::npos) << *explain;
+
+  // The cross-side conjunct cannot push and is not compilable
+  // (column-vs-column), so it stays a classic residual Filter.
+  auto residual = engine.Explain(
+      "SELECT c.Title FROM Courses c "
+      "JOIN Ratings r ON c.CourseID = r.CourseID "
+      "WHERE r.Score >= 4 AND c.Units < r.Score ORDER BY c.Title LIMIT 5");
+  ASSERT_TRUE(residual.ok());
+  EXPECT_NE(residual->find("pushed-filter=(r.Score >= 4)"), std::string::npos)
+      << *residual;
+  EXPECT_NE(residual->find("Filter("), std::string::npos) << *residual;
+}
+
+TEST_F(SqlFusionTest, ResidualFilterProjectCollapsesToFusedPipeline) {
+  // With scan pushdown off the WHERE stays residual; the fusion tier then
+  // collapses Filter + bare-column Project into one FusedPipelineNode.
+  SqlEngine engine(&site_->db());
+  PlannerOptions no_push;
+  no_push.scan_pushdown = false;
+  no_push.bounded_topk = false;
+  engine.set_planner_options(no_push);
+  const std::string sql =
+      "SELECT Title, Units FROM Courses WHERE Units >= 3 "
+      "ORDER BY Title LIMIT 7";
+  auto explain = engine.Explain(sql);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("FusedPipeline(Filter((Units >= 3)) -> "
+                          "Project(Title AS Title, Units AS Units))"),
+            std::string::npos)
+      << *explain;
+
+  SqlEngine unfused(&site_->db());
+  PlannerOptions no_fuse = no_push;
+  no_fuse.fuse_pipelines = false;
+  unfused.set_planner_options(no_fuse);
+  auto classic = unfused.Explain(sql);
+  ASSERT_TRUE(classic.ok());
+  EXPECT_EQ(classic->find("FusedPipeline"), std::string::npos) << *classic;
+  EXPECT_NE(classic->find("Filter((Units >= 3))"), std::string::npos)
+      << *classic;
+
+  auto a = engine.Execute(sql);
+  auto b = unfused.Execute(sql);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameRelation(*a, *b, sql);
+}
+
+TEST_F(SqlFusionTest, RewriteVerifierAcceptsFusedPlans) {
+  // CR5xx (verify_rewrites): every fused/pushed plan re-plans with all
+  // rewrites off and must never weaken the baseline's static claims.
+  SqlEngine engine(&site_->db());
+  PlannerOptions verify;
+  verify.verify_rewrites = true;
+  engine.set_planner_options(verify);
+  for (const char* sql : {
+           "SELECT c.Title, r.Score FROM Courses c "
+           "JOIN Ratings r ON c.CourseID = r.CourseID "
+           "WHERE r.Score > 2 AND c.Units >= 3 ORDER BY r.Score DESC "
+           "LIMIT 10",
+           "SELECT Title FROM Courses WHERE Units >= 3 ORDER BY Title "
+           "LIMIT 7",
+           "SELECT c.Title, o.Year FROM Courses c "
+           "JOIN Offerings o ON c.CourseID = o.CourseID "
+           "WHERE o.Year = 2007 ORDER BY c.Title LIMIT 8",
+       }) {
+    auto rel = engine.Execute(sql);
+    EXPECT_TRUE(rel.ok()) << sql << " -> " << rel.status().ToString();
+  }
+}
+
+// ---------------------------------------- optimizer rule 5 (TopK under ε)
+
+TEST(TopKBelowExtendTest, RuleFiresAndPreservesOutput) {
+  auto site = Generator(GenConfig::Tiny(41)).Generate();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  FlexRecsEngine& engine = (*site)->flexrecs();
+
+  const std::string dsl =
+      "courses = TABLE Courses\n"
+      "ratings = TABLE Ratings\n"
+      "ext     = EXTEND courses WITH ratings ON CourseID = CourseID "
+      "COLLECT Score AS scores\n"
+      "top     = TOPK ext BY Units DESC LIMIT 5\n"
+      "RETURN top\n";
+  auto parsed = flexrecs::ParseWorkflow(dsl);
+  ASSERT_TRUE(parsed.ok());
+
+  OptimizerStats stats;
+  flexrecs::NodePtr optimized =
+      flexrecs::OptimizeWorkflow((*parsed)->Clone(), &stats, nullptr);
+  EXPECT_EQ(stats.topk_pushed_below_extend, 1);
+  ASSERT_EQ(optimized->kind, flexrecs::NodeKind::kExtend);
+  EXPECT_EQ(optimized->children[0]->kind, flexrecs::NodeKind::kTopK);
+
+  // CR5xx: the rewrite must not weaken any inferred property.
+  analysis::Analyzer analyzer(&(*site)->db(), &engine.library());
+  analysis::DiagnosticBag diags;
+  EXPECT_TRUE(analyzer.VerifyWorkflowRewrite(**parsed, *optimized, &diags))
+      << diags.ToText();
+
+  // Byte-identity: original vs optimized through the engine.
+  auto plain_compiled = engine.Compile(**parsed);
+  ASSERT_TRUE(plain_compiled.ok());
+  auto opt_compiled = engine.Compile(*optimized);
+  ASSERT_TRUE(opt_compiled.ok());
+  auto plain = engine.Execute(*plain_compiled, {});
+  auto opt = engine.Execute(*opt_compiled, {});
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  ExpectSameRelation(*plain, *opt, "rule 5");
+}
+
+TEST(TopKBelowExtendTest, ComposesWithTopKIntoRecommendFusion) {
+  // Pushing TopK(sc) below the Extend lands it on the Recommend producing
+  // sc, where rule 1 folds it into the operator's own top_k.
+  const std::string dsl =
+      "courses = TABLE Courses\n"
+      "ratings = TABLE Ratings\n"
+      "rec     = RECOMMEND courses AGAINST courses USING "
+      "numeric_proximity(Units, Units) AGG max SCORE sc\n"
+      "ext     = EXTEND rec WITH ratings ON CourseID = CourseID "
+      "COLLECT Score AS scores\n"
+      "top     = TOPK ext BY sc DESC LIMIT 5\n"
+      "RETURN top\n";
+  auto parsed = flexrecs::ParseWorkflow(dsl);
+  ASSERT_TRUE(parsed.ok());
+  OptimizerStats stats;
+  flexrecs::NodePtr optimized =
+      flexrecs::OptimizeWorkflow((*parsed)->Clone(), &stats, nullptr);
+  EXPECT_EQ(stats.topk_pushed_below_extend, 1);
+  EXPECT_EQ(stats.topk_fused, 1);
+  ASSERT_EQ(optimized->kind, flexrecs::NodeKind::kExtend);
+  ASSERT_EQ(optimized->children[0]->kind, flexrecs::NodeKind::kRecommend);
+  EXPECT_EQ(optimized->children[0]->recommend.top_k, 5u);
+
+  auto site = Generator(GenConfig::Tiny(47)).Generate();
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+  FlexRecsEngine& engine = (*site)->flexrecs();
+  auto plain_compiled = engine.Compile(**parsed);
+  ASSERT_TRUE(plain_compiled.ok());
+  auto opt_compiled = engine.Compile(*optimized);
+  ASSERT_TRUE(opt_compiled.ok());
+  auto plain = engine.Execute(*plain_compiled, {});
+  auto opt = engine.Execute(*opt_compiled, {});
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  ExpectSameRelation(*plain, *opt, "rule 5 + rule 1");
+}
+
+TEST(TopKBelowExtendTest, OrderOnCollectedColumnBlocksRule) {
+  const std::string dsl =
+      "courses = TABLE Courses\n"
+      "ratings = TABLE Ratings\n"
+      "ext     = EXTEND courses WITH ratings ON CourseID = CourseID "
+      "COLLECT Score AS scores\n"
+      "top     = TOPK ext BY scores DESC LIMIT 5\n"
+      "RETURN top\n";
+  auto parsed = flexrecs::ParseWorkflow(dsl);
+  ASSERT_TRUE(parsed.ok());
+  OptimizerStats stats;
+  flexrecs::NodePtr optimized =
+      flexrecs::OptimizeWorkflow((*parsed)->Clone(), &stats, nullptr);
+  EXPECT_EQ(stats.topk_pushed_below_extend, 0);
+  EXPECT_EQ(optimized->kind, flexrecs::NodeKind::kTopK);
+}
+
+}  // namespace
+}  // namespace courserank

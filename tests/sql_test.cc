@@ -244,15 +244,28 @@ TEST_F(SqlTest, ExplainShowsPushdownPlan) {
 }
 
 TEST_F(SqlTest, ExplainShowsPlanWithoutPushdown) {
-  // Joins keep the classic Filter/Sort/Limit shape, and so does a planner
-  // with pushdown and bounded top-k disabled.
+  // The fusion tier pushes the single-side WHERE conjunct of an inner join
+  // into the ratings scan, so no post-join Filter node remains.
   auto join = sql_.Explain(
       "SELECT c.title FROM courses c JOIN ratings r ON c.id = r.course "
       "WHERE r.score > 3 ORDER BY c.title LIMIT 2");
   ASSERT_TRUE(join.ok());
   EXPECT_NE(join->find("TableScan(courses"), std::string::npos);
-  EXPECT_NE(join->find("Filter"), std::string::npos);
+  EXPECT_NE(join->find("pushed-filter=(r.score > 3)"), std::string::npos);
+  EXPECT_EQ(join->find("Filter"), std::string::npos);
   EXPECT_NE(join->find("TopN"), std::string::npos);
+
+  // With the fusion tier off, joins keep the classic post-join Filter.
+  SqlEngine unfused(&db_);
+  PlannerOptions no_fuse;
+  no_fuse.fuse_pipelines = false;
+  unfused.set_planner_options(no_fuse);
+  auto classic = unfused.Explain(
+      "SELECT c.title FROM courses c JOIN ratings r ON c.id = r.course "
+      "WHERE r.score > 3 ORDER BY c.title LIMIT 2");
+  ASSERT_TRUE(classic.ok());
+  EXPECT_NE(classic->find("Filter"), std::string::npos);
+  EXPECT_EQ(classic->find("pushed-filter"), std::string::npos);
 
   SqlEngine plain(&db_);
   plain.set_planner_options({/*scan_pushdown=*/false,

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/fusion.h"
 #include "analysis/plan_properties.h"
 #include "core/workflow_parser.h"
 #include "query/sql_parser.h"
@@ -125,6 +126,7 @@ int main(int argc, char** argv) {
     // analyzer is microseconds per workflow) and keeps LintDsl/LintSql as
     // the single source of diagnostics.
     std::vector<courserank::analysis::NodeProperties> nodes;
+    std::string fusion;
     if (properties) {
       courserank::analysis::DiagnosticBag scratch;
       if (as_sql) {
@@ -138,6 +140,10 @@ int main(int argc, char** argv) {
         if (parsed.ok()) {
           auto wa = analyzer.AnalyzeWorkflowProperties(**parsed, &scratch);
           nodes = std::move(wa.nodes);
+          // σ/π/ε chain report (DESIGN.md §16): which runs the engine fuses
+          // into single pipeline kernels, and where and why a chain breaks.
+          fusion = courserank::analysis::RenderFusionChains(
+              courserank::analysis::ExtractFusionChains(**parsed));
         }
       }
     }
@@ -156,6 +162,7 @@ int main(int argc, char** argv) {
     std::cout << diags.ToText();
     if (properties) {
       std::cout << courserank::analysis::RenderPropertiesTable(nodes);
+      std::cout << fusion;
     }
   }
   return any_errors ? 1 : 0;
